@@ -1,0 +1,182 @@
+// Figure 2 reproduction (paper §4.1): execution time of the solvers
+// metaapplication vs problem size, for the four configurations the
+// paper plots:
+//   - direct method alone (HOST1)
+//   - iterative method alone (HOST2)
+//   - different servers (direct local on HOST1, iterative remote on
+//     HOST2, overlapped through a non-blocking invocation)
+//   - same server (both objects on one HOST1 server; the two requests
+//     serialize in the server's polling loop)
+//
+// Times are virtual seconds on the paper's modeled testbed (4-node SGI
+// Onyx R4400, 10-node SGI PC R8000, dedicated ATM link); computations
+// are real (Gaussian elimination and Jacobi on the same system, with
+// the agreement check). Expected shape: distributed ~= t_o +
+// max(t_i, t_d) (the caption's formula), same-server ~= sum of both.
+#include <cmath>
+#include <cstdio>
+#include <future>
+#include <optional>
+
+#include "solvers.pardis.hpp"
+#include "workloads/linear.hpp"
+
+using namespace pardis;
+namespace wl = pardis::workloads;
+
+namespace {
+
+constexpr double kTol = 1e-6;
+
+class DirectImpl : public solvers::POA_direct {
+ public:
+  explicit DirectImpl(rts::DomainContext& ctx) : ctx_(&ctx) {}
+  void solve(const solvers::matrix& A, const solvers::vector& B,
+             solvers::vector& X) override {
+    if (ctx_->rank == 0) {
+      std::vector<std::vector<double>> a(A.local().begin(), A.local().end());
+      std::vector<double> b(B.local().begin(), B.local().end());
+      ctx_->charge_flops(wl::gaussian_flops(b.size()));
+      auto x = wl::gaussian_solve(std::move(a), std::move(b));
+      std::copy(x.begin(), x.end(), X.local().begin());
+    }
+  }
+
+ private:
+  rts::DomainContext* ctx_;
+};
+
+class IterativeImpl : public solvers::POA_iterative {
+ public:
+  explicit IterativeImpl(rts::DomainContext& ctx) : ctx_(&ctx) {}
+  void solve(double tol, const solvers::matrix& A, const solvers::vector& B,
+             solvers::vector& X) override {
+    if (ctx_->rank == 0) {
+      std::vector<std::vector<double>> a(A.local().begin(), A.local().end());
+      std::vector<double> b(B.local().begin(), B.local().end());
+      auto res = wl::jacobi_solve(a, b, tol);
+      ctx_->charge_flops(wl::jacobi_flops(b.size(), res.iterations));
+      std::copy(res.x.begin(), res.x.end(), X.local().begin());
+    }
+  }
+
+ private:
+  rts::DomainContext* ctx_;
+};
+
+class SolverServer {
+ public:
+  SolverServer(core::Orb& orb, const sim::HostModel* host, bool with_direct,
+               bool with_iterative)
+      : domain_("solvers", 2, host) {
+    std::promise<core::Poa*> pp;
+    auto pf = pp.get_future();
+    domain_.start([&orb, with_direct, with_iterative, &pp](rts::DomainContext& ctx) {
+      core::Poa poa(orb, ctx);
+      DirectImpl direct_servant(ctx);
+      IterativeImpl iterative_servant(ctx);
+      if (with_direct)
+        poa.activate_spmd(direct_servant, "direct_solver",
+                          solvers::POA_direct::_default_arg_specs());
+      if (with_iterative)
+        poa.activate_spmd(iterative_servant, "itrt_solver",
+                          solvers::POA_iterative::_default_arg_specs());
+      if (ctx.rank == 0) pp.set_value(&poa);
+      poa.impl_is_ready();
+    });
+    poa_ = pf.get();
+  }
+  ~SolverServer() {
+    poa_->deactivate();
+    domain_.join();
+  }
+
+ private:
+  rts::Domain domain_;
+  core::Poa* poa_ = nullptr;
+};
+
+enum class Mode { kDirectOnly, kIterativeOnly, kDistributed, kSingleServer };
+
+double run_scenario(std::size_t n, Mode mode) {
+  sim::Testbed testbed = sim::Testbed::paper_testbed();
+  transport::LocalTransport transport(&testbed);
+  core::InProcessRegistry registry;
+  core::Orb orb(transport, registry);
+
+  const bool single_server = mode == Mode::kSingleServer;
+  std::optional<SolverServer> server_a, server_b;
+  const std::string direct_host = "HOST1";
+  const std::string iter_host = single_server ? "HOST1" : "HOST2";
+  if (single_server) {
+    server_a.emplace(orb, testbed.host("HOST1"), true, true);
+  } else {
+    server_a.emplace(orb, testbed.host("HOST1"), true, false);
+    server_b.emplace(orb, testbed.host("HOST2"), false, true);
+  }
+
+  double elapsed = 0.0;
+  rts::Domain client("client", 2, testbed.host("HOST1"));
+  client.run([&](rts::DomainContext& dctx) {
+    core::ClientCtx ctx(orb, dctx);
+    auto d_solver = solvers::direct::_spmd_bind(ctx, "direct_solver", direct_host);
+    auto i_solver = solvers::iterative::_spmd_bind(ctx, "itrt_solver", iter_host);
+
+    wl::DenseSystem sys = wl::make_system(n, 1997);
+    solvers::matrix A(dctx.comm, n);
+    solvers::vector B(dctx.comm, n);
+    for (std::size_t li = 0; li < A.local_size(); ++li)
+      A.local()[li] = sys.a[A.local_to_global(li)];
+    for (std::size_t li = 0; li < B.local_size(); ++li)
+      B.local()[li] = sys.b[B.local_to_global(li)];
+
+    const double start = dctx.clock.now();
+    core::Future<solvers::vector_var> X1;
+    solvers::vector X2_real(dctx.comm, n);
+    switch (mode) {
+      case Mode::kDirectOnly:
+        d_solver->solve(A, B, X2_real);
+        break;
+      case Mode::kIterativeOnly: {
+        i_solver->solve_nb(kTol, A, B, X1, n, core::DistSpec::block());
+        solvers::vector_var X1_real = X1;
+        break;
+      }
+      default: {
+        i_solver->solve_nb(kTol, A, B, X1, n, core::DistSpec::block());
+        d_solver->solve(A, B, X2_real);
+        solvers::vector_var X1_real = X1;
+        double local = 0.0;
+        for (std::size_t li = 0; li < X1_real->local_size(); ++li)
+          local = std::max(local,
+                           std::abs(X1_real->local()[li] - X2_real.local()[li]));
+        const double agreement = rts::allreduce_max(dctx.comm, local);
+        if (agreement > 1e-3)
+          std::fprintf(stderr, "WARNING: solver disagreement %.3e at n=%zu\n",
+                       agreement, n);
+        break;
+      }
+    }
+    if (dctx.rank == 0) elapsed = dctx.clock.now() - start;
+  });
+  return elapsed;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("# Figure 2: distributed vs local performance (paper §4.1)\n");
+  std::printf("# virtual seconds on the modeled 1997 testbed; tol=%.0e\n", kTol);
+  std::printf("%8s %14s %16s %14s %14s\n", "size", "direct(H1)", "iterative(H2)",
+              "diff-servers", "same-server");
+  for (std::size_t n = 200; n <= 1200; n += 200) {
+    const double t_d = run_scenario(n, Mode::kDirectOnly);
+    const double t_i = run_scenario(n, Mode::kIterativeOnly);
+    const double t_dist = run_scenario(n, Mode::kDistributed);
+    const double t_same = run_scenario(n, Mode::kSingleServer);
+    std::printf("%8zu %14.2f %16.2f %14.2f %14.2f\n", n, t_d, t_i, t_dist, t_same);
+  }
+  std::printf("# expected shape: diff-servers ~= t_o + max(direct, iterative);\n");
+  std::printf("# same-server ~= serialized sum (both ran on the slower HOST1).\n");
+  return 0;
+}

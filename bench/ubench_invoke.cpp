@@ -1,0 +1,163 @@
+// Ablation A2: invocation paths (paper §4.1's collocation bypass claim
+// — "invocation on a local object becomes a direct call to the object,
+// bypassing the network transport").
+//
+// Measures real wall-clock round-trip latency of one `counter`-style
+// invocation through:
+//   collocated — same domain, direct virtual call through the proxy;
+//   local      — in-process transport (queues + POA polling loop);
+//   tcp        — real sockets on localhost.
+// Plus non-blocking issue latency (time until the stub returns) and a
+// payload-size sweep on the local path.
+#include <chrono>
+#include <cstdio>
+#include <future>
+#include <numeric>
+
+#include "core/stub_support.hpp"
+#include "tests/support/calc_api.hpp"
+
+using namespace pardis;
+using namespace calc_api;
+
+namespace {
+
+class CalcImpl : public POA_calc {
+ public:
+  explicit CalcImpl(rts::Communicator* comm) : comm_(&*comm) {}
+  double dot(const vec& a, const vec&) override {
+    double s = 0.0;
+    for (double v : a.local()) s += v;
+    return s;
+  }
+  void scale(double f, const vec& v, vec& r) override {
+    for (std::size_t li = 0; li < r.local_size(); ++li)
+      r.local()[li] = f * v.local()[li];
+  }
+  Long counter(Long d) override { return d + 1; }
+  void note(const std::string&) override {}
+  void boom(const std::string&) override {}
+
+ private:
+  [[maybe_unused]] rts::Communicator* comm_;
+};
+
+class Server {
+ public:
+  explicit Server(core::Orb& orb) : domain_("bench-server", 1) {
+    std::promise<core::Poa*> pp;
+    auto pf = pp.get_future();
+    domain_.start([&orb, &pp](rts::DomainContext& ctx) {
+      core::Poa poa(orb, ctx);
+      CalcImpl servant(&ctx.comm);
+      poa.activate_spmd(servant, "bench-calc");
+      pp.set_value(&poa);
+      poa.impl_is_ready();
+    });
+    poa_ = pf.get();
+  }
+  ~Server() {
+    poa_->deactivate();
+    domain_.join();
+  }
+
+ private:
+  rts::Domain domain_;
+  core::Poa* poa_ = nullptr;
+};
+
+template <typename Fn>
+double time_per_call_us(int iters, Fn&& fn) {
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < iters; ++i) fn();
+  const auto dt = std::chrono::steady_clock::now() - t0;
+  return std::chrono::duration<double, std::micro>(dt).count() / iters;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("# Ablation A2: invocation latency by path (wall clock)\n");
+  constexpr int kIters = 2000;
+
+  // --- collocated: client and servant share the domain -----------------
+  {
+    transport::LocalTransport tp;
+    core::InProcessRegistry reg;
+    core::Orb orb(tp, reg);
+    rts::Domain both("both", 1);
+    both.run([&](rts::DomainContext& dctx) {
+      core::Poa poa(orb, dctx);
+      CalcImpl servant(&dctx.comm);
+      poa.activate_spmd(servant, "bench-calc");
+      core::ClientCtx ctx(orb, dctx);
+      auto proxy = calc::_spmd_bind(ctx, "bench-calc");
+      const double us =
+          time_per_call_us(kIters * 10, [&] { (void)proxy->counter(1); });
+      std::printf("%-12s %10.3f us/call (direct virtual call)\n", "collocated", us);
+    });
+  }
+
+  // --- local transport ---------------------------------------------------
+  {
+    transport::LocalTransport tp;
+    core::InProcessRegistry reg;
+    core::Orb orb(tp, reg);
+    Server server(orb);
+    core::ClientCtx ctx(orb);
+    auto proxy = calc::_bind(ctx, "bench-calc");
+    const double us = time_per_call_us(kIters, [&] { (void)proxy->counter(1); });
+    std::printf("%-12s %10.3f us/call (in-process queues + POA poll)\n", "local", us);
+
+    // Non-blocking issue latency: the stub returns after the send.
+    std::vector<core::Future<Long>> futures(64);
+    const double issue_us = time_per_call_us(kIters, [&, i = 0]() mutable {
+      proxy->counter_nb(1, futures[static_cast<std::size_t>(i)]);
+      i = (i + 1) % 64;
+      if (i == 0)
+        for (auto& f : futures) (void)f.get();
+    });
+    std::printf("%-12s %10.3f us/call (issue only, resolved in batches)\n",
+                "local nb", issue_us);
+    for (auto& f : futures)
+      if (!f.resolved()) (void)f.get();  // drain the tail batch
+  }
+
+  // --- tcp ----------------------------------------------------------------
+  {
+    transport::TcpTransport server_tp(0);
+    transport::TcpTransport client_tp(0);
+    core::InProcessRegistry reg;
+    core::Orb server_orb(server_tp, reg);
+    core::Orb client_orb(client_tp, reg);
+    Server server(server_orb);
+    core::ClientCtx ctx(client_orb);
+    auto proxy = calc::_bind(ctx, "bench-calc");
+    const double us = time_per_call_us(kIters, [&] { (void)proxy->counter(1); });
+    std::printf("%-12s %10.3f us/call (localhost sockets)\n", "tcp", us);
+  }
+
+  // --- payload sweep on the local path (blocking scale round trip) -------
+  std::printf("\n# distributed-argument round trip (scale: in vec + out vec), local path\n");
+  std::printf("%10s %12s %14s\n", "elements", "us/call", "MB/s (2x data)");
+  {
+    transport::LocalTransport tp;
+    core::InProcessRegistry reg;
+    core::Orb orb(tp, reg);
+    Server server(orb);
+    core::ClientCtx ctx(orb);
+    auto proxy = calc::_bind(ctx, "bench-calc");
+    for (std::size_t n : {std::size_t{256}, std::size_t{4096}, std::size_t{65536},
+                          std::size_t{1048576}}) {
+      std::vector<double> v(n, 1.0), r(n);
+      vec v_view = core::single_view(v);
+      vec r_view = core::single_view(r);
+      const int iters = n > 100000 ? 50 : 400;
+      const double us =
+          time_per_call_us(iters, [&] { proxy->scale(2.0, v_view, r_view); });
+      const double mbps = 2.0 * static_cast<double>(n * sizeof(double)) / us;
+      std::printf("%10zu %12.2f %14.1f\n", n, us, mbps);
+    }
+  }
+  return 0;
+}

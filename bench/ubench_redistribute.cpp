@@ -1,0 +1,79 @@
+// Micro-benchmark A4: redistribution cost across distribution shapes
+// (paper §3.2: "using different distribution templates the programmer
+// can also redistribute the sequence").
+//
+// Real wall time per collective redistribute() of a double sequence on
+// a 4-thread domain, by (from, to) distribution pair and element count.
+#include <chrono>
+#include <cstdio>
+
+#include "dist/dsequence.hpp"
+#include "rts/domain.hpp"
+
+using namespace pardis;
+
+namespace {
+
+struct Case {
+  const char* name;
+  dist::Distribution (*from)(std::size_t, int);
+  dist::Distribution (*to)(std::size_t, int);
+};
+
+dist::Distribution make_block(std::size_t n, int p) { return dist::Distribution::block(n, p); }
+dist::Distribution make_cyclic(std::size_t n, int p) {
+  return dist::Distribution::cyclic(n, p, 16);
+}
+dist::Distribution make_conc(std::size_t n, int p) {
+  return dist::Distribution::concentrated(n, p, 0);
+}
+dist::Distribution make_irregular(std::size_t n, int p) {
+  std::vector<double> props(static_cast<std::size_t>(p));
+  for (int r = 0; r < p; ++r) props[static_cast<std::size_t>(r)] = 1.0 + r;
+  return dist::Distribution::irregular(n, props);
+}
+
+double run_case(const Case& c, std::size_t n, int procs, int iters) {
+  rts::Domain d("redist", procs);
+  double us = 0.0;
+  d.run([&](rts::DomainContext& ctx) {
+    dist::DSequence<double> seq(ctx.comm, n, c.from(n, procs));
+    for (std::size_t li = 0; li < seq.local_size(); ++li)
+      seq.local()[li] = static_cast<double>(li);
+    rts::barrier(ctx.comm);
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < iters; ++i) {
+      seq.redistribute(c.to(n, procs));
+      seq.redistribute(c.from(n, procs));
+    }
+    rts::barrier(ctx.comm);
+    if (ctx.rank == 0) {
+      const auto dt = std::chrono::steady_clock::now() - t0;
+      us = std::chrono::duration<double, std::micro>(dt).count() / (2.0 * iters);
+    }
+  });
+  return us;
+}
+
+}  // namespace
+
+int main() {
+  const Case cases[] = {
+      {"block->block (identity)", make_block, make_block},
+      {"block->concentrated", make_block, make_conc},
+      {"concentrated->block", make_conc, make_block},
+      {"block->cyclic(16)", make_block, make_cyclic},
+      {"cyclic(16)->irregular", make_cyclic, make_irregular},
+      {"irregular->block", make_irregular, make_block},
+  };
+  std::printf("# Micro A4: DSequence::redistribute cost, 4 threads, wall clock\n");
+  std::printf("%-26s %12s %12s %12s\n", "pair", "n=10k (us)", "n=100k (us)",
+              "n=1M (us)");
+  for (const Case& c : cases) {
+    const double a = run_case(c, 10000, 4, 50);
+    const double b = run_case(c, 100000, 4, 20);
+    const double d = run_case(c, 1000000, 4, 5);
+    std::printf("%-26s %12.1f %12.1f %12.1f\n", c.name, a, b, d);
+  }
+  return 0;
+}

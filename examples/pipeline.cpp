@@ -1,0 +1,207 @@
+// Paper §4.3: a pipelined metaapplication built from components in
+// *different* parallel packages.
+//
+//   - a POOMA diffusion application (SPMD client, SGI PC model) runs a
+//     9-point-stencil simulation; every time-step it pipelines the
+//     field to a visualizer, and every 5th step to
+//   - an HPC++ PSTL gradient server (SPMD, IBM SP/2 model), which in
+//     turn pipelines its result to its own visualizer,
+//   - two sequential visualizer servers (plain C++ mapping).
+//
+// One .idl file generates three stub variants (-pooma / -hpcxx / plain)
+// so each component speaks its package's native container; the ORB
+// moves the data between them without the programmer translating
+// anything. All invocations are non-blocking with depth-1 pipelining,
+// so the congestion effects the paper reports show up in the virtual
+// clock.
+#include <cstdio>
+#include <future>
+#include <optional>
+
+#include "pipeline_hpcxx.pardis.hpp"
+#include "pipeline_plain.pardis.hpp"
+#include "pipeline_pooma.pardis.hpp"
+#include "pooma/field2d.hpp"
+#include "pstl/distributed_vector.hpp"
+
+using namespace pardis;
+
+namespace {
+
+constexpr std::size_t kGrid = static_cast<std::size_t>(pipeline_plain::N);  // 128
+constexpr int kSteps = 100;
+constexpr int kGradientEvery = 5;
+// Modeled per-cell work (1997-scale): the diffusion application is
+// "relatively lightweight"; the gradient costs more per field.
+constexpr double kDiffusionFlopsPerCell = 1100.0;
+constexpr double kGradientFlopsPerCell = 4400.0;
+constexpr double kRenderFlopsPerCell = 40.0;
+
+/// Sequential visualizer (plain mapping: field == DSequence<double>).
+class VisualizerImpl : public pipeline_plain::POA_visualizer {
+ public:
+  VisualizerImpl(const char* label, const sim::HostModel* host)
+      : label_(label), host_(host) {}
+
+  int frames = 0;
+  double last_max = 0.0;
+
+  void show(const pipeline_plain::field& myfield) override {
+    double mx = 0.0;
+    for (double v : myfield.local()) mx = std::max(mx, v);
+    last_max = mx;
+    ++frames;
+    if (host_ != nullptr)
+      host_->charge_flops(kRenderFlopsPerCell * static_cast<double>(myfield.size()));
+  }
+
+ private:
+  const char* label_;
+  const sim::HostModel* host_;
+};
+
+/// Gradient server (HPC++ mapping: field == pstl::DistributedVector).
+/// It is simultaneously a server (field_operations) and a client (of
+/// its visualizer) — each computing thread owns a ClientCtx.
+class GradientImpl : public pipeline_hpcxx::POA_field_operations {
+ public:
+  GradientImpl(rts::DomainContext& ctx, core::Orb& orb) : ctx_(&ctx) {
+    client_.emplace(orb, ctx);
+    viz_ = pipeline_hpcxx::visualizer::_spmd_bind(*client_, "gradient_viz");
+  }
+
+  void gradient(const pipeline_hpcxx::field& myfield) override {
+    pipeline_hpcxx::field g(myfield.comm(), myfield.distribution());
+    pstl::gradient_magnitude(myfield, g, kGrid);
+    ctx_->charge_flops(kGradientFlopsPerCell * static_cast<double>(myfield.size()) /
+                       ctx_->size);
+    // Pipeline the result onward; wait for the previous frame first
+    // (depth-1 pipeline).
+    if (prev_) prev_->get();
+    prev_.emplace();
+    viz_->show_nb(g, *prev_);
+  }
+
+ private:
+  rts::DomainContext* ctx_;
+  std::optional<core::ClientCtx> client_;
+  pipeline_hpcxx::visualizer::_var viz_;
+  std::optional<core::FutureVoid> prev_;
+};
+
+struct Deployment {
+  sim::Testbed testbed = sim::Testbed::paper_testbed();
+  transport::LocalTransport transport{&testbed};
+  core::InProcessRegistry registry;
+  core::Orb orb{transport, registry};
+};
+
+/// Starts one single-threaded visualizer server; returns its POA.
+core::Poa* start_visualizer(Deployment& dep, rts::Domain& domain, const char* name,
+                            const char* host) {
+  auto pp = std::make_shared<std::promise<core::Poa*>>();
+  auto pf = pp->get_future();
+  domain.start([&dep, name, host, pp](rts::DomainContext& ctx) {
+    core::Poa poa(dep.orb, ctx);
+    VisualizerImpl servant(name, dep.testbed.host(host));
+    poa.activate_spmd(servant, name,
+                      pipeline_plain::POA_visualizer::_default_arg_specs());
+    pp->set_value(&poa);
+    poa.impl_is_ready();
+    std::printf("  [%s] rendered %d frames (last max %.3f)\n", name, servant.frames,
+                servant.last_max);
+  });
+  return pf.get();
+}
+
+}  // namespace
+
+int main() {
+  Deployment dep;
+  const int nprocs = 4;  // diffusion and gradient use matching widths
+  std::printf("PARDIS pipeline metaapplication (paper §4.3)\n");
+  std::printf("grid %zux%zu, %d steps, gradient every %d steps, %d+%d processors\n\n",
+              kGrid, kGrid, kSteps, kGradientEvery, nprocs, nprocs);
+
+  // Visualizers: one on the diffusion host, one on a workstation.
+  rts::Domain viz1_domain("viz1", 1, dep.testbed.host(sim::Testbed::kHost2));
+  rts::Domain viz2_domain("viz2", 1, dep.testbed.host(sim::Testbed::kWorkstation));
+  core::Poa* viz1_poa = start_visualizer(dep, viz1_domain, "diffusion_viz",
+                                         sim::Testbed::kHost2);
+  core::Poa* viz2_poa = start_visualizer(dep, viz2_domain, "gradient_viz",
+                                         sim::Testbed::kWorkstation);
+
+  // Gradient server on the SP/2.
+  rts::Domain grad_domain("gradient", nprocs, dep.testbed.host(sim::Testbed::kSp2));
+  std::promise<core::Poa*> grad_pp;
+  auto grad_pf = grad_pp.get_future();
+  grad_domain.start([&](rts::DomainContext& ctx) {
+    core::Poa poa(dep.orb, ctx);
+    GradientImpl servant(ctx, dep.orb);
+    poa.activate_spmd(servant, "field_operations",
+                      pipeline_hpcxx::POA_field_operations::_default_arg_specs());
+    if (ctx.rank == 0) grad_pp.set_value(&poa);
+    poa.impl_is_ready();
+  });
+  core::Poa* grad_poa = grad_pf.get();
+
+  // The diffusion application: an SPMD *client* (paper: "the diffusion
+  // unit is a parallel client ... and therefore no interface
+  // specification for diffusion is required").
+  double overall = 0.0;
+  rts::Domain diffusion("diffusion", nprocs, dep.testbed.host(sim::Testbed::kHost2));
+  diffusion.run([&](rts::DomainContext& dctx) {
+    core::ClientCtx ctx(dep.orb, dctx);
+    auto show_srv = pipeline_pooma::visualizer::_spmd_bind(ctx, "diffusion_viz");
+    auto grad_srv = pipeline_pooma::field_operations::_spmd_bind(ctx, "field_operations");
+
+    pipeline_pooma::field u(dctx.comm, kGrid, kGrid);  // a genuine POOMA Field2D
+    pipeline_pooma::field tmp(dctx.comm, kGrid, kGrid);
+    // Hot square in the center.
+    for (std::size_t r = 0; r < u.local_rows(); ++r)
+      for (std::size_t c = 0; c < kGrid; ++c) {
+        const std::size_t gr = u.first_row() + r;
+        u.at(r, c) = (gr > kGrid / 3 && gr < 2 * kGrid / 3 && c > kGrid / 3 &&
+                      c < 2 * kGrid / 3)
+                         ? 100.0
+                         : 0.0;
+      }
+
+    const double start = dctx.clock.now();
+    std::optional<core::FutureVoid> show_prev, grad_prev;
+    for (int step = 1; step <= kSteps; ++step) {
+      pooma::diffusion_step(u, tmp, 0.3);
+      std::swap(u.storage(), tmp.storage());
+      dctx.charge_flops(kDiffusionFlopsPerCell * static_cast<double>(kGrid * kGrid) /
+                        dctx.size);
+
+      // Pipeline the field to the visualizer every step (depth-1).
+      if (show_prev) show_prev->get();
+      show_prev.emplace();
+      show_srv->show_nb(u, *show_prev);
+
+      if (step % kGradientEvery == 0) {
+        if (grad_prev) grad_prev->get();
+        grad_prev.emplace();
+        grad_srv->gradient_nb(u, *grad_prev);
+      }
+    }
+    if (show_prev) show_prev->get();
+    if (grad_prev) grad_prev->get();
+    const double elapsed = dctx.clock.now() - start;
+    if (dctx.rank == 0) overall = elapsed;
+  });
+
+  grad_poa->deactivate();
+  grad_domain.join();
+  const double gradient_time = grad_domain.max_sim_time();
+  viz1_poa->deactivate();
+  viz2_poa->deactivate();
+  viz1_domain.join();
+  viz2_domain.join();
+
+  std::printf("\noverall time (client's perspective): %7.2f s\n", overall);
+  std::printf("gradient component busy time:        %7.2f s\n", gradient_time);
+  std::printf("pipeline example done\n");
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Distribution machinery demo: real TCP sockets, a repository server
+// defining the naming domain, and the implementation repository with
+// on-demand activation (paper §2.2).
+//
+//  - a RepositoryServer exposes one namespace over TCP;
+//  - server and client sides use *separate* TCP transports (separate
+//    listening sockets — the same wire path as separate processes);
+//  - the greeter implementation is not running initially: the first
+//    bind triggers the activation agent, which launches the server
+//    domain; the object registers itself with the remote repository
+//    and the bind completes.
+#include <cstdio>
+#include <future>
+
+#include "quickstart.pardis.hpp"
+#include "repo/impl_repository.hpp"
+#include "repo/repository.hpp"
+
+using namespace pardis;
+
+namespace {
+
+class GreeterImpl : public quickstart::POA_greeter {
+ public:
+  std::string hello(const String& who) override {
+    return "greetings over TCP, " + who;
+  }
+  Long add(Long a, Long b) override { return a + b; }
+};
+
+}  // namespace
+
+int main() {
+  // The repository daemon with its own transport and namespace.
+  transport::TcpTransport repo_tp(0);
+  repo::RepositoryServer repository(repo_tp, std::make_shared<core::InProcessRegistry>());
+  std::printf("repository listening at %s\n", repository.addr().to_string().c_str());
+
+  // Server side: own TCP transport, registry view through the wire.
+  transport::TcpTransport server_tp(0);
+  repo::RemoteRegistry server_registry(server_tp, repository.addr());
+  core::Orb server_orb(server_tp, server_registry);
+
+  // Client side: another transport and registry connection.
+  transport::TcpTransport client_tp(0);
+  repo::RemoteRegistry client_registry(client_tp, repository.addr());
+  core::Orb client_orb(client_tp, client_registry);
+
+  // Register HOW to start the greeter instead of starting it.
+  repo::ImplRepository impls;
+  std::promise<core::Poa*> poa_promise;
+  auto poa_future = poa_promise.get_future();
+  impls.register_impl(
+      "tcp-greeter",
+      repo::ActivationRecord{[&]() -> std::unique_ptr<rts::Domain> {
+                               std::printf("activation agent: launching greeter server\n");
+                               auto domain = std::make_unique<rts::Domain>("greeter", 1);
+                               domain->start([&](rts::DomainContext& ctx) {
+                                 core::Poa poa(server_orb, ctx);
+                                 GreeterImpl servant;
+                                 poa.activate_single(servant, "tcp-greeter");
+                                 poa_promise.set_value(&poa);
+                                 poa.impl_is_ready();
+                               });
+                               return domain;
+                             },
+                             ""});
+  repo::ActivationAgent agent(impls);
+  agent.attach(client_orb);
+
+  std::printf("names before bind: %zu\n", client_registry.list().size());
+
+  // First bind activates; later binds reuse the running server.
+  core::ClientCtx ctx(client_orb);
+  auto greeter = quickstart::greeter::_bind(ctx, "tcp-greeter");
+  std::printf("%s\n", greeter->hello("PARDIS").c_str());
+  std::printf("12 + 30 = %d\n", greeter->add(12, 30));
+
+  auto names = client_registry.list();
+  std::printf("names after bind: %zu (%s)\n", names.size(),
+              names.empty() ? "-" : names[0].c_str());
+
+  auto again = quickstart::greeter::_bind(ctx, "tcp-greeter");
+  std::printf("%s\n", again->hello("second binding").c_str());
+  std::printf("launches: %zu (implementation reused)\n", agent.launched());
+
+  poa_future.get()->deactivate();
+  agent.join_all();
+  std::printf("remote_repo example done\n");
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Contiguous growable byte buffer used for all marshaled payloads.
+#pragma once
+
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace pardis {
+
+/// A growable, movable byte buffer. Cheap to move; copies are explicit
+/// via clone() so accidental payload duplication is visible in code.
+class ByteBuffer {
+ public:
+  ByteBuffer() = default;
+  explicit ByteBuffer(std::size_t initial_capacity) { storage_.reserve(initial_capacity); }
+
+  ByteBuffer(ByteBuffer&&) noexcept = default;
+  ByteBuffer& operator=(ByteBuffer&&) noexcept = default;
+  ByteBuffer(const ByteBuffer&) = delete;
+  ByteBuffer& operator=(const ByteBuffer&) = delete;
+
+  static ByteBuffer from(std::span<const Octet> bytes) {
+    ByteBuffer b;
+    b.storage_.assign(bytes.begin(), bytes.end());
+    return b;
+  }
+
+  ByteBuffer clone() const { return from(view()); }
+
+  std::size_t size() const noexcept { return storage_.size(); }
+  bool empty() const noexcept { return storage_.empty(); }
+  const Octet* data() const noexcept { return storage_.data(); }
+  Octet* data() noexcept { return storage_.data(); }
+
+  std::span<const Octet> view() const noexcept { return {storage_.data(), storage_.size()}; }
+  std::span<Octet> mutable_view() noexcept { return {storage_.data(), storage_.size()}; }
+
+  void clear() noexcept { storage_.clear(); }
+  void reserve(std::size_t n) { storage_.reserve(n); }
+
+  /// Appends `n` zero bytes and returns a pointer to the first of them.
+  Octet* grow(std::size_t n) {
+    const std::size_t old = storage_.size();
+    storage_.resize(old + n);
+    return storage_.data() + old;
+  }
+
+  void append(std::span<const Octet> bytes) {
+    storage_.insert(storage_.end(), bytes.begin(), bytes.end());
+  }
+
+  void append_raw(const void* src, std::size_t n) {
+    const auto* p = static_cast<const Octet*>(src);
+    storage_.insert(storage_.end(), p, p + n);
+  }
+
+  bool operator==(const ByteBuffer& other) const noexcept { return storage_ == other.storage_; }
+
+ private:
+  std::vector<Octet> storage_;
+};
+
+}  // namespace pardis

@@ -1,0 +1,273 @@
+// CDR (Common Data Representation) marshaling, the encoding PARDIS uses
+// for every request, reply and repository record.
+//
+// Like CORBA CDR, primitives are aligned to their natural size relative
+// to the start of the stream, and a stream is tagged with the byte order
+// of its producer; the consumer swaps lazily if its native order
+// differs. This keeps the common case (homogeneous hosts) copy-through.
+#pragma once
+
+#include <bit>
+#include <concepts>
+#include <cstring>
+#include <span>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <vector>
+
+#include "common/buffer.hpp"
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace pardis {
+
+/// True when this machine is little-endian (the CDR flag we emit).
+constexpr bool kNativeLittleEndian = (std::endian::native == std::endian::little);
+
+namespace detail {
+
+template <std::size_t N>
+void byteswap_inplace(void* p) {
+  auto* b = static_cast<Octet*>(p);
+  for (std::size_t i = 0; i < N / 2; ++i) std::swap(b[i], b[N - 1 - i]);
+}
+
+}  // namespace detail
+
+/// Serializes primitives into a ByteBuffer with CDR alignment rules.
+class CdrWriter {
+ public:
+  /// The writer appends to `buf`; alignment is computed relative to the
+  /// buffer offset at construction, so a writer can extend an existing
+  /// header as long as that header ends 8-byte aligned.
+  explicit CdrWriter(ByteBuffer& buf) : buf_(&buf), base_(buf.size()) {}
+
+  ByteBuffer& buffer() noexcept { return *buf_; }
+  std::size_t offset() const noexcept { return buf_->size() - base_; }
+
+  void align(std::size_t boundary) {
+    const std::size_t off = offset();
+    const std::size_t pad = (boundary - off % boundary) % boundary;
+    if (pad != 0) buf_->grow(pad);
+  }
+
+  template <typename T>
+    requires(std::is_arithmetic_v<T>)
+  void write(T value) {
+    align(sizeof(T));
+    buf_->append_raw(&value, sizeof(T));
+  }
+
+  void write_octet(Octet v) { write<Octet>(v); }
+  void write_bool(bool v) { write<Octet>(v ? 1 : 0); }
+  void write_short(Short v) { write(v); }
+  void write_ushort(UShort v) { write(v); }
+  void write_long(Long v) { write(v); }
+  void write_ulong(ULong v) { write(v); }
+  void write_longlong(LongLong v) { write(v); }
+  void write_ulonglong(ULongLong v) { write(v); }
+  void write_float(Float v) { write(v); }
+  void write_double(Double v) { write(v); }
+
+  /// CDR string: ulong length including NUL, then bytes, then NUL.
+  void write_string(std::string_view s) {
+    write_ulong(static_cast<ULong>(s.size() + 1));
+    buf_->append_raw(s.data(), s.size());
+    buf_->grow(1);  // terminating NUL
+  }
+
+  /// Raw bytes, no length prefix, no alignment.
+  void write_bytes(std::span<const Octet> bytes) { buf_->append(bytes); }
+
+  /// Primitive sequence: ulong count, then the elements as one aligned
+  /// block (bulk memcpy — this is the path distributed-argument
+  /// transfer rides, so it must not degenerate to per-element calls).
+  template <typename T>
+    requires(std::is_arithmetic_v<T>)
+  void write_prim_seq(std::span<const T> values) {
+    write_ulong(static_cast<ULong>(values.size()));
+    align(alignof(T));
+    buf_->append_raw(values.data(), values.size() * sizeof(T));
+  }
+
+ private:
+  ByteBuffer* buf_;
+  std::size_t base_;
+};
+
+/// Deserializes primitives from a byte span with CDR alignment rules.
+class CdrReader {
+ public:
+  /// `producer_little_endian` is the byte-order flag carried by the
+  /// enclosing message; the reader swaps when it differs from native.
+  explicit CdrReader(std::span<const Octet> data,
+                     bool producer_little_endian = kNativeLittleEndian)
+      : data_(data), swap_(producer_little_endian != kNativeLittleEndian) {}
+
+  std::size_t offset() const noexcept { return pos_; }
+  std::size_t remaining() const noexcept { return data_.size() - pos_; }
+  bool swapping() const noexcept { return swap_; }
+
+  void align(std::size_t boundary) {
+    const std::size_t pad = (boundary - pos_ % boundary) % boundary;
+    skip(pad);
+  }
+
+  void skip(std::size_t n) {
+    if (pos_ + n > data_.size()) throw MarshalError("CDR underrun (skip)");
+    pos_ += n;
+  }
+
+  template <typename T>
+    requires(std::is_arithmetic_v<T>)
+  T read() {
+    align(sizeof(T));
+    if (pos_ + sizeof(T) > data_.size()) throw MarshalError("CDR underrun (read)");
+    T value;
+    std::memcpy(&value, data_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    if constexpr (sizeof(T) > 1) {
+      if (swap_) detail::byteswap_inplace<sizeof(T)>(&value);
+    }
+    return value;
+  }
+
+  Octet read_octet() { return read<Octet>(); }
+  bool read_bool() { return read<Octet>() != 0; }
+  Short read_short() { return read<Short>(); }
+  UShort read_ushort() { return read<UShort>(); }
+  Long read_long() { return read<Long>(); }
+  ULong read_ulong() { return read<ULong>(); }
+  LongLong read_longlong() { return read<LongLong>(); }
+  ULongLong read_ulonglong() { return read<ULongLong>(); }
+  Float read_float() { return read<Float>(); }
+  Double read_double() { return read<Double>(); }
+
+  std::string read_string() {
+    const ULong len = read_ulong();
+    if (len == 0) throw MarshalError("CDR string with zero encoded length");
+    if (pos_ + len > data_.size()) throw MarshalError("CDR underrun (string)");
+    std::string s(reinterpret_cast<const char*>(data_.data() + pos_), len - 1);
+    if (data_[pos_ + len - 1] != 0) throw MarshalError("CDR string missing NUL");
+    pos_ += len;
+    return s;
+  }
+
+  std::span<const Octet> read_bytes(std::size_t n) {
+    if (pos_ + n > data_.size()) throw MarshalError("CDR underrun (bytes)");
+    auto out = data_.subspan(pos_, n);
+    pos_ += n;
+    return out;
+  }
+
+  template <typename T>
+    requires(std::is_arithmetic_v<T>)
+  std::vector<T> read_prim_seq() {
+    const ULong count = read_ulong();
+    align(alignof(T));
+    if (pos_ + std::size_t{count} * sizeof(T) > data_.size())
+      throw MarshalError("CDR underrun (prim seq)");
+    std::vector<T> out(count);
+    std::memcpy(out.data(), data_.data() + pos_, count * sizeof(T));
+    pos_ += count * sizeof(T);
+    if constexpr (sizeof(T) > 1) {
+      if (swap_)
+        for (T& v : out) detail::byteswap_inplace<sizeof(T)>(&v);
+    }
+    return out;
+  }
+
+  /// Reads a primitive sequence directly into caller storage (used by
+  /// distributed-argument unmarshaling into no-ownership dsequences).
+  template <typename T>
+    requires(std::is_arithmetic_v<T>)
+  void read_prim_seq_into(std::span<T> out) {
+    const ULong count = read_ulong();
+    if (count != out.size()) throw MarshalError("CDR prim seq size mismatch");
+    align(alignof(T));
+    if (pos_ + std::size_t{count} * sizeof(T) > data_.size())
+      throw MarshalError("CDR underrun (prim seq into)");
+    std::memcpy(out.data(), data_.data() + pos_, count * sizeof(T));
+    pos_ += count * sizeof(T);
+    if constexpr (sizeof(T) > 1) {
+      if (swap_)
+        for (T& v : out) detail::byteswap_inplace<sizeof(T)>(&v);
+    }
+  }
+
+ private:
+  std::span<const Octet> data_;
+  std::size_t pos_ = 0;
+  bool swap_;
+};
+
+// ---------------------------------------------------------------------------
+// CdrTraits: extension point used by generated stub code. A user-defined
+// IDL struct S gets a specialization with marshal/unmarshal; the defaults
+// below cover primitives, strings and vectors (IDL sequences) of
+// marshalable types, including nested dynamically-sized sequences.
+// ---------------------------------------------------------------------------
+
+template <typename T>
+struct CdrTraits;
+
+template <typename T>
+  requires(std::is_arithmetic_v<T>)
+struct CdrTraits<T> {
+  static void marshal(CdrWriter& w, const T& v) { w.write(v); }
+  static void unmarshal(CdrReader& r, T& v) { v = r.read<T>(); }
+};
+
+template <>
+struct CdrTraits<std::string> {
+  static void marshal(CdrWriter& w, const std::string& v) { w.write_string(v); }
+  static void unmarshal(CdrReader& r, std::string& v) { v = r.read_string(); }
+};
+
+template <typename T>
+struct CdrTraits<std::vector<T>> {
+  static void marshal(CdrWriter& w, const std::vector<T>& v) {
+    if constexpr (std::is_arithmetic_v<T>) {
+      w.write_prim_seq(std::span<const T>(v));
+    } else {
+      w.write_ulong(static_cast<ULong>(v.size()));
+      for (const T& e : v) CdrTraits<T>::marshal(w, e);
+    }
+  }
+  static void unmarshal(CdrReader& r, std::vector<T>& v) {
+    if constexpr (std::is_arithmetic_v<T>) {
+      v = r.read_prim_seq<T>();
+    } else {
+      const ULong n = r.read_ulong();
+      v.clear();
+      v.reserve(n);
+      for (ULong i = 0; i < n; ++i) {
+        T e;
+        CdrTraits<T>::unmarshal(r, e);
+        v.push_back(std::move(e));
+      }
+    }
+  }
+};
+
+/// Convenience: marshal a value into a fresh buffer.
+template <typename T>
+ByteBuffer cdr_encode(const T& value) {
+  ByteBuffer buf;
+  CdrWriter w(buf);
+  CdrTraits<T>::marshal(w, value);
+  return buf;
+}
+
+/// Convenience: unmarshal a whole buffer into a value.
+template <typename T>
+T cdr_decode(std::span<const Octet> bytes,
+             bool producer_little_endian = kNativeLittleEndian) {
+  CdrReader r(bytes, producer_little_endian);
+  T value;
+  CdrTraits<T>::unmarshal(r, value);
+  return value;
+}
+
+}  // namespace pardis

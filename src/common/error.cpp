@@ -1,0 +1,30 @@
+#include "common/error.hpp"
+
+namespace pardis {
+
+const char* error_code_name(ErrorCode code) noexcept {
+  switch (code) {
+    case ErrorCode::kUnknown: return "UNKNOWN";
+    case ErrorCode::kBadParam: return "BAD_PARAM";
+    case ErrorCode::kMarshal: return "MARSHAL";
+    case ErrorCode::kCommFailure: return "COMM_FAILURE";
+    case ErrorCode::kObjectNotExist: return "OBJECT_NOT_EXIST";
+    case ErrorCode::kNoImplement: return "NO_IMPLEMENT";
+    case ErrorCode::kBadInvOrder: return "BAD_INV_ORDER";
+    case ErrorCode::kTransient: return "TRANSIENT";
+    case ErrorCode::kTimeout: return "TIMEOUT";
+    case ErrorCode::kBadTag: return "BAD_TAG";
+    case ErrorCode::kInternal: return "INTERNAL";
+  }
+  return "INVALID_CODE";
+}
+
+SystemException::SystemException(ErrorCode code, const std::string& what_arg)
+    : std::runtime_error(std::string(error_code_name(code)) + ": " + what_arg),
+      code_(code) {}
+
+void require(bool cond, const char* message) {
+  if (!cond) throw InternalError(message);
+}
+
+}  // namespace pardis

@@ -1,0 +1,66 @@
+// CORBA-style system exception hierarchy.
+//
+// PARDIS follows the CORBA convention that all failures surfaced by the
+// ORB, the transports and the run-time system interface are instances of
+// a small closed set of system exceptions, so callers can catch
+// `SystemException` at metaapplication boundaries.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace pardis {
+
+enum class ErrorCode {
+  kUnknown,        ///< unclassified failure
+  kBadParam,       ///< invalid argument passed by the caller
+  kMarshal,        ///< error (un)marshaling a request or reply
+  kCommFailure,    ///< transport-level communication failure
+  kObjectNotExist, ///< reference denotes a non-existent object
+  kNoImplement,    ///< operation exists in IDL but has no implementation
+  kBadInvOrder,    ///< calls made in an order the spec forbids
+  kTransient,      ///< request not delivered, retry may succeed
+  kTimeout,        ///< blocking call exceeded its deadline
+  kBadTag,         ///< user message tag collides with the PARDIS reserved range
+  kInternal,       ///< internal invariant violated
+};
+
+/// Human-readable name of an ErrorCode ("COMM_FAILURE", ...).
+const char* error_code_name(ErrorCode code) noexcept;
+
+/// Root of the PARDIS exception hierarchy.
+class SystemException : public std::runtime_error {
+ public:
+  SystemException(ErrorCode code, const std::string& what_arg);
+
+  ErrorCode code() const noexcept { return code_; }
+
+ private:
+  ErrorCode code_;
+};
+
+#define PARDIS_DEFINE_EXCEPTION(NAME, CODE)                      \
+  class NAME : public SystemException {                          \
+   public:                                                       \
+    explicit NAME(const std::string& what_arg)                   \
+        : SystemException(ErrorCode::CODE, what_arg) {}          \
+  }
+
+PARDIS_DEFINE_EXCEPTION(BadParam, kBadParam);
+PARDIS_DEFINE_EXCEPTION(MarshalError, kMarshal);
+PARDIS_DEFINE_EXCEPTION(CommFailure, kCommFailure);
+PARDIS_DEFINE_EXCEPTION(ObjectNotExist, kObjectNotExist);
+PARDIS_DEFINE_EXCEPTION(NoImplement, kNoImplement);
+PARDIS_DEFINE_EXCEPTION(BadInvOrder, kBadInvOrder);
+PARDIS_DEFINE_EXCEPTION(TransientError, kTransient);
+PARDIS_DEFINE_EXCEPTION(TimeoutError, kTimeout);
+PARDIS_DEFINE_EXCEPTION(BadTag, kBadTag);
+PARDIS_DEFINE_EXCEPTION(InternalError, kInternal);
+
+#undef PARDIS_DEFINE_EXCEPTION
+
+/// Throws InternalError when `cond` is false. Used for invariants that
+/// must hold in release builds as well (protocol state machines).
+void require(bool cond, const char* message);
+
+}  // namespace pardis

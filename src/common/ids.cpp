@@ -1,0 +1,24 @@
+#include "common/ids.hpp"
+
+#include <atomic>
+
+namespace pardis {
+
+namespace {
+std::atomic<std::uint64_t> g_object_counter{1};
+std::atomic<std::uint64_t> g_request_counter{1};
+}  // namespace
+
+std::string ObjectId::to_string() const { return "obj:" + std::to_string(value); }
+
+ObjectId ObjectId::next() {
+  return ObjectId{g_object_counter.fetch_add(1, std::memory_order_relaxed)};
+}
+
+std::string RequestId::to_string() const { return "req:" + std::to_string(value); }
+
+RequestId RequestId::next() {
+  return RequestId{g_request_counter.fetch_add(1, std::memory_order_relaxed)};
+}
+
+}  // namespace pardis

@@ -1,0 +1,51 @@
+// Process-unique identifiers for objects, requests and endpoints.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace pardis {
+
+/// Identity of a PARDIS object within its repository namespace.
+/// Unique per process-lifetime; serializable inside object references.
+struct ObjectId {
+  std::uint64_t value = 0;
+
+  bool operator==(const ObjectId&) const = default;
+  auto operator<=>(const ObjectId&) const = default;
+  bool valid() const noexcept { return value != 0; }
+  std::string to_string() const;
+
+  /// Returns a fresh process-unique id (thread-safe).
+  static ObjectId next();
+};
+
+/// Identity of one in-flight request (unique per client process).
+struct RequestId {
+  std::uint64_t value = 0;
+
+  bool operator==(const RequestId&) const = default;
+  auto operator<=>(const RequestId&) const = default;
+  std::string to_string() const;
+
+  static RequestId next();
+};
+
+}  // namespace pardis
+
+template <>
+struct std::hash<pardis::ObjectId> {
+  std::size_t operator()(const pardis::ObjectId& id) const noexcept {
+    return std::hash<std::uint64_t>{}(id.value);
+  }
+};
+
+template <>
+struct std::hash<pardis::RequestId> {
+  std::size_t operator()(const pardis::RequestId& id) const noexcept {
+    return std::hash<std::uint64_t>{}(id.value);
+  }
+};

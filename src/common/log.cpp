@@ -1,0 +1,53 @@
+#include "common/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+namespace pardis::log {
+
+namespace {
+
+Level parse_env_level() {
+  const char* env = std::getenv("PARDIS_LOG_LEVEL");
+  if (env == nullptr) return Level::kWarn;
+  if (std::strcmp(env, "trace") == 0) return Level::kTrace;
+  if (std::strcmp(env, "debug") == 0) return Level::kDebug;
+  if (std::strcmp(env, "info") == 0) return Level::kInfo;
+  if (std::strcmp(env, "warn") == 0) return Level::kWarn;
+  if (std::strcmp(env, "error") == 0) return Level::kError;
+  if (std::strcmp(env, "off") == 0) return Level::kOff;
+  return Level::kWarn;
+}
+
+std::atomic<Level> g_level{parse_env_level()};
+std::mutex g_io_mutex;
+
+const char* level_name(Level lvl) {
+  switch (lvl) {
+    case Level::kTrace: return "TRACE";
+    case Level::kDebug: return "DEBUG";
+    case Level::kInfo: return "INFO";
+    case Level::kWarn: return "WARN";
+    case Level::kError: return "ERROR";
+    case Level::kOff: return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+Level level() noexcept { return g_level.load(std::memory_order_relaxed); }
+void set_level(Level lvl) noexcept { g_level.store(lvl, std::memory_order_relaxed); }
+
+bool enabled(Level lvl) noexcept { return lvl >= level(); }
+
+void write(Level lvl, const char* component, const std::string& message) {
+  if (!enabled(lvl)) return;
+  std::lock_guard<std::mutex> lock(g_io_mutex);
+  std::fprintf(stderr, "[%s %s] %s\n", level_name(lvl), component, message.c_str());
+}
+
+}  // namespace pardis::log

@@ -1,0 +1,43 @@
+// Minimal leveled logger. Configure with PARDIS_LOG_LEVEL=trace|debug|
+// info|warn|error (default warn). Thread-safe; one line per call.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace pardis::log {
+
+enum class Level { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Current threshold (read once from the environment, override with set_level).
+Level level() noexcept;
+void set_level(Level lvl) noexcept;
+
+bool enabled(Level lvl) noexcept;
+
+/// Emits one formatted line: "[LEVEL component] message".
+void write(Level lvl, const char* component, const std::string& message);
+
+/// Stream-style helper:  PARDIS_LOG(kDebug, "orb") << "bound " << name;
+class LineStream {
+ public:
+  LineStream(Level lvl, const char* component) : lvl_(lvl), component_(component) {}
+  ~LineStream() { write(lvl_, component_, os_.str()); }
+  template <typename T>
+  LineStream& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  Level lvl_;
+  const char* component_;
+  std::ostringstream os_;
+};
+
+}  // namespace pardis::log
+
+#define PARDIS_LOG(lvl, component)                          \
+  if (!::pardis::log::enabled(::pardis::log::Level::lvl)) { \
+  } else                                                    \
+    ::pardis::log::LineStream(::pardis::log::Level::lvl, component)

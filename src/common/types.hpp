@@ -1,0 +1,34 @@
+// Basic fixed-width type aliases mirroring the CORBA C++ mapping that
+// PARDIS IDL types lower to.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pardis {
+
+using Octet = std::uint8_t;
+using Boolean = bool;
+using Short = std::int16_t;
+using UShort = std::uint16_t;
+using Long = std::int32_t;
+using ULong = std::uint32_t;
+using LongLong = std::int64_t;
+using ULongLong = std::uint64_t;
+using Float = float;
+using Double = double;
+using String = std::string;
+
+/// IDL `sequence<T>` lowers to a std::vector in the C++ mapping.
+template <typename T>
+using Sequence = std::vector<T>;
+
+/// Rank of a computing thread within a parallel client/server.
+using Rank = int;
+
+/// Message tag in the run-time system interface.
+using Tag = int;
+
+}  // namespace pardis

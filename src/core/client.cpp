@@ -1,0 +1,216 @@
+#include "core/client.hpp"
+
+#include "common/log.hpp"
+#include "rts/collectives.hpp"
+
+namespace pardis::core {
+
+ClientCtx::ClientCtx(Orb& orb, rts::DomainContext& dctx)
+    : orb_(&orb),
+      comm_(&dctx.comm),
+      rank_(dctx.rank),
+      size_(dctx.size),
+      host_model_(dctx.host != nullptr ? dctx.host->name : "") {
+  endpoint_ = orb_->transport().create_endpoint(host_model_);
+}
+
+ClientCtx::ClientCtx(Orb& orb, std::string host_model)
+    : orb_(&orb), comm_(nullptr), rank_(0), size_(1), host_model_(std::move(host_model)) {
+  endpoint_ = orb_->transport().create_endpoint(host_model_);
+}
+
+void ClientCtx::send_rsr(const transport::EndpointAddr& dst,
+                         transport::HandlerId handler, ByteBuffer frame) {
+  if (sender_ != nullptr) {
+    sender_->enqueue(dst, handler, std::move(frame));
+    return;
+  }
+  orb_->transport().rsr(dst, handler, std::move(frame), host_model_);
+}
+
+void ClientCtx::enable_comm_thread() {
+  if (sender_ == nullptr)
+    sender_ = std::make_unique<CommSender>(orb_->transport(), host_model_);
+}
+
+void ClientCtx::flush_sends() {
+  if (sender_ != nullptr) sender_->flush();
+}
+
+void ClientCtx::pump() {
+  while (auto msg = endpoint_->poll()) route(std::move(*msg));
+}
+
+bool ClientCtx::pump_blocking(std::chrono::milliseconds timeout) {
+  auto msg = endpoint_->wait_for(timeout);
+  if (!msg) return false;
+  route(std::move(*msg));
+  pump();  // drain whatever else arrived with it
+  return true;
+}
+
+void ClientCtx::route(transport::RsrMessage&& msg) {
+  if (msg.handler != transport::kHandlerOrbReply) {
+    PARDIS_LOG(kWarn, "client") << "unexpected RSR handler " << msg.handler << ", dropped";
+    return;
+  }
+  CdrReader r(msg.payload.view(), msg.little_endian);
+  ReplyHeader header = ReplyHeader::unmarshal(r);
+  auto it = pending_.find(header.request_id.value);
+  if (it == pending_.end()) return;  // late reply for a resolved-by-error request
+  auto pending = it->second.lock();
+  if (!pending) {
+    pending_.erase(it);
+    return;
+  }
+  ByteBuffer body = ByteBuffer::from(msg.payload.view().subspan(r.offset()));
+  pending->deliver(header, msg.little_endian, std::move(body));
+  if (pending->complete()) pending_.erase(header.request_id.value);
+}
+
+void ClientCtx::track(const std::shared_ptr<PendingReply>& pending) {
+  pending_[pending->id().value] = pending;
+}
+
+void ClientCtx::untrack(RequestId id) { pending_.erase(id.value); }
+
+namespace {
+
+ULongLong next_binding_id() {
+  // Binding ids share the object-id generator's uniqueness domain.
+  return ObjectId::next().value;
+}
+
+void check_type(const ObjectRef& ref, const std::string& expected) {
+  if (!expected.empty() && ref.type_id != expected)
+    PARDIS_LOG(kWarn, "client") << "binding to " << ref.name << ": object type "
+                                << ref.type_id << " != proxy type " << expected
+                                << " (operations may be rejected)";
+}
+
+void apply_collocation(Binding& b, ClientCtx& ctx, bool collective) {
+  const Orb::CollocatedEntry* entry = ctx.orb().collocated(b.ref().object_id);
+  if (entry == nullptr) return;
+  // "Local" means the same (modeled) host as well as the same process;
+  // a same-process object on a different modeled host must still go
+  // through the transport so its costs are charged correctly.
+  if (b.ref().host != ctx.host_model()) return;
+  if (!collective) {
+    // Direct call into a single object living in this process.
+    if (!entry->spmd) b.set_collocated(entry->servants.front());
+    return;
+  }
+  // Collective collocation requires the client and server to be the
+  // same domain (thread ranks correspond one-to-one).
+  if (entry->spmd && entry->group == ctx.comm()->group_key() &&
+      static_cast<int>(entry->servants.size()) == ctx.size())
+    b.set_collocated(entry->servants[static_cast<std::size_t>(ctx.rank())]);
+}
+
+}  // namespace
+
+BindingPtr bind(ClientCtx& ctx, const std::string& name, const std::string& host,
+                const std::string& expected_type) {
+  ObjectRef ref = ctx.orb().resolve(name, host);
+  check_type(ref, expected_type);
+  auto b = std::make_shared<Binding>(ctx, std::move(ref), /*collective=*/false,
+                                     next_binding_id());
+  apply_collocation(*b, ctx, /*collective=*/false);
+  return b;
+}
+
+BindingPtr bind_object(ClientCtx& ctx, const ObjectRef& ref,
+                       const std::string& expected_type) {
+  if (!ref.valid()) throw BadParam("bind_object: invalid reference");
+  check_type(ref, expected_type);
+  auto b = std::make_shared<Binding>(ctx, ref, /*collective=*/false, next_binding_id());
+  apply_collocation(*b, ctx, /*collective=*/false);
+  return b;
+}
+
+BindingPtr spmd_bind_object(ClientCtx& ctx, const ObjectRef& ref,
+                            const std::string& expected_type) {
+  if (ctx.comm() == nullptr)
+    throw BadInvOrder("spmd_bind_object requires an SPMD client");
+  if (!ref.valid()) throw BadParam("spmd_bind_object: invalid reference");
+  check_type(ref, expected_type);
+  // All threads share one binding id (rank 0 allocates it).
+  const auto id = rts::broadcast_value<ULongLong>(
+      *ctx.comm(), ctx.rank() == 0 ? next_binding_id() : 0, 0);
+  auto b = std::make_shared<Binding>(ctx, ref, /*collective=*/true, id);
+  apply_collocation(*b, ctx, /*collective=*/true);
+  return b;
+}
+
+BindingPtr spmd_bind(ClientCtx& ctx, const std::string& name, const std::string& host,
+                     const std::string& expected_type) {
+  if (ctx.comm() == nullptr)
+    throw BadInvOrder("spmd_bind requires an SPMD client (use bind for single clients)");
+  // Rank 0 resolves; the reference and a fresh binding id are
+  // broadcast so every thread shares one binding.
+  ByteBuffer blob;
+  if (ctx.rank() == 0) {
+    ObjectRef ref = ctx.orb().resolve(name, host);
+    CdrWriter w(blob);
+    ref.marshal(w);
+    w.write_ulonglong(next_binding_id());
+  }
+  ByteBuffer shared = rts::broadcast(*ctx.comm(), std::move(blob), 0);
+  CdrReader r(shared.view());
+  ObjectRef ref = ObjectRef::unmarshal(r);
+  const ULongLong id = r.read_ulonglong();
+  check_type(ref, expected_type);
+  auto b = std::make_shared<Binding>(ctx, std::move(ref), /*collective=*/true, id);
+  apply_collocation(*b, ctx, /*collective=*/true);
+  return b;
+}
+
+ClientRequest::ClientRequest(Binding& binding, std::string operation, bool oneway,
+                             bool has_dist_out)
+    : binding_(&binding),
+      operation_(std::move(operation)),
+      oneway_(oneway),
+      has_dist_out_(has_dist_out) {
+  const int q = server_size();
+  bodies_.resize(static_cast<std::size_t>(q));
+  writers_.reserve(static_cast<std::size_t>(q));
+  for (auto& b : bodies_) writers_.emplace_back(b);
+}
+
+int ClientRequest::my_client_rank() const noexcept {
+  return binding_->collective() ? binding_->ctx().rank() : 0;
+}
+
+std::shared_ptr<PendingReply> ClientRequest::invoke() {
+  ClientCtx& ctx = binding_->ctx();
+  const ObjectRef& ref = binding_->ref();
+
+  RequestHeader h;
+  h.request_id = RequestId::next();
+  h.binding_id = binding_->id();
+  h.seq_no = binding_->take_seq();
+  h.object_id = ref.object_id;
+  h.operation = operation_;
+  h.flags = static_cast<Octet>((oneway_ ? kFlagOneway : 0) |
+                               (binding_->collective() ? kFlagCollective : 0));
+  h.client_rank = my_client_rank();
+  h.client_size = binding_->collective() ? ctx.size() : 1;
+  h.reply_to = ctx.endpoint().addr();
+
+  for (int q = 0; q < server_size(); ++q) {
+    ByteBuffer frame;
+    CdrWriter w(frame);
+    h.marshal(w);
+    frame.append(bodies_[static_cast<std::size_t>(q)].view());
+    ctx.send_rsr(ref.thread_eps[static_cast<std::size_t>(q)],
+                 transport::kHandlerOrbRequest, std::move(frame));
+  }
+  if (oneway_) return nullptr;
+
+  const int expected = has_dist_out_ ? server_size() : 1;
+  auto pending = std::make_shared<PendingReply>(ctx, h.request_id, expected);
+  ctx.track(pending);
+  return pending;
+}
+
+}  // namespace pardis::core

@@ -1,0 +1,207 @@
+// Client-side ORB machinery: per-thread context, bindings, requests.
+#pragma once
+
+#include <chrono>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/comm_thread.hpp"
+#include "core/orb.hpp"
+#include "core/pending_reply.hpp"
+#include "core/servant.hpp"
+#include "dist/dsequence.hpp"
+#include "rts/domain.hpp"
+
+namespace pardis::core {
+
+/// Per-computing-thread client state: the reply endpoint and the table
+/// of in-flight invocations. One per thread of a parallel client; one
+/// total for a standalone (single) client.
+class ClientCtx {
+ public:
+  /// SPMD client thread: `dctx` supplies rank/size/communicator; the
+  /// host model defaults to the domain's host.
+  ClientCtx(Orb& orb, rts::DomainContext& dctx);
+
+  /// Standalone single client.
+  explicit ClientCtx(Orb& orb, std::string host_model = "");
+
+  ClientCtx(const ClientCtx&) = delete;
+  ClientCtx& operator=(const ClientCtx&) = delete;
+
+  Orb& orb() noexcept { return *orb_; }
+  int rank() const noexcept { return rank_; }
+  int size() const noexcept { return size_; }
+  rts::Communicator* comm() noexcept { return comm_; }
+  const std::string& host_model() const noexcept { return host_model_; }
+  transport::Endpoint& endpoint() noexcept { return *endpoint_; }
+
+  /// Routes one outgoing request message: directly through the
+  /// transport, or via this thread's communication thread when one is
+  /// enabled (the paper's §6 proposal — the computing thread is then
+  /// not charged for the transfer).
+  void send_rsr(const transport::EndpointAddr& dst, transport::HandlerId handler,
+                ByteBuffer frame);
+
+  /// Attaches a dedicated communication thread to this client context.
+  void enable_comm_thread();
+  bool comm_thread_enabled() const noexcept { return sender_ != nullptr; }
+  /// Blocks until every asynchronously handed-over send left (no-op
+  /// without a communication thread).
+  void flush_sends();
+
+  /// Drains the reply endpoint, routing replies to their invocations.
+  void pump();
+
+  /// Blocks up to `timeout` for at least one message, then drains.
+  /// Returns false on timeout.
+  bool pump_blocking(std::chrono::milliseconds timeout);
+
+  void track(const std::shared_ptr<PendingReply>& pending);
+  void untrack(RequestId id);
+
+ private:
+  void route(transport::RsrMessage&& msg);
+
+  Orb* orb_;
+  rts::Communicator* comm_;
+  int rank_;
+  int size_;
+  std::string host_model_;
+  std::shared_ptr<transport::Endpoint> endpoint_;
+  std::map<std::uint64_t, std::weak_ptr<PendingReply>> pending_;
+  std::unique_ptr<CommSender> sender_;
+};
+
+/// One client-side binding between a proxy and an object implementation
+/// (paper §3.1). Collective bindings (spmd_bind) represent the whole
+/// parallel client as one entity; per-thread bindings (bind) act as
+/// separate single clients. The binding is the sequencing domain: the
+/// server executes a binding's invocations in order.
+class Binding {
+ public:
+  Binding(ClientCtx& ctx, ObjectRef ref, bool collective, ULongLong id)
+      : ctx_(&ctx), ref_(std::move(ref)), collective_(collective), id_(id) {}
+
+  ClientCtx& ctx() noexcept { return *ctx_; }
+  const ObjectRef& ref() const noexcept { return ref_; }
+  bool collective() const noexcept { return collective_; }
+  ULongLong id() const noexcept { return id_; }
+  ULong take_seq() noexcept { return next_seq_++; }
+
+  /// Non-null when the collocation bypass applies: the servant for
+  /// this thread, to be called directly (paper §4.1: "invocation on a
+  /// local object becomes a direct call to the object, bypassing the
+  /// network transport").
+  ServantBase* collocated_servant() const noexcept { return collocated_; }
+  void set_collocated(ServantBase* servant) noexcept { collocated_ = servant; }
+
+ private:
+  ClientCtx* ctx_;
+  ObjectRef ref_;
+  bool collective_;
+  ULongLong id_;
+  ULong next_seq_ = 0;
+  ServantBase* collocated_ = nullptr;
+};
+
+using BindingPtr = std::shared_ptr<Binding>;
+
+/// Base of every generated proxy class: holds the binding.
+class ProxyRoot {
+ public:
+  explicit ProxyRoot(BindingPtr binding) : binding_(std::move(binding)) {}
+  virtual ~ProxyRoot() = default;
+
+  const BindingPtr& _binding() const noexcept { return binding_; }
+
+ protected:
+  BindingPtr binding_;
+};
+
+/// Per-thread binding (paper: `bind` — "creates one binding per
+/// thread"; operations may not use distributed arguments).
+BindingPtr bind(ClientCtx& ctx, const std::string& name, const std::string& host,
+                const std::string& expected_type);
+
+/// Collective binding (paper: `spmd_bind` — "represents the parallel
+/// client to the ORB as one entity"); must be called by every thread
+/// of the client domain.
+BindingPtr spmd_bind(ClientCtx& ctx, const std::string& name, const std::string& host,
+                     const std::string& expected_type);
+
+/// Binds directly to a reference (e.g. one received through
+/// object_to_string / string_to_object), bypassing the repository.
+BindingPtr bind_object(ClientCtx& ctx, const ObjectRef& ref,
+                       const std::string& expected_type);
+
+/// Collective variant of bind_object; every thread passes the same
+/// reference.
+BindingPtr spmd_bind_object(ClientCtx& ctx, const ObjectRef& ref,
+                            const std::string& expected_type);
+
+/// Builder for one invocation; generated stubs marshal arguments in
+/// IDL order and then call invoke().
+class ClientRequest {
+ public:
+  ClientRequest(Binding& binding, std::string operation, bool oneway, bool has_dist_out);
+
+  /// Non-distributed in/inout argument (marshaled into every request
+  /// message so each server thread can advance its cursors).
+  template <typename T>
+  void in_value(const T& v) {
+    for (auto& w : writers_) CdrTraits<T>::marshal(w, v);
+  }
+
+  /// Distributed in argument: this client thread's pieces, routed to
+  /// the server threads that own them under the registered server-side
+  /// distribution spec — the direct, parallel transfer path.
+  template <typename T>
+  void in_dseq(const dist::DSequence<T>& seq) {
+    const DistSpec spec = binding_->ref().spec_for(operation_, next_dseq_index_++);
+    const std::size_t n = seq.size();
+    const dist::Distribution& d_client = seq.distribution();
+    const dist::Distribution d_server = spec.instantiate(n, server_size());
+    dist::TransferPlan plan(d_client, d_server);
+    const int me = my_client_rank();
+    for (int q = 0; q < server_size(); ++q) {
+      CdrWriter& w = writers_[q];
+      w.write_ulonglong(n);
+      d_client.marshal(w);
+      for (const dist::TransferPiece& piece : plan.pieces()) {
+        if (piece.src_rank != me || piece.dst_rank != q) continue;
+        seq.encode_range(piece.span, w);
+      }
+    }
+  }
+
+  /// Declares the client-side distribution expected for the next
+  /// distributed out argument (paper: "the client can set the
+  /// distribution of the expected 'out' arguments before making an
+  /// invocation").
+  void out_dseq_expected(const dist::Distribution& d) {
+    next_dseq_index_++;  // out args consume a spec slot on the server side
+    for (auto& w : writers_) d.marshal(w);
+  }
+
+  int server_size() const noexcept { return binding_->ref().server_size(); }
+
+  /// Sends one request message per server thread. Returns the pending
+  /// reply to hang futures on (nullptr for oneway operations).
+  std::shared_ptr<PendingReply> invoke();
+
+ private:
+  int my_client_rank() const noexcept;
+
+  Binding* binding_;
+  std::string operation_;
+  bool oneway_;
+  bool has_dist_out_;
+  std::vector<ByteBuffer> bodies_;
+  std::vector<CdrWriter> writers_;
+  std::size_t next_dseq_index_ = 0;
+};
+
+}  // namespace pardis::core

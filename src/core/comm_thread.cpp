@@ -1,0 +1,69 @@
+#include "core/comm_thread.hpp"
+
+#include "common/log.hpp"
+
+namespace pardis::core {
+
+CommSender::CommSender(transport::Transport& transport, std::string host_model)
+    : transport_(&transport), host_model_(std::move(host_model)) {
+  thread_ = std::thread([this] { run(); });
+}
+
+CommSender::~CommSender() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+void CommSender::enqueue(const transport::EndpointAddr& dst, transport::HandlerId handler,
+                         ByteBuffer payload) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) throw BadInvOrder("CommSender: enqueue after shutdown");
+    queue_.push_back(Item{dst, handler, std::move(payload), sim::timestamp_now()});
+    ++in_flight_;
+  }
+  cv_.notify_all();
+}
+
+void CommSender::flush() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_.wait(lock, [this] { return in_flight_ == 0 || stopping_; });
+}
+
+double CommSender::sim_time() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return clock_.now();
+}
+
+void CommSender::run() {
+  sim::ClockBinding binding(clock_);
+  for (;;) {
+    Item item;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return !queue_.empty() || stopping_; });
+      if (queue_.empty()) return;  // stopping with nothing left
+      item = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    // The message cannot leave before the computing thread handed it
+    // over; the transfer itself is charged to this thread's clock.
+    sim::merge_time(item.issue_time);
+    try {
+      transport_->rsr(item.dst, item.handler, std::move(item.payload), host_model_);
+    } catch (const SystemException& e) {
+      PARDIS_LOG(kWarn, "comm-thread") << "async send failed: " << e.what();
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --in_flight_;
+    }
+    cv_.notify_all();
+  }
+}
+
+}  // namespace pardis::core

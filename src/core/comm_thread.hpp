@@ -1,0 +1,70 @@
+// Communication threads — the paper's §6 proposal, implemented.
+//
+// "Our most immediate experiments will deal with using communication
+// threads (additional to the computing threads) as sending and
+// receiving processes between parallel applications. This might
+// alleviate such problems as pipeline congestion..."
+//
+// A CommSender owns one helper thread with its own virtual clock.
+// Computing threads enqueue outgoing RSRs instead of pushing them into
+// the transport themselves; the helper performs the sends, so the
+// *transfer* time is charged to the communication thread while the
+// computing thread continues immediately. A message leaves no earlier
+// than it was handed over: the helper's clock merges the enqueue
+// timestamp before charging the transfer.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <thread>
+
+#include "sim/clock.hpp"
+#include "transport/transport.hpp"
+
+namespace pardis::core {
+
+class CommSender {
+ public:
+  /// `transport` must outlive the sender. `host_model` names the host
+  /// the communication thread runs on (its NIC side).
+  CommSender(transport::Transport& transport, std::string host_model);
+  ~CommSender();
+
+  CommSender(const CommSender&) = delete;
+  CommSender& operator=(const CommSender&) = delete;
+
+  /// Hands one outgoing RSR to the communication thread and returns
+  /// immediately (the calling computing thread is not charged for the
+  /// transfer).
+  void enqueue(const transport::EndpointAddr& dst, transport::HandlerId handler,
+               ByteBuffer payload);
+
+  /// Blocks (real time) until everything enqueued so far was sent.
+  void flush();
+
+  /// The communication thread's virtual clock (diagnostics).
+  double sim_time() const;
+
+ private:
+  struct Item {
+    transport::EndpointAddr dst;
+    transport::HandlerId handler;
+    ByteBuffer payload;
+    double issue_time;
+  };
+
+  void run();
+
+  transport::Transport* transport_;
+  std::string host_model_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<Item> queue_;
+  bool stopping_ = false;
+  std::size_t in_flight_ = 0;
+  sim::SimClock clock_;
+  std::thread thread_;
+};
+
+}  // namespace pardis::core

@@ -1,0 +1,79 @@
+// PARDIS futures (paper §3.3).
+//
+// A non-blocking stub returns immediately after the request is sent,
+// with futures of its out arguments and return value. "Trying to read
+// a future before ... it becomes resolved will cause the program to
+// block until the result is delivered. Alternatively, the programmer
+// may poll on a future." All futures of one invocation resolve
+// together when the server completes. The C++ mapping follows ABC++
+// (implicit conversion to the underlying type blocks).
+#pragma once
+
+#include <memory>
+
+#include "core/pending_reply.hpp"
+
+namespace pardis::core {
+
+template <typename T>
+class Future {
+ public:
+  Future() = default;
+
+  /// True once every expected reply arrived (polls the client engine,
+  /// draining any transport traffic non-blockingly).
+  bool resolved() {
+    if (!pending_) return value_ != nullptr;
+    return pending_->resolved();
+  }
+
+  /// Blocks until resolution, then yields the value. Throws the
+  /// server's system exception if the invocation failed.
+  const T& get() {
+    if (pending_) pending_->wait();
+    if (!value_) throw BadInvOrder("Future: read of an unbound future");
+    return *value_;
+  }
+
+  /// ABC++-style implicit read: `X1_real = X1;` blocks until resolved.
+  operator T() { return get(); }
+
+  /// Stub wiring: binds this future to an in-flight invocation and the
+  /// slot its decoder fills.
+  void _bind(std::shared_ptr<PendingReply> pending, std::shared_ptr<T> slot) {
+    pending_ = std::move(pending);
+    value_ = std::move(slot);
+  }
+
+  /// Pre-resolved future (collocated direct-call path).
+  static Future<T> ready(T value) {
+    Future<T> f;
+    f.value_ = std::make_shared<T>(std::move(value));
+    return f;
+  }
+
+ private:
+  std::shared_ptr<PendingReply> pending_;
+  std::shared_ptr<T> value_;
+};
+
+/// Future of an operation's completion only (void result).
+class FutureVoid {
+ public:
+  FutureVoid() = default;
+
+  bool resolved() { return !pending_ || pending_->resolved(); }
+
+  void get() {
+    if (pending_) pending_->wait();
+  }
+
+  void _bind(std::shared_ptr<PendingReply> pending) { pending_ = std::move(pending); }
+
+  static FutureVoid ready() { return FutureVoid{}; }
+
+ private:
+  std::shared_ptr<PendingReply> pending_;
+};
+
+}  // namespace pardis::core

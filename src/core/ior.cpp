@@ -1,0 +1,55 @@
+#include "core/ior.hpp"
+
+#include "common/error.hpp"
+
+namespace pardis::core {
+
+namespace {
+constexpr char kPrefix[] = "IOR:";
+constexpr char kHex[] = "0123456789abcdef";
+
+int hex_value(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+}  // namespace
+
+std::string object_to_string(const ObjectRef& ref) {
+  if (!ref.valid()) throw BadParam("object_to_string: invalid reference");
+  ByteBuffer buf;
+  CdrWriter w(buf);
+  // A leading byte-order octet makes the hex string self-describing.
+  w.write_octet(kNativeLittleEndian ? 1 : 0);
+  ref.marshal(w);
+  std::string out(kPrefix);
+  out.reserve(out.size() + buf.size() * 2);
+  for (Octet b : buf.view()) {
+    out.push_back(kHex[b >> 4]);
+    out.push_back(kHex[b & 0xF]);
+  }
+  return out;
+}
+
+ObjectRef string_to_object(const std::string& ior) {
+  if (ior.rfind(kPrefix, 0) != 0) throw BadParam("string_to_object: missing IOR: prefix");
+  const std::string hex = ior.substr(sizeof(kPrefix) - 1);
+  if (hex.empty() || hex.size() % 2 != 0)
+    throw BadParam("string_to_object: odd-length IOR body");
+  ByteBuffer buf;
+  buf.reserve(hex.size() / 2);
+  for (std::size_t i = 0; i < hex.size(); i += 2) {
+    const int hi = hex_value(hex[i]);
+    const int lo = hex_value(hex[i + 1]);
+    if (hi < 0 || lo < 0) throw BadParam("string_to_object: non-hex character");
+    *buf.grow(1) = static_cast<Octet>((hi << 4) | lo);
+  }
+  CdrReader probe(buf.view());
+  const bool little = probe.read_octet() != 0;
+  CdrReader r(buf.view(), little);
+  r.read_octet();
+  return ObjectRef::unmarshal(r);
+}
+
+}  // namespace pardis::core

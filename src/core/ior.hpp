@@ -1,0 +1,22 @@
+// Stringified object references, CORBA's object_to_string /
+// string_to_object: a reference (including every thread endpoint and
+// the registered distribution specs) round-trips through a printable
+// "IOR:<hex>" string, so references can travel through files,
+// command lines and environment variables between metaapplication
+// components that share no repository.
+#pragma once
+
+#include <string>
+
+#include "core/object_ref.hpp"
+
+namespace pardis::core {
+
+/// "IOR:" followed by the hex-encoded CDR form of the reference.
+std::string object_to_string(const ObjectRef& ref);
+
+/// Inverse of object_to_string; throws BadParam on malformed input and
+/// MarshalError on a corrupt payload.
+ObjectRef string_to_object(const std::string& ior);
+
+}  // namespace pardis::core

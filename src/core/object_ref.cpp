@@ -1,0 +1,90 @@
+#include "core/object_ref.hpp"
+
+#include "common/error.hpp"
+
+namespace pardis::core {
+
+dist::Distribution DistSpec::instantiate(std::size_t n, int nranks) const {
+  switch (kind) {
+    case dist::DistKind::kBlock:
+      return dist::Distribution::block(n, nranks);
+    case dist::DistKind::kCyclic:
+      return dist::Distribution::cyclic(n, nranks, block_size);
+    case dist::DistKind::kIrregular: {
+      // A template registered for fewer/more ranks than the actual
+      // domain is padded/truncated; equal weights fill the gap.
+      std::vector<double> props = proportions;
+      props.resize(static_cast<std::size_t>(nranks),
+                   props.empty() ? 1.0 : props.back());
+      return dist::Distribution::irregular(n, props);
+    }
+    case dist::DistKind::kConcentrated:
+      return dist::Distribution::concentrated(n, nranks, root < nranks ? root : 0);
+  }
+  throw InternalError("DistSpec: bad kind");
+}
+
+void DistSpec::marshal(CdrWriter& w) const {
+  w.write_octet(static_cast<Octet>(kind));
+  w.write_ulonglong(block_size);
+  w.write_long(root);
+  w.write_prim_seq<double>(proportions);
+}
+
+DistSpec DistSpec::unmarshal(CdrReader& r) {
+  DistSpec s;
+  const Octet kind = r.read_octet();
+  if (kind > static_cast<Octet>(dist::DistKind::kConcentrated))
+    throw MarshalError("DistSpec: bad kind octet");
+  s.kind = static_cast<dist::DistKind>(kind);
+  s.block_size = r.read_ulonglong();
+  s.root = r.read_long();
+  s.proportions = r.read_prim_seq<double>();
+  return s;
+}
+
+DistSpec ObjectRef::spec_for(const std::string& operation, std::size_t dseq_index) const {
+  auto it = arg_specs.find(operation);
+  if (it == arg_specs.end() || dseq_index >= it->second.size()) return DistSpec::block();
+  return it->second[dseq_index];
+}
+
+void ObjectRef::marshal(CdrWriter& w) const {
+  w.write_string(type_id);
+  w.write_string(name);
+  w.write_string(host);
+  w.write_ulonglong(object_id.value);
+  w.write_bool(spmd);
+  w.write_ulong(static_cast<ULong>(thread_eps.size()));
+  for (const auto& ep : thread_eps) ep.marshal(w);
+  w.write_ulong(static_cast<ULong>(arg_specs.size()));
+  for (const auto& [op, specs] : arg_specs) {
+    w.write_string(op);
+    w.write_ulong(static_cast<ULong>(specs.size()));
+    for (const auto& s : specs) s.marshal(w);
+  }
+}
+
+ObjectRef ObjectRef::unmarshal(CdrReader& r) {
+  ObjectRef ref;
+  ref.type_id = r.read_string();
+  ref.name = r.read_string();
+  ref.host = r.read_string();
+  ref.object_id.value = r.read_ulonglong();
+  ref.spmd = r.read_bool();
+  const ULong neps = r.read_ulong();
+  ref.thread_eps.reserve(neps);
+  for (ULong i = 0; i < neps; ++i) ref.thread_eps.push_back(transport::EndpointAddr::unmarshal(r));
+  const ULong nops = r.read_ulong();
+  for (ULong i = 0; i < nops; ++i) {
+    std::string op = r.read_string();
+    const ULong nspecs = r.read_ulong();
+    std::vector<DistSpec> specs;
+    specs.reserve(nspecs);
+    for (ULong j = 0; j < nspecs; ++j) specs.push_back(DistSpec::unmarshal(r));
+    ref.arg_specs.emplace(std::move(op), std::move(specs));
+  }
+  return ref;
+}
+
+}  // namespace pardis::core

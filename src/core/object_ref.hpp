@@ -1,0 +1,105 @@
+// Object references — the PARDIS analogue of a CORBA IOR.
+//
+// A reference to an SPMD object carries the endpoint address of *every*
+// computing thread of its server, so the ORB can deliver a request to
+// all of them and move distributed arguments directly between the
+// corresponding threads of client and server (paper §1, §2.1). It also
+// carries the server-side distribution specs the implementation
+// registered for its distributed `in` arguments ("the server can set
+// the distribution of any of the 'in' arguments to its operations
+// prior to object registration", §3.2).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/cdr.hpp"
+#include "common/ids.hpp"
+#include "dist/distribution.hpp"
+#include "transport/endpoint.hpp"
+
+namespace pardis::core {
+
+/// A distribution *template* (paper §3.2): the shape of a distribution
+/// independent of sequence length, instantiated per call.
+struct DistSpec {
+  dist::DistKind kind = dist::DistKind::kBlock;
+  std::size_t block_size = 1;          ///< cyclic
+  int root = 0;                        ///< concentrated
+  std::vector<double> proportions;     ///< irregular
+
+  static DistSpec block() { return {}; }
+  static DistSpec cyclic(std::size_t bs) {
+    DistSpec s;
+    s.kind = dist::DistKind::kCyclic;
+    s.block_size = bs;
+    return s;
+  }
+  static DistSpec irregular(std::vector<double> props) {
+    DistSpec s;
+    s.kind = dist::DistKind::kIrregular;
+    s.proportions = std::move(props);
+    return s;
+  }
+  static DistSpec concentrated(int root) {
+    DistSpec s;
+    s.kind = dist::DistKind::kConcentrated;
+    s.root = root;
+    return s;
+  }
+
+  dist::Distribution instantiate(std::size_t n, int nranks) const;
+
+  bool operator==(const DistSpec&) const = default;
+
+  void marshal(CdrWriter& w) const;
+  static DistSpec unmarshal(CdrReader& r);
+};
+
+/// Reference to a PARDIS object (single or SPMD).
+struct ObjectRef {
+  std::string type_id;   ///< IDL repository id, e.g. "IDL:direct:1.0"
+  std::string name;      ///< name registered with the object repository
+  std::string host;      ///< modeled host the server runs on
+  ObjectId object_id;
+  bool spmd = false;
+  /// One endpoint per server computing thread (single objects: exactly
+  /// one — the owning thread's endpoint).
+  std::vector<transport::EndpointAddr> thread_eps;
+  /// Registered server-side distribution specs: operation -> one spec
+  /// per distributed `in`/`out` argument (by dseq-argument position).
+  std::map<std::string, std::vector<DistSpec>> arg_specs;
+
+  int server_size() const noexcept { return static_cast<int>(thread_eps.size()); }
+  bool valid() const noexcept { return object_id.valid() && !thread_eps.empty(); }
+
+  /// Spec for the i-th dseq argument of `operation` (BLOCK when not
+  /// registered).
+  DistSpec spec_for(const std::string& operation, std::size_t dseq_index) const;
+
+  bool operator==(const ObjectRef&) const = default;
+
+  void marshal(CdrWriter& w) const;
+  static ObjectRef unmarshal(CdrReader& r);
+};
+
+}  // namespace pardis::core
+
+namespace pardis {
+
+template <>
+struct CdrTraits<core::DistSpec> {
+  static void marshal(CdrWriter& w, const core::DistSpec& s) { s.marshal(w); }
+  static void unmarshal(CdrReader& r, core::DistSpec& s) { s = core::DistSpec::unmarshal(r); }
+};
+
+template <>
+struct CdrTraits<core::ObjectRef> {
+  static void marshal(CdrWriter& w, const core::ObjectRef& ref) { ref.marshal(w); }
+  static void unmarshal(CdrReader& r, core::ObjectRef& ref) {
+    ref = core::ObjectRef::unmarshal(r);
+  }
+};
+
+}  // namespace pardis

@@ -1,0 +1,50 @@
+#include "core/orb.hpp"
+
+#include <thread>
+
+#include "common/error.hpp"
+#include "common/log.hpp"
+
+namespace pardis::core {
+
+ObjectRef Orb::resolve(const std::string& name, const std::string& host,
+                       std::chrono::milliseconds timeout) {
+  if (auto ref = registry_->lookup(name, host)) return *ref;
+
+  bool activating = false;
+  if (activator_) {
+    PARDIS_LOG(kInfo, "orb") << "object " << name << "@" << host
+                             << " not registered, trying activation";
+    activating = activator_(name, host);
+  }
+  if (activating) {
+    // The activation agent starts the server asynchronously; poll the
+    // registry until the object registers itself or we give up.
+    const auto deadline = std::chrono::steady_clock::now() + timeout;
+    while (std::chrono::steady_clock::now() < deadline) {
+      if (auto ref = registry_->lookup(name, host)) return *ref;
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  throw ObjectNotExist("no object named '" + name + "' on host '" + host + "'");
+}
+
+void Orb::register_servants(const ObjectRef& ref, std::vector<ServantBase*> per_rank,
+                            const void* group) {
+  if (per_rank.empty()) throw BadParam("register_servants: no servants");
+  std::lock_guard<std::mutex> lock(mutex_);
+  servants_[ref.object_id] = CollocatedEntry{std::move(per_rank), group, ref.spmd};
+}
+
+void Orb::unregister_servants(const ObjectId& id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  servants_.erase(id);
+}
+
+const Orb::CollocatedEntry* Orb::collocated(const ObjectId& id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = servants_.find(id);
+  return it != servants_.end() ? &it->second : nullptr;
+}
+
+}  // namespace pardis::core

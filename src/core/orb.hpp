@@ -1,0 +1,75 @@
+// The PARDIS Object Request Broker.
+//
+// "An entity called the Object Request Broker (ORB) delivers requests
+// from clients to servers, and also identifies, locates and activates
+// objects" (paper §2.1). One Orb instance serves a whole process; the
+// per-computing-thread machinery lives in ClientCtx (client side) and
+// Poa (server side).
+#pragma once
+
+#include <chrono>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/object_ref.hpp"
+#include "core/registry.hpp"
+#include "transport/transport.hpp"
+
+namespace pardis::core {
+
+class ServantBase;
+
+class Orb {
+ public:
+  /// `transport` and `registry` are unowned and must outlive the Orb.
+  Orb(transport::Transport& transport, ObjectRegistry& registry)
+      : transport_(&transport), registry_(&registry) {}
+
+  Orb(const Orb&) = delete;
+  Orb& operator=(const Orb&) = delete;
+
+  transport::Transport& transport() noexcept { return *transport_; }
+  ObjectRegistry& registry() noexcept { return *registry_; }
+
+  /// Hook invoked when a bind target is not registered; returns true
+  /// when an activation was started (the Orb then re-polls the
+  /// registry). Installed by the repo module's activation agent.
+  using Activator = std::function<bool(const std::string& name, const std::string& host)>;
+  void set_activator(Activator activator) { activator_ = std::move(activator); }
+
+  /// Locates (and if needed activates) the named object. Throws
+  /// ObjectNotExist after `timeout` of activation polling.
+  ObjectRef resolve(const std::string& name, const std::string& host,
+                    std::chrono::milliseconds timeout = std::chrono::milliseconds(5000));
+
+  // --- collocation support ---------------------------------------------
+
+  /// Records the in-process servants implementing `ref` (index =
+  /// server thread rank; `group` identifies the server domain's
+  /// communicator group, nullptr for standalone servers).
+  void register_servants(const ObjectRef& ref, std::vector<ServantBase*> per_rank,
+                         const void* group);
+  void unregister_servants(const ObjectId& id);
+
+  struct CollocatedEntry {
+    std::vector<ServantBase*> servants;
+    const void* group = nullptr;
+    bool spmd = false;
+  };
+
+  /// The in-process servants for `id`, or nullptr when the object is
+  /// remote (the common case).
+  const CollocatedEntry* collocated(const ObjectId& id) const;
+
+ private:
+  transport::Transport* transport_;
+  ObjectRegistry* registry_;
+  Activator activator_;
+  mutable std::mutex mutex_;
+  std::map<ObjectId, CollocatedEntry> servants_;
+};
+
+}  // namespace pardis::core

@@ -1,0 +1,30 @@
+// Umbrella header: everything a PARDIS metaapplication (or generated
+// stub code) needs.
+#pragma once
+
+#include "core/client.hpp"
+#include "core/future.hpp"
+#include "core/ior.hpp"
+#include "core/object_ref.hpp"
+#include "core/orb.hpp"
+#include "core/pending_reply.hpp"
+#include "core/poa.hpp"
+#include "core/protocol.hpp"
+#include "core/registry.hpp"
+#include "core/servant.hpp"
+#include "dist/dsequence.hpp"
+#include "rts/collectives.hpp"
+#include "rts/domain.hpp"
+#include "transport/tcp_transport.hpp"
+#include "transport/transport.hpp"
+
+namespace pardis {
+
+/// Managed pointer to a distributed sequence — the `_var` mapping of a
+/// dsequence typedef (paper: "managed pointers ... implemented as
+/// handles to the data; this makes distributed future instantiation
+/// computationally inexpensive").
+template <typename T>
+using DSeqVar = std::shared_ptr<dist::DSequence<T>>;
+
+}  // namespace pardis

@@ -1,0 +1,55 @@
+#include "core/pending_reply.hpp"
+
+#include "core/client.hpp"
+
+namespace pardis::core {
+
+PendingReply::PendingReply(ClientCtx& ctx, RequestId id, int expected)
+    : ctx_(&ctx), id_(id), expected_(expected) {
+  if (expected <= 0) throw BadParam("PendingReply: expected reply count must be positive");
+  bodies_.reserve(static_cast<std::size_t>(expected));
+}
+
+PendingReply::~PendingReply() = default;
+
+void PendingReply::deliver(const ReplyHeader& header, bool little, ByteBuffer body) {
+  if (header.status != ReplyStatus::kOk) {
+    if (!error_) error_ = header;  // first error wins; later bodies are moot
+    return;
+  }
+  bodies_.push_back(RawBody{header.server_rank, little, std::move(body)});
+  ++received_;
+}
+
+void PendingReply::finish() {
+  if (error_) {
+    // Decoding never ran; surface the server's exception every time
+    // the caller touches a future of this invocation.
+    throw_reply_error(*error_);
+  }
+  if (decoded_) return;
+  decoded_ = true;
+  if (!decoder_) return;
+  std::vector<ReplyDecoder::BodyView> views;
+  views.reserve(bodies_.size());
+  for (auto& b : bodies_)
+    views.push_back(ReplyDecoder::BodyView{b.server_rank, CdrReader(b.bytes.view(), b.little)});
+  ReplyDecoder dec(std::move(views));
+  decoder_(dec);
+}
+
+bool PendingReply::resolved() {
+  if (!complete()) ctx_->pump();
+  if (!complete()) return false;
+  finish();
+  return true;
+}
+
+void PendingReply::wait() {
+  while (!complete()) {
+    ctx_->pump_blocking(std::chrono::milliseconds(100));
+  }
+  finish();
+}
+
+}  // namespace pardis::core

@@ -1,0 +1,105 @@
+// Client-side record of one in-flight invocation.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/protocol.hpp"
+#include "dist/dsequence.hpp"
+
+namespace pardis::core {
+
+class ClientCtx;
+
+/// Cursor view over the reply bodies of one completed invocation, used
+/// by generated stub decoders. Decode calls must mirror the skeleton's
+/// reply-marshal order.
+class ReplyDecoder {
+ public:
+  struct BodyView {
+    int server_rank;
+    CdrReader reader;
+  };
+
+  explicit ReplyDecoder(std::vector<BodyView> bodies) : bodies_(std::move(bodies)) {}
+
+  /// Non-distributed result/out argument (carried by server rank 0).
+  template <typename T>
+  T out_value() {
+    for (auto& b : bodies_)
+      if (b.server_rank == 0) {
+        T v;
+        CdrTraits<T>::unmarshal(b.reader, v);
+        return v;
+      }
+    throw MarshalError("ReplyDecoder: no server rank 0 reply body");
+  }
+
+  /// Distributed out argument: decodes the explicit-span pieces from
+  /// every reply into this client thread's local part of `target`.
+  template <typename T>
+  void out_dseq(dist::DSequence<T>& target) {
+    for (auto& b : bodies_) {
+      const ULong count = b.reader.read_ulong();
+      for (ULong i = 0; i < count; ++i) {
+        const ULongLong begin = b.reader.read_ulonglong();
+        const ULongLong end = b.reader.read_ulonglong();
+        target.decode_range({begin, end}, b.reader);
+      }
+    }
+  }
+
+ private:
+  std::vector<BodyView> bodies_;
+};
+
+/// Shared state between the futures of one invocation and the client
+/// engine routing its replies. Accessed only from the owning client
+/// thread (NexusLite-style single-threaded delivery).
+class PendingReply {
+ public:
+  /// `expected` is the number of replies to wait for: the server's
+  /// thread count when the operation has distributed out arguments,
+  /// otherwise 1 (only server rank 0 replies).
+  PendingReply(ClientCtx& ctx, RequestId id, int expected);
+  ~PendingReply();
+
+  RequestId id() const noexcept { return id_; }
+
+  /// Runs once when all replies are in (set by the stub).
+  void set_decoder(std::function<void(ReplyDecoder&)> decoder) {
+    decoder_ = std::move(decoder);
+  }
+
+  /// Non-blocking: pumps the client engine; true once complete (the
+  /// decoder has run). Throws the server's exception on failure.
+  bool resolved();
+
+  /// Blocking completion.
+  void wait();
+
+  /// Engine delivery path.
+  void deliver(const ReplyHeader& header, bool little, ByteBuffer body);
+  bool complete() const noexcept { return error_.has_value() || received_ >= expected_; }
+
+ private:
+  void finish();
+
+  ClientCtx* ctx_;
+  RequestId id_;
+  int expected_;
+  int received_ = 0;
+  struct RawBody {
+    int server_rank;
+    bool little;
+    ByteBuffer bytes;
+  };
+  std::vector<RawBody> bodies_;
+  std::optional<ReplyHeader> error_;
+  std::function<void(ReplyDecoder&)> decoder_;
+  bool decoded_ = false;
+};
+
+}  // namespace pardis::core

@@ -1,0 +1,365 @@
+#include "core/poa.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <vector>
+
+#include "common/log.hpp"
+#include "rts/collectives.hpp"
+
+namespace pardis::core {
+
+namespace detail {
+
+struct PoaShared {
+  struct ObjEntry {
+    ObjectRef ref;
+    bool spmd = false;
+    int owner_rank = -1;  // single objects only
+    std::vector<ServantBase*> servants;
+  };
+
+  explicit PoaShared(Orb& orb_ref, int nranks) : orb(&orb_ref), eps(nranks) {}
+
+  Orb* orb;
+  std::vector<transport::EndpointAddr> eps;
+  std::mutex mutex;
+  std::map<ULongLong, ObjEntry> objects;  // by object id value
+  std::atomic<bool> deactivated{false};
+  std::atomic<int> refs{0};
+
+  const ObjEntry* find(ULongLong object_id) {
+    std::lock_guard<std::mutex> lock(mutex);
+    auto it = objects.find(object_id);
+    return it != objects.end() ? &it->second : nullptr;
+  }
+};
+
+}  // namespace detail
+
+using detail::PoaShared;
+
+Poa::Poa(Orb& orb, rts::DomainContext& dctx)
+    : orb_(&orb),
+      comm_(&dctx.comm),
+      rank_(dctx.rank),
+      size_(dctx.size),
+      host_model_(dctx.host != nullptr ? dctx.host->name : "") {
+  endpoint_ = orb_->transport().create_endpoint(host_model_);
+
+  auto* fresh = rank_ == 0 ? new PoaShared(orb, size_) : nullptr;
+  const auto addr =
+      rts::broadcast_value<ULongLong>(*comm_, reinterpret_cast<ULongLong>(fresh), 0);
+  shared_ = reinterpret_cast<PoaShared*>(addr);
+  shared_->refs.fetch_add(1, std::memory_order_relaxed);
+
+  // Publish every thread's endpoint address: SPMD object references
+  // carry all of them.
+  auto blobs = rts::allgather(*comm_, cdr_encode(endpoint_->addr()));
+  for (int r = 0; r < size_; ++r)
+    shared_->eps[static_cast<std::size_t>(r)] =
+        cdr_decode<transport::EndpointAddr>(blobs[static_cast<std::size_t>(r)].view());
+  rts::barrier(*comm_);
+}
+
+Poa::~Poa() {
+  endpoint_->close();
+  if (shared_->refs.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    // Last thread out: withdraw every object this POA published.
+    for (const auto& [id, entry] : shared_->objects) {
+      orb_->unregister_servants(entry.ref.object_id);
+      orb_->registry().unregister(entry.ref.name, entry.ref.host);
+    }
+    delete shared_;
+  }
+}
+
+const transport::EndpointAddr& Poa::endpoint_addr() const { return endpoint_->addr(); }
+
+ObjectRef Poa::activate_spmd(ServantBase& servant, const std::string& name,
+                             std::map<std::string, std::vector<DistSpec>> arg_specs) {
+  // Gather the per-rank servant pointers (same address space).
+  auto ptrs = rts::allgather_values<ULongLong>(
+      *comm_, reinterpret_cast<ULongLong>(&servant));
+  std::vector<ServantBase*> servants;
+  servants.reserve(ptrs.size());
+  for (auto p : ptrs) servants.push_back(reinterpret_cast<ServantBase*>(p));
+
+  ByteBuffer blob;
+  if (rank_ == 0) {
+    ObjectRef ref;
+    ref.type_id = servant._type_id();
+    ref.name = name;
+    ref.host = host_model_;
+    ref.object_id = ObjectId::next();
+    ref.spmd = true;
+    ref.thread_eps = shared_->eps;
+    ref.arg_specs = std::move(arg_specs);
+    CdrWriter w(blob);
+    ref.marshal(w);
+  }
+  ByteBuffer shared_blob = rts::broadcast(*comm_, std::move(blob), 0);
+  ObjectRef ref = cdr_decode<ObjectRef>(shared_blob.view());
+
+  if (rank_ == 0) {
+    {
+      std::lock_guard<std::mutex> lock(shared_->mutex);
+      shared_->objects[ref.object_id.value] =
+          PoaShared::ObjEntry{ref, /*spmd=*/true, /*owner_rank=*/-1, servants};
+    }
+    orb_->register_servants(ref, servants, comm_->group_key());
+    orb_->registry().register_object(ref);
+  }
+  rts::barrier(*comm_);
+  return ref;
+}
+
+ObjectRef Poa::activate_single(ServantBase& servant, const std::string& name) {
+  ObjectRef ref;
+  ref.type_id = servant._type_id();
+  ref.name = name;
+  ref.host = host_model_;
+  ref.object_id = ObjectId::next();
+  ref.spmd = false;
+  ref.thread_eps = {endpoint_->addr()};
+  {
+    std::lock_guard<std::mutex> lock(shared_->mutex);
+    shared_->objects[ref.object_id.value] =
+        PoaShared::ObjEntry{ref, /*spmd=*/false, rank_, {&servant}};
+  }
+  orb_->register_servants(ref, {&servant}, nullptr);
+  orb_->registry().register_object(ref);
+  return ref;
+}
+
+void Poa::deactivate() { shared_->deactivated.store(true, std::memory_order_relaxed); }
+
+void Poa::drain() {
+  while (auto msg = endpoint_->poll()) ingest(std::move(*msg));
+}
+
+void Poa::ingest(transport::RsrMessage&& msg) {
+  if (msg.handler != transport::kHandlerOrbRequest) {
+    PARDIS_LOG(kWarn, "poa") << "unexpected RSR handler " << msg.handler << ", dropped";
+    return;
+  }
+  CdrReader r(msg.payload.view(), msg.little_endian);
+  RequestHeader header = RequestHeader::unmarshal(r);
+
+  const PoaShared::ObjEntry* entry = shared_->find(header.object_id.value);
+  if (entry == nullptr) {
+    if (!header.oneway()) {
+      ReplyHeader eh;
+      eh.request_id = header.request_id;
+      eh.server_rank = rank_;
+      eh.server_size = size_;
+      eh.status = ReplyStatus::kSystemException;
+      eh.error_code = ErrorCode::kObjectNotExist;
+      eh.error_message = "no object " + header.object_id.to_string() + " at this server";
+      ByteBuffer frame;
+      CdrWriter w(frame);
+      eh.marshal(w);
+      orb_->transport().rsr(header.reply_to, transport::kHandlerOrbReply, std::move(frame),
+                            host_model_);
+    }
+    return;
+  }
+
+  ServerInvocation::Body body;
+  body.client_rank = header.client_rank;
+  body.little = msg.little_endian;
+  body.bytes = ByteBuffer::from(msg.payload.view().subspan(r.offset()));
+  body.reply_to = header.reply_to;
+  body.request_id = header.request_id;
+
+  const Key key{header.binding_id, header.seq_no};
+  Assembling& a = assembling_[key];
+  if (a.bodies.empty()) a.header = header;
+  a.bodies.emplace(header.client_rank, std::move(body));
+  if (a.complete()) a.complete_order = ++completion_counter_;
+}
+
+void Poa::dispatch(Key key) {
+  auto it = assembling_.find(key);
+  require(it != assembling_.end(), "poa: dispatching unknown request");
+  Assembling a = std::move(it->second);
+  assembling_.erase(it);
+
+  const PoaShared::ObjEntry* entry = shared_->find(a.header.object_id.value);
+  require(entry != nullptr, "poa: object vanished before dispatch");
+
+  std::vector<ServerInvocation::Body> bodies;
+  bodies.reserve(a.bodies.size());
+  for (auto& [rank, body] : a.bodies) bodies.push_back(std::move(body));
+
+  const bool spmd = entry->spmd;
+  ServerInvocation inv(
+      entry->ref, spmd ? comm_ : nullptr, spmd ? rank_ : 0, spmd ? size_ : 1, a.header,
+      std::move(bodies), [this](const transport::EndpointAddr& to, ByteBuffer frame) {
+        orb_->transport().rsr(to, transport::kHandlerOrbReply, std::move(frame), host_model_);
+      });
+
+  ServantBase* servant = entry->servants[spmd ? static_cast<std::size_t>(rank_) : 0];
+  // A client that vanished mid-invocation must not take the server
+  // down: reply-delivery failures are logged and dropped.
+  auto deliver_error = [&inv](const SystemException& e) {
+    try {
+      inv.send_error(e);
+    } catch (const CommFailure& ce) {
+      PARDIS_LOG(kWarn, "poa") << "error reply undeliverable: " << ce.what();
+    }
+  };
+  try {
+    servant->_dispatch(inv);
+    inv.send_replies();
+  } catch (const CommFailure& e) {
+    PARDIS_LOG(kWarn, "poa") << "reply undeliverable (client gone?): " << e.what();
+  } catch (const SystemException& e) {
+    deliver_error(e);
+  } catch (const std::exception& e) {
+    deliver_error(InternalError(std::string("servant failure: ") + e.what()));
+  }
+  next_seq_[key.first] = key.second + 1;
+}
+
+int Poa::dispatch_ready_singles() {
+  int dispatched = 0;
+  bool progressed = true;
+  while (progressed) {
+    progressed = false;
+    for (auto it = assembling_.begin(); it != assembling_.end(); ++it) {
+      if (!it->second.complete()) continue;
+      const PoaShared::ObjEntry* entry = shared_->find(it->second.header.object_id.value);
+      if (entry == nullptr || entry->spmd || entry->owner_rank != rank_) continue;
+      auto ns = next_seq_.find(it->first.first);
+      const ULong expected = ns != next_seq_.end() ? ns->second : 0;
+      if (it->first.second != expected) continue;
+      dispatch(it->first);
+      ++dispatched;
+      progressed = true;
+      break;  // iterator invalidated
+    }
+  }
+  return dispatched;
+}
+
+void Poa::wait_until_assembled(const Key& key) {
+  for (;;) {
+    auto it = assembling_.find(key);
+    if (it != assembling_.end() && it->second.complete()) return;
+    auto msg = endpoint_->wait_for(std::chrono::milliseconds(200));
+    if (msg) {
+      ingest(std::move(*msg));
+      drain();
+    }
+  }
+}
+
+int Poa::round(bool& deactivated) {
+  drain();
+  int dispatched = dispatch_ready_singles();
+
+  // Rank 0 schedules the collective (SPMD) dispatches for this round
+  // and broadcasts the schedule; all threads then execute it in order.
+  ByteBuffer schedule;
+  if (rank_ == 0) {
+    std::vector<Key> ready;
+    std::map<ULongLong, ULong> next = next_seq_;
+    bool progressed = true;
+    while (progressed) {
+      progressed = false;
+      const Assembling* best = nullptr;
+      Key best_key{};
+      for (const auto& [key, a] : assembling_) {
+        if (!a.complete()) continue;
+        const PoaShared::ObjEntry* entry = shared_->find(a.header.object_id.value);
+        if (entry == nullptr || !entry->spmd) continue;
+        if (std::find_if(ready.begin(), ready.end(),
+                         [&key_ref = key](const Key& k) { return k == key_ref; }) !=
+            ready.end())
+          continue;
+        auto ns = next.find(key.first);
+        const ULong expected = ns != next.end() ? ns->second : 0;
+        if (key.second != expected) continue;
+        if (best == nullptr || a.complete_order < best->complete_order) {
+          best = &a;
+          best_key = key;
+        }
+      }
+      if (best != nullptr) {
+        ready.push_back(best_key);
+        next[best_key.first] = best_key.second + 1;
+        progressed = true;
+      }
+    }
+    CdrWriter w(schedule);
+    w.write_ulonglong(++round_serial_);
+    w.write_bool(shared_->deactivated.load(std::memory_order_relaxed));
+    w.write_ulong(static_cast<ULong>(ready.size()));
+    for (const Key& k : ready) {
+      w.write_ulonglong(k.first);
+      w.write_ulong(k.second);
+    }
+  }
+  // The schedule is ORB control plane: it travels on the untimestamped
+  // channel so the coordinator's virtual clock does not leak into the
+  // other computing threads.
+  ByteBuffer round_msg;
+  if (size_ == 1) {
+    round_msg = std::move(schedule);
+  } else if (rank_ == 0) {
+    for (int r = 1; r < size_; ++r)
+      comm_->send_control(r, rts::kTagPoaRound, schedule.clone());
+    round_msg = std::move(schedule);
+  } else {
+    round_msg = comm_->recv(0, rts::kTagPoaRound).payload;
+  }
+  CdrReader r(round_msg.view());
+  // Schedule serial numbers detect coordinator/worker round skew (a
+  // broken collective-call discipline in server code shows up here
+  // instead of as a silent hang).
+  const ULongLong serial = r.read_ulonglong();
+  if (rank_ != 0) {
+    require(serial == round_serial_ + 1, "poa: dispatch-round skew between threads");
+    round_serial_ = serial;
+  }
+  deactivated = r.read_bool();
+  const ULong count = r.read_ulong();
+  for (ULong i = 0; i < count; ++i) {
+    const ULongLong binding = r.read_ulonglong();
+    const ULong seq = r.read_ulong();
+    const Key key{binding, seq};
+    // A servant may poll for requests *during* its own dispatch
+    // (POA::process_requests, §3.3); such a nested round can already
+    // have executed entries of this schedule. next_seq_ tracks what
+    // ran, identically on every thread.
+    auto ns = next_seq_.find(binding);
+    if (ns != next_seq_.end() && seq < ns->second) continue;
+    wait_until_assembled(key);
+    dispatch(key);
+    ++dispatched;
+  }
+  // New singles may have been drained while waiting for SPMD bodies.
+  dispatched += dispatch_ready_singles();
+  return dispatched;
+}
+
+int Poa::process_requests() {
+  bool deactivated = false;
+  return round(deactivated);
+}
+
+void Poa::impl_is_ready() {
+  for (;;) {
+    if (rank_ == 0 && endpoint_->pending() == 0 && assembling_.empty()) {
+      // Pace idle rounds so the polling loop does not spin.
+      if (auto msg = endpoint_->wait_for(std::chrono::milliseconds(2)))
+        ingest(std::move(*msg));
+    }
+    bool deactivated = false;
+    round(deactivated);
+    if (deactivated) return;
+  }
+}
+
+}  // namespace pardis::core

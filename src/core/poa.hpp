@@ -1,0 +1,108 @@
+// The PARDIS POA: server-side request delivery.
+//
+// "After all objects have been created, the programmer usually passes
+// control to PARDIS by calling POA::impl_is_ready(). ... Since the
+// programmer may want to additionally poll for requests during
+// processing, PARDIS allows the server to invoke
+// POA::process_requests() at any time during computation. ... Both
+// invocations must be collective with respect to all processing
+// threads of the server." (paper §3.3)
+//
+// Dispatch ordering: requests of one binding run in invocation order
+// (PARDIS "guarantees that sequence of invocation is preserved");
+// across bindings, SPMD requests run in the completion order observed
+// by server rank 0, which broadcasts the dispatch schedule so all
+// threads dispatch collectively in the same order. Single objects are
+// dispatched by their owning thread alone — this is what enables the
+// paper's §4.2 "parallel interaction" with single objects distributed
+// over the threads of a parallel server.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "core/orb.hpp"
+#include "core/servant.hpp"
+#include "rts/domain.hpp"
+
+namespace pardis::core {
+
+namespace detail {
+struct PoaShared;
+}
+
+class Poa {
+ public:
+  /// Collective across the server domain: every computing thread
+  /// constructs its Poa at the same point.
+  Poa(Orb& orb, rts::DomainContext& dctx);
+  ~Poa();
+
+  Poa(const Poa&) = delete;
+  Poa& operator=(const Poa&) = delete;
+
+  int rank() const noexcept { return rank_; }
+  int size() const noexcept { return size_; }
+  const transport::EndpointAddr& endpoint_addr() const;
+
+  /// Collective: activates an SPMD object. Every thread passes its
+  /// servant instance (rank-local state lives in the servant).
+  /// `arg_specs` registers server-side distribution templates per
+  /// operation (by dseq-argument position) — they are published inside
+  /// the object reference.
+  ObjectRef activate_spmd(ServantBase& servant, const std::string& name,
+                          std::map<std::string, std::vector<DistSpec>> arg_specs = {});
+
+  /// Local: activates a single object owned by the calling thread.
+  /// Single objects never operate on distributed arguments (§3.1).
+  ObjectRef activate_single(ServantBase& servant, const std::string& name);
+
+  /// Collective poll-once; dispatches every deliverable request.
+  /// Returns the number of requests this thread dispatched.
+  int process_requests();
+
+  /// Collective blocking loop; returns after deactivate().
+  void impl_is_ready();
+
+  /// Makes impl_is_ready return (on every thread) at the next round.
+  /// Callable from servant code or any other thread.
+  void deactivate();
+
+ private:
+  struct Assembling {
+    RequestHeader header;          // representative (first body seen)
+    std::map<int, ServerInvocation::Body> bodies;  // by client rank
+    std::uint64_t complete_order = 0;
+    bool complete() const {
+      return bodies.size() == static_cast<std::size_t>(header.client_size);
+    }
+  };
+  using Key = std::pair<ULongLong, ULong>;  // (binding id, seq no)
+
+  void drain();
+  void ingest(transport::RsrMessage&& msg);
+  int dispatch_ready_singles();
+  /// `key` is taken by value: callers pass references into
+  /// `assembling_`, which dispatch erases before using the key again.
+  void dispatch(Key key);
+  void wait_until_assembled(const Key& key);
+  int round(bool& deactivated);
+
+  Orb* orb_;
+  rts::Communicator* comm_;
+  int rank_;
+  int size_;
+  std::string host_model_;
+  std::shared_ptr<transport::Endpoint> endpoint_;
+  detail::PoaShared* shared_;
+
+  std::map<Key, Assembling> assembling_;
+  std::map<ULongLong, ULong> next_seq_;  // per binding
+  std::uint64_t completion_counter_ = 0;
+  ULongLong round_serial_ = 0;
+};
+
+}  // namespace pardis::core

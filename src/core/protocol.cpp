@@ -1,0 +1,76 @@
+#include "core/protocol.hpp"
+
+namespace pardis::core {
+
+void RequestHeader::marshal(CdrWriter& w) const {
+  w.write_ulonglong(request_id.value);
+  w.write_ulonglong(binding_id);
+  w.write_ulong(seq_no);
+  w.write_ulonglong(object_id.value);
+  w.write_string(operation);
+  w.write_octet(flags);
+  w.write_long(client_rank);
+  w.write_long(client_size);
+  reply_to.marshal(w);
+}
+
+RequestHeader RequestHeader::unmarshal(CdrReader& r) {
+  RequestHeader h;
+  h.request_id.value = r.read_ulonglong();
+  h.binding_id = r.read_ulonglong();
+  h.seq_no = r.read_ulong();
+  h.object_id.value = r.read_ulonglong();
+  h.operation = r.read_string();
+  h.flags = r.read_octet();
+  h.client_rank = r.read_long();
+  h.client_size = r.read_long();
+  h.reply_to = transport::EndpointAddr::unmarshal(r);
+  if (h.client_rank < 0 || h.client_rank >= h.client_size)
+    throw MarshalError("RequestHeader: client rank out of range");
+  return h;
+}
+
+void ReplyHeader::marshal(CdrWriter& w) const {
+  w.write_ulonglong(request_id.value);
+  w.write_long(server_rank);
+  w.write_long(server_size);
+  w.write_octet(static_cast<Octet>(status));
+  if (status != ReplyStatus::kOk) {
+    w.write_octet(static_cast<Octet>(error_code));
+    w.write_string(error_message);
+  }
+}
+
+ReplyHeader ReplyHeader::unmarshal(CdrReader& r) {
+  ReplyHeader h;
+  h.request_id.value = r.read_ulonglong();
+  h.server_rank = r.read_long();
+  h.server_size = r.read_long();
+  const Octet status = r.read_octet();
+  if (status > static_cast<Octet>(ReplyStatus::kSystemException))
+    throw MarshalError("ReplyHeader: bad status octet");
+  h.status = static_cast<ReplyStatus>(status);
+  if (h.status != ReplyStatus::kOk) {
+    h.error_code = static_cast<ErrorCode>(r.read_octet());
+    h.error_message = r.read_string();
+  }
+  return h;
+}
+
+void throw_reply_error(const ReplyHeader& header) {
+  const std::string msg = "(from server) " + header.error_message;
+  switch (header.error_code) {
+    case ErrorCode::kBadParam: throw BadParam(msg);
+    case ErrorCode::kMarshal: throw MarshalError(msg);
+    case ErrorCode::kCommFailure: throw CommFailure(msg);
+    case ErrorCode::kObjectNotExist: throw ObjectNotExist(msg);
+    case ErrorCode::kNoImplement: throw NoImplement(msg);
+    case ErrorCode::kBadInvOrder: throw BadInvOrder(msg);
+    case ErrorCode::kTransient: throw TransientError(msg);
+    case ErrorCode::kTimeout: throw TimeoutError(msg);
+    case ErrorCode::kBadTag: throw BadTag(msg);
+    default: throw InternalError(msg);
+  }
+}
+
+}  // namespace pardis::core

@@ -1,0 +1,62 @@
+// PIOP — the PARDIS inter-ORB protocol message headers.
+//
+// Every ORB message rides a one-way transport RSR. An SPMD invocation
+// by a client of P threads on a server of Q threads is P x Q request
+// messages (each carrying only the argument pieces moving between that
+// thread pair) followed, unless the operation is oneway, by Q x P reply
+// messages. Non-distributed payloads are carried redundantly by the
+// rank-0 row so any single message loss model stays simple.
+#pragma once
+
+#include <string>
+
+#include "common/cdr.hpp"
+#include "common/error.hpp"
+#include "common/ids.hpp"
+#include "transport/endpoint.hpp"
+
+namespace pardis::core {
+
+/// Request flag bits.
+inline constexpr Octet kFlagOneway = 0x1;      ///< no reply expected
+inline constexpr Octet kFlagCollective = 0x2;  ///< SPMD collective invocation
+
+struct RequestHeader {
+  RequestId request_id;       ///< per sending client thread
+  ULongLong binding_id = 0;   ///< proxy binding (sequencing domain)
+  ULong seq_no = 0;           ///< per-binding invocation sequence number
+  ObjectId object_id;
+  std::string operation;
+  Octet flags = 0;
+  Long client_rank = 0;
+  Long client_size = 1;
+  transport::EndpointAddr reply_to;
+
+  bool oneway() const noexcept { return (flags & kFlagOneway) != 0; }
+  bool collective() const noexcept { return (flags & kFlagCollective) != 0; }
+
+  void marshal(CdrWriter& w) const;
+  static RequestHeader unmarshal(CdrReader& r);
+};
+
+enum class ReplyStatus : Octet {
+  kOk = 0,
+  kSystemException = 1,
+};
+
+struct ReplyHeader {
+  RequestId request_id;  ///< echo of the client thread's request id
+  Long server_rank = 0;
+  Long server_size = 1;
+  ReplyStatus status = ReplyStatus::kOk;
+  ErrorCode error_code = ErrorCode::kUnknown;  ///< when status != kOk
+  std::string error_message;
+
+  void marshal(CdrWriter& w) const;
+  static ReplyHeader unmarshal(CdrReader& r);
+};
+
+/// Rebuilds the typed system exception a reply carried.
+[[noreturn]] void throw_reply_error(const ReplyHeader& header);
+
+}  // namespace pardis::core

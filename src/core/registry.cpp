@@ -1,0 +1,45 @@
+#include "core/registry.hpp"
+
+#include "common/error.hpp"
+
+namespace pardis::core {
+
+void InProcessRegistry::register_object(const ObjectRef& ref) {
+  if (!ref.valid()) throw BadParam("register_object: invalid reference");
+  if (ref.name.empty()) throw BadParam("register_object: object has no name");
+  std::lock_guard<std::mutex> lock(mutex_);
+  objects_[{ref.name, ref.host}] = ref;
+}
+
+std::optional<ObjectRef> InProcessRegistry::lookup(const std::string& name,
+                                                   const std::string& host) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!host.empty()) {
+    auto it = objects_.find({name, host});
+    if (it != objects_.end()) return it->second;
+    return std::nullopt;
+  }
+  for (const auto& [key, ref] : objects_)
+    if (key.first == name) return ref;
+  return std::nullopt;
+}
+
+void InProcessRegistry::unregister(const std::string& name, const std::string& host) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!host.empty()) {
+    objects_.erase({name, host});
+    return;
+  }
+  for (auto it = objects_.begin(); it != objects_.end();)
+    it = it->first.first == name ? objects_.erase(it) : std::next(it);
+}
+
+std::vector<std::string> InProcessRegistry::list() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> names;
+  names.reserve(objects_.size());
+  for (const auto& [key, ref] : objects_) names.push_back(key.first + "@" + key.second);
+  return names;
+}
+
+}  // namespace pardis::core

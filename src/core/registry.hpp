@@ -1,0 +1,54 @@
+// Object registry interface + the in-process implementation.
+//
+// The paper's Object Repository defines a naming domain: "On
+// activation, every object registers with an object repository, which
+// is searched when the client requests a connection to a specific
+// object. Each repository is associated with a unique namespace."
+// The repo module layers a transport-reachable repository service and
+// the Implementation Repository on top of this interface.
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/object_ref.hpp"
+
+namespace pardis::core {
+
+class ObjectRegistry {
+ public:
+  virtual ~ObjectRegistry() = default;
+
+  /// Registers (or re-registers) a named object.
+  virtual void register_object(const ObjectRef& ref) = 0;
+
+  /// Looks a name up; `host` narrows the search when several objects
+  /// share a name across hosts (empty host matches any).
+  virtual std::optional<ObjectRef> lookup(const std::string& name,
+                                          const std::string& host) = 0;
+
+  virtual void unregister(const std::string& name, const std::string& host) = 0;
+
+  /// Registered names (diagnostics).
+  virtual std::vector<std::string> list() = 0;
+};
+
+/// Registry for metaapplications living in one process; also the
+/// backing store of the repo module's repository server.
+class InProcessRegistry final : public ObjectRegistry {
+ public:
+  void register_object(const ObjectRef& ref) override;
+  std::optional<ObjectRef> lookup(const std::string& name, const std::string& host) override;
+  void unregister(const std::string& name, const std::string& host) override;
+  std::vector<std::string> list() override;
+
+ private:
+  std::mutex mutex_;
+  // key: (name, host) — one object per name per host.
+  std::map<std::pair<std::string, std::string>, ObjectRef> objects_;
+};
+
+}  // namespace pardis::core

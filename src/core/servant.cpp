@@ -1,0 +1,67 @@
+#include "core/servant.hpp"
+
+#include "common/log.hpp"
+
+namespace pardis::core {
+
+ServerInvocation::ServerInvocation(const ObjectRef& ref, rts::Communicator* comm,
+                                   int server_rank, int server_size,
+                                   const RequestHeader& header, std::vector<Body> bodies,
+                                   ReplySender send)
+    : ref_(&ref),
+      comm_(comm),
+      server_rank_(server_rank),
+      server_size_(server_size),
+      header_(header),
+      bodies_(std::move(bodies)),
+      send_(std::move(send)) {
+  readers_.reserve(bodies_.size());
+  reply_bodies_.resize(bodies_.size());
+  reply_writers_.reserve(bodies_.size());
+  for (std::size_t i = 0; i < bodies_.size(); ++i) {
+    readers_.emplace_back(bodies_[i].bytes.view(), bodies_[i].little);
+    reply_writers_.emplace_back(reply_bodies_[i]);
+  }
+}
+
+rts::Communicator& ServerInvocation::comm() const {
+  if (comm_ == nullptr)
+    throw BadInvOrder("distributed arguments require an SPMD server domain");
+  return *comm_;
+}
+
+void ServerInvocation::send_reply_to(std::size_t body_index, ReplyStatus status, ErrorCode code,
+                                     const std::string& message, ByteBuffer body) {
+  ReplyHeader h;
+  h.request_id = bodies_[body_index].request_id;
+  h.server_rank = server_rank_;
+  h.server_size = server_size_;
+  h.status = status;
+  h.error_code = code;
+  h.error_message = message;
+  ByteBuffer frame;
+  CdrWriter w(frame);
+  h.marshal(w);
+  frame.append(body.view());
+  send_(bodies_[body_index].reply_to, std::move(frame));
+}
+
+void ServerInvocation::send_replies() {
+  if (oneway()) return;
+  // Without distributed out arguments only server rank 0 replies; the
+  // client-side stub waits for exactly one reply in that case.
+  if (server_rank_ != 0 && !sent_dist_out_) return;
+  for (std::size_t i = 0; i < bodies_.size(); ++i)
+    send_reply_to(i, ReplyStatus::kOk, ErrorCode::kUnknown, "", std::move(reply_bodies_[i]));
+}
+
+void ServerInvocation::send_error(const SystemException& e) {
+  if (oneway()) {
+    PARDIS_LOG(kWarn, "poa") << "oneway " << operation() << " failed: " << e.what();
+    return;
+  }
+  for (std::size_t i = 0; i < bodies_.size(); ++i)
+    send_reply_to(i, ReplyStatus::kSystemException, e.code(), e.what(), ByteBuffer{});
+}
+
+}  // namespace pardis::core

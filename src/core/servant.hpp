@@ -1,0 +1,202 @@
+// Server-side dispatch: ServantBase and ServerInvocation.
+//
+// The IDL compiler generates, for every interface, a skeleton class
+// `POA_<interface>` deriving from ServantBase whose `_dispatch`
+// unmarshals arguments through a ServerInvocation, calls the user's
+// virtual method, and marshals the reply. A ServerInvocation exists
+// per server computing thread per dispatched request; for SPMD objects
+// all threads dispatch the same request collectively.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/object_ref.hpp"
+#include "core/protocol.hpp"
+#include "dist/dsequence.hpp"
+#include "rts/communicator.hpp"
+
+namespace pardis::core {
+
+class ServerInvocation;
+
+/// Base of every generated skeleton.
+class ServantBase {
+ public:
+  virtual ~ServantBase() = default;
+
+  /// IDL repository id of the most-derived interface.
+  virtual const char* _type_id() const = 0;
+
+  /// Generated: unmarshal, call the user method, marshal the reply.
+  virtual void _dispatch(ServerInvocation& inv) = 0;
+};
+
+/// One assembled request on one server computing thread.
+///
+/// Unmarshal methods must be called in IDL argument order; reply
+/// methods in reply order (return value first, then out/inout
+/// arguments) — exactly what generated skeletons do.
+class ServerInvocation {
+ public:
+  struct Body {
+    int client_rank = 0;
+    bool little = kNativeLittleEndian;
+    ByteBuffer bytes;
+    transport::EndpointAddr reply_to;
+    RequestId request_id;
+  };
+
+  /// `comm` is the server domain communicator (nullptr for standalone
+  /// single-object servers), `send` fires one reply RSR.
+  using ReplySender = std::function<void(const transport::EndpointAddr&, ByteBuffer)>;
+
+  ServerInvocation(const ObjectRef& ref, rts::Communicator* comm, int server_rank,
+                   int server_size, const RequestHeader& header, std::vector<Body> bodies,
+                   ReplySender send);
+
+  const std::string& operation() const noexcept { return header_.operation; }
+  bool oneway() const noexcept { return header_.oneway(); }
+  int client_size() const noexcept { return header_.client_size; }
+  int server_rank() const noexcept { return server_rank_; }
+  int server_size() const noexcept { return server_size_; }
+  const ObjectRef& ref() const noexcept { return *ref_; }
+
+  /// Server domain communicator; throws for standalone servers (single
+  /// objects never carry distributed arguments — paper §3.1).
+  rts::Communicator& comm() const;
+
+  // --- request unmarshaling (IDL argument order) ------------------------
+
+  /// Non-distributed in/inout argument: every client thread marshaled
+  /// it; rank 0's copy is authoritative (the others are decoded to
+  /// advance their cursors).
+  template <typename T>
+  T in_value() {
+    std::optional<T> result;
+    for (std::size_t i = 0; i < bodies_.size(); ++i) {
+      T v;
+      CdrTraits<T>::unmarshal(readers_[i], v);
+      if (bodies_[i].client_rank == 0) result = std::move(v);
+    }
+    if (!result) throw MarshalError("in_value: no client rank 0 body");
+    return std::move(*result);
+  }
+
+  /// Distributed in argument: assembles this thread's local part from
+  /// the pieces each client thread sent it. The server-side
+  /// distribution comes from the spec registered for this operation.
+  template <typename T>
+  dist::DSequence<T> in_dseq() {
+    const DistSpec spec = ref_->spec_for(operation(), next_dseq_index_++);
+    std::optional<dist::DSequence<T>> result;
+    for (std::size_t i = 0; i < bodies_.size(); ++i) {
+      CdrReader& r = readers_[i];
+      const ULongLong n = r.read_ulonglong();
+      const dist::Distribution d_client = dist::Distribution::unmarshal(r);
+      if (!result) {
+        const dist::Distribution d_server = spec.instantiate(n, server_size_);
+        result.emplace(comm(), n, d_server);
+        plan_cache_.emplace_back(d_client, result->distribution());
+      }
+      const dist::TransferPlan& plan = plan_cache_.back();
+      for (const dist::TransferPiece& piece : plan.pieces()) {
+        if (piece.src_rank != bodies_[i].client_rank || piece.dst_rank != server_rank_)
+          continue;
+        result->decode_range(piece.span, r);
+      }
+    }
+    if (!result) throw MarshalError("in_dseq: no request bodies");
+    return std::move(*result);
+  }
+
+  /// Distributed out argument, step 1: creates the result container
+  /// the user method fills. Length and client-side distribution come
+  /// from the client's expectation; the server-side distribution from
+  /// the registered spec. Call `out_dseq` with the filled container in
+  /// the reply phase.
+  template <typename T>
+  dist::DSequence<T> out_dseq_make() {
+    const DistSpec spec = ref_->spec_for(operation(), next_dseq_index_++);
+    std::optional<dist::Distribution> expected;
+    for (std::size_t i = 0; i < bodies_.size(); ++i) {
+      dist::Distribution d = dist::Distribution::unmarshal(readers_[i]);
+      if (bodies_[i].client_rank == 0) expected = std::move(d);
+    }
+    if (!expected) throw MarshalError("out_dseq_make: no client rank 0 body");
+    const std::size_t n = expected->global_size();
+    expected_out_.push_back(std::move(*expected));
+    return dist::DSequence<T>(comm(), n, spec.instantiate(n, server_size_));
+  }
+
+  // --- reply marshaling (return value first, then out/inout args) -------
+
+  /// Non-distributed result/out argument: carried only by server rank
+  /// 0 (to every client thread).
+  template <typename T>
+  void out_value(const T& v) {
+    if (server_rank_ != 0) return;
+    for (auto& w : reply_writers_) CdrTraits<T>::marshal(w, v);
+  }
+
+  /// Distributed out argument: each client thread's reply gets the
+  /// pieces moving from this server thread to it, with explicit global
+  /// spans (the client does not know the server-side distribution).
+  template <typename T>
+  void out_dseq(const dist::DSequence<T>& result) {
+    if (next_expected_out_ >= expected_out_.size())
+      throw BadInvOrder("out_dseq: no matching out_dseq_make");
+    const dist::Distribution& d_client = expected_out_[next_expected_out_++];
+    if (d_client.global_size() != result.size())
+      throw BadParam("out_dseq: result length differs from the client's expectation");
+    dist::TransferPlan plan(result.distribution(), d_client);
+    for (std::size_t i = 0; i < bodies_.size(); ++i) {
+      CdrWriter& w = reply_writers_[i];
+      std::vector<dist::TransferPiece> mine;
+      for (const dist::TransferPiece& piece : plan.pieces())
+        if (piece.src_rank == server_rank_ && piece.dst_rank == bodies_[i].client_rank)
+          mine.push_back(piece);
+      w.write_ulong(static_cast<ULong>(mine.size()));
+      for (const dist::TransferPiece& piece : mine) {
+        w.write_ulonglong(piece.span.begin);
+        w.write_ulonglong(piece.span.end);
+        result.encode_range(piece.span, w);
+      }
+    }
+    sent_dist_out_ = true;
+  }
+
+  // --- completion (called by the POA) ------------------------------------
+
+  /// Sends the success replies built above. Replies from non-zero
+  /// server ranks are suppressed when the operation has no distributed
+  /// out arguments (mirrored by the client's expected-reply count).
+  void send_replies();
+
+  /// Reports a dispatch failure to every participating client thread.
+  void send_error(const SystemException& e);
+
+ private:
+  void send_reply_to(std::size_t body_index, ReplyStatus status, ErrorCode code,
+                     const std::string& message, ByteBuffer body);
+
+  const ObjectRef* ref_;
+  rts::Communicator* comm_;
+  int server_rank_;
+  int server_size_;
+  RequestHeader header_;
+  std::vector<Body> bodies_;
+  std::vector<CdrReader> readers_;
+  std::vector<ByteBuffer> reply_bodies_;
+  std::vector<CdrWriter> reply_writers_;
+  ReplySender send_;
+  std::size_t next_dseq_index_ = 0;
+  std::vector<dist::Distribution> expected_out_;
+  std::size_t next_expected_out_ = 0;
+  std::vector<dist::TransferPlan> plan_cache_;
+  bool sent_dist_out_ = false;
+};
+
+}  // namespace pardis::core

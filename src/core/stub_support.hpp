@@ -1,0 +1,41 @@
+// Small helpers referenced by IDL-generated stub code.
+#pragma once
+
+#include <memory>
+
+#include "core/client.hpp"
+#include "dist/dsequence.hpp"
+
+namespace pardis::core {
+
+template <typename T>
+using DSeqVarT = std::shared_ptr<dist::DSequence<T>>;
+
+/// Creates the target container for a non-blocking out dsequence:
+/// collective for SPMD clients, plain local storage for single clients.
+template <typename T>
+DSeqVarT<T> make_dseq(ClientCtx& ctx, std::size_t n, const DistSpec& spec) {
+  if (ctx.comm() != nullptr)
+    return std::make_shared<dist::DSequence<T>>(*ctx.comm(), n,
+                                                spec.instantiate(n, ctx.size()));
+  return std::make_shared<dist::DSequence<T>>(n);
+}
+
+/// Single-client (non-distributed) view over plain vector storage, used
+/// by the generated single-mapping stubs (paper §3.1: a second stub
+/// "with corresponding nondistributed arguments to support single
+/// invocations").
+template <typename T>
+dist::DSequence<T> single_view(std::vector<T>& storage) {
+  return dist::DSequence<T>::local_view(
+      0, dist::Distribution::block(storage.size(), 1), std::span<T>(storage));
+}
+
+template <typename T>
+dist::DSequence<T> single_view(const std::vector<T>& storage) {
+  // The view is used for encode only; DSequence needs a mutable span.
+  auto& mut = const_cast<std::vector<T>&>(storage);
+  return single_view(mut);
+}
+
+}  // namespace pardis::core

@@ -1,0 +1,235 @@
+#include "dist/distribution.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace pardis::dist {
+
+const char* dist_kind_name(DistKind kind) noexcept {
+  switch (kind) {
+    case DistKind::kBlock: return "BLOCK";
+    case DistKind::kCyclic: return "CYCLIC";
+    case DistKind::kIrregular: return "IRREGULAR";
+    case DistKind::kConcentrated: return "CONCENTRATED";
+  }
+  return "?";
+}
+
+namespace {
+
+std::vector<std::size_t> offsets_from_counts(const std::vector<std::size_t>& counts) {
+  std::vector<std::size_t> offsets(counts.size() + 1, 0);
+  for (std::size_t r = 0; r < counts.size(); ++r) offsets[r + 1] = offsets[r] + counts[r];
+  return offsets;
+}
+
+}  // namespace
+
+Distribution Distribution::block(std::size_t n, int nranks) {
+  if (nranks <= 0) throw BadParam("Distribution::block: nranks must be positive");
+  Distribution d;
+  d.kind_ = DistKind::kBlock;
+  d.global_size_ = n;
+  d.nranks_ = nranks;
+  std::vector<std::size_t> counts(nranks);
+  const std::size_t base = n / nranks;
+  const std::size_t rem = n % nranks;
+  for (int r = 0; r < nranks; ++r) counts[r] = base + (static_cast<std::size_t>(r) < rem ? 1 : 0);
+  d.offsets_ = offsets_from_counts(counts);
+  return d;
+}
+
+Distribution Distribution::cyclic(std::size_t n, int nranks, std::size_t block_size) {
+  if (nranks <= 0) throw BadParam("Distribution::cyclic: nranks must be positive");
+  if (block_size == 0) throw BadParam("Distribution::cyclic: block_size must be positive");
+  Distribution d;
+  d.kind_ = DistKind::kCyclic;
+  d.global_size_ = n;
+  d.nranks_ = nranks;
+  d.block_size_ = block_size;
+  return d;
+}
+
+Distribution Distribution::from_counts(std::vector<std::size_t> counts) {
+  if (counts.empty()) throw BadParam("Distribution::from_counts: no ranks");
+  Distribution d;
+  d.kind_ = DistKind::kIrregular;
+  d.nranks_ = static_cast<int>(counts.size());
+  d.offsets_ = offsets_from_counts(counts);
+  d.global_size_ = d.offsets_.back();
+  return d;
+}
+
+Distribution Distribution::irregular(std::size_t n, const std::vector<double>& proportions) {
+  if (proportions.empty()) throw BadParam("Distribution::irregular: no proportions");
+  double total = 0.0;
+  for (double p : proportions) {
+    if (p < 0.0) throw BadParam("Distribution::irregular: negative proportion");
+    total += p;
+  }
+  if (total <= 0.0) throw BadParam("Distribution::irregular: proportions sum to zero");
+
+  // Largest-remainder apportionment: counts sum to exactly n.
+  const std::size_t nranks = proportions.size();
+  std::vector<std::size_t> counts(nranks, 0);
+  std::vector<std::pair<double, std::size_t>> remainders(nranks);
+  std::size_t assigned = 0;
+  for (std::size_t r = 0; r < nranks; ++r) {
+    const double exact = static_cast<double>(n) * proportions[r] / total;
+    counts[r] = static_cast<std::size_t>(exact);
+    assigned += counts[r];
+    remainders[r] = {exact - static_cast<double>(counts[r]), r};
+  }
+  std::sort(remainders.begin(), remainders.end(), [](const auto& a, const auto& b) {
+    if (a.first != b.first) return a.first > b.first;
+    return a.second < b.second;  // deterministic tie-break by rank
+  });
+  for (std::size_t i = 0; assigned < n; ++i, ++assigned) counts[remainders[i % nranks].second]++;
+  return from_counts(std::move(counts));
+}
+
+Distribution Distribution::concentrated(std::size_t n, int nranks, int root) {
+  if (nranks <= 0) throw BadParam("Distribution::concentrated: nranks must be positive");
+  if (root < 0 || root >= nranks) throw BadParam("Distribution::concentrated: root out of range");
+  Distribution d;
+  d.kind_ = DistKind::kConcentrated;
+  d.global_size_ = n;
+  d.nranks_ = nranks;
+  d.root_ = root;
+  std::vector<std::size_t> counts(nranks, 0);
+  counts[root] = n;
+  d.offsets_ = offsets_from_counts(counts);
+  return d;
+}
+
+std::size_t Distribution::local_count(int rank) const {
+  if (rank < 0 || rank >= nranks_) throw BadParam("Distribution::local_count: rank out of range");
+  if (kind_ == DistKind::kCyclic) {
+    // Number of elements g in [0, n) with (g / bs) % P == rank.
+    const std::size_t bs = block_size_;
+    const std::size_t full_rounds = global_size_ / (bs * nranks_);
+    std::size_t count = full_rounds * bs;
+    const std::size_t tail = global_size_ - full_rounds * bs * nranks_;
+    const std::size_t my_start = static_cast<std::size_t>(rank) * bs;
+    if (tail > my_start) count += std::min(bs, tail - my_start);
+    return count;
+  }
+  return offsets_[rank + 1] - offsets_[rank];
+}
+
+int Distribution::owner(std::size_t global_index) const {
+  if (global_index >= global_size_) throw BadParam("Distribution::owner: index out of range");
+  if (kind_ == DistKind::kCyclic)
+    return static_cast<int>((global_index / block_size_) % nranks_);
+  // Contiguous kinds: find the rank whose [offset, next offset) holds it.
+  auto it = std::upper_bound(offsets_.begin(), offsets_.end(), global_index);
+  return static_cast<int>(it - offsets_.begin()) - 1;
+}
+
+std::size_t Distribution::global_to_local(std::size_t global_index) const {
+  const int rank = owner(global_index);
+  if (kind_ == DistKind::kCyclic) {
+    const std::size_t bs = block_size_;
+    const std::size_t round = global_index / (bs * nranks_);
+    return round * bs + global_index % bs;
+  }
+  return global_index - offsets_[rank];
+}
+
+std::size_t Distribution::local_to_global(int rank, std::size_t local_index) const {
+  if (rank < 0 || rank >= nranks_)
+    throw BadParam("Distribution::local_to_global: rank out of range");
+  if (local_index >= local_count(rank))
+    throw BadParam("Distribution::local_to_global: local index out of range");
+  if (kind_ == DistKind::kCyclic) {
+    const std::size_t bs = block_size_;
+    const std::size_t round = local_index / bs;
+    return round * bs * nranks_ + static_cast<std::size_t>(rank) * bs + local_index % bs;
+  }
+  return offsets_[rank] + local_index;
+}
+
+std::vector<Interval> Distribution::intervals(int rank) const {
+  if (rank < 0 || rank >= nranks_) throw BadParam("Distribution::intervals: rank out of range");
+  std::vector<Interval> out;
+  if (kind_ == DistKind::kCyclic) {
+    const std::size_t bs = block_size_;
+    for (std::size_t start = static_cast<std::size_t>(rank) * bs; start < global_size_;
+         start += bs * nranks_)
+      out.push_back({start, std::min(start + bs, global_size_)});
+    return out;
+  }
+  if (offsets_[rank + 1] > offsets_[rank]) out.push_back({offsets_[rank], offsets_[rank + 1]});
+  return out;
+}
+
+std::vector<std::pair<int, Interval>> Distribution::cover(Interval span) const {
+  if (span.end > global_size_) throw BadParam("Distribution::cover: interval out of range");
+  std::vector<std::pair<int, Interval>> out;
+  std::size_t pos = span.begin;
+  while (pos < span.end) {
+    const int rank = owner(pos);
+    std::size_t run_end;
+    if (kind_ == DistKind::kCyclic) {
+      run_end = std::min((pos / block_size_ + 1) * block_size_, span.end);
+    } else {
+      run_end = std::min(offsets_[rank + 1], span.end);
+    }
+    out.push_back({rank, Interval{pos, run_end}});
+    pos = run_end;
+  }
+  return out;
+}
+
+bool Distribution::operator==(const Distribution& other) const {
+  if (kind_ != other.kind_ || global_size_ != other.global_size_ || nranks_ != other.nranks_)
+    return false;
+  switch (kind_) {
+    case DistKind::kCyclic: return block_size_ == other.block_size_;
+    case DistKind::kConcentrated: return root_ == other.root_;
+    default: return offsets_ == other.offsets_;
+  }
+}
+
+std::string Distribution::to_string() const {
+  std::ostringstream os;
+  os << dist_kind_name(kind_) << "(n=" << global_size_ << ", P=" << nranks_;
+  if (kind_ == DistKind::kCyclic) os << ", bs=" << block_size_;
+  if (kind_ == DistKind::kConcentrated) os << ", root=" << root_;
+  os << ")";
+  return os.str();
+}
+
+void Distribution::marshal(CdrWriter& w) const {
+  w.write_octet(static_cast<Octet>(kind_));
+  w.write_ulonglong(global_size_);
+  w.write_long(nranks_);
+  w.write_long(root_);
+  w.write_ulonglong(block_size_);
+  w.write_ulong(static_cast<ULong>(offsets_.size()));
+  for (std::size_t off : offsets_) w.write_ulonglong(off);
+}
+
+Distribution Distribution::unmarshal(CdrReader& r) {
+  Distribution d;
+  const Octet kind = r.read_octet();
+  if (kind > static_cast<Octet>(DistKind::kConcentrated))
+    throw MarshalError("Distribution: bad kind octet");
+  d.kind_ = static_cast<DistKind>(kind);
+  d.global_size_ = r.read_ulonglong();
+  d.nranks_ = r.read_long();
+  d.root_ = r.read_long();
+  d.block_size_ = r.read_ulonglong();
+  const ULong noff = r.read_ulong();
+  d.offsets_.resize(noff);
+  for (ULong i = 0; i < noff; ++i) d.offsets_[i] = r.read_ulonglong();
+  if (d.nranks_ <= 0) throw MarshalError("Distribution: bad nranks");
+  if (d.kind_ != DistKind::kCyclic && d.offsets_.size() != static_cast<std::size_t>(d.nranks_) + 1)
+    throw MarshalError("Distribution: offsets/nranks mismatch");
+  return d;
+}
+
+}  // namespace pardis::dist

@@ -1,0 +1,103 @@
+// Distributions of a one-dimensional index space over the computing
+// threads of a parallel client or server (paper §3.2).
+//
+// A dsequence IDL definition names its client- and server-side
+// distributions (e.g. BLOCK on the client, concentrated on one
+// processor on the server); a *distribution template* describes "in
+// what proportions the elements of a sequence should be distributed
+// among the processors" and can be applied to set or change a
+// distribution at run time.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/cdr.hpp"
+#include "common/types.hpp"
+
+namespace pardis::dist {
+
+/// Half-open global index interval [begin, end).
+struct Interval {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+
+  std::size_t size() const noexcept { return end - begin; }
+  bool empty() const noexcept { return begin >= end; }
+  bool operator==(const Interval&) const = default;
+};
+
+enum class DistKind : Octet {
+  kBlock = 0,        ///< uniform contiguous blocks (paper's BLOCK default)
+  kCyclic = 1,       ///< block-cyclic with a block size
+  kIrregular = 2,    ///< contiguous blocks in caller-given proportions
+  kConcentrated = 3, ///< everything on one rank
+};
+
+const char* dist_kind_name(DistKind kind) noexcept;
+
+/// An immutable description of how `global_size` elements are spread
+/// over `nranks` computing threads.
+class Distribution {
+ public:
+  Distribution() = default;  ///< empty BLOCK over 1 rank
+
+  static Distribution block(std::size_t n, int nranks);
+  static Distribution cyclic(std::size_t n, int nranks, std::size_t block_size = 1);
+  /// Contiguous blocks sized by explicit per-rank counts (must sum to n).
+  static Distribution from_counts(std::vector<std::size_t> counts);
+  /// Contiguous blocks in the given proportions (a distribution
+  /// template); counts are derived by the largest-remainder method.
+  static Distribution irregular(std::size_t n, const std::vector<double>& proportions);
+  static Distribution concentrated(std::size_t n, int nranks, int root);
+
+  DistKind kind() const noexcept { return kind_; }
+  std::size_t global_size() const noexcept { return global_size_; }
+  int nranks() const noexcept { return nranks_; }
+  /// The rank owning all data for kConcentrated; -1 otherwise.
+  int root() const noexcept { return root_; }
+  std::size_t block_size() const noexcept { return block_size_; }
+
+  std::size_t local_count(int rank) const;
+  int owner(std::size_t global_index) const;
+  /// Local slot of `global_index` on its owner.
+  std::size_t global_to_local(std::size_t global_index) const;
+  std::size_t local_to_global(int rank, std::size_t local_index) const;
+
+  /// Global intervals owned by `rank`, ordered by local index.
+  std::vector<Interval> intervals(int rank) const;
+
+  /// Splits a global interval into maximal runs of constant ownership,
+  /// in global order. Building block for transfer plans.
+  std::vector<std::pair<int, Interval>> cover(Interval span) const;
+
+  bool operator==(const Distribution& other) const;
+
+  std::string to_string() const;
+
+  void marshal(CdrWriter& w) const;
+  static Distribution unmarshal(CdrReader& r);
+
+ private:
+  DistKind kind_ = DistKind::kBlock;
+  std::size_t global_size_ = 0;
+  int nranks_ = 1;
+  int root_ = -1;
+  std::size_t block_size_ = 1;     // cyclic only
+  std::vector<std::size_t> offsets_;  // contiguous kinds: size nranks_+1
+};
+
+}  // namespace pardis::dist
+
+namespace pardis {
+
+template <>
+struct CdrTraits<dist::Distribution> {
+  static void marshal(CdrWriter& w, const dist::Distribution& d) { d.marshal(w); }
+  static void unmarshal(CdrReader& r, dist::Distribution& d) {
+    d = dist::Distribution::unmarshal(r);
+  }
+};
+
+}  // namespace pardis

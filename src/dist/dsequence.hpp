@@ -1,0 +1,311 @@
+// DSequence<T>: the PARDIS distributed sequence (paper §3.2).
+//
+// "A generalization of the CORBA sequence ... behaves like a
+// one-dimensional array with variable length and distribution."
+// Its main purpose is to be a *container for argument data*: it offers
+// no-ownership constructors and direct access to owned data so that
+// conversions to package-native structures are cheap, plus
+// `operator[]` element access with location transparency and
+// redistribution through distribution templates.
+//
+// A DSequence is created collectively by all computing threads of a
+// domain (each rank holds one DSequence instance backed by its local
+// block). Location transparency is implemented through a directory of
+// per-rank blocks shared by the domain's threads — legitimate on the
+// shared-memory nodes PARDIS domains run on; cross-domain movement
+// always goes through marshaled transfer plans.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/cdr.hpp"
+#include "common/error.hpp"
+#include "dist/distribution.hpp"
+#include "dist/transfer_plan.hpp"
+#include "rts/collectives.hpp"
+#include "rts/communicator.hpp"
+
+namespace pardis::dist {
+
+namespace detail {
+
+/// Domain-shared directory of every rank's local block. Intrusively
+/// refcounted: each rank's DSequence holds one reference.
+template <typename T>
+struct DSeqDirectory {
+  explicit DSeqDirectory(int nranks) : slots(nranks, nullptr), sizes(nranks, 0) {}
+  std::vector<T*> slots;
+  std::vector<std::size_t> sizes;
+  std::atomic<int> refs{0};
+};
+
+}  // namespace detail
+
+template <typename T>
+class DSequence {
+ public:
+  /// Collective: every rank of `comm` calls with identical `n` and
+  /// `dist`; each rank allocates (and owns) its local block.
+  DSequence(rts::Communicator& comm, std::size_t n, Distribution dist)
+      : comm_(&comm), dist_(std::move(dist)) {
+    check_shape(n);
+    owned_.resize(dist_.local_count(comm_->rank()));
+    local_ = owned_;
+    attach_directory();
+  }
+
+  /// Collective, defaulting to BLOCK distribution (the paper's default).
+  DSequence(rts::Communicator& comm, std::size_t n)
+      : DSequence(comm, n, Distribution::block(n, comm.size())) {}
+
+  /// Collective no-ownership constructor: the local block aliases
+  /// caller storage (e.g. a package-native container); the caller
+  /// guarantees it outlives the sequence. This is the cheap-conversion
+  /// path the paper calls out.
+  DSequence(rts::Communicator& comm, std::size_t n, Distribution dist,
+            std::span<T> borrowed_local)
+      : comm_(&comm), dist_(std::move(dist)) {
+    check_shape(n);
+    if (borrowed_local.size() != dist_.local_count(comm_->rank()))
+      throw BadParam("DSequence: borrowed storage size != local count");
+    local_ = borrowed_local;
+    attach_directory();
+  }
+
+  /// Non-distributed sequence (single client / single object side):
+  /// one rank, everything local, no communicator needed.
+  explicit DSequence(std::size_t n)
+      : comm_(nullptr), dist_(Distribution::block(n, 1)) {
+    owned_.resize(n);
+    local_ = owned_;
+  }
+
+  /// Non-collective borrowed view used by generated stub code to
+  /// marshal package-native containers without copying: `rank`'s local
+  /// part under `dist` aliases `storage`. No block directory is built,
+  /// so remote operator[] reads, redistribute() and gather_all() are
+  /// unavailable — encode/decode of owned ranges (all a stub needs)
+  /// work fine.
+  static DSequence local_view(int rank, Distribution dist, std::span<T> storage) {
+    if (rank < 0 || rank >= dist.nranks())
+      throw BadParam("DSequence::local_view: rank out of range");
+    if (storage.size() != dist.local_count(rank))
+      throw BadParam("DSequence::local_view: storage size != local count");
+    DSequence s;
+    s.dist_ = std::move(dist);
+    s.local_ = storage;
+    s.view_rank_ = rank;
+    return s;
+  }
+
+  DSequence(DSequence&& other) noexcept { *this = std::move(other); }
+  DSequence& operator=(DSequence&& other) noexcept {
+    release_directory();
+    comm_ = other.comm_;
+    dist_ = std::move(other.dist_);
+    owned_ = std::move(other.owned_);
+    local_ = other.local_;
+    dir_ = other.dir_;
+    view_rank_ = other.view_rank_;
+    other.dir_ = nullptr;
+    other.comm_ = nullptr;
+    other.local_ = {};
+    return *this;
+  }
+  DSequence(const DSequence&) = delete;
+  DSequence& operator=(const DSequence&) = delete;
+
+  ~DSequence() { release_directory(); }
+
+  std::size_t size() const noexcept { return dist_.global_size(); }
+  const Distribution& distribution() const noexcept { return dist_; }
+  int rank() const noexcept {
+    if (view_rank_ >= 0) return view_rank_;
+    return comm_ != nullptr ? comm_->rank() : 0;
+  }
+  bool distributed() const noexcept { return comm_ != nullptr; }
+  bool owns_storage() const noexcept { return !owned_.empty() || local_.empty(); }
+
+  /// Direct access to this rank's owned data (paper: "provides access
+  /// to owned data" for building conversions).
+  std::span<T> local() noexcept { return local_; }
+  std::span<const T> local() const noexcept { return local_; }
+  std::size_t local_size() const noexcept { return local_.size(); }
+
+  std::size_t local_to_global(std::size_t li) const { return dist_.local_to_global(rank(), li); }
+
+  bool is_local(std::size_t global_index) const { return dist_.owner(global_index) == rank(); }
+
+  /// Location-transparent element read. Remote reads go through the
+  /// domain-shared directory; callers must not overlap them with
+  /// writes by the owner (use collective phases, as all PARDIS
+  /// argument-handling code does).
+  T operator[](std::size_t global_index) const {
+    const int owner = dist_.owner(global_index);
+    const std::size_t li = dist_.global_to_local(global_index);
+    if (owner == rank()) return local_[li];
+    if (dir_ == nullptr)
+      throw BadInvOrder("DSequence: remote read on a non-distributed sequence");
+    return dir_->slots[owner][li];
+  }
+
+  /// Mutable access to a locally-owned element.
+  T& local_ref(std::size_t global_index) {
+    if (!is_local(global_index))
+      throw BadParam("DSequence::local_ref: element not owned by this rank");
+    return local_[dist_.global_to_local(global_index)];
+  }
+
+  /// Collective: moves the sequence to a new distribution (paper:
+  /// "using different distribution templates the programmer can also
+  /// redistribute the sequence"). Always ends in owned storage.
+  void redistribute(const Distribution& new_dist) {
+    if (new_dist.global_size() != size())
+      throw BadParam("DSequence::redistribute: size mismatch");
+    if (comm_ == nullptr) {
+      if (new_dist.nranks() != 1)
+        throw BadInvOrder("DSequence::redistribute: non-distributed sequence");
+      dist_ = new_dist;
+      return;
+    }
+    if (new_dist.nranks() != comm_->size())
+      throw BadParam("DSequence::redistribute: rank count != domain width");
+    const int me = rank();
+    TransferPlan plan(dist_, new_dist);
+
+    std::vector<T> fresh(new_dist.local_count(me));
+    // Local pieces copy directly; remote pieces ride the communicator.
+    for (const TransferPiece& piece : plan.outgoing(me)) {
+      if (piece.dst_rank == me) {
+        const std::size_t src_off = dist_.global_to_local(piece.span.begin);
+        const std::size_t dst_off = new_dist.global_to_local(piece.span.begin);
+        for (std::size_t i = 0; i < piece.span.size(); ++i)
+          fresh[dst_off + i] = local_[src_off + i];
+      } else {
+        comm_->send_reserved(piece.dst_rank, rts::kTagDistRedistribute,
+                             encode_range(piece.span));
+      }
+    }
+    for (const TransferPiece& piece : plan.incoming(me)) {
+      if (piece.src_rank == me) continue;
+      auto msg = comm_->recv(piece.src_rank, rts::kTagDistRedistribute);
+      CdrReader r(msg.payload.view());
+      decode_range_into(new_dist, fresh, piece.span, r);
+    }
+    owned_ = std::move(fresh);
+    local_ = owned_;
+    dist_ = new_dist;
+    reattach_directory();
+  }
+
+  /// Collective: every rank receives the fully-assembled global
+  /// contents. Convenience for result checking and small sequences.
+  std::vector<T> gather_all() const {
+    std::vector<T> out(size());
+    if (comm_ == nullptr) {
+      std::copy(local_.begin(), local_.end(), out.begin());
+      return out;
+    }
+    std::vector<T> mine(local_.begin(), local_.end());
+    auto blocks = rts::allgather_values(*comm_, mine);
+    for (int r = 0; r < dist_.nranks(); ++r) {
+      std::size_t li = 0;
+      for (const Interval& iv : dist_.intervals(r))
+        for (std::size_t g = iv.begin; g < iv.end; ++g) out[g] = blocks[r][li++];
+    }
+    return out;
+  }
+
+  /// Encodes locally-owned global range [span.begin, span.end) — used
+  /// by redistribution and by the ORB's distributed-argument transfer.
+  ByteBuffer encode_range(Interval span) const {
+    ByteBuffer buf;
+    CdrWriter w(buf);
+    encode_range(span, w);
+    return buf;
+  }
+
+  void encode_range(Interval span, CdrWriter& w) const {
+    if (span.empty()) return;
+    if (dist_.owner(span.begin) != rank() || dist_.owner(span.end - 1) != rank())
+      throw BadParam("DSequence::encode_range: range not locally owned");
+    const std::size_t off = dist_.global_to_local(span.begin);
+    if constexpr (std::is_arithmetic_v<T>) {
+      w.write_prim_seq(std::span<const T>(local_.data() + off, span.size()));
+    } else {
+      w.write_ulong(static_cast<ULong>(span.size()));
+      for (std::size_t i = 0; i < span.size(); ++i)
+        CdrTraits<T>::marshal(w, local_[off + i]);
+    }
+  }
+
+  /// Decodes a global range into locally-owned storage.
+  void decode_range(Interval span, CdrReader& r) {
+    decode_range_into(dist_, local_, span, r);
+    if (dist_.owner(span.begin) != rank())
+      throw BadParam("DSequence::decode_range: range not locally owned");
+  }
+
+ private:
+  void check_shape(std::size_t n) {
+    if (dist_.global_size() != n) throw BadParam("DSequence: distribution size != n");
+    if (dist_.nranks() != comm_->size())
+      throw BadParam("DSequence: distribution rank count != domain width");
+  }
+
+  static void decode_range_into(const Distribution& dist, std::span<T> storage, Interval span,
+                                CdrReader& r) {
+    if (span.empty()) return;
+    const std::size_t off = dist.global_to_local(span.begin);
+    if (off + span.size() > storage.size())
+      throw MarshalError("DSequence: decoded range exceeds local storage");
+    if constexpr (std::is_arithmetic_v<T>) {
+      r.read_prim_seq_into(std::span<T>(storage.data() + off, span.size()));
+    } else {
+      const ULong n = r.read_ulong();
+      if (n != span.size()) throw MarshalError("DSequence: piece size mismatch");
+      for (std::size_t i = 0; i < span.size(); ++i)
+        CdrTraits<T>::unmarshal(r, storage[off + i]);
+    }
+  }
+
+  void attach_directory() {
+    // Rank 0 allocates the directory and broadcasts its address; every
+    // rank registers its block, then a barrier publishes all slots.
+    auto* dir = comm_->rank() == 0 ? new detail::DSeqDirectory<T>(comm_->size()) : nullptr;
+    const auto addr = rts::broadcast_value<ULongLong>(
+        *comm_, reinterpret_cast<ULongLong>(dir), 0);
+    dir_ = reinterpret_cast<detail::DSeqDirectory<T>*>(addr);
+    dir_->refs.fetch_add(1, std::memory_order_relaxed);
+    dir_->slots[rank()] = local_.data();
+    dir_->sizes[rank()] = local_.size();
+    rts::barrier(*comm_);
+  }
+
+  void reattach_directory() {
+    if (dir_ == nullptr) return;
+    dir_->slots[rank()] = local_.data();
+    dir_->sizes[rank()] = local_.size();
+    rts::barrier(*comm_);
+  }
+
+  void release_directory() noexcept {
+    if (dir_ == nullptr) return;
+    if (dir_->refs.fetch_sub(1, std::memory_order_acq_rel) == 1) delete dir_;
+    dir_ = nullptr;
+  }
+
+  DSequence() = default;  // used by local_view
+
+  rts::Communicator* comm_ = nullptr;
+  Distribution dist_;
+  std::vector<T> owned_;
+  std::span<T> local_;
+  detail::DSeqDirectory<T>* dir_ = nullptr;
+  int view_rank_ = -1;  ///< fixed rank of a local_view (-1 otherwise)
+};
+
+}  // namespace pardis::dist

@@ -1,0 +1,68 @@
+#include "dist/transfer_plan.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace pardis::dist {
+
+TransferPlan::TransferPlan(const Distribution& src, const Distribution& dst)
+    : src_(src), dst_(dst) {
+  if (src.global_size() != dst.global_size())
+    throw BadParam("TransferPlan: src and dst global sizes differ");
+  // Walk every source-owned interval and split it by destination
+  // ownership. Piece count is O(P + Q) for contiguous kinds and
+  // O(n / block_size) for cyclic — both fine at PARDIS thread counts.
+  for (int p = 0; p < src.nranks(); ++p) {
+    for (const Interval& iv : src.intervals(p)) {
+      for (const auto& [q, piece] : dst.cover(iv)) {
+        pieces_.push_back(TransferPiece{p, q, piece});
+      }
+    }
+  }
+  // Source intervals are per-rank, so globally the list may be out of
+  // order; normalize to global order for deterministic wire layout.
+  std::sort(pieces_.begin(), pieces_.end(), [](const TransferPiece& a, const TransferPiece& b) {
+    return a.span.begin < b.span.begin;
+  });
+}
+
+std::vector<TransferPiece> TransferPlan::outgoing(int src_rank) const {
+  std::vector<TransferPiece> out;
+  for (const auto& p : pieces_)
+    if (p.src_rank == src_rank) out.push_back(p);
+  return out;
+}
+
+std::vector<TransferPiece> TransferPlan::incoming(int dst_rank) const {
+  std::vector<TransferPiece> out;
+  for (const auto& p : pieces_)
+    if (p.dst_rank == dst_rank) out.push_back(p);
+  return out;
+}
+
+std::vector<int> TransferPlan::destinations(int src_rank) const {
+  std::vector<int> out;
+  for (const auto& p : pieces_)
+    if (p.src_rank == src_rank) out.push_back(p.dst_rank);
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::vector<int> TransferPlan::sources(int dst_rank) const {
+  std::vector<int> out;
+  for (const auto& p : pieces_)
+    if (p.dst_rank == dst_rank) out.push_back(p.src_rank);
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::size_t TransferPlan::total_elements() const noexcept {
+  std::size_t n = 0;
+  for (const auto& p : pieces_) n += p.span.size();
+  return n;
+}
+
+}  // namespace pardis::dist

@@ -1,0 +1,56 @@
+// Transfer plans: the data-movement schedule between two distributions.
+//
+// "Knowledge of distribution allows the ORB to efficiently transfer
+// arguments between the client and server" (paper §3.2, [KG97]): given
+// the client-side and server-side distributions of a dsequence, each
+// pair of computing threads exchanges exactly the intervals they share,
+// directly and in parallel — no gather at a root. The same plan drives
+// in-domain redistribution.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "dist/distribution.hpp"
+
+namespace pardis::dist {
+
+/// One contiguous run of global indices moving from one source rank to
+/// one destination rank.
+struct TransferPiece {
+  int src_rank = 0;
+  int dst_rank = 0;
+  Interval span;  ///< global indices
+
+  bool operator==(const TransferPiece&) const = default;
+};
+
+/// The complete schedule for moving a global index space from `src`
+/// distribution to `dst` distribution. Pieces are in global order.
+class TransferPlan {
+ public:
+  TransferPlan(const Distribution& src, const Distribution& dst);
+
+  const Distribution& src() const noexcept { return src_; }
+  const Distribution& dst() const noexcept { return dst_; }
+  const std::vector<TransferPiece>& pieces() const noexcept { return pieces_; }
+
+  /// Pieces this source rank must send, in global order.
+  std::vector<TransferPiece> outgoing(int src_rank) const;
+  /// Pieces this destination rank will receive, in global order.
+  std::vector<TransferPiece> incoming(int dst_rank) const;
+
+  /// Destination ranks `src_rank` sends to / source ranks `dst_rank`
+  /// receives from (each listed once, ascending).
+  std::vector<int> destinations(int src_rank) const;
+  std::vector<int> sources(int dst_rank) const;
+
+  std::size_t total_elements() const noexcept;
+
+ private:
+  Distribution src_;
+  Distribution dst_;
+  std::vector<TransferPiece> pieces_;
+};
+
+}  // namespace pardis::dist

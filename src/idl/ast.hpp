@@ -1,0 +1,135 @@
+// IDL abstract syntax, shared by the parser, semantic checks and the
+// C++ code generator.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/object_ref.hpp"
+
+namespace pardis::idl {
+
+enum class BasicKind {
+  kVoid,
+  kBoolean,
+  kOctet,
+  kShort,
+  kUShort,
+  kLong,
+  kULong,
+  kLongLong,
+  kULongLong,
+  kFloat,
+  kDouble,
+  kString,
+};
+
+const char* basic_cpp_type(BasicKind k) noexcept;
+
+struct Type;
+using TypePtr = std::shared_ptr<Type>;
+
+/// Package mapping attached by a #pragma line to a dsequence typedef.
+struct PackageMapping {
+  std::string package;    ///< e.g. "HPC++", "POOMA"
+  std::string structure;  ///< e.g. "vector", "field"
+};
+
+struct Type {
+  enum class Kind { kBasic, kSequence, kDSequence, kStruct, kEnum, kAlias };
+
+  Kind kind = Kind::kBasic;
+  BasicKind basic = BasicKind::kVoid;
+
+  // sequence / dsequence
+  TypePtr elem;
+  long long bound = -1;  ///< -1 = unbounded
+
+  // dsequence distribution defaults (client side, server side)
+  core::DistSpec client_spec = core::DistSpec::block();
+  core::DistSpec server_spec = core::DistSpec::block();
+  std::vector<PackageMapping> mappings;  ///< pragma-attached package mappings
+
+  // struct / enum / alias
+  std::string name;
+  std::vector<std::pair<std::string, TypePtr>> fields;  // struct
+  std::vector<std::string> enumerators;                 // enum
+  TypePtr alias_target;                                 // alias
+
+  /// Follows typedef aliases to the underlying type.
+  const Type* resolved() const {
+    const Type* t = this;
+    while (t->kind == Kind::kAlias) t = t->alias_target.get();
+    return t;
+  }
+  bool is_dseq() const { return resolved()->kind == Kind::kDSequence; }
+};
+
+struct Param {
+  enum class Dir { kIn, kOut, kInOut };
+  Dir dir = Dir::kIn;
+  TypePtr type;
+  std::string name;
+};
+
+struct Operation {
+  bool oneway = false;
+  TypePtr ret;  ///< nullptr or void for none
+  std::string name;
+  std::vector<Param> params;
+
+  bool has_dist_out() const {
+    for (const auto& p : params)
+      if (p.dir == Param::Dir::kOut && p.type->is_dseq()) return true;
+    return false;
+  }
+  bool has_dseq_params() const {
+    for (const auto& p : params)
+      if (p.type->is_dseq()) return true;
+    return false;
+  }
+};
+
+struct InterfaceDef {
+  std::string name;
+  std::string base;  ///< empty when none
+  std::vector<Operation> ops;
+};
+
+struct ConstDef {
+  std::string name;
+  TypePtr type;
+  bool is_float = false;
+  long long int_value = 0;
+  double float_value = 0.0;
+  std::string string_value;
+};
+
+struct TypedefDef {
+  std::string name;
+  TypePtr type;  ///< the alias Type (kind kAlias)
+};
+
+/// One top-level definition, in source order.
+struct Definition {
+  enum class Kind { kTypedef, kStruct, kEnum, kConst, kInterface };
+  Kind kind;
+  TypedefDef typedef_def;
+  TypePtr struct_or_enum;
+  ConstDef const_def;
+  InterfaceDef interface_def;
+};
+
+struct Spec {
+  std::vector<Definition> definitions;
+
+  const InterfaceDef* find_interface(const std::string& name) const {
+    for (const auto& d : definitions)
+      if (d.kind == Definition::Kind::kInterface && d.interface_def.name == name)
+        return &d.interface_def;
+    return nullptr;
+  }
+};
+
+}  // namespace pardis::idl

@@ -1,0 +1,677 @@
+#include "idl/codegen.hpp"
+
+#include <map>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace pardis::idl {
+
+namespace {
+
+struct DseqInfo {
+  std::string decl;     ///< signature type (alias name or inline DSequence<..>)
+  std::string var;      ///< managed-pointer type
+  std::string elem;     ///< element C++ type
+  bool native = false;  ///< lowered to a package-native container
+  std::string adapter;  ///< adapter namespace when native
+  core::DistSpec client_spec;
+  core::DistSpec server_spec;
+};
+
+class Generator {
+ public:
+  Generator(const Spec& spec, const CodegenOptions& options) : spec_(spec), opt_(options) {}
+
+  std::string run();
+
+ private:
+  std::ostringstream out_;
+  std::ostringstream traits_;  ///< CdrTraits emitted after the namespace
+  const Spec& spec_;
+  const CodegenOptions& opt_;
+  bool uses_pstl_ = false;
+  bool uses_pooma_ = false;
+
+  // --- type spelling helpers ---------------------------------------------
+
+  static bool is_trivial_in(const TypePtr& t) {
+    const Type* r = t->resolved();
+    return (r->kind == Type::Kind::kBasic && r->basic != BasicKind::kString &&
+            r->basic != BasicKind::kVoid) ||
+           r->kind == Type::Kind::kEnum;
+  }
+
+  static bool is_void(const TypePtr& t) {
+    const Type* r = t->resolved();
+    return r->kind == Type::Kind::kBasic && r->basic == BasicKind::kVoid;
+  }
+
+  std::string cpp_type(const TypePtr& t) const {
+    switch (t->kind) {
+      case Type::Kind::kAlias: return t->name;
+      case Type::Kind::kBasic: return basic_cpp_type(t->basic);
+      case Type::Kind::kStruct:
+      case Type::Kind::kEnum: return t->name;
+      case Type::Kind::kSequence: return "pardis::Sequence<" + cpp_type(t->elem) + ">";
+      case Type::Kind::kDSequence:
+        return "pardis::dist::DSequence<" + cpp_type(t->elem) + ">";
+    }
+    throw InternalError("codegen: bad type kind");
+  }
+
+  /// The package mapping active for this dsequence type under the
+  /// current options, if any.
+  const PackageMapping* active_mapping(const Type* dseq) const {
+    for (const auto& m : dseq->mappings)
+      if (opt_.packages.count(m.package) != 0) return &m;
+    return nullptr;
+  }
+
+  DseqInfo dseq_info(const TypePtr& t) {
+    const Type* r = t->resolved();
+    require(r->kind == Type::Kind::kDSequence, "dseq_info on non-dsequence");
+    DseqInfo info;
+    info.elem = cpp_type(r->elem);
+    info.client_spec = r->client_spec;
+    info.server_spec = r->server_spec;
+    if (const PackageMapping* m = active_mapping(r)) {
+      info.native = true;
+      if (m->package == "HPC++") {
+        info.adapter = "pardis::pstl";
+        uses_pstl_ = true;
+      } else if (m->package == "POOMA") {
+        info.adapter = "pardis::pooma";
+        uses_pooma_ = true;
+      } else {
+        throw BadParam("codegen: no adapter for package '" + m->package + "'");
+      }
+    }
+    if (t->kind == Type::Kind::kAlias) {
+      info.decl = t->name;
+      info.var = t->name + "_var";
+    } else {
+      info.decl = cpp_type(t);
+      info.var = "std::shared_ptr<" + info.decl + ">";
+    }
+    return info;
+  }
+
+  static std::string spec_expr(const core::DistSpec& s) {
+    switch (s.kind) {
+      case dist::DistKind::kBlock: return "pardis::core::DistSpec::block()";
+      case dist::DistKind::kCyclic:
+        return "pardis::core::DistSpec::cyclic(" + std::to_string(s.block_size) + ")";
+      case dist::DistKind::kConcentrated:
+        return "pardis::core::DistSpec::concentrated(" + std::to_string(s.root) + ")";
+      case dist::DistKind::kIrregular:
+        break;
+    }
+    throw InternalError("codegen: IRREGULAR spec cannot appear in IDL");
+  }
+
+  std::string param_sig(const Param& p, bool single_mapping) {
+    std::string type;
+    if (p.type->is_dseq()) {
+      type = single_mapping ? "std::vector<" + dseq_info(p.type).elem + ">"
+                            : dseq_info(p.type).decl;
+    } else {
+      type = cpp_type(p.type);
+    }
+    if (p.dir == Param::Dir::kIn)
+      return is_trivial_in(p.type) && !p.type->is_dseq() ? type + " " + p.name
+                                                         : "const " + type + "& " + p.name;
+    return type + "& " + p.name;
+  }
+
+  std::string ret_type(const Operation& op) const {
+    return is_void(op.ret) ? "void" : cpp_type(op.ret);
+  }
+
+  // --- emitters ------------------------------------------------------------
+
+  void emit_const(const ConstDef& c);
+  void emit_typedef(const TypedefDef& t);
+  void emit_struct(const TypePtr& t);
+  void emit_enum(const TypePtr& t);
+  void emit_interface(const InterfaceDef& iface);
+  void emit_skeleton(const InterfaceDef& iface);
+  void emit_proxy(const InterfaceDef& iface);
+  void emit_dispatch_case(const Operation& op);
+  void emit_blocking_stub(const InterfaceDef& iface, const Operation& op, bool single_mapping);
+  void emit_nb_stub(const InterfaceDef& iface, const Operation& op);
+  std::string virtual_signature(const Operation& op);
+};
+
+void Generator::emit_const(const ConstDef& c) {
+  const Type* r = c.type->resolved();
+  if (r->basic == BasicKind::kString) {
+    out_ << "inline const pardis::String " << c.name << " = \"" << c.string_value << "\";\n";
+  } else if (c.is_float) {
+    out_ << "inline constexpr " << cpp_type(c.type) << " " << c.name << " = "
+         << c.float_value << ";\n";
+  } else {
+    out_ << "inline constexpr " << cpp_type(c.type) << " " << c.name << " = "
+         << c.int_value << ";\n";
+  }
+}
+
+void Generator::emit_typedef(const TypedefDef& t) {
+  const TypePtr target = t.type->alias_target;
+  if (target->kind == Type::Kind::kDSequence) {
+    const Type* d = target.get();
+    std::string underlying;
+    if (const PackageMapping* m = active_mapping(d)) {
+      if (m->package == "HPC++" && m->structure == "vector") {
+        underlying = "pardis::pstl::DistributedVector<" + cpp_type(d->elem) + ">";
+        uses_pstl_ = true;
+      } else if (m->package == "POOMA" && m->structure == "field") {
+        underlying = "pardis::pooma::Field2D<" + cpp_type(d->elem) + ">";
+        uses_pooma_ = true;
+      } else {
+        throw BadParam("codegen: no mapping for " + m->package + ":" + m->structure);
+      }
+    } else {
+      underlying = "pardis::dist::DSequence<" + cpp_type(d->elem) + ">";
+    }
+    out_ << "using " << t.name << " = " << underlying << ";\n";
+    out_ << "using " << t.name << "_var = std::shared_ptr<" << t.name << ">;\n";
+    out_ << "inline constexpr long long " << t.name << "_bound = " << d->bound << ";\n";
+    out_ << "inline const pardis::core::DistSpec " << t.name << "_client_spec = "
+         << spec_expr(d->client_spec) << ";\n";
+    out_ << "inline const pardis::core::DistSpec " << t.name << "_server_spec = "
+         << spec_expr(d->server_spec) << ";\n\n";
+    return;
+  }
+  out_ << "using " << t.name << " = " << cpp_type(target) << ";\n\n";
+}
+
+void Generator::emit_struct(const TypePtr& t) {
+  out_ << "struct " << t->name << " {\n";
+  for (const auto& [fname, ftype] : t->fields)
+    out_ << "  " << cpp_type(ftype) << " " << fname << "{};\n";
+  out_ << "  bool operator==(const " << t->name << "&) const = default;\n";
+  out_ << "};\n\n";
+
+  const std::string qual = opt_.ns + "::" + t->name;
+  traits_ << "template <>\nstruct pardis::CdrTraits<" << qual << "> {\n";
+  traits_ << "  static void marshal(pardis::CdrWriter& w, const " << qual << "& v) {\n";
+  for (const auto& [fname, ftype] : t->fields)
+    traits_ << "    pardis::CdrTraits<" << cpp_type(ftype) << ">::marshal(w, v." << fname
+            << ");\n";
+  traits_ << "  }\n";
+  traits_ << "  static void unmarshal(pardis::CdrReader& r, " << qual << "& v) {\n";
+  for (const auto& [fname, ftype] : t->fields)
+    traits_ << "    pardis::CdrTraits<" << cpp_type(ftype) << ">::unmarshal(r, v." << fname
+            << ");\n";
+  traits_ << "  }\n};\n\n";
+}
+
+void Generator::emit_enum(const TypePtr& t) {
+  out_ << "enum class " << t->name << " : pardis::ULong {\n";
+  for (const auto& e : t->enumerators) out_ << "  " << e << ",\n";
+  out_ << "};\n\n";
+
+  const std::string qual = opt_.ns + "::" + t->name;
+  traits_ << "template <>\nstruct pardis::CdrTraits<" << qual << "> {\n";
+  traits_ << "  static void marshal(pardis::CdrWriter& w, const " << qual << "& v) {\n"
+          << "    w.write_ulong(static_cast<pardis::ULong>(v));\n  }\n";
+  traits_ << "  static void unmarshal(pardis::CdrReader& r, " << qual << "& v) {\n"
+          << "    const pardis::ULong raw = r.read_ulong();\n"
+          << "    if (raw >= " << t->enumerators.size() << "u)\n"
+          << "      throw pardis::MarshalError(\"bad " << t->name << " enumerator\");\n"
+          << "    v = static_cast<" << qual << ">(raw);\n  }\n};\n\n";
+}
+
+std::string Generator::virtual_signature(const Operation& op) {
+  std::ostringstream sig;
+  sig << ret_type(op) << " " << op.name << "(";
+  for (std::size_t i = 0; i < op.params.size(); ++i) {
+    if (i != 0) sig << ", ";
+    sig << param_sig(op.params[i], /*single_mapping=*/false);
+  }
+  sig << ")";
+  return sig.str();
+}
+
+void Generator::emit_dispatch_case(const Operation& op) {
+  out_ << "    if (_op == \"" << op.name << "\") {\n";
+  // Unmarshal in IDL order.
+  for (const auto& p : op.params) {
+    if (p.type->is_dseq()) {
+      const DseqInfo d = dseq_info(p.type);
+      if (p.dir == Param::Dir::kIn) {
+        out_ << "      auto _" << p.name << "_seq = _inv.in_dseq<" << d.elem << ">();\n";
+        if (d.native)
+          out_ << "      " << d.decl << " _" << p.name << " = " << d.adapter
+               << "::native_from_dseq(std::move(_" << p.name << "_seq), _inv.comm());\n";
+      } else {  // out
+        out_ << "      auto _" << p.name << "_seq = _inv.out_dseq_make<" << d.elem
+             << ">();\n";
+        if (d.native)
+          out_ << "      " << d.decl << " _" << p.name << " = " << d.adapter
+               << "::native_from_dseq(std::move(_" << p.name << "_seq), _inv.comm());\n";
+      }
+    } else if (p.dir == Param::Dir::kOut) {
+      out_ << "      " << cpp_type(p.type) << " _" << p.name << "{};\n";
+    } else {  // in / inout non-dseq
+      out_ << "      auto _" << p.name << " = _inv.in_value<" << cpp_type(p.type)
+           << ">();\n";
+    }
+  }
+  // Call the user's method.
+  out_ << "      ";
+  if (!is_void(op.ret)) out_ << "auto _result = ";
+  out_ << op.name << "(";
+  for (std::size_t i = 0; i < op.params.size(); ++i) {
+    if (i != 0) out_ << ", ";
+    const auto& p = op.params[i];
+    if (p.type->is_dseq() && !dseq_info(p.type).native)
+      out_ << "_" << p.name << "_seq";
+    else
+      out_ << "_" << p.name;
+  }
+  out_ << ");\n";
+  // Reply: return value first, then out/inout in IDL order.
+  if (!is_void(op.ret)) out_ << "      _inv.out_value(_result);\n";
+  for (const auto& p : op.params) {
+    if (p.dir == Param::Dir::kIn) continue;
+    if (p.type->is_dseq()) {
+      const DseqInfo d = dseq_info(p.type);
+      if (d.native)
+        out_ << "      { auto _" << p.name << "_view = " << d.adapter << "::dseq_view(_"
+             << p.name << "); _inv.out_dseq(_" << p.name << "_view); }\n";
+      else
+        out_ << "      _inv.out_dseq(_" << p.name << "_seq);\n";
+    } else {
+      out_ << "      _inv.out_value(_" << p.name << ");\n";
+    }
+  }
+  out_ << "      return;\n    }\n";
+}
+
+void Generator::emit_skeleton(const InterfaceDef& iface) {
+  const std::string base =
+      iface.base.empty() ? "pardis::core::ServantBase" : "POA_" + iface.base;
+  out_ << "class POA_" << iface.name << " : public " << base << " {\n public:\n";
+  out_ << "  const char* _type_id() const override { return \"IDL:" << iface.name
+       << ":1.0\"; }\n\n";
+
+  for (const auto& op : iface.ops)
+    out_ << "  virtual " << virtual_signature(op) << " = 0;\n";
+  out_ << "\n";
+
+  // Default server-side distribution specs, from the dsequence
+  // typedefs used in the signatures (activate_spmd publishes them in
+  // the object reference).
+  out_ << "  static std::map<std::string, std::vector<pardis::core::DistSpec>>"
+          " _default_arg_specs() {\n";
+  if (iface.base.empty())
+    out_ << "    std::map<std::string, std::vector<pardis::core::DistSpec>> _m;\n";
+  else
+    out_ << "    auto _m = POA_" << iface.base << "::_default_arg_specs();\n";
+  for (const auto& op : iface.ops) {
+    if (!op.has_dseq_params()) continue;
+    out_ << "    _m[\"" << op.name << "\"] = {";
+    bool first = true;
+    for (const auto& p : op.params) {
+      if (!p.type->is_dseq()) continue;
+      if (!first) out_ << ", ";
+      first = false;
+      out_ << spec_expr(dseq_info(p.type).server_spec);
+    }
+    out_ << "};\n";
+  }
+  out_ << "    return _m;\n  }\n\n";
+
+  out_ << "  void _dispatch(pardis::core::ServerInvocation& _inv) override {\n";
+  out_ << "    const std::string& _op = _inv.operation();\n";
+  out_ << "    (void)_op;\n";
+  for (const auto& op : iface.ops) emit_dispatch_case(op);
+  if (iface.base.empty())
+    out_ << "    throw pardis::NoImplement(\"" << iface.name
+         << " has no operation '\" + _op + \"'\");\n";
+  else
+    out_ << "    POA_" << iface.base << "::_dispatch(_inv);\n";
+  out_ << "  }\n};\n\n";
+}
+
+void Generator::emit_blocking_stub(const InterfaceDef& iface, const Operation& op,
+                                   bool single_mapping) {
+  out_ << "  " << ret_type(op) << " " << op.name << "(";
+  for (std::size_t i = 0; i < op.params.size(); ++i) {
+    if (i != 0) out_ << ", ";
+    out_ << param_sig(op.params[i], single_mapping);
+  }
+  out_ << ") {\n";
+
+  if (single_mapping)
+    out_ << "    if (_binding()->collective())\n"
+            "      throw pardis::BadInvOrder(\"single-mapping stub on a collective "
+            "binding; use the distributed mapping\");\n";
+
+  // Collocation bypass (direct virtual call, paper §4.1). With
+  // package-native mappings the in-process servant may have been built
+  // with a different mapping, so the bypass is skipped.
+  bool any_native = false;
+  for (const auto& p : op.params)
+    if (p.type->is_dseq() && dseq_info(p.type).native) any_native = true;
+  if (!any_native) {
+    out_ << "    if (auto* _impl = dynamic_cast<POA_" << iface.name
+         << "*>(_binding()->collocated_servant())) {\n";
+    // Build single views when needed.
+    for (const auto& p : op.params)
+      if (single_mapping && p.type->is_dseq())
+        out_ << "      auto _" << p.name
+             << "_cv = pardis::core::single_view(" << p.name << ");\n";
+    out_ << "      ";
+    if (!is_void(op.ret)) out_ << "return ";
+    out_ << "_impl->" << op.name << "(";
+    for (std::size_t i = 0; i < op.params.size(); ++i) {
+      if (i != 0) out_ << ", ";
+      const auto& p = op.params[i];
+      out_ << (single_mapping && p.type->is_dseq() ? "_" + p.name + "_cv" : p.name);
+    }
+    out_ << ");\n";
+    if (is_void(op.ret)) out_ << "      return;\n";
+    out_ << "    }\n";
+  }
+
+  out_ << "    pardis::core::ClientRequest _req(*_binding(), \"" << op.name << "\", "
+       << (op.oneway ? "true" : "false") << ", " << (op.has_dist_out() ? "true" : "false")
+       << ");\n";
+
+  // Prepare views for dseq params.
+  for (const auto& p : op.params) {
+    if (!p.type->is_dseq()) continue;
+    const DseqInfo d = dseq_info(p.type);
+    if (single_mapping)
+      out_ << "    auto _" << p.name << "_view = pardis::core::single_view(" << p.name
+           << ");\n";
+    else if (d.native)
+      out_ << "    auto _" << p.name << "_view = " << d.adapter << "::dseq_view(" << p.name
+           << ");\n";
+  }
+  // Marshal in IDL order.
+  for (const auto& p : op.params) {
+    if (p.type->is_dseq()) {
+      const DseqInfo d = dseq_info(p.type);
+      const std::string arg =
+          (single_mapping || d.native) ? "_" + p.name + "_view" : p.name;
+      if (p.dir == Param::Dir::kIn)
+        out_ << "    _req.in_dseq(" << arg << ");\n";
+      else
+        out_ << "    _req.out_dseq_expected(" << arg << ".distribution());\n";
+    } else if (p.dir != Param::Dir::kOut) {
+      out_ << "    _req.in_value(" << p.name << ");\n";
+    }
+  }
+  out_ << "    auto _pending = _req.invoke();\n";
+  if (op.oneway) {
+    out_ << "  }\n\n";
+    return;
+  }
+
+  const bool has_ret = !is_void(op.ret);
+  if (has_ret)
+    out_ << "    auto _ret = std::make_shared<" << cpp_type(op.ret) << ">();\n";
+  out_ << "    _pending->set_decoder([&](pardis::core::ReplyDecoder& _d) {\n";
+  out_ << "      (void)_d;\n";
+  if (has_ret) out_ << "      *_ret = _d.out_value<" << cpp_type(op.ret) << ">();\n";
+  for (const auto& p : op.params) {
+    if (p.dir == Param::Dir::kIn) continue;
+    if (p.type->is_dseq()) {
+      const DseqInfo d = dseq_info(p.type);
+      const std::string target =
+          (single_mapping || d.native) ? "_" + p.name + "_view" : p.name;
+      out_ << "      _d.out_dseq(" << target << ");\n";
+    } else {
+      out_ << "      " << p.name << " = _d.out_value<" << cpp_type(p.type) << ">();\n";
+    }
+  }
+  out_ << "    });\n";
+  out_ << "    _pending->wait();\n";
+  if (has_ret) out_ << "    return *_ret;\n";
+  out_ << "  }\n\n";
+}
+
+void Generator::emit_nb_stub(const InterfaceDef& iface, const Operation& op) {
+  // Signature: in params, then per out param a future (dseq outs also
+  // take an explicit length + client-side distribution spec), then the
+  // result future.
+  out_ << "  void " << op.name << "_nb(";
+  bool first = true;
+  auto comma = [&] {
+    if (!first) out_ << ", ";
+    first = false;
+  };
+  for (const auto& p : op.params) {
+    comma();
+    if (p.dir == Param::Dir::kIn) {
+      out_ << param_sig(p, false);
+    } else if (p.type->is_dseq()) {
+      const DseqInfo d = dseq_info(p.type);
+      out_ << "pardis::core::Future<" << d.var << ">& " << p.name << ", std::size_t "
+           << p.name << "_n, const pardis::core::DistSpec& " << p.name << "_spec";
+    } else {
+      out_ << "pardis::core::Future<" << cpp_type(p.type) << ">& " << p.name;
+    }
+  }
+  bool has_out = false;
+  for (const auto& p : op.params)
+    if (p.dir != Param::Dir::kIn) has_out = true;
+  // Completion-only operations still yield a future so callers can
+  // pipeline with bounded depth (the §4.3 pattern).
+  const bool needs_done = is_void(op.ret) && !has_out;
+  if (!is_void(op.ret)) {
+    comma();
+    out_ << "pardis::core::Future<" << cpp_type(op.ret) << ">& _result";
+  }
+  if (needs_done) {
+    comma();
+    out_ << "pardis::core::FutureVoid& _done";
+  }
+  out_ << ") {\n";
+
+  // Create out-dseq targets up front (collective for SPMD clients).
+  for (const auto& p : op.params) {
+    if (p.dir == Param::Dir::kIn || !p.type->is_dseq()) continue;
+    const DseqInfo d = dseq_info(p.type);
+    if (d.native)
+      out_ << "    auto _" << p.name << "_target = std::make_shared<" << d.decl << ">("
+           << d.adapter << "::make_native(_binding()->ctx(), " << p.name << "_n, "
+           << p.name << "_spec));\n";
+    else
+      out_ << "    auto _" << p.name << "_target = pardis::core::make_dseq<" << d.elem
+           << ">(_binding()->ctx(), " << p.name << "_n, " << p.name << "_spec);\n";
+  }
+
+  bool any_native = false;
+  for (const auto& p : op.params)
+    if (p.type->is_dseq() && dseq_info(p.type).native) any_native = true;
+  if (!any_native) {
+    out_ << "    if (auto* _impl = dynamic_cast<POA_" << iface.name
+         << "*>(_binding()->collocated_servant())) {\n";
+    for (const auto& p : op.params)
+      if (p.dir != Param::Dir::kIn && !p.type->is_dseq())
+        out_ << "      " << cpp_type(p.type) << " _" << p.name << "_tmp{};\n";
+    out_ << "      ";
+    if (!is_void(op.ret)) out_ << "auto _r = ";
+    out_ << "_impl->" << op.name << "(";
+    for (std::size_t i = 0; i < op.params.size(); ++i) {
+      if (i != 0) out_ << ", ";
+      const auto& p = op.params[i];
+      if (p.dir == Param::Dir::kIn)
+        out_ << p.name;
+      else if (p.type->is_dseq())
+        out_ << "*_" << p.name << "_target";
+      else
+        out_ << "_" << p.name << "_tmp";
+    }
+    out_ << ");\n";
+    for (const auto& p : op.params) {
+      if (p.dir == Param::Dir::kIn) continue;
+      if (p.type->is_dseq()) {
+        const DseqInfo d = dseq_info(p.type);
+        out_ << "      " << p.name << " = pardis::core::Future<" << d.var << ">::ready(_"
+             << p.name << "_target);\n";
+      } else {
+        out_ << "      " << p.name << " = pardis::core::Future<" << cpp_type(p.type)
+             << ">::ready(std::move(_" << p.name << "_tmp));\n";
+      }
+    }
+    if (!is_void(op.ret))
+      out_ << "      _result = pardis::core::Future<" << cpp_type(op.ret)
+           << ">::ready(std::move(_r));\n";
+    if (needs_done) out_ << "      _done = pardis::core::FutureVoid::ready();\n";
+    out_ << "      return;\n    }\n";
+  }
+
+  out_ << "    pardis::core::ClientRequest _req(*_binding(), \"" << op.name << "\", false, "
+       << (op.has_dist_out() ? "true" : "false") << ");\n";
+  for (const auto& p : op.params) {
+    if (p.type->is_dseq()) {
+      const DseqInfo d = dseq_info(p.type);
+      if (p.dir == Param::Dir::kIn) {
+        if (d.native)
+          out_ << "    { auto _" << p.name << "_view = " << d.adapter << "::dseq_view("
+               << p.name << "); _req.in_dseq(_" << p.name << "_view); }\n";
+        else
+          out_ << "    _req.in_dseq(" << p.name << ");\n";
+      } else {
+        if (d.native)
+          out_ << "    { auto _" << p.name << "_view = " << d.adapter << "::dseq_view(*_"
+               << p.name << "_target); _req.out_dseq_expected(_" << p.name
+               << "_view.distribution()); }\n";
+        else
+          out_ << "    _req.out_dseq_expected(_" << p.name << "_target->distribution());\n";
+      }
+    } else if (p.dir != Param::Dir::kOut) {
+      out_ << "    _req.in_value(" << p.name << ");\n";
+    }
+  }
+  out_ << "    auto _pending = _req.invoke();\n";
+
+  const bool has_ret = !is_void(op.ret);
+  if (has_ret)
+    out_ << "    auto _ret_slot = std::make_shared<" << cpp_type(op.ret) << ">();\n";
+  for (const auto& p : op.params)
+    if (p.dir != Param::Dir::kIn && !p.type->is_dseq())
+      out_ << "    auto _" << p.name << "_slot = std::make_shared<" << cpp_type(p.type)
+           << ">();\n";
+
+  out_ << "    _pending->set_decoder([=](pardis::core::ReplyDecoder& _d) {\n";
+  out_ << "      (void)_d;\n";
+  if (has_ret)
+    out_ << "      *_ret_slot = _d.out_value<" << cpp_type(op.ret) << ">();\n";
+  for (const auto& p : op.params) {
+    if (p.dir == Param::Dir::kIn) continue;
+    if (p.type->is_dseq()) {
+      const DseqInfo d = dseq_info(p.type);
+      if (d.native)
+        out_ << "      { auto _" << p.name << "_view = " << d.adapter << "::dseq_view(*_"
+             << p.name << "_target); _d.out_dseq(_" << p.name << "_view); }\n";
+      else
+        out_ << "      _d.out_dseq(*_" << p.name << "_target);\n";
+    } else {
+      out_ << "      *_" << p.name << "_slot = _d.out_value<" << cpp_type(p.type)
+           << ">();\n";
+    }
+  }
+  out_ << "    });\n";
+  for (const auto& p : op.params) {
+    if (p.dir == Param::Dir::kIn) continue;
+    if (p.type->is_dseq()) {
+      const DseqInfo d = dseq_info(p.type);
+      out_ << "    " << p.name << "._bind(_pending, std::make_shared<" << d.var << ">(_"
+           << p.name << "_target));\n";
+    } else {
+      out_ << "    " << p.name << "._bind(_pending, _" << p.name << "_slot);\n";
+    }
+  }
+  if (has_ret) out_ << "    _result._bind(_pending, _ret_slot);\n";
+  if (needs_done) out_ << "    _done._bind(_pending);\n";
+  out_ << "  }\n\n";
+}
+
+void Generator::emit_proxy(const InterfaceDef& iface) {
+  const std::string base = iface.base.empty() ? "pardis::core::ProxyRoot" : iface.base;
+  out_ << "class " << iface.name << " : public " << base << " {\n public:\n";
+  out_ << "  using _var = std::shared_ptr<" << iface.name << ">;\n";
+  out_ << "  static constexpr const char* _pardis_type_id = \"IDL:" << iface.name
+       << ":1.0\";\n\n";
+  out_ << "  static _var _spmd_bind(pardis::core::ClientCtx& _ctx, const std::string& _name,"
+          " const std::string& _host = \"\") {\n"
+          "    return _var(new "
+       << iface.name << "(pardis::core::spmd_bind(_ctx, _name, _host, _pardis_type_id)));\n"
+          "  }\n";
+  out_ << "  static _var _bind(pardis::core::ClientCtx& _ctx, const std::string& _name,"
+          " const std::string& _host = \"\") {\n"
+          "    return _var(new "
+       << iface.name << "(pardis::core::bind(_ctx, _name, _host, _pardis_type_id)));\n"
+          "  }\n";
+  out_ << "  static _var _bind_object(pardis::core::ClientCtx& _ctx,"
+          " const pardis::core::ObjectRef& _ref) {\n"
+          "    return _var(new "
+       << iface.name
+       << "(pardis::core::bind_object(_ctx, _ref, _pardis_type_id)));\n"
+          "  }\n";
+  out_ << "  static _var _spmd_bind_object(pardis::core::ClientCtx& _ctx,"
+          " const pardis::core::ObjectRef& _ref) {\n"
+          "    return _var(new "
+       << iface.name
+       << "(pardis::core::spmd_bind_object(_ctx, _ref, _pardis_type_id)));\n"
+          "  }\n\n";
+
+  for (const auto& op : iface.ops) {
+    emit_blocking_stub(iface, op, /*single_mapping=*/false);
+    bool has_inout = false;
+    for (const auto& p : op.params)
+      if (p.dir == Param::Dir::kInOut) has_inout = true;
+    if (!op.oneway && !has_inout) emit_nb_stub(iface, op);
+    // The paper's second stub: non-distributed argument mapping for
+    // single clients.
+    if (op.has_dseq_params()) emit_blocking_stub(iface, op, /*single_mapping=*/true);
+  }
+
+  out_ << " protected:\n  explicit " << iface.name
+       << "(pardis::core::BindingPtr _b) : " << base << "(std::move(_b)) {}\n";
+  out_ << "};\n\n";
+}
+
+void Generator::emit_interface(const InterfaceDef& iface) {
+  emit_skeleton(iface);
+  emit_proxy(iface);
+}
+
+std::string Generator::run() {
+  for (const auto& d : spec_.definitions) {
+    switch (d.kind) {
+      case Definition::Kind::kConst: emit_const(d.const_def); break;
+      case Definition::Kind::kTypedef: emit_typedef(d.typedef_def); break;
+      case Definition::Kind::kStruct: emit_struct(d.struct_or_enum); break;
+      case Definition::Kind::kEnum: emit_enum(d.struct_or_enum); break;
+      case Definition::Kind::kInterface: emit_interface(d.interface_def); break;
+    }
+  }
+
+  std::ostringstream final_out;
+  final_out << "// Generated by pardis-idl. DO NOT EDIT.\n#pragma once\n\n"
+            << "#include \"core/pardis.hpp\"\n"
+            << "#include \"core/stub_support.hpp\"\n";
+  if (uses_pstl_) final_out << "#include \"pstl/mapping.hpp\"\n";
+  if (uses_pooma_) final_out << "#include \"pooma/mapping.hpp\"\n";
+  final_out << "\nnamespace " << opt_.ns << " {\n\n"
+            << out_.str() << "}  // namespace " << opt_.ns << "\n\n"
+            << traits_.str();
+  return final_out.str();
+}
+
+}  // namespace
+
+std::string generate_cpp(const Spec& spec, const CodegenOptions& options) {
+  Generator gen(spec, options);
+  return gen.run();
+}
+
+}  // namespace pardis::idl

@@ -1,0 +1,31 @@
+// C++ code generator: one self-contained header per IDL file.
+//
+// For every interface the generator emits the classes the paper
+// describes (§2.2, §3): a proxy with `_bind`/`_spmd_bind`, *two stubs
+// per operation* (blocking and non-blocking `_nb`), a second
+// "single mapping" overload with non-distributed argument types for
+// operations using dsequences, and a `POA_` skeleton whose `_dispatch`
+// drives the ORB's argument transfer. `#pragma <package>:<structure>`
+// typedefs lower to package-native containers when the matching
+// compiler option (-hpcxx / -pooma) is given.
+#pragma once
+
+#include <set>
+#include <string>
+
+#include "idl/ast.hpp"
+
+namespace pardis::idl {
+
+struct CodegenOptions {
+  /// C++ namespace for the generated declarations.
+  std::string ns = "generated";
+  /// Activated package mappings, by pragma package name
+  /// (e.g. {"HPC++"} for -hpcxx, {"POOMA"} for -pooma).
+  std::set<std::string> packages;
+};
+
+/// Generates the complete header text for `spec`.
+std::string generate_cpp(const Spec& spec, const CodegenOptions& options);
+
+}  // namespace pardis::idl

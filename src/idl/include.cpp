@@ -1,0 +1,87 @@
+#include "idl/include.hpp"
+
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "idl/lexer.hpp"
+
+namespace pardis::idl {
+
+namespace {
+
+std::string dir_of(const std::string& path) {
+  const auto slash = path.find_last_of('/');
+  return slash == std::string::npos ? std::string(".") : path.substr(0, slash);
+}
+
+bool read_file(const std::string& path, std::string& out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  out = ss.str();
+  return true;
+}
+
+/// Matches `#include "name"` on one line; returns the name or empty.
+std::string include_target(const std::string& line) {
+  std::size_t i = line.find_first_not_of(" \t");
+  if (i == std::string::npos || line[i] != '#') return "";
+  ++i;
+  i = line.find_first_not_of(" \t", i);
+  if (line.compare(i, 7, "include") != 0) return "";
+  i = line.find('"', i + 7);
+  if (i == std::string::npos) return "";
+  const std::size_t end = line.find('"', i + 1);
+  if (end == std::string::npos) return "";
+  return line.substr(i + 1, end - i - 1);
+}
+
+void expand(const std::string& path, const std::vector<std::string>& include_dirs,
+            std::set<std::string>& seen, int depth, std::ostringstream& out) {
+  if (depth > 32) throw IdlError(path, 0, 0, "include depth limit exceeded (cycle?)");
+  if (!seen.insert(path).second) return;  // once-only semantics
+  std::string text;
+  if (!read_file(path, text)) throw IdlError(path, 0, 0, "cannot open include file");
+
+  std::istringstream lines(text);
+  std::string line;
+  int lineno = 0;
+  while (std::getline(lines, line)) {
+    ++lineno;
+    const std::string target = include_target(line);
+    if (target.empty()) {
+      out << line << '\n';
+      continue;
+    }
+    // Resolve relative to the including file, then the -I directories.
+    std::string resolved = dir_of(path) + "/" + target;
+    std::string probe;
+    if (!read_file(resolved, probe)) {
+      bool found = false;
+      for (const auto& dir : include_dirs) {
+        resolved = dir + "/" + target;
+        if (read_file(resolved, probe)) {
+          found = true;
+          break;
+        }
+      }
+      if (!found)
+        throw IdlError(path, lineno, 1, "cannot find included file \"" + target + "\"");
+    }
+    expand(resolved, include_dirs, seen, depth + 1, out);
+  }
+}
+
+}  // namespace
+
+std::string load_idl_source(const std::string& path,
+                            const std::vector<std::string>& include_dirs) {
+  std::ostringstream out;
+  std::set<std::string> seen;
+  expand(path, include_dirs, seen, 0, out);
+  return out.str();
+}
+
+}  // namespace pardis::idl

@@ -1,0 +1,18 @@
+// IDL file inclusion: `#include "file.idl"` with once-only semantics,
+// resolved before lexing (the paper's metaapplications share typedefs
+// like `field` across component IDL files).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace pardis::idl {
+
+/// Loads `path` and splices in `#include "..."` directives (relative
+/// to the including file first, then `include_dirs`), each file at
+/// most once. Throws IdlError on missing files or include cycles that
+/// exceed the depth limit.
+std::string load_idl_source(const std::string& path,
+                            const std::vector<std::string>& include_dirs = {});
+
+}  // namespace pardis::idl

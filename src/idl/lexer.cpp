@@ -1,0 +1,264 @@
+#include "idl/lexer.hpp"
+
+#include <cctype>
+#include <map>
+
+namespace pardis::idl {
+
+const char* tok_name(Tok t) noexcept {
+  switch (t) {
+    case Tok::kEof: return "<eof>";
+    case Tok::kIdentifier: return "identifier";
+    case Tok::kIntLiteral: return "integer literal";
+    case Tok::kFloatLiteral: return "float literal";
+    case Tok::kStringLiteral: return "string literal";
+    case Tok::kLBrace: return "'{'";
+    case Tok::kRBrace: return "'}'";
+    case Tok::kLParen: return "'('";
+    case Tok::kRParen: return "')'";
+    case Tok::kLAngle: return "'<'";
+    case Tok::kRAngle: return "'>'";
+    case Tok::kComma: return "','";
+    case Tok::kSemicolon: return "';'";
+    case Tok::kColon: return "':'";
+    case Tok::kEquals: return "'='";
+    case Tok::kPlus: return "'+'";
+    case Tok::kMinus: return "'-'";
+    case Tok::kStar: return "'*'";
+    case Tok::kSlash: return "'/'";
+    case Tok::kKwTypedef: return "'typedef'";
+    case Tok::kKwInterface: return "'interface'";
+    case Tok::kKwStruct: return "'struct'";
+    case Tok::kKwEnum: return "'enum'";
+    case Tok::kKwConst: return "'const'";
+    case Tok::kKwSequence: return "'sequence'";
+    case Tok::kKwDSequence: return "'dsequence'";
+    case Tok::kKwString: return "'string'";
+    case Tok::kKwVoid: return "'void'";
+    case Tok::kKwBoolean: return "'boolean'";
+    case Tok::kKwOctet: return "'octet'";
+    case Tok::kKwShort: return "'short'";
+    case Tok::kKwLong: return "'long'";
+    case Tok::kKwUnsigned: return "'unsigned'";
+    case Tok::kKwFloat: return "'float'";
+    case Tok::kKwDouble: return "'double'";
+    case Tok::kKwIn: return "'in'";
+    case Tok::kKwOut: return "'out'";
+    case Tok::kKwInOut: return "'inout'";
+    case Tok::kKwOneway: return "'oneway'";
+    case Tok::kKwBlock: return "'BLOCK'";
+    case Tok::kKwCyclic: return "'CYCLIC'";
+    case Tok::kKwConcentrated: return "'CONCENTRATED'";
+    case Tok::kPragma: return "#pragma";
+  }
+  return "?";
+}
+
+IdlError::IdlError(const std::string& file, int line, int column, const std::string& message)
+    : std::runtime_error(file + ":" + std::to_string(line) + ":" + std::to_string(column) +
+                         ": " + message) {}
+
+namespace {
+
+const std::map<std::string, Tok>& keywords() {
+  static const std::map<std::string, Tok> kw{
+      {"typedef", Tok::kKwTypedef},
+      {"interface", Tok::kKwInterface},
+      {"struct", Tok::kKwStruct},
+      {"enum", Tok::kKwEnum},
+      {"const", Tok::kKwConst},
+      {"sequence", Tok::kKwSequence},
+      {"dsequence", Tok::kKwDSequence},
+      {"string", Tok::kKwString},
+      {"void", Tok::kKwVoid},
+      {"boolean", Tok::kKwBoolean},
+      {"octet", Tok::kKwOctet},
+      {"short", Tok::kKwShort},
+      {"long", Tok::kKwLong},
+      {"unsigned", Tok::kKwUnsigned},
+      {"float", Tok::kKwFloat},
+      {"double", Tok::kKwDouble},
+      {"in", Tok::kKwIn},
+      {"out", Tok::kKwOut},
+      {"inout", Tok::kKwInOut},
+      {"oneway", Tok::kKwOneway},
+      {"BLOCK", Tok::kKwBlock},
+      {"CYCLIC", Tok::kKwCyclic},
+      {"CONCENTRATED", Tok::kKwConcentrated},
+  };
+  return kw;
+}
+
+}  // namespace
+
+Lexer::Lexer(std::string source, std::string filename)
+    : src_(std::move(source)), file_(std::move(filename)) {}
+
+char Lexer::peek(int ahead) const {
+  return pos_ + static_cast<std::size_t>(ahead) < src_.size()
+             ? src_[pos_ + static_cast<std::size_t>(ahead)]
+             : '\0';
+}
+
+char Lexer::advance() {
+  const char c = src_[pos_++];
+  if (c == '\n') {
+    ++line_;
+    col_ = 1;
+  } else {
+    ++col_;
+  }
+  return c;
+}
+
+void Lexer::fail(const std::string& message) const { throw IdlError(file_, line_, col_, message); }
+
+void Lexer::skip_ws_and_comments() {
+  for (;;) {
+    if (eof()) return;
+    const char c = peek();
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      advance();
+    } else if (c == '/' && peek(1) == '/') {
+      while (!eof() && peek() != '\n') advance();
+    } else if (c == '/' && peek(1) == '*') {
+      advance();
+      advance();
+      while (!eof() && !(peek() == '*' && peek(1) == '/')) advance();
+      if (eof()) fail("unterminated block comment");
+      advance();
+      advance();
+    } else {
+      return;
+    }
+  }
+}
+
+Token Lexer::next() {
+  skip_ws_and_comments();
+  Token t;
+  t.line = line_;
+  t.column = col_;
+  if (eof()) {
+    t.kind = Tok::kEof;
+    return t;
+  }
+  const char c = peek();
+
+  if (c == '#') {
+    // "#pragma <body...>" — the whole rest of the line is the body.
+    std::string word;
+    advance();  // '#'
+    while (!eof() && std::isalpha(static_cast<unsigned char>(peek()))) word += advance();
+    if (word != "pragma") fail("unknown preprocessor directive '#" + word + "'");
+    std::string body;
+    while (!eof() && peek() != '\n') body += advance();
+    // trim
+    const auto b = body.find_first_not_of(" \t");
+    const auto e = body.find_last_not_of(" \t\r");
+    t.kind = Tok::kPragma;
+    t.text = b == std::string::npos ? "" : body.substr(b, e - b + 1);
+    return t;
+  }
+
+  if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+    std::string word;
+    while (!eof() &&
+           (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_'))
+      word += advance();
+    auto it = keywords().find(word);
+    if (it != keywords().end()) {
+      t.kind = it->second;
+      t.text = word;
+    } else {
+      t.kind = Tok::kIdentifier;
+      t.text = word;
+    }
+    return t;
+  }
+
+  if (std::isdigit(static_cast<unsigned char>(c))) {
+    std::string num;
+    bool is_float = false;
+    while (!eof() && (std::isdigit(static_cast<unsigned char>(peek())) || peek() == '.' ||
+                      peek() == 'e' || peek() == 'E' ||
+                      ((peek() == '+' || peek() == '-') && num.size() > 0 &&
+                       (num.back() == 'e' || num.back() == 'E')))) {
+      if (peek() == '.' || peek() == 'e' || peek() == 'E') is_float = true;
+      num += advance();
+    }
+    // hex?
+    if (num == "0" && (peek() == 'x' || peek() == 'X')) {
+      num += advance();
+      while (!eof() && std::isxdigit(static_cast<unsigned char>(peek()))) num += advance();
+      t.kind = Tok::kIntLiteral;
+      t.text = num;
+      t.int_value = std::stoll(num, nullptr, 16);
+      return t;
+    }
+    t.text = num;
+    if (is_float) {
+      t.kind = Tok::kFloatLiteral;
+      t.float_value = std::stod(num);
+    } else {
+      t.kind = Tok::kIntLiteral;
+      t.int_value = std::stoll(num);
+    }
+    return t;
+  }
+
+  if (c == '"') {
+    advance();
+    std::string s;
+    while (!eof() && peek() != '"') {
+      char ch = advance();
+      if (ch == '\\' && !eof()) {
+        const char esc = advance();
+        switch (esc) {
+          case 'n': ch = '\n'; break;
+          case 't': ch = '\t'; break;
+          case '\\': ch = '\\'; break;
+          case '"': ch = '"'; break;
+          default: fail(std::string("unknown escape '\\") + esc + "'");
+        }
+      }
+      s += ch;
+    }
+    if (eof()) fail("unterminated string literal");
+    advance();  // closing quote
+    t.kind = Tok::kStringLiteral;
+    t.text = s;
+    return t;
+  }
+
+  advance();
+  switch (c) {
+    case '{': t.kind = Tok::kLBrace; break;
+    case '}': t.kind = Tok::kRBrace; break;
+    case '(': t.kind = Tok::kLParen; break;
+    case ')': t.kind = Tok::kRParen; break;
+    case '<': t.kind = Tok::kLAngle; break;
+    case '>': t.kind = Tok::kRAngle; break;
+    case ',': t.kind = Tok::kComma; break;
+    case ';': t.kind = Tok::kSemicolon; break;
+    case ':': t.kind = Tok::kColon; break;
+    case '=': t.kind = Tok::kEquals; break;
+    case '+': t.kind = Tok::kPlus; break;
+    case '-': t.kind = Tok::kMinus; break;
+    case '*': t.kind = Tok::kStar; break;
+    case '/': t.kind = Tok::kSlash; break;
+    default: fail(std::string("unexpected character '") + c + "'");
+  }
+  t.text = std::string(1, c);
+  return t;
+}
+
+std::vector<Token> Lexer::tokenize() {
+  std::vector<Token> out;
+  for (;;) {
+    out.push_back(next());
+    if (out.back().kind == Tok::kEof) return out;
+  }
+}
+
+}  // namespace pardis::idl

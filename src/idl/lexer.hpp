@@ -1,0 +1,40 @@
+// IDL lexer.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "idl/token.hpp"
+
+namespace pardis::idl {
+
+/// Raised on any lexical or syntactic error, with source location.
+class IdlError : public std::runtime_error {
+ public:
+  IdlError(const std::string& file, int line, int column, const std::string& message);
+};
+
+class Lexer {
+ public:
+  Lexer(std::string source, std::string filename = "<idl>");
+
+  /// Tokenizes the whole input (ending with a kEof token).
+  std::vector<Token> tokenize();
+
+ private:
+  Token next();
+  char peek(int ahead = 0) const;
+  char advance();
+  bool eof() const { return pos_ >= src_.size(); }
+  void skip_ws_and_comments();
+  [[noreturn]] void fail(const std::string& message) const;
+
+  std::string src_;
+  std::string file_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  int col_ = 1;
+};
+
+}  // namespace pardis::idl

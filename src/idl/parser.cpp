@@ -1,0 +1,466 @@
+#include "idl/parser.hpp"
+
+namespace pardis::idl {
+
+const char* basic_cpp_type(BasicKind k) noexcept {
+  switch (k) {
+    case BasicKind::kVoid: return "void";
+    case BasicKind::kBoolean: return "bool";
+    case BasicKind::kOctet: return "pardis::Octet";
+    case BasicKind::kShort: return "pardis::Short";
+    case BasicKind::kUShort: return "pardis::UShort";
+    case BasicKind::kLong: return "pardis::Long";
+    case BasicKind::kULong: return "pardis::ULong";
+    case BasicKind::kLongLong: return "pardis::LongLong";
+    case BasicKind::kULongLong: return "pardis::ULongLong";
+    case BasicKind::kFloat: return "pardis::Float";
+    case BasicKind::kDouble: return "pardis::Double";
+    case BasicKind::kString: return "pardis::String";
+  }
+  return "?";
+}
+
+Parser::Parser(std::string source, std::string filename) : file_(std::move(filename)) {
+  Lexer lexer(std::move(source), file_);
+  tokens_ = lexer.tokenize();
+}
+
+void Parser::fail(const std::string& message) const {
+  throw IdlError(file_, cur().line, cur().column, message);
+}
+
+Token Parser::eat(Tok kind, const char* what) {
+  if (cur().kind != kind)
+    fail(std::string("expected ") + tok_name(kind) + " (" + what + "), got " +
+         tok_name(cur().kind) +
+         (cur().text.empty() ? std::string() : " '" + cur().text + "'"));
+  return tokens_[pos_++];
+}
+
+bool Parser::accept(Tok kind) {
+  if (cur().kind != kind) return false;
+  ++pos_;
+  return true;
+}
+
+TypePtr Parser::lookup_type(const std::string& name) const {
+  auto it = types_.find(name);
+  if (it == types_.end()) return nullptr;
+  return it->second;
+}
+
+void Parser::define_type(const std::string& name, TypePtr type) {
+  if (types_.count(name) != 0 || consts_.count(name) != 0 || interfaces_.count(name) != 0)
+    fail("redefinition of '" + name + "'");
+  types_[name] = std::move(type);
+}
+
+Spec Parser::parse() {
+  Spec spec;
+  std::vector<PackageMapping> pending_mappings;
+  for (;;) {
+    switch (cur().kind) {
+      case Tok::kEof:
+        if (!pending_mappings.empty()) fail("#pragma mapping not followed by a typedef");
+        return spec;
+      case Tok::kPragma: {
+        // "#pragma <Package>:<structure>"
+        const std::string body = cur().text;
+        ++pos_;
+        const auto colon = body.find(':');
+        if (colon == std::string::npos || colon == 0 || colon + 1 >= body.size())
+          fail("malformed pragma '" + body + "' (expected <package>:<structure>)");
+        pending_mappings.push_back(PackageMapping{body.substr(0, colon), body.substr(colon + 1)});
+        break;
+      }
+      case Tok::kKwTypedef:
+        spec.definitions.push_back(parse_typedef(std::move(pending_mappings)));
+        pending_mappings.clear();
+        break;
+      case Tok::kKwStruct:
+        spec.definitions.push_back(parse_struct());
+        break;
+      case Tok::kKwEnum:
+        spec.definitions.push_back(parse_enum());
+        break;
+      case Tok::kKwConst:
+        spec.definitions.push_back(parse_const());
+        break;
+      case Tok::kKwInterface:
+        spec.definitions.push_back(parse_interface());
+        break;
+      default:
+        fail("expected a definition (typedef/struct/enum/const/interface)");
+    }
+    if (!pending_mappings.empty() && cur().kind != Tok::kKwTypedef &&
+        cur().kind != Tok::kPragma)
+      fail("#pragma mapping not followed by a typedef");
+  }
+}
+
+core::DistSpec Parser::parse_dist_spec() {
+  switch (cur().kind) {
+    case Tok::kKwBlock:
+      ++pos_;
+      return core::DistSpec::block();
+    case Tok::kKwCyclic: {
+      ++pos_;
+      long long bs = 1;
+      if (accept(Tok::kLParen)) {
+        bs = parse_const_int_expr();
+        eat(Tok::kRParen, "closing CYCLIC block size");
+        if (bs <= 0) fail("CYCLIC block size must be positive");
+      }
+      return core::DistSpec::cyclic(static_cast<std::size_t>(bs));
+    }
+    case Tok::kKwConcentrated: {
+      ++pos_;
+      long long root = 0;
+      if (accept(Tok::kLParen)) {
+        root = parse_const_int_expr();
+        eat(Tok::kRParen, "closing CONCENTRATED root");
+        if (root < 0) fail("CONCENTRATED root must be non-negative");
+      }
+      return core::DistSpec::concentrated(static_cast<int>(root));
+    }
+    default:
+      fail("expected a distribution (BLOCK, CYCLIC or CONCENTRATED)");
+  }
+}
+
+long long Parser::parse_const_factor() {
+  if (cur().kind == Tok::kIntLiteral) {
+    const long long v = cur().int_value;
+    ++pos_;
+    return v;
+  }
+  if (cur().kind == Tok::kMinus) {
+    ++pos_;
+    return -parse_const_factor();
+  }
+  if (cur().kind == Tok::kLParen) {
+    ++pos_;
+    const long long v = parse_const_int_expr();
+    eat(Tok::kRParen, "closing parenthesis in constant expression");
+    return v;
+  }
+  if (cur().kind == Tok::kIdentifier) {
+    auto it = consts_.find(cur().text);
+    if (it == consts_.end()) fail("unknown constant '" + cur().text + "'");
+    if (it->second.is_float) fail("constant '" + cur().text + "' is not integral");
+    ++pos_;
+    return it->second.int_value;
+  }
+  fail("expected an integer constant expression");
+}
+
+long long Parser::parse_const_term() {
+  long long v = parse_const_factor();
+  for (;;) {
+    if (accept(Tok::kStar)) {
+      v *= parse_const_factor();
+    } else if (accept(Tok::kSlash)) {
+      const long long d = parse_const_factor();
+      if (d == 0) fail("division by zero in constant expression");
+      v /= d;
+    } else {
+      return v;
+    }
+  }
+}
+
+long long Parser::parse_const_int_expr() {
+  long long v = parse_const_term();
+  for (;;) {
+    if (accept(Tok::kPlus)) {
+      v += parse_const_term();
+    } else if (accept(Tok::kMinus)) {
+      v -= parse_const_term();
+    } else {
+      return v;
+    }
+  }
+}
+
+void Parser::check_marshalable_element(const TypePtr& t) const {
+  const Type* r = t->resolved();
+  if (r->kind == Type::Kind::kDSequence)
+    fail("dsequence elements may not themselves be distributed");
+}
+
+TypePtr Parser::parse_type_spec(bool allow_void) {
+  auto basic = [&](BasicKind k) {
+    ++pos_;
+    auto t = std::make_shared<Type>();
+    t->kind = Type::Kind::kBasic;
+    t->basic = k;
+    return t;
+  };
+  switch (cur().kind) {
+    case Tok::kKwVoid:
+      if (!allow_void) fail("'void' is only valid as a return type");
+      return basic(BasicKind::kVoid);
+    case Tok::kKwBoolean: return basic(BasicKind::kBoolean);
+    case Tok::kKwOctet: return basic(BasicKind::kOctet);
+    case Tok::kKwShort: return basic(BasicKind::kShort);
+    case Tok::kKwFloat: return basic(BasicKind::kFloat);
+    case Tok::kKwDouble: return basic(BasicKind::kDouble);
+    case Tok::kKwString: return basic(BasicKind::kString);
+    case Tok::kKwLong: {
+      ++pos_;
+      if (accept(Tok::kKwLong)) {
+        auto t = std::make_shared<Type>();
+        t->kind = Type::Kind::kBasic;
+        t->basic = BasicKind::kLongLong;
+        return t;
+      }
+      auto t = std::make_shared<Type>();
+      t->kind = Type::Kind::kBasic;
+      t->basic = BasicKind::kLong;
+      return t;
+    }
+    case Tok::kKwUnsigned: {
+      ++pos_;
+      if (accept(Tok::kKwShort)) {
+        auto t = std::make_shared<Type>();
+        t->kind = Type::Kind::kBasic;
+        t->basic = BasicKind::kUShort;
+        return t;
+      }
+      eat(Tok::kKwLong, "'unsigned' must be followed by 'short' or 'long'");
+      auto t = std::make_shared<Type>();
+      t->kind = Type::Kind::kBasic;
+      t->basic = accept(Tok::kKwLong) ? BasicKind::kULongLong : BasicKind::kULong;
+      return t;
+    }
+    case Tok::kKwSequence: {
+      ++pos_;
+      eat(Tok::kLAngle, "sequence element type");
+      auto t = std::make_shared<Type>();
+      t->kind = Type::Kind::kSequence;
+      t->elem = parse_type_spec();
+      check_marshalable_element(t->elem);
+      if (accept(Tok::kComma)) t->bound = parse_const_int_expr();
+      eat(Tok::kRAngle, "closing '>' of sequence");
+      return t;
+    }
+    case Tok::kKwDSequence: {
+      ++pos_;
+      eat(Tok::kLAngle, "dsequence element type");
+      auto t = std::make_shared<Type>();
+      t->kind = Type::Kind::kDSequence;
+      t->elem = parse_type_spec();
+      check_marshalable_element(t->elem);
+      if (accept(Tok::kComma)) {
+        // Optional bound, then optional client/server distributions
+        // (paper §3.2: "The last two arguments ... are optional").
+        if (cur().kind == Tok::kKwBlock || cur().kind == Tok::kKwCyclic ||
+            cur().kind == Tok::kKwConcentrated) {
+          t->client_spec = parse_dist_spec();
+          if (accept(Tok::kComma)) t->server_spec = parse_dist_spec();
+        } else {
+          t->bound = parse_const_int_expr();
+          if (t->bound <= 0) fail("dsequence bound must be positive");
+          if (accept(Tok::kComma)) {
+            t->client_spec = parse_dist_spec();
+            if (accept(Tok::kComma)) t->server_spec = parse_dist_spec();
+          }
+        }
+      }
+      eat(Tok::kRAngle, "closing '>' of dsequence");
+      return t;
+    }
+    case Tok::kIdentifier: {
+      TypePtr t = lookup_type(cur().text);
+      if (!t) fail("unknown type '" + cur().text + "'");
+      ++pos_;
+      return t;
+    }
+    default:
+      fail("expected a type");
+  }
+}
+
+Definition Parser::parse_typedef(std::vector<PackageMapping> pending) {
+  eat(Tok::kKwTypedef, "typedef");
+  TypePtr target = parse_type_spec();
+  const Token name = eat(Tok::kIdentifier, "typedef name");
+  eat(Tok::kSemicolon, "';' after typedef");
+
+  if (!pending.empty()) {
+    if (target->kind != Type::Kind::kDSequence)
+      fail("#pragma package mappings apply only to dsequence typedefs");
+    target->mappings = pending;
+  }
+
+  auto alias = std::make_shared<Type>();
+  alias->kind = Type::Kind::kAlias;
+  alias->name = name.text;
+  alias->alias_target = std::move(target);
+  define_type(name.text, alias);
+
+  Definition d;
+  d.kind = Definition::Kind::kTypedef;
+  d.typedef_def = TypedefDef{name.text, alias};
+  return d;
+}
+
+Definition Parser::parse_struct() {
+  eat(Tok::kKwStruct, "struct");
+  const Token name = eat(Tok::kIdentifier, "struct name");
+  eat(Tok::kLBrace, "struct body");
+  auto t = std::make_shared<Type>();
+  t->kind = Type::Kind::kStruct;
+  t->name = name.text;
+  while (!accept(Tok::kRBrace)) {
+    TypePtr ft = parse_type_spec();
+    if (ft->is_dseq()) fail("struct members may not be distributed sequences");
+    const Token fname = eat(Tok::kIdentifier, "field name");
+    eat(Tok::kSemicolon, "';' after struct field");
+    for (const auto& [existing, unused] : t->fields)
+      if (existing == fname.text) fail("duplicate field '" + fname.text + "'");
+    t->fields.emplace_back(fname.text, std::move(ft));
+  }
+  eat(Tok::kSemicolon, "';' after struct");
+  if (t->fields.empty()) fail("struct '" + name.text + "' has no fields");
+  define_type(name.text, t);
+  Definition d;
+  d.kind = Definition::Kind::kStruct;
+  d.struct_or_enum = t;
+  return d;
+}
+
+Definition Parser::parse_enum() {
+  eat(Tok::kKwEnum, "enum");
+  const Token name = eat(Tok::kIdentifier, "enum name");
+  eat(Tok::kLBrace, "enum body");
+  auto t = std::make_shared<Type>();
+  t->kind = Type::Kind::kEnum;
+  t->name = name.text;
+  do {
+    const Token e = eat(Tok::kIdentifier, "enumerator");
+    t->enumerators.push_back(e.text);
+  } while (accept(Tok::kComma));
+  eat(Tok::kRBrace, "closing '}' of enum");
+  eat(Tok::kSemicolon, "';' after enum");
+  define_type(name.text, t);
+  Definition d;
+  d.kind = Definition::Kind::kEnum;
+  d.struct_or_enum = t;
+  return d;
+}
+
+Definition Parser::parse_const() {
+  eat(Tok::kKwConst, "const");
+  TypePtr type = parse_type_spec();
+  const Token name = eat(Tok::kIdentifier, "constant name");
+  eat(Tok::kEquals, "'=' in constant definition");
+  ConstDef c;
+  c.name = name.text;
+  c.type = type;
+  const Type* r = type->resolved();
+  if (r->kind == Type::Kind::kBasic && r->basic == BasicKind::kString) {
+    c.string_value = eat(Tok::kStringLiteral, "string constant value").text;
+  } else if (r->kind == Type::Kind::kBasic &&
+             (r->basic == BasicKind::kFloat || r->basic == BasicKind::kDouble)) {
+    if (cur().kind == Tok::kFloatLiteral) {
+      c.is_float = true;
+      c.float_value = cur().float_value;
+      ++pos_;
+    } else {
+      c.is_float = true;
+      c.float_value = static_cast<double>(parse_const_int_expr());
+    }
+  } else if (r->kind == Type::Kind::kBasic) {
+    c.int_value = parse_const_int_expr();
+  } else {
+    fail("constants must have a basic type");
+  }
+  eat(Tok::kSemicolon, "';' after constant");
+  if (types_.count(c.name) != 0 || consts_.count(c.name) != 0) fail("redefinition of '" + c.name + "'");
+  consts_[c.name] = c;
+  Definition d;
+  d.kind = Definition::Kind::kConst;
+  d.const_def = c;
+  return d;
+}
+
+void Parser::validate_operation(const Operation& op) const {
+  if (op.oneway) {
+    const Type* r = op.ret->resolved();
+    if (!(r->kind == Type::Kind::kBasic && r->basic == BasicKind::kVoid))
+      fail("oneway operation '" + op.name + "' must return void");
+    for (const auto& p : op.params)
+      if (p.dir != Param::Dir::kIn)
+        fail("oneway operation '" + op.name + "' may only have 'in' parameters");
+  }
+  if (op.ret->is_dseq())
+    fail("operation '" + op.name + "': distributed sequences must be out parameters, not return values");
+  for (const auto& p : op.params)
+    if (p.dir == Param::Dir::kInOut && p.type->is_dseq())
+      fail("operation '" + op.name + "': inout distributed sequences are not supported");
+}
+
+Operation Parser::parse_operation() {
+  Operation op;
+  op.oneway = accept(Tok::kKwOneway);
+  op.ret = parse_type_spec(/*allow_void=*/true);
+  op.name = eat(Tok::kIdentifier, "operation name").text;
+  eat(Tok::kLParen, "parameter list");
+  if (!accept(Tok::kRParen)) {
+    do {
+      Param p;
+      if (accept(Tok::kKwIn)) {
+        p.dir = Param::Dir::kIn;
+      } else if (accept(Tok::kKwOut)) {
+        p.dir = Param::Dir::kOut;
+      } else if (accept(Tok::kKwInOut)) {
+        p.dir = Param::Dir::kInOut;
+      } else {
+        fail("expected parameter direction (in/out/inout)");
+      }
+      p.type = parse_type_spec();
+      p.name = eat(Tok::kIdentifier, "parameter name").text;
+      for (const auto& other : op.params)
+        if (other.name == p.name) fail("duplicate parameter '" + p.name + "'");
+      op.params.push_back(std::move(p));
+    } while (accept(Tok::kComma));
+    eat(Tok::kRParen, "closing ')' of parameter list");
+  }
+  eat(Tok::kSemicolon, "';' after operation");
+  validate_operation(op);
+  return op;
+}
+
+Definition Parser::parse_interface() {
+  eat(Tok::kKwInterface, "interface");
+  const Token name = eat(Tok::kIdentifier, "interface name");
+  InterfaceDef iface;
+  iface.name = name.text;
+  if (accept(Tok::kColon)) {
+    const Token base = eat(Tok::kIdentifier, "base interface name");
+    if (interfaces_.count(base.text) == 0)
+      fail("unknown base interface '" + base.text + "'");
+    iface.base = base.text;
+  }
+  eat(Tok::kLBrace, "interface body");
+  while (!accept(Tok::kRBrace)) {
+    Operation op = parse_operation();
+    // Reject duplicates, including against inherited operations.
+    for (const InterfaceDef* i = &iface; i != nullptr;
+         i = i->base.empty() ? nullptr : &interfaces_.at(i->base))
+      for (const auto& other : i->ops)
+        if (other.name == op.name) fail("duplicate operation '" + op.name + "'");
+    iface.ops.push_back(std::move(op));
+  }
+  eat(Tok::kSemicolon, "';' after interface");
+  if (types_.count(iface.name) != 0 || interfaces_.count(iface.name) != 0)
+    fail("redefinition of '" + iface.name + "'");
+  interfaces_[iface.name] = iface;
+  Definition d;
+  d.kind = Definition::Kind::kInterface;
+  d.interface_def = iface;
+  return d;
+}
+
+}  // namespace pardis::idl

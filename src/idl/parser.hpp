@@ -1,0 +1,56 @@
+// Recursive-descent parser for the PARDIS IDL, including semantic
+// checks (name resolution, constant folding, PARDIS-specific rules).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "idl/ast.hpp"
+#include "idl/lexer.hpp"
+
+namespace pardis::idl {
+
+class Parser {
+ public:
+  Parser(std::string source, std::string filename = "<idl>");
+
+  /// Parses and validates the whole specification.
+  Spec parse();
+
+ private:
+  const Token& cur() const { return tokens_[pos_]; }
+  const Token& peek(int ahead = 1) const {
+    const std::size_t i = pos_ + static_cast<std::size_t>(ahead);
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  Token eat(Tok kind, const char* what);
+  bool accept(Tok kind);
+  [[noreturn]] void fail(const std::string& message) const;
+
+  Definition parse_typedef(std::vector<PackageMapping> pending);
+  Definition parse_struct();
+  Definition parse_enum();
+  Definition parse_const();
+  Definition parse_interface();
+  Operation parse_operation();
+  TypePtr parse_type_spec(bool allow_void = false);
+  core::DistSpec parse_dist_spec();
+  long long parse_const_int_expr();
+  long long parse_const_term();
+  long long parse_const_factor();
+
+  TypePtr lookup_type(const std::string& name) const;
+  void define_type(const std::string& name, TypePtr type);
+  void check_marshalable_element(const TypePtr& t) const;
+  void validate_operation(const Operation& op) const;
+
+  std::string file_;
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+  std::map<std::string, TypePtr> types_;
+  std::map<std::string, ConstDef> consts_;
+  std::map<std::string, InterfaceDef> interfaces_;
+};
+
+}  // namespace pardis::idl

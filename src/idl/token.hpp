@@ -1,0 +1,71 @@
+// Tokens of the PARDIS IDL (CORBA IDL subset + dsequence + pragmas).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pardis::idl {
+
+enum class Tok {
+  kEof,
+  kIdentifier,
+  kIntLiteral,
+  kFloatLiteral,
+  kStringLiteral,
+  // punctuation
+  kLBrace,    // {
+  kRBrace,    // }
+  kLParen,    // (
+  kRParen,    // )
+  kLAngle,    // <
+  kRAngle,    // >
+  kComma,
+  kSemicolon,
+  kColon,
+  kEquals,
+  kPlus,
+  kMinus,
+  kStar,
+  kSlash,
+  // keywords
+  kKwTypedef,
+  kKwInterface,
+  kKwStruct,
+  kKwEnum,
+  kKwConst,
+  kKwSequence,
+  kKwDSequence,
+  kKwString,
+  kKwVoid,
+  kKwBoolean,
+  kKwOctet,
+  kKwShort,
+  kKwLong,
+  kKwUnsigned,
+  kKwFloat,
+  kKwDouble,
+  kKwIn,
+  kKwOut,
+  kKwInOut,
+  kKwOneway,
+  // distribution keywords inside dsequence<>
+  kKwBlock,
+  kKwCyclic,
+  kKwConcentrated,
+  // a whole "#pragma <pkg>:<structure>" line
+  kPragma,
+};
+
+const char* tok_name(Tok t) noexcept;
+
+struct Token {
+  Tok kind = Tok::kEof;
+  std::string text;          ///< identifier / literal spelling / pragma body
+  std::int64_t int_value = 0;
+  double float_value = 0.0;
+  int line = 0;
+  int column = 0;
+};
+
+}  // namespace pardis::idl

@@ -1,0 +1,184 @@
+// Mini POOMA: a two-dimensional field with guard-cell exchange.
+//
+// Stands in for the POOMA library the paper interfaces with (§3.4,
+// §4.3): a row-block-decomposed 2-D field supporting the 9-point
+// stencil of the pipeline example's diffusion application. Interior
+// rows are stored contiguously (guards live in separate buffers), so
+// the PARDIS `#pragma POOMA:field` mapping can view the local data as
+// a distributed sequence without copying.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <span>
+#include <vector>
+
+#include "common/cdr.hpp"
+#include "dist/distribution.hpp"
+#include "rts/collectives.hpp"
+#include "rts/communicator.hpp"
+
+namespace pardis::pooma {
+
+template <typename T>
+class Field2D {
+ public:
+  /// Collective: (nx rows) x (ny cols), rows block-distributed.
+  Field2D(rts::Communicator& comm, std::size_t nx, std::size_t ny)
+      : comm_(&comm), nx_(nx), ny_(ny), rows_(dist::Distribution::block(nx, comm.size())) {
+    local_rows_ = rows_.local_count(comm.rank());
+    first_row_ = local_rows_ > 0 ? rows_.local_to_global(comm.rank(), 0) : 0;
+    interior_.assign(local_rows_ * ny_, T{});
+    north_guard_.assign(ny_, T{});
+    south_guard_.assign(ny_, T{});
+  }
+
+  rts::Communicator& comm() const noexcept { return *comm_; }
+  std::size_t nx() const noexcept { return nx_; }
+  std::size_t ny() const noexcept { return ny_; }
+  std::size_t local_rows() const noexcept { return local_rows_; }
+  std::size_t first_row() const noexcept { return first_row_; }
+  int rank() const noexcept { return comm_->rank(); }
+
+  T& at(std::size_t local_row, std::size_t col) { return interior_[local_row * ny_ + col]; }
+  const T& at(std::size_t local_row, std::size_t col) const {
+    return interior_[local_row * ny_ + col];
+  }
+
+  std::span<T> row(std::size_t local_row) { return {interior_.data() + local_row * ny_, ny_}; }
+  std::span<const T> row(std::size_t local_row) const {
+    return {interior_.data() + local_row * ny_, ny_};
+  }
+
+  /// Contiguous local interior in row-major order (the paper's "two
+  /// dimensional array represented as a vector in row-major order").
+  std::vector<T>& storage() noexcept { return interior_; }
+  const std::vector<T>& storage() const noexcept { return interior_; }
+
+  /// Element-wise distribution of the row-major flattening.
+  dist::Distribution element_distribution() const {
+    std::vector<std::size_t> counts(static_cast<std::size_t>(rows_.nranks()));
+    for (int r = 0; r < rows_.nranks(); ++r)
+      counts[static_cast<std::size_t>(r)] = rows_.local_count(r) * ny_;
+    return dist::Distribution::from_counts(std::move(counts));
+  }
+
+  /// Row above the local block (previous rank's last row after
+  /// exchange_guards; boundary value at the global edge).
+  std::span<const T> north() const noexcept { return north_guard_; }
+  /// Row below the local block.
+  std::span<const T> south() const noexcept { return south_guard_; }
+
+  /// Value at (local_row + dr, col) where dr in {-1, 0, +1}, reading
+  /// guards across rank boundaries.
+  const T& at_with_guards(std::ptrdiff_t local_row, std::ptrdiff_t col) const {
+    if (local_row < 0) return north_guard_[static_cast<std::size_t>(col)];
+    if (local_row >= static_cast<std::ptrdiff_t>(local_rows_))
+      return south_guard_[static_cast<std::size_t>(col)];
+    return at(static_cast<std::size_t>(local_row), static_cast<std::size_t>(col));
+  }
+
+  /// Collective: refreshes guard rows from the neighbouring ranks.
+  /// Guards at the global top/bottom keep `boundary`.
+  void exchange_guards(T boundary = T{}) {
+    const int rank = comm_->rank();
+    const int north_rank = first_row_ > 0 && local_rows_ > 0
+                               ? rows_.owner(first_row_ - 1)
+                               : -1;
+    const std::size_t last = first_row_ + local_rows_;
+    const int south_rank = local_rows_ > 0 && last < nx_ ? rows_.owner(last) : -1;
+
+    if (north_rank >= 0) {
+      std::vector<T> first(row(0).begin(), row(0).end());
+      comm_->send_reserved(north_rank, rts::kTagPackage, cdr_encode(first));
+    }
+    if (south_rank >= 0) {
+      std::vector<T> lastrow(row(local_rows_ - 1).begin(), row(local_rows_ - 1).end());
+      comm_->send_reserved(south_rank, rts::kTagPackage, cdr_encode(lastrow));
+    }
+    if (south_rank >= 0) {
+      auto msg = comm_->recv(south_rank, rts::kTagPackage);
+      south_guard_ = cdr_decode<std::vector<T>>(msg.payload.view());
+    } else {
+      south_guard_.assign(ny_, boundary);
+    }
+    if (north_rank >= 0) {
+      auto msg = comm_->recv(north_rank, rts::kTagPackage);
+      north_guard_ = cdr_decode<std::vector<T>>(msg.payload.view());
+    } else {
+      north_guard_.assign(ny_, boundary);
+    }
+    // Ranks owning zero rows still take part in the collective phase.
+    (void)rank;
+  }
+
+ private:
+  rts::Communicator* comm_;
+  std::size_t nx_;
+  std::size_t ny_;
+  dist::Distribution rows_;
+  std::size_t local_rows_ = 0;
+  std::size_t first_row_ = 0;
+  std::vector<T> interior_;
+  std::vector<T> north_guard_;
+  std::vector<T> south_guard_;
+};
+
+// --- stencil operations -----------------------------------------------------
+
+/// One 9-point diffusion time-step: out = (1-w)*u + w * avg of the 3x3
+/// neighbourhood (edge-clamped). Collective (guard exchange inside).
+template <typename T>
+void diffusion_step(Field2D<T>& u, Field2D<T>& out, T w) {
+  if (u.nx() != out.nx() || u.ny() != out.ny())
+    throw BadParam("diffusion_step: shape mismatch");
+  u.exchange_guards();
+  const std::ptrdiff_t rows = static_cast<std::ptrdiff_t>(u.local_rows());
+  const std::ptrdiff_t cols = static_cast<std::ptrdiff_t>(u.ny());
+  const bool top_edge = u.first_row() == 0;
+  const bool bottom_edge = u.first_row() + u.local_rows() == u.nx();
+  for (std::ptrdiff_t r = 0; r < rows; ++r) {
+    for (std::ptrdiff_t c = 0; c < cols; ++c) {
+      T sum{};
+      for (std::ptrdiff_t dr = -1; dr <= 1; ++dr) {
+        for (std::ptrdiff_t dc = -1; dc <= 1; ++dc) {
+          std::ptrdiff_t rr = r + dr;
+          std::ptrdiff_t cc = std::clamp<std::ptrdiff_t>(c + dc, 0, cols - 1);
+          if (top_edge && rr < 0) rr = 0;
+          if (bottom_edge && rr >= rows) rr = rows - 1;
+          sum += u.at_with_guards(rr, cc);
+        }
+      }
+      out.at(static_cast<std::size_t>(r), static_cast<std::size_t>(c)) =
+          (T(1) - w) * u.at(static_cast<std::size_t>(r), static_cast<std::size_t>(c)) +
+          w * sum / T(9);
+    }
+  }
+}
+
+/// Central-difference gradient magnitude (edge-clamped). Collective.
+template <typename T>
+void gradient_magnitude(Field2D<T>& u, Field2D<T>& out) {
+  if (u.nx() != out.nx() || u.ny() != out.ny())
+    throw BadParam("gradient_magnitude: shape mismatch");
+  u.exchange_guards();
+  const std::ptrdiff_t rows = static_cast<std::ptrdiff_t>(u.local_rows());
+  const std::ptrdiff_t cols = static_cast<std::ptrdiff_t>(u.ny());
+  const bool top_edge = u.first_row() == 0;
+  const bool bottom_edge = u.first_row() + u.local_rows() == u.nx();
+  for (std::ptrdiff_t r = 0; r < rows; ++r) {
+    for (std::ptrdiff_t c = 0; c < cols; ++c) {
+      std::ptrdiff_t up = r - 1, down = r + 1;
+      if (top_edge && up < 0) up = 0;
+      if (bottom_edge && down >= rows) down = rows - 1;
+      const std::ptrdiff_t west = std::max<std::ptrdiff_t>(c - 1, 0);
+      const std::ptrdiff_t east = std::min<std::ptrdiff_t>(c + 1, cols - 1);
+      const T dx = (u.at_with_guards(r, east) - u.at_with_guards(r, west)) / T(2);
+      const T dy = (u.at_with_guards(down, c) - u.at_with_guards(up, c)) / T(2);
+      out.at(static_cast<std::size_t>(r), static_cast<std::size_t>(c)) =
+          std::sqrt(dx * dx + dy * dy);
+    }
+  }
+}
+
+}  // namespace pardis::pooma

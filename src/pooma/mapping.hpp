@@ -1,0 +1,66 @@
+// PARDIS <-> mini-POOMA direct mapping (paper §3.4, §4.3).
+//
+// Referenced by stub code generated under -pooma for
+// `#pragma POOMA:field` typedefs. A field travels as its row-major
+// flattening; grids are square (the pipeline example's 128x128), so
+// the receiving side can recover the shape from the element count.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/stub_support.hpp"
+#include "dist/dsequence.hpp"
+#include "pooma/field2d.hpp"
+
+namespace pardis::pooma {
+
+namespace detail {
+
+inline std::size_t square_dim(std::size_t n) {
+  const auto dim = static_cast<std::size_t>(std::llround(std::sqrt(static_cast<double>(n))));
+  if (dim * dim != n)
+    throw BadParam("POOMA field mapping: element count " + std::to_string(n) +
+                   " is not a square grid");
+  return dim;
+}
+
+}  // namespace detail
+
+/// No-copy view of the field's contiguous local interior, distributed
+/// by whole rows.
+template <typename T>
+dist::DSequence<T> dseq_view(Field2D<T>& f) {
+  return dist::DSequence<T>::local_view(f.rank(), f.element_distribution(),
+                                        std::span<T>(f.storage()));
+}
+
+template <typename T>
+dist::DSequence<T> dseq_view(const Field2D<T>& f) {
+  return dseq_view(const_cast<Field2D<T>&>(f));
+}
+
+/// Server side: adopts a received flattened field. The wire
+/// distribution (whatever the registered spec produced) is
+/// redistributed onto the field's row-aligned decomposition.
+template <typename T>
+Field2D<T> native_from_dseq(dist::DSequence<T>&& seq, rts::Communicator& comm) {
+  const std::size_t dim = detail::square_dim(seq.size());
+  Field2D<T> f(comm, dim, dim);
+  if (!(seq.distribution() == f.element_distribution()))
+    seq.redistribute(f.element_distribution());
+  auto loc = seq.local();
+  std::copy(loc.begin(), loc.end(), f.storage().begin());
+  return f;
+}
+
+/// Client side: native target for a non-blocking out argument.
+template <typename T>
+Field2D<T> make_native(core::ClientCtx& ctx, std::size_t n, const core::DistSpec&) {
+  if (ctx.comm() == nullptr)
+    throw BadInvOrder("the POOMA mapping requires an SPMD client");
+  const std::size_t dim = detail::square_dim(n);
+  return Field2D<T>(*ctx.comm(), dim, dim);
+}
+
+}  // namespace pardis::pooma

@@ -1,0 +1,50 @@
+// PARDIS <-> mini-PSTL direct mapping (paper §3.4).
+//
+// Referenced by stub code the IDL compiler generates under -hpcxx for
+// `#pragma HPC++:vector` typedefs: invocation arguments stay in the
+// package-native DistributedVector; marshaling flows through
+// no-ownership DSequence views of the native storage.
+#pragma once
+
+#include <algorithm>
+
+#include "core/stub_support.hpp"
+#include "dist/dsequence.hpp"
+#include "pstl/distributed_vector.hpp"
+
+namespace pardis::pstl {
+
+/// No-copy view of the native container's local block.
+template <typename T>
+dist::DSequence<T> dseq_view(DistributedVector<T>& v) {
+  return dist::DSequence<T>::local_view(v.rank(), v.distribution(),
+                                        std::span<T>(v.storage()));
+}
+
+/// Encode-only view of a const container (marshaling never writes).
+template <typename T>
+dist::DSequence<T> dseq_view(const DistributedVector<T>& v) {
+  return dseq_view(const_cast<DistributedVector<T>&>(v));
+}
+
+/// Server side: adopts a received distributed argument into the
+/// package-native container (same distribution, one local copy).
+template <typename T>
+DistributedVector<T> native_from_dseq(dist::DSequence<T>&& seq, rts::Communicator& comm) {
+  DistributedVector<T> v(comm, seq.distribution());
+  auto loc = seq.local();
+  std::copy(loc.begin(), loc.end(), v.storage().begin());
+  return v;
+}
+
+/// Client side: creates the native target of a non-blocking out
+/// argument.
+template <typename T>
+DistributedVector<T> make_native(core::ClientCtx& ctx, std::size_t n,
+                                 const core::DistSpec& spec) {
+  if (ctx.comm() == nullptr)
+    throw BadInvOrder("the HPC++ PSTL mapping requires an SPMD client");
+  return DistributedVector<T>(*ctx.comm(), spec.instantiate(n, ctx.size()));
+}
+
+}  // namespace pardis::pstl

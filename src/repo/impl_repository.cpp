@@ -1,0 +1,66 @@
+#include "repo/impl_repository.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+
+namespace pardis::repo {
+
+void ImplRepository::register_impl(const std::string& name, ActivationRecord record) {
+  if (!record.launch) throw BadParam("register_impl: empty launch function");
+  std::lock_guard<std::mutex> lock(mutex_);
+  records_[name] = std::move(record);
+}
+
+void ImplRepository::unregister_impl(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  records_.erase(name);
+}
+
+const ActivationRecord* ImplRepository::find(const std::string& name,
+                                             const std::string& host) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = records_.find(name);
+  if (it == records_.end()) return nullptr;
+  if (!it->second.host.empty() && !host.empty() && it->second.host != host) return nullptr;
+  return &it->second;
+}
+
+ActivationAgent::~ActivationAgent() = default;
+
+void ActivationAgent::attach(core::Orb& orb) {
+  orb.set_activator([this](const std::string& name, const std::string& host) {
+    return activate(name, host);
+  });
+}
+
+bool ActivationAgent::activate(const std::string& name, const std::string& host) {
+  if (!activating_) {
+    PARDIS_LOG(kInfo, "repo") << "non-activating mode: not starting " << name;
+    return false;
+  }
+  const ActivationRecord* record = impls_->find(name, host);
+  if (record == nullptr) return false;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (std::find(active_names_.begin(), active_names_.end(), name) != active_names_.end())
+    return true;  // a previous bind already triggered this launch
+  PARDIS_LOG(kInfo, "repo") << "activating implementation for " << name;
+  domains_.push_back(record->launch());
+  active_names_.push_back(name);
+  return true;
+}
+
+std::size_t ActivationAgent::launched() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return domains_.size();
+}
+
+void ActivationAgent::join_all() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& d : domains_)
+    if (d) d->join();
+  domains_.clear();
+  active_names_.clear();
+}
+
+}  // namespace pardis::repo

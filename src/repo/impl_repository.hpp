@@ -1,0 +1,87 @@
+// Implementation repository and activation agent.
+//
+// Paper §2.2: "In the case of non-persistent servers, the programmer
+// can use the register facility to register the object and information
+// on how it should be activated with the Implementation Repository...
+// since establishing connection with an object can involve starting up
+// the server which provides its implementation, PARDIS provides
+// activating agents. ... in order to limit the interference between
+// the activating agent and the server, the programmer can configure
+// the system to work in an activating and non-activating mode."
+//
+// Activation records are factories: starting a server means launching
+// its domain (computing threads) in this process. The agent plugs into
+// Orb::set_activator so a failed bind triggers activation transparently.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/orb.hpp"
+#include "rts/domain.hpp"
+
+namespace pardis::repo {
+
+/// How a registered implementation is started.
+struct ActivationRecord {
+  /// Starts the server; must eventually register the named object.
+  /// Returns the running domain (owned by the agent until shutdown).
+  std::function<std::unique_ptr<rts::Domain>()> launch;
+  /// Restrict activation to binds naming this host ("" = any host).
+  std::string host;
+};
+
+class ImplRepository {
+ public:
+  void register_impl(const std::string& name, ActivationRecord record);
+  void unregister_impl(const std::string& name);
+  /// The record able to serve (name, host), if any.
+  const ActivationRecord* find(const std::string& name, const std::string& host);
+
+ private:
+  std::mutex mutex_;
+  std::map<std::string, ActivationRecord> records_;
+};
+
+/// Launches registered implementations on demand and keeps their
+/// domains alive. In non-activating mode lookups fail instead
+/// (paper: activating / non-activating configuration).
+class ActivationAgent {
+ public:
+  explicit ActivationAgent(ImplRepository& impls, bool activating = true)
+      : impls_(&impls), activating_(activating) {}
+  ~ActivationAgent();
+
+  ActivationAgent(const ActivationAgent&) = delete;
+  ActivationAgent& operator=(const ActivationAgent&) = delete;
+
+  void set_activating(bool on) { activating_ = on; }
+  bool activating() const { return activating_; }
+
+  /// Installs this agent as `orb`'s activator.
+  void attach(core::Orb& orb);
+
+  /// Orb activation hook; true when a launch was started.
+  bool activate(const std::string& name, const std::string& host);
+
+  /// Domains launched so far (for shutdown coordination in tests).
+  std::size_t launched() const;
+
+  /// Signals every launched domain to finish and joins them. The
+  /// launch functions are responsible for making their servers exit
+  /// (e.g. a deactivating operation); shutdown() only joins.
+  void join_all();
+
+ private:
+  ImplRepository* impls_;
+  bool activating_;
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<rts::Domain>> domains_;
+  std::vector<std::string> active_names_;
+};
+
+}  // namespace pardis::repo

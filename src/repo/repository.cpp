@@ -1,0 +1,140 @@
+#include "repo/repository.hpp"
+
+#include <atomic>
+
+#include "common/log.hpp"
+
+namespace pardis::repo {
+
+namespace {
+std::atomic<ULongLong> g_call_id{1};
+}
+
+// --- server ----------------------------------------------------------------
+
+RepositoryServer::RepositoryServer(transport::Transport& transport,
+                                   std::shared_ptr<core::InProcessRegistry> backing)
+    : transport_(&transport), backing_(std::move(backing)) {
+  if (!backing_) throw BadParam("RepositoryServer: null backing registry");
+  endpoint_ = transport_->create_endpoint("");
+  thread_ = std::thread([this] { serve(); });
+}
+
+RepositoryServer::~RepositoryServer() {
+  endpoint_->close();
+  if (thread_.joinable()) thread_.join();
+}
+
+void RepositoryServer::serve() {
+  for (;;) {
+    transport::RsrMessage msg;
+    try {
+      msg = endpoint_->wait();
+    } catch (const CommFailure&) {
+      return;  // endpoint closed: shutdown
+    }
+    try {
+      CdrReader r(msg.payload.view(), msg.little_endian);
+      const auto op = static_cast<RepoOp>(r.read_octet());
+      const transport::EndpointAddr reply_to = transport::EndpointAddr::unmarshal(r);
+      const ULongLong call_id = r.read_ulonglong();
+
+      ByteBuffer reply;
+      CdrWriter w(reply);
+      w.write_octet(static_cast<Octet>(RepoOp::kReply));
+      w.write_ulonglong(call_id);
+      switch (op) {
+        case RepoOp::kRegister: {
+          backing_->register_object(core::ObjectRef::unmarshal(r));
+          break;
+        }
+        case RepoOp::kLookup: {
+          const std::string name = r.read_string();
+          const std::string host = r.read_string();
+          auto found = backing_->lookup(name, host);
+          w.write_bool(found.has_value());
+          if (found) found->marshal(w);
+          break;
+        }
+        case RepoOp::kUnregister: {
+          const std::string name = r.read_string();
+          const std::string host = r.read_string();
+          backing_->unregister(name, host);
+          break;
+        }
+        case RepoOp::kList: {
+          CdrTraits<std::vector<std::string>>::marshal(w, backing_->list());
+          break;
+        }
+        default:
+          throw MarshalError("repository: bad op octet");
+      }
+      transport_->rsr(reply_to, transport::kHandlerRepo, std::move(reply), "");
+    } catch (const std::exception& e) {
+      PARDIS_LOG(kWarn, "repo") << "bad repository request: " << e.what();
+    }
+  }
+}
+
+// --- client ----------------------------------------------------------------
+
+RemoteRegistry::RemoteRegistry(transport::Transport& transport,
+                               transport::EndpointAddr repo_addr)
+    : transport_(&transport), repo_addr_(std::move(repo_addr)) {
+  reply_ep_ = transport_->create_endpoint("");
+}
+
+ByteBuffer RemoteRegistry::call(RepoOp op, ByteBuffer body) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const ULongLong call_id = g_call_id.fetch_add(1, std::memory_order_relaxed);
+  ByteBuffer frame;
+  CdrWriter w(frame);
+  w.write_octet(static_cast<Octet>(op));
+  reply_ep_->addr().marshal(w);
+  w.write_ulonglong(call_id);
+  frame.append(body.view());
+  transport_->rsr(repo_addr_, transport::kHandlerRepo, std::move(frame), "");
+
+  for (;;) {
+    auto msg = reply_ep_->wait_for(std::chrono::seconds(5));
+    if (!msg) throw TimeoutError("repository call timed out");
+    CdrReader r(msg->payload.view(), msg->little_endian);
+    if (static_cast<RepoOp>(r.read_octet()) != RepoOp::kReply) continue;
+    if (r.read_ulonglong() != call_id) continue;  // stale reply
+    return ByteBuffer::from(msg->payload.view().subspan(r.offset()));
+  }
+}
+
+void RemoteRegistry::register_object(const core::ObjectRef& ref) {
+  ByteBuffer body;
+  CdrWriter w(body);
+  ref.marshal(w);
+  call(RepoOp::kRegister, std::move(body));
+}
+
+std::optional<core::ObjectRef> RemoteRegistry::lookup(const std::string& name,
+                                                      const std::string& host) {
+  ByteBuffer body;
+  CdrWriter w(body);
+  w.write_string(name);
+  w.write_string(host);
+  ByteBuffer reply = call(RepoOp::kLookup, std::move(body));
+  CdrReader r(reply.view());
+  if (!r.read_bool()) return std::nullopt;
+  return core::ObjectRef::unmarshal(r);
+}
+
+void RemoteRegistry::unregister(const std::string& name, const std::string& host) {
+  ByteBuffer body;
+  CdrWriter w(body);
+  w.write_string(name);
+  w.write_string(host);
+  call(RepoOp::kUnregister, std::move(body));
+}
+
+std::vector<std::string> RemoteRegistry::list() {
+  ByteBuffer reply = call(RepoOp::kList, ByteBuffer{});
+  return cdr_decode<std::vector<std::string>>(reply.view());
+}
+
+}  // namespace pardis::repo

@@ -1,0 +1,82 @@
+// Object repository service and its remote client.
+//
+// The paper (§2.2): "Object and Implementation Repositories: databases
+// which define a naming domain for interacting objects. On activation,
+// every object registers with an object repository, which is searched
+// when the client requests a connection to a specific object. Each
+// repository is associated with a unique namespace; configuring
+// clients and servers to work with different repositories allows the
+// programmer to split the namespace for interacting objects."
+//
+// RepositoryServer exposes an InProcessRegistry-backed namespace over
+// the transport, so metaapplications spanning several processes share
+// one naming domain; RemoteRegistry is the client-side ObjectRegistry
+// implementation that talks to it.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <thread>
+
+#include "core/registry.hpp"
+#include "transport/transport.hpp"
+
+namespace pardis::repo {
+
+/// Repository wire operations (payload of kHandlerRepo RSRs).
+enum class RepoOp : Octet {
+  kRegister = 0,
+  kLookup = 1,
+  kUnregister = 2,
+  kList = 3,
+  kReply = 4,
+};
+
+/// Serves one namespace over a transport. Runs its own service thread
+/// (the repository is an ordinary daemon, not a computing thread).
+class RepositoryServer {
+ public:
+  /// `backing` may be shared with in-process users of the namespace.
+  RepositoryServer(transport::Transport& transport,
+                   std::shared_ptr<core::InProcessRegistry> backing);
+  ~RepositoryServer();
+
+  RepositoryServer(const RepositoryServer&) = delete;
+  RepositoryServer& operator=(const RepositoryServer&) = delete;
+
+  /// Address clients configure their RemoteRegistry with.
+  const transport::EndpointAddr& addr() const { return endpoint_->addr(); }
+
+  core::InProcessRegistry& backing() { return *backing_; }
+
+ private:
+  void serve();
+
+  transport::Transport* transport_;
+  std::shared_ptr<core::InProcessRegistry> backing_;
+  std::shared_ptr<transport::Endpoint> endpoint_;
+  std::thread thread_;
+};
+
+/// ObjectRegistry implementation backed by a remote RepositoryServer.
+/// Each instance owns a private reply endpoint; calls are synchronous.
+class RemoteRegistry final : public core::ObjectRegistry {
+ public:
+  RemoteRegistry(transport::Transport& transport, transport::EndpointAddr repo_addr);
+
+  void register_object(const core::ObjectRef& ref) override;
+  std::optional<core::ObjectRef> lookup(const std::string& name,
+                                        const std::string& host) override;
+  void unregister(const std::string& name, const std::string& host) override;
+  std::vector<std::string> list() override;
+
+ private:
+  ByteBuffer call(RepoOp op, ByteBuffer body);
+
+  transport::Transport* transport_;
+  transport::EndpointAddr repo_addr_;
+  std::shared_ptr<transport::Endpoint> reply_ep_;
+  std::mutex mutex_;  // one outstanding call at a time
+};
+
+}  // namespace pardis::repo

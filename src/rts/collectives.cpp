@@ -1,0 +1,102 @@
+#include "rts/collectives.hpp"
+
+#include "common/error.hpp"
+
+namespace pardis::rts {
+
+namespace {
+
+void check_root(const Communicator& comm, int root) {
+  if (root < 0 || root >= comm.size()) throw BadParam("collective: root out of range");
+}
+
+}  // namespace
+
+void barrier(Communicator& comm) {
+  // Gather-to-0 then broadcast; O(P) messages, fine for the thread
+  // counts PARDIS domains use (the paper's largest server is 10 nodes).
+  const int rank = comm.rank();
+  const int size = comm.size();
+  if (size == 1) return;
+  if (rank == 0) {
+    for (int r = 1; r < size; ++r) comm.recv(r, kTagCollective);
+    for (int r = 1; r < size; ++r) comm.send_reserved(r, kTagCollective, ByteBuffer{});
+  } else {
+    comm.send_reserved(0, kTagCollective, ByteBuffer{});
+    comm.recv(0, kTagCollective);
+  }
+}
+
+ByteBuffer broadcast(Communicator& comm, ByteBuffer payload, int root) {
+  check_root(comm, root);
+  const int rank = comm.rank();
+  const int size = comm.size();
+  if (size == 1) return payload;
+  if (rank == root) {
+    for (int r = 0; r < size; ++r) {
+      if (r == root) continue;
+      comm.send_reserved(r, kTagCollective, payload.clone());
+    }
+    return payload;
+  }
+  return comm.recv(root, kTagCollective).payload;
+}
+
+std::vector<ByteBuffer> gather(Communicator& comm, ByteBuffer local, int root) {
+  check_root(comm, root);
+  const int rank = comm.rank();
+  const int size = comm.size();
+  if (rank == root) {
+    std::vector<ByteBuffer> out(size);
+    out[root] = std::move(local);
+    for (int r = 0; r < size; ++r) {
+      if (r == root) continue;
+      out[r] = comm.recv(r, kTagCollective).payload;
+    }
+    return out;
+  }
+  comm.send_reserved(root, kTagCollective, std::move(local));
+  return {};
+}
+
+std::vector<ByteBuffer> allgather(Communicator& comm, ByteBuffer local) {
+  auto gathered = gather(comm, std::move(local), 0);
+  // Root re-broadcasts the concatenation as one framed buffer.
+  ByteBuffer frame;
+  if (comm.rank() == 0) {
+    CdrWriter w(frame);
+    w.write_ulong(static_cast<ULong>(gathered.size()));
+    for (const auto& b : gathered) {
+      w.write_ulong(static_cast<ULong>(b.size()));
+      w.write_bytes(b.view());
+    }
+  }
+  ByteBuffer all = broadcast(comm, std::move(frame), 0);
+  CdrReader r(all.view());
+  const ULong count = r.read_ulong();
+  std::vector<ByteBuffer> out;
+  out.reserve(count);
+  for (ULong i = 0; i < count; ++i) {
+    const ULong len = r.read_ulong();
+    out.push_back(ByteBuffer::from(r.read_bytes(len)));
+  }
+  return out;
+}
+
+ByteBuffer scatter(Communicator& comm, std::vector<ByteBuffer> pieces, int root) {
+  check_root(comm, root);
+  const int rank = comm.rank();
+  const int size = comm.size();
+  if (rank == root) {
+    if (static_cast<int>(pieces.size()) != size)
+      throw BadParam("scatter: need exactly one piece per rank");
+    for (int r = 0; r < size; ++r) {
+      if (r == root) continue;
+      comm.send_reserved(r, kTagCollective, std::move(pieces[r]));
+    }
+    return std::move(pieces[root]);
+  }
+  return comm.recv(root, kTagCollective).payload;
+}
+
+}  // namespace pardis::rts

@@ -1,0 +1,89 @@
+// Collective operations over a Communicator.
+//
+// PARDIS itself only needs a handful of collectives (collective binding,
+// collective request ordering, argument redistribution); the mini
+// packages (PSTL / POOMA) and the example applications use the richer
+// set. All collectives ride the reserved kTagCollective and rely on the
+// FIFO-per-(src,dst,tag) guarantee, so concurrent user traffic cannot
+// interleave with them. Every rank of the communicator must call the
+// same collectives in the same order (SPMD discipline).
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "common/cdr.hpp"
+#include "rts/communicator.hpp"
+
+namespace pardis::rts {
+
+/// Blocks until all ranks have entered the barrier.
+void barrier(Communicator& comm);
+
+/// Root's buffer is replicated to all ranks (byte payload).
+ByteBuffer broadcast(Communicator& comm, ByteBuffer payload, int root);
+
+/// Each rank contributes one buffer; root receives all of them in rank
+/// order. Non-root ranks get an empty vector.
+std::vector<ByteBuffer> gather(Communicator& comm, ByteBuffer local, int root);
+
+/// gather + broadcast: all ranks receive all contributions in rank order.
+std::vector<ByteBuffer> allgather(Communicator& comm, ByteBuffer local);
+
+/// Root distributes one buffer per rank; returns this rank's piece.
+ByteBuffer scatter(Communicator& comm, std::vector<ByteBuffer> pieces, int root);
+
+// --- typed convenience wrappers -------------------------------------------
+
+template <typename T>
+T broadcast_value(Communicator& comm, const T& value, int root) {
+  ByteBuffer buf;
+  if (comm.rank() == root) buf = cdr_encode(value);
+  ByteBuffer out = broadcast(comm, std::move(buf), root);
+  return cdr_decode<T>(out.view());
+}
+
+template <typename T>
+std::vector<T> gather_values(Communicator& comm, const T& value, int root) {
+  auto bufs = gather(comm, cdr_encode(value), root);
+  std::vector<T> out;
+  out.reserve(bufs.size());
+  for (const auto& b : bufs) out.push_back(cdr_decode<T>(b.view()));
+  return out;
+}
+
+template <typename T>
+std::vector<T> allgather_values(Communicator& comm, const T& value) {
+  auto bufs = allgather(comm, cdr_encode(value));
+  std::vector<T> out;
+  out.reserve(bufs.size());
+  for (const auto& b : bufs) out.push_back(cdr_decode<T>(b.view()));
+  return out;
+}
+
+/// Reduction with a binary op; result valid on every rank.
+template <typename T, typename Op>
+T allreduce_value(Communicator& comm, const T& value, Op op) {
+  auto all = allgather_values(comm, value);
+  T acc = all.front();
+  for (std::size_t i = 1; i < all.size(); ++i) acc = op(acc, all[i]);
+  return acc;
+}
+
+template <typename T>
+T allreduce_sum(Communicator& comm, const T& value) {
+  return allreduce_value(comm, value, std::plus<T>{});
+}
+
+template <typename T>
+T allreduce_max(Communicator& comm, const T& value) {
+  return allreduce_value(comm, value, [](const T& a, const T& b) { return a < b ? b : a; });
+}
+
+template <typename T>
+T allreduce_min(Communicator& comm, const T& value) {
+  return allreduce_value(comm, value, [](const T& a, const T& b) { return b < a ? b : a; });
+}
+
+}  // namespace pardis::rts

@@ -1,0 +1,78 @@
+// The PARDIS run-time system interface.
+//
+// The ORB extends "into the communication domain of the parallel
+// server" (paper §2.2) through this interface. Its functional
+// requirements are deliberately minimal — basic tagged point-to-point
+// message passing plus reserved tags — so that it can be implemented on
+// top of MPI, Tulip, POOMA's communication abstraction, or (here) an
+// in-process thread runtime.
+#pragma once
+
+#include <optional>
+
+#include "common/buffer.hpp"
+#include "common/types.hpp"
+#include "rts/tags.hpp"
+
+namespace pardis::rts {
+
+/// One received message.
+struct RtsMessage {
+  int source = kAnySource;
+  Tag tag = kAnyTag;
+  double sim_time = 0.0;  ///< sender's virtual clock + modeled delay
+  ByteBuffer payload;
+};
+
+/// Metadata returned by probe.
+struct MessageInfo {
+  int source;
+  Tag tag;
+  std::size_t size;
+};
+
+/// Tagged point-to-point messaging among the computing threads of one
+/// parallel client or server. Implementations must deliver messages
+/// FIFO per (source, destination, tag) triple.
+class Communicator {
+ public:
+  virtual ~Communicator() = default;
+
+  virtual int rank() const noexcept = 0;
+  virtual int size() const noexcept = 0;
+
+  /// Stable identity of the communicator group: two communicators with
+  /// the same key belong to the same parallel client/server. Used by
+  /// the ORB's collocation check.
+  virtual const void* group_key() const noexcept = 0;
+
+  /// User-facing send: validates that `tag` is outside the PARDIS
+  /// reserved range, then behaves like send_reserved.
+  void send(int dest, Tag tag, ByteBuffer payload) {
+    validate_user_tag(tag);
+    send_reserved(dest, tag, std::move(payload));
+  }
+
+  /// Internal send used by PARDIS subsystems (no tag validation).
+  /// Asynchronous and buffered: the payload is moved, never referenced
+  /// after return.
+  virtual void send_reserved(int dest, Tag tag, ByteBuffer payload) = 0;
+
+  /// Control-plane send: like send_reserved but carries no virtual
+  /// timestamp, so ORB-internal coordination (POA dispatch schedules)
+  /// does not couple the computing threads' modeled clocks.
+  virtual void send_control(int dest, Tag tag, ByteBuffer payload) {
+    send_reserved(dest, tag, std::move(payload));
+  }
+
+  /// Blocking receive; wildcards kAnySource / kAnyTag are honored.
+  virtual RtsMessage recv(int source = kAnySource, Tag tag = kAnyTag) = 0;
+
+  /// Non-blocking receive; empty when no matching message is queued.
+  virtual std::optional<RtsMessage> try_recv(int source = kAnySource, Tag tag = kAnyTag) = 0;
+
+  /// Non-blocking probe for a matching message.
+  virtual std::optional<MessageInfo> probe(int source = kAnySource, Tag tag = kAnyTag) = 0;
+};
+
+}  // namespace pardis::rts

@@ -1,0 +1,77 @@
+#include "rts/domain.hpp"
+
+#include "common/error.hpp"
+#include "common/log.hpp"
+
+namespace pardis::rts {
+
+Domain::Domain(std::string name, int nthreads, const sim::HostModel* host)
+    : name_(std::move(name)), host_(host), group_(nthreads, host), clocks_(nthreads) {
+  if (host_ != nullptr && nthreads > host_->max_threads)
+    PARDIS_LOG(kWarn, "rts") << "domain " << name_ << " oversubscribes host "
+                             << host_->name << " (" << nthreads << " > "
+                             << host_->max_threads << " threads)";
+}
+
+Domain::~Domain() {
+  if (!threads_.empty()) {
+    // Joining in a destructor keeps crashes local, but reaching this
+    // point means the caller forgot join(); surface it loudly.
+    PARDIS_LOG(kError, "rts") << "domain " << name_ << " destroyed while running";
+    for (auto& t : threads_)
+      if (t.joinable()) t.join();
+  }
+}
+
+void Domain::start(std::function<void(DomainContext&)> fn) {
+  if (!threads_.empty()) throw BadInvOrder("Domain::start: already running");
+  first_error_ = nullptr;
+  auto shared_fn = std::make_shared<std::function<void(DomainContext&)>>(std::move(fn));
+  threads_.reserve(group_.size());
+  for (int r = 0; r < group_.size(); ++r) {
+    threads_.emplace_back([this, r, shared_fn] {
+      sim::ClockBinding binding(clocks_[r]);
+      DomainContext ctx{*this, r, group_.size(), group_.comm(r), host_, clocks_[r]};
+      try {
+        (*shared_fn)(ctx);
+      } catch (const std::exception& e) {
+        PARDIS_LOG(kError, "rts") << "domain " << name_ << " rank " << r
+                                  << " failed: " << e.what();
+        std::lock_guard<std::mutex> lock(error_mutex_);
+        if (!first_error_) first_error_ = std::current_exception();
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex_);
+        if (!first_error_) first_error_ = std::current_exception();
+      }
+    });
+  }
+}
+
+void Domain::join() {
+  for (auto& t : threads_)
+    if (t.joinable()) t.join();
+  threads_.clear();
+  if (first_error_) {
+    auto err = first_error_;
+    first_error_ = nullptr;
+    std::rethrow_exception(err);
+  }
+}
+
+void Domain::run(const std::function<void(DomainContext&)>& fn) {
+  start(fn);
+  join();
+}
+
+double Domain::max_sim_time() const {
+  double t = 0.0;
+  for (const auto& c : clocks_)
+    if (c.now() > t) t = c.now();
+  return t;
+}
+
+void Domain::reset_clocks() {
+  for (auto& c : clocks_) c.reset();
+}
+
+}  // namespace pardis::rts

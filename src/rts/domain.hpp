@@ -1,0 +1,79 @@
+// A Domain is one parallel client or server: a named set of computing
+// threads (paper §2.2, "a set of one or more computing threads
+// determined ... at time of server startup"), optionally pinned to a
+// modeled host. Threads communicate through the domain's
+// ThreadCommGroup; each thread's virtual clock is bound for the
+// duration of the run.
+#pragma once
+
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "rts/thread_comm.hpp"
+#include "sim/clock.hpp"
+#include "sim/testbed.hpp"
+
+namespace pardis::rts {
+
+class Domain;
+
+/// Everything one computing thread needs: its rank, its communicator
+/// endpoint and (for modeled runs) its host.
+struct DomainContext {
+  Domain& domain;
+  int rank;
+  int size;
+  Communicator& comm;
+  const sim::HostModel* host;  ///< nullptr when not modeled
+  sim::SimClock& clock;
+
+  /// Charges modeled compute work to this thread's virtual clock.
+  void charge_flops(double flops) const noexcept {
+    if (host != nullptr) host->charge_flops(flops);
+  }
+};
+
+class Domain {
+ public:
+  /// `host == nullptr` disables virtual-time charging for this domain.
+  Domain(std::string name, int nthreads, const sim::HostModel* host = nullptr);
+  ~Domain();
+
+  Domain(const Domain&) = delete;
+  Domain& operator=(const Domain&) = delete;
+
+  const std::string& name() const noexcept { return name_; }
+  int size() const noexcept { return group_.size(); }
+  const sim::HostModel* host() const noexcept { return host_; }
+  ThreadCommGroup& comms() noexcept { return group_; }
+  sim::SimClock& clock(int rank) { return clocks_.at(rank); }
+
+  /// Spawns one OS thread per rank running `fn`, then joins them all.
+  /// The first exception thrown by any computing thread is rethrown.
+  void run(const std::function<void(DomainContext&)>& fn);
+
+  /// Asynchronous variant of run(); pair with join().
+  void start(std::function<void(DomainContext&)> fn);
+  void join();
+  bool running() const noexcept { return !threads_.empty(); }
+
+  /// Elapsed virtual time: max over all computing threads' clocks.
+  double max_sim_time() const;
+  void reset_clocks();
+
+ private:
+  std::string name_;
+  const sim::HostModel* host_;
+  ThreadCommGroup group_;
+  std::vector<sim::SimClock> clocks_;
+  std::vector<std::thread> threads_;
+  std::exception_ptr first_error_;
+  std::mutex error_mutex_;
+};
+
+}  // namespace pardis::rts

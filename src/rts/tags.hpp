@@ -1,0 +1,41 @@
+// Message-tag space management.
+//
+// The paper (§2.2): "In order to avoid conflicts, we also require a way
+// to distinguish between PARDIS messages and messages pertaining to
+// computation in user code (for example through a set of reserved
+// message tags)." User code owns tags in [0, kReservedTagBase); PARDIS
+// subsystems use fixed tags at or above kReservedTagBase. Sends with a
+// user-facing API validate the tag and throw BadTag on collision.
+#pragma once
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace pardis::rts {
+
+/// First tag reserved for PARDIS-internal traffic.
+inline constexpr Tag kReservedTagBase = 0x4000'0000;
+
+/// Wildcards for receive matching.
+inline constexpr int kAnySource = -1;
+inline constexpr Tag kAnyTag = -1;
+
+/// Reserved tags, one per internal protocol.
+inline constexpr Tag kTagCollective = kReservedTagBase + 1;
+inline constexpr Tag kTagOrbRequest = kReservedTagBase + 2;
+inline constexpr Tag kTagOrbReply = kReservedTagBase + 3;
+inline constexpr Tag kTagDistTransfer = kReservedTagBase + 4;
+inline constexpr Tag kTagDistRedistribute = kReservedTagBase + 5;
+inline constexpr Tag kTagPackage = kReservedTagBase + 6;  ///< mini-PSTL / mini-POOMA internals
+inline constexpr Tag kTagPoaRound = kReservedTagBase + 7;  ///< POA dispatch schedules
+
+/// True when `tag` belongs to user code.
+constexpr bool is_user_tag(Tag tag) noexcept { return tag >= 0 && tag < kReservedTagBase; }
+
+/// Throws BadTag when user code tries to send on a reserved tag.
+inline void validate_user_tag(Tag tag) {
+  if (!is_user_tag(tag))
+    throw BadTag("tag " + std::to_string(tag) + " is in the PARDIS reserved range");
+}
+
+}  // namespace pardis::rts

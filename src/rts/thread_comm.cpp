@@ -1,0 +1,96 @@
+#include "rts/thread_comm.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "sim/clock.hpp"
+
+namespace pardis::rts {
+
+ThreadCommGroup::ThreadCommGroup(int nranks, const sim::HostModel* host) : host_(host) {
+  if (nranks <= 0) throw BadParam("ThreadCommGroup needs at least one rank");
+  mailboxes_.reserve(nranks);
+  comms_.reserve(nranks);
+  for (int r = 0; r < nranks; ++r) {
+    mailboxes_.push_back(std::make_unique<Mailbox>());
+    comms_.push_back(std::make_unique<ThreadComm>(*this, r));
+  }
+}
+
+ThreadCommGroup::~ThreadCommGroup() = default;
+
+ThreadComm& ThreadCommGroup::comm(int rank) {
+  if (rank < 0 || rank >= size()) throw BadParam("ThreadCommGroup::comm: rank out of range");
+  return *comms_[rank];
+}
+
+bool ThreadCommGroup::matches(const RtsMessage& m, int source, Tag tag) const noexcept {
+  return (source == kAnySource || m.source == source) && (tag == kAnyTag || m.tag == tag);
+}
+
+void ThreadCommGroup::deliver(int src, int dest, Tag tag, ByteBuffer payload, bool timed) {
+  if (dest < 0 || dest >= size()) throw BadParam("ThreadComm send: destination out of range");
+  RtsMessage msg;
+  msg.source = src;
+  msg.tag = tag;
+  const std::size_t bytes = payload.size();
+  msg.sim_time = timed ? sim::timestamp_now() +
+                             (host_ != nullptr ? host_->intra_delay(bytes) : 0.0)
+                       : 0.0;
+  msg.payload = std::move(payload);
+  Mailbox& box = *mailboxes_[dest];
+  {
+    std::lock_guard<std::mutex> lock(box.mutex);
+    box.queue.push_back(std::move(msg));
+  }
+  box.cv.notify_all();
+}
+
+void ThreadComm::send_reserved(int dest, Tag tag, ByteBuffer payload) {
+  group_->deliver(rank_, dest, tag, std::move(payload), /*timed=*/true);
+}
+
+void ThreadComm::send_control(int dest, Tag tag, ByteBuffer payload) {
+  group_->deliver(rank_, dest, tag, std::move(payload), /*timed=*/false);
+}
+
+RtsMessage ThreadComm::recv(int source, Tag tag) {
+  auto& box = *group_->mailboxes_[rank_];
+  std::unique_lock<std::mutex> lock(box.mutex);
+  for (;;) {
+    auto it = std::find_if(box.queue.begin(), box.queue.end(),
+                           [&](const RtsMessage& m) { return group_->matches(m, source, tag); });
+    if (it != box.queue.end()) {
+      RtsMessage msg = std::move(*it);
+      box.queue.erase(it);
+      lock.unlock();
+      sim::merge_time(msg.sim_time);
+      return msg;
+    }
+    box.cv.wait(lock);
+  }
+}
+
+std::optional<RtsMessage> ThreadComm::try_recv(int source, Tag tag) {
+  auto& box = *group_->mailboxes_[rank_];
+  std::unique_lock<std::mutex> lock(box.mutex);
+  auto it = std::find_if(box.queue.begin(), box.queue.end(),
+                         [&](const RtsMessage& m) { return group_->matches(m, source, tag); });
+  if (it == box.queue.end()) return std::nullopt;
+  RtsMessage msg = std::move(*it);
+  box.queue.erase(it);
+  lock.unlock();
+  sim::merge_time(msg.sim_time);
+  return msg;
+}
+
+std::optional<MessageInfo> ThreadComm::probe(int source, Tag tag) {
+  auto& box = *group_->mailboxes_[rank_];
+  std::lock_guard<std::mutex> lock(box.mutex);
+  auto it = std::find_if(box.queue.begin(), box.queue.end(),
+                         [&](const RtsMessage& m) { return group_->matches(m, source, tag); });
+  if (it == box.queue.end()) return std::nullopt;
+  return MessageInfo{it->source, it->tag, it->payload.size()};
+}
+
+}  // namespace pardis::rts

@@ -1,0 +1,79 @@
+// In-process implementation of the run-time system interface.
+//
+// Computing threads of one domain exchange tagged messages through
+// per-rank mailboxes. Each rank logically owns its address space (data
+// is only shared through messages and through the explicitly-shared
+// dsequence block directory), matching the paper's assumption that
+// server threads are "associated with a distributed memory model".
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "rts/communicator.hpp"
+#include "sim/testbed.hpp"
+
+namespace pardis::rts {
+
+class ThreadComm;
+
+/// Shared state of one domain's communicator: `nranks` mailboxes.
+/// Construct once, then obtain one ThreadComm per computing thread.
+class ThreadCommGroup {
+ public:
+  /// `host` (optional) provides the intra-host cost model used to
+  /// timestamp messages for virtual-time runs.
+  explicit ThreadCommGroup(int nranks, const sim::HostModel* host = nullptr);
+  ~ThreadCommGroup();
+
+  ThreadCommGroup(const ThreadCommGroup&) = delete;
+  ThreadCommGroup& operator=(const ThreadCommGroup&) = delete;
+
+  int size() const noexcept { return static_cast<int>(mailboxes_.size()); }
+  const sim::HostModel* host() const noexcept { return host_; }
+
+  /// The communicator endpoint for `rank` (owned by the group).
+  ThreadComm& comm(int rank);
+
+ private:
+  friend class ThreadComm;
+
+  struct Mailbox {
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::deque<RtsMessage> queue;
+    bool closed = false;
+  };
+
+  void deliver(int src, int dest, Tag tag, ByteBuffer payload, bool timed);
+  bool matches(const RtsMessage& m, int source, Tag tag) const noexcept;
+
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+  std::vector<std::unique_ptr<ThreadComm>> comms_;
+  const sim::HostModel* host_;
+};
+
+/// Per-rank facade over a ThreadCommGroup.
+class ThreadComm final : public Communicator {
+ public:
+  ThreadComm(ThreadCommGroup& group, int rank) : group_(&group), rank_(rank) {}
+
+  int rank() const noexcept override { return rank_; }
+  int size() const noexcept override { return group_->size(); }
+  const void* group_key() const noexcept override { return group_; }
+
+  void send_reserved(int dest, Tag tag, ByteBuffer payload) override;
+  void send_control(int dest, Tag tag, ByteBuffer payload) override;
+  RtsMessage recv(int source = kAnySource, Tag tag = kAnyTag) override;
+  std::optional<RtsMessage> try_recv(int source = kAnySource, Tag tag = kAnyTag) override;
+  std::optional<MessageInfo> probe(int source = kAnySource, Tag tag = kAnyTag) override;
+
+ private:
+  ThreadCommGroup* group_;
+  int rank_;
+};
+
+}  // namespace pardis::rts

@@ -1,0 +1,27 @@
+#include "sim/clock.hpp"
+
+namespace pardis::sim {
+
+namespace {
+thread_local SimClock* t_clock = nullptr;
+}
+
+SimClock* current_clock() noexcept { return t_clock; }
+
+ClockBinding::ClockBinding(SimClock& clock) noexcept : previous_(t_clock) {
+  t_clock = &clock;
+}
+
+ClockBinding::~ClockBinding() { t_clock = previous_; }
+
+double timestamp_now() noexcept { return t_clock != nullptr ? t_clock->now() : 0.0; }
+
+void charge_seconds(double seconds) noexcept {
+  if (t_clock != nullptr) t_clock->advance(seconds);
+}
+
+void merge_time(double remote_time) noexcept {
+  if (t_clock != nullptr) t_clock->merge(remote_time);
+}
+
+}  // namespace pardis::sim

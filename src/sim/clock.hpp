@@ -1,0 +1,62 @@
+// Virtual time.
+//
+// The paper's experiments ran on a 1997 testbed (SGI Onyx R4400, SGI PC
+// R8000, IBM SP/2, ATM and Ethernet links). To reproduce the *shape* of
+// those results deterministically on any build machine, every computing
+// thread can be bound to a SimClock. Compute kernels charge modeled
+// seconds to the bound clock; every message carries its sender's clock
+// and the receiver merges `max(own, sender + link delay)` on receipt.
+// The elapsed virtual time of a phase is the max over all participating
+// threads, which yields exactly the paper's overlap algebra
+// `t = t_o + max(t_i, t_d)` (caption of Figure 2).
+//
+// When no clock is bound to the current thread, all charging/merging is
+// a no-op and timestamps read as zero, so the model costs nothing in
+// ordinary (non-benchmark) use.
+#pragma once
+
+namespace pardis::sim {
+
+/// A monotone virtual clock, owned by one computing thread at a time.
+class SimClock {
+ public:
+  double now() const noexcept { return now_; }
+  void advance(double seconds) noexcept {
+    if (seconds > 0) now_ += seconds;
+  }
+  /// Lamport-style merge: the clock never runs backwards.
+  void merge(double other_time) noexcept {
+    if (other_time > now_) now_ = other_time;
+  }
+  void reset() noexcept { now_ = 0.0; }
+
+ private:
+  double now_ = 0.0;
+};
+
+/// The clock bound to the calling thread, or nullptr.
+SimClock* current_clock() noexcept;
+
+/// RAII binding of a clock to the current thread (nesting restores the
+/// previous binding on destruction).
+class ClockBinding {
+ public:
+  explicit ClockBinding(SimClock& clock) noexcept;
+  ~ClockBinding();
+  ClockBinding(const ClockBinding&) = delete;
+  ClockBinding& operator=(const ClockBinding&) = delete;
+
+ private:
+  SimClock* previous_;
+};
+
+/// Virtual "now" of the calling thread (0 when unbound).
+double timestamp_now() noexcept;
+
+/// Advances the calling thread's clock (no-op when unbound).
+void charge_seconds(double seconds) noexcept;
+
+/// Merges a received timestamp into the calling thread's clock.
+void merge_time(double remote_time) noexcept;
+
+}  // namespace pardis::sim

@@ -1,0 +1,60 @@
+#include "sim/testbed.hpp"
+
+#include <algorithm>
+
+namespace pardis::sim {
+
+LinkModel LinkModel::atm_155() {
+  // 155 Mb/s ATM; effective payload bandwidth after cell overhead is
+  // ~17 MB/s. One-way latency on a dedicated local link.
+  return LinkModel{.latency_s = 500e-6, .bandwidth_bps = 17e6};
+}
+
+LinkModel LinkModel::ethernet() {
+  // Shared 10 Mb/s Ethernet of the era: ~1 MB/s effective.
+  return LinkModel{.latency_s = 1e-3, .bandwidth_bps = 1.0e6};
+}
+
+LinkModel LinkModel::loopback() {
+  return LinkModel{.latency_s = 20e-6, .bandwidth_bps = 100e6};
+}
+
+const HostModel* Testbed::add_host(HostModel host) {
+  hosts_.push_back(std::make_unique<HostModel>(std::move(host)));
+  return hosts_.back().get();
+}
+
+const HostModel* Testbed::host(const std::string& name) const {
+  for (const auto& h : hosts_)
+    if (h->name == name) return h.get();
+  return nullptr;
+}
+
+void Testbed::connect(const std::string& a, const std::string& b, LinkModel link) {
+  auto key = std::minmax(a, b);
+  links_[{key.first, key.second}] = link;
+}
+
+const LinkModel& Testbed::link(const std::string& a, const std::string& b) const {
+  if (a == b) return loopback_;
+  auto key = std::minmax(a, b);
+  auto it = links_.find({key.first, key.second});
+  return it != links_.end() ? it->second : default_link_;
+}
+
+Testbed Testbed::paper_testbed() {
+  Testbed tb;
+  // R4400 Onyx node: ~30 MFLOP/s sustained on dense linear algebra.
+  tb.add_host(HostModel{.name = kHost1, .gflops = 0.030, .max_threads = 4});
+  // R8000 Power Challenge node: ~3x faster sustained.
+  tb.add_host(HostModel{.name = kHost2, .gflops = 0.090, .max_threads = 10});
+  // SP/2 P2SC node.
+  tb.add_host(HostModel{.name = kSp2, .gflops = 0.080, .max_threads = 8});
+  // Visualization workstation.
+  tb.add_host(HostModel{.name = kWorkstation, .gflops = 0.020, .max_threads = 1});
+  tb.connect(kHost1, kHost2, LinkModel::atm_155());
+  tb.set_default_link(LinkModel::ethernet());
+  return tb;
+}
+
+}  // namespace pardis::sim

@@ -1,0 +1,97 @@
+// Host and link cost models, plus presets for the paper's testbed.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/clock.hpp"
+
+namespace pardis::sim {
+
+/// A modeled machine: computing threads bound to a host charge
+/// `flops / (gflops * 1e9)` virtual seconds per kernel.
+struct HostModel {
+  std::string name;
+  /// Sustained per-thread compute rate, in GFLOP/s. Absolute values are
+  /// 1997-scale so virtual times land in the paper's seconds range.
+  double gflops = 1.0;
+  /// Number of computing threads the host offers (paper: 4-node Onyx,
+  /// 10-node SGI PC, 8 SP/2 nodes).
+  int max_threads = 1;
+  /// Intra-host message cost (shared memory / fast interconnect).
+  double intra_latency_s = 5e-6;
+  double intra_bandwidth_bps = 200e6;  // bytes per second
+
+  /// Charges `flops` of modeled work to the calling thread's clock.
+  void charge_flops(double flops) const noexcept {
+    charge_seconds(flops / (gflops * 1e9));
+  }
+
+  double intra_delay(std::size_t bytes) const noexcept {
+    return intra_latency_s + static_cast<double>(bytes) / intra_bandwidth_bps;
+  }
+};
+
+/// A modeled network link between two hosts.
+struct LinkModel {
+  double latency_s = 0.0;
+  double bandwidth_bps = std::numeric_limits<double>::infinity();  // bytes/s
+
+  double delay(std::size_t bytes) const noexcept {
+    return latency_s + static_cast<double>(bytes) / bandwidth_bps;
+  }
+
+  /// A dedicated 155 Mb/s ATM link (paper, examples 4.1 and 4.2).
+  static LinkModel atm_155();
+  /// Shared Ethernet (paper, example 4.3).
+  static LinkModel ethernet();
+  /// Loopback (same host, through the transport rather than the RTS).
+  static LinkModel loopback();
+};
+
+/// A set of hosts and the links between them. Queried by the transports
+/// when charging communication time.
+class Testbed {
+ public:
+  /// Adds a host; returns a stable pointer (hosts are never removed).
+  const HostModel* add_host(HostModel host);
+
+  /// Symmetric link between two hosts (by name).
+  void connect(const std::string& a, const std::string& b, LinkModel link);
+
+  /// Host lookup by name; nullptr when unknown.
+  const HostModel* host(const std::string& name) const;
+
+  /// Link between two hosts. Same-host queries return loopback; unknown
+  /// pairs return `default_link`.
+  const LinkModel& link(const std::string& a, const std::string& b) const;
+
+  void set_default_link(LinkModel link) { default_link_ = link; }
+
+  /// The paper's hardware: HOST1 = 4-node SGI Onyx R4400 (slow),
+  /// HOST2 = 10-node SGI Power Challenge R8000 (fast), SP2 = 8-node IBM
+  /// SP/2, WS = Sun/SGI workstation. HOST1-HOST2 use the dedicated ATM
+  /// link; all other pairs use Ethernet. GFLOP/s values are 1997-scale
+  /// (tens of MFLOP/s) chosen so the reproduced curves land in the same
+  /// seconds range as the paper's figures.
+  static Testbed paper_testbed();
+
+  /// Conventional host names used across benches and examples.
+  static constexpr const char* kHost1 = "HOST1";
+  static constexpr const char* kHost2 = "HOST2";
+  static constexpr const char* kSp2 = "SP2";
+  static constexpr const char* kWorkstation = "WS";
+
+ private:
+  std::vector<std::unique_ptr<HostModel>> hosts_;
+  std::map<std::pair<std::string, std::string>, LinkModel> links_;
+  LinkModel default_link_ = LinkModel::ethernet();
+  LinkModel loopback_ = LinkModel::loopback();
+};
+
+}  // namespace pardis::sim

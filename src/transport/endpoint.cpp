@@ -1,0 +1,103 @@
+#include "transport/endpoint.hpp"
+
+#include <sstream>
+
+#include "sim/clock.hpp"
+
+namespace pardis::transport {
+
+std::string EndpointAddr::to_string() const {
+  std::ostringstream os;
+  if (kind == AddrKind::kLocal) {
+    os << "local:" << local_id;
+  } else {
+    os << "tcp:" << tcp_host << ":" << tcp_port << "/" << tcp_ep;
+  }
+  if (!host_model.empty()) os << "@" << host_model;
+  return os.str();
+}
+
+void EndpointAddr::marshal(CdrWriter& w) const {
+  w.write_octet(static_cast<Octet>(kind));
+  w.write_string(host_model);
+  w.write_ulonglong(local_id);
+  w.write_string(tcp_host);
+  w.write_ushort(tcp_port);
+  w.write_ulonglong(tcp_ep);
+}
+
+EndpointAddr EndpointAddr::unmarshal(CdrReader& r) {
+  EndpointAddr a;
+  const Octet kind = r.read_octet();
+  if (kind > static_cast<Octet>(AddrKind::kTcp))
+    throw MarshalError("EndpointAddr: bad kind octet");
+  a.kind = static_cast<AddrKind>(kind);
+  a.host_model = r.read_string();
+  a.local_id = r.read_ulonglong();
+  a.tcp_host = r.read_string();
+  a.tcp_port = r.read_ushort();
+  a.tcp_ep = r.read_ulonglong();
+  return a;
+}
+
+std::optional<RsrMessage> Endpoint::poll() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (queue_.empty()) return std::nullopt;
+  RsrMessage msg = std::move(queue_.front());
+  queue_.pop_front();
+  lock.unlock();
+  sim::merge_time(msg.sim_time);
+  return msg;
+}
+
+RsrMessage Endpoint::wait() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_.wait(lock, [this] { return !queue_.empty() || closed_; });
+  if (queue_.empty()) throw CommFailure("endpoint closed while waiting: " + addr_.to_string());
+  RsrMessage msg = std::move(queue_.front());
+  queue_.pop_front();
+  lock.unlock();
+  sim::merge_time(msg.sim_time);
+  return msg;
+}
+
+std::optional<RsrMessage> Endpoint::wait_for(std::chrono::milliseconds timeout) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (!cv_.wait_for(lock, timeout, [this] { return !queue_.empty() || closed_; }))
+    return std::nullopt;
+  if (queue_.empty()) return std::nullopt;  // closed
+  RsrMessage msg = std::move(queue_.front());
+  queue_.pop_front();
+  lock.unlock();
+  sim::merge_time(msg.sim_time);
+  return msg;
+}
+
+std::size_t Endpoint::pending() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+void Endpoint::enqueue(RsrMessage msg) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_) return;  // dropped, like a one-way send to a dead peer
+    queue_.push_back(std::move(msg));
+  }
+  cv_.notify_all();
+}
+
+void Endpoint::close() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+bool Endpoint::closed() const noexcept {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return closed_;
+}
+
+}  // namespace pardis::transport

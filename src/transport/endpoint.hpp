@@ -1,0 +1,110 @@
+// Nexus-style transport layer (the paper's NexusLite substitute).
+//
+// The unit of communication is the *remote service request* (RSR): a
+// one-way message naming a handler at a remote endpoint. Like
+// NexusLite — "the single threaded implementation of Nexus" the paper
+// uses — delivery is poll-based: arriving RSRs queue at the endpoint
+// and the owner (a POA loop or a future touch) drains them from its
+// own computing thread.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "common/buffer.hpp"
+#include "common/cdr.hpp"
+#include "common/error.hpp"
+
+namespace pardis::transport {
+
+using HandlerId = ULong;
+
+/// Handlers the ORB registers on every endpoint.
+inline constexpr HandlerId kHandlerOrbRequest = 1;
+inline constexpr HandlerId kHandlerOrbReply = 2;
+inline constexpr HandlerId kHandlerRepo = 3;
+
+enum class AddrKind : Octet { kLocal = 0, kTcp = 1 };
+
+/// Serializable address of an endpoint; embedded in object references.
+struct EndpointAddr {
+  AddrKind kind = AddrKind::kLocal;
+  /// Name of the modeled host this endpoint lives on (for link-cost
+  /// lookup); empty when unmodeled.
+  std::string host_model;
+  ULongLong local_id = 0;  ///< local transport endpoint id
+  std::string tcp_host;    ///< tcp only
+  UShort tcp_port = 0;     ///< tcp only
+  ULongLong tcp_ep = 0;    ///< endpoint id within the tcp listener
+
+  bool operator==(const EndpointAddr&) const = default;
+  std::string to_string() const;
+
+  void marshal(CdrWriter& w) const;
+  static EndpointAddr unmarshal(CdrReader& r);
+};
+
+/// One received remote service request.
+struct RsrMessage {
+  HandlerId handler = 0;
+  double sim_time = 0.0;           ///< sender clock + modeled link delay
+  bool little_endian = kNativeLittleEndian;  ///< producer byte order
+  ByteBuffer payload;
+};
+
+/// Receiving side of a transport: a queue of RSRs drained by polling.
+class Endpoint {
+ public:
+  explicit Endpoint(EndpointAddr addr) : addr_(std::move(addr)) {}
+  ~Endpoint() { close(); }
+
+  Endpoint(const Endpoint&) = delete;
+  Endpoint& operator=(const Endpoint&) = delete;
+
+  const EndpointAddr& addr() const noexcept { return addr_; }
+
+  /// Non-blocking drain of the next queued RSR. Merges the message's
+  /// virtual timestamp into the calling thread's clock.
+  std::optional<RsrMessage> poll();
+
+  /// Blocking drain; throws CommFailure if the endpoint closes while
+  /// waiting.
+  RsrMessage wait();
+
+  /// Blocking drain with deadline; nullopt on timeout.
+  std::optional<RsrMessage> wait_for(std::chrono::milliseconds timeout);
+
+  /// Number of queued messages (snapshot).
+  std::size_t pending() const;
+
+  /// Called by transports on delivery.
+  void enqueue(RsrMessage msg);
+
+  void close();
+  bool closed() const noexcept;
+
+ private:
+  EndpointAddr addr_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<RsrMessage> queue_;
+  bool closed_ = false;
+};
+
+}  // namespace pardis::transport
+
+namespace pardis {
+
+template <>
+struct CdrTraits<transport::EndpointAddr> {
+  static void marshal(CdrWriter& w, const transport::EndpointAddr& a) { a.marshal(w); }
+  static void unmarshal(CdrReader& r, transport::EndpointAddr& a) {
+    a = transport::EndpointAddr::unmarshal(r);
+  }
+};
+
+}  // namespace pardis

@@ -1,0 +1,226 @@
+#include "transport/tcp_transport.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/log.hpp"
+#include "sim/clock.hpp"
+
+namespace pardis::transport {
+
+namespace {
+
+constexpr std::size_t kHeaderSize = 32;
+
+/// Reads exactly `n` bytes; false on orderly close or error.
+bool read_full(int fd, Octet* out, std::size_t n) {
+  std::size_t got = 0;
+  while (got < n) {
+    const ssize_t r = ::recv(fd, out + got, n - got, 0);
+    if (r <= 0) return false;
+    got += static_cast<std::size_t>(r);
+  }
+  return true;
+}
+
+bool write_full(int fd, const Octet* data, std::size_t n) {
+  std::size_t sent = 0;
+  while (sent < n) {
+    const ssize_t r = ::send(fd, data + sent, n - sent, MSG_NOSIGNAL);
+    if (r <= 0) return false;
+    sent += static_cast<std::size_t>(r);
+  }
+  return true;
+}
+
+}  // namespace
+
+TcpTransport::TcpTransport(UShort port, const sim::Testbed* testbed) : testbed_(testbed) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) throw CommFailure("TcpTransport: socket() failed");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(listen_fd_);
+    throw CommFailure("TcpTransport: bind(127.0.0.1:" + std::to_string(port) +
+                      ") failed: " + std::strerror(errno));
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+  if (::listen(listen_fd_, 64) != 0) {
+    ::close(listen_fd_);
+    throw CommFailure("TcpTransport: listen() failed");
+  }
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+TcpTransport::~TcpTransport() { shutdown(); }
+
+void TcpTransport::shutdown() {
+  bool expected = false;
+  if (!stopping_.compare_exchange_strong(expected, true)) return;
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  ::close(listen_fd_);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (int fd : reader_fds_) ::shutdown(fd, SHUT_RDWR);
+    for (auto& [key, conn] : connections_) {
+      ::shutdown(conn->fd, SHUT_RDWR);
+      ::close(conn->fd);
+    }
+    connections_.clear();
+  }
+  for (auto& t : readers_)
+    if (t.joinable()) t.join();
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (int fd : reader_fds_) ::close(fd);
+  reader_fds_.clear();
+}
+
+void TcpTransport::accept_loop() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (stopping_.load()) return;
+      if (errno == EINTR) continue;
+      PARDIS_LOG(kWarn, "tcp") << "accept failed: " << std::strerror(errno);
+      return;
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_.load()) {
+      ::close(fd);
+      return;
+    }
+    reader_fds_.push_back(fd);
+    readers_.emplace_back([this, fd] { reader_loop(fd); });
+  }
+}
+
+void TcpTransport::reader_loop(int fd) {
+  for (;;) {
+    Octet header[kHeaderSize];
+    if (!read_full(fd, header, kHeaderSize)) return;
+    const bool little = header[0] != 0;
+    CdrReader r(std::span<const Octet>(header, kHeaderSize), little);
+    r.read_octet();  // byte-order flag
+    const ULong payload_len = r.read_ulong();
+    const ULongLong dst_ep = r.read_ulonglong();
+    const ULong handler = r.read_ulong();
+    const Double time = r.read_double();
+
+    ByteBuffer payload;
+    if (payload_len > 0) {
+      payload.grow(payload_len);
+      if (!read_full(fd, payload.data(), payload_len)) return;
+    }
+
+    std::shared_ptr<Endpoint> ep;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      auto it = endpoints_.find(dst_ep);
+      if (it != endpoints_.end()) ep = it->second.lock();
+    }
+    if (!ep) {
+      PARDIS_LOG(kWarn, "tcp") << "RSR for unknown endpoint " << dst_ep << ", dropped";
+      continue;  // one-way semantics: drop
+    }
+    RsrMessage msg;
+    msg.handler = handler;
+    msg.sim_time = time;
+    msg.little_endian = little;
+    msg.payload = std::move(payload);
+    ep->enqueue(std::move(msg));
+  }
+}
+
+std::shared_ptr<Endpoint> TcpTransport::create_endpoint(const std::string& host_model) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  EndpointAddr addr;
+  addr.kind = AddrKind::kTcp;
+  addr.host_model = host_model;
+  addr.tcp_host = "127.0.0.1";
+  addr.tcp_port = port_;
+  addr.tcp_ep = next_ep_++;
+  auto ep = std::make_shared<Endpoint>(addr);
+  endpoints_[addr.tcp_ep] = ep;
+  return ep;
+}
+
+std::shared_ptr<TcpTransport::Connection> TcpTransport::connect_to(const std::string& host,
+                                                                   UShort port) {
+  const std::string key = host + ":" + std::to_string(port);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = connections_.find(key);
+    if (it != connections_.end()) return it->second;
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw CommFailure("TcpTransport: socket() failed");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    throw BadParam("TcpTransport: bad address " + host);
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    throw CommFailure("TcpTransport: connect to " + key +
+                      " failed: " + std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  auto conn = std::make_shared<Connection>();
+  conn->fd = fd;
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto [it, inserted] = connections_.try_emplace(key, conn);
+  if (!inserted) {
+    ::close(fd);  // lost a benign race; reuse the existing connection
+    return it->second;
+  }
+  return conn;
+}
+
+void TcpTransport::rsr(const EndpointAddr& dst, HandlerId handler, ByteBuffer payload,
+                       const std::string& src_host_model) {
+  if (dst.kind != AddrKind::kTcp) throw BadParam("TcpTransport: destination is not tcp");
+  double delay = 0.0;
+  if (testbed_ != nullptr && !src_host_model.empty() && !dst.host_model.empty())
+    delay = testbed_->link(src_host_model, dst.host_model).delay(payload.size());
+  // The modeled transfer occupies the sending thread (see
+  // LocalTransport::rsr for the rationale).
+  sim::charge_seconds(delay);
+
+  ByteBuffer frame;
+  frame.reserve(kHeaderSize + payload.size());
+  CdrWriter w(frame);
+  w.write_octet(kNativeLittleEndian ? 1 : 0);
+  w.write_ulong(static_cast<ULong>(payload.size()));
+  w.write_ulonglong(dst.tcp_ep);
+  w.write_ulong(handler);
+  w.write_double(sim::timestamp_now());
+  require(frame.size() == kHeaderSize, "tcp frame header size drifted");
+  frame.append(payload.view());
+
+  auto conn = connect_to(dst.tcp_host, dst.tcp_port);
+  std::lock_guard<std::mutex> lock(conn->write_mutex);
+  if (!write_full(conn->fd, frame.data(), frame.size()))
+    throw CommFailure("TcpTransport: send to " + dst.to_string() + " failed");
+}
+
+}  // namespace pardis::transport

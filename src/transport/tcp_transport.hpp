@@ -1,0 +1,67 @@
+// TCP implementation of the transport: proves the ORB protocol works
+// across real address spaces (separate processes on one node, as in
+// the paper's SGI/SP2 testbed front ends).
+//
+// Wire format per RSR (one-way, no acks — TCP provides reliability):
+//   32-byte header: [octet byte-order][u32 payload len][u64 dst endpoint]
+//                   [u32 handler][f64 virtual timestamp]  (CDR aligned)
+//   followed by `payload len` bytes of CDR payload.
+#pragma once
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "transport/transport.hpp"
+
+namespace pardis::transport {
+
+class TcpTransport final : public Transport {
+ public:
+  /// Binds 127.0.0.1:`port` (0 = ephemeral) and starts the accept
+  /// thread. `testbed` (optional, unowned) supplies link costs.
+  explicit TcpTransport(UShort port = 0, const sim::Testbed* testbed = nullptr);
+  ~TcpTransport() override;
+
+  TcpTransport(const TcpTransport&) = delete;
+  TcpTransport& operator=(const TcpTransport&) = delete;
+
+  UShort port() const noexcept { return port_; }
+
+  std::shared_ptr<Endpoint> create_endpoint(const std::string& host_model) override;
+  void rsr(const EndpointAddr& dst, HandlerId handler, ByteBuffer payload,
+           const std::string& src_host_model) override;
+
+  /// Stops the accept loop and closes every connection. Called by the
+  /// destructor; idempotent.
+  void shutdown();
+
+ private:
+  struct Connection {
+    int fd = -1;
+    std::mutex write_mutex;
+  };
+
+  void accept_loop();
+  void reader_loop(int fd);
+  std::shared_ptr<Connection> connect_to(const std::string& host, UShort port);
+
+  const sim::Testbed* testbed_;
+  int listen_fd_ = -1;
+  UShort port_ = 0;
+  std::thread accept_thread_;
+  std::atomic<bool> stopping_{false};
+
+  std::mutex mutex_;
+  ULongLong next_ep_ = 1;
+  std::map<ULongLong, std::weak_ptr<Endpoint>> endpoints_;
+  std::map<std::string, std::shared_ptr<Connection>> connections_;  // "host:port"
+  std::vector<std::thread> readers_;
+  std::vector<int> reader_fds_;
+};
+
+}  // namespace pardis::transport

@@ -1,0 +1,47 @@
+#include "transport/transport.hpp"
+
+#include "common/log.hpp"
+#include "sim/clock.hpp"
+
+namespace pardis::transport {
+
+std::shared_ptr<Endpoint> LocalTransport::create_endpoint(const std::string& host_model) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  EndpointAddr addr;
+  addr.kind = AddrKind::kLocal;
+  addr.host_model = host_model;
+  addr.local_id = next_id_++;
+  auto ep = std::make_shared<Endpoint>(addr);
+  endpoints_[addr.local_id] = ep;
+  return ep;
+}
+
+void LocalTransport::rsr(const EndpointAddr& dst, HandlerId handler, ByteBuffer payload,
+                         const std::string& src_host_model) {
+  if (dst.kind != AddrKind::kLocal)
+    throw BadParam("LocalTransport: destination is not a local address");
+  std::shared_ptr<Endpoint> ep;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = endpoints_.find(dst.local_id);
+    if (it != endpoints_.end()) ep = it->second.lock();
+  }
+  if (!ep || ep->closed())
+    throw CommFailure("LocalTransport: no endpoint at " + dst.to_string());
+
+  RsrMessage msg;
+  msg.handler = handler;
+  msg.little_endian = kNativeLittleEndian;
+  double delay = 0.0;
+  if (testbed_ != nullptr && !src_host_model.empty() && !dst.host_model.empty())
+    delay = testbed_->link(src_host_model, dst.host_model).delay(payload.size());
+  // The send occupies the sending thread for the transfer (the paper's
+  // non-oneway sends: "the time of send began to approach the
+  // execution time of this relatively lightweight application", §4.3).
+  sim::charge_seconds(delay);
+  msg.sim_time = sim::timestamp_now();
+  msg.payload = std::move(payload);
+  ep->enqueue(std::move(msg));
+}
+
+}  // namespace pardis::transport

@@ -1,0 +1,53 @@
+// Transport interface + the in-process loopback implementation.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "sim/testbed.hpp"
+#include "transport/endpoint.hpp"
+
+namespace pardis::transport {
+
+/// Sending side of the transport abstraction. Implementations deliver
+/// one-way RSRs; reliability within a process/localhost is assumed
+/// (matching the paper's dedicated testbed links).
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Creates an endpoint hosted on modeled host `host_model` (may be
+  /// empty when unmodeled). The endpoint stays valid until released.
+  virtual std::shared_ptr<Endpoint> create_endpoint(const std::string& host_model) = 0;
+
+  /// Fires a one-way remote service request. `src_host_model` names
+  /// the sending host for link-cost lookup.
+  virtual void rsr(const EndpointAddr& dst, HandlerId handler, ByteBuffer payload,
+                   const std::string& src_host_model) = 0;
+};
+
+/// In-process transport: endpoints live in a process-wide registry and
+/// delivery is a queue push. Used for same-process metaapplications and
+/// for all virtual-time benchmarks (the link model supplies the cost).
+class LocalTransport final : public Transport {
+ public:
+  /// `testbed` (optional, unowned) supplies link cost models; it must
+  /// outlive the transport.
+  explicit LocalTransport(const sim::Testbed* testbed = nullptr) : testbed_(testbed) {}
+
+  std::shared_ptr<Endpoint> create_endpoint(const std::string& host_model) override;
+  void rsr(const EndpointAddr& dst, HandlerId handler, ByteBuffer payload,
+           const std::string& src_host_model) override;
+
+  const sim::Testbed* testbed() const noexcept { return testbed_; }
+
+ private:
+  const sim::Testbed* testbed_;
+  std::mutex mutex_;
+  ULongLong next_id_ = 1;
+  std::map<ULongLong, std::weak_ptr<Endpoint>> endpoints_;
+};
+
+}  // namespace pardis::transport

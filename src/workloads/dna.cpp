@@ -1,0 +1,146 @@
+#include "workloads/dna.hpp"
+
+#include <random>
+
+#include "common/error.hpp"
+
+namespace pardis::workloads {
+
+const char* edit_kind_name(EditKind kind) noexcept {
+  switch (kind) {
+    case EditKind::kExact: return "exact";
+    case EditKind::kTransposition: return "transposition";
+    case EditKind::kDeletion: return "deletion";
+    case EditKind::kSubstitution: return "substitution";
+    case EditKind::kAddition: return "addition";
+  }
+  return "?";
+}
+
+std::vector<std::string> make_dna_database(std::size_t count, std::size_t min_len,
+                                           std::size_t max_len, std::uint64_t seed) {
+  if (min_len == 0 || max_len < min_len) throw BadParam("make_dna_database: bad lengths");
+  static constexpr char kBases[] = {'A', 'C', 'G', 'T'};
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<std::size_t> len(min_len, max_len);
+  std::uniform_int_distribution<int> base(0, 3);
+  std::vector<std::string> db(count);
+  for (auto& s : db) {
+    s.resize(len(rng));
+    for (char& c : s) c = kBases[base(rng)];
+  }
+  return db;
+}
+
+bool matches_exact(const std::string& seq, const std::string& pattern) {
+  return seq.find(pattern) != std::string::npos;
+}
+
+bool matches_transposition(const std::string& seq, const std::string& pattern) {
+  std::string v = seq;
+  for (std::size_t i = 0; i + 1 < v.size(); ++i) {
+    std::swap(v[i], v[i + 1]);
+    if (matches_exact(v, pattern)) return true;
+    std::swap(v[i], v[i + 1]);
+  }
+  return false;
+}
+
+bool matches_deletion(const std::string& seq, const std::string& pattern) {
+  if (seq.size() <= 1) return false;
+  for (std::size_t i = 0; i < seq.size(); ++i) {
+    std::string v = seq.substr(0, i) + seq.substr(i + 1);
+    if (matches_exact(v, pattern)) return true;
+  }
+  return false;
+}
+
+bool matches_substitution(const std::string& seq, const std::string& pattern) {
+  // One character of seq replaced by anything: pattern occurs in a
+  // window of seq with at most one mismatch.
+  const std::size_t m = pattern.size();
+  if (m == 0 || m > seq.size()) return false;
+  for (std::size_t start = 0; start + m <= seq.size(); ++start) {
+    std::size_t mismatches = 0;
+    for (std::size_t j = 0; j < m && mismatches <= 1; ++j)
+      if (seq[start + j] != pattern[j]) ++mismatches;
+    if (mismatches <= 1) return true;
+  }
+  return false;
+}
+
+bool matches_addition(const std::string& seq, const std::string& pattern) {
+  // One character inserted into seq: pattern occurs with one gap in
+  // the sequence (pattern split into a prefix/suffix around one
+  // inserted base), or trivially if it already occurs.
+  if (matches_exact(seq, pattern)) return true;
+  static constexpr char kBases[] = {'A', 'C', 'G', 'T'};
+  for (std::size_t i = 0; i <= seq.size(); ++i) {
+    for (char b : kBases) {
+      std::string v = seq.substr(0, i) + b + seq.substr(i);
+      if (matches_exact(v, pattern)) return true;
+    }
+  }
+  return false;
+}
+
+bool matches(const std::string& seq, const std::string& pattern, EditKind kind) {
+  switch (kind) {
+    case EditKind::kExact: return matches_exact(seq, pattern);
+    case EditKind::kTransposition: return matches_transposition(seq, pattern);
+    case EditKind::kDeletion: return matches_deletion(seq, pattern);
+    case EditKind::kSubstitution: return matches_substitution(seq, pattern);
+    case EditKind::kAddition: return matches_addition(seq, pattern);
+  }
+  throw BadParam("matches: bad edit kind");
+}
+
+std::vector<std::string> search_range(const std::vector<std::string>& db, std::size_t first,
+                                      std::size_t last, const std::string& pattern,
+                                      EditKind kind) {
+  if (last > db.size() || first > last) throw BadParam("search_range: bad range");
+  std::vector<std::string> out;
+  for (std::size_t i = first; i < last; ++i)
+    if (matches(db[i], pattern, kind)) out.push_back(db[i]);
+  return out;
+}
+
+double match_flops(std::size_t seq_len, std::size_t pattern_len, EditKind kind) {
+  const double base = static_cast<double>(seq_len) * static_cast<double>(pattern_len);
+  switch (kind) {
+    case EditKind::kExact: return base;
+    case EditKind::kTransposition: return base * static_cast<double>(seq_len);
+    case EditKind::kDeletion: return base * static_cast<double>(seq_len);
+    case EditKind::kSubstitution: return 2.0 * base;
+    case EditKind::kAddition: return 4.0 * base * static_cast<double>(seq_len);
+  }
+  return base;
+}
+
+double query_weight(EditKind kind) noexcept {
+  switch (kind) {
+    case EditKind::kExact: return 1.0;
+    case EditKind::kTransposition: return 3.0;
+    case EditKind::kDeletion: return 3.0;
+    case EditKind::kSubstitution: return 2.0;
+    case EditKind::kAddition: return 4.0;
+  }
+  return 1.0;
+}
+
+double total_query_weight() noexcept {
+  double total = 0.0;
+  for (int k = 0; k < kEditKindCount; ++k)
+    total += query_weight(static_cast<EditKind>(k));
+  return total;
+}
+
+double search_flops(const std::vector<std::string>& db, std::size_t first, std::size_t last,
+                    std::size_t pattern_len, EditKind kind) {
+  double total = 0.0;
+  for (std::size_t i = first; i < last; ++i)
+    total += match_flops(db[i].size(), pattern_len, kind);
+  return total;
+}
+
+}  // namespace pardis::workloads

@@ -1,0 +1,67 @@
+// Synthetic DNA-database workload for the paper's §4.2 experiment: an
+// SPMD object searches the database for sequences containing a
+// substring or whose single-edit derivatives (transposition, deletion,
+// substitution, addition) contain it; five list-server objects expose
+// the per-category partial results.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pardis::workloads {
+
+/// Match categories, in the paper's order: one exact list plus one per
+/// edit-distance derivative.
+enum class EditKind : int {
+  kExact = 0,
+  kTransposition = 1,
+  kDeletion = 2,
+  kSubstitution = 3,
+  kAddition = 4,
+};
+
+inline constexpr int kEditKindCount = 5;
+const char* edit_kind_name(EditKind kind) noexcept;
+
+/// Reproducible database of ACGT strings with lengths in
+/// [min_len, max_len].
+std::vector<std::string> make_dna_database(std::size_t count, std::size_t min_len,
+                                           std::size_t max_len, std::uint64_t seed);
+
+/// True when `pattern` occurs in `seq` exactly.
+bool matches_exact(const std::string& seq, const std::string& pattern);
+/// ... in some derivative of `seq` with two adjacent characters swapped.
+bool matches_transposition(const std::string& seq, const std::string& pattern);
+/// ... with one character of `seq` deleted.
+bool matches_deletion(const std::string& seq, const std::string& pattern);
+/// ... with one character of `seq` substituted.
+bool matches_substitution(const std::string& seq, const std::string& pattern);
+/// ... with one character inserted into `seq`.
+bool matches_addition(const std::string& seq, const std::string& pattern);
+
+bool matches(const std::string& seq, const std::string& pattern, EditKind kind);
+
+/// Sequences of `db[first, last)` matching under `kind`.
+std::vector<std::string> search_range(const std::vector<std::string>& db, std::size_t first,
+                                      std::size_t last, const std::string& pattern,
+                                      EditKind kind);
+
+/// Modeled cost of matching one sequence, in flops. The kinds have
+/// different weights — the reason the paper's Fig. 4 "balance by
+/// numbers, not weight" placement dips at 3 processors.
+double match_flops(std::size_t seq_len, std::size_t pattern_len, EditKind kind);
+
+/// Modeled cost of a whole-range scan.
+double search_flops(const std::vector<std::string>& db, std::size_t first, std::size_t last,
+                    std::size_t pattern_len, EditKind kind);
+
+/// Relative cost of one list-server query per kind (§4.2: "different
+/// list servers take different time to process client's queries").
+/// exact:1, transposition:3, deletion:3, substitution:2, addition:4.
+double query_weight(EditKind kind) noexcept;
+
+/// Sum of the five query weights.
+double total_query_weight() noexcept;
+
+}  // namespace pardis::workloads

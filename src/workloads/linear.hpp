@@ -1,0 +1,50 @@
+// Dense linear-system workloads for the paper's §4.1 experiment: the
+// same system solved by a direct method (Gaussian elimination) and an
+// iterative method (Jacobi), plus the flop-count formulas the virtual
+// clock charges.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace pardis::workloads {
+
+struct DenseSystem {
+  std::size_t n = 0;
+  std::vector<std::vector<double>> a;  ///< rows (matches the IDL `matrix` shape)
+  std::vector<double> b;
+  std::vector<double> x_true;
+};
+
+/// Reproducible diagonally-dominant system with known solution
+/// (guarantees Jacobi convergence).
+DenseSystem make_system(std::size_t n, std::uint64_t seed);
+
+/// Gaussian elimination with partial pivoting; returns x.
+std::vector<double> gaussian_solve(std::vector<std::vector<double>> a, std::vector<double> b);
+
+struct JacobiResult {
+  std::vector<double> x;
+  std::size_t iterations = 0;
+  double residual = 0.0;  ///< max-norm of the final update
+};
+
+/// Jacobi iteration until the max-norm update falls below `tol`.
+JacobiResult jacobi_solve(const std::vector<std::vector<double>>& a,
+                          const std::vector<double>& b, double tol,
+                          std::size_t max_iterations = 100000);
+
+/// max_i |x1[i] - x2[i]| (the client's agreement metric in §4.1).
+double max_abs_diff(const std::vector<double>& x1, const std::vector<double>& x2);
+
+/// Modeled work: ~2/3 n^3 flops for elimination plus back substitution.
+double gaussian_flops(std::size_t n);
+
+/// Modeled work: ~2 n^2 flops per Jacobi sweep.
+double jacobi_flops(std::size_t n, std::size_t iterations);
+
+/// Iterations Jacobi needs on make_system matrices — used to charge
+/// virtual time consistently with the real run.
+std::size_t jacobi_iterations_estimate(std::size_t n, double tol);
+
+}  // namespace pardis::workloads

@@ -1,0 +1,106 @@
+// Buffers, errors, ids, logging thresholds.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "common/buffer.hpp"
+#include "common/error.hpp"
+#include "common/ids.hpp"
+#include "common/log.hpp"
+
+namespace pardis {
+namespace {
+
+TEST(ByteBuffer, GrowAppendAndClone) {
+  ByteBuffer b;
+  EXPECT_TRUE(b.empty());
+  Octet* p = b.grow(4);
+  p[0] = 1;
+  p[3] = 4;
+  const Octet more[2] = {9, 8};
+  b.append_raw(more, 2);
+  EXPECT_EQ(b.size(), 6u);
+  ByteBuffer c = b.clone();
+  EXPECT_EQ(c, b);
+  c.mutable_view()[0] = 42;
+  EXPECT_NE(c, b);  // clone is independent storage
+}
+
+TEST(ByteBuffer, FromSpanCopies) {
+  std::vector<Octet> src{1, 2, 3};
+  ByteBuffer b = ByteBuffer::from(src);
+  src[0] = 99;
+  EXPECT_EQ(b.view()[0], 1);
+}
+
+TEST(ByteBuffer, MoveLeavesSourceReusable) {
+  ByteBuffer a;
+  a.grow(16);
+  ByteBuffer b = std::move(a);
+  EXPECT_EQ(b.size(), 16u);
+  a.clear();
+  a.grow(2);
+  EXPECT_EQ(a.size(), 2u);
+}
+
+TEST(Errors, CodesAndNames) {
+  EXPECT_STREQ(error_code_name(ErrorCode::kCommFailure), "COMM_FAILURE");
+  EXPECT_STREQ(error_code_name(ErrorCode::kObjectNotExist), "OBJECT_NOT_EXIST");
+  try {
+    throw MarshalError("truncated reply");
+  } catch (const SystemException& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kMarshal);
+    EXPECT_NE(std::string(e.what()).find("MARSHAL"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("truncated reply"), std::string::npos);
+  }
+}
+
+TEST(Errors, RequireThrowsInternal) {
+  EXPECT_NO_THROW(require(true, "fine"));
+  EXPECT_THROW(require(false, "broken invariant"), InternalError);
+}
+
+TEST(Errors, HierarchyCatchableAsSystemException) {
+  EXPECT_THROW(
+      { throw ObjectNotExist("nobody home"); }, SystemException);
+  EXPECT_THROW(
+      { throw BadTag("reserved"); }, SystemException);
+}
+
+TEST(Ids, MonotoneAndUniqueAcrossThreads) {
+  constexpr int kPerThread = 1000;
+  std::vector<std::vector<ObjectId>> per_thread(4);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t)
+    threads.emplace_back([&per_thread, t] {
+      for (int i = 0; i < kPerThread; ++i) per_thread[t].push_back(ObjectId::next());
+    });
+  for (auto& t : threads) t.join();
+  std::set<ObjectId> all;
+  for (const auto& v : per_thread)
+    for (const auto& id : v) {
+      EXPECT_TRUE(id.valid());
+      EXPECT_TRUE(all.insert(id).second) << "duplicate " << id.to_string();
+    }
+  EXPECT_EQ(all.size(), 4u * kPerThread);
+}
+
+TEST(Ids, RequestIdsDistinct) {
+  RequestId a = RequestId::next();
+  RequestId b = RequestId::next();
+  EXPECT_NE(a, b);
+  EXPECT_LT(a, b);
+}
+
+TEST(Log, ThresholdGatesOutput) {
+  const auto old = log::level();
+  log::set_level(log::Level::kError);
+  EXPECT_FALSE(log::enabled(log::Level::kDebug));
+  EXPECT_TRUE(log::enabled(log::Level::kError));
+  log::set_level(old);
+}
+
+}  // namespace
+}  // namespace pardis

@@ -1,0 +1,367 @@
+// End-to-end ORB tests over the hand-written calc stub/skeleton —
+// single and SPMD objects, blocking and non-blocking invocations,
+// distributed arguments, sequencing, collocation, error paths, TCP.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <future>
+#include <numeric>
+
+#include "tests/support/calc_api.hpp"
+
+namespace pardis::core {
+namespace {
+
+using calc_api::POA_calc;
+using calc_api::vec;
+using calc_api::vec_var;
+
+/// Test servant. For SPMD activation one instance lives on each server
+/// thread; cross-thread state (counter, note log) is shared.
+class CalcImpl : public POA_calc {
+ public:
+  struct Shared {
+    std::atomic<Long> counter{0};
+    std::mutex mutex;
+    std::vector<Long> counter_log;
+    std::vector<std::string> notes;
+  };
+
+  CalcImpl(Shared& shared, rts::Communicator* comm) : shared_(&shared), comm_(comm) {}
+
+  double dot(const vec& a, const vec& b) override {
+    if (a.size() != b.size()) throw BadParam("dot: length mismatch");
+    double local = 0.0;
+    for (std::size_t i = 0; i < a.local_size(); ++i) local += a.local()[i] * b.local()[i];
+    // b may be distributed differently than a; accumulate via a's layout
+    // only when the layouts agree — otherwise go through gather_all.
+    if (!(a.distribution() == b.distribution())) {
+      auto av = a.gather_all();
+      auto bv = b.gather_all();
+      local = 0.0;
+      if (comm_ == nullptr || comm_->rank() == 0)
+        local = std::inner_product(av.begin(), av.end(), bv.begin(), 0.0);
+    }
+    return comm_ != nullptr ? rts::allreduce_sum(*comm_, local) : local;
+  }
+
+  void scale(double factor, const vec& v, vec& r) override {
+    if (v.size() != r.size()) throw BadParam("scale: result length mismatch");
+    // Write through location transparency: each rank fills its own
+    // part of r from (possibly remote) elements of v.
+    if (comm_ != nullptr) rts::barrier(*comm_);
+    for (std::size_t li = 0; li < r.local_size(); ++li) {
+      const std::size_t g = r.local_to_global(li);
+      r.local()[li] = factor * v[g];
+    }
+    if (comm_ != nullptr) rts::barrier(*comm_);
+  }
+
+  Long counter(Long delta) override {
+    // SPMD dispatch runs on every server thread; only rank 0 mutates
+    // the shared state (its return value is the one the client sees).
+    if (comm_ != nullptr && comm_->rank() != 0) return 0;
+    const Long value = shared_->counter.fetch_add(delta) + delta;
+    std::lock_guard<std::mutex> lock(shared_->mutex);
+    shared_->counter_log.push_back(delta);
+    return value;
+  }
+
+  void note(const std::string& msg) override {
+    if (comm_ != nullptr && comm_->rank() != 0) return;
+    std::lock_guard<std::mutex> lock(shared_->mutex);
+    shared_->notes.push_back(msg);
+  }
+
+  void boom(const std::string& msg) override { throw BadParam("boom: " + msg); }
+
+ private:
+  Shared* shared_;
+  rts::Communicator* comm_;
+};
+
+/// An SPMD calc server running in the background until destroyed.
+class CalcServer {
+ public:
+  CalcServer(Orb& orb, int nthreads, const std::string& name,
+             std::map<std::string, std::vector<DistSpec>> specs = {},
+             const sim::HostModel* host = nullptr, bool with_singles = false)
+      : domain_("calc-server", nthreads, host) {
+    std::promise<Poa*> poa_promise;
+    auto poa_future = poa_promise.get_future();
+    domain_.start([this, &orb, name, specs, with_singles, &poa_promise](
+                      rts::DomainContext& ctx) {
+      Poa poa(orb, ctx);
+      CalcImpl servant(shared_, &ctx.comm);
+      poa.activate_spmd(servant, name, specs);
+      CalcImpl single_servant(shared_, nullptr);
+      if (with_singles)
+        poa.activate_single(single_servant, name + ".single" + std::to_string(ctx.rank));
+      // All ranks' objects must be registered before the client is
+      // told the server is up.
+      rts::barrier(ctx.comm);
+      if (ctx.rank == 0) poa_promise.set_value(&poa);
+      poa.impl_is_ready();
+    });
+    poa_ = poa_future.get();
+  }
+
+  ~CalcServer() {
+    poa_->deactivate();
+    domain_.join();
+  }
+
+  CalcImpl::Shared& shared() { return shared_; }
+
+ private:
+  CalcImpl::Shared shared_;
+  rts::Domain domain_;
+  Poa* poa_ = nullptr;
+};
+
+vec make_seq(rts::Communicator& comm, std::size_t n, double scale_v = 1.0) {
+  vec s(comm, n);
+  for (std::size_t li = 0; li < s.local_size(); ++li)
+    s.local()[li] = scale_v * static_cast<double>(s.local_to_global(li));
+  return s;
+}
+
+class OrbFixture : public ::testing::Test {
+ protected:
+  transport::LocalTransport transport_;
+  InProcessRegistry registry_;
+  Orb orb_{transport_, registry_};
+};
+
+TEST_F(OrbFixture, SingleClientSingleObjectBlockingCalls) {
+  CalcServer server(orb_, 1, "calc1");
+  ClientCtx ctx(orb_);
+  auto proxy = calc_api::calc::_bind(ctx, "calc1", "");
+  EXPECT_EQ(proxy->counter(5), 5);
+  EXPECT_EQ(proxy->counter(3), 8);
+  EXPECT_EQ(proxy->counter(-8), 0);
+}
+
+TEST_F(OrbFixture, OnewayNoteIsDeliveredWithoutReply) {
+  CalcServer server(orb_, 1, "calc-ow");
+  ClientCtx ctx(orb_);
+  auto proxy = calc_api::calc::_bind(ctx, "calc-ow", "");
+  proxy->note("fire and forget");
+  proxy->note("second");
+  // A blocking call afterwards acts as a fence: sequencing guarantees
+  // the oneways dispatched first.
+  proxy->counter(1);
+  std::lock_guard<std::mutex> lock(server.shared().mutex);
+  ASSERT_EQ(server.shared().notes.size(), 2u);
+  EXPECT_EQ(server.shared().notes[0], "fire and forget");
+  EXPECT_EQ(server.shared().notes[1], "second");
+}
+
+TEST_F(OrbFixture, ServerExceptionPropagatesToClient) {
+  CalcServer server(orb_, 1, "calc-err");
+  ClientCtx ctx(orb_);
+  auto proxy = calc_api::calc::_bind(ctx, "calc-err", "");
+  try {
+    proxy->boom("kapow");
+    FAIL() << "expected BadParam";
+  } catch (const BadParam& e) {
+    EXPECT_NE(std::string(e.what()).find("kapow"), std::string::npos);
+  }
+  // The binding stays usable after a failed invocation.
+  EXPECT_EQ(proxy->counter(2), 2);
+}
+
+TEST_F(OrbFixture, UnknownOperationIsNoImplement) {
+  CalcServer server(orb_, 1, "calc-noimpl");
+  ClientCtx ctx(orb_);
+  auto proxy = calc_api::calc::_bind(ctx, "calc-noimpl", "");
+  EXPECT_THROW(proxy->bogus_op(), NoImplement);
+}
+
+TEST_F(OrbFixture, BindToUnknownNameThrowsObjectNotExist) {
+  ClientCtx ctx(orb_);
+  EXPECT_THROW(
+      calc_api::calc::_bind(ctx, "nobody", ""),
+      ObjectNotExist);
+}
+
+TEST_F(OrbFixture, SpmdClientSpmdServerDistributedDot) {
+  CalcServer server(orb_, 4, "calc-spmd");
+  rts::Domain client("client", 3);
+  client.run([&](rts::DomainContext& dctx) {
+    ClientCtx ctx(orb_, dctx);
+    auto proxy = calc_api::calc::_spmd_bind(ctx, "calc-spmd", "");
+    constexpr std::size_t kN = 100;
+    vec a = make_seq(dctx.comm, kN);
+    vec b = make_seq(dctx.comm, kN, 2.0);
+    double expected = 0.0;
+    for (std::size_t i = 0; i < kN; ++i)
+      expected += static_cast<double>(i) * 2.0 * static_cast<double>(i);
+    EXPECT_DOUBLE_EQ(proxy->dot(a, b), expected);
+  });
+}
+
+TEST_F(OrbFixture, DistributedOutArgumentRoundTrip) {
+  // v transferred to a CONCENTRATED server-side layout, result comes
+  // back CYCLIC on the server but BLOCK on the client.
+  std::map<std::string, std::vector<DistSpec>> specs{
+      {"scale", {DistSpec::concentrated(0), DistSpec::cyclic(4)}}};
+  CalcServer server(orb_, 4, "calc-dist", specs);
+  rts::Domain client("client", 2);
+  client.run([&](rts::DomainContext& dctx) {
+    ClientCtx ctx(orb_, dctx);
+    auto proxy = calc_api::calc::_spmd_bind(ctx, "calc-dist", "");
+    constexpr std::size_t kN = 57;
+    vec v = make_seq(dctx.comm, kN);
+    vec r(dctx.comm, kN);  // expected out, BLOCK by default
+    proxy->scale(2.5, v, r);
+    for (std::size_t li = 0; li < r.local_size(); ++li) {
+      const std::size_t g = r.local_to_global(li);
+      EXPECT_DOUBLE_EQ(r.local()[li], 2.5 * static_cast<double>(g));
+    }
+  });
+}
+
+TEST_F(OrbFixture, NonBlockingFuturesResolveTogether) {
+  CalcServer server(orb_, 2, "calc-nb");
+  rts::Domain client("client", 2);
+  client.run([&](rts::DomainContext& dctx) {
+    ClientCtx ctx(orb_, dctx);
+    auto proxy = calc_api::calc::_spmd_bind(ctx, "calc-nb", "");
+    constexpr std::size_t kN = 40;
+    vec v = make_seq(dctx.comm, kN);
+    auto r = std::make_shared<vec>(dctx.comm, kN);
+    FutureVoid done;
+    proxy->scale_nb(3.0, v, r, done);
+
+    Future<double> d;
+    vec b = make_seq(dctx.comm, kN);
+    proxy->dot_nb(v, b, d);
+
+    // Poll until resolved (paper: "the programmer may poll on a future").
+    while (!done.resolved() || !d.resolved()) std::this_thread::yield();
+    done.get();
+    for (std::size_t li = 0; li < r->local_size(); ++li)
+      EXPECT_DOUBLE_EQ(r->local()[li],
+                       3.0 * static_cast<double>(r->local_to_global(li)));
+    double expected = 0.0;
+    for (std::size_t i = 0; i < kN; ++i)
+      expected += static_cast<double>(i) * static_cast<double>(i);
+    EXPECT_DOUBLE_EQ(d.get(), expected);
+  });
+}
+
+TEST_F(OrbFixture, ImplicitFutureConversionBlocks) {
+  CalcServer server(orb_, 1, "calc-conv");
+  ClientCtx ctx(orb_);
+  auto proxy = calc_api::calc::_bind(ctx, "calc-conv", "");
+  Future<Long> f;
+  proxy->counter_nb(7, f);
+  const Long v = f;  // ABC++-style implicit blocking read
+  EXPECT_EQ(v, 7);
+}
+
+TEST_F(OrbFixture, SequencePreservedAcrossNonBlockingInvocations) {
+  CalcServer server(orb_, 2, "calc-seq");
+  ClientCtx ctx(orb_);
+  auto proxy = calc_api::calc::_bind(ctx, "calc-seq", "");
+  std::vector<Future<Long>> futures(20);
+  for (int i = 0; i < 20; ++i) proxy->counter_nb(i, futures[static_cast<std::size_t>(i)]);
+  for (auto& f : futures) f.get();
+  std::lock_guard<std::mutex> lock(server.shared().mutex);
+  ASSERT_EQ(server.shared().counter_log.size(), 20u);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(server.shared().counter_log[static_cast<std::size_t>(i)], i);
+}
+
+TEST_F(OrbFixture, UnresolvedFutureReadOfUnboundThrows) {
+  Future<Long> f;
+  EXPECT_THROW(f.get(), BadInvOrder);
+}
+
+TEST_F(OrbFixture, SingleObjectsDistributedOverParallelServer) {
+  // The §4.2 pattern: single objects owned by different threads of one
+  // parallel server, each independently callable. The server runs on a
+  // modeled host so the collocation bypass does not apply and requests
+  // take the POA single-object dispatch path.
+  sim::HostModel host{.name = "H", .gflops = 1.0};
+  CalcServer server(orb_, 4, "calc-par", {}, &host, /*with_singles=*/true);
+  ClientCtx ctx(orb_);
+  for (int r = 0; r < 4; ++r) {
+    auto proxy = calc_api::calc::_bind(ctx, "calc-par.single" + std::to_string(r), "");
+    const Long value = proxy->counter(1);
+    EXPECT_EQ(value, server.shared().counter.load());
+    EXPECT_EQ(value, r + 1);
+  }
+}
+
+TEST_F(OrbFixture, CollocatedSameDomainBindIsDirectCall) {
+  rts::Domain domain("both", 3);
+  domain.run([&](rts::DomainContext& dctx) {
+    Poa poa(orb_, dctx);
+    CalcImpl::Shared shared;  // per-thread shared is fine: direct calls only
+    CalcImpl servant(shared, &dctx.comm);
+    poa.activate_spmd(servant, "calc-colloc");
+
+    ClientCtx ctx(orb_, dctx);
+    auto proxy = calc_api::calc::_spmd_bind(ctx, "calc-colloc", "");
+    // Bypass applies: same process, same domain, matching width.
+    EXPECT_NE(proxy->_binding()->collocated_servant(), nullptr);
+    vec a = make_seq(dctx.comm, 30);
+    vec b = make_seq(dctx.comm, 30);
+    double expected = 0.0;
+    for (std::size_t i = 0; i < 30; ++i)
+      expected += static_cast<double>(i) * static_cast<double>(i);
+    EXPECT_DOUBLE_EQ(proxy->dot(a, b), expected);
+  });
+}
+
+TEST_F(OrbFixture, RemoteBindingIsNotCollocated) {
+  CalcServer server(orb_, 2, "calc-remote");
+  rts::Domain client("client", 2);
+  client.run([&](rts::DomainContext& dctx) {
+    ClientCtx ctx(orb_, dctx);
+    auto proxy = calc_api::calc::_spmd_bind(ctx, "calc-remote", "");
+    EXPECT_EQ(proxy->_binding()->collocated_servant(), nullptr);
+  });
+}
+
+TEST(OrbTcp, SpmdInvocationOverRealSockets) {
+  InProcessRegistry registry;
+  transport::TcpTransport server_tp(0);
+  transport::TcpTransport client_tp(0);
+  Orb server_orb(server_tp, registry);
+  Orb client_orb(client_tp, registry);
+
+  CalcServer server(server_orb, 2, "calc-tcp");
+  rts::Domain client("client", 2);
+  client.run([&](rts::DomainContext& dctx) {
+    ClientCtx ctx(client_orb, dctx);
+    auto proxy = calc_api::calc::_spmd_bind(ctx, "calc-tcp", "");
+    constexpr std::size_t kN = 64;
+    vec v = make_seq(dctx.comm, kN);
+    vec r(dctx.comm, kN);
+    proxy->scale(-1.0, v, r);
+    for (std::size_t li = 0; li < r.local_size(); ++li)
+      EXPECT_DOUBLE_EQ(r.local()[li],
+                       -1.0 * static_cast<double>(r.local_to_global(li)));
+  });
+}
+
+TEST_F(OrbFixture, ManyConcurrentClients) {
+  CalcServer server(orb_, 2, "calc-many");
+  std::vector<std::thread> clients;
+  std::atomic<Long> total{0};
+  for (int c = 0; c < 6; ++c)
+    clients.emplace_back([&] {
+      ClientCtx ctx(orb_);
+      auto proxy = calc_api::calc::_bind(ctx, "calc-many", "");
+      for (int i = 0; i < 10; ++i) proxy->counter(1);
+      total.fetch_add(10);
+    });
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(server.shared().counter.load(), 60);
+  EXPECT_EQ(total.load(), 60);
+}
+
+}  // namespace
+}  // namespace pardis::core

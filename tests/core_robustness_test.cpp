@@ -1,0 +1,385 @@
+// Robustness and regression tests for the ORB core: nested
+// process_requests dispatch (the §4.2 pattern), client disappearance,
+// IOR strings, protocol hardening, misuse of the skeleton API.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <future>
+#include <thread>
+
+#include "core/ior.hpp"
+#include "tests/support/calc_api.hpp"
+
+namespace pardis::core {
+namespace {
+
+using calc_api::POA_calc;
+using calc_api::vec;
+
+// ---------------------------------------------------------------------------
+// Regression: a long-running SPMD dispatch polls for requests while a
+// client keeps hammering single objects on every server thread. This
+// is the exact traffic pattern that exposed the dangling-key
+// sequencing bug in Poa::dispatch (single-object requests silently
+// stalled after a nested dispatch).
+// ---------------------------------------------------------------------------
+
+/// SPMD interface: one operation that busy-polls the POA.
+class PollServant : public ServantBase {
+ public:
+  PollServant(core::Poa& poa, rts::Communicator& comm) : poa_(&poa), comm_(&comm) {}
+  const char* _type_id() const override { return "IDL:poller:1.0"; }
+
+  void _dispatch(ServerInvocation& inv) override {
+    if (inv.operation() != "spin") throw NoImplement("poller: " + inv.operation());
+    const Long rounds = inv.in_value<Long>();
+    for (Long i = 0; i < rounds; ++i) {
+      poa_->process_requests();
+      std::this_thread::yield();
+    }
+    rts::barrier(*comm_);
+    inv.out_value(rounds);
+  }
+
+ private:
+  core::Poa* poa_;
+  rts::Communicator* comm_;
+};
+
+/// Single-object interface: a sequenced counter.
+class SeqCounterServant : public ServantBase {
+ public:
+  const char* _type_id() const override { return "IDL:seqcounter:1.0"; }
+
+  void _dispatch(ServerInvocation& inv) override {
+    if (inv.operation() != "next") throw NoImplement("seqcounter: " + inv.operation());
+    const Long expected = inv.in_value<Long>();
+    // The server-side counter must observe the client's invocation
+    // order exactly (PARDIS preserves invocation sequence per binding).
+    if (expected != count_)
+      throw BadParam("sequence broken: got " + std::to_string(expected) + " want " +
+                     std::to_string(count_));
+    ++count_;
+    inv.out_value(count_);
+  }
+
+ private:
+  Long count_ = 0;
+};
+
+TEST(PoaNestedDispatch, SinglesKeepSequencingUnderNestedPolling) {
+  transport::LocalTransport tp;
+  InProcessRegistry reg;
+  Orb orb(tp, reg);
+
+  constexpr int kServerThreads = 3;
+  rts::Domain server("nested", kServerThreads);
+  std::promise<Poa*> pp;
+  auto pf = pp.get_future();
+  server.start([&](rts::DomainContext& ctx) {
+    Poa poa(orb, ctx);
+    PollServant poller(poa, ctx.comm);
+    poa.activate_spmd(poller, "poller");
+    SeqCounterServant counter;
+    poa.activate_single(counter, "counter" + std::to_string(ctx.rank));
+    // Every rank's single object must be registered before the client
+    // is told the server is up.
+    rts::barrier(ctx.comm);
+    if (ctx.rank == 0) pp.set_value(&poa);
+    poa.impl_is_ready();
+  });
+  Poa* poa = pf.get();
+
+  for (int iteration = 0; iteration < 10; ++iteration) {
+    ClientCtx ctx(orb);
+    // Kick off the long-running SPMD spin.
+    auto spin_binding = ::pardis::core::bind(ctx, "poller", "", "IDL:poller:1.0");
+    ClientRequest spin_req(*spin_binding, "spin", false, false);
+    spin_req.in_value<Long>(50);
+    auto spin_pending = spin_req.invoke();
+    auto spin_out = std::make_shared<Long>();
+    spin_pending->set_decoder(
+        [spin_out](ReplyDecoder& d) { *spin_out = d.out_value<Long>(); });
+
+    // Meanwhile, strictly ordered traffic to every thread's single
+    // object; any lost or reordered dispatch turns into a BadParam.
+    std::vector<BindingPtr> counters;
+    for (int r = 0; r < kServerThreads; ++r)
+      counters.push_back(::pardis::core::bind(
+          ctx, "counter" + std::to_string(r), "", "IDL:seqcounter:1.0"));
+    const Long base = static_cast<Long>(iteration) * 20;
+    for (Long i = 0; i < 20; ++i) {
+      for (auto& b : counters) {
+        ClientRequest req(*b, "next", false, false);
+        req.in_value<Long>(base + i);
+        auto pending = req.invoke();
+        auto out = std::make_shared<Long>();
+        pending->set_decoder([out](ReplyDecoder& d) { *out = d.out_value<Long>(); });
+        pending->wait();
+        EXPECT_EQ(*out, base + i + 1);
+      }
+    }
+    spin_pending->wait();
+    EXPECT_EQ(*spin_out, 50);
+  }
+  poa->deactivate();
+  server.join();
+}
+
+// ---------------------------------------------------------------------------
+// Server survives a client that disappears with replies in flight.
+// ---------------------------------------------------------------------------
+
+class SlowServant : public POA_calc {
+ public:
+  double dot(const vec&, const vec&) override { return 0; }
+  void scale(double, const vec&, vec&) override {}
+  Long counter(Long d) override {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    return d;
+  }
+  void note(const std::string&) override {}
+  void boom(const std::string&) override {}
+};
+
+TEST(ClientDeath, ServerSurvivesUndeliverableReplies) {
+  transport::LocalTransport tp;
+  InProcessRegistry reg;
+  Orb orb(tp, reg);
+  rts::Domain server("survivor", 1);
+  std::promise<Poa*> pp;
+  auto pf = pp.get_future();
+  server.start([&](rts::DomainContext& ctx) {
+    Poa poa(orb, ctx);
+    SlowServant servant;
+    poa.activate_spmd(servant, "survivor-calc");
+    pp.set_value(&poa);
+    poa.impl_is_ready();
+  });
+  Poa* poa = pf.get();
+
+  {
+    // This client fires a request and dies before the reply arrives.
+    ClientCtx doomed(orb);
+    auto proxy = calc_api::calc::_bind(doomed, "survivor-calc");
+    Future<Long> f;
+    proxy->counter_nb(7, f);
+    // scope exit: endpoint closes while the servant is still sleeping
+  }
+  // The server must still answer a healthy client afterwards.
+  ClientCtx ctx(orb);
+  auto proxy = calc_api::calc::_bind(ctx, "survivor-calc");
+  EXPECT_EQ(proxy->counter(9), 9);
+
+  poa->deactivate();
+  server.join();
+}
+
+// ---------------------------------------------------------------------------
+// IOR strings and repository-less binding.
+// ---------------------------------------------------------------------------
+
+TEST(IorTest, RoundTripPreservesEverything) {
+  ObjectRef ref;
+  ref.type_id = "IDL:calc:1.0";
+  ref.name = "ior-test";
+  ref.host = "HOST2";
+  ref.object_id = ObjectId::next();
+  ref.spmd = true;
+  transport::EndpointAddr ep;
+  ep.kind = transport::AddrKind::kTcp;
+  ep.tcp_host = "127.0.0.1";
+  ep.tcp_port = 1234;
+  ep.tcp_ep = 5;
+  ref.thread_eps = {ep, ep};
+  ref.arg_specs["solve"] = {DistSpec::cyclic(8), DistSpec::concentrated(1)};
+
+  const std::string ior = object_to_string(ref);
+  EXPECT_EQ(ior.rfind("IOR:", 0), 0u);
+  EXPECT_EQ(string_to_object(ior), ref);
+}
+
+TEST(IorTest, MalformedInputsRejected) {
+  EXPECT_THROW(string_to_object("not-an-ior"), BadParam);
+  EXPECT_THROW(string_to_object("IOR:abc"), BadParam);   // odd length
+  EXPECT_THROW(string_to_object("IOR:zz"), BadParam);    // non-hex
+  EXPECT_THROW(string_to_object("IOR:0102"), MarshalError);  // truncated payload
+  EXPECT_THROW(object_to_string(ObjectRef{}), BadParam);
+}
+
+TEST(IorTest, BindObjectThroughStringifiedReference) {
+  transport::LocalTransport tp;
+  InProcessRegistry reg;
+  Orb orb(tp, reg);
+  rts::Domain server("ior-server", 2);
+  std::promise<Poa*> pp;
+  std::promise<std::string> ior_promise;
+  auto pf = pp.get_future();
+  auto ior_f = ior_promise.get_future();
+  server.start([&](rts::DomainContext& ctx) {
+    Poa poa(orb, ctx);
+    SlowServant servant;
+    ObjectRef ref = poa.activate_spmd(servant, "ior-calc");
+    if (ctx.rank == 0) {
+      ior_promise.set_value(object_to_string(ref));
+      pp.set_value(&poa);
+    }
+    poa.impl_is_ready();
+  });
+  Poa* poa = pf.get();
+  const std::string ior = ior_f.get();
+
+  // Bind with no repository lookup at all.
+  ClientCtx ctx(orb);
+  ObjectRef ref = string_to_object(ior);
+  auto binding = bind_object(ctx, ref, calc_api::kCalcTypeId);
+  ClientRequest req(*binding, "counter", false, false);
+  req.in_value<Long>(3);
+  auto pending = req.invoke();
+  auto out = std::make_shared<Long>();
+  pending->set_decoder([out](ReplyDecoder& d) { *out = d.out_value<Long>(); });
+  pending->wait();
+  EXPECT_EQ(*out, 3);
+
+  poa->deactivate();
+  server.join();
+}
+
+// ---------------------------------------------------------------------------
+// Protocol hardening.
+// ---------------------------------------------------------------------------
+
+TEST(ProtocolTest, RequestHeaderRoundTrip) {
+  RequestHeader h;
+  h.request_id = RequestId::next();
+  h.binding_id = 42;
+  h.seq_no = 7;
+  h.object_id = ObjectId::next();
+  h.operation = "solve";
+  h.flags = kFlagOneway | kFlagCollective;
+  h.client_rank = 2;
+  h.client_size = 4;
+  h.reply_to.kind = transport::AddrKind::kLocal;
+  h.reply_to.local_id = 99;
+
+  ByteBuffer buf;
+  CdrWriter w(buf);
+  h.marshal(w);
+  CdrReader r(buf.view());
+  RequestHeader back = RequestHeader::unmarshal(r);
+  EXPECT_EQ(back.request_id, h.request_id);
+  EXPECT_EQ(back.binding_id, h.binding_id);
+  EXPECT_EQ(back.seq_no, h.seq_no);
+  EXPECT_EQ(back.operation, "solve");
+  EXPECT_TRUE(back.oneway());
+  EXPECT_TRUE(back.collective());
+  EXPECT_EQ(back.client_rank, 2);
+  EXPECT_EQ(back.reply_to.local_id, 99u);
+}
+
+TEST(ProtocolTest, BadClientRankRejected) {
+  RequestHeader h;
+  h.operation = "x";
+  h.client_rank = 5;
+  h.client_size = 2;
+  ByteBuffer buf;
+  CdrWriter w(buf);
+  h.marshal(w);
+  CdrReader r(buf.view());
+  EXPECT_THROW(RequestHeader::unmarshal(r), MarshalError);
+}
+
+TEST(ProtocolTest, ReplyHeaderCarriesErrors) {
+  ReplyHeader h;
+  h.request_id = RequestId::next();
+  h.server_rank = 1;
+  h.server_size = 3;
+  h.status = ReplyStatus::kSystemException;
+  h.error_code = ErrorCode::kObjectNotExist;
+  h.error_message = "gone";
+  ByteBuffer buf;
+  CdrWriter w(buf);
+  h.marshal(w);
+  CdrReader r(buf.view());
+  ReplyHeader back = ReplyHeader::unmarshal(r);
+  EXPECT_EQ(back.status, ReplyStatus::kSystemException);
+  EXPECT_THROW(throw_reply_error(back), ObjectNotExist);
+}
+
+TEST(ProtocolTest, GarbageReplyStatusRejected) {
+  ByteBuffer buf;
+  CdrWriter w(buf);
+  w.write_ulonglong(1);
+  w.write_long(0);
+  w.write_long(1);
+  w.write_octet(99);  // invalid status
+  CdrReader r(buf.view());
+  EXPECT_THROW(ReplyHeader::unmarshal(r), MarshalError);
+}
+
+// ---------------------------------------------------------------------------
+// DistSpec edge cases.
+// ---------------------------------------------------------------------------
+
+TEST(DistSpecTest, InstantiateAdaptsToDomainWidth) {
+  // Concentrated root beyond the width clamps to 0.
+  DistSpec conc = DistSpec::concentrated(6);
+  EXPECT_EQ(conc.instantiate(100, 4).root(), 0);
+  DistSpec conc2 = DistSpec::concentrated(2);
+  EXPECT_EQ(conc2.instantiate(100, 4).root(), 2);
+
+  // Irregular proportions pad/truncate to the actual width.
+  DistSpec irr = DistSpec::irregular({1.0, 3.0});
+  dist::Distribution d = irr.instantiate(100, 4);
+  EXPECT_EQ(d.nranks(), 4);
+  EXPECT_EQ(d.global_size(), 100u);
+
+  // CDR round trip.
+  auto buf = cdr_encode(irr);
+  EXPECT_EQ(cdr_decode<DistSpec>(buf.view()), irr);
+}
+
+TEST(DistSpecTest, SpecForFallsBackToBlock) {
+  ObjectRef ref;
+  ref.arg_specs["solve"] = {DistSpec::cyclic(4)};
+  EXPECT_EQ(ref.spec_for("solve", 0).kind, dist::DistKind::kCyclic);
+  EXPECT_EQ(ref.spec_for("solve", 5).kind, dist::DistKind::kBlock);
+  EXPECT_EQ(ref.spec_for("nosuch", 0).kind, dist::DistKind::kBlock);
+}
+
+// ---------------------------------------------------------------------------
+// Collocation host rule: same process but different modeled host goes
+// through the transport.
+// ---------------------------------------------------------------------------
+
+TEST(CollocationRule, DifferentModeledHostIsNotCollocated) {
+  sim::Testbed tb = sim::Testbed::paper_testbed();
+  transport::LocalTransport tp(&tb);
+  InProcessRegistry reg;
+  Orb orb(tp, reg);
+  rts::Domain server("colloc-host", 1, tb.host(sim::Testbed::kHost2));
+  std::promise<Poa*> pp;
+  auto pf = pp.get_future();
+  server.start([&](rts::DomainContext& ctx) {
+    Poa poa(orb, ctx);
+    SlowServant servant;
+    poa.activate_spmd(servant, "far-calc");
+    pp.set_value(&poa);
+    poa.impl_is_ready();
+  });
+  Poa* poa = pf.get();
+
+  rts::Domain client("client", 1, tb.host(sim::Testbed::kHost1));
+  client.run([&](rts::DomainContext& dctx) {
+    ClientCtx ctx(orb, dctx);
+    auto proxy = calc_api::calc::_bind(ctx, "far-calc");
+    EXPECT_EQ(proxy->_binding()->collocated_servant(), nullptr);
+    EXPECT_EQ(proxy->counter(5), 5);
+  });
+
+  poa->deactivate();
+  server.join();
+}
+
+}  // namespace
+}  // namespace pardis::core

@@ -1,0 +1,112 @@
+// Property sweep over the distributed-argument transfer engine: every
+// (client width) x (server width) x (registered server-side spec)
+// combination must move `in` and `out` dsequences correctly.
+#include <gtest/gtest.h>
+
+#include <future>
+#include <tuple>
+
+#include "tests/support/calc_api.hpp"
+
+namespace pardis::core {
+namespace {
+
+using calc_api::POA_calc;
+using calc_api::vec;
+
+class ScaleImpl : public POA_calc {
+ public:
+  explicit ScaleImpl(rts::Communicator& comm) : comm_(&comm) {}
+
+  double dot(const vec& a, const vec& b) override {
+    double local = 0.0;
+    for (std::size_t i = 0; i < a.local_size(); ++i)
+      local += a.local()[i] * b.local()[i];
+    return rts::allreduce_sum(*comm_, local);
+  }
+
+  void scale(double f, const vec& v, vec& r) override {
+    rts::barrier(*comm_);
+    for (std::size_t li = 0; li < r.local_size(); ++li)
+      r.local()[li] = f * v[r.local_to_global(li)];
+    rts::barrier(*comm_);
+  }
+
+  Long counter(Long d) override { return d; }
+  void note(const std::string&) override {}
+  void boom(const std::string&) override {}
+
+ private:
+  rts::Communicator* comm_;
+};
+
+// (client threads, server threads, server spec selector, n)
+using Shape = std::tuple<int, int, int, std::size_t>;
+
+DistSpec spec_of(int selector) {
+  switch (selector) {
+    case 0: return DistSpec::block();
+    case 1: return DistSpec::cyclic(3);
+    case 2: return DistSpec::concentrated(0);
+    default: return DistSpec::irregular({1.0, 2.0, 1.0});
+  }
+}
+
+class TransferMatrixTest : public ::testing::TestWithParam<Shape> {};
+
+TEST_P(TransferMatrixTest, ScaleAndDotSurviveEveryShape) {
+  const auto [p, q, spec_sel, n] = GetParam();
+  transport::LocalTransport tp;
+  InProcessRegistry reg;
+  Orb orb(tp, reg);
+
+  std::map<std::string, std::vector<DistSpec>> specs{
+      {"scale", {spec_of(spec_sel), spec_of((spec_sel + 1) % 4)}},
+      {"dot", {spec_of(spec_sel), spec_of(spec_sel)}}};
+
+  rts::Domain server("matrix-server", q);
+  std::promise<Poa*> pp;
+  auto pf = pp.get_future();
+  server.start([&](rts::DomainContext& ctx) {
+    Poa poa(orb, ctx);
+    ScaleImpl servant(ctx.comm);
+    poa.activate_spmd(servant, "matrix-calc", specs);
+    if (ctx.rank == 0) pp.set_value(&poa);
+    poa.impl_is_ready();
+  });
+  Poa* poa = pf.get();
+
+  rts::Domain client("matrix-client", p);
+  client.run([&](rts::DomainContext& dctx) {
+    ClientCtx ctx(orb, dctx);
+    auto proxy = calc_api::calc::_spmd_bind(ctx, "matrix-calc");
+
+    // Vary the client-side layout too: cyclic in, block out.
+    vec v(dctx.comm, n, dist::Distribution::cyclic(n, p, 2));
+    for (std::size_t li = 0; li < v.local_size(); ++li)
+      v.local()[li] = static_cast<double>(v.local_to_global(li));
+    vec r(dctx.comm, n);
+    proxy->scale(3.0, v, r);
+    for (std::size_t li = 0; li < r.local_size(); ++li)
+      EXPECT_DOUBLE_EQ(r.local()[li],
+                       3.0 * static_cast<double>(r.local_to_global(li)))
+          << "p=" << p << " q=" << q << " spec=" << spec_sel << " n=" << n;
+
+    double expected = 0.0;
+    for (std::size_t i = 0; i < n; ++i)
+      expected += static_cast<double>(i) * 3.0 * static_cast<double>(i);
+    EXPECT_DOUBLE_EQ(proxy->dot(v, r), expected);
+  });
+
+  poa->deactivate();
+  server.join();
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, TransferMatrixTest,
+                         ::testing::Combine(::testing::Values(1, 2, 3),
+                                            ::testing::Values(1, 2, 4),
+                                            ::testing::Values(0, 1, 2, 3),
+                                            ::testing::Values<std::size_t>(1, 57)));
+
+}  // namespace
+}  // namespace pardis::core

@@ -1,0 +1,201 @@
+// Distribution invariants across kinds, sizes and rank counts.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <tuple>
+
+#include "dist/distribution.hpp"
+
+namespace pardis::dist {
+namespace {
+
+TEST(DistributionTest, BlockSplitsEvenlyWithRemainderAtFront) {
+  Distribution d = Distribution::block(10, 4);
+  EXPECT_EQ(d.kind(), DistKind::kBlock);
+  EXPECT_EQ(d.local_count(0), 3u);
+  EXPECT_EQ(d.local_count(1), 3u);
+  EXPECT_EQ(d.local_count(2), 2u);
+  EXPECT_EQ(d.local_count(3), 2u);
+  EXPECT_EQ(d.owner(0), 0);
+  EXPECT_EQ(d.owner(5), 1);
+  EXPECT_EQ(d.owner(9), 3);
+}
+
+TEST(DistributionTest, ConcentratedPutsEverythingOnRoot) {
+  Distribution d = Distribution::concentrated(100, 4, 2);
+  EXPECT_EQ(d.root(), 2);
+  for (int r = 0; r < 4; ++r) EXPECT_EQ(d.local_count(r), r == 2 ? 100u : 0u);
+  EXPECT_EQ(d.owner(57), 2);
+  EXPECT_EQ(d.global_to_local(57), 57u);
+  EXPECT_TRUE(d.intervals(0).empty());
+  EXPECT_EQ(d.intervals(2), (std::vector<Interval>{{0, 100}}));
+}
+
+TEST(DistributionTest, CyclicOwnership) {
+  Distribution d = Distribution::cyclic(10, 3, 2);  // blocks of 2, round robin
+  // indices: 01 | 23 | 45 | 67 | 89 -> ranks 0,1,2,0,1
+  EXPECT_EQ(d.owner(0), 0);
+  EXPECT_EQ(d.owner(3), 1);
+  EXPECT_EQ(d.owner(5), 2);
+  EXPECT_EQ(d.owner(6), 0);
+  EXPECT_EQ(d.owner(9), 1);
+  EXPECT_EQ(d.local_count(0), 4u);
+  EXPECT_EQ(d.local_count(1), 4u);
+  EXPECT_EQ(d.local_count(2), 2u);
+  // rank 0 local order: 0,1,6,7
+  EXPECT_EQ(d.local_to_global(0, 2), 6u);
+  EXPECT_EQ(d.global_to_local(7), 3u);
+}
+
+TEST(DistributionTest, IrregularFollowsProportions) {
+  Distribution d = Distribution::irregular(100, {1.0, 3.0, 1.0});
+  EXPECT_EQ(d.local_count(0), 20u);
+  EXPECT_EQ(d.local_count(1), 60u);
+  EXPECT_EQ(d.local_count(2), 20u);
+}
+
+TEST(DistributionTest, IrregularLargestRemainderSumsExactly) {
+  Distribution d = Distribution::irregular(10, {1.0, 1.0, 1.0});  // 3.33 each
+  std::size_t total = 0;
+  for (int r = 0; r < 3; ++r) total += d.local_count(r);
+  EXPECT_EQ(total, 10u);
+}
+
+TEST(DistributionTest, FromCountsRoundTripsThroughCdr) {
+  Distribution d = Distribution::from_counts({5, 0, 7, 3});
+  ByteBuffer buf;
+  CdrWriter w(buf);
+  d.marshal(w);
+  CdrReader r(buf.view());
+  Distribution back = Distribution::unmarshal(r);
+  EXPECT_EQ(back, d);
+  EXPECT_EQ(back.local_count(2), 7u);
+}
+
+TEST(DistributionTest, CdrRoundTripAllKinds) {
+  for (const Distribution& d :
+       {Distribution::block(1024, 7), Distribution::cyclic(1000, 5, 16),
+        Distribution::irregular(301, {2, 1, 1}), Distribution::concentrated(77, 3, 1)}) {
+    ByteBuffer buf;
+    CdrWriter w(buf);
+    d.marshal(w);
+    CdrReader r(buf.view());
+    EXPECT_EQ(Distribution::unmarshal(r), d) << d.to_string();
+  }
+}
+
+TEST(DistributionTest, UnmarshalRejectsGarbage) {
+  ByteBuffer buf;
+  CdrWriter w(buf);
+  w.write_octet(99);  // invalid kind
+  CdrReader r(buf.view());
+  EXPECT_THROW(Distribution::unmarshal(r), MarshalError);
+}
+
+TEST(DistributionTest, BadParamsThrow) {
+  EXPECT_THROW(Distribution::block(10, 0), BadParam);
+  EXPECT_THROW(Distribution::cyclic(10, 2, 0), BadParam);
+  EXPECT_THROW(Distribution::irregular(10, {}), BadParam);
+  EXPECT_THROW(Distribution::irregular(10, {0.0, 0.0}), BadParam);
+  EXPECT_THROW(Distribution::irregular(10, {-1.0, 2.0}), BadParam);
+  EXPECT_THROW(Distribution::concentrated(10, 2, 5), BadParam);
+  Distribution d = Distribution::block(10, 2);
+  EXPECT_THROW(d.owner(10), BadParam);
+  EXPECT_THROW(d.local_count(2), BadParam);
+  EXPECT_THROW(d.local_to_global(0, 99), BadParam);
+}
+
+TEST(DistributionTest, ZeroLengthSequences) {
+  for (const Distribution& d :
+       {Distribution::block(0, 3), Distribution::cyclic(0, 3), Distribution::concentrated(0, 3, 0)}) {
+    for (int r = 0; r < 3; ++r) {
+      EXPECT_EQ(d.local_count(r), 0u);
+      EXPECT_TRUE(d.intervals(r).empty());
+    }
+    EXPECT_TRUE(d.cover({0, 0}).empty());
+  }
+}
+
+// --- property sweep over (kind, n, nranks) -------------------------------
+
+using Shape = std::tuple<int, std::size_t, int>;  // kind selector, n, nranks
+
+class DistributionPropertyTest : public ::testing::TestWithParam<Shape> {
+ protected:
+  Distribution make() const {
+    const auto [k, n, p] = GetParam();
+    switch (k) {
+      case 0: return Distribution::block(n, p);
+      case 1: return Distribution::cyclic(n, p, 3);
+      case 2: {
+        std::vector<double> props(p);
+        for (int r = 0; r < p; ++r) props[r] = 1.0 + r;
+        return Distribution::irregular(n, props);
+      }
+      default: return Distribution::concentrated(n, p, p - 1);
+    }
+  }
+};
+
+TEST_P(DistributionPropertyTest, EveryIndexOwnedExactlyOnceAndMappingsInvert) {
+  Distribution d = make();
+  std::size_t total = 0;
+  for (int r = 0; r < d.nranks(); ++r) total += d.local_count(r);
+  ASSERT_EQ(total, d.global_size());
+
+  for (std::size_t g = 0; g < d.global_size(); ++g) {
+    const int r = d.owner(g);
+    ASSERT_GE(r, 0);
+    ASSERT_LT(r, d.nranks());
+    const std::size_t li = d.global_to_local(g);
+    ASSERT_LT(li, d.local_count(r));
+    ASSERT_EQ(d.local_to_global(r, li), g);
+  }
+}
+
+TEST_P(DistributionPropertyTest, IntervalsPartitionOwnedIndices) {
+  Distribution d = make();
+  std::vector<int> seen(d.global_size(), 0);
+  for (int r = 0; r < d.nranks(); ++r) {
+    std::size_t count = 0;
+    std::size_t prev_end = 0;
+    for (const Interval& iv : d.intervals(r)) {
+      EXPECT_FALSE(iv.empty());
+      EXPECT_GE(iv.begin, prev_end);  // ordered, disjoint
+      prev_end = iv.end;
+      count += iv.size();
+      for (std::size_t g = iv.begin; g < iv.end; ++g) {
+        EXPECT_EQ(d.owner(g), r);
+        seen[g]++;
+      }
+    }
+    EXPECT_EQ(count, d.local_count(r));
+  }
+  for (std::size_t g = 0; g < d.global_size(); ++g) EXPECT_EQ(seen[g], 1);
+}
+
+TEST_P(DistributionPropertyTest, CoverTilesAnySubrange) {
+  Distribution d = make();
+  const std::size_t n = d.global_size();
+  for (const Interval& probe :
+       {Interval{0, n}, Interval{n / 4, n / 2}, Interval{n / 3, n / 3}, Interval{n - 1, n}}) {
+    if (probe.end > n || probe.begin > probe.end) continue;
+    std::size_t pos = probe.begin;
+    for (const auto& [rank, run] : d.cover(probe)) {
+      EXPECT_EQ(run.begin, pos);
+      EXPECT_FALSE(run.empty());
+      for (std::size_t g = run.begin; g < run.end; ++g) EXPECT_EQ(d.owner(g), rank);
+      pos = run.end;
+    }
+    EXPECT_EQ(pos, probe.end);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, DistributionPropertyTest,
+    ::testing::Combine(::testing::Values(0, 1, 2, 3),
+                       ::testing::Values<std::size_t>(1, 13, 64, 1000),
+                       ::testing::Values(1, 2, 5, 8)));
+
+}  // namespace
+}  // namespace pardis::dist

@@ -1,0 +1,198 @@
+// DSequence: collective construction, location transparency,
+// no-ownership storage, redistribution, encode/decode ranges.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "dist/dsequence.hpp"
+#include "rts/domain.hpp"
+
+namespace pardis::dist {
+namespace {
+
+void fill_by_global_index(DSequence<double>& seq) {
+  for (std::size_t li = 0; li < seq.local_size(); ++li)
+    seq.local()[li] = static_cast<double>(seq.local_to_global(li));
+}
+
+TEST(DSequenceTest, CollectiveCreateAndLocalFill) {
+  rts::Domain d("dseq", 4);
+  d.run([](rts::DomainContext& ctx) {
+    DSequence<double> seq(ctx.comm, 1024);
+    EXPECT_EQ(seq.size(), 1024u);
+    EXPECT_EQ(seq.distribution().kind(), DistKind::kBlock);
+    EXPECT_EQ(seq.local_size(), 256u);
+    fill_by_global_index(seq);
+    rts::barrier(ctx.comm);
+    // Location-transparent reads of everything, local or not.
+    for (std::size_t g = 0; g < 1024u; g += 37)
+      EXPECT_EQ(seq[g], static_cast<double>(g));
+    rts::barrier(ctx.comm);
+  });
+}
+
+TEST(DSequenceTest, GatherAllAssemblesGlobalContents) {
+  rts::Domain d("gather", 3);
+  d.run([](rts::DomainContext& ctx) {
+    DSequence<double> seq(ctx.comm, 100, Distribution::cyclic(100, 3, 7));
+    fill_by_global_index(seq);
+    auto all = seq.gather_all();
+    ASSERT_EQ(all.size(), 100u);
+    for (std::size_t g = 0; g < 100; ++g) EXPECT_EQ(all[g], static_cast<double>(g));
+  });
+}
+
+TEST(DSequenceTest, NoOwnershipConstructorAliasesCallerStorage) {
+  rts::Domain d("borrow", 2);
+  d.run([](rts::DomainContext& ctx) {
+    Distribution dist = Distribution::block(10, 2);
+    std::vector<double> mine(dist.local_count(ctx.rank), -1.0);
+    {
+      DSequence<double> seq(ctx.comm, 10, dist, std::span<double>(mine));
+      fill_by_global_index(seq);
+      rts::barrier(ctx.comm);
+    }
+    // Writes went straight to caller storage.
+    const std::size_t base = ctx.rank == 0 ? 0 : 5;
+    for (std::size_t i = 0; i < 5; ++i) EXPECT_EQ(mine[i], static_cast<double>(base + i));
+  });
+}
+
+TEST(DSequenceTest, BorrowedStorageSizeMismatchThrows) {
+  rts::Domain d("borrowbad", 2);
+  EXPECT_THROW(d.run([](rts::DomainContext& ctx) {
+    std::vector<double> wrong(3);
+    DSequence<double> seq(ctx.comm, 10, Distribution::block(10, 2),
+                          std::span<double>(wrong));
+  }),
+               BadParam);
+}
+
+TEST(DSequenceTest, LocalRefRejectsRemoteElements) {
+  rts::Domain d("localref", 2);
+  d.run([](rts::DomainContext& ctx) {
+    DSequence<double> seq(ctx.comm, 8);
+    const std::size_t mine = ctx.rank == 0 ? 0 : 7;
+    const std::size_t theirs = ctx.rank == 0 ? 7 : 0;
+    EXPECT_NO_THROW(seq.local_ref(mine) = 1.0);
+    EXPECT_THROW(seq.local_ref(theirs), BadParam);
+    rts::barrier(ctx.comm);
+  });
+}
+
+TEST(DSequenceTest, NonDistributedSingleMode) {
+  DSequence<double> seq(16);
+  EXPECT_FALSE(seq.distributed());
+  EXPECT_EQ(seq.local_size(), 16u);
+  for (std::size_t i = 0; i < 16; ++i) seq.local()[i] = static_cast<double>(i * i);
+  EXPECT_EQ(seq[9], 81.0);
+  auto all = seq.gather_all();
+  EXPECT_EQ(all[4], 16.0);
+}
+
+struct RedistCase {
+  const char* name;
+  Distribution from;
+  Distribution to;
+};
+
+class DSequenceRedistributeTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DSequenceRedistributeTest, RedistributePreservesContents) {
+  constexpr std::size_t kN = 211;
+  constexpr int kRanks = 4;
+  const std::vector<RedistCase> cases{
+      {"block->concentrated", Distribution::block(kN, kRanks),
+       Distribution::concentrated(kN, kRanks, 0)},
+      {"concentrated->block", Distribution::concentrated(kN, kRanks, 2),
+       Distribution::block(kN, kRanks)},
+      {"block->cyclic", Distribution::block(kN, kRanks), Distribution::cyclic(kN, kRanks, 5)},
+      {"cyclic->irregular", Distribution::cyclic(kN, kRanks, 3),
+       Distribution::irregular(kN, {4.0, 1.0, 1.0, 2.0})},
+      {"irregular->block", Distribution::irregular(kN, {0.0, 1.0, 0.0, 1.0}),
+       Distribution::block(kN, kRanks)},
+  };
+  const RedistCase& tc = cases[GetParam()];
+
+  rts::Domain d("redist", kRanks);
+  d.run([&tc](rts::DomainContext& ctx) {
+    DSequence<double> seq(ctx.comm, kN, tc.from);
+    fill_by_global_index(seq);
+    seq.redistribute(tc.to);
+    EXPECT_EQ(seq.distribution(), tc.to);
+    EXPECT_EQ(seq.local_size(), tc.to.local_count(ctx.rank));
+    // Every element survived the move with its value intact.
+    for (std::size_t li = 0; li < seq.local_size(); ++li)
+      EXPECT_EQ(seq.local()[li], static_cast<double>(seq.local_to_global(li))) << tc.name;
+    // Round-trip back to the original distribution.
+    seq.redistribute(tc.from);
+    for (std::size_t li = 0; li < seq.local_size(); ++li)
+      EXPECT_EQ(seq.local()[li], static_cast<double>(seq.local_to_global(li))) << tc.name;
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Cases, DSequenceRedistributeTest, ::testing::Range(0, 5));
+
+TEST(DSequenceTest, RedistributeSizeMismatchThrows) {
+  rts::Domain d("redistbad", 2);
+  EXPECT_THROW(d.run([](rts::DomainContext& ctx) {
+    DSequence<double> seq(ctx.comm, 10);
+    seq.redistribute(Distribution::block(11, 2));
+  }),
+               BadParam);
+}
+
+TEST(DSequenceTest, EncodeDecodeRangeRoundTrip) {
+  rts::Domain d("encdec", 2);
+  d.run([](rts::DomainContext& ctx) {
+    DSequence<double> seq(ctx.comm, 20);
+    fill_by_global_index(seq);
+    if (ctx.rank == 0) {
+      ByteBuffer buf = seq.encode_range({2, 8});
+      // Wipe and restore.
+      for (std::size_t g = 2; g < 8; ++g) seq.local_ref(g) = 0.0;
+      CdrReader r(buf.view());
+      seq.decode_range({2, 8}, r);
+      for (std::size_t g = 2; g < 8; ++g) EXPECT_EQ(seq[g], static_cast<double>(g));
+      // Encoding a range we do not own is an error.
+      EXPECT_THROW(seq.encode_range({8, 12}), BadParam);
+    }
+    rts::barrier(ctx.comm);
+  });
+}
+
+TEST(DSequenceTest, NestedElementTypeRoundTrips) {
+  // matrix-style dsequence of dynamically-sized rows (paper §4.1).
+  rts::Domain d("nested", 2);
+  d.run([](rts::DomainContext& ctx) {
+    using Row = std::vector<double>;
+    DSequence<Row> seq(ctx.comm, 6);
+    for (std::size_t li = 0; li < seq.local_size(); ++li) {
+      const std::size_t g = seq.local_to_global(li);
+      seq.local()[li] = Row(g + 1, static_cast<double>(g));
+    }
+    seq.redistribute(Distribution::concentrated(6, 2, 0));
+    if (ctx.rank == 0) {
+      for (std::size_t g = 0; g < 6; ++g) {
+        EXPECT_EQ(seq.local()[g].size(), g + 1);
+        if (g > 0) EXPECT_EQ(seq.local()[g][0], static_cast<double>(g));
+      }
+    }
+    rts::barrier(ctx.comm);
+  });
+}
+
+TEST(DSequenceTest, MoveTransfersDirectoryMembership) {
+  rts::Domain d("move", 2);
+  d.run([](rts::DomainContext& ctx) {
+    DSequence<double> seq(ctx.comm, 10);
+    fill_by_global_index(seq);
+    rts::barrier(ctx.comm);
+    DSequence<double> moved = std::move(seq);
+    EXPECT_EQ(moved[3], 3.0);
+    rts::barrier(ctx.comm);
+  });
+}
+
+}  // namespace
+}  // namespace pardis::dist

@@ -1,0 +1,109 @@
+// Transfer plans: completeness, disjointness, locality.
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "dist/transfer_plan.hpp"
+
+namespace pardis::dist {
+namespace {
+
+TEST(TransferPlanTest, IdentityPlanIsAllLocal) {
+  Distribution d = Distribution::block(100, 4);
+  TransferPlan plan(d, d);
+  EXPECT_EQ(plan.total_elements(), 100u);
+  for (const TransferPiece& p : plan.pieces()) EXPECT_EQ(p.src_rank, p.dst_rank);
+}
+
+TEST(TransferPlanTest, BlockToConcentratedGathers) {
+  TransferPlan plan(Distribution::block(100, 4), Distribution::concentrated(100, 4, 0));
+  for (const TransferPiece& p : plan.pieces()) EXPECT_EQ(p.dst_rank, 0);
+  EXPECT_EQ(plan.sources(0), (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(plan.incoming(0).size(), 4u);
+  EXPECT_TRUE(plan.incoming(1).empty());
+}
+
+TEST(TransferPlanTest, ConcentratedToBlockScatters) {
+  TransferPlan plan(Distribution::concentrated(100, 4, 2), Distribution::block(100, 4));
+  for (const TransferPiece& p : plan.pieces()) EXPECT_EQ(p.src_rank, 2);
+  EXPECT_EQ(plan.destinations(2), (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_TRUE(plan.outgoing(0).empty());
+}
+
+TEST(TransferPlanTest, SizeMismatchThrows) {
+  EXPECT_THROW(TransferPlan(Distribution::block(10, 2), Distribution::block(11, 2)), BadParam);
+}
+
+TEST(TransferPlanTest, DifferentRankCountsAreAllowed) {
+  // Client domain with 3 threads sending to server domain with 5.
+  TransferPlan plan(Distribution::block(100, 3), Distribution::block(100, 5));
+  EXPECT_EQ(plan.total_elements(), 100u);
+  for (const TransferPiece& p : plan.pieces()) {
+    EXPECT_LT(p.src_rank, 3);
+    EXPECT_LT(p.dst_rank, 5);
+  }
+}
+
+TEST(TransferPlanTest, PiecesAreInGlobalOrder) {
+  TransferPlan plan(Distribution::cyclic(64, 4, 4), Distribution::block(64, 4));
+  std::size_t pos = 0;
+  for (const TransferPiece& p : plan.pieces()) {
+    EXPECT_EQ(p.span.begin, pos);
+    pos = p.span.end;
+  }
+  EXPECT_EQ(pos, 64u);
+}
+
+using PlanShape = std::tuple<int, int, std::size_t>;
+
+class TransferPlanPropertyTest : public ::testing::TestWithParam<PlanShape> {
+ protected:
+  static Distribution make(int kind, std::size_t n, int p) {
+    switch (kind) {
+      case 0: return Distribution::block(n, p);
+      case 1: return Distribution::cyclic(n, p, 5);
+      case 2: return Distribution::irregular(n, std::vector<double>(p, 1.0));
+      default: return Distribution::concentrated(n, p, 0);
+    }
+  }
+};
+
+TEST_P(TransferPlanPropertyTest, PlanTilesIndexSpaceWithCorrectEndpoints) {
+  const auto [src_kind, dst_kind, n] = GetParam();
+  Distribution src = make(src_kind, n, 3);
+  Distribution dst = make(dst_kind, n, 4);
+  TransferPlan plan(src, dst);
+
+  std::vector<int> covered(n, 0);
+  for (const TransferPiece& p : plan.pieces()) {
+    EXPECT_FALSE(p.span.empty());
+    for (std::size_t g = p.span.begin; g < p.span.end; ++g) {
+      EXPECT_EQ(src.owner(g), p.src_rank);
+      EXPECT_EQ(dst.owner(g), p.dst_rank);
+      covered[g]++;
+    }
+  }
+  for (std::size_t g = 0; g < n; ++g) EXPECT_EQ(covered[g], 1) << "index " << g;
+  EXPECT_EQ(plan.total_elements(), n);
+}
+
+TEST_P(TransferPlanPropertyTest, OutgoingIncomingPartitionThePieces) {
+  const auto [src_kind, dst_kind, n] = GetParam();
+  TransferPlan plan(make(src_kind, n, 3), make(dst_kind, n, 4));
+  std::size_t out_total = 0, in_total = 0;
+  for (int p = 0; p < 3; ++p)
+    for (const auto& piece : plan.outgoing(p)) out_total += piece.span.size();
+  for (int q = 0; q < 4; ++q)
+    for (const auto& piece : plan.incoming(q)) in_total += piece.span.size();
+  EXPECT_EQ(out_total, n);
+  EXPECT_EQ(in_total, n);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, TransferPlanPropertyTest,
+                         ::testing::Combine(::testing::Values(0, 1, 2, 3),
+                                            ::testing::Values(0, 1, 2, 3),
+                                            ::testing::Values<std::size_t>(1, 60, 257)));
+
+}  // namespace
+}  // namespace pardis::dist

@@ -1,0 +1,284 @@
+// IDL compiler: lexer, parser, semantic rules, codegen structure.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "idl/codegen.hpp"
+#include "idl/include.hpp"
+#include "idl/parser.hpp"
+
+namespace pardis::idl {
+namespace {
+
+Spec parse(const std::string& src) { return Parser(src, "test.idl").parse(); }
+
+std::string gen(const std::string& src, CodegenOptions opt = {}) {
+  return generate_cpp(parse(src), opt);
+}
+
+TEST(IdlLexer, TokenizesPunctuationKeywordsLiterals) {
+  Lexer lex("interface x { void f(in long v); }; // comment\n/* block */ 42 0x1F 2.5 \"s\"");
+  auto toks = lex.tokenize();
+  ASSERT_GE(toks.size(), 15u);
+  EXPECT_EQ(toks[0].kind, Tok::kKwInterface);
+  EXPECT_EQ(toks[1].kind, Tok::kIdentifier);
+  EXPECT_EQ(toks[1].text, "x");
+  auto it = std::find_if(toks.begin(), toks.end(),
+                         [](const Token& t) { return t.kind == Tok::kIntLiteral; });
+  ASSERT_NE(it, toks.end());
+  EXPECT_EQ(it->int_value, 42);
+  EXPECT_EQ((it + 1)->int_value, 0x1F);
+  EXPECT_EQ((it + 2)->kind, Tok::kFloatLiteral);
+  EXPECT_DOUBLE_EQ((it + 2)->float_value, 2.5);
+  EXPECT_EQ((it + 3)->kind, Tok::kStringLiteral);
+  EXPECT_EQ((it + 3)->text, "s");
+}
+
+TEST(IdlLexer, PragmaCapturesWholeLine) {
+  Lexer lex("#pragma HPC++:vector \ntypedef dsequence<double> v;");
+  auto toks = lex.tokenize();
+  EXPECT_EQ(toks[0].kind, Tok::kPragma);
+  EXPECT_EQ(toks[0].text, "HPC++:vector");
+}
+
+TEST(IdlLexer, ErrorsCarryLocation) {
+  Lexer lex("interface x {\n  @bad\n};");
+  try {
+    lex.tokenize();
+    FAIL() << "expected IdlError";
+  } catch (const IdlError& e) {
+    EXPECT_NE(std::string(e.what()).find(":2:"), std::string::npos);
+  }
+}
+
+TEST(IdlParser, FullSpecRoundTrip) {
+  Spec spec = parse(R"(
+    const long N = 128;
+    const long M = N * N + 2;
+    enum status { OK, FAILED };
+    struct rec { long id; string name; };
+    typedef sequence<double> row;
+    typedef dsequence<row> matrix;
+    typedef dsequence<double, 1024, BLOCK, CONCENTRATED(2)> dvec;
+    interface solver {
+      void solve(in matrix A, in dvec B, out dvec X);
+      oneway void note(in string msg);
+    };
+  )");
+  ASSERT_EQ(spec.definitions.size(), 8u);
+  EXPECT_EQ(spec.definitions[1].const_def.int_value, 128 * 128 + 2);
+
+  const auto* iface = spec.find_interface("solver");
+  ASSERT_NE(iface, nullptr);
+  ASSERT_EQ(iface->ops.size(), 2u);
+  EXPECT_TRUE(iface->ops[1].oneway);
+  EXPECT_TRUE(iface->ops[0].has_dist_out());
+
+  // dvec: bound 1024, client BLOCK, server CONCENTRATED(2)
+  const auto& dvec = spec.definitions[6].typedef_def;
+  const Type* d = dvec.type->resolved();
+  EXPECT_EQ(d->bound, 1024);
+  EXPECT_EQ(d->client_spec.kind, dist::DistKind::kBlock);
+  EXPECT_EQ(d->server_spec.kind, dist::DistKind::kConcentrated);
+  EXPECT_EQ(d->server_spec.root, 2);
+}
+
+TEST(IdlParser, DistributionsWithoutBound) {
+  Spec spec = parse("typedef dsequence<double, CYCLIC(8), BLOCK> v;");
+  const Type* d = spec.definitions[0].typedef_def.type->resolved();
+  EXPECT_EQ(d->bound, -1);
+  EXPECT_EQ(d->client_spec.kind, dist::DistKind::kCyclic);
+  EXPECT_EQ(d->client_spec.block_size, 8u);
+  EXPECT_EQ(d->server_spec.kind, dist::DistKind::kBlock);
+}
+
+TEST(IdlParser, InterfaceInheritance) {
+  Spec spec = parse(R"(
+    interface a { void f(); };
+    interface b : a { void g(); };
+  )");
+  EXPECT_EQ(spec.find_interface("b")->base, "a");
+}
+
+TEST(IdlParser, PragmaAttachesMappingsToNextTypedef) {
+  Spec spec = parse(R"(
+    #pragma HPC++:vector
+    #pragma POOMA:field
+    typedef dsequence<double> field;
+  )");
+  const Type* d = spec.definitions[0].typedef_def.type->resolved();
+  ASSERT_EQ(d->mappings.size(), 2u);
+  EXPECT_EQ(d->mappings[0].package, "HPC++");
+  EXPECT_EQ(d->mappings[0].structure, "vector");
+  EXPECT_EQ(d->mappings[1].package, "POOMA");
+}
+
+struct BadCase {
+  const char* name;
+  const char* src;
+};
+
+class IdlRejectsTest : public ::testing::TestWithParam<BadCase> {};
+
+TEST_P(IdlRejectsTest, SemanticErrorsAreDiagnosed) {
+  EXPECT_THROW(parse(GetParam().src), IdlError) << GetParam().name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, IdlRejectsTest,
+    ::testing::Values(
+        BadCase{"oneway_with_out", "interface x { oneway void f(out long v); };"},
+        BadCase{"oneway_nonvoid", "interface x { oneway long f(); };"},
+        BadCase{"dseq_return",
+                "typedef dsequence<double> v; interface x { v f(); };"},
+        BadCase{"dseq_inout",
+                "typedef dsequence<double> v; interface x { void f(inout v a); };"},
+        BadCase{"nested_dseq", "typedef dsequence<dsequence<double>> v;"},
+        BadCase{"dseq_struct_member",
+                "typedef dsequence<double> v; struct s { v field; };"},
+        BadCase{"unknown_type", "interface x { void f(in nosuch v); };"},
+        BadCase{"duplicate_op", "interface x { void f(); void f(); };"},
+        BadCase{"duplicate_inherited_op",
+                "interface a { void f(); }; interface b : a { void f(); };"},
+        BadCase{"unknown_base", "interface b : nosuch { };"},
+        BadCase{"redefinition", "struct s { long a; }; struct s { long b; };"},
+        BadCase{"dangling_pragma", "#pragma HPC++:vector\ninterface x { };"},
+        BadCase{"pragma_on_plain_typedef",
+                "#pragma HPC++:vector\ntypedef sequence<double> v;"},
+        BadCase{"zero_bound", "typedef dsequence<double, 0> v;"},
+        BadCase{"void_param", "interface x { void f(in void v); };"},
+        BadCase{"missing_semicolon", "interface x { void f() };"},
+        BadCase{"const_div_zero", "const long a = 1 / 0;"},
+        BadCase{"empty_struct", "struct s { };"}),
+    [](const ::testing::TestParamInfo<BadCase>& info) { return info.param.name; });
+
+TEST(IdlCodegen, EmitsProxySkeletonAndBothStubs) {
+  const std::string code = gen(R"(
+    typedef dsequence<double> vec;
+    interface calc {
+      double dot(in vec a, in vec b);
+      oneway void note(in string msg);
+    };
+  )");
+  EXPECT_NE(code.find("class POA_calc : public pardis::core::ServantBase"),
+            std::string::npos);
+  EXPECT_NE(code.find("class calc : public pardis::core::ProxyRoot"), std::string::npos);
+  EXPECT_NE(code.find("dot_nb("), std::string::npos);
+  // The single-client mapping (second stub with non-distributed args).
+  EXPECT_NE(code.find("const std::vector<pardis::Double>& a"), std::string::npos);
+  // Oneway ops get no _nb variant and no reply wait.
+  EXPECT_EQ(code.find("note_nb("), std::string::npos);
+  EXPECT_NE(code.find("using vec_var"), std::string::npos);
+}
+
+TEST(IdlCodegen, ServerSpecsPublishedInDefaultArgSpecs) {
+  const std::string code = gen(R"(
+    typedef dsequence<double, 64, BLOCK, CONCENTRATED> vec;
+    interface s { void f(in vec a); };
+  )");
+  EXPECT_NE(code.find("_m[\"f\"] = {pardis::core::DistSpec::concentrated(0)}"),
+            std::string::npos);
+}
+
+TEST(IdlCodegen, PackageMappingSelectsNativeTypes) {
+  const std::string src = R"(
+    #pragma HPC++:vector
+    #pragma POOMA:field
+    typedef dsequence<double> field;
+    interface viz { void show(in field f); };
+  )";
+  const std::string plain = gen(src);
+  EXPECT_NE(plain.find("using field = pardis::dist::DSequence<pardis::Double>"),
+            std::string::npos);
+
+  CodegenOptions hpcxx;
+  hpcxx.packages.insert("HPC++");
+  const std::string mapped = gen(src, hpcxx);
+  EXPECT_NE(mapped.find("using field = pardis::pstl::DistributedVector<pardis::Double>"),
+            std::string::npos);
+  EXPECT_NE(mapped.find("#include \"pstl/mapping.hpp\""), std::string::npos);
+  EXPECT_NE(mapped.find("pardis::pstl::dseq_view"), std::string::npos);
+
+  CodegenOptions pooma;
+  pooma.packages.insert("POOMA");
+  const std::string mapped2 = gen(src, pooma);
+  EXPECT_NE(mapped2.find("using field = pardis::pooma::Field2D<pardis::Double>"),
+            std::string::npos);
+}
+
+TEST(IdlCodegen, InheritanceChainsDispatchAndSpecs) {
+  const std::string code = gen(R"(
+    interface a { void f(); };
+    interface b : a { void g(); };
+  )");
+  EXPECT_NE(code.find("class POA_b : public POA_a"), std::string::npos);
+  EXPECT_NE(code.find("class b : public a"), std::string::npos);
+  EXPECT_NE(code.find("POA_a::_dispatch(_inv);"), std::string::npos);
+}
+
+TEST(IdlCodegen, StructAndEnumGetCdrTraits) {
+  const std::string code = gen(
+      "enum color { RED, GREEN }; struct rec { long id; color c; sequence<long> xs; };",
+      CodegenOptions{.ns = "demo", .packages = {}});
+  EXPECT_NE(code.find("struct pardis::CdrTraits<demo::rec>"), std::string::npos);
+  EXPECT_NE(code.find("struct pardis::CdrTraits<demo::color>"), std::string::npos);
+  EXPECT_NE(code.find("bad color enumerator"), std::string::npos);
+}
+
+class IdlIncludeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "pardis_idl_inc";
+    std::filesystem::create_directories(dir_ + "/sub");
+  }
+  void write(const std::string& rel, const std::string& text) {
+    std::ofstream out(dir_ + "/" + rel);
+    out << text;
+  }
+  std::string dir_;
+};
+
+TEST_F(IdlIncludeTest, SplicesRelativeIncludesOnce) {
+  write("types.idl", "typedef sequence<double> row;\n");
+  write("main.idl",
+        "#include \"types.idl\"\n#include \"types.idl\"\n"
+        "interface s { void f(in row r); };\n");
+  const std::string src = load_idl_source(dir_ + "/main.idl");
+  // once-only: the typedef appears a single time and the result parses
+  EXPECT_EQ(src.find("typedef sequence<double> row"),
+            src.rfind("typedef sequence<double> row"));
+  Spec spec = Parser(src, "main.idl").parse();
+  EXPECT_NE(spec.find_interface("s"), nullptr);
+}
+
+TEST_F(IdlIncludeTest, SearchesIncludeDirs) {
+  write("sub/common.idl", "const long N = 9;\n");
+  write("main.idl", "#include \"common.idl\"\ntypedef dsequence<double, N> v;\n");
+  EXPECT_THROW(load_idl_source(dir_ + "/main.idl"), IdlError);
+  const std::string src = load_idl_source(dir_ + "/main.idl", {dir_ + "/sub"});
+  Spec spec = Parser(src, "main.idl").parse();
+  EXPECT_EQ(spec.definitions[1].typedef_def.type->resolved()->bound, 9);
+}
+
+TEST_F(IdlIncludeTest, OnceOnlySemanticsBreakCycles) {
+  write("a.idl", "#include \"b.idl\"\nconst long A = 1;\n");
+  write("b.idl", "#include \"a.idl\"\nconst long B = 2;\n");
+  const std::string src = load_idl_source(dir_ + "/a.idl");
+  Spec spec = Parser(src, "a.idl").parse();
+  EXPECT_EQ(spec.definitions.size(), 2u);  // both consts, each once
+}
+
+TEST_F(IdlIncludeTest, MissingFileDiagnosed) {
+  write("main.idl", "#include \"nosuch.idl\"\n");
+  try {
+    load_idl_source(dir_ + "/main.idl");
+    FAIL() << "expected IdlError";
+  } catch (const IdlError& e) {
+    EXPECT_NE(std::string(e.what()).find("nosuch.idl"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace pardis::idl

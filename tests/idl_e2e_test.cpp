@@ -1,0 +1,276 @@
+// Drives the stubs generated from tests/idl/e2e.idl end to end: the
+// full IDL-compiler → stub → ORB → skeleton → servant path.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <future>
+
+#include "e2e.pardis.hpp"
+
+namespace {
+
+using namespace pardis;
+
+class VecSvcImpl : public e2e_idl::POA_vec_svc {
+ public:
+  explicit VecSvcImpl(rts::Communicator* comm) : comm_(comm) {}
+
+  std::atomic<int>* log_count = nullptr;
+  e2e_idl::sample last_sample;
+
+  e2e_idl::status ping(const pardis::String& msg, pardis::String& echoed) override {
+    echoed = msg + "!";
+    return msg.empty() ? e2e_idl::status::FAILED : e2e_idl::status::OK;
+  }
+
+  double total(const e2e_idl::dvec& v) override {
+    double local = 0.0;
+    for (std::size_t i = 0; i < v.local_size(); ++i) local += v.local()[i];
+    return comm_ != nullptr ? rts::allreduce_sum(*comm_, local) : local;
+  }
+
+  void axpy(double a, const e2e_idl::dvec& x, e2e_idl::dvec& y) override {
+    if (comm_ != nullptr) rts::barrier(*comm_);
+    for (std::size_t li = 0; li < y.local_size(); ++li) {
+      const std::size_t g = y.local_to_global(li);
+      y.local()[li] = a * x[g];
+    }
+    if (comm_ != nullptr) rts::barrier(*comm_);
+  }
+
+  pardis::Long sum_longs(const e2e_idl::lvec& v) override {
+    pardis::Long local = 0;
+    for (std::size_t i = 0; i < v.local_size(); ++i) local += v.local()[i];
+    return comm_ != nullptr ? rts::allreduce_sum(*comm_, local) : local;
+  }
+
+  void log_event(const e2e_idl::sample& s) override {
+    if (comm_ != nullptr && comm_->rank() != 0) return;
+    last_sample = s;
+    if (log_count != nullptr) log_count->fetch_add(1);
+  }
+
+  pardis::Long bump(pardis::Long& value, e2e_idl::status s) override {
+    const pardis::Long old = value;
+    value += s == e2e_idl::status::RETRY ? 2 : 1;
+    return old;
+  }
+
+  e2e_idl::names tag_all(const e2e_idl::names& base, pardis::Long count) override {
+    e2e_idl::names out;
+    for (pardis::Long i = 0; i < count; ++i)
+      for (const auto& b : base) out.push_back(b + "#" + std::to_string(i));
+    return out;
+  }
+
+ private:
+  rts::Communicator* comm_;
+};
+
+class E2eServer {
+ public:
+  E2eServer(core::Orb& orb, int nthreads) : domain_("e2e-server", nthreads) {
+    std::promise<core::Poa*> pp;
+    auto pf = pp.get_future();
+    domain_.start([this, &orb, &pp](rts::DomainContext& ctx) {
+      core::Poa poa(orb, ctx);
+      VecSvcImpl servant(&ctx.comm);
+      servant.log_count = &log_count_;
+      poa.activate_spmd(servant, "vec-svc", e2e_idl::POA_vec_svc::_default_arg_specs());
+      if (ctx.rank == 0) {
+        servant_zero_ = &servant;
+        pp.set_value(&poa);
+      }
+      poa.impl_is_ready();
+    });
+    poa_ = pf.get();
+  }
+  ~E2eServer() {
+    poa_->deactivate();
+    domain_.join();
+  }
+
+  int logs() const { return log_count_.load(); }
+  const e2e_idl::sample& last_sample() const { return servant_zero_->last_sample; }
+
+ private:
+  rts::Domain domain_;
+  core::Poa* poa_ = nullptr;
+  VecSvcImpl* servant_zero_ = nullptr;
+  std::atomic<int> log_count_{0};
+};
+
+class IdlE2eTest : public ::testing::Test {
+ protected:
+  transport::LocalTransport transport_;
+  core::InProcessRegistry registry_;
+  core::Orb orb_{transport_, registry_};
+};
+
+TEST_F(IdlE2eTest, GeneratedConstantsAndTypes) {
+  EXPECT_EQ(e2e_idl::N, 16);
+  EXPECT_EQ(e2e_idl::M, 33);
+  EXPECT_DOUBLE_EQ(e2e_idl::EPS, 0.5);
+  EXPECT_EQ(e2e_idl::GREETING, "hello");
+  EXPECT_EQ(e2e_idl::dvec_bound, 1024);
+  EXPECT_EQ(e2e_idl::dvec_server_spec.kind, dist::DistKind::kConcentrated);
+  EXPECT_EQ(e2e_idl::lvec_client_spec.block_size, 4u);
+  static_assert(std::is_same_v<e2e_idl::names, std::vector<std::string>>);
+  static_assert(std::is_same_v<e2e_idl::dvec, dist::DSequence<double>>);
+}
+
+TEST_F(IdlE2eTest, StructAndEnumMarshalRoundTrip) {
+  e2e_idl::sample s{42, "probe", {1.5, 2.5}};
+  auto buf = cdr_encode(s);
+  EXPECT_EQ(cdr_decode<e2e_idl::sample>(buf.view()), s);
+
+  auto ebuf = cdr_encode(e2e_idl::status::RETRY);
+  EXPECT_EQ(cdr_decode<e2e_idl::status>(ebuf.view()), e2e_idl::status::RETRY);
+
+  // Out-of-range enumerator is rejected.
+  ByteBuffer bad;
+  CdrWriter w(bad);
+  w.write_ulong(99);
+  EXPECT_THROW(cdr_decode<e2e_idl::status>(bad.view()), MarshalError);
+}
+
+TEST_F(IdlE2eTest, InheritedOperationThroughDerivedProxy) {
+  E2eServer server(orb_, 2);
+  core::ClientCtx ctx(orb_);
+  auto svc = e2e_idl::vec_svc::_bind(ctx, "vec-svc");
+  pardis::String echoed;
+  EXPECT_EQ(svc->ping("hi", echoed), e2e_idl::status::OK);
+  EXPECT_EQ(echoed, "hi!");
+  EXPECT_EQ(svc->ping("", echoed), e2e_idl::status::FAILED);
+}
+
+TEST_F(IdlE2eTest, DerivedProxyConvertsToBase) {
+  E2eServer server(orb_, 1);
+  core::ClientCtx ctx(orb_);
+  e2e_idl::vec_svc::_var svc = e2e_idl::vec_svc::_bind(ctx, "vec-svc");
+  e2e_idl::base_svc* as_base = svc.get();
+  pardis::String echoed;
+  EXPECT_EQ(as_base->ping("up", echoed), e2e_idl::status::OK);
+}
+
+TEST_F(IdlE2eTest, SpmdDistributedArgumentsThroughGeneratedStubs) {
+  E2eServer server(orb_, 3);
+  rts::Domain client("client", 2);
+  client.run([&](rts::DomainContext& dctx) {
+    core::ClientCtx ctx(orb_, dctx);
+    auto svc = e2e_idl::vec_svc::_spmd_bind(ctx, "vec-svc");
+
+    e2e_idl::dvec v(dctx.comm, 100);
+    for (std::size_t li = 0; li < v.local_size(); ++li)
+      v.local()[li] = static_cast<double>(v.local_to_global(li));
+    EXPECT_DOUBLE_EQ(svc->total(v), 99.0 * 100.0 / 2.0);
+
+    e2e_idl::dvec y(dctx.comm, 100);
+    svc->axpy(2.0, v, y);
+    for (std::size_t li = 0; li < y.local_size(); ++li)
+      EXPECT_DOUBLE_EQ(y.local()[li], 2.0 * static_cast<double>(y.local_to_global(li)));
+
+    // CYCLIC(4) client-side distribution from the lvec typedef.
+    e2e_idl::lvec ls(dctx.comm, 50,
+                     e2e_idl::lvec_client_spec.instantiate(50, dctx.size));
+    for (std::size_t li = 0; li < ls.local_size(); ++li)
+      ls.local()[li] = static_cast<pardis::Long>(ls.local_to_global(li));
+    EXPECT_EQ(svc->sum_longs(ls), 49 * 50 / 2);
+  });
+}
+
+TEST_F(IdlE2eTest, SingleMappingStubsUsePlainVectors) {
+  E2eServer server(orb_, 2);
+  core::ClientCtx ctx(orb_);
+  auto svc = e2e_idl::vec_svc::_bind(ctx, "vec-svc");
+  std::vector<double> x(20);
+  for (std::size_t i = 0; i < x.size(); ++i) x[i] = static_cast<double>(i);
+  EXPECT_DOUBLE_EQ(svc->total(x), 19.0 * 20.0 / 2.0);
+
+  std::vector<double> y(20);
+  svc->axpy(-1.0, x, y);
+  for (std::size_t i = 0; i < y.size(); ++i) EXPECT_DOUBLE_EQ(y[i], -x[i]);
+}
+
+TEST_F(IdlE2eTest, SingleMappingRejectedOnCollectiveBinding) {
+  E2eServer server(orb_, 2);
+  rts::Domain client("client", 2);
+  client.run([&](rts::DomainContext& dctx) {
+    core::ClientCtx ctx(orb_, dctx);
+    auto svc = e2e_idl::vec_svc::_spmd_bind(ctx, "vec-svc");
+    std::vector<double> x(4, 1.0);
+    EXPECT_THROW(svc->total(x), BadInvOrder);
+    rts::barrier(dctx.comm);
+  });
+}
+
+TEST_F(IdlE2eTest, OnewayStructArgument) {
+  E2eServer server(orb_, 2);
+  core::ClientCtx ctx(orb_);
+  auto svc = e2e_idl::vec_svc::_bind(ctx, "vec-svc");
+  svc->log_event(e2e_idl::sample{7, "evt", {3.5}});
+  pardis::String echoed;
+  svc->ping("fence", echoed);  // sequencing fence
+  EXPECT_EQ(server.logs(), 1);
+  EXPECT_EQ(server.last_sample().id, 7);
+  EXPECT_EQ(server.last_sample().name, "evt");
+  ASSERT_EQ(server.last_sample().data.size(), 1u);
+}
+
+TEST_F(IdlE2eTest, InOutParameter) {
+  E2eServer server(orb_, 1);
+  core::ClientCtx ctx(orb_);
+  auto svc = e2e_idl::vec_svc::_bind(ctx, "vec-svc");
+  pardis::Long v = 10;
+  EXPECT_EQ(svc->bump(v, e2e_idl::status::OK), 10);
+  EXPECT_EQ(v, 11);
+  EXPECT_EQ(svc->bump(v, e2e_idl::status::RETRY), 11);
+  EXPECT_EQ(v, 13);
+}
+
+TEST_F(IdlE2eTest, SequenceOfStringsReturnValue) {
+  E2eServer server(orb_, 1);
+  core::ClientCtx ctx(orb_);
+  auto svc = e2e_idl::vec_svc::_bind(ctx, "vec-svc");
+  e2e_idl::names out = svc->tag_all({"a", "b"}, 2);
+  ASSERT_EQ(out.size(), 4u);
+  EXPECT_EQ(out[0], "a#0");
+  EXPECT_EQ(out[3], "b#1");
+}
+
+TEST_F(IdlE2eTest, GeneratedNonBlockingStubs) {
+  E2eServer server(orb_, 2);
+  rts::Domain client("client", 2);
+  client.run([&](rts::DomainContext& dctx) {
+    core::ClientCtx ctx(orb_, dctx);
+    auto svc = e2e_idl::vec_svc::_spmd_bind(ctx, "vec-svc");
+
+    e2e_idl::dvec x(dctx.comm, 64);
+    for (std::size_t li = 0; li < x.local_size(); ++li)
+      x.local()[li] = static_cast<double>(x.local_to_global(li));
+
+    core::Future<e2e_idl::dvec_var> y;
+    svc->axpy_nb(3.0, x, y, 64, core::DistSpec::block());
+    core::Future<double> t;
+    svc->total_nb(x, t);
+
+    e2e_idl::dvec_var y_real = y;  // paper-style blocking conversion
+    for (std::size_t li = 0; li < y_real->local_size(); ++li)
+      EXPECT_DOUBLE_EQ(y_real->local()[li],
+                       3.0 * static_cast<double>(y_real->local_to_global(li)));
+    EXPECT_DOUBLE_EQ(t.get(), 63.0 * 64.0 / 2.0);
+  });
+}
+
+TEST_F(IdlE2eTest, DefaultArgSpecsComeFromTypedefs) {
+  auto specs = e2e_idl::POA_vec_svc::_default_arg_specs();
+  ASSERT_EQ(specs.count("total"), 1u);
+  EXPECT_EQ(specs["total"][0].kind, dist::DistKind::kConcentrated);
+  ASSERT_EQ(specs.count("axpy"), 1u);
+  ASSERT_EQ(specs["axpy"].size(), 2u);  // x and y
+  ASSERT_EQ(specs.count("sum_longs"), 1u);
+  EXPECT_EQ(specs["sum_longs"][0].kind, dist::DistKind::kBlock);  // lvec server spec
+  EXPECT_EQ(specs.count("ping"), 0u);  // no dseq params -> no entry
+}
+
+}  // namespace

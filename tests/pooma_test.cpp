@@ -1,0 +1,179 @@
+// Mini POOMA: field decomposition, guard exchange, stencils, mapping.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "pooma/field2d.hpp"
+#include "pooma/mapping.hpp"
+#include "rts/domain.hpp"
+
+namespace pardis::pooma {
+namespace {
+
+void fill_global(Field2D<double>& f, double (*fn)(std::size_t, std::size_t)) {
+  for (std::size_t r = 0; r < f.local_rows(); ++r)
+    for (std::size_t c = 0; c < f.ny(); ++c) f.at(r, c) = fn(f.first_row() + r, c);
+}
+
+double global_sum(Field2D<double>& f) {
+  double local = std::accumulate(f.storage().begin(), f.storage().end(), 0.0);
+  return rts::allreduce_sum(f.comm(), local);
+}
+
+class PoomaWidthTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PoomaWidthTest, RowDecompositionCoversGrid) {
+  rts::Domain d("pooma", GetParam());
+  d.run([](rts::DomainContext& ctx) {
+    Field2D<double> f(ctx.comm, 17, 9);
+    const auto total =
+        rts::allreduce_sum(ctx.comm, static_cast<long>(f.local_rows() * f.ny()));
+    EXPECT_EQ(total, 17 * 9);
+    auto ed = f.element_distribution();
+    EXPECT_EQ(ed.global_size(), 17u * 9u);
+    EXPECT_EQ(ed.local_count(ctx.rank), f.local_rows() * f.ny());
+  });
+}
+
+TEST_P(PoomaWidthTest, GuardExchangeBringsNeighbourRows) {
+  rts::Domain d("guards", GetParam());
+  d.run([](rts::DomainContext& ctx) {
+    Field2D<double> f(ctx.comm, 12, 4);
+    fill_global(f, [](std::size_t r, std::size_t c) {
+      return static_cast<double>(r * 100 + c);
+    });
+    f.exchange_guards(-5.0);
+    if (f.local_rows() == 0) return;
+    if (f.first_row() > 0) {
+      for (std::size_t c = 0; c < 4; ++c)
+        EXPECT_DOUBLE_EQ(f.north()[c], static_cast<double>((f.first_row() - 1) * 100 + c));
+    } else {
+      EXPECT_DOUBLE_EQ(f.north()[0], -5.0);  // boundary value at the top edge
+    }
+    const std::size_t last = f.first_row() + f.local_rows();
+    if (last < 12) {
+      for (std::size_t c = 0; c < 4; ++c)
+        EXPECT_DOUBLE_EQ(f.south()[c], static_cast<double>(last * 100 + c));
+    } else {
+      EXPECT_DOUBLE_EQ(f.south()[0], -5.0);
+    }
+  });
+}
+
+TEST_P(PoomaWidthTest, DiffusionConservesConstantField) {
+  rts::Domain d("diff-const", GetParam());
+  d.run([](rts::DomainContext& ctx) {
+    Field2D<double> u(ctx.comm, 16, 16), next(ctx.comm, 16, 16);
+    fill_global(u, [](std::size_t, std::size_t) { return 7.0; });
+    diffusion_step(u, next, 0.4);
+    for (double v : next.storage()) EXPECT_NEAR(v, 7.0, 1e-12);
+  });
+}
+
+TEST_P(PoomaWidthTest, DiffusionMatchesSerialReference) {
+  constexpr std::size_t kDim = 20;
+  auto init = [](std::size_t r, std::size_t c) {
+    return (r == kDim / 2 && c == kDim / 2) ? 100.0 : 0.0;
+  };
+  std::vector<double> reference(kDim * kDim);
+  {
+    rts::Domain solo("serial", 1);
+    solo.run([&](rts::DomainContext& ctx) {
+      Field2D<double> u(ctx.comm, kDim, kDim), t(ctx.comm, kDim, kDim);
+      fill_global(u, init);
+      for (int s = 0; s < 5; ++s) {
+        diffusion_step(u, t, 0.3);
+        std::swap(u.storage(), t.storage());
+      }
+      std::copy(u.storage().begin(), u.storage().end(), reference.begin());
+    });
+  }
+  rts::Domain d("diff", GetParam());
+  d.run([&](rts::DomainContext& ctx) {
+    Field2D<double> u(ctx.comm, kDim, kDim), t(ctx.comm, kDim, kDim);
+    fill_global(u, init);
+    for (int s = 0; s < 5; ++s) {
+      diffusion_step(u, t, 0.3);
+      std::swap(u.storage(), t.storage());
+    }
+    for (std::size_t r = 0; r < u.local_rows(); ++r)
+      for (std::size_t c = 0; c < kDim; ++c)
+        EXPECT_NEAR(u.at(r, c), reference[(u.first_row() + r) * kDim + c], 1e-12);
+  });
+}
+
+TEST_P(PoomaWidthTest, GradientOfLinearRampIsConstant) {
+  rts::Domain d("grad", GetParam());
+  d.run([](rts::DomainContext& ctx) {
+    Field2D<double> u(ctx.comm, 16, 16), g(ctx.comm, 16, 16);
+    fill_global(u, [](std::size_t r, std::size_t) { return 2.0 * static_cast<double>(r); });
+    gradient_magnitude(u, g);
+    // Interior rows: |d/dy| = 2 exactly (central difference of a ramp).
+    for (std::size_t r = 0; r < g.local_rows(); ++r) {
+      const std::size_t gr = g.first_row() + r;
+      if (gr == 0 || gr == 15) continue;  // one-sided at the edges
+      for (std::size_t c = 0; c < 16; ++c) EXPECT_NEAR(g.at(r, c), 2.0, 1e-12);
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, PoomaWidthTest, ::testing::Values(1, 2, 3, 5));
+
+TEST(PoomaMapping, ViewIsRowAlignedAndZeroCopy) {
+  rts::Domain d("map", 3);
+  d.run([](rts::DomainContext& ctx) {
+    Field2D<double> f(ctx.comm, 9, 4);
+    fill_global(f, [](std::size_t r, std::size_t c) { return static_cast<double>(r * 4 + c); });
+    auto view = dseq_view(f);
+    EXPECT_EQ(view.size(), 36u);
+    EXPECT_EQ(view.local().data(), f.storage().data());
+    EXPECT_EQ(view.local_size(), f.local_rows() * 4);
+  });
+}
+
+TEST(PoomaMapping, NativeFromDseqRedistributesToRowAlignment) {
+  rts::Domain d("map2", 3);
+  d.run([](rts::DomainContext& ctx) {
+    // Element-BLOCK over 3 ranks of a 6x6 grid splits mid-row (12
+    // elements each); the field needs row-aligned blocks.
+    dist::DSequence<double> seq(ctx.comm, 36);
+    for (std::size_t li = 0; li < seq.local_size(); ++li)
+      seq.local()[li] = static_cast<double>(seq.local_to_global(li));
+    Field2D<double> f = native_from_dseq(std::move(seq), ctx.comm);
+    EXPECT_EQ(f.nx(), 6u);
+    EXPECT_EQ(f.ny(), 6u);
+    for (std::size_t r = 0; r < f.local_rows(); ++r)
+      for (std::size_t c = 0; c < 6; ++c)
+        EXPECT_DOUBLE_EQ(f.at(r, c), static_cast<double>((f.first_row() + r) * 6 + c));
+  });
+}
+
+TEST(PoomaMapping, NonSquareCountIsRejected) {
+  rts::Domain d("map3", 2);
+  EXPECT_THROW(d.run([](rts::DomainContext& ctx) {
+    dist::DSequence<double> seq(ctx.comm, 35);
+    native_from_dseq(std::move(seq), ctx.comm);
+  }),
+               BadParam);
+}
+
+TEST(PoomaTest, MassApproximatelyConservedInInterior) {
+  // Diffusion with clamped edges nearly conserves total mass when the
+  // hot spot is far from the boundary.
+  rts::Domain d("mass", 2);
+  d.run([](rts::DomainContext& ctx) {
+    Field2D<double> u(ctx.comm, 32, 32), t(ctx.comm, 32, 32);
+    fill_global(u, [](std::size_t r, std::size_t c) {
+      return (r == 16 && c == 16) ? 1000.0 : 0.0;
+    });
+    const double before = global_sum(u);
+    for (int s = 0; s < 3; ++s) {
+      diffusion_step(u, t, 0.2);
+      std::swap(u.storage(), t.storage());
+    }
+    EXPECT_NEAR(global_sum(u), before, 1e-6);
+  });
+}
+
+}  // namespace
+}  // namespace pardis::pooma

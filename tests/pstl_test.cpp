@@ -1,0 +1,139 @@
+// Mini HPC++ PSTL: distributed vector, parallel algorithms, halo
+// exchange, gradient, and the PARDIS direct mapping.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "pstl/distributed_vector.hpp"
+#include "pstl/mapping.hpp"
+#include "rts/domain.hpp"
+
+namespace pardis::pstl {
+namespace {
+
+class PstlWidthTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PstlWidthTest, ApplyTransformReduce) {
+  rts::Domain d("pstl", GetParam());
+  d.run([](rts::DomainContext& ctx) {
+    DistributedVector<double> v(ctx.comm, 120);
+    par_apply(v, [](std::size_t g, double& x) { x = static_cast<double>(g); });
+    EXPECT_DOUBLE_EQ(par_sum(v), 119.0 * 120.0 / 2.0);
+
+    DistributedVector<double> w(ctx.comm, 120);
+    par_transform(v, w, [](double x) { return 2.0 * x; });
+    EXPECT_DOUBLE_EQ(par_sum(w), 119.0 * 120.0);
+
+    EXPECT_DOUBLE_EQ(par_reduce(v, 0.0, [](double a, double b) { return a < b ? b : a; }),
+                     119.0);
+  });
+}
+
+TEST_P(PstlWidthTest, DotAndAxpy) {
+  rts::Domain d("pstl2", GetParam());
+  d.run([](rts::DomainContext& ctx) {
+    DistributedVector<double> x(ctx.comm, 64), y(ctx.comm, 64);
+    par_apply(x, [](std::size_t g, double& v) { v = static_cast<double>(g); });
+    par_apply(y, [](std::size_t, double& v) { v = 1.0; });
+    axpy(2.0, x, y);  // y = 1 + 2g
+    EXPECT_DOUBLE_EQ(dot(x, y),
+                     [] {
+                       double s = 0;
+                       for (int g = 0; g < 64; ++g) s += g * (1.0 + 2.0 * g);
+                       return s;
+                     }());
+  });
+}
+
+TEST_P(PstlWidthTest, HaloExchangeNeighbours) {
+  rts::Domain d("halo", GetParam());
+  d.run([](rts::DomainContext& ctx) {
+    DistributedVector<double> v(ctx.comm, 40);
+    par_apply(v, [](std::size_t g, double& x) { x = static_cast<double>(g); });
+    auto [left, right] = exchange_halo(v, 3);
+    const auto iv = v.distribution().intervals(ctx.rank);
+    if (iv.empty()) return;
+    if (iv.front().begin > 0) {
+      ASSERT_FALSE(left.empty());
+      EXPECT_DOUBLE_EQ(left.back(), static_cast<double>(iv.front().begin - 1));
+    } else {
+      EXPECT_TRUE(left.empty());
+    }
+    if (iv.back().end < 40) {
+      ASSERT_FALSE(right.empty());
+      EXPECT_DOUBLE_EQ(right.front(), static_cast<double>(iv.back().end));
+    } else {
+      EXPECT_TRUE(right.empty());
+    }
+  });
+}
+
+TEST_P(PstlWidthTest, GradientMatchesSerialReference) {
+  static constexpr std::size_t kDim = 24;
+  // Serial reference on one rank vs distributed on P ranks.
+  std::vector<double> reference(kDim * kDim);
+  {
+    rts::Domain solo("serial", 1);
+    solo.run([&](rts::DomainContext& ctx) {
+      DistributedVector<double> u(ctx.comm, kDim * kDim), g(ctx.comm, kDim * kDim);
+      par_apply(u, [](std::size_t gi, double& x) {
+        const double r = static_cast<double>(gi / kDim), c = static_cast<double>(gi % kDim);
+        x = r * r + 3.0 * c;
+      });
+      gradient_magnitude(u, g, kDim);
+      std::copy(g.local().begin(), g.local().end(), reference.begin());
+    });
+  }
+  rts::Domain d("grad", GetParam());
+  d.run([&](rts::DomainContext& ctx) {
+    DistributedVector<double> u(ctx.comm, kDim * kDim), g(ctx.comm, kDim * kDim);
+    par_apply(u, [](std::size_t gi, double& x) {
+      const double r = static_cast<double>(gi / kDim), c = static_cast<double>(gi % kDim);
+      x = r * r + 3.0 * c;
+    });
+    gradient_magnitude(u, g, kDim);
+    for (std::size_t li = 0; li < g.local_size(); ++li)
+      EXPECT_DOUBLE_EQ(g.local()[li], reference[g.local_to_global(li)]);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, PstlWidthTest, ::testing::Values(1, 2, 3, 5));
+
+TEST(PstlTest, MismatchedDistributionsThrow) {
+  rts::Domain d("bad", 2);
+  EXPECT_THROW(d.run([](rts::DomainContext& ctx) {
+    DistributedVector<double> a(ctx.comm, 10);
+    DistributedVector<double> b(ctx.comm, dist::Distribution::concentrated(10, 2, 0));
+    dot(a, b);
+  }),
+               BadParam);
+}
+
+TEST(PstlMapping, DseqViewAliasesStorageBothWays) {
+  rts::Domain d("map", 2);
+  d.run([](rts::DomainContext& ctx) {
+    DistributedVector<double> v(ctx.comm, 10);
+    par_apply(v, [](std::size_t g, double& x) { x = static_cast<double>(g); });
+    auto view = dseq_view(v);
+    EXPECT_EQ(view.size(), 10u);
+    EXPECT_EQ(view.distribution(), v.distribution());
+    EXPECT_EQ(view.local().data(), v.storage().data());  // no copy
+    // Writing through the view writes the native container.
+    if (view.local_size() > 0) view.local()[0] = -1.0;
+    EXPECT_DOUBLE_EQ(v.storage()[0], -1.0);
+  });
+}
+
+TEST(PstlMapping, NativeFromDseqCopiesReceivedData) {
+  rts::Domain d("map2", 3);
+  d.run([](rts::DomainContext& ctx) {
+    dist::DSequence<double> seq(ctx.comm, 30);
+    for (std::size_t li = 0; li < seq.local_size(); ++li)
+      seq.local()[li] = static_cast<double>(seq.local_to_global(li)) * 0.5;
+    DistributedVector<double> v = native_from_dseq(std::move(seq), ctx.comm);
+    EXPECT_DOUBLE_EQ(par_sum(v), 0.5 * 29.0 * 30.0 / 2.0);
+  });
+}
+
+}  // namespace
+}  // namespace pardis::pstl

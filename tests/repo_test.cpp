@@ -1,0 +1,224 @@
+// Repositories and activation: naming domains, the transport-reachable
+// repository server, the implementation repository and activation agent.
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "repo/impl_repository.hpp"
+#include "repo/repository.hpp"
+#include "tests/support/calc_api.hpp"
+
+namespace pardis::repo {
+namespace {
+
+core::ObjectRef make_ref(const std::string& name, const std::string& host) {
+  core::ObjectRef ref;
+  ref.type_id = "IDL:test:1.0";
+  ref.name = name;
+  ref.host = host;
+  ref.object_id = ObjectId::next();
+  transport::EndpointAddr ep;
+  ep.kind = transport::AddrKind::kLocal;
+  ep.local_id = 1;
+  ref.thread_eps = {ep};
+  return ref;
+}
+
+TEST(InProcessRegistryTest, RegisterLookupUnregister) {
+  core::InProcessRegistry reg;
+  reg.register_object(make_ref("solver", "HOST1"));
+  reg.register_object(make_ref("solver", "HOST2"));
+
+  // Host narrows the search; empty host matches any.
+  auto h1 = reg.lookup("solver", "HOST1");
+  ASSERT_TRUE(h1.has_value());
+  EXPECT_EQ(h1->host, "HOST1");
+  EXPECT_TRUE(reg.lookup("solver", "").has_value());
+  EXPECT_FALSE(reg.lookup("solver", "HOST3").has_value());
+  EXPECT_FALSE(reg.lookup("nosuch", "").has_value());
+
+  reg.unregister("solver", "HOST1");
+  EXPECT_FALSE(reg.lookup("solver", "HOST1").has_value());
+  EXPECT_TRUE(reg.lookup("solver", "HOST2").has_value());
+  reg.unregister("solver", "");  // wipes remaining hosts
+  EXPECT_FALSE(reg.lookup("solver", "").has_value());
+}
+
+TEST(InProcessRegistryTest, ReRegistrationReplaces) {
+  core::InProcessRegistry reg;
+  core::ObjectRef a = make_ref("x", "");
+  reg.register_object(a);
+  core::ObjectRef b = make_ref("x", "");
+  reg.register_object(b);
+  EXPECT_EQ(reg.lookup("x", "")->object_id, b.object_id);
+  EXPECT_EQ(reg.list().size(), 1u);
+}
+
+TEST(InProcessRegistryTest, InvalidRegistrationsThrow) {
+  core::InProcessRegistry reg;
+  EXPECT_THROW(reg.register_object(core::ObjectRef{}), BadParam);
+  core::ObjectRef unnamed = make_ref("", "");
+  EXPECT_THROW(reg.register_object(unnamed), BadParam);
+}
+
+TEST(RepositoryServerTest, RemoteRegistryFullProtocol) {
+  transport::LocalTransport tp;
+  RepositoryServer server(tp, std::make_shared<core::InProcessRegistry>());
+  RemoteRegistry remote(tp, server.addr());
+
+  core::ObjectRef ref = make_ref("remote-obj", "HOST2");
+  ref.arg_specs["solve"] = {core::DistSpec::concentrated(1)};
+  remote.register_object(ref);
+
+  auto found = remote.lookup("remote-obj", "HOST2");
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(*found, ref);  // full reference round-trips, specs included
+  EXPECT_FALSE(remote.lookup("remote-obj", "HOST9").has_value());
+
+  auto names = remote.list();
+  ASSERT_EQ(names.size(), 1u);
+  EXPECT_EQ(names[0], "remote-obj@HOST2");
+
+  remote.unregister("remote-obj", "HOST2");
+  EXPECT_FALSE(remote.lookup("remote-obj", "").has_value());
+}
+
+TEST(RepositoryServerTest, SharedBackingVisibleInProcess) {
+  transport::LocalTransport tp;
+  auto backing = std::make_shared<core::InProcessRegistry>();
+  RepositoryServer server(tp, backing);
+  RemoteRegistry remote(tp, server.addr());
+  // Registered through the wire, visible through the in-process view.
+  remote.register_object(make_ref("shared", ""));
+  EXPECT_TRUE(backing->lookup("shared", "").has_value());
+}
+
+TEST(RepositoryServerTest, TwoServersSplitTheNamespace) {
+  // Paper: "configuring clients and servers to work with different
+  // repositories allows the programmer to split the namespace".
+  transport::LocalTransport tp;
+  RepositoryServer ns_a(tp, std::make_shared<core::InProcessRegistry>());
+  RepositoryServer ns_b(tp, std::make_shared<core::InProcessRegistry>());
+  RemoteRegistry a(tp, ns_a.addr());
+  RemoteRegistry b(tp, ns_b.addr());
+  a.register_object(make_ref("obj", ""));
+  EXPECT_TRUE(a.lookup("obj", "").has_value());
+  EXPECT_FALSE(b.lookup("obj", "").has_value());
+}
+
+TEST(RepositoryServerTest, WorksOverTcp) {
+  transport::TcpTransport server_tp(0);
+  transport::TcpTransport client_tp(0);
+  RepositoryServer server(server_tp, std::make_shared<core::InProcessRegistry>());
+  RemoteRegistry remote(client_tp, server.addr());
+  remote.register_object(make_ref("tcp-obj", "SP2"));
+  auto found = remote.lookup("tcp-obj", "");
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(found->host, "SP2");
+}
+
+TEST(ImplRepositoryTest, FindRespectsHostRestriction) {
+  ImplRepository impls;
+  impls.register_impl("svc", ActivationRecord{[] { return nullptr; }, "HOST1"});
+  EXPECT_NE(impls.find("svc", "HOST1"), nullptr);
+  EXPECT_NE(impls.find("svc", ""), nullptr);  // unconstrained bind matches
+  EXPECT_EQ(impls.find("svc", "HOST2"), nullptr);
+  EXPECT_EQ(impls.find("other", ""), nullptr);
+  impls.unregister_impl("svc");
+  EXPECT_EQ(impls.find("svc", "HOST1"), nullptr);
+  EXPECT_THROW(impls.register_impl("bad", ActivationRecord{}), BadParam);
+}
+
+TEST(ActivationTest, BindTriggersActivationThroughOrb) {
+  // Full §2.2 flow: bind on an unregistered name -> activation agent
+  // launches the server domain -> the object registers -> bind
+  // completes.
+  transport::LocalTransport tp;
+  core::InProcessRegistry reg;
+  core::Orb orb(tp, reg);
+
+  struct ServerState {
+    std::atomic<core::Poa*> poa{nullptr};
+    std::atomic<int> launches{0};
+  };
+  auto state = std::make_shared<ServerState>();
+
+  ImplRepository impls;
+  impls.register_impl(
+      "lazy-calc",
+      ActivationRecord{[&orb, state]() -> std::unique_ptr<rts::Domain> {
+                         state->launches.fetch_add(1);
+                         auto domain = std::make_unique<rts::Domain>("lazy", 2);
+                         domain->start([&orb, state](rts::DomainContext& ctx) {
+                           core::Poa poa(orb, ctx);
+                           static std::atomic<Long> counter{0};
+                           struct Impl : calc_api::POA_calc {
+                             std::atomic<Long>* c;
+                             rts::Communicator* comm;
+                             double dot(const calc_api::vec&, const calc_api::vec&) override {
+                               return 0;
+                             }
+                             void scale(double, const calc_api::vec&, calc_api::vec&) override {}
+                             Long counter(Long d) override {
+                               if (comm->rank() != 0) return 0;
+                               return c->fetch_add(d) + d;
+                             }
+                             void note(const std::string&) override {}
+                             void boom(const std::string&) override {}
+                           } servant;
+                           servant.c = &counter;
+                           servant.comm = &ctx.comm;
+                           poa.activate_spmd(servant, "lazy-calc");
+                           if (ctx.rank == 0) state->poa.store(&poa);
+                           poa.impl_is_ready();
+                         });
+                         return domain;
+                       },
+                       ""});
+
+  ActivationAgent agent(impls);
+  agent.attach(orb);
+
+  core::ClientCtx ctx(orb);
+  auto proxy = calc_api::calc::_bind(ctx, "lazy-calc", "");
+  EXPECT_EQ(proxy->counter(4), 4);
+  EXPECT_EQ(agent.launched(), 1u);
+  EXPECT_EQ(state->launches.load(), 1);
+
+  // A second bind reuses the running implementation.
+  auto proxy2 = calc_api::calc::_bind(ctx, "lazy-calc", "");
+  EXPECT_EQ(proxy2->counter(1), 5);
+  EXPECT_EQ(state->launches.load(), 1);
+
+  state->poa.load()->deactivate();
+  agent.join_all();
+}
+
+TEST(ActivationTest, NonActivatingModeFails) {
+  transport::LocalTransport tp;
+  core::InProcessRegistry reg;
+  core::Orb orb(tp, reg);
+  ImplRepository impls;
+  impls.register_impl("svc", ActivationRecord{[] { return nullptr; }, ""});
+  ActivationAgent agent(impls, /*activating=*/false);
+  agent.attach(orb);
+  core::ClientCtx ctx(orb);
+  EXPECT_THROW(calc_api::calc::_bind(ctx, "svc", ""), ObjectNotExist);
+}
+
+TEST(ActivationTest, UnknownImplementationFailsFast) {
+  transport::LocalTransport tp;
+  core::InProcessRegistry reg;
+  core::Orb orb(tp, reg);
+  ImplRepository impls;
+  ActivationAgent agent(impls);
+  agent.attach(orb);
+  core::ClientCtx ctx(orb);
+  // No activation record: resolve should not wait out the full timeout.
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_THROW(calc_api::calc::_bind(ctx, "ghost", ""), ObjectNotExist);
+  EXPECT_LT(std::chrono::steady_clock::now() - start, std::chrono::seconds(2));
+}
+
+}  // namespace
+}  // namespace pardis::repo

@@ -1,0 +1,102 @@
+// Domain lifecycle, error propagation, virtual-time composition.
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "rts/collectives.hpp"
+#include "rts/domain.hpp"
+
+namespace pardis::rts {
+namespace {
+
+TEST(DomainTest, RunExecutesEveryRankOnce) {
+  Domain d("counts", 6);
+  std::atomic<int> total{0};
+  std::atomic<int> rank_mask{0};
+  d.run([&](DomainContext& ctx) {
+    total.fetch_add(1);
+    rank_mask.fetch_or(1 << ctx.rank);
+    EXPECT_EQ(ctx.size, 6);
+    EXPECT_EQ(&ctx.comm, &ctx.domain.comms().comm(ctx.rank));
+  });
+  EXPECT_EQ(total.load(), 6);
+  EXPECT_EQ(rank_mask.load(), 0b111111);
+}
+
+TEST(DomainTest, ExceptionInAnyThreadPropagates) {
+  Domain d("throws", 4);
+  EXPECT_THROW(d.run([](DomainContext& ctx) {
+    if (ctx.rank == 2) throw BadParam("rank 2 exploded");
+  }),
+               BadParam);
+  // The domain is reusable after a failed run.
+  d.run([](DomainContext&) {});
+}
+
+TEST(DomainTest, StartJoinAsync) {
+  Domain d("async", 2);
+  std::atomic<bool> go{false};
+  d.start([&](DomainContext&) {
+    while (!go.load()) std::this_thread::yield();
+  });
+  EXPECT_TRUE(d.running());
+  EXPECT_THROW(d.start([](DomainContext&) {}), BadInvOrder);
+  go = true;
+  d.join();
+  EXPECT_FALSE(d.running());
+}
+
+TEST(DomainTest, ChargeFlopsWithoutHostIsNoop) {
+  Domain d("nohost", 2);
+  d.run([](DomainContext& ctx) {
+    ctx.charge_flops(1e12);
+    EXPECT_EQ(ctx.clock.now(), 0.0);
+  });
+  EXPECT_EQ(d.max_sim_time(), 0.0);
+}
+
+TEST(DomainTest, VirtualTimeMaxAcrossThreads) {
+  sim::HostModel host{.name = "H", .gflops = 1.0};
+  Domain d("timed", 3, &host);
+  d.run([](DomainContext& ctx) {
+    // rank r charges (r+1) GFLOP at 1 GFLOP/s => r+1 seconds
+    ctx.charge_flops(1e9 * (ctx.rank + 1));
+  });
+  EXPECT_DOUBLE_EQ(d.max_sim_time(), 3.0);
+  d.reset_clocks();
+  EXPECT_DOUBLE_EQ(d.max_sim_time(), 0.0);
+}
+
+TEST(DomainTest, OverlapAlgebraMatchesPaperFormula) {
+  // Reproduces the Fig. 2 caption formula t = t_o + max(t_i, t_d):
+  // rank 0 "invokes" rank 1 (cost t_o up), both compute, rank 0 gets
+  // the result back (cost t_o down) — elapsed = 2*t_o + max work.
+  sim::HostModel host{.name = "H",
+                      .gflops = 1.0,
+                      .intra_latency_s = 0.5,
+                      .intra_bandwidth_bps = 1e12};
+  Domain d("overlap", 2, &host);
+  d.run([](DomainContext& ctx) {
+    if (ctx.rank == 0) {
+      ctx.comm.send_reserved(1, kTagPackage, ByteBuffer{});  // request
+      ctx.charge_flops(2e9);                                 // local work: 2 s
+      ctx.comm.recv(1, kTagPackage);                         // reply
+    } else {
+      ctx.comm.recv(0, kTagPackage);
+      ctx.charge_flops(4e9);  // remote work: 4 s
+      ctx.comm.send_reserved(0, kTagPackage, ByteBuffer{});
+    }
+  });
+  // t = 0.5 (request) + max(2, 4) + 0.5 (reply) = 5.0 on rank 0.
+  EXPECT_DOUBLE_EQ(d.clock(0).now(), 5.0);
+  EXPECT_DOUBLE_EQ(d.max_sim_time(), 5.0);
+}
+
+TEST(DomainTest, OversubscriptionOnlyWarns) {
+  sim::HostModel host{.name = "tiny", .gflops = 1.0, .max_threads = 1};
+  Domain d("oversub", 4, &host);  // warns, still works
+  d.run([](DomainContext& ctx) { barrier(ctx.comm); });
+}
+
+}  // namespace
+}  // namespace pardis::rts

@@ -1,0 +1,144 @@
+// Run-time system interface: tagged point-to-point messaging.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "common/cdr.hpp"
+#include "rts/thread_comm.hpp"
+
+namespace pardis::rts {
+namespace {
+
+ByteBuffer payload_of(int v) { return cdr_encode(v); }
+int value_of(const RtsMessage& m) { return cdr_decode<int>(m.payload.view()); }
+
+TEST(ThreadCommTest, SendRecvSameThread) {
+  ThreadCommGroup group(2);
+  group.comm(0).send(1, 7, payload_of(42));
+  RtsMessage m = group.comm(1).recv(0, 7);
+  EXPECT_EQ(m.source, 0);
+  EXPECT_EQ(m.tag, 7);
+  EXPECT_EQ(value_of(m), 42);
+}
+
+TEST(ThreadCommTest, WildcardSourceAndTag) {
+  ThreadCommGroup group(3);
+  group.comm(2).send(0, 5, payload_of(1));
+  group.comm(1).send(0, 9, payload_of(2));
+  RtsMessage a = group.comm(0).recv(kAnySource, 9);
+  EXPECT_EQ(a.source, 1);
+  RtsMessage b = group.comm(0).recv(2, kAnyTag);
+  EXPECT_EQ(b.tag, 5);
+}
+
+TEST(ThreadCommTest, FifoPerSourceAndTag) {
+  ThreadCommGroup group(2);
+  for (int i = 0; i < 100; ++i) group.comm(0).send(1, 3, payload_of(i));
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(value_of(group.comm(1).recv(0, 3)), i);
+  }
+}
+
+TEST(ThreadCommTest, TagMatchingSkipsNonMatching) {
+  ThreadCommGroup group(2);
+  group.comm(0).send(1, 1, payload_of(10));
+  group.comm(0).send(1, 2, payload_of(20));
+  // Receive tag 2 first even though tag 1 arrived earlier.
+  EXPECT_EQ(value_of(group.comm(1).recv(0, 2)), 20);
+  EXPECT_EQ(value_of(group.comm(1).recv(0, 1)), 10);
+}
+
+TEST(ThreadCommTest, UserSendRejectsReservedTags) {
+  ThreadCommGroup group(2);
+  EXPECT_THROW(group.comm(0).send(1, kTagOrbRequest, ByteBuffer{}), BadTag);
+  EXPECT_THROW(group.comm(0).send(1, kReservedTagBase, ByteBuffer{}), BadTag);
+  EXPECT_THROW(group.comm(0).send(1, -5, ByteBuffer{}), BadTag);
+  // Reserved-path send is allowed for internal subsystems.
+  EXPECT_NO_THROW(group.comm(0).send_reserved(1, kTagOrbRequest, ByteBuffer{}));
+}
+
+TEST(ThreadCommTest, SendToInvalidRankThrows) {
+  ThreadCommGroup group(2);
+  EXPECT_THROW(group.comm(0).send(5, 1, ByteBuffer{}), BadParam);
+  EXPECT_THROW(group.comm(0).send(-1, 1, ByteBuffer{}), BadParam);
+}
+
+TEST(ThreadCommTest, TryRecvAndProbe) {
+  ThreadCommGroup group(2);
+  EXPECT_FALSE(group.comm(1).try_recv().has_value());
+  EXPECT_FALSE(group.comm(1).probe().has_value());
+  group.comm(0).send(1, 4, payload_of(5));
+  auto info = group.comm(1).probe(kAnySource, kAnyTag);
+  ASSERT_TRUE(info.has_value());
+  EXPECT_EQ(info->source, 0);
+  EXPECT_EQ(info->tag, 4);
+  EXPECT_EQ(info->size, cdr_encode(5).size());
+  // Probe does not consume.
+  auto msg = group.comm(1).try_recv(0, 4);
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(value_of(*msg), 5);
+  EXPECT_FALSE(group.comm(1).try_recv().has_value());
+}
+
+TEST(ThreadCommTest, BlockingRecvWakesOnLateSend) {
+  ThreadCommGroup group(2);
+  int got = -1;
+  std::thread receiver([&] { got = value_of(group.comm(1).recv(0, 2)); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  group.comm(0).send(1, 2, payload_of(77));
+  receiver.join();
+  EXPECT_EQ(got, 77);
+}
+
+TEST(ThreadCommTest, ManyToOneStress) {
+  constexpr int kSenders = 8;
+  constexpr int kEach = 200;
+  ThreadCommGroup group(kSenders + 1);
+  std::vector<std::thread> senders;
+  for (int s = 0; s < kSenders; ++s)
+    senders.emplace_back([&group, s] {
+      for (int i = 0; i < kEach; ++i) group.comm(s + 1).send(0, s, payload_of(i));
+    });
+  // Per-sender FIFO must hold even under concurrency.
+  std::vector<int> next(kSenders, 0);
+  for (int n = 0; n < kSenders * kEach; ++n) {
+    RtsMessage m = group.comm(0).recv();
+    const int s = m.source - 1;
+    EXPECT_EQ(value_of(m), next[s]);
+    ++next[s];
+  }
+  for (auto& t : senders) t.join();
+}
+
+TEST(ThreadCommTest, SimTimestampsCarriedAndMerged) {
+  sim::HostModel host{.name = "H",
+                      .gflops = 1.0,
+                      .intra_latency_s = 0.5,
+                      .intra_bandwidth_bps = 1e9};
+  ThreadCommGroup group(2, &host);
+
+  sim::SimClock sender_clock, receiver_clock;
+  {
+    sim::ClockBinding bind(sender_clock);
+    sim::charge_seconds(3.0);
+    group.comm(0).send(1, 1, ByteBuffer{});
+  }
+  {
+    sim::ClockBinding bind(receiver_clock);
+    RtsMessage m = group.comm(1).recv(0, 1);
+    // receiver = max(0, sender 3.0 + intra latency 0.5)
+    EXPECT_DOUBLE_EQ(m.sim_time, 3.5);
+    EXPECT_DOUBLE_EQ(receiver_clock.now(), 3.5);
+  }
+}
+
+TEST(ThreadCommTest, ZeroAndSingleRankGroups) {
+  EXPECT_THROW(ThreadCommGroup bad(0), BadParam);
+  ThreadCommGroup solo(1);
+  solo.comm(0).send(0, 1, payload_of(9));  // self-send is legal
+  EXPECT_EQ(value_of(solo.comm(0).recv()), 9);
+}
+
+}  // namespace
+}  // namespace pardis::rts

@@ -1,0 +1,113 @@
+// Virtual clocks, host/link models, paper testbed presets.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "sim/clock.hpp"
+#include "sim/testbed.hpp"
+
+namespace pardis::sim {
+namespace {
+
+TEST(SimClock, AdvanceAndMergeMonotone) {
+  SimClock c;
+  EXPECT_EQ(c.now(), 0.0);
+  c.advance(1.5);
+  c.advance(-3.0);  // negative charges are ignored
+  EXPECT_EQ(c.now(), 1.5);
+  c.merge(1.0);  // merge never rewinds
+  EXPECT_EQ(c.now(), 1.5);
+  c.merge(2.0);
+  EXPECT_EQ(c.now(), 2.0);
+}
+
+TEST(ClockBindingTest, ChargeAffectsOnlyBoundThread) {
+  SimClock c;
+  EXPECT_EQ(current_clock(), nullptr);
+  charge_seconds(5.0);  // unbound: no-op
+  {
+    ClockBinding bind(c);
+    EXPECT_EQ(current_clock(), &c);
+    charge_seconds(2.0);
+    merge_time(1.0);
+    EXPECT_EQ(timestamp_now(), 2.0);
+  }
+  EXPECT_EQ(current_clock(), nullptr);
+  EXPECT_EQ(c.now(), 2.0);
+}
+
+TEST(ClockBindingTest, NestedBindingRestoresPrevious) {
+  SimClock outer, inner;
+  ClockBinding a(outer);
+  {
+    ClockBinding b(inner);
+    charge_seconds(1.0);
+  }
+  charge_seconds(0.25);
+  EXPECT_EQ(inner.now(), 1.0);
+  EXPECT_EQ(outer.now(), 0.25);
+}
+
+TEST(ClockBindingTest, BindingIsThreadLocal) {
+  SimClock main_clock;
+  ClockBinding bind(main_clock);
+  std::thread other([] {
+    EXPECT_EQ(current_clock(), nullptr);
+    charge_seconds(9.0);  // must not touch the main thread's clock
+  });
+  other.join();
+  EXPECT_EQ(main_clock.now(), 0.0);
+}
+
+TEST(HostModelTest, ChargeFlopsUsesGflops) {
+  SimClock c;
+  ClockBinding bind(c);
+  HostModel host{.name = "H", .gflops = 2.0};
+  host.charge_flops(4e9);  // 4 GFLOP at 2 GFLOP/s = 2 s
+  EXPECT_DOUBLE_EQ(c.now(), 2.0);
+}
+
+TEST(LinkModelTest, DelayIsLatencyPlusBytesOverBandwidth) {
+  LinkModel link{.latency_s = 0.001, .bandwidth_bps = 1e6};
+  EXPECT_DOUBLE_EQ(link.delay(0), 0.001);
+  EXPECT_DOUBLE_EQ(link.delay(500000), 0.501);
+}
+
+TEST(TestbedTest, PaperTestbedTopology) {
+  Testbed tb = Testbed::paper_testbed();
+  const HostModel* h1 = tb.host(Testbed::kHost1);
+  const HostModel* h2 = tb.host(Testbed::kHost2);
+  const HostModel* sp2 = tb.host(Testbed::kSp2);
+  ASSERT_NE(h1, nullptr);
+  ASSERT_NE(h2, nullptr);
+  ASSERT_NE(sp2, nullptr);
+  // HOST2 (R8000) is the faster resource in the paper's Fig. 2 setup.
+  EXPECT_GT(h2->gflops, h1->gflops);
+  EXPECT_EQ(h1->max_threads, 4);
+  EXPECT_EQ(h2->max_threads, 10);
+  EXPECT_EQ(sp2->max_threads, 8);
+
+  // Dedicated ATM between HOST1 and HOST2, Ethernet elsewhere.
+  const LinkModel& atm = tb.link(Testbed::kHost1, Testbed::kHost2);
+  const LinkModel& eth = tb.link(Testbed::kHost2, Testbed::kSp2);
+  EXPECT_GT(atm.bandwidth_bps, eth.bandwidth_bps);
+  EXPECT_LT(atm.latency_s, eth.latency_s);
+
+  // Same-host link is loopback (cheaper than any network link).
+  const LinkModel& loop = tb.link(Testbed::kHost1, Testbed::kHost1);
+  EXPECT_LT(loop.latency_s, atm.latency_s);
+}
+
+TEST(TestbedTest, LinkLookupIsSymmetric) {
+  Testbed tb = Testbed::paper_testbed();
+  EXPECT_EQ(tb.link(Testbed::kHost1, Testbed::kHost2).bandwidth_bps,
+            tb.link(Testbed::kHost2, Testbed::kHost1).bandwidth_bps);
+}
+
+TEST(TestbedTest, UnknownHostReturnsNull) {
+  Testbed tb = Testbed::paper_testbed();
+  EXPECT_EQ(tb.host("NOSUCH"), nullptr);
+}
+
+}  // namespace
+}  // namespace pardis::sim

@@ -1,0 +1,200 @@
+// Hand-written stub/skeleton pair for the test interface below — the
+// reference for what the IDL compiler generates:
+//
+//   typedef dsequence<double> vec;
+//   interface calc {
+//     double dot(in vec a, in vec b);
+//     void scale(in double factor, in vec v, out vec r);
+//     long counter(in long delta);
+//     oneway void note(in string msg);
+//     void boom(in string msg);          // always raises
+//   };
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/pardis.hpp"
+
+namespace calc_api {
+
+using vec = pardis::dist::DSequence<double>;
+using vec_var = pardis::DSeqVar<double>;
+
+inline constexpr const char* kCalcTypeId = "IDL:calc:1.0";
+
+/// Skeleton (server side).
+class POA_calc : public pardis::core::ServantBase {
+ public:
+  const char* _type_id() const override { return kCalcTypeId; }
+
+  virtual double dot(const vec& a, const vec& b) = 0;
+  virtual void scale(double factor, const vec& v, vec& r) = 0;
+  virtual pardis::Long counter(pardis::Long delta) = 0;
+  virtual void note(const std::string& msg) = 0;
+  virtual void boom(const std::string& msg) = 0;
+
+  void _dispatch(pardis::core::ServerInvocation& inv) override {
+    const std::string& op = inv.operation();
+    if (op == "dot") {
+      vec a = inv.in_dseq<double>();
+      vec b = inv.in_dseq<double>();
+      inv.out_value(dot(a, b));
+    } else if (op == "scale") {
+      const double factor = inv.in_value<double>();
+      vec v = inv.in_dseq<double>();
+      vec r = inv.out_dseq_make<double>();
+      scale(factor, v, r);
+      inv.out_dseq(r);
+    } else if (op == "counter") {
+      const pardis::Long delta = inv.in_value<pardis::Long>();
+      inv.out_value(counter(delta));
+    } else if (op == "note") {
+      note(inv.in_value<std::string>());
+    } else if (op == "boom") {
+      boom(inv.in_value<std::string>());
+    } else {
+      throw pardis::NoImplement("calc has no operation '" + op + "'");
+    }
+  }
+};
+
+/// Proxy (client side).
+class calc {
+ public:
+  using _var = std::shared_ptr<calc>;
+
+  static _var _spmd_bind(pardis::core::ClientCtx& ctx, const std::string& name,
+                         const std::string& host = "") {
+    return _var(new calc(pardis::core::spmd_bind(ctx, name, host, kCalcTypeId)));
+  }
+  static _var _bind(pardis::core::ClientCtx& ctx, const std::string& name,
+                    const std::string& host = "") {
+    return _var(new calc(pardis::core::bind(ctx, name, host, kCalcTypeId)));
+  }
+
+  const pardis::core::BindingPtr& _binding() const { return binding_; }
+
+  double dot(const vec& a, const vec& b) {
+    if (auto* impl = _collocated()) return impl->dot(a, b);
+    pardis::core::ClientRequest req(*binding_, "dot", false, false);
+    req.in_dseq(a);
+    req.in_dseq(b);
+    auto pending = req.invoke();
+    auto out = std::make_shared<double>();
+    pending->set_decoder(
+        [out](pardis::core::ReplyDecoder& d) { *out = d.out_value<double>(); });
+    pending->wait();
+    return *out;
+  }
+
+  void dot_nb(const vec& a, const vec& b, pardis::core::Future<double>& result) {
+    if (auto* impl = _collocated()) {
+      result = pardis::core::Future<double>::ready(impl->dot(a, b));
+      return;
+    }
+    pardis::core::ClientRequest req(*binding_, "dot", false, false);
+    req.in_dseq(a);
+    req.in_dseq(b);
+    auto pending = req.invoke();
+    auto out = std::make_shared<double>();
+    pending->set_decoder(
+        [out](pardis::core::ReplyDecoder& d) { *out = d.out_value<double>(); });
+    result._bind(pending, out);
+  }
+
+  void scale(double factor, const vec& v, vec& r) {
+    if (auto* impl = _collocated()) {
+      impl->scale(factor, v, r);
+      return;
+    }
+    pardis::core::ClientRequest req(*binding_, "scale", false, true);
+    req.in_value(factor);
+    req.in_dseq(v);
+    req.out_dseq_expected(r.distribution());
+    auto pending = req.invoke();
+    pending->set_decoder([&r](pardis::core::ReplyDecoder& d) { d.out_dseq(r); });
+    pending->wait();
+  }
+
+  /// Non-blocking variant: `r` must outlive resolution (it is shared).
+  void scale_nb(double factor, const vec& v, vec_var r,
+                pardis::core::FutureVoid& done) {
+    if (auto* impl = _collocated()) {
+      impl->scale(factor, v, *r);
+      done = pardis::core::FutureVoid::ready();
+      return;
+    }
+    pardis::core::ClientRequest req(*binding_, "scale", false, true);
+    req.in_value(factor);
+    req.in_dseq(v);
+    req.out_dseq_expected(r->distribution());
+    auto pending = req.invoke();
+    pending->set_decoder([r](pardis::core::ReplyDecoder& d) { d.out_dseq(*r); });
+    done._bind(pending);
+  }
+
+  pardis::Long counter(pardis::Long delta) {
+    if (auto* impl = _collocated()) return impl->counter(delta);
+    pardis::core::ClientRequest req(*binding_, "counter", false, false);
+    req.in_value(delta);
+    auto pending = req.invoke();
+    auto out = std::make_shared<pardis::Long>();
+    pending->set_decoder(
+        [out](pardis::core::ReplyDecoder& d) { *out = d.out_value<pardis::Long>(); });
+    pending->wait();
+    return *out;
+  }
+
+  void counter_nb(pardis::Long delta, pardis::core::Future<pardis::Long>& result) {
+    if (auto* impl = _collocated()) {
+      result = pardis::core::Future<pardis::Long>::ready(impl->counter(delta));
+      return;
+    }
+    pardis::core::ClientRequest req(*binding_, "counter", false, false);
+    req.in_value(delta);
+    auto pending = req.invoke();
+    auto out = std::make_shared<pardis::Long>();
+    pending->set_decoder(
+        [out](pardis::core::ReplyDecoder& d) { *out = d.out_value<pardis::Long>(); });
+    result._bind(pending, out);
+  }
+
+  void note(const std::string& msg) {  // oneway
+    if (auto* impl = _collocated()) {
+      impl->note(msg);
+      return;
+    }
+    pardis::core::ClientRequest req(*binding_, "note", true, false);
+    req.in_value(msg);
+    req.invoke();
+  }
+
+  void boom(const std::string& msg) {
+    if (auto* impl = _collocated()) {
+      impl->boom(msg);
+      return;
+    }
+    pardis::core::ClientRequest req(*binding_, "boom", false, false);
+    req.in_value(msg);
+    req.invoke()->wait();
+  }
+
+  /// Generated stubs also expose a mis-spelled operation so tests can
+  /// exercise the NO_IMPLEMENT path end to end.
+  void bogus_op() {
+    pardis::core::ClientRequest req(*binding_, "no_such_op", false, false);
+    req.invoke()->wait();
+  }
+
+ private:
+  explicit calc(pardis::core::BindingPtr binding) : binding_(std::move(binding)) {}
+
+  POA_calc* _collocated() const {
+    return dynamic_cast<POA_calc*>(binding_->collocated_servant());
+  }
+
+  pardis::core::BindingPtr binding_;
+};
+
+}  // namespace calc_api

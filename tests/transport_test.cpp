@@ -1,0 +1,230 @@
+// Transport layer: local loopback and TCP remote service requests.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "sim/clock.hpp"
+#include "transport/tcp_transport.hpp"
+#include "transport/transport.hpp"
+
+namespace pardis::transport {
+namespace {
+
+ByteBuffer text_payload(const std::string& s) {
+  ByteBuffer b;
+  CdrWriter w(b);
+  w.write_string(s);
+  return b;
+}
+
+std::string text_of(const RsrMessage& m) {
+  CdrReader r(m.payload.view(), m.little_endian);
+  return r.read_string();
+}
+
+TEST(EndpointAddrTest, CdrRoundTrip) {
+  EndpointAddr a;
+  a.kind = AddrKind::kTcp;
+  a.host_model = "HOST2";
+  a.tcp_host = "127.0.0.1";
+  a.tcp_port = 4321;
+  a.tcp_ep = 17;
+  ByteBuffer buf = cdr_encode(a);
+  EXPECT_EQ(cdr_decode<EndpointAddr>(buf.view()), a);
+  EXPECT_NE(a.to_string().find("HOST2"), std::string::npos);
+}
+
+TEST(LocalTransportTest, RsrDeliversToEndpointQueue) {
+  LocalTransport t;
+  auto ep = t.create_endpoint("");
+  EXPECT_FALSE(ep->poll().has_value());
+  t.rsr(ep->addr(), kHandlerOrbRequest, text_payload("ping"), "");
+  auto msg = ep->poll();
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(msg->handler, kHandlerOrbRequest);
+  EXPECT_EQ(text_of(*msg), "ping");
+}
+
+TEST(LocalTransportTest, RsrToDeadEndpointThrows) {
+  LocalTransport t;
+  EndpointAddr addr;
+  {
+    auto ep = t.create_endpoint("");
+    addr = ep->addr();
+  }
+  EXPECT_THROW(t.rsr(addr, 1, ByteBuffer{}, ""), CommFailure);
+}
+
+TEST(LocalTransportTest, FifoDeliveryOrder) {
+  LocalTransport t;
+  auto ep = t.create_endpoint("");
+  for (int i = 0; i < 50; ++i) t.rsr(ep->addr(), 1, text_payload(std::to_string(i)), "");
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(text_of(*ep->poll()), std::to_string(i));
+}
+
+TEST(LocalTransportTest, WaitBlocksUntilDelivery) {
+  LocalTransport t;
+  auto ep = t.create_endpoint("");
+  std::thread sender([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    t.rsr(ep->addr(), 2, text_payload("late"), "");
+  });
+  RsrMessage msg = ep->wait();
+  EXPECT_EQ(text_of(msg), "late");
+  sender.join();
+}
+
+TEST(LocalTransportTest, WaitForTimesOut) {
+  LocalTransport t;
+  auto ep = t.create_endpoint("");
+  EXPECT_FALSE(ep->wait_for(std::chrono::milliseconds(10)).has_value());
+}
+
+TEST(LocalTransportTest, CloseWakesWaiters) {
+  LocalTransport t;
+  auto ep = t.create_endpoint("");
+  std::thread closer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    ep->close();
+  });
+  EXPECT_THROW(ep->wait(), CommFailure);
+  closer.join();
+}
+
+TEST(LocalTransportTest, LinkModelChargesVirtualTime) {
+  sim::Testbed tb = sim::Testbed::paper_testbed();
+  LocalTransport t(&tb);
+  auto ep = t.create_endpoint(sim::Testbed::kHost2);
+
+  sim::SimClock sender, receiver;
+  const std::size_t bytes = [&] {
+    sim::ClockBinding bind(sender);
+    sim::charge_seconds(1.0);
+    ByteBuffer payload;
+    payload.grow(17000);  // ~1ms at ATM bandwidth (17 MB/s)
+    const std::size_t n = payload.size();
+    t.rsr(ep->addr(), 1, std::move(payload), sim::Testbed::kHost1);
+    return n;
+  }();
+  // The sender is occupied for the modeled transfer...
+  const double expected = 1.0 + tb.link("HOST1", "HOST2").delay(bytes);
+  EXPECT_DOUBLE_EQ(sender.now(), expected);
+  // ...and the receiver cannot see the message earlier than that.
+  sim::ClockBinding bind(receiver);
+  auto msg = ep->poll();
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_DOUBLE_EQ(msg->sim_time, expected);
+  EXPECT_DOUBLE_EQ(receiver.now(), expected);
+}
+
+TEST(LocalTransportTest, NoTestbedMeansNoCharging) {
+  LocalTransport t;
+  auto ep = t.create_endpoint("X");
+  sim::SimClock clock;
+  sim::ClockBinding bind(clock);
+  t.rsr(ep->addr(), 1, ByteBuffer{}, "Y");
+  EXPECT_DOUBLE_EQ(ep->poll()->sim_time, 0.0);
+}
+
+class TcpTransportTest : public ::testing::Test {
+ protected:
+  TcpTransport server_{0};
+  TcpTransport client_{0};
+};
+
+TEST_F(TcpTransportTest, RoundTripOverRealSockets) {
+  auto ep = server_.create_endpoint("");
+  ASSERT_NE(server_.port(), 0);
+  client_.rsr(ep->addr(), kHandlerOrbRequest, text_payload("over tcp"), "");
+  RsrMessage msg = ep->wait();
+  EXPECT_EQ(msg.handler, kHandlerOrbRequest);
+  EXPECT_EQ(text_of(msg), "over tcp");
+}
+
+TEST_F(TcpTransportTest, ManyMessagesKeepOrderPerSender) {
+  auto ep = server_.create_endpoint("");
+  for (int i = 0; i < 200; ++i)
+    client_.rsr(ep->addr(), 1, text_payload(std::to_string(i)), "");
+  for (int i = 0; i < 200; ++i) EXPECT_EQ(text_of(ep->wait()), std::to_string(i));
+}
+
+TEST_F(TcpTransportTest, LargePayload) {
+  auto ep = server_.create_endpoint("");
+  ByteBuffer big;
+  CdrWriter w(big);
+  std::vector<double> values(100000);
+  for (std::size_t i = 0; i < values.size(); ++i) values[i] = static_cast<double>(i) * 0.5;
+  w.write_prim_seq<double>(values);
+  client_.rsr(ep->addr(), 7, std::move(big), "");
+  RsrMessage msg = ep->wait();
+  CdrReader r(msg.payload.view(), msg.little_endian);
+  EXPECT_EQ(r.read_prim_seq<double>(), values);
+}
+
+TEST_F(TcpTransportTest, MultipleEndpointsRouteById) {
+  auto ep1 = server_.create_endpoint("");
+  auto ep2 = server_.create_endpoint("");
+  client_.rsr(ep2->addr(), 1, text_payload("two"), "");
+  client_.rsr(ep1->addr(), 1, text_payload("one"), "");
+  EXPECT_EQ(text_of(ep1->wait()), "one");
+  EXPECT_EQ(text_of(ep2->wait()), "two");
+  EXPECT_EQ(ep1->pending(), 0u);
+}
+
+TEST_F(TcpTransportTest, UnknownEndpointIsDroppedNotFatal) {
+  auto ep = server_.create_endpoint("");
+  EndpointAddr ghost = ep->addr();
+  ghost.tcp_ep = 9999;
+  client_.rsr(ghost, 1, text_payload("ghost"), "");
+  client_.rsr(ep->addr(), 1, text_payload("real"), "");
+  EXPECT_EQ(text_of(ep->wait()), "real");
+}
+
+TEST_F(TcpTransportTest, ConcurrentSendersInterleaveSafely) {
+  auto ep = server_.create_endpoint("");
+  constexpr int kThreads = 4, kEach = 100;
+  std::vector<std::thread> senders;
+  for (int t = 0; t < kThreads; ++t)
+    senders.emplace_back([this, &ep, t] {
+      for (int i = 0; i < kEach; ++i)
+        client_.rsr(ep->addr(), static_cast<HandlerId>(t + 1),
+                    text_payload(std::to_string(i)), "");
+    });
+  std::vector<int> next(kThreads, 0);
+  for (int n = 0; n < kThreads * kEach; ++n) {
+    RsrMessage m = ep->wait();
+    const int t = static_cast<int>(m.handler) - 1;
+    ASSERT_GE(t, 0);
+    ASSERT_LT(t, kThreads);
+    EXPECT_EQ(text_of(m), std::to_string(next[t]));  // per-sender frames stay intact
+    ++next[t];
+  }
+  for (auto& s : senders) s.join();
+}
+
+TEST(TcpTransportLifecycle, ConnectToClosedPortThrows) {
+  UShort dead_port;
+  {
+    TcpTransport temp(0);
+    dead_port = temp.port();
+  }
+  TcpTransport client(0);
+  EndpointAddr addr;
+  addr.kind = AddrKind::kTcp;
+  addr.tcp_host = "127.0.0.1";
+  addr.tcp_port = dead_port;
+  addr.tcp_ep = 1;
+  EXPECT_THROW(client.rsr(addr, 1, ByteBuffer{}, ""), CommFailure);
+}
+
+TEST(TcpTransportLifecycle, ShutdownIsIdempotent) {
+  TcpTransport t(0);
+  auto ep = t.create_endpoint("");
+  t.shutdown();
+  t.shutdown();
+}
+
+}  // namespace
+}  // namespace pardis::transport

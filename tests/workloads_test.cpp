@@ -1,0 +1,130 @@
+// Workloads: linear solvers and the DNA database.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "workloads/dna.hpp"
+#include "workloads/linear.hpp"
+
+namespace pardis::workloads {
+namespace {
+
+class SolverSizeTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SolverSizeTest, GaussianRecoversTrueSolution) {
+  DenseSystem sys = make_system(GetParam(), 42);
+  auto x = gaussian_solve(sys.a, sys.b);
+  EXPECT_LT(max_abs_diff(x, sys.x_true), 1e-9);
+}
+
+TEST_P(SolverSizeTest, JacobiConvergesToSameSolution) {
+  DenseSystem sys = make_system(GetParam(), 43);
+  auto direct = gaussian_solve(sys.a, sys.b);
+  auto iter = jacobi_solve(sys.a, sys.b, 1e-10);
+  EXPECT_LT(iter.residual, 1e-10);
+  // §4.1's agreement computation between the two methods.
+  EXPECT_LT(max_abs_diff(direct, iter.x), 1e-8);
+  EXPECT_GE(iter.iterations, 2u);  // n=1 converges in two sweeps
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SolverSizeTest, ::testing::Values(1, 2, 5, 20, 60));
+
+TEST(LinearTest, SystemIsReproducible) {
+  DenseSystem a = make_system(10, 7);
+  DenseSystem b = make_system(10, 7);
+  EXPECT_EQ(a.b, b.b);
+  EXPECT_EQ(a.a[3], b.a[3]);
+  DenseSystem c = make_system(10, 8);
+  EXPECT_NE(a.b, c.b);
+}
+
+TEST(LinearTest, SingularMatrixThrows) {
+  std::vector<std::vector<double>> a{{1.0, 2.0}, {2.0, 4.0}};
+  EXPECT_THROW(gaussian_solve(a, {1.0, 2.0}), BadParam);
+}
+
+TEST(LinearTest, FlopModelsScaleCorrectly) {
+  EXPECT_GT(gaussian_flops(400), 8 * gaussian_flops(200) * 0.8);
+  EXPECT_DOUBLE_EQ(jacobi_flops(100, 10), 10 * jacobi_flops(100, 1));
+  // Crossover the paper's Fig. 2 relies on: direct is O(n^3), Jacobi
+  // O(n^2 * iters), so for fixed tolerance the direct method grows
+  // faster with n.
+  const std::size_t it = jacobi_iterations_estimate(1000, 1e-6);
+  EXPECT_GT(gaussian_flops(1200) / jacobi_flops(1200, it),
+            gaussian_flops(200) / jacobi_flops(200, it));
+}
+
+TEST(DnaTest, DatabaseIsReproducibleAndWellFormed) {
+  auto db = make_dna_database(50, 10, 20, 99);
+  ASSERT_EQ(db.size(), 50u);
+  for (const auto& s : db) {
+    EXPECT_GE(s.size(), 10u);
+    EXPECT_LE(s.size(), 20u);
+    for (char c : s) EXPECT_TRUE(c == 'A' || c == 'C' || c == 'G' || c == 'T');
+  }
+  EXPECT_EQ(db, make_dna_database(50, 10, 20, 99));
+}
+
+TEST(DnaTest, ExactMatch) {
+  EXPECT_TRUE(matches_exact("ACGTACGT", "GTAC"));
+  EXPECT_FALSE(matches_exact("ACGTACGT", "GGG"));
+  EXPECT_TRUE(matches_exact("ACGT", "ACGT"));
+  EXPECT_FALSE(matches_exact("ACG", "ACGT"));
+}
+
+TEST(DnaTest, TranspositionDerivative) {
+  // "ACGT" with adjacent swap at 1 gives "AGCT", which contains "GCT".
+  EXPECT_TRUE(matches_transposition("ACGT", "GCT"));
+  EXPECT_FALSE(matches_transposition("AAAA", "CC"));
+  // Exact occurrences do not count unless a swap also produces one...
+  // swapping equal characters preserves the string, so they do when a
+  // pair of equal neighbours exists.
+  EXPECT_TRUE(matches_transposition("AACGT", "ACGT"));
+}
+
+TEST(DnaTest, DeletionDerivative) {
+  // deleting 'C' from "ACGT" leaves "AGT".
+  EXPECT_TRUE(matches_deletion("ACGT", "AGT"));
+  EXPECT_FALSE(matches_deletion("ACGT", "TTT"));
+  EXPECT_FALSE(matches_deletion("A", "A"));  // nothing left to delete into a match
+}
+
+TEST(DnaTest, SubstitutionDerivative) {
+  // one mismatch allowed inside a window
+  EXPECT_TRUE(matches_substitution("ACGT", "AGGT"));
+  EXPECT_TRUE(matches_substitution("ACGT", "ACGT"));
+  EXPECT_FALSE(matches_substitution("ACGT", "GGGT"));  // two mismatches
+  EXPECT_FALSE(matches_substitution("ACG", "ACGT"));   // pattern longer than seq
+}
+
+TEST(DnaTest, AdditionDerivative) {
+  // inserting 'T' into "ACG" gives "ATCG" etc.
+  EXPECT_TRUE(matches_addition("ACG", "ATC"));
+  EXPECT_TRUE(matches_addition("ACG", "ACG"));  // already present
+  EXPECT_FALSE(matches_addition("AAA", "CC"));
+}
+
+TEST(DnaTest, SearchRangeFiltersByKind) {
+  std::vector<std::string> db{"ACGTACGT", "TTTTTTTT", "ACGGACGG"};
+  auto exact = search_range(db, 0, db.size(), "CGTA", EditKind::kExact);
+  ASSERT_EQ(exact.size(), 1u);
+  EXPECT_EQ(exact[0], "ACGTACGT");
+  EXPECT_THROW(search_range(db, 2, 1, "A", EditKind::kExact), BadParam);
+  EXPECT_THROW(search_range(db, 0, 9, "A", EditKind::kExact), BadParam);
+}
+
+TEST(DnaTest, CostModelKindsHaveDistinctWeights) {
+  // The five list servers cost different amounts per query — the
+  // imbalance behind Fig. 4's count-based placement dip.
+  const double exact = match_flops(100, 5, EditKind::kExact);
+  const double sub = match_flops(100, 5, EditKind::kSubstitution);
+  const double trans = match_flops(100, 5, EditKind::kTransposition);
+  const double add = match_flops(100, 5, EditKind::kAddition);
+  EXPECT_LT(exact, sub);
+  EXPECT_LT(sub, trans);
+  EXPECT_LT(trans, add);
+  auto db = make_dna_database(10, 50, 50, 1);
+  EXPECT_DOUBLE_EQ(search_flops(db, 0, 10, 5, EditKind::kExact), 10 * exact * (50.0 / 100.0));
+}
+
+}  // namespace
+}  // namespace pardis::workloads
