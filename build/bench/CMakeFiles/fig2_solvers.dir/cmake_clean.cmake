@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_solvers.dir/fig2_solvers.cpp.o"
+  "CMakeFiles/fig2_solvers.dir/fig2_solvers.cpp.o.d"
+  "fig2_solvers"
+  "fig2_solvers.pdb"
+  "solvers.pardis.hpp"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_solvers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

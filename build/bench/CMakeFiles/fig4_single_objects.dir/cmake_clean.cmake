@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_single_objects.dir/fig4_single_objects.cpp.o"
+  "CMakeFiles/fig4_single_objects.dir/fig4_single_objects.cpp.o.d"
+  "dna.pardis.hpp"
+  "fig4_single_objects"
+  "fig4_single_objects.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_single_objects.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_pipeline.dir/fig5_pipeline.cpp.o"
+  "CMakeFiles/fig5_pipeline.dir/fig5_pipeline.cpp.o.d"
+  "fig5_pipeline"
+  "fig5_pipeline.pdb"
+  "pipeline_hpcxx.pardis.hpp"
+  "pipeline_plain.pardis.hpp"
+  "pipeline_pooma.pardis.hpp"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

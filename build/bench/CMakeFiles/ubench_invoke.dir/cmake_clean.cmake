@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ubench_invoke.dir/ubench_invoke.cpp.o"
+  "CMakeFiles/ubench_invoke.dir/ubench_invoke.cpp.o.d"
+  "ubench_invoke"
+  "ubench_invoke.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ubench_invoke.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

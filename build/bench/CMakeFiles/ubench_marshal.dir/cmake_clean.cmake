@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ubench_marshal.dir/ubench_marshal.cpp.o"
+  "CMakeFiles/ubench_marshal.dir/ubench_marshal.cpp.o.d"
+  "ubench_marshal"
+  "ubench_marshal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ubench_marshal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ubench_redistribute.dir/ubench_redistribute.cpp.o"
+  "CMakeFiles/ubench_redistribute.dir/ubench_redistribute.cpp.o.d"
+  "ubench_redistribute"
+  "ubench_redistribute.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ubench_redistribute.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

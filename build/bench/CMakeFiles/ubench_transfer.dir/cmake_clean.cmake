@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ubench_transfer.dir/ubench_transfer.cpp.o"
+  "CMakeFiles/ubench_transfer.dir/ubench_transfer.cpp.o.d"
+  "ubench_transfer"
+  "ubench_transfer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ubench_transfer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/remote_repo.dir/remote_repo.cpp.o"
+  "CMakeFiles/remote_repo.dir/remote_repo.cpp.o.d"
+  "remote/quickstart.pardis.hpp"
+  "remote_repo"
+  "remote_repo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/remote_repo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/solvers.dir/solvers.cpp.o"
+  "CMakeFiles/solvers.dir/solvers.cpp.o.d"
+  "solvers"
+  "solvers.pardis.hpp"
+  "solvers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/solvers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

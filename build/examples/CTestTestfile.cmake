@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;41;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_solvers "/root/repo/build/examples/solvers")
+set_tests_properties(example_solvers PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;42;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_dna_search "/root/repo/build/examples/dna_search")
+set_tests_properties(example_dna_search PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;43;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_pipeline "/root/repo/build/examples/pipeline")
+set_tests_properties(example_pipeline PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;44;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_remote_repo "/root/repo/build/examples/remote_repo")
+set_tests_properties(example_remote_repo PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;45;add_test;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pardis_common.dir/error.cpp.o"
+  "CMakeFiles/pardis_common.dir/error.cpp.o.d"
+  "CMakeFiles/pardis_common.dir/ids.cpp.o"
+  "CMakeFiles/pardis_common.dir/ids.cpp.o.d"
+  "CMakeFiles/pardis_common.dir/log.cpp.o"
+  "CMakeFiles/pardis_common.dir/log.cpp.o.d"
+  "libpardis_common.a"
+  "libpardis_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pardis_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

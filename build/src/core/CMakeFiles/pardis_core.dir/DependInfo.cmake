@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/client.cpp" "src/core/CMakeFiles/pardis_core.dir/client.cpp.o" "gcc" "src/core/CMakeFiles/pardis_core.dir/client.cpp.o.d"
+  "/root/repo/src/core/comm_thread.cpp" "src/core/CMakeFiles/pardis_core.dir/comm_thread.cpp.o" "gcc" "src/core/CMakeFiles/pardis_core.dir/comm_thread.cpp.o.d"
+  "/root/repo/src/core/ior.cpp" "src/core/CMakeFiles/pardis_core.dir/ior.cpp.o" "gcc" "src/core/CMakeFiles/pardis_core.dir/ior.cpp.o.d"
+  "/root/repo/src/core/object_ref.cpp" "src/core/CMakeFiles/pardis_core.dir/object_ref.cpp.o" "gcc" "src/core/CMakeFiles/pardis_core.dir/object_ref.cpp.o.d"
+  "/root/repo/src/core/orb.cpp" "src/core/CMakeFiles/pardis_core.dir/orb.cpp.o" "gcc" "src/core/CMakeFiles/pardis_core.dir/orb.cpp.o.d"
+  "/root/repo/src/core/pending_reply.cpp" "src/core/CMakeFiles/pardis_core.dir/pending_reply.cpp.o" "gcc" "src/core/CMakeFiles/pardis_core.dir/pending_reply.cpp.o.d"
+  "/root/repo/src/core/poa.cpp" "src/core/CMakeFiles/pardis_core.dir/poa.cpp.o" "gcc" "src/core/CMakeFiles/pardis_core.dir/poa.cpp.o.d"
+  "/root/repo/src/core/protocol.cpp" "src/core/CMakeFiles/pardis_core.dir/protocol.cpp.o" "gcc" "src/core/CMakeFiles/pardis_core.dir/protocol.cpp.o.d"
+  "/root/repo/src/core/registry.cpp" "src/core/CMakeFiles/pardis_core.dir/registry.cpp.o" "gcc" "src/core/CMakeFiles/pardis_core.dir/registry.cpp.o.d"
+  "/root/repo/src/core/servant.cpp" "src/core/CMakeFiles/pardis_core.dir/servant.cpp.o" "gcc" "src/core/CMakeFiles/pardis_core.dir/servant.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pardis_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pardis_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/rts/CMakeFiles/pardis_rts.dir/DependInfo.cmake"
+  "/root/repo/build/src/dist/CMakeFiles/pardis_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/pardis_transport.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pardis_core.dir/client.cpp.o"
+  "CMakeFiles/pardis_core.dir/client.cpp.o.d"
+  "CMakeFiles/pardis_core.dir/comm_thread.cpp.o"
+  "CMakeFiles/pardis_core.dir/comm_thread.cpp.o.d"
+  "CMakeFiles/pardis_core.dir/ior.cpp.o"
+  "CMakeFiles/pardis_core.dir/ior.cpp.o.d"
+  "CMakeFiles/pardis_core.dir/object_ref.cpp.o"
+  "CMakeFiles/pardis_core.dir/object_ref.cpp.o.d"
+  "CMakeFiles/pardis_core.dir/orb.cpp.o"
+  "CMakeFiles/pardis_core.dir/orb.cpp.o.d"
+  "CMakeFiles/pardis_core.dir/pending_reply.cpp.o"
+  "CMakeFiles/pardis_core.dir/pending_reply.cpp.o.d"
+  "CMakeFiles/pardis_core.dir/poa.cpp.o"
+  "CMakeFiles/pardis_core.dir/poa.cpp.o.d"
+  "CMakeFiles/pardis_core.dir/protocol.cpp.o"
+  "CMakeFiles/pardis_core.dir/protocol.cpp.o.d"
+  "CMakeFiles/pardis_core.dir/registry.cpp.o"
+  "CMakeFiles/pardis_core.dir/registry.cpp.o.d"
+  "CMakeFiles/pardis_core.dir/servant.cpp.o"
+  "CMakeFiles/pardis_core.dir/servant.cpp.o.d"
+  "libpardis_core.a"
+  "libpardis_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pardis_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pardis_dist.dir/distribution.cpp.o"
+  "CMakeFiles/pardis_dist.dir/distribution.cpp.o.d"
+  "CMakeFiles/pardis_dist.dir/transfer_plan.cpp.o"
+  "CMakeFiles/pardis_dist.dir/transfer_plan.cpp.o.d"
+  "libpardis_dist.a"
+  "libpardis_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pardis_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

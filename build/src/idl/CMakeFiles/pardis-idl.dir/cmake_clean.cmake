@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pardis-idl.dir/main.cpp.o"
+  "CMakeFiles/pardis-idl.dir/main.cpp.o.d"
+  "pardis-idl"
+  "pardis-idl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pardis-idl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/idl/codegen.cpp" "src/idl/CMakeFiles/pardis_idl.dir/codegen.cpp.o" "gcc" "src/idl/CMakeFiles/pardis_idl.dir/codegen.cpp.o.d"
+  "/root/repo/src/idl/include.cpp" "src/idl/CMakeFiles/pardis_idl.dir/include.cpp.o" "gcc" "src/idl/CMakeFiles/pardis_idl.dir/include.cpp.o.d"
+  "/root/repo/src/idl/lexer.cpp" "src/idl/CMakeFiles/pardis_idl.dir/lexer.cpp.o" "gcc" "src/idl/CMakeFiles/pardis_idl.dir/lexer.cpp.o.d"
+  "/root/repo/src/idl/parser.cpp" "src/idl/CMakeFiles/pardis_idl.dir/parser.cpp.o" "gcc" "src/idl/CMakeFiles/pardis_idl.dir/parser.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/pardis_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/dist/CMakeFiles/pardis_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/rts/CMakeFiles/pardis_rts.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/pardis_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pardis_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pardis_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

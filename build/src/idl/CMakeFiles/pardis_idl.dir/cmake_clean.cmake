@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pardis_idl.dir/codegen.cpp.o"
+  "CMakeFiles/pardis_idl.dir/codegen.cpp.o.d"
+  "CMakeFiles/pardis_idl.dir/include.cpp.o"
+  "CMakeFiles/pardis_idl.dir/include.cpp.o.d"
+  "CMakeFiles/pardis_idl.dir/lexer.cpp.o"
+  "CMakeFiles/pardis_idl.dir/lexer.cpp.o.d"
+  "CMakeFiles/pardis_idl.dir/parser.cpp.o"
+  "CMakeFiles/pardis_idl.dir/parser.cpp.o.d"
+  "libpardis_idl.a"
+  "libpardis_idl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pardis_idl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pardis_repo.dir/impl_repository.cpp.o"
+  "CMakeFiles/pardis_repo.dir/impl_repository.cpp.o.d"
+  "CMakeFiles/pardis_repo.dir/repository.cpp.o"
+  "CMakeFiles/pardis_repo.dir/repository.cpp.o.d"
+  "libpardis_repo.a"
+  "libpardis_repo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pardis_repo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

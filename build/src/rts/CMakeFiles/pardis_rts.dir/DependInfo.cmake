@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rts/collectives.cpp" "src/rts/CMakeFiles/pardis_rts.dir/collectives.cpp.o" "gcc" "src/rts/CMakeFiles/pardis_rts.dir/collectives.cpp.o.d"
+  "/root/repo/src/rts/domain.cpp" "src/rts/CMakeFiles/pardis_rts.dir/domain.cpp.o" "gcc" "src/rts/CMakeFiles/pardis_rts.dir/domain.cpp.o.d"
+  "/root/repo/src/rts/thread_comm.cpp" "src/rts/CMakeFiles/pardis_rts.dir/thread_comm.cpp.o" "gcc" "src/rts/CMakeFiles/pardis_rts.dir/thread_comm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pardis_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pardis_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

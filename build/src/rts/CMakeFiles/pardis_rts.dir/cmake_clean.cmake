@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pardis_rts.dir/collectives.cpp.o"
+  "CMakeFiles/pardis_rts.dir/collectives.cpp.o.d"
+  "CMakeFiles/pardis_rts.dir/domain.cpp.o"
+  "CMakeFiles/pardis_rts.dir/domain.cpp.o.d"
+  "CMakeFiles/pardis_rts.dir/thread_comm.cpp.o"
+  "CMakeFiles/pardis_rts.dir/thread_comm.cpp.o.d"
+  "libpardis_rts.a"
+  "libpardis_rts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pardis_rts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

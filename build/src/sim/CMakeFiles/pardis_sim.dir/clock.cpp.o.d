@@ -1,0 +1,3 @@
+src/sim/CMakeFiles/pardis_sim.dir/clock.cpp.o: \
+ /root/repo/src/sim/clock.cpp /usr/include/stdc-predef.h \
+ /root/repo/src/sim/clock.hpp

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pardis_sim.dir/clock.cpp.o"
+  "CMakeFiles/pardis_sim.dir/clock.cpp.o.d"
+  "CMakeFiles/pardis_sim.dir/testbed.cpp.o"
+  "CMakeFiles/pardis_sim.dir/testbed.cpp.o.d"
+  "libpardis_sim.a"
+  "libpardis_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pardis_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pardis_transport.dir/endpoint.cpp.o"
+  "CMakeFiles/pardis_transport.dir/endpoint.cpp.o.d"
+  "CMakeFiles/pardis_transport.dir/tcp_transport.cpp.o"
+  "CMakeFiles/pardis_transport.dir/tcp_transport.cpp.o.d"
+  "CMakeFiles/pardis_transport.dir/transport.cpp.o"
+  "CMakeFiles/pardis_transport.dir/transport.cpp.o.d"
+  "libpardis_transport.a"
+  "libpardis_transport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pardis_transport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pardis_workloads.dir/dna.cpp.o"
+  "CMakeFiles/pardis_workloads.dir/dna.cpp.o.d"
+  "CMakeFiles/pardis_workloads.dir/linear.cpp.o"
+  "CMakeFiles/pardis_workloads.dir/linear.cpp.o.d"
+  "libpardis_workloads.a"
+  "libpardis_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pardis_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/common_cdr_test.dir/common_cdr_test.cpp.o"
+  "CMakeFiles/common_cdr_test.dir/common_cdr_test.cpp.o.d"
+  "common_cdr_test"
+  "common_cdr_test.pdb"
+  "common_cdr_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/common_cdr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_orb_test.dir/core_orb_test.cpp.o"
+  "CMakeFiles/core_orb_test.dir/core_orb_test.cpp.o.d"
+  "core_orb_test"
+  "core_orb_test.pdb"
+  "core_orb_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_orb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dist_distribution_test.dir/dist_distribution_test.cpp.o"
+  "CMakeFiles/dist_distribution_test.dir/dist_distribution_test.cpp.o.d"
+  "dist_distribution_test"
+  "dist_distribution_test.pdb"
+  "dist_distribution_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dist_distribution_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

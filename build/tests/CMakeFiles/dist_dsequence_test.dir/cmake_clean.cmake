@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dist_dsequence_test.dir/dist_dsequence_test.cpp.o"
+  "CMakeFiles/dist_dsequence_test.dir/dist_dsequence_test.cpp.o.d"
+  "dist_dsequence_test"
+  "dist_dsequence_test.pdb"
+  "dist_dsequence_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dist_dsequence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

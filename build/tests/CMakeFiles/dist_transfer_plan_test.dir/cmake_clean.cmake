@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dist_transfer_plan_test.dir/dist_transfer_plan_test.cpp.o"
+  "CMakeFiles/dist_transfer_plan_test.dir/dist_transfer_plan_test.cpp.o.d"
+  "dist_transfer_plan_test"
+  "dist_transfer_plan_test.pdb"
+  "dist_transfer_plan_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dist_transfer_plan_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/idl_compiler_test.dir/idl_compiler_test.cpp.o"
+  "CMakeFiles/idl_compiler_test.dir/idl_compiler_test.cpp.o.d"
+  "idl_compiler_test"
+  "idl_compiler_test.pdb"
+  "idl_compiler_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/idl_compiler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

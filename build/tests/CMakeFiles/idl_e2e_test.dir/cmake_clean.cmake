@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/idl_e2e_test.dir/idl_e2e_test.cpp.o"
+  "CMakeFiles/idl_e2e_test.dir/idl_e2e_test.cpp.o.d"
+  "e2e.pardis.hpp"
+  "idl_e2e_test"
+  "idl_e2e_test.pdb"
+  "idl_e2e_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/idl_e2e_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

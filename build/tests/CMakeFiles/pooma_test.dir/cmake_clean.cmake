@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pooma_test.dir/pooma_test.cpp.o"
+  "CMakeFiles/pooma_test.dir/pooma_test.cpp.o.d"
+  "pooma_test"
+  "pooma_test.pdb"
+  "pooma_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pooma_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

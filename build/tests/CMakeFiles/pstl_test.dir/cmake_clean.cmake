@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pstl_test.dir/pstl_test.cpp.o"
+  "CMakeFiles/pstl_test.dir/pstl_test.cpp.o.d"
+  "pstl_test"
+  "pstl_test.pdb"
+  "pstl_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pstl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

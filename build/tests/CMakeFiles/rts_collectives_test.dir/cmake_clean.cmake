@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rts_collectives_test.dir/rts_collectives_test.cpp.o"
+  "CMakeFiles/rts_collectives_test.dir/rts_collectives_test.cpp.o.d"
+  "rts_collectives_test"
+  "rts_collectives_test.pdb"
+  "rts_collectives_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rts_collectives_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rts_domain_test.dir/rts_domain_test.cpp.o"
+  "CMakeFiles/rts_domain_test.dir/rts_domain_test.cpp.o.d"
+  "rts_domain_test"
+  "rts_domain_test.pdb"
+  "rts_domain_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rts_domain_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/rts_thread_comm_test.cpp" "tests/CMakeFiles/rts_thread_comm_test.dir/rts_thread_comm_test.cpp.o" "gcc" "tests/CMakeFiles/rts_thread_comm_test.dir/rts_thread_comm_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/repo/CMakeFiles/pardis_repo.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/pardis_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/pardis_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/dist/CMakeFiles/pardis_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/rts/CMakeFiles/pardis_rts.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pardis_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/pardis_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pardis_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rts_thread_comm_test.dir/rts_thread_comm_test.cpp.o"
+  "CMakeFiles/rts_thread_comm_test.dir/rts_thread_comm_test.cpp.o.d"
+  "rts_thread_comm_test"
+  "rts_thread_comm_test.pdb"
+  "rts_thread_comm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rts_thread_comm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

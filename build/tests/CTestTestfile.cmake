@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_cdr_test[1]_include.cmake")
+include("/root/repo/build/tests/common_misc_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_clock_test[1]_include.cmake")
+include("/root/repo/build/tests/rts_thread_comm_test[1]_include.cmake")
+include("/root/repo/build/tests/rts_collectives_test[1]_include.cmake")
+include("/root/repo/build/tests/rts_domain_test[1]_include.cmake")
+include("/root/repo/build/tests/dist_distribution_test[1]_include.cmake")
+include("/root/repo/build/tests/dist_transfer_plan_test[1]_include.cmake")
+include("/root/repo/build/tests/dist_dsequence_test[1]_include.cmake")
+include("/root/repo/build/tests/transport_test[1]_include.cmake")
+include("/root/repo/build/tests/core_orb_test[1]_include.cmake")
+include("/root/repo/build/tests/idl_compiler_test[1]_include.cmake")
+include("/root/repo/build/tests/idl_e2e_test[1]_include.cmake")
+include("/root/repo/build/tests/pstl_test[1]_include.cmake")
+include("/root/repo/build/tests/pooma_test[1]_include.cmake")
+include("/root/repo/build/tests/workloads_test[1]_include.cmake")
+include("/root/repo/build/tests/repo_test[1]_include.cmake")
+include("/root/repo/build/tests/core_robustness_test[1]_include.cmake")
+include("/root/repo/build/tests/core_comm_thread_test[1]_include.cmake")
+include("/root/repo/build/tests/core_transfer_matrix_test[1]_include.cmake")
