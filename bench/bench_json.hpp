@@ -1,0 +1,75 @@
+// Shared --json support for the bench binaries.
+//
+// Every bench accepts `--json <path>` and then writes its result rows
+// as machine-readable JSON alongside the usual human-readable stdout:
+//   {"benchmark": "<name>", "results": [{"name": "...", <metric>: <num>, ...}]}
+// Metric values are numbers; row names are strings. The report writes
+// on destruction so a bench only needs to `add` rows as it prints them.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace bench {
+
+class JsonReport {
+ public:
+  using Metric = std::pair<std::string, double>;
+
+  /// Scans argv for "--json <path>"; the report stays inactive (all
+  /// calls become no-ops) when the flag is absent.
+  JsonReport(int argc, char** argv, std::string benchmark)
+      : benchmark_(std::move(benchmark)) {
+    for (int i = 1; i + 1 < argc; ++i)
+      if (std::string(argv[i]) == "--json") path_ = argv[i + 1];
+  }
+
+  JsonReport(const JsonReport&) = delete;
+  JsonReport& operator=(const JsonReport&) = delete;
+
+  ~JsonReport() { write(); }
+
+  bool active() const { return !path_.empty(); }
+
+  /// Records one result row: a name plus numeric metrics.
+  void add(std::string name, std::vector<Metric> metrics) {
+    if (!active()) return;
+    rows_.push_back(Row{std::move(name), std::move(metrics)});
+  }
+
+  /// Writes the file now (also runs from the destructor; idempotent).
+  void write() {
+    if (!active() || written_) return;
+    written_ = true;
+    std::FILE* f = std::fopen(path_.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", path_.c_str());
+      return;
+    }
+    std::fprintf(f, "{\"benchmark\": \"%s\", \"results\": [", benchmark_.c_str());
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      std::fprintf(f, "%s\n  {\"name\": \"%s\"", i == 0 ? "" : ",",
+                   rows_[i].name.c_str());
+      for (const Metric& m : rows_[i].metrics)
+        std::fprintf(f, ", \"%s\": %.17g", m.first.c_str(), m.second);
+      std::fputc('}', f);
+    }
+    std::fprintf(f, "\n]}\n");
+    std::fclose(f);
+  }
+
+ private:
+  struct Row {
+    std::string name;
+    std::vector<Metric> metrics;
+  };
+
+  std::string benchmark_;
+  std::string path_;
+  std::vector<Row> rows_;
+  bool written_ = false;
+};
+
+}  // namespace bench

@@ -18,6 +18,7 @@
 #include <future>
 #include <optional>
 
+#include "bench/bench_json.hpp"
 #include "solvers.pardis.hpp"
 #include "workloads/linear.hpp"
 
@@ -164,7 +165,8 @@ double run_scenario(std::size_t n, Mode mode) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonReport report(argc, argv, "fig2_solvers");
   std::printf("# Figure 2: distributed vs local performance (paper §4.1)\n");
   std::printf("# virtual seconds on the modeled 1997 testbed; tol=%.0e\n", kTol);
   std::printf("%8s %14s %16s %14s %14s\n", "size", "direct(H1)", "iterative(H2)",
@@ -175,6 +177,12 @@ int main() {
     const double t_dist = run_scenario(n, Mode::kDistributed);
     const double t_same = run_scenario(n, Mode::kSingleServer);
     std::printf("%8zu %14.2f %16.2f %14.2f %14.2f\n", n, t_d, t_i, t_dist, t_same);
+    report.add("n=" + std::to_string(n),
+               {{"size", static_cast<double>(n)},
+                {"direct_s", t_d},
+                {"iterative_s", t_i},
+                {"diff_servers_s", t_dist},
+                {"same_server_s", t_same}});
   }
   std::printf("# expected shape: diff-servers ~= t_o + max(direct, iterative);\n");
   std::printf("# same-server ~= serialized sum (both ran on the slower HOST1).\n");

@@ -18,6 +18,7 @@
 #include <future>
 #include <mutex>
 
+#include "bench/bench_json.hpp"
 #include "dna.pardis.hpp"
 #include "workloads/dna.hpp"
 
@@ -165,7 +166,8 @@ double run(int nthreads, bool centralized, const std::vector<std::string>& db) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonReport report(argc, argv, "fig4_single_objects");
   auto db = wl::make_dna_database(kDbSize, 40, 80, 1997);
   std::printf("# Figure 4: centralized vs distributed single objects (paper §4.2)\n");
   std::printf("# fixed single-object query budget: %d rounds x 5 lists (~30 virtual s)\n",
@@ -176,6 +178,11 @@ int main() {
     const double c = run(p, /*centralized=*/true, db);
     const double d = run(p, /*centralized=*/false, db);
     std::printf("%6d %14.2f %14.2f %14.2f\n", p, c, d, c - d);
+    report.add("procs=" + std::to_string(p),
+               {{"procs", static_cast<double>(p)},
+                {"centralized_s", c},
+                {"distributed_s", d},
+                {"difference_s", c - d}});
   }
   std::printf("# expected shape: distributed <= centralized; the difference grows\n");
   std::printf("# with processors but dips at 3 (balancing by number, not weight).\n");

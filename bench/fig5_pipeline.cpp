@@ -14,6 +14,7 @@
 #include <future>
 #include <optional>
 
+#include "bench/bench_json.hpp"
 #include "pipeline_hpcxx.pardis.hpp"
 #include "pipeline_plain.pardis.hpp"
 #include "pipeline_pooma.pardis.hpp"
@@ -207,7 +208,8 @@ double overall(const sim::Testbed& testbed, int procs, bool comm_threads = false
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonReport report(argc, argv, "fig5_pipeline");
   sim::Testbed testbed = sim::Testbed::paper_testbed();
   std::printf("# Figure 5: overall vs component performance (paper §4.3)\n");
   std::printf("# %zux%zu grid, %d steps, gradient every %d-th step, Ethernet links\n",
@@ -220,6 +222,12 @@ int main() {
     const double t_all = overall(testbed, p);
     const double t_ct = overall(testbed, p, /*comm_threads=*/true);
     std::printf("%6d %12.2f %16.2f %14.2f %16.2f\n", p, t_all, t_diff, t_grad, t_ct);
+    report.add("procs=" + std::to_string(p),
+               {{"procs", static_cast<double>(p)},
+                {"overall_s", t_all},
+                {"diffusion_s", t_diff},
+                {"gradient_s", t_grad},
+                {"overall_comm_threads_s", t_ct}});
   }
   std::printf("# expected shape: components scale with processors; the overall\n");
   std::printf("# time flattens (send time + pipeline congestion, §4.3). The last\n");

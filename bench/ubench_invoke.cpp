@@ -14,7 +14,10 @@
 #include <future>
 #include <numeric>
 
+#include "bench/bench_json.hpp"
 #include "core/stub_support.hpp"
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
 #include "tests/support/calc_api.hpp"
 
 using namespace pardis;
@@ -74,11 +77,32 @@ double time_per_call_us(int iters, Fn&& fn) {
   return std::chrono::duration<double, std::micro>(dt).count() / iters;
 }
 
+/// Runs `calls` invocations with observability counters on (timing has
+/// already happened with them off) and returns how many took the
+/// collocation bypass vs the transport.
+struct PathCounts {
+  double bypassed, transported;
+};
+template <typename Fn>
+PathCounts count_paths(int calls, Fn&& fn) {
+  obs::Counter& bypassed = obs::metrics().counter("orb.invocations_bypassed");
+  obs::Counter& transported = obs::metrics().counter("orb.invocations_transported");
+  const std::uint64_t b0 = bypassed.value();
+  const std::uint64_t t0 = transported.value();
+  obs::set_enabled(true);
+  for (int i = 0; i < calls; ++i) fn();
+  obs::set_enabled(false);
+  return PathCounts{static_cast<double>(bypassed.value() - b0),
+                    static_cast<double>(transported.value() - t0)};
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonReport report(argc, argv, "ubench_invoke");
   std::printf("# Ablation A2: invocation latency by path (wall clock)\n");
   constexpr int kIters = 2000;
+  constexpr int kPathProbe = 100;  // counted calls per path (timing is done first)
 
   // --- collocated: client and servant share the domain -----------------
   {
@@ -95,6 +119,10 @@ int main() {
       const double us =
           time_per_call_us(kIters * 10, [&] { (void)proxy->counter(1); });
       std::printf("%-12s %10.3f us/call (direct virtual call)\n", "collocated", us);
+      const PathCounts pc = count_paths(kPathProbe, [&] { (void)proxy->counter(1); });
+      report.add("collocated", {{"us_per_call", us},
+                                {"invocations_bypassed", pc.bypassed},
+                                {"invocations_transported", pc.transported}});
     });
   }
 
@@ -108,6 +136,10 @@ int main() {
     auto proxy = calc::_bind(ctx, "bench-calc");
     const double us = time_per_call_us(kIters, [&] { (void)proxy->counter(1); });
     std::printf("%-12s %10.3f us/call (in-process queues + POA poll)\n", "local", us);
+    const PathCounts pc = count_paths(kPathProbe, [&] { (void)proxy->counter(1); });
+    report.add("local", {{"us_per_call", us},
+                         {"invocations_bypassed", pc.bypassed},
+                         {"invocations_transported", pc.transported}});
 
     // Non-blocking issue latency: the stub returns after the send.
     std::vector<core::Future<Long>> futures(64);
@@ -121,6 +153,7 @@ int main() {
                 "local nb", issue_us);
     for (auto& f : futures)
       if (!f.resolved()) (void)f.get();  // drain the tail batch
+    report.add("local_nb", {{"us_per_call", issue_us}});
   }
 
   // --- tcp ----------------------------------------------------------------
@@ -135,6 +168,10 @@ int main() {
     auto proxy = calc::_bind(ctx, "bench-calc");
     const double us = time_per_call_us(kIters, [&] { (void)proxy->counter(1); });
     std::printf("%-12s %10.3f us/call (localhost sockets)\n", "tcp", us);
+    const PathCounts pc = count_paths(kPathProbe, [&] { (void)proxy->counter(1); });
+    report.add("tcp", {{"us_per_call", us},
+                       {"invocations_bypassed", pc.bypassed},
+                       {"invocations_transported", pc.transported}});
   }
 
   // --- payload sweep on the local path (blocking scale round trip) -------
@@ -157,6 +194,10 @@ int main() {
           time_per_call_us(iters, [&] { proxy->scale(2.0, v_view, r_view); });
       const double mbps = 2.0 * static_cast<double>(n * sizeof(double)) / us;
       std::printf("%10zu %12.2f %14.1f\n", n, us, mbps);
+      report.add("scale_n=" + std::to_string(n),
+                 {{"elements", static_cast<double>(n)},
+                  {"us_per_call", us},
+                  {"mb_per_s", mbps}});
     }
   }
   return 0;

@@ -8,6 +8,8 @@
 
 #include <algorithm>
 #include <random>
+#include <string>
+#include <vector>
 
 #include "common/cdr.hpp"
 
@@ -119,4 +121,28 @@ BENCHMARK(BM_MarshalRequestHeaderSized);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Like BENCHMARK_MAIN(), but first translates the repo-wide
+// `--json <path>` convention into google-benchmark's output flags.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  std::string out_flag, fmt_flag;
+  for (auto it = args.begin(); it != args.end();) {
+    if (std::string(*it) == "--json" && it + 1 != args.end()) {
+      out_flag = "--benchmark_out=" + std::string(*(it + 1));
+      fmt_flag = "--benchmark_out_format=json";
+      it = args.erase(it, it + 2);
+    } else {
+      ++it;
+    }
+  }
+  if (!out_flag.empty()) {
+    args.push_back(out_flag.data());
+    args.push_back(fmt_flag.data());
+  }
+  int n = static_cast<int>(args.size());
+  benchmark::Initialize(&n, args.data());
+  if (benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

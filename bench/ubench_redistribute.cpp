@@ -7,6 +7,7 @@
 #include <chrono>
 #include <cstdio>
 
+#include "bench/bench_json.hpp"
 #include "dist/dsequence.hpp"
 #include "rts/domain.hpp"
 
@@ -57,7 +58,8 @@ double run_case(const Case& c, std::size_t n, int procs, int iters) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonReport report(argc, argv, "ubench_redistribute");
   const Case cases[] = {
       {"block->block (identity)", make_block, make_block},
       {"block->concentrated", make_block, make_conc},
@@ -74,6 +76,8 @@ int main() {
     const double b = run_case(c, 100000, 4, 20);
     const double d = run_case(c, 1000000, 4, 5);
     std::printf("%-26s %12.1f %12.1f %12.1f\n", c.name, a, b, d);
+    report.add(c.name,
+               {{"us_n10k", a}, {"us_n100k", b}, {"us_n1m", d}});
   }
   return 0;
 }

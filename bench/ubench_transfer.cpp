@@ -14,6 +14,7 @@
 #include <chrono>
 #include <cstdio>
 
+#include "bench/bench_json.hpp"
 #include "dist/dsequence.hpp"
 #include "rts/domain.hpp"
 #include "sim/testbed.hpp"
@@ -53,7 +54,8 @@ double gather_transfer_time(std::size_t n, int nclient, int nserver,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonReport report(argc, argv, "ubench_transfer");
   sim::Testbed tb = sim::Testbed::paper_testbed();
   const sim::HostModel& h1 = *tb.host(sim::Testbed::kHost1);
   const sim::HostModel& h2 = *tb.host(sim::Testbed::kHost2);
@@ -95,6 +97,15 @@ int main() {
       (void)encoded_bytes;
       std::printf("%10zu %4d %4d %12.4f %12.4f %8.1fx %14.0f\n", n, p, q, direct,
                   gather, gather / direct, us);
+      report.add("n=" + std::to_string(n) + "_p=" + std::to_string(p) + "_q=" +
+                     std::to_string(q),
+                 {{"elements", static_cast<double>(n)},
+                  {"client_threads", static_cast<double>(p)},
+                  {"server_threads", static_cast<double>(q)},
+                  {"direct_s", direct},
+                  {"gather_s", gather},
+                  {"speedup", gather / direct},
+                  {"plan_encode_us", us}});
     }
   }
   std::printf("# direct wins by ~P (parallel injection) plus avoided staging copies.\n");

@@ -1,6 +1,8 @@
 #include "core/client.hpp"
 
 #include "common/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
 #include "rts/collectives.hpp"
 
 namespace pardis::core {
@@ -53,6 +55,12 @@ void ClientCtx::route(transport::RsrMessage&& msg) {
   if (msg.handler != transport::kHandlerOrbReply) {
     PARDIS_LOG(kWarn, "client") << "unexpected RSR handler " << msg.handler << ", dropped";
     return;
+  }
+  if (obs::enabled()) {
+    static obs::Counter& replies = obs::metrics().counter("orb.replies_received");
+    static obs::Counter& bytes = obs::metrics().counter("orb.reply_bytes_received");
+    replies.add(1);
+    bytes.add(msg.payload.size());
   }
   CdrReader r(msg.payload.view(), msg.little_endian);
   ReplyHeader header = ReplyHeader::unmarshal(r);
@@ -185,6 +193,12 @@ std::shared_ptr<PendingReply> ClientRequest::invoke() {
   ClientCtx& ctx = binding_->ctx();
   const ObjectRef& ref = binding_->ref();
 
+  // The client invocation span: covers marshaling and the sends, and
+  // is the parent every downstream span (transport, POA dispatch,
+  // servant, reply, future resolve) hangs off via the PIOP header.
+  obs::SpanScope span;
+  if (obs::enabled()) span.open("invoke:" + operation_, "client");
+
   RequestHeader h;
   h.request_id = RequestId::next();
   h.binding_id = binding_->id();
@@ -196,19 +210,32 @@ std::shared_ptr<PendingReply> ClientRequest::invoke() {
   h.client_rank = my_client_rank();
   h.client_size = binding_->collective() ? ctx.size() : 1;
   h.reply_to = ctx.endpoint().addr();
+  h.trace = span.context();
 
+  std::uint64_t bytes_out = 0;
   for (int q = 0; q < server_size(); ++q) {
     ByteBuffer frame;
     CdrWriter w(frame);
     h.marshal(w);
     frame.append(bodies_[static_cast<std::size_t>(q)].view());
+    bytes_out += frame.size();
     ctx.send_rsr(ref.thread_eps[static_cast<std::size_t>(q)],
                  transport::kHandlerOrbRequest, std::move(frame));
+  }
+  if (obs::enabled()) {
+    static obs::Counter& transported =
+        obs::metrics().counter("orb.invocations_transported");
+    static obs::Counter& requests = obs::metrics().counter("orb.requests_sent");
+    static obs::Counter& bytes = obs::metrics().counter("orb.request_bytes_sent");
+    transported.add(1);
+    requests.add(static_cast<std::uint64_t>(server_size()));
+    bytes.add(bytes_out);
   }
   if (oneway_) return nullptr;
 
   const int expected = has_dist_out_ ? server_size() : 1;
   auto pending = std::make_shared<PendingReply>(ctx, h.request_id, expected);
+  pending->set_trace(h.trace, operation_);
   ctx.track(pending);
   return pending;
 }

@@ -166,6 +166,7 @@ class ClientRequest {
     const dist::Distribution d_server = spec.instantiate(n, server_size());
     dist::TransferPlan plan(d_client, d_server);
     const int me = my_client_rank();
+    std::size_t my_elements = 0;
     for (int q = 0; q < server_size(); ++q) {
       CdrWriter& w = writers_[q];
       w.write_ulonglong(n);
@@ -173,7 +174,12 @@ class ClientRequest {
       for (const dist::TransferPiece& piece : plan.pieces()) {
         if (piece.src_rank != me || piece.dst_rank != q) continue;
         seq.encode_range(piece.span, w);
+        my_elements += piece.span.size();
       }
+    }
+    if (obs::enabled()) {
+      static obs::Counter& transferred = obs::metrics().counter("dist.transfer_elements");
+      transferred.add(my_elements);
     }
   }
 

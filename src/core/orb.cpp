@@ -4,11 +4,21 @@
 
 #include "common/error.hpp"
 #include "common/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
 
 namespace pardis::core {
 
+Orb::~Orb() {
+  if (obs::enabled()) obs::flush_exports();
+}
+
 ObjectRef Orb::resolve(const std::string& name, const std::string& host,
                        std::chrono::milliseconds timeout) {
+  if (obs::enabled()) {
+    static obs::Counter& resolves = obs::metrics().counter("orb.resolves");
+    resolves.add(1);
+  }
   if (auto ref = registry_->lookup(name, host)) return *ref;
 
   bool activating = false;

@@ -28,6 +28,10 @@ class Orb {
   Orb(transport::Transport& transport, ObjectRegistry& registry)
       : transport_(&transport), registry_(&registry) {}
 
+  /// Flushes any pending observability exports (trace/metrics files) so
+  /// short-lived processes get their dumps even before atexit runs.
+  ~Orb();
+
   Orb(const Orb&) = delete;
   Orb& operator=(const Orb&) = delete;
 

@@ -1,8 +1,17 @@
 #include "core/pending_reply.hpp"
 
 #include "core/client.hpp"
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
 
 namespace pardis::core {
+
+void PendingReply::set_trace(const obs::TraceContext& trace, const std::string& operation) {
+  if (!trace.valid()) return;
+  trace_ = trace;
+  operation_ = operation;
+  issue_wall_us_ = obs::wall_now_us();
+}
 
 PendingReply::PendingReply(ClientCtx& ctx, RequestId id, int expected)
     : ctx_(&ctx), id_(id), expected_(expected) {
@@ -29,13 +38,29 @@ void PendingReply::finish() {
   }
   if (decoded_) return;
   decoded_ = true;
-  if (!decoder_) return;
-  std::vector<ReplyDecoder::BodyView> views;
-  views.reserve(bodies_.size());
-  for (auto& b : bodies_)
-    views.push_back(ReplyDecoder::BodyView{b.server_rank, CdrReader(b.bytes.view(), b.little)});
-  ReplyDecoder dec(std::move(views));
-  decoder_(dec);
+  // The resolve span: decode of the assembled replies, closing the
+  // client side of the trace this invocation opened.
+  obs::SpanScope span;
+  if (obs::enabled() && trace_.valid())
+    span.open_remote("resolve:" + operation_, "client", trace_);
+  if (decoder_) {
+    std::vector<ReplyDecoder::BodyView> views;
+    views.reserve(bodies_.size());
+    for (auto& b : bodies_)
+      views.push_back(
+          ReplyDecoder::BodyView{b.server_rank, CdrReader(b.bytes.view(), b.little)});
+    ReplyDecoder dec(std::move(views));
+    decoder_(dec);
+  }
+  if (obs::enabled()) {
+    static obs::Counter& resolved = obs::metrics().counter("orb.futures_resolved");
+    resolved.add(1);
+    if (issue_wall_us_ > 0.0) {
+      static obs::Histogram& latency =
+          obs::metrics().histogram("orb.invoke_to_resolve_us");
+      latency.record(obs::wall_now_us() - issue_wall_us_);
+    }
+  }
 }
 
 bool PendingReply::resolved() {

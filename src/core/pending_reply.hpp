@@ -73,6 +73,11 @@ class PendingReply {
     decoder_ = std::move(decoder);
   }
 
+  /// Observability wiring (set by ClientRequest::invoke when tracing is
+  /// on): the invocation span this reply resolves under, and the
+  /// operation name for the resolve span.
+  void set_trace(const obs::TraceContext& trace, const std::string& operation);
+
   /// Non-blocking: pumps the client engine; true once complete (the
   /// decoder has run). Throws the server's exception on failure.
   bool resolved();
@@ -100,6 +105,9 @@ class PendingReply {
   std::optional<ReplyHeader> error_;
   std::function<void(ReplyDecoder&)> decoder_;
   bool decoded_ = false;
+  obs::TraceContext trace_;
+  std::string operation_;
+  double issue_wall_us_ = 0.0;
 };
 
 }  // namespace pardis::core

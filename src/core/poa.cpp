@@ -5,6 +5,8 @@
 #include <vector>
 
 #include "common/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
 #include "rts/collectives.hpp"
 
 namespace pardis::core {
@@ -143,6 +145,12 @@ void Poa::ingest(transport::RsrMessage&& msg) {
     PARDIS_LOG(kWarn, "poa") << "unexpected RSR handler " << msg.handler << ", dropped";
     return;
   }
+  if (obs::enabled()) {
+    static obs::Counter& requests = obs::metrics().counter("orb.requests_received");
+    static obs::Counter& bytes = obs::metrics().counter("orb.request_bytes_received");
+    requests.add(1);
+    bytes.add(msg.payload.size());
+  }
   CdrReader r(msg.payload.view(), msg.little_endian);
   RequestHeader header = RequestHeader::unmarshal(r);
 
@@ -193,11 +201,20 @@ void Poa::dispatch(Key key) {
   for (auto& [rank, body] : a.bodies) bodies.push_back(std::move(body));
 
   const bool spmd = entry->spmd;
+  // The dispatch span restores the client's trace context from the
+  // PIOP header: everything below (servant run, reply sends) parents
+  // under the client invocation span, across process boundaries.
+  obs::SpanScope dispatch_span;
+  const double dispatch_start_us = obs::enabled() ? obs::wall_now_us() : 0.0;
+  if (obs::enabled())
+    dispatch_span.open_remote("dispatch:" + a.header.operation, "server", a.header.trace);
+
   ServerInvocation inv(
       entry->ref, spmd ? comm_ : nullptr, spmd ? rank_ : 0, spmd ? size_ : 1, a.header,
       std::move(bodies), [this](const transport::EndpointAddr& to, ByteBuffer frame) {
         orb_->transport().rsr(to, transport::kHandlerOrbReply, std::move(frame), host_model_);
       });
+  inv.set_trace(dispatch_span.context());
 
   ServantBase* servant = entry->servants[spmd ? static_cast<std::size_t>(rank_) : 0];
   // A client that vanished mid-invocation must not take the server
@@ -210,7 +227,11 @@ void Poa::dispatch(Key key) {
     }
   };
   try {
-    servant->_dispatch(inv);
+    {
+      obs::SpanScope servant_span;
+      if (obs::enabled()) servant_span.open("servant:" + a.header.operation, "server");
+      servant->_dispatch(inv);
+    }
     inv.send_replies();
   } catch (const CommFailure& e) {
     PARDIS_LOG(kWarn, "poa") << "reply undeliverable (client gone?): " << e.what();
@@ -218,6 +239,12 @@ void Poa::dispatch(Key key) {
     deliver_error(e);
   } catch (const std::exception& e) {
     deliver_error(InternalError(std::string("servant failure: ") + e.what()));
+  }
+  if (obs::enabled()) {
+    static obs::Counter& dispatched = obs::metrics().counter("poa.dispatched");
+    static obs::Histogram& latency = obs::metrics().histogram("poa.dispatch_us");
+    dispatched.add(1);
+    latency.record(obs::wall_now_us() - dispatch_start_us);
   }
   next_seq_[key.first] = key.second + 1;
 }

@@ -8,10 +8,15 @@ void RequestHeader::marshal(CdrWriter& w) const {
   w.write_ulong(seq_no);
   w.write_ulonglong(object_id.value);
   w.write_string(operation);
-  w.write_octet(flags);
+  w.write_octet(static_cast<Octet>(trace.valid() ? flags | kFlagTraced
+                                                 : flags & ~kFlagTraced));
   w.write_long(client_rank);
   w.write_long(client_size);
   reply_to.marshal(w);
+  if (trace.valid()) {
+    w.write_ulonglong(trace.trace_id);
+    w.write_ulonglong(trace.span_id);
+  }
 }
 
 RequestHeader RequestHeader::unmarshal(CdrReader& r) {
@@ -25,6 +30,11 @@ RequestHeader RequestHeader::unmarshal(CdrReader& r) {
   h.client_rank = r.read_long();
   h.client_size = r.read_long();
   h.reply_to = transport::EndpointAddr::unmarshal(r);
+  if ((h.flags & kFlagTraced) != 0) {
+    h.trace.trace_id = r.read_ulonglong();
+    h.trace.span_id = r.read_ulonglong();
+    h.flags = static_cast<Octet>(h.flags & ~kFlagTraced);
+  }
   if (h.client_rank < 0 || h.client_rank >= h.client_size)
     throw MarshalError("RequestHeader: client rank out of range");
   return h;
@@ -34,10 +44,15 @@ void ReplyHeader::marshal(CdrWriter& w) const {
   w.write_ulonglong(request_id.value);
   w.write_long(server_rank);
   w.write_long(server_size);
-  w.write_octet(static_cast<Octet>(status));
+  w.write_octet(static_cast<Octet>(static_cast<Octet>(status) |
+                                   (trace.valid() ? kReplyFlagTraced : 0)));
   if (status != ReplyStatus::kOk) {
     w.write_octet(static_cast<Octet>(error_code));
     w.write_string(error_message);
+  }
+  if (trace.valid()) {
+    w.write_ulonglong(trace.trace_id);
+    w.write_ulonglong(trace.span_id);
   }
 }
 
@@ -46,13 +61,19 @@ ReplyHeader ReplyHeader::unmarshal(CdrReader& r) {
   h.request_id.value = r.read_ulonglong();
   h.server_rank = r.read_long();
   h.server_size = r.read_long();
-  const Octet status = r.read_octet();
+  const Octet raw_status = r.read_octet();
+  const bool traced = (raw_status & kReplyFlagTraced) != 0;
+  const Octet status = static_cast<Octet>(raw_status & ~kReplyFlagTraced);
   if (status > static_cast<Octet>(ReplyStatus::kSystemException))
     throw MarshalError("ReplyHeader: bad status octet");
   h.status = static_cast<ReplyStatus>(status);
   if (h.status != ReplyStatus::kOk) {
     h.error_code = static_cast<ErrorCode>(r.read_octet());
     h.error_message = r.read_string();
+  }
+  if (traced) {
+    h.trace.trace_id = r.read_ulonglong();
+    h.trace.span_id = r.read_ulonglong();
   }
   return h;
 }

@@ -13,6 +13,7 @@
 #include "common/cdr.hpp"
 #include "common/error.hpp"
 #include "common/ids.hpp"
+#include "obs/obs.hpp"
 #include "transport/endpoint.hpp"
 
 namespace pardis::core {
@@ -20,6 +21,7 @@ namespace pardis::core {
 /// Request flag bits.
 inline constexpr Octet kFlagOneway = 0x1;      ///< no reply expected
 inline constexpr Octet kFlagCollective = 0x2;  ///< SPMD collective invocation
+inline constexpr Octet kFlagTraced = 0x4;      ///< trace context appended
 
 struct RequestHeader {
   RequestId request_id;       ///< per sending client thread
@@ -31,6 +33,10 @@ struct RequestHeader {
   Long client_rank = 0;
   Long client_size = 1;
   transport::EndpointAddr reply_to;
+  /// Tracing context of the client invocation span. Only marshaled
+  /// when valid (kFlagTraced); an untraced header is byte-identical to
+  /// the pre-observability wire format.
+  obs::TraceContext trace;
 
   bool oneway() const noexcept { return (flags & kFlagOneway) != 0; }
   bool collective() const noexcept { return (flags & kFlagCollective) != 0; }
@@ -44,6 +50,11 @@ enum class ReplyStatus : Octet {
   kSystemException = 1,
 };
 
+/// High bit of the reply status octet: trace context appended. Reusing
+/// the status octet keeps the untraced reply byte-identical to the
+/// pre-observability wire format.
+inline constexpr Octet kReplyFlagTraced = 0x80;
+
 struct ReplyHeader {
   RequestId request_id;  ///< echo of the client thread's request id
   Long server_rank = 0;
@@ -51,6 +62,9 @@ struct ReplyHeader {
   ReplyStatus status = ReplyStatus::kOk;
   ErrorCode error_code = ErrorCode::kUnknown;  ///< when status != kOk
   std::string error_message;
+  /// Server-side dispatch span (same trace id the request carried);
+  /// marshaled only when valid (kReplyFlagTraced).
+  obs::TraceContext trace;
 
   void marshal(CdrWriter& w) const;
   static ReplyHeader unmarshal(CdrReader& r);

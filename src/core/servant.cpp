@@ -1,6 +1,8 @@
 #include "core/servant.hpp"
 
 #include "common/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
 
 namespace pardis::core {
 
@@ -39,10 +41,17 @@ void ServerInvocation::send_reply_to(std::size_t body_index, ReplyStatus status,
   h.status = status;
   h.error_code = code;
   h.error_message = message;
+  h.trace = trace_;
   ByteBuffer frame;
   CdrWriter w(frame);
   h.marshal(w);
   frame.append(body.view());
+  if (obs::enabled()) {
+    static obs::Counter& replies = obs::metrics().counter("orb.replies_sent");
+    static obs::Counter& bytes = obs::metrics().counter("orb.reply_bytes_sent");
+    replies.add(1);
+    bytes.add(frame.size());
+  }
   send_(bodies_[body_index].reply_to, std::move(frame));
 }
 
@@ -51,6 +60,11 @@ void ServerInvocation::send_replies() {
   // Without distributed out arguments only server rank 0 replies; the
   // client-side stub waits for exactly one reply in that case.
   if (server_rank_ != 0 && !sent_dist_out_) return;
+  // The reply span sits under the dispatch span (ambient here) so the
+  // transport sends it triggers nest correctly in the trace.
+  obs::SpanScope span;
+  if (obs::enabled() && trace_.valid())
+    span.open("reply:" + operation(), "server");
   for (std::size_t i = 0; i < bodies_.size(); ++i)
     send_reply_to(i, ReplyStatus::kOk, ErrorCode::kUnknown, "", std::move(reply_bodies_[i]));
 }

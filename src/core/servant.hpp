@@ -68,6 +68,10 @@ class ServerInvocation {
   /// objects never carry distributed arguments — paper §3.1).
   rts::Communicator& comm() const;
 
+  /// Observability wiring (set by the POA): the dispatch span replies
+  /// are sent under; echoed in traced reply headers.
+  void set_trace(const obs::TraceContext& trace) noexcept { trace_ = trace; }
+
   // --- request unmarshaling (IDL argument order) ------------------------
 
   /// Non-distributed in/inout argument: every client thread marshaled
@@ -152,6 +156,7 @@ class ServerInvocation {
     if (d_client.global_size() != result.size())
       throw BadParam("out_dseq: result length differs from the client's expectation");
     dist::TransferPlan plan(result.distribution(), d_client);
+    std::size_t my_elements = 0;
     for (std::size_t i = 0; i < bodies_.size(); ++i) {
       CdrWriter& w = reply_writers_[i];
       std::vector<dist::TransferPiece> mine;
@@ -163,7 +168,12 @@ class ServerInvocation {
         w.write_ulonglong(piece.span.begin);
         w.write_ulonglong(piece.span.end);
         result.encode_range(piece.span, w);
+        my_elements += piece.span.size();
       }
+    }
+    if (obs::enabled()) {
+      static obs::Counter& transferred = obs::metrics().counter("dist.transfer_elements");
+      transferred.add(my_elements);
     }
     sent_dist_out_ = true;
   }
@@ -197,6 +207,7 @@ class ServerInvocation {
   std::size_t next_expected_out_ = 0;
   std::vector<dist::TransferPlan> plan_cache_;
   bool sent_dist_out_ = false;
+  obs::TraceContext trace_;
 };
 
 }  // namespace pardis::core

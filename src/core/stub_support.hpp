@@ -38,4 +38,13 @@ dist::DSequence<T> single_view(const std::vector<T>& storage) {
   return single_view(mut);
 }
 
+/// Called by generated stubs when the collocation bypass is taken (the
+/// servant is in-process and the call is a direct virtual dispatch).
+/// Pairs with orb.invocations_transported counted in ClientRequest.
+inline void note_collocated_call() {
+  if (!obs::enabled()) return;
+  static obs::Counter& c = obs::metrics().counter("orb.invocations_bypassed");
+  c.add(1);
+}
+
 }  // namespace pardis::core

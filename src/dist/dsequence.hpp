@@ -25,6 +25,8 @@
 #include "common/error.hpp"
 #include "dist/distribution.hpp"
 #include "dist/transfer_plan.hpp"
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
 #include "rts/collectives.hpp"
 #include "rts/communicator.hpp"
 
@@ -175,6 +177,11 @@ class DSequence {
       throw BadParam("DSequence::redistribute: rank count != domain width");
     const int me = rank();
     TransferPlan plan(dist_, new_dist);
+    if (obs::enabled() && me == 0) {
+      static obs::Counter& redistributed =
+          obs::metrics().counter("dist.redistributed_elements");
+      redistributed.add(plan.total_elements());
+    }
 
     std::vector<T> fresh(new_dist.local_count(me));
     // Local pieces copy directly; remote pieces ride the communicator.

@@ -358,7 +358,8 @@ void Generator::emit_blocking_stub(const InterfaceDef& iface, const Operation& o
     if (p.type->is_dseq() && dseq_info(p.type).native) any_native = true;
   if (!any_native) {
     out_ << "    if (auto* _impl = dynamic_cast<POA_" << iface.name
-         << "*>(_binding()->collocated_servant())) {\n";
+         << "*>(_binding()->collocated_servant())) {\n"
+         << "      pardis::core::note_collocated_call();\n";
     // Build single views when needed.
     for (const auto& p : op.params)
       if (single_mapping && p.type->is_dseq())
@@ -491,7 +492,8 @@ void Generator::emit_nb_stub(const InterfaceDef& iface, const Operation& op) {
     if (p.type->is_dseq() && dseq_info(p.type).native) any_native = true;
   if (!any_native) {
     out_ << "    if (auto* _impl = dynamic_cast<POA_" << iface.name
-         << "*>(_binding()->collocated_servant())) {\n";
+         << "*>(_binding()->collocated_servant())) {\n"
+         << "      pardis::core::note_collocated_call();\n";
     for (const auto& p : op.params)
       if (p.dir != Param::Dir::kIn && !p.type->is_dseq())
         out_ << "      " << cpp_type(p.type) << " _" << p.name << "_tmp{};\n";

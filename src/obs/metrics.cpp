@@ -1,0 +1,154 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <ostream>
+
+#include "obs/obs.hpp"
+
+namespace pardis::obs {
+
+std::atomic<std::uint64_t>& Counter::stripe_for_thread() noexcept {
+  return stripes_[thread_tid() % kStripes].v;
+}
+
+std::size_t Histogram::bucket_index(double value) noexcept {
+  if (!(value > 1.0)) return 0;  // NaN and <=1 land in bucket 0
+  // First i with 2^i >= value == bit width of ceil(value) - 1 rounded up.
+  const auto v = static_cast<std::uint64_t>(std::ceil(value));
+  std::size_t i = static_cast<std::size_t>(std::bit_width(v - 1));
+  return i < kBuckets ? i : kBuckets - 1;
+}
+
+double Histogram::bucket_upper_bound(std::size_t i) noexcept {
+  return std::ldexp(1.0, static_cast<int>(i));
+}
+
+void Histogram::record(double value) noexcept {
+  buckets_[bucket_index(value)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  const double clamped = value > 0 ? value : 0.0;
+  sum_nanos_.fetch_add(static_cast<std::uint64_t>(clamped * 1e3),
+                       std::memory_order_relaxed);
+}
+
+double Histogram::sum() const noexcept {
+  return static_cast<double>(sum_nanos_.load(std::memory_order_relaxed)) / 1e3;
+}
+
+double Histogram::quantile(double q) const noexcept {
+  const std::uint64_t n = count();
+  if (n == 0) return 0.0;
+  if (q < 0) q = 0;
+  if (q > 1) q = 1;
+  const auto target = static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(n)));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    seen += bucket(i);
+    if (seen >= target && seen > 0) return bucket_upper_bound(i);
+  }
+  return bucket_upper_bound(kBuckets - 1);
+}
+
+void Histogram::reset() noexcept {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_nanos_.store(0, std::memory_order_relaxed);
+}
+
+Registry& Registry::instance() noexcept {
+  static Registry registry;
+  return registry;
+}
+
+Counter& Registry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (CounterNode* n = counter_head_; n != nullptr; n = n->next)
+    if (n->name == name) return n->counter;
+  auto* node = new CounterNode{std::string(name), {}, counter_head_};
+  counter_head_ = node;
+  return node->counter;
+}
+
+Histogram& Registry::histogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (HistogramNode* n = histogram_head_; n != nullptr; n = n->next)
+    if (n->name == name) return n->histogram;
+  auto* node = new HistogramNode{std::string(name), {}, histogram_head_};
+  histogram_head_ = node;
+  return node->histogram;
+}
+
+std::vector<Registry::CounterRow> Registry::counters() const {
+  std::vector<CounterRow> out;
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (CounterNode* n = counter_head_; n != nullptr; n = n->next)
+    out.push_back(CounterRow{n->name, n->counter.value()});
+  std::sort(out.begin(), out.end(),
+            [](const CounterRow& a, const CounterRow& b) { return a.name < b.name; });
+  return out;
+}
+
+std::vector<Registry::HistogramRow> Registry::histograms() const {
+  std::vector<HistogramRow> out;
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (HistogramNode* n = histogram_head_; n != nullptr; n = n->next) {
+    HistogramRow row;
+    row.name = n->name;
+    row.count = n->histogram.count();
+    row.sum = n->histogram.sum();
+    row.p50 = n->histogram.quantile(0.50);
+    row.p95 = n->histogram.quantile(0.95);
+    row.p99 = n->histogram.quantile(0.99);
+    for (std::size_t i = 0; i < Histogram::kBuckets; ++i)
+      if (const std::uint64_t c = n->histogram.bucket(i)) row.nonzero.emplace_back(i, c);
+    out.push_back(std::move(row));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const HistogramRow& a, const HistogramRow& b) { return a.name < b.name; });
+  return out;
+}
+
+void Registry::dump_text(std::ostream& os) const {
+  for (const CounterRow& c : counters()) os << c.name << " " << c.value << "\n";
+  for (const HistogramRow& h : histograms())
+    os << h.name << "{count=" << h.count << ",sum=" << h.sum << ",p50=" << h.p50
+       << ",p95=" << h.p95 << ",p99=" << h.p99 << "}\n";
+}
+
+void Registry::dump_json(std::ostream& os) const {
+  os << "{\"counters\":{";
+  bool first = true;
+  for (const CounterRow& c : counters()) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << c.name << "\":" << c.value;
+  }
+  os << "},\"histograms\":{";
+  first = true;
+  for (const HistogramRow& h : histograms()) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << h.name << "\":{\"count\":" << h.count << ",\"sum\":" << h.sum
+       << ",\"p50\":" << h.p50 << ",\"p95\":" << h.p95 << ",\"p99\":" << h.p99
+       << ",\"buckets\":[";
+    bool bfirst = true;
+    for (const auto& [bucket, count] : h.nonzero) {
+      if (!bfirst) os << ",";
+      bfirst = false;
+      os << "[" << bucket << "," << count << "]";
+    }
+    os << "]}";
+  }
+  os << "}}\n";
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (CounterNode* n = counter_head_; n != nullptr; n = n->next) n->counter.reset();
+  for (HistogramNode* n = histogram_head_; n != nullptr; n = n->next)
+    n->histogram.reset();
+}
+
+}  // namespace pardis::obs

@@ -1,0 +1,142 @@
+// Metrics registry: sharded counters and fixed-bucket histograms.
+//
+// Counters are striped over cache-line-padded atomics so concurrent
+// computing threads do not bounce one line; reads sum the stripes.
+// Histograms use fixed power-of-two bucket bounds so recording is a
+// branchless index + one atomic increment, and two dumps can be
+// compared bucket-by-bucket across runs.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace pardis::obs {
+
+/// Monotone event counter. add() is wait-free; value() is a sum over
+/// the stripes (racy reads see a consistent-enough snapshot).
+class Counter {
+ public:
+  static constexpr std::size_t kStripes = 16;
+
+  void add(std::uint64_t n = 1) noexcept {
+    stripe_for_thread().fetch_add(n, std::memory_order_relaxed);
+  }
+
+  std::uint64_t value() const noexcept {
+    std::uint64_t total = 0;
+    for (const auto& s : stripes_) total += s.v.load(std::memory_order_relaxed);
+    return total;
+  }
+
+  void reset() noexcept {
+    for (auto& s : stripes_) s.v.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  struct alignas(64) Stripe {
+    std::atomic<std::uint64_t> v{0};
+  };
+
+  std::atomic<std::uint64_t>& stripe_for_thread() noexcept;
+
+  Stripe stripes_[kStripes];
+};
+
+/// Fixed-bucket histogram. Bucket `i` counts samples with value in
+/// (2^(i-1), 2^i]; bucket 0 covers [0, 1]; the last bucket absorbs
+/// everything larger. Values are unitless — latency hooks record
+/// microseconds, size hooks record bytes.
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 40;
+
+  /// Index of the bucket a sample lands in.
+  static std::size_t bucket_index(double value) noexcept;
+  /// Inclusive upper bound of bucket `i` (2^i).
+  static double bucket_upper_bound(std::size_t i) noexcept;
+
+  void record(double value) noexcept;
+
+  std::uint64_t count() const noexcept { return count_.load(std::memory_order_relaxed); }
+  double sum() const noexcept;
+  std::uint64_t bucket(std::size_t i) const noexcept {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+
+  /// Upper-bound estimate of the q-quantile (q in [0,1]): the bound of
+  /// the bucket holding the q-th sample. 0 when empty.
+  double quantile(double q) const noexcept;
+
+  void reset() noexcept;
+
+ private:
+  std::atomic<std::uint64_t> buckets_[kBuckets]{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_nanos_{0};  // fixed-point sum (value * 1e3)
+};
+
+/// Name → instrument registry. Instruments are created on first use
+/// and live for the process (hooks cache the reference in a static
+/// local, so steady-state lookups are free).
+class Registry {
+ public:
+  static Registry& instance() noexcept;
+
+  Counter& counter(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  struct CounterRow {
+    std::string name;
+    std::uint64_t value;
+  };
+  struct HistogramRow {
+    std::string name;
+    std::uint64_t count;
+    double sum, p50, p95, p99;
+    std::vector<std::pair<std::size_t, std::uint64_t>> nonzero;  // (bucket, count)
+  };
+
+  std::vector<CounterRow> counters() const;
+  std::vector<HistogramRow> histograms() const;
+
+  /// `name value` per line, histograms as name{count,sum,p50,p95,p99}.
+  void dump_text(std::ostream& os) const;
+  /// {"counters":{name:value,...},"histograms":{name:{...},...}}
+  void dump_json(std::ostream& os) const;
+
+  /// Zeroes every instrument (registrations and cached references stay
+  /// valid) — benches call this between sections.
+  void reset();
+
+ private:
+  Registry() = default;
+
+  // Nodes never move once created: hooks hold references across the
+  // registry mutex.
+  struct CounterNode {
+    std::string name;
+    Counter counter;
+    CounterNode* next = nullptr;
+  };
+  struct HistogramNode {
+    std::string name;
+    Histogram histogram;
+    HistogramNode* next = nullptr;
+  };
+
+  mutable std::mutex mutex_;
+  CounterNode* counter_head_ = nullptr;
+  HistogramNode* histogram_head_ = nullptr;
+};
+
+inline Registry& metrics() noexcept { return Registry::instance(); }
+
+}  // namespace pardis::obs

@@ -1,0 +1,150 @@
+#include "obs/obs.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <mutex>
+#include <string>
+
+#include "common/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "sim/clock.hpp"
+
+namespace pardis::obs {
+
+namespace detail {
+
+int g_enabled_cache = -1;
+
+namespace {
+
+std::mutex g_init_mutex;
+
+bool truthy(const char* v) noexcept {
+  if (v == nullptr) return false;
+  const std::string s(v);
+  return s == "1" || s == "true" || s == "on" || s == "yes";
+}
+
+void arm_atexit_flush() {
+  static std::once_flag once;
+  std::call_once(once, [] { std::atexit([] { flush_exports(); }); });
+}
+
+}  // namespace
+
+int init_from_env() noexcept {
+  std::lock_guard<std::mutex> lock(g_init_mutex);
+  if (g_enabled_cache < 0) {
+    const bool on = truthy(std::getenv("PARDIS_OBS"));
+    if (on) arm_atexit_flush();
+    g_enabled_cache = on ? 1 : 0;
+  }
+  return g_enabled_cache;
+}
+
+}  // namespace detail
+
+void set_enabled(bool on) noexcept {
+  std::lock_guard<std::mutex> lock(detail::g_init_mutex);
+  detail::g_enabled_cache = on ? 1 : 0;
+  if (on) detail::arm_atexit_flush();
+}
+
+ULongLong next_id() noexcept {
+  static std::atomic<ULongLong> counter{1};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+namespace {
+
+thread_local TraceContext t_ambient;
+
+const std::chrono::steady_clock::time_point g_epoch = std::chrono::steady_clock::now();
+
+}  // namespace
+
+const TraceContext& current_context() noexcept { return t_ambient; }
+
+ContextScope::ContextScope(const TraceContext& ctx) noexcept : prev_(t_ambient) {
+  t_ambient = ctx;
+}
+
+ContextScope::~ContextScope() { t_ambient = prev_; }
+
+double wall_now_us() noexcept {
+  return std::chrono::duration<double, std::micro>(std::chrono::steady_clock::now() -
+                                                   g_epoch)
+      .count();
+}
+
+std::uint32_t thread_tid() noexcept {
+  static std::atomic<std::uint32_t> next_tid{1};
+  thread_local std::uint32_t tid = next_tid.fetch_add(1, std::memory_order_relaxed);
+  return tid;
+}
+
+void SpanScope::open(std::string name, const char* category) {
+  open_remote(std::move(name), category, t_ambient);
+}
+
+void SpanScope::open_remote(std::string name, const char* category,
+                            const TraceContext& parent) {
+  if (armed_) close();
+  armed_ = true;
+  name_ = std::move(name);
+  category_ = category;
+  parent_span_ = parent.valid() ? parent.span_id : 0;
+  ctx_.trace_id = parent.valid() ? parent.trace_id : next_id();
+  ctx_.span_id = next_id();
+  prev_ambient_ = t_ambient;
+  t_ambient = ctx_;
+  wall_start_us_ = wall_now_us();
+  sim_start_ = sim::timestamp_now();
+}
+
+void SpanScope::close() {
+  if (!armed_) return;
+  armed_ = false;
+  t_ambient = prev_ambient_;
+  SpanRecord rec;
+  rec.trace_id = ctx_.trace_id;
+  rec.span_id = ctx_.span_id;
+  rec.parent_id = parent_span_;
+  rec.name = std::move(name_);
+  rec.category = category_;
+  rec.wall_start_us = wall_start_us_;
+  rec.wall_dur_us = wall_now_us() - wall_start_us_;
+  rec.sim_start = sim_start_;
+  rec.sim_end = sim::timestamp_now();
+  rec.tid = thread_tid();
+  record_span(std::move(rec));
+  ctx_ = TraceContext{};
+}
+
+void flush_exports() noexcept {
+  if (!enabled()) return;
+  try {
+    const char* trace_path = std::getenv("PARDIS_OBS_TRACE");
+    const std::string trace_file = trace_path != nullptr ? trace_path : "pardis_trace.json";
+    if (!trace_file.empty() && span_count() > 0) write_chrome_trace_file(trace_file);
+
+    if (const char* metrics_path = std::getenv("PARDIS_OBS_METRICS")) {
+      const std::string path(metrics_path);
+      std::ofstream os(path);
+      if (!os) {
+        PARDIS_LOG(kWarn, "obs") << "cannot write metrics dump " << path;
+      } else if (path.size() >= 5 && path.compare(path.size() - 5, 5, ".json") == 0) {
+        metrics().dump_json(os);
+      } else {
+        metrics().dump_text(os);
+      }
+    }
+  } catch (const std::exception& e) {
+    PARDIS_LOG(kWarn, "obs") << "export failed: " << e.what();
+  }
+}
+
+}  // namespace pardis::obs

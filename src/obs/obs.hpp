@@ -1,0 +1,137 @@
+// pardis_obs — observability for the ORB stack: request tracing,
+// metrics, and profiling hooks.
+//
+// The paper's evaluation decomposes every end-to-end time into
+// `t = t_o + max(t_i, t_d)` (Fig. 2 caption); this module makes that
+// decomposition observable on any run instead of hand-instrumented
+// benches. Three pieces:
+//
+//   * per-request distributed tracing — a TraceContext allocated at the
+//     client stub rides inside the PIOP headers, is propagated through
+//     the transports and restored in the POA dispatch path; spans
+//     record both wall time and the sim virtual clock so traces line up
+//     with the paper's overlap algebra;
+//   * a metrics registry — sharded counters and fixed-bucket
+//     histograms (see metrics.hpp);
+//   * exporters — Chrome trace_event JSON and text/JSON metric dumps
+//     (see trace.hpp / metrics.hpp).
+//
+// Everything is gated on a single runtime toggle: the PARDIS_OBS
+// environment variable (1/true/on/yes), overridable programmatically
+// with set_enabled(). Disabled, every hook is one relaxed atomic load
+// and the PIOP wire format is byte-identical to the untraced layout.
+#pragma once
+
+#include <string>
+
+#include "common/types.hpp"
+
+namespace pardis::obs {
+
+namespace detail {
+/// -1 = uninitialised (read PARDIS_OBS on first use), else 0/1.
+int init_from_env() noexcept;
+extern int g_enabled_cache;  // not atomic: transitions once, monotone
+}  // namespace detail
+
+/// The master toggle. First call reads PARDIS_OBS from the
+/// environment; afterwards it is a single load.
+inline bool enabled() noexcept {
+  const int v = detail::g_enabled_cache;
+  return v < 0 ? detail::init_from_env() > 0 : v > 0;
+}
+
+/// Programmatic override (tests and benches). Enabling also arms the
+/// at-exit exporters when PARDIS_OBS_TRACE / PARDIS_OBS_METRICS are
+/// set.
+void set_enabled(bool on) noexcept;
+
+/// Identity of one request as it travels client → transport → POA →
+/// servant → reply → future. `trace_id` names the whole causal tree
+/// (one per root invocation); `span_id` names the sender's span so the
+/// receiver can parent its own spans under it. trace_id == 0 means "no
+/// trace attached".
+struct TraceContext {
+  ULongLong trace_id = 0;
+  ULongLong span_id = 0;
+
+  bool valid() const noexcept { return trace_id != 0; }
+  bool operator==(const TraceContext&) const = default;
+};
+
+/// Process-unique nonzero id (shared pool for trace and span ids).
+ULongLong next_id() noexcept;
+
+/// The ambient trace context of the calling thread: the innermost open
+/// span, or the context restored by the POA around a dispatch. Invalid
+/// when nothing is open.
+const TraceContext& current_context() noexcept;
+
+/// Directly swaps the ambient context (used by machinery that crosses
+/// threads, e.g. dispatch). Prefer SpanScope, which does this for you.
+class ContextScope {
+ public:
+  explicit ContextScope(const TraceContext& ctx) noexcept;
+  ~ContextScope();
+  ContextScope(const ContextScope&) = delete;
+  ContextScope& operator=(const ContextScope&) = delete;
+
+ private:
+  TraceContext prev_;
+};
+
+/// RAII span. Default-constructed it is disarmed and free; open()
+/// starts the clock, makes this span the ambient context, and the
+/// destructor (or close()) records it. Open only under
+/// `obs::enabled()`.
+class SpanScope {
+ public:
+  SpanScope() = default;
+  ~SpanScope() { close(); }
+  SpanScope(const SpanScope&) = delete;
+  SpanScope& operator=(const SpanScope&) = delete;
+
+  /// Starts a span parented on the calling thread's ambient context
+  /// (or starting a fresh trace when there is none).
+  void open(std::string name, const char* category);
+
+  /// Starts a span parented on an explicit remote context — the POA
+  /// dispatch path restoring the client's context from a PIOP header.
+  /// An invalid `parent` starts a fresh trace.
+  void open_remote(std::string name, const char* category, const TraceContext& parent);
+
+  /// Records the span and restores the previous ambient context.
+  /// Idempotent; also run by the destructor.
+  void close();
+
+  bool armed() const noexcept { return armed_; }
+
+  /// This span's context — what gets marshaled into a PIOP header so
+  /// the receiver parents under this span. Invalid when disarmed.
+  const TraceContext& context() const noexcept { return ctx_; }
+
+ private:
+  bool armed_ = false;
+  TraceContext ctx_;
+  TraceContext prev_ambient_;
+  ULongLong parent_span_ = 0;
+  std::string name_;
+  const char* category_ = "";
+  double wall_start_us_ = 0.0;
+  double sim_start_ = 0.0;
+};
+
+/// Microseconds since process start on the shared steady epoch (what
+/// span timestamps and the Chrome exporter use).
+double wall_now_us() noexcept;
+
+/// Small dense id of the calling thread (Chrome "tid").
+std::uint32_t thread_tid() noexcept;
+
+/// Writes the Chrome trace and/or metrics dump to the paths named by
+/// PARDIS_OBS_TRACE (default "pardis_trace.json" when obs is enabled)
+/// and PARDIS_OBS_METRICS (no default). Called automatically at
+/// process exit and from Orb teardown; safe to call repeatedly.
+void flush_exports() noexcept;
+
+}  // namespace pardis::obs

@@ -1,0 +1,113 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <mutex>
+#include <ostream>
+#include <vector>
+
+#include "common/log.hpp"
+
+namespace pardis::obs {
+
+namespace {
+
+// Sharded sink: threads append to the shard their tid maps to, so
+// concurrent computing threads rarely contend on one mutex.
+constexpr std::size_t kShards = 16;
+
+struct Shard {
+  std::mutex mutex;
+  std::vector<SpanRecord> spans;
+};
+
+Shard g_shards[kShards];
+
+Shard& shard_for_thread() { return g_shards[thread_tid() % kShards]; }
+
+Shard* all_shards() { return g_shards; }
+
+void json_escape(std::ostream& os, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20)
+          os << ' ';  // control chars never appear in span names
+        else
+          os << c;
+    }
+  }
+}
+
+}  // namespace
+
+void record_span(SpanRecord&& span) {
+  Shard& s = shard_for_thread();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  s.spans.push_back(std::move(span));
+}
+
+std::vector<SpanRecord> snapshot_spans() {
+  std::vector<SpanRecord> out;
+  Shard* shards = all_shards();
+  for (std::size_t i = 0; i < kShards; ++i) {
+    std::lock_guard<std::mutex> lock(shards[i].mutex);
+    out.insert(out.end(), shards[i].spans.begin(), shards[i].spans.end());
+  }
+  std::sort(out.begin(), out.end(), [](const SpanRecord& a, const SpanRecord& b) {
+    return a.wall_start_us < b.wall_start_us;
+  });
+  return out;
+}
+
+std::size_t span_count() noexcept {
+  std::size_t n = 0;
+  Shard* shards = all_shards();
+  for (std::size_t i = 0; i < kShards; ++i) {
+    std::lock_guard<std::mutex> lock(shards[i].mutex);
+    n += shards[i].spans.size();
+  }
+  return n;
+}
+
+void clear_spans() {
+  Shard* shards = all_shards();
+  for (std::size_t i = 0; i < kShards; ++i) {
+    std::lock_guard<std::mutex> lock(shards[i].mutex);
+    shards[i].spans.clear();
+  }
+}
+
+void write_chrome_trace(std::ostream& os) {
+  const std::vector<SpanRecord> spans = snapshot_spans();
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const SpanRecord& s : spans) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n{\"ph\":\"X\",\"pid\":1,\"tid\":" << s.tid << ",\"name\":\"";
+    json_escape(os, s.name);
+    os << "\",\"cat\":\"" << s.category << "\",\"ts\":" << s.wall_start_us
+       << ",\"dur\":" << s.wall_dur_us << ",\"id\":\"0x" << std::hex << s.trace_id
+       << "\",\"args\":{\"trace_id\":\"0x" << s.trace_id << "\",\"span_id\":\"0x"
+       << s.span_id << "\",\"parent_id\":\"0x" << s.parent_id << std::dec
+       << "\",\"sim_start\":" << s.sim_start << ",\"sim_end\":" << s.sim_end << "}}";
+  }
+  os << "\n]}\n";
+}
+
+bool write_chrome_trace_file(const std::string& path) {
+  std::ofstream os(path);
+  if (!os) {
+    PARDIS_LOG(kWarn, "obs") << "cannot write trace file " << path;
+    return false;
+  }
+  write_chrome_trace(os);
+  return os.good();
+}
+
+}  // namespace pardis::obs

@@ -1,0 +1,52 @@
+// Span sink and Chrome trace_event exporter.
+//
+// Completed spans land in a sharded in-memory sink; the exporter
+// renders them as Chrome trace_event "complete" events ("ph":"X") that
+// chrome://tracing and Perfetto load directly. Each event carries the
+// trace/span/parent ids and the virtual-clock interval in its args, so
+// wall-clock traces can be lined up against the paper's overlap
+// algebra.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "obs/obs.hpp"
+
+namespace pardis::obs {
+
+/// One completed span.
+struct SpanRecord {
+  ULongLong trace_id = 0;
+  ULongLong span_id = 0;
+  ULongLong parent_id = 0;  ///< 0 = root
+  std::string name;
+  const char* category = "";
+  double wall_start_us = 0.0;
+  double wall_dur_us = 0.0;
+  double sim_start = 0.0;  ///< virtual seconds at open
+  double sim_end = 0.0;    ///< virtual seconds at close
+  std::uint32_t tid = 0;
+};
+
+/// Appends one completed span (called by SpanScope::close).
+void record_span(SpanRecord&& span);
+
+/// Copy of every recorded span, across all threads (export order is by
+/// wall start).
+std::vector<SpanRecord> snapshot_spans();
+
+/// Number of spans currently held.
+std::size_t span_count() noexcept;
+
+/// Drops all recorded spans (tests and benches).
+void clear_spans();
+
+/// Writes the Chrome trace_event JSON document for every recorded span.
+void write_chrome_trace(std::ostream& os);
+
+/// write_chrome_trace to `path`; false (with a log line) on I/O error.
+bool write_chrome_trace_file(const std::string& path);
+
+}  // namespace pardis::obs

@@ -1,6 +1,8 @@
 #include "rts/collectives.hpp"
 
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
 
 namespace pardis::rts {
 
@@ -13,6 +15,12 @@ void check_root(const Communicator& comm, int root) {
 }  // namespace
 
 void barrier(Communicator& comm) {
+  // Every participating rank increments, so divide by domain width for
+  // the number of collective rounds (same for the counters below).
+  if (obs::enabled()) {
+    static obs::Counter& c = obs::metrics().counter("rts.barriers");
+    c.add(1);
+  }
   // Gather-to-0 then broadcast; O(P) messages, fine for the thread
   // counts PARDIS domains use (the paper's largest server is 10 nodes).
   const int rank = comm.rank();
@@ -29,6 +37,10 @@ void barrier(Communicator& comm) {
 
 ByteBuffer broadcast(Communicator& comm, ByteBuffer payload, int root) {
   check_root(comm, root);
+  if (obs::enabled()) {
+    static obs::Counter& c = obs::metrics().counter("rts.broadcasts");
+    c.add(1);
+  }
   const int rank = comm.rank();
   const int size = comm.size();
   if (size == 1) return payload;
@@ -44,6 +56,10 @@ ByteBuffer broadcast(Communicator& comm, ByteBuffer payload, int root) {
 
 std::vector<ByteBuffer> gather(Communicator& comm, ByteBuffer local, int root) {
   check_root(comm, root);
+  if (obs::enabled()) {
+    static obs::Counter& c = obs::metrics().counter("rts.gathers");
+    c.add(1);
+  }
   const int rank = comm.rank();
   const int size = comm.size();
   if (rank == root) {
@@ -85,6 +101,10 @@ std::vector<ByteBuffer> allgather(Communicator& comm, ByteBuffer local) {
 
 ByteBuffer scatter(Communicator& comm, std::vector<ByteBuffer> pieces, int root) {
   check_root(comm, root);
+  if (obs::enabled()) {
+    static obs::Counter& c = obs::metrics().counter("rts.scatters");
+    c.add(1);
+  }
   const int rank = comm.rank();
   const int size = comm.size();
   if (rank == root) {

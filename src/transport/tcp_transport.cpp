@@ -10,6 +10,8 @@
 #include <cstring>
 
 #include "common/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
 #include "sim/clock.hpp"
 
 namespace pardis::transport {
@@ -139,6 +141,12 @@ void TcpTransport::reader_loop(int fd) {
       PARDIS_LOG(kWarn, "tcp") << "RSR for unknown endpoint " << dst_ep << ", dropped";
       continue;  // one-way semantics: drop
     }
+    if (obs::enabled()) {
+      static obs::Counter& received = obs::metrics().counter("transport.tcp.rsr_received");
+      static obs::Counter& bytes = obs::metrics().counter("transport.tcp.bytes_received");
+      received.add(1);
+      bytes.add(kHeaderSize + payload_len);
+    }
     RsrMessage msg;
     msg.handler = handler;
     msg.sim_time = time;
@@ -199,6 +207,14 @@ std::shared_ptr<TcpTransport::Connection> TcpTransport::connect_to(const std::st
 void TcpTransport::rsr(const EndpointAddr& dst, HandlerId handler, ByteBuffer payload,
                        const std::string& src_host_model) {
   if (dst.kind != AddrKind::kTcp) throw BadParam("TcpTransport: destination is not tcp");
+  obs::SpanScope span;
+  if (obs::enabled()) {
+    if (obs::current_context().valid()) span.open("rsr:tcp", "transport");
+    static obs::Counter& sent = obs::metrics().counter("transport.tcp.rsr_sent");
+    static obs::Counter& bytes = obs::metrics().counter("transport.tcp.bytes_sent");
+    sent.add(1);
+    bytes.add(kHeaderSize + payload.size());
+  }
   double delay = 0.0;
   if (testbed_ != nullptr && !src_host_model.empty() && !dst.host_model.empty())
     delay = testbed_->link(src_host_model, dst.host_model).delay(payload.size());

@@ -1,6 +1,8 @@
 #include "transport/transport.hpp"
 
 #include "common/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
 #include "sim/clock.hpp"
 
 namespace pardis::transport {
@@ -28,6 +30,15 @@ void LocalTransport::rsr(const EndpointAddr& dst, HandlerId handler, ByteBuffer 
   }
   if (!ep || ep->closed())
     throw CommFailure("LocalTransport: no endpoint at " + dst.to_string());
+
+  obs::SpanScope span;
+  if (obs::enabled()) {
+    if (obs::current_context().valid()) span.open("rsr:local", "transport");
+    static obs::Counter& sent = obs::metrics().counter("transport.local.rsr_sent");
+    static obs::Counter& bytes = obs::metrics().counter("transport.local.bytes_sent");
+    sent.add(1);
+    bytes.add(payload.size());
+  }
 
   RsrMessage msg;
   msg.handler = handler;

@@ -15,6 +15,7 @@
 #include <string>
 
 #include "core/pardis.hpp"
+#include "core/stub_support.hpp"
 
 namespace calc_api {
 
@@ -191,7 +192,9 @@ class calc {
   explicit calc(pardis::core::BindingPtr binding) : binding_(std::move(binding)) {}
 
   POA_calc* _collocated() const {
-    return dynamic_cast<POA_calc*>(binding_->collocated_servant());
+    auto* impl = dynamic_cast<POA_calc*>(binding_->collocated_servant());
+    if (impl != nullptr) pardis::core::note_collocated_call();
+    return impl;
   }
 
   pardis::core::BindingPtr binding_;
