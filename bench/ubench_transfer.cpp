@@ -67,7 +67,7 @@ int main(int argc, char** argv) {
               "gather(s)", "speedup", "plan+encode(us)");
 
   for (std::size_t n : {std::size_t{10000}, std::size_t{100000}, std::size_t{1000000}}) {
-    for (const auto [p, q] : {std::pair{2, 4}, std::pair{4, 4}, std::pair{4, 8}}) {
+    for (const auto& [p, q] : {std::pair{2, 4}, std::pair{4, 4}, std::pair{4, 8}}) {
       dist::Distribution src = dist::Distribution::block(n, p);
       dist::Distribution dst = dist::Distribution::block(n, q);
       dist::TransferPlan plan(src, dst);

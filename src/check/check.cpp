@@ -1,0 +1,45 @@
+#include "check/check.hpp"
+
+#include <cstdlib>
+#include <mutex>
+
+namespace pardis::check {
+
+namespace detail {
+
+std::atomic<int> g_enabled_cache{-1};
+
+namespace {
+
+std::mutex g_init_mutex;
+
+bool truthy(const char* v) noexcept {
+  if (v == nullptr) return false;
+  const std::string s(v);
+  return s == "1" || s == "true" || s == "on" || s == "yes";
+}
+
+}  // namespace
+
+int init_from_env() noexcept {
+  std::lock_guard<std::mutex> lock(g_init_mutex);
+  int v = g_enabled_cache.load(std::memory_order_relaxed);
+  if (v < 0) {
+    v = truthy(std::getenv("PARDIS_CHECK")) ? 1 : 0;
+    g_enabled_cache.store(v, std::memory_order_relaxed);
+  }
+  return v;
+}
+
+}  // namespace detail
+
+void set_enabled(bool on) noexcept {
+  std::lock_guard<std::mutex> lock(detail::g_init_mutex);
+  detail::g_enabled_cache.store(on ? 1 : 0, std::memory_order_relaxed);
+}
+
+void violation(const char* where, const std::string& what) {
+  throw Violation(std::string("pardis_check: ") + where + ": " + what);
+}
+
+}  // namespace pardis::check

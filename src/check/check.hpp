@@ -1,0 +1,55 @@
+// pardis_check — the runtime SPMD-discipline verifier.
+//
+// PARDIS's correctness rests on conventions no compiler enforces: all
+// ranks of a domain issue collectives in the same order, computing
+// threads write only the distributed-sequence elements they own, user
+// messages stay out of the reserved tag space, futures resolve once,
+// POA dispatch rounds stay in lock-step. Broken discipline surfaces
+// today as a hang or a late InternalError far from the bug. This
+// module turns each convention into a located diagnostic (a
+// `check::Violation`) raised at the violating call site.
+//
+// Everything is gated on one runtime toggle — the PARDIS_CHECK
+// environment variable (1/true/on/yes), overridable with
+// set_enabled(). Disabled, every hook is a single relaxed atomic load,
+// no verification traffic is sent, and the wire format is
+// byte-identical to an unchecked build.
+#pragma once
+
+#include <atomic>
+#include <string>
+
+#include "common/error.hpp"
+
+namespace pardis::check {
+
+namespace detail {
+/// -1 = uninitialised (read PARDIS_CHECK on first use), else 0/1.
+int init_from_env() noexcept;
+extern std::atomic<int> g_enabled_cache;
+}  // namespace detail
+
+/// The master toggle. First call reads PARDIS_CHECK from the
+/// environment; afterwards it is a single relaxed load.
+inline bool enabled() noexcept {
+  const int v = detail::g_enabled_cache.load(std::memory_order_relaxed);
+  return v < 0 ? detail::init_from_env() > 0 : v > 0;
+}
+
+/// Programmatic override (tests).
+void set_enabled(bool on) noexcept;
+
+/// Raised for every discipline violation the verifier detects. Derives
+/// from SystemException (code CHECK_VIOLATION) so metaapplication
+/// boundaries that already catch SystemException keep working.
+class Violation : public SystemException {
+ public:
+  explicit Violation(const std::string& what_arg)
+      : SystemException(ErrorCode::kCheckViolation, what_arg) {}
+};
+
+/// Throws Violation with the canonical "pardis_check: <where>: <what>"
+/// message shape (so diagnostics stay greppable).
+[[noreturn]] void violation(const char* where, const std::string& what);
+
+}  // namespace pardis::check

@@ -1,0 +1,77 @@
+#include "check/collective.hpp"
+
+#include <string>
+
+#include "check/check.hpp"
+#include "common/cdr.hpp"
+
+namespace pardis::check {
+
+const char* collective_name(CollectiveKind k) noexcept {
+  switch (k) {
+    case CollectiveKind::kBarrier: return "barrier";
+    case CollectiveKind::kBroadcast: return "broadcast";
+    case CollectiveKind::kGather: return "gather";
+    case CollectiveKind::kScatter: return "scatter";
+  }
+  return "collective";
+}
+
+namespace {
+
+std::string describe(CollectiveKind k, int root, const std::string& where) {
+  return std::string(collective_name(k)) + "(root=" + std::to_string(root) + ") at " +
+         where;
+}
+
+}  // namespace
+
+void verify_collective(rts::Communicator& comm, CollectiveKind kind, int root,
+                       const char* where) {
+  const int rank = comm.rank();
+  const int size = comm.size();
+  if (size == 1) return;
+  if (rank == 0) {
+    // Collect every rank's fingerprint, compare against our own, then
+    // publish one verdict. FIFO per (src, dst, tag) keeps successive
+    // verifications from interleaving.
+    std::string diag;
+    for (int r = 1; r < size; ++r) {
+      auto msg = comm.recv(r, rts::kTagCheck);
+      CdrReader rd(msg.payload.view());
+      const auto k = static_cast<CollectiveKind>(rd.read_ulong());
+      const int rroot = rd.read_long();
+      const std::string rwhere = rd.read_string();
+      if (diag.empty() && (k != kind || rroot != root || rwhere != where))
+        diag = "collective mismatch: rank 0 entered " + describe(kind, root, where) +
+               " while rank " + std::to_string(r) + " entered " +
+               describe(k, rroot, rwhere);
+    }
+    ByteBuffer verdict;
+    {
+      CdrWriter w(verdict);
+      w.write_string(diag);
+    }
+    // Control-plane sends: verification must not advance the computing
+    // threads' modeled clocks.
+    for (int r = 1; r < size; ++r) comm.send_control(r, rts::kTagCheck, verdict.clone());
+    if (!diag.empty()) violation("collective", diag);
+  } else {
+    ByteBuffer fp;
+    {
+      CdrWriter w(fp);
+      w.write_ulong(static_cast<ULong>(kind));
+      w.write_long(root);
+      w.write_string(where);
+    }
+    comm.send_control(0, rts::kTagCheck, std::move(fp));
+    // Keep the message alive for the whole read: view() spans the
+    // payload, so a temporary here would dangle before read_string.
+    const auto verdict = comm.recv(0, rts::kTagCheck);
+    CdrReader rd(verdict.payload.view());
+    const std::string diag = rd.read_string();
+    if (!diag.empty()) violation("collective", diag);
+  }
+}
+
+}  // namespace pardis::check

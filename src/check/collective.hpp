@@ -1,0 +1,30 @@
+// Collective-ordering verification (the SPMD discipline's core rule:
+// every rank of a domain enters the same collectives in the same
+// order). Only active under check::enabled().
+#pragma once
+
+#include "rts/communicator.hpp"
+
+namespace pardis::check {
+
+/// What kind of collective a rank is entering.
+enum class CollectiveKind { kBarrier, kBroadcast, kGather, kScatter };
+
+const char* collective_name(CollectiveKind k) noexcept;
+
+/// Fingerprint exchange run on entry to every collective when the
+/// verifier is on. Each rank ships (kind, root, call site) to rank 0 on
+/// the dedicated kTagCheck channel; rank 0 compares against its own
+/// entry and sends every rank a verdict. On a mismatch all ranks throw
+/// check::Violation naming both call sites — instead of the
+/// cross-matched sends/recvs deadlocking inside the collective itself.
+///
+/// The protocol is identical for every kind, so ranks entering
+/// *different* collectives still pair up here and get diagnosed. A
+/// rank that enters no collective at all cannot be detected without
+/// timeouts; that case still blocks (in the verifier, with the other
+/// ranks parked at a known tag, which a debugger shows directly).
+void verify_collective(rts::Communicator& comm, CollectiveKind kind, int root,
+                       const char* where);
+
+}  // namespace pardis::check

@@ -47,13 +47,16 @@ class ByteBuffer {
     return storage_.data() + old;
   }
 
-  void append(std::span<const Octet> bytes) {
-    storage_.insert(storage_.end(), bytes.begin(), bytes.end());
-  }
+  void append(std::span<const Octet> bytes) { append_raw(bytes.data(), bytes.size()); }
 
+  // resize+memcpy rather than insert(end, first, last): gcc 12's
+  // -Wstringop-overflow misfires on the vector pointer-range insert
+  // when fully inlined, and this keeps every marshal TU warning-free.
   void append_raw(const void* src, std::size_t n) {
-    const auto* p = static_cast<const Octet*>(src);
-    storage_.insert(storage_.end(), p, p + n);
+    if (n == 0) return;
+    const std::size_t old = storage_.size();
+    storage_.resize(old + n);
+    std::memcpy(storage_.data() + old, src, n);
   }
 
   bool operator==(const ByteBuffer& other) const noexcept { return storage_ == other.storage_; }

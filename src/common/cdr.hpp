@@ -169,7 +169,9 @@ class CdrReader {
     if (pos_ + std::size_t{count} * sizeof(T) > data_.size())
       throw MarshalError("CDR underrun (prim seq)");
     std::vector<T> out(count);
-    std::memcpy(out.data(), data_.data() + pos_, count * sizeof(T));
+    // count == 0 must skip the memcpy: both .data() pointers may be
+    // null then, and memcpy's arguments are declared nonnull.
+    if (count != 0) std::memcpy(out.data(), data_.data() + pos_, count * sizeof(T));
     pos_ += count * sizeof(T);
     if constexpr (sizeof(T) > 1) {
       if (swap_)
@@ -188,7 +190,7 @@ class CdrReader {
     align(alignof(T));
     if (pos_ + std::size_t{count} * sizeof(T) > data_.size())
       throw MarshalError("CDR underrun (prim seq into)");
-    std::memcpy(out.data(), data_.data() + pos_, count * sizeof(T));
+    if (count != 0) std::memcpy(out.data(), data_.data() + pos_, count * sizeof(T));
     pos_ += count * sizeof(T);
     if constexpr (sizeof(T) > 1) {
       if (swap_)

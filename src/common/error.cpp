@@ -15,6 +15,7 @@ const char* error_code_name(ErrorCode code) noexcept {
     case ErrorCode::kTimeout: return "TIMEOUT";
     case ErrorCode::kBadTag: return "BAD_TAG";
     case ErrorCode::kInternal: return "INTERNAL";
+    case ErrorCode::kCheckViolation: return "CHECK_VIOLATION";
   }
   return "INVALID_CODE";
 }

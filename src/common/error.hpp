@@ -23,6 +23,7 @@ enum class ErrorCode {
   kTimeout,        ///< blocking call exceeded its deadline
   kBadTag,         ///< user message tag collides with the PARDIS reserved range
   kInternal,       ///< internal invariant violated
+  kCheckViolation, ///< SPMD-discipline violation caught by pardis_check
 };
 
 /// Human-readable name of an ErrorCode ("COMM_FAILURE", ...).

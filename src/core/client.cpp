@@ -90,10 +90,11 @@ ULongLong next_binding_id() {
 }
 
 void check_type(const ObjectRef& ref, const std::string& expected) {
-  if (!expected.empty() && ref.type_id != expected)
+  if (!expected.empty() && ref.type_id != expected) {
     PARDIS_LOG(kWarn, "client") << "binding to " << ref.name << ": object type "
                                 << ref.type_id << " != proxy type " << expected
                                 << " (operations may be rejected)";
+  }
 }
 
 void apply_collocation(Binding& b, ClientCtx& ctx, bool collective) {

@@ -11,6 +11,7 @@
 
 #include <memory>
 
+#include "check/check.hpp"
 #include "core/pending_reply.hpp"
 
 namespace pardis::core {
@@ -41,6 +42,10 @@ class Future {
   /// Stub wiring: binds this future to an in-flight invocation and the
   /// slot its decoder fills.
   void _bind(std::shared_ptr<PendingReply> pending, std::shared_ptr<T> slot) {
+    if (check::enabled() && (pending_ != nullptr || value_ != nullptr))
+      check::violation("future",
+                       "_bind on an already-bound future (futures are one-shot; "
+                       "rebinding silently drops the pending invocation)");
     pending_ = std::move(pending);
     value_ = std::move(slot);
   }
@@ -68,7 +73,13 @@ class FutureVoid {
     if (pending_) pending_->wait();
   }
 
-  void _bind(std::shared_ptr<PendingReply> pending) { pending_ = std::move(pending); }
+  void _bind(std::shared_ptr<PendingReply> pending) {
+    if (check::enabled() && pending_ != nullptr)
+      check::violation("future",
+                       "_bind on an already-bound future (futures are one-shot; "
+                       "rebinding silently drops the pending invocation)");
+    pending_ = std::move(pending);
+  }
 
   static FutureVoid ready() { return FutureVoid{}; }
 

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <vector>
 
+#include "check/check.hpp"
 #include "common/log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/obs.hpp"
@@ -56,11 +57,15 @@ Poa::Poa(Orb& orb, rts::DomainContext& dctx)
   shared_->refs.fetch_add(1, std::memory_order_relaxed);
 
   // Publish every thread's endpoint address: SPMD object references
-  // carry all of them.
+  // carry all of them. Only the coordinator writes the shared copy —
+  // it is the only reader (activate_spmd), and concurrent identical
+  // writes from every rank would still be a data race.
   auto blobs = rts::allgather(*comm_, cdr_encode(endpoint_->addr()));
-  for (int r = 0; r < size_; ++r)
-    shared_->eps[static_cast<std::size_t>(r)] =
-        cdr_decode<transport::EndpointAddr>(blobs[static_cast<std::size_t>(r)].view());
+  if (rank_ == 0) {
+    for (int r = 0; r < size_; ++r)
+      shared_->eps[static_cast<std::size_t>(r)] =
+          cdr_decode<transport::EndpointAddr>(blobs[static_cast<std::size_t>(r)].view());
+  }
   rts::barrier(*comm_);
 }
 
@@ -134,7 +139,10 @@ ObjectRef Poa::activate_single(ServantBase& servant, const std::string& name) {
   return ref;
 }
 
-void Poa::deactivate() { shared_->deactivated.store(true, std::memory_order_relaxed); }
+// release, paired with the acquire load in round(): the deactivating
+// thread's store must happen-before the server threads' teardown
+// (~Poa deletes the PoaShared holding this very flag).
+void Poa::deactivate() { shared_->deactivated.store(true, std::memory_order_release); }
 
 void Poa::drain() {
   while (auto msg = endpoint_->poll()) ingest(std::move(*msg));
@@ -321,7 +329,7 @@ int Poa::round(bool& deactivated) {
     }
     CdrWriter w(schedule);
     w.write_ulonglong(++round_serial_);
-    w.write_bool(shared_->deactivated.load(std::memory_order_relaxed));
+    w.write_bool(shared_->deactivated.load(std::memory_order_acquire));
     w.write_ulong(static_cast<ULong>(ready.size()));
     for (const Key& k : ready) {
       w.write_ulonglong(k.first);
@@ -347,6 +355,11 @@ int Poa::round(bool& deactivated) {
   // instead of as a silent hang).
   const ULongLong serial = r.read_ulonglong();
   if (rank_ != 0) {
+    if (serial != round_serial_ + 1 && check::enabled())
+      check::violation("poa", "dispatch-round skew between threads: rank " +
+                                  std::to_string(rank_) + " expected round " +
+                                  std::to_string(round_serial_ + 1) + ", coordinator sent round " +
+                                  std::to_string(serial));
     require(serial == round_serial_ + 1, "poa: dispatch-round skew between threads");
     round_serial_ = serial;
   }

@@ -21,6 +21,7 @@
 #include <span>
 #include <vector>
 
+#include "check/check.hpp"
 #include "common/cdr.hpp"
 #include "common/error.hpp"
 #include "dist/distribution.hpp"
@@ -151,6 +152,26 @@ class DSequence {
     if (owner == rank()) return local_[li];
     if (dir_ == nullptr)
       throw BadInvOrder("DSequence: remote read on a non-distributed sequence");
+    return dir_->slots[owner][li];
+  }
+
+  /// Location-transparent mutable element access. The SPMD discipline
+  /// allows writes only to elements this rank owns; a cross-rank write
+  /// works mechanically (the directory is shared memory) but races
+  /// with the owner outside collective phases, so under PARDIS_CHECK
+  /// it throws check::Violation naming both ranks. For remote *reads*
+  /// use the const overload (e.g. through std::as_const).
+  T& operator[](std::size_t global_index) {
+    const int owner = dist_.owner(global_index);
+    const std::size_t li = dist_.global_to_local(global_index);
+    if (owner == rank()) return local_[li];
+    if (check::enabled())
+      check::violation("dsequence",
+                       "cross-rank write access: rank " + std::to_string(rank()) +
+                           " touched global index " + std::to_string(global_index) +
+                           " owned by rank " + std::to_string(owner));
+    if (dir_ == nullptr)
+      throw BadInvOrder("DSequence: remote access on a non-distributed sequence");
     return dir_->slots[owner][li];
   }
 

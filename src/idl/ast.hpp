@@ -10,6 +10,14 @@
 
 namespace pardis::idl {
 
+/// Source position of a declaration (1-based; 0 = unknown). The file
+/// name lives on the Spec: includes are textually inlined before
+/// parsing, so one parse sees one logical file.
+struct Loc {
+  int line = 0;
+  int column = 0;
+};
+
 enum class BasicKind {
   kVoid,
   kBoolean,
@@ -53,8 +61,11 @@ struct Type {
 
   // struct / enum / alias
   std::string name;
+  Loc loc;  ///< where the type (or its name) was declared
   std::vector<std::pair<std::string, TypePtr>> fields;  // struct
+  std::vector<Loc> field_locs;                          // parallel to fields
   std::vector<std::string> enumerators;                 // enum
+  std::vector<Loc> enumerator_locs;                     // parallel to enumerators
   TypePtr alias_target;                                 // alias
 
   /// Follows typedef aliases to the underlying type.
@@ -71,12 +82,14 @@ struct Param {
   Dir dir = Dir::kIn;
   TypePtr type;
   std::string name;
+  Loc loc;
 };
 
 struct Operation {
   bool oneway = false;
   TypePtr ret;  ///< nullptr or void for none
   std::string name;
+  Loc loc;
   std::vector<Param> params;
 
   bool has_dist_out() const {
@@ -93,12 +106,14 @@ struct Operation {
 
 struct InterfaceDef {
   std::string name;
+  Loc loc;
   std::string base;  ///< empty when none
   std::vector<Operation> ops;
 };
 
 struct ConstDef {
   std::string name;
+  Loc loc;
   TypePtr type;
   bool is_float = false;
   long long int_value = 0;
@@ -108,6 +123,7 @@ struct ConstDef {
 
 struct TypedefDef {
   std::string name;
+  Loc loc;
   TypePtr type;  ///< the alias Type (kind kAlias)
 };
 
@@ -122,6 +138,7 @@ struct Definition {
 };
 
 struct Spec {
+  std::string file;  ///< name of the parsed (include-expanded) source
   std::vector<Definition> definitions;
 
   const InterfaceDef* find_interface(const std::string& name) const {

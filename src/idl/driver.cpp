@@ -1,0 +1,116 @@
+#include "idl/driver.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "idl/codegen.hpp"
+#include "idl/include.hpp"
+#include "idl/lint.hpp"
+#include "idl/parser.hpp"
+
+namespace pardis::idl {
+namespace {
+
+std::string stem_of(const std::string& path) {
+  const auto slash = path.find_last_of('/');
+  std::string base = slash == std::string::npos ? path : path.substr(slash + 1);
+  const auto dot = base.find_last_of('.');
+  if (dot != std::string::npos) base = base.substr(0, dot);
+  for (char& c : base)
+    if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+  return base;
+}
+
+int usage(std::ostream& err) {
+  err << "usage: pardis-idl <input.idl> [-o <output.hpp>] [--ns <namespace>]"
+         " [-I <dir>] [-hpcxx] [-pooma] [--lint] [--lint-json] [--werror]\n"
+         "  --lint       report PLxxx diagnostics (codegen needs -o as usual)\n"
+         "  --lint-json  like --lint, as a JSON array\n"
+         "  --werror     treat lint warnings as errors\n";
+  return 2;
+}
+
+}  // namespace
+
+int run(const std::vector<std::string>& args, std::ostream& out, std::ostream& err) {
+  std::string input, output, ns;
+  std::vector<std::string> include_dirs;
+  bool lint = false, lint_json = false, werror = false;
+  CodegenOptions options;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (arg == "-o") {
+      if (++i >= args.size()) return usage(err);
+      output = args[i];
+    } else if (arg == "-I") {
+      if (++i >= args.size()) return usage(err);
+      include_dirs.push_back(args[i]);
+    } else if (arg == "--ns") {
+      if (++i >= args.size()) return usage(err);
+      ns = args[i];
+    } else if (arg == "-hpcxx") {
+      options.packages.insert("HPC++");
+    } else if (arg == "-pooma") {
+      options.packages.insert("POOMA");
+    } else if (arg == "--lint") {
+      lint = true;
+    } else if (arg == "--lint-json") {
+      lint = lint_json = true;
+    } else if (arg == "--werror") {
+      werror = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      err << "unknown option '" << arg << "'\n";
+      return usage(err);
+    } else if (input.empty()) {
+      input = arg;
+    } else {
+      return usage(err);
+    }
+  }
+  if (input.empty()) return usage(err);
+  if (output.empty() && !lint) return usage(err);
+  options.ns = ns.empty() ? stem_of(input) : ns;
+
+  try {
+    const std::string source = load_idl_source(input, include_dirs);
+    Parser parser(source, input);
+    const Spec spec = parser.parse();
+
+    if (lint) {
+      const std::vector<Diagnostic> diags = run_lint(spec);
+      if (lint_json)
+        render_json(diags, out);
+      else
+        render_text(diags, out);
+      if (lint_failed(diags, werror)) return 1;
+      if (output.empty()) return 0;
+    }
+
+    const std::string code = generate_cpp(spec, options);
+    std::ofstream file(output);
+    if (!file) {
+      err << "cannot write " << output << "\n";
+      return 1;
+    }
+    file << code;
+    file.flush();
+    // A full disk or closed pipe leaves a truncated header behind;
+    // without this check the build would cache it and "succeed".
+    if (!file) {
+      err << "error writing " << output << "\n";
+      file.close();
+      std::remove(output.c_str());
+      return 1;
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    err << e.what() << "\n";
+    return 1;
+  }
+}
+
+}  // namespace pardis::idl

@@ -1,0 +1,19 @@
+// pardis-idl command-line driver, as a library function so tests can
+// exercise argument handling, lint output and exit codes without
+// spawning a process.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace pardis::idl {
+
+/// Runs the compiler with `args` (argv[1..]); diagnostics go to `err`,
+/// lint reports to `out`. Returns the process exit code: 0 on success,
+/// 1 on any compile/lint/write failure, 2 on usage errors. Every
+/// diagnostic path returns non-zero — including write failures after
+/// codegen has started.
+int run(const std::vector<std::string>& args, std::ostream& out, std::ostream& err);
+
+}  // namespace pardis::idl

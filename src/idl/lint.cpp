@@ -1,0 +1,393 @@
+#include "idl/lint.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <set>
+#include <unordered_set>
+
+namespace pardis::idl {
+
+const char* severity_name(Severity s) noexcept {
+  return s == Severity::kError ? "error" : "warning";
+}
+
+namespace {
+
+class Linter {
+ public:
+  explicit Linter(const Spec& spec) : spec_(spec) {}
+
+  std::vector<Diagnostic> run() {
+    check_unused_types();        // PL001
+    check_element_types();       // PL002
+    check_package_mappings();    // PL003
+    check_generated_collisions();// PL004
+    check_cpp_keywords();        // PL005
+    check_distribution_specs(); // PL006
+    check_empty_interfaces();    // PL007
+    check_duplicate_enumerators();// PL008
+    std::stable_sort(diags_.begin(), diags_.end(),
+                     [](const Diagnostic& a, const Diagnostic& b) {
+                       if (a.loc.line != b.loc.line) return a.loc.line < b.loc.line;
+                       if (a.loc.column != b.loc.column) return a.loc.column < b.loc.column;
+                       return a.code < b.code;
+                     });
+    return std::move(diags_);
+  }
+
+ private:
+  void add(const char* code, Severity sev, Loc loc, std::string message) {
+    diags_.push_back(Diagnostic{code, sev, spec_.file, loc, std::move(message)});
+  }
+
+  /// Marks `t` and every type it mentions as referenced.
+  void mark_used(const Type* t, std::unordered_set<const Type*>& used) {
+    if (t == nullptr || !used.insert(t).second) return;
+    mark_used(t->elem.get(), used);
+    mark_used(t->alias_target.get(), used);
+    for (const auto& [name, ft] : t->fields) mark_used(ft.get(), used);
+  }
+
+  // PL001: a typedef/struct/enum nothing reachable from an interface
+  // refers to. Dead type definitions in IDL are usually leftovers from
+  // a renamed operation — and every one still costs generated code,
+  // CdrTraits instantiations and stub-header compile time.
+  void check_unused_types() {
+    std::unordered_set<const Type*> used;
+    for (const auto& d : spec_.definitions) {
+      if (d.kind != Definition::Kind::kInterface) continue;
+      for (const auto& op : d.interface_def.ops) {
+        mark_used(op.ret.get(), used);
+        for (const auto& p : op.params) mark_used(p.type.get(), used);
+      }
+    }
+    for (const auto& d : spec_.definitions) {
+      const Type* t = nullptr;
+      const char* what = nullptr;
+      std::string name;
+      Loc loc;
+      switch (d.kind) {
+        case Definition::Kind::kTypedef:
+          t = d.typedef_def.type.get();
+          what = "typedef";
+          name = d.typedef_def.name;
+          loc = d.typedef_def.loc;
+          break;
+        case Definition::Kind::kStruct:
+          t = d.struct_or_enum.get();
+          what = "struct";
+          name = d.struct_or_enum->name;
+          loc = d.struct_or_enum->loc;
+          break;
+        case Definition::Kind::kEnum:
+          t = d.struct_or_enum.get();
+          what = "enum";
+          name = d.struct_or_enum->name;
+          loc = d.struct_or_enum->loc;
+          break;
+        default:
+          continue;
+      }
+      if (used.count(t) == 0)
+        add("PL001", Severity::kWarning, loc,
+            std::string(what) + " '" + name +
+                "' is never used by any interface operation");
+    }
+  }
+
+  /// Visits every distinct Type node in the spec once.
+  template <typename Fn>
+  void for_each_type(Fn&& fn) {
+    std::unordered_set<const Type*> seen;
+    auto walk = [&](auto&& self, const Type* t) -> void {
+      if (t == nullptr || !seen.insert(t).second) return;
+      fn(t);
+      self(self, t->elem.get());
+      self(self, t->alias_target.get());
+      for (const auto& [name, ft] : t->fields) self(self, ft.get());
+    };
+    for (const auto& d : spec_.definitions) {
+      switch (d.kind) {
+        case Definition::Kind::kTypedef: walk(walk, d.typedef_def.type.get()); break;
+        case Definition::Kind::kStruct:
+        case Definition::Kind::kEnum: walk(walk, d.struct_or_enum.get()); break;
+        case Definition::Kind::kConst: walk(walk, d.const_def.type.get()); break;
+        case Definition::Kind::kInterface:
+          for (const auto& op : d.interface_def.ops) {
+            walk(walk, op.ret.get());
+            for (const auto& p : op.params) walk(walk, p.type.get());
+          }
+          break;
+      }
+    }
+  }
+
+  // PL002: sequence/dsequence of boolean. The C++ mapping stores
+  // elements in std::vector<T> and marshals primitive runs through
+  // std::span — std::vector<bool> has neither contiguous storage nor
+  // data(), so the generated code cannot compile, and a distributed
+  // block of packed bits could not be transferred by range anyway.
+  void check_element_types() {
+    for_each_type([&](const Type* t) {
+      if (t->kind != Type::Kind::kSequence && t->kind != Type::Kind::kDSequence) return;
+      const Type* e = t->elem->resolved();
+      if (e->kind == Type::Kind::kBasic && e->basic == BasicKind::kBoolean) {
+        const char* kind =
+            t->kind == Type::Kind::kDSequence ? "dsequence" : "sequence";
+        add("PL002", Severity::kError, t->loc,
+            std::string(kind) +
+                " element type 'boolean' is not block-marshalable "
+                "(std::vector<bool> provides no contiguous storage); use octet");
+      }
+    });
+  }
+
+  // PL003: a #pragma package mapping that no generator adapter
+  // implements. Without -hpcxx/-pooma the mapping is dormant and the
+  // error only fires when someone finally builds with the package —
+  // catch it at lint time instead.
+  void check_package_mappings() {
+    for (const auto& d : spec_.definitions) {
+      if (d.kind != Definition::Kind::kTypedef) continue;
+      const Type* target = d.typedef_def.type->alias_target.get();
+      if (target == nullptr || target->kind != Type::Kind::kDSequence) continue;
+      for (const auto& m : target->mappings) {
+        const bool known = (m.package == "HPC++" && m.structure == "vector") ||
+                           (m.package == "POOMA" && m.structure == "field");
+        if (!known)
+          add("PL003", Severity::kError, d.typedef_def.loc,
+              "#pragma " + m.package + ":" + m.structure + " on typedef '" +
+                  d.typedef_def.name +
+                  "' has no package adapter (known: HPC++:vector, POOMA:field)");
+      }
+    }
+  }
+
+  struct Ident {
+    std::string name;
+    Loc loc;
+    std::string what;  ///< "interface name", "parameter", ...
+  };
+
+  std::vector<Ident> all_identifiers() const {
+    std::vector<Ident> ids;
+    for (const auto& d : spec_.definitions) {
+      switch (d.kind) {
+        case Definition::Kind::kTypedef:
+          ids.push_back({d.typedef_def.name, d.typedef_def.loc, "typedef name"});
+          break;
+        case Definition::Kind::kStruct: {
+          const Type* t = d.struct_or_enum.get();
+          ids.push_back({t->name, t->loc, "struct name"});
+          for (std::size_t i = 0; i < t->fields.size(); ++i)
+            ids.push_back({t->fields[i].first, t->field_locs[i], "struct field"});
+          break;
+        }
+        case Definition::Kind::kEnum: {
+          const Type* t = d.struct_or_enum.get();
+          ids.push_back({t->name, t->loc, "enum name"});
+          for (std::size_t i = 0; i < t->enumerators.size(); ++i)
+            ids.push_back({t->enumerators[i], t->enumerator_locs[i], "enumerator"});
+          break;
+        }
+        case Definition::Kind::kConst:
+          ids.push_back({d.const_def.name, d.const_def.loc, "constant name"});
+          break;
+        case Definition::Kind::kInterface: {
+          const InterfaceDef& i = d.interface_def;
+          ids.push_back({i.name, i.loc, "interface name"});
+          for (const auto& op : i.ops) {
+            ids.push_back({op.name, op.loc, "operation name"});
+            for (const auto& p : op.params) ids.push_back({p.name, p.loc, "parameter"});
+          }
+          break;
+        }
+      }
+    }
+    return ids;
+  }
+
+  // PL004: identifiers that land inside the generator's reserved
+  // namespace: `_`-prefixed locals/stub machinery, `POA_` skeletons,
+  // and `X_nb` / `X_var` siblings of an existing `X` (the generator
+  // emits exactly those names for X's non-blocking stub and managed
+  // pointer).
+  void check_generated_collisions() {
+    const std::vector<Ident> ids = all_identifiers();
+    std::set<std::string> toplevel;
+    for (const auto& d : spec_.definitions) {
+      switch (d.kind) {
+        case Definition::Kind::kTypedef: toplevel.insert(d.typedef_def.name); break;
+        case Definition::Kind::kStruct:
+        case Definition::Kind::kEnum: toplevel.insert(d.struct_or_enum->name); break;
+        case Definition::Kind::kConst: toplevel.insert(d.const_def.name); break;
+        case Definition::Kind::kInterface: toplevel.insert(d.interface_def.name); break;
+      }
+    }
+    for (const auto& id : ids) {
+      if (!id.name.empty() && id.name[0] == '_')
+        add("PL004", Severity::kError, id.loc,
+            id.what + " '" + id.name +
+                "' collides with generated symbols (the '_' prefix is reserved "
+                "for stub locals)");
+      else if (id.name.rfind("POA_", 0) == 0)
+        add("PL004", Severity::kError, id.loc,
+            id.what + " '" + id.name +
+                "' collides with generated symbols (the 'POA_' prefix names "
+                "skeleton classes)");
+    }
+    // X + X_var / X_nb pairs, at any top level or operation scope.
+    auto flag_sibling = [&](const Ident& id, const std::string& stem, const char* gen) {
+      add("PL004", Severity::kError, id.loc,
+          id.what + " '" + id.name + "' collides with the " + gen + " generated for '" +
+              stem + "'");
+    };
+    for (const auto& id : ids) {
+      for (const char* suffix : {"_var", "_bound", "_client_spec", "_server_spec"}) {
+        const std::string s(suffix);
+        if (id.name.size() > s.size() &&
+            id.name.compare(id.name.size() - s.size(), s.size(), s) == 0) {
+          const std::string stem = id.name.substr(0, id.name.size() - s.size());
+          if (toplevel.count(stem) != 0)
+            flag_sibling(id, stem, s == "_var" ? "managed-pointer type" : "typedef metadata");
+        }
+      }
+    }
+    for (const auto& d : spec_.definitions) {
+      if (d.kind != Definition::Kind::kInterface) continue;
+      std::set<std::string> op_names;
+      for (const auto& op : d.interface_def.ops) op_names.insert(op.name);
+      for (const auto& op : d.interface_def.ops) {
+        if (op.name.size() > 3 && op.name.compare(op.name.size() - 3, 3, "_nb") == 0 &&
+            op_names.count(op.name.substr(0, op.name.size() - 3)) != 0)
+          flag_sibling({op.name, op.loc, "operation name"},
+                       op.name.substr(0, op.name.size() - 3), "non-blocking stub");
+      }
+    }
+  }
+
+  // PL005: the IDL happily accepts `class` or `template` as an
+  // identifier; the generated header then fails to compile with an
+  // error pointing nowhere near the .idl file.
+  void check_cpp_keywords() {
+    static const std::set<std::string> kKeywords = {
+        "alignas", "alignof", "and", "and_eq", "asm", "auto", "bitand", "bitor",
+        "bool", "break", "case", "catch", "char", "char16_t", "char32_t", "char8_t",
+        "class", "co_await", "co_return", "co_yield", "compl", "concept", "const",
+        "const_cast", "consteval", "constexpr", "constinit", "continue", "decltype",
+        "default", "delete", "do", "double", "dynamic_cast", "else", "enum",
+        "explicit", "export", "extern", "false", "float", "for", "friend", "goto",
+        "if", "inline", "int", "long", "mutable", "namespace", "new", "noexcept",
+        "not", "not_eq", "nullptr", "operator", "or", "or_eq", "private",
+        "protected", "public", "register", "reinterpret_cast", "requires", "return",
+        "short", "signed", "sizeof", "static", "static_assert", "static_cast",
+        "struct", "switch", "template", "this", "thread_local", "throw", "true",
+        "try", "typedef", "typeid", "typename", "union", "unsigned", "using",
+        "virtual", "void", "volatile", "wchar_t", "while", "xor", "xor_eq"};
+    for (const auto& id : all_identifiers())
+      if (kKeywords.count(id.name) != 0)
+        add("PL005", Severity::kError, id.loc,
+            id.what + " '" + id.name +
+                "' is a reserved C++ keyword; the generated header cannot compile");
+  }
+
+  // PL006: a client-side CONCENTRATED(root) spec with root >= 1. The
+  // generator always emits the single-client mapping for operations
+  // with dsequence arguments, and a width-1 client domain makes
+  // Distribution::concentrated throw "root out of range" on every call
+  // — the transfer can never start for non-SPMD clients.
+  void check_distribution_specs() {
+    for_each_type([&](const Type* t) {
+      if (t->kind != Type::Kind::kDSequence) return;
+      if (t->client_spec.kind == dist::DistKind::kConcentrated &&
+          t->client_spec.root >= 1)
+        add("PL006", Severity::kWarning, t->loc,
+            "client-side CONCENTRATED(" + std::to_string(t->client_spec.root) +
+                ") can never transfer through the single-client mapping "
+                "(root out of range for a width-1 domain)");
+    });
+  }
+
+  // PL007: an interface with no operations (and nothing inherited)
+  // produces a proxy no client can do anything with.
+  void check_empty_interfaces() {
+    for (const auto& d : spec_.definitions) {
+      if (d.kind != Definition::Kind::kInterface) continue;
+      const InterfaceDef& i = d.interface_def;
+      if (i.ops.empty() && i.base.empty())
+        add("PL007", Severity::kWarning, i.loc,
+            "interface '" + i.name + "' declares no operations");
+    }
+  }
+
+  // PL008: the parser accepts `enum e { A, A }`; the generated C++
+  // enum class then fails to compile.
+  void check_duplicate_enumerators() {
+    for (const auto& d : spec_.definitions) {
+      if (d.kind != Definition::Kind::kEnum) continue;
+      const Type* t = d.struct_or_enum.get();
+      std::set<std::string> seen;
+      for (std::size_t i = 0; i < t->enumerators.size(); ++i)
+        if (!seen.insert(t->enumerators[i]).second)
+          add("PL008", Severity::kError, t->enumerator_locs[i],
+              "duplicate enumerator '" + t->enumerators[i] + "' in enum '" + t->name +
+                  "'");
+    }
+  }
+
+  const Spec& spec_;
+  std::vector<Diagnostic> diags_;
+};
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<Diagnostic> run_lint(const Spec& spec) { return Linter(spec).run(); }
+
+void render_text(const std::vector<Diagnostic>& diags, std::ostream& os) {
+  for (const Diagnostic& d : diags)
+    os << d.file << ":" << d.loc.line << ":" << d.loc.column << ": "
+       << severity_name(d.severity) << ": " << d.message << " [" << d.code << "]\n";
+}
+
+void render_json(const std::vector<Diagnostic>& diags, std::ostream& os) {
+  os << "[";
+  for (std::size_t i = 0; i < diags.size(); ++i) {
+    const Diagnostic& d = diags[i];
+    if (i != 0) os << ",";
+    os << "\n  {\"code\":\"" << d.code << "\",\"severity\":\"" << severity_name(d.severity)
+       << "\",\"file\":\"" << json_escape(d.file) << "\",\"line\":" << d.loc.line
+       << ",\"column\":" << d.loc.column << ",\"message\":\"" << json_escape(d.message)
+       << "\"}";
+  }
+  os << (diags.empty() ? "]\n" : "\n]\n");
+}
+
+bool lint_failed(const std::vector<Diagnostic>& diags, bool werror) noexcept {
+  for (const Diagnostic& d : diags)
+    if (d.severity == Severity::kError || werror) return true;
+  return false;
+}
+
+}  // namespace pardis::idl

@@ -1,0 +1,54 @@
+// pardis-idl --lint: static diagnostics over the parsed IDL AST.
+//
+// The parser rejects what the language forbids; the lint pass flags
+// what the language *allows* but the PARDIS runtime, the generated C++
+// or the SPMD discipline cannot honor. Every diagnostic has a stable
+// code (PLxxx), a severity, and a file:line:column location, so the
+// output is greppable and CI-diffable. `--werror` promotes warnings.
+//
+//   PL001  unused type definition (typedef/struct/enum never referenced)
+//   PL002  (d)sequence element type is not block-marshalable (boolean)
+//   PL003  #pragma package mapping names no known adapter
+//   PL004  identifier collides with the generated-symbol space
+//   PL005  identifier is a reserved C++ keyword
+//   PL006  distribution spec the transfer planner must reject at runtime
+//   PL007  interface declares no operations
+//   PL008  duplicate enumerator within one enum
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "idl/ast.hpp"
+
+namespace pardis::idl {
+
+enum class Severity { kWarning, kError };
+
+const char* severity_name(Severity s) noexcept;
+
+struct Diagnostic {
+  std::string code;  ///< stable "PLxxx" identifier
+  Severity severity = Severity::kWarning;
+  std::string file;
+  Loc loc;
+  std::string message;
+};
+
+/// Runs every lint rule over `spec`; diagnostics come back in source
+/// order (by line, then column, then code).
+std::vector<Diagnostic> run_lint(const Spec& spec);
+
+/// `file:line:col: severity: message [code]`, one per line (the
+/// gcc/clang format editors already parse).
+void render_text(const std::vector<Diagnostic>& diags, std::ostream& os);
+
+/// A JSON array of {code, severity, file, line, column, message}.
+void render_json(const std::vector<Diagnostic>& diags, std::ostream& os);
+
+/// True when `diags` should fail the run: any error, or any diagnostic
+/// at all under `werror`.
+bool lint_failed(const std::vector<Diagnostic>& diags, bool werror) noexcept;
+
+}  // namespace pardis::idl

@@ -1,90 +1,20 @@
 // pardis-idl — the PARDIS IDL compiler driver.
 //
 // Usage:
-//   pardis-idl <input.idl> -o <output.hpp> [--ns <namespace>]
-//              [-hpcxx] [-pooma]
+//   pardis-idl <input.idl> [-o <output.hpp>] [--ns <namespace>]
+//              [-I <dir>] [-hpcxx] [-pooma] [--lint] [--lint-json] [--werror]
 //
 // -hpcxx / -pooma activate the HPC++ PSTL / POOMA package mappings for
 // `#pragma`-annotated dsequence typedefs (paper §3.4, §4.3); with no
-// option the standard C++ mapping is generated.
-#include <cstdio>
-#include <fstream>
+// option the standard C++ mapping is generated. --lint runs the PLxxx
+// static diagnostics pass (see idl/lint.hpp).
 #include <iostream>
-#include <sstream>
 #include <string>
 #include <vector>
 
-#include "idl/codegen.hpp"
-#include "idl/include.hpp"
-#include "idl/parser.hpp"
-
-namespace {
-
-std::string stem_of(const std::string& path) {
-  const auto slash = path.find_last_of('/');
-  std::string base = slash == std::string::npos ? path : path.substr(slash + 1);
-  const auto dot = base.find_last_of('.');
-  if (dot != std::string::npos) base = base.substr(0, dot);
-  for (char& c : base)
-    if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
-  return base;
-}
-
-int usage(const char* argv0) {
-  std::fprintf(stderr,
-               "usage: %s <input.idl> -o <output.hpp> [--ns <namespace>]"
-               " [-I <dir>] [-hpcxx] [-pooma]\n",
-               argv0);
-  return 2;
-}
-
-}  // namespace
+#include "idl/driver.hpp"
 
 int main(int argc, char** argv) {
-  std::string input, output, ns;
-  std::vector<std::string> include_dirs;
-  pardis::idl::CodegenOptions options;
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg == "-o") {
-      if (++i >= argc) return usage(argv[0]);
-      output = argv[i];
-    } else if (arg == "-I") {
-      if (++i >= argc) return usage(argv[0]);
-      include_dirs.push_back(argv[i]);
-    } else if (arg == "--ns") {
-      if (++i >= argc) return usage(argv[0]);
-      ns = argv[i];
-    } else if (arg == "-hpcxx") {
-      options.packages.insert("HPC++");
-    } else if (arg == "-pooma") {
-      options.packages.insert("POOMA");
-    } else if (!arg.empty() && arg[0] == '-') {
-      std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
-      return usage(argv[0]);
-    } else if (input.empty()) {
-      input = arg;
-    } else {
-      return usage(argv[0]);
-    }
-  }
-  if (input.empty() || output.empty()) return usage(argv[0]);
-  options.ns = ns.empty() ? stem_of(input) : ns;
-
-  try {
-    const std::string source = pardis::idl::load_idl_source(input, include_dirs);
-    pardis::idl::Parser parser(source, input);
-    const pardis::idl::Spec spec = parser.parse();
-    const std::string code = pardis::idl::generate_cpp(spec, options);
-    std::ofstream out(output);
-    if (!out) {
-      std::fprintf(stderr, "cannot write %s\n", output.c_str());
-      return 1;
-    }
-    out << code;
-    return 0;
-  } catch (const std::exception& e) {
-    std::fprintf(stderr, "%s\n", e.what());
-    return 1;
-  }
+  std::vector<std::string> args(argv + 1, argv + argc);
+  return pardis::idl::run(args, std::cout, std::cerr);
 }

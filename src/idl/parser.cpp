@@ -57,6 +57,7 @@ void Parser::define_type(const std::string& name, TypePtr type) {
 
 Spec Parser::parse() {
   Spec spec;
+  spec.file = file_;
   std::vector<PackageMapping> pending_mappings;
   for (;;) {
     switch (cur().kind) {
@@ -234,10 +235,12 @@ TypePtr Parser::parse_type_spec(bool allow_void) {
       return t;
     }
     case Tok::kKwSequence: {
+      const Loc loc{cur().line, cur().column};
       ++pos_;
       eat(Tok::kLAngle, "sequence element type");
       auto t = std::make_shared<Type>();
       t->kind = Type::Kind::kSequence;
+      t->loc = loc;
       t->elem = parse_type_spec();
       check_marshalable_element(t->elem);
       if (accept(Tok::kComma)) t->bound = parse_const_int_expr();
@@ -245,10 +248,12 @@ TypePtr Parser::parse_type_spec(bool allow_void) {
       return t;
     }
     case Tok::kKwDSequence: {
+      const Loc loc{cur().line, cur().column};
       ++pos_;
       eat(Tok::kLAngle, "dsequence element type");
       auto t = std::make_shared<Type>();
       t->kind = Type::Kind::kDSequence;
+      t->loc = loc;
       t->elem = parse_type_spec();
       check_marshalable_element(t->elem);
       if (accept(Tok::kComma)) {
@@ -296,12 +301,13 @@ Definition Parser::parse_typedef(std::vector<PackageMapping> pending) {
   auto alias = std::make_shared<Type>();
   alias->kind = Type::Kind::kAlias;
   alias->name = name.text;
+  alias->loc = Loc{name.line, name.column};
   alias->alias_target = std::move(target);
   define_type(name.text, alias);
 
   Definition d;
   d.kind = Definition::Kind::kTypedef;
-  d.typedef_def = TypedefDef{name.text, alias};
+  d.typedef_def = TypedefDef{name.text, alias->loc, alias};
   return d;
 }
 
@@ -312,6 +318,7 @@ Definition Parser::parse_struct() {
   auto t = std::make_shared<Type>();
   t->kind = Type::Kind::kStruct;
   t->name = name.text;
+  t->loc = Loc{name.line, name.column};
   while (!accept(Tok::kRBrace)) {
     TypePtr ft = parse_type_spec();
     if (ft->is_dseq()) fail("struct members may not be distributed sequences");
@@ -320,6 +327,7 @@ Definition Parser::parse_struct() {
     for (const auto& [existing, unused] : t->fields)
       if (existing == fname.text) fail("duplicate field '" + fname.text + "'");
     t->fields.emplace_back(fname.text, std::move(ft));
+    t->field_locs.push_back(Loc{fname.line, fname.column});
   }
   eat(Tok::kSemicolon, "';' after struct");
   if (t->fields.empty()) fail("struct '" + name.text + "' has no fields");
@@ -337,9 +345,11 @@ Definition Parser::parse_enum() {
   auto t = std::make_shared<Type>();
   t->kind = Type::Kind::kEnum;
   t->name = name.text;
+  t->loc = Loc{name.line, name.column};
   do {
     const Token e = eat(Tok::kIdentifier, "enumerator");
     t->enumerators.push_back(e.text);
+    t->enumerator_locs.push_back(Loc{e.line, e.column});
   } while (accept(Tok::kComma));
   eat(Tok::kRBrace, "closing '}' of enum");
   eat(Tok::kSemicolon, "';' after enum");
@@ -357,6 +367,7 @@ Definition Parser::parse_const() {
   eat(Tok::kEquals, "'=' in constant definition");
   ConstDef c;
   c.name = name.text;
+  c.loc = Loc{name.line, name.column};
   c.type = type;
   const Type* r = type->resolved();
   if (r->kind == Type::Kind::kBasic && r->basic == BasicKind::kString) {
@@ -405,7 +416,9 @@ Operation Parser::parse_operation() {
   Operation op;
   op.oneway = accept(Tok::kKwOneway);
   op.ret = parse_type_spec(/*allow_void=*/true);
-  op.name = eat(Tok::kIdentifier, "operation name").text;
+  const Token op_name = eat(Tok::kIdentifier, "operation name");
+  op.name = op_name.text;
+  op.loc = Loc{op_name.line, op_name.column};
   eat(Tok::kLParen, "parameter list");
   if (!accept(Tok::kRParen)) {
     do {
@@ -420,7 +433,9 @@ Operation Parser::parse_operation() {
         fail("expected parameter direction (in/out/inout)");
       }
       p.type = parse_type_spec();
-      p.name = eat(Tok::kIdentifier, "parameter name").text;
+      const Token pname = eat(Tok::kIdentifier, "parameter name");
+      p.name = pname.text;
+      p.loc = Loc{pname.line, pname.column};
       for (const auto& other : op.params)
         if (other.name == p.name) fail("duplicate parameter '" + p.name + "'");
       op.params.push_back(std::move(p));
@@ -437,6 +452,7 @@ Definition Parser::parse_interface() {
   const Token name = eat(Tok::kIdentifier, "interface name");
   InterfaceDef iface;
   iface.name = name.text;
+  iface.loc = Loc{name.line, name.column};
   if (accept(Tok::kColon)) {
     const Token base = eat(Tok::kIdentifier, "base interface name");
     if (interfaces_.count(base.text) == 0)

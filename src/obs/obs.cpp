@@ -16,7 +16,9 @@ namespace pardis::obs {
 
 namespace detail {
 
-int g_enabled_cache = -1;
+// Atomic: tests flip it with set_enabled() while worker threads read
+// it through enabled(); a plain int is a data race under TSan.
+std::atomic<int> g_enabled_cache{-1};
 
 namespace {
 
@@ -37,19 +39,21 @@ void arm_atexit_flush() {
 
 int init_from_env() noexcept {
   std::lock_guard<std::mutex> lock(g_init_mutex);
-  if (g_enabled_cache < 0) {
+  int v = g_enabled_cache.load(std::memory_order_relaxed);
+  if (v < 0) {
     const bool on = truthy(std::getenv("PARDIS_OBS"));
     if (on) arm_atexit_flush();
-    g_enabled_cache = on ? 1 : 0;
+    v = on ? 1 : 0;
+    g_enabled_cache.store(v, std::memory_order_relaxed);
   }
-  return g_enabled_cache;
+  return v;
 }
 
 }  // namespace detail
 
 void set_enabled(bool on) noexcept {
   std::lock_guard<std::mutex> lock(detail::g_init_mutex);
-  detail::g_enabled_cache = on ? 1 : 0;
+  detail::g_enabled_cache.store(on ? 1 : 0, std::memory_order_relaxed);
   if (on) detail::arm_atexit_flush();
 }
 

@@ -22,6 +22,7 @@
 // and the PIOP wire format is byte-identical to the untraced layout.
 #pragma once
 
+#include <atomic>
 #include <string>
 
 #include "common/types.hpp"
@@ -31,13 +32,13 @@ namespace pardis::obs {
 namespace detail {
 /// -1 = uninitialised (read PARDIS_OBS on first use), else 0/1.
 int init_from_env() noexcept;
-extern int g_enabled_cache;  // not atomic: transitions once, monotone
+extern std::atomic<int> g_enabled_cache;
 }  // namespace detail
 
 /// The master toggle. First call reads PARDIS_OBS from the
-/// environment; afterwards it is a single load.
+/// environment; afterwards it is a single relaxed load.
 inline bool enabled() noexcept {
-  const int v = detail::g_enabled_cache;
+  const int v = detail::g_enabled_cache.load(std::memory_order_relaxed);
   return v < 0 ? detail::init_from_env() > 0 : v > 0;
 }
 

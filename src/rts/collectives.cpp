@@ -1,5 +1,7 @@
 #include "rts/collectives.hpp"
 
+#include "check/check.hpp"
+#include "check/collective.hpp"
 #include "common/error.hpp"
 #include "obs/metrics.hpp"
 #include "obs/obs.hpp"
@@ -15,6 +17,8 @@ void check_root(const Communicator& comm, int root) {
 }  // namespace
 
 void barrier(Communicator& comm) {
+  if (check::enabled())
+    check::verify_collective(comm, check::CollectiveKind::kBarrier, 0, "rts::barrier");
   // Every participating rank increments, so divide by domain width for
   // the number of collective rounds (same for the counters below).
   if (obs::enabled()) {
@@ -37,6 +41,9 @@ void barrier(Communicator& comm) {
 
 ByteBuffer broadcast(Communicator& comm, ByteBuffer payload, int root) {
   check_root(comm, root);
+  if (check::enabled())
+    check::verify_collective(comm, check::CollectiveKind::kBroadcast, root,
+                             "rts::broadcast");
   if (obs::enabled()) {
     static obs::Counter& c = obs::metrics().counter("rts.broadcasts");
     c.add(1);
@@ -56,6 +63,8 @@ ByteBuffer broadcast(Communicator& comm, ByteBuffer payload, int root) {
 
 std::vector<ByteBuffer> gather(Communicator& comm, ByteBuffer local, int root) {
   check_root(comm, root);
+  if (check::enabled())
+    check::verify_collective(comm, check::CollectiveKind::kGather, root, "rts::gather");
   if (obs::enabled()) {
     static obs::Counter& c = obs::metrics().counter("rts.gathers");
     c.add(1);
@@ -101,6 +110,8 @@ std::vector<ByteBuffer> allgather(Communicator& comm, ByteBuffer local) {
 
 ByteBuffer scatter(Communicator& comm, std::vector<ByteBuffer> pieces, int root) {
   check_root(comm, root);
+  if (check::enabled())
+    check::verify_collective(comm, check::CollectiveKind::kScatter, root, "rts::scatter");
   if (obs::enabled()) {
     static obs::Counter& c = obs::metrics().counter("rts.scatters");
     c.add(1);

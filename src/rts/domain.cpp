@@ -7,10 +7,11 @@ namespace pardis::rts {
 
 Domain::Domain(std::string name, int nthreads, const sim::HostModel* host)
     : name_(std::move(name)), host_(host), group_(nthreads, host), clocks_(nthreads) {
-  if (host_ != nullptr && nthreads > host_->max_threads)
+  if (host_ != nullptr && nthreads > host_->max_threads) {
     PARDIS_LOG(kWarn, "rts") << "domain " << name_ << " oversubscribes host "
                              << host_->name << " (" << nthreads << " > "
                              << host_->max_threads << " threads)";
+  }
 }
 
 Domain::~Domain() {

@@ -28,9 +28,18 @@ inline constexpr Tag kTagDistTransfer = kReservedTagBase + 4;
 inline constexpr Tag kTagDistRedistribute = kReservedTagBase + 5;
 inline constexpr Tag kTagPackage = kReservedTagBase + 6;  ///< mini-PSTL / mini-POOMA internals
 inline constexpr Tag kTagPoaRound = kReservedTagBase + 7;  ///< POA dispatch schedules
+inline constexpr Tag kTagCheck = kReservedTagBase + 8;  ///< pardis_check fingerprints
 
 /// True when `tag` belongs to user code.
 constexpr bool is_user_tag(Tag tag) noexcept { return tag >= 0 && tag < kReservedTagBase; }
+
+/// True when `tag` is one of the reserved tags a PARDIS subsystem
+/// actually uses. The runtime verifier flags reserved-range traffic on
+/// any other tag: it means a subsystem (or user code bypassing the
+/// validated send path) invented a tag inside the reserved space.
+constexpr bool is_known_reserved_tag(Tag tag) noexcept {
+  return tag >= kTagCollective && tag <= kTagCheck;
+}
 
 /// Throws BadTag when user code tries to send on a reserved tag.
 inline void validate_user_tag(Tag tag) {

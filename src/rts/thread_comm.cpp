@@ -1,7 +1,9 @@
 #include "rts/thread_comm.hpp"
 
 #include <algorithm>
+#include <string>
 
+#include "check/check.hpp"
 #include "common/error.hpp"
 #include "sim/clock.hpp"
 
@@ -30,6 +32,13 @@ bool ThreadCommGroup::matches(const RtsMessage& m, int source, Tag tag) const no
 
 void ThreadCommGroup::deliver(int src, int dest, Tag tag, ByteBuffer payload, bool timed) {
   if (dest < 0 || dest >= size()) throw BadParam("ThreadComm send: destination out of range");
+  // Reserved-range traffic must use one of the named protocol tags; an
+  // unknown tag up here means a subsystem invented one (or user code
+  // bypassed the validated send path).
+  if (check::enabled() && !is_user_tag(tag) && !is_known_reserved_tag(tag))
+    check::violation("tags", "send on unassigned reserved tag " + std::to_string(tag) +
+                                 " (rank " + std::to_string(src) + " -> " +
+                                 std::to_string(dest) + ")");
   RtsMessage msg;
   msg.source = src;
   msg.tag = tag;

@@ -1,0 +1,227 @@
+// pardis_check: the runtime SPMD-discipline verifier.
+//
+// The headline guarantee: discipline violations that today surface as
+// hangs (mismatched collectives) or silent data races (cross-rank
+// writes) become located check::Violation diagnostics — and with the
+// toggle off, behavior and wire bytes are exactly the unchecked
+// build's.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "check/check.hpp"
+#include "check/collective.hpp"
+#include "core/future.hpp"
+#include "core/protocol.hpp"
+#include "dist/dsequence.hpp"
+#include "rts/collectives.hpp"
+#include "rts/domain.hpp"
+
+namespace pardis {
+namespace {
+
+/// Flips the verifier on (or off) for one test and restores the
+/// default-off state on exit, so test order never matters.
+class CheckGuard {
+ public:
+  explicit CheckGuard(bool on) { check::set_enabled(on); }
+  ~CheckGuard() { check::set_enabled(false); }
+};
+
+// ---------------------------------------------------------------------------
+// Collective-ordering fingerprints
+
+TEST(CheckCollective, SkewedCollectiveIsDiagnosedNotHung) {
+  CheckGuard guard(true);
+  rts::Domain d("skew", 2);
+  try {
+    d.run([](rts::DomainContext& ctx) {
+      // Rank 0 enters a barrier while rank 1 enters a broadcast: the
+      // classic SPMD ordering bug. Unchecked, the cross-matched
+      // sends/recvs deadlock; the verifier must turn it into a
+      // diagnostic naming both call sites (the 120 s test timeout is
+      // the hang detector).
+      if (ctx.rank == 0) {
+        rts::barrier(ctx.comm);
+      } else {
+        rts::broadcast(ctx.comm, ByteBuffer{}, 0);
+      }
+    });
+    FAIL() << "expected check::Violation";
+  } catch (const check::Violation& v) {
+    const std::string msg = v.what();
+    EXPECT_NE(msg.find("collective mismatch"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("rts::barrier"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("rts::broadcast"), std::string::npos) << msg;
+  }
+}
+
+TEST(CheckCollective, RootMismatchIsDiagnosed) {
+  CheckGuard guard(true);
+  rts::Domain d("rootskew", 2);
+  try {
+    d.run([](rts::DomainContext& ctx) {
+      rts::broadcast(ctx.comm, ByteBuffer{}, ctx.rank == 0 ? 0 : 1);
+    });
+    FAIL() << "expected check::Violation";
+  } catch (const check::Violation& v) {
+    EXPECT_NE(std::string(v.what()).find("root="), std::string::npos) << v.what();
+  }
+}
+
+TEST(CheckCollective, MatchingCollectivesRunNormally) {
+  CheckGuard guard(true);
+  rts::Domain d("clean", 4);
+  d.run([](rts::DomainContext& ctx) {
+    rts::barrier(ctx.comm);
+    const int v = rts::broadcast_value<int>(ctx.comm, ctx.rank == 0 ? 42 : -1, 0);
+    EXPECT_EQ(v, 42);
+    auto all = rts::allgather_values<int>(ctx.comm, ctx.rank);
+    ASSERT_EQ(static_cast<int>(all.size()), ctx.size);
+    for (int r = 0; r < ctx.size; ++r) EXPECT_EQ(all[r], r);
+    rts::barrier(ctx.comm);
+  });
+}
+
+TEST(CheckCollective, SingleRankNeedsNoVerification) {
+  CheckGuard guard(true);
+  rts::Domain d("one", 1);
+  d.run([](rts::DomainContext& ctx) {
+    rts::barrier(ctx.comm);
+    EXPECT_EQ(rts::broadcast_value<int>(ctx.comm, 7, 0), 7);
+  });
+}
+
+// ---------------------------------------------------------------------------
+// DSequence rank-ownership tracking
+
+TEST(CheckDSequence, CrossRankWriteAccessIsFlagged) {
+  CheckGuard guard(true);
+  rts::Domain d("dseq_write", 2);
+  try {
+    d.run([](rts::DomainContext& ctx) {
+      dist::DSequence<double> seq(ctx.comm, 8);  // BLOCK: rank 0 owns [0,4)
+      if (ctx.rank == 1) seq[0] = 3.0;
+    });
+    FAIL() << "expected check::Violation";
+  } catch (const check::Violation& v) {
+    const std::string msg = v.what();
+    EXPECT_NE(msg.find("cross-rank write"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("rank 1"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("rank 0"), std::string::npos) << msg;
+  }
+}
+
+TEST(CheckDSequence, OwnedWritesAndRemoteReadsStayLegal) {
+  CheckGuard guard(true);
+  rts::Domain d("dseq_ok", 2);
+  d.run([](rts::DomainContext& ctx) {
+    dist::DSequence<double> seq(ctx.comm, 8);
+    for (std::size_t g = 0; g < 8; ++g) {
+      if (seq.is_local(g)) seq[g] = static_cast<double>(g);  // owned writes
+    }
+    rts::barrier(ctx.comm);
+    // Remote reads stay location-transparent through the const path.
+    const auto& cseq = seq;
+    for (std::size_t g = 0; g < 8; ++g) EXPECT_EQ(cseq[g], static_cast<double>(g));
+    rts::barrier(ctx.comm);
+  });
+}
+
+TEST(CheckDSequence, UncheckedCrossRankWriteStillWorksMechanically) {
+  // Toggle off: the shared-memory directory write path behaves exactly
+  // as before the verifier existed.
+  CheckGuard guard(false);
+  rts::Domain d("dseq_off", 2);
+  d.run([](rts::DomainContext& ctx) {
+    dist::DSequence<double> seq(ctx.comm, 8);
+    if (ctx.rank == 1) seq[0] = 3.0;  // rank 0's element, via the directory
+    rts::barrier(ctx.comm);
+    if (ctx.rank == 0) {
+      EXPECT_EQ(seq.local()[0], 3.0);
+    }
+    rts::barrier(ctx.comm);
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Reserved-tag policing
+
+TEST(CheckTags, UnassignedReservedTagIsFlagged) {
+  CheckGuard guard(true);
+  rts::ThreadCommGroup g(2);
+  EXPECT_THROW(g.comm(0).send_reserved(1, rts::kReservedTagBase + 100, ByteBuffer{}),
+               check::Violation);
+}
+
+TEST(CheckTags, KnownProtocolTagsPass) {
+  CheckGuard guard(true);
+  rts::ThreadCommGroup g(2);
+  g.comm(0).send_reserved(1, rts::kTagCollective, ByteBuffer{});
+  g.comm(0).send_reserved(1, rts::kTagCheck, ByteBuffer{});
+  g.comm(0).send(1, 17, ByteBuffer{});  // user tag
+  EXPECT_TRUE(g.comm(1).try_recv(0, rts::kTagCollective).has_value());
+  EXPECT_TRUE(g.comm(1).try_recv(0, rts::kTagCheck).has_value());
+  EXPECT_TRUE(g.comm(1).try_recv(0, 17).has_value());
+}
+
+TEST(CheckTags, UnassignedReservedTagAllowedWhenOff) {
+  CheckGuard guard(false);
+  rts::ThreadCommGroup g(2);
+  g.comm(0).send_reserved(1, rts::kReservedTagBase + 100, ByteBuffer{});
+  EXPECT_TRUE(g.comm(1).try_recv(0, rts::kReservedTagBase + 100).has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Future one-shot discipline
+
+TEST(CheckFuture, RebindingAResolvedFutureIsFlagged) {
+  CheckGuard guard(true);
+  auto f = core::Future<int>::ready(7);
+  EXPECT_THROW(f._bind(nullptr, std::make_shared<int>(1)), check::Violation);
+  EXPECT_EQ(f.get(), 7);  // original binding intact
+}
+
+TEST(CheckFuture, RebindingAllowedWhenOff) {
+  CheckGuard guard(false);
+  auto f = core::Future<int>::ready(7);
+  f._bind(nullptr, std::make_shared<int>(1));
+  EXPECT_EQ(f.get(), 1);
+}
+
+// ---------------------------------------------------------------------------
+// Toggle-off byte identity (the wire-format guarantee, as pinned for
+// obs): enabling the verifier adds no bytes to any PIOP header.
+
+TEST(CheckWire, RequestHeaderBytesIdenticalWithToggleOnAndOff) {
+  core::RequestHeader h;
+  h.request_id.value = 11;
+  h.binding_id = 22;
+  h.seq_no = 3;
+  h.object_id.value = 44;
+  h.operation = "solve";
+  h.client_rank = 1;
+  h.client_size = 2;
+  h.reply_to.kind = transport::AddrKind::kLocal;
+  h.reply_to.local_id = 9;
+
+  ByteBuffer off;
+  {
+    CheckGuard guard(false);
+    CdrWriter w(off);
+    h.marshal(w);
+  }
+  ByteBuffer on;
+  {
+    CheckGuard guard(true);
+    CdrWriter w(on);
+    h.marshal(w);
+  }
+  ASSERT_EQ(on.size(), off.size());
+  EXPECT_EQ(std::memcmp(on.data(), off.data(), on.size()), 0);
+}
+
+}  // namespace
+}  // namespace pardis

@@ -175,7 +175,9 @@ TEST(DSequenceTest, NestedElementTypeRoundTrips) {
     if (ctx.rank == 0) {
       for (std::size_t g = 0; g < 6; ++g) {
         EXPECT_EQ(seq.local()[g].size(), g + 1);
-        if (g > 0) EXPECT_EQ(seq.local()[g][0], static_cast<double>(g));
+        if (g > 0) {
+          EXPECT_EQ(seq.local()[g][0], static_cast<double>(g));
+        }
       }
     }
     rts::barrier(ctx.comm);

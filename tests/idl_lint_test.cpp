@@ -1,0 +1,412 @@
+// pardis-idl --lint: one test per PLxxx diagnostic code, renderer
+// golden output (text and JSON), driver exit codes, and the
+// lint-cleanliness of every committed IDL fixture.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "idl/driver.hpp"
+#include "idl/include.hpp"
+#include "idl/lint.hpp"
+#include "idl/parser.hpp"
+
+namespace pardis::idl {
+namespace {
+
+std::vector<Diagnostic> lint(const std::string& src) {
+  Parser parser(src, "test.idl");
+  const Spec spec = parser.parse();
+  return run_lint(spec);
+}
+
+bool has_code(const std::vector<Diagnostic>& diags, const std::string& code) {
+  return std::any_of(diags.begin(), diags.end(),
+                     [&](const Diagnostic& d) { return d.code == code; });
+}
+
+const Diagnostic& first(const std::vector<Diagnostic>& diags, const std::string& code) {
+  for (const Diagnostic& d : diags)
+    if (d.code == code) return d;
+  throw std::runtime_error("no diagnostic with code " + code);
+}
+
+// ---------------------------------------------------------------------------
+// PL001 — unused type definitions
+
+TEST(LintPL001, FlagsUnusedTypedefStructAndEnum) {
+  const auto diags = lint(R"(
+    typedef sequence<long> dead_rows;
+    struct dead_point { double x; };
+    enum dead_color { RED };
+    interface svc { void ping(in long x); };
+  )");
+  ASSERT_EQ(diags.size(), 3u);
+  for (const auto& d : diags) {
+    EXPECT_EQ(d.code, "PL001");
+    EXPECT_EQ(d.severity, Severity::kWarning);
+    EXPECT_GT(d.loc.line, 0);
+  }
+  EXPECT_NE(first(diags, "PL001").message.find("dead_rows"), std::string::npos);
+}
+
+TEST(LintPL001, TransitiveUseThroughTypedefAndStructCounts) {
+  const auto diags = lint(R"(
+    struct point { double x; double y; };
+    typedef sequence<point> path;
+    interface svc { void draw(in path p); };
+  )");
+  EXPECT_FALSE(has_code(diags, "PL001"));
+}
+
+TEST(LintPL001, ConstantsAreNotFlagged) {
+  // e2e.idl keeps unused consts on purpose; consts are emitted
+  // unconditionally and cost nothing downstream.
+  const auto diags = lint(R"(
+    const long UNUSED = 42;
+    interface svc { void ping(in long x); };
+  )");
+  EXPECT_TRUE(diags.empty());
+}
+
+// ---------------------------------------------------------------------------
+// PL002 — non-marshalable element types
+
+TEST(LintPL002, FlagsBooleanSequenceAndDsequence) {
+  const auto diags = lint(R"(
+    typedef sequence<boolean> bits;
+    typedef dsequence<boolean> dbits;
+    interface svc { void f(in bits a, in dbits b); };
+  )");
+  ASSERT_EQ(diags.size(), 2u);
+  for (const auto& d : diags) {
+    EXPECT_EQ(d.code, "PL002");
+    EXPECT_EQ(d.severity, Severity::kError);
+  }
+  EXPECT_NE(diags[0].message.find("boolean"), std::string::npos);
+}
+
+TEST(LintPL002, SeesThroughTypedefChains) {
+  const auto diags = lint(R"(
+    typedef boolean flag;
+    typedef sequence<flag> bits;
+    interface svc { void f(in bits a); };
+  )");
+  EXPECT_TRUE(has_code(diags, "PL002"));
+}
+
+TEST(LintPL002, VariableSizeElementsAreFine) {
+  // solvers.idl ships dsequence<sequence<double>> — must stay clean.
+  const auto diags = lint(R"(
+    typedef sequence<double> row;
+    typedef dsequence<row, BLOCK, CONCENTRATED> matrix;
+    interface svc { void solve(in matrix m); };
+  )");
+  EXPECT_TRUE(diags.empty());
+}
+
+// ---------------------------------------------------------------------------
+// PL003 — unknown package mappings
+
+TEST(LintPL003, FlagsUnknownPackageAndStructure) {
+  const auto diags = lint(R"(
+    #pragma HPC++:matrix
+    typedef dsequence<double> v;
+    interface svc { void f(in v x); };
+  )");
+  ASSERT_TRUE(has_code(diags, "PL003"));
+  const auto& d = first(diags, "PL003");
+  EXPECT_EQ(d.severity, Severity::kError);
+  EXPECT_NE(d.message.find("HPC++:matrix"), std::string::npos);
+}
+
+TEST(LintPL003, KnownMappingsPass) {
+  const auto diags = lint(R"(
+    #pragma HPC++:vector
+    #pragma POOMA:field
+    typedef dsequence<double> v;
+    interface svc { void f(in v x); };
+  )");
+  EXPECT_FALSE(has_code(diags, "PL003"));
+}
+
+// ---------------------------------------------------------------------------
+// PL004 — generated-symbol collisions
+
+TEST(LintPL004, FlagsUnderscorePrefix) {
+  const auto diags = lint(R"(
+    interface svc { void f(in long _req); };
+  )");
+  EXPECT_TRUE(has_code(diags, "PL004"));
+}
+
+TEST(LintPL004, FlagsPoaPrefix) {
+  const auto diags = lint(R"(
+    interface POA_svc { void f(in long x); };
+  )");
+  EXPECT_TRUE(has_code(diags, "PL004"));
+}
+
+TEST(LintPL004, FlagsVarSiblingOfExistingName) {
+  const auto diags = lint(R"(
+    typedef dsequence<double> vec;
+    typedef dsequence<long> vec_var;
+    interface svc { void f(in vec a, in vec_var b); };
+  )");
+  ASSERT_TRUE(has_code(diags, "PL004"));
+  EXPECT_NE(first(diags, "PL004").message.find("'vec'"), std::string::npos);
+}
+
+TEST(LintPL004, FlagsNbSiblingOperation) {
+  const auto diags = lint(R"(
+    interface svc {
+      void solve(in long x);
+      void solve_nb(in long x);
+    };
+  )");
+  ASSERT_TRUE(has_code(diags, "PL004"));
+  EXPECT_NE(first(diags, "PL004").message.find("non-blocking stub"), std::string::npos);
+}
+
+TEST(LintPL004, NbNameWithoutSiblingIsFine) {
+  const auto diags = lint(R"(
+    interface svc { void solve_nb(in long x); };
+  )");
+  EXPECT_FALSE(has_code(diags, "PL004"));
+}
+
+// ---------------------------------------------------------------------------
+// PL005 — reserved C++ keywords
+
+TEST(LintPL005, FlagsKeywordIdentifiers) {
+  const auto diags = lint(R"(
+    struct sample { long class; };
+    interface svc { void f(in sample s, in long template); };
+  )");
+  int n = 0;
+  for (const auto& d : diags)
+    if (d.code == "PL005") {
+      ++n;
+      EXPECT_EQ(d.severity, Severity::kError);
+    }
+  EXPECT_EQ(n, 2);
+}
+
+// ---------------------------------------------------------------------------
+// PL006 — distribution specs the transfer planner rejects
+
+TEST(LintPL006, FlagsClientConcentratedAwayFromRankZero) {
+  const auto diags = lint(R"(
+    typedef dsequence<double, CONCENTRATED(1), BLOCK> v;
+    interface svc { void f(in v x); };
+  )");
+  ASSERT_TRUE(has_code(diags, "PL006"));
+  EXPECT_EQ(first(diags, "PL006").severity, Severity::kWarning);
+}
+
+TEST(LintPL006, ConcentratedAtRootZeroPasses) {
+  // e2e.idl's dvec uses server-side CONCENTRATED; client root 0 is the
+  // always-valid single-client case.
+  const auto diags = lint(R"(
+    typedef dsequence<double, CONCENTRATED, BLOCK> a;
+    typedef dsequence<double, BLOCK, CONCENTRATED(1)> b;
+    interface svc { void f(in a x, in b y); };
+  )");
+  EXPECT_FALSE(has_code(diags, "PL006"));
+}
+
+// ---------------------------------------------------------------------------
+// PL007 — empty interfaces
+
+TEST(LintPL007, FlagsBaselessEmptyInterface) {
+  const auto diags = lint("interface nothing {};");
+  ASSERT_TRUE(has_code(diags, "PL007"));
+  EXPECT_EQ(first(diags, "PL007").severity, Severity::kWarning);
+}
+
+TEST(LintPL007, EmptyInterfaceWithBaseIsAMarkerType) {
+  const auto diags = lint(R"(
+    interface base { void ping(in long x); };
+    interface marker : base {};
+  )");
+  EXPECT_FALSE(has_code(diags, "PL007"));
+}
+
+// ---------------------------------------------------------------------------
+// PL008 — duplicate enumerators
+
+TEST(LintPL008, FlagsDuplicateEnumerator) {
+  const auto diags = lint(R"(
+    enum color { RED, GREEN, RED };
+    interface svc { void f(in color c); };
+  )");
+  ASSERT_TRUE(has_code(diags, "PL008"));
+  const auto& d = first(diags, "PL008");
+  EXPECT_EQ(d.severity, Severity::kError);
+  EXPECT_NE(d.message.find("'RED'"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Renderers
+
+TEST(LintRender, TextUsesGccFormat) {
+  const auto diags = lint(R"(typedef sequence<long> dead;
+interface svc { void f(in long x); };)");
+  ASSERT_EQ(diags.size(), 1u);
+  std::ostringstream os;
+  render_text(diags, os);
+  EXPECT_EQ(os.str(),
+            "test.idl:1:24: warning: typedef 'dead' is never used by any interface "
+            "operation [PL001]\n");
+}
+
+TEST(LintRender, JsonIsWellFormedAndEscaped) {
+  std::vector<Diagnostic> diags{
+      {"PL004", Severity::kError, "a \"b\".idl", Loc{3, 7}, "needs \\escaping\n"}};
+  std::ostringstream os;
+  render_json(diags, os);
+  EXPECT_EQ(os.str(),
+            "[\n  {\"code\":\"PL004\",\"severity\":\"error\",\"file\":\"a \\\"b\\\".idl\","
+            "\"line\":3,\"column\":7,\"message\":\"needs \\\\escaping\\n\"}\n]\n");
+}
+
+TEST(LintRender, EmptyJsonIsAnEmptyArray) {
+  std::ostringstream os;
+  render_json({}, os);
+  EXPECT_EQ(os.str(), "[]\n");
+}
+
+TEST(LintFailed, WarningsFailOnlyUnderWerror) {
+  std::vector<Diagnostic> warn{{"PL001", Severity::kWarning, "f", Loc{1, 1}, "m"}};
+  std::vector<Diagnostic> err{{"PL002", Severity::kError, "f", Loc{1, 1}, "m"}};
+  EXPECT_FALSE(lint_failed({}, false));
+  EXPECT_FALSE(lint_failed(warn, false));
+  EXPECT_TRUE(lint_failed(warn, true));
+  EXPECT_TRUE(lint_failed(err, false));
+}
+
+// ---------------------------------------------------------------------------
+// Committed fixtures: the dirty fixture produces every code with
+// locations; every shipped example/bench IDL stays lint-clean.
+
+std::string fixture_dir() { return std::string(PARDIS_TEST_IDL_DIR); }
+
+TEST(LintFixtures, DirtyFixtureReportsAllEightCodes) {
+  std::ostringstream out, err;
+  const int rc = run({fixture_dir() + "/lint_fixture.idl", "--lint"}, out, err);
+  EXPECT_EQ(rc, 1);  // errors present
+  const std::string text = out.str();
+  for (const char* code :
+       {"[PL001]", "[PL002]", "[PL003]", "[PL004]", "[PL005]", "[PL006]", "[PL007]",
+        "[PL008]"})
+    EXPECT_NE(text.find(code), std::string::npos) << "missing " << code << "\n" << text;
+  // Spot-check golden locations (file:line:col against the committed
+  // fixture).
+  EXPECT_NE(text.find("lint_fixture.idl:5:26: error: duplicate enumerator 'RED'"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("lint_fixture.idl:24:24: error: parameter 'template'"),
+            std::string::npos)
+      << text;
+}
+
+TEST(LintFixtures, DirtyFixtureJsonListsAllEightCodes) {
+  std::ostringstream out, err;
+  const int rc = run({fixture_dir() + "/lint_fixture.idl", "--lint-json"}, out, err);
+  EXPECT_EQ(rc, 1);
+  const std::string json = out.str();
+  EXPECT_EQ(json.front(), '[');
+  for (const char* code : {"\"PL001\"", "\"PL002\"", "\"PL003\"", "\"PL004\"",
+                           "\"PL005\"", "\"PL006\"", "\"PL007\"", "\"PL008\""})
+    EXPECT_NE(json.find(code), std::string::npos) << "missing " << code << "\n" << json;
+  EXPECT_NE(json.find("\"line\":5"), std::string::npos);
+}
+
+TEST(LintFixtures, ShippedIdlStaysLintClean) {
+  const std::string root = std::string(PARDIS_SOURCE_DIR);
+  for (const char* rel :
+       {"examples/idl/quickstart.idl", "examples/idl/solvers.idl",
+        "examples/idl/dna.idl", "examples/idl/pipeline.idl", "tests/idl/e2e.idl"}) {
+    std::ostringstream out, err;
+    const int rc = run({root + "/" + rel, "--lint", "--werror"}, out, err);
+    EXPECT_EQ(rc, 0) << rel << " is not lint-clean:\n" << out.str() << err.str();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Driver exit codes
+
+std::string write_temp_idl(const std::string& name, const std::string& body) {
+  const std::string path = testing::TempDir() + name;
+  std::ofstream f(path);
+  f << body;
+  return path;
+}
+
+TEST(LintDriver, WarningsExitZeroWithoutWerror) {
+  const auto path = write_temp_idl("warn_only.idl", R"(
+    typedef sequence<long> dead;
+    interface svc { void f(in long x); };
+  )");
+  std::ostringstream out, err;
+  EXPECT_EQ(run({path, "--lint"}, out, err), 0);
+  EXPECT_NE(out.str().find("[PL001]"), std::string::npos);
+  std::ostringstream out2, err2;
+  EXPECT_EQ(run({path, "--lint", "--werror"}, out2, err2), 1);
+}
+
+TEST(LintDriver, LintPassesThenCodegenRunsWhenOutputGiven) {
+  const auto path = write_temp_idl("clean.idl", "interface svc { void f(in long x); };");
+  const std::string out_path = testing::TempDir() + "clean_gen.hpp";
+  std::ostringstream out, err;
+  ASSERT_EQ(run({path, "--lint", "-o", out_path}, out, err), 0) << err.str();
+  std::ifstream gen(out_path);
+  ASSERT_TRUE(gen.good());
+  std::stringstream code;
+  code << gen.rdbuf();
+  EXPECT_NE(code.str().find("class svc"), std::string::npos);
+  std::remove(out_path.c_str());
+}
+
+TEST(LintDriver, UsageErrorsExitTwo) {
+  std::ostringstream out, err;
+  EXPECT_EQ(run({}, out, err), 2);
+  EXPECT_EQ(run({"--bogus-flag"}, out, err), 2);
+  EXPECT_EQ(run({"input.idl"}, out, err), 2);  // no -o and no --lint
+}
+
+TEST(LintDriver, ParseErrorsExitNonZero) {
+  const auto path = write_temp_idl("broken.idl", "interface svc { void f(in long x) }");
+  std::ostringstream out, err;
+  EXPECT_EQ(run({path, "-o", testing::TempDir() + "broken.hpp"}, out, err), 1);
+  EXPECT_FALSE(err.str().empty());
+}
+
+TEST(LintDriver, UnopenableOutputExitsNonZero) {
+  // -o pointing at a directory: the ofstream never opens, which must
+  // be reported and exit 1 (the open-failure half of the exit-0 bug;
+  // the post-write half is covered by the /dev/full test below).
+  const auto path = write_temp_idl("ok_dir.idl", "interface svc { void f(in long x); };");
+  std::ostringstream out, err;
+  EXPECT_EQ(run({path, "-o", testing::TempDir()}, out, err), 1);
+  EXPECT_NE(err.str().find("cannot write"), std::string::npos);
+}
+
+TEST(LintDriver, WriteFailureAfterCodegenExitsNonZero) {
+  // Regression: a full disk used to leave a truncated header AND exit
+  // 0, so the build cached the bad output. /dev/full fails every
+  // write with ENOSPC.
+  std::ifstream dev_full("/dev/full");
+  if (!dev_full.good()) GTEST_SKIP() << "/dev/full not available";
+  const auto path = write_temp_idl("ok.idl", "interface svc { void f(in long x); };");
+  std::ostringstream out, err;
+  EXPECT_EQ(run({path, "-o", "/dev/full"}, out, err), 1);
+  EXPECT_NE(err.str().find("error writing"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pardis::idl
