@@ -1,11 +1,23 @@
 #include "core/client.hpp"
 
+#include <cstdlib>
+
 #include "common/log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/obs.hpp"
 #include "rts/collectives.hpp"
 
 namespace pardis::core {
+
+std::chrono::milliseconds default_invocation_deadline() {
+  static const std::chrono::milliseconds cached = [] {
+    const char* v = std::getenv("PARDIS_FT_DEADLINE_MS");
+    if (v == nullptr) return std::chrono::milliseconds(0);
+    const long ms = std::strtol(v, nullptr, 10);
+    return std::chrono::milliseconds(ms > 0 ? ms : 0);
+  }();
+  return cached;
+}
 
 ClientCtx::ClientCtx(Orb& orb, rts::DomainContext& dctx)
     : orb_(&orb),
@@ -40,10 +52,12 @@ void ClientCtx::flush_sends() {
 }
 
 void ClientCtx::pump() {
+  harvest_send_failures();
   while (auto msg = endpoint_->poll()) route(std::move(*msg));
 }
 
 bool ClientCtx::pump_blocking(std::chrono::milliseconds timeout) {
+  harvest_send_failures();
   auto msg = endpoint_->wait_for(timeout);
   if (!msg) return false;
   route(std::move(*msg));
@@ -51,7 +65,55 @@ bool ClientCtx::pump_blocking(std::chrono::milliseconds timeout) {
   return true;
 }
 
+void ClientCtx::harvest_send_failures() {
+  if (sender_ == nullptr) return;
+  for (auto& f : sender_->take_failures()) fail_peer(f.dst, f.message);
+}
+
+void ClientCtx::fail_peer(const transport::EndpointAddr& peer, const std::string& why) {
+  PARDIS_LOG(kWarn, "client") << "peer " << peer.to_string() << " marked dead: " << why;
+  if (obs::enabled()) {
+    static obs::Counter& failed = obs::metrics().counter("ft.peers_failed");
+    failed.add(1);
+  }
+  for (auto it = pending_.begin(); it != pending_.end();) {
+    auto pending = it->second.lock();
+    if (!pending) {
+      it = pending_.erase(it);
+      continue;
+    }
+    bool bound = false;
+    for (const auto& ep : pending->peers())
+      if (ep == peer) {
+        bound = true;
+        break;
+      }
+    if (bound) {
+      pending->fail(ErrorCode::kCommFailure,
+                    "peer " + peer.to_string() + " unreachable: " + why);
+      it = pending_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void ClientCtx::probe_peers(PendingReply& pending) {
+  for (const auto& peer : pending.peers()) {
+    try {
+      obs::SpanScope span;
+      if (obs::enabled() && obs::current_context().valid())
+        span.open("ft:probe", "client");
+      orb_->transport().rsr(peer, transport::kHandlerPing, ByteBuffer(), host_model_);
+    } catch (const SystemException& e) {
+      fail_peer(peer, e.what());
+      if (pending.complete()) return;
+    }
+  }
+}
+
 void ClientCtx::route(transport::RsrMessage&& msg) {
+  if (msg.handler == transport::kHandlerPing) return;  // liveness probe, no payload
   if (msg.handler != transport::kHandlerOrbReply) {
     PARDIS_LOG(kWarn, "client") << "unexpected RSR handler " << msg.handler << ", dropped";
     return;
@@ -190,7 +252,8 @@ int ClientRequest::my_client_rank() const noexcept {
   return binding_->collective() ? binding_->ctx().rank() : 0;
 }
 
-std::shared_ptr<PendingReply> ClientRequest::invoke() {
+std::shared_ptr<PendingReply> ClientRequest::invoke(int attempt) {
+  if (attempt < 1) throw BadParam("ClientRequest::invoke: attempt must be >= 1");
   ClientCtx& ctx = binding_->ctx();
   const ObjectRef& ref = binding_->ref();
 
@@ -200,10 +263,18 @@ std::shared_ptr<PendingReply> ClientRequest::invoke() {
   obs::SpanScope span;
   if (obs::enabled()) span.open("invoke:" + operation_, "client");
 
+  if (attempt == 1) {
+    issued_id_ = RequestId::next();
+    issued_seq_ = binding_->take_seq();
+  }
+  // A re-send keeps the first attempt's identity: the POA deduplicates
+  // bodies it already assembled and replays the sequence number when
+  // needed, so a partially-delivered request matrix is completed
+  // rather than torn by fresh ids.
   RequestHeader h;
-  h.request_id = RequestId::next();
+  h.request_id = issued_id_;
   h.binding_id = binding_->id();
-  h.seq_no = binding_->take_seq();
+  h.seq_no = issued_seq_;
   h.object_id = ref.object_id;
   h.operation = operation_;
   h.flags = static_cast<Octet>((oneway_ ? kFlagOneway : 0) |
@@ -212,6 +283,8 @@ std::shared_ptr<PendingReply> ClientRequest::invoke() {
   h.client_size = binding_->collective() ? ctx.size() : 1;
   h.reply_to = ctx.endpoint().addr();
   h.trace = span.context();
+  h.deadline_ms = static_cast<ULong>(binding_->deadline().count());
+  h.attempt = static_cast<ULong>(attempt - 1);
 
   std::uint64_t bytes_out = 0;
   for (int q = 0; q < server_size(); ++q) {
@@ -237,6 +310,8 @@ std::shared_ptr<PendingReply> ClientRequest::invoke() {
   const int expected = has_dist_out_ ? server_size() : 1;
   auto pending = std::make_shared<PendingReply>(ctx, h.request_id, expected);
   pending->set_trace(h.trace, operation_);
+  pending->set_peers(ref.thread_eps);
+  pending->set_deadline(binding_->deadline());
   ctx.track(pending);
   return pending;
 }

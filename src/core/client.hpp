@@ -16,6 +16,11 @@
 
 namespace pardis::core {
 
+/// Process-wide default invocation deadline, read once from
+/// PARDIS_FT_DEADLINE_MS; zero (no deadline) when unset. New bindings
+/// start from this value (Binding::set_deadline overrides per binding).
+std::chrono::milliseconds default_invocation_deadline();
+
 /// Per-computing-thread client state: the reply endpoint and the table
 /// of in-flight invocations. One per thread of a parallel client; one
 /// total for a standalone (single) client.
@@ -62,8 +67,21 @@ class ClientCtx {
   void track(const std::shared_ptr<PendingReply>& pending);
   void untrack(RequestId id);
 
+  /// Marks `peer` dead: fails every pending invocation bound to it
+  /// with CommFailure so its futures throw instead of blocking.
+  void fail_peer(const transport::EndpointAddr& peer, const std::string& why);
+
+  /// Sends a liveness probe (kHandlerPing) to every peer `pending`
+  /// depends on; a failed probe marks the peer dead. Called by
+  /// PendingReply when a blocking pump window elapses with nothing
+  /// delivered — the happy path never probes.
+  void probe_peers(PendingReply& pending);
+
  private:
   void route(transport::RsrMessage&& msg);
+  /// Fails the peers of any asynchronous sends the communication
+  /// thread reported as failed since the last pump.
+  void harvest_send_failures();
 
   Orb* orb_;
   rts::Communicator* comm_;
@@ -91,6 +109,13 @@ class Binding {
   ULongLong id() const noexcept { return id_; }
   ULong take_seq() noexcept { return next_seq_++; }
 
+  /// Per-invocation time budget applied to every invocation through
+  /// this binding; zero (the default unless PARDIS_FT_DEADLINE_MS is
+  /// set) means no deadline. Carried on the wire (kFlagDeadline) and
+  /// enforced on both sides.
+  void set_deadline(std::chrono::milliseconds budget) noexcept { deadline_ = budget; }
+  std::chrono::milliseconds deadline() const noexcept { return deadline_; }
+
   /// Non-null when the collocation bypass applies: the servant for
   /// this thread, to be called directly (paper §4.1: "invocation on a
   /// local object becomes a direct call to the object, bypassing the
@@ -104,6 +129,7 @@ class Binding {
   bool collective_;
   ULongLong id_;
   ULong next_seq_ = 0;
+  std::chrono::milliseconds deadline_ = default_invocation_deadline();
   ServantBase* collocated_ = nullptr;
 };
 
@@ -196,7 +222,14 @@ class ClientRequest {
 
   /// Sends one request message per server thread. Returns the pending
   /// reply to hang futures on (nullptr for oneway operations).
-  std::shared_ptr<PendingReply> invoke();
+  ///
+  /// `attempt` >= 2 re-sends the same request (same request_id and
+  /// seq_no, kFlagRetry on the wire) for the coordinated retry of an
+  /// idempotent operation: the marshaled bodies are reusable, the POA
+  /// deduplicates bodies it already has, and a replayed dispatch is
+  /// explicitly allowed for retry-flagged sequence numbers — so a
+  /// partially-sent P×Q matrix is completed, never torn.
+  std::shared_ptr<PendingReply> invoke(int attempt = 1);
 
  private:
   int my_client_rank() const noexcept;
@@ -208,6 +241,8 @@ class ClientRequest {
   std::vector<ByteBuffer> bodies_;
   std::vector<CdrWriter> writers_;
   std::size_t next_dseq_index_ = 0;
+  RequestId issued_id_;
+  ULong issued_seq_ = 0;
 };
 
 }  // namespace pardis::core

@@ -1,5 +1,7 @@
 #include "core/comm_thread.hpp"
 
+#include <utility>
+
 #include "common/log.hpp"
 
 namespace pardis::core {
@@ -34,6 +36,13 @@ void CommSender::flush() {
   cv_.wait(lock, [this] { return in_flight_ == 0 || stopping_; });
 }
 
+std::vector<CommSender::SendFailure> CommSender::take_failures() {
+  if (!has_failures_.load(std::memory_order_acquire)) return {};
+  std::lock_guard<std::mutex> lock(mutex_);
+  has_failures_.store(false, std::memory_order_release);
+  return std::exchange(failures_, {});
+}
+
 double CommSender::sim_time() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return clock_.now();
@@ -57,6 +66,9 @@ void CommSender::run() {
       transport_->rsr(item.dst, item.handler, std::move(item.payload), host_model_);
     } catch (const SystemException& e) {
       PARDIS_LOG(kWarn, "comm-thread") << "async send failed: " << e.what();
+      std::lock_guard<std::mutex> lock(mutex_);
+      failures_.push_back(SendFailure{item.dst, e.what()});
+      has_failures_.store(true, std::memory_order_release);
     }
     {
       std::lock_guard<std::mutex> lock(mutex_);

@@ -14,10 +14,13 @@
 // timestamp before charging the transfer.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <deque>
 #include <mutex>
+#include <string>
 #include <thread>
+#include <vector>
 
 #include "sim/clock.hpp"
 #include "transport/transport.hpp"
@@ -43,6 +46,19 @@ class CommSender {
   /// Blocks (real time) until everything enqueued so far was sent.
   void flush();
 
+  /// One failed asynchronous send. The computing thread already moved
+  /// on when the failure surfaced, so it is recorded here and drained
+  /// by the owning client context on its next pump, which then fails
+  /// every pending invocation bound to the unreachable peer.
+  struct SendFailure {
+    transport::EndpointAddr dst;
+    std::string message;
+  };
+
+  /// Drains the recorded send failures (a relaxed flag keeps the
+  /// nothing-failed path lock-free).
+  std::vector<SendFailure> take_failures();
+
   /// The communication thread's virtual clock (diagnostics).
   double sim_time() const;
 
@@ -61,6 +77,8 @@ class CommSender {
   mutable std::mutex mutex_;
   std::condition_variable cv_;
   std::deque<Item> queue_;
+  std::vector<SendFailure> failures_;
+  std::atomic<bool> has_failures_{false};
   bool stopping_ = false;
   std::size_t in_flight_ = 0;
   sim::SimClock clock_;

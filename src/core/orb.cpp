@@ -1,5 +1,6 @@
 #include "core/orb.hpp"
 
+#include <cstdlib>
 #include <thread>
 
 #include "common/error.hpp"
@@ -8,6 +9,18 @@
 #include "obs/obs.hpp"
 
 namespace pardis::core {
+
+OrbConfig OrbConfig::from_env() {
+  static const OrbConfig cached = [] {
+    OrbConfig c;
+    if (const char* v = std::getenv("PARDIS_RESOLVE_TIMEOUT_MS")) {
+      const long ms = std::strtol(v, nullptr, 10);
+      if (ms >= 0) c.resolve_timeout = std::chrono::milliseconds(ms);
+    }
+    return c;
+  }();
+  return cached;
+}
 
 Orb::~Orb() {
   if (obs::enabled()) obs::flush_exports();
@@ -20,6 +33,7 @@ ObjectRef Orb::resolve(const std::string& name, const std::string& host,
     resolves.add(1);
   }
   if (auto ref = registry_->lookup(name, host)) return *ref;
+  if (timeout.count() < 0) timeout = config_.resolve_timeout;
 
   bool activating = false;
   if (activator_) {
@@ -30,11 +44,18 @@ ObjectRef Orb::resolve(const std::string& name, const std::string& host,
   if (activating) {
     // The activation agent starts the server asynchronously; poll the
     // registry until the object registers itself or we give up.
-    const auto deadline = std::chrono::steady_clock::now() + timeout;
+    const auto start = std::chrono::steady_clock::now();
+    const auto deadline = start + timeout;
     while (std::chrono::steady_clock::now() < deadline) {
       if (auto ref = registry_->lookup(name, host)) return *ref;
       std::this_thread::sleep_for(std::chrono::milliseconds(1));
     }
+    const auto waited = std::chrono::duration_cast<std::chrono::milliseconds>(
+        std::chrono::steady_clock::now() - start);
+    throw ObjectNotExist("no object named '" + name + "' on host '" + host +
+                         "': activation started but the object did not register within " +
+                         std::to_string(waited.count()) +
+                         " ms (PARDIS_RESOLVE_TIMEOUT_MS raises the limit)");
   }
   throw ObjectNotExist("no object named '" + name + "' on host '" + host + "'");
 }

@@ -22,11 +22,23 @@ namespace pardis::core {
 
 class ServantBase;
 
+/// Process-wide ORB tunables.
+struct OrbConfig {
+  /// How long resolve() polls the registry for an activation to
+  /// complete before throwing ObjectNotExist.
+  std::chrono::milliseconds resolve_timeout{5000};
+
+  /// Defaults overridden by the environment: PARDIS_RESOLVE_TIMEOUT_MS
+  /// (read once per process).
+  static OrbConfig from_env();
+};
+
 class Orb {
  public:
   /// `transport` and `registry` are unowned and must outlive the Orb.
-  Orb(transport::Transport& transport, ObjectRegistry& registry)
-      : transport_(&transport), registry_(&registry) {}
+  Orb(transport::Transport& transport, ObjectRegistry& registry,
+      OrbConfig config = OrbConfig::from_env())
+      : transport_(&transport), registry_(&registry), config_(config) {}
 
   /// Flushes any pending observability exports (trace/metrics files) so
   /// short-lived processes get their dumps even before atexit runs.
@@ -44,10 +56,13 @@ class Orb {
   using Activator = std::function<bool(const std::string& name, const std::string& host)>;
   void set_activator(Activator activator) { activator_ = std::move(activator); }
 
+  const OrbConfig& config() const noexcept { return config_; }
+
   /// Locates (and if needed activates) the named object. Throws
-  /// ObjectNotExist after `timeout` of activation polling.
+  /// ObjectNotExist after `timeout` of activation polling; the default
+  /// (-1 sentinel) uses config().resolve_timeout.
   ObjectRef resolve(const std::string& name, const std::string& host,
-                    std::chrono::milliseconds timeout = std::chrono::milliseconds(5000));
+                    std::chrono::milliseconds timeout = std::chrono::milliseconds(-1));
 
   // --- collocation support ---------------------------------------------
 
@@ -71,6 +86,7 @@ class Orb {
  private:
   transport::Transport* transport_;
   ObjectRegistry* registry_;
+  OrbConfig config_;
   Activator activator_;
   mutable std::mutex mutex_;
   std::map<ObjectId, CollocatedEntry> servants_;

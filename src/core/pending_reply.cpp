@@ -1,5 +1,7 @@
 #include "core/pending_reply.hpp"
 
+#include <algorithm>
+
 #include "core/client.hpp"
 #include "obs/metrics.hpp"
 #include "obs/obs.hpp"
@@ -7,10 +9,39 @@
 namespace pardis::core {
 
 void PendingReply::set_trace(const obs::TraceContext& trace, const std::string& operation) {
+  operation_ = operation;
   if (!trace.valid()) return;
   trace_ = trace;
-  operation_ = operation;
   issue_wall_us_ = obs::wall_now_us();
+}
+
+void PendingReply::set_deadline(std::chrono::milliseconds budget) {
+  if (budget.count() <= 0) return;
+  deadline_budget_ = budget;
+  deadline_ = std::chrono::steady_clock::now() + budget;
+  has_deadline_ = true;
+}
+
+void PendingReply::fail(ErrorCode code, std::string message) {
+  if (complete()) return;  // first outcome wins
+  failed_ = std::make_pair(code, std::move(message));
+  if (obs::enabled()) {
+    static obs::Counter& failed = obs::metrics().counter("ft.futures_failed");
+    failed.add(1);
+  }
+}
+
+bool PendingReply::deadline_expired() {
+  if (!has_deadline_ || complete()) return failed_.has_value();
+  if (std::chrono::steady_clock::now() < deadline_) return false;
+  if (obs::enabled()) {
+    static obs::Counter& expired = obs::metrics().counter("ft.deadlines_expired");
+    expired.add(1);
+  }
+  fail(ErrorCode::kTimeout,
+       "deadline of " + std::to_string(deadline_budget_.count()) +
+           " ms expired waiting for '" + operation_ + "'");
+  return true;
 }
 
 PendingReply::PendingReply(ClientCtx& ctx, RequestId id, int expected)
@@ -22,15 +53,25 @@ PendingReply::PendingReply(ClientCtx& ctx, RequestId id, int expected)
 PendingReply::~PendingReply() = default;
 
 void PendingReply::deliver(const ReplyHeader& header, bool little, ByteBuffer body) {
+  if (failed_) return;  // locally failed; late replies are moot
   if (header.status != ReplyStatus::kOk) {
     if (!error_) error_ = header;  // first error wins; later bodies are moot
     return;
   }
+  // One body per server rank: an injected duplicate or a replayed
+  // idempotent dispatch must not double-count toward `expected_`.
+  for (const auto& b : bodies_)
+    if (b.server_rank == header.server_rank) return;
   bodies_.push_back(RawBody{header.server_rank, little, std::move(body)});
   ++received_;
 }
 
 void PendingReply::finish() {
+  if (failed_) {
+    // A locally detected failure (deadline, dead peer): surface it on
+    // every future touch, like a server error reply.
+    throw_error_code(failed_->first, failed_->second);
+  }
   if (error_) {
     // Decoding never ran; surface the server's exception every time
     // the caller touches a future of this invocation.
@@ -65,14 +106,28 @@ void PendingReply::finish() {
 
 bool PendingReply::resolved() {
   if (!complete()) ctx_->pump();
-  if (!complete()) return false;
+  if (!complete() && !deadline_expired()) return false;
   finish();
   return true;
 }
 
 void PendingReply::wait() {
   while (!complete()) {
-    ctx_->pump_blocking(std::chrono::milliseconds(100));
+    if (deadline_expired()) break;
+    auto timeout = std::chrono::milliseconds(100);
+    if (has_deadline_) {
+      // Never oversleep the deadline; +1 ms so the re-check after the
+      // wake sees it as expired.
+      const auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
+                                 deadline_ - std::chrono::steady_clock::now()) +
+                             std::chrono::milliseconds(1);
+      if (remaining < timeout) timeout = std::max(remaining, std::chrono::milliseconds(1));
+    }
+    if (!ctx_->pump_blocking(timeout) && !complete()) {
+      // Nothing arrived in a whole window: make sure the peers this
+      // invocation depends on are still reachable.
+      ctx_->probe_peers(*this);
+    }
   }
   finish();
 }

@@ -1,9 +1,12 @@
 // Client-side record of one in-flight invocation.
 #pragma once
 
+#include <chrono>
 #include <functional>
 #include <memory>
 #include <optional>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "core/protocol.hpp"
@@ -73,10 +76,31 @@ class PendingReply {
     decoder_ = std::move(decoder);
   }
 
-  /// Observability wiring (set by ClientRequest::invoke when tracing is
-  /// on): the invocation span this reply resolves under, and the
-  /// operation name for the resolve span.
+  /// Observability wiring (set by ClientRequest::invoke): the
+  /// invocation span this reply resolves under, and the operation name
+  /// for the resolve span and failure messages.
   void set_trace(const obs::TraceContext& trace, const std::string& operation);
+
+  /// Invocation time budget, measured from this call: wait() and
+  /// resolved() move the reply to the terminal failed state (kTimeout)
+  /// once it elapses instead of blocking forever.
+  void set_deadline(std::chrono::milliseconds budget);
+
+  /// The server endpoints this invocation depends on. When a blocking
+  /// wait times out with nothing delivered, the client engine probes
+  /// them and fails the reply if one is unreachable (broken futures
+  /// instead of a hang).
+  void set_peers(std::vector<transport::EndpointAddr> peers) {
+    peers_ = std::move(peers);
+  }
+  const std::vector<transport::EndpointAddr>& peers() const noexcept { return peers_; }
+
+  /// Terminal local failure (expired deadline, severed peer, failed
+  /// send): every future of this invocation then throws the matching
+  /// typed exception. The first failure — local or a delivered error
+  /// reply — wins; later calls are ignored.
+  void fail(ErrorCode code, std::string message);
+  bool failed() const noexcept { return failed_.has_value(); }
 
   /// Non-blocking: pumps the client engine; true once complete (the
   /// decoder has run). Throws the server's exception on failure.
@@ -85,12 +109,18 @@ class PendingReply {
   /// Blocking completion.
   void wait();
 
-  /// Engine delivery path.
+  /// Engine delivery path. Duplicate replies (an injected duplicate or
+  /// a replayed idempotent dispatch) are dropped by server rank.
   void deliver(const ReplyHeader& header, bool little, ByteBuffer body);
-  bool complete() const noexcept { return error_.has_value() || received_ >= expected_; }
+  bool complete() const noexcept {
+    return failed_.has_value() || error_.has_value() || received_ >= expected_;
+  }
 
  private:
   void finish();
+  /// Fails the reply with kTimeout once the deadline passed; returns
+  /// true when the reply is (now) failed.
+  bool deadline_expired();
 
   ClientCtx* ctx_;
   RequestId id_;
@@ -103,6 +133,11 @@ class PendingReply {
   };
   std::vector<RawBody> bodies_;
   std::optional<ReplyHeader> error_;
+  std::optional<std::pair<ErrorCode, std::string>> failed_;
+  std::vector<transport::EndpointAddr> peers_;
+  std::chrono::steady_clock::time_point deadline_{};
+  std::chrono::milliseconds deadline_budget_{0};
+  bool has_deadline_ = false;
   std::function<void(ReplyDecoder&)> decoder_;
   bool decoded_ = false;
   obs::TraceContext trace_;

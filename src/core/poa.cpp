@@ -149,6 +149,7 @@ void Poa::drain() {
 }
 
 void Poa::ingest(transport::RsrMessage&& msg) {
+  if (msg.handler == transport::kHandlerPing) return;  // liveness probe, no payload
   if (msg.handler != transport::kHandlerOrbRequest) {
     PARDIS_LOG(kWarn, "poa") << "unexpected RSR handler " << msg.handler << ", dropped";
     return;
@@ -189,13 +190,31 @@ void Poa::ingest(transport::RsrMessage&& msg) {
   body.request_id = header.request_id;
 
   const Key key{header.binding_id, header.seq_no};
+  // A body below the binding's dispatch horizon is a duplicate of an
+  // already-executed request (an injected duplicate, or a stray
+  // resend): drop it. Retry-flagged bodies are kept — they re-form the
+  // assembly so an idempotent operation whose replies were lost can be
+  // replayed.
+  auto ns = next_seq_.find(header.binding_id);
+  if (ns != next_seq_.end() && header.seq_no < ns->second && !header.retry()) return;
   Assembling& a = assembling_[key];
-  if (a.bodies.empty()) a.header = header;
+  if (a.bodies.empty()) {
+    a.header = header;
+    a.first_arrival = std::chrono::steady_clock::now();
+  }
+  // emplace: one body per client rank, so a duplicated frame or a
+  // retry re-send of a piece we already have cannot tear the assembly.
   a.bodies.emplace(header.client_rank, std::move(body));
   if (a.complete()) a.complete_order = ++completion_counter_;
 }
 
-void Poa::dispatch(Key key) {
+bool Poa::deadline_passed(const Assembling& a) const {
+  if (a.header.deadline_ms == 0) return false;
+  return std::chrono::steady_clock::now() >=
+         a.first_arrival + std::chrono::milliseconds(a.header.deadline_ms);
+}
+
+void Poa::dispatch(Key key, bool expired) {
   auto it = assembling_.find(key);
   require(it != assembling_.end(), "poa: dispatching unknown request");
   Assembling a = std::move(it->second);
@@ -234,19 +253,31 @@ void Poa::dispatch(Key key) {
       PARDIS_LOG(kWarn, "poa") << "error reply undeliverable: " << ce.what();
     }
   };
-  try {
-    {
-      obs::SpanScope servant_span;
-      if (obs::enabled()) servant_span.open("servant:" + a.header.operation, "server");
-      servant->_dispatch(inv);
+  if (expired) {
+    // The request outwaited its deadline budget in this queue: reject
+    // with kTimeout instead of computing a result nobody waits for.
+    if (obs::enabled()) {
+      static obs::Counter& rejected = obs::metrics().counter("poa.deadline_rejected");
+      rejected.add(1);
     }
-    inv.send_replies();
-  } catch (const CommFailure& e) {
-    PARDIS_LOG(kWarn, "poa") << "reply undeliverable (client gone?): " << e.what();
-  } catch (const SystemException& e) {
-    deliver_error(e);
-  } catch (const std::exception& e) {
-    deliver_error(InternalError(std::string("servant failure: ") + e.what()));
+    deliver_error(TimeoutError("deadline of " + std::to_string(a.header.deadline_ms) +
+                               " ms expired in the server queue for '" +
+                               a.header.operation + "'"));
+  } else {
+    try {
+      {
+        obs::SpanScope servant_span;
+        if (obs::enabled()) servant_span.open("servant:" + a.header.operation, "server");
+        servant->_dispatch(inv);
+      }
+      inv.send_replies();
+    } catch (const CommFailure& e) {
+      PARDIS_LOG(kWarn, "poa") << "reply undeliverable (client gone?): " << e.what();
+    } catch (const SystemException& e) {
+      deliver_error(e);
+    } catch (const std::exception& e) {
+      deliver_error(InternalError(std::string("servant failure: ") + e.what()));
+    }
   }
   if (obs::enabled()) {
     static obs::Counter& dispatched = obs::metrics().counter("poa.dispatched");
@@ -254,7 +285,11 @@ void Poa::dispatch(Key key) {
     dispatched.add(1);
     latency.record(obs::wall_now_us() - dispatch_start_us);
   }
-  next_seq_[key.first] = key.second + 1;
+  // Raise-only: a replayed dispatch (retry, seq below next) must not
+  // regress the binding's horizon.
+  ULong& next = next_seq_[key.first];
+  if (key.second + 1 > next) next = key.second + 1;
+  scheduled_replays_.erase(key);
 }
 
 int Poa::dispatch_ready_singles() {
@@ -268,8 +303,12 @@ int Poa::dispatch_ready_singles() {
       if (entry == nullptr || entry->spmd || entry->owner_rank != rank_) continue;
       auto ns = next_seq_.find(it->first.first);
       const ULong expected = ns != next_seq_.end() ? ns->second : 0;
-      if (it->first.second != expected) continue;
-      dispatch(it->first);
+      // In-order dispatch, plus replays: a retry-flagged request below
+      // the horizon re-executes (idempotent; its replies were lost).
+      const bool replay = it->second.header.retry() && it->first.second < expected;
+      if (!replay && it->first.second != expected) continue;
+      const bool expired = deadline_passed(it->second);
+      dispatch(it->first, expired);
       ++dispatched;
       progressed = true;
       break;  // iterator invalidated
@@ -296,34 +335,62 @@ int Poa::round(bool& deactivated) {
 
   // Rank 0 schedules the collective (SPMD) dispatches for this round
   // and broadcasts the schedule; all threads then execute it in order.
+  // Per-entry schedule flags (internal to the kTagPoaRound channel).
+  constexpr Octet kSchedReplay = 0x1;
+  constexpr Octet kSchedExpired = 0x2;
   ByteBuffer schedule;
   if (rank_ == 0) {
-    std::vector<Key> ready;
+    struct Sched {
+      Key key;
+      Octet flags;
+    };
+    std::vector<Sched> ready;
     std::map<ULongLong, ULong> next = next_seq_;
     bool progressed = true;
     while (progressed) {
       progressed = false;
       const Assembling* best = nullptr;
       Key best_key{};
+      bool best_replay = false;
       for (const auto& [key, a] : assembling_) {
         if (!a.complete()) continue;
         const PoaShared::ObjEntry* entry = shared_->find(a.header.object_id.value);
         if (entry == nullptr || !entry->spmd) continue;
         if (std::find_if(ready.begin(), ready.end(),
-                         [&key_ref = key](const Key& k) { return k == key_ref; }) !=
+                         [&key_ref = key](const Sched& s) { return s.key == key_ref; }) !=
             ready.end())
           continue;
         auto ns = next.find(key.first);
         const ULong expected = ns != next.end() ? ns->second : 0;
-        if (key.second != expected) continue;
+        // In-order dispatch, plus replays: a retry-flagged request
+        // below the horizon re-executes (idempotent; replies lost).
+        // The coordinator decides uniformly for all threads, so a
+        // replay is dispatched collectively exactly once.
+        const bool replay = a.header.retry() && key.second < expected;
+        if (replay) {
+          if (scheduled_replays_.count(key) != 0) continue;
+        } else if (key.second != expected) {
+          continue;
+        }
         if (best == nullptr || a.complete_order < best->complete_order) {
           best = &a;
           best_key = key;
+          best_replay = replay;
         }
       }
       if (best != nullptr) {
-        ready.push_back(best_key);
-        next[best_key.first] = best_key.second + 1;
+        Octet flags = 0;
+        if (best_replay) {
+          flags = static_cast<Octet>(flags | kSchedReplay);
+          scheduled_replays_.insert(best_key);
+        } else {
+          next[best_key.first] = best_key.second + 1;
+        }
+        // Deadline check at scheduling time, decided once here so every
+        // thread agrees whether the servant runs or the request is
+        // rejected with kTimeout.
+        if (deadline_passed(*best)) flags = static_cast<Octet>(flags | kSchedExpired);
+        ready.push_back(Sched{best_key, flags});
         progressed = true;
       }
     }
@@ -331,9 +398,10 @@ int Poa::round(bool& deactivated) {
     w.write_ulonglong(++round_serial_);
     w.write_bool(shared_->deactivated.load(std::memory_order_acquire));
     w.write_ulong(static_cast<ULong>(ready.size()));
-    for (const Key& k : ready) {
-      w.write_ulonglong(k.first);
-      w.write_ulong(k.second);
+    for (const Sched& s : ready) {
+      w.write_ulonglong(s.key.first);
+      w.write_ulong(s.key.second);
+      w.write_octet(s.flags);
     }
   }
   // The schedule is ORB control plane: it travels on the untimestamped
@@ -368,15 +436,19 @@ int Poa::round(bool& deactivated) {
   for (ULong i = 0; i < count; ++i) {
     const ULongLong binding = r.read_ulonglong();
     const ULong seq = r.read_ulong();
+    const Octet flags = r.read_octet();
     const Key key{binding, seq};
     // A servant may poll for requests *during* its own dispatch
     // (POA::process_requests, §3.3); such a nested round can already
     // have executed entries of this schedule. next_seq_ tracks what
-    // ran, identically on every thread.
+    // ran, identically on every thread. Replay entries sit below the
+    // horizon by construction and appear in exactly one schedule, so
+    // they always execute.
+    const bool replay = (flags & kSchedReplay) != 0;
     auto ns = next_seq_.find(binding);
-    if (ns != next_seq_.end() && seq < ns->second) continue;
+    if (!replay && ns != next_seq_.end() && seq < ns->second) continue;
     wait_until_assembled(key);
-    dispatch(key);
+    dispatch(key, (flags & kSchedExpired) != 0);
     ++dispatched;
   }
   // New singles may have been drained while waiting for SPMD bodies.

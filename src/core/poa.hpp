@@ -18,10 +18,12 @@
 // over the threads of a parallel server.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <deque>
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 
 #include "core/orb.hpp"
@@ -76,6 +78,9 @@ class Poa {
     RequestHeader header;          // representative (first body seen)
     std::map<int, ServerInvocation::Body> bodies;  // by client rank
     std::uint64_t complete_order = 0;
+    /// When the first body arrived: the request's deadline budget (if
+    /// any) counts queue-wait from here.
+    std::chrono::steady_clock::time_point first_arrival{};
     bool complete() const {
       return bodies.size() == static_cast<std::size_t>(header.client_size);
     }
@@ -87,7 +92,13 @@ class Poa {
   int dispatch_ready_singles();
   /// `key` is taken by value: callers pass references into
   /// `assembling_`, which dispatch erases before using the key again.
-  void dispatch(Key key);
+  /// With `expired`, the servant is not run: every client rank gets a
+  /// kTimeout error reply instead (the request outwaited its deadline
+  /// in the server queue).
+  void dispatch(Key key, bool expired = false);
+  /// True when the request's deadline budget elapsed since its first
+  /// body arrived here.
+  bool deadline_passed(const Assembling& a) const;
   void wait_until_assembled(const Key& key);
   int round(bool& deactivated);
 
@@ -101,6 +112,11 @@ class Poa {
 
   std::map<Key, Assembling> assembling_;
   std::map<ULongLong, ULong> next_seq_;  // per binding
+  /// Replayed dispatches (retry-flagged, seq below the binding's next)
+  /// the coordinator has put into a schedule but not yet dispatched:
+  /// keeps one replay from landing in two outstanding schedules when a
+  /// nested round runs. Only populated on rank 0.
+  std::set<Key> scheduled_replays_;
   std::uint64_t completion_counter_ = 0;
   ULongLong round_serial_ = 0;
 };

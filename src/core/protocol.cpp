@@ -8,8 +8,11 @@ void RequestHeader::marshal(CdrWriter& w) const {
   w.write_ulong(seq_no);
   w.write_ulonglong(object_id.value);
   w.write_string(operation);
-  w.write_octet(static_cast<Octet>(trace.valid() ? flags | kFlagTraced
-                                                 : flags & ~kFlagTraced));
+  Octet f = static_cast<Octet>(flags & ~(kFlagTraced | kFlagDeadline | kFlagRetry));
+  if (trace.valid()) f = static_cast<Octet>(f | kFlagTraced);
+  if (deadline_ms != 0) f = static_cast<Octet>(f | kFlagDeadline);
+  if (attempt != 0) f = static_cast<Octet>(f | kFlagRetry);
+  w.write_octet(f);
   w.write_long(client_rank);
   w.write_long(client_size);
   reply_to.marshal(w);
@@ -17,6 +20,8 @@ void RequestHeader::marshal(CdrWriter& w) const {
     w.write_ulonglong(trace.trace_id);
     w.write_ulonglong(trace.span_id);
   }
+  if (deadline_ms != 0) w.write_ulong(deadline_ms);
+  if (attempt != 0) w.write_ulong(attempt);
 }
 
 RequestHeader RequestHeader::unmarshal(CdrReader& r) {
@@ -34,6 +39,14 @@ RequestHeader RequestHeader::unmarshal(CdrReader& r) {
     h.trace.trace_id = r.read_ulonglong();
     h.trace.span_id = r.read_ulonglong();
     h.flags = static_cast<Octet>(h.flags & ~kFlagTraced);
+  }
+  if ((h.flags & kFlagDeadline) != 0) {
+    h.deadline_ms = r.read_ulong();
+    h.flags = static_cast<Octet>(h.flags & ~kFlagDeadline);
+  }
+  if ((h.flags & kFlagRetry) != 0) {
+    h.attempt = r.read_ulong();
+    h.flags = static_cast<Octet>(h.flags & ~kFlagRetry);
   }
   if (h.client_rank < 0 || h.client_rank >= h.client_size)
     throw MarshalError("RequestHeader: client rank out of range");
@@ -79,18 +92,21 @@ ReplyHeader ReplyHeader::unmarshal(CdrReader& r) {
 }
 
 void throw_reply_error(const ReplyHeader& header) {
-  const std::string msg = "(from server) " + header.error_message;
-  switch (header.error_code) {
-    case ErrorCode::kBadParam: throw BadParam(msg);
-    case ErrorCode::kMarshal: throw MarshalError(msg);
-    case ErrorCode::kCommFailure: throw CommFailure(msg);
-    case ErrorCode::kObjectNotExist: throw ObjectNotExist(msg);
-    case ErrorCode::kNoImplement: throw NoImplement(msg);
-    case ErrorCode::kBadInvOrder: throw BadInvOrder(msg);
-    case ErrorCode::kTransient: throw TransientError(msg);
-    case ErrorCode::kTimeout: throw TimeoutError(msg);
-    case ErrorCode::kBadTag: throw BadTag(msg);
-    default: throw InternalError(msg);
+  throw_error_code(header.error_code, "(from server) " + header.error_message);
+}
+
+void throw_error_code(ErrorCode code, const std::string& message) {
+  switch (code) {
+    case ErrorCode::kBadParam: throw BadParam(message);
+    case ErrorCode::kMarshal: throw MarshalError(message);
+    case ErrorCode::kCommFailure: throw CommFailure(message);
+    case ErrorCode::kObjectNotExist: throw ObjectNotExist(message);
+    case ErrorCode::kNoImplement: throw NoImplement(message);
+    case ErrorCode::kBadInvOrder: throw BadInvOrder(message);
+    case ErrorCode::kTransient: throw TransientError(message);
+    case ErrorCode::kTimeout: throw TimeoutError(message);
+    case ErrorCode::kBadTag: throw BadTag(message);
+    default: throw InternalError(message);
   }
 }
 

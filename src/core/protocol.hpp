@@ -22,6 +22,8 @@ namespace pardis::core {
 inline constexpr Octet kFlagOneway = 0x1;      ///< no reply expected
 inline constexpr Octet kFlagCollective = 0x2;  ///< SPMD collective invocation
 inline constexpr Octet kFlagTraced = 0x4;      ///< trace context appended
+inline constexpr Octet kFlagDeadline = 0x8;    ///< deadline budget appended
+inline constexpr Octet kFlagRetry = 0x10;      ///< re-send of an earlier attempt
 
 struct RequestHeader {
   RequestId request_id;       ///< per sending client thread
@@ -37,9 +39,22 @@ struct RequestHeader {
   /// when valid (kFlagTraced); an untraced header is byte-identical to
   /// the pre-observability wire format.
   obs::TraceContext trace;
+  /// Invocation time budget in milliseconds, 0 = none. Relative, not
+  /// an absolute timestamp: the client measures it from invoke(), the
+  /// POA from arrival of the first request body, so no cross-host
+  /// clock synchronization is needed. Marshaled only when nonzero
+  /// (kFlagDeadline); a deadline-free header stays byte-identical to
+  /// the pre-ft wire format.
+  ULong deadline_ms = 0;
+  /// Zero-based retry attempt: 0 for the first send, N for the Nth
+  /// re-send of the same (request_id, seq_no). Marshaled only when
+  /// nonzero (kFlagRetry); tells the POA to accept duplicate bodies
+  /// and to replay an already-dispatched sequence number.
+  ULong attempt = 0;
 
   bool oneway() const noexcept { return (flags & kFlagOneway) != 0; }
   bool collective() const noexcept { return (flags & kFlagCollective) != 0; }
+  bool retry() const noexcept { return attempt > 0; }
 
   void marshal(CdrWriter& w) const;
   static RequestHeader unmarshal(CdrReader& r);
@@ -72,5 +87,10 @@ struct ReplyHeader {
 
 /// Rebuilds the typed system exception a reply carried.
 [[noreturn]] void throw_reply_error(const ReplyHeader& header);
+
+/// Throws the typed system exception matching `code` (the locally
+/// generated counterpart of throw_reply_error, used for failures the
+/// client engine detects itself: deadline expiry, severed peers).
+[[noreturn]] void throw_error_code(ErrorCode code, const std::string& message);
 
 }  // namespace pardis::core

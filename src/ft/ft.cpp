@@ -1,0 +1,215 @@
+#include "ft/ft.hpp"
+
+#include <cmath>
+#include <cstdlib>
+#include <thread>
+
+#include "common/cdr.hpp"
+#include "common/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
+#include "rts/communicator.hpp"
+#include "rts/tags.hpp"
+
+namespace pardis::ft {
+
+RetryPolicy RetryPolicy::from_env() {
+  static const RetryPolicy cached = [] {
+    RetryPolicy p;
+    if (const char* v = std::getenv("PARDIS_FT_RETRIES")) {
+      const long n = std::strtol(v, nullptr, 10);
+      if (n >= 1) p.max_attempts = static_cast<int>(n);
+    }
+    if (const char* v = std::getenv("PARDIS_FT_BACKOFF_MS")) {
+      const long ms = std::strtol(v, nullptr, 10);
+      if (ms >= 0) p.initial_backoff = std::chrono::milliseconds(ms);
+    }
+    return p;
+  }();
+  return cached;
+}
+
+std::chrono::milliseconds backoff_delay(const RetryPolicy& policy, int attempt,
+                                        std::uint64_t salt) {
+  double ms = static_cast<double>(policy.initial_backoff.count()) *
+              std::pow(policy.multiplier, attempt - 1);
+  // splitmix64 finalizer over (salt, attempt): deterministic jitter,
+  // different per rank/binding so retries de-synchronize.
+  std::uint64_t z = salt + static_cast<std::uint64_t>(attempt) * 0x9E3779B97F4A7C15ULL;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  z ^= z >> 31;
+  const double u = static_cast<double>(z >> 11) * 0x1.0p-53;
+  ms *= 1.0 + policy.jitter * u;
+  return std::chrono::milliseconds(static_cast<long>(ms));
+}
+
+namespace {
+
+/// What one attempt phase (send or wait) produced on this rank.
+struct Outcome {
+  bool failed = false;
+  bool retryable = false;
+  std::string message;
+  std::exception_ptr error;
+};
+
+Outcome run_guarded(const std::function<void()>& fn) {
+  Outcome out;
+  try {
+    fn();
+  } catch (const TransientError& e) {
+    out = {true, true, e.what(), std::current_exception()};
+  } catch (const CommFailure& e) {
+    out = {true, true, e.what(), std::current_exception()};
+  } catch (const TimeoutError& e) {
+    out = {true, true, e.what(), std::current_exception()};
+  } catch (const SystemException& e) {
+    // Not retryable, but still reported to the agreement so the other
+    // ranks do not block on a peer that already threw.
+    out = {true, false, e.what(), std::current_exception()};
+  }
+  return out;
+}
+
+enum class Verdict : Octet { kDone = 0, kRetry = 1, kGiveUp = 2 };
+
+/// The agreement collective (kTagFtRetry): every rank reports its
+/// outcome of (operation, attempt, phase) to rank 0, which publishes
+/// one verdict — modeled on check::verify_collective. `diag` carries
+/// the failing rank's message to the ranks that succeeded.
+Verdict agree(rts::Communicator& comm, const std::string& operation, int attempt,
+              int phase, const Outcome& mine, bool attempts_left, std::string& diag) {
+  const int rank = comm.rank();
+  const int size = comm.size();
+  if (rank == 0) {
+    bool any_failed = mine.failed;
+    bool all_retryable = !mine.failed || mine.retryable;
+    diag = mine.failed ? "rank 0: " + mine.message : "";
+    for (int r = 1; r < size; ++r) {
+      auto msg = comm.recv(r, rts::kTagFtRetry);
+      CdrReader rd(msg.payload.view());
+      const std::string rop = rd.read_string();
+      const Long rattempt = rd.read_long();
+      const Long rphase = rd.read_long();
+      const bool rfailed = rd.read_bool();
+      const bool rretryable = rd.read_bool();
+      const std::string rmessage = rd.read_string();
+      if (rop != operation || rattempt != attempt || rphase != phase)
+        throw InternalError("ft: retry-agreement skew: rank " + std::to_string(r) +
+                            " entered '" + rop + "' attempt " + std::to_string(rattempt) +
+                            " while rank 0 entered '" + operation + "' attempt " +
+                            std::to_string(attempt));
+      if (rfailed) {
+        any_failed = true;
+        if (!rretryable) all_retryable = false;
+        if (diag.empty()) diag = "rank " + std::to_string(r) + ": " + rmessage;
+      }
+    }
+    Verdict verdict = Verdict::kDone;
+    if (any_failed)
+      verdict = all_retryable && attempts_left ? Verdict::kRetry : Verdict::kGiveUp;
+    ByteBuffer out;
+    {
+      CdrWriter w(out);
+      w.write_octet(static_cast<Octet>(verdict));
+      w.write_string(diag);
+    }
+    // Control-plane sends: the agreement must not advance the
+    // computing threads' modeled clocks.
+    for (int r = 1; r < size; ++r) comm.send_control(r, rts::kTagFtRetry, out.clone());
+    return verdict;
+  }
+  ByteBuffer fp;
+  {
+    CdrWriter w(fp);
+    w.write_string(operation);
+    w.write_long(attempt);
+    w.write_long(phase);
+    w.write_bool(mine.failed);
+    w.write_bool(mine.retryable);
+    w.write_string(mine.message);
+  }
+  comm.send_control(0, rts::kTagFtRetry, std::move(fp));
+  const auto verdict_msg = comm.recv(0, rts::kTagFtRetry);
+  CdrReader rd(verdict_msg.payload.view());
+  const auto verdict = static_cast<Verdict>(rd.read_octet());
+  diag = rd.read_string();
+  return verdict;
+}
+
+/// One verdict per phase: the agreement when the binding is
+/// collective, the local outcome otherwise.
+Verdict decide(rts::Communicator* comm, const std::string& operation, int attempt,
+               int phase, const Outcome& mine, bool attempts_left, std::string& diag) {
+  if (comm != nullptr) return agree(*comm, operation, attempt, phase, mine, attempts_left, diag);
+  if (!mine.failed) return Verdict::kDone;
+  diag = mine.message;
+  return mine.retryable && attempts_left ? Verdict::kRetry : Verdict::kGiveUp;
+}
+
+[[noreturn]] void give_up(const Outcome& mine, const std::string& operation,
+                          const std::string& diag) {
+  if (obs::enabled()) {
+    static obs::Counter& abandoned = obs::metrics().counter("ft.invocations_abandoned");
+    abandoned.add(1);
+  }
+  // This rank's own failure is the most precise report; a rank that
+  // succeeded throws on behalf of the peer that did not.
+  if (mine.error) std::rethrow_exception(mine.error);
+  throw CommFailure("coordinated retry of '" + operation + "' abandoned: " + diag);
+}
+
+void note_retry(core::Binding& binding, const RetryPolicy& policy,
+                const std::string& operation, int attempt, const std::string& diag) {
+  PARDIS_LOG(kWarn, "ft") << "retrying '" << operation << "' (attempt " << attempt + 1
+                          << "): " << diag;
+  if (obs::enabled()) {
+    static obs::Counter& retries = obs::metrics().counter("ft.retries");
+    retries.add(1);
+  }
+  // The retry event as a short span so it shows up on the trace.
+  obs::SpanScope span;
+  if (obs::enabled() && obs::current_context().valid()) span.open("ft:retry", "client");
+  const std::uint64_t salt =
+      binding.id() * 1315423911ULL + static_cast<std::uint64_t>(binding.ctx().rank());
+  std::this_thread::sleep_for(backoff_delay(policy, attempt, salt));
+}
+
+}  // namespace
+
+int with_retry(core::Binding& binding, const std::string& operation,
+               const RetryPolicy& policy,
+               const std::function<std::shared_ptr<core::PendingReply>(int)>& send_attempt) {
+  rts::Communicator* comm =
+      binding.collective() && binding.ctx().comm() != nullptr && binding.ctx().size() > 1
+          ? binding.ctx().comm()
+          : nullptr;
+  for (int attempt = 1;; ++attempt) {
+    const bool attempts_left = attempt < policy.max_attempts;
+    std::shared_ptr<core::PendingReply> pending;
+    std::string diag;
+
+    // Phase 0: the sends. A rank whose send failed must stop everyone
+    // from blocking on replies the server can never assemble.
+    Outcome sent = run_guarded([&] { pending = send_attempt(attempt); });
+    Verdict verdict = decide(comm, operation, attempt, 0, sent, attempts_left, diag);
+    if (verdict == Verdict::kRetry) {
+      note_retry(binding, policy, operation, attempt, diag);
+      continue;
+    }
+    if (verdict == Verdict::kGiveUp) give_up(sent, operation, diag);
+
+    if (!pending) return attempt;  // oneway: nothing to wait for
+
+    // Phase 1: the waits. A lost reply, expired deadline, or dead peer
+    // shows up here; the whole matrix is re-sent, never a slice of it.
+    Outcome waited = run_guarded([&] { pending->wait(); });
+    verdict = decide(comm, operation, attempt, 1, waited, attempts_left, diag);
+    if (verdict == Verdict::kDone) return attempt;
+    if (verdict == Verdict::kGiveUp) give_up(waited, operation, diag);
+    note_retry(binding, policy, operation, attempt, diag);
+  }
+}
+
+}  // namespace pardis::ft

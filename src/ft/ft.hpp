@@ -1,0 +1,70 @@
+// pardis_ft — coordinated retry of idempotent invocations.
+//
+// Generated stubs wrap operations marked `#pragma idempotent` in
+// with_retry(): transient failures (kTransient, kCommFailure,
+// kTimeout) are retried with exponential backoff + deterministic
+// jitter. For a collective (SPMD) binding the P client threads first
+// *agree* to retry through a rank-0 fingerprint exchange on
+// kTagFtRetry — the same shape as check::verify_collective — so the
+// P×Q request matrix is never partially re-sent: either every thread
+// re-invokes attempt N+1, or every thread gives up.
+//
+// A re-send keeps the first attempt's request identity (request_id,
+// seq_no) and raises the header's attempt counter (kFlagRetry on the
+// wire). The POA deduplicates bodies it already assembled and replays
+// already-dispatched sequence numbers, so both halves of the failure
+// space — requests lost before dispatch, replies lost after — converge
+// to exactly-once-observable completion of the idempotent operation.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "core/client.hpp"
+#include "core/pending_reply.hpp"
+
+namespace pardis::ft {
+
+/// Retry schedule for idempotent operations.
+struct RetryPolicy {
+  /// Total attempts, the first send included; 1 disables retry.
+  int max_attempts = 3;
+  /// Backoff before the second attempt; doubled per further attempt.
+  std::chrono::milliseconds initial_backoff{2};
+  double multiplier = 2.0;
+  /// Fraction of the backoff added as deterministic jitter (hashed
+  /// from the binding and attempt, so runs replay identically while
+  /// ranks still de-synchronize).
+  double jitter = 0.5;
+
+  /// Policy from the environment: PARDIS_FT_RETRIES (max attempts) and
+  /// PARDIS_FT_BACKOFF_MS, read once; defaults above otherwise.
+  static RetryPolicy from_env();
+};
+
+/// The backoff before re-sending `attempt` (>= 1): exponential with
+/// deterministic jitter derived from `salt`.
+std::chrono::milliseconds backoff_delay(const RetryPolicy& policy, int attempt,
+                                        std::uint64_t salt);
+
+/// Runs one invocation with the coordinated retry protocol.
+///
+/// `send_attempt(attempt)` builds/re-sends the request (attempt starts
+/// at 1; pass it to ClientRequest::invoke so re-sends keep the request
+/// identity) and returns the pending reply (nullptr for oneway). Two
+/// agreement points per attempt keep an SPMD client in lockstep:
+/// after the sends (a failed send on any rank means nobody blocks
+/// waiting for replies the server can never assemble) and after the
+/// waits (a lost reply or expired deadline on any rank retries the
+/// whole matrix). Returns the number of attempts used; throws the
+/// original typed exception when the attempts are exhausted, the
+/// failure is not retryable, or — on ranks that themselves succeeded —
+/// CommFailure describing the peer rank that made the client give up.
+int with_retry(core::Binding& binding, const std::string& operation,
+               const RetryPolicy& policy,
+               const std::function<std::shared_ptr<core::PendingReply>(int)>& send_attempt);
+
+}  // namespace pardis::ft

@@ -87,6 +87,9 @@ struct Param {
 
 struct Operation {
   bool oneway = false;
+  /// Marked `#pragma idempotent`: the generated blocking stub retries
+  /// transient failures through ft::with_retry.
+  bool idempotent = false;
   TypePtr ret;  ///< nullptr or void for none
   std::string name;
   Loc loc;

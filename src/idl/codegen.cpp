@@ -32,6 +32,7 @@ class Generator {
   const CodegenOptions& opt_;
   bool uses_pstl_ = false;
   bool uses_pooma_ = false;
+  bool uses_ft_ = false;  ///< any operation marked #pragma idempotent
 
   // --- type spelling helpers ---------------------------------------------
 
@@ -407,31 +408,53 @@ void Generator::emit_blocking_stub(const InterfaceDef& iface, const Operation& o
       out_ << "    _req.in_value(" << p.name << ");\n";
     }
   }
-  out_ << "    auto _pending = _req.invoke();\n";
+  const bool has_ret = !is_void(op.ret);
+  const std::string ind = op.idempotent ? "      " : "    ";
+
+  // `#pragma idempotent`: marshal once (frames append views, so the
+  // request body survives re-sends), then let ft::with_retry drive
+  // invoke/wait — re-sends keep the request identity and the SPMD
+  // ranks agree before any retry.
+  if (op.idempotent) {
+    uses_ft_ = true;
+    if (has_ret && !op.oneway)
+      out_ << "    auto _ret = std::make_shared<" << cpp_type(op.ret) << ">();\n";
+    out_ << "    pardis::ft::with_retry(*_binding(), \"" << op.name
+         << "\", pardis::ft::RetryPolicy::from_env(),\n"
+            "        [&](int _attempt) -> std::shared_ptr<pardis::core::PendingReply> {\n";
+  }
+
+  out_ << ind << "auto _pending = _req.invoke(" << (op.idempotent ? "_attempt" : "")
+       << ");\n";
   if (op.oneway) {
+    if (op.idempotent)
+      out_ << "      (void)_pending;\n      return nullptr;\n    });\n";
     out_ << "  }\n\n";
     return;
   }
 
-  const bool has_ret = !is_void(op.ret);
-  if (has_ret)
+  if (has_ret && !op.idempotent)
     out_ << "    auto _ret = std::make_shared<" << cpp_type(op.ret) << ">();\n";
-  out_ << "    _pending->set_decoder([&](pardis::core::ReplyDecoder& _d) {\n";
-  out_ << "      (void)_d;\n";
-  if (has_ret) out_ << "      *_ret = _d.out_value<" << cpp_type(op.ret) << ">();\n";
+  out_ << ind << "_pending->set_decoder([&](pardis::core::ReplyDecoder& _d) {\n";
+  out_ << ind << "  (void)_d;\n";
+  if (has_ret)
+    out_ << ind << "  *_ret = _d.out_value<" << cpp_type(op.ret) << ">();\n";
   for (const auto& p : op.params) {
     if (p.dir == Param::Dir::kIn) continue;
     if (p.type->is_dseq()) {
       const DseqInfo d = dseq_info(p.type);
       const std::string target =
           (single_mapping || d.native) ? "_" + p.name + "_view" : p.name;
-      out_ << "      _d.out_dseq(" << target << ");\n";
+      out_ << ind << "  _d.out_dseq(" << target << ");\n";
     } else {
-      out_ << "      " << p.name << " = _d.out_value<" << cpp_type(p.type) << ">();\n";
+      out_ << ind << "  " << p.name << " = _d.out_value<" << cpp_type(p.type) << ">();\n";
     }
   }
-  out_ << "    });\n";
-  out_ << "    _pending->wait();\n";
+  out_ << ind << "});\n";
+  if (op.idempotent)
+    out_ << "      return _pending;\n    });\n";
+  else
+    out_ << "    _pending->wait();\n";
   if (has_ret) out_ << "    return *_ret;\n";
   out_ << "  }\n\n";
 }
@@ -661,6 +684,7 @@ std::string Generator::run() {
   final_out << "// Generated by pardis-idl. DO NOT EDIT.\n#pragma once\n\n"
             << "#include \"core/pardis.hpp\"\n"
             << "#include \"core/stub_support.hpp\"\n";
+  if (uses_ft_) final_out << "#include \"ft/ft.hpp\"\n";
   if (uses_pstl_) final_out << "#include \"pstl/mapping.hpp\"\n";
   if (uses_pooma_) final_out << "#include \"pooma/mapping.hpp\"\n";
   final_out << "\nnamespace " << opt_.ns << " {\n\n"

@@ -26,6 +26,7 @@ class Linter {
     check_distribution_specs(); // PL006
     check_empty_interfaces();    // PL007
     check_duplicate_enumerators();// PL008
+    check_idempotent_oneway();   // PL009
     std::stable_sort(diags_.begin(), diags_.end(),
                      [](const Diagnostic& a, const Diagnostic& b) {
                        if (a.loc.line != b.loc.line) return a.loc.line < b.loc.line;
@@ -332,6 +333,24 @@ class Linter {
           add("PL008", Severity::kError, t->enumerator_locs[i],
               "duplicate enumerator '" + t->enumerators[i] + "' in enum '" + t->name +
                   "'");
+    }
+  }
+
+  // PL009: `#pragma idempotent` on a oneway operation. The retry
+  // protocol re-sends when a *reply* is lost or late — a oneway has no
+  // reply, so the pragma can only mask a send failure as success after
+  // max_attempts of pointless backoff. Warning, not error: the send
+  // phase still retries transient transport failures, which can be
+  // intentional.
+  void check_idempotent_oneway() {
+    for (const auto& d : spec_.definitions) {
+      if (d.kind != Definition::Kind::kInterface) continue;
+      for (const auto& op : d.interface_def.ops)
+        if (op.idempotent && op.oneway)
+          add("PL009", Severity::kWarning, op.loc,
+              "#pragma idempotent on oneway operation '" + op.name +
+                  "' retries only the send: a oneway has no reply to detect a "
+                  "lost request by");
     }
   }
 

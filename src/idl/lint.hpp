@@ -14,6 +14,7 @@
 //   PL006  distribution spec the transfer planner must reject at runtime
 //   PL007  interface declares no operations
 //   PL008  duplicate enumerator within one enum
+//   PL009  #pragma idempotent on a oneway operation (nothing to retry)
 #pragma once
 
 #include <iosfwd>

@@ -67,6 +67,9 @@ Spec Parser::parse() {
       case Tok::kPragma: {
         // "#pragma <Package>:<structure>"
         const std::string body = cur().text;
+        if (body == "idempotent")
+          fail("'#pragma idempotent' applies to an operation; place it inside an "
+               "interface body, directly before the operation");
         ++pos_;
         const auto colon = body.find(':');
         if (colon == std::string::npos || colon == 0 || colon + 1 >= body.size())
@@ -460,8 +463,25 @@ Definition Parser::parse_interface() {
     iface.base = base.text;
   }
   eat(Tok::kLBrace, "interface body");
-  while (!accept(Tok::kRBrace)) {
+  bool pending_idempotent = false;
+  for (;;) {
+    if (cur().kind == Tok::kPragma) {
+      // "#pragma idempotent" marks the *next* operation as retry-safe.
+      if (cur().text != "idempotent")
+        fail("unknown pragma '" + cur().text +
+             "' in interface body (expected 'idempotent')");
+      pending_idempotent = true;
+      ++pos_;
+      continue;
+    }
+    if (cur().kind == Tok::kRBrace) {
+      if (pending_idempotent) fail("#pragma idempotent not followed by an operation");
+      ++pos_;
+      break;
+    }
     Operation op = parse_operation();
+    op.idempotent = pending_idempotent;
+    pending_idempotent = false;
     // Reject duplicates, including against inherited operations.
     for (const InterfaceDef* i = &iface; i != nullptr;
          i = i->base.empty() ? nullptr : &interfaces_.at(i->base))

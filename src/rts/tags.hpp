@@ -29,6 +29,7 @@ inline constexpr Tag kTagDistRedistribute = kReservedTagBase + 5;
 inline constexpr Tag kTagPackage = kReservedTagBase + 6;  ///< mini-PSTL / mini-POOMA internals
 inline constexpr Tag kTagPoaRound = kReservedTagBase + 7;  ///< POA dispatch schedules
 inline constexpr Tag kTagCheck = kReservedTagBase + 8;  ///< pardis_check fingerprints
+inline constexpr Tag kTagFtRetry = kReservedTagBase + 9;  ///< pardis_ft retry agreement
 
 /// True when `tag` belongs to user code.
 constexpr bool is_user_tag(Tag tag) noexcept { return tag >= 0 && tag < kReservedTagBase; }
@@ -38,7 +39,7 @@ constexpr bool is_user_tag(Tag tag) noexcept { return tag >= 0 && tag < kReserve
 /// any other tag: it means a subsystem (or user code bypassing the
 /// validated send path) invented a tag inside the reserved space.
 constexpr bool is_known_reserved_tag(Tag tag) noexcept {
-  return tag >= kTagCollective && tag <= kTagCheck;
+  return tag >= kTagCollective && tag <= kTagFtRetry;
 }
 
 /// Throws BadTag when user code tries to send on a reserved tag.

@@ -1,0 +1,106 @@
+#include "sim/fault_plan.hpp"
+
+namespace pardis::sim {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+FaultPlan::LinkSchedule& FaultPlan::link_locked(const std::string& src,
+                                                const std::string& dst) {
+  active_.store(true, std::memory_order_relaxed);
+  return links_[{src, dst}];
+}
+
+void FaultPlan::drop_message(const std::string& src, const std::string& dst,
+                             std::uint64_t index) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  link_locked(src, dst).drops.insert(index);
+}
+
+void FaultPlan::fail_message(const std::string& src, const std::string& dst,
+                             std::uint64_t index) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  link_locked(src, dst).fails.insert(index);
+}
+
+void FaultPlan::duplicate_message(const std::string& src, const std::string& dst,
+                                  std::uint64_t index) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  link_locked(src, dst).duplicates.insert(index);
+}
+
+void FaultPlan::delay_message(const std::string& src, const std::string& dst,
+                              std::uint64_t index, double seconds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  link_locked(src, dst).delays[index] = seconds;
+}
+
+void FaultPlan::sever_link(const std::string& a, const std::string& b) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  link_locked(a, b).severed = true;
+  link_locked(b, a).severed = true;
+}
+
+void FaultPlan::kill_endpoint(ULongLong key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  active_.store(true, std::memory_order_relaxed);
+  killed_.insert(key);
+}
+
+void FaultPlan::seed_schedule(const std::string& src, const std::string& dst,
+                              std::uint64_t seed, double p, std::uint64_t horizon) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  LinkSchedule& link = link_locked(src, dst);
+  std::uint64_t state = seed;
+  for (std::uint64_t i = 0; i < horizon; ++i) {
+    // Map the top 53 bits to [0, 1) — enough resolution for a drop rate.
+    const double u =
+        static_cast<double>(splitmix64(state) >> 11) * 0x1.0p-53;
+    if (u < p) link.drops.insert(i);
+  }
+}
+
+void FaultPlan::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  links_.clear();
+  killed_.clear();
+  active_.store(false, std::memory_order_relaxed);
+}
+
+FaultPlan::Decision FaultPlan::on_message(const std::string& src, const std::string& dst,
+                                          ULongLong dst_key) {
+  Decision d;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (killed_.count(dst_key) != 0) {
+    d.sever = true;
+    return d;
+  }
+  auto it = links_.find({src, dst});
+  if (it == links_.end()) return d;
+  LinkSchedule& link = it->second;
+  const std::uint64_t index = link.next_index++;
+  if (link.severed) {
+    d.sever = true;
+    return d;
+  }
+  if (link.fails.count(index) != 0) {
+    d.fail_transient = true;
+    return d;
+  }
+  d.drop = link.drops.count(index) != 0;
+  d.duplicate = link.duplicates.count(index) != 0;
+  auto delay = link.delays.find(index);
+  if (delay != link.delays.end()) d.extra_delay_s = delay->second;
+  return d;
+}
+
+}  // namespace pardis::sim

@@ -1,0 +1,108 @@
+// Deterministic fault injection for the transports.
+//
+// A FaultPlan holds per-link schedules (drop / transient-fail / delay /
+// duplicate / sever, addressed by 0-based message index on a directed
+// src→dst host pair) and a set of killed endpoints. Transports consult
+// the plan on every RSR; the test installs the schedule up front, so
+// every fault fires at an exact, reproducible point in the message
+// stream — no sleeps, no races. `seed_schedule` derives a pseudo-random
+// drop schedule from a seed (splitmix64) for soak-style tests that
+// still replay bit-identically.
+//
+// An inactive plan (nothing installed) is a single relaxed atomic load
+// on the send path, so fault-free runs stay behaviorally identical.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+#include <utility>
+
+#include "common/types.hpp"
+
+namespace pardis::sim {
+
+class FaultPlan {
+ public:
+  /// What the transport should do with one message.
+  struct Decision {
+    bool drop = false;            ///< lose it silently (receiver never sees it)
+    bool duplicate = false;       ///< deliver it twice
+    bool fail_transient = false;  ///< sender observes TransientError
+    bool sever = false;           ///< sender observes CommFailure
+    double extra_delay_s = 0.0;   ///< additional modeled link delay
+
+    bool faulty() const noexcept {
+      return drop || duplicate || fail_transient || sever || extra_delay_s != 0.0;
+    }
+  };
+
+  /// True once any schedule was installed; transports skip the plan
+  /// entirely while false.
+  bool active() const noexcept { return active_.load(std::memory_order_relaxed); }
+
+  // --- schedule installation (test side) ---
+
+  /// Silently loses message #`index` on the directed src→dst link.
+  void drop_message(const std::string& src, const std::string& dst, std::uint64_t index);
+
+  /// Message #`index` on src→dst fails at the sender with
+  /// TransientError — the observable "please retry" failure.
+  void fail_message(const std::string& src, const std::string& dst, std::uint64_t index);
+
+  /// Delivers message #`index` on src→dst twice.
+  void duplicate_message(const std::string& src, const std::string& dst,
+                         std::uint64_t index);
+
+  /// Adds `seconds` of modeled delay to message #`index` on src→dst.
+  void delay_message(const std::string& src, const std::string& dst, std::uint64_t index,
+                     double seconds);
+
+  /// Severs the link between two hosts (both directions, from now on):
+  /// every send fails with CommFailure.
+  void sever_link(const std::string& a, const std::string& b);
+
+  /// Kills the endpoint with transport key `key` (EndpointAddr::local_id
+  /// for the in-process transport, tcp_ep for TCP): every send to it —
+  /// including liveness probes — fails with CommFailure, which is how a
+  /// dead server rank looks to its peers.
+  void kill_endpoint(ULongLong key);
+
+  /// Seeds a pseudo-random drop schedule: each of the first `horizon`
+  /// messages on src→dst is dropped with probability `p` under a
+  /// splitmix64 stream, so the same seed replays the same faults.
+  void seed_schedule(const std::string& src, const std::string& dst, std::uint64_t seed,
+                     double p, std::uint64_t horizon);
+
+  /// Removes every schedule and killed endpoint.
+  void clear();
+
+  // --- transport side ---
+
+  /// Consumes one message slot on the directed src→dst link and returns
+  /// what to do with it. Only called while active(); every call advances
+  /// the link's message index, probes included.
+  Decision on_message(const std::string& src, const std::string& dst, ULongLong dst_key);
+
+ private:
+  struct LinkSchedule {
+    std::set<std::uint64_t> drops;
+    std::set<std::uint64_t> fails;
+    std::set<std::uint64_t> duplicates;
+    std::map<std::uint64_t, double> delays;
+    bool severed = false;
+    std::uint64_t next_index = 0;
+  };
+
+  LinkSchedule& link_locked(const std::string& src, const std::string& dst);
+
+  mutable std::mutex mutex_;
+  std::atomic<bool> active_{false};
+  std::map<std::pair<std::string, std::string>, LinkSchedule> links_;
+  std::set<ULongLong> killed_;
+};
+
+}  // namespace pardis::sim

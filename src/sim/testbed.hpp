@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "sim/clock.hpp"
+#include "sim/fault_plan.hpp"
 
 namespace pardis::sim {
 
@@ -73,6 +74,12 @@ class Testbed {
 
   void set_default_link(LinkModel link) { default_link_ = link; }
 
+  /// Fault-injection schedule consulted by the transports. Shared:
+  /// copies of a Testbed (e.g. the paper_testbed() value) see the same
+  /// plan, so a test can keep scheduling faults after handing the
+  /// testbed to a transport.
+  FaultPlan& faults() const noexcept { return *faults_; }
+
   /// The paper's hardware: HOST1 = 4-node SGI Onyx R4400 (slow),
   /// HOST2 = 10-node SGI Power Challenge R8000 (fast), SP2 = 8-node IBM
   /// SP/2, WS = Sun/SGI workstation. HOST1-HOST2 use the dedicated ATM
@@ -92,6 +99,7 @@ class Testbed {
   std::map<std::pair<std::string, std::string>, LinkModel> links_;
   LinkModel default_link_ = LinkModel::ethernet();
   LinkModel loopback_ = LinkModel::loopback();
+  std::shared_ptr<FaultPlan> faults_ = std::make_shared<FaultPlan>();
 };
 
 }  // namespace pardis::sim

@@ -27,6 +27,10 @@ using HandlerId = ULong;
 inline constexpr HandlerId kHandlerOrbRequest = 1;
 inline constexpr HandlerId kHandlerOrbReply = 2;
 inline constexpr HandlerId kHandlerRepo = 3;
+/// Liveness probe: an empty RSR whose only purpose is to exercise the
+/// path to a peer. Receivers discard it silently; a probe failure at
+/// the sender marks the peer dead (pardis_ft broken-future detection).
+inline constexpr HandlerId kHandlerPing = 4;
 
 enum class AddrKind : Octet { kLocal = 0, kTcp = 1 };
 

@@ -20,11 +20,14 @@ namespace {
 
 constexpr std::size_t kHeaderSize = 32;
 
-/// Reads exactly `n` bytes; false on orderly close or error.
+/// Reads exactly `n` bytes; false on orderly close or error. A signal
+/// landing mid-frame (EINTR) is not a peer failure: retry, as the
+/// accept loop does.
 bool read_full(int fd, Octet* out, std::size_t n) {
   std::size_t got = 0;
   while (got < n) {
     const ssize_t r = ::recv(fd, out + got, n - got, 0);
+    if (r < 0 && errno == EINTR) continue;
     if (r <= 0) return false;
     got += static_cast<std::size_t>(r);
   }
@@ -35,6 +38,7 @@ bool write_full(int fd, const Octet* data, std::size_t n) {
   std::size_t sent = 0;
   while (sent < n) {
     const ssize_t r = ::send(fd, data + sent, n - sent, MSG_NOSIGNAL);
+    if (r < 0 && errno == EINTR) continue;
     if (r <= 0) return false;
     sent += static_cast<std::size_t>(r);
   }
@@ -215,12 +219,18 @@ void TcpTransport::rsr(const EndpointAddr& dst, HandlerId handler, ByteBuffer pa
     sent.add(1);
     bytes.add(kHeaderSize + payload.size());
   }
-  double delay = 0.0;
+  sim::FaultPlan::Decision fault;
+  if (testbed_ != nullptr && testbed_->faults().active()) {
+    fault = testbed_->faults().on_message(src_host_model, dst.host_model, dst.tcp_ep);
+    apply_fault(fault, dst);  // throws on sever / transient failure
+  }
+  double delay = fault.extra_delay_s;
   if (testbed_ != nullptr && !src_host_model.empty() && !dst.host_model.empty())
-    delay = testbed_->link(src_host_model, dst.host_model).delay(payload.size());
+    delay += testbed_->link(src_host_model, dst.host_model).delay(payload.size());
   // The modeled transfer occupies the sending thread (see
   // LocalTransport::rsr for the rationale).
   sim::charge_seconds(delay);
+  if (fault.drop) return;  // the sender was still charged for the send
 
   ByteBuffer frame;
   frame.reserve(kHeaderSize + payload.size());
@@ -235,8 +245,10 @@ void TcpTransport::rsr(const EndpointAddr& dst, HandlerId handler, ByteBuffer pa
 
   auto conn = connect_to(dst.tcp_host, dst.tcp_port);
   std::lock_guard<std::mutex> lock(conn->write_mutex);
-  if (!write_full(conn->fd, frame.data(), frame.size()))
-    throw CommFailure("TcpTransport: send to " + dst.to_string() + " failed");
+  const int copies = fault.duplicate ? 2 : 1;
+  for (int i = 0; i < copies; ++i)
+    if (!write_full(conn->fd, frame.data(), frame.size()))
+      throw CommFailure("TcpTransport: send to " + dst.to_string() + " failed");
 }
 
 }  // namespace pardis::transport

@@ -18,6 +18,18 @@ std::shared_ptr<Endpoint> LocalTransport::create_endpoint(const std::string& hos
   return ep;
 }
 
+void apply_fault(const sim::FaultPlan::Decision& d, const EndpointAddr& dst) {
+  if (!d.faulty()) return;
+  if (obs::enabled()) {
+    static obs::Counter& injected = obs::metrics().counter("sim.faults_injected");
+    injected.add(1);
+  }
+  if (d.sever)
+    throw CommFailure("fault injection: peer " + dst.to_string() + " unreachable");
+  if (d.fail_transient)
+    throw TransientError("fault injection: transient send failure to " + dst.to_string());
+}
+
 void LocalTransport::rsr(const EndpointAddr& dst, HandlerId handler, ByteBuffer payload,
                          const std::string& src_host_model) {
   if (dst.kind != AddrKind::kLocal)
@@ -31,6 +43,12 @@ void LocalTransport::rsr(const EndpointAddr& dst, HandlerId handler, ByteBuffer 
   if (!ep || ep->closed())
     throw CommFailure("LocalTransport: no endpoint at " + dst.to_string());
 
+  sim::FaultPlan::Decision fault;
+  if (testbed_ != nullptr && testbed_->faults().active()) {
+    fault = testbed_->faults().on_message(src_host_model, dst.host_model, dst.local_id);
+    apply_fault(fault, dst);  // throws on sever / transient failure
+  }
+
   obs::SpanScope span;
   if (obs::enabled()) {
     if (obs::current_context().valid()) span.open("rsr:local", "transport");
@@ -43,15 +61,24 @@ void LocalTransport::rsr(const EndpointAddr& dst, HandlerId handler, ByteBuffer 
   RsrMessage msg;
   msg.handler = handler;
   msg.little_endian = kNativeLittleEndian;
-  double delay = 0.0;
+  double delay = fault.extra_delay_s;
   if (testbed_ != nullptr && !src_host_model.empty() && !dst.host_model.empty())
-    delay = testbed_->link(src_host_model, dst.host_model).delay(payload.size());
+    delay += testbed_->link(src_host_model, dst.host_model).delay(payload.size());
   // The send occupies the sending thread for the transfer (the paper's
   // non-oneway sends: "the time of send began to approach the
   // execution time of this relatively lightweight application", §4.3).
   sim::charge_seconds(delay);
   msg.sim_time = sim::timestamp_now();
+  if (fault.drop) return;  // the sender was still charged for the send
   msg.payload = std::move(payload);
+  if (fault.duplicate) {
+    RsrMessage copy;
+    copy.handler = msg.handler;
+    copy.little_endian = msg.little_endian;
+    copy.sim_time = msg.sim_time;
+    copy.payload = msg.payload.clone();
+    ep->enqueue(std::move(copy));
+  }
   ep->enqueue(std::move(msg));
 }
 

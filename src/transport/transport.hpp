@@ -28,6 +28,12 @@ class Transport {
                    const std::string& src_host_model) = 0;
 };
 
+/// Applies a fault-plan decision at the sender: bumps the obs counter
+/// and throws CommFailure (sever / killed endpoint) or TransientError
+/// (scheduled transient failure). Drop / duplicate / delay decisions
+/// are left for the transport to carry out. Shared by implementations.
+void apply_fault(const sim::FaultPlan::Decision& d, const EndpointAddr& dst);
+
 /// In-process transport: endpoints live in a process-wide registry and
 /// delivery is a queue push. Used for same-process metaapplications and
 /// for all virtual-time benchmarks (the link model supplies the cost).

@@ -1,0 +1,165 @@
+// pardis_ft wall-clock tests: deadline expiry and deadline-triggered
+// retry. These depend on real time budgets actually elapsing, so they
+// carry the `timing` ctest label and are excluded from sanitizer lanes
+// where wall-clock behavior is distorted.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <memory>
+#include <thread>
+
+#include "ft/ft.hpp"
+#include "tests/support/calc_api.hpp"
+
+namespace pardis::core {
+namespace {
+
+using calc_api::POA_calc;
+using calc_api::vec;
+
+/// counter(ms) counts executions and then busy-polls the POA for `ms`
+/// milliseconds of wall time — the §4.2 nested-dispatch pattern, which
+/// keeps the server ingesting (and deadline-stamping) queued requests
+/// while a long-running operation executes.
+class PollingCountingServant : public POA_calc {
+ public:
+  PollingCountingServant(Poa& poa, std::atomic<int>& calls) : poa_(&poa), calls_(&calls) {}
+  double dot(const vec&, const vec&) override { return 0; }
+  void scale(double, const vec&, vec&) override {}
+  Long counter(Long ms) override {
+    ++*calls_;
+    const auto until = std::chrono::steady_clock::now() + std::chrono::milliseconds(ms);
+    while (std::chrono::steady_clock::now() < until) {
+      poa_->process_requests();
+      std::this_thread::yield();
+    }
+    return ms;
+  }
+  void note(const std::string&) override {}
+  void boom(const std::string&) override {}
+
+ private:
+  Poa* poa_;
+  std::atomic<int>* calls_;
+};
+
+struct FtServer {
+  sim::Testbed tb = sim::Testbed::paper_testbed();
+  transport::LocalTransport tp{&tb};
+  InProcessRegistry reg;
+  Orb orb{tp, reg};
+  std::atomic<int> exec_count{0};
+  rts::Domain domain{"ft-timing-server", 1, tb.host(sim::Testbed::kHost2)};
+  Poa* poa = nullptr;
+
+  explicit FtServer(const std::string& name) {
+    std::promise<Poa*> pp;
+    auto pf = pp.get_future();
+    domain.start([this, name, &pp](rts::DomainContext& sctx) {
+      Poa p(orb, sctx);
+      PollingCountingServant servant(p, exec_count);
+      p.activate_spmd(servant, name);
+      pp.set_value(&p);
+      p.impl_is_ready();
+    });
+    poa = pf.get();
+  }
+
+  void shutdown() {
+    poa->deactivate();
+    domain.join();
+  }
+};
+
+// ---------------------------------------------------------------------------
+// A reply lost in transit: the client-side deadline converts an
+// eternal wait into TimeoutError.
+// ---------------------------------------------------------------------------
+
+TEST(FtDeadline, ExpiresWhenTheReplyIsLost) {
+  FtServer s("deadline-calc");
+  // The first message the server sends back to the (unmodeled) client
+  // host is the reply for the invocation below: lose it.
+  s.tb.faults().drop_message(sim::Testbed::kHost2, "", 0);
+
+  ClientCtx ctx(s.orb);
+  auto proxy = calc_api::calc::_bind(ctx, "deadline-calc");
+  proxy->_binding()->set_deadline(std::chrono::milliseconds(150));
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_THROW(proxy->counter(0), TimeoutError);
+  const auto waited = std::chrono::steady_clock::now() - start;
+  // The wait honored the budget instead of the default 100 ms pump
+  // granularity times forever.
+  EXPECT_GE(waited, std::chrono::milliseconds(150));
+  EXPECT_LT(waited, std::chrono::seconds(5));
+  // The servant did run; only the reply was lost.
+  EXPECT_EQ(s.exec_count.load(), 1);
+  s.shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// A request that outwaits its budget in the server queue is rejected
+// at dispatch-scheduling time — the servant never runs for it.
+// ---------------------------------------------------------------------------
+
+TEST(FtDeadline, ServerQueueRejectionSkipsExpiredDispatch) {
+  FtServer s("queue-calc");
+
+  ClientCtx ctx(s.orb);
+  auto proxy = calc_api::calc::_bind(ctx, "queue-calc");
+  // Invocation A: no deadline; its dispatch polls the POA for 300 ms,
+  // so B below is ingested (and its queue wait measured) right away.
+  Future<Long> fa;
+  proxy->counter_nb(300, fa);
+  // Invocation B: 50 ms budget; sequenced behind A, it waits far
+  // longer than that in the server queue.
+  proxy->_binding()->set_deadline(std::chrono::milliseconds(50));
+  Future<Long> fb;
+  proxy->counter_nb(0, fb);
+
+  EXPECT_EQ(fa.get(), 300);
+  EXPECT_THROW(fb.get(), TimeoutError);
+  // B was rejected with kTimeout at scheduling time, not executed: the
+  // servant ran exactly once (for A).
+  EXPECT_EQ(s.exec_count.load(), 1);
+  s.shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// Deadline-triggered retry of an idempotent invocation whose reply was
+// lost: the re-send keeps the request identity, the POA replays the
+// already-dispatched sequence number, and the second reply resolves
+// the future.
+// ---------------------------------------------------------------------------
+
+TEST(FtRetry, DroppedReplyRetriedAndReplayedByThePoa) {
+  FtServer s("replay-calc");
+  s.tb.faults().drop_message(sim::Testbed::kHost2, "", 0);
+
+  ClientCtx ctx(s.orb);
+  auto binding = ::pardis::core::bind(ctx, "replay-calc", "", calc_api::kCalcTypeId);
+  binding->set_deadline(std::chrono::milliseconds(100));
+
+  ClientRequest req(*binding, "counter", false, false);
+  req.in_value<Long>(7);
+  auto out = std::make_shared<Long>(0);
+  ft::RetryPolicy policy;
+  policy.initial_backoff = std::chrono::milliseconds(1);
+  const int attempts = ft::with_retry(*binding, "counter", policy, [&](int attempt) {
+    auto pending = req.invoke(attempt);
+    pending->set_decoder([out](ReplyDecoder& d) { *out = d.out_value<Long>(); });
+    return pending;
+  });
+
+  EXPECT_EQ(attempts, 2);
+  EXPECT_EQ(*out, 7);
+  // Attempt 1 executed and its reply was dropped; attempt 2 replayed
+  // the dispatch (idempotent) and its reply got through.
+  EXPECT_EQ(s.exec_count.load(), 2);
+  s.shutdown();
+}
+
+}  // namespace
+}  // namespace pardis::core

@@ -381,5 +381,73 @@ TEST(CollocationRule, DifferentModeledHostIsNotCollocated) {
   server.join();
 }
 
+// ---------------------------------------------------------------------------
+// Partial failure across an SPMD reply set: one server rank raises, the
+// rest reply kOk. The error must surface as the typed exception on the
+// client — never a hang waiting for the "missing" OK reply.
+// ---------------------------------------------------------------------------
+
+class PartialFailServant : public POA_calc {
+ public:
+  explicit PartialFailServant(int rank) : rank_(rank) {}
+  double dot(const vec&, const vec&) override { return 0; }
+  void scale(double factor, const vec& v, vec& r) override {
+    if (rank_ == 1) throw BadParam("rank 1 refuses to scale");
+    for (std::size_t i = 0; i < v.local_size(); ++i) r.local()[i] = factor * v.local()[i];
+  }
+  Long counter(Long d) override { return d; }
+  void note(const std::string&) override {}
+  void boom(const std::string&) override {}
+
+ private:
+  int rank_;
+};
+
+TEST(PartialFailure, OneRankErrorSurfacesWithoutHanging) {
+  transport::LocalTransport tp;
+  InProcessRegistry reg;
+  Orb orb(tp, reg);
+  rts::Domain server("partial-fail", 3);
+  std::promise<Poa*> pp;
+  auto pf = pp.get_future();
+  server.start([&](rts::DomainContext& ctx) {
+    Poa poa(orb, ctx);
+    PartialFailServant servant(ctx.rank);
+    poa.activate_spmd(servant, "partial-calc");
+    if (ctx.rank == 0) pp.set_value(&poa);
+    poa.impl_is_ready();
+  });
+  Poa* poa = pf.get();
+
+  ClientCtx ctx(orb);
+  auto binding = ::pardis::core::bind(ctx, "partial-calc", "", calc_api::kCalcTypeId);
+  // scale has a distributed out argument, so the client expects one
+  // reply per server rank — here 2 OKs and 1 error.
+  const std::vector<double> in{1.0, 2.0, 3.0, 4.0, 5.0, 6.0};
+  std::vector<double> out(in.size(), 0.0);
+  ClientRequest req(*binding, "scale", false, true);
+  req.in_value(2.0);
+  auto v = single_view(in);
+  req.in_dseq(v);
+  auto r = single_view(out);
+  req.out_dseq_expected(r.distribution());
+  auto pending = req.invoke();
+  pending->set_decoder([&r](ReplyDecoder& d) { d.out_dseq(r); });
+  EXPECT_THROW(pending->wait(), BadParam);
+
+  // The binding stays usable: the server dispatched and answered; only
+  // this invocation failed.
+  ClientRequest again(*binding, "counter", false, false);
+  again.in_value<Long>(11);
+  auto p2 = again.invoke();
+  auto got = std::make_shared<Long>();
+  p2->set_decoder([got](ReplyDecoder& d) { *got = d.out_value<Long>(); });
+  p2->wait();
+  EXPECT_EQ(*got, 11);
+
+  poa->deactivate();
+  server.join();
+}
+
 }  // namespace
 }  // namespace pardis::core

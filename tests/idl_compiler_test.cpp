@@ -173,6 +173,33 @@ TEST(IdlCodegen, EmitsProxySkeletonAndBothStubs) {
   EXPECT_NE(code.find("using vec_var"), std::string::npos);
 }
 
+TEST(IdlCodegen, IdempotentOpsWrapBlockingStubInRetry) {
+  const std::string code = gen(R"(
+    interface svc {
+      #pragma idempotent
+      long get(in long k);
+      long put(in long k);
+    };
+  )");
+  EXPECT_NE(code.find("pardis::ft::with_retry"), std::string::npos);
+  EXPECT_NE(code.find("#include \"ft/ft.hpp\""), std::string::npos);
+  // Only the idempotent op retries: with_retry appears exactly once
+  // (no dsequence params, so no second single-client mapping).
+  std::size_t n = 0;
+  for (std::size_t pos = code.find("with_retry("); pos != std::string::npos;
+       pos = code.find("with_retry(", pos + 1))
+    ++n;
+  EXPECT_EQ(n, 1u);
+}
+
+TEST(IdlCodegen, NonIdempotentSpecsSkipFtInclude) {
+  const std::string code = gen(R"(
+    interface svc { long get(in long k); };
+  )");
+  EXPECT_EQ(code.find("with_retry"), std::string::npos);
+  EXPECT_EQ(code.find("ft/ft.hpp"), std::string::npos);
+}
+
 TEST(IdlCodegen, ServerSpecsPublishedInDefaultArgSpecs) {
   const std::string code = gen(R"(
     typedef dsequence<double, 64, BLOCK, CONCENTRATED> vec;

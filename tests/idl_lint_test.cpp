@@ -251,6 +251,50 @@ TEST(LintPL008, FlagsDuplicateEnumerator) {
 }
 
 // ---------------------------------------------------------------------------
+// PL009 — #pragma idempotent on oneway operations
+
+TEST(LintPL009, FlagsIdempotentOneway) {
+  const auto diags = lint(R"(
+    interface svc {
+      #pragma idempotent
+      oneway void fire(in long x);
+    };
+  )");
+  ASSERT_TRUE(has_code(diags, "PL009"));
+  const auto& d = first(diags, "PL009");
+  EXPECT_EQ(d.severity, Severity::kWarning);
+  EXPECT_NE(d.message.find("'fire'"), std::string::npos);
+}
+
+TEST(LintPL009, IdempotentTwowayPasses) {
+  const auto diags = lint(R"(
+    interface svc {
+      #pragma idempotent
+      long get(in long key);
+      oneway void fire(in long x);
+    };
+  )");
+  EXPECT_FALSE(has_code(diags, "PL009"));
+}
+
+TEST(LintPL009, PragmaPlacementErrorsAreParseErrors) {
+  // Top level, dangling before '}', and unknown in-body pragmas are the
+  // parser's job, with actionable messages.
+  EXPECT_THROW(lint("#pragma idempotent\ninterface svc { void f(in long x); };"),
+               IdlError);
+  EXPECT_THROW(lint("interface svc { void f(in long x); #pragma idempotent };"),
+               IdlError);
+  EXPECT_THROW(lint("interface svc { #pragma nonsense\n void f(in long x); };"),
+               IdlError);
+  try {
+    lint("#pragma idempotent\ninterface svc { void f(in long x); };");
+    FAIL() << "top-level #pragma idempotent must not parse";
+  } catch (const IdlError& e) {
+    EXPECT_NE(std::string(e.what()).find("inside an interface body"), std::string::npos);
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Renderers
 
 TEST(LintRender, TextUsesGccFormat) {
@@ -295,14 +339,14 @@ TEST(LintFailed, WarningsFailOnlyUnderWerror) {
 
 std::string fixture_dir() { return std::string(PARDIS_TEST_IDL_DIR); }
 
-TEST(LintFixtures, DirtyFixtureReportsAllEightCodes) {
+TEST(LintFixtures, DirtyFixtureReportsAllNineCodes) {
   std::ostringstream out, err;
   const int rc = run({fixture_dir() + "/lint_fixture.idl", "--lint"}, out, err);
   EXPECT_EQ(rc, 1);  // errors present
   const std::string text = out.str();
   for (const char* code :
        {"[PL001]", "[PL002]", "[PL003]", "[PL004]", "[PL005]", "[PL006]", "[PL007]",
-        "[PL008]"})
+        "[PL008]", "[PL009]"})
     EXPECT_NE(text.find(code), std::string::npos) << "missing " << code << "\n" << text;
   // Spot-check golden locations (file:line:col against the committed
   // fixture).
@@ -312,18 +356,24 @@ TEST(LintFixtures, DirtyFixtureReportsAllEightCodes) {
   EXPECT_NE(text.find("lint_fixture.idl:24:24: error: parameter 'template'"),
             std::string::npos)
       << text;
+  EXPECT_NE(text.find("lint_fixture.idl:30:15: warning: #pragma idempotent on oneway "
+                      "operation 'raise_alarm'"),
+            std::string::npos)
+      << text;
 }
 
-TEST(LintFixtures, DirtyFixtureJsonListsAllEightCodes) {
+TEST(LintFixtures, DirtyFixtureJsonListsAllNineCodes) {
   std::ostringstream out, err;
   const int rc = run({fixture_dir() + "/lint_fixture.idl", "--lint-json"}, out, err);
   EXPECT_EQ(rc, 1);
   const std::string json = out.str();
   EXPECT_EQ(json.front(), '[');
-  for (const char* code : {"\"PL001\"", "\"PL002\"", "\"PL003\"", "\"PL004\"",
-                           "\"PL005\"", "\"PL006\"", "\"PL007\"", "\"PL008\""})
+  for (const char* code :
+       {"\"PL001\"", "\"PL002\"", "\"PL003\"", "\"PL004\"", "\"PL005\"", "\"PL006\"",
+        "\"PL007\"", "\"PL008\"", "\"PL009\""})
     EXPECT_NE(json.find(code), std::string::npos) << "missing " << code << "\n" << json;
   EXPECT_NE(json.find("\"line\":5"), std::string::npos);
+  EXPECT_NE(json.find("\"code\":\"PL009\",\"severity\":\"warning\""), std::string::npos);
 }
 
 TEST(LintFixtures, ShippedIdlStaysLintClean) {
