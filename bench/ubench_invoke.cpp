@@ -9,10 +9,13 @@
 //   tcp        — real sockets on localhost.
 // Plus non-blocking issue latency (time until the stub returns) and a
 // payload-size sweep on the local path.
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <future>
 #include <numeric>
+#include <vector>
 
 #include "bench/bench_json.hpp"
 #include "core/stub_support.hpp"
@@ -96,9 +99,132 @@ PathCounts count_paths(int calls, Fn&& fn) {
                     static_cast<double>(transported.value() - t0)};
 }
 
+/// A servant whose counter costs real wall-clock time, so an issue
+/// burst outruns the dispatch loop and the admission controller has
+/// something to shed.
+class SlowCalcImpl : public CalcImpl {
+ public:
+  using CalcImpl::CalcImpl;
+  Long counter(Long d) override {
+    const auto until = std::chrono::steady_clock::now() + std::chrono::microseconds(30);
+    while (std::chrono::steady_clock::now() < until) {
+    }
+    return d + 1;
+  }
+};
+
+double percentile(std::vector<double> samples, double p) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  const auto idx = static_cast<std::size_t>(
+      p * static_cast<double>(samples.size() - 1) + 0.5);
+  return samples[idx];
+}
+
+/// --saturate: floods a watermarked POA with a non-blocking burst and
+/// reports the shed rate plus completion-latency percentiles — the
+/// pardis_flow overload-protection profile.
+int run_saturate(int argc, char** argv) {
+  bench::JsonReport report(argc, argv, "ubench_invoke_saturate");
+  constexpr std::size_t kBurst = 512;
+  constexpr std::size_t kHigh = 32, kLow = 8;
+
+  core::OrbConfig cfg;
+  cfg.poa_high_watermark = kHigh;
+  cfg.poa_low_watermark = kLow;
+  cfg.overload_retry_after = std::chrono::milliseconds(2);
+
+  transport::LocalTransport tp;
+  core::InProcessRegistry reg;
+  core::Orb orb(tp, reg, cfg);
+
+  rts::Domain domain("saturate-server", 1);
+  std::promise<core::Poa*> pp;
+  auto pf = pp.get_future();
+  domain.start([&orb, &pp](rts::DomainContext& dctx) {
+    core::Poa poa(orb, dctx);
+    SlowCalcImpl servant(&dctx.comm);
+    poa.activate_spmd(servant, "saturate-calc");
+    pp.set_value(&poa);
+    poa.impl_is_ready();
+  });
+  core::Poa* poa = pf.get();
+
+  obs::set_enabled(true);
+  obs::Counter& shed_counter = obs::metrics().counter("flow.poa_shed");
+  const std::uint64_t shed0 = shed_counter.value();
+
+  std::printf("# Saturation: burst of %zu non-blocking invocations, "
+              "watermarks %zu/%zu, 30us servant\n",
+              kBurst, kHigh, kLow);
+  {
+    core::ClientCtx ctx(orb);
+    auto proxy = calc::_bind(ctx, "saturate-calc");
+
+    std::vector<core::Future<Long>> futures(kBurst);
+    std::vector<std::chrono::steady_clock::time_point> issued(kBurst);
+    std::vector<double> latency_us(kBurst, 0.0);
+    std::vector<char> done(kBurst, 0);
+
+    for (std::size_t i = 0; i < kBurst; ++i) {
+      issued[i] = std::chrono::steady_clock::now();
+      proxy->counter_nb(static_cast<Long>(i), futures[i]);
+    }
+    // resolved() surfaces a shed request's OverloadError directly
+    // (every future touch rethrows the server's exception), so the
+    // poll itself classifies each completion.
+    std::size_t shed = 0, completed = 0;
+    std::vector<double> ok_latency;
+    ok_latency.reserve(kBurst);
+    std::size_t remaining = kBurst;
+    while (remaining != 0) {
+      for (std::size_t i = 0; i < kBurst; ++i) {
+        if (done[i] != 0) continue;
+        try {
+          if (!futures[i].resolved()) continue;
+          latency_us[i] = std::chrono::duration<double, std::micro>(
+                              std::chrono::steady_clock::now() - issued[i])
+                              .count();
+          (void)futures[i].get();
+          ++completed;
+          ok_latency.push_back(latency_us[i]);
+        } catch (const OverloadError&) {
+          ++shed;
+        }
+        done[i] = 1;
+        --remaining;
+      }
+    }
+    obs::set_enabled(false);
+
+    const double shed_rate = static_cast<double>(shed) / kBurst;
+    const double p50 = percentile(ok_latency, 0.50);
+    const double p99 = percentile(ok_latency, 0.99);
+    std::printf("requests %zu  completed %zu  shed %zu (%.1f%%)\n", kBurst,
+                completed, shed, 100.0 * shed_rate);
+    std::printf("completed latency p50 %.1f us  p99 %.1f us\n", p50, p99);
+    std::printf("server-side sheds (flow.poa_shed): %llu\n",
+                static_cast<unsigned long long>(shed_counter.value() - shed0));
+    report.add("saturate", {{"requests", static_cast<double>(kBurst)},
+                            {"completed", static_cast<double>(completed)},
+                            {"shed", static_cast<double>(shed)},
+                            {"shed_rate", shed_rate},
+                            {"p50_us", p50},
+                            {"p99_us", p99},
+                            {"high_watermark", static_cast<double>(kHigh)},
+                            {"low_watermark", static_cast<double>(kLow)}});
+  }
+
+  poa->deactivate();
+  domain.join();
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--saturate") == 0) return run_saturate(argc, argv);
   bench::JsonReport report(argc, argv, "ubench_invoke");
   std::printf("# Ablation A2: invocation latency by path (wall clock)\n");
   constexpr int kIters = 2000;

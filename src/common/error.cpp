@@ -16,6 +16,7 @@ const char* error_code_name(ErrorCode code) noexcept {
     case ErrorCode::kBadTag: return "BAD_TAG";
     case ErrorCode::kInternal: return "INTERNAL";
     case ErrorCode::kCheckViolation: return "CHECK_VIOLATION";
+    case ErrorCode::kOverload: return "OVERLOAD";
   }
   return "INVALID_CODE";
 }

@@ -24,6 +24,7 @@ enum class ErrorCode {
   kBadTag,         ///< user message tag collides with the PARDIS reserved range
   kInternal,       ///< internal invariant violated
   kCheckViolation, ///< SPMD-discipline violation caught by pardis_check
+  kOverload,       ///< server shed the request under overload; retry later
 };
 
 /// Human-readable name of an ErrorCode ("COMM_FAILURE", ...).
@@ -59,6 +60,22 @@ PARDIS_DEFINE_EXCEPTION(BadTag, kBadTag);
 PARDIS_DEFINE_EXCEPTION(InternalError, kInternal);
 
 #undef PARDIS_DEFINE_EXCEPTION
+
+/// Raised when an overloaded server sheds a request (pardis_flow
+/// admission control), or when the client-side in-flight window is
+/// full under the fail-fast policy. Carries the server's retry-after
+/// hint in milliseconds (0 = none) so retry layers can pace re-sends.
+class OverloadError : public SystemException {
+ public:
+  explicit OverloadError(const std::string& what_arg, unsigned retry_after_ms = 0)
+      : SystemException(ErrorCode::kOverload, what_arg),
+        retry_after_ms_(retry_after_ms) {}
+
+  unsigned retry_after_ms() const noexcept { return retry_after_ms_; }
+
+ private:
+  unsigned retry_after_ms_;
+};
 
 /// Throws InternalError when `cond` is false. Used for invariants that
 /// must hold in release builds as well (protocol state machines).

@@ -2,6 +2,7 @@
 
 #include <cstdlib>
 
+#include "common/error.hpp"
 #include "common/log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/obs.hpp"
@@ -58,9 +59,12 @@ void ClientCtx::pump() {
 
 bool ClientCtx::pump_blocking(std::chrono::milliseconds timeout) {
   harvest_send_failures();
-  auto msg = endpoint_->wait_for(timeout);
-  if (!msg) return false;
-  route(std::move(*msg));
+  auto res = endpoint_->wait_for(timeout);
+  if (res.closed())
+    throw CommFailure("client endpoint closed while awaiting replies: " +
+                      endpoint_->addr().to_string());
+  if (!res.message) return false;
+  route(std::move(*res.message));
   pump();  // drain whatever else arrived with it
   return true;
 }
@@ -110,6 +114,57 @@ void ClientCtx::probe_peers(PendingReply& pending) {
       if (pending.complete()) return;
     }
   }
+}
+
+std::size_t ClientCtx::window_inflight(const std::string& key) const {
+  auto it = inflight_.find(key);
+  return it != inflight_.end() ? static_cast<std::size_t>(it->second) : 0;
+}
+
+void ClientCtx::window_acquire(const std::string& key,
+                               const std::vector<transport::EndpointAddr>& peers) {
+  const std::size_t cap = orb_->config().inflight_window;
+  if (cap == 0 || key.empty()) return;
+  if (window_inflight(key) >= cap) {
+    if (orb_->config().window_policy == OrbConfig::WindowPolicy::kFail) {
+      if (obs::enabled()) {
+        static obs::Counter& rejects = obs::metrics().counter("flow.window_rejects");
+        rejects.add(1);
+      }
+      throw OverloadError("in-flight window to " + key + " is full (" +
+                          std::to_string(cap) + " outstanding)");
+    }
+    if (obs::enabled()) {
+      static obs::Counter& waits = obs::metrics().counter("flow.window_waits");
+      waits.add(1);
+    }
+    // kBlock: pump replies until an outstanding invocation to this peer
+    // completes (its PendingReply releases the slot). SPMD clients
+    // invoke collectively in a uniform order, so every rank blocks at
+    // the same call and no cross-rank deadlock can form.
+    while (window_inflight(key) >= cap) {
+      if (!pump_blocking(std::chrono::milliseconds(100))) {
+        // A whole window with nothing delivered: check the peers are
+        // still alive so a dead server fails the outstanding futures
+        // (releasing their slots) instead of blocking forever.
+        for (const auto& peer : peers) {
+          try {
+            orb_->transport().rsr(peer, transport::kHandlerPing, ByteBuffer(),
+                                  host_model_);
+          } catch (const SystemException& e) {
+            fail_peer(peer, e.what());
+          }
+        }
+      }
+    }
+  }
+  ++inflight_[key];
+}
+
+void ClientCtx::window_release(const std::string& key) noexcept {
+  auto it = inflight_.find(key);
+  if (it == inflight_.end()) return;
+  if (--it->second <= 0) inflight_.erase(it);
 }
 
 void ClientCtx::route(transport::RsrMessage&& msg) {
@@ -263,6 +318,18 @@ std::shared_ptr<PendingReply> ClientRequest::invoke(int attempt) {
   obs::SpanScope span;
   if (obs::enabled()) span.open("invoke:" + operation_, "client");
 
+  // pardis_flow backpressure: one window slot per outstanding
+  // non-oneway invocation, keyed by the object's rank-0 endpoint; held
+  // from the first send until the reply completes or fails (the
+  // PendingReply's release hook), so a re-send attempt claims its own
+  // slot after the failed attempt freed its one at failure time.
+  // Acquired before the sequence number is taken: a kFail rejection
+  // must leave no hole in the binding's invocation order.
+  const std::string window_key = !oneway_ && !ref.thread_eps.empty()
+                                     ? ref.thread_eps[0].to_string()
+                                     : std::string();
+  if (!window_key.empty()) ctx.window_acquire(window_key, ref.thread_eps);
+
   if (attempt == 1) {
     issued_id_ = RequestId::next();
     issued_seq_ = binding_->take_seq();
@@ -287,14 +354,19 @@ std::shared_ptr<PendingReply> ClientRequest::invoke(int attempt) {
   h.attempt = static_cast<ULong>(attempt - 1);
 
   std::uint64_t bytes_out = 0;
-  for (int q = 0; q < server_size(); ++q) {
-    ByteBuffer frame;
-    CdrWriter w(frame);
-    h.marshal(w);
-    frame.append(bodies_[static_cast<std::size_t>(q)].view());
-    bytes_out += frame.size();
-    ctx.send_rsr(ref.thread_eps[static_cast<std::size_t>(q)],
-                 transport::kHandlerOrbRequest, std::move(frame));
+  try {
+    for (int q = 0; q < server_size(); ++q) {
+      ByteBuffer frame;
+      CdrWriter w(frame);
+      h.marshal(w);
+      frame.append(bodies_[static_cast<std::size_t>(q)].view());
+      bytes_out += frame.size();
+      ctx.send_rsr(ref.thread_eps[static_cast<std::size_t>(q)],
+                   transport::kHandlerOrbRequest, std::move(frame));
+    }
+  } catch (...) {
+    if (!window_key.empty()) ctx.window_release(window_key);
+    throw;
   }
   if (obs::enabled()) {
     static obs::Counter& transported =
@@ -309,6 +381,10 @@ std::shared_ptr<PendingReply> ClientRequest::invoke(int attempt) {
 
   const int expected = has_dist_out_ ? server_size() : 1;
   auto pending = std::make_shared<PendingReply>(ctx, h.request_id, expected);
+  if (!window_key.empty())
+    pending->set_release([ctx_ptr = &ctx, window_key] {
+      ctx_ptr->window_release(window_key);
+    });
   pending->set_trace(h.trace, operation_);
   pending->set_peers(ref.thread_eps);
   pending->set_deadline(binding_->deadline());

@@ -77,6 +77,19 @@ class ClientCtx {
   /// delivered — the happy path never probes.
   void probe_peers(PendingReply& pending);
 
+  /// pardis_flow client backpressure: claims one slot of the per-peer
+  /// in-flight window (OrbConfig::inflight_window; key = the target
+  /// object's rank-0 endpoint). A full window blocks pumping replies or
+  /// throws OverloadError per OrbConfig::window_policy; no-op when the
+  /// window is disabled. `peers` are probed when a blocking wait stalls
+  /// so a dead server breaks the outstanding futures instead of
+  /// wedging the window.
+  void window_acquire(const std::string& key,
+                      const std::vector<transport::EndpointAddr>& peers);
+  /// Returns a slot; invoked by the PendingReply holding it when the
+  /// invocation completes (or from invoke()'s unwind path).
+  void window_release(const std::string& key) noexcept;
+
  private:
   void route(transport::RsrMessage&& msg);
   /// Fails the peers of any asynchronous sends the communication
@@ -88,9 +101,13 @@ class ClientCtx {
   int rank_;
   int size_;
   std::string host_model_;
+  std::size_t window_inflight(const std::string& key) const;
+
   std::shared_ptr<transport::Endpoint> endpoint_;
   std::map<std::uint64_t, std::weak_ptr<PendingReply>> pending_;
   std::unique_ptr<CommSender> sender_;
+  /// Outstanding non-oneway invocations per peer key (window_acquire).
+  std::map<std::string, int> inflight_;
 };
 
 /// One client-side binding between a proxy and an object implementation

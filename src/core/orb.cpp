@@ -17,6 +17,33 @@ OrbConfig OrbConfig::from_env() {
       const long ms = std::strtol(v, nullptr, 10);
       if (ms >= 0) c.resolve_timeout = std::chrono::milliseconds(ms);
     }
+    if (const char* v = std::getenv("PARDIS_POA_HIGH_WATERMARK")) {
+      const long n = std::strtol(v, nullptr, 10);
+      if (n >= 0) c.poa_high_watermark = static_cast<std::size_t>(n);
+    }
+    if (const char* v = std::getenv("PARDIS_POA_LOW_WATERMARK")) {
+      const long n = std::strtol(v, nullptr, 10);
+      if (n >= 0) c.poa_low_watermark = static_cast<std::size_t>(n);
+    }
+    if (const char* v = std::getenv("PARDIS_OVERLOAD_RETRY_AFTER_MS")) {
+      const long ms = std::strtol(v, nullptr, 10);
+      if (ms >= 0) c.overload_retry_after = std::chrono::milliseconds(ms);
+    }
+    if (const char* v = std::getenv("PARDIS_INFLIGHT_WINDOW")) {
+      const long n = std::strtol(v, nullptr, 10);
+      if (n >= 0) c.inflight_window = static_cast<std::size_t>(n);
+    }
+    if (const char* v = std::getenv("PARDIS_WINDOW_POLICY")) {
+      const std::string s(v);
+      if (s == "fail") c.window_policy = OrbConfig::WindowPolicy::kFail;
+      else if (s == "block") c.window_policy = OrbConfig::WindowPolicy::kBlock;
+      else PARDIS_LOG(kWarn, "orb") << "PARDIS_WINDOW_POLICY '" << s
+                                    << "' unknown (want block|fail), keeping block";
+    }
+    if (const char* v = std::getenv("PARDIS_LISTEN_BACKLOG")) {
+      const long n = std::strtol(v, nullptr, 10);
+      if (n > 0) c.listen_backlog = static_cast<int>(n);
+    }
     return c;
   }();
   return cached;

@@ -28,8 +28,39 @@ struct OrbConfig {
   /// complete before throwing ObjectNotExist.
   std::chrono::milliseconds resolve_timeout{5000};
 
-  /// Defaults overridden by the environment: PARDIS_RESOLVE_TIMEOUT_MS
-  /// (read once per process).
+  // --- pardis_flow: overload protection and backpressure ---------------
+
+  /// POA admission watermarks (per server thread, counted over the
+  /// request-assembly queue). Past `poa_high_watermark`, new requests
+  /// are shed with kOverload until the queue drains to
+  /// `poa_low_watermark`; 0 disables admission control entirely. A low
+  /// watermark of 0 with a nonzero high defaults to high/2.
+  std::size_t poa_high_watermark = 0;
+  std::size_t poa_low_watermark = 0;
+
+  /// Retry-after hint carried on kOverload replies (kReplyFlagRetryAfter).
+  std::chrono::milliseconds overload_retry_after{50};
+
+  /// Client-side backpressure: max outstanding non-oneway transported
+  /// invocations per peer object; 0 disables the window.
+  std::size_t inflight_window = 0;
+
+  /// What a full window does to the next invoke: block (pumping
+  /// replies; the SPMD-safe default — collective invocation order
+  /// makes every rank block at the same call) or fail fast with
+  /// OverloadError.
+  enum class WindowPolicy { kBlock, kFail };
+  WindowPolicy window_policy = WindowPolicy::kBlock;
+
+  /// Kernel accept-queue depth for TcpTransport listeners; 0 keeps the
+  /// transport default (PARDIS_LISTEN_BACKLOG or 64).
+  int listen_backlog = 0;
+
+  /// Defaults overridden by the environment (read once per process):
+  /// PARDIS_RESOLVE_TIMEOUT_MS, PARDIS_POA_HIGH_WATERMARK,
+  /// PARDIS_POA_LOW_WATERMARK, PARDIS_OVERLOAD_RETRY_AFTER_MS,
+  /// PARDIS_INFLIGHT_WINDOW, PARDIS_WINDOW_POLICY (block|fail),
+  /// PARDIS_LISTEN_BACKLOG.
   static OrbConfig from_env();
 };
 

@@ -29,6 +29,14 @@ void PendingReply::fail(ErrorCode code, std::string message) {
     static obs::Counter& failed = obs::metrics().counter("ft.futures_failed");
     failed.add(1);
   }
+  maybe_release();
+}
+
+void PendingReply::maybe_release() noexcept {
+  if (!release_) return;
+  auto fn = std::move(release_);
+  release_ = nullptr;
+  fn();
 }
 
 bool PendingReply::deadline_expired() {
@@ -50,12 +58,13 @@ PendingReply::PendingReply(ClientCtx& ctx, RequestId id, int expected)
   bodies_.reserve(static_cast<std::size_t>(expected));
 }
 
-PendingReply::~PendingReply() = default;
+PendingReply::~PendingReply() { maybe_release(); }
 
 void PendingReply::deliver(const ReplyHeader& header, bool little, ByteBuffer body) {
   if (failed_) return;  // locally failed; late replies are moot
   if (header.status != ReplyStatus::kOk) {
     if (!error_) error_ = header;  // first error wins; later bodies are moot
+    maybe_release();
     return;
   }
   // One body per server rank: an injected duplicate or a replayed
@@ -64,6 +73,7 @@ void PendingReply::deliver(const ReplyHeader& header, bool little, ByteBuffer bo
     if (b.server_rank == header.server_rank) return;
   bodies_.push_back(RawBody{header.server_rank, little, std::move(body)});
   ++received_;
+  if (complete()) maybe_release();
 }
 
 void PendingReply::finish() {

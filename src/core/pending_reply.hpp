@@ -95,6 +95,11 @@ class PendingReply {
   }
   const std::vector<transport::EndpointAddr>& peers() const noexcept { return peers_; }
 
+  /// pardis_flow: hook returning this invocation's in-flight window
+  /// slot. Fired exactly once, at the earlier of completion (full
+  /// delivery, error reply, or local failure) and destruction.
+  void set_release(std::function<void()> release) { release_ = std::move(release); }
+
   /// Terminal local failure (expired deadline, severed peer, failed
   /// send): every future of this invocation then throws the matching
   /// typed exception. The first failure — local or a delivered error
@@ -121,6 +126,8 @@ class PendingReply {
   /// Fails the reply with kTimeout once the deadline passed; returns
   /// true when the reply is (now) failed.
   bool deadline_expired();
+  /// Fires the release hook (once).
+  void maybe_release() noexcept;
 
   ClientCtx* ctx_;
   RequestId id_;
@@ -139,6 +146,7 @@ class PendingReply {
   std::chrono::milliseconds deadline_budget_{0};
   bool has_deadline_ = false;
   std::function<void(ReplyDecoder&)> decoder_;
+  std::function<void()> release_;
   bool decoded_ = false;
   obs::TraceContext trace_;
   std::string operation_;

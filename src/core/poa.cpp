@@ -50,6 +50,12 @@ Poa::Poa(Orb& orb, rts::DomainContext& dctx)
       host_model_(dctx.host != nullptr ? dctx.host->name : "") {
   endpoint_ = orb_->transport().create_endpoint(host_model_);
 
+  const OrbConfig& cfg = orb_->config();
+  high_watermark_ = cfg.poa_high_watermark;
+  low_watermark_ = cfg.poa_low_watermark != 0 ? cfg.poa_low_watermark
+                                              : cfg.poa_high_watermark / 2;
+  overload_retry_after_ms_ = static_cast<ULong>(cfg.overload_retry_after.count());
+
   auto* fresh = rank_ == 0 ? new PoaShared(orb, size_) : nullptr;
   const auto addr =
       rts::broadcast_value<ULongLong>(*comm_, reinterpret_cast<ULongLong>(fresh), 0);
@@ -197,6 +203,17 @@ void Poa::ingest(transport::RsrMessage&& msg) {
   // replayed.
   auto ns = next_seq_.find(header.binding_id);
   if (ns != next_seq_.end() && header.seq_no < ns->second && !header.retry()) return;
+  // Admission control applies only to genuinely new requests: a later
+  // body of a matrix already assembling must never be shed (it would
+  // tear the assembly and strand the other ranks' bodies).
+  if (high_watermark_ != 0 && assembling_.find(key) == assembling_.end() &&
+      shed_if_overloaded(header)) {
+    // The shed request consumed a slot in the binding's invocation
+    // order; mark the hole so the dispatch horizon skips it instead of
+    // waiting forever (a retry re-fills the slot and voids the marker).
+    shed_seqs_[header.binding_id].insert(header.seq_no);
+    return;
+  }
   Assembling& a = assembling_[key];
   if (a.bodies.empty()) {
     a.header = header;
@@ -206,6 +223,72 @@ void Poa::ingest(transport::RsrMessage&& msg) {
   // retry re-send of a piece we already have cannot tear the assembly.
   a.bodies.emplace(header.client_rank, std::move(body));
   if (a.complete()) a.complete_order = ++completion_counter_;
+  depth_mirror_.store(assembling_.size(), std::memory_order_relaxed);
+}
+
+void Poa::update_overload_state() {
+  // Expired-deadline requests do not count toward the load: they are
+  // rejected with kTimeout at schedule time without running the
+  // servant, so a seat held by one must never cost a live request its
+  // admission — expired requests shed first, by construction.
+  std::size_t depth = 0;
+  for (const auto& [key, a] : assembling_)
+    if (!(a.complete() && deadline_passed(a))) ++depth;
+  if (!overloaded_ && depth >= high_watermark_) {
+    overloaded_ = true;
+    if (obs::enabled()) {
+      static obs::Counter& entered = obs::metrics().counter("flow.poa_overload_entered");
+      entered.add(1);
+    }
+    PARDIS_LOG(kWarn, "poa") << "rank " << rank_ << " overloaded: " << depth
+                             << " queued requests (high watermark " << high_watermark_
+                             << "); shedding until " << low_watermark_;
+  } else if (overloaded_ && depth <= low_watermark_) {
+    overloaded_ = false;
+  }
+}
+
+bool Poa::shed_if_overloaded(const RequestHeader& header) {
+  if (obs::enabled()) {
+    static obs::Histogram& depth = obs::metrics().histogram("poa.queue_depth");
+    depth.record(static_cast<double>(assembling_.size()));
+  }
+  update_overload_state();
+  if (overloaded_) {
+    // Expired-deadline requests shed first: free the seats held by
+    // requests nobody waits for anymore before rejecting a live one.
+    // Restricted to this rank's single-object queue — collective
+    // expiry stays with the rank-0 schedule (kSchedExpired), where all
+    // ranks agree on it.
+    if (dispatch_ready_singles(/*expired_only=*/true) > 0) update_overload_state();
+  }
+  if (!overloaded_) return false;
+
+  if (obs::enabled()) {
+    static obs::Counter& shed = obs::metrics().counter("flow.poa_shed");
+    shed.add(1);
+  }
+  if (!header.oneway()) {
+    ReplyHeader eh;
+    eh.request_id = header.request_id;
+    eh.server_rank = rank_;
+    eh.server_size = size_;
+    eh.status = ReplyStatus::kSystemException;
+    eh.error_code = ErrorCode::kOverload;
+    eh.error_message = "server overloaded: '" + header.operation + "' shed at " +
+                       std::to_string(assembling_.size()) + " queued requests";
+    eh.retry_after_ms = overload_retry_after_ms_;
+    ByteBuffer frame;
+    CdrWriter w(frame);
+    eh.marshal(w);
+    try {
+      orb_->transport().rsr(header.reply_to, transport::kHandlerOrbReply,
+                            std::move(frame), host_model_);
+    } catch (const SystemException& e) {
+      PARDIS_LOG(kWarn, "poa") << "overload reply undeliverable: " << e.what();
+    }
+  }
+  return true;
 }
 
 bool Poa::deadline_passed(const Assembling& a) const {
@@ -219,6 +302,7 @@ void Poa::dispatch(Key key, bool expired) {
   require(it != assembling_.end(), "poa: dispatching unknown request");
   Assembling a = std::move(it->second);
   assembling_.erase(it);
+  depth_mirror_.store(assembling_.size(), std::memory_order_relaxed);
 
   const PoaShared::ObjEntry* entry = shared_->find(a.header.object_id.value);
   require(entry != nullptr, "poa: object vanished before dispatch");
@@ -289,10 +373,28 @@ void Poa::dispatch(Key key, bool expired) {
   // regress the binding's horizon.
   ULong& next = next_seq_[key.first];
   if (key.second + 1 > next) next = key.second + 1;
+  // Consume shed holes now adjacent to the horizon, so the binding's
+  // next in-order request is not held up by one that was never
+  // admitted.
+  expected_seq(next_seq_, key.first);
   scheduled_replays_.erase(key);
 }
 
-int Poa::dispatch_ready_singles() {
+ULong Poa::expected_seq(std::map<ULongLong, ULong>& next_map, ULongLong binding_id) {
+  ULong& next = next_map[binding_id];
+  auto sh = shed_seqs_.find(binding_id);
+  if (sh == shed_seqs_.end()) return next;
+  auto& seqs = sh->second;
+  seqs.erase(seqs.begin(), seqs.lower_bound(next));  // stale: retried and admitted
+  while (!seqs.empty() && *seqs.begin() == next) {
+    seqs.erase(seqs.begin());
+    ++next;
+  }
+  if (seqs.empty()) shed_seqs_.erase(sh);
+  return next;
+}
+
+int Poa::dispatch_ready_singles(bool expired_only) {
   int dispatched = 0;
   bool progressed = true;
   while (progressed) {
@@ -301,13 +403,13 @@ int Poa::dispatch_ready_singles() {
       if (!it->second.complete()) continue;
       const PoaShared::ObjEntry* entry = shared_->find(it->second.header.object_id.value);
       if (entry == nullptr || entry->spmd || entry->owner_rank != rank_) continue;
-      auto ns = next_seq_.find(it->first.first);
-      const ULong expected = ns != next_seq_.end() ? ns->second : 0;
+      const ULong expected = expected_seq(next_seq_, it->first.first);
       // In-order dispatch, plus replays: a retry-flagged request below
       // the horizon re-executes (idempotent; its replies were lost).
       const bool replay = it->second.header.retry() && it->first.second < expected;
       if (!replay && it->first.second != expected) continue;
       const bool expired = deadline_passed(it->second);
+      if (expired_only && !expired) continue;
       dispatch(it->first, expired);
       ++dispatched;
       progressed = true;
@@ -321,9 +423,13 @@ void Poa::wait_until_assembled(const Key& key) {
   for (;;) {
     auto it = assembling_.find(key);
     if (it != assembling_.end() && it->second.complete()) return;
-    auto msg = endpoint_->wait_for(std::chrono::milliseconds(200));
-    if (msg) {
-      ingest(std::move(*msg));
+    auto res = endpoint_->wait_for(std::chrono::milliseconds(200));
+    if (res.closed())
+      throw CommFailure("POA endpoint closed while assembling " +
+                        std::to_string(key.first) + "#" +
+                        std::to_string(key.second));
+    if (res.message) {
+      ingest(std::move(*res.message));
       drain();
     }
   }
@@ -346,6 +452,23 @@ int Poa::round(bool& deactivated) {
     };
     std::vector<Sched> ready;
     std::map<ULongLong, ULong> next = next_seq_;
+    // Working copies: the schedule simulation must not advance the
+    // real horizon (dispatch does that when the entries execute), so
+    // shed holes are skipped against copies too.
+    std::map<ULongLong, std::set<ULong>> holes = shed_seqs_;
+    auto local_expected = [&next, &holes](ULongLong binding_id) {
+      ULong& n = next[binding_id];
+      auto sh = holes.find(binding_id);
+      if (sh != holes.end()) {
+        auto& seqs = sh->second;
+        seqs.erase(seqs.begin(), seqs.lower_bound(n));
+        while (!seqs.empty() && *seqs.begin() == n) {
+          seqs.erase(seqs.begin());
+          ++n;
+        }
+      }
+      return n;
+    };
     bool progressed = true;
     while (progressed) {
       progressed = false;
@@ -360,8 +483,7 @@ int Poa::round(bool& deactivated) {
                          [&key_ref = key](const Sched& s) { return s.key == key_ref; }) !=
             ready.end())
           continue;
-        auto ns = next.find(key.first);
-        const ULong expected = ns != next.end() ? ns->second : 0;
+        const ULong expected = local_expected(key.first);
         // In-order dispatch, plus replays: a retry-flagged request
         // below the horizon re-executes (idempotent; replies lost).
         // The coordinator decides uniformly for all threads, so a
@@ -465,8 +587,11 @@ void Poa::impl_is_ready() {
   for (;;) {
     if (rank_ == 0 && endpoint_->pending() == 0 && assembling_.empty()) {
       // Pace idle rounds so the polling loop does not spin.
-      if (auto msg = endpoint_->wait_for(std::chrono::milliseconds(2)))
-        ingest(std::move(*msg));
+      auto res = endpoint_->wait_for(std::chrono::milliseconds(2));
+      if (res.closed())
+        throw CommFailure("POA endpoint closed while serving: " +
+                          endpoint_->addr().to_string());
+      if (res.message) ingest(std::move(*res.message));
     }
     bool deactivated = false;
     round(deactivated);

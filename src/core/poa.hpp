@@ -18,6 +18,7 @@
 // over the threads of a parallel server.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <deque>
@@ -73,6 +74,13 @@ class Poa {
   /// Callable from servant code or any other thread.
   void deactivate();
 
+  /// Requests ingested but not yet dispatched on this rank — the depth
+  /// the admission watermarks measure. Thread-safe (a relaxed mirror of
+  /// the queue size), for tests and diagnostics.
+  std::size_t pending_requests() const noexcept {
+    return depth_mirror_.load(std::memory_order_relaxed);
+  }
+
  private:
   struct Assembling {
     RequestHeader header;          // representative (first body seen)
@@ -89,7 +97,25 @@ class Poa {
 
   void drain();
   void ingest(transport::RsrMessage&& msg);
-  int dispatch_ready_singles();
+  /// With `expired_only`, dispatches only deadline-expired entries
+  /// (each answers kTimeout without running the servant) — the
+  /// admission controller's expired-first eviction path.
+  int dispatch_ready_singles(bool expired_only = false);
+  /// pardis_flow admission control: recomputes the overloaded_
+  /// hysteresis state from the assembly-queue depth.
+  void update_overload_state();
+  /// True when admission control rejected this new request; the caller
+  /// (ingest) then drops it without assembling. Sends the kOverload
+  /// reply (with the retry-after hint) unless the request is oneway.
+  bool shed_if_overloaded(const RequestHeader& header);
+  /// The binding's next in-order sequence number out of `next_map`
+  /// (next_seq_, or the rank-0 scheduler's working copy), after
+  /// consuming any contiguous run of shed sequence numbers: an
+  /// admission-rejected request leaves a hole in the binding's
+  /// invocation order that the dispatch horizon must skip, not wait
+  /// on. Markers below the horizon (the request was re-sent with the
+  /// retry flag and admitted) are dropped as stale.
+  ULong expected_seq(std::map<ULongLong, ULong>& next_map, ULongLong binding_id);
   /// `key` is taken by value: callers pass references into
   /// `assembling_`, which dispatch erases before using the key again.
   /// With `expired`, the servant is not run: every client rank gets a
@@ -112,6 +138,9 @@ class Poa {
 
   std::map<Key, Assembling> assembling_;
   std::map<ULongLong, ULong> next_seq_;  // per binding
+  /// Sequence numbers shed by admission control, per binding: holes
+  /// the in-order gate skips (consumed by expected_seq).
+  std::map<ULongLong, std::set<ULong>> shed_seqs_;
   /// Replayed dispatches (retry-flagged, seq below the binding's next)
   /// the coordinator has put into a schedule but not yet dispatched:
   /// keeps one replay from landing in two outstanding schedules when a
@@ -119,6 +148,17 @@ class Poa {
   std::set<Key> scheduled_replays_;
   std::uint64_t completion_counter_ = 0;
   ULongLong round_serial_ = 0;
+
+  // pardis_flow admission control (constants cached from OrbConfig;
+  // high_ == 0 disables it). Per-rank state: each server thread guards
+  // its own assembly queue, so SPMD ranks stay free of extra
+  // coordination — a rank that sheds answers kOverload for its slice
+  // and the client's coordinated retry re-sends the whole matrix.
+  std::size_t high_watermark_ = 0;
+  std::size_t low_watermark_ = 0;
+  ULong overload_retry_after_ms_ = 0;
+  bool overloaded_ = false;
+  std::atomic<std::size_t> depth_mirror_{0};
 };
 
 }  // namespace pardis::core

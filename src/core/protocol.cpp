@@ -58,7 +58,8 @@ void ReplyHeader::marshal(CdrWriter& w) const {
   w.write_long(server_rank);
   w.write_long(server_size);
   w.write_octet(static_cast<Octet>(static_cast<Octet>(status) |
-                                   (trace.valid() ? kReplyFlagTraced : 0)));
+                                   (trace.valid() ? kReplyFlagTraced : 0) |
+                                   (retry_after_ms != 0 ? kReplyFlagRetryAfter : 0)));
   if (status != ReplyStatus::kOk) {
     w.write_octet(static_cast<Octet>(error_code));
     w.write_string(error_message);
@@ -67,6 +68,7 @@ void ReplyHeader::marshal(CdrWriter& w) const {
     w.write_ulonglong(trace.trace_id);
     w.write_ulonglong(trace.span_id);
   }
+  if (retry_after_ms != 0) w.write_ulong(retry_after_ms);
 }
 
 ReplyHeader ReplyHeader::unmarshal(CdrReader& r) {
@@ -76,7 +78,9 @@ ReplyHeader ReplyHeader::unmarshal(CdrReader& r) {
   h.server_size = r.read_long();
   const Octet raw_status = r.read_octet();
   const bool traced = (raw_status & kReplyFlagTraced) != 0;
-  const Octet status = static_cast<Octet>(raw_status & ~kReplyFlagTraced);
+  const bool retry_after = (raw_status & kReplyFlagRetryAfter) != 0;
+  const Octet status =
+      static_cast<Octet>(raw_status & ~(kReplyFlagTraced | kReplyFlagRetryAfter));
   if (status > static_cast<Octet>(ReplyStatus::kSystemException))
     throw MarshalError("ReplyHeader: bad status octet");
   h.status = static_cast<ReplyStatus>(status);
@@ -88,10 +92,14 @@ ReplyHeader ReplyHeader::unmarshal(CdrReader& r) {
     h.trace.trace_id = r.read_ulonglong();
     h.trace.span_id = r.read_ulonglong();
   }
+  if (retry_after) h.retry_after_ms = r.read_ulong();
   return h;
 }
 
 void throw_reply_error(const ReplyHeader& header) {
+  if (header.error_code == ErrorCode::kOverload)
+    throw OverloadError("(from server) " + header.error_message,
+                        header.retry_after_ms);
   throw_error_code(header.error_code, "(from server) " + header.error_message);
 }
 
@@ -106,6 +114,7 @@ void throw_error_code(ErrorCode code, const std::string& message) {
     case ErrorCode::kTransient: throw TransientError(message);
     case ErrorCode::kTimeout: throw TimeoutError(message);
     case ErrorCode::kBadTag: throw BadTag(message);
+    case ErrorCode::kOverload: throw OverloadError(message);
     default: throw InternalError(message);
   }
 }

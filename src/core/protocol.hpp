@@ -69,6 +69,11 @@ enum class ReplyStatus : Octet {
 /// the status octet keeps the untraced reply byte-identical to the
 /// pre-observability wire format.
 inline constexpr Octet kReplyFlagTraced = 0x80;
+/// Next status bit down: retry-after hint appended (pardis_flow
+/// overload shedding). Only ever set on kOverload error replies, which
+/// exist only when admission control is enabled, so a flow-disabled
+/// reply stays byte-identical to the pre-flow wire format.
+inline constexpr Octet kReplyFlagRetryAfter = 0x40;
 
 struct ReplyHeader {
   RequestId request_id;  ///< echo of the client thread's request id
@@ -80,6 +85,10 @@ struct ReplyHeader {
   /// Server-side dispatch span (same trace id the request carried);
   /// marshaled only when valid (kReplyFlagTraced).
   obs::TraceContext trace;
+  /// Overload shed hint: how long the client should wait before
+  /// re-sending, in milliseconds. Marshaled only when nonzero
+  /// (kReplyFlagRetryAfter); honored by ft::with_retry.
+  ULong retry_after_ms = 0;
 
   void marshal(CdrWriter& w) const;
   static ReplyHeader unmarshal(CdrReader& r);

@@ -1,0 +1,311 @@
+#include "flow/session_transport.hpp"
+
+#include <cstdlib>
+#include <thread>
+
+#include "common/cdr.hpp"
+#include "common/log.hpp"
+#include "ft/ft.hpp"
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
+
+namespace pardis::flow {
+
+namespace {
+
+bool env_flag(const char* name) {
+  const char* v = std::getenv(name);
+  if (v == nullptr) return false;
+  const std::string s(v);
+  return s == "1" || s == "true" || s == "on" || s == "yes";
+}
+
+unsigned env_unsigned(const char* name, unsigned fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  const long n = std::strtol(v, nullptr, 10);
+  return n > 0 ? static_cast<unsigned>(n) : fallback;
+}
+
+}  // namespace
+
+SessionTransport::Options SessionTransport::Options::from_env() {
+  static const Options cached = [] {
+    Options o;
+    o.enabled = env_flag("PARDIS_SESSIONS");
+    o.max_reconnects =
+        static_cast<int>(env_unsigned("PARDIS_SESSION_RECONNECTS", 8));
+    o.backoff_ms = env_unsigned("PARDIS_SESSION_BACKOFF_MS", 10);
+    o.window = env_unsigned("PARDIS_SESSION_WINDOW", 256);
+    o.window_stall_ms = env_unsigned("PARDIS_SESSION_STALL_MS", 10000);
+    return o;
+  }();
+  return cached;
+}
+
+SessionTransport::SessionTransport(transport::Transport& inner, Options opts)
+    : inner_(&inner), opts_(opts) {
+  if (opts_.window == 0) opts_.window = 1;
+}
+
+SessionTransport::~SessionTransport() {
+  std::lock_guard<std::mutex> lock(out_mutex_);
+  for (auto& [host, ep] : ack_eps_) ep->close();
+}
+
+std::shared_ptr<transport::Endpoint> SessionTransport::create_endpoint(
+    const std::string& host_model) {
+  auto ep = inner_->create_endpoint(host_model);
+  if (opts_.enabled) {
+    // Demux: unwrap session envelopes before they reach the owner's
+    // queue; everything else (a disabled peer, control traffic)
+    // delivers untouched.
+    ep->set_delivery_filter([this, host_model](transport::RsrMessage& msg) {
+      if (msg.handler == transport::kHandlerSessionData)
+        return on_session_data(msg, host_model);
+      if (msg.handler == transport::kHandlerSessionAck) return on_session_ack(msg);
+      return false;
+    });
+  }
+  return ep;
+}
+
+std::shared_ptr<SessionTransport::OutSession> SessionTransport::out_session(
+    const transport::EndpointAddr& dst, const std::string& src_host_model) {
+  const std::string key = dst.to_string();
+  std::lock_guard<std::mutex> lock(out_mutex_);
+  auto it = out_.find(key);
+  if (it != out_.end()) return it->second;
+
+  auto& ack_ep = ack_eps_[src_host_model];
+  if (!ack_ep) {
+    ack_ep = inner_->create_endpoint(src_host_model);
+    ack_ep->set_delivery_filter(
+        [this](transport::RsrMessage& msg) { return on_session_ack(msg); });
+  }
+  auto s = std::make_shared<OutSession>();
+  s->id = next_session_id_++;
+  s->ack_to = ack_ep->addr();
+  out_[key] = s;
+  out_by_id_[s->id] = s;
+  return s;
+}
+
+ByteBuffer SessionTransport::make_envelope(const OutSession& s, const Frame& f) const {
+  ByteBuffer env;
+  CdrWriter w(env);
+  s.ack_to.marshal(w);
+  w.write_ulonglong(s.id);
+  w.write_ulonglong(f.seq);
+  w.write_ulong(f.handler);
+  env.append(f.payload.view());
+  return env;
+}
+
+void SessionTransport::rsr(const transport::EndpointAddr& dst,
+                           transport::HandlerId handler, ByteBuffer payload,
+                           const std::string& src_host_model) {
+  // Probes must exercise the raw path (a replayed probe would mask the
+  // dead peer it exists to detect); session control frames are already
+  // at the bottom of the stack.
+  if (!opts_.enabled || handler == transport::kHandlerPing ||
+      handler == transport::kHandlerSessionData ||
+      handler == transport::kHandlerSessionAck) {
+    inner_->rsr(dst, handler, std::move(payload), src_host_model);
+    return;
+  }
+
+  auto s = out_session(dst, src_host_model);
+  // Wire order must match sequence order: the whole assign-and-send is
+  // serialized per peer. The ack path never takes send_mutex, so acks
+  // (delivered synchronously by LocalTransport on this very thread)
+  // still get through.
+  std::lock_guard<std::mutex> send_lock(s->send_mutex);
+  Frame frame;
+  {
+    std::unique_lock<std::mutex> st(s->state_mutex);
+    const auto stall_deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::milliseconds(opts_.window_stall_ms);
+    while (s->unacked.size() >= opts_.window) {
+      if (obs::enabled()) {
+        static obs::Counter& waits = obs::metrics().counter("flow.session_window_waits");
+        waits.add(1);
+      }
+      if (s->acked_cv.wait_until(st, stall_deadline) == std::cv_status::timeout &&
+          s->unacked.size() >= opts_.window)
+        throw CommFailure("session to " + dst.to_string() + " stalled: " +
+                          std::to_string(s->unacked.size()) +
+                          " frames unacked for " +
+                          std::to_string(opts_.window_stall_ms) + " ms");
+    }
+    frame.seq = s->next_seq++;
+    frame.handler = handler;
+    frame.payload = std::move(payload);
+    s->unacked.push_back(Frame{frame.seq, frame.handler, frame.payload.clone()});
+  }
+  if (obs::enabled()) {
+    static obs::Counter& frames = obs::metrics().counter("flow.session_frames");
+    frames.add(1);
+  }
+  try {
+    inner_->rsr(dst, transport::kHandlerSessionData, make_envelope(*s, frame),
+                src_host_model);
+  } catch (const CommFailure& e) {
+    reconnect_and_replay(*s, dst, src_host_model, e.what());
+  }
+}
+
+void SessionTransport::reconnect_and_replay(OutSession& s,
+                                            const transport::EndpointAddr& dst,
+                                            const std::string& src_host_model,
+                                            const std::string& why) {
+  ft::RetryPolicy policy;
+  policy.max_attempts = opts_.max_reconnects;
+  policy.initial_backoff = std::chrono::milliseconds(opts_.backoff_ms);
+  PARDIS_LOG(kWarn, "flow") << "session to " << dst.to_string() << " broke (" << why
+                            << "); reconnecting (budget " << opts_.max_reconnects << ")";
+  for (int attempt = 1; attempt <= opts_.max_reconnects; ++attempt) {
+    if (obs::enabled()) {
+      static obs::Counter& reconnects = obs::metrics().counter("flow.session_reconnects");
+      reconnects.add(1);
+    }
+    std::this_thread::sleep_for(ft::backoff_delay(policy, attempt, s.id));
+    // Replay everything unacked, in order. The snapshot is taken
+    // without holding state_mutex across the sends: acks for replayed
+    // frames may arrive (and prune) while we are still sending.
+    std::deque<Frame> snapshot;
+    {
+      std::lock_guard<std::mutex> st(s.state_mutex);
+      for (const Frame& f : s.unacked)
+        snapshot.push_back(Frame{f.seq, f.handler, f.payload.clone()});
+    }
+    try {
+      for (const Frame& f : snapshot)
+        inner_->rsr(dst, transport::kHandlerSessionData, make_envelope(s, f),
+                    src_host_model);
+      if (obs::enabled()) {
+        static obs::Counter& resumed = obs::metrics().counter("flow.sessions_resumed");
+        resumed.add(1);
+      }
+      PARDIS_LOG(kInfo, "flow") << "session to " << dst.to_string() << " resumed after "
+                                << attempt << " attempt(s), replayed "
+                                << snapshot.size() << " frame(s)";
+      return;
+    } catch (const CommFailure&) {
+      continue;  // still down; next backoff
+    }
+  }
+  if (obs::enabled()) {
+    static obs::Counter& lost = obs::metrics().counter("flow.sessions_lost");
+    lost.add(1);
+  }
+  throw CommFailure("session to " + dst.to_string() + " lost: " + why + " (" +
+                    std::to_string(opts_.max_reconnects) +
+                    " reconnect attempts exhausted)");
+}
+
+bool SessionTransport::on_session_data(transport::RsrMessage& msg,
+                                       const std::string& rx_host_model) {
+  transport::EndpointAddr ack_to;
+  std::uint64_t sid = 0;
+  std::uint64_t seq = 0;
+  ULong inner_handler = 0;
+  std::size_t body_offset = 0;
+  try {
+    CdrReader r(msg.payload.view(), msg.little_endian);
+    ack_to = transport::EndpointAddr::unmarshal(r);
+    sid = r.read_ulonglong();
+    seq = r.read_ulonglong();
+    inner_handler = r.read_ulong();
+    body_offset = r.offset();
+  } catch (const MarshalError& e) {
+    PARDIS_LOG(kWarn, "flow") << "bad session envelope dropped: " << e.what();
+    return true;
+  }
+
+  bool deliver = false;
+  std::uint64_t ack_val = 0;
+  {
+    const std::string skey = ack_to.to_string() + "#" + std::to_string(sid);
+    std::lock_guard<std::mutex> lock(in_mutex_);
+    std::uint64_t& next = in_next_[skey];
+    if (seq < next) {
+      // Replayed duplicate: already delivered; just re-ack so the
+      // sender can prune.
+      deliver = false;
+    } else {
+      if (seq > next) {
+        // A silent drop upstream (not a sever — those frames replay).
+        // Resync; the lost frames remain lost, as they would be on the
+        // raw transport, and ft::with_retry recovers end to end.
+        PARDIS_LOG(kDebug, "flow") << "session " << skey << " gap: expected " << next
+                                   << ", got " << seq << " (resyncing)";
+      }
+      next = seq + 1;
+      deliver = true;
+    }
+    ack_val = next;
+  }
+
+  // Cumulative ack; advisory, so a failed ack send is ignored (the
+  // next frame's ack covers it, and a severed reverse link shows up on
+  // the sender as a stalled window at worst).
+  try {
+    ByteBuffer ack;
+    CdrWriter w(ack);
+    w.write_ulonglong(sid);
+    w.write_ulonglong(ack_val);
+    inner_->rsr(ack_to, transport::kHandlerSessionAck, std::move(ack), rx_host_model);
+    if (obs::enabled()) {
+      static obs::Counter& acks = obs::metrics().counter("flow.session_acks");
+      acks.add(1);
+    }
+  } catch (const SystemException&) {
+  }
+
+  if (!deliver) return true;
+  msg.handler = inner_handler;
+  msg.payload = ByteBuffer::from(msg.payload.view().subspan(body_offset));
+  return false;  // enqueue the unwrapped inner message
+}
+
+bool SessionTransport::on_session_ack(transport::RsrMessage& msg) {
+  std::uint64_t sid = 0;
+  std::uint64_t ack_val = 0;
+  try {
+    CdrReader r(msg.payload.view(), msg.little_endian);
+    sid = r.read_ulonglong();
+    ack_val = r.read_ulonglong();
+  } catch (const MarshalError& e) {
+    PARDIS_LOG(kWarn, "flow") << "bad session ack dropped: " << e.what();
+    return true;
+  }
+  std::shared_ptr<OutSession> s;
+  {
+    std::lock_guard<std::mutex> lock(out_mutex_);
+    auto it = out_by_id_.find(sid);
+    if (it != out_by_id_.end()) s = it->second;
+  }
+  if (s) {
+    std::lock_guard<std::mutex> st(s->state_mutex);
+    while (!s->unacked.empty() && s->unacked.front().seq < ack_val)
+      s->unacked.pop_front();
+    s->acked_cv.notify_all();
+  }
+  return true;  // acks never reach the owner's queue
+}
+
+std::size_t SessionTransport::unacked(const transport::EndpointAddr& dst) const {
+  std::shared_ptr<OutSession> s;
+  {
+    std::lock_guard<std::mutex> lock(out_mutex_);
+    auto it = out_.find(dst.to_string());
+    if (it == out_.end()) return 0;
+    s = it->second;
+  }
+  std::lock_guard<std::mutex> st(s->state_mutex);
+  return s->unacked.size();
+}
+
+}  // namespace pardis::flow

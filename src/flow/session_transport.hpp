@@ -1,0 +1,148 @@
+// pardis_flow — reconnecting, sequence-numbered transport sessions.
+//
+// The PARDIS transport model is the one-way RSR: fire it and forget
+// it. That is faithful to NexusLite and cheap, but it makes a severed
+// TCP connection (or a sim::FaultPlan sever_link) terminal — every
+// in-flight future over the link breaks, even when the link heals a
+// moment later. SessionTransport decorates any Transport with per-peer
+// sessions that survive link outages:
+//
+//  - every wrapped RSR rides a kHandlerSessionData envelope carrying a
+//    session id and a per-session sequence number;
+//  - the sender keeps a bounded buffer of unacknowledged frames (the
+//    session window); receivers acknowledge cumulatively on
+//    kHandlerSessionAck;
+//  - a send that fails with CommFailure triggers redial-and-replay:
+//    exponential backoff with deterministic jitter (pardis_ft's
+//    schedule), then every unacked frame is re-sent in order. The
+//    receiver drops replayed duplicates by sequence number, so a
+//    healed link resumes exactly where it broke;
+//  - only an exhausted reconnect budget surfaces CommFailure to the
+//    caller — which is what escalates to ClientCtx::fail_peer.
+//
+// Scope: sessions recover from *observable* link failures (the sender
+// sees CommFailure). Silently dropped messages (a FaultPlan drop, a
+// receive queue at capacity) are not retransmitted — there is no ack
+// timeout; end-to-end recovery of lost requests stays with
+// ft::with_retry, exactly as before. Liveness probes (kHandlerPing)
+// bypass sessions: replaying a probe would mask the very failure it
+// exists to detect.
+//
+// Both sides of a link must run their traffic through a
+// SessionTransport (endpoints created here install the demux filter
+// that unwraps envelopes). With `enabled` false the decorator is a
+// pure pass-through: no filter, no envelope — the wire bytes are
+// identical to the undecorated transport.
+//
+// Deployment: construct over the process's Local/Tcp transport and
+// hand it to the Orb; the SessionTransport must outlive every endpoint
+// it created (it owns their delivery filters).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "transport/transport.hpp"
+
+namespace pardis::flow {
+
+class SessionTransport final : public transport::Transport {
+ public:
+  struct Options {
+    /// Master toggle; false = pass-through (wire bytes unchanged).
+    bool enabled = false;
+    /// Redial attempts per outage before the session is abandoned and
+    /// CommFailure escalates to the caller.
+    int max_reconnects = 8;
+    /// Base backoff before the first redial; doubles per attempt, with
+    /// deterministic jitter (ft::backoff_delay).
+    unsigned backoff_ms = 10;
+    /// Max unacknowledged frames buffered per peer (the retransmission
+    /// window); a sender past it blocks until acks arrive.
+    std::size_t window = 256;
+    /// How long a full window may stall (no acks at all) before the
+    /// sender gives up with CommFailure.
+    unsigned window_stall_ms = 10000;
+
+    /// PARDIS_SESSIONS (1/true/on/yes enables), PARDIS_SESSION_RECONNECTS,
+    /// PARDIS_SESSION_BACKOFF_MS, PARDIS_SESSION_WINDOW,
+    /// PARDIS_SESSION_STALL_MS; read once per process.
+    static Options from_env();
+  };
+
+  /// `inner` is unowned and must outlive this decorator.
+  explicit SessionTransport(transport::Transport& inner, Options opts = Options::from_env());
+  ~SessionTransport() override;
+
+  SessionTransport(const SessionTransport&) = delete;
+  SessionTransport& operator=(const SessionTransport&) = delete;
+
+  const Options& options() const noexcept { return opts_; }
+
+  std::shared_ptr<transport::Endpoint> create_endpoint(const std::string& host_model) override;
+  void rsr(const transport::EndpointAddr& dst, transport::HandlerId handler,
+           ByteBuffer payload, const std::string& src_host_model) override;
+
+  // --- introspection (tests, diagnostics) -------------------------------
+
+  /// Unacked frames currently buffered toward `dst` (0 = none/no session).
+  std::size_t unacked(const transport::EndpointAddr& dst) const;
+
+ private:
+  struct Frame {
+    std::uint64_t seq;
+    transport::HandlerId handler;
+    ByteBuffer payload;
+  };
+
+  struct OutSession {
+    std::uint64_t id;
+    transport::EndpointAddr ack_to;  ///< where the peer sends acks
+    /// Serializes wire writes so frame order matches sequence order
+    /// (held across the inner send; never taken by the ack path).
+    std::mutex send_mutex;
+    /// Guards the fields below; the ack path takes only this.
+    mutable std::mutex state_mutex;
+    std::condition_variable acked_cv;
+    std::uint64_t next_seq = 0;
+    std::deque<Frame> unacked;
+  };
+
+  std::shared_ptr<OutSession> out_session(const transport::EndpointAddr& dst,
+                                          const std::string& src_host_model);
+  ByteBuffer make_envelope(const OutSession& s, const Frame& f) const;
+  /// Redials with backoff and replays every unacked frame; throws
+  /// CommFailure once the budget is spent. Caller holds s.send_mutex.
+  void reconnect_and_replay(OutSession& s, const transport::EndpointAddr& dst,
+                            const std::string& src_host_model, const std::string& why);
+
+  /// Delivery filter half: data envelopes arriving at a wrapped
+  /// endpoint. Rewrites `msg` to the inner message (return false) or
+  /// consumes a duplicate (return true). Sends the cumulative ack.
+  bool on_session_data(transport::RsrMessage& msg, const std::string& rx_host_model);
+  /// Delivery filter half: acks arriving at an ack endpoint.
+  bool on_session_ack(transport::RsrMessage& msg);
+
+  transport::Transport* inner_;
+  Options opts_;
+
+  mutable std::mutex out_mutex_;
+  std::map<std::string, std::shared_ptr<OutSession>> out_;  ///< by dst addr string
+  std::map<std::uint64_t, std::shared_ptr<OutSession>> out_by_id_;
+  std::uint64_t next_session_id_ = 1;
+  /// One ack endpoint per source host model (so ack traffic carries
+  /// the right link costs and fault-plan identity).
+  std::map<std::string, std::shared_ptr<transport::Endpoint>> ack_eps_;
+
+  mutable std::mutex in_mutex_;
+  /// Receiver-side dedup horizon per ("ack addr#session id"): next
+  /// expected sequence number.
+  std::map<std::string, std::uint64_t> in_next_;
+};
+
+}  // namespace pardis::flow

@@ -1,10 +1,12 @@
 #include "ft/ft.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdlib>
 #include <thread>
 
 #include "common/cdr.hpp"
+#include "common/error.hpp"
 #include "common/log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/obs.hpp"
@@ -52,22 +54,29 @@ struct Outcome {
   bool retryable = false;
   std::string message;
   std::exception_ptr error;
+  /// Server retry-after hint (kOverload replies); 0 = none.
+  unsigned retry_after_ms = 0;
 };
 
 Outcome run_guarded(const std::function<void()>& fn) {
   Outcome out;
   try {
     fn();
+  } catch (const OverloadError& e) {
+    // A shed request is retryable by construction (the server never
+    // dispatched it); honor its retry-after hint. Must be caught ahead
+    // of the SystemException arm it derives from.
+    out = {true, true, e.what(), std::current_exception(), e.retry_after_ms()};
   } catch (const TransientError& e) {
-    out = {true, true, e.what(), std::current_exception()};
+    out = {true, true, e.what(), std::current_exception(), 0};
   } catch (const CommFailure& e) {
-    out = {true, true, e.what(), std::current_exception()};
+    out = {true, true, e.what(), std::current_exception(), 0};
   } catch (const TimeoutError& e) {
-    out = {true, true, e.what(), std::current_exception()};
+    out = {true, true, e.what(), std::current_exception(), 0};
   } catch (const SystemException& e) {
     // Not retryable, but still reported to the agreement so the other
     // ranks do not block on a peer that already threw.
-    out = {true, false, e.what(), std::current_exception()};
+    out = {true, false, e.what(), std::current_exception(), 0};
   }
   return out;
 }
@@ -79,13 +88,15 @@ enum class Verdict : Octet { kDone = 0, kRetry = 1, kGiveUp = 2 };
 /// one verdict — modeled on check::verify_collective. `diag` carries
 /// the failing rank's message to the ranks that succeeded.
 Verdict agree(rts::Communicator& comm, const std::string& operation, int attempt,
-              int phase, const Outcome& mine, bool attempts_left, std::string& diag) {
+              int phase, const Outcome& mine, bool attempts_left, std::string& diag,
+              unsigned& retry_after_ms) {
   const int rank = comm.rank();
   const int size = comm.size();
   if (rank == 0) {
     bool any_failed = mine.failed;
     bool all_retryable = !mine.failed || mine.retryable;
     diag = mine.failed ? "rank 0: " + mine.message : "";
+    retry_after_ms = mine.failed ? mine.retry_after_ms : 0;
     for (int r = 1; r < size; ++r) {
       auto msg = comm.recv(r, rts::kTagFtRetry);
       CdrReader rd(msg.payload.view());
@@ -95,6 +106,7 @@ Verdict agree(rts::Communicator& comm, const std::string& operation, int attempt
       const bool rfailed = rd.read_bool();
       const bool rretryable = rd.read_bool();
       const std::string rmessage = rd.read_string();
+      const ULong rretry_after = rd.read_ulong();
       if (rop != operation || rattempt != attempt || rphase != phase)
         throw InternalError("ft: retry-agreement skew: rank " + std::to_string(r) +
                             " entered '" + rop + "' attempt " + std::to_string(rattempt) +
@@ -104,6 +116,9 @@ Verdict agree(rts::Communicator& comm, const std::string& operation, int attempt
         any_failed = true;
         if (!rretryable) all_retryable = false;
         if (diag.empty()) diag = "rank " + std::to_string(r) + ": " + rmessage;
+        // The longest hint across the shedding server ranks wins: a
+        // retry before it would just be shed again.
+        if (rretry_after > retry_after_ms) retry_after_ms = rretry_after;
       }
     }
     Verdict verdict = Verdict::kDone;
@@ -114,6 +129,7 @@ Verdict agree(rts::Communicator& comm, const std::string& operation, int attempt
       CdrWriter w(out);
       w.write_octet(static_cast<Octet>(verdict));
       w.write_string(diag);
+      w.write_ulong(retry_after_ms);
     }
     // Control-plane sends: the agreement must not advance the
     // computing threads' modeled clocks.
@@ -129,22 +145,29 @@ Verdict agree(rts::Communicator& comm, const std::string& operation, int attempt
     w.write_bool(mine.failed);
     w.write_bool(mine.retryable);
     w.write_string(mine.message);
+    w.write_ulong(mine.failed ? mine.retry_after_ms : 0);
   }
   comm.send_control(0, rts::kTagFtRetry, std::move(fp));
   const auto verdict_msg = comm.recv(0, rts::kTagFtRetry);
   CdrReader rd(verdict_msg.payload.view());
   const auto verdict = static_cast<Verdict>(rd.read_octet());
   diag = rd.read_string();
+  retry_after_ms = rd.read_ulong();
   return verdict;
 }
 
 /// One verdict per phase: the agreement when the binding is
-/// collective, the local outcome otherwise.
+/// collective, the local outcome otherwise. `retry_after_ms` comes out
+/// as the max server hint among the failed ranks (0 without one).
 Verdict decide(rts::Communicator* comm, const std::string& operation, int attempt,
-               int phase, const Outcome& mine, bool attempts_left, std::string& diag) {
-  if (comm != nullptr) return agree(*comm, operation, attempt, phase, mine, attempts_left, diag);
+               int phase, const Outcome& mine, bool attempts_left, std::string& diag,
+               unsigned& retry_after_ms) {
+  if (comm != nullptr)
+    return agree(*comm, operation, attempt, phase, mine, attempts_left, diag,
+                 retry_after_ms);
   if (!mine.failed) return Verdict::kDone;
   diag = mine.message;
+  retry_after_ms = mine.retry_after_ms;
   return mine.retryable && attempts_left ? Verdict::kRetry : Verdict::kGiveUp;
 }
 
@@ -161,7 +184,8 @@ Verdict decide(rts::Communicator* comm, const std::string& operation, int attemp
 }
 
 void note_retry(core::Binding& binding, const RetryPolicy& policy,
-                const std::string& operation, int attempt, const std::string& diag) {
+                const std::string& operation, int attempt, const std::string& diag,
+                unsigned retry_after_ms) {
   PARDIS_LOG(kWarn, "ft") << "retrying '" << operation << "' (attempt " << attempt + 1
                           << "): " << diag;
   if (obs::enabled()) {
@@ -173,7 +197,11 @@ void note_retry(core::Binding& binding, const RetryPolicy& policy,
   if (obs::enabled() && obs::current_context().valid()) span.open("ft:retry", "client");
   const std::uint64_t salt =
       binding.id() * 1315423911ULL + static_cast<std::uint64_t>(binding.ctx().rank());
-  std::this_thread::sleep_for(backoff_delay(policy, attempt, salt));
+  // An overloaded server's retry-after hint floors the backoff: retry
+  // sooner and the admission controller sheds the attempt again.
+  std::this_thread::sleep_for(
+      std::max(backoff_delay(policy, attempt, salt),
+               std::chrono::milliseconds(retry_after_ms)));
 }
 
 }  // namespace
@@ -189,13 +217,15 @@ int with_retry(core::Binding& binding, const std::string& operation,
     const bool attempts_left = attempt < policy.max_attempts;
     std::shared_ptr<core::PendingReply> pending;
     std::string diag;
+    unsigned retry_after_ms = 0;
 
     // Phase 0: the sends. A rank whose send failed must stop everyone
     // from blocking on replies the server can never assemble.
     Outcome sent = run_guarded([&] { pending = send_attempt(attempt); });
-    Verdict verdict = decide(comm, operation, attempt, 0, sent, attempts_left, diag);
+    Verdict verdict =
+        decide(comm, operation, attempt, 0, sent, attempts_left, diag, retry_after_ms);
     if (verdict == Verdict::kRetry) {
-      note_retry(binding, policy, operation, attempt, diag);
+      note_retry(binding, policy, operation, attempt, diag, retry_after_ms);
       continue;
     }
     if (verdict == Verdict::kGiveUp) give_up(sent, operation, diag);
@@ -205,10 +235,11 @@ int with_retry(core::Binding& binding, const std::string& operation,
     // Phase 1: the waits. A lost reply, expired deadline, or dead peer
     // shows up here; the whole matrix is re-sent, never a slice of it.
     Outcome waited = run_guarded([&] { pending->wait(); });
-    verdict = decide(comm, operation, attempt, 1, waited, attempts_left, diag);
+    verdict =
+        decide(comm, operation, attempt, 1, waited, attempts_left, diag, retry_after_ms);
     if (verdict == Verdict::kDone) return attempt;
     if (verdict == Verdict::kGiveUp) give_up(waited, operation, diag);
-    note_retry(binding, policy, operation, attempt, diag);
+    note_retry(binding, policy, operation, attempt, diag, retry_after_ms);
   }
 }
 

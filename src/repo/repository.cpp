@@ -96,8 +96,10 @@ ByteBuffer RemoteRegistry::call(RepoOp op, ByteBuffer body) {
   transport_->rsr(repo_addr_, transport::kHandlerRepo, std::move(frame), "");
 
   for (;;) {
-    auto msg = reply_ep_->wait_for(std::chrono::seconds(5));
-    if (!msg) throw TimeoutError("repository call timed out");
+    auto res = reply_ep_->wait_for(std::chrono::seconds(5));
+    if (res.closed()) throw CommFailure("repository reply endpoint closed");
+    if (!res.message) throw TimeoutError("repository call timed out");
+    auto& msg = res.message;
     CdrReader r(msg->payload.view(), msg->little_endian);
     if (static_cast<RepoOp>(r.read_octet()) != RepoOp::kReply) continue;
     if (r.read_ulonglong() != call_id) continue;  // stale reply

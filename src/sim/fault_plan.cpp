@@ -50,6 +50,40 @@ void FaultPlan::sever_link(const std::string& a, const std::string& b) {
   link_locked(b, a).severed = true;
 }
 
+void FaultPlan::heal_locked(const std::string& a, const std::string& b) {
+  for (const auto& key : {std::pair{a, b}, std::pair{b, a}}) {
+    auto it = links_.find(key);
+    if (it == links_.end()) continue;
+    it->second.severed = false;
+    it->second.heal_at_index = UINT64_MAX;
+    it->second.heal_time_set = false;
+  }
+}
+
+void FaultPlan::heal_link(const std::string& a, const std::string& b) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  heal_locked(a, b);
+}
+
+void FaultPlan::heal_link_at(const std::string& src, const std::string& dst,
+                             std::uint64_t index) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  link_locked(src, dst).heal_at_index = index;
+}
+
+void FaultPlan::heal_link_after(const std::string& a, const std::string& b,
+                                double seconds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto when = std::chrono::steady_clock::now() +
+                    std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                        std::chrono::duration<double>(seconds));
+  for (const auto& key : {std::pair{a, b}, std::pair{b, a}}) {
+    LinkSchedule& link = link_locked(key.first, key.second);
+    link.heal_at_time = when;
+    link.heal_time_set = true;
+  }
+}
+
 void FaultPlan::kill_endpoint(ULongLong key) {
   std::lock_guard<std::mutex> lock(mutex_);
   active_.store(true, std::memory_order_relaxed);
@@ -89,8 +123,15 @@ FaultPlan::Decision FaultPlan::on_message(const std::string& src, const std::str
   LinkSchedule& link = it->second;
   const std::uint64_t index = link.next_index++;
   if (link.severed) {
-    d.sever = true;
-    return d;
+    const bool heal_by_index = index >= link.heal_at_index;
+    const bool heal_by_time =
+        link.heal_time_set && std::chrono::steady_clock::now() >= link.heal_at_time;
+    if (heal_by_index || heal_by_time) {
+      heal_locked(src, dst);  // whole link: replies flow again too
+    } else {
+      d.sever = true;
+      return d;
+    }
   }
   if (link.fails.count(index) != 0) {
     d.fail_transient = true;

@@ -14,6 +14,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <map>
 #include <mutex>
@@ -65,6 +66,22 @@ class FaultPlan {
   /// every send fails with CommFailure.
   void sever_link(const std::string& a, const std::string& b);
 
+  /// Restores a severed link immediately (both directions). Sends that
+  /// already failed stay failed; the next send goes through.
+  void heal_link(const std::string& a, const std::string& b);
+
+  /// Schedules the sever on src→dst to lift once that link's message
+  /// index reaches `index` (reconnect attempts consume indices like
+  /// any other send). When the trigger fires, both directions heal —
+  /// matching sever_link's whole-link semantics — so the test can
+  /// express "the Nth redial succeeds" without sleeps.
+  void heal_link_at(const std::string& src, const std::string& dst, std::uint64_t index);
+
+  /// Schedules the link to heal (both directions) `seconds` of wall
+  /// time after now — for tests pacing reconnect backoff rather than
+  /// counting attempts.
+  void heal_link_after(const std::string& a, const std::string& b, double seconds);
+
   /// Kills the endpoint with transport key `key` (EndpointAddr::local_id
   /// for the in-process transport, tcp_ep for TCP): every send to it —
   /// including liveness probes — fails with CommFailure, which is how a
@@ -94,10 +111,16 @@ class FaultPlan {
     std::set<std::uint64_t> duplicates;
     std::map<std::uint64_t, double> delays;
     bool severed = false;
+    /// Sever lifts when next_index reaches this (UINT64_MAX = never).
+    std::uint64_t heal_at_index = UINT64_MAX;
+    /// Sever lifts at this wall-clock instant (when heal_time_set).
+    std::chrono::steady_clock::time_point heal_at_time{};
+    bool heal_time_set = false;
     std::uint64_t next_index = 0;
   };
 
   LinkSchedule& link_locked(const std::string& src, const std::string& dst);
+  void heal_locked(const std::string& a, const std::string& b);
 
   mutable std::mutex mutex_;
   std::atomic<bool> active_{false};

@@ -1,10 +1,24 @@
 #include "transport/endpoint.hpp"
 
+#include <cstdlib>
 #include <sstream>
 
+#include "check/check.hpp"
+#include "common/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
 #include "sim/clock.hpp"
 
 namespace pardis::transport {
+
+std::size_t default_queue_capacity() noexcept {
+  static const std::size_t cap = [] {
+    const char* v = std::getenv("PARDIS_ENDPOINT_QUEUE_CAP");
+    if (v == nullptr || *v == '\0') return std::size_t{0};
+    return static_cast<std::size_t>(std::strtoull(v, nullptr, 10));
+  }();
+  return cap;
+}
 
 std::string EndpointAddr::to_string() const {
   std::ostringstream os;
@@ -40,8 +54,26 @@ EndpointAddr EndpointAddr::unmarshal(CdrReader& r) {
   return a;
 }
 
+void Endpoint::note_depth_locked() {
+  if (capacity_ == 0 || queue_.size() < capacity_) {
+    at_cap_streak_ = 0;
+    return;
+  }
+  if (++at_cap_streak_ >= kQueuePinnedRounds && check::enabled()) {
+    at_cap_streak_ = 0;
+    check::violation("transport.endpoint",
+                     "receive queue pinned at capacity " +
+                         std::to_string(capacity_) + " for " +
+                         std::to_string(kQueuePinnedRounds) +
+                         " consecutive drains at " + addr_.to_string() +
+                         " (consumer cannot keep up; raise "
+                         "PARDIS_ENDPOINT_QUEUE_CAP or shed load upstream)");
+  }
+}
+
 std::optional<RsrMessage> Endpoint::poll() {
   std::unique_lock<std::mutex> lock(mutex_);
+  note_depth_locked();
   if (queue_.empty()) return std::nullopt;
   RsrMessage msg = std::move(queue_.front());
   queue_.pop_front();
@@ -54,6 +86,7 @@ RsrMessage Endpoint::wait() {
   std::unique_lock<std::mutex> lock(mutex_);
   cv_.wait(lock, [this] { return !queue_.empty() || closed_; });
   if (queue_.empty()) throw CommFailure("endpoint closed while waiting: " + addr_.to_string());
+  note_depth_locked();
   RsrMessage msg = std::move(queue_.front());
   queue_.pop_front();
   lock.unlock();
@@ -61,16 +94,17 @@ RsrMessage Endpoint::wait() {
   return msg;
 }
 
-std::optional<RsrMessage> Endpoint::wait_for(std::chrono::milliseconds timeout) {
+WaitResult Endpoint::wait_for(std::chrono::milliseconds timeout) {
   std::unique_lock<std::mutex> lock(mutex_);
   if (!cv_.wait_for(lock, timeout, [this] { return !queue_.empty() || closed_; }))
-    return std::nullopt;
-  if (queue_.empty()) return std::nullopt;  // closed
+    return {WaitStatus::kTimeout, std::nullopt};
+  if (queue_.empty()) return {WaitStatus::kClosed, std::nullopt};
+  note_depth_locked();
   RsrMessage msg = std::move(queue_.front());
   queue_.pop_front();
   lock.unlock();
   sim::merge_time(msg.sim_time);
-  return msg;
+  return {WaitStatus::kMessage, std::move(msg)};
 }
 
 std::size_t Endpoint::pending() const {
@@ -80,11 +114,59 @@ std::size_t Endpoint::pending() const {
 
 void Endpoint::enqueue(RsrMessage msg) {
   {
+    DeliveryFilter filter;
+    {
+      std::lock_guard<std::mutex> lock(filter_mutex_);
+      filter = filter_;
+    }
+    if (filter && filter(msg)) return;  // consumed by the session layer
+  }
+  {
     std::lock_guard<std::mutex> lock(mutex_);
     if (closed_) return;  // dropped, like a one-way send to a dead peer
+    if (capacity_ != 0 && queue_.size() >= capacity_) {
+      ++dropped_;
+      if (obs::enabled()) {
+        static obs::Counter& drops = obs::metrics().counter("transport.queue_dropped");
+        drops.add(1);
+      }
+      if (!drop_warned_) {
+        drop_warned_ = true;
+        PARDIS_LOG(kWarn, "transport")
+            << "endpoint " << addr_.to_string() << " receive queue full (cap "
+            << capacity_ << "); dropping rsr handler " << msg.handler
+            << " (further drops counted in transport.queue_dropped)";
+      } else {
+        PARDIS_LOG(kDebug, "transport")
+            << "endpoint " << addr_.to_string() << " dropped rsr handler "
+            << msg.handler << " (queue at cap " << capacity_ << ")";
+      }
+      return;
+    }
     queue_.push_back(std::move(msg));
   }
   cv_.notify_all();
+}
+
+void Endpoint::set_capacity(std::size_t cap) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  capacity_ = cap;
+  at_cap_streak_ = 0;
+}
+
+std::size_t Endpoint::capacity() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return capacity_;
+}
+
+std::uint64_t Endpoint::dropped() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return dropped_;
+}
+
+void Endpoint::set_delivery_filter(DeliveryFilter filter) {
+  std::lock_guard<std::mutex> lock(filter_mutex_);
+  filter_ = std::move(filter);
 }
 
 void Endpoint::close() {

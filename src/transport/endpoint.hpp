@@ -10,7 +10,9 @@
 
 #include <chrono>
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
+#include <functional>
 #include <mutex>
 #include <optional>
 #include <string>
@@ -31,6 +33,12 @@ inline constexpr HandlerId kHandlerRepo = 3;
 /// path to a peer. Receivers discard it silently; a probe failure at
 /// the sender marks the peer dead (pardis_ft broken-future detection).
 inline constexpr HandlerId kHandlerPing = 4;
+/// pardis_flow session envelope: a sequence-numbered frame wrapping an
+/// inner RSR. Intercepted by the session layer's delivery filter, never
+/// seen by ORB handlers.
+inline constexpr HandlerId kHandlerSessionData = 5;
+/// pardis_flow cumulative acknowledgement for session frames.
+inline constexpr HandlerId kHandlerSessionAck = 6;
 
 enum class AddrKind : Octet { kLocal = 0, kTcp = 1 };
 
@@ -60,10 +68,39 @@ struct RsrMessage {
   ByteBuffer payload;
 };
 
+/// Outcome of a bounded-time drain: a message, a timeout, or the
+/// endpoint closing under the waiter. The latter two used to be
+/// conflated, which turned "peer shut down" into an infinite series of
+/// apparent timeouts in polling loops.
+enum class WaitStatus { kMessage, kTimeout, kClosed };
+
+struct WaitResult {
+  WaitStatus status = WaitStatus::kTimeout;
+  std::optional<RsrMessage> message;  ///< engaged iff status == kMessage
+
+  bool timed_out() const noexcept { return status == WaitStatus::kTimeout; }
+  bool closed() const noexcept { return status == WaitStatus::kClosed; }
+};
+
+/// Intercepts an RSR before it reaches the receive queue. Returning
+/// true consumes the message (it is never enqueued); false lets normal
+/// delivery proceed. Runs on the producer's thread, outside the
+/// endpoint lock. The session layer uses this to demux session frames.
+using DeliveryFilter = std::function<bool(RsrMessage&)>;
+
+/// Process-wide default receive-queue capacity, read once from
+/// PARDIS_ENDPOINT_QUEUE_CAP (0 or unset = unbounded).
+std::size_t default_queue_capacity() noexcept;
+
+/// Consecutive at-capacity drain observations before the pardis_check
+/// "queue pinned at capacity" rule fires (PARDIS_CHECK=1 only).
+inline constexpr int kQueuePinnedRounds = 64;
+
 /// Receiving side of a transport: a queue of RSRs drained by polling.
 class Endpoint {
  public:
-  explicit Endpoint(EndpointAddr addr) : addr_(std::move(addr)) {}
+  explicit Endpoint(EndpointAddr addr)
+      : addr_(std::move(addr)), capacity_(default_queue_capacity()) {}
   ~Endpoint() { close(); }
 
   Endpoint(const Endpoint&) = delete;
@@ -79,23 +116,50 @@ class Endpoint {
   /// waiting.
   RsrMessage wait();
 
-  /// Blocking drain with deadline; nullopt on timeout.
-  std::optional<RsrMessage> wait_for(std::chrono::milliseconds timeout);
+  /// Blocking drain with deadline; the result distinguishes a timeout
+  /// from the endpoint closing.
+  WaitResult wait_for(std::chrono::milliseconds timeout);
 
   /// Number of queued messages (snapshot).
   std::size_t pending() const;
 
-  /// Called by transports on delivery.
+  /// Called by transports on delivery. When the queue is at capacity
+  /// the message is dropped with a located diagnostic (one warn line
+  /// per endpoint, a `transport.queue_dropped` count thereafter) —
+  /// mirroring the one-way RSR model, where delivery was never
+  /// guaranteed; retry layers recover exactly as for a lost message.
   void enqueue(RsrMessage msg);
+
+  /// Receive-queue bound; 0 = unbounded. Defaults to
+  /// PARDIS_ENDPOINT_QUEUE_CAP.
+  void set_capacity(std::size_t cap);
+  std::size_t capacity() const;
+
+  /// Messages dropped at the queue bound since creation.
+  std::uint64_t dropped() const;
+
+  /// Installs (or clears, with nullptr) the delivery filter.
+  void set_delivery_filter(DeliveryFilter filter);
 
   void close();
   bool closed() const noexcept;
 
  private:
+  /// Bookkeeping for the pinned-at-capacity check rule; call with
+  /// mutex_ held at every drain observation. May throw
+  /// check::Violation (the unique_lock unwinds cleanly).
+  void note_depth_locked();
+
   EndpointAddr addr_;
   mutable std::mutex mutex_;
   std::condition_variable cv_;
   std::deque<RsrMessage> queue_;
+  std::size_t capacity_ = 0;  ///< 0 = unbounded
+  std::uint64_t dropped_ = 0;
+  bool drop_warned_ = false;
+  int at_cap_streak_ = 0;
+  DeliveryFilter filter_;  ///< guarded by filter_mutex_
+  mutable std::mutex filter_mutex_;
   bool closed_ = false;
 };
 

@@ -7,6 +7,8 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
+#include <cstdlib>
 #include <cstring>
 
 #include "common/log.hpp"
@@ -45,9 +47,34 @@ bool write_full(int fd, const Octet* data, std::size_t n) {
   return true;
 }
 
+/// Errors where accept() can succeed again once resources free up; a
+/// bare retry would spin the CPU, so the loop backs off instead.
+bool accept_error_is_transient(int err) {
+  return err == EMFILE || err == ENFILE || err == ENOBUFS || err == ENOMEM ||
+         err == ECONNABORTED;
+}
+
+int env_int(const char* name, int fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  const int n = std::atoi(v);
+  return n > 0 ? n : fallback;
+}
+
+int default_listen_backlog() {
+  static const int v = env_int("PARDIS_LISTEN_BACKLOG", 64);
+  return v;
+}
+
+int accept_backoff_ms() {
+  static const int v = env_int("PARDIS_ACCEPT_BACKOFF_MS", 10);
+  return v;
+}
+
 }  // namespace
 
-TcpTransport::TcpTransport(UShort port, const sim::Testbed* testbed) : testbed_(testbed) {
+TcpTransport::TcpTransport(UShort port, const sim::Testbed* testbed, int listen_backlog)
+    : testbed_(testbed) {
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listen_fd_ < 0) throw CommFailure("TcpTransport: socket() failed");
   const int one = 1;
@@ -65,7 +92,8 @@ TcpTransport::TcpTransport(UShort port, const sim::Testbed* testbed) : testbed_(
   socklen_t len = sizeof(addr);
   ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
   port_ = ntohs(addr.sin_port);
-  if (::listen(listen_fd_, 64) != 0) {
+  if (listen_backlog <= 0) listen_backlog = default_listen_backlog();
+  if (::listen(listen_fd_, listen_backlog) != 0) {
     ::close(listen_fd_);
     throw CommFailure("TcpTransport: listen() failed");
   }
@@ -102,6 +130,20 @@ void TcpTransport::accept_loop() {
     if (fd < 0) {
       if (stopping_.load()) return;
       if (errno == EINTR) continue;
+      if (accept_error_is_transient(errno)) {
+        // Descriptor/buffer exhaustion: the listener must survive it,
+        // or every later connection attempt dies against a dead
+        // accept thread. Pace retries so the loop does not burn a
+        // core while the process is out of fds.
+        if (obs::enabled()) {
+          static obs::Counter& retries = obs::metrics().counter("transport.tcp.accept_retries");
+          retries.add(1);
+        }
+        PARDIS_LOG(kWarn, "tcp") << "accept failed transiently: " << std::strerror(errno)
+                                 << "; retrying in " << accept_backoff_ms() << "ms";
+        std::this_thread::sleep_for(std::chrono::milliseconds(accept_backoff_ms()));
+        continue;
+      }
       PARDIS_LOG(kWarn, "tcp") << "accept failed: " << std::strerror(errno);
       return;
     }
@@ -243,12 +285,35 @@ void TcpTransport::rsr(const EndpointAddr& dst, HandlerId handler, ByteBuffer pa
   require(frame.size() == kHeaderSize, "tcp frame header size drifted");
   frame.append(payload.view());
 
+  const std::string conn_key = dst.tcp_host + ":" + std::to_string(dst.tcp_port);
   auto conn = connect_to(dst.tcp_host, dst.tcp_port);
   std::lock_guard<std::mutex> lock(conn->write_mutex);
   const int copies = fault.duplicate ? 2 : 1;
   for (int i = 0; i < copies; ++i)
-    if (!write_full(conn->fd, frame.data(), frame.size()))
+    if (!write_full(conn->fd, frame.data(), frame.size())) {
+      // Evict the dead socket from the cache, else every later send
+      // to this peer keeps failing on it and reconnection is
+      // impossible (pardis_flow sessions redial through connect_to).
+      drop_connection(conn_key, conn);
       throw CommFailure("TcpTransport: send to " + dst.to_string() + " failed");
+    }
+}
+
+void TcpTransport::drop_connection(const std::string& key,
+                                   const std::shared_ptr<Connection>& conn) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = connections_.find(key);
+    if (it == connections_.end() || it->second != conn)
+      return;  // already evicted or replaced; the owner closes the fd
+    connections_.erase(it);
+  }
+  if (obs::enabled()) {
+    static obs::Counter& evicted = obs::metrics().counter("transport.tcp.conn_evicted");
+    evicted.add(1);
+  }
+  ::shutdown(conn->fd, SHUT_RDWR);
+  ::close(conn->fd);
 }
 
 }  // namespace pardis::transport

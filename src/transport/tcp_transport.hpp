@@ -24,7 +24,10 @@ class TcpTransport final : public Transport {
  public:
   /// Binds 127.0.0.1:`port` (0 = ephemeral) and starts the accept
   /// thread. `testbed` (optional, unowned) supplies link costs.
-  explicit TcpTransport(UShort port = 0, const sim::Testbed* testbed = nullptr);
+  /// `listen_backlog` bounds the kernel accept queue; 0 means
+  /// PARDIS_LISTEN_BACKLOG (default 64).
+  explicit TcpTransport(UShort port = 0, const sim::Testbed* testbed = nullptr,
+                        int listen_backlog = 0);
   ~TcpTransport() override;
 
   TcpTransport(const TcpTransport&) = delete;
@@ -49,6 +52,9 @@ class TcpTransport final : public Transport {
   void accept_loop();
   void reader_loop(int fd);
   std::shared_ptr<Connection> connect_to(const std::string& host, UShort port);
+  /// Evicts a broken cached connection so the next rsr() redials
+  /// instead of reusing a dead socket (pardis_flow reconnect support).
+  void drop_connection(const std::string& key, const std::shared_ptr<Connection>& conn);
 
   const sim::Testbed* testbed_;
   int listen_fd_ = -1;

@@ -1,0 +1,637 @@
+// pardis_flow tests: reconnecting transport sessions (sever → heal
+// completes every pending future with zero duplicate dispatches), POA
+// admission control (shed past the high watermark, expired requests
+// shed first), client-side in-flight windows, bounded endpoint queues,
+// and wire compatibility when every flow feature is disabled.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <memory>
+#include <thread>
+
+#include "check/check.hpp"
+#include "flow/session_transport.hpp"
+#include "ft/ft.hpp"
+#include "tests/support/calc_api.hpp"
+
+namespace pardis::core {
+namespace {
+
+using calc_api::POA_calc;
+using calc_api::vec;
+using namespace std::chrono_literals;
+
+/// Spins (bounded) until `pred` holds; false = timed out.
+template <typename Pred>
+bool spin_until(Pred pred) {
+  const auto deadline = std::chrono::steady_clock::now() + 10s;
+  while (!pred()) {
+    if (std::chrono::steady_clock::now() >= deadline) return false;
+    std::this_thread::yield();
+  }
+  return true;
+}
+
+ByteBuffer text_payload(const std::string& text) {
+  ByteBuffer b;
+  CdrWriter w(b);
+  w.write_string(text);
+  return b;
+}
+
+// ---------------------------------------------------------------------------
+// FaultPlan healing: sever is no longer terminal.
+// ---------------------------------------------------------------------------
+
+TEST(FaultPlanHeal, HealLinkRestoresBothDirections) {
+  sim::FaultPlan plan;
+  plan.sever_link("A", "B");
+  EXPECT_TRUE(plan.on_message("A", "B", 0).sever);
+  EXPECT_TRUE(plan.on_message("B", "A", 0).sever);
+  plan.heal_link("A", "B");
+  EXPECT_FALSE(plan.on_message("A", "B", 0).faulty());
+  EXPECT_FALSE(plan.on_message("B", "A", 0).faulty());
+}
+
+TEST(FaultPlanHeal, HealAtIndexLiftsSeverWhenIndexReached) {
+  sim::FaultPlan plan;
+  plan.sever_link("A", "B");
+  // The sever lifts when A→B's message counter reaches index 2 — "the
+  // third redial succeeds" — and heals the whole link, replies too.
+  plan.heal_link_at("A", "B", 2);
+  EXPECT_TRUE(plan.on_message("A", "B", 0).sever);   // index 0
+  EXPECT_TRUE(plan.on_message("A", "B", 0).sever);   // index 1
+  EXPECT_FALSE(plan.on_message("A", "B", 0).faulty());  // index 2: healed
+  EXPECT_FALSE(plan.on_message("B", "A", 0).faulty());  // reverse healed too
+}
+
+TEST(FaultPlanHeal, HealAfterElapsedTimeHealsOnNextMessage) {
+  sim::FaultPlan plan;
+  plan.sever_link("A", "B");
+  plan.heal_link_after("A", "B", 0.0);  // deadline already passed
+  EXPECT_FALSE(plan.on_message("B", "A", 0).faulty());
+  EXPECT_FALSE(plan.on_message("A", "B", 0).faulty());
+}
+
+// ---------------------------------------------------------------------------
+// Wire compatibility: with no retry-after hint the reply header is
+// byte-identical to the pre-flow format.
+// ---------------------------------------------------------------------------
+
+TEST(FlowWireCompat, HintFreeReplyHeaderBytesUnchanged) {
+  ReplyHeader h;
+  h.request_id.value = 7;
+  h.server_rank = 1;
+  h.server_size = 2;
+  h.status = ReplyStatus::kSystemException;
+  h.error_code = ErrorCode::kTimeout;
+  h.error_message = "late";
+
+  ByteBuffer now;
+  CdrWriter w(now);
+  h.marshal(w);
+
+  // The pre-flow wire format, written field by field by hand.
+  ByteBuffer old;
+  CdrWriter ow(old);
+  ow.write_ulonglong(7);  // request_id
+  ow.write_long(1);       // server_rank
+  ow.write_long(2);       // server_size
+  ow.write_octet(static_cast<Octet>(ReplyStatus::kSystemException));
+  ow.write_octet(static_cast<Octet>(ErrorCode::kTimeout));
+  ow.write_string("late");
+
+  EXPECT_EQ(now, old);
+}
+
+TEST(FlowWireCompat, RetryAfterRoundTripsAndFlagIsCleared) {
+  ReplyHeader h;
+  h.request_id.value = 9;
+  h.status = ReplyStatus::kSystemException;
+  h.error_code = ErrorCode::kOverload;
+  h.error_message = "shed";
+  h.retry_after_ms = 25;
+
+  ByteBuffer buf;
+  CdrWriter w(buf);
+  h.marshal(w);
+  CdrReader r(buf.view());
+  const ReplyHeader back = ReplyHeader::unmarshal(r);
+  EXPECT_EQ(back.status, ReplyStatus::kSystemException);
+  EXPECT_EQ(back.error_code, ErrorCode::kOverload);
+  EXPECT_EQ(back.retry_after_ms, 25u);
+}
+
+// ---------------------------------------------------------------------------
+// SessionTransport wire behavior.
+// ---------------------------------------------------------------------------
+
+TEST(FlowSessionWire, DisabledSessionTransportIsPassThrough) {
+  transport::LocalTransport inner;
+  flow::SessionTransport st(inner, flow::SessionTransport::Options{});  // disabled
+  auto ep = st.create_endpoint("");
+
+  st.rsr(ep->addr(), transport::kHandlerOrbRequest, text_payload("raw"), "");
+  auto msg = ep->poll();
+  ASSERT_TRUE(msg.has_value());
+  // No envelope, no filter, no session state: the bytes on the queue
+  // are exactly what an undecorated transport would have delivered.
+  EXPECT_EQ(msg->handler, transport::kHandlerOrbRequest);
+  EXPECT_EQ(msg->payload, text_payload("raw"));
+  EXPECT_EQ(st.unacked(ep->addr()), 0u);
+}
+
+TEST(FlowSessionWire, SessionDedupsInjectedDuplicateFrame) {
+  sim::Testbed tb = sim::Testbed::paper_testbed();
+  transport::LocalTransport inner(&tb);
+  flow::SessionTransport::Options opts;
+  opts.enabled = true;
+  flow::SessionTransport st(inner, opts);
+  auto ep = st.create_endpoint(sim::Testbed::kHost2);
+
+  // The first session frame is delivered twice; the receiver drops the
+  // replay by sequence number and re-acks, so exactly one inner
+  // message reaches the queue and nothing stays unacked.
+  tb.faults().duplicate_message("", sim::Testbed::kHost2, 0);
+  st.rsr(ep->addr(), transport::kHandlerOrbRequest, text_payload("once"), "");
+
+  auto msg = ep->poll();
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(msg->handler, transport::kHandlerOrbRequest);
+  EXPECT_EQ(msg->payload, text_payload("once"));
+  EXPECT_FALSE(ep->poll().has_value());
+  EXPECT_EQ(st.unacked(ep->addr()), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Shared servant/fixture machinery.
+// ---------------------------------------------------------------------------
+
+/// calc servant whose counter(d < 0) parks until the test releases it.
+/// With a Poa supplied, the parked execution keeps polling
+/// process_requests() (the paper's §4.2 nested-dispatch idiom), so
+/// requests arriving meanwhile reach the admission controller.
+class ParkServant : public POA_calc {
+ public:
+  ParkServant(std::atomic<int>& exec, std::atomic<bool>& entered,
+              std::atomic<bool>& release, Poa* poa)
+      : exec_(&exec), entered_(&entered), release_(&release), poa_(poa) {}
+  double dot(const vec&, const vec&) override { return 0; }
+  void scale(double, const vec&, vec&) override {}
+  Long counter(Long d) override {
+    ++*exec_;
+    if (d < 0) {
+      entered_->store(true);
+      while (!release_->load()) {
+        if (poa_ != nullptr) poa_->process_requests();
+        std::this_thread::yield();
+      }
+    }
+    return d;
+  }
+  void note(const std::string&) override {}
+  void boom(const std::string&) override {}
+
+ private:
+  std::atomic<int>* exec_;
+  std::atomic<bool>* entered_;
+  std::atomic<bool>* release_;
+  Poa* poa_;
+};
+
+/// One-rank server on a modeled host (clients stay unmodeled so every
+/// message takes the fault-injectable transport path), with a
+/// ParkServant and a configurable OrbConfig.
+struct FlowServer {
+  sim::Testbed tb = sim::Testbed::paper_testbed();
+  transport::LocalTransport tp{&tb};
+  InProcessRegistry reg;
+  Orb orb;
+  std::atomic<int> exec{0};
+  std::atomic<bool> entered{false};
+  std::atomic<bool> release{false};
+  rts::Domain domain;
+  Poa* poa = nullptr;
+
+  FlowServer(const std::string& name, const OrbConfig& cfg, bool polling)
+      : orb(tp, reg, cfg), domain("flow-server", 1, tb.host(sim::Testbed::kHost2)) {
+    std::promise<Poa*> pp;
+    auto pf = pp.get_future();
+    domain.start([this, name, polling, &pp](rts::DomainContext& sctx) {
+      Poa p(orb, sctx);
+      ParkServant servant(exec, entered, release, polling ? &p : nullptr);
+      p.activate_spmd(servant, name);
+      pp.set_value(&p);
+      p.impl_is_ready();
+    });
+    poa = pf.get();
+  }
+
+  ~FlowServer() {
+    release.store(true);
+    poa->deactivate();
+    domain.join();
+  }
+};
+
+/// Like FlowServer, but the whole ORB runs over a SessionTransport.
+struct SessionServer {
+  sim::Testbed tb = sim::Testbed::paper_testbed();
+  transport::LocalTransport inner{&tb};
+  flow::SessionTransport st;
+  InProcessRegistry reg;
+  Orb orb;
+  std::atomic<int> exec{0};
+  std::atomic<bool> entered{false};
+  std::atomic<bool> release{false};
+  rts::Domain domain;
+  Poa* poa = nullptr;
+
+  SessionServer(const std::string& name, const flow::SessionTransport::Options& opts)
+      : st(inner, opts),
+        orb(st, reg),
+        domain("flow-session-server", 1, tb.host(sim::Testbed::kHost2)) {
+    std::promise<Poa*> pp;
+    auto pf = pp.get_future();
+    domain.start([this, name, &pp](rts::DomainContext& sctx) {
+      Poa p(orb, sctx);
+      ParkServant servant(exec, entered, release, nullptr);
+      p.activate_spmd(servant, name);
+      pp.set_value(&p);
+      p.impl_is_ready();
+    });
+    poa = pf.get();
+  }
+
+  ~SessionServer() {
+    release.store(true);
+    poa->deactivate();
+    domain.join();
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Reconnecting sessions end to end.
+// ---------------------------------------------------------------------------
+
+TEST(FlowSession, SeverThenHealCompletesEveryPendingFuture) {
+  flow::SessionTransport::Options opts;
+  opts.enabled = true;
+  opts.max_reconnects = 100;
+  opts.backoff_ms = 1;
+  SessionServer s("heal-calc", opts);
+
+  ClientCtx ctx(s.orb);
+  auto proxy = calc_api::calc::_bind(ctx, "heal-calc");
+  Future<Long> f1, f2;
+  proxy->counter_nb(-1, f1);  // parks in the servant
+  ASSERT_TRUE(spin_until([&] { return s.entered.load(); }));
+  proxy->counter_nb(7, f2);  // delivered; waits behind the parked call
+
+  // Cut the client↔server link while both replies are outstanding and
+  // schedule it to heal 20 ms later. The reply sends hit CommFailure,
+  // redial with backoff, and replay once the link is back — the healed
+  // outage must not break a single future.
+  s.tb.faults().sever_link(sim::Testbed::kHost2, "");
+  s.tb.faults().heal_link_after(sim::Testbed::kHost2, "", 0.02);
+  s.release.store(true);
+
+  EXPECT_EQ(f1.get(), -1);
+  EXPECT_EQ(f2.get(), 7);
+  // Replay resumed the session rather than re-executing anything: each
+  // request dispatched exactly once.
+  EXPECT_EQ(s.exec.load(), 2);
+}
+
+TEST(FlowSession, TcpSeverThenHealCompletesEveryPendingFuture) {
+  // The same sever→heal outage over real sockets: client and server
+  // each run their own ORB over a session-wrapped TcpTransport, and
+  // the fault plan cuts the modeled link between their host models.
+  flow::SessionTransport::Options opts;
+  opts.enabled = true;
+  opts.max_reconnects = 100;
+  opts.backoff_ms = 1;
+
+  sim::Testbed tb = sim::Testbed::paper_testbed();
+  transport::TcpTransport server_inner(0, &tb);
+  flow::SessionTransport server_st(server_inner, opts);
+  transport::TcpTransport client_inner(0, &tb);
+  flow::SessionTransport client_st(client_inner, opts);
+  InProcessRegistry reg;
+  Orb server_orb(server_st, reg);
+  Orb client_orb(client_st, reg);
+
+  std::atomic<int> exec{0};
+  std::atomic<bool> entered{false};
+  std::atomic<bool> release{false};
+  rts::Domain domain("flow-tcp-server", 1, tb.host(sim::Testbed::kHost2));
+  std::promise<Poa*> pp;
+  auto pf = pp.get_future();
+  domain.start([&](rts::DomainContext& sctx) {
+    Poa p(server_orb, sctx);
+    ParkServant servant(exec, entered, release, nullptr);
+    p.activate_spmd(servant, "tcp-heal-calc");
+    pp.set_value(&p);
+    p.impl_is_ready();
+  });
+  Poa* poa = pf.get();
+
+  {
+    ClientCtx ctx(client_orb);
+    auto proxy = calc_api::calc::_bind(ctx, "tcp-heal-calc");
+    Future<Long> f1, f2;
+    proxy->counter_nb(-1, f1);  // parks in the servant
+    ASSERT_TRUE(spin_until([&] { return entered.load(); }));
+    proxy->counter_nb(7, f2);
+
+    tb.faults().sever_link(sim::Testbed::kHost2, "");
+    tb.faults().heal_link_after(sim::Testbed::kHost2, "", 0.02);
+    release.store(true);
+
+    EXPECT_EQ(f1.get(), -1);
+    EXPECT_EQ(f2.get(), 7);
+    EXPECT_EQ(exec.load(), 2);  // replayed, never re-executed
+  }
+
+  release.store(true);
+  poa->deactivate();
+  domain.join();
+}
+
+TEST(FlowSession, ReconnectBudgetExhaustionEscalatesThenRecovers) {
+  flow::SessionTransport::Options opts;
+  opts.enabled = true;
+  opts.max_reconnects = 2;
+  opts.backoff_ms = 1;
+  SessionServer s("lost-calc", opts);
+  s.release.store(true);  // never park
+
+  ClientCtx ctx(s.orb);
+  auto proxy = calc_api::calc::_bind(ctx, "lost-calc");
+  EXPECT_EQ(proxy->counter(1), 1);  // session established over a healthy link
+
+  // An outage longer than the reconnect budget: only then does
+  // CommFailure escalate to the caller.
+  s.tb.faults().sever_link("", sim::Testbed::kHost2);
+  EXPECT_THROW(proxy->counter(2), CommFailure);
+
+  // The link heals. A fresh binding's next invocation reconnects and
+  // goes through — the receiver resyncs past the lost frame instead of
+  // wedging the session.
+  s.tb.faults().heal_link("", sim::Testbed::kHost2);
+  auto proxy2 = calc_api::calc::_bind(ctx, "lost-calc");
+  EXPECT_EQ(proxy2->counter(3), 3);
+  EXPECT_EQ(s.exec.load(), 2);  // the severed request never executed
+}
+
+// ---------------------------------------------------------------------------
+// POA admission control.
+// ---------------------------------------------------------------------------
+
+TEST(FlowOverload, ShedsPastHighWatermarkWithRetryAfterHint) {
+  OrbConfig cfg;
+  cfg.poa_high_watermark = 3;
+  cfg.poa_low_watermark = 1;
+  cfg.overload_retry_after = 25ms;
+  FlowServer s("shed-calc", cfg, /*polling=*/true);
+
+  ClientCtx ctx(s.orb);
+  auto proxy = calc_api::calc::_bind(ctx, "shed-calc");
+  Future<Long> fa;
+  proxy->counter_nb(-1, fa);  // parks (and polls) in the servant
+  ASSERT_TRUE(spin_until([&] { return s.entered.load(); }));
+
+  // Three live requests queue behind the parked one (same binding:
+  // invocation order holds them until it returns).
+  Future<Long> fb1, fb2, fb3;
+  proxy->counter_nb(1, fb1);
+  proxy->counter_nb(2, fb2);
+  proxy->counter_nb(3, fb3);
+  ASSERT_TRUE(spin_until([&] { return s.poa->pending_requests() == 3; }));
+
+  // The queue sits at the high watermark: the next request is shed
+  // with kOverload, carrying the configured retry-after hint.
+  Future<Long> fc;
+  proxy->counter_nb(9, fc);
+  try {
+    fc.get();
+    FAIL() << "expected OverloadError";
+  } catch (const OverloadError& e) {
+    EXPECT_EQ(e.retry_after_ms(), 25u);
+  }
+
+  s.release.store(true);
+  EXPECT_EQ(fa.get(), -1);
+  EXPECT_EQ(fb1.get(), 1);
+  EXPECT_EQ(fb2.get(), 2);
+  EXPECT_EQ(fb3.get(), 3);
+  EXPECT_EQ(s.exec.load(), 4);  // the shed request never dispatched
+
+  // Hysteresis: the queue drained below the low watermark, so a new
+  // request is admitted again.
+  EXPECT_EQ(proxy->counter(6), 6);
+  EXPECT_EQ(s.exec.load(), 5);
+}
+
+TEST(FlowOverload, ExpiredRequestsDoNotDefendQueueSeats) {
+  OrbConfig cfg;
+  cfg.poa_high_watermark = 3;
+  cfg.poa_low_watermark = 1;
+  cfg.overload_retry_after = 25ms;
+  FlowServer s("expire-calc", cfg, /*polling=*/true);
+
+  ClientCtx ctx(s.orb);
+  auto proxy = calc_api::calc::_bind(ctx, "expire-calc");
+  Future<Long> fa;
+  proxy->counter_nb(-1, fa);
+  ASSERT_TRUE(spin_until([&] { return s.entered.load(); }));
+
+  // Three deadline-carrying requests queue up, then outwait their
+  // budget in the server queue.
+  proxy->_binding()->set_deadline(1ms);
+  Future<Long> fe1, fe2, fe3;
+  proxy->counter_nb(1, fe1);
+  proxy->counter_nb(2, fe2);
+  proxy->counter_nb(3, fe3);
+  ASSERT_TRUE(spin_until([&] { return s.poa->pending_requests() == 3; }));
+  std::this_thread::sleep_for(10ms);
+
+  // The queue is at the high watermark, but every seat is held by an
+  // expired request — those shed first (they answer kTimeout without
+  // running the servant), so the live request is admitted, not shed.
+  proxy->_binding()->set_deadline(0ms);
+  Future<Long> fc;
+  proxy->counter_nb(9, fc);
+  s.release.store(true);
+
+  EXPECT_EQ(fc.get(), 9);
+  EXPECT_EQ(fa.get(), -1);
+  EXPECT_THROW(fe1.get(), TimeoutError);
+  EXPECT_THROW(fe2.get(), TimeoutError);
+  EXPECT_THROW(fe3.get(), TimeoutError);
+  EXPECT_EQ(s.exec.load(), 2);  // only the parked call and the live one ran
+}
+
+TEST(FlowOverload, WithRetryRidesOutOverload) {
+  OrbConfig cfg;
+  cfg.poa_high_watermark = 3;
+  cfg.poa_low_watermark = 1;
+  cfg.overload_retry_after = 20ms;
+  FlowServer s("retry-calc", cfg, /*polling=*/true);
+
+  ClientCtx ctx(s.orb);
+  auto proxy = calc_api::calc::_bind(ctx, "retry-calc");
+  Future<Long> fa;
+  proxy->counter_nb(-1, fa);
+  ASSERT_TRUE(spin_until([&] { return s.entered.load(); }));
+  Future<Long> fb1, fb2, fb3;
+  proxy->counter_nb(1, fb1);
+  proxy->counter_nb(2, fb2);
+  proxy->counter_nb(3, fb3);
+  ASSERT_TRUE(spin_until([&] { return s.poa->pending_requests() == 3; }));
+
+  // The overload clears shortly after the first attempt is shed; the
+  // retry-after hint paces with_retry past the outage.
+  std::thread releaser([&] {
+    std::this_thread::sleep_for(5ms);
+    s.release.store(true);
+  });
+
+  ClientRequest req(*proxy->_binding(), "counter", false, false);
+  req.in_value<Long>(9);
+  auto out = std::make_shared<Long>(0);
+  ft::RetryPolicy policy;
+  policy.max_attempts = 8;
+  policy.initial_backoff = 1ms;
+  const int attempts = ft::with_retry(*proxy->_binding(), "counter", policy,
+                                      [&](int attempt) {
+                                        auto pending = req.invoke(attempt);
+                                        pending->set_decoder([out](ReplyDecoder& d) {
+                                          *out = d.out_value<Long>();
+                                        });
+                                        return pending;
+                                      });
+  releaser.join();
+
+  EXPECT_GE(attempts, 2);  // at least the shed attempt plus the retry
+  EXPECT_EQ(*out, 9);
+  EXPECT_EQ(fa.get(), -1);
+  EXPECT_EQ(fb1.get(), 1);
+  EXPECT_EQ(s.exec.load(), 5);  // no shed attempt ever reached the servant
+}
+
+TEST(FlowFtUnit, OverloadHintFloorsRetryBackoff) {
+  transport::LocalTransport tp;
+  InProcessRegistry reg;
+  Orb orb(tp, reg);
+  ClientCtx ctx(orb);
+  Binding binding(ctx, ObjectRef{}, /*collective=*/false, /*id=*/1);
+  ft::RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.initial_backoff = 1ms;
+
+  int calls = 0;
+  const auto start = std::chrono::steady_clock::now();
+  const int attempts =
+      ft::with_retry(binding, "op", policy, [&](int) -> std::shared_ptr<PendingReply> {
+        if (++calls == 1) throw OverloadError("server busy", 40);
+        return nullptr;
+      });
+  const auto waited = std::chrono::steady_clock::now() - start;
+  EXPECT_EQ(attempts, 2);
+  EXPECT_EQ(calls, 2);
+  // The 40 ms server hint floors the 1 ms configured backoff.
+  EXPECT_GE(waited, 40ms);
+}
+
+// ---------------------------------------------------------------------------
+// Client-side in-flight windows.
+// ---------------------------------------------------------------------------
+
+TEST(FlowWindow, FailPolicyThrowsWhenWindowFull) {
+  OrbConfig cfg;
+  cfg.inflight_window = 1;
+  cfg.window_policy = OrbConfig::WindowPolicy::kFail;
+  FlowServer s("window-fail-calc", cfg, /*polling=*/false);
+
+  ClientCtx ctx(s.orb);
+  auto proxy = calc_api::calc::_bind(ctx, "window-fail-calc");
+  Future<Long> fa;
+  proxy->counter_nb(-1, fa);  // holds the only window slot
+  ASSERT_TRUE(spin_until([&] { return s.entered.load(); }));
+
+  Future<Long> fb;
+  EXPECT_THROW(proxy->counter_nb(5, fb), OverloadError);
+
+  s.release.store(true);
+  EXPECT_EQ(fa.get(), -1);  // completion returns the slot...
+  EXPECT_EQ(proxy->counter(5), 5);  // ...so the next invocation is admitted
+  EXPECT_EQ(s.exec.load(), 2);
+}
+
+TEST(FlowWindow, BlockPolicyCompletesSequentialInvocations) {
+  OrbConfig cfg;
+  cfg.inflight_window = 1;
+  cfg.window_policy = OrbConfig::WindowPolicy::kBlock;
+  FlowServer s("window-block-calc", cfg, /*polling=*/false);
+  s.release.store(true);  // never park
+
+  ClientCtx ctx(s.orb);
+  auto proxy = calc_api::calc::_bind(ctx, "window-block-calc");
+  // Each invocation past the first blocks in the window until the
+  // previous reply lands — progress, not failure, under backpressure.
+  Future<Long> f[5];
+  for (Long i = 0; i < 5; ++i) proxy->counter_nb(i, f[i]);
+  for (Long i = 0; i < 5; ++i) EXPECT_EQ(f[i].get(), i);
+  EXPECT_EQ(s.exec.load(), 5);
+}
+
+// ---------------------------------------------------------------------------
+// Bounded endpoint queues.
+// ---------------------------------------------------------------------------
+
+TEST(FlowEndpoint, BoundedQueueDropsAtCapacityWithCount) {
+  transport::LocalTransport tp;
+  auto ep = tp.create_endpoint("");
+  ep->set_capacity(2);
+
+  for (int i = 0; i < 3; ++i)
+    tp.rsr(ep->addr(), transport::kHandlerOrbRequest, text_payload("m"), "");
+
+  // The third delivery found the queue at capacity and was dropped —
+  // the one-way RSR model, now with a located diagnostic and a count.
+  EXPECT_EQ(ep->pending(), 2u);
+  EXPECT_EQ(ep->dropped(), 1u);
+  EXPECT_TRUE(ep->poll().has_value());
+  EXPECT_TRUE(ep->poll().has_value());
+  EXPECT_FALSE(ep->poll().has_value());
+}
+
+TEST(FlowEndpoint, PinnedAtCapacityTripsCheckViolation) {
+  struct CheckGuard {
+    bool prev = check::enabled();
+    CheckGuard() { check::set_enabled(true); }
+    ~CheckGuard() { check::set_enabled(prev); }
+  } guard;
+
+  transport::LocalTransport tp;
+  auto ep = tp.create_endpoint("");
+  ep->set_capacity(1);
+
+  // Every drain observes the queue at capacity; after kQueuePinnedRounds
+  // consecutive observations the check rule flags the consumer as
+  // too slow for its bound.
+  EXPECT_THROW(
+      {
+        for (int i = 0; i < transport::kQueuePinnedRounds + 5; ++i) {
+          tp.rsr(ep->addr(), transport::kHandlerOrbRequest, text_payload("x"), "");
+          ep->poll();
+        }
+      },
+      check::Violation);
+}
+
+}  // namespace
+}  // namespace pardis::core

@@ -79,7 +79,22 @@ TEST(LocalTransportTest, WaitBlocksUntilDelivery) {
 TEST(LocalTransportTest, WaitForTimesOut) {
   LocalTransport t;
   auto ep = t.create_endpoint("");
-  EXPECT_FALSE(ep->wait_for(std::chrono::milliseconds(10)).has_value());
+  auto res = ep->wait_for(std::chrono::milliseconds(10));
+  EXPECT_EQ(res.status, WaitStatus::kTimeout);
+  EXPECT_FALSE(res.message.has_value());
+}
+
+TEST(LocalTransportTest, WaitForReportsCloseDistinctFromTimeout) {
+  LocalTransport t;
+  auto ep = t.create_endpoint("");
+  std::thread closer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    ep->close();
+  });
+  auto res = ep->wait_for(std::chrono::seconds(5));
+  EXPECT_EQ(res.status, WaitStatus::kClosed);
+  EXPECT_FALSE(res.message.has_value());
+  closer.join();
 }
 
 TEST(LocalTransportTest, CloseWakesWaiters) {
