@@ -29,6 +29,10 @@ OrbConfig OrbConfig::from_env() {
       const long ms = std::strtol(v, nullptr, 10);
       if (ms >= 0) c.overload_retry_after = std::chrono::milliseconds(ms);
     }
+    if (const char* v = std::getenv("PARDIS_POA_ASSEMBLY_STALL_MS")) {
+      const long ms = std::strtol(v, nullptr, 10);
+      if (ms >= 0) c.poa_assembly_stall = std::chrono::milliseconds(ms);
+    }
     if (const char* v = std::getenv("PARDIS_INFLIGHT_WINDOW")) {
       const long n = std::strtol(v, nullptr, 10);
       if (n >= 0) c.inflight_window = static_cast<std::size_t>(n);

@@ -41,6 +41,14 @@ struct OrbConfig {
   /// Retry-after hint carried on kOverload replies (kReplyFlagRetryAfter).
   std::chrono::milliseconds overload_retry_after{50};
 
+  /// How long a server thread may wait for the bodies of a
+  /// collectively scheduled request to finish assembling before it
+  /// fails the round with CommFailure. A slice lost at a bounded
+  /// queue (or a client that died mid-send) would otherwise block
+  /// every rank of an SPMD server forever; the bound turns the wedge
+  /// into a located failure. 0 waits without bound.
+  std::chrono::milliseconds poa_assembly_stall{30000};
+
   /// Client-side backpressure: max outstanding non-oneway transported
   /// invocations per peer object; 0 disables the window.
   std::size_t inflight_window = 0;
@@ -59,8 +67,8 @@ struct OrbConfig {
   /// Defaults overridden by the environment (read once per process):
   /// PARDIS_RESOLVE_TIMEOUT_MS, PARDIS_POA_HIGH_WATERMARK,
   /// PARDIS_POA_LOW_WATERMARK, PARDIS_OVERLOAD_RETRY_AFTER_MS,
-  /// PARDIS_INFLIGHT_WINDOW, PARDIS_WINDOW_POLICY (block|fail),
-  /// PARDIS_LISTEN_BACKLOG.
+  /// PARDIS_POA_ASSEMBLY_STALL_MS, PARDIS_INFLIGHT_WINDOW,
+  /// PARDIS_WINDOW_POLICY (block|fail), PARDIS_LISTEN_BACKLOG.
   static OrbConfig from_env();
 };
 

@@ -54,7 +54,18 @@ Poa::Poa(Orb& orb, rts::DomainContext& dctx)
   high_watermark_ = cfg.poa_high_watermark;
   low_watermark_ = cfg.poa_low_watermark != 0 ? cfg.poa_low_watermark
                                               : cfg.poa_high_watermark / 2;
+  if (high_watermark_ != 0 && low_watermark_ >= high_watermark_) {
+    // Degenerate hysteresis: with low >= high the controller would
+    // enter overload at one ingest and exit at the very next check,
+    // flip-flopping the shed decision per request. Clamp to the
+    // widest valid band instead.
+    PARDIS_LOG(kWarn, "poa") << "low watermark " << low_watermark_
+                             << " >= high watermark " << high_watermark_
+                             << "; clamping low to " << (high_watermark_ - 1);
+    low_watermark_ = high_watermark_ - 1;
+  }
   overload_retry_after_ms_ = static_cast<ULong>(cfg.overload_retry_after.count());
+  assembly_stall_ = cfg.poa_assembly_stall;
 
   auto* fresh = rank_ == 0 ? new PoaShared(orb, size_) : nullptr;
   const auto addr =
@@ -205,13 +216,21 @@ void Poa::ingest(transport::RsrMessage&& msg) {
   if (ns != next_seq_.end() && header.seq_no < ns->second && !header.retry()) return;
   // Admission control applies only to genuinely new requests: a later
   // body of a matrix already assembling must never be shed (it would
-  // tear the assembly and strand the other ranks' bodies).
-  if (high_watermark_ != 0 && assembling_.find(key) == assembling_.end() &&
-      shed_if_overloaded(header)) {
+  // tear the assembly and strand the other ranks' bodies). For SPMD
+  // objects only the coordinator sheds: rank 0's decision reaches the
+  // other ranks through the round schedule, so every thread punches
+  // the same holes and the dispatch horizon stays identical. A rank
+  // shedding independently would skip a sequence number the
+  // coordinator schedules and silently sit out that collective
+  // dispatch — collective ops inside the servant would then deadlock
+  // the server, and the shedding rank's reply slice would be lost.
+  if (high_watermark_ != 0 && (!entry->spmd || rank_ == 0) &&
+      assembling_.find(key) == assembling_.end() && shed_if_overloaded(header)) {
     // The shed request consumed a slot in the binding's invocation
     // order; mark the hole so the dispatch horizon skips it instead of
     // waiting forever (a retry re-fills the slot and voids the marker).
     shed_seqs_[header.binding_id].insert(header.seq_no);
+    if (entry->spmd) shed_bcast_.push_back(key);
     return;
   }
   Assembling& a = assembling_[key];
@@ -375,7 +394,10 @@ void Poa::dispatch(Key key, bool expired) {
   if (key.second + 1 > next) next = key.second + 1;
   // Consume shed holes now adjacent to the horizon, so the binding's
   // next in-order request is not held up by one that was never
-  // admitted.
+  // admitted. Safe for SPMD bindings: their holes all originate from
+  // the coordinator's schedule, so every thread consumes the same set
+  // in the same collective dispatch order and next_seq_ stays
+  // identical across ranks.
   expected_seq(next_seq_, key.first);
   scheduled_replays_.erase(key);
 }
@@ -420,9 +442,30 @@ int Poa::dispatch_ready_singles(bool expired_only) {
 }
 
 void Poa::wait_until_assembled(const Key& key) {
+  const auto started = std::chrono::steady_clock::now();
   for (;;) {
     auto it = assembling_.find(key);
     if (it != assembling_.end() && it->second.complete()) return;
+    if (assembly_stall_.count() > 0 &&
+        std::chrono::steady_clock::now() - started >= assembly_stall_) {
+      // The coordinator scheduled this dispatch, but the bodies never
+      // finished arriving here (a slice lost at a bounded queue, a
+      // client that died mid-send). Unbounded waiting would block
+      // every rank behind this entry forever — fail the round loudly
+      // instead; the client's retry machinery owns end-to-end
+      // recovery.
+      if (obs::enabled()) {
+        static obs::Counter& stalls =
+            obs::metrics().counter("flow.poa_assembly_stalls");
+        stalls.add(1);
+      }
+      throw CommFailure("POA rank " + std::to_string(rank_) + " waited " +
+                        std::to_string(assembly_stall_.count()) +
+                        " ms for scheduled request " + std::to_string(key.first) +
+                        "#" + std::to_string(key.second) +
+                        " to assemble (slice lost or client gone; see "
+                        "PARDIS_POA_ASSEMBLY_STALL_MS)");
+    }
     auto res = endpoint_->wait_for(std::chrono::milliseconds(200));
     if (res.closed())
       throw CommFailure("POA endpoint closed while assembling " +
@@ -514,11 +557,29 @@ int Poa::round(bool& deactivated) {
         if (deadline_passed(*best)) flags = static_cast<Octet>(flags | kSchedExpired);
         ready.push_back(Sched{best_key, flags});
         progressed = true;
+        // An entry that will run the servant closes this round's
+        // schedule: anything batched behind it would carry an expiry
+        // verdict decided now but dispatched only after an arbitrarily
+        // long execution — a request could outwait its whole deadline
+        // budget in that gap and still run. Expired entries are cheap
+        // rejects, so they may keep batching; the next live request is
+        // scheduled by the next round with a fresh verdict.
+        if ((flags & kSchedExpired) == 0) break;
       }
     }
     CdrWriter w(schedule);
     w.write_ulonglong(++round_serial_);
     w.write_bool(shared_->deactivated.load(std::memory_order_acquire));
+    // Coordinated shedding: the SPMD sequence numbers this rank's
+    // admission control rejected since the last round travel with the
+    // schedule, so every thread skips the same holes. The simulation
+    // above already saw them (shed_seqs_ was updated at ingest).
+    w.write_ulong(static_cast<ULong>(shed_bcast_.size()));
+    for (const Key& k : shed_bcast_) {
+      w.write_ulonglong(k.first);
+      w.write_ulong(k.second);
+    }
+    shed_bcast_.clear();
     w.write_ulong(static_cast<ULong>(ready.size()));
     for (const Sched& s : ready) {
       w.write_ulonglong(s.key.first);
@@ -554,6 +615,23 @@ int Poa::round(bool& deactivated) {
     round_serial_ = serial;
   }
   deactivated = r.read_bool();
+  // Apply the coordinator's shed holes before this round's dispatches
+  // (idempotent on rank 0, which punched them at ingest): the horizon
+  // then skips the same sequence numbers on every thread, and a
+  // locally assembled slice of a shed request frees its queue seat. A
+  // retry-flagged assembly is spared — the client already re-filled
+  // the slot, and that replacement must dispatch, not be torn.
+  const ULong shed_count = r.read_ulong();
+  for (ULong i = 0; i < shed_count; ++i) {
+    const ULongLong binding = r.read_ulonglong();
+    const ULong seq = r.read_ulong();
+    shed_seqs_[binding].insert(seq);
+    auto stale = assembling_.find(Key{binding, seq});
+    if (stale != assembling_.end() && !stale->second.header.retry())
+      assembling_.erase(stale);
+  }
+  if (shed_count > 0)
+    depth_mirror_.store(assembling_.size(), std::memory_order_relaxed);
   const ULong count = r.read_ulong();
   for (ULong i = 0; i < count; ++i) {
     const ULongLong binding = r.read_ulonglong();

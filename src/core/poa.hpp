@@ -26,6 +26,7 @@
 #include <memory>
 #include <set>
 #include <string>
+#include <vector>
 
 #include "core/orb.hpp"
 #include "core/servant.hpp"
@@ -80,6 +81,12 @@ class Poa {
   std::size_t pending_requests() const noexcept {
     return depth_mirror_.load(std::memory_order_relaxed);
   }
+
+  /// Admission watermarks after constructor validation: a degenerate
+  /// configuration (low >= high, which would flip the overload state
+  /// on every request) is clamped to low = high - 1.
+  std::size_t high_watermark() const noexcept { return high_watermark_; }
+  std::size_t low_watermark() const noexcept { return low_watermark_; }
 
  private:
   struct Assembling {
@@ -139,8 +146,15 @@ class Poa {
   std::map<Key, Assembling> assembling_;
   std::map<ULongLong, ULong> next_seq_;  // per binding
   /// Sequence numbers shed by admission control, per binding: holes
-  /// the in-order gate skips (consumed by expected_seq).
+  /// the in-order gate skips (consumed by expected_seq). Holes in a
+  /// single-object binding are local to the owning rank; holes in an
+  /// SPMD binding originate at rank 0 and reach every other rank
+  /// through the round schedule, so all threads skip the same
+  /// sequence numbers and next_seq_ stays collectively consistent.
   std::map<ULongLong, std::set<ULong>> shed_seqs_;
+  /// SPMD sequence numbers rank 0 shed since the last round, awaiting
+  /// broadcast in the next schedule. Only populated on rank 0.
+  std::vector<Key> shed_bcast_;
   /// Replayed dispatches (retry-flagged, seq below the binding's next)
   /// the coordinator has put into a schedule but not yet dispatched:
   /// keeps one replay from landing in two outstanding schedules when a
@@ -150,13 +164,22 @@ class Poa {
   ULongLong round_serial_ = 0;
 
   // pardis_flow admission control (constants cached from OrbConfig;
-  // high_ == 0 disables it). Per-rank state: each server thread guards
-  // its own assembly queue, so SPMD ranks stay free of extra
-  // coordination — a rank that sheds answers kOverload for its slice
-  // and the client's coordinated retry re-sends the whole matrix.
+  // high_ == 0 disables it). Each server thread guards its own
+  // assembly queue, but the shed *decision* for SPMD objects is the
+  // coordinator's alone: rank 0 rejects with kOverload and the round
+  // schedule carries its shed sequence numbers to the other ranks. An
+  // independent per-rank shed would desynchronize the dispatch
+  // horizon — the shedding rank skips a sequence number the
+  // coordinator schedules, silently sitting out a collective dispatch
+  // the other ranks execute. Single objects shed locally: only the
+  // owning rank ever dispatches their bindings.
   std::size_t high_watermark_ = 0;
   std::size_t low_watermark_ = 0;
   ULong overload_retry_after_ms_ = 0;
+  /// Bound on wait_until_assembled (0 = unbounded): a scheduled
+  /// collective dispatch whose bodies never finish arriving fails the
+  /// round with CommFailure instead of wedging every rank.
+  std::chrono::milliseconds assembly_stall_{0};
   bool overloaded_ = false;
   std::atomic<std::size_t> depth_mirror_{0};
 };

@@ -21,12 +21,16 @@
 //    caller — which is what escalates to ClientCtx::fail_peer.
 //
 // Scope: sessions recover from *observable* link failures (the sender
-// sees CommFailure). Silently dropped messages (a FaultPlan drop, a
-// receive queue at capacity) are not retransmitted — there is no ack
-// timeout; end-to-end recovery of lost requests stays with
-// ft::with_retry, exactly as before. Liveness probes (kHandlerPing)
-// bypass sessions: replaying a probe would mask the very failure it
-// exists to detect.
+// sees CommFailure). Silently dropped messages (e.g. a FaultPlan drop)
+// are not retransmitted — there is no ack timeout; end-to-end recovery
+// of lost requests stays with ft::with_retry, exactly as before. A
+// receive queue at capacity is the one silent drop sessions do survive:
+// the endpoint bounds-checks session frames *before* the demux filter
+// acks them, so an at-capacity frame is dropped unacked and stays in
+// the sender's window — it replays on the next reconnect, or surfaces
+// as a stalled window / CommFailure when the window fills. Liveness
+// probes (kHandlerPing) bypass sessions: replaying a probe would mask
+// the very failure it exists to detect.
 //
 // Both sides of a link must run their traffic through a
 // SessionTransport (endpoints created here install the demux filter

@@ -112,35 +112,79 @@ std::size_t Endpoint::pending() const {
   return queue_.size();
 }
 
+void Endpoint::drop_at_capacity_locked(const RsrMessage& msg, bool session_frame) {
+  ++dropped_;
+  if (obs::enabled()) {
+    static obs::Counter& drops = obs::metrics().counter("transport.queue_dropped");
+    drops.add(1);
+    if (session_frame) {
+      static obs::Counter& session_drops =
+          obs::metrics().counter("transport.session_queue_dropped");
+      session_drops.add(1);
+    }
+  }
+  if (!drop_warned_) {
+    drop_warned_ = true;
+    PARDIS_LOG(kWarn, "transport")
+        << "endpoint " << addr_.to_string() << " receive queue full (cap "
+        << capacity_ << "); dropping "
+        << (session_frame ? "session frame before its ack (the sender keeps it "
+                            "buffered for replay; PARDIS_ENDPOINT_QUEUE_CAP vs "
+                            "PARDIS_SESSION_WINDOW)"
+                          : "rsr")
+        << " handler " << msg.handler
+        << " (further drops counted in transport.queue_dropped)";
+  } else {
+    PARDIS_LOG(kDebug, "transport")
+        << "endpoint " << addr_.to_string() << " dropped "
+        << (session_frame ? "session frame (unacked)" : "rsr") << " handler "
+        << msg.handler << " (queue at cap " << capacity_ << ")";
+  }
+}
+
 void Endpoint::enqueue(RsrMessage msg) {
+  // A session data frame must settle its queue seat BEFORE the demux
+  // filter runs: the filter acks the frame, which advances the
+  // sender's horizon and prunes it from the retransmission buffer —
+  // ack-then-drop would turn a queue-bound drop into a loss the
+  // session layer can never replay. Reserving the slot here (instead
+  // of re-checking after the filter) closes the race where a
+  // concurrent producer fills the queue while the filter is acking.
+  bool reserved = false;
+  if (msg.handler == kHandlerSessionData) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_) return;  // dropped unacked: the sender keeps the frame
+    if (capacity_ != 0) {
+      if (queue_.size() + reserved_ >= capacity_) {
+        drop_at_capacity_locked(msg, /*session_frame=*/true);
+        return;
+      }
+      ++reserved_;
+      reserved = true;
+    }
+  }
   {
     DeliveryFilter filter;
     {
       std::lock_guard<std::mutex> lock(filter_mutex_);
       filter = filter_;
     }
-    if (filter && filter(msg)) return;  // consumed by the session layer
+    if (filter && filter(msg)) {  // consumed by the session layer
+      if (reserved) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        --reserved_;
+      }
+      return;
+    }
   }
   {
     std::lock_guard<std::mutex> lock(mutex_);
+    if (reserved) --reserved_;
     if (closed_) return;  // dropped, like a one-way send to a dead peer
-    if (capacity_ != 0 && queue_.size() >= capacity_) {
-      ++dropped_;
-      if (obs::enabled()) {
-        static obs::Counter& drops = obs::metrics().counter("transport.queue_dropped");
-        drops.add(1);
-      }
-      if (!drop_warned_) {
-        drop_warned_ = true;
-        PARDIS_LOG(kWarn, "transport")
-            << "endpoint " << addr_.to_string() << " receive queue full (cap "
-            << capacity_ << "); dropping rsr handler " << msg.handler
-            << " (further drops counted in transport.queue_dropped)";
-      } else {
-        PARDIS_LOG(kDebug, "transport")
-            << "endpoint " << addr_.to_string() << " dropped rsr handler "
-            << msg.handler << " (queue at cap " << capacity_ << ")";
-      }
+    // A reservation guarantees the seat (every producer counts
+    // reserved_ in its capacity check above).
+    if (!reserved && capacity_ != 0 && queue_.size() + reserved_ >= capacity_) {
+      drop_at_capacity_locked(msg, /*session_frame=*/false);
       return;
     }
     queue_.push_back(std::move(msg));

@@ -128,6 +128,11 @@ class Endpoint {
   /// per endpoint, a `transport.queue_dropped` count thereafter) —
   /// mirroring the one-way RSR model, where delivery was never
   /// guaranteed; retry layers recover exactly as for a lost message.
+  /// Session data frames (kHandlerSessionData) are capacity-checked
+  /// BEFORE the delivery filter runs, so a frame the queue cannot
+  /// hold is never acked: it stays in the sender's retransmission
+  /// buffer instead of being pruned as delivered. Those drops are
+  /// additionally counted in `transport.session_queue_dropped`.
   void enqueue(RsrMessage msg);
 
   /// Receive-queue bound; 0 = unbounded. Defaults to
@@ -149,12 +154,17 @@ class Endpoint {
   /// mutex_ held at every drain observation. May throw
   /// check::Violation (the unique_lock unwinds cleanly).
   void note_depth_locked();
+  /// Diagnostics for one at-capacity drop; call with mutex_ held.
+  void drop_at_capacity_locked(const RsrMessage& msg, bool session_frame);
 
   EndpointAddr addr_;
   mutable std::mutex mutex_;
   std::condition_variable cv_;
   std::deque<RsrMessage> queue_;
   std::size_t capacity_ = 0;  ///< 0 = unbounded
+  /// Seats promised to session frames currently passing through the
+  /// delivery filter (capacity is checked before the filter acks).
+  std::size_t reserved_ = 0;
   std::uint64_t dropped_ = 0;
   bool drop_warned_ = false;
   int at_cap_streak_ = 0;

@@ -73,6 +73,10 @@ int accept_backoff_ms() {
 
 }  // namespace
 
+TcpTransport::Connection::~Connection() {
+  if (fd >= 0) ::close(fd);
+}
+
 TcpTransport::TcpTransport(UShort port, const sim::Testbed* testbed, int listen_backlog)
     : testbed_(testbed) {
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
@@ -111,10 +115,9 @@ void TcpTransport::shutdown() {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     for (int fd : reader_fds_) ::shutdown(fd, SHUT_RDWR);
-    for (auto& [key, conn] : connections_) {
-      ::shutdown(conn->fd, SHUT_RDWR);
-      ::close(conn->fd);
-    }
+    // shutdown() fails any sender still writing; the Connection
+    // destructor closes each fd once the last sender lets go.
+    for (auto& [key, conn] : connections_) ::shutdown(conn->fd, SHUT_RDWR);
     connections_.clear();
   }
   for (auto& t : readers_)
@@ -244,7 +247,8 @@ std::shared_ptr<TcpTransport::Connection> TcpTransport::connect_to(const std::st
   std::lock_guard<std::mutex> lock(mutex_);
   auto [it, inserted] = connections_.try_emplace(key, conn);
   if (!inserted) {
-    ::close(fd);  // lost a benign race; reuse the existing connection
+    // Lost a benign race; reuse the existing connection. `conn`'s
+    // destructor closes our redundant fd on return.
     return it->second;
   }
   return conn;
@@ -305,15 +309,19 @@ void TcpTransport::drop_connection(const std::string& key,
     std::lock_guard<std::mutex> lock(mutex_);
     auto it = connections_.find(key);
     if (it == connections_.end() || it->second != conn)
-      return;  // already evicted or replaced; the owner closes the fd
+      return;  // already evicted or replaced
     connections_.erase(it);
   }
   if (obs::enabled()) {
     static obs::Counter& evicted = obs::metrics().counter("transport.tcp.conn_evicted");
     evicted.add(1);
   }
+  // Shutdown only: senders racing on write_mutex fail their writes and
+  // evict in turn, and the fd number stays reserved until the last
+  // shared_ptr drops and ~Connection closes it — closing here would let
+  // the kernel hand the number to a new connection while those senders
+  // still target it.
   ::shutdown(conn->fd, SHUT_RDWR);
-  ::close(conn->fd);
 }
 
 }  // namespace pardis::transport

@@ -47,6 +47,13 @@ class TcpTransport final : public Transport {
   struct Connection {
     int fd = -1;
     std::mutex write_mutex;
+    /// Owns the descriptor: ::close runs only when the last holder
+    /// drops its reference, never while a racing rsr() may still be
+    /// queued on write_mutex with this fd — an early close would let
+    /// the kernel reuse the number and aim queued frames at an
+    /// unrelated connection. Eviction paths call ::shutdown instead,
+    /// which fails pending writes cleanly without recycling the fd.
+    ~Connection();
   };
 
   void accept_loop();

@@ -201,9 +201,9 @@ class ParkServant : public POA_calc {
   Poa* poa_;
 };
 
-/// One-rank server on a modeled host (clients stay unmodeled so every
-/// message takes the fault-injectable transport path), with a
-/// ParkServant and a configurable OrbConfig.
+/// Server of `nranks` computing threads on a modeled host (clients
+/// stay unmodeled so every message takes the fault-injectable
+/// transport path), with a ParkServant and a configurable OrbConfig.
 struct FlowServer {
   sim::Testbed tb = sim::Testbed::paper_testbed();
   transport::LocalTransport tp{&tb};
@@ -213,17 +213,19 @@ struct FlowServer {
   std::atomic<bool> entered{false};
   std::atomic<bool> release{false};
   rts::Domain domain;
-  Poa* poa = nullptr;
+  Poa* poa = nullptr;  ///< rank 0's POA
 
-  FlowServer(const std::string& name, const OrbConfig& cfg, bool polling)
-      : orb(tp, reg, cfg), domain("flow-server", 1, tb.host(sim::Testbed::kHost2)) {
+  FlowServer(const std::string& name, const OrbConfig& cfg, bool polling,
+             int nranks = 1)
+      : orb(tp, reg, cfg),
+        domain("flow-server", nranks, tb.host(sim::Testbed::kHost2)) {
     std::promise<Poa*> pp;
     auto pf = pp.get_future();
     domain.start([this, name, polling, &pp](rts::DomainContext& sctx) {
       Poa p(orb, sctx);
       ParkServant servant(exec, entered, release, polling ? &p : nullptr);
       p.activate_spmd(servant, name);
-      pp.set_value(&p);
+      if (sctx.rank == 0) pp.set_value(&p);
       p.impl_is_ready();
     });
     poa = pf.get();
@@ -522,6 +524,114 @@ TEST(FlowOverload, WithRetryRidesOutOverload) {
   EXPECT_EQ(s.exec.load(), 5);  // no shed attempt ever reached the servant
 }
 
+TEST(FlowOverload, LowWatermarkAtOrAboveHighIsClamped) {
+  OrbConfig cfg;
+  cfg.poa_high_watermark = 2;
+  cfg.poa_low_watermark = 9;  // degenerate: hysteresis band inverted
+  FlowServer s("clamp-calc", cfg, /*polling=*/false);
+  EXPECT_EQ(s.poa->high_watermark(), 2u);
+  EXPECT_EQ(s.poa->low_watermark(), 1u);  // clamped to high - 1
+}
+
+TEST(FlowOverload, SpmdShedIsCoordinatedAcrossRanks) {
+  OrbConfig cfg;
+  cfg.poa_high_watermark = 3;
+  cfg.poa_low_watermark = 1;
+  cfg.overload_retry_after = 25ms;
+  FlowServer s("spmd-shed-calc", cfg, /*polling=*/true, /*nranks=*/2);
+
+  ClientCtx ctx(s.orb);
+  auto proxy = calc_api::calc::_bind(ctx, "spmd-shed-calc");
+  Future<Long> fa;
+  proxy->counter_nb(-1, fa);  // parks (and polls) on every rank
+  ASSERT_TRUE(spin_until([&] { return s.exec.load() == 2; }));
+
+  Future<Long> fb1, fb2, fb3;
+  proxy->counter_nb(1, fb1);
+  proxy->counter_nb(2, fb2);
+  proxy->counter_nb(3, fb3);
+  ASSERT_TRUE(spin_until([&] { return s.poa->pending_requests() == 3; }));
+
+  // Rank 0 is the sole shed authority for an SPMD object: it rejects
+  // the fourth request and broadcasts the shed sequence number with
+  // the next round schedule, so rank 1 punches the same hole instead
+  // of waiting forever at a horizon only rank 0 advanced past.
+  Future<Long> fc;
+  proxy->counter_nb(9, fc);
+  try {
+    fc.get();
+    FAIL() << "expected OverloadError";
+  } catch (const OverloadError& e) {
+    EXPECT_EQ(e.retry_after_ms(), 25u);
+  }
+
+  s.release.store(true);
+  EXPECT_EQ(fa.get(), -1);
+  EXPECT_EQ(fb1.get(), 1);
+  EXPECT_EQ(fb2.get(), 2);
+  EXPECT_EQ(fb3.get(), 3);
+
+  // Hysteresis: the queue drained below the low watermark, so new work
+  // is admitted (and dispatched) again.
+  EXPECT_EQ(proxy->counter(6), 6);
+
+  // A scalar reply completes on its first slice, so the slower rank
+  // may still be draining here. Wait until every admitted request
+  // dispatched on BOTH ranks — the shed hole is symmetric, so neither
+  // rank deadlocked behind it: (park + 3 queued + 1 post-drain) × 2.
+  ASSERT_TRUE(spin_until([&] { return s.exec.load() == 10; }));
+  std::this_thread::sleep_for(20ms);
+  EXPECT_EQ(s.exec.load(), 10);  // ...and the shed request ran on neither
+}
+
+TEST(FlowOverload, LostSpmdSliceTripsAssemblyStallBackstop) {
+  // Rank 1 never receives its slice of the invocation: rank 0 (the
+  // coordinator) assembles, schedules, and dispatches the request,
+  // while rank 1 waits on the scheduled key. The assembly-stall bound
+  // must fail rank 1's round with CommFailure instead of wedging the
+  // server forever. (Manual fixture: FlowServer's destructor joins the
+  // domain, which would rethrow the expected exception there.)
+  OrbConfig cfg;
+  cfg.poa_assembly_stall = 250ms;
+  sim::Testbed tb = sim::Testbed::paper_testbed();
+  transport::LocalTransport tp(&tb);
+  InProcessRegistry reg;
+  Orb orb(tp, reg, cfg);
+  // Request slices go out in rank order, so the second client→server
+  // message is rank 1's slice of the first invocation.
+  tb.faults().drop_message("", sim::Testbed::kHost2, 1);
+
+  std::atomic<int> exec{0};
+  std::atomic<bool> entered{false};
+  std::atomic<bool> release{true};  // never park
+  rts::Domain domain("stall-server", 2, tb.host(sim::Testbed::kHost2));
+  std::promise<Poa*> pp;
+  auto pf = pp.get_future();
+  domain.start([&](rts::DomainContext& sctx) {
+    Poa p(orb, sctx);
+    ParkServant servant(exec, entered, release, nullptr);
+    p.activate_spmd(servant, "stall-calc");
+    if (sctx.rank == 0) pp.set_value(&p);
+    p.impl_is_ready();
+  });
+  Poa* poa = pf.get();
+
+  ClientCtx ctx(orb);
+  auto proxy = calc_api::calc::_bind(ctx, "stall-calc");
+  Future<Long> f;
+  proxy->counter_nb(7, f);  // rank 1's slice is dropped in flight
+  // Rank 0's slice assembled and dispatched; rank 1 is stalling.
+  ASSERT_TRUE(spin_until([&] { return exec.load() >= 1; }));
+
+  poa->deactivate();
+  try {
+    domain.join();
+    FAIL() << "expected the stalled rank to fail its round";
+  } catch (const CommFailure& e) {
+    EXPECT_NE(std::string(e.what()).find("assemble"), std::string::npos);
+  }
+}
+
 TEST(FlowFtUnit, OverloadHintFloorsRetryBackoff) {
   transport::LocalTransport tp;
   InProcessRegistry reg;
@@ -607,6 +717,34 @@ TEST(FlowEndpoint, BoundedQueueDropsAtCapacityWithCount) {
   EXPECT_TRUE(ep->poll().has_value());
   EXPECT_TRUE(ep->poll().has_value());
   EXPECT_FALSE(ep->poll().has_value());
+}
+
+TEST(FlowEndpoint, SessionFrameAtCapacityIsDroppedBeforeItsAck) {
+  transport::LocalTransport inner;
+  flow::SessionTransport::Options opts;
+  opts.enabled = true;
+  flow::SessionTransport st(inner, opts);
+  auto ep = st.create_endpoint("");
+  ep->set_capacity(1);
+
+  // The first frame takes the only queue seat: reserved before the
+  // demux filter acks it, delivered unwrapped.
+  st.rsr(ep->addr(), transport::kHandlerOrbRequest, text_payload("kept"), "");
+  EXPECT_EQ(ep->pending(), 1u);
+  EXPECT_EQ(st.unacked(ep->addr()), 0u);
+
+  // The second frame finds the queue full. It must be dropped BEFORE
+  // the filter runs — acked-then-dropped would prune it from the
+  // sender's window and make the loss unrecoverable; unacked, it stays
+  // buffered for replay on the next reconnect.
+  st.rsr(ep->addr(), transport::kHandlerOrbRequest, text_payload("lost"), "");
+  EXPECT_EQ(ep->dropped(), 1u);
+  EXPECT_EQ(st.unacked(ep->addr()), 1u);
+  EXPECT_EQ(ep->pending(), 1u);
+
+  auto msg = ep->poll();
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(msg->payload, text_payload("kept"));
 }
 
 TEST(FlowEndpoint, PinnedAtCapacityTripsCheckViolation) {
