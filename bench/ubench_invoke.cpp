@@ -11,16 +11,23 @@
 // payload-size sweep on the local path.
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <future>
+#include <memory>
 #include <numeric>
+#include <string>
 #include <vector>
 
 #include "bench/bench_json.hpp"
 #include "core/stub_support.hpp"
+#include "ft/ft.hpp"
 #include "obs/metrics.hpp"
 #include "obs/obs.hpp"
+#include "pool/pool.hpp"
+#include "sim/testbed.hpp"
 #include "tests/support/calc_api.hpp"
 
 using namespace pardis;
@@ -220,11 +227,167 @@ int run_saturate(int argc, char** argv) {
   return 0;
 }
 
+/// One pool replica: a single-thread server domain whose POA joins the
+/// replica group for `name` on a modeled host.
+class Replica {
+ public:
+  Replica(core::Orb& orb, const std::string& name, int idx, const sim::HostModel* host)
+      : domain_("replica-" + std::to_string(idx), 1, host) {
+    std::promise<core::Poa*> pp;
+    auto pf = pp.get_future();
+    domain_.start([&orb, name, &pp](rts::DomainContext& ctx) {
+      core::Poa poa(orb, ctx);
+      CalcImpl servant(&ctx.comm);
+      poa.activate_spmd(servant, name, {}, /*replica=*/true);
+      pp.set_value(&poa);
+      poa.impl_is_ready();
+    });
+    poa_ = pf.get();
+  }
+  ~Replica() {
+    poa_->deactivate();
+    domain_.join();
+  }
+
+ private:
+  rts::Domain domain_;
+  core::Poa* poa_ = nullptr;
+};
+
+/// --replicas N: pardis_pool load-balancing and failover profile.
+/// N single-thread replicas register under one name; the client runs
+/// round-robin traffic with a select() per invocation, then one replica
+/// is killed mid-run and the traffic continues on the survivors.
+/// Reports the per-replica pick distribution before and after the
+/// kill, the survivors' deviation from uniform, and the latency of the
+/// failover invocation against the steady-state median.
+int run_replicas(int argc, char** argv) {
+  int n = 3;
+  for (int i = 1; i + 1 < argc; ++i)
+    if (std::strcmp(argv[i], "--replicas") == 0) n = std::atoi(argv[i + 1]);
+  if (n < 2) n = 2;
+  constexpr int kWarm = 300, kPost = 300;
+
+  bench::JsonReport report(argc, argv, "ubench_invoke_replicas");
+  pool::set_enabled(true);
+
+  sim::Testbed tb;
+  tb.add_host(sim::HostModel{.name = "CLIENT", .gflops = 0.030, .max_threads = 4});
+  std::vector<const sim::HostModel*> hosts;
+  for (int i = 0; i < n; ++i)
+    hosts.push_back(tb.add_host(
+        sim::HostModel{.name = "R" + std::to_string(i), .gflops = 0.090, .max_threads = 4}));
+
+  transport::LocalTransport tp(&tb);
+  core::InProcessRegistry reg;
+  core::Orb orb(tp, reg);
+  {
+    std::vector<std::unique_ptr<Replica>> replicas;
+    for (int i = 0; i < n; ++i)
+      replicas.push_back(std::make_unique<Replica>(orb, "pool-calc", i, hosts[static_cast<std::size_t>(i)]));
+
+    core::ClientCtx ctx(orb, "CLIENT");
+    pool::PoolConfig cfg;
+    cfg.policy = pool::Policy::kRoundRobin;
+    // Long probation: the killed replica must not win recovery probes
+    // (and pay a failed-probe latency) inside the measurement window.
+    cfg.probation = std::chrono::milliseconds(60000);
+    auto gb = pool::GroupBinding::bind(ctx, "pool-calc", "", kCalcTypeId, cfg);
+
+    ft::RetryPolicy policy;
+    policy.max_attempts = 4;
+    policy.initial_backoff = std::chrono::milliseconds(1);
+    auto call = [&](Long v, bool reselect) {
+      if (reselect) gb->select();
+      core::ClientRequest req(*gb->binding(), "counter", false, false);
+      req.in_value<Long>(v);
+      auto out = std::make_shared<Long>(0);
+      ft::with_retry(*gb->binding(), "counter", policy, [&](int attempt) {
+        auto pending = req.invoke(attempt);
+        pending->set_decoder(
+            [out](core::ReplyDecoder& d) { *out = d.out_value<Long>(); });
+        return pending;
+      });
+      return *out;
+    };
+
+    std::printf("# Pool: %d replicas, %d warm + %d post-kill round-robin calls\n", n,
+                kWarm, kPost);
+    std::vector<double> steady_us;
+    steady_us.reserve(kWarm);
+    for (int i = 0; i < kWarm; ++i) {
+      const auto t0 = std::chrono::steady_clock::now();
+      (void)call(i, /*reselect=*/true);
+      steady_us.push_back(std::chrono::duration<double, std::micro>(
+                              std::chrono::steady_clock::now() - t0)
+                              .count());
+    }
+    auto before = gb->balancer().snapshot();
+
+    // Kill every endpoint of the replica currently targeted, then
+    // invoke on it without reselecting: the failover invocation pays
+    // CommFailure detection + the agreed retry on a sibling.
+    const std::string killed_key = gb->current().primary_key();
+    for (const auto& ep : gb->current().thread_eps)
+      tb.faults().kill_endpoint(ep.local_id);
+    const auto f0 = std::chrono::steady_clock::now();
+    (void)call(kWarm, /*reselect=*/false);
+    const double failover_ms = std::chrono::duration<double, std::milli>(
+                                   std::chrono::steady_clock::now() - f0)
+                                   .count();
+
+    for (int i = 1; i < kPost; ++i) (void)call(kWarm + i, /*reselect=*/true);
+    auto after = gb->balancer().snapshot();
+
+    const double steady_p50 = percentile(steady_us, 0.50);
+    std::uint64_t survivor_picks = 0;
+    for (std::size_t i = 0; i < after.size(); ++i)
+      if (after[i].key != killed_key) survivor_picks += after[i].picks - before[i].picks;
+    double max_dev = 0.0;
+    const double uniform = 1.0 / (n - 1);
+    std::printf("%-10s %14s %14s %10s\n", "replica", "picks_before", "picks_after",
+                "survivor");
+    for (std::size_t i = 0; i < after.size(); ++i) {
+      const bool survivor = after[i].key != killed_key;
+      const auto post = after[i].picks - before[i].picks;
+      if (survivor && survivor_picks != 0) {
+        const double share = static_cast<double>(post) / survivor_picks;
+        max_dev = std::max(max_dev, std::abs(share - uniform));
+      }
+      std::printf("%-10s %14llu %14llu %10s\n", after[i].host.c_str(),
+                  static_cast<unsigned long long>(before[i].picks),
+                  static_cast<unsigned long long>(post), survivor ? "yes" : "KILLED");
+      report.add("replica_" + after[i].host,
+                 {{"picks_before", static_cast<double>(before[i].picks)},
+                  {"picks_after", static_cast<double>(post)},
+                  {"survivor", survivor ? 1.0 : 0.0},
+                  {"health", after[i].health}});
+    }
+    std::printf("steady p50 %.1f us   failover %.2f ms   failovers %llu   "
+                "survivor max |share-uniform| %.3f\n",
+                steady_p50, failover_ms,
+                static_cast<unsigned long long>(gb->failovers()), max_dev);
+    report.add("pool_failover",
+               {{"replicas", static_cast<double>(n)},
+                {"warm_requests", static_cast<double>(kWarm)},
+                {"post_requests", static_cast<double>(kPost)},
+                {"steady_p50_us", steady_p50},
+                {"failover_ms", failover_ms},
+                {"failovers", static_cast<double>(gb->failovers())},
+                {"survivors", static_cast<double>(n - 1)},
+                {"max_uniform_deviation", max_dev}});
+  }
+  pool::set_enabled(false);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i)
     if (std::strcmp(argv[i], "--saturate") == 0) return run_saturate(argc, argv);
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--replicas") == 0) return run_replicas(argc, argv);
   bench::JsonReport report(argc, argv, "ubench_invoke");
   std::printf("# Ablation A2: invocation latency by path (wall clock)\n");
   constexpr int kIters = 2000;

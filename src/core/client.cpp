@@ -80,6 +80,7 @@ void ClientCtx::fail_peer(const transport::EndpointAddr& peer, const std::string
     static obs::Counter& failed = obs::metrics().counter("ft.peers_failed");
     failed.add(1);
   }
+  for (const auto& listener : peer_failure_listeners_) listener(peer, why);
   for (auto it = pending_.begin(); it != pending_.end();) {
     auto pending = it->second.lock();
     if (!pending) {
@@ -325,9 +326,7 @@ std::shared_ptr<PendingReply> ClientRequest::invoke(int attempt) {
   // slot after the failed attempt freed its one at failure time.
   // Acquired before the sequence number is taken: a kFail rejection
   // must leave no hole in the binding's invocation order.
-  const std::string window_key = !oneway_ && !ref.thread_eps.empty()
-                                     ? ref.thread_eps[0].to_string()
-                                     : std::string();
+  const std::string window_key = !oneway_ ? ref.primary_key() : std::string();
   if (!window_key.empty()) ctx.window_acquire(window_key, ref.thread_eps);
 
   if (attempt == 1) {

@@ -2,6 +2,7 @@
 #pragma once
 
 #include <chrono>
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -90,6 +91,20 @@ class ClientCtx {
   /// invocation completes (or from invoke()'s unwind path).
   void window_release(const std::string& key) noexcept;
 
+  /// Outstanding non-oneway invocations toward `key` (the peer's
+  /// rank-0 endpoint string) — the signal behind the pool balancer's
+  /// least-inflight policy. Call from the owning thread.
+  std::size_t inflight(const std::string& key) const { return window_inflight(key); }
+
+  /// Observer fired from fail_peer() with the dead peer and the
+  /// reason; pardis_pool harvests these into per-replica health
+  /// scores. Listeners run on the owning thread and must not throw.
+  using PeerFailureListener =
+      std::function<void(const transport::EndpointAddr& peer, const std::string& why)>;
+  void add_peer_failure_listener(PeerFailureListener listener) {
+    peer_failure_listeners_.push_back(std::move(listener));
+  }
+
  private:
   void route(transport::RsrMessage&& msg);
   /// Fails the peers of any asynchronous sends the communication
@@ -108,6 +123,7 @@ class ClientCtx {
   std::unique_ptr<CommSender> sender_;
   /// Outstanding non-oneway invocations per peer key (window_acquire).
   std::map<std::string, int> inflight_;
+  std::vector<PeerFailureListener> peer_failure_listeners_;
 };
 
 /// One client-side binding between a proxy and an object implementation
@@ -140,6 +156,46 @@ class Binding {
   ServantBase* collocated_servant() const noexcept { return collocated_; }
   void set_collocated(ServantBase* servant) noexcept { collocated_ = servant; }
 
+  // --- pardis_pool ------------------------------------------------------
+
+  /// Hooks pool::GroupBinding installs so ft::with_retry can fail an
+  /// idempotent invocation over to a sibling replica. Without them
+  /// (the default) the binding behaves exactly as before.
+  struct PoolHooks {
+    /// Fired after an agreed retryable-failure verdict with the
+    /// dominant error code, the diagnostic, and the server retry-after
+    /// hint (ms, 0 = none). Returns true when the binding was
+    /// retargeted at a sibling — the caller then restarts with a fresh
+    /// request identity (attempt 1) instead of re-sending the old one.
+    std::function<bool(ErrorCode code, const std::string& why, unsigned retry_after_ms)>
+        on_failure;
+    /// Fired when an invocation completes (replica health recovery).
+    std::function<void()> on_success;
+  };
+  void set_pool_hooks(PoolHooks hooks) { pool_hooks_ = std::move(hooks); }
+  bool pool_failover(ErrorCode code, const std::string& why, unsigned retry_after_ms) {
+    return pool_hooks_.on_failure ? pool_hooks_.on_failure(code, why, retry_after_ms)
+                                  : false;
+  }
+  void pool_success() {
+    if (pool_hooks_.on_success) pool_hooks_.on_success();
+  }
+
+  /// Swaps the binding onto another replica. Each (id, next_seq) pair
+  /// is a sequencing domain on one server: the pool keeps one per
+  /// replica and restores it here, so every server still sees dense
+  /// sequence numbers. Clears the collocation bypass (pool targets
+  /// are treated as remote).
+  void retarget(ObjectRef ref, ULongLong id, ULong next_seq) {
+    ref_ = std::move(ref);
+    id_ = id;
+    next_seq_ = next_seq;
+    collocated_ = nullptr;
+  }
+  /// The next sequence number take_seq() would hand out (pool target
+  /// bookkeeping).
+  ULong next_seq() const noexcept { return next_seq_; }
+
  private:
   ClientCtx* ctx_;
   ObjectRef ref_;
@@ -148,6 +204,7 @@ class Binding {
   ULong next_seq_ = 0;
   std::chrono::milliseconds deadline_ = default_invocation_deadline();
   ServantBase* collocated_ = nullptr;
+  PoolHooks pool_hooks_;
 };
 
 using BindingPtr = std::shared_ptr<Binding>;

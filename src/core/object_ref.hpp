@@ -74,6 +74,13 @@ struct ObjectRef {
   int server_size() const noexcept { return static_cast<int>(thread_eps.size()); }
   bool valid() const noexcept { return object_id.valid() && !thread_eps.empty(); }
 
+  /// Stable per-server identity string: the rank-0 endpoint address.
+  /// Keys the flow in-flight window and the pool balancer's health
+  /// map (empty for a reference with no endpoints).
+  std::string primary_key() const {
+    return thread_eps.empty() ? std::string() : thread_eps.front().to_string();
+  }
+
   /// Spec for the i-th dseq argument of `operation` (BLOCK when not
   /// registered).
   DistSpec spec_for(const std::string& operation, std::size_t dseq_index) const;

@@ -20,6 +20,9 @@ struct PoaShared {
     bool spmd = false;
     int owner_rank = -1;  // single objects only
     std::vector<ServantBase*> servants;
+    /// pardis_pool: registered via register_replica; withdrawal must
+    /// remove only this member, not every sibling on the host.
+    bool replica = false;
   };
 
   explicit PoaShared(Orb& orb_ref, int nranks) : orb(&orb_ref), eps(nranks) {}
@@ -92,7 +95,10 @@ Poa::~Poa() {
     // Last thread out: withdraw every object this POA published.
     for (const auto& [id, entry] : shared_->objects) {
       orb_->unregister_servants(entry.ref.object_id);
-      orb_->registry().unregister(entry.ref.name, entry.ref.host);
+      if (entry.replica)
+        orb_->registry().unregister_replica(entry.ref.name, entry.ref.object_id);
+      else
+        orb_->registry().unregister(entry.ref.name, entry.ref.host);
     }
     delete shared_;
   }
@@ -101,7 +107,8 @@ Poa::~Poa() {
 const transport::EndpointAddr& Poa::endpoint_addr() const { return endpoint_->addr(); }
 
 ObjectRef Poa::activate_spmd(ServantBase& servant, const std::string& name,
-                             std::map<std::string, std::vector<DistSpec>> arg_specs) {
+                             std::map<std::string, std::vector<DistSpec>> arg_specs,
+                             bool replica) {
   // Gather the per-rank servant pointers (same address space).
   auto ptrs = rts::allgather_values<ULongLong>(
       *comm_, reinterpret_cast<ULongLong>(&servant));
@@ -129,16 +136,20 @@ ObjectRef Poa::activate_spmd(ServantBase& servant, const std::string& name,
     {
       std::lock_guard<std::mutex> lock(shared_->mutex);
       shared_->objects[ref.object_id.value] =
-          PoaShared::ObjEntry{ref, /*spmd=*/true, /*owner_rank=*/-1, servants};
+          PoaShared::ObjEntry{ref, /*spmd=*/true, /*owner_rank=*/-1, servants, replica};
     }
     orb_->register_servants(ref, servants, comm_->group_key());
-    orb_->registry().register_object(ref);
+    if (replica)
+      orb_->registry().register_replica(ref);
+    else
+      orb_->registry().register_object(ref);
   }
   rts::barrier(*comm_);
   return ref;
 }
 
-ObjectRef Poa::activate_single(ServantBase& servant, const std::string& name) {
+ObjectRef Poa::activate_single(ServantBase& servant, const std::string& name,
+                               bool replica) {
   ObjectRef ref;
   ref.type_id = servant._type_id();
   ref.name = name;
@@ -149,10 +160,13 @@ ObjectRef Poa::activate_single(ServantBase& servant, const std::string& name) {
   {
     std::lock_guard<std::mutex> lock(shared_->mutex);
     shared_->objects[ref.object_id.value] =
-        PoaShared::ObjEntry{ref, /*spmd=*/false, rank_, {&servant}};
+        PoaShared::ObjEntry{ref, /*spmd=*/false, rank_, {&servant}, replica};
   }
   orb_->register_servants(ref, {&servant}, nullptr);
-  orb_->registry().register_object(ref);
+  if (replica)
+    orb_->registry().register_replica(ref);
+  else
+    orb_->registry().register_object(ref);
   return ref;
 }
 

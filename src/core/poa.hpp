@@ -57,12 +57,19 @@ class Poa {
   /// `arg_specs` registers server-side distribution templates per
   /// operation (by dseq-argument position) — they are published inside
   /// the object reference.
+  /// With `replica` (pardis_pool) the object joins the replica group
+  /// registered under `name` (ObjectRegistry::register_replica)
+  /// instead of claiming the single binding for it, and deactivation
+  /// withdraws only this member.
   ObjectRef activate_spmd(ServantBase& servant, const std::string& name,
-                          std::map<std::string, std::vector<DistSpec>> arg_specs = {});
+                          std::map<std::string, std::vector<DistSpec>> arg_specs = {},
+                          bool replica = false);
 
   /// Local: activates a single object owned by the calling thread.
   /// Single objects never operate on distributed arguments (§3.1).
-  ObjectRef activate_single(ServantBase& servant, const std::string& name);
+  /// `replica` as in activate_spmd.
+  ObjectRef activate_single(ServantBase& servant, const std::string& name,
+                            bool replica = false);
 
   /// Collective poll-once; dispatches every deliverable request.
   /// Returns the number of requests this thread dispatched.

@@ -1,13 +1,82 @@
 #include "core/registry.hpp"
 
+#include <algorithm>
+
 #include "common/error.hpp"
 
 namespace pardis::core {
+
+void ReplicaGroup::marshal(CdrWriter& w) const {
+  w.write_string(name);
+  w.write_ulonglong(epoch);
+  w.write_ulong(static_cast<ULong>(members.size()));
+  for (const auto& m : members) m.marshal(w);
+}
+
+ReplicaGroup ReplicaGroup::unmarshal(CdrReader& r) {
+  ReplicaGroup g;
+  g.name = r.read_string();
+  g.epoch = r.read_ulonglong();
+  const ULong n = r.read_ulong();
+  g.members.reserve(n);
+  for (ULong i = 0; i < n; ++i) g.members.push_back(ObjectRef::unmarshal(r));
+  return g;
+}
+
+// --- graceful defaults for registries without group support ---------------
+
+ULongLong ObjectRegistry::register_replica(const ObjectRef& ref) {
+  register_object(ref);
+  return 0;
+}
+
+std::optional<ReplicaGroup> ObjectRegistry::lookup_group(const std::string& name,
+                                                         const std::string& host) {
+  auto found = lookup(name, host);
+  if (!found) return std::nullopt;
+  ReplicaGroup g;
+  g.name = name;
+  g.members.push_back(std::move(*found));
+  return g;
+}
+
+void ObjectRegistry::unregister_replica(const std::string& name, const ObjectId&) {
+  unregister(name, "");
+}
+
+// --- InProcessRegistry ----------------------------------------------------
+
+void InProcessRegistry::join_group_locked(ReplicaGroup& group, const ObjectRef& ref) {
+  auto same_id = std::find_if(group.members.begin(), group.members.end(),
+                              [&](const ObjectRef& m) { return m.object_id == ref.object_id; });
+  if (same_id != group.members.end()) {
+    *same_id = ref;
+  } else {
+    // A restarted server re-registers with a fresh object id but the
+    // same host: replace its dead predecessor instead of accumulating
+    // ghosts.
+    auto same_host = std::find_if(group.members.begin(), group.members.end(),
+                                  [&](const ObjectRef& m) { return m.host == ref.host; });
+    if (same_host != group.members.end() && !ref.host.empty())
+      *same_host = ref;
+    else
+      group.members.push_back(ref);
+  }
+  ++group.epoch;
+}
 
 void InProcessRegistry::register_object(const ObjectRef& ref) {
   if (!ref.valid()) throw BadParam("register_object: invalid reference");
   if (ref.name.empty()) throw BadParam("register_object: object has no name");
   std::lock_guard<std::mutex> lock(mutex_);
+  auto git = groups_.find(ref.name);
+  if (git != groups_.end()) {
+    // The name is a live replica group: a concurrent single-binding
+    // re-registration joins it (and bumps the epoch) rather than
+    // last-writer-wins dropping the earlier members.
+    join_group_locked(git->second, ref);
+    return;
+  }
   objects_[{ref.name, ref.host}] = ref;
 }
 
@@ -17,10 +86,17 @@ std::optional<ObjectRef> InProcessRegistry::lookup(const std::string& name,
   if (!host.empty()) {
     auto it = objects_.find({name, host});
     if (it != objects_.end()) return it->second;
-    return std::nullopt;
+  } else {
+    for (const auto& [key, ref] : objects_)
+      if (key.first == name) return ref;
   }
-  for (const auto& [key, ref] : objects_)
-    if (key.first == name) return ref;
+  // Group fallback: plain bind() against a replicated name resolves to
+  // the first matching member, so non-pool clients keep working.
+  auto git = groups_.find(name);
+  if (git != groups_.end()) {
+    for (const auto& m : git->second.members)
+      if (host.empty() || m.host == host) return m;
+  }
   return std::nullopt;
 }
 
@@ -28,10 +104,21 @@ void InProcessRegistry::unregister(const std::string& name, const std::string& h
   std::lock_guard<std::mutex> lock(mutex_);
   if (!host.empty()) {
     objects_.erase({name, host});
-    return;
+  } else {
+    for (auto it = objects_.begin(); it != objects_.end();)
+      it = it->first.first == name ? objects_.erase(it) : std::next(it);
   }
-  for (auto it = objects_.begin(); it != objects_.end();)
-    it = it->first.first == name ? objects_.erase(it) : std::next(it);
+  auto git = groups_.find(name);
+  if (git == groups_.end()) return;
+  auto& members = git->second.members;
+  const auto before = members.size();
+  members.erase(std::remove_if(members.begin(), members.end(),
+                               [&](const ObjectRef& m) {
+                                 return host.empty() || m.host == host;
+                               }),
+                members.end());
+  if (members.size() != before) ++git->second.epoch;
+  if (members.empty()) groups_.erase(git);
 }
 
 std::vector<std::string> InProcessRegistry::list() {
@@ -39,7 +126,81 @@ std::vector<std::string> InProcessRegistry::list() {
   std::vector<std::string> names;
   names.reserve(objects_.size());
   for (const auto& [key, ref] : objects_) names.push_back(key.first + "@" + key.second);
+  for (const auto& [name, group] : groups_)
+    for (const auto& m : group.members) names.push_back(name + "@" + m.host);
   return names;
+}
+
+ULongLong InProcessRegistry::register_replica(const ObjectRef& ref) {
+  if (!ref.valid()) throw BadParam("register_replica: invalid reference");
+  if (ref.name.empty()) throw BadParam("register_replica: object has no name");
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto git = groups_.find(ref.name);
+  if (git == groups_.end()) {
+    ReplicaGroup g;
+    g.name = ref.name;
+    // A single binding registered earlier under this name seeds the
+    // group, so mixing register_object and register_replica on one
+    // name never drops a server.
+    for (auto it = objects_.begin(); it != objects_.end();) {
+      if (it->first.first == ref.name) {
+        g.members.push_back(it->second);
+        it = objects_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    git = groups_.emplace(ref.name, std::move(g)).first;
+  }
+  join_group_locked(git->second, ref);
+  return git->second.epoch;
+}
+
+std::optional<ReplicaGroup> InProcessRegistry::lookup_group(const std::string& name,
+                                                            const std::string& host) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto git = groups_.find(name);
+  if (git != groups_.end()) {
+    if (host.empty()) return git->second;
+    ReplicaGroup g;
+    g.name = name;
+    g.epoch = git->second.epoch;
+    for (const auto& m : git->second.members)
+      if (m.host == host) g.members.push_back(m);
+    if (g.members.empty()) return std::nullopt;
+    return g;
+  }
+  // Synthesize a group of singles so pool clients can balance over
+  // servers that registered through plain register_object.
+  ReplicaGroup g;
+  g.name = name;
+  for (const auto& [key, ref] : objects_)
+    if (key.first == name && (host.empty() || key.second == host))
+      g.members.push_back(ref);
+  if (g.members.empty()) return std::nullopt;
+  return g;
+}
+
+void InProcessRegistry::unregister_replica(const std::string& name, const ObjectId& id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto git = groups_.find(name);
+  if (git != groups_.end()) {
+    auto& members = git->second.members;
+    const auto before = members.size();
+    members.erase(std::remove_if(members.begin(), members.end(),
+                                 [&](const ObjectRef& m) { return m.object_id == id; }),
+                  members.end());
+    if (members.size() != before) ++git->second.epoch;
+    if (members.empty()) groups_.erase(git);
+  }
+  // A matching single binding (registered before the group formed, or
+  // through the degraded default) is withdrawn too.
+  for (auto it = objects_.begin(); it != objects_.end();) {
+    if (it->first.first == name && it->second.object_id == id)
+      it = objects_.erase(it);
+    else
+      ++it;
+  }
 }
 
 }  // namespace pardis::core

@@ -6,6 +6,13 @@
 // object. Each repository is associated with a unique namespace."
 // The repo module layers a transport-reachable repository service and
 // the Implementation Repository on top of this interface.
+//
+// pardis_pool extends the binding model from name -> one ObjectRef to
+// name -> *replica group*: N functionally equivalent servers register
+// under one name, and the group carries an epoch that is bumped on
+// every membership change so clients can detect stale views. Plain
+// lookup() against a group name keeps working (it returns the first
+// member), so non-pool clients are unaffected.
 #pragma once
 
 #include <map>
@@ -17,6 +24,20 @@
 #include "core/object_ref.hpp"
 
 namespace pardis::core {
+
+/// One name's replica set (pardis_pool). Members are functionally
+/// equivalent servers; the epoch counts membership changes since the
+/// group was created.
+struct ReplicaGroup {
+  std::string name;
+  ULongLong epoch = 0;
+  std::vector<ObjectRef> members;
+
+  bool valid() const noexcept { return !members.empty(); }
+
+  void marshal(CdrWriter& w) const;
+  static ReplicaGroup unmarshal(CdrReader& r);
+};
 
 class ObjectRegistry {
  public:
@@ -34,6 +55,25 @@ class ObjectRegistry {
 
   /// Registered names (diagnostics).
   virtual std::vector<std::string> list() = 0;
+
+  // --- pardis_pool: replica groups -------------------------------------
+
+  /// Registers `ref` as one member of the replica group named
+  /// `ref.name` (creating the group if needed) and returns the group
+  /// epoch after the change. The default degrades gracefully for
+  /// registries without group support: plain register_object, epoch 0.
+  virtual ULongLong register_replica(const ObjectRef& ref);
+
+  /// All replicas registered under `name` (`host` narrows as in
+  /// lookup). Registries without group support synthesize a group of
+  /// one from lookup(). nullopt when nothing matches.
+  virtual std::optional<ReplicaGroup> lookup_group(const std::string& name,
+                                                   const std::string& host);
+
+  /// Removes the member with `id` from the group named `name`; the
+  /// last removal deletes the group. The default falls back to
+  /// unregister(name, "").
+  virtual void unregister_replica(const std::string& name, const ObjectId& id);
 };
 
 /// Registry for metaapplications living in one process; also the
@@ -45,10 +85,37 @@ class InProcessRegistry final : public ObjectRegistry {
   void unregister(const std::string& name, const std::string& host) override;
   std::vector<std::string> list() override;
 
+  ULongLong register_replica(const ObjectRef& ref) override;
+  std::optional<ReplicaGroup> lookup_group(const std::string& name,
+                                           const std::string& host) override;
+  void unregister_replica(const std::string& name, const ObjectId& id) override;
+
  private:
+  /// Adds `ref` to the live group for its name (replacing the member
+  /// with the same object id, else the same host, else appending) and
+  /// bumps the epoch. Caller holds mutex_; the group must exist.
+  void join_group_locked(ReplicaGroup& group, const ObjectRef& ref);
+
   std::mutex mutex_;
   // key: (name, host) — one object per name per host.
   std::map<std::pair<std::string, std::string>, ObjectRef> objects_;
+  /// pardis_pool replica groups, by name. A name lives in `groups_`
+  /// once register_replica touches it; single-binding registrations
+  /// of the same name then *join* the group (epoch bump) instead of
+  /// silently shadowing earlier members.
+  std::map<std::string, ReplicaGroup> groups_;
 };
 
 }  // namespace pardis::core
+
+namespace pardis {
+
+template <>
+struct CdrTraits<core::ReplicaGroup> {
+  static void marshal(CdrWriter& w, const core::ReplicaGroup& g) { g.marshal(w); }
+  static void unmarshal(CdrReader& r, core::ReplicaGroup& g) {
+    g = core::ReplicaGroup::unmarshal(r);
+  }
+};
+
+}  // namespace pardis

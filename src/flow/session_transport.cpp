@@ -191,6 +191,7 @@ void SessionTransport::reconnect_and_replay(OutSession& s,
       PARDIS_LOG(kInfo, "flow") << "session to " << dst.to_string() << " resumed after "
                                 << attempt << " attempt(s), replayed "
                                 << snapshot.size() << " frame(s)";
+      notify_redial(dst, /*resumed=*/true, attempt);
       return;
     } catch (const CommFailure&) {
       continue;  // still down; next backoff
@@ -200,9 +201,25 @@ void SessionTransport::reconnect_and_replay(OutSession& s,
     static obs::Counter& lost = obs::metrics().counter("flow.sessions_lost");
     lost.add(1);
   }
+  notify_redial(dst, /*resumed=*/false, opts_.max_reconnects);
   throw CommFailure("session to " + dst.to_string() + " lost: " + why + " (" +
                     std::to_string(opts_.max_reconnects) +
                     " reconnect attempts exhausted)");
+}
+
+void SessionTransport::set_redial_listener(RedialListener listener) {
+  std::lock_guard<std::mutex> lock(listener_mutex_);
+  redial_listener_ = std::move(listener);
+}
+
+void SessionTransport::notify_redial(const transport::EndpointAddr& peer, bool resumed,
+                                     int attempts) {
+  RedialListener listener;
+  {
+    std::lock_guard<std::mutex> lock(listener_mutex_);
+    listener = redial_listener_;
+  }
+  if (listener) listener(peer, resumed, attempts);
 }
 
 bool SessionTransport::on_session_data(transport::RsrMessage& msg,

@@ -46,6 +46,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -97,6 +98,15 @@ class SessionTransport final : public transport::Transport {
   /// Unacked frames currently buffered toward `dst` (0 = none/no session).
   std::size_t unacked(const transport::EndpointAddr& dst) const;
 
+  /// Observer for redial outcomes (pardis_pool passive health): fired
+  /// once per reconnect-and-replay cycle with the peer, whether the
+  /// session resumed, and the redial attempts spent. Runs on the
+  /// sending thread; must not throw and must not call back into this
+  /// transport.
+  using RedialListener =
+      std::function<void(const transport::EndpointAddr& peer, bool resumed, int attempts)>;
+  void set_redial_listener(RedialListener listener);
+
  private:
   struct Frame {
     std::uint64_t seq;
@@ -132,6 +142,8 @@ class SessionTransport final : public transport::Transport {
   /// Delivery filter half: acks arriving at an ack endpoint.
   bool on_session_ack(transport::RsrMessage& msg);
 
+  void notify_redial(const transport::EndpointAddr& peer, bool resumed, int attempts);
+
   transport::Transport* inner_;
   Options opts_;
 
@@ -147,6 +159,9 @@ class SessionTransport final : public transport::Transport {
   /// Receiver-side dedup horizon per ("ack addr#session id"): next
   /// expected sequence number.
   std::map<std::string, std::uint64_t> in_next_;
+
+  mutable std::mutex listener_mutex_;
+  RedialListener redial_listener_;  ///< guarded by listener_mutex_
 };
 
 }  // namespace pardis::flow

@@ -56,6 +56,8 @@ struct Outcome {
   std::exception_ptr error;
   /// Server retry-after hint (kOverload replies); 0 = none.
   unsigned retry_after_ms = 0;
+  /// Classification of the failure (drives pool failover decisions).
+  ErrorCode code = ErrorCode::kUnknown;
 };
 
 Outcome run_guarded(const std::function<void()>& fn) {
@@ -66,19 +68,34 @@ Outcome run_guarded(const std::function<void()>& fn) {
     // A shed request is retryable by construction (the server never
     // dispatched it); honor its retry-after hint. Must be caught ahead
     // of the SystemException arm it derives from.
-    out = {true, true, e.what(), std::current_exception(), e.retry_after_ms()};
+    out = {true, true, e.what(), std::current_exception(), e.retry_after_ms(), e.code()};
   } catch (const TransientError& e) {
-    out = {true, true, e.what(), std::current_exception(), 0};
+    out = {true, true, e.what(), std::current_exception(), 0, e.code()};
   } catch (const CommFailure& e) {
-    out = {true, true, e.what(), std::current_exception(), 0};
+    out = {true, true, e.what(), std::current_exception(), 0, e.code()};
   } catch (const TimeoutError& e) {
-    out = {true, true, e.what(), std::current_exception(), 0};
+    out = {true, true, e.what(), std::current_exception(), 0, e.code()};
   } catch (const SystemException& e) {
     // Not retryable, but still reported to the agreement so the other
     // ranks do not block on a peer that already threw.
-    out = {true, false, e.what(), std::current_exception(), 0};
+    out = {true, false, e.what(), std::current_exception(), 0, e.code()};
   }
   return out;
+}
+
+/// Ranks the failure codes a retry round can aggregate: the dominant
+/// code is what the pool layer keys its failover decision on. A dead
+/// link outranks a timeout outranks a shed request — one rank seeing
+/// CommFailure means the replica is suspect even if the rest merely
+/// timed out.
+int code_severity(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kCommFailure: return 4;
+    case ErrorCode::kTimeout: return 3;
+    case ErrorCode::kOverload: return 2;
+    case ErrorCode::kTransient: return 1;
+    default: return 0;
+  }
 }
 
 enum class Verdict : Octet { kDone = 0, kRetry = 1, kGiveUp = 2 };
@@ -89,7 +106,7 @@ enum class Verdict : Octet { kDone = 0, kRetry = 1, kGiveUp = 2 };
 /// the failing rank's message to the ranks that succeeded.
 Verdict agree(rts::Communicator& comm, const std::string& operation, int attempt,
               int phase, const Outcome& mine, bool attempts_left, std::string& diag,
-              unsigned& retry_after_ms) {
+              unsigned& retry_after_ms, ErrorCode& code) {
   const int rank = comm.rank();
   const int size = comm.size();
   if (rank == 0) {
@@ -97,6 +114,7 @@ Verdict agree(rts::Communicator& comm, const std::string& operation, int attempt
     bool all_retryable = !mine.failed || mine.retryable;
     diag = mine.failed ? "rank 0: " + mine.message : "";
     retry_after_ms = mine.failed ? mine.retry_after_ms : 0;
+    code = mine.failed ? mine.code : ErrorCode::kUnknown;
     for (int r = 1; r < size; ++r) {
       auto msg = comm.recv(r, rts::kTagFtRetry);
       CdrReader rd(msg.payload.view());
@@ -107,6 +125,7 @@ Verdict agree(rts::Communicator& comm, const std::string& operation, int attempt
       const bool rretryable = rd.read_bool();
       const std::string rmessage = rd.read_string();
       const ULong rretry_after = rd.read_ulong();
+      const auto rcode = static_cast<ErrorCode>(rd.read_octet());
       if (rop != operation || rattempt != attempt || rphase != phase)
         throw InternalError("ft: retry-agreement skew: rank " + std::to_string(r) +
                             " entered '" + rop + "' attempt " + std::to_string(rattempt) +
@@ -119,6 +138,7 @@ Verdict agree(rts::Communicator& comm, const std::string& operation, int attempt
         // The longest hint across the shedding server ranks wins: a
         // retry before it would just be shed again.
         if (rretry_after > retry_after_ms) retry_after_ms = rretry_after;
+        if (code_severity(rcode) > code_severity(code)) code = rcode;
       }
     }
     Verdict verdict = Verdict::kDone;
@@ -130,6 +150,7 @@ Verdict agree(rts::Communicator& comm, const std::string& operation, int attempt
       w.write_octet(static_cast<Octet>(verdict));
       w.write_string(diag);
       w.write_ulong(retry_after_ms);
+      w.write_octet(static_cast<Octet>(code));
     }
     // Control-plane sends: the agreement must not advance the
     // computing threads' modeled clocks.
@@ -146,6 +167,7 @@ Verdict agree(rts::Communicator& comm, const std::string& operation, int attempt
     w.write_bool(mine.retryable);
     w.write_string(mine.message);
     w.write_ulong(mine.failed ? mine.retry_after_ms : 0);
+    w.write_octet(static_cast<Octet>(mine.failed ? mine.code : ErrorCode::kUnknown));
   }
   comm.send_control(0, rts::kTagFtRetry, std::move(fp));
   const auto verdict_msg = comm.recv(0, rts::kTagFtRetry);
@@ -153,21 +175,25 @@ Verdict agree(rts::Communicator& comm, const std::string& operation, int attempt
   const auto verdict = static_cast<Verdict>(rd.read_octet());
   diag = rd.read_string();
   retry_after_ms = rd.read_ulong();
+  code = static_cast<ErrorCode>(rd.read_octet());
   return verdict;
 }
 
 /// One verdict per phase: the agreement when the binding is
 /// collective, the local outcome otherwise. `retry_after_ms` comes out
-/// as the max server hint among the failed ranks (0 without one).
+/// as the max server hint among the failed ranks (0 without one);
+/// `code` as the dominant failure code across the failed ranks, so
+/// every rank makes the same pool failover decision.
 Verdict decide(rts::Communicator* comm, const std::string& operation, int attempt,
                int phase, const Outcome& mine, bool attempts_left, std::string& diag,
-               unsigned& retry_after_ms) {
+               unsigned& retry_after_ms, ErrorCode& code) {
   if (comm != nullptr)
     return agree(*comm, operation, attempt, phase, mine, attempts_left, diag,
-                 retry_after_ms);
+                 retry_after_ms, code);
   if (!mine.failed) return Verdict::kDone;
   diag = mine.message;
   retry_after_ms = mine.retry_after_ms;
+  code = mine.code;
   return mine.retryable && attempts_left ? Verdict::kRetry : Verdict::kGiveUp;
 }
 
@@ -204,6 +230,15 @@ void note_retry(core::Binding& binding, const RetryPolicy& policy,
                std::chrono::milliseconds(retry_after_ms)));
 }
 
+void note_failover(const std::string& operation, int total, const std::string& diag) {
+  // The backoff sleep is skipped on a failover: the sibling is
+  // presumed healthy, and the failed replica's quarantine (pool side)
+  // is the pacing mechanism.
+  PARDIS_LOG(kWarn, "ft") << "failing '" << operation
+                          << "' over to a sibling replica (attempt " << total + 1
+                          << "): " << diag;
+}
+
 }  // namespace
 
 int with_retry(core::Binding& binding, const std::string& operation,
@@ -213,33 +248,57 @@ int with_retry(core::Binding& binding, const std::string& operation,
       binding.collective() && binding.ctx().comm() != nullptr && binding.ctx().size() > 1
           ? binding.ctx().comm()
           : nullptr;
+  // `total` counts attempts across every replica (what max_attempts
+  // caps); `attempt` is the per-target attempt passed to send_attempt,
+  // reset to 1 when a pool failover retargets the binding so the
+  // sibling sees a fresh request identity instead of a replay of an
+  // identity it never met.
+  int total = 0;
   for (int attempt = 1;; ++attempt) {
-    const bool attempts_left = attempt < policy.max_attempts;
+    ++total;
+    const bool attempts_left = total < policy.max_attempts;
     std::shared_ptr<core::PendingReply> pending;
     std::string diag;
     unsigned retry_after_ms = 0;
+    ErrorCode code = ErrorCode::kUnknown;
 
     // Phase 0: the sends. A rank whose send failed must stop everyone
     // from blocking on replies the server can never assemble.
     Outcome sent = run_guarded([&] { pending = send_attempt(attempt); });
-    Verdict verdict =
-        decide(comm, operation, attempt, 0, sent, attempts_left, diag, retry_after_ms);
+    Verdict verdict = decide(comm, operation, total, 0, sent, attempts_left, diag,
+                             retry_after_ms, code);
     if (verdict == Verdict::kRetry) {
-      note_retry(binding, policy, operation, attempt, diag, retry_after_ms);
+      if (binding.pool_failover(code, diag, retry_after_ms)) {
+        note_failover(operation, total, diag);
+        attempt = 0;
+      } else {
+        note_retry(binding, policy, operation, total, diag, retry_after_ms);
+      }
       continue;
     }
     if (verdict == Verdict::kGiveUp) give_up(sent, operation, diag);
 
-    if (!pending) return attempt;  // oneway: nothing to wait for
+    if (!pending) {  // oneway: nothing to wait for
+      binding.pool_success();
+      return total;
+    }
 
     // Phase 1: the waits. A lost reply, expired deadline, or dead peer
     // shows up here; the whole matrix is re-sent, never a slice of it.
     Outcome waited = run_guarded([&] { pending->wait(); });
-    verdict =
-        decide(comm, operation, attempt, 1, waited, attempts_left, diag, retry_after_ms);
-    if (verdict == Verdict::kDone) return attempt;
+    verdict = decide(comm, operation, total, 1, waited, attempts_left, diag,
+                     retry_after_ms, code);
+    if (verdict == Verdict::kDone) {
+      binding.pool_success();
+      return total;
+    }
     if (verdict == Verdict::kGiveUp) give_up(waited, operation, diag);
-    note_retry(binding, policy, operation, attempt, diag, retry_after_ms);
+    if (binding.pool_failover(code, diag, retry_after_ms)) {
+      note_failover(operation, total, diag);
+      attempt = 0;
+    } else {
+      note_retry(binding, policy, operation, total, diag, retry_after_ms);
+    }
   }
 }
 

@@ -59,7 +59,12 @@ std::chrono::milliseconds backoff_delay(const RetryPolicy& policy, int attempt,
 /// after the sends (a failed send on any rank means nobody blocks
 /// waiting for replies the server can never assemble) and after the
 /// waits (a lost reply or expired deadline on any rank retries the
-/// whole matrix). Returns the number of attempts used; throws the
+/// whole matrix). When the binding carries pool hooks (pardis_pool), a
+/// retryable failure first offers the binding a failover: if it
+/// retargets at a sibling replica, the next attempt restarts at
+/// attempt 1 (fresh request identity) with no backoff sleep, while the
+/// max_attempts budget keeps counting every attempt across replicas.
+/// Returns the total number of attempts used; throws the
 /// original typed exception when the attempts are exhausted, the
 /// failure is not retryable, or — on ranks that themselves succeeded —
 /// CommFailure describing the peer rank that made the client give up.

@@ -1,0 +1,246 @@
+#include "pool/pool.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <limits>
+
+#include "common/error.hpp"
+#include "common/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
+
+namespace pardis::pool {
+
+namespace {
+
+bool is_zero(std::chrono::steady_clock::time_point tp) {
+  return tp.time_since_epoch().count() == 0;
+}
+
+}  // namespace
+
+Balancer::Balancer(core::ReplicaGroup group, PoolConfig cfg,
+                   std::function<std::size_t(const std::string&)> inflight)
+    : cfg_(cfg), name_(group.name), inflight_(std::move(inflight)) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  adopt_members_locked(group);
+  epoch_ = group.epoch;
+}
+
+void Balancer::adopt_members_locked(const core::ReplicaGroup& group) {
+  std::vector<Member> next;
+  int width = -1;
+  for (const auto& ref : group.members) {
+    if (width < 0) width = ref.server_size();
+    if (ref.server_size() != width) {
+      // Failover re-sends marshaled request bodies, which only
+      // transfer between servers of equal width.
+      PARDIS_LOG(kWarn, "pool")
+          << "group '" << group.name << "': dropping member " << ref.primary_key()
+          << " (server size " << ref.server_size() << " != " << width << ")";
+      continue;
+    }
+    Member m;
+    m.ref = ref;
+    m.key = ref.primary_key();
+    if (Member* old = find_locked(m.key)) {
+      m.health = old->health;
+      m.consecutive_failures = old->consecutive_failures;
+      m.quarantined_until = old->quarantined_until;
+      m.probing = old->probing;
+      m.picks = old->picks;
+    }
+    next.push_back(std::move(m));
+  }
+  members_ = std::move(next);
+}
+
+Balancer::Member* Balancer::find_locked(const std::string& key) {
+  for (auto& m : members_)
+    if (m.key == key) return &m;
+  return nullptr;
+}
+
+core::ObjectRef Balancer::picked_locked(Member& m) {
+  ++m.picks;
+  if (obs::enabled()) {
+    static obs::Counter& picks = obs::metrics().counter("pool.picks");
+    picks.add(1);
+  }
+  return m.ref;
+}
+
+core::ObjectRef Balancer::pick(const std::string& avoid) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (members_.empty())
+    throw ObjectNotExist("pool: replica group '" + name_ + "' has no members");
+  const auto now = std::chrono::steady_clock::now();
+
+  // A member whose probation just expired takes the pick as its single
+  // recovery probe: one trial invocation decides re-admission versus a
+  // longer quarantine.
+  for (auto& m : members_) {
+    if (!is_zero(m.quarantined_until) && now >= m.quarantined_until && !m.probing &&
+        m.key != avoid) {
+      m.probing = true;
+      m.quarantined_until = {};
+      return picked_locked(m);
+    }
+  }
+
+  std::vector<Member*> eligible;
+  for (auto& m : members_)
+    if (is_zero(m.quarantined_until) || now >= m.quarantined_until)
+      eligible.push_back(&m);
+  if (eligible.empty()) {
+    // Every member is quarantined: availability beats pickiness — take
+    // whoever is closest to release.
+    Member* soonest = &members_.front();
+    for (auto& m : members_)
+      if (m.quarantined_until < soonest->quarantined_until) soonest = &m;
+    return picked_locked(*soonest);
+  }
+  if (eligible.size() > 1 && !avoid.empty())
+    eligible.erase(std::remove_if(eligible.begin(), eligible.end(),
+                                  [&](const Member* m) { return m->key == avoid; }),
+                   eligible.end());
+
+  Member* chosen = nullptr;
+  const std::size_t start = rr_next_++ % eligible.size();
+  switch (cfg_.policy) {
+    case Policy::kRoundRobin:
+      chosen = eligible[start];
+      break;
+    case Policy::kLeastInflight:
+    case Policy::kOverloadAware: {
+      // The rotating start breaks score ties, so equal replicas still
+      // share the load round-robin style.
+      double best = std::numeric_limits<double>::infinity();
+      for (std::size_t i = 0; i < eligible.size(); ++i) {
+        Member* m = eligible[(start + i) % eligible.size()];
+        const double load =
+            inflight_ ? static_cast<double>(inflight_(m->key)) : 0.0;
+        const double score = cfg_.policy == Policy::kOverloadAware
+                                 ? (load + 1.0) / std::max(m->health, cfg_.min_health)
+                                 : load;
+        if (score < best) {
+          best = score;
+          chosen = m;
+        }
+      }
+      break;
+    }
+  }
+  return picked_locked(*chosen);
+}
+
+void Balancer::report_success(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Member* m = find_locked(key);
+  if (m == nullptr) return;
+  m->consecutive_failures = 0;
+  m->probing = false;
+  m->quarantined_until = {};
+  m->health = std::min(1.0, m->health + cfg_.recovery_step);
+}
+
+void Balancer::report_failure(const std::string& key, ErrorCode code,
+                              unsigned retry_after_ms) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Member* m = find_locked(key);
+  if (m == nullptr) return;
+  m->probing = false;
+  switch (code) {
+    case ErrorCode::kOverload: {
+      // A shed is pacing, not breakage: quarantine for the server's
+      // hint under the overload-aware policy, no failure streak.
+      if (cfg_.policy == Policy::kOverloadAware) {
+        auto span = std::chrono::milliseconds(retry_after_ms);
+        if (span < cfg_.overload_quarantine) span = cfg_.overload_quarantine;
+        quarantine_locked(*m, span);
+      }
+      mild_failure_locked(*m);
+      break;
+    }
+    case ErrorCode::kCommFailure:
+    case ErrorCode::kTimeout:
+      hard_failure_locked(*m);
+      break;
+    default:
+      mild_failure_locked(*m);
+      break;
+  }
+}
+
+void Balancer::report_endpoint(const transport::EndpointAddr& ep, bool resumed) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& m : members_) {
+    const auto& eps = m.ref.thread_eps;
+    if (std::find(eps.begin(), eps.end(), ep) == eps.end()) continue;
+    if (resumed)
+      mild_failure_locked(m);
+    else
+      hard_failure_locked(m);
+    return;
+  }
+}
+
+void Balancer::quarantine_locked(Member& m, std::chrono::milliseconds span) {
+  m.quarantined_until = std::chrono::steady_clock::now() + span;
+  m.probing = false;
+  if (obs::enabled()) {
+    static obs::Counter& quarantined = obs::metrics().counter("pool.quarantined");
+    quarantined.add(1);
+  }
+  PARDIS_LOG(kInfo, "pool") << "group '" << name_ << "': member " << m.key
+                            << " quarantined for " << span.count() << " ms (health "
+                            << m.health << ")";
+}
+
+void Balancer::hard_failure_locked(Member& m) {
+  ++m.consecutive_failures;
+  m.health = std::max(cfg_.min_health, m.health * cfg_.failure_decay);
+  const int shift = std::min(m.consecutive_failures - 1, 6);
+  quarantine_locked(m, cfg_.probation * (1 << shift));
+}
+
+void Balancer::mild_failure_locked(Member& m) {
+  m.health = std::max(cfg_.min_health, m.health * 0.9);
+}
+
+void Balancer::merge(const core::ReplicaGroup& fresh) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!fresh.valid()) return;
+  adopt_members_locked(fresh);
+  epoch_ = fresh.epoch;
+}
+
+ULongLong Balancer::epoch() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return epoch_;
+}
+
+std::size_t Balancer::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return members_.size();
+}
+
+std::vector<MemberStat> Balancer::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto now = std::chrono::steady_clock::now();
+  std::vector<MemberStat> out;
+  out.reserve(members_.size());
+  for (const auto& m : members_) {
+    MemberStat s;
+    s.key = m.key;
+    s.host = m.ref.host;
+    s.health = m.health;
+    s.picks = m.picks;
+    s.consecutive_failures = m.consecutive_failures;
+    s.quarantined = !is_zero(m.quarantined_until) && now < m.quarantined_until;
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+}  // namespace pardis::pool

@@ -1,0 +1,331 @@
+#include "pool/pool.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <string>
+
+#include "common/error.hpp"
+#include "common/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
+#include "rts/collectives.hpp"
+
+namespace pardis::pool {
+
+// --- toggle ---------------------------------------------------------------
+
+namespace {
+
+/// -1 = follow the environment; 0/1 = set_enabled override.
+std::atomic<int> g_enabled_override{-1};
+
+bool env_enabled() {
+  static const bool cached = [] {
+    const char* v = std::getenv("PARDIS_POOL");
+    if (v == nullptr) return false;
+    const std::string s(v);
+    return s == "1" || s == "true" || s == "on" || s == "yes";
+  }();
+  return cached;
+}
+
+}  // namespace
+
+bool enabled() noexcept {
+  const int o = g_enabled_override.load(std::memory_order_relaxed);
+  return o < 0 ? env_enabled() : o != 0;
+}
+
+void set_enabled(bool on) noexcept {
+  g_enabled_override.store(on ? 1 : 0, std::memory_order_relaxed);
+}
+
+// --- config ---------------------------------------------------------------
+
+PoolConfig PoolConfig::from_env() {
+  static const PoolConfig cached = [] {
+    PoolConfig c;
+    if (const char* v = std::getenv("PARDIS_POOL_POLICY")) {
+      const std::string s(v);
+      if (s == "rr" || s == "round-robin")
+        c.policy = Policy::kRoundRobin;
+      else if (s == "least" || s == "least-inflight")
+        c.policy = Policy::kLeastInflight;
+      else if (s == "overload" || s == "overload-aware")
+        c.policy = Policy::kOverloadAware;
+      else
+        PARDIS_LOG(kWarn, "pool") << "unknown PARDIS_POOL_POLICY '" << s
+                                  << "' (want rr|least|overload); keeping default";
+    }
+    if (const char* v = std::getenv("PARDIS_POOL_PROBATION_MS")) {
+      const long ms = std::strtol(v, nullptr, 10);
+      if (ms > 0) c.probation = std::chrono::milliseconds(ms);
+    }
+    if (const char* v = std::getenv("PARDIS_POOL_OVERLOAD_MS")) {
+      const long ms = std::strtol(v, nullptr, 10);
+      if (ms > 0) c.overload_quarantine = std::chrono::milliseconds(ms);
+    }
+    return c;
+  }();
+  return cached;
+}
+
+// --- GroupBinding ---------------------------------------------------------
+
+namespace {
+
+ULongLong fresh_binding_id() {
+  // Pool binding ids share the object-id generator's uniqueness domain
+  // (exactly like core's binding ids).
+  return ObjectId::next().value;
+}
+
+/// The group for `name`: the registry's replica group when one exists,
+/// else the activation-capable resolve path synthesizing a group of
+/// one — so a pool client can still bind a not-yet-activated single
+/// server.
+core::ReplicaGroup resolve_group(core::ClientCtx& ctx, const std::string& name,
+                                 const std::string& host) {
+  auto group = ctx.orb().registry().lookup_group(name, host);
+  if (group && group->valid()) return std::move(*group);
+  core::ReplicaGroup g;
+  g.name = name;
+  g.members.push_back(ctx.orb().resolve(name, host));
+  return g;
+}
+
+}  // namespace
+
+GroupBinding::GroupBinding(core::ClientCtx& ctx, bool collective, bool degraded)
+    : ctx_(&ctx), collective_(collective), degraded_(degraded) {}
+
+void GroupBinding::init(core::ReplicaGroup group, PoolConfig cfg, core::ObjectRef initial,
+                        ULongLong initial_id, const std::string& host) {
+  name_ = group.name;
+  host_ = host;
+  balancer_ = std::make_shared<Balancer>(
+      std::move(group), cfg,
+      [ctx = ctx_](const std::string& key) { return ctx->inflight(key); });
+  targets_[initial.primary_key()] = TargetSeq{initial_id, 0};
+  binding_ =
+      std::make_shared<core::Binding>(*ctx_, std::move(initial), collective_, initial_id);
+  install_hooks();
+}
+
+void GroupBinding::install_hooks() {
+  core::Binding::PoolHooks hooks;
+  hooks.on_failure = [weak = weak_from_this()](ErrorCode code, const std::string& why,
+                                               unsigned retry_after_ms) {
+    auto self = weak.lock();
+    return self ? self->on_failure(code, why, retry_after_ms) : false;
+  };
+  hooks.on_success = [weak = weak_from_this()] {
+    if (auto self = weak.lock()) self->on_success();
+  };
+  binding_->set_pool_hooks(std::move(hooks));
+
+  // Passive health: peers the client marks dead (broken futures,
+  // failed probes, comm-thread send failures) and session redial
+  // outcomes all land on the balancer's health scores. The weak
+  // capture keeps a long-lived ClientCtx from touching a dead pool.
+  ctx_->add_peer_failure_listener(
+      [weak = std::weak_ptr<Balancer>(balancer_)](const transport::EndpointAddr& peer,
+                                                  const std::string&) {
+        if (auto balancer = weak.lock())
+          balancer->report_endpoint(peer, /*resumed=*/false);
+      });
+}
+
+std::shared_ptr<GroupBinding> GroupBinding::bind(core::ClientCtx& ctx,
+                                                 const std::string& name,
+                                                 const std::string& host,
+                                                 const std::string& expected_type,
+                                                 PoolConfig cfg) {
+  if (!enabled()) {
+    // Degraded: the classic single-binding path, bit-for-bit — the
+    // resolve, the binding and the invocation bytes are exactly what
+    // core::bind produces; no hooks, no balancer decisions.
+    auto gb = std::shared_ptr<GroupBinding>(
+        new GroupBinding(ctx, /*collective=*/false, /*degraded=*/true));
+    gb->binding_ = core::bind(ctx, name, host, expected_type);
+    gb->name_ = name;
+    gb->host_ = host;
+    core::ReplicaGroup g;
+    g.name = name;
+    g.members.push_back(gb->binding_->ref());
+    gb->balancer_ = std::make_shared<Balancer>(std::move(g), cfg);
+    return gb;
+  }
+  core::ReplicaGroup group = resolve_group(ctx, name, host);
+  core::ObjectRef initial = group.members.front();
+  auto gb = std::shared_ptr<GroupBinding>(
+      new GroupBinding(ctx, /*collective=*/false, /*degraded=*/false));
+  gb->init(std::move(group), cfg, std::move(initial), fresh_binding_id(), host);
+  (void)expected_type;  // replica type mismatches warn at dispatch
+  return gb;
+}
+
+std::shared_ptr<GroupBinding> GroupBinding::spmd_bind(core::ClientCtx& ctx,
+                                                      const std::string& name,
+                                                      const std::string& host,
+                                                      const std::string& expected_type,
+                                                      PoolConfig cfg) {
+  if (ctx.comm() == nullptr)
+    throw BadInvOrder("pool::GroupBinding::spmd_bind requires an SPMD client");
+  if (!enabled()) {
+    auto gb = std::shared_ptr<GroupBinding>(
+        new GroupBinding(ctx, /*collective=*/true, /*degraded=*/true));
+    gb->binding_ = core::spmd_bind(ctx, name, host, expected_type);
+    gb->name_ = name;
+    gb->host_ = host;
+    core::ReplicaGroup g;
+    g.name = name;
+    g.members.push_back(gb->binding_->ref());
+    gb->balancer_ = std::make_shared<Balancer>(std::move(g), cfg);
+    return gb;
+  }
+  // Rank 0 resolves the group and allocates the initial binding id;
+  // the broadcast keeps every rank's member order — and therefore
+  // every subsequent rank-0 pick — meaningful on all ranks.
+  ByteBuffer blob;
+  if (ctx.rank() == 0) {
+    core::ReplicaGroup group = resolve_group(ctx, name, host);
+    CdrWriter w(blob);
+    group.marshal(w);
+    w.write_ulonglong(fresh_binding_id());
+  }
+  ByteBuffer shared = rts::broadcast(*ctx.comm(), std::move(blob), 0);
+  CdrReader r(shared.view());
+  core::ReplicaGroup group = core::ReplicaGroup::unmarshal(r);
+  const ULongLong id = r.read_ulonglong();
+  core::ObjectRef initial = group.members.front();
+  auto gb = std::shared_ptr<GroupBinding>(
+      new GroupBinding(ctx, /*collective=*/true, /*degraded=*/false));
+  gb->init(std::move(group), cfg, std::move(initial), id, host);
+  (void)expected_type;
+  return gb;
+}
+
+bool GroupBinding::coordinated() const {
+  return collective_ && ctx_->comm() != nullptr && ctx_->size() > 1;
+}
+
+ULongLong GroupBinding::id_for(const core::ObjectRef& ref, ULongLong fresh) {
+  auto it = targets_.find(ref.primary_key());
+  return it != targets_.end() && it->second.id != 0 ? it->second.id : fresh;
+}
+
+void GroupBinding::switch_to(const core::ObjectRef& ref, ULongLong id) {
+  // Park the current target's sequencing identity; every replica keeps
+  // its own dense (binding id, seq) stream so no server's in-order
+  // dispatch gate is left waiting on a hole that went to a sibling.
+  targets_[binding_->ref().primary_key()] =
+      TargetSeq{binding_->id(), binding_->next_seq()};
+  TargetSeq& t = targets_[ref.primary_key()];
+  if (t.id == 0) t.id = id;
+  binding_->retarget(ref, t.id, t.next_seq);
+}
+
+void GroupBinding::select() {
+  if (degraded_) return;
+  if (!coordinated()) {
+    core::ObjectRef next = balancer_->pick();
+    if (next.primary_key() != binding_->ref().primary_key())
+      switch_to(next, id_for(next, fresh_binding_id()));
+    return;
+  }
+  // Rank 0 picks; the choice (and, for a first visit, the sibling's
+  // binding id) is broadcast so all P threads invoke on one replica.
+  ByteBuffer blob;
+  if (ctx_->rank() == 0) {
+    core::ObjectRef next = balancer_->pick();
+    const bool changed = next.primary_key() != binding_->ref().primary_key();
+    CdrWriter w(blob);
+    w.write_bool(changed);
+    if (changed) {
+      next.marshal(w);
+      w.write_ulonglong(id_for(next, fresh_binding_id()));
+    }
+  }
+  ByteBuffer shared = rts::broadcast(*ctx_->comm(), std::move(blob), 0);
+  CdrReader r(shared.view());
+  if (!r.read_bool()) return;
+  core::ObjectRef next = core::ObjectRef::unmarshal(r);
+  const ULongLong id = r.read_ulonglong();
+  switch_to(next, id);
+}
+
+void GroupBinding::refresh_members() {
+  try {
+    auto fresh = ctx_->orb().registry().lookup_group(name_, host_);
+    if (fresh && fresh->valid()) balancer_->merge(*fresh);
+  } catch (const SystemException& e) {
+    // The registry may be unreachable in the same outage that broke
+    // the replica; balance over the members we already know.
+    PARDIS_LOG(kWarn, "pool") << "group '" << name_
+                              << "': re-resolve failed: " << e.what();
+  }
+}
+
+bool GroupBinding::on_failure(ErrorCode code, const std::string& why,
+                              unsigned retry_after_ms) {
+  const std::string failed_key = binding_->ref().primary_key();
+  // Every rank records the failure on its local balancer (the verdict
+  // is agreed, so the event is identical everywhere); only rank 0's
+  // state drives decisions.
+  balancer_->report_failure(failed_key, code, retry_after_ms);
+
+  const bool hard = code == ErrorCode::kCommFailure || code == ErrorCode::kTimeout;
+  const bool shed = code == ErrorCode::kOverload;
+  if (!hard && !shed) return false;  // transient: retry in place
+
+  if (!coordinated()) {
+    if (hard) refresh_members();
+    core::ObjectRef next = balancer_->pick(failed_key);
+    if (next.primary_key() == failed_key) return false;
+    switch_to(next, id_for(next, fresh_binding_id()));
+    ++failovers_;
+    if (obs::enabled()) {
+      static obs::Counter& failovers = obs::metrics().counter("pool.failovers");
+      failovers.add(1);
+    }
+    PARDIS_LOG(kInfo, "pool") << "group '" << name_ << "': failing over "
+                              << failed_key << " -> " << binding_->ref().primary_key()
+                              << " (" << why << ")";
+    return true;
+  }
+
+  ByteBuffer blob;
+  if (ctx_->rank() == 0) {
+    if (hard) refresh_members();
+    core::ObjectRef next = balancer_->pick(failed_key);
+    const bool switched = next.primary_key() != failed_key;
+    CdrWriter w(blob);
+    w.write_bool(switched);
+    if (switched) {
+      next.marshal(w);
+      w.write_ulonglong(id_for(next, fresh_binding_id()));
+    }
+  }
+  ByteBuffer shared = rts::broadcast(*ctx_->comm(), std::move(blob), 0);
+  CdrReader r(shared.view());
+  if (!r.read_bool()) return false;
+  core::ObjectRef next = core::ObjectRef::unmarshal(r);
+  const ULongLong id = r.read_ulonglong();
+  switch_to(next, id);
+  ++failovers_;
+  if (obs::enabled()) {
+    static obs::Counter& failovers = obs::metrics().counter("pool.failovers");
+    failovers.add(1);
+  }
+  PARDIS_LOG(kInfo, "pool") << "group '" << name_ << "': failing over " << failed_key
+                            << " -> " << binding_->ref().primary_key() << " (" << why
+                            << ")";
+  return true;
+}
+
+void GroupBinding::on_success() {
+  balancer_->report_success(binding_->ref().primary_key());
+}
+
+}  // namespace pardis::pool

@@ -1,0 +1,248 @@
+// pardis_pool — replica groups, health-aware client-side load
+// balancing, and transparent failover.
+//
+// The paper's ORB brokers each name to exactly one (possibly SPMD)
+// object. pardis_pool lifts that to a *replica group*: N functionally
+// equivalent servers register under one name (core::ReplicaGroup, an
+// epoch counting membership changes), and the client picks a replica
+// per invocation instead of per bind.
+//
+//  - Balancer: the per-group selector. Policies: round-robin,
+//    least-inflight (fed by the pardis_flow in-flight window), and
+//    overload-aware (least-inflight weighted by a health score, with
+//    kOverload retry-after hints quarantining the shedding replica).
+//    Health is passive: harvested from ClientCtx::fail_peer, from
+//    SessionTransport redial outcomes, and from the per-invocation
+//    verdicts of ft::with_retry. A hard failure (kCommFailure /
+//    kTimeout) halves the health score and quarantines the member
+//    under an exponentially growing probation; when probation expires
+//    the member gets exactly one recovery-probe pick — success
+//    re-admits it, failure re-quarantines it for longer.
+//
+//  - GroupBinding: one core::Binding facade the generated proxies and
+//    ft::with_retry see, retargeted across replicas. Each replica
+//    keeps its own (binding id, next sequence number) pair, so every
+//    server still observes dense per-binding sequence numbers — the
+//    POA's in-order dispatch gate is never left waiting on a hole that
+//    went to a sibling. Failover rides the with_retry verdict: on an
+//    agreed retryable kCommFailure/kTimeout the binding re-resolves
+//    the group, retargets at a sibling, and the idempotent operation
+//    restarts there with a fresh request identity. For SPMD clients
+//    every choice (per-invocation select() and failover alike) is a
+//    rank-0 decision broadcast to the whole domain, so all P threads
+//    always target the same replica.
+//
+// With PARDIS_POOL unset, GroupBinding degrades to the classic
+// single-binding path (core::bind / core::spmd_bind): no group lookup,
+// no hooks — resolution and invocation wire bytes are identical to a
+// plain binding. Obs counters: pool.picks, pool.failovers,
+// pool.quarantined.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/client.hpp"
+#include "core/registry.hpp"
+
+namespace pardis::pool {
+
+/// Master toggle, read once from PARDIS_POOL (1/true/on/yes). Off
+/// (the default), GroupBinding::bind/spmd_bind degrade to the classic
+/// single-binding resolution path.
+bool enabled() noexcept;
+/// Test/bench hook overriding the environment.
+void set_enabled(bool on) noexcept;
+
+enum class Policy : Octet {
+  kRoundRobin = 0,     ///< rotate over the eligible members
+  kLeastInflight = 1,  ///< fewest outstanding invocations (flow window)
+  kOverloadAware = 2,  ///< least-inflight weighted by health; kOverload
+                       ///< hints quarantine the shedding replica
+};
+
+struct PoolConfig {
+  Policy policy = Policy::kOverloadAware;
+  /// Base quarantine after a hard failure (kCommFailure/kTimeout);
+  /// doubles per consecutive failure, capped at 64x.
+  std::chrono::milliseconds probation{1000};
+  /// Quarantine for a kOverload shed without a retry-after hint
+  /// (kOverloadAware policy only; a hint longer than this wins).
+  std::chrono::milliseconds overload_quarantine{50};
+  /// Health decays multiplicatively on a hard failure and recovers
+  /// additively on success; scores live in [min_health, 1].
+  double failure_decay = 0.5;
+  double recovery_step = 0.25;
+  double min_health = 0.05;
+
+  /// PARDIS_POOL_POLICY (rr|least|overload),
+  /// PARDIS_POOL_PROBATION_MS, PARDIS_POOL_OVERLOAD_MS; read once per
+  /// process.
+  static PoolConfig from_env();
+};
+
+/// Per-replica state exposed to tests, diagnostics and the bench's
+/// pick-distribution report.
+struct MemberStat {
+  std::string key;  ///< ObjectRef::primary_key()
+  std::string host;
+  double health = 1.0;
+  std::uint64_t picks = 0;
+  int consecutive_failures = 0;
+  bool quarantined = false;
+};
+
+/// Health-aware replica selector for one group. Thread-safe: the
+/// passive health feeds (fail_peer listeners, session redial
+/// listeners) may fire from threads other than the picking one.
+class Balancer {
+ public:
+  /// `inflight` maps a member key to this client's outstanding
+  /// invocation count toward it (ClientCtx::inflight); null = 0.
+  /// Members whose server_size differs from the first member's are
+  /// dropped with a warning — failover re-sends marshaled request
+  /// bodies, which only transfer between equal-width servers.
+  Balancer(core::ReplicaGroup group, PoolConfig cfg,
+           std::function<std::size_t(const std::string&)> inflight = nullptr);
+
+  /// Picks the member for the next invocation. `avoid` (a member key)
+  /// is skipped when any alternative is eligible — the failover path
+  /// passes the replica that just failed. A member whose probation
+  /// just expired gets the pick as its single recovery probe. When
+  /// every member is quarantined, the one closest to release is
+  /// picked anyway (availability beats pickiness).
+  core::ObjectRef pick(const std::string& avoid = {});
+
+  /// Invocation against `key` completed: reset failures, recover
+  /// health, lift any quarantine.
+  void report_success(const std::string& key);
+  /// Invocation against `key` failed with `code`; `retry_after_ms` is
+  /// the server's overload hint (0 = none).
+  void report_failure(const std::string& key, ErrorCode code, unsigned retry_after_ms);
+  /// Passive endpoint-level health for whichever member owns `ep`:
+  /// `resumed` false (a dead peer / exhausted redial budget) counts as
+  /// a hard failure; true (a session that healed) is a mild penalty —
+  /// the link flapped but the replica answered.
+  void report_endpoint(const transport::EndpointAddr& ep, bool resumed);
+
+  /// Replaces the membership with a fresh registry view, keeping the
+  /// health state of surviving members (matched by primary_key).
+  void merge(const core::ReplicaGroup& fresh);
+
+  ULongLong epoch() const;
+  std::size_t size() const;
+  std::vector<MemberStat> snapshot() const;
+
+ private:
+  struct Member {
+    core::ObjectRef ref;
+    std::string key;
+    double health = 1.0;
+    int consecutive_failures = 0;
+    /// Zero time_point = not quarantined.
+    std::chrono::steady_clock::time_point quarantined_until{};
+    bool probing = false;  ///< recovery probe granted, outcome pending
+    std::uint64_t picks = 0;
+  };
+
+  void adopt_members_locked(const core::ReplicaGroup& group);
+  Member* find_locked(const std::string& key);
+  core::ObjectRef picked_locked(Member& m);
+  void quarantine_locked(Member& m, std::chrono::milliseconds span);
+  void hard_failure_locked(Member& m);
+  void mild_failure_locked(Member& m);
+
+  mutable std::mutex mutex_;
+  PoolConfig cfg_;
+  std::string name_;
+  ULongLong epoch_ = 0;
+  std::vector<Member> members_;
+  std::size_t rr_next_ = 0;
+  std::function<std::size_t(const std::string&)> inflight_;
+};
+
+/// A name bound to a whole replica group: owns the Balancer, the
+/// single core::Binding facade proxies invoke through, and the
+/// per-replica sequencing identities retarget() swaps between.
+class GroupBinding : public std::enable_shared_from_this<GroupBinding> {
+ public:
+  /// Per-thread group binding (the pool analogue of core::bind).
+  static std::shared_ptr<GroupBinding> bind(core::ClientCtx& ctx, const std::string& name,
+                                            const std::string& host,
+                                            const std::string& expected_type,
+                                            PoolConfig cfg = PoolConfig::from_env());
+  /// Collective group binding; call from every rank of the client
+  /// domain. Selection and failover are rank-0 choices broadcast to
+  /// the domain, so all threads target the same replica.
+  static std::shared_ptr<GroupBinding> spmd_bind(core::ClientCtx& ctx,
+                                                 const std::string& name,
+                                                 const std::string& host,
+                                                 const std::string& expected_type,
+                                                 PoolConfig cfg = PoolConfig::from_env());
+
+  /// The binding requests go through — stable across failovers
+  /// (retarget swaps its innards, never the object proxies hold).
+  const core::BindingPtr& binding() const noexcept { return binding_; }
+  Balancer& balancer() noexcept { return *balancer_; }
+  const core::ObjectRef& current() const noexcept { return binding_->ref(); }
+  std::uint64_t failovers() const noexcept { return failovers_; }
+  /// True when PARDIS_POOL was off at bind time: a plain single
+  /// binding with no balancing or failover.
+  bool degraded() const noexcept { return degraded_; }
+
+  /// Re-picks the target for the next invocation under the policy.
+  /// Call between invocations, never while one is outstanding on the
+  /// binding (the outstanding reply's window slot is keyed to the old
+  /// target). Collective bindings: call from every rank (costs one
+  /// rank-0 broadcast). No-op when degraded or when the pick lands on
+  /// the current target.
+  void select();
+
+ private:
+  GroupBinding(core::ClientCtx& ctx, bool collective, bool degraded);
+
+  /// Wires the balancer, the initial target and the ft/ctx hooks;
+  /// separate from the constructor because the hooks capture
+  /// weak_from_this.
+  void init(core::ReplicaGroup group, PoolConfig cfg, core::ObjectRef initial,
+            ULongLong initial_id, const std::string& host);
+  void install_hooks();
+  /// ft::with_retry failure hook: records health, and for hard
+  /// failures (and overload sheds with a sibling available)
+  /// re-resolves + retargets. Returns true when the binding switched.
+  bool on_failure(ErrorCode code, const std::string& why, unsigned retry_after_ms);
+  void on_success();
+  /// Parks the current target's (id, next_seq) and restores (or
+  /// creates) the new target's.
+  void switch_to(const core::ObjectRef& ref, ULongLong id);
+  /// The binding id for `ref`: the parked one, else `fresh`.
+  ULongLong id_for(const core::ObjectRef& ref, ULongLong fresh);
+  /// True when choices must be agreed through the communicator — the
+  /// same condition ft::with_retry uses to pick agreement mode.
+  bool coordinated() const;
+  void refresh_members();
+
+  core::ClientCtx* ctx_;
+  bool collective_;
+  bool degraded_;
+  std::string name_;
+  std::string host_;
+  std::shared_ptr<Balancer> balancer_;
+  core::BindingPtr binding_;
+  /// Parked sequencing identities per replica (by primary_key). The
+  /// *current* target's live identity is in binding_, not here.
+  struct TargetSeq {
+    ULongLong id = 0;
+    ULong next_seq = 0;
+  };
+  std::map<std::string, TargetSeq> targets_;
+  std::uint64_t failovers_ = 0;
+};
+
+}  // namespace pardis::pool

@@ -3,6 +3,7 @@
 #include <atomic>
 
 #include "common/log.hpp"
+#include "core/orb.hpp"
 
 namespace pardis::repo {
 
@@ -66,6 +67,26 @@ void RepositoryServer::serve() {
           CdrTraits<std::vector<std::string>>::marshal(w, backing_->list());
           break;
         }
+        case RepoOp::kRegisterReplica: {
+          const ULongLong epoch =
+              backing_->register_replica(core::ObjectRef::unmarshal(r));
+          w.write_ulonglong(epoch);
+          break;
+        }
+        case RepoOp::kLookupGroup: {
+          const std::string name = r.read_string();
+          const std::string host = r.read_string();
+          auto group = backing_->lookup_group(name, host);
+          w.write_bool(group.has_value());
+          if (group) group->marshal(w);
+          break;
+        }
+        case RepoOp::kUnregisterReplica: {
+          const std::string name = r.read_string();
+          const ObjectId id{r.read_ulonglong()};
+          backing_->unregister_replica(name, id);
+          break;
+        }
         default:
           throw MarshalError("repository: bad op octet");
       }
@@ -78,9 +99,36 @@ void RepositoryServer::serve() {
 
 // --- client ----------------------------------------------------------------
 
+namespace {
+
+const char* op_name(RepoOp op) {
+  switch (op) {
+    case RepoOp::kRegister: return "register";
+    case RepoOp::kLookup: return "lookup";
+    case RepoOp::kUnregister: return "unregister";
+    case RepoOp::kList: return "list";
+    case RepoOp::kRegisterReplica: return "register_replica";
+    case RepoOp::kLookupGroup: return "lookup_group";
+    case RepoOp::kUnregisterReplica: return "unregister_replica";
+    case RepoOp::kReply: return "reply";
+  }
+  return "?";
+}
+
+}  // namespace
+
 RemoteRegistry::RemoteRegistry(transport::Transport& transport,
-                               transport::EndpointAddr repo_addr)
-    : transport_(&transport), repo_addr_(std::move(repo_addr)) {
+                               transport::EndpointAddr repo_addr,
+                               std::chrono::milliseconds call_timeout)
+    : transport_(&transport),
+      repo_addr_(std::move(repo_addr)),
+      call_timeout_(call_timeout) {
+  // The -1 sentinel (and a degenerate non-positive configuration)
+  // falls back to the activation-poll budget, so one env knob bounds
+  // both ways a dead repository can stall a client.
+  if (call_timeout_.count() <= 0)
+    call_timeout_ = core::OrbConfig::from_env().resolve_timeout;
+  if (call_timeout_.count() <= 0) call_timeout_ = std::chrono::seconds(5);
   reply_ep_ = transport_->create_endpoint("");
 }
 
@@ -95,10 +143,21 @@ ByteBuffer RemoteRegistry::call(RepoOp op, ByteBuffer body) {
   frame.append(body.view());
   transport_->rsr(repo_addr_, transport::kHandlerRepo, std::move(frame), "");
 
+  const auto start = std::chrono::steady_clock::now();
+  const auto deadline = start + call_timeout_;
   for (;;) {
-    auto res = reply_ep_->wait_for(std::chrono::seconds(5));
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) {
+      const auto elapsed =
+          std::chrono::duration_cast<std::chrono::milliseconds>(now - start);
+      throw TimeoutError("repository call '" + std::string(op_name(op)) +
+                         "' timed out after " + std::to_string(elapsed.count()) +
+                         " ms (PARDIS_RESOLVE_TIMEOUT_MS raises the limit)");
+    }
+    auto res = reply_ep_->wait_for(
+        std::chrono::ceil<std::chrono::milliseconds>(deadline - now));
     if (res.closed()) throw CommFailure("repository reply endpoint closed");
-    if (!res.message) throw TimeoutError("repository call timed out");
+    if (!res.message) continue;  // the loop head converts this to TimeoutError
     auto& msg = res.message;
     CdrReader r(msg->payload.view(), msg->little_endian);
     if (static_cast<RepoOp>(r.read_octet()) != RepoOp::kReply) continue;
@@ -137,6 +196,35 @@ void RemoteRegistry::unregister(const std::string& name, const std::string& host
 std::vector<std::string> RemoteRegistry::list() {
   ByteBuffer reply = call(RepoOp::kList, ByteBuffer{});
   return cdr_decode<std::vector<std::string>>(reply.view());
+}
+
+ULongLong RemoteRegistry::register_replica(const core::ObjectRef& ref) {
+  ByteBuffer body;
+  CdrWriter w(body);
+  ref.marshal(w);
+  ByteBuffer reply = call(RepoOp::kRegisterReplica, std::move(body));
+  CdrReader r(reply.view());
+  return r.read_ulonglong();
+}
+
+std::optional<core::ReplicaGroup> RemoteRegistry::lookup_group(const std::string& name,
+                                                               const std::string& host) {
+  ByteBuffer body;
+  CdrWriter w(body);
+  w.write_string(name);
+  w.write_string(host);
+  ByteBuffer reply = call(RepoOp::kLookupGroup, std::move(body));
+  CdrReader r(reply.view());
+  if (!r.read_bool()) return std::nullopt;
+  return core::ReplicaGroup::unmarshal(r);
+}
+
+void RemoteRegistry::unregister_replica(const std::string& name, const ObjectId& id) {
+  ByteBuffer body;
+  CdrWriter w(body);
+  w.write_string(name);
+  w.write_ulonglong(id.value);
+  call(RepoOp::kUnregisterReplica, std::move(body));
 }
 
 }  // namespace pardis::repo

@@ -15,6 +15,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <memory>
 #include <thread>
 
@@ -23,13 +24,19 @@
 
 namespace pardis::repo {
 
-/// Repository wire operations (payload of kHandlerRepo RSRs).
+/// Repository wire operations (payload of kHandlerRepo RSRs). The
+/// replica-group ops (pardis_pool) extend the enum; a frame's op octet
+/// leads it, so the pre-pool ops keep their exact wire bytes and an
+/// old server simply rejects the new octets.
 enum class RepoOp : Octet {
   kRegister = 0,
   kLookup = 1,
   kUnregister = 2,
   kList = 3,
   kReply = 4,
+  kRegisterReplica = 5,
+  kLookupGroup = 6,
+  kUnregisterReplica = 7,
 };
 
 /// Serves one namespace over a transport. Runs its own service thread
@@ -62,7 +69,13 @@ class RepositoryServer {
 /// Each instance owns a private reply endpoint; calls are synchronous.
 class RemoteRegistry final : public core::ObjectRegistry {
  public:
-  RemoteRegistry(transport::Transport& transport, transport::EndpointAddr repo_addr);
+  /// Every call is bounded by `call_timeout`; the default (-1
+  /// sentinel) uses OrbConfig::resolve_timeout
+  /// (PARDIS_RESOLVE_TIMEOUT_MS) — a dead repository surfaces as a
+  /// TimeoutError carrying the elapsed ms instead of hanging the
+  /// client forever.
+  RemoteRegistry(transport::Transport& transport, transport::EndpointAddr repo_addr,
+                 std::chrono::milliseconds call_timeout = std::chrono::milliseconds(-1));
 
   void register_object(const core::ObjectRef& ref) override;
   std::optional<core::ObjectRef> lookup(const std::string& name,
@@ -70,11 +83,17 @@ class RemoteRegistry final : public core::ObjectRegistry {
   void unregister(const std::string& name, const std::string& host) override;
   std::vector<std::string> list() override;
 
+  ULongLong register_replica(const core::ObjectRef& ref) override;
+  std::optional<core::ReplicaGroup> lookup_group(const std::string& name,
+                                                 const std::string& host) override;
+  void unregister_replica(const std::string& name, const ObjectId& id) override;
+
  private:
   ByteBuffer call(RepoOp op, ByteBuffer body);
 
   transport::Transport* transport_;
   transport::EndpointAddr repo_addr_;
+  std::chrono::milliseconds call_timeout_;
   std::shared_ptr<transport::Endpoint> reply_ep_;
   std::mutex mutex_;  // one outstanding call at a time
 };

@@ -1,0 +1,488 @@
+// pardis_pool tests: the health-aware Balancer (policies, quarantine,
+// recovery probes), replica-group resolution, per-replica sequencing
+// across select()/failover, and transparent failover of idempotent
+// invocations — single-client and SPMD-coordinated — when a replica is
+// killed mid-traffic.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "ft/ft.hpp"
+#include "pool/pool.hpp"
+#include "tests/support/calc_api.hpp"
+
+namespace pardis::pool {
+namespace {
+
+using calc_api::POA_calc;
+
+/// Turns the pool on for one test and always restores "off" (the
+/// suite's default) so neighbouring tests see pre-pool behavior.
+struct PoolEnabledGuard {
+  PoolEnabledGuard() { set_enabled(true); }
+  ~PoolEnabledGuard() { set_enabled(false); }
+};
+
+core::ObjectRef member_ref(const std::string& name, const std::string& host,
+                           std::uint64_t ep_id, int width = 1) {
+  core::ObjectRef ref;
+  ref.type_id = calc_api::kCalcTypeId;
+  ref.name = name;
+  ref.host = host;
+  ref.object_id = ObjectId::next();
+  for (int i = 0; i < width; ++i) {
+    transport::EndpointAddr ep;
+    ep.kind = transport::AddrKind::kLocal;
+    ep.host_model = host;
+    ep.local_id = ep_id + static_cast<std::uint64_t>(i);
+    ref.thread_eps.push_back(ep);
+  }
+  return ref;
+}
+
+core::ReplicaGroup make_group(std::vector<core::ObjectRef> refs) {
+  core::ReplicaGroup g;
+  g.name = refs.front().name;
+  g.epoch = 1;
+  g.members = std::move(refs);
+  return g;
+}
+
+PoolConfig test_cfg(Policy policy) {
+  PoolConfig cfg;
+  cfg.policy = policy;
+  cfg.probation = std::chrono::milliseconds(25);
+  cfg.overload_quarantine = std::chrono::milliseconds(25);
+  return cfg;
+}
+
+// ---------------------------------------------------------------------------
+// Balancer: policies, health scoring, quarantine, recovery probes.
+// ---------------------------------------------------------------------------
+
+TEST(BalancerTest, RoundRobinSpreadsPicksUniformly) {
+  Balancer bal(make_group({member_ref("g", "H1", 10), member_ref("g", "H2", 20),
+                           member_ref("g", "H3", 30)}),
+               test_cfg(Policy::kRoundRobin));
+  for (int i = 0; i < 30; ++i) (void)bal.pick();
+  for (const auto& s : bal.snapshot()) EXPECT_EQ(s.picks, 10u);
+}
+
+TEST(BalancerTest, HardFailureHalvesHealthAndQuarantines) {
+  const auto a = member_ref("g", "H1", 10);
+  Balancer bal(make_group({a, member_ref("g", "H2", 20)}),
+               test_cfg(Policy::kOverloadAware));
+  bal.report_failure(a.primary_key(), ErrorCode::kCommFailure, 0);
+
+  auto snap = bal.snapshot();
+  ASSERT_EQ(snap.size(), 2u);
+  EXPECT_DOUBLE_EQ(snap[0].health, 0.5);
+  EXPECT_EQ(snap[0].consecutive_failures, 1);
+  EXPECT_TRUE(snap[0].quarantined);
+
+  // Quarantined member takes no traffic while a sibling is healthy.
+  for (int i = 0; i < 10; ++i) EXPECT_NE(bal.pick().primary_key(), a.primary_key());
+
+  // Success lifts the quarantine and recovers health additively.
+  bal.report_success(a.primary_key());
+  snap = bal.snapshot();
+  EXPECT_FALSE(snap[0].quarantined);
+  EXPECT_DOUBLE_EQ(snap[0].health, 0.75);
+  EXPECT_EQ(snap[0].consecutive_failures, 0);
+}
+
+TEST(BalancerTest, OverloadShedQuarantinesOnlyUnderOverloadAwarePolicy) {
+  const auto a = member_ref("g", "H1", 10);
+  const auto b = member_ref("g", "H2", 20);
+
+  Balancer rr(make_group({a, b}), test_cfg(Policy::kRoundRobin));
+  rr.report_failure(a.primary_key(), ErrorCode::kOverload, 1000);
+  EXPECT_FALSE(rr.snapshot()[0].quarantined);  // rr ignores shed hints
+
+  Balancer aware(make_group({a, b}), test_cfg(Policy::kOverloadAware));
+  aware.report_failure(a.primary_key(), ErrorCode::kOverload, 1000);
+  auto snap = aware.snapshot();
+  EXPECT_TRUE(snap[0].quarantined);
+  // A shed is pacing, not breakage: no failure streak, mild decay only.
+  EXPECT_EQ(snap[0].consecutive_failures, 0);
+  EXPECT_DOUBLE_EQ(snap[0].health, 0.9);
+  EXPECT_NE(aware.pick().primary_key(), a.primary_key());
+}
+
+TEST(BalancerTest, ExpiredProbationGrantsOneRecoveryProbe) {
+  const auto a = member_ref("g", "H1", 10);
+  Balancer bal(make_group({a, member_ref("g", "H2", 20)}),
+               test_cfg(Policy::kOverloadAware));
+  bal.report_failure(a.primary_key(), ErrorCode::kTimeout, 0);
+  EXPECT_NE(bal.pick().primary_key(), a.primary_key());
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));  // > 25ms probation
+  // First pick after expiry is the recovery probe.
+  EXPECT_EQ(bal.pick().primary_key(), a.primary_key());
+
+  // The probe failed: re-quarantined for twice the probation.
+  bal.report_failure(a.primary_key(), ErrorCode::kTimeout, 0);
+  auto snap = bal.snapshot();
+  EXPECT_TRUE(snap[0].quarantined);
+  EXPECT_EQ(snap[0].consecutive_failures, 2);
+  EXPECT_NE(bal.pick().primary_key(), a.primary_key());
+}
+
+TEST(BalancerTest, LeastInflightPrefersIdlestReplica) {
+  const auto a = member_ref("g", "H1", 10);
+  const auto b = member_ref("g", "H2", 20);
+  const auto c = member_ref("g", "H3", 30);
+  std::map<std::string, std::size_t> load{
+      {a.primary_key(), 5}, {b.primary_key(), 0}, {c.primary_key(), 2}};
+  Balancer bal(make_group({a, b, c}), test_cfg(Policy::kLeastInflight),
+               [&](const std::string& key) { return load[key]; });
+  EXPECT_EQ(bal.pick().primary_key(), b.primary_key());
+  load[b.primary_key()] = 7;
+  EXPECT_EQ(bal.pick().primary_key(), c.primary_key());
+}
+
+TEST(BalancerTest, AllQuarantinedPicksTheSoonestRelease) {
+  const auto a = member_ref("g", "H1", 10);
+  const auto b = member_ref("g", "H2", 20);
+  Balancer bal(make_group({a, b}), test_cfg(Policy::kOverloadAware));
+  bal.report_failure(b.primary_key(), ErrorCode::kCommFailure, 0);
+  bal.report_failure(b.primary_key(), ErrorCode::kCommFailure, 0);  // 2x probation
+  bal.report_failure(a.primary_key(), ErrorCode::kCommFailure, 0);
+  // Availability beats pickiness: a releases first, so a is picked.
+  EXPECT_EQ(bal.pick().primary_key(), a.primary_key());
+}
+
+TEST(BalancerTest, AvoidSkipsTheFailedReplicaWhenASiblingExists) {
+  const auto a = member_ref("g", "H1", 10);
+  const auto b = member_ref("g", "H2", 20);
+  Balancer bal(make_group({a, b}), test_cfg(Policy::kRoundRobin));
+  for (int i = 0; i < 6; ++i)
+    EXPECT_EQ(bal.pick(a.primary_key()).primary_key(), b.primary_key());
+}
+
+TEST(BalancerTest, MismatchedServerWidthMembersAreDropped) {
+  // Failover re-sends marshaled bodies, which only transfer between
+  // equal-width servers — a 1-thread member cannot back a 2-thread one.
+  Balancer bal(make_group({member_ref("g", "H1", 10, 2), member_ref("g", "H2", 20, 1)}),
+               test_cfg(Policy::kRoundRobin));
+  EXPECT_EQ(bal.size(), 1u);
+}
+
+TEST(BalancerTest, MergeKeepsHealthOfSurvivingMembers) {
+  const auto a = member_ref("g", "H1", 10);
+  const auto b = member_ref("g", "H2", 20);
+  Balancer bal(make_group({a, b}), test_cfg(Policy::kOverloadAware));
+  bal.report_failure(a.primary_key(), ErrorCode::kCommFailure, 0);
+
+  auto fresh = make_group({a, b, member_ref("g", "H3", 30)});
+  fresh.epoch = 7;
+  bal.merge(fresh);
+  EXPECT_EQ(bal.size(), 3u);
+  EXPECT_EQ(bal.epoch(), 7u);
+  auto snap = bal.snapshot();
+  EXPECT_DOUBLE_EQ(snap[0].health, 0.5);  // a's history survived the merge
+  EXPECT_TRUE(snap[0].quarantined);
+  EXPECT_DOUBLE_EQ(snap[2].health, 1.0);  // the newcomer starts clean
+}
+
+TEST(BalancerTest, EndpointReportMapsToTheOwningMember) {
+  const auto a = member_ref("g", "H1", 10, 2);
+  const auto b = member_ref("g", "H2", 20, 2);
+  Balancer bal(make_group({a, b}), test_cfg(Policy::kOverloadAware));
+  // A redial that resumed is a mild penalty; a dead peer is hard.
+  bal.report_endpoint(a.thread_eps[1], /*resumed=*/true);
+  bal.report_endpoint(b.thread_eps[0], /*resumed=*/false);
+  auto snap = bal.snapshot();
+  EXPECT_DOUBLE_EQ(snap[0].health, 0.9);
+  EXPECT_FALSE(snap[0].quarantined);
+  EXPECT_DOUBLE_EQ(snap[1].health, 0.5);
+  EXPECT_TRUE(snap[1].quarantined);
+}
+
+// ---------------------------------------------------------------------------
+// Live replica groups: a counting servant per replica domain.
+// ---------------------------------------------------------------------------
+
+class CountingServant : public POA_calc {
+ public:
+  explicit CountingServant(std::atomic<int>& calls) : calls_(&calls) {}
+  double dot(const calc_api::vec&, const calc_api::vec&) override { return 0; }
+  void scale(double, const calc_api::vec&, calc_api::vec&) override {}
+  Long counter(Long d) override {
+    ++*calls_;
+    return d;
+  }
+  void note(const std::string&) override {}
+  void boom(const std::string&) override {}
+
+ private:
+  std::atomic<int>* calls_;
+};
+
+/// One replica: a kQ-thread server domain whose POA joins the replica
+/// group for `name` (activate_spmd with replica=true) and counts
+/// per-rank servant executions.
+class ReplicaServer {
+ public:
+  ReplicaServer(core::Orb& orb, const std::string& name, const std::string& label,
+                int width, const sim::HostModel* host = nullptr)
+      : domain_(label, width, host) {
+    std::promise<core::Poa*> pp;
+    auto pf = pp.get_future();
+    domain_.start([this, &orb, name, &pp](rts::DomainContext& sctx) {
+      core::Poa poa(orb, sctx);
+      CountingServant servant(calls_[static_cast<std::size_t>(sctx.rank)]);
+      poa.activate_spmd(servant, name, {}, /*replica=*/true);
+      if (sctx.rank == 0) pp.set_value(&poa);
+      poa.impl_is_ready();
+    });
+    poa_ = pf.get();
+  }
+
+  ~ReplicaServer() { stop(); }
+
+  void stop() {
+    if (poa_ == nullptr) return;
+    poa_->deactivate();
+    domain_.join();
+    poa_ = nullptr;
+  }
+
+  int calls(int rank) const { return calls_[static_cast<std::size_t>(rank)].load(); }
+
+ private:
+  std::array<std::atomic<int>, 8> calls_{};
+  rts::Domain domain_;
+  core::Poa* poa_ = nullptr;
+};
+
+/// One idempotent counter(value) through with_retry on the group
+/// binding; returns the echoed value (-1 = no reply decoded).
+Long retried_counter(const std::shared_ptr<GroupBinding>& gb, Long value,
+                     const ft::RetryPolicy& policy) {
+  core::ClientRequest req(*gb->binding(), "counter", false, false);
+  req.in_value<Long>(value);
+  auto out = std::make_shared<Long>(-1);
+  ft::with_retry(*gb->binding(), "counter", policy, [&](int attempt) {
+    auto pending = req.invoke(attempt);
+    pending->set_decoder([out](core::ReplyDecoder& d) { *out = d.out_value<Long>(); });
+    return pending;
+  });
+  return *out;
+}
+
+ft::RetryPolicy fast_policy() {
+  ft::RetryPolicy policy;
+  policy.max_attempts = 4;
+  policy.initial_backoff = std::chrono::milliseconds(1);
+  return policy;
+}
+
+TEST(GroupBindingTest, DisabledPoolDegradesToThePlainBindingPath) {
+  transport::LocalTransport tp;
+  core::InProcessRegistry reg;
+  core::Orb orb(tp, reg);
+  ReplicaServer a(orb, "deg-calc", "deg-r0", 1);
+
+  core::ClientCtx ctx(orb);
+  set_enabled(false);
+  auto gb = GroupBinding::bind(ctx, "deg-calc", "", calc_api::kCalcTypeId,
+                               test_cfg(Policy::kRoundRobin));
+  EXPECT_TRUE(gb->degraded());
+  EXPECT_EQ(gb->balancer().size(), 1u);
+  // No hooks installed: ft::with_retry sees a pre-pool binding.
+  EXPECT_FALSE(gb->binding()->pool_failover(ErrorCode::kCommFailure, "down", 0));
+  gb->select();  // no-op
+  EXPECT_EQ(gb->failovers(), 0u);
+
+  // Resolution matches what a plain core::bind produces for the same
+  // name (the registry's group fallback keeps non-pool clients working).
+  auto plain = core::bind(ctx, "deg-calc", "", calc_api::kCalcTypeId);
+  EXPECT_EQ(gb->binding()->ref(), plain->ref());
+
+  EXPECT_EQ(retried_counter(gb, 41, fast_policy()), 41);
+  a.stop();
+  EXPECT_EQ(a.calls(0), 1);
+}
+
+TEST(GroupBindingTest, SelectRotatesReplicasWithDensePerReplicaSequences) {
+  PoolEnabledGuard pool_on;
+  transport::LocalTransport tp;
+  core::InProcessRegistry reg;
+  core::Orb orb(tp, reg);
+  // Unmodeled hosts: empty host strings append to the group instead of
+  // replacing (the same-host rule is for restarted servers).
+  ReplicaServer r0(orb, "rot-calc", "rot-r0", 1);
+  ReplicaServer r1(orb, "rot-calc", "rot-r1", 1);
+  ReplicaServer r2(orb, "rot-calc", "rot-r2", 1);
+
+  core::ClientCtx ctx(orb);
+  auto gb = GroupBinding::bind(ctx, "rot-calc", "", calc_api::kCalcTypeId,
+                               test_cfg(Policy::kRoundRobin));
+  ASSERT_FALSE(gb->degraded());
+  ASSERT_EQ(gb->balancer().size(), 3u);
+
+  // Nine invocations under rotation: every one must complete — each
+  // replica's POA requires a dense sequence stream per binding, so this
+  // only works if retarget() parks and restores (id, seq) per replica.
+  for (int i = 0; i < 9; ++i) {
+    gb->select();
+    EXPECT_EQ(retried_counter(gb, i, fast_policy()), i);
+  }
+  r0.stop();
+  r1.stop();
+  r2.stop();
+  EXPECT_EQ(r0.calls(0), 3);
+  EXPECT_EQ(r1.calls(0), 3);
+  EXPECT_EQ(r2.calls(0), 3);
+  std::uint64_t picks = 0;
+  for (const auto& s : gb->balancer().snapshot()) picks += s.picks;
+  EXPECT_EQ(picks, 9u);
+}
+
+TEST(GroupBindingTest, SingleClientFailsOverToSiblingWhenReplicaDies) {
+  PoolEnabledGuard pool_on;
+  sim::Testbed tb = sim::Testbed::paper_testbed();
+  transport::LocalTransport tp(&tb);
+  core::InProcessRegistry reg;
+  core::Orb orb(tp, reg);
+  // Distinct modeled hosts: same-host re-registration would replace.
+  ReplicaServer a(orb, "ha-calc", "ha-r0", 1, tb.host(sim::Testbed::kHost2));
+  ReplicaServer b(orb, "ha-calc", "ha-r1", 1, tb.host(sim::Testbed::kSp2));
+
+  core::ClientCtx ctx(orb);
+  auto gb = GroupBinding::bind(ctx, "ha-calc", "", calc_api::kCalcTypeId,
+                               test_cfg(Policy::kOverloadAware));
+  ASSERT_EQ(gb->balancer().size(), 2u);
+  const ft::RetryPolicy policy = fast_policy();
+
+  EXPECT_EQ(retried_counter(gb, 1, policy), 1);
+  EXPECT_EQ(retried_counter(gb, 2, policy), 2);
+
+  const std::string first = gb->current().primary_key();
+  for (const auto& ep : gb->current().thread_eps) tb.faults().kill_endpoint(ep.local_id);
+
+  // The killed replica surfaces as CommFailure; with_retry offers the
+  // failure to the pool, which retargets at the sibling — the requests
+  // complete there with zero loss.
+  EXPECT_EQ(retried_counter(gb, 3, policy), 3);
+  EXPECT_EQ(retried_counter(gb, 4, policy), 4);
+  EXPECT_NE(gb->current().primary_key(), first);
+  EXPECT_EQ(gb->failovers(), 1u);
+
+  a.stop();
+  b.stop();
+  // Two requests served by each replica: nothing lost, nothing duplicated.
+  EXPECT_EQ(a.calls(0) + b.calls(0), 4);
+  EXPECT_EQ(std::min(a.calls(0), b.calls(0)), 2);
+}
+
+// Satellite: SPMD-coordinated failover. One of two replicas is killed
+// mid-traffic; every idempotent request completes on the sibling with
+// zero duplicate dispatches and all client ranks agree on the replica.
+TEST(GroupBindingTest, SpmdClientRanksAgreeOnFailoverTarget) {
+  PoolEnabledGuard pool_on;
+  sim::Testbed tb = sim::Testbed::paper_testbed();
+  transport::LocalTransport tp(&tb);
+  core::InProcessRegistry reg;
+  core::Orb orb(tp, reg);
+
+  constexpr int kP = 2;          // client threads
+  constexpr int kQ = 2;          // server threads per replica
+  constexpr int kRequests = 6;   // collective invocations
+  constexpr int kKillAfter = 3;  // kill the current replica before this one
+
+  ReplicaServer a(orb, "spmd-ha", "spmd-ha-r0", kQ, tb.host(sim::Testbed::kHost2));
+  ReplicaServer b(orb, "spmd-ha", "spmd-ha-r1", kQ, tb.host(sim::Testbed::kSp2));
+
+  std::array<std::string, kP> final_target;
+  std::array<std::uint64_t, kP> failovers{};
+  std::atomic<int> killed_replica{-1};  // 0 = a, 1 = b
+
+  rts::Domain client("spmd-ha-client", kP, tb.host(sim::Testbed::kHost1));
+  client.run([&](rts::DomainContext& dctx) {
+    core::ClientCtx ctx(orb, dctx);
+    auto gb = GroupBinding::spmd_bind(ctx, "spmd-ha", "", calc_api::kCalcTypeId,
+                                      test_cfg(Policy::kOverloadAware));
+    ASSERT_FALSE(gb->degraded());
+    const ft::RetryPolicy policy = fast_policy();
+
+    for (int i = 0; i < kRequests; ++i) {
+      if (i == kKillAfter) {
+        // Between collective invocations: all ranks quiesce, rank 0
+        // kills every endpoint of the replica the group targets.
+        rts::barrier(dctx.comm);
+        if (dctx.rank == 0) {
+          killed_replica.store(gb->current().host == sim::Testbed::kHost2 ? 0 : 1);
+          for (const auto& ep : gb->current().thread_eps)
+            tb.faults().kill_endpoint(ep.local_id);
+        }
+        rts::barrier(dctx.comm);
+      }
+      EXPECT_EQ(retried_counter(gb, i, policy), i);  // zero lost requests
+    }
+    final_target[static_cast<std::size_t>(dctx.rank)] = gb->current().primary_key();
+    failovers[static_cast<std::size_t>(dctx.rank)] = gb->failovers();
+  });
+
+  EXPECT_EQ(final_target[0], final_target[1]);  // all ranks agree
+  EXPECT_EQ(failovers[0], 1u);
+  EXPECT_EQ(failovers[1], 1u);
+
+  a.stop();
+  b.stop();
+  // Exactly-once per server rank on exactly one replica: the killed one
+  // dispatched each pre-kill request once, the survivor the rest — a
+  // duplicate or torn dispatch would break the exact counts.
+  const ReplicaServer& dead = killed_replica.load() == 0 ? a : b;
+  const ReplicaServer& alive = killed_replica.load() == 0 ? b : a;
+  for (int q = 0; q < kQ; ++q) {
+    EXPECT_EQ(dead.calls(q), kKillAfter);
+    EXPECT_EQ(alive.calls(q), kRequests - kKillAfter);
+  }
+}
+
+// Satellite: the resolve path the pool rides (ObjectRegistry group
+// lookups) synthesizes a group of one for a plain registered name, so
+// pool clients can still bind unreplicated servers.
+TEST(GroupBindingTest, SingleRegisteredServerBindsAsGroupOfOne) {
+  PoolEnabledGuard pool_on;
+  transport::LocalTransport tp;
+  core::InProcessRegistry reg;
+  core::Orb orb(tp, reg);
+
+  rts::Domain server("solo-dom", 1);
+  std::promise<core::Poa*> pp;
+  auto pf = pp.get_future();
+  std::atomic<int> calls{0};
+  server.start([&](rts::DomainContext& sctx) {
+    core::Poa poa(orb, sctx);
+    CountingServant servant(calls);
+    poa.activate_spmd(servant, "solo-calc");  // plain, non-replica activation
+    pp.set_value(&poa);
+    poa.impl_is_ready();
+  });
+  core::Poa* poa = pf.get();
+
+  core::ClientCtx ctx(orb);
+  auto gb = GroupBinding::bind(ctx, "solo-calc", "", calc_api::kCalcTypeId,
+                               test_cfg(Policy::kOverloadAware));
+  EXPECT_FALSE(gb->degraded());
+  EXPECT_EQ(gb->balancer().size(), 1u);
+  EXPECT_EQ(retried_counter(gb, 7, fast_policy()), 7);
+
+  poa->deactivate();
+  server.join();
+  EXPECT_EQ(calls.load(), 1);
+}
+
+}  // namespace
+}  // namespace pardis::pool

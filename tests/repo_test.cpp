@@ -54,6 +54,68 @@ TEST(InProcessRegistryTest, ReRegistrationReplaces) {
   EXPECT_EQ(reg.list().size(), 1u);
 }
 
+TEST(InProcessRegistryTest, ReplicaGroupRegistrationTracksEpoch) {
+  core::InProcessRegistry reg;
+  core::ObjectRef a = make_ref("grp", "HOST1");
+  core::ObjectRef b = make_ref("grp", "HOST2");
+  EXPECT_EQ(reg.register_replica(a), 1u);
+  EXPECT_EQ(reg.register_replica(b), 2u);
+
+  auto group = reg.lookup_group("grp", "");
+  ASSERT_TRUE(group.has_value());
+  EXPECT_EQ(group->epoch, 2u);
+  ASSERT_EQ(group->members.size(), 2u);
+
+  reg.unregister_replica("grp", a.object_id);
+  group = reg.lookup_group("grp", "");
+  ASSERT_TRUE(group.has_value());
+  EXPECT_EQ(group->epoch, 3u);
+  ASSERT_EQ(group->members.size(), 1u);
+  EXPECT_EQ(group->members[0], b);
+
+  reg.unregister_replica("grp", b.object_id);
+  EXPECT_FALSE(reg.lookup_group("grp", "").has_value());
+  EXPECT_FALSE(reg.lookup("grp", "").has_value());
+}
+
+// Regression: concurrent register of the same name used to be
+// last-writer-wins in the single-object table — a re-registration
+// dropped every sibling replica. Under a live group it joins instead:
+// the same-host predecessor is replaced (a restarted server), the
+// epoch is bumped, and the other members survive.
+TEST(InProcessRegistryTest, ReRegistrationUnderLiveGroupJoinsInsteadOfClobbering) {
+  core::InProcessRegistry reg;
+  core::ObjectRef a = make_ref("grp", "HOST1");
+  core::ObjectRef b = make_ref("grp", "HOST2");
+  reg.register_replica(a);
+  reg.register_replica(b);
+
+  core::ObjectRef a2 = make_ref("grp", "HOST1");  // restarted server, fresh id
+  reg.register_object(a2);
+
+  auto group = reg.lookup_group("grp", "");
+  ASSERT_TRUE(group.has_value());
+  EXPECT_EQ(group->epoch, 3u);
+  ASSERT_EQ(group->members.size(), 2u);
+  EXPECT_EQ(group->members[0].object_id, a2.object_id);
+  EXPECT_EQ(group->members[1], b);
+  // Plain lookup resolves to the freshest HOST1 registration too.
+  EXPECT_EQ(reg.lookup("grp", "HOST1")->object_id, a2.object_id);
+}
+
+TEST(InProcessRegistryTest, EarlierSinglesSeedTheGroupOnFirstReplica) {
+  core::InProcessRegistry reg;
+  core::ObjectRef solo = make_ref("mix", "HOST1");
+  reg.register_object(solo);
+  core::ObjectRef rep = make_ref("mix", "HOST2");
+  EXPECT_EQ(reg.register_replica(rep), 1u);
+  auto group = reg.lookup_group("mix", "");
+  ASSERT_TRUE(group.has_value());
+  ASSERT_EQ(group->members.size(), 2u);
+  EXPECT_EQ(group->members[0], solo);
+  EXPECT_EQ(group->members[1], rep);
+}
+
 TEST(InProcessRegistryTest, InvalidRegistrationsThrow) {
   core::InProcessRegistry reg;
   EXPECT_THROW(reg.register_object(core::ObjectRef{}), BadParam);
@@ -81,6 +143,63 @@ TEST(RepositoryServerTest, RemoteRegistryFullProtocol) {
 
   remote.unregister("remote-obj", "HOST2");
   EXPECT_FALSE(remote.lookup("remote-obj", "").has_value());
+}
+
+TEST(RepositoryServerTest, RemoteGroupProtocolRoundTrips) {
+  transport::LocalTransport tp;
+  RepositoryServer server(tp, std::make_shared<core::InProcessRegistry>());
+  RemoteRegistry remote(tp, server.addr());
+
+  core::ObjectRef a = make_ref("pool-obj", "HOST1");
+  core::ObjectRef b = make_ref("pool-obj", "HOST2");
+  EXPECT_EQ(remote.register_replica(a), 1u);
+  EXPECT_EQ(remote.register_replica(b), 2u);
+
+  auto group = remote.lookup_group("pool-obj", "");
+  ASSERT_TRUE(group.has_value());
+  EXPECT_EQ(group->epoch, 2u);
+  ASSERT_EQ(group->members.size(), 2u);
+  EXPECT_EQ(group->members[0], a);  // full references round-trip
+  EXPECT_EQ(group->members[1], b);
+
+  // Host narrows the group view; plain lookup still resolves a member
+  // so non-pool clients keep working against a replicated name.
+  auto h2 = remote.lookup_group("pool-obj", "HOST2");
+  ASSERT_TRUE(h2.has_value());
+  ASSERT_EQ(h2->members.size(), 1u);
+  EXPECT_EQ(h2->members[0].host, "HOST2");
+  EXPECT_TRUE(remote.lookup("pool-obj", "").has_value());
+
+  remote.unregister_replica("pool-obj", a.object_id);
+  auto rest = remote.lookup_group("pool-obj", "");
+  ASSERT_TRUE(rest.has_value());
+  EXPECT_EQ(rest->epoch, 3u);
+  ASSERT_EQ(rest->members.size(), 1u);
+  EXPECT_EQ(rest->members[0], b);
+
+  remote.unregister_replica("pool-obj", b.object_id);
+  EXPECT_FALSE(remote.lookup_group("pool-obj", "").has_value());
+  EXPECT_FALSE(remote.lookup("pool-obj", "").has_value());
+}
+
+TEST(RepositoryServerTest, CallAgainstDeadRepositoryTimesOutWithElapsed) {
+  transport::LocalTransport tp;
+  // An endpoint nobody serves: the request lands in its queue and no
+  // reply ever comes back — the client must not wait forever.
+  auto dead = tp.create_endpoint("");
+  RemoteRegistry remote(tp, dead->addr(), std::chrono::milliseconds(50));
+  const auto start = std::chrono::steady_clock::now();
+  try {
+    remote.lookup("ghost", "");
+    FAIL() << "expected TimeoutError";
+  } catch (const TimeoutError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("lookup"), std::string::npos);
+    EXPECT_NE(what.find("ms"), std::string::npos);  // elapsed time in the message
+  }
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_GE(elapsed, std::chrono::milliseconds(50));
+  EXPECT_LT(elapsed, std::chrono::seconds(2));  // bounded, not the old infinite wait
 }
 
 TEST(RepositoryServerTest, SharedBackingVisibleInProcess) {
