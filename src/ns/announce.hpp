@@ -1,0 +1,129 @@
+// Announce-based discovery for pardis_ns.
+//
+// Repositories periodically multicast their shard map so clients can
+// bootstrap by *listening* instead of being configured with
+// PARDIS_REPO_ADDR. An announce frame is:
+//
+//     ULong     magic    0x50414E53 ("PANS")
+//     Octet     version  1
+//     ULongLong digest   ShardMap::digest(key) — keyed, so a listener
+//                        under a different PARDIS_NS_KEY (or a frame
+//                        corrupted in flight) is rejected silently
+//     ShardMap  map
+//
+// Two carriers share the frame format:
+//
+//   * AnnounceBus — the Testbed-simulated multicast: subscribers are
+//     transport endpoints, publish() enqueues the frame on every live
+//     one under handler kHandlerAnnounce. Fault plans apply per
+//     subscriber on the dedicated "mcast:<host>" link namespace
+//     (FaultPlan::announce_dst), so a test can sever announcements to
+//     one host without disturbing the indexed schedules of its normal
+//     links.
+//   * UDP — udp_announce() / UdpAnnounceListener for real processes on
+//     one machine (loopback unicast to the listener's port; the
+//     datagram payload is exactly the frame above).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "ns/shard_map.hpp"
+#include "sim/fault_plan.hpp"
+#include "transport/endpoint.hpp"
+
+namespace pardis::ns {
+
+/// Builds one announce frame for `map` under `key`.
+ByteBuffer make_announce(const ShardMap& map, ULongLong key);
+
+/// Parses an announce frame; nullopt when the magic, version or keyed
+/// digest does not verify (never throws on garbage input).
+std::optional<ShardMap> parse_announce(std::span<const Octet> bytes, ULongLong key,
+                                       bool little_endian = kNativeLittleEndian);
+
+/// Simulated multicast: fans an announce frame out to subscribed
+/// endpoints. Thread-safe; dead subscribers fall off on publish.
+class AnnounceBus {
+ public:
+  /// `faults` (optional, unowned) gates delivery per subscriber on the
+  /// "mcast:<subscriber host>" links.
+  explicit AnnounceBus(sim::FaultPlan* faults = nullptr) : faults_(faults) {}
+
+  void subscribe(const std::shared_ptr<transport::Endpoint>& ep);
+
+  /// Publishes `map` from `src_host` to every live subscriber.
+  /// Returns how many subscribers received the frame.
+  std::size_t publish(const ShardMap& map, ULongLong key, const std::string& src_host);
+
+ private:
+  sim::FaultPlan* faults_;
+  std::mutex mutex_;
+  std::vector<std::weak_ptr<transport::Endpoint>> subs_;
+};
+
+/// Periodic announcer: publishes `map` on `bus` every `period` from
+/// its own daemon thread (repositories announce; computing threads
+/// never block on it).
+class Announcer {
+ public:
+  Announcer(AnnounceBus& bus, ShardMap map, ULongLong key, std::string src_host,
+            std::chrono::milliseconds period);
+  ~Announcer();
+
+  Announcer(const Announcer&) = delete;
+  Announcer& operator=(const Announcer&) = delete;
+
+  /// One immediate publish (also what the thread does per tick).
+  void announce_now();
+
+ private:
+  AnnounceBus* bus_;
+  ShardMap map_;
+  ULongLong key_;
+  std::string src_host_;
+  std::chrono::milliseconds period_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+  std::thread thread_;
+};
+
+/// Drains `ep` until a verifying announce frame arrives (bootstrap:
+/// make an endpoint, subscribe it, wait). nullopt on timeout or when
+/// the endpoint closes.
+std::optional<ShardMap> wait_for_map(transport::Endpoint& ep, ULongLong key,
+                                     std::chrono::milliseconds timeout);
+
+/// Sends one announce datagram to 127.0.0.1:`port` (UDP carrier).
+/// Returns false when the socket layer refuses (no datagram loopback).
+bool udp_announce(UShort port, const ShardMap& map, ULongLong key);
+
+/// Listening socket for UDP announces. Binds 127.0.0.1:`port` (0 = an
+/// ephemeral port, reported by port()).
+class UdpAnnounceListener {
+ public:
+  explicit UdpAnnounceListener(UShort port = 0);
+  ~UdpAnnounceListener();
+
+  UdpAnnounceListener(const UdpAnnounceListener&) = delete;
+  UdpAnnounceListener& operator=(const UdpAnnounceListener&) = delete;
+
+  bool ok() const noexcept { return fd_ >= 0; }
+  UShort port() const noexcept { return port_; }
+
+  /// Blocks until a verifying announce arrives or `timeout` passes.
+  std::optional<ShardMap> wait_for_map(ULongLong key, std::chrono::milliseconds timeout);
+
+ private:
+  int fd_ = -1;
+  UShort port_ = 0;
+};
+
+}  // namespace pardis::ns

@@ -1,0 +1,142 @@
+#include "ns/ns.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <string>
+
+#include "common/log.hpp"
+
+namespace pardis::ns {
+
+// --- toggle ---------------------------------------------------------------
+
+namespace {
+
+/// -1 = follow the environment; 0/1 = set_enabled override.
+std::atomic<int> g_enabled_override{-1};
+
+bool env_enabled() {
+  static const bool cached = [] {
+    const char* v = std::getenv("PARDIS_NS");
+    if (v == nullptr) return false;
+    const std::string s(v);
+    return s == "1" || s == "true" || s == "on" || s == "yes";
+  }();
+  return cached;
+}
+
+long env_long(const char* name, long fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  const long parsed = std::strtol(v, &end, 10);
+  if (end == v || *end != '\0') {
+    PARDIS_LOG(kWarn, "ns") << name << "='" << v << "' is not a number; keeping "
+                            << fallback;
+    return fallback;
+  }
+  return parsed;
+}
+
+/// Clamps one ULong knob into [lo, hi] with a located warning.
+ULong clamp_knob(const char* name, long value, long lo, long hi) {
+  if (value < lo || value > hi) {
+    const long clamped = value < lo ? lo : hi;
+    PARDIS_LOG(kWarn, "ns") << name << "=" << value << " out of range [" << lo << ", "
+                            << hi << "]; clamping to " << clamped;
+    return static_cast<ULong>(clamped);
+  }
+  return static_cast<ULong>(value);
+}
+
+/// Clamps one millisecond knob to be non-negative.
+std::chrono::milliseconds clamp_ms(const char* name, std::chrono::milliseconds value) {
+  if (value.count() < 0) {
+    PARDIS_LOG(kWarn, "ns") << name << "=" << value.count()
+                            << " is negative; clamping to 0";
+    return std::chrono::milliseconds(0);
+  }
+  return value;
+}
+
+}  // namespace
+
+bool enabled() noexcept {
+  const int o = g_enabled_override.load(std::memory_order_relaxed);
+  return o < 0 ? env_enabled() : o != 0;
+}
+
+void set_enabled(bool on) noexcept {
+  g_enabled_override.store(on ? 1 : 0, std::memory_order_relaxed);
+}
+
+// --- config ---------------------------------------------------------------
+
+std::chrono::milliseconds NsConfig::effective_renew() const noexcept {
+  if (renew_interval.count() > 0) return renew_interval;
+  const auto third = lease / 3;
+  return third.count() > 0 ? third : std::chrono::milliseconds(1);
+}
+
+NsConfig NsConfig::validated(NsConfig raw) {
+  NsConfig c = raw;
+  c.shards = clamp_knob("PARDIS_NS_SHARDS", static_cast<long>(raw.shards), 1, 64);
+  c.vnodes = clamp_knob("PARDIS_NS_VNODES", static_cast<long>(raw.vnodes), 1, 256);
+  c.lease = clamp_ms("PARDIS_NS_LEASE_MS", raw.lease);
+  c.renew_interval = clamp_ms("PARDIS_NS_RENEW_MS", raw.renew_interval);
+  c.negative_ttl = clamp_ms("PARDIS_NS_NEG_TTL_MS", raw.negative_ttl);
+  if (raw.announce_period.count() <= 0) {
+    PARDIS_LOG(kWarn, "ns") << "PARDIS_NS_ANNOUNCE_MS=" << raw.announce_period.count()
+                            << " is not positive; clamping to 1";
+    c.announce_period = std::chrono::milliseconds(1);
+  }
+  if (c.renew_interval.count() > 0 && c.lease.count() > 0 &&
+      c.renew_interval >= c.lease) {
+    PARDIS_LOG(kWarn, "ns") << "PARDIS_NS_RENEW_MS (" << c.renew_interval.count()
+                            << ") >= PARDIS_NS_LEASE_MS (" << c.lease.count()
+                            << "): renewals would race expiry; using lease/3";
+    c.renew_interval = std::chrono::milliseconds(0);
+  }
+  // repo_timeout: -1 is the documented "inherit the resolve budget"
+  // sentinel, so only positive values and that sentinel survive.
+  if (raw.repo_timeout.count() <= 0 && raw.repo_timeout.count() != -1) {
+    PARDIS_LOG(kWarn, "ns") << "PARDIS_NS_REPO_TIMEOUT_MS=" << raw.repo_timeout.count()
+                            << " is not positive; using the resolve timeout";
+    c.repo_timeout = std::chrono::milliseconds(-1);
+  }
+  return c;
+}
+
+NsConfig NsConfig::from_env() {
+  static const NsConfig cached = [] {
+    NsConfig c;
+    c.shards = static_cast<ULong>(env_long("PARDIS_NS_SHARDS", static_cast<long>(c.shards)));
+    c.vnodes = static_cast<ULong>(env_long("PARDIS_NS_VNODES", static_cast<long>(c.vnodes)));
+    c.lease = std::chrono::milliseconds(env_long("PARDIS_NS_LEASE_MS", c.lease.count()));
+    c.renew_interval =
+        std::chrono::milliseconds(env_long("PARDIS_NS_RENEW_MS", c.renew_interval.count()));
+    c.negative_ttl =
+        std::chrono::milliseconds(env_long("PARDIS_NS_NEG_TTL_MS", c.negative_ttl.count()));
+    c.announce_period = std::chrono::milliseconds(
+        env_long("PARDIS_NS_ANNOUNCE_MS", c.announce_period.count()));
+    if (const char* v = std::getenv("PARDIS_NS_KEY")) {
+      char* end = nullptr;
+      const unsigned long long key = std::strtoull(v, &end, 0);
+      if (end != v && *end == '\0')
+        c.announce_key = key;
+      else
+        PARDIS_LOG(kWarn, "ns") << "PARDIS_NS_KEY='" << v
+                                << "' is not a number; keeping the default key";
+    }
+    if (const char* v = std::getenv("PARDIS_NS_CACHE")) {
+      const std::string s(v);
+      c.cache = !(s == "0" || s == "false" || s == "off" || s == "no");
+    }
+    c.repo_timeout = std::chrono::milliseconds(
+        env_long("PARDIS_NS_REPO_TIMEOUT_MS", c.repo_timeout.count()));
+    return validated(c);
+  }();
+  return cached;
+}
+
+}  // namespace pardis::ns

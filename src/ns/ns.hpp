@@ -1,0 +1,88 @@
+// pardis_ns — sharded, replicated naming with leases, client caching,
+// and announce-based discovery.
+//
+// The paper's repository is one process holding one namespace (§2.2:
+// "Each repository is associated with a unique namespace"). pardis_ns
+// turns that namespace into a *service*:
+//
+//   * the name space is sharded by consistent hashing (ns::ShardMap —
+//     N virtual nodes per shard keep the key distribution even and
+//     minimize movement when the shard count changes);
+//   * each shard is a replica set of RepositoryServers, and writes fan
+//     out to every replica of the owning shard, so killing one
+//     repository process loses no names (dogfooding the pardis_pool
+//     health machinery for read-side replica selection);
+//   * clients hold an ns::ResolverCache — positive entries invalidated
+//     by replica-group epoch, negative entries aging out on a TTL;
+//   * registrations may carry a *lease* renewed by a background
+//     heartbeat; a crashed server's names garbage-collect when the
+//     heartbeat stops, instead of squatting forever;
+//   * repositories announce a keyed digest of their shard map
+//     (ns::AnnounceBus / UDP), so clients bootstrap by listening
+//     instead of being configured with PARDIS_REPO_ADDR.
+//
+// Everything is gated on PARDIS_NS. Off (the default), nothing in the
+// resolve or registration path changes and registration frames are
+// byte-identical to the pre-ns wire format (the lease rides as an
+// optional trailer that lease-free frames simply do not carry).
+//
+// Obs counters: ns.resolve_hits, ns.resolve_misses, ns.renewals,
+// ns.expired, ns.repo_reconnects.
+#pragma once
+
+#include <chrono>
+
+#include "common/types.hpp"
+
+namespace pardis::ns {
+
+/// Master toggle, read once from PARDIS_NS (1/true/on/yes). Off, the
+/// naming facades degrade to the classic single-repository path.
+bool enabled() noexcept;
+/// Test/bench hook overriding the environment.
+void set_enabled(bool on) noexcept;
+
+struct NsConfig {
+  /// Number of namespace shards, in [1, 64].
+  ULong shards = 1;
+  /// Virtual nodes per shard on the consistent-hash ring, in [1, 256].
+  ULong vnodes = 16;
+  /// Registration lease attached by the sharded facade; 0 = register
+  /// permanently (the pre-ns behavior, and the wire bytes to match).
+  std::chrono::milliseconds lease{0};
+  /// Heartbeat cadence for lease renewal; 0 = lease / 3.
+  std::chrono::milliseconds renew_interval{0};
+  /// How long a cached "no such name" answer is believed.
+  std::chrono::milliseconds negative_ttl{100};
+  /// Cadence of shard-map announcements.
+  std::chrono::milliseconds announce_period{250};
+  /// Keyed digest for announce frames: a listener drops announcements
+  /// whose digest does not verify under its own key, so a stray or
+  /// corrupt frame cannot poison the shard map.
+  ULongLong announce_key = kDefaultAnnounceKey;
+  /// Client-side resolver caching (positive + negative entries).
+  bool cache = true;
+  /// Per-call budget for repository RPCs issued by the sharded facade;
+  /// -1 = OrbConfig::resolve_timeout. Shorter values make failover to
+  /// a sibling replica snappier.
+  std::chrono::milliseconds repo_timeout{-1};
+
+  static constexpr ULongLong kDefaultAnnounceKey = 0x5041524449535F4EULL;  // "PARDIS_N"
+
+  /// The renewal cadence actually used: renew_interval, else lease/3
+  /// (floored at 1 ms so a tiny lease still heartbeats).
+  std::chrono::milliseconds effective_renew() const noexcept;
+
+  /// Environment configuration, read once per process and validated:
+  /// PARDIS_NS_SHARDS, PARDIS_NS_VNODES, PARDIS_NS_LEASE_MS,
+  /// PARDIS_NS_RENEW_MS, PARDIS_NS_NEG_TTL_MS, PARDIS_NS_ANNOUNCE_MS,
+  /// PARDIS_NS_KEY, PARDIS_NS_CACHE, PARDIS_NS_REPO_TIMEOUT_MS.
+  static NsConfig from_env();
+
+  /// Clamps out-of-range values to the documented bounds with one warn
+  /// line each (never throws: a bad knob degrades, it does not take
+  /// the process down). from_env() runs its result through this.
+  static NsConfig validated(NsConfig raw);
+};
+
+}  // namespace pardis::ns

@@ -1,0 +1,103 @@
+#include "ns/resolver_cache.hpp"
+
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
+
+namespace pardis::ns {
+
+namespace {
+
+void count_hit() {
+  if (!obs::enabled()) return;
+  static obs::Counter& hits = obs::metrics().counter("ns.resolve_hits");
+  hits.add(1);
+}
+
+void count_miss() {
+  if (!obs::enabled()) return;
+  static obs::Counter& misses = obs::metrics().counter("ns.resolve_misses");
+  misses.add(1);
+}
+
+}  // namespace
+
+ResolverCache::ResolverCache(std::chrono::milliseconds negative_ttl,
+                             std::function<double()> now_seconds)
+    : negative_ttl_(negative_ttl), now_seconds_(std::move(now_seconds)) {}
+
+double ResolverCache::now() const {
+  if (now_seconds_) return now_seconds_();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+ResolverCache::Outcome ResolverCache::get(const std::string& name, const std::string& host,
+                                          core::ReplicaGroup* out) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find({name, host});
+  if (it == entries_.end()) {
+    count_miss();
+    return Outcome::kMiss;
+  }
+  if (it->second.negative) {
+    if (now() >= it->second.expires_at) {
+      entries_.erase(it);
+      count_miss();
+      return Outcome::kMiss;
+    }
+    count_hit();
+    return Outcome::kNegative;
+  }
+  if (out != nullptr) *out = it->second.group;
+  count_hit();
+  return Outcome::kHit;
+}
+
+void ResolverCache::put(const std::string& name, const std::string& host,
+                        core::ReplicaGroup group) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Entry e;
+  e.group = std::move(group);
+  entries_[{name, host}] = std::move(e);
+}
+
+void ResolverCache::put_negative(const std::string& name, const std::string& host) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Entry e;
+  e.negative = true;
+  e.expires_at =
+      now() + std::chrono::duration<double>(negative_ttl_).count();
+  entries_[{name, host}] = std::move(e);
+}
+
+void ResolverCache::invalidate(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  // Entries are keyed (name, host): the name's span is the contiguous
+  // range starting at (name, "").
+  auto it = entries_.lower_bound({name, std::string()});
+  while (it != entries_.end() && it->first.first == name) it = entries_.erase(it);
+}
+
+void ResolverCache::note_epoch(const std::string& name, ULongLong epoch) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.lower_bound({name, std::string()});
+  while (it != entries_.end() && it->first.first == name) {
+    const bool stale_positive = !it->second.negative && it->second.group.epoch < epoch;
+    if (it->second.negative || stale_positive)
+      it = entries_.erase(it);
+    else
+      ++it;
+  }
+}
+
+std::size_t ResolverCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+void ResolverCache::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  entries_.clear();
+}
+
+}  // namespace pardis::ns

@@ -1,0 +1,76 @@
+// Client-side resolver cache for pardis_ns.
+//
+// Two entry kinds, two invalidation disciplines:
+//
+//   * positive entries (a name's replica group) carry the group
+//     *epoch* and never age out on their own — they die when a fresher
+//     epoch is observed (note_epoch) or the name is invalidated
+//     outright (the pool failover path calls ObjectRegistry::invalidate
+//     before re-resolving, so a stale view can never feed failover);
+//   * negative entries ("no such name") age out on a TTL — the one
+//     place time-based invalidation is right, because nothing observes
+//     an epoch for a name that does not exist yet.
+//
+// The clock is pluggable so tests drive negative-TTL expiry from the
+// sim clock instead of sleeping.
+#pragma once
+
+#include <chrono>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+
+#include "core/registry.hpp"
+
+namespace pardis::ns {
+
+class ResolverCache {
+ public:
+  enum class Outcome {
+    kMiss,      ///< nothing cached: ask the repository
+    kHit,       ///< positive entry returned through `out`
+    kNegative,  ///< fresh "no such name" answer: report not-found
+  };
+
+  /// `now_seconds` replaces the clock for negative-entry aging; null =
+  /// process steady clock.
+  explicit ResolverCache(std::chrono::milliseconds negative_ttl,
+                         std::function<double()> now_seconds = nullptr);
+
+  /// Looks (name, host) up; fills `out` (may be null) on kHit.
+  /// Counts obs ns.resolve_hits (hit or fresh negative) and
+  /// ns.resolve_misses.
+  Outcome get(const std::string& name, const std::string& host, core::ReplicaGroup* out);
+
+  void put(const std::string& name, const std::string& host, core::ReplicaGroup group);
+  void put_negative(const std::string& name, const std::string& host);
+
+  /// Drops every entry for `name` (all hosts, both kinds).
+  void invalidate(const std::string& name);
+
+  /// A registration under `name` returned `epoch`: positive entries
+  /// with an older epoch are stale and dropped, and any negative entry
+  /// dies (the name exists now).
+  void note_epoch(const std::string& name, ULongLong epoch);
+
+  std::size_t size() const;
+  void clear();
+
+ private:
+  struct Entry {
+    bool negative = false;
+    double expires_at = 0.0;  ///< negative entries only
+    core::ReplicaGroup group;
+  };
+
+  double now() const;
+
+  mutable std::mutex mutex_;
+  std::chrono::milliseconds negative_ttl_;
+  std::function<double()> now_seconds_;
+  std::map<std::pair<std::string, std::string>, Entry> entries_;
+};
+
+}  // namespace pardis::ns

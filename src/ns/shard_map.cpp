@@ -1,0 +1,78 @@
+#include "ns/shard_map.hpp"
+
+#include <algorithm>
+
+#include "common/buffer.hpp"
+
+namespace pardis::ns {
+
+bool ShardMap::valid() const noexcept {
+  if (vnodes == 0 || shards.empty()) return false;
+  for (const auto& s : shards)
+    if (s.replicas.empty()) return false;
+  return true;
+}
+
+std::vector<RingPoint> ShardMap::build_ring() const {
+  std::vector<RingPoint> ring;
+  ring.reserve(static_cast<std::size_t>(shards.size()) * vnodes);
+  for (ULong s = 0; s < shards.size(); ++s)
+    for (ULong v = 0; v < vnodes; ++v)
+      // Points derive from (shard index, vnode index) only: replica
+      // address changes never move names between shards.
+      ring.emplace_back(mix64((static_cast<std::uint64_t>(s) << 32) | v), s);
+  std::sort(ring.begin(), ring.end());
+  return ring;
+}
+
+ULong ShardMap::pick(const std::vector<RingPoint>& ring, const std::string& name) {
+  const std::uint64_t h = hash_name(name);
+  // First point clockwise from h; wrap to the lowest point. Ties on
+  // the position resolve to the lower shard via the pair ordering.
+  auto it = std::lower_bound(ring.begin(), ring.end(), RingPoint{h, 0});
+  if (it == ring.end()) it = ring.begin();
+  return it->second;
+}
+
+ULong ShardMap::shard_for(const std::string& name) const {
+  return pick(build_ring(), name);
+}
+
+ULongLong ShardMap::digest(ULongLong key) const {
+  ByteBuffer bytes;
+  CdrWriter w(bytes);
+  marshal(w);
+  std::uint64_t h = mix64(key ^ 0xD1B54A32D192ED03ULL);
+  for (const Octet b : bytes.view()) {
+    h ^= b;
+    h *= 0x100000001B3ULL;
+  }
+  return mix64(h ^ key);
+}
+
+void ShardMap::marshal(CdrWriter& w) const {
+  w.write_ulong(vnodes);
+  w.write_ulonglong(version);
+  w.write_ulong(static_cast<ULong>(shards.size()));
+  for (const auto& s : shards) {
+    w.write_ulong(static_cast<ULong>(s.replicas.size()));
+    for (const auto& r : s.replicas) r.marshal(w);
+  }
+}
+
+ShardMap ShardMap::unmarshal(CdrReader& r) {
+  ShardMap m;
+  m.vnodes = r.read_ulong();
+  m.version = r.read_ulonglong();
+  const ULong n = r.read_ulong();
+  m.shards.resize(n);
+  for (ULong i = 0; i < n; ++i) {
+    const ULong reps = r.read_ulong();
+    m.shards[i].replicas.resize(reps);
+    for (ULong j = 0; j < reps; ++j)
+      m.shards[i].replicas[j] = transport::EndpointAddr::unmarshal(r);
+  }
+  return m;
+}
+
+}  // namespace pardis::ns

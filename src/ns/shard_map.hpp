@@ -1,0 +1,85 @@
+// Consistent-hash shard map for the pardis_ns namespace.
+//
+// The namespace splits over `shards.size()` shards; each shard is a
+// replica set of repository endpoints. A name is routed by consistent
+// hashing: every shard projects `vnodes` points onto a 64-bit ring
+// (derived from the shard *index*, not its addresses, so replacing a
+// replica moves no names), and a name lands on the first point
+// clockwise from its own hash. Virtual nodes keep the per-shard load
+// within a few percent of even and bound the churn when the shard
+// count changes to the names between the moved points.
+//
+// The map is versioned: announcers publish it with a monotonically
+// increasing `version`, and adopt_map keeps the highest version seen —
+// so a stale repeated announcement can never roll a client back.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "transport/endpoint.hpp"
+
+namespace pardis::ns {
+
+/// splitmix64 — the repo-standard deterministic mixer (fault plans,
+/// jitter) reused for ring points and digests.
+inline std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+/// FNV-1a over bytes, then mixed: the name hash for ring placement.
+inline std::uint64_t hash_name(std::string_view s) noexcept {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (const char ch : s) {
+    h ^= static_cast<unsigned char>(ch);
+    h *= 0x100000001B3ULL;
+  }
+  return mix64(h);
+}
+
+/// One ring point: (position, shard index).
+using RingPoint = std::pair<std::uint64_t, ULong>;
+
+struct ShardMap {
+  /// One shard's replica set: functionally equivalent repository
+  /// servers, every one holding the full shard.
+  struct Shard {
+    std::vector<transport::EndpointAddr> replicas;
+
+    bool operator==(const Shard&) const = default;
+  };
+
+  ULong vnodes = 16;
+  ULongLong version = 1;
+  std::vector<Shard> shards;
+
+  bool valid() const noexcept;
+
+  /// The sorted ring (shards.size() * vnodes points). Callers on a hot
+  /// path build it once and route through pick().
+  std::vector<RingPoint> build_ring() const;
+
+  /// The shard owning `name` on a prebuilt ring.
+  static ULong pick(const std::vector<RingPoint>& ring, const std::string& name);
+
+  /// Convenience routing (builds the ring; fine off the hot path).
+  ULong shard_for(const std::string& name) const;
+
+  /// Keyed digest of the marshaled map — announce frames carry it so a
+  /// listener can reject frames produced under a different key (or
+  /// corrupted in flight).
+  ULongLong digest(ULongLong key) const;
+
+  void marshal(CdrWriter& w) const;
+  static ShardMap unmarshal(CdrReader& r);
+
+  bool operator==(const ShardMap&) const = default;
+};
+
+}  // namespace pardis::ns

@@ -1,0 +1,363 @@
+#include "ns/sharded_registry.hpp"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+#include "common/log.hpp"
+#include "ft/ft.hpp"
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
+
+namespace pardis::ns {
+
+namespace {
+
+bool retryable(ErrorCode code) noexcept {
+  return code == ErrorCode::kCommFailure || code == ErrorCode::kTransient ||
+         code == ErrorCode::kTimeout;
+}
+
+/// Synthetic reference the balancer tracks a repository replica under;
+/// primary_key() is the replica's endpoint address.
+core::ObjectRef replica_ref(std::size_t shard_idx, const transport::EndpointAddr& addr) {
+  core::ObjectRef ref;
+  ref.type_id = "IDL:pardis/ns/shard:1.0";
+  ref.name = "__ns.shard" + std::to_string(shard_idx);
+  ref.host = addr.host_model;
+  ref.object_id = ObjectId::next();
+  ref.thread_eps.push_back(addr);
+  return ref;
+}
+
+}  // namespace
+
+ShardedRegistry::ShardedRegistry(transport::Transport& transport, ShardMap map,
+                                 NsConfig cfg, std::string src_host_model)
+    : transport_(&transport),
+      cfg_(cfg),
+      src_host_model_(std::move(src_host_model)),
+      cache_(cfg.negative_ttl) {
+  if (!map.valid())
+    throw BadParam("ShardedRegistry: invalid shard map (empty shard or replica set)");
+  std::lock_guard<std::mutex> lock(mutex_);
+  build_shards_locked(map);
+}
+
+ShardedRegistry::~ShardedRegistry() {
+  {
+    std::lock_guard<std::mutex> lock(lease_mutex_);
+    stopping_ = true;
+  }
+  lease_cv_.notify_all();
+  if (keeper_.joinable()) keeper_.join();
+}
+
+void ShardedRegistry::build_shards_locked(const ShardMap& map) {
+  map_ = map;
+  ring_ = map.build_ring();
+  shards_.clear();
+  shards_.reserve(map.shards.size());
+  for (std::size_t s = 0; s < map.shards.size(); ++s) {
+    auto shard = std::make_shared<Shard>();
+    core::ReplicaGroup group;
+    group.name = "__ns.shard" + std::to_string(s);
+    for (const auto& addr : map.shards[s].replicas) {
+      Replica rep;
+      rep.addr = addr;
+      rep.key = addr.to_string();
+      rep.client = std::make_unique<repo::RemoteRegistry>(*transport_, addr,
+                                                          cfg_.repo_timeout,
+                                                          src_host_model_);
+      group.members.push_back(replica_ref(s, addr));
+      shard->replicas.push_back(std::move(rep));
+    }
+    shard->balancer = std::make_unique<pool::Balancer>(std::move(group),
+                                                       pool::PoolConfig::from_env());
+    shards_.push_back(std::move(shard));
+  }
+}
+
+std::shared_ptr<ShardedRegistry::Shard> ShardedRegistry::shard_for(
+    const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return shards_[ShardMap::pick(ring_, name)];
+}
+
+std::shared_ptr<ShardedRegistry::Shard> ShardedRegistry::shard_at(std::size_t idx) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return shards_[idx];
+}
+
+std::size_t ShardedRegistry::shard_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return shards_.size();
+}
+
+ShardMap ShardedRegistry::map() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return map_;
+}
+
+std::size_t ShardedRegistry::leased_names() const {
+  std::lock_guard<std::mutex> lock(lease_mutex_);
+  return leases_.size();
+}
+
+bool ShardedRegistry::adopt_map(const ShardMap& fresh) {
+  if (!fresh.valid()) return false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (fresh.version <= map_.version) return false;
+    build_shards_locked(fresh);
+  }
+  // Shard boundaries may have moved: every cached route is suspect.
+  cache_.clear();
+  return true;
+}
+
+// --- failover plumbing ----------------------------------------------------
+
+template <typename Fn>
+auto ShardedRegistry::read_one(Shard& shard, std::uint64_t salt, Fn&& op) {
+  const ft::RetryPolicy pacing;  // 2 ms base, x2, deterministic jitter
+  std::string avoid;
+  std::exception_ptr last;
+  const std::size_t attempts = shard.replicas.size();
+  for (std::size_t attempt = 0; attempt < attempts; ++attempt) {
+    const core::ObjectRef pick = shard.balancer->pick(avoid);
+    const std::string key = pick.primary_key();
+    auto it = std::find_if(shard.replicas.begin(), shard.replicas.end(),
+                           [&](const Replica& r) { return r.key == key; });
+    if (it == shard.replicas.end()) break;  // membership changed under us
+    try {
+      auto result = op(*it->client);
+      shard.balancer->report_success(key);
+      return result;
+    } catch (const SystemException& e) {
+      if (!retryable(e.code())) throw;
+      shard.balancer->report_failure(key, e.code(), 0);
+      last = std::current_exception();
+      avoid = key;
+      if (attempt + 1 < attempts)
+        std::this_thread::sleep_for(
+            ft::backoff_delay(pacing, static_cast<int>(attempt) + 1, salt));
+    }
+  }
+  if (last) std::rethrow_exception(last);
+  throw CommFailure("ns: no reachable replica in shard");
+}
+
+template <typename Fn>
+auto ShardedRegistry::write_all(Shard& shard, Fn&& op)
+    -> std::vector<decltype(op(std::declval<repo::RemoteRegistry&>()))> {
+  std::vector<decltype(op(std::declval<repo::RemoteRegistry&>()))> results;
+  std::exception_ptr last;
+  for (auto& rep : shard.replicas) {
+    try {
+      results.push_back(op(*rep.client));
+      shard.balancer->report_success(rep.key);
+    } catch (const SystemException& e) {
+      if (!retryable(e.code())) throw;
+      shard.balancer->report_failure(rep.key, e.code(), 0);
+      last = std::current_exception();
+    }
+  }
+  // One reachable replica is enough: its copy keeps the name alive and
+  // siblings resynchronize on their next registration refresh.
+  if (results.empty() && last) std::rethrow_exception(last);
+  return results;
+}
+
+// --- reads ----------------------------------------------------------------
+
+std::optional<core::ObjectRef> ShardedRegistry::lookup(const std::string& name,
+                                                       const std::string& host) {
+  if (cfg_.cache) {
+    core::ReplicaGroup cached;
+    switch (cache_.get(name, host, &cached)) {
+      case ResolverCache::Outcome::kHit:
+        return cached.members.front();
+      case ResolverCache::Outcome::kNegative:
+        return std::nullopt;
+      case ResolverCache::Outcome::kMiss:
+        break;
+    }
+  }
+  auto shard = shard_for(name);
+  auto found = read_one(*shard, hash_name(name),
+                        [&](repo::RemoteRegistry& c) { return c.lookup(name, host); });
+  if (cfg_.cache) {
+    if (found) {
+      core::ReplicaGroup g;
+      g.name = name;
+      g.members.push_back(*found);
+      cache_.put(name, host, std::move(g));
+    } else {
+      cache_.put_negative(name, host);
+    }
+  }
+  return found;
+}
+
+std::optional<core::ReplicaGroup> ShardedRegistry::lookup_group(const std::string& name,
+                                                                const std::string& host) {
+  if (cfg_.cache) {
+    core::ReplicaGroup cached;
+    switch (cache_.get(name, host, &cached)) {
+      case ResolverCache::Outcome::kHit:
+        return cached;
+      case ResolverCache::Outcome::kNegative:
+        return std::nullopt;
+      case ResolverCache::Outcome::kMiss:
+        break;
+    }
+  }
+  auto shard = shard_for(name);
+  auto group = read_one(*shard, hash_name(name), [&](repo::RemoteRegistry& c) {
+    return c.lookup_group(name, host);
+  });
+  if (cfg_.cache) {
+    if (group)
+      cache_.put(name, host, *group);
+    else
+      cache_.put_negative(name, host);
+  }
+  return group;
+}
+
+std::vector<std::string> ShardedRegistry::list() {
+  std::set<std::string> names;
+  const std::size_t n = shard_count();
+  for (std::size_t s = 0; s < n; ++s) {
+    auto shard = shard_at(s);
+    auto part =
+        read_one(*shard, s, [&](repo::RemoteRegistry& c) { return c.list(); });
+    names.insert(part.begin(), part.end());
+  }
+  return {names.begin(), names.end()};
+}
+
+// --- writes ---------------------------------------------------------------
+
+void ShardedRegistry::register_object(const core::ObjectRef& ref) {
+  register_leased(ref, cfg_.lease, /*replica=*/false);
+}
+
+ULongLong ShardedRegistry::register_replica(const core::ObjectRef& ref) {
+  return register_leased(ref, cfg_.lease, /*replica=*/true);
+}
+
+ULongLong ShardedRegistry::register_leased(const core::ObjectRef& ref,
+                                           std::chrono::milliseconds lease, bool replica) {
+  auto shard = shard_for(ref.name);
+  auto epochs = write_all(*shard, [&](repo::RemoteRegistry& c) {
+    return c.register_leased(ref, lease, replica);
+  });
+  ULongLong epoch = 0;
+  for (const ULongLong e : epochs) epoch = std::max(epoch, e);
+  if (cfg_.cache) {
+    // The name exists now: kill any negative entry and stale views.
+    cache_.note_epoch(ref.name, epoch);
+    cache_.invalidate(ref.name);
+  }
+  if (lease.count() > 0)
+    enroll_lease(ref, replica);
+  else
+    drop_lease(ref.name, ref.object_id);
+  return epoch;
+}
+
+void ShardedRegistry::unregister(const std::string& name, const std::string& host) {
+  drop_lease(name);
+  auto shard = shard_for(name);
+  write_all(*shard, [&](repo::RemoteRegistry& c) {
+    c.unregister(name, host);
+    return 0;
+  });
+  cache_.invalidate(name);
+}
+
+void ShardedRegistry::unregister_replica(const std::string& name, const ObjectId& id) {
+  drop_lease(name, id);
+  auto shard = shard_for(name);
+  write_all(*shard, [&](repo::RemoteRegistry& c) {
+    c.unregister_replica(name, id);
+    return 0;
+  });
+  cache_.invalidate(name);
+}
+
+bool ShardedRegistry::renew_lease(const std::string& name, const ObjectId& id,
+                                  std::chrono::milliseconds lease) {
+  auto shard = shard_for(name);
+  auto oks = write_all(*shard, [&](repo::RemoteRegistry& c) {
+    return c.renew_lease(name, id, lease);
+  });
+  return std::any_of(oks.begin(), oks.end(), [](bool ok) { return ok; });
+}
+
+void ShardedRegistry::invalidate(const std::string& name) { cache_.invalidate(name); }
+
+// --- lease keeper ---------------------------------------------------------
+
+void ShardedRegistry::enroll_lease(const core::ObjectRef& ref, bool replica) {
+  std::lock_guard<std::mutex> lock(lease_mutex_);
+  leases_[{ref.name, ref.object_id.value}] = LeaseEntry{ref, replica};
+  ensure_keeper_locked();
+}
+
+void ShardedRegistry::drop_lease(const std::string& name) {
+  std::lock_guard<std::mutex> lock(lease_mutex_);
+  auto it = leases_.lower_bound({name, 0});
+  while (it != leases_.end() && it->first.first == name) it = leases_.erase(it);
+}
+
+void ShardedRegistry::drop_lease(const std::string& name, const ObjectId& id) {
+  std::lock_guard<std::mutex> lock(lease_mutex_);
+  leases_.erase({name, id.value});
+}
+
+void ShardedRegistry::ensure_keeper_locked() {
+  if (keeper_started_ || stopping_) return;
+  keeper_started_ = true;
+  keeper_ = std::thread([this] { keeper_loop(); });
+}
+
+void ShardedRegistry::keeper_loop() {
+  std::unique_lock<std::mutex> lock(lease_mutex_);
+  while (!stopping_) {
+    lease_cv_.wait_for(lock, cfg_.effective_renew(), [this] { return stopping_; });
+    if (stopping_) return;
+    // Snapshot the enrollments so the remote calls run unlocked (a
+    // renewal must never block register/unregister on the app thread).
+    std::vector<LeaseEntry> batch;
+    batch.reserve(leases_.size());
+    for (const auto& [key, entry] : leases_) batch.push_back(entry);
+    lock.unlock();
+    for (const auto& entry : batch) {
+      try {
+        const bool renewed =
+            renew_lease(entry.ref.name, entry.ref.object_id, cfg_.lease);
+        if (renewed) {
+          renewals_.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          // The lease expired before we renewed (long GC pause, clock
+          // hiccup): the name is gone server-side, so re-register it —
+          // liveness beats a stale "expired" verdict for a server that
+          // is demonstrably alive enough to heartbeat.
+          PARDIS_LOG(kWarn, "ns")
+              << "lease on '" << entry.ref.name << "' expired before renewal; "
+              << "re-registering";
+          register_leased(entry.ref, cfg_.lease, entry.replica);
+        }
+      } catch (const SystemException& e) {
+        PARDIS_LOG(kWarn, "ns") << "lease renewal for '" << entry.ref.name
+                                << "' failed: " << e.what() << " (will retry)";
+      }
+    }
+    lock.lock();
+  }
+}
+
+}  // namespace pardis::ns

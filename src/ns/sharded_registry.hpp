@@ -1,0 +1,152 @@
+// The client-side sharded naming facade.
+//
+// ShardedRegistry is a core::ObjectRegistry whose backing store is a
+// *set* of repository shards (ns::ShardMap), each shard a replica set
+// of RepositoryServers. It slots in wherever an ObjectRegistry goes —
+// Orb::resolve, pool::GroupBinding, the repo facades — so the rest of
+// the stack is shard-oblivious.
+//
+//   * Reads (lookup / lookup_group) consult the ResolverCache first,
+//     then route to the owning shard and pick a replica through a
+//     pardis_pool Balancer (dogfooding PR 5's health machinery: a
+//     replica that failed recently is quarantined, reads prefer
+//     healthy siblings). A CommFailure / timeout fails over to the
+//     next sibling with ft::backoff_delay pacing between attempts.
+//   * Writes (register / unregister / renew) fan out to EVERY replica
+//     of the owning shard; one success is enough (the kill-one-shard
+//     guarantee: any surviving replica still holds the name), and the
+//     returned epoch is the maximum observed.
+//   * When cfg.lease > 0, registrations carry the lease on the wire
+//     and enroll in the LeaseKeeper: a background heartbeat — off the
+//     comm thread, it owns its own thread — renews every
+//     effective_renew() until the name is unregistered or the
+//     registry destroyed. A process that dies silently stops renewing
+//     and its names expire server-side.
+//
+// Thread-safe; the lease keeper shares the instance with application
+// threads.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "ns/ns.hpp"
+#include "ns/resolver_cache.hpp"
+#include "ns/shard_map.hpp"
+#include "pool/pool.hpp"
+#include "repo/repository.hpp"
+
+namespace pardis::ns {
+
+class ShardedRegistry final : public core::ObjectRegistry {
+ public:
+  /// `map` must be valid (>= 1 shard, every shard >= 1 replica).
+  /// `src_host_model` names the client's modeled host for fault-plan
+  /// links and link costs.
+  ShardedRegistry(transport::Transport& transport, ShardMap map,
+                  NsConfig cfg = NsConfig::from_env(), std::string src_host_model = "");
+  ~ShardedRegistry() override;
+
+  ShardedRegistry(const ShardedRegistry&) = delete;
+  ShardedRegistry& operator=(const ShardedRegistry&) = delete;
+
+  void register_object(const core::ObjectRef& ref) override;
+  std::optional<core::ObjectRef> lookup(const std::string& name,
+                                        const std::string& host) override;
+  void unregister(const std::string& name, const std::string& host) override;
+  std::vector<std::string> list() override;
+
+  ULongLong register_replica(const core::ObjectRef& ref) override;
+  std::optional<core::ReplicaGroup> lookup_group(const std::string& name,
+                                                 const std::string& host) override;
+  void unregister_replica(const std::string& name, const ObjectId& id) override;
+
+  ULongLong register_leased(const core::ObjectRef& ref, std::chrono::milliseconds lease,
+                            bool replica) override;
+  bool renew_lease(const std::string& name, const ObjectId& id,
+                   std::chrono::milliseconds lease) override;
+
+  void invalidate(const std::string& name) override;
+
+  /// Adopts a fresher shard map (announce-based discovery): a map with
+  /// a higher version replaces the current one (and flushes the
+  /// resolver cache — shard boundaries may have moved); an equal or
+  /// older version is ignored, so repeated announcements are harmless.
+  /// Returns true when the map was adopted.
+  bool adopt_map(const ShardMap& fresh);
+
+  ShardMap map() const;
+  ResolverCache& cache() noexcept { return cache_; }
+  std::size_t shard_count() const;
+  /// Successful lease renewals sent by the keeper (tests).
+  std::uint64_t renewals() const noexcept {
+    return renewals_.load(std::memory_order_relaxed);
+  }
+  /// Names currently enrolled for background renewal (tests).
+  std::size_t leased_names() const;
+
+ private:
+  struct Replica {
+    transport::EndpointAddr addr;
+    std::string key;  ///< addr.to_string(); the balancer's member key
+    std::unique_ptr<repo::RemoteRegistry> client;
+  };
+  struct Shard {
+    std::vector<Replica> replicas;
+    std::unique_ptr<pool::Balancer> balancer;
+  };
+
+  void build_shards_locked(const ShardMap& map);
+  /// The shard owning `name` (held alive by the shared_ptr across the
+  /// remote calls even if adopt_map swaps the shard set mid-flight).
+  std::shared_ptr<Shard> shard_for(const std::string& name);
+  std::shared_ptr<Shard> shard_at(std::size_t idx) const;
+
+  /// Runs `op` against one healthy replica of the shard, failing over
+  /// to siblings on CommFailure / timeout / transient errors with
+  /// backoff pacing. Rethrows the last error when every replica fails.
+  template <typename Fn>
+  auto read_one(Shard& shard, std::uint64_t salt, Fn&& op);
+
+  /// Runs `op` against every replica of the shard; returns the results
+  /// of the successful calls and rethrows the last error when none
+  /// succeeded.
+  template <typename Fn>
+  auto write_all(Shard& shard, Fn&& op)
+      -> std::vector<decltype(op(std::declval<repo::RemoteRegistry&>()))>;
+
+  void enroll_lease(const core::ObjectRef& ref, bool replica);
+  void drop_lease(const std::string& name);
+  void drop_lease(const std::string& name, const ObjectId& id);
+  void keeper_loop();
+  void ensure_keeper_locked();
+
+  transport::Transport* transport_;
+  NsConfig cfg_;
+  std::string src_host_model_;
+  ResolverCache cache_;
+
+  mutable std::mutex mutex_;  ///< guards map_, shards_, ring_
+  ShardMap map_;
+  std::vector<RingPoint> ring_;
+  std::vector<std::shared_ptr<Shard>> shards_;
+
+  // --- lease keeper ---
+  struct LeaseEntry {
+    core::ObjectRef ref;  ///< kept so an expired lease can re-register
+    bool replica = false;
+  };
+  mutable std::mutex lease_mutex_;
+  std::condition_variable lease_cv_;
+  std::map<std::pair<std::string, ULongLong>, LeaseEntry> leases_;  ///< key: (name, id)
+  std::thread keeper_;
+  bool keeper_started_ = false;
+  bool stopping_ = false;
+  std::atomic<std::uint64_t> renewals_{0};
+};
+
+}  // namespace pardis::ns

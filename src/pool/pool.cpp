@@ -257,6 +257,11 @@ void GroupBinding::select() {
 
 void GroupBinding::refresh_members() {
   try {
+    // A failover re-resolve must observe the authoritative registry:
+    // drop any pardis_ns cached view first (no-op on plain registries)
+    // so a stale cache entry can never feed the failover loop the very
+    // member that just died.
+    ctx_->orb().registry().invalidate(name_);
     auto fresh = ctx_->orb().registry().lookup_group(name_, host_);
     if (fresh && fresh->valid()) balancer_->merge(*fresh);
   } catch (const SystemException& e) {

@@ -1,9 +1,15 @@
 #include "repo/repository.hpp"
 
+#include <algorithm>
 #include <atomic>
+#include <climits>
+#include <thread>
 
 #include "common/log.hpp"
 #include "core/orb.hpp"
+#include "ft/ft.hpp"
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
 
 namespace pardis::repo {
 
@@ -14,10 +20,11 @@ std::atomic<ULongLong> g_call_id{1};
 // --- server ----------------------------------------------------------------
 
 RepositoryServer::RepositoryServer(transport::Transport& transport,
-                                   std::shared_ptr<core::InProcessRegistry> backing)
-    : transport_(&transport), backing_(std::move(backing)) {
+                                   std::shared_ptr<core::InProcessRegistry> backing,
+                                   std::string host_model)
+    : transport_(&transport), backing_(std::move(backing)), host_model_(std::move(host_model)) {
   if (!backing_) throw BadParam("RepositoryServer: null backing registry");
-  endpoint_ = transport_->create_endpoint("");
+  endpoint_ = transport_->create_endpoint(host_model_);
   thread_ = std::thread([this] { serve(); });
 }
 
@@ -46,7 +53,13 @@ void RepositoryServer::serve() {
       w.write_ulonglong(call_id);
       switch (op) {
         case RepoOp::kRegister: {
-          backing_->register_object(core::ObjectRef::unmarshal(r));
+          const core::ObjectRef ref = core::ObjectRef::unmarshal(r);
+          // Optional pardis_ns lease trailer: present iff bytes remain.
+          if (r.remaining() > 0)
+            backing_->register_leased(ref, std::chrono::milliseconds(r.read_ulong()),
+                                      /*replica=*/false);
+          else
+            backing_->register_object(ref);
           break;
         }
         case RepoOp::kLookup: {
@@ -68,8 +81,13 @@ void RepositoryServer::serve() {
           break;
         }
         case RepoOp::kRegisterReplica: {
-          const ULongLong epoch =
-              backing_->register_replica(core::ObjectRef::unmarshal(r));
+          const core::ObjectRef ref = core::ObjectRef::unmarshal(r);
+          ULongLong epoch;
+          if (r.remaining() > 0)
+            epoch = backing_->register_leased(ref, std::chrono::milliseconds(r.read_ulong()),
+                                              /*replica=*/true);
+          else
+            epoch = backing_->register_replica(ref);
           w.write_ulonglong(epoch);
           break;
         }
@@ -87,10 +105,17 @@ void RepositoryServer::serve() {
           backing_->unregister_replica(name, id);
           break;
         }
+        case RepoOp::kRenewLease: {
+          const std::string name = r.read_string();
+          const ObjectId id{r.read_ulonglong()};
+          const ULong lease_ms = r.read_ulong();
+          w.write_bool(backing_->renew_lease(name, id, std::chrono::milliseconds(lease_ms)));
+          break;
+        }
         default:
           throw MarshalError("repository: bad op octet");
       }
-      transport_->rsr(reply_to, transport::kHandlerRepo, std::move(reply), "");
+      transport_->rsr(reply_to, transport::kHandlerRepo, std::move(reply), host_model_);
     } catch (const std::exception& e) {
       PARDIS_LOG(kWarn, "repo") << "bad repository request: " << e.what();
     }
@@ -110,6 +135,7 @@ const char* op_name(RepoOp op) {
     case RepoOp::kRegisterReplica: return "register_replica";
     case RepoOp::kLookupGroup: return "lookup_group";
     case RepoOp::kUnregisterReplica: return "unregister_replica";
+    case RepoOp::kRenewLease: return "renew_lease";
     case RepoOp::kReply: return "reply";
   }
   return "?";
@@ -119,17 +145,19 @@ const char* op_name(RepoOp op) {
 
 RemoteRegistry::RemoteRegistry(transport::Transport& transport,
                                transport::EndpointAddr repo_addr,
-                               std::chrono::milliseconds call_timeout)
+                               std::chrono::milliseconds call_timeout,
+                               std::string src_host_model)
     : transport_(&transport),
       repo_addr_(std::move(repo_addr)),
-      call_timeout_(call_timeout) {
+      call_timeout_(call_timeout),
+      src_host_model_(std::move(src_host_model)) {
   // The -1 sentinel (and a degenerate non-positive configuration)
   // falls back to the activation-poll budget, so one env knob bounds
   // both ways a dead repository can stall a client.
   if (call_timeout_.count() <= 0)
     call_timeout_ = core::OrbConfig::from_env().resolve_timeout;
   if (call_timeout_.count() <= 0) call_timeout_ = std::chrono::seconds(5);
-  reply_ep_ = transport_->create_endpoint("");
+  reply_ep_ = transport_->create_endpoint(src_host_model_);
 }
 
 ByteBuffer RemoteRegistry::call(RepoOp op, ByteBuffer body) {
@@ -141,10 +169,45 @@ ByteBuffer RemoteRegistry::call(RepoOp op, ByteBuffer body) {
   reply_ep_->addr().marshal(w);
   w.write_ulonglong(call_id);
   frame.append(body.view());
-  transport_->rsr(repo_addr_, transport::kHandlerRepo, std::move(frame), "");
 
   const auto start = std::chrono::steady_clock::now();
   const auto deadline = start + call_timeout_;
+
+  // Send, reconnecting with backoff: a CommFailure/TransientError at
+  // the sender (severed link, dead connection, fault injection) is
+  // retried on an ft::backoff_delay schedule until the link heals or
+  // the call budget runs out. Registrations are idempotent and
+  // lookups read-only, so a duplicate send is harmless.
+  const ft::RetryPolicy reconnect{/*max_attempts=*/INT_MAX,
+                                  /*initial_backoff=*/std::chrono::milliseconds(2),
+                                  /*multiplier=*/2.0, /*jitter=*/0.5};
+  int attempt = 1;
+  for (;;) {
+    try {
+      transport_->rsr(repo_addr_, transport::kHandlerRepo, frame.clone(), src_host_model_);
+      break;
+    } catch (const SystemException& e) {
+      if (e.code() != ErrorCode::kCommFailure && e.code() != ErrorCode::kTransient) throw;
+      auto delay = ft::backoff_delay(reconnect, attempt, call_id);
+      // Cap at 100 ms so a short outage never parks the client for a
+      // whole exponential step; the deadline bounds the total.
+      delay = std::min(delay, std::chrono::milliseconds(100));
+      const auto now = std::chrono::steady_clock::now();
+      if (now + delay >= deadline) {
+        PARDIS_LOG(kWarn, "repo") << "repository '" << op_name(op) << "' unreachable after "
+                                  << attempt << " send attempts: " << e.what();
+        throw;
+      }
+      if (obs::enabled()) {
+        static obs::Counter& reconnects = obs::metrics().counter("ns.repo_reconnects");
+        reconnects.add(1);
+      }
+      std::this_thread::sleep_for(delay);
+      ++attempt;
+    }
+  }
+  last_send_attempts_ = attempt;
+
   for (;;) {
     const auto now = std::chrono::steady_clock::now();
     if (now >= deadline) {
@@ -225,6 +288,33 @@ void RemoteRegistry::unregister_replica(const std::string& name, const ObjectId&
   w.write_string(name);
   w.write_ulonglong(id.value);
   call(RepoOp::kUnregisterReplica, std::move(body));
+}
+
+ULongLong RemoteRegistry::register_leased(const core::ObjectRef& ref,
+                                          std::chrono::milliseconds lease, bool replica) {
+  ByteBuffer body;
+  CdrWriter w(body);
+  ref.marshal(w);
+  // The lease rides as an optional trailer so lease-free registrations
+  // stay byte-identical to the pre-ns encoding.
+  if (lease.count() > 0) w.write_ulong(static_cast<ULong>(lease.count()));
+  ByteBuffer reply = call(replica ? RepoOp::kRegisterReplica : RepoOp::kRegister,
+                          std::move(body));
+  if (!replica) return 0;
+  CdrReader r(reply.view());
+  return r.read_ulonglong();
+}
+
+bool RemoteRegistry::renew_lease(const std::string& name, const ObjectId& id,
+                                 std::chrono::milliseconds lease) {
+  ByteBuffer body;
+  CdrWriter w(body);
+  w.write_string(name);
+  w.write_ulonglong(id.value);
+  w.write_ulong(static_cast<ULong>(std::max<std::int64_t>(lease.count(), 0)));
+  ByteBuffer reply = call(RepoOp::kRenewLease, std::move(body));
+  CdrReader r(reply.view());
+  return r.read_bool();
 }
 
 }  // namespace pardis::repo

@@ -28,6 +28,13 @@ namespace pardis::repo {
 /// replica-group ops (pardis_pool) extend the enum; a frame's op octet
 /// leads it, so the pre-pool ops keep their exact wire bytes and an
 /// old server simply rejects the new octets.
+///
+/// pardis_ns extends kRegister/kRegisterReplica with an *optional
+/// trailing lease*: a ULong of milliseconds after the ObjectRef. A
+/// lease-free frame carries no trailer and is byte-identical to the
+/// pre-ns encoding; the server reads the trailer only when bytes
+/// remain. kRenewLease is a new op octet (old servers reject it, the
+/// documented forward-compat path).
 enum class RepoOp : Octet {
   kRegister = 0,
   kLookup = 1,
@@ -37,6 +44,7 @@ enum class RepoOp : Octet {
   kRegisterReplica = 5,
   kLookupGroup = 6,
   kUnregisterReplica = 7,
+  kRenewLease = 8,
 };
 
 /// Serves one namespace over a transport. Runs its own service thread
@@ -44,8 +52,12 @@ enum class RepoOp : Octet {
 class RepositoryServer {
  public:
   /// `backing` may be shared with in-process users of the namespace.
+  /// `host_model` names the modeled host the server runs on (empty =
+  /// unmodeled) — it keys fault-plan links and link-cost lookups for
+  /// the reply path.
   RepositoryServer(transport::Transport& transport,
-                   std::shared_ptr<core::InProcessRegistry> backing);
+                   std::shared_ptr<core::InProcessRegistry> backing,
+                   std::string host_model = "");
   ~RepositoryServer();
 
   RepositoryServer(const RepositoryServer&) = delete;
@@ -61,21 +73,32 @@ class RepositoryServer {
 
   transport::Transport* transport_;
   std::shared_ptr<core::InProcessRegistry> backing_;
+  std::string host_model_;
   std::shared_ptr<transport::Endpoint> endpoint_;
   std::thread thread_;
 };
 
 /// ObjectRegistry implementation backed by a remote RepositoryServer.
 /// Each instance owns a private reply endpoint; calls are synchronous.
+///
+/// A send that fails with CommFailure/TransientError (severed link,
+/// dead connection) no longer fails the bind outright: the registry
+/// *reconnects with backoff* — exponential ft::backoff_delay pacing —
+/// and re-sends until the call-timeout budget runs out, so a resolve
+/// that races a link outage succeeds as soon as the link heals. When
+/// the transport is a flow::SessionTransport the session layer redials
+/// first; this loop handles whatever escalates past it.
 class RemoteRegistry final : public core::ObjectRegistry {
  public:
   /// Every call is bounded by `call_timeout`; the default (-1
   /// sentinel) uses OrbConfig::resolve_timeout
   /// (PARDIS_RESOLVE_TIMEOUT_MS) — a dead repository surfaces as a
   /// TimeoutError carrying the elapsed ms instead of hanging the
-  /// client forever.
+  /// client forever. `src_host_model` names the client's modeled host
+  /// (fault-plan links, link costs); empty = unmodeled.
   RemoteRegistry(transport::Transport& transport, transport::EndpointAddr repo_addr,
-                 std::chrono::milliseconds call_timeout = std::chrono::milliseconds(-1));
+                 std::chrono::milliseconds call_timeout = std::chrono::milliseconds(-1),
+                 std::string src_host_model = "");
 
   void register_object(const core::ObjectRef& ref) override;
   std::optional<core::ObjectRef> lookup(const std::string& name,
@@ -88,14 +111,24 @@ class RemoteRegistry final : public core::ObjectRegistry {
                                                  const std::string& host) override;
   void unregister_replica(const std::string& name, const ObjectId& id) override;
 
+  ULongLong register_leased(const core::ObjectRef& ref, std::chrono::milliseconds lease,
+                            bool replica) override;
+  bool renew_lease(const std::string& name, const ObjectId& id,
+                   std::chrono::milliseconds lease) override;
+
+  /// Send attempts the last call needed (1 = no reconnects). Tests.
+  int last_send_attempts() const noexcept { return last_send_attempts_; }
+
  private:
   ByteBuffer call(RepoOp op, ByteBuffer body);
 
   transport::Transport* transport_;
   transport::EndpointAddr repo_addr_;
   std::chrono::milliseconds call_timeout_;
+  std::string src_host_model_;
   std::shared_ptr<transport::Endpoint> reply_ep_;
   std::mutex mutex_;  // one outstanding call at a time
+  int last_send_attempts_ = 0;  ///< guarded by mutex_
 };
 
 }  // namespace pardis::repo

@@ -45,6 +45,13 @@ class FaultPlan {
   /// entirely while false.
   bool active() const noexcept { return active_.load(std::memory_order_relaxed); }
 
+  /// Link name the pardis_ns announce fan-out consults for a
+  /// subscriber on `host`. A dedicated "mcast:" namespace keeps
+  /// announce faults (which fire once per published frame per
+  /// subscriber) from consuming message indices on the host's normal
+  /// transport links, so indexed schedules stay exact.
+  static std::string announce_dst(const std::string& host) { return "mcast:" + host; }
+
   // --- schedule installation (test side) ---
 
   /// Silently loses message #`index` on the directed src→dst link.

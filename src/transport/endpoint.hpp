@@ -39,6 +39,10 @@ inline constexpr HandlerId kHandlerPing = 4;
 inline constexpr HandlerId kHandlerSessionData = 5;
 /// pardis_flow cumulative acknowledgement for session frames.
 inline constexpr HandlerId kHandlerSessionAck = 6;
+/// pardis_ns shard-map announcement (simulated multicast): a keyed
+/// digest + ShardMap frame fanned out by ns::AnnounceBus so clients
+/// discover repositories without PARDIS_REPO_ADDR.
+inline constexpr HandlerId kHandlerAnnounce = 7;
 
 enum class AddrKind : Octet { kLocal = 0, kTcp = 1 };
 

@@ -1,0 +1,623 @@
+// pardis_ns: sharded naming, leases, resolver caching, reconnect, and
+// announce-based discovery. Deterministic throughout: lease expiry is
+// driven by a fake clock through InProcessRegistry::set_time_source,
+// and link faults fire at exact message indices via the FaultPlan — no
+// sleeps-as-synchronization, no timing assertions.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "ns/announce.hpp"
+#include "ns/ns.hpp"
+#include "ns/resolver_cache.hpp"
+#include "ns/shard_map.hpp"
+#include "ns/sharded_registry.hpp"
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
+#include "repo/repository.hpp"
+#include "sim/testbed.hpp"
+
+namespace pardis::ns {
+namespace {
+
+core::ObjectRef make_ref(const std::string& name, const std::string& host,
+                         ULongLong ep_id = 1) {
+  core::ObjectRef ref;
+  ref.type_id = "IDL:test:1.0";
+  ref.name = name;
+  ref.host = host;
+  ref.object_id = ObjectId::next();
+  transport::EndpointAddr ep;
+  ep.kind = transport::AddrKind::kLocal;
+  ep.host_model = host;
+  ep.local_id = ep_id;
+  ref.thread_eps = {ep};
+  return ref;
+}
+
+transport::EndpointAddr local_addr(ULongLong id, const std::string& host = "") {
+  transport::EndpointAddr a;
+  a.kind = transport::AddrKind::kLocal;
+  a.host_model = host;
+  a.local_id = id;
+  return a;
+}
+
+ShardMap map_of(std::vector<std::vector<transport::EndpointAddr>> shards,
+                ULong vnodes = 16, ULongLong version = 1) {
+  ShardMap m;
+  m.vnodes = vnodes;
+  m.version = version;
+  for (auto& reps : shards) m.shards.push_back({std::move(reps)});
+  return m;
+}
+
+// --- shard map -------------------------------------------------------------
+
+TEST(ShardMapTest, RoutingIsDeterministicAndReasonablyBalanced) {
+  ShardMap m = map_of({{local_addr(1)}, {local_addr(2)}, {local_addr(3)}, {local_addr(4)}});
+  const auto ring = m.build_ring();
+  ASSERT_EQ(ring.size(), 4u * m.vnodes);
+
+  std::map<ULong, std::size_t> counts;
+  for (int i = 0; i < 8000; ++i) {
+    const std::string name = "object-" + std::to_string(i);
+    const ULong s = ShardMap::pick(ring, name);
+    EXPECT_EQ(s, m.shard_for(name));  // ring and convenience path agree
+    counts[s]++;
+  }
+  ASSERT_EQ(counts.size(), 4u);  // every shard owns some of the space
+  for (const auto& [shard, n] : counts) {
+    // With 16 vnodes the load stays within a loose band of even.
+    EXPECT_GT(n, 8000u / 16) << "shard " << shard << " nearly starved";
+    EXPECT_LT(n, 8000u / 2) << "shard " << shard << " owns half the space";
+  }
+}
+
+TEST(ShardMapTest, ReplicaAddressesDoNotAffectRouting) {
+  ShardMap a = map_of({{local_addr(1)}, {local_addr(2)}});
+  ShardMap b = map_of({{local_addr(77, "HOST1"), local_addr(78)}, {local_addr(99)}});
+  for (int i = 0; i < 500; ++i) {
+    const std::string name = "n" + std::to_string(i);
+    EXPECT_EQ(a.shard_for(name), b.shard_for(name));
+  }
+}
+
+TEST(ShardMapTest, MarshalRoundTripAndKeyedDigest) {
+  ShardMap m = map_of({{local_addr(1, "HOST1"), local_addr(2, "HOST2")}, {local_addr(3)}},
+                      /*vnodes=*/8, /*version=*/42);
+  ByteBuffer bytes;
+  CdrWriter w(bytes);
+  m.marshal(w);
+  CdrReader r(bytes.view());
+  const ShardMap back = ShardMap::unmarshal(r);
+  EXPECT_EQ(back, m);
+
+  EXPECT_EQ(m.digest(123), back.digest(123));
+  EXPECT_NE(m.digest(123), m.digest(124));  // keyed
+  ShardMap other = m;
+  other.version = 43;
+  EXPECT_NE(other.digest(123), m.digest(123));  // content-sensitive
+}
+
+// --- config validation -----------------------------------------------------
+
+TEST(NsConfigTest, ValidatedClampsOutOfRangeKnobs) {
+  NsConfig raw;
+  raw.shards = 0;
+  raw.vnodes = 100000;
+  raw.lease = std::chrono::milliseconds(-5);
+  raw.negative_ttl = std::chrono::milliseconds(-1);
+  raw.announce_period = std::chrono::milliseconds(0);
+  raw.repo_timeout = std::chrono::milliseconds(0);
+  const NsConfig c = NsConfig::validated(raw);
+  EXPECT_EQ(c.shards, 1u);
+  EXPECT_EQ(c.vnodes, 256u);
+  EXPECT_EQ(c.lease.count(), 0);
+  EXPECT_EQ(c.negative_ttl.count(), 0);
+  EXPECT_EQ(c.announce_period.count(), 1);
+  EXPECT_EQ(c.repo_timeout.count(), -1);
+
+  NsConfig big;
+  big.shards = 1000;
+  big.vnodes = 0;
+  big.lease = std::chrono::milliseconds(50);
+  big.renew_interval = std::chrono::milliseconds(60);  // >= lease: races expiry
+  const NsConfig c2 = NsConfig::validated(big);
+  EXPECT_EQ(c2.shards, 64u);
+  EXPECT_EQ(c2.vnodes, 1u);
+  EXPECT_EQ(c2.renew_interval.count(), 0);  // falls back to lease/3
+  EXPECT_EQ(c2.effective_renew().count(), 50 / 3);
+}
+
+// --- resolver cache --------------------------------------------------------
+
+TEST(ResolverCacheTest, PositiveHitAndNegativeTtl) {
+  auto fake_now = std::make_shared<std::atomic<double>>(0.0);
+  ResolverCache cache(std::chrono::milliseconds(100), [fake_now] { return fake_now->load(); });
+
+  core::ReplicaGroup g;
+  EXPECT_EQ(cache.get("a", "", &g), ResolverCache::Outcome::kMiss);
+
+  core::ReplicaGroup stored;
+  stored.name = "a";
+  stored.epoch = 3;
+  stored.members.push_back(make_ref("a", "HOST1"));
+  cache.put("a", "", stored);
+  EXPECT_EQ(cache.get("a", "", &g), ResolverCache::Outcome::kHit);
+  EXPECT_EQ(g.epoch, 3u);
+
+  cache.put_negative("missing", "");
+  EXPECT_EQ(cache.get("missing", "", nullptr), ResolverCache::Outcome::kNegative);
+  fake_now->store(0.05);  // within the TTL
+  EXPECT_EQ(cache.get("missing", "", nullptr), ResolverCache::Outcome::kNegative);
+  fake_now->store(0.11);  // past it
+  EXPECT_EQ(cache.get("missing", "", nullptr), ResolverCache::Outcome::kMiss);
+  // Positive entries never age out on their own.
+  EXPECT_EQ(cache.get("a", "", &g), ResolverCache::Outcome::kHit);
+}
+
+TEST(ResolverCacheTest, EpochObservationDropsStaleViews) {
+  ResolverCache cache(std::chrono::milliseconds(100));
+  core::ReplicaGroup stored;
+  stored.name = "grp";
+  stored.epoch = 3;
+  stored.members.push_back(make_ref("grp", "HOST1"));
+  cache.put("grp", "", stored);
+  cache.put_negative("grp", "HOST9");
+
+  cache.note_epoch("grp", 3);  // same epoch: positive entry survives
+  core::ReplicaGroup g;
+  EXPECT_EQ(cache.get("grp", "", &g), ResolverCache::Outcome::kHit);
+  // ...but the negative entry dies (the name observably exists).
+  EXPECT_EQ(cache.get("grp", "HOST9", nullptr), ResolverCache::Outcome::kMiss);
+
+  cache.put("grp", "", stored);
+  cache.note_epoch("grp", 4);  // fresher epoch: the cached view is stale
+  EXPECT_EQ(cache.get("grp", "", &g), ResolverCache::Outcome::kMiss);
+
+  cache.put("grp", "", stored);
+  cache.invalidate("grp");
+  EXPECT_EQ(cache.get("grp", "", &g), ResolverCache::Outcome::kMiss);
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+// --- leases (deterministic fake clock) ------------------------------------
+
+TEST(LeaseTest, ExpiredLeasesGarbageCollect) {
+  auto fake_now = std::make_shared<std::atomic<double>>(0.0);
+  core::InProcessRegistry reg;
+  reg.set_time_source([fake_now] { return fake_now->load(); });
+
+  reg.register_leased(make_ref("transient", "HOST1"), std::chrono::milliseconds(100),
+                      /*replica=*/false);
+  reg.register_object(make_ref("permanent", "HOST1"));
+  EXPECT_TRUE(reg.lookup("transient", "").has_value());
+
+  fake_now->store(0.15);  // past the 100 ms lease
+  EXPECT_FALSE(reg.lookup("transient", "").has_value());
+  EXPECT_TRUE(reg.lookup("permanent", "").has_value());
+
+  // Group members expire individually and bump the epoch.
+  fake_now->store(0.0);
+  const ULongLong e1 =
+      reg.register_leased(make_ref("grp", "HOST1"), std::chrono::milliseconds(100), true);
+  const ULongLong e2 =
+      reg.register_leased(make_ref("grp", "HOST2"), std::chrono::milliseconds(500), true);
+  EXPECT_GT(e2, e1);
+  fake_now->store(0.2);  // HOST1's lease lapsed, HOST2's has not
+  auto group = reg.lookup_group("grp", "");
+  ASSERT_TRUE(group.has_value());
+  ASSERT_EQ(group->members.size(), 1u);
+  EXPECT_EQ(group->members[0].host, "HOST2");
+  EXPECT_GT(group->epoch, e2);  // the expiry was a membership change
+}
+
+TEST(LeaseTest, RenewExtendsButExpiredIsNotRenewable) {
+  auto fake_now = std::make_shared<std::atomic<double>>(0.0);
+  core::InProcessRegistry reg;
+  reg.set_time_source([fake_now] { return fake_now->load(); });
+
+  const core::ObjectRef ref = make_ref("svc", "HOST1");
+  reg.register_leased(ref, std::chrono::milliseconds(100), /*replica=*/false);
+
+  fake_now->store(0.08);
+  EXPECT_TRUE(reg.renew_lease("svc", ref.object_id, std::chrono::milliseconds(100)));
+  fake_now->store(0.15);  // past the original expiry, inside the renewed one
+  EXPECT_TRUE(reg.lookup("svc", "").has_value());
+
+  fake_now->store(0.5);  // lapsed for real
+  EXPECT_FALSE(reg.renew_lease("svc", ref.object_id, std::chrono::milliseconds(100)));
+  EXPECT_FALSE(reg.lookup("svc", "").has_value());
+}
+
+TEST(LeaseTest, KeeperRenewsInBackgroundAndStopsOnDestruction) {
+  auto fake_now = std::make_shared<std::atomic<double>>(0.0);
+  transport::LocalTransport transport;
+  auto backing = std::make_shared<core::InProcessRegistry>();
+  backing->set_time_source([fake_now] { return fake_now->load(); });
+  repo::RepositoryServer server(transport, backing);
+
+  NsConfig cfg;
+  cfg.lease = std::chrono::milliseconds(100);
+  cfg.renew_interval = std::chrono::milliseconds(5);  // heartbeat cadence (real time)
+  {
+    ShardedRegistry ns_reg(transport, map_of({{server.addr()}}), cfg);
+    ns_reg.register_object(make_ref("leased", "HOST1"));
+    EXPECT_EQ(ns_reg.leased_names(), 1u);
+
+    // The heartbeat runs on real time while expiry runs on the fake
+    // clock (frozen at 0): every renewal re-arms expiry at 0.1, so the
+    // bounded wait below is race-free.
+    for (int i = 0; i < 4000 && ns_reg.renewals() == 0; ++i)
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    EXPECT_GT(ns_reg.renewals(), 0u);
+
+    fake_now->store(0.05);  // before any reachable expiry (>= 0.1)
+    EXPECT_TRUE(backing->lookup("leased", "").has_value());
+  }
+  // The keeper died with the registry: renewals stop, the lease lapses.
+  // (Renewals before destruction re-armed expiry to at most 0.05 + 0.1.)
+  fake_now->store(0.5);
+  EXPECT_FALSE(backing->lookup("leased", "").has_value());
+}
+
+// --- reconnect with backoff (satellite: resolve across a severed link) -----
+
+TEST(NsTest, ResolveSucceedsAfterSeveredLinkHeals) {
+  sim::Testbed tb = sim::Testbed::paper_testbed();
+  transport::LocalTransport transport(&tb);
+  auto backing = std::make_shared<core::InProcessRegistry>();
+  repo::RepositoryServer server(transport, backing, sim::Testbed::kHost1);
+  backing->register_object(make_ref("solver", "HOST1"));
+
+  repo::RemoteRegistry client(transport, server.addr(), std::chrono::seconds(10),
+                              sim::Testbed::kWorkstation);
+  EXPECT_TRUE(client.lookup("solver", "").has_value());
+  EXPECT_EQ(client.last_send_attempts(), 1);
+
+  // Sever mid-resolve. The plan activates here, so link indices count
+  // from 0: sends 0 and 1 fail, the reconnect loop's third attempt
+  // (index 2) heals the link and goes through.
+  tb.faults().sever_link(sim::Testbed::kWorkstation, sim::Testbed::kHost1);
+  tb.faults().heal_link_at(sim::Testbed::kWorkstation, sim::Testbed::kHost1, 2);
+  auto found = client.lookup("solver", "");
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(found->host, "HOST1");
+  EXPECT_EQ(client.last_send_attempts(), 3);
+}
+
+// --- sharded registry ------------------------------------------------------
+
+struct ShardFixture {
+  transport::LocalTransport transport;
+  std::vector<std::shared_ptr<core::InProcessRegistry>> backings;
+  std::vector<std::unique_ptr<repo::RepositoryServer>> servers;
+  ShardMap map;
+
+  /// `replicas_per_shard` repository servers per shard, each with its
+  /// own backing namespace.
+  explicit ShardFixture(std::size_t shards, std::size_t replicas_per_shard = 1,
+                        sim::Testbed* tb = nullptr)
+      : transport(tb) {
+    for (std::size_t s = 0; s < shards; ++s) {
+      ShardMap::Shard shard;
+      for (std::size_t r = 0; r < replicas_per_shard; ++r) {
+        backings.push_back(std::make_shared<core::InProcessRegistry>());
+        servers.push_back(std::make_unique<repo::RepositoryServer>(
+            transport, backings.back(), "HOST" + std::to_string(s * replicas_per_shard + r)));
+        shard.replicas.push_back(servers.back()->addr());
+      }
+      map.shards.push_back(std::move(shard));
+    }
+  }
+};
+
+TEST(NsTest, ShardedRegistryPartitionsTheNamespace) {
+  ShardFixture fx(/*shards=*/3);
+  NsConfig cfg;
+  ShardedRegistry reg(fx.transport, fx.map, cfg);
+  ASSERT_EQ(reg.shard_count(), 3u);
+
+  const int kNames = 30;
+  for (int i = 0; i < kNames; ++i)
+    reg.register_object(make_ref("obj" + std::to_string(i), "HOST1"));
+
+  std::size_t total = 0;
+  for (const auto& backing : fx.backings) total += backing->list().size();
+  EXPECT_EQ(total, static_cast<std::size_t>(kNames));  // no double-registration
+
+  for (int i = 0; i < kNames; ++i) {
+    const std::string name = "obj" + std::to_string(i);
+    EXPECT_TRUE(reg.lookup(name, "").has_value()) << name;
+    // The name lives exactly on the shard the map routes it to.
+    EXPECT_TRUE(fx.backings[fx.map.shard_for(name)]->lookup(name, "").has_value()) << name;
+  }
+  EXPECT_EQ(reg.list().size(), static_cast<std::size_t>(kNames));
+  EXPECT_FALSE(reg.lookup("nosuch", "").has_value());
+}
+
+TEST(NsTest, CachedResolveSkipsTheRepositoryAndCountsHits) {
+  obs::set_enabled(true);
+  obs::Counter& hits = obs::metrics().counter("ns.resolve_hits");
+  obs::Counter& misses = obs::metrics().counter("ns.resolve_misses");
+  const auto hits0 = hits.value();
+  const auto misses0 = misses.value();
+
+  ShardFixture fx(/*shards=*/1);
+  NsConfig cfg;
+  cfg.repo_timeout = std::chrono::milliseconds(100);
+  ShardedRegistry reg(fx.transport, fx.map, cfg);
+  reg.register_object(make_ref("hot", "HOST1"));
+
+  ASSERT_TRUE(reg.lookup("hot", "").has_value());  // miss: fills the cache
+  // Make the repository unreachable: only the cache can answer now.
+  fx.servers.clear();
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(reg.lookup("hot", "").has_value());
+  EXPECT_GE(hits.value() - hits0, 5u);
+  EXPECT_GE(misses.value() - misses0, 1u);
+
+  // Invalidation forces the next resolve back to the (dead) repository.
+  reg.invalidate("hot");
+  EXPECT_THROW(reg.lookup("hot", ""), SystemException);
+  obs::set_enabled(false);
+}
+
+TEST(NsTest, KillingOneShardReplicaLosesNoNames) {
+  sim::Testbed tb = sim::Testbed::paper_testbed();
+  ShardFixture fx(/*shards=*/2, /*replicas_per_shard=*/2, &tb);
+  NsConfig cfg;
+  cfg.repo_timeout = std::chrono::milliseconds(50);  // snappy failover
+  cfg.cache = false;  // every resolve must survive on the live replicas alone
+  ShardedRegistry reg(fx.transport, fx.map, cfg);
+
+  const int kNames = 12;
+  for (int i = 0; i < kNames; ++i)
+    reg.register_object(make_ref("svc" + std::to_string(i), "HOST1"));
+
+  // Kill one replica of shard 0 (the repository process dies).
+  tb.faults().kill_endpoint(fx.map.shards[0].replicas[0].local_id);
+
+  // Every name keeps resolving: reads fail over to the sibling, and
+  // shard-1 names never notice.
+  for (int i = 0; i < kNames; ++i)
+    EXPECT_TRUE(reg.lookup("svc" + std::to_string(i), "").has_value()) << i;
+
+  // New registrations still succeed (one reachable replica is enough)...
+  reg.register_object(make_ref("late", "HOST2"));
+  EXPECT_TRUE(reg.lookup("late", "").has_value());
+  // ...and a fresh client bootstrapping from the same map sees everything.
+  ShardedRegistry fresh(fx.transport, fx.map, cfg);
+  for (int i = 0; i < kNames; ++i)
+    EXPECT_TRUE(fresh.lookup("svc" + std::to_string(i), "").has_value()) << i;
+}
+
+TEST(NsTest, AdoptMapKeepsTheHighestVersion) {
+  ShardFixture fx(/*shards=*/1);
+  ShardedRegistry reg(fx.transport, fx.map, NsConfig{});
+
+  ShardFixture wider(/*shards=*/2);
+  ShardMap fresh = wider.map;
+  fresh.version = 0;  // stale: ignored
+  EXPECT_FALSE(reg.adopt_map(fresh));
+  EXPECT_EQ(reg.shard_count(), 1u);
+  fresh.version = 7;
+  EXPECT_TRUE(reg.adopt_map(fresh));
+  EXPECT_EQ(reg.shard_count(), 2u);
+  EXPECT_FALSE(reg.adopt_map(fresh));  // same version: idempotent
+  EXPECT_EQ(reg.map().version, 7u);
+}
+
+// --- epoch monotonicity under churn (satellite) ----------------------------
+
+TEST(NsTest, EpochsNeverRegressUnderConcurrentChurn) {
+  core::InProcessRegistry reg;
+  std::atomic<bool> stop{false};
+  std::atomic<ULongLong> max_seen{0};
+  std::atomic<bool> regressed{false};
+  std::atomic<bool> torn{false};
+
+  // Observer: epochs over lookup_group must be nondecreasing even
+  // while churners delete and re-create the group, and every observed
+  // group must be structurally sound.
+  std::thread observer([&] {
+    ULongLong last = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      auto g = reg.lookup_group("churn", "");
+      if (!g) continue;
+      if (g->epoch < last) regressed.store(true);
+      last = std::max(last, g->epoch);
+      ULongLong m = max_seen.load();
+      while (m < last && !max_seen.compare_exchange_weak(m, last)) {
+      }
+      if (g->members.empty()) torn.store(true);
+      for (const auto& mref : g->members)
+        if (mref.thread_eps.empty() || mref.name != "churn") torn.store(true);
+    }
+  });
+
+  constexpr int kThreads = 4;
+  constexpr int kIters = 400;
+  std::vector<std::thread> churners;
+  for (int t = 0; t < kThreads; ++t) {
+    churners.emplace_back([&, t] {
+      const std::string host = "HOST" + std::to_string(t);
+      for (int i = 0; i < kIters; ++i) {
+        core::ObjectRef ref = make_ref("churn", host, static_cast<ULongLong>(t) + 1);
+        reg.register_replica(ref);
+        reg.unregister_replica("churn", ref.object_id);
+      }
+    });
+  }
+  for (auto& th : churners) th.join();
+  stop.store(true);
+  observer.join();
+
+  EXPECT_FALSE(regressed.load()) << "group epoch regressed under churn";
+  EXPECT_FALSE(torn.load()) << "observer saw a torn group";
+  // Every register+unregister bumps the epoch at least twice; the
+  // final epoch must reflect all the churn even though the group died
+  // and was re-created many times (the tombstone floor at work).
+  auto final_epoch = reg.register_replica(make_ref("churn", "HOSTX"));
+  EXPECT_GE(final_epoch, static_cast<ULongLong>(kThreads) * kIters);
+  EXPECT_GE(final_epoch, max_seen.load());
+}
+
+// --- wire compatibility (golden bytes with PARDIS_NS off) ------------------
+
+/// Captures one repository request frame, then answers it so the
+/// blocking client call completes.
+ByteBuffer capture_one_request(transport::LocalTransport& transport,
+                               std::shared_ptr<transport::Endpoint> fake_repo) {
+  transport::RsrMessage msg = fake_repo->wait();
+  ByteBuffer frame = msg.payload.clone();
+  CdrReader r(msg.payload.view(), msg.little_endian);
+  r.read_octet();  // op
+  const transport::EndpointAddr reply_to = transport::EndpointAddr::unmarshal(r);
+  const ULongLong call_id = r.read_ulonglong();
+  ByteBuffer reply;
+  CdrWriter w(reply);
+  w.write_octet(static_cast<Octet>(repo::RepoOp::kReply));
+  w.write_ulonglong(call_id);
+  w.write_ulonglong(0);  // epoch (kRegisterReplica); kRegister ignores the body
+  transport.rsr(reply_to, transport::kHandlerRepo, std::move(reply), "");
+  return frame;
+}
+
+TEST(NsTest, LeaseFreeRegistrationBytesAreIdenticalToPreNsWire) {
+  ASSERT_FALSE(enabled());  // PARDIS_NS off: the compatibility claim under test
+  transport::LocalTransport transport;
+  auto fake_repo = transport.create_endpoint("");
+  repo::RemoteRegistry client(transport, fake_repo->addr(), std::chrono::seconds(5));
+  const core::ObjectRef ref = make_ref("golden", "HOST1");
+
+  std::thread caller([&] { client.register_object(ref); });
+  const ByteBuffer plain = capture_one_request(transport, fake_repo);
+  caller.join();
+
+  // Rebuild the frame with the pre-ns encoding: op octet, reply
+  // address, call id, ObjectRef — nothing else. Byte equality proves a
+  // lease-free registration carries no ns trailer anywhere.
+  CdrReader r(plain.view());
+  EXPECT_EQ(r.read_octet(), static_cast<Octet>(repo::RepoOp::kRegister));
+  const transport::EndpointAddr reply_to = transport::EndpointAddr::unmarshal(r);
+  const ULongLong call_id = r.read_ulonglong();
+  ByteBuffer expected;
+  CdrWriter w(expected);
+  w.write_octet(static_cast<Octet>(repo::RepoOp::kRegister));
+  reply_to.marshal(w);
+  w.write_ulonglong(call_id);
+  ref.marshal(w);
+  EXPECT_EQ(plain, expected);
+
+  // A leased registration is the same frame plus the trailing lease —
+  // the old bytes are a strict prefix, so old servers parse the common
+  // part and new servers read the trailer iff present.
+  std::thread leased_caller(
+      [&] { client.register_leased(ref, std::chrono::milliseconds(500), false); });
+  const ByteBuffer leased = capture_one_request(transport, fake_repo);
+  leased_caller.join();
+  ASSERT_GT(leased.size(), expected.size());
+  CdrReader lr(leased.view());
+  lr.read_octet();
+  transport::EndpointAddr lreply = transport::EndpointAddr::unmarshal(lr);
+  const ULongLong lcall = lr.read_ulonglong();
+  ByteBuffer lexpected;
+  CdrWriter lw(lexpected);
+  lw.write_octet(static_cast<Octet>(repo::RepoOp::kRegister));
+  lreply.marshal(lw);
+  lw.write_ulonglong(lcall);
+  ref.marshal(lw);
+  const std::size_t prefix = lexpected.size();
+  lw.write_ulong(500);  // the ns lease trailer
+  EXPECT_EQ(leased, lexpected);
+  EXPECT_TRUE(std::equal(lexpected.view().begin(), lexpected.view().begin() + prefix,
+                         leased.view().begin()));
+}
+
+// --- announce-based discovery ----------------------------------------------
+
+TEST(AnnounceTest, FrameRoundTripAndKeyVerification) {
+  ShardMap m = map_of({{local_addr(5, "HOST1")}}, 8, 3);
+  const ByteBuffer frame = make_announce(m, /*key=*/42);
+  auto parsed = parse_announce(frame.view(), 42);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, m);
+
+  EXPECT_FALSE(parse_announce(frame.view(), 43).has_value());  // wrong key
+  ByteBuffer corrupt = frame.clone();
+  corrupt.mutable_view()[frame.size() - 1] ^= 0xFF;
+  EXPECT_FALSE(parse_announce(corrupt.view(), 42).has_value());
+  ByteBuffer truncated = ByteBuffer::from(frame.view().subspan(0, 6));
+  EXPECT_FALSE(parse_announce(truncated.view(), 42).has_value());
+}
+
+TEST(AnnounceTest, BusBootstrapsAClientWithoutConfiguredRepoAddr) {
+  ShardFixture fx(/*shards=*/2);
+  fx.backings[fx.map.shard_for("bootstrapped")]->register_object(
+      make_ref("bootstrapped", "HOST1"));
+
+  AnnounceBus bus;
+  auto listener = fx.transport.create_endpoint("WS");
+  bus.subscribe(listener);
+  ShardMap published = fx.map;
+  published.version = 9;
+  Announcer announcer(bus, published, /*key=*/7, "HOST0", std::chrono::milliseconds(5));
+
+  // The client knows only the announce key — no repository address.
+  auto discovered = wait_for_map(*listener, 7, std::chrono::seconds(10));
+  ASSERT_TRUE(discovered.has_value());
+  EXPECT_EQ(*discovered, published);
+
+  NsConfig cfg;
+  ShardedRegistry reg(fx.transport, *discovered, cfg);
+  EXPECT_TRUE(reg.lookup("bootstrapped", "").has_value());
+}
+
+TEST(AnnounceTest, FaultPlanGatesTheSimulatedMulticast) {
+  sim::Testbed tb = sim::Testbed::paper_testbed();
+  transport::LocalTransport transport(&tb);
+  AnnounceBus bus(&tb.faults());
+  auto a = transport.create_endpoint("WS");
+  auto b = transport.create_endpoint("SP2");
+  bus.subscribe(a);
+  bus.subscribe(b);
+  const ShardMap m = map_of({{local_addr(1)}});
+
+  EXPECT_EQ(bus.publish(m, 1, "HOST1"), 2u);
+
+  // Severing the announce link to WS only starves WS — the mcast:*
+  // namespace keeps the fault off WS's normal transport links.
+  tb.faults().sever_link("HOST1", sim::FaultPlan::announce_dst("WS"));
+  EXPECT_EQ(bus.publish(m, 1, "HOST1"), 1u);
+  EXPECT_EQ(a->pending(), 1u);  // only the pre-sever frame
+  EXPECT_EQ(b->pending(), 2u);
+
+  tb.faults().heal_link("HOST1", sim::FaultPlan::announce_dst("WS"));
+  EXPECT_EQ(bus.publish(m, 1, "HOST1"), 2u);
+  EXPECT_EQ(a->pending(), 2u);
+}
+
+TEST(AnnounceTest, UdpCarrierRoundTrip) {
+  UdpAnnounceListener listener;
+  if (!listener.ok()) GTEST_SKIP() << "no UDP loopback in this environment";
+  ASSERT_NE(listener.port(), 0);
+
+  const ShardMap m = map_of({{local_addr(3, "HOST2")}}, 4, 11);
+  ASSERT_TRUE(udp_announce(listener.port(), m, /*key=*/99));
+  auto got = listener.wait_for_map(99, std::chrono::seconds(10));
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, m);
+
+  // A frame under the wrong key is dropped, not adopted.
+  ASSERT_TRUE(udp_announce(listener.port(), m, /*key=*/1));
+  EXPECT_FALSE(listener.wait_for_map(99, std::chrono::milliseconds(200)).has_value());
+}
+
+}  // namespace
+}  // namespace pardis::ns
