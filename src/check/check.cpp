@@ -11,6 +11,10 @@ std::atomic<int> g_enabled_cache{-1};
 
 namespace {
 
+// Raw std::mutex on purpose: pardis::Mutex::lock() calls
+// check::enabled(), which funnels into init_from_env() under this very
+// lock — instrumenting it would recurse.
+// pardis-lint: allow(raw-mutex) bootstrap lock below the instrumentation layer
 std::mutex g_init_mutex;
 
 bool truthy(const char* v) noexcept {

@@ -1,0 +1,194 @@
+#include "check/lockorder.hpp"
+
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/mutex.hpp"
+
+namespace pardis::check {
+
+namespace {
+
+/// One acquisition site (file/line are string literals from
+/// __builtin_FILE, so storing the pointers is safe for the process
+/// lifetime).
+struct Site {
+  const char* name = nullptr;  ///< mutex name, may be null
+  const char* file = "?";
+  int line = 0;
+};
+
+/// Edge from -> to: "some thread acquired `to` (at to_site) while
+/// holding `from` (acquired at from_site)". Sites are first-observation.
+struct Edge {
+  Site from_site;
+  Site to_site;
+};
+
+struct Node {
+  const char* name = nullptr;
+  std::unordered_map<const void*, Edge> out;
+};
+
+// The detector's own lock. Deliberately a raw std::mutex, NOT a
+// pardis::Mutex: instrumenting the instrumentation would recurse.
+// pardis-lint: allow(raw-mutex) detector-internal, never nested with
+// product locks (no product code runs under it).
+std::mutex g_graph_mutex;
+std::unordered_map<const void*, Node> g_graph;  // guarded by g_graph_mutex
+std::size_t g_edges = 0;                        // guarded by g_graph_mutex
+
+struct Held {
+  const void* m;
+  Site site;
+};
+
+thread_local std::vector<Held> t_held;
+
+std::string label(const void* m, const Site& s) {
+  std::string out;
+  if (s.name != nullptr) {
+    out = s.name;
+  } else {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "mutex@%p", m);
+    out = buf;
+  }
+  out += " (";
+  out += s.file;
+  out += ":";
+  out += std::to_string(s.line);
+  out += ")";
+  return out;
+}
+
+/// Path from `from` to `to` in the merged graph; fills `first_hop`
+/// with the first edge of one such path and `first_hop_node` with the
+/// node it leads to. Caller holds g_graph_mutex.
+bool path_exists(const void* from, const void* to, Edge* first_hop,
+                 const void** first_hop_node) {
+  std::unordered_set<const void*> visited;
+  // Depth-first, tracking only the first hop out of `from` (enough to
+  // name the previously recorded opposite order in the diagnostic).
+  struct Frame {
+    const void* node;
+    const Edge* via_first;       ///< first edge taken from `from`
+    const void* via_first_node;  ///< node that first edge leads to
+  };
+  std::vector<Frame> stack;
+  auto it = g_graph.find(from);
+  if (it == g_graph.end()) return false;
+  for (const auto& [next, edge] : it->second.out)
+    stack.push_back(Frame{next, &edge, next});
+  while (!stack.empty()) {
+    Frame f = stack.back();
+    stack.pop_back();
+    if (f.node == to) {
+      if (first_hop != nullptr) *first_hop = *f.via_first;
+      if (first_hop_node != nullptr) *first_hop_node = f.via_first_node;
+      return true;
+    }
+    if (!visited.insert(f.node).second) continue;
+    auto nit = g_graph.find(f.node);
+    if (nit == g_graph.end()) continue;
+    for (const auto& [next, edge] : nit->second.out) {
+      (void)edge;
+      stack.push_back(Frame{next, f.via_first, f.via_first_node});
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+void lock_acquiring(const void* m, const char* name, const char* file, int line) {
+  const Site here{name, file, line};
+  // Relocking a mutex this thread already holds: std::mutex deadlocks
+  // (or UB) — diagnose instead of hanging.
+  for (const Held& h : t_held) {
+    if (h.m == m)
+      violation("lockorder",
+                "relocking " + label(m, here) + " already held since " +
+                    label(h.m, h.site) + " — non-recursive mutex, self-deadlock");
+  }
+  if (t_held.empty()) return;  // no edges, no cycle possible
+
+  std::lock_guard<std::mutex> lock(g_graph_mutex);
+  // Record held -> m for every held lock (the full order, not just the
+  // innermost: with A and B held, acquiring C commits both A<C and B<C).
+  for (const Held& h : t_held) {
+    Node& node = g_graph[h.m];
+    if (node.name == nullptr) node.name = h.site.name;
+    auto [it, inserted] = node.out.emplace(m, Edge{h.site, here});
+    (void)it;
+    if (inserted) ++g_edges;
+  }
+  g_graph[m].name = name;
+  // A path m ~> h means some thread acquired h while (transitively)
+  // holding m — the opposite order. Together with the edges above that
+  // closes a cycle: a potential deadlock, even if this schedule never
+  // interleaves the two orders.
+  for (const Held& h : t_held) {
+    Edge prior;
+    const void* hop = nullptr;
+    if (path_exists(m, h.m, &prior, &hop)) {
+      violation(
+          "lockorder",
+          "potential deadlock: acquiring " + label(m, here) + " while holding " +
+              label(h.m, h.site) + ", but the opposite order is already in the "
+              "acquisition graph — " + label(hop, prior.to_site) +
+              " was acquired while holding " + label(m, prior.from_site) +
+              ". This schedule did not hang; one that interleaves the two "
+              "orders will.");
+    }
+  }
+}
+
+void lock_acquired(const void* m, const char* name, const char* file, int line,
+                   bool blocking) noexcept {
+  (void)blocking;
+  t_held.push_back(Held{m, Site{name, file, line}});
+}
+
+void lock_released(const void* m) noexcept {
+  // Unlock order need not be LIFO (UniqueLock handoffs); drop the
+  // most recent matching entry.
+  for (auto it = t_held.rbegin(); it != t_held.rend(); ++it) {
+    if (it->m == m) {
+      t_held.erase(std::next(it).base());
+      return;
+    }
+  }
+  // Not found: the detector was switched on mid-stream and missed the
+  // acquisition. Ignore.
+}
+
+void lock_destroyed(const void* m) noexcept {
+  std::lock_guard<std::mutex> lock(g_graph_mutex);
+  auto it = g_graph.find(m);
+  if (it != g_graph.end()) {
+    g_edges -= it->second.out.size();
+    g_graph.erase(it);
+  }
+  for (auto& [node, data] : g_graph) {
+    (void)node;
+    g_edges -= data.out.erase(m);
+  }
+}
+
+void lockorder_reset() noexcept {
+  std::lock_guard<std::mutex> lock(g_graph_mutex);
+  g_graph.clear();
+  g_edges = 0;
+}
+
+std::size_t lockorder_edge_count() noexcept {
+  std::lock_guard<std::mutex> lock(g_graph_mutex);
+  return g_edges;
+}
+
+}  // namespace pardis::check

@@ -1,0 +1,43 @@
+// pardis_check — runtime lock-order cycle detection.
+//
+// Every pardis::Mutex acquisition (common/mutex.hpp) reports its call
+// site here when PARDIS_CHECK is on. The detector keeps, per thread,
+// the stack of currently held locks, and merges every "held H, then
+// acquired M" observation into one process-wide acquisition graph:
+// edge H -> M means some thread at some point acquired M while holding
+// H. A cycle in the *merged* graph is a potential deadlock even when
+// no schedule has hung yet — thread 1 locking A then B and thread 2
+// locking B then A is diagnosed the moment the second order is
+// observed, with both acquisition sites named, instead of whenever the
+// interleaving finally bites. The diagnosis is a located
+// check::Violation thrown at the acquiring call site *before* the
+// thread blocks, so the test that injects the cycle completes instead
+// of hanging.
+//
+// try_lock acquisitions join the held set but contribute no edges: a
+// non-blocking acquisition cannot be the waiting arc of a deadlock.
+//
+// Off (the default), the entire instrumentation is one relaxed atomic
+// load on the lock and unlock paths — the PR-2 contract (the load is
+// check::enabled(), evaluated inline inside pardis::Mutex).
+#pragma once
+
+#include <cstddef>
+
+#include "check/check.hpp"
+
+namespace pardis::check {
+
+// The Mutex-side hooks (lock_acquiring / lock_acquired / lock_released
+// / lock_destroyed) are declared in common/mutex.hpp next to their
+// caller and defined in lockorder.cpp.
+
+/// Drops the merged acquisition graph (tests; also useful between
+/// benchmark phases). Held-lock stacks are per-thread and unaffected.
+void lockorder_reset() noexcept;
+
+/// Number of distinct held->acquired edges observed so far (0 when the
+/// detector was never enabled). Diagnostics and tests.
+std::size_t lockorder_edge_count() noexcept;
+
+}  // namespace pardis::check

@@ -4,7 +4,8 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <mutex>
+
+#include "common/mutex.hpp"
 
 namespace pardis::log {
 
@@ -23,7 +24,10 @@ Level parse_env_level() {
 }
 
 std::atomic<Level> g_level{parse_env_level()};
-std::mutex g_io_mutex;
+// Leaf of the lock hierarchy: held only around fprintf. It guards the
+// stderr stream — external state no GUARDED_BY can name.
+// pardis-lint: allow(unannotated-mutex)
+Mutex g_io_mutex{"log.io"};
 
 const char* level_name(Level lvl) {
   switch (lvl) {
@@ -46,7 +50,7 @@ bool enabled(Level lvl) noexcept { return lvl >= level(); }
 
 void write(Level lvl, const char* component, const std::string& message) {
   if (!enabled(lvl)) return;
-  std::lock_guard<std::mutex> lock(g_io_mutex);
+  LockGuard lock(g_io_mutex);
   std::fprintf(stderr, "[%s %s] %s\n", level_name(lvl), component, message.c_str());
 }
 

@@ -1,0 +1,170 @@
+// The PARDIS mutex: std::mutex + thread-safety annotations + located
+// lock-order instrumentation.
+//
+// Why a wrapper exists at all:
+//
+//  * Clang Thread Safety Analysis needs annotated acquire/release
+//    functions; libstdc++'s std::mutex and std::lock_guard carry none,
+//    so locking through them is invisible to the analysis. Mutex,
+//    LockGuard and UniqueLock are the annotated equivalents (see
+//    common/thread_annotations.hpp).
+//  * The pardis_check lock-order cycle detector (check/lockorder.cpp)
+//    hooks every acquisition with its call site, building the merged
+//    cross-thread acquisition graph that diagnoses *potential*
+//    deadlocks. The hooks ride the PR-2 contract: with PARDIS_CHECK
+//    off, the entire detour is one relaxed atomic load per lock/unlock.
+//
+// Call-site capture uses __builtin_FILE/__builtin_LINE default
+// arguments (supported by gcc >= 8 and clang >= 9), so `mutex_.lock()`
+// and `LockGuard lock(mutex_)` record the caller's file:line with no
+// macro at the call site.
+//
+// Condition variables: use std::condition_variable_any, which accepts
+// any BasicLockable — pair it with UniqueLock. Prefer explicit
+//     while (!ready_) cv_.wait(lock);
+// loops over the predicate-lambda overloads: the analysis treats a
+// lambda as a separate unannotated function, so predicate bodies
+// reading guarded members would need their own annotations.
+#pragma once
+
+#include <mutex>
+
+#include "check/check.hpp"
+#include "common/thread_annotations.hpp"
+
+namespace pardis::check {
+
+// Lock-order detector hooks, defined in src/check/lockorder.cpp.
+// Mutex calls them only when check::enabled() — the PARDIS_CHECK
+// master toggle — is on.
+
+/// About to block on `m` at file:line with this thread's held set.
+/// Records held->m edges in the merged acquisition graph and throws
+/// check::Violation when an edge closes a cycle (a potential deadlock,
+/// even if this schedule would not have hung).
+void lock_acquiring(const void* m, const char* name, const char* file, int line);
+
+/// `m` is now held by this thread (blocking = false for try_lock
+/// acquisitions, which cannot complete a deadlock cycle themselves and
+/// therefore contribute no edges — only held-set membership).
+void lock_acquired(const void* m, const char* name, const char* file, int line,
+                   bool blocking) noexcept;
+
+/// `m` left this thread's held set.
+void lock_released(const void* m) noexcept;
+
+/// `m` is being destroyed: purge its node so a recycled address cannot
+/// inherit stale edges.
+void lock_destroyed(const void* m) noexcept;
+
+}  // namespace pardis::check
+
+namespace pardis {
+
+/// Annotated, instrumented replacement for a std::mutex member.
+/// pardis-lint rule PT003 flags raw std::mutex members; this is the
+/// type they should be.
+class PARDIS_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() noexcept = default;
+  /// `name` (a string literal) labels the mutex in lock-order
+  /// diagnostics; unnamed mutexes report their address.
+  explicit Mutex(const char* name) noexcept : name_(name) {}
+
+  ~Mutex() {
+    if (check::enabled()) check::lock_destroyed(this);
+  }
+
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock(const char* file = __builtin_FILE(),
+            int line = __builtin_LINE()) PARDIS_ACQUIRE() {
+    if (check::enabled()) {  // off: this relaxed load is the whole detour
+      check::lock_acquiring(this, name_, file, line);
+      m_.lock();
+      check::lock_acquired(this, name_, file, line, /*blocking=*/true);
+    } else {
+      m_.lock();
+    }
+  }
+
+  bool try_lock(const char* file = __builtin_FILE(),
+                int line = __builtin_LINE()) PARDIS_TRY_ACQUIRE(true) {
+    const bool got = m_.try_lock();
+    if (got && check::enabled())
+      check::lock_acquired(this, name_, file, line, /*blocking=*/false);
+    return got;
+  }
+
+  void unlock() PARDIS_RELEASE() {
+    if (check::enabled()) check::lock_released(this);
+    m_.unlock();
+  }
+
+  const char* name() const noexcept { return name_; }
+
+ private:
+  // pardis-lint: allow(raw-mutex) the wrapped primitive itself
+  std::mutex m_;
+  const char* name_ = nullptr;
+};
+
+/// Annotated std::lock_guard equivalent.
+class PARDIS_SCOPED_CAPABILITY LockGuard {
+ public:
+  explicit LockGuard(Mutex& m, const char* file = __builtin_FILE(),
+                     int line = __builtin_LINE()) PARDIS_ACQUIRE(m)
+      : m_(m) {
+    m_.lock(file, line);
+  }
+
+  ~LockGuard() PARDIS_RELEASE() { m_.unlock(); }
+
+  LockGuard(const LockGuard&) = delete;
+  LockGuard& operator=(const LockGuard&) = delete;
+
+ private:
+  Mutex& m_;
+};
+
+/// Annotated std::unique_lock equivalent: relockable, and itself
+/// BasicLockable so std::condition_variable_any::wait(lock) works (the
+/// wait's internal unlock/relock flows through the instrumented Mutex,
+/// keeping the lock-order held-set exact across waits).
+class PARDIS_SCOPED_CAPABILITY UniqueLock {
+ public:
+  explicit UniqueLock(Mutex& m, const char* file = __builtin_FILE(),
+                      int line = __builtin_LINE()) PARDIS_ACQUIRE(m)
+      : m_(&m) {
+    m_->lock(file, line);
+    owned_ = true;
+  }
+
+  ~UniqueLock() PARDIS_RELEASE() {
+    if (owned_) m_->unlock();
+  }
+
+  UniqueLock(const UniqueLock&) = delete;
+  UniqueLock& operator=(const UniqueLock&) = delete;
+
+  void lock(const char* file = __builtin_FILE(),
+            int line = __builtin_LINE()) PARDIS_ACQUIRE() {
+    m_->lock(file, line);
+    owned_ = true;
+  }
+
+  void unlock() PARDIS_RELEASE() {
+    owned_ = false;
+    m_->unlock();
+  }
+
+  bool owns_lock() const noexcept { return owned_; }
+  Mutex* mutex() const noexcept { return m_; }
+
+ private:
+  Mutex* m_;
+  bool owned_ = false;
+};
+
+}  // namespace pardis

@@ -1,0 +1,70 @@
+// Clang Thread Safety Analysis annotations, repo-wide.
+//
+// PARDIS's locking discipline is machine-checked: every
+// mutex-protected member carries PARDIS_GUARDED_BY, every function
+// that must be entered with a lock held carries PARDIS_REQUIRES, and
+// the clang CI lane compiles with -Wthread-safety -Werror so a
+// violation is a build break, not a TSan lottery ticket. Under any
+// other compiler (gcc builds, which cannot run the analysis) every
+// macro expands to nothing, so annotations cost zero and gate nothing.
+//
+// The annotations attach to pardis::Mutex (common/mutex.hpp), not
+// std::mutex: libstdc++ ships no thread-safety attributes, so the
+// analysis cannot see acquisitions made through std::lock_guard. The
+// repo-wide rule — enforced by pardis-lint (PT003) — is therefore
+// that classes hold pardis::Mutex members, never raw std::mutex.
+#pragma once
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(guarded_by)
+#define PARDIS_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef PARDIS_THREAD_ANNOTATION
+#define PARDIS_THREAD_ANNOTATION(x)  // not clang: annotations vanish
+#endif
+
+/// Marks a type as a lockable capability ("mutex").
+#define PARDIS_CAPABILITY(x) PARDIS_THREAD_ANNOTATION(capability(x))
+
+/// Marks an RAII type whose constructor acquires and destructor
+/// releases a capability.
+#define PARDIS_SCOPED_CAPABILITY PARDIS_THREAD_ANNOTATION(scoped_lockable)
+
+/// Data member readable/writable only with the named mutex held.
+#define PARDIS_GUARDED_BY(x) PARDIS_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer member whose *pointee* is guarded by the named mutex.
+#define PARDIS_PT_GUARDED_BY(x) PARDIS_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function that must be called with the capability held.
+#define PARDIS_REQUIRES(...) \
+  PARDIS_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Function that acquires the capability and holds it on return.
+#define PARDIS_ACQUIRE(...) \
+  PARDIS_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function that releases a held capability.
+#define PARDIS_RELEASE(...) \
+  PARDIS_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function that acquires the capability iff it returns `ret`.
+#define PARDIS_TRY_ACQUIRE(...) \
+  PARDIS_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/// Function that must be called with the capability NOT held (guards
+/// against self-deadlock on non-recursive mutexes).
+#define PARDIS_EXCLUDES(...) PARDIS_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Function returning a reference to the named capability.
+#define PARDIS_RETURN_CAPABILITY(x) PARDIS_THREAD_ANNOTATION(lock_returned(x))
+
+/// Compile-time assertion that the capability is held at this point.
+#define PARDIS_ASSERT_CAPABILITY(x) PARDIS_THREAD_ANNOTATION(assert_capability(x))
+
+/// Escape hatch. Policy (enforced in review, verified by the CI grep in
+/// the -Wthread-safety lane): every use carries a comment stating the
+/// invariant the analyzer cannot see. Zero uses is the steady state.
+#define PARDIS_NO_THREAD_SAFETY_ANALYSIS \
+  PARDIS_THREAD_ANNOTATION(no_thread_safety_analysis)

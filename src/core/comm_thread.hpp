@@ -17,11 +17,11 @@
 #include <atomic>
 #include <condition_variable>
 #include <deque>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/mutex.hpp"
 #include "sim/clock.hpp"
 #include "transport/transport.hpp"
 
@@ -74,13 +74,13 @@ class CommSender {
 
   transport::Transport* transport_;
   std::string host_model_;
-  mutable std::mutex mutex_;
-  std::condition_variable cv_;
-  std::deque<Item> queue_;
-  std::vector<SendFailure> failures_;
+  mutable Mutex mutex_{"core.comm_sender"};
+  std::condition_variable_any cv_;
+  std::deque<Item> queue_ PARDIS_GUARDED_BY(mutex_);
+  std::vector<SendFailure> failures_ PARDIS_GUARDED_BY(mutex_);
   std::atomic<bool> has_failures_{false};
-  bool stopping_ = false;
-  std::size_t in_flight_ = 0;
+  bool stopping_ PARDIS_GUARDED_BY(mutex_) = false;
+  std::size_t in_flight_ PARDIS_GUARDED_BY(mutex_) = 0;
   sim::SimClock clock_;
   std::thread thread_;
 };

@@ -94,17 +94,17 @@ ObjectRef Orb::resolve(const std::string& name, const std::string& host,
 void Orb::register_servants(const ObjectRef& ref, std::vector<ServantBase*> per_rank,
                             const void* group) {
   if (per_rank.empty()) throw BadParam("register_servants: no servants");
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   servants_[ref.object_id] = CollocatedEntry{std::move(per_rank), group, ref.spmd};
 }
 
 void Orb::unregister_servants(const ObjectId& id) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   servants_.erase(id);
 }
 
 const Orb::CollocatedEntry* Orb::collocated(const ObjectId& id) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   auto it = servants_.find(id);
   return it != servants_.end() ? &it->second : nullptr;
 }

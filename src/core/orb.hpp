@@ -10,10 +10,10 @@
 #include <chrono>
 #include <functional>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.hpp"
 #include "core/object_ref.hpp"
 #include "core/registry.hpp"
 #include "transport/transport.hpp"
@@ -127,8 +127,8 @@ class Orb {
   ObjectRegistry* registry_;
   OrbConfig config_;
   Activator activator_;
-  mutable std::mutex mutex_;
-  std::map<ObjectId, CollocatedEntry> servants_;
+  mutable Mutex mutex_{"core.orb_servants"};
+  std::map<ObjectId, CollocatedEntry> servants_ PARDIS_GUARDED_BY(mutex_);
 };
 
 }  // namespace pardis::core

@@ -29,13 +29,13 @@ struct PoaShared {
 
   Orb* orb;
   std::vector<transport::EndpointAddr> eps;
-  std::mutex mutex;
-  std::map<ULongLong, ObjEntry> objects;  // by object id value
+  Mutex mutex{"core.poa_shared"};
+  std::map<ULongLong, ObjEntry> objects PARDIS_GUARDED_BY(mutex);  // by object id value
   std::atomic<bool> deactivated{false};
   std::atomic<int> refs{0};
 
   const ObjEntry* find(ULongLong object_id) {
-    std::lock_guard<std::mutex> lock(mutex);
+    LockGuard lock(mutex);
     auto it = objects.find(object_id);
     return it != objects.end() ? &it->second : nullptr;
   }
@@ -134,7 +134,7 @@ ObjectRef Poa::activate_spmd(ServantBase& servant, const std::string& name,
 
   if (rank_ == 0) {
     {
-      std::lock_guard<std::mutex> lock(shared_->mutex);
+      LockGuard lock(shared_->mutex);
       shared_->objects[ref.object_id.value] =
           PoaShared::ObjEntry{ref, /*spmd=*/true, /*owner_rank=*/-1, servants, replica};
     }
@@ -158,7 +158,7 @@ ObjectRef Poa::activate_single(ServantBase& servant, const std::string& name,
   ref.spmd = false;
   ref.thread_eps = {endpoint_->addr()};
   {
-    std::lock_guard<std::mutex> lock(shared_->mutex);
+    LockGuard lock(shared_->mutex);
     shared_->objects[ref.object_id.value] =
         PoaShared::ObjEntry{ref, /*spmd=*/false, rank_, {&servant}, replica};
   }
@@ -498,9 +498,7 @@ int Poa::round(bool& deactivated) {
 
   // Rank 0 schedules the collective (SPMD) dispatches for this round
   // and broadcasts the schedule; all threads then execute it in order.
-  // Per-entry schedule flags (internal to the kTagPoaRound channel).
-  constexpr Octet kSchedReplay = 0x1;
-  constexpr Octet kSchedExpired = 0x2;
+  // Per-entry flags: kSchedReplay / kSchedExpired (core/wire.hpp).
   ByteBuffer schedule;
   if (rank_ == 0) {
     struct Sched {

@@ -13,17 +13,11 @@
 #include "common/cdr.hpp"
 #include "common/error.hpp"
 #include "common/ids.hpp"
+#include "core/wire.hpp"  // kFlag* / ReplyStatus / kReplyFlag* / kSched*
 #include "obs/obs.hpp"
 #include "transport/endpoint.hpp"
 
 namespace pardis::core {
-
-/// Request flag bits.
-inline constexpr Octet kFlagOneway = 0x1;      ///< no reply expected
-inline constexpr Octet kFlagCollective = 0x2;  ///< SPMD collective invocation
-inline constexpr Octet kFlagTraced = 0x4;      ///< trace context appended
-inline constexpr Octet kFlagDeadline = 0x8;    ///< deadline budget appended
-inline constexpr Octet kFlagRetry = 0x10;      ///< re-send of an earlier attempt
 
 struct RequestHeader {
   RequestId request_id;       ///< per sending client thread
@@ -59,21 +53,6 @@ struct RequestHeader {
   void marshal(CdrWriter& w) const;
   static RequestHeader unmarshal(CdrReader& r);
 };
-
-enum class ReplyStatus : Octet {
-  kOk = 0,
-  kSystemException = 1,
-};
-
-/// High bit of the reply status octet: trace context appended. Reusing
-/// the status octet keeps the untraced reply byte-identical to the
-/// pre-observability wire format.
-inline constexpr Octet kReplyFlagTraced = 0x80;
-/// Next status bit down: retry-after hint appended (pardis_flow
-/// overload shedding). Only ever set on kOverload error replies, which
-/// exist only when admission control is enabled, so a flow-disabled
-/// reply stays byte-identical to the pre-flow wire format.
-inline constexpr Octet kReplyFlagRetryAfter = 0x40;
 
 struct ReplyHeader {
   RequestId request_id;  ///< echo of the client thread's request id

@@ -72,7 +72,7 @@ double InProcessRegistry::now_locked() const {
 }
 
 void InProcessRegistry::set_time_source(std::function<double()> now_seconds) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   now_seconds_ = std::move(now_seconds);
 }
 
@@ -120,7 +120,7 @@ std::size_t InProcessRegistry::gc_locked() {
 }
 
 std::size_t InProcessRegistry::expire_leases() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   return gc_locked();
 }
 
@@ -181,7 +181,7 @@ ReplicaGroup& InProcessRegistry::group_for_locked(const std::string& name) {
 void InProcessRegistry::register_object(const ObjectRef& ref) {
   if (!ref.valid()) throw BadParam("register_object: invalid reference");
   if (ref.name.empty()) throw BadParam("register_object: object has no name");
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   gc_locked();
   auto git = groups_.find(ref.name);
   if (git != groups_.end()) {
@@ -198,7 +198,7 @@ void InProcessRegistry::register_object(const ObjectRef& ref) {
 
 std::optional<ObjectRef> InProcessRegistry::lookup(const std::string& name,
                                                    const std::string& host) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   gc_locked();
   if (!host.empty()) {
     auto it = objects_.find({name, host});
@@ -218,7 +218,7 @@ std::optional<ObjectRef> InProcessRegistry::lookup(const std::string& name,
 }
 
 void InProcessRegistry::unregister(const std::string& name, const std::string& host) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   gc_locked();
   if (!host.empty()) {
     objects_.erase({name, host});
@@ -249,7 +249,7 @@ void InProcessRegistry::unregister(const std::string& name, const std::string& h
 }
 
 std::vector<std::string> InProcessRegistry::list() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   gc_locked();
   std::vector<std::string> names;
   names.reserve(objects_.size());
@@ -268,7 +268,7 @@ ULongLong InProcessRegistry::register_leased(const ObjectRef& ref,
   const char* what = replica ? "register_replica" : "register_object";
   if (!ref.valid()) throw BadParam(std::string(what) + ": invalid reference");
   if (ref.name.empty()) throw BadParam(std::string(what) + ": object has no name");
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   gc_locked();
   auto git = groups_.find(ref.name);
   if (!replica && git == groups_.end()) {
@@ -290,7 +290,7 @@ ULongLong InProcessRegistry::register_leased(const ObjectRef& ref,
 
 bool InProcessRegistry::renew_lease(const std::string& name, const ObjectId& id,
                                     std::chrono::milliseconds lease) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   // GC first: a lease that already expired is gone — renewing it would
   // resurrect a name other clients may have watched disappear. The
   // owner gets `false` and re-registers instead.
@@ -319,7 +319,7 @@ bool InProcessRegistry::renew_lease(const std::string& name, const ObjectId& id,
 
 std::optional<ReplicaGroup> InProcessRegistry::lookup_group(const std::string& name,
                                                             const std::string& host) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   gc_locked();
   auto git = groups_.find(name);
   if (git != groups_.end()) {
@@ -344,7 +344,7 @@ std::optional<ReplicaGroup> InProcessRegistry::lookup_group(const std::string& n
 }
 
 void InProcessRegistry::unregister_replica(const std::string& name, const ObjectId& id) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   gc_locked();
   member_leases_.erase({name, id.value});
   auto git = groups_.find(name);

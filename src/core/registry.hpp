@@ -18,11 +18,11 @@
 #include <chrono>
 #include <functional>
 #include <map>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "common/mutex.hpp"
 #include "core/object_ref.hpp"
 
 namespace pardis::core {
@@ -137,35 +137,38 @@ class InProcessRegistry final : public ObjectRegistry {
   /// Adds `ref` to the live group for its name (replacing the member
   /// with the same object id, else the same host, else appending) and
   /// bumps the epoch. Caller holds mutex_; the group must exist.
-  void join_group_locked(ReplicaGroup& group, const ObjectRef& ref);
+  void join_group_locked(ReplicaGroup& group, const ObjectRef& ref) PARDIS_REQUIRES(mutex_);
   /// Creates (or finds) the group for `name`, seeding members from any
   /// earlier single bindings and the epoch from the tombstone floor.
-  ReplicaGroup& group_for_locked(const std::string& name);
+  ReplicaGroup& group_for_locked(const std::string& name) PARDIS_REQUIRES(mutex_);
   /// Erases the group, remembering its final epoch so a later
   /// re-creation continues the sequence instead of restarting at 1
   /// (clients compare epochs to detect stale views — they must never
   /// regress, even across group death).
-  void erase_group_locked(std::map<std::string, ReplicaGroup>::iterator git);
+  void erase_group_locked(std::map<std::string, ReplicaGroup>::iterator git)
+      PARDIS_REQUIRES(mutex_);
   /// Drops every registration whose lease expired. Caller holds mutex_.
-  std::size_t gc_locked();
-  double now_locked() const;
+  std::size_t gc_locked() PARDIS_REQUIRES(mutex_);
+  double now_locked() const PARDIS_REQUIRES(mutex_);
 
-  std::mutex mutex_;
+  mutable Mutex mutex_{"core.registry"};
   // key: (name, host) — one object per name per host.
-  std::map<std::pair<std::string, std::string>, ObjectRef> objects_;
+  std::map<std::pair<std::string, std::string>, ObjectRef> objects_ PARDIS_GUARDED_BY(mutex_);
   /// pardis_pool replica groups, by name. A name lives in `groups_`
   /// once register_replica touches it; single-binding registrations
   /// of the same name then *join* the group (epoch bump) instead of
   /// silently shadowing earlier members.
-  std::map<std::string, ReplicaGroup> groups_;
+  std::map<std::string, ReplicaGroup> groups_ PARDIS_GUARDED_BY(mutex_);
   /// Epoch floor for names whose group died: the next group under the
   /// name starts above this, keeping epochs monotone per name.
-  std::map<std::string, ULongLong> epoch_floor_;
+  std::map<std::string, ULongLong> epoch_floor_ PARDIS_GUARDED_BY(mutex_);
   /// Lease expiry instants (seconds on the time source's clock).
   /// Singles key by (name, host); group members by (name, object id).
-  std::map<std::pair<std::string, std::string>, double> object_leases_;
-  std::map<std::pair<std::string, ULongLong>, double> member_leases_;
-  std::function<double()> now_seconds_;  ///< null = process steady clock
+  std::map<std::pair<std::string, std::string>, double> object_leases_
+      PARDIS_GUARDED_BY(mutex_);
+  std::map<std::pair<std::string, ULongLong>, double> member_leases_
+      PARDIS_GUARDED_BY(mutex_);
+  std::function<double()> now_seconds_ PARDIS_GUARDED_BY(mutex_);  ///< null = steady clock
 };
 
 }  // namespace pardis::core

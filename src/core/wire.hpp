@@ -1,0 +1,220 @@
+// The PARDIS wire-constant registry.
+//
+// Every constant that appears in bytes on the wire — PIOP header flag
+// bits, reply status bits, transport handler ids, reserved RTS message
+// tags, repository op octets, POA schedule flags, announce frame magic
+// — is declared HERE and nowhere else. Scattering them across
+// subsystems is how two PRs mint the same bit for different meanings
+// and corrupt the protocol silently; a single registry with collision
+// static_asserts turns that mistake into a compile error.
+//
+// Rules (enforced by tools/pardis-lint, code PT002):
+//   * a new wire constant is added to this file, in the namespace of
+//     the subsystem that owns it (so call sites never churn);
+//   * values are never renumbered — golden-bytes tests pin the wire
+//     format, and old peers reject unknown values as the documented
+//     forward-compat path;
+//   * each family carries static_asserts proving its values are
+//     pairwise distinct (or bitwise disjoint, for flag bits).
+//
+// This header is dependency-light on purpose (only common/types.hpp):
+// transport/rts/repo/ns headers include it from below, and
+// core/protocol.hpp re-exports it from above, without cycles.
+#pragma once
+
+#include "common/types.hpp"
+
+// --- RTS reserved message tags ---------------------------------------------
+//
+// The paper (§2.2): "In order to avoid conflicts, we also require a way
+// to distinguish between PARDIS messages and messages pertaining to
+// computation in user code (for example through a set of reserved
+// message tags)." User code owns [0, kReservedTagBase); PARDIS
+// subsystems use fixed tags at or above it.
+
+namespace pardis::rts {
+
+/// First tag reserved for PARDIS-internal traffic.
+inline constexpr Tag kReservedTagBase = 0x4000'0000;
+
+/// Wildcards for receive matching (not wire bytes, but part of the tag
+/// space contract).
+inline constexpr int kAnySource = -1;
+inline constexpr Tag kAnyTag = -1;
+
+/// Reserved tags, one per internal protocol.
+inline constexpr Tag kTagCollective = kReservedTagBase + 1;
+inline constexpr Tag kTagOrbRequest = kReservedTagBase + 2;
+inline constexpr Tag kTagOrbReply = kReservedTagBase + 3;
+inline constexpr Tag kTagDistTransfer = kReservedTagBase + 4;
+inline constexpr Tag kTagDistRedistribute = kReservedTagBase + 5;
+inline constexpr Tag kTagPackage = kReservedTagBase + 6;  ///< mini-PSTL / mini-POOMA internals
+inline constexpr Tag kTagPoaRound = kReservedTagBase + 7;  ///< POA dispatch schedules
+inline constexpr Tag kTagCheck = kReservedTagBase + 8;  ///< pardis_check fingerprints
+inline constexpr Tag kTagFtRetry = kReservedTagBase + 9;  ///< pardis_ft retry agreement
+
+// The reserved tags must be a dense run (is_known_reserved_tag checks
+// the [kTagCollective, kTagFtRetry] interval) and inside the reserved
+// space. Dense + strictly increasing == pairwise distinct.
+static_assert(kTagCollective > kReservedTagBase);
+static_assert(kTagOrbRequest == kTagCollective + 1);
+static_assert(kTagOrbReply == kTagOrbRequest + 1);
+static_assert(kTagDistTransfer == kTagOrbReply + 1);
+static_assert(kTagDistRedistribute == kTagDistTransfer + 1);
+static_assert(kTagPackage == kTagDistRedistribute + 1);
+static_assert(kTagPoaRound == kTagPackage + 1);
+static_assert(kTagCheck == kTagPoaRound + 1);
+static_assert(kTagFtRetry == kTagCheck + 1);
+static_assert(kAnyTag < 0 && kAnySource < 0, "wildcards must stay outside the user tag space");
+
+}  // namespace pardis::rts
+
+// --- Transport handler ids -------------------------------------------------
+
+namespace pardis::transport {
+
+using HandlerId = ULong;
+
+/// Handlers the ORB registers on every endpoint.
+inline constexpr HandlerId kHandlerOrbRequest = 1;
+inline constexpr HandlerId kHandlerOrbReply = 2;
+inline constexpr HandlerId kHandlerRepo = 3;
+/// Liveness probe: an empty RSR whose only purpose is to exercise the
+/// path to a peer. Receivers discard it silently; a probe failure at
+/// the sender marks the peer dead (pardis_ft broken-future detection).
+inline constexpr HandlerId kHandlerPing = 4;
+/// pardis_flow session envelope: a sequence-numbered frame wrapping an
+/// inner RSR. Intercepted by the session layer's delivery filter, never
+/// seen by ORB handlers.
+inline constexpr HandlerId kHandlerSessionData = 5;
+/// pardis_flow cumulative acknowledgement for session frames.
+inline constexpr HandlerId kHandlerSessionAck = 6;
+/// pardis_ns shard-map announcement (simulated multicast): a keyed
+/// digest + ShardMap frame fanned out by ns::AnnounceBus so clients
+/// discover repositories without PARDIS_REPO_ADDR.
+inline constexpr HandlerId kHandlerAnnounce = 7;
+
+// Handler ids are dense from 1 (dense + increasing == distinct); 0 is
+// never assigned — it is the RsrMessage default, and a frame that
+// still carries it was never routed.
+static_assert(kHandlerOrbRequest == 1);
+static_assert(kHandlerOrbReply == kHandlerOrbRequest + 1);
+static_assert(kHandlerRepo == kHandlerOrbReply + 1);
+static_assert(kHandlerPing == kHandlerRepo + 1);
+static_assert(kHandlerSessionData == kHandlerPing + 1);
+static_assert(kHandlerSessionAck == kHandlerSessionData + 1);
+static_assert(kHandlerAnnounce == kHandlerSessionAck + 1);
+
+}  // namespace pardis::transport
+
+// --- PIOP request/reply header bits ----------------------------------------
+
+namespace pardis::core {
+
+/// Request flag bits.
+inline constexpr Octet kFlagOneway = 0x1;      ///< no reply expected
+inline constexpr Octet kFlagCollective = 0x2;  ///< SPMD collective invocation
+inline constexpr Octet kFlagTraced = 0x4;      ///< trace context appended
+inline constexpr Octet kFlagDeadline = 0x8;    ///< deadline budget appended
+inline constexpr Octet kFlagRetry = 0x10;      ///< re-send of an earlier attempt
+
+// Flag bits must be bitwise disjoint: OR == sum exactly when no two
+// constants share a bit.
+static_assert((kFlagOneway | kFlagCollective | kFlagTraced | kFlagDeadline | kFlagRetry) ==
+                  kFlagOneway + kFlagCollective + kFlagTraced + kFlagDeadline + kFlagRetry,
+              "request flag bits overlap");
+
+enum class ReplyStatus : Octet {
+  kOk = 0,
+  kSystemException = 1,
+};
+
+/// High bit of the reply status octet: trace context appended. Reusing
+/// the status octet keeps the untraced reply byte-identical to the
+/// pre-observability wire format.
+inline constexpr Octet kReplyFlagTraced = 0x80;
+/// Next status bit down: retry-after hint appended (pardis_flow
+/// overload shedding). Only ever set on kOverload error replies, which
+/// exist only when admission control is enabled, so a flow-disabled
+/// reply stays byte-identical to the pre-flow wire format.
+inline constexpr Octet kReplyFlagRetryAfter = 0x40;
+
+// The reply flag bits share one octet with the ReplyStatus value, so
+// they must be disjoint from each other AND leave every status value
+// untouched.
+static_assert((kReplyFlagTraced & kReplyFlagRetryAfter) == 0, "reply flag bits overlap");
+static_assert((static_cast<Octet>(ReplyStatus::kOk) &
+               (kReplyFlagTraced | kReplyFlagRetryAfter)) == 0,
+              "ReplyStatus::kOk collides with a reply flag bit");
+static_assert((static_cast<Octet>(ReplyStatus::kSystemException) &
+               (kReplyFlagTraced | kReplyFlagRetryAfter)) == 0,
+              "ReplyStatus::kSystemException collides with a reply flag bit");
+
+/// Per-entry POA schedule flags (internal to the kTagPoaRound channel:
+/// rank 0 broadcasts the collective dispatch schedule with one flags
+/// octet per entry).
+inline constexpr Octet kSchedReplay = 0x1;   ///< duplicate of a dispatched round
+inline constexpr Octet kSchedExpired = 0x2;  ///< deadline expired in queue
+
+static_assert((kSchedReplay & kSchedExpired) == 0, "schedule flag bits overlap");
+
+}  // namespace pardis::core
+
+// --- Repository wire operations --------------------------------------------
+
+namespace pardis::repo {
+
+/// Repository wire operations (payload of kHandlerRepo RSRs). The
+/// replica-group ops (pardis_pool) extend the enum; a frame's op octet
+/// leads it, so the pre-pool ops keep their exact wire bytes and an
+/// old server simply rejects the new octets.
+///
+/// pardis_ns extends kRegister/kRegisterReplica with an *optional
+/// trailing lease*: a ULong of milliseconds after the ObjectRef. A
+/// lease-free frame carries no trailer and is byte-identical to the
+/// pre-ns encoding; the server reads the trailer only when bytes
+/// remain. kRenewLease is a new op octet (old servers reject it, the
+/// documented forward-compat path).
+enum class RepoOp : Octet {
+  kRegister = 0,
+  kLookup = 1,
+  kUnregister = 2,
+  kList = 3,
+  kReply = 4,
+  kRegisterReplica = 5,
+  kLookupGroup = 6,
+  kUnregisterReplica = 7,
+  kRenewLease = 8,
+};
+
+/// One past the highest assigned op octet; a received op at or above
+/// this is rejected as unknown.
+inline constexpr Octet kRepoOpEnd = 9;
+
+// Ops are dense from 0 (dense + increasing == distinct).
+static_assert(static_cast<Octet>(RepoOp::kRegister) == 0);
+static_assert(static_cast<Octet>(RepoOp::kLookup) == 1);
+static_assert(static_cast<Octet>(RepoOp::kUnregister) == 2);
+static_assert(static_cast<Octet>(RepoOp::kList) == 3);
+static_assert(static_cast<Octet>(RepoOp::kReply) == 4);
+static_assert(static_cast<Octet>(RepoOp::kRegisterReplica) == 5);
+static_assert(static_cast<Octet>(RepoOp::kLookupGroup) == 6);
+static_assert(static_cast<Octet>(RepoOp::kUnregisterReplica) == 7);
+static_assert(static_cast<Octet>(RepoOp::kRenewLease) == 8);
+static_assert(static_cast<Octet>(RepoOp::kRenewLease) + 1 == kRepoOpEnd);
+
+}  // namespace pardis::repo
+
+// --- Announce frame constants ----------------------------------------------
+
+namespace pardis::ns {
+
+/// Leading magic of a shard-map announce frame ("PANS").
+inline constexpr ULong kAnnounceMagic = 0x50414E53;
+/// Frame format version; bumped on any layout change (receivers under
+/// a different version drop the frame silently).
+inline constexpr Octet kAnnounceVersion = 1;
+
+static_assert(kAnnounceMagic != 0, "announce magic must be distinguishable from zeroed bytes");
+
+}  // namespace pardis::ns

@@ -49,7 +49,7 @@ SessionTransport::SessionTransport(transport::Transport& inner, Options opts)
 }
 
 SessionTransport::~SessionTransport() {
-  std::lock_guard<std::mutex> lock(out_mutex_);
+  LockGuard lock(out_mutex_);
   for (auto& [host, ep] : ack_eps_) ep->close();
 }
 
@@ -73,7 +73,7 @@ std::shared_ptr<transport::Endpoint> SessionTransport::create_endpoint(
 std::shared_ptr<SessionTransport::OutSession> SessionTransport::out_session(
     const transport::EndpointAddr& dst, const std::string& src_host_model) {
   const std::string key = dst.to_string();
-  std::lock_guard<std::mutex> lock(out_mutex_);
+  LockGuard lock(out_mutex_);
   auto it = out_.find(key);
   if (it != out_.end()) return it->second;
 
@@ -120,10 +120,10 @@ void SessionTransport::rsr(const transport::EndpointAddr& dst,
   // serialized per peer. The ack path never takes send_mutex, so acks
   // (delivered synchronously by LocalTransport on this very thread)
   // still get through.
-  std::lock_guard<std::mutex> send_lock(s->send_mutex);
+  LockGuard send_lock(s->send_mutex);
   Frame frame;
   {
-    std::unique_lock<std::mutex> st(s->state_mutex);
+    UniqueLock st(s->state_mutex);
     const auto stall_deadline =
         std::chrono::steady_clock::now() +
         std::chrono::milliseconds(opts_.window_stall_ms);
@@ -132,6 +132,10 @@ void SessionTransport::rsr(const transport::EndpointAddr& dst,
         static obs::Counter& waits = obs::metrics().counter("flow.session_window_waits");
         waits.add(1);
       }
+      // Window backpressure BY DESIGN: the sending thread stalls
+      // (bounded by window_stall_ms) until acks open the window; the
+      // comm thread's job is to absorb exactly this stall.
+      // pardis-lint: allow(blocking)
       if (s->acked_cv.wait_until(st, stall_deadline) == std::cv_status::timeout &&
           s->unacked.size() >= opts_.window)
         throw CommFailure("session to " + dst.to_string() + " stalled: " +
@@ -170,13 +174,16 @@ void SessionTransport::reconnect_and_replay(OutSession& s,
       static obs::Counter& reconnects = obs::metrics().counter("flow.session_reconnects");
       reconnects.add(1);
     }
+    // pardis-lint: allow(blocking) redial backoff, bounded by the
+    // max_reconnects budget; runs on the sending thread while the
+    // session is already broken — nothing else could make progress.
     std::this_thread::sleep_for(ft::backoff_delay(policy, attempt, s.id));
     // Replay everything unacked, in order. The snapshot is taken
     // without holding state_mutex across the sends: acks for replayed
     // frames may arrive (and prune) while we are still sending.
     std::deque<Frame> snapshot;
     {
-      std::lock_guard<std::mutex> st(s.state_mutex);
+      LockGuard st(s.state_mutex);
       for (const Frame& f : s.unacked)
         snapshot.push_back(Frame{f.seq, f.handler, f.payload.clone()});
     }
@@ -208,7 +215,7 @@ void SessionTransport::reconnect_and_replay(OutSession& s,
 }
 
 void SessionTransport::set_redial_listener(RedialListener listener) {
-  std::lock_guard<std::mutex> lock(listener_mutex_);
+  LockGuard lock(listener_mutex_);
   redial_listener_ = std::move(listener);
 }
 
@@ -216,7 +223,7 @@ void SessionTransport::notify_redial(const transport::EndpointAddr& peer, bool r
                                      int attempts) {
   RedialListener listener;
   {
-    std::lock_guard<std::mutex> lock(listener_mutex_);
+    LockGuard lock(listener_mutex_);
     listener = redial_listener_;
   }
   if (listener) listener(peer, resumed, attempts);
@@ -245,7 +252,7 @@ bool SessionTransport::on_session_data(transport::RsrMessage& msg,
   std::uint64_t ack_val = 0;
   {
     const std::string skey = ack_to.to_string() + "#" + std::to_string(sid);
-    std::lock_guard<std::mutex> lock(in_mutex_);
+    LockGuard lock(in_mutex_);
     std::uint64_t& next = in_next_[skey];
     if (seq < next) {
       // Replayed duplicate: already delivered; just re-ack so the
@@ -300,12 +307,12 @@ bool SessionTransport::on_session_ack(transport::RsrMessage& msg) {
   }
   std::shared_ptr<OutSession> s;
   {
-    std::lock_guard<std::mutex> lock(out_mutex_);
+    LockGuard lock(out_mutex_);
     auto it = out_by_id_.find(sid);
     if (it != out_by_id_.end()) s = it->second;
   }
   if (s) {
-    std::lock_guard<std::mutex> st(s->state_mutex);
+    LockGuard st(s->state_mutex);
     while (!s->unacked.empty() && s->unacked.front().seq < ack_val)
       s->unacked.pop_front();
     s->acked_cv.notify_all();
@@ -316,12 +323,12 @@ bool SessionTransport::on_session_ack(transport::RsrMessage& msg) {
 std::size_t SessionTransport::unacked(const transport::EndpointAddr& dst) const {
   std::shared_ptr<OutSession> s;
   {
-    std::lock_guard<std::mutex> lock(out_mutex_);
+    LockGuard lock(out_mutex_);
     auto it = out_.find(dst.to_string());
     if (it == out_.end()) return 0;
     s = it->second;
   }
-  std::lock_guard<std::mutex> st(s->state_mutex);
+  LockGuard st(s->state_mutex);
   return s->unacked.size();
 }
 

@@ -49,9 +49,9 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 
+#include "common/mutex.hpp"
 #include "transport/transport.hpp"
 
 namespace pardis::flow {
@@ -119,12 +119,12 @@ class SessionTransport final : public transport::Transport {
     transport::EndpointAddr ack_to;  ///< where the peer sends acks
     /// Serializes wire writes so frame order matches sequence order
     /// (held across the inner send; never taken by the ack path).
-    std::mutex send_mutex;
+    Mutex send_mutex{"flow.session_send"};
     /// Guards the fields below; the ack path takes only this.
-    mutable std::mutex state_mutex;
-    std::condition_variable acked_cv;
-    std::uint64_t next_seq = 0;
-    std::deque<Frame> unacked;
+    mutable Mutex state_mutex{"flow.session_state"};
+    std::condition_variable_any acked_cv;
+    std::uint64_t next_seq PARDIS_GUARDED_BY(state_mutex) = 0;
+    std::deque<Frame> unacked PARDIS_GUARDED_BY(state_mutex);
   };
 
   std::shared_ptr<OutSession> out_session(const transport::EndpointAddr& dst,
@@ -133,7 +133,8 @@ class SessionTransport final : public transport::Transport {
   /// Redials with backoff and replays every unacked frame; throws
   /// CommFailure once the budget is spent. Caller holds s.send_mutex.
   void reconnect_and_replay(OutSession& s, const transport::EndpointAddr& dst,
-                            const std::string& src_host_model, const std::string& why);
+                            const std::string& src_host_model, const std::string& why)
+      PARDIS_REQUIRES(s.send_mutex);
 
   /// Delivery filter half: data envelopes arriving at a wrapped
   /// endpoint. Rewrites `msg` to the inner message (return false) or
@@ -147,21 +148,23 @@ class SessionTransport final : public transport::Transport {
   transport::Transport* inner_;
   Options opts_;
 
-  mutable std::mutex out_mutex_;
-  std::map<std::string, std::shared_ptr<OutSession>> out_;  ///< by dst addr string
-  std::map<std::uint64_t, std::shared_ptr<OutSession>> out_by_id_;
-  std::uint64_t next_session_id_ = 1;
+  mutable Mutex out_mutex_{"flow.session_out"};
+  std::map<std::string, std::shared_ptr<OutSession>> out_
+      PARDIS_GUARDED_BY(out_mutex_);  ///< by dst addr string
+  std::map<std::uint64_t, std::shared_ptr<OutSession>> out_by_id_ PARDIS_GUARDED_BY(out_mutex_);
+  std::uint64_t next_session_id_ PARDIS_GUARDED_BY(out_mutex_) = 1;
   /// One ack endpoint per source host model (so ack traffic carries
   /// the right link costs and fault-plan identity).
-  std::map<std::string, std::shared_ptr<transport::Endpoint>> ack_eps_;
+  std::map<std::string, std::shared_ptr<transport::Endpoint>> ack_eps_
+      PARDIS_GUARDED_BY(out_mutex_);
 
-  mutable std::mutex in_mutex_;
+  mutable Mutex in_mutex_{"flow.session_in"};
   /// Receiver-side dedup horizon per ("ack addr#session id"): next
   /// expected sequence number.
-  std::map<std::string, std::uint64_t> in_next_;
+  std::map<std::string, std::uint64_t> in_next_ PARDIS_GUARDED_BY(in_mutex_);
 
-  mutable std::mutex listener_mutex_;
-  RedialListener redial_listener_;  ///< guarded by listener_mutex_
+  mutable Mutex listener_mutex_{"flow.session_listener"};
+  RedialListener redial_listener_ PARDIS_GUARDED_BY(listener_mutex_);
 };
 
 }  // namespace pardis::flow

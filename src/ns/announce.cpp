@@ -12,10 +12,8 @@
 
 namespace pardis::ns {
 
-namespace {
-constexpr ULong kAnnounceMagic = 0x50414E53;  // "PANS"
-constexpr Octet kAnnounceVersion = 1;
-}  // namespace
+// kAnnounceMagic / kAnnounceVersion come from the wire-constant
+// registry (core/wire.hpp, via transport/endpoint.hpp).
 
 ByteBuffer make_announce(const ShardMap& map, ULongLong key) {
   ByteBuffer frame;
@@ -46,7 +44,7 @@ std::optional<ShardMap> parse_announce(std::span<const Octet> bytes, ULongLong k
 // --- simulated multicast --------------------------------------------------
 
 void AnnounceBus::subscribe(const std::shared_ptr<transport::Endpoint>& ep) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   subs_.push_back(ep);
 }
 
@@ -55,7 +53,7 @@ std::size_t AnnounceBus::publish(const ShardMap& map, ULongLong key,
   const ByteBuffer frame = make_announce(map, key);
   std::vector<std::shared_ptr<transport::Endpoint>> live;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    LockGuard lock(mutex_);
     auto it = subs_.begin();
     while (it != subs_.end()) {
       auto ep = it->lock();
@@ -95,9 +93,12 @@ Announcer::Announcer(AnnounceBus& bus, ShardMap map, ULongLong key, std::string 
       src_host_(std::move(src_host)),
       period_(period.count() > 0 ? period : std::chrono::milliseconds(1)) {
   thread_ = std::thread([this] {
-    std::unique_lock<std::mutex> lock(mutex_);
+    UniqueLock lock(mutex_);
     for (;;) {
-      cv_.wait_for(lock, period_, [this] { return stopping_; });
+      const auto deadline = std::chrono::steady_clock::now() + period_;
+      while (!stopping_) {
+        if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) break;
+      }
       if (stopping_) return;
       lock.unlock();
       announce_now();
@@ -108,7 +109,7 @@ Announcer::Announcer(AnnounceBus& bus, ShardMap map, ULongLong key, std::string 
 
 Announcer::~Announcer() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    LockGuard lock(mutex_);
     stopping_ = true;
   }
   cv_.notify_all();

@@ -29,11 +29,11 @@
 #include <chrono>
 #include <condition_variable>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <thread>
 #include <vector>
 
+#include "common/mutex.hpp"
 #include "ns/shard_map.hpp"
 #include "sim/fault_plan.hpp"
 #include "transport/endpoint.hpp"
@@ -64,8 +64,8 @@ class AnnounceBus {
 
  private:
   sim::FaultPlan* faults_;
-  std::mutex mutex_;
-  std::vector<std::weak_ptr<transport::Endpoint>> subs_;
+  Mutex mutex_{"ns.announce_bus"};
+  std::vector<std::weak_ptr<transport::Endpoint>> subs_ PARDIS_GUARDED_BY(mutex_);
 };
 
 /// Periodic announcer: publishes `map` on `bus` every `period` from
@@ -89,9 +89,9 @@ class Announcer {
   ULongLong key_;
   std::string src_host_;
   std::chrono::milliseconds period_;
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  bool stopping_ = false;
+  Mutex mutex_{"ns.announcer"};
+  std::condition_variable_any cv_;
+  bool stopping_ PARDIS_GUARDED_BY(mutex_) = false;
   std::thread thread_;
 };
 

@@ -33,7 +33,7 @@ double ResolverCache::now() const {
 
 ResolverCache::Outcome ResolverCache::get(const std::string& name, const std::string& host,
                                           core::ReplicaGroup* out) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   auto it = entries_.find({name, host});
   if (it == entries_.end()) {
     count_miss();
@@ -55,14 +55,14 @@ ResolverCache::Outcome ResolverCache::get(const std::string& name, const std::st
 
 void ResolverCache::put(const std::string& name, const std::string& host,
                         core::ReplicaGroup group) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   Entry e;
   e.group = std::move(group);
   entries_[{name, host}] = std::move(e);
 }
 
 void ResolverCache::put_negative(const std::string& name, const std::string& host) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   Entry e;
   e.negative = true;
   e.expires_at =
@@ -71,7 +71,7 @@ void ResolverCache::put_negative(const std::string& name, const std::string& hos
 }
 
 void ResolverCache::invalidate(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   // Entries are keyed (name, host): the name's span is the contiguous
   // range starting at (name, "").
   auto it = entries_.lower_bound({name, std::string()});
@@ -79,7 +79,7 @@ void ResolverCache::invalidate(const std::string& name) {
 }
 
 void ResolverCache::note_epoch(const std::string& name, ULongLong epoch) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   auto it = entries_.lower_bound({name, std::string()});
   while (it != entries_.end() && it->first.first == name) {
     const bool stale_positive = !it->second.negative && it->second.group.epoch < epoch;
@@ -91,12 +91,12 @@ void ResolverCache::note_epoch(const std::string& name, ULongLong epoch) {
 }
 
 std::size_t ResolverCache::size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   return entries_.size();
 }
 
 void ResolverCache::clear() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   entries_.clear();
 }
 

@@ -18,10 +18,10 @@
 #include <chrono>
 #include <functional>
 #include <map>
-#include <mutex>
 #include <string>
 #include <utility>
 
+#include "common/mutex.hpp"
 #include "core/registry.hpp"
 
 namespace pardis::ns {
@@ -67,10 +67,10 @@ class ResolverCache {
 
   double now() const;
 
-  mutable std::mutex mutex_;
+  mutable Mutex mutex_{"ns.resolver_cache"};
   std::chrono::milliseconds negative_ttl_;
   std::function<double()> now_seconds_;
-  std::map<std::pair<std::string, std::string>, Entry> entries_;
+  std::map<std::pair<std::string, std::string>, Entry> entries_ PARDIS_GUARDED_BY(mutex_);
 };
 
 }  // namespace pardis::ns

@@ -40,13 +40,13 @@ ShardedRegistry::ShardedRegistry(transport::Transport& transport, ShardMap map,
       cache_(cfg.negative_ttl) {
   if (!map.valid())
     throw BadParam("ShardedRegistry: invalid shard map (empty shard or replica set)");
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   build_shards_locked(map);
 }
 
 ShardedRegistry::~ShardedRegistry() {
   {
-    std::lock_guard<std::mutex> lock(lease_mutex_);
+    LockGuard lock(lease_mutex_);
     stopping_ = true;
   }
   lease_cv_.notify_all();
@@ -80,34 +80,34 @@ void ShardedRegistry::build_shards_locked(const ShardMap& map) {
 
 std::shared_ptr<ShardedRegistry::Shard> ShardedRegistry::shard_for(
     const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   return shards_[ShardMap::pick(ring_, name)];
 }
 
 std::shared_ptr<ShardedRegistry::Shard> ShardedRegistry::shard_at(std::size_t idx) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   return shards_[idx];
 }
 
 std::size_t ShardedRegistry::shard_count() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   return shards_.size();
 }
 
 ShardMap ShardedRegistry::map() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   return map_;
 }
 
 std::size_t ShardedRegistry::leased_names() const {
-  std::lock_guard<std::mutex> lock(lease_mutex_);
+  LockGuard lock(lease_mutex_);
   return leases_.size();
 }
 
 bool ShardedRegistry::adopt_map(const ShardMap& fresh) {
   if (!fresh.valid()) return false;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    LockGuard lock(mutex_);
     if (fresh.version <= map_.version) return false;
     build_shards_locked(fresh);
   }
@@ -302,19 +302,19 @@ void ShardedRegistry::invalidate(const std::string& name) { cache_.invalidate(na
 // --- lease keeper ---------------------------------------------------------
 
 void ShardedRegistry::enroll_lease(const core::ObjectRef& ref, bool replica) {
-  std::lock_guard<std::mutex> lock(lease_mutex_);
+  LockGuard lock(lease_mutex_);
   leases_[{ref.name, ref.object_id.value}] = LeaseEntry{ref, replica};
   ensure_keeper_locked();
 }
 
 void ShardedRegistry::drop_lease(const std::string& name) {
-  std::lock_guard<std::mutex> lock(lease_mutex_);
+  LockGuard lock(lease_mutex_);
   auto it = leases_.lower_bound({name, 0});
   while (it != leases_.end() && it->first.first == name) it = leases_.erase(it);
 }
 
 void ShardedRegistry::drop_lease(const std::string& name, const ObjectId& id) {
-  std::lock_guard<std::mutex> lock(lease_mutex_);
+  LockGuard lock(lease_mutex_);
   leases_.erase({name, id.value});
 }
 
@@ -325,9 +325,12 @@ void ShardedRegistry::ensure_keeper_locked() {
 }
 
 void ShardedRegistry::keeper_loop() {
-  std::unique_lock<std::mutex> lock(lease_mutex_);
+  UniqueLock lock(lease_mutex_);
   while (!stopping_) {
-    lease_cv_.wait_for(lock, cfg_.effective_renew(), [this] { return stopping_; });
+    const auto deadline = std::chrono::steady_clock::now() + cfg_.effective_renew();
+    while (!stopping_) {
+      if (lease_cv_.wait_until(lock, deadline) == std::cv_status::timeout) break;
+    }
     if (stopping_) return;
     // Snapshot the enrollments so the remote calls run unlocked (a
     // renewal must never block register/unregister on the app thread).

@@ -30,10 +30,10 @@
 #include <atomic>
 #include <condition_variable>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "common/mutex.hpp"
 #include "ns/ns.hpp"
 #include "ns/resolver_cache.hpp"
 #include "ns/shard_map.hpp"
@@ -100,7 +100,7 @@ class ShardedRegistry final : public core::ObjectRegistry {
     std::unique_ptr<pool::Balancer> balancer;
   };
 
-  void build_shards_locked(const ShardMap& map);
+  void build_shards_locked(const ShardMap& map) PARDIS_REQUIRES(mutex_);
   /// The shard owning `name` (held alive by the shared_ptr across the
   /// remote calls even if adopt_map swaps the shard set mid-flight).
   std::shared_ptr<Shard> shard_for(const std::string& name);
@@ -123,29 +123,30 @@ class ShardedRegistry final : public core::ObjectRegistry {
   void drop_lease(const std::string& name);
   void drop_lease(const std::string& name, const ObjectId& id);
   void keeper_loop();
-  void ensure_keeper_locked();
+  void ensure_keeper_locked() PARDIS_REQUIRES(lease_mutex_);
 
   transport::Transport* transport_;
   NsConfig cfg_;
   std::string src_host_model_;
   ResolverCache cache_;
 
-  mutable std::mutex mutex_;  ///< guards map_, shards_, ring_
-  ShardMap map_;
-  std::vector<RingPoint> ring_;
-  std::vector<std::shared_ptr<Shard>> shards_;
+  mutable Mutex mutex_{"ns.sharded_registry"};
+  ShardMap map_ PARDIS_GUARDED_BY(mutex_);
+  std::vector<RingPoint> ring_ PARDIS_GUARDED_BY(mutex_);
+  std::vector<std::shared_ptr<Shard>> shards_ PARDIS_GUARDED_BY(mutex_);
 
   // --- lease keeper ---
   struct LeaseEntry {
     core::ObjectRef ref;  ///< kept so an expired lease can re-register
     bool replica = false;
   };
-  mutable std::mutex lease_mutex_;
-  std::condition_variable lease_cv_;
-  std::map<std::pair<std::string, ULongLong>, LeaseEntry> leases_;  ///< key: (name, id)
+  mutable Mutex lease_mutex_{"ns.lease_keeper"};
+  std::condition_variable_any lease_cv_;
+  std::map<std::pair<std::string, ULongLong>, LeaseEntry> leases_
+      PARDIS_GUARDED_BY(lease_mutex_);  ///< key: (name, id)
   std::thread keeper_;
-  bool keeper_started_ = false;
-  bool stopping_ = false;
+  bool keeper_started_ PARDIS_GUARDED_BY(lease_mutex_) = false;
+  bool stopping_ PARDIS_GUARDED_BY(lease_mutex_) = false;
   std::atomic<std::uint64_t> renewals_{0};
 };
 

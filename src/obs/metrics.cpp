@@ -63,7 +63,7 @@ Registry& Registry::instance() noexcept {
 }
 
 Counter& Registry::counter(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   for (CounterNode* n = counter_head_; n != nullptr; n = n->next)
     if (n->name == name) return n->counter;
   auto* node = new CounterNode{std::string(name), {}, counter_head_};
@@ -72,7 +72,7 @@ Counter& Registry::counter(std::string_view name) {
 }
 
 Histogram& Registry::histogram(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   for (HistogramNode* n = histogram_head_; n != nullptr; n = n->next)
     if (n->name == name) return n->histogram;
   auto* node = new HistogramNode{std::string(name), {}, histogram_head_};
@@ -82,7 +82,7 @@ Histogram& Registry::histogram(std::string_view name) {
 
 std::vector<Registry::CounterRow> Registry::counters() const {
   std::vector<CounterRow> out;
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   for (CounterNode* n = counter_head_; n != nullptr; n = n->next)
     out.push_back(CounterRow{n->name, n->counter.value()});
   std::sort(out.begin(), out.end(),
@@ -92,7 +92,7 @@ std::vector<Registry::CounterRow> Registry::counters() const {
 
 std::vector<Registry::HistogramRow> Registry::histograms() const {
   std::vector<HistogramRow> out;
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   for (HistogramNode* n = histogram_head_; n != nullptr; n = n->next) {
     HistogramRow row;
     row.name = n->name;
@@ -145,7 +145,7 @@ void Registry::dump_json(std::ostream& os) const {
 }
 
 void Registry::reset() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   for (CounterNode* n = counter_head_; n != nullptr; n = n->next) n->counter.reset();
   for (HistogramNode* n = histogram_head_; n != nullptr; n = n->next)
     n->histogram.reset();

@@ -10,12 +10,12 @@
 #include <atomic>
 #include <cstdint>
 #include <iosfwd>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
 
+#include "common/mutex.hpp"
 #include "common/types.hpp"
 
 namespace pardis::obs {
@@ -132,9 +132,9 @@ class Registry {
     HistogramNode* next = nullptr;
   };
 
-  mutable std::mutex mutex_;
-  CounterNode* counter_head_ = nullptr;
-  HistogramNode* histogram_head_ = nullptr;
+  mutable Mutex mutex_{"obs.metrics_registry"};
+  CounterNode* counter_head_ PARDIS_GUARDED_BY(mutex_) = nullptr;
+  HistogramNode* histogram_head_ PARDIS_GUARDED_BY(mutex_) = nullptr;
 };
 
 inline Registry& metrics() noexcept { return Registry::instance(); }

@@ -4,10 +4,10 @@
 #include <chrono>
 #include <cstdlib>
 #include <fstream>
-#include <mutex>
 #include <string>
 
 #include "common/log.hpp"
+#include "common/mutex.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "sim/clock.hpp"
@@ -22,7 +22,11 @@ std::atomic<int> g_enabled_cache{-1};
 
 namespace {
 
-std::mutex g_init_mutex;
+// Serializes init_from_env's check-then-set of the *atomic* cache so
+// two first readers agree on the env snapshot; there is no non-atomic
+// state for GUARDED_BY to name.
+// pardis-lint: allow(unannotated-mutex)
+Mutex g_init_mutex{"obs.init"};
 
 bool truthy(const char* v) noexcept {
   if (v == nullptr) return false;
@@ -38,7 +42,7 @@ void arm_atexit_flush() {
 }  // namespace
 
 int init_from_env() noexcept {
-  std::lock_guard<std::mutex> lock(g_init_mutex);
+  LockGuard lock(g_init_mutex);
   int v = g_enabled_cache.load(std::memory_order_relaxed);
   if (v < 0) {
     const bool on = truthy(std::getenv("PARDIS_OBS"));
@@ -52,7 +56,7 @@ int init_from_env() noexcept {
 }  // namespace detail
 
 void set_enabled(bool on) noexcept {
-  std::lock_guard<std::mutex> lock(detail::g_init_mutex);
+  LockGuard lock(detail::g_init_mutex);
   detail::g_enabled_cache.store(on ? 1 : 0, std::memory_order_relaxed);
   if (on) detail::arm_atexit_flush();
 }

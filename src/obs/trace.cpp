@@ -2,11 +2,11 @@
 
 #include <algorithm>
 #include <fstream>
-#include <mutex>
 #include <ostream>
 #include <vector>
 
 #include "common/log.hpp"
+#include "common/mutex.hpp"
 
 namespace pardis::obs {
 
@@ -17,8 +17,8 @@ namespace {
 constexpr std::size_t kShards = 16;
 
 struct Shard {
-  std::mutex mutex;
-  std::vector<SpanRecord> spans;
+  Mutex mutex{"obs.trace_shard"};
+  std::vector<SpanRecord> spans PARDIS_GUARDED_BY(mutex);
 };
 
 Shard g_shards[kShards];
@@ -47,7 +47,7 @@ void json_escape(std::ostream& os, const std::string& s) {
 
 void record_span(SpanRecord&& span) {
   Shard& s = shard_for_thread();
-  std::lock_guard<std::mutex> lock(s.mutex);
+  LockGuard lock(s.mutex);
   s.spans.push_back(std::move(span));
 }
 
@@ -55,7 +55,7 @@ std::vector<SpanRecord> snapshot_spans() {
   std::vector<SpanRecord> out;
   Shard* shards = all_shards();
   for (std::size_t i = 0; i < kShards; ++i) {
-    std::lock_guard<std::mutex> lock(shards[i].mutex);
+    LockGuard lock(shards[i].mutex);
     out.insert(out.end(), shards[i].spans.begin(), shards[i].spans.end());
   }
   std::sort(out.begin(), out.end(), [](const SpanRecord& a, const SpanRecord& b) {
@@ -68,7 +68,7 @@ std::size_t span_count() noexcept {
   std::size_t n = 0;
   Shard* shards = all_shards();
   for (std::size_t i = 0; i < kShards; ++i) {
-    std::lock_guard<std::mutex> lock(shards[i].mutex);
+    LockGuard lock(shards[i].mutex);
     n += shards[i].spans.size();
   }
   return n;
@@ -77,7 +77,7 @@ std::size_t span_count() noexcept {
 void clear_spans() {
   Shard* shards = all_shards();
   for (std::size_t i = 0; i < kShards; ++i) {
-    std::lock_guard<std::mutex> lock(shards[i].mutex);
+    LockGuard lock(shards[i].mutex);
     shards[i].spans.clear();
   }
 }

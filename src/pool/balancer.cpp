@@ -22,7 +22,7 @@ bool is_zero(std::chrono::steady_clock::time_point tp) {
 Balancer::Balancer(core::ReplicaGroup group, PoolConfig cfg,
                    std::function<std::size_t(const std::string&)> inflight)
     : cfg_(cfg), name_(group.name), inflight_(std::move(inflight)) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   adopt_members_locked(group);
   epoch_ = group.epoch;
 }
@@ -71,7 +71,7 @@ core::ObjectRef Balancer::picked_locked(Member& m) {
 }
 
 core::ObjectRef Balancer::pick(const std::string& avoid) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   if (members_.empty())
     throw ObjectNotExist("pool: replica group '" + name_ + "' has no members");
   const auto now = std::chrono::steady_clock::now();
@@ -135,7 +135,7 @@ core::ObjectRef Balancer::pick(const std::string& avoid) {
 }
 
 void Balancer::report_success(const std::string& key) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   Member* m = find_locked(key);
   if (m == nullptr) return;
   m->consecutive_failures = 0;
@@ -146,7 +146,7 @@ void Balancer::report_success(const std::string& key) {
 
 void Balancer::report_failure(const std::string& key, ErrorCode code,
                               unsigned retry_after_ms) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   Member* m = find_locked(key);
   if (m == nullptr) return;
   m->probing = false;
@@ -173,7 +173,7 @@ void Balancer::report_failure(const std::string& key, ErrorCode code,
 }
 
 void Balancer::report_endpoint(const transport::EndpointAddr& ep, bool resumed) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   for (auto& m : members_) {
     const auto& eps = m.ref.thread_eps;
     if (std::find(eps.begin(), eps.end(), ep) == eps.end()) continue;
@@ -209,24 +209,24 @@ void Balancer::mild_failure_locked(Member& m) {
 }
 
 void Balancer::merge(const core::ReplicaGroup& fresh) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   if (!fresh.valid()) return;
   adopt_members_locked(fresh);
   epoch_ = fresh.epoch;
 }
 
 ULongLong Balancer::epoch() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   return epoch_;
 }
 
 std::size_t Balancer::size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   return members_.size();
 }
 
 std::vector<MemberStat> Balancer::snapshot() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   const auto now = std::chrono::steady_clock::now();
   std::vector<MemberStat> out;
   out.reserve(members_.size());

@@ -44,10 +44,10 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.hpp"
 #include "core/client.hpp"
 #include "core/registry.hpp"
 
@@ -151,19 +151,19 @@ class Balancer {
     std::uint64_t picks = 0;
   };
 
-  void adopt_members_locked(const core::ReplicaGroup& group);
-  Member* find_locked(const std::string& key);
-  core::ObjectRef picked_locked(Member& m);
-  void quarantine_locked(Member& m, std::chrono::milliseconds span);
-  void hard_failure_locked(Member& m);
-  void mild_failure_locked(Member& m);
+  void adopt_members_locked(const core::ReplicaGroup& group) PARDIS_REQUIRES(mutex_);
+  Member* find_locked(const std::string& key) PARDIS_REQUIRES(mutex_);
+  core::ObjectRef picked_locked(Member& m) PARDIS_REQUIRES(mutex_);
+  void quarantine_locked(Member& m, std::chrono::milliseconds span) PARDIS_REQUIRES(mutex_);
+  void hard_failure_locked(Member& m) PARDIS_REQUIRES(mutex_);
+  void mild_failure_locked(Member& m) PARDIS_REQUIRES(mutex_);
 
-  mutable std::mutex mutex_;
+  mutable Mutex mutex_{"pool.balancer"};
   PoolConfig cfg_;
   std::string name_;
-  ULongLong epoch_ = 0;
-  std::vector<Member> members_;
-  std::size_t rr_next_ = 0;
+  ULongLong epoch_ PARDIS_GUARDED_BY(mutex_) = 0;
+  std::vector<Member> members_ PARDIS_GUARDED_BY(mutex_);
+  std::size_t rr_next_ PARDIS_GUARDED_BY(mutex_) = 0;
   std::function<std::size_t(const std::string&)> inflight_;
 };
 

@@ -8,18 +8,18 @@ namespace pardis::repo {
 
 void ImplRepository::register_impl(const std::string& name, ActivationRecord record) {
   if (!record.launch) throw BadParam("register_impl: empty launch function");
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   records_[name] = std::move(record);
 }
 
 void ImplRepository::unregister_impl(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   records_.erase(name);
 }
 
 const ActivationRecord* ImplRepository::find(const std::string& name,
                                              const std::string& host) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   auto it = records_.find(name);
   if (it == records_.end()) return nullptr;
   if (!it->second.host.empty() && !host.empty() && it->second.host != host) return nullptr;
@@ -41,7 +41,7 @@ bool ActivationAgent::activate(const std::string& name, const std::string& host)
   }
   const ActivationRecord* record = impls_->find(name, host);
   if (record == nullptr) return false;
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   if (std::find(active_names_.begin(), active_names_.end(), name) != active_names_.end())
     return true;  // a previous bind already triggered this launch
   PARDIS_LOG(kInfo, "repo") << "activating implementation for " << name;
@@ -51,12 +51,12 @@ bool ActivationAgent::activate(const std::string& name, const std::string& host)
 }
 
 std::size_t ActivationAgent::launched() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   return domains_.size();
 }
 
 void ActivationAgent::join_all() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   for (auto& d : domains_)
     if (d) d->join();
   domains_.clear();

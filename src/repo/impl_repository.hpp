@@ -17,10 +17,10 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.hpp"
 #include "core/orb.hpp"
 #include "rts/domain.hpp"
 
@@ -43,8 +43,8 @@ class ImplRepository {
   const ActivationRecord* find(const std::string& name, const std::string& host);
 
  private:
-  std::mutex mutex_;
-  std::map<std::string, ActivationRecord> records_;
+  Mutex mutex_{"repo.impl_repository"};
+  std::map<std::string, ActivationRecord> records_ PARDIS_GUARDED_BY(mutex_);
 };
 
 /// Launches registered implementations on demand and keeps their
@@ -79,9 +79,9 @@ class ActivationAgent {
  private:
   ImplRepository* impls_;
   bool activating_;
-  mutable std::mutex mutex_;
-  std::vector<std::unique_ptr<rts::Domain>> domains_;
-  std::vector<std::string> active_names_;
+  mutable Mutex mutex_{"repo.activation_agent"};
+  std::vector<std::unique_ptr<rts::Domain>> domains_ PARDIS_GUARDED_BY(mutex_);
+  std::vector<std::string> active_names_ PARDIS_GUARDED_BY(mutex_);
 };
 
 }  // namespace pardis::repo

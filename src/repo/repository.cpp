@@ -161,7 +161,7 @@ RemoteRegistry::RemoteRegistry(transport::Transport& transport,
 }
 
 ByteBuffer RemoteRegistry::call(RepoOp op, ByteBuffer body) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   const ULongLong call_id = g_call_id.fetch_add(1, std::memory_order_relaxed);
   ByteBuffer frame;
   CdrWriter w(frame);

@@ -19,33 +19,15 @@
 #include <memory>
 #include <thread>
 
+#include "common/mutex.hpp"
 #include "core/registry.hpp"
+#include "core/wire.hpp"  // RepoOp
 #include "transport/transport.hpp"
 
 namespace pardis::repo {
 
-/// Repository wire operations (payload of kHandlerRepo RSRs). The
-/// replica-group ops (pardis_pool) extend the enum; a frame's op octet
-/// leads it, so the pre-pool ops keep their exact wire bytes and an
-/// old server simply rejects the new octets.
-///
-/// pardis_ns extends kRegister/kRegisterReplica with an *optional
-/// trailing lease*: a ULong of milliseconds after the ObjectRef. A
-/// lease-free frame carries no trailer and is byte-identical to the
-/// pre-ns encoding; the server reads the trailer only when bytes
-/// remain. kRenewLease is a new op octet (old servers reject it, the
-/// documented forward-compat path).
-enum class RepoOp : Octet {
-  kRegister = 0,
-  kLookup = 1,
-  kUnregister = 2,
-  kList = 3,
-  kReply = 4,
-  kRegisterReplica = 5,
-  kLookupGroup = 6,
-  kUnregisterReplica = 7,
-  kRenewLease = 8,
-};
+// RepoOp — the repository wire operations — lives in the wire-constant
+// registry (core/wire.hpp).
 
 /// Serves one namespace over a transport. Runs its own service thread
 /// (the repository is an ordinary daemon, not a computing thread).
@@ -117,7 +99,10 @@ class RemoteRegistry final : public core::ObjectRegistry {
                    std::chrono::milliseconds lease) override;
 
   /// Send attempts the last call needed (1 = no reconnects). Tests.
-  int last_send_attempts() const noexcept { return last_send_attempts_; }
+  int last_send_attempts() const {
+    LockGuard lock(mutex_);
+    return last_send_attempts_;
+  }
 
  private:
   ByteBuffer call(RepoOp op, ByteBuffer body);
@@ -127,8 +112,8 @@ class RemoteRegistry final : public core::ObjectRegistry {
   std::chrono::milliseconds call_timeout_;
   std::string src_host_model_;
   std::shared_ptr<transport::Endpoint> reply_ep_;
-  std::mutex mutex_;  // one outstanding call at a time
-  int last_send_attempts_ = 0;  ///< guarded by mutex_
+  mutable Mutex mutex_{"repo.remote_registry"};  // one outstanding call at a time
+  int last_send_attempts_ PARDIS_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace pardis::repo

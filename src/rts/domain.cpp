@@ -26,7 +26,10 @@ Domain::~Domain() {
 
 void Domain::start(std::function<void(DomainContext&)> fn) {
   if (!threads_.empty()) throw BadInvOrder("Domain::start: already running");
-  first_error_ = nullptr;
+  {
+    LockGuard lock(error_mutex_);
+    first_error_ = nullptr;
+  }
   auto shared_fn = std::make_shared<std::function<void(DomainContext&)>>(std::move(fn));
   threads_.reserve(group_.size());
   for (int r = 0; r < group_.size(); ++r) {
@@ -38,10 +41,10 @@ void Domain::start(std::function<void(DomainContext&)> fn) {
       } catch (const std::exception& e) {
         PARDIS_LOG(kError, "rts") << "domain " << name_ << " rank " << r
                                   << " failed: " << e.what();
-        std::lock_guard<std::mutex> lock(error_mutex_);
+        LockGuard lock(error_mutex_);
         if (!first_error_) first_error_ = std::current_exception();
       } catch (...) {
-        std::lock_guard<std::mutex> lock(error_mutex_);
+        LockGuard lock(error_mutex_);
         if (!first_error_) first_error_ = std::current_exception();
       }
     });
@@ -52,11 +55,13 @@ void Domain::join() {
   for (auto& t : threads_)
     if (t.joinable()) t.join();
   threads_.clear();
-  if (first_error_) {
-    auto err = first_error_;
+  std::exception_ptr err;
+  {
+    LockGuard lock(error_mutex_);
+    err = first_error_;
     first_error_ = nullptr;
-    std::rethrow_exception(err);
   }
+  if (err) std::rethrow_exception(err);
 }
 
 void Domain::run(const std::function<void(DomainContext&)>& fn) {

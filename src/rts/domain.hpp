@@ -9,11 +9,11 @@
 #include <exception>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/mutex.hpp"
 #include "rts/thread_comm.hpp"
 #include "sim/clock.hpp"
 #include "sim/testbed.hpp"
@@ -72,8 +72,8 @@ class Domain {
   ThreadCommGroup group_;
   std::vector<sim::SimClock> clocks_;
   std::vector<std::thread> threads_;
-  std::exception_ptr first_error_;
-  std::mutex error_mutex_;
+  std::exception_ptr first_error_ PARDIS_GUARDED_BY(error_mutex_);
+  Mutex error_mutex_{"rts.domain_error"};
 };
 
 }  // namespace pardis::rts

@@ -6,30 +6,16 @@
 // message tags)." User code owns tags in [0, kReservedTagBase); PARDIS
 // subsystems use fixed tags at or above kReservedTagBase. Sends with a
 // user-facing API validate the tag and throw BadTag on collision.
+// The tag values themselves live in the wire-constant registry
+// (core/wire.hpp) with every other on-the-wire constant; this header
+// keeps the tag-space *policy* (validation and range predicates).
 #pragma once
 
 #include "common/error.hpp"
 #include "common/types.hpp"
+#include "core/wire.hpp"
 
 namespace pardis::rts {
-
-/// First tag reserved for PARDIS-internal traffic.
-inline constexpr Tag kReservedTagBase = 0x4000'0000;
-
-/// Wildcards for receive matching.
-inline constexpr int kAnySource = -1;
-inline constexpr Tag kAnyTag = -1;
-
-/// Reserved tags, one per internal protocol.
-inline constexpr Tag kTagCollective = kReservedTagBase + 1;
-inline constexpr Tag kTagOrbRequest = kReservedTagBase + 2;
-inline constexpr Tag kTagOrbReply = kReservedTagBase + 3;
-inline constexpr Tag kTagDistTransfer = kReservedTagBase + 4;
-inline constexpr Tag kTagDistRedistribute = kReservedTagBase + 5;
-inline constexpr Tag kTagPackage = kReservedTagBase + 6;  ///< mini-PSTL / mini-POOMA internals
-inline constexpr Tag kTagPoaRound = kReservedTagBase + 7;  ///< POA dispatch schedules
-inline constexpr Tag kTagCheck = kReservedTagBase + 8;  ///< pardis_check fingerprints
-inline constexpr Tag kTagFtRetry = kReservedTagBase + 9;  ///< pardis_ft retry agreement
 
 /// True when `tag` belongs to user code.
 constexpr bool is_user_tag(Tag tag) noexcept { return tag >= 0 && tag < kReservedTagBase; }

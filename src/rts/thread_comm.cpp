@@ -49,7 +49,7 @@ void ThreadCommGroup::deliver(int src, int dest, Tag tag, ByteBuffer payload, bo
   msg.payload = std::move(payload);
   Mailbox& box = *mailboxes_[dest];
   {
-    std::lock_guard<std::mutex> lock(box.mutex);
+    LockGuard lock(box.mutex);
     box.queue.push_back(std::move(msg));
   }
   box.cv.notify_all();
@@ -65,7 +65,7 @@ void ThreadComm::send_control(int dest, Tag tag, ByteBuffer payload) {
 
 RtsMessage ThreadComm::recv(int source, Tag tag) {
   auto& box = *group_->mailboxes_[rank_];
-  std::unique_lock<std::mutex> lock(box.mutex);
+  UniqueLock lock(box.mutex);
   for (;;) {
     auto it = std::find_if(box.queue.begin(), box.queue.end(),
                            [&](const RtsMessage& m) { return group_->matches(m, source, tag); });
@@ -82,7 +82,7 @@ RtsMessage ThreadComm::recv(int source, Tag tag) {
 
 std::optional<RtsMessage> ThreadComm::try_recv(int source, Tag tag) {
   auto& box = *group_->mailboxes_[rank_];
-  std::unique_lock<std::mutex> lock(box.mutex);
+  UniqueLock lock(box.mutex);
   auto it = std::find_if(box.queue.begin(), box.queue.end(),
                          [&](const RtsMessage& m) { return group_->matches(m, source, tag); });
   if (it == box.queue.end()) return std::nullopt;
@@ -95,7 +95,7 @@ std::optional<RtsMessage> ThreadComm::try_recv(int source, Tag tag) {
 
 std::optional<MessageInfo> ThreadComm::probe(int source, Tag tag) {
   auto& box = *group_->mailboxes_[rank_];
-  std::lock_guard<std::mutex> lock(box.mutex);
+  LockGuard lock(box.mutex);
   auto it = std::find_if(box.queue.begin(), box.queue.end(),
                          [&](const RtsMessage& m) { return group_->matches(m, source, tag); });
   if (it == box.queue.end()) return std::nullopt;

@@ -10,9 +10,9 @@
 #include <condition_variable>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <vector>
 
+#include "common/mutex.hpp"
 #include "rts/communicator.hpp"
 #include "sim/testbed.hpp"
 
@@ -42,10 +42,10 @@ class ThreadCommGroup {
   friend class ThreadComm;
 
   struct Mailbox {
-    std::mutex mutex;
-    std::condition_variable cv;
-    std::deque<RtsMessage> queue;
-    bool closed = false;
+    Mutex mutex{"rts.mailbox"};
+    std::condition_variable_any cv;
+    std::deque<RtsMessage> queue PARDIS_GUARDED_BY(mutex);
+    bool closed PARDIS_GUARDED_BY(mutex) = false;
   };
 
   void deliver(int src, int dest, Tag tag, ByteBuffer payload, bool timed);

@@ -22,30 +22,30 @@ FaultPlan::LinkSchedule& FaultPlan::link_locked(const std::string& src,
 
 void FaultPlan::drop_message(const std::string& src, const std::string& dst,
                              std::uint64_t index) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   link_locked(src, dst).drops.insert(index);
 }
 
 void FaultPlan::fail_message(const std::string& src, const std::string& dst,
                              std::uint64_t index) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   link_locked(src, dst).fails.insert(index);
 }
 
 void FaultPlan::duplicate_message(const std::string& src, const std::string& dst,
                                   std::uint64_t index) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   link_locked(src, dst).duplicates.insert(index);
 }
 
 void FaultPlan::delay_message(const std::string& src, const std::string& dst,
                               std::uint64_t index, double seconds) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   link_locked(src, dst).delays[index] = seconds;
 }
 
 void FaultPlan::sever_link(const std::string& a, const std::string& b) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   link_locked(a, b).severed = true;
   link_locked(b, a).severed = true;
 }
@@ -61,19 +61,19 @@ void FaultPlan::heal_locked(const std::string& a, const std::string& b) {
 }
 
 void FaultPlan::heal_link(const std::string& a, const std::string& b) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   heal_locked(a, b);
 }
 
 void FaultPlan::heal_link_at(const std::string& src, const std::string& dst,
                              std::uint64_t index) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   link_locked(src, dst).heal_at_index = index;
 }
 
 void FaultPlan::heal_link_after(const std::string& a, const std::string& b,
                                 double seconds) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   const auto when = std::chrono::steady_clock::now() +
                     std::chrono::duration_cast<std::chrono::steady_clock::duration>(
                         std::chrono::duration<double>(seconds));
@@ -85,14 +85,14 @@ void FaultPlan::heal_link_after(const std::string& a, const std::string& b,
 }
 
 void FaultPlan::kill_endpoint(ULongLong key) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   active_.store(true, std::memory_order_relaxed);
   killed_.insert(key);
 }
 
 void FaultPlan::seed_schedule(const std::string& src, const std::string& dst,
                               std::uint64_t seed, double p, std::uint64_t horizon) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   LinkSchedule& link = link_locked(src, dst);
   std::uint64_t state = seed;
   for (std::uint64_t i = 0; i < horizon; ++i) {
@@ -104,7 +104,7 @@ void FaultPlan::seed_schedule(const std::string& src, const std::string& dst,
 }
 
 void FaultPlan::clear() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   links_.clear();
   killed_.clear();
   active_.store(false, std::memory_order_relaxed);
@@ -113,7 +113,7 @@ void FaultPlan::clear() {
 FaultPlan::Decision FaultPlan::on_message(const std::string& src, const std::string& dst,
                                           ULongLong dst_key) {
   Decision d;
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   if (killed_.count(dst_key) != 0) {
     d.sever = true;
     return d;

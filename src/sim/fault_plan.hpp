@@ -17,11 +17,11 @@
 #include <chrono>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <set>
 #include <string>
 #include <utility>
 
+#include "common/mutex.hpp"
 #include "common/types.hpp"
 
 namespace pardis::sim {
@@ -126,13 +126,14 @@ class FaultPlan {
     std::uint64_t next_index = 0;
   };
 
-  LinkSchedule& link_locked(const std::string& src, const std::string& dst);
-  void heal_locked(const std::string& a, const std::string& b);
+  LinkSchedule& link_locked(const std::string& src, const std::string& dst)
+      PARDIS_REQUIRES(mutex_);
+  void heal_locked(const std::string& a, const std::string& b) PARDIS_REQUIRES(mutex_);
 
-  mutable std::mutex mutex_;
+  mutable Mutex mutex_{"sim.fault_plan"};
   std::atomic<bool> active_{false};
-  std::map<std::pair<std::string, std::string>, LinkSchedule> links_;
-  std::set<ULongLong> killed_;
+  std::map<std::pair<std::string, std::string>, LinkSchedule> links_ PARDIS_GUARDED_BY(mutex_);
+  std::set<ULongLong> killed_ PARDIS_GUARDED_BY(mutex_);
 };
 
 }  // namespace pardis::sim

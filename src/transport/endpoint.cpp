@@ -72,7 +72,7 @@ void Endpoint::note_depth_locked() {
 }
 
 std::optional<RsrMessage> Endpoint::poll() {
-  std::unique_lock<std::mutex> lock(mutex_);
+  UniqueLock lock(mutex_);
   note_depth_locked();
   if (queue_.empty()) return std::nullopt;
   RsrMessage msg = std::move(queue_.front());
@@ -83,8 +83,8 @@ std::optional<RsrMessage> Endpoint::poll() {
 }
 
 RsrMessage Endpoint::wait() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  cv_.wait(lock, [this] { return !queue_.empty() || closed_; });
+  UniqueLock lock(mutex_);
+  while (queue_.empty() && !closed_) cv_.wait(lock);
   if (queue_.empty()) throw CommFailure("endpoint closed while waiting: " + addr_.to_string());
   note_depth_locked();
   RsrMessage msg = std::move(queue_.front());
@@ -95,9 +95,14 @@ RsrMessage Endpoint::wait() {
 }
 
 WaitResult Endpoint::wait_for(std::chrono::milliseconds timeout) {
-  std::unique_lock<std::mutex> lock(mutex_);
-  if (!cv_.wait_for(lock, timeout, [this] { return !queue_.empty() || closed_; }))
-    return {WaitStatus::kTimeout, std::nullopt};
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  UniqueLock lock(mutex_);
+  while (queue_.empty() && !closed_) {
+    if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+      if (!queue_.empty() || closed_) break;
+      return {WaitStatus::kTimeout, std::nullopt};
+    }
+  }
   if (queue_.empty()) return {WaitStatus::kClosed, std::nullopt};
   note_depth_locked();
   RsrMessage msg = std::move(queue_.front());
@@ -108,7 +113,7 @@ WaitResult Endpoint::wait_for(std::chrono::milliseconds timeout) {
 }
 
 std::size_t Endpoint::pending() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   return queue_.size();
 }
 
@@ -152,7 +157,7 @@ void Endpoint::enqueue(RsrMessage msg) {
   // concurrent producer fills the queue while the filter is acking.
   bool reserved = false;
   if (msg.handler == kHandlerSessionData) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    LockGuard lock(mutex_);
     if (closed_) return;  // dropped unacked: the sender keeps the frame
     if (capacity_ != 0) {
       if (queue_.size() + reserved_ >= capacity_) {
@@ -166,19 +171,19 @@ void Endpoint::enqueue(RsrMessage msg) {
   {
     DeliveryFilter filter;
     {
-      std::lock_guard<std::mutex> lock(filter_mutex_);
+      LockGuard lock(filter_mutex_);
       filter = filter_;
     }
     if (filter && filter(msg)) {  // consumed by the session layer
       if (reserved) {
-        std::lock_guard<std::mutex> lock(mutex_);
+        LockGuard lock(mutex_);
         --reserved_;
       }
       return;
     }
   }
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    LockGuard lock(mutex_);
     if (reserved) --reserved_;
     if (closed_) return;  // dropped, like a one-way send to a dead peer
     // A reservation guarantees the seat (every producer counts
@@ -193,36 +198,36 @@ void Endpoint::enqueue(RsrMessage msg) {
 }
 
 void Endpoint::set_capacity(std::size_t cap) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   capacity_ = cap;
   at_cap_streak_ = 0;
 }
 
 std::size_t Endpoint::capacity() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   return capacity_;
 }
 
 std::uint64_t Endpoint::dropped() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   return dropped_;
 }
 
 void Endpoint::set_delivery_filter(DeliveryFilter filter) {
-  std::lock_guard<std::mutex> lock(filter_mutex_);
+  LockGuard lock(filter_mutex_);
   filter_ = std::move(filter);
 }
 
 void Endpoint::close() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    LockGuard lock(mutex_);
     closed_ = true;
   }
   cv_.notify_all();
 }
 
 bool Endpoint::closed() const noexcept {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   return closed_;
 }
 

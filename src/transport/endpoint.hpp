@@ -13,36 +13,16 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <optional>
 #include <string>
 
 #include "common/buffer.hpp"
 #include "common/cdr.hpp"
 #include "common/error.hpp"
+#include "common/mutex.hpp"
+#include "core/wire.hpp"  // HandlerId + the kHandler* registry
 
 namespace pardis::transport {
-
-using HandlerId = ULong;
-
-/// Handlers the ORB registers on every endpoint.
-inline constexpr HandlerId kHandlerOrbRequest = 1;
-inline constexpr HandlerId kHandlerOrbReply = 2;
-inline constexpr HandlerId kHandlerRepo = 3;
-/// Liveness probe: an empty RSR whose only purpose is to exercise the
-/// path to a peer. Receivers discard it silently; a probe failure at
-/// the sender marks the peer dead (pardis_ft broken-future detection).
-inline constexpr HandlerId kHandlerPing = 4;
-/// pardis_flow session envelope: a sequence-numbered frame wrapping an
-/// inner RSR. Intercepted by the session layer's delivery filter, never
-/// seen by ORB handlers.
-inline constexpr HandlerId kHandlerSessionData = 5;
-/// pardis_flow cumulative acknowledgement for session frames.
-inline constexpr HandlerId kHandlerSessionAck = 6;
-/// pardis_ns shard-map announcement (simulated multicast): a keyed
-/// digest + ShardMap frame fanned out by ns::AnnounceBus so clients
-/// discover repositories without PARDIS_REPO_ADDR.
-inline constexpr HandlerId kHandlerAnnounce = 7;
 
 enum class AddrKind : Octet { kLocal = 0, kTcp = 1 };
 
@@ -157,24 +137,25 @@ class Endpoint {
   /// Bookkeeping for the pinned-at-capacity check rule; call with
   /// mutex_ held at every drain observation. May throw
   /// check::Violation (the unique_lock unwinds cleanly).
-  void note_depth_locked();
+  void note_depth_locked() PARDIS_REQUIRES(mutex_);
   /// Diagnostics for one at-capacity drop; call with mutex_ held.
-  void drop_at_capacity_locked(const RsrMessage& msg, bool session_frame);
+  void drop_at_capacity_locked(const RsrMessage& msg, bool session_frame)
+      PARDIS_REQUIRES(mutex_);
 
   EndpointAddr addr_;
-  mutable std::mutex mutex_;
-  std::condition_variable cv_;
-  std::deque<RsrMessage> queue_;
-  std::size_t capacity_ = 0;  ///< 0 = unbounded
+  mutable Mutex mutex_{"transport.endpoint"};
+  std::condition_variable_any cv_;
+  std::deque<RsrMessage> queue_ PARDIS_GUARDED_BY(mutex_);
+  std::size_t capacity_ PARDIS_GUARDED_BY(mutex_) = 0;  ///< 0 = unbounded
   /// Seats promised to session frames currently passing through the
   /// delivery filter (capacity is checked before the filter acks).
-  std::size_t reserved_ = 0;
-  std::uint64_t dropped_ = 0;
-  bool drop_warned_ = false;
-  int at_cap_streak_ = 0;
-  DeliveryFilter filter_;  ///< guarded by filter_mutex_
-  mutable std::mutex filter_mutex_;
-  bool closed_ = false;
+  std::size_t reserved_ PARDIS_GUARDED_BY(mutex_) = 0;
+  std::uint64_t dropped_ PARDIS_GUARDED_BY(mutex_) = 0;
+  bool drop_warned_ PARDIS_GUARDED_BY(mutex_) = false;
+  int at_cap_streak_ PARDIS_GUARDED_BY(mutex_) = 0;
+  DeliveryFilter filter_ PARDIS_GUARDED_BY(filter_mutex_);
+  mutable Mutex filter_mutex_{"transport.endpoint_filter"};
+  bool closed_ PARDIS_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace pardis::transport

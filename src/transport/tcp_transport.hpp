@@ -11,11 +11,11 @@
 #include <atomic>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/mutex.hpp"
 #include "transport/transport.hpp"
 
 namespace pardis::transport {
@@ -46,7 +46,11 @@ class TcpTransport final : public Transport {
  private:
   struct Connection {
     int fd = -1;
-    std::mutex write_mutex;
+    /// Serializes whole-frame ::send calls so concurrent rsr()s never
+    /// interleave bytes on the socket — it guards the write *stream*,
+    /// not a data member.
+    // pardis-lint: allow(unannotated-mutex)
+    Mutex write_mutex{"transport.tcp_conn_write"};
     /// Owns the descriptor: ::close runs only when the last holder
     /// drops its reference, never while a racing rsr() may still be
     /// queued on write_mutex with this fd — an early close would let
@@ -69,12 +73,13 @@ class TcpTransport final : public Transport {
   std::thread accept_thread_;
   std::atomic<bool> stopping_{false};
 
-  std::mutex mutex_;
-  ULongLong next_ep_ = 1;
-  std::map<ULongLong, std::weak_ptr<Endpoint>> endpoints_;
-  std::map<std::string, std::shared_ptr<Connection>> connections_;  // "host:port"
-  std::vector<std::thread> readers_;
-  std::vector<int> reader_fds_;
+  Mutex mutex_{"transport.tcp"};
+  ULongLong next_ep_ PARDIS_GUARDED_BY(mutex_) = 1;
+  std::map<ULongLong, std::weak_ptr<Endpoint>> endpoints_ PARDIS_GUARDED_BY(mutex_);
+  std::map<std::string, std::shared_ptr<Connection>> connections_
+      PARDIS_GUARDED_BY(mutex_);  // "host:port"
+  std::vector<std::thread> readers_ PARDIS_GUARDED_BY(mutex_);
+  std::vector<int> reader_fds_ PARDIS_GUARDED_BY(mutex_);
 };
 
 }  // namespace pardis::transport

@@ -8,7 +8,7 @@
 namespace pardis::transport {
 
 std::shared_ptr<Endpoint> LocalTransport::create_endpoint(const std::string& host_model) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   EndpointAddr addr;
   addr.kind = AddrKind::kLocal;
   addr.host_model = host_model;
@@ -36,7 +36,7 @@ void LocalTransport::rsr(const EndpointAddr& dst, HandlerId handler, ByteBuffer 
     throw BadParam("LocalTransport: destination is not a local address");
   std::shared_ptr<Endpoint> ep;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    LockGuard lock(mutex_);
     auto it = endpoints_.find(dst.local_id);
     if (it != endpoints_.end()) ep = it->second.lock();
   }

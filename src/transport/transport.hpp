@@ -3,9 +3,9 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 
+#include "common/mutex.hpp"
 #include "sim/testbed.hpp"
 #include "transport/endpoint.hpp"
 
@@ -51,9 +51,9 @@ class LocalTransport final : public Transport {
 
  private:
   const sim::Testbed* testbed_;
-  std::mutex mutex_;
-  ULongLong next_id_ = 1;
-  std::map<ULongLong, std::weak_ptr<Endpoint>> endpoints_;
+  Mutex mutex_{"transport.local"};
+  ULongLong next_id_ PARDIS_GUARDED_BY(mutex_) = 1;
+  std::map<ULongLong, std::weak_ptr<Endpoint>> endpoints_ PARDIS_GUARDED_BY(mutex_);
 };
 
 }  // namespace pardis::transport

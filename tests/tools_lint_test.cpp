@@ -1,0 +1,263 @@
+// pardis-lint golden tests: one fixture per PTxxx rule exercising the
+// text renderer (the gcc/clang file:line:col format), the --json
+// renderer, allow-comment suppression, --werror exit codes, and the
+// lint-cleanliness of the committed source tree (the same invocation
+// CI runs as the PardisLint.Sources ctest).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+struct RunResult {
+  int exit_code = -1;
+  std::string out;
+};
+
+/// Runs pardis-lint with `args`, capturing stdout and the exit code.
+RunResult run_lint(const std::string& args) {
+  const std::string cmd = std::string(PARDIS_LINT_BIN) + " " + args + " 2>/dev/null";
+  RunResult r;
+  FILE* pipe = popen(cmd.c_str(), "r");
+  if (pipe == nullptr) return r;
+  char buf[4096];
+  std::size_t n;
+  while ((n = fread(buf, 1, sizeof buf, pipe)) > 0) r.out.append(buf, n);
+  const int status = pclose(pipe);
+  r.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return r;
+}
+
+/// Writes `content` under a per-test fixture dir and returns its path.
+class LintFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::path(::testing::TempDir()) /
+           (std::string("pardis_lint_") +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  std::string write(const std::string& name, const std::string& content) {
+    const fs::path p = dir_ / name;
+    std::ofstream(p) << content;
+    return p.generic_string();
+  }
+
+  /// Replaces the fixture dir in `out` with "FIX" so expectations are
+  /// location-independent golden strings.
+  std::string normalized(const std::string& out) const {
+    std::string s = out;
+    const std::string d = dir_.generic_string();
+    for (std::size_t at = s.find(d); at != std::string::npos; at = s.find(d, at))
+      s.replace(at, d.size(), "FIX");
+    return s;
+  }
+
+  fs::path dir_;
+};
+
+// ---------------------------------------------------------------------------
+// PT002 — wire constants outside the registry
+// ---------------------------------------------------------------------------
+
+TEST_F(LintFixture, PT002WireConstantOutsideRegistryGoldenText) {
+  const std::string f = write("rogue_wire.hpp",
+                              "#pragma once\n"
+                              "namespace pardis::core {\n"
+                              "inline constexpr unsigned char kFlagBogus = 0x20;\n"
+                              "}\n");
+  const RunResult r = run_lint(f);
+  EXPECT_EQ(r.exit_code, 0);  // warnings only without --werror
+  EXPECT_EQ(normalized(r.out),
+            "FIX/rogue_wire.hpp:3:32: warning: wire constant 'kFlagBogus' declared "
+            "outside the registry; add it to core/wire.hpp (single declaration point, "
+            "collision static_asserts) [PT002]\n");
+  EXPECT_EQ(run_lint("--werror " + f).exit_code, 1);
+}
+
+TEST_F(LintFixture, PT002RepoOpOutsideRegistry) {
+  const std::string f = write("rogue_repoop.hpp",
+                              "enum class RepoOp : unsigned char { kRegister = 0 };\n");
+  const RunResult r = run_lint(f);
+  EXPECT_NE(normalized(r.out).find("FIX/rogue_repoop.hpp:1:1: warning: RepoOp"),
+            std::string::npos)
+      << r.out;
+  EXPECT_NE(r.out.find("[PT002]"), std::string::npos);
+}
+
+TEST_F(LintFixture, PT002TheRegistryItselfIsExempt) {
+  fs::create_directories(dir_ / "core");
+  write("core/wire.hpp", "inline constexpr unsigned kFlagOneway = 0x1;\n");
+  EXPECT_EQ(run_lint("--werror " + dir_.generic_string()).exit_code, 0);
+}
+
+// ---------------------------------------------------------------------------
+// PT003 — raw std::mutex
+// ---------------------------------------------------------------------------
+
+TEST_F(LintFixture, PT003RawMutexGoldenText) {
+  const std::string f = write("raw.hpp",
+                              "#include <mutex>\n"
+                              "struct S {\n"
+                              "  std::mutex m_;\n"
+                              "};\n");
+  const RunResult r = run_lint(f);
+  EXPECT_EQ(normalized(r.out),
+            "FIX/raw.hpp:3:3: warning: raw std::mutex declaration: invisible to "
+            "thread-safety analysis and the lock-order detector; declare pardis::Mutex "
+            "(common/mutex.hpp) [PT003]\n");
+}
+
+TEST_F(LintFixture, PT003AllowCommentSuppresses) {
+  const std::string f = write("raw_allowed.hpp",
+                              "#include <mutex>\n"
+                              "struct S {\n"
+                              "  // pardis-lint: allow(raw-mutex) bootstrap lock\n"
+                              "  std::mutex m_;\n"
+                              "};\n");
+  EXPECT_EQ(run_lint("--werror " + f).exit_code, 0);
+}
+
+TEST_F(LintFixture, PT003LockGuardTemplateArgumentIsNotADeclaration) {
+  const std::string f = write("guard.cpp",
+                              "#include <mutex>\n"
+                              "void f(std::mutex& m) {\n"
+                              "  std::lock_guard<std::mutex> lock(m);\n"
+                              "}\n");
+  // Line 2's parameter declares storage for a reference, not a mutex;
+  // line 3's template argument declares nothing. Only strictly
+  // `std::mutex <identifier>` sites count, which neither line is —
+  // except the reference parameter, which the heuristic deliberately
+  // skips via the '&'.
+  const RunResult r = run_lint(f);
+  EXPECT_EQ(r.out, "");
+}
+
+// ---------------------------------------------------------------------------
+// PT004 — pardis::Mutex with no annotation referencing it
+// ---------------------------------------------------------------------------
+
+TEST_F(LintFixture, PT004UnannotatedMutexGoldenText) {
+  const std::string f = write("unannotated.hpp",
+                              "struct S {\n"
+                              "  Mutex mutex_{\"x\"};\n"
+                              "  int guarded = 0;\n"
+                              "};\n");
+  const RunResult r = run_lint(f);
+  EXPECT_EQ(normalized(r.out),
+            "FIX/unannotated.hpp:2:9: warning: Mutex 'mutex_' has no "
+            "PARDIS_GUARDED_BY/PARDIS_REQUIRES annotation referencing it; tie it to the "
+            "state it guards [PT004]\n");
+}
+
+TEST_F(LintFixture, PT004AnnotationAnywhereInFileSatisfies) {
+  const std::string f = write("annotated.hpp",
+                              "struct S {\n"
+                              "  Mutex mutex_{\"x\"};\n"
+                              "  int guarded PARDIS_GUARDED_BY(mutex_) = 0;\n"
+                              "};\n");
+  EXPECT_EQ(run_lint("--werror " + f).exit_code, 0);
+}
+
+TEST_F(LintFixture, PT004AllowCommentSuppresses) {
+  const std::string f = write("io_mutex.hpp",
+                              "// guards a stream, not a member\n"
+                              "// pardis-lint: allow(unannotated-mutex)\n"
+                              "Mutex g_io{\"io\"};\n");
+  EXPECT_EQ(run_lint("--werror " + f).exit_code, 0);
+}
+
+// ---------------------------------------------------------------------------
+// PT001 — blocking primitives reachable from pump entries
+// ---------------------------------------------------------------------------
+
+TEST_F(LintFixture, PT001BlockingReachableThroughCallChain) {
+  const std::string f = write("pump.cpp",
+                              "#include <thread>\n"
+                              "void helper() {\n"
+                              "  std::this_thread::sleep_for(std::chrono::milliseconds(1));\n"
+                              "}\n"
+                              "void step() { helper(); }\n"
+                              "void ClientCtx::pump() { step(); }\n");
+  const RunResult r = run_lint(f);
+  EXPECT_EQ(normalized(r.out),
+            "FIX/pump.cpp:3:1: warning: sleep_for reachable from pump entry "
+            "'ClientCtx::pump' via ClientCtx::pump -> step -> helper; delivery paths "
+            "must not block (poll, hand off, or justify with an allow comment) "
+            "[PT001]\n");
+}
+
+TEST_F(LintFixture, PT001EntryItselfBlockingIsFlagged) {
+  const std::string f = write("enqueue.cpp",
+                              "void Endpoint::enqueue(int m) {\n"
+                              "  cv_.wait(m);\n"
+                              "}\n");
+  const RunResult r = run_lint(f);
+  EXPECT_NE(normalized(r.out).find("FIX/enqueue.cpp:2:1: warning: condition wait "
+                                   "reachable from pump entry 'Endpoint::enqueue'"),
+            std::string::npos)
+      << r.out;
+}
+
+TEST_F(LintFixture, PT001AllowCommentSuppresses) {
+  const std::string f = write("allowed.cpp",
+                              "void CommSender::run() {\n"
+                              "  // pardis-lint: allow(blocking) idle wait for work\n"
+                              "  cv_.wait(lock_);\n"
+                              "}\n");
+  EXPECT_EQ(run_lint("--werror " + f).exit_code, 0);
+}
+
+TEST_F(LintFixture, PT001UnreachableBlockingIsNotFlagged) {
+  const std::string f = write("offpath.cpp",
+                              "#include <thread>\n"
+                              "void backoff() {\n"
+                              "  std::this_thread::sleep_for(std::chrono::seconds(1));\n"
+                              "}\n"
+                              "void ClientCtx::pump() { poll_once(); }\n");
+  // backoff() blocks but nothing on the pump path calls it.
+  EXPECT_EQ(run_lint("--werror " + f).exit_code, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Renderers and the committed tree
+// ---------------------------------------------------------------------------
+
+TEST_F(LintFixture, JsonRendererGolden) {
+  const std::string f = write("rogue.hpp",
+                              "inline constexpr unsigned kTagBogus = 7;\n");
+  const RunResult r = run_lint("--json " + f);
+  EXPECT_EQ(normalized(r.out),
+            "[\n"
+            "  {\"code\":\"PT002\",\"severity\":\"warning\",\"file\":\"FIX/rogue.hpp\","
+            "\"line\":1,\"column\":27,\"message\":\"wire constant 'kTagBogus' declared "
+            "outside the registry; add it to core/wire.hpp (single declaration point, "
+            "collision static_asserts)\"}\n"
+            "]\n");
+}
+
+TEST_F(LintFixture, JsonEmptyArrayWhenClean) {
+  const std::string f = write("clean.hpp", "inline constexpr int kAnswer = 42;\n");
+  const RunResult r = run_lint("--json " + f);
+  EXPECT_EQ(r.out, "[]\n");
+  EXPECT_EQ(r.exit_code, 0);
+}
+
+TEST(LintTree, CommittedSourceTreeIsClean) {
+  const RunResult r =
+      run_lint("--werror " + std::string(PARDIS_SOURCE_DIR) + "/src");
+  EXPECT_EQ(r.out, "") << r.out;
+  EXPECT_EQ(r.exit_code, 0);
+}
+
+}  // namespace

@@ -1,0 +1,582 @@
+// pardis-lint: structural thread-safety and wire-discipline lint.
+//
+// The IDL linter (src/idl/lint.cpp, PL0xx) checks what the IDL
+// *language* allows but the runtime cannot honor; this tool checks
+// what *C++* allows but the PARDIS concurrency and wire disciplines
+// forbid. It is deliberately a heuristic, text-level analysis — no
+// compiler front end — tuned so that every rule is either precise
+// enough to run under --werror in CI or suppressible at the site with
+// a justified allow comment:
+//
+//     // pardis-lint: allow(<rule-tag>) <why>
+//
+// on the flagged line or one of the three lines above it.
+//
+//   PT001  blocking primitive reachable from a comm/pump entry point
+//          (tag: blocking). Entry points are the functions that run on
+//          message-delivery paths and must never block: ClientCtx::pump
+//          (the client progress engine), Endpoint::enqueue + the
+//          delivery-filter halves SessionTransport::on_session_data /
+//          on_session_ack (producer-thread delivery), and
+//          CommSender::run (the comm thread's dispatch loop). The rule
+//          builds a name-level call graph over every function defined
+//          in the scanned .cpp files and walks it from those entries;
+//          any reachable use of sleep_for/sleep_until, a cv/endpoint
+//          wait family member call, or a blocking socket syscall is a
+//          finding, reported with one call path that reaches it.
+//   PT002  wire constant declared outside the registry (tag:
+//          wire-constant). Every PIOP tag, header flag, reply-status
+//          bit, handler id and announce magic lives in core/wire.hpp
+//          ONLY — a constant declared anywhere else can silently
+//          collide with the registry and corrupt the wire format.
+//   PT003  raw std::mutex declaration (tag: raw-mutex). Raw members
+//          are invisible to both clang Thread Safety Analysis and the
+//          pardis_check lock-order detector; declare pardis::Mutex.
+//   PT004  pardis::Mutex with no thread-safety annotation referencing
+//          it (tag: unannotated-mutex). A mutex nothing is
+//          PARDIS_GUARDED_BY / PARDIS_REQUIRES-tied to protects
+//          nothing the analysis can see.
+//
+// Output follows the PL-code conventions: `file:line:col: severity:
+// message [PTxxx]` text (the gcc/clang format editors parse) or a
+// `--json` array of {code, severity, file, line, column, message}.
+// Exit status is 0 when clean, 1 on findings under --werror (or on
+// usage/IO errors), matching idl::lint_failed semantics.
+
+#include <algorithm>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <regex>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+// --- diagnostics (PL-style) ------------------------------------------------
+
+struct Diagnostic {
+  std::string code;  ///< stable "PTxxx" identifier
+  std::string file;
+  int line = 0;
+  int column = 1;
+  std::string message;
+};
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20)
+          out += ' ';
+        else
+          out += c;
+    }
+  }
+  return out;
+}
+
+void render_text(const std::vector<Diagnostic>& diags, std::ostream& os) {
+  for (const Diagnostic& d : diags)
+    os << d.file << ":" << d.line << ":" << d.column << ": warning: " << d.message << " ["
+       << d.code << "]\n";
+}
+
+void render_json(const std::vector<Diagnostic>& diags, std::ostream& os) {
+  os << "[";
+  for (std::size_t i = 0; i < diags.size(); ++i) {
+    const Diagnostic& d = diags[i];
+    if (i != 0) os << ",";
+    os << "\n  {\"code\":\"" << d.code << "\",\"severity\":\"warning\",\"file\":\""
+       << json_escape(d.file) << "\",\"line\":" << d.line << ",\"column\":" << d.column
+       << ",\"message\":\"" << json_escape(d.message) << "\"}";
+  }
+  os << (diags.empty() ? "]\n" : "\n]\n");
+}
+
+// --- source model ----------------------------------------------------------
+
+struct SourceFile {
+  std::string path;                ///< as reported in diagnostics
+  std::vector<std::string> lines;  ///< raw, 0-based
+  std::vector<std::string> code;   ///< comments blanked out, 0-based
+};
+
+/// Blanks // and /* */ comments (and string/char literals) so rule
+/// patterns never match inside them, preserving line structure and
+/// column positions. Raw lines keep the comments: allow comments are
+/// looked up there.
+std::vector<std::string> strip_comments(const std::vector<std::string>& lines) {
+  std::vector<std::string> out;
+  out.reserve(lines.size());
+  bool in_block = false;
+  for (const std::string& line : lines) {
+    std::string o = line;
+    bool in_str = false, in_chr = false;
+    for (std::size_t i = 0; i < o.size(); ++i) {
+      if (in_block) {
+        if (o[i] == '*' && i + 1 < o.size() && o[i + 1] == '/') {
+          o[i] = o[i + 1] = ' ';
+          ++i;
+          in_block = false;
+        } else {
+          o[i] = ' ';
+        }
+      } else if (in_str) {
+        if (o[i] == '\\' && i + 1 < o.size()) {
+          o[i] = o[i + 1] = ' ';
+          ++i;
+        } else if (o[i] == '"') {
+          in_str = false;
+        } else {
+          o[i] = ' ';
+        }
+      } else if (in_chr) {
+        if (o[i] == '\\' && i + 1 < o.size()) {
+          o[i] = o[i + 1] = ' ';
+          ++i;
+        } else if (o[i] == '\'') {
+          in_chr = false;
+        } else {
+          o[i] = ' ';
+        }
+      } else if (o[i] == '/' && i + 1 < o.size() && o[i + 1] == '/') {
+        for (std::size_t j = i; j < o.size(); ++j) o[j] = ' ';
+        break;
+      } else if (o[i] == '/' && i + 1 < o.size() && o[i + 1] == '*') {
+        o[i] = o[i + 1] = ' ';
+        ++i;
+        in_block = true;
+      } else if (o[i] == '"') {
+        in_str = true;
+      } else if (o[i] == '\'') {
+        // Heuristic: treat ' as a char literal only when it opens one
+        // (digit separators like 0x4000'0000 never start after a
+        // non-identifier character followed by a quote-close pattern).
+        bool literal = i == 0 || !(std::isalnum(static_cast<unsigned char>(o[i - 1])) ||
+                                   o[i - 1] == '_');
+        if (literal) in_chr = true;
+      }
+    }
+    out.push_back(std::move(o));
+  }
+  return out;
+}
+
+std::optional<SourceFile> load(const fs::path& p, const std::string& report_as) {
+  std::ifstream in(p);
+  if (!in) return std::nullopt;
+  SourceFile f;
+  f.path = report_as;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    f.lines.push_back(line);
+  }
+  f.code = strip_comments(f.lines);
+  return f;
+}
+
+/// allow(<tag>) on `line0` (0-based) or the three lines above it.
+bool allowed(const SourceFile& f, std::size_t line0, const std::string& tag) {
+  const std::string needle = "pardis-lint: allow(" + tag + ")";
+  const std::size_t lo = line0 >= 3 ? line0 - 3 : 0;
+  for (std::size_t i = lo; i <= line0 && i < f.lines.size(); ++i)
+    if (f.lines[i].find(needle) != std::string::npos) return true;
+  return false;
+}
+
+// --- PT002: wire constants outside the registry ----------------------------
+
+const std::regex kWireConstRe(
+    R"(\bconstexpr\b[^=;]*\b(k(?:Tag|Flag|ReplyFlag|Handler|Sched|Announce|Reserved|RepoOp)[A-Z]\w*)\s*=)");
+const std::regex kRepoOpRe(R"(\benum\s+class\s+RepoOp\b)");
+
+void check_wire_constants(const SourceFile& f, std::vector<Diagnostic>& diags) {
+  if (f.path.find("core/wire.hpp") != std::string::npos) return;
+  for (std::size_t i = 0; i < f.code.size(); ++i) {
+    std::smatch m;
+    if (std::regex_search(f.code[i], m, kWireConstRe)) {
+      if (allowed(f, i, "wire-constant")) continue;
+      diags.push_back({"PT002", f.path, static_cast<int>(i + 1),
+                       static_cast<int>(m.position(1) + 1),
+                       "wire constant '" + m.str(1) +
+                           "' declared outside the registry; add it to core/wire.hpp "
+                           "(single declaration point, collision static_asserts)"});
+    } else if (std::regex_search(f.code[i], m, kRepoOpRe)) {
+      if (allowed(f, i, "wire-constant")) continue;
+      diags.push_back({"PT002", f.path, static_cast<int>(i + 1),
+                       static_cast<int>(m.position(0) + 1),
+                       "RepoOp (repository wire operations) declared outside the "
+                       "registry; it lives in core/wire.hpp"});
+    }
+  }
+}
+
+// --- PT003: raw std::mutex declarations ------------------------------------
+
+const std::regex kRawMutexRe(R"((?:^|[^\w])(std::(?:recursive_|timed_|shared_)?mutex)\s+[A-Za-z_])");
+
+void check_raw_mutex(const SourceFile& f, std::vector<Diagnostic>& diags) {
+  for (std::size_t i = 0; i < f.code.size(); ++i) {
+    std::smatch m;
+    if (!std::regex_search(f.code[i], m, kRawMutexRe)) continue;
+    if (allowed(f, i, "raw-mutex")) continue;
+    diags.push_back({"PT003", f.path, static_cast<int>(i + 1),
+                     static_cast<int>(m.position(1) + 1),
+                     "raw " + m.str(1) +
+                         " declaration: invisible to thread-safety analysis and the "
+                         "lock-order detector; declare pardis::Mutex (common/mutex.hpp)"});
+  }
+}
+
+// --- PT004: pardis::Mutex with no annotation referencing it ----------------
+
+const std::regex kPardisMutexRe(R"((?:^|[^\w:])(?:mutable\s+)?Mutex\s+([A-Za-z_]\w*)\s*[{;=])");
+
+void check_unannotated_mutex(const SourceFile& f, std::vector<Diagnostic>& diags) {
+  if (f.path.find("common/mutex.hpp") != std::string::npos) return;
+  for (std::size_t i = 0; i < f.code.size(); ++i) {
+    std::smatch m;
+    if (!std::regex_search(f.code[i], m, kPardisMutexRe)) continue;
+    const std::string name = m.str(1);
+    // Any PARDIS_* annotation in the file naming this mutex counts
+    // (file scope, not class scope: a heuristic, but mutex names are
+    // distinctive enough in practice).
+    const std::regex ref("PARDIS_[A-Z_]+\\s*\\([^)]*\\b" + name + "\\b");
+    bool referenced = false;
+    for (const std::string& line : f.code)
+      if (std::regex_search(line, ref)) {
+        referenced = true;
+        break;
+      }
+    if (referenced) continue;
+    if (allowed(f, i, "unannotated-mutex")) continue;
+    diags.push_back({"PT004", f.path, static_cast<int>(i + 1),
+                     static_cast<int>(m.position(1) + 1),
+                     "Mutex '" + name +
+                         "' has no PARDIS_GUARDED_BY/PARDIS_REQUIRES annotation "
+                         "referencing it; tie it to the state it guards"});
+  }
+}
+
+// --- PT001: blocking primitives reachable from pump entries ----------------
+
+struct Function {
+  std::string qual;   ///< as written, e.g. "ClientCtx::pump"
+  std::string name;   ///< last component, e.g. "pump"
+  const SourceFile* file = nullptr;
+  std::size_t def_line = 0;  ///< 0-based
+  std::set<std::string> callees;
+  struct BlockingUse {
+    std::size_t line0;
+    std::string what;
+  };
+  std::vector<BlockingUse> blocking;
+};
+
+/// Function-definition head: at column 0 in a .cpp, a (possibly
+/// qualified) identifier followed by '(' on a line that is not a
+/// control statement, declaration (ends in ';' before a brace opens)
+/// or macro.
+const std::regex kDefRe(
+    R"(^[A-Za-z_][\w:<>,*&~\s\[\]]*?\b((?:[A-Za-z_]\w*::)*(?:~?[A-Za-z_]\w*|operator\(\)))\s*\()");
+
+const char* const kKeywords[] = {"if",     "for",    "while",  "switch", "return",
+                                 "sizeof", "catch",  "throw",  "new",    "delete",
+                                 "static", "assert", "defined"};
+
+bool is_keyword(const std::string& s) {
+  for (const char* k : kKeywords)
+    if (s == k) return true;
+  return false;
+}
+
+const std::regex kCallRe(R"(\b([A-Za-z_]\w*)\s*\()");
+
+/// Blocking-family member names are matched directly as blocking
+/// tokens at the call site, so they are NOT call-graph edges: treating
+/// `cv_.wait(lock)` as a call of every function named `wait` would
+/// drag unrelated definitions (PendingReply::wait, Endpoint::wait)
+/// into the reachable set through pure name collision.
+const char* const kBlockingLeafNames[] = {"wait",      "wait_for",   "wait_until",
+                                          "recv",      "sleep_for",  "sleep_until"};
+
+bool is_blocking_leaf(const std::string& s) {
+  for (const char* k : kBlockingLeafNames)
+    if (s == k) return true;
+  return false;
+}
+
+struct BlockingPattern {
+  std::regex re;
+  const char* what;
+};
+
+const BlockingPattern kBlockingPatterns[] = {
+    {std::regex(R"(\bsleep_for\s*\()"), "sleep_for"},
+    {std::regex(R"(\bsleep_until\s*\()"), "sleep_until"},
+    {std::regex(R"([.>]\s*wait\s*\()"), "condition wait"},
+    {std::regex(R"([.>]\s*wait_for\s*\()"), "bounded wait (wait_for)"},
+    {std::regex(R"([.>]\s*wait_until\s*\()"), "bounded wait (wait_until)"},
+    {std::regex(R"([.>]\s*recv\s*\()"), "blocking recv"},
+    {std::regex(R"(::\s*recv(?:from)?\s*\()"), "blocking socket read"},
+    {std::regex(R"(::\s*accept\s*\()"), "blocking accept"},
+    {std::regex(R"(::\s*connect\s*\()"), "blocking connect"},
+    {std::regex(R"(::\s*poll\s*\()"), "blocking ::poll"},
+};
+
+/// The functions that run on message-delivery / progress-engine paths.
+/// Matched as a suffix of the qualified definition name.
+const char* const kEntryPoints[] = {
+    "ClientCtx::pump",                 // client progress engine (poll-only)
+    "Endpoint::enqueue",               // producer-thread delivery
+    "SessionTransport::on_session_data",  // delivery filter (producer thread)
+    "SessionTransport::on_session_ack",   // delivery filter (producer thread)
+    "CommSender::run",                 // comm-thread dispatch loop
+};
+
+bool qual_matches_entry(const std::string& qual) {
+  for (const char* e : kEntryPoints) {
+    const std::size_t n = std::strlen(e);
+    if (qual.size() < n) continue;
+    if (qual.compare(qual.size() - n, n, e) != 0) continue;
+    if (qual.size() == n || qual[qual.size() - n - 1] == ':') return true;
+  }
+  return false;
+}
+
+std::vector<Function> extract_functions(const SourceFile& f) {
+  std::vector<Function> fns;
+  std::size_t i = 0;
+  while (i < f.code.size()) {
+    const std::string& line = f.code[i];
+    std::smatch m;
+    if (line.empty() || std::isspace(static_cast<unsigned char>(line[0])) ||
+        line[0] == '#' || line[0] == '}' ||
+        !std::regex_search(line, m, kDefRe) || is_keyword(m.str(1))) {
+      ++i;
+      continue;
+    }
+    // Find the body: scan forward for '{' before any ';' at depth 0 of
+    // parens (a ';' first means declaration, not definition).
+    int paren = 0;
+    bool found_body = false, is_decl = false;
+    std::size_t j = i;
+    std::size_t body_open_line = i;
+    for (; j < f.code.size() && j < i + 16; ++j) {
+      for (char c : f.code[j]) {
+        if (c == '(') ++paren;
+        else if (c == ')') --paren;
+        else if (c == '{' && paren == 0) {
+          found_body = true;
+          body_open_line = j;
+          break;
+        } else if (c == ';' && paren == 0) {
+          is_decl = true;
+          break;
+        }
+      }
+      if (found_body || is_decl) break;
+    }
+    if (!found_body || is_decl) {
+      ++i;
+      continue;
+    }
+    // Body spans from the '{' line to the line where brace depth
+    // returns to zero.
+    int depth = 0;
+    std::size_t end = body_open_line;
+    for (std::size_t k = body_open_line; k < f.code.size(); ++k) {
+      for (char c : f.code[k]) {
+        if (c == '{') ++depth;
+        else if (c == '}') --depth;
+      }
+      if (depth <= 0) {
+        end = k;
+        break;
+      }
+      end = k;
+    }
+
+    Function fn;
+    fn.qual = m.str(1);
+    const std::size_t pos = fn.qual.rfind("::");
+    fn.name = pos == std::string::npos ? fn.qual : fn.qual.substr(pos + 2);
+    fn.file = &f;
+    fn.def_line = i;
+    for (std::size_t k = body_open_line; k <= end; ++k) {
+      std::string body = f.code[k];
+      // The definition head names the function itself — `void
+      // CommSender::run() {` must not make every `run` definition in
+      // the tree a callee. Blank the defined name out of the head line.
+      if (k == i) {
+        const auto at = static_cast<std::size_t>(m.position(1));
+        const auto len = static_cast<std::size_t>(m.length(1));
+        for (std::size_t p = at; p < at + len && p < body.size(); ++p) body[p] = ' ';
+      }
+      for (auto it = std::sregex_iterator(body.begin(), body.end(), kCallRe);
+           it != std::sregex_iterator(); ++it) {
+        const std::string callee = (*it).str(1);
+        if (!is_keyword(callee) && !is_blocking_leaf(callee)) fn.callees.insert(callee);
+      }
+      if (k == i) continue;  // nor is the head's parameter list a blocking use
+      for (const BlockingPattern& bp : kBlockingPatterns)
+        if (std::regex_search(body, bp.re)) fn.blocking.push_back({k, bp.what});
+    }
+    fns.push_back(std::move(fn));
+    i = end + 1;
+  }
+  return fns;
+}
+
+void check_blocking_reachability(const std::vector<SourceFile>& files,
+                                 std::vector<Diagnostic>& diags) {
+  std::vector<Function> fns;
+  for (const SourceFile& f : files) {
+    if (f.path.size() < 4 || f.path.compare(f.path.size() - 4, 4, ".cpp") != 0) continue;
+    auto extracted = extract_functions(f);
+    fns.insert(fns.end(), std::make_move_iterator(extracted.begin()),
+               std::make_move_iterator(extracted.end()));
+  }
+  std::map<std::string, std::vector<std::size_t>> by_name;
+  for (std::size_t i = 0; i < fns.size(); ++i) by_name[fns[i].name].push_back(i);
+
+  // BFS from each entry point independently so the reported path names
+  // the entry it starts from.
+  for (std::size_t e = 0; e < fns.size(); ++e) {
+    if (!qual_matches_entry(fns[e].qual)) continue;
+    std::vector<int> parent(fns.size(), -2);  // -2 unvisited, -1 root
+    std::vector<std::size_t> queue{e};
+    parent[e] = -1;
+    for (std::size_t qi = 0; qi < queue.size(); ++qi) {
+      const Function& fn = fns[queue[qi]];
+      for (const std::string& callee : fn.callees) {
+        auto it = by_name.find(callee);
+        if (it == by_name.end()) continue;
+        for (std::size_t t : it->second) {
+          if (parent[t] != -2) continue;
+          parent[t] = static_cast<int>(queue[qi]);
+          queue.push_back(t);
+        }
+      }
+    }
+    for (std::size_t n : queue) {
+      const Function& fn = fns[n];
+      for (const Function::BlockingUse& use : fn.blocking) {
+        if (allowed(*fn.file, use.line0, "blocking")) continue;
+        std::string path = fn.qual;
+        for (int p = parent[n]; p >= 0; p = parent[p]) path = fns[p].qual + " -> " + path;
+        if (parent[n] == -1) path = fn.qual;  // the entry itself blocks
+        diags.push_back({"PT001", fn.file->path, static_cast<int>(use.line0 + 1), 1,
+                         use.what + " reachable from pump entry '" + fns[e].qual +
+                             "' via " + path +
+                             "; delivery paths must not block (poll, hand off, or "
+                             "justify with an allow comment)"});
+      }
+    }
+  }
+
+  // One finding per site even when several entries reach it: keep the
+  // first (entry order) and drop duplicates.
+  std::set<std::pair<std::string, int>> seen;
+  std::vector<Diagnostic> unique;
+  for (Diagnostic& d : diags) {
+    if (d.code == "PT001") {
+      if (!seen.insert({d.file, d.line}).second) continue;
+    }
+    unique.push_back(std::move(d));
+  }
+  diags = std::move(unique);
+}
+
+// --- driver ----------------------------------------------------------------
+
+int usage() {
+  std::cerr << "usage: pardis-lint [--json] [--werror] <dir-or-file>...\n"
+               "  scans .hpp/.cpp files for PT001-PT004 (see source header)\n";
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool json = false, werror = false;
+  std::vector<std::string> roots;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+    } else if (arg == "--werror") {
+      werror = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage();
+    } else {
+      roots.push_back(arg);
+    }
+  }
+  if (roots.empty()) return usage();
+
+  std::vector<SourceFile> files;
+  for (const std::string& root : roots) {
+    std::error_code ec;
+    if (fs::is_directory(root, ec)) {
+      std::vector<std::string> paths;
+      for (const auto& entry : fs::recursive_directory_iterator(root, ec)) {
+        if (!entry.is_regular_file()) continue;
+        const std::string ext = entry.path().extension().string();
+        if (ext != ".hpp" && ext != ".cpp" && ext != ".h" && ext != ".cc") continue;
+        paths.push_back(entry.path().generic_string());
+      }
+      std::sort(paths.begin(), paths.end());
+      for (const std::string& p : paths) {
+        if (auto f = load(p, p)) files.push_back(std::move(*f));
+      }
+    } else if (fs::is_regular_file(root, ec)) {
+      if (auto f = load(root, root)) {
+        files.push_back(std::move(*f));
+      } else {
+        std::cerr << "pardis-lint: cannot read " << root << "\n";
+        return 1;
+      }
+    } else {
+      std::cerr << "pardis-lint: no such file or directory: " << root << "\n";
+      return 1;
+    }
+  }
+
+  std::vector<Diagnostic> diags;
+  for (const SourceFile& f : files) {
+    check_wire_constants(f, diags);
+    check_raw_mutex(f, diags);
+    check_unannotated_mutex(f, diags);
+  }
+  check_blocking_reachability(files, diags);
+
+  std::stable_sort(diags.begin(), diags.end(), [](const Diagnostic& a, const Diagnostic& b) {
+    if (a.file != b.file) return a.file < b.file;
+    if (a.line != b.line) return a.line < b.line;
+    if (a.column != b.column) return a.column < b.column;
+    return a.code < b.code;
+  });
+
+  if (json)
+    render_json(diags, std::cout);
+  else
+    render_text(diags, std::cout);
+
+  return (!diags.empty() && werror) ? 1 : 0;
+}
