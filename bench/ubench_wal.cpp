@@ -1,0 +1,223 @@
+// pardis_wal micro-benchmark: what durability costs.
+//
+// Two sections:
+//
+//   log-commit-tN  — raw Log append+commit throughput from N
+//                    concurrent committers, plus the measured
+//                    fsyncs-per-commit ratio. With group commit the
+//                    ratio drops well below 1 as committers pile onto
+//                    the same disk barrier; this is the number that
+//                    justifies the flusher thread.
+//   invoke-*       — end-to-end non-idempotent invocation (counter()
+//                    through the pool binding) in three configurations:
+//                    WAL off (the pre-WAL baseline), WAL on with one
+//                    replica (fsync on the dispatch path), and WAL on
+//                    with two replicas (fsync + append forwarding to
+//                    the sibling before the reply leaves). ops/s and
+//                    p50/p99 latency; the off-vs-on gap is the
+//                    group-commit overhead BENCH_wal.json tracks.
+//
+// Usage: ubench_wal [--iters N] [--json out.json]
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_json.hpp"
+#include "core/pardis.hpp"
+#include "core/poa.hpp"
+#include "obs/metrics.hpp"
+#include "pool/pool.hpp"
+#include "tests/support/calc_api.hpp"
+#include "wal/wal.hpp"
+
+using namespace pardis;
+
+namespace {
+
+int g_iters = 2000;
+
+double now_s() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+double percentile(std::vector<double>& v, double p) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const std::size_t i =
+      static_cast<std::size_t>(p * static_cast<double>(v.size() - 1) + 0.5);
+  return v[std::min(i, v.size() - 1)];
+}
+
+/// Fresh scratch directory for one configuration's log files.
+struct Scratch {
+  Scratch() : dir(std::filesystem::temp_directory_path() / "pardis-ubench-wal") {
+    std::filesystem::remove_all(dir);
+    wal::set_dir(dir.string());
+  }
+  ~Scratch() { std::filesystem::remove_all(dir); }
+  std::filesystem::path dir;
+};
+
+// ---------------------------------------------------------------------------
+// Raw log: group-commit batching.
+// ---------------------------------------------------------------------------
+
+void bench_log_commit(int threads, bench::JsonReport& report) {
+  Scratch scratch;
+  wal::set_enabled(true);
+  obs::Counter& fsyncs = obs::metrics().counter("wal.fsyncs");
+  const std::uint64_t fsyncs_before = fsyncs.value();
+
+  wal::Log log((scratch.dir / "bench.wal").string());
+  const int per_thread = g_iters / threads;
+  ByteBuffer payload;
+  payload.grow(64);  // typical small-mutation record body
+
+  const double t0 = now_s();
+  std::vector<std::thread> committers;
+  committers.reserve(static_cast<std::size_t>(threads));
+  for (int t = 0; t < threads; ++t)
+    committers.emplace_back([&log, &payload, per_thread] {
+      for (int i = 0; i < per_thread; ++i)
+        log.commit(log.append(wal::kRecordMutation, payload.clone()));
+    });
+  for (auto& th : committers) th.join();
+  const double elapsed = now_s() - t0;
+
+  const double commits = static_cast<double>(per_thread) * threads;
+  const double commits_s = commits / elapsed;
+  const double fsyncs_per_commit =
+      static_cast<double>(fsyncs.value() - fsyncs_before) / commits;
+  std::printf("log-commit-t%-2d  %10.0f commits/s   %.3f fsyncs/commit\n", threads,
+              commits_s, fsyncs_per_commit);
+  report.add("log-commit-t" + std::to_string(threads),
+             {{"commits_s", commits_s}, {"fsyncs_per_commit", fsyncs_per_commit}});
+  wal::set_enabled(false);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: non-idempotent invoke with and without durability.
+// ---------------------------------------------------------------------------
+
+class DurableCounterServant : public calc_api::POA_calc {
+ public:
+  bool _durable() const override { return true; }
+  void _snapshot_state(CdrWriter& w) const override { w.write_long(total_); }
+  void _restore_state(CdrReader& r) override { total_ = r.read_long(); }
+
+  double dot(const calc_api::vec&, const calc_api::vec&) override { return 0; }
+  void scale(double, const calc_api::vec&, calc_api::vec&) override {}
+  Long counter(Long d) override { return total_ += d; }
+  void note(const std::string&) override {}
+  void boom(const std::string&) override {}
+
+ private:
+  Long total_ = 0;
+};
+
+class ReplicaServer {
+ public:
+  ReplicaServer(core::Orb& orb, const std::string& name, const std::string& label)
+      : domain_(label, 1) {
+    std::promise<core::Poa*> pp;
+    auto pf = pp.get_future();
+    domain_.start([&orb, name, &pp](rts::DomainContext& sctx) {
+      core::Poa poa(orb, sctx);
+      DurableCounterServant servant;
+      poa.activate_spmd(servant, name, {}, /*replica=*/true);
+      pp.set_value(&poa);
+      poa.impl_is_ready();
+    });
+    poa_ = pf.get();
+  }
+
+  ~ReplicaServer() {
+    poa_->deactivate();
+    domain_.join();
+  }
+
+ private:
+  rts::Domain domain_;
+  core::Poa* poa_ = nullptr;
+};
+
+void bench_invoke(const std::string& row, bool wal_on, int replicas,
+                  bench::JsonReport& report) {
+  Scratch scratch;
+  wal::set_enabled(wal_on);
+  pool::set_enabled(true);
+
+  transport::LocalTransport tp;
+  core::InProcessRegistry reg;
+  core::Orb orb(tp, reg);
+  std::vector<std::unique_ptr<ReplicaServer>> servers;
+  const std::string name = "bench-" + row;
+  for (int r = 0; r < replicas; ++r)
+    servers.push_back(std::make_unique<ReplicaServer>(
+        orb, name, name + "-r" + std::to_string(r)));
+
+  core::ClientCtx ctx(orb);
+  auto gb = pool::GroupBinding::bind(ctx, name, "", calc_api::kCalcTypeId);
+
+  auto one_call = [&gb](Long v) {
+    core::ClientRequest req(*gb->binding(), "counter", false, false);
+    req.in_value<Long>(v);
+    auto pending = req.invoke();
+    Long out = 0;
+    pending->set_decoder([&out](core::ReplyDecoder& d) { out = d.out_value<Long>(); });
+    pending->wait();
+    return out;
+  };
+
+  for (int i = 0; i < 50; ++i) one_call(0);  // warmup
+
+  std::vector<double> lat_us;
+  lat_us.reserve(static_cast<std::size_t>(g_iters));
+  const double t0 = now_s();
+  for (int i = 0; i < g_iters; ++i) {
+    const double c0 = now_s();
+    one_call(1);
+    lat_us.push_back((now_s() - c0) * 1e6);
+  }
+  const double elapsed = now_s() - t0;
+
+  const double ops_s = g_iters / elapsed;
+  const double p50 = percentile(lat_us, 0.50);
+  const double p99 = percentile(lat_us, 0.99);
+  std::printf("%-22s  %9.0f ops/s   p50 %7.1f us   p99 %7.1f us\n", row.c_str(),
+              ops_s, p50, p99);
+  report.add(row, {{"ops_s", ops_s}, {"p50_us", p50}, {"p99_us", p99}});
+
+  servers.clear();
+  pool::set_enabled(false);
+  wal::set_enabled(false);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i)
+    if (std::strcmp(argv[i], "--iters") == 0) g_iters = std::atoi(argv[i + 1]);
+
+  bench::JsonReport report(argc, argv, "ubench_wal");
+  obs::set_enabled(true);  // fsync/commit counters feed the ratio rows
+
+  std::printf("pardis_wal group-commit cost (%d iters per row)\n\n", g_iters);
+  bench_log_commit(1, report);
+  bench_log_commit(4, report);
+  std::printf("\n");
+  bench_invoke("invoke-wal-off", /*wal_on=*/false, /*replicas=*/1, report);
+  bench_invoke("invoke-wal-on", /*wal_on=*/true, /*replicas=*/1, report);
+  bench_invoke("invoke-wal-replicated", /*wal_on=*/true, /*replicas=*/2, report);
+  return 0;
+}

@@ -196,6 +196,14 @@ class Binding {
   /// bookkeeping).
   ULong next_seq() const noexcept { return next_seq_; }
 
+  /// pardis_wal: set by the pool when the target object is durable
+  /// (WAL-backed). Failover then keeps the request identity — the
+  /// retry re-sends the same (binding id, seq, request id) to the
+  /// sibling, which either answers from its log (the mutation
+  /// committed) or executes it exactly once.
+  void set_exactly_once(bool on) noexcept { exactly_once_ = on; }
+  bool exactly_once() const noexcept { return exactly_once_; }
+
  private:
   ClientCtx* ctx_;
   ObjectRef ref_;
@@ -205,6 +213,7 @@ class Binding {
   std::chrono::milliseconds deadline_ = default_invocation_deadline();
   ServantBase* collocated_ = nullptr;
   PoolHooks pool_hooks_;
+  bool exactly_once_ = false;
 };
 
 using BindingPtr = std::shared_ptr<Binding>;

@@ -1,0 +1,227 @@
+#include "core/durable.hpp"
+
+#include <atomic>
+#include <cstdlib>
+
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
+
+namespace pardis::core::durable {
+
+namespace {
+
+/// 0 = follow the environment; else set_replay_window override.
+std::atomic<ULong> g_window_override{0};
+
+ULong env_window() {
+  static const ULong cached = [] {
+    if (const char* v = std::getenv("PARDIS_WAL_REPLAY_WINDOW")) {
+      const long n = std::strtol(v, nullptr, 10);
+      if (n > 0) return static_cast<ULong>(n);
+    }
+    return ULong{1024};
+  }();
+  return cached;
+}
+
+/// Path components come from user-chosen object names and host model
+/// labels; anything outside [A-Za-z0-9._-] becomes '_' so one flat
+/// directory holds every log.
+std::string sanitize(const std::string& s) {
+  std::string out = s.empty() ? "_" : s;
+  for (char& c : out) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '.' || c == '_' || c == '-';
+    if (!ok) c = '_';
+  }
+  return out;
+}
+
+}  // namespace
+
+ULong replay_window() noexcept {
+  const ULong o = g_window_override.load(std::memory_order_relaxed);
+  return o != 0 ? o : env_window();
+}
+
+void set_replay_window(ULong window) noexcept {
+  g_window_override.store(window, std::memory_order_relaxed);
+}
+
+std::string wal_path(const std::string& name, const std::string& host, int rank) {
+  return wal::dir() + "/" + sanitize(name) + "@" + sanitize(host) + ".r" +
+         std::to_string(rank) + ".wal";
+}
+
+ByteBuffer encode_mutation(const RequestHeader& header,
+                           const std::vector<ServerInvocation::Body>& bodies,
+                           const std::vector<ServerInvocation::BuiltReply>& replies) {
+  ByteBuffer payload;
+  CdrWriter w(payload);
+  header.marshal(w);
+  w.write_ulong(static_cast<ULong>(bodies.size()));
+  for (const auto& b : bodies) {
+    w.write_long(b.client_rank);
+    w.write_bool(b.little);
+    b.reply_to.marshal(w);
+    w.write_ulonglong(b.request_id.value);
+    w.write_ulong(static_cast<ULong>(b.bytes.size()));
+    w.write_bytes(b.bytes.view());
+  }
+  w.write_ulong(static_cast<ULong>(replies.size()));
+  for (const auto& r : replies) {
+    w.write_long(r.client_rank);
+    r.to.marshal(w);
+    w.write_ulong(static_cast<ULong>(r.frame.size()));
+    w.write_bytes(r.frame.view());
+  }
+  return payload;
+}
+
+MutationRecord decode_mutation(std::span<const Octet> payload) {
+  CdrReader r(payload);
+  MutationRecord rec;
+  rec.header = RequestHeader::unmarshal(r);
+  const ULong nbodies = r.read_ulong();
+  rec.bodies.reserve(nbodies);
+  for (ULong i = 0; i < nbodies; ++i) {
+    ServerInvocation::Body b;
+    b.client_rank = r.read_long();
+    b.little = r.read_bool();
+    b.reply_to = transport::EndpointAddr::unmarshal(r);
+    b.request_id.value = r.read_ulonglong();
+    const ULong len = r.read_ulong();
+    b.bytes = ByteBuffer::from(r.read_bytes(len));
+    rec.bodies.push_back(std::move(b));
+  }
+  const ULong nreplies = r.read_ulong();
+  rec.replies.reserve(nreplies);
+  for (ULong i = 0; i < nreplies; ++i) {
+    ServerInvocation::BuiltReply br;
+    br.client_rank = r.read_long();
+    br.to = transport::EndpointAddr::unmarshal(r);
+    const ULong len = r.read_ulong();
+    br.frame = ByteBuffer::from(r.read_bytes(len));
+    rec.replies.push_back(std::move(br));
+  }
+  return rec;
+}
+
+ByteBuffer encode_snapshot(const SnapshotRecord& snap) {
+  ByteBuffer payload;
+  CdrWriter w(payload);
+  w.write_ulong(static_cast<ULong>(snap.state.size()));
+  w.write_bytes(snap.state.view());
+  w.write_ulong(static_cast<ULong>(snap.binding_next.size()));
+  for (const auto& [binding, next] : snap.binding_next) {
+    w.write_ulonglong(binding);
+    w.write_ulong(next);
+  }
+  w.write_ulong(static_cast<ULong>(snap.committed.size()));
+  for (const auto& [key, lsn] : snap.committed) {
+    w.write_ulonglong(key.first);
+    w.write_ulong(key.second);
+    w.write_ulonglong(lsn);
+  }
+  return payload;
+}
+
+SnapshotRecord decode_snapshot(std::span<const Octet> payload) {
+  CdrReader r(payload);
+  SnapshotRecord snap;
+  const ULong state_len = r.read_ulong();
+  snap.state = ByteBuffer::from(r.read_bytes(state_len));
+  const ULong nbindings = r.read_ulong();
+  for (ULong i = 0; i < nbindings; ++i) {
+    const ULongLong binding = r.read_ulonglong();
+    snap.binding_next[binding] = r.read_ulong();
+  }
+  const ULong ncommitted = r.read_ulong();
+  for (ULong i = 0; i < ncommitted; ++i) {
+    const ULongLong binding = r.read_ulonglong();
+    const ULong seq = r.read_ulong();
+    snap.committed[Key{binding, seq}] = r.read_ulonglong();
+  }
+  return snap;
+}
+
+std::size_t prune(DurableObj& dur) {
+  const ULong window = replay_window();
+  std::size_t pruned = 0;
+  for (auto it = dur.committed.begin(); it != dur.committed.end();) {
+    const ULong next = dur.binding_next[it->first.first];
+    if (next > window && it->first.second < next - window) {
+      it = dur.committed.erase(it);
+      ++pruned;
+    } else {
+      ++it;
+    }
+  }
+  if (pruned > 0 && obs::enabled()) {
+    static obs::Counter& counter = obs::metrics().counter("wal.replay_pruned");
+    counter.add(pruned);
+  }
+  return pruned;
+}
+
+ByteBuffer make_xfer_request(ULongLong target_object_id,
+                             const transport::EndpointAddr& reply_to) {
+  ByteBuffer frame;
+  CdrWriter w(frame);
+  w.write_octet(wal::kXferRequest);
+  w.write_ulonglong(target_object_id);
+  reply_to.marshal(w);
+  return frame;
+}
+
+ByteBuffer make_xfer_snapshot(const ByteBuffer& state,
+                              const std::map<ULongLong, ULong>& binding_next,
+                              const std::vector<ByteBuffer>& tail_records) {
+  ByteBuffer frame;
+  CdrWriter w(frame);
+  w.write_octet(wal::kXferSnapshot);
+  w.write_ulong(static_cast<ULong>(state.size()));
+  w.write_bytes(state.view());
+  w.write_ulong(static_cast<ULong>(binding_next.size()));
+  for (const auto& [binding, next] : binding_next) {
+    w.write_ulonglong(binding);
+    w.write_ulong(next);
+  }
+  w.write_ulong(static_cast<ULong>(tail_records.size()));
+  for (const auto& rec : tail_records) {
+    w.write_ulong(static_cast<ULong>(rec.size()));
+    w.write_bytes(rec.view());
+  }
+  return frame;
+}
+
+XferSnapshot decode_xfer_snapshot(CdrReader& r) {
+  XferSnapshot xs;
+  const ULong state_len = r.read_ulong();
+  xs.state = ByteBuffer::from(r.read_bytes(state_len));
+  const ULong nbindings = r.read_ulong();
+  for (ULong i = 0; i < nbindings; ++i) {
+    const ULongLong binding = r.read_ulonglong();
+    xs.binding_next[binding] = r.read_ulong();
+  }
+  const ULong nrecords = r.read_ulong();
+  xs.tail_records.reserve(nrecords);
+  for (ULong i = 0; i < nrecords; ++i) {
+    const ULong len = r.read_ulong();
+    xs.tail_records.push_back(ByteBuffer::from(r.read_bytes(len)));
+  }
+  return xs;
+}
+
+ByteBuffer make_xfer_append(ULongLong target_object_id,
+                            std::span<const Octet> record_payload) {
+  ByteBuffer frame;
+  CdrWriter w(frame);
+  w.write_octet(wal::kXferAppend);
+  w.write_ulonglong(target_object_id);
+  w.write_ulong(static_cast<ULong>(record_payload.size()));
+  w.write_bytes(record_payload);
+  return frame;
+}
+
+}  // namespace pardis::core::durable

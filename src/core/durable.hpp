@@ -1,0 +1,126 @@
+// Durable-object glue between the POA and pardis_wal.
+//
+// The wal module is deliberately ignorant of PIOP: it frames opaque
+// payloads. This header owns the payload formats —
+//
+//   * the *mutation record* (wal::kRecordMutation): one committed
+//     non-idempotent dispatch, complete enough to (a) re-execute the
+//     servant call during recovery and (b) answer a client retry with
+//     the exact reply frames the original dispatch built, without
+//     running the servant again;
+//   * the *snapshot record* (wal::kRecordSnapshot): a servant state
+//     checkpoint plus the per-binding dispatch horizon and the
+//     replay-window index, so recovery restores state without
+//     replaying the whole log;
+//   * the kHandlerStateXfer frames (request / snapshot / append) that
+//     move state between replica siblings on join and after every
+//     commit.
+//
+// Everything here is reached only when wal::enabled(): with PARDIS_WAL
+// off no record is written, no frame is sent, and the wire stays
+// byte-identical to the pre-WAL build.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/protocol.hpp"
+#include "core/servant.hpp"
+#include "wal/wal.hpp"
+
+namespace pardis::core::durable {
+
+/// (binding id, sequence number) — the POA's dedup/replay key.
+using Key = std::pair<ULongLong, ULong>;
+
+/// How many committed entries per binding the dedup/replay table keeps
+/// below the horizon (PARDIS_WAL_REPLAY_WINDOW, default 1024).
+/// Entries older than the window are pruned from memory once durable —
+/// a retry that far behind the horizon has long been answered.
+ULong replay_window() noexcept;
+/// Test hook overriding the environment.
+void set_replay_window(ULong window) noexcept;
+
+/// Log file for one replica of one durable object:
+/// <wal::dir()>/<name>@<host>.r<rank>.wal — name and host sanitized. A
+/// restart on the same host reopens the same file; siblings on other
+/// hosts (or other ranks) never collide.
+std::string wal_path(const std::string& name, const std::string& host, int rank);
+
+/// One committed dispatch, as logged.
+struct MutationRecord {
+  RequestHeader header;
+  std::vector<ServerInvocation::Body> bodies;
+  std::vector<ServerInvocation::BuiltReply> replies;
+};
+
+ByteBuffer encode_mutation(const RequestHeader& header,
+                           const std::vector<ServerInvocation::Body>& bodies,
+                           const std::vector<ServerInvocation::BuiltReply>& replies);
+MutationRecord decode_mutation(std::span<const Octet> payload);
+
+/// One state checkpoint, as logged. `committed` LSNs refer to records
+/// in the same log the snapshot lives in.
+struct SnapshotRecord {
+  ByteBuffer state;
+  std::map<ULongLong, ULong> binding_next;
+  std::map<Key, wal::Lsn> committed;
+};
+
+ByteBuffer encode_snapshot(const SnapshotRecord& snap);
+SnapshotRecord decode_snapshot(std::span<const Octet> payload);
+
+/// Per-rank runtime state of one durable object replica.
+struct DurableObj {
+  std::string name;
+  ULongLong object_id = 0;  ///< this replica's object id
+  bool spmd = false;
+  std::unique_ptr<wal::Log> log;
+  /// Dedup/replay table: committed (binding, seq) -> LSN of its
+  /// mutation record. Log-backed (rebuilt by recovery) and bounded by
+  /// replay_window() via prune().
+  std::map<Key, wal::Lsn> committed;
+  /// Per-binding dispatch horizon as durably known (mirrors the POA's
+  /// next_seq_ for this object's bindings; survives restart through
+  /// snapshots and record replay).
+  std::map<ULongLong, ULong> binding_next;
+};
+
+/// Drops committed entries more than replay_window() behind their
+/// binding's horizon. Returns how many were pruned (also counted in
+/// wal.replay_pruned).
+std::size_t prune(DurableObj& dur);
+
+// --- kHandlerStateXfer frames ----------------------------------------------
+//
+// Leading octet: wal::kXferRequest / kXferSnapshot / kXferAppend.
+
+/// Joiner -> sibling: "send me your state". `target_object_id` names
+/// the sibling's replica (how its POA finds the DurableObj); the
+/// snapshot comes back to `reply_to`.
+ByteBuffer make_xfer_request(ULongLong target_object_id,
+                             const transport::EndpointAddr& reply_to);
+
+/// Sibling -> joiner: current state + the log tail backing the replay
+/// window (full mutation-record payloads, oldest first; the joiner
+/// re-appends them to its own log under fresh LSNs).
+ByteBuffer make_xfer_snapshot(const ByteBuffer& state,
+                              const std::map<ULongLong, ULong>& binding_next,
+                              const std::vector<ByteBuffer>& tail_records);
+
+struct XferSnapshot {
+  ByteBuffer state;
+  std::map<ULongLong, ULong> binding_next;
+  std::vector<ByteBuffer> tail_records;
+};
+/// `r` positioned just past the leading sub-op octet.
+XferSnapshot decode_xfer_snapshot(CdrReader& r);
+
+/// Committer -> every sibling, after the local fsync: one mutation
+/// record payload, applied (and re-logged) on arrival.
+ByteBuffer make_xfer_append(ULongLong target_object_id,
+                            std::span<const Octet> record_payload);
+
+}  // namespace pardis::core::durable

@@ -1,6 +1,7 @@
 #include "core/object_ref.hpp"
 
 #include "common/error.hpp"
+#include "core/wire.hpp"
 
 namespace pardis::core {
 
@@ -48,6 +49,10 @@ DistSpec ObjectRef::spec_for(const std::string& operation, std::size_t dseq_inde
   if (it == arg_specs.end() || dseq_index >= it->second.size()) return DistSpec::block();
   return it->second[dseq_index];
 }
+
+bool ObjectRef::durable() const { return arg_specs.count(kDurableMarkerOp) != 0; }
+
+void ObjectRef::set_durable() { arg_specs.emplace(kDurableMarkerOp, std::vector<DistSpec>{}); }
 
 void ObjectRef::marshal(CdrWriter& w) const {
   w.write_string(type_id);

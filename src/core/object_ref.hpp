@@ -85,6 +85,15 @@ struct ObjectRef {
   /// registered).
   DistSpec spec_for(const std::string& operation, std::size_t dseq_index) const;
 
+  /// pardis_wal: whether this object's state is WAL-backed (the POA
+  /// set the marker at activation). Travels as an arg_specs
+  /// pseudo-operation (core::kDurableMarkerOp) because ObjectRef has
+  /// no trailing-field extension point — a trailer would corrupt
+  /// ReplicaGroup member-sequence parsing. A WAL-off ref never carries
+  /// it, so the marshaled bytes stay identical to the pre-WAL format.
+  bool durable() const;
+  void set_durable();
+
   bool operator==(const ObjectRef&) const = default;
 
   void marshal(CdrWriter& w) const;

@@ -126,6 +126,7 @@ ObjectRef Poa::activate_spmd(ServantBase& servant, const std::string& name,
     ref.spmd = true;
     ref.thread_eps = shared_->eps;
     ref.arg_specs = std::move(arg_specs);
+    if (wal::enabled() && servant._durable()) ref.set_durable();
     CdrWriter w(blob);
     ref.marshal(w);
   }
@@ -145,6 +146,14 @@ ObjectRef Poa::activate_spmd(ServantBase& servant, const std::string& name,
       orb_->registry().register_object(ref);
   }
   rts::barrier(*comm_);
+  if (ref.durable()) {
+    // Register-then-pull: the group already routes appends at us, so
+    // nothing committed on a sibling between registration and the
+    // snapshot pull can be lost (it is either in the snapshot or in a
+    // stashed append).
+    setup_durable(ref, servant, /*spmd=*/true);
+    rts::barrier(*comm_);
+  }
   return ref;
 }
 
@@ -157,6 +166,7 @@ ObjectRef Poa::activate_single(ServantBase& servant, const std::string& name,
   ref.object_id = ObjectId::next();
   ref.spmd = false;
   ref.thread_eps = {endpoint_->addr()};
+  if (wal::enabled() && servant._durable()) ref.set_durable();
   {
     LockGuard lock(shared_->mutex);
     shared_->objects[ref.object_id.value] =
@@ -167,6 +177,7 @@ ObjectRef Poa::activate_single(ServantBase& servant, const std::string& name,
     orb_->registry().register_replica(ref);
   else
     orb_->registry().register_object(ref);
+  if (ref.durable()) setup_durable(ref, servant, /*spmd=*/false);
   return ref;
 }
 
@@ -181,6 +192,10 @@ void Poa::drain() {
 
 void Poa::ingest(transport::RsrMessage&& msg) {
   if (msg.handler == transport::kHandlerPing) return;  // liveness probe, no payload
+  if (msg.handler == transport::kHandlerStateXfer) {
+    handle_state_xfer(std::move(msg));
+    return;
+  }
   if (msg.handler != transport::kHandlerOrbRequest) {
     PARDIS_LOG(kWarn, "poa") << "unexpected RSR handler " << msg.handler << ", dropped";
     return;
@@ -228,6 +243,11 @@ void Poa::ingest(transport::RsrMessage&& msg) {
   // replayed.
   auto ns = next_seq_.find(header.binding_id);
   if (ns != next_seq_.end() && header.seq_no < ns->second && !header.retry()) return;
+  // pardis_wal exactly-once: a retry of a mutation this replica has
+  // durably committed is answered from the log (the recorded reply
+  // frames carry the original request id, which the retry reuses) and
+  // never re-assembles — the servant must not run it a second time.
+  if (header.retry() && answer_retry_from_log(header, key)) return;
   // Admission control applies only to genuinely new requests: a later
   // body of a matrix already assembling must never be shed (it would
   // tear the assembly and strand the other ranks' bodies). For SPMD
@@ -387,7 +407,11 @@ void Poa::dispatch(Key key, bool expired) {
         if (obs::enabled()) servant_span.open("servant:" + a.header.operation, "server");
         servant->_dispatch(inv);
       }
-      inv.send_replies();
+      auto dit = durable_.find(a.header.object_id.value);
+      if (dit != durable_.end())
+        commit_durable(dit->second, key, a.header, inv);
+      else
+        inv.send_replies();
     } catch (const CommFailure& e) {
       PARDIS_LOG(kWarn, "poa") << "reply undeliverable (client gone?): " << e.what();
     } catch (const SystemException& e) {
@@ -485,6 +509,379 @@ void Poa::wait_until_assembled(const Key& key) {
       throw CommFailure("POA endpoint closed while assembling " +
                         std::to_string(key.first) + "#" +
                         std::to_string(key.second));
+    if (res.message) {
+      ingest(std::move(*res.message));
+      drain();
+    }
+  }
+}
+
+void Poa::replay_mutation(const ObjectRef& ref, ServantBase& servant, bool spmd,
+                          durable::MutationRecord&& m) {
+  // Recovery/append replay executes through the normal skeleton with a
+  // reply sink: the effect lands in the servant, nothing leaves. Runs
+  // on this rank alone — durable mutations must not use collectives or
+  // distributed arguments (each replica rank replays independently).
+  ServerInvocation inv(ref, spmd ? comm_ : nullptr, spmd ? rank_ : 0, spmd ? size_ : 1,
+                       m.header, std::move(m.bodies),
+                       [](const transport::EndpointAddr&, ByteBuffer) {});
+  try {
+    servant._dispatch(inv);
+  } catch (const std::exception& e) {
+    PARDIS_LOG(kWarn, "wal") << "replay of '" << m.header.operation
+                             << "' failed: " << e.what();
+  }
+}
+
+void Poa::snapshot_durable(durable::DurableObj& dur, ServantBase& servant) {
+  durable::SnapshotRecord snap;
+  CdrWriter sw(snap.state);
+  servant._snapshot_state(sw);
+  snap.binding_next = dur.binding_next;
+  snap.committed = dur.committed;
+  const wal::Lsn lsn = dur.log->append(wal::kRecordSnapshot, durable::encode_snapshot(snap));
+  dur.log->commit(lsn);
+  if (obs::enabled()) {
+    static obs::Counter& snapshots = obs::metrics().counter("wal.snapshots");
+    snapshots.add(1);
+  }
+}
+
+void Poa::setup_durable(const ObjectRef& ref, ServantBase& servant, bool spmd) {
+  durable::DurableObj dur;
+  dur.name = ref.name;
+  dur.object_id = ref.object_id.value;
+  dur.spmd = spmd;
+  dur.log = std::make_unique<wal::Log>(durable::wal_path(ref.name, host_model_, rank_));
+
+  // Local recovery, in LSN order: a snapshot wholesale-replaces state
+  // (the last one wins — it was written after everything before it),
+  // a mutation re-executes unless dedup-by-seq shows its effect is
+  // already inside the restored state.
+  std::size_t replayed = 0;
+  for (wal::Record& rec : dur.log->take_recovered()) {
+    if (rec.type == wal::kRecordSnapshot) {
+      durable::SnapshotRecord snap = durable::decode_snapshot(rec.payload.view());
+      CdrReader sr(snap.state.view());
+      servant._restore_state(sr);
+      dur.binding_next = std::move(snap.binding_next);
+      dur.committed = std::move(snap.committed);
+    } else if (rec.type == wal::kRecordMutation) {
+      durable::MutationRecord m = durable::decode_mutation(rec.payload.view());
+      const Key key{m.header.binding_id, m.header.seq_no};
+      dur.committed[key] = rec.lsn;
+      ULong& bn = dur.binding_next[key.first];
+      if (key.second >= bn) {
+        replay_mutation(ref, servant, spmd, std::move(m));
+        bn = key.second + 1;
+        ++replayed;
+      }
+    } else {
+      PARDIS_LOG(kWarn, "wal") << "unknown record type " << static_cast<int>(rec.type)
+                               << " at LSN " << rec.lsn << ", skipped";
+    }
+  }
+  if (replayed > 0 && obs::enabled()) {
+    static obs::Counter& counter = obs::metrics().counter("wal.replay_executed");
+    counter.add(replayed);
+  }
+  for (const auto& [binding, next] : dur.binding_next) {
+    ULong& n = next_seq_[binding];
+    if (next > n) n = next;
+  }
+
+  // Join pull: if a group sibling is already serving, its state
+  // supersedes whatever local recovery rebuilt — our log may hold a
+  // record that was fsynced but never forwarded before a crash, and
+  // its effect was never acknowledged (replies leave only after
+  // forwarding), so dropping it keeps the group convergent.
+  std::optional<ReplicaGroup> group;
+  try {
+    group = orb_->registry().lookup_group(ref.name, "");
+  } catch (const SystemException&) {
+  }
+  const ObjectRef* sibling = nullptr;
+  if (group) {
+    for (const ObjectRef& m : group->members)
+      if (m.object_id != ref.object_id && m.server_size() == ref.server_size()) {
+        sibling = &m;
+        break;
+      }
+  }
+  const std::size_t ep_index = spmd ? static_cast<std::size_t>(rank_) : 0;
+  std::vector<ByteBuffer> stashed;  // appends committed mid-pull, record payloads
+  bool pulled = false;
+  if (sibling != nullptr && ep_index < sibling->thread_eps.size()) {
+    try {
+      orb_->transport().rsr(
+          sibling->thread_eps[ep_index], transport::kHandlerStateXfer,
+          durable::make_xfer_request(sibling->object_id.value, endpoint_->addr()),
+          host_model_);
+      const auto deadline = std::chrono::steady_clock::now() + orb_->config().resolve_timeout;
+      while (!pulled && std::chrono::steady_clock::now() < deadline) {
+        auto res = endpoint_->wait_for(std::chrono::milliseconds(20));
+        if (res.closed()) break;
+        if (!res.message) continue;
+        if (res.message->handler != transport::kHandlerStateXfer) {
+          ingest(std::move(*res.message));
+          continue;
+        }
+        CdrReader r(res.message->payload.view(), res.message->little_endian);
+        const Octet sub = r.read_octet();
+        if (sub == wal::kXferSnapshot) {
+          durable::XferSnapshot xs = durable::decode_xfer_snapshot(r);
+          CdrReader sr(xs.state.view());
+          servant._restore_state(sr);
+          dur.binding_next = std::move(xs.binding_next);
+          dur.committed.clear();
+          // Re-log the tail under our own LSNs: their effects are
+          // inside the restored state (no execution), but a client
+          // retry must still find the recorded reply frames here.
+          for (const ByteBuffer& tail : xs.tail_records) {
+            durable::MutationRecord m = durable::decode_mutation(tail.view());
+            const Key k{m.header.binding_id, m.header.seq_no};
+            const wal::Lsn lsn = dur.log->append(wal::kRecordMutation, tail.clone());
+            dur.log->commit(lsn);
+            dur.committed[k] = lsn;
+            ULong& bn = dur.binding_next[k.first];
+            if (k.second + 1 > bn) bn = k.second + 1;
+          }
+          pulled = true;
+        } else if (sub == wal::kXferAppend) {
+          r.read_ulonglong();  // target: us
+          const ULong len = r.read_ulong();
+          stashed.push_back(ByteBuffer::from(r.read_bytes(len)));
+        } else {
+          PARDIS_LOG(kWarn, "wal") << "unexpected sub-op " << static_cast<int>(sub)
+                                   << " during state pull, dropped";
+        }
+      }
+    } catch (const SystemException& e) {
+      PARDIS_LOG(kWarn, "wal") << "state pull from sibling failed: " << e.what();
+    }
+    if (pulled) {
+      for (const auto& [binding, next] : dur.binding_next) {
+        ULong& n = next_seq_[binding];
+        if (next > n) n = next;
+      }
+      // Checkpoint: the pulled state must survive our own restart even
+      // though the records before it no longer describe it.
+      snapshot_durable(dur, servant);
+      if (obs::enabled()) {
+        static obs::Counter& joins = obs::metrics().counter("wal.joins");
+        joins.add(1);
+      }
+    } else {
+      PARDIS_LOG(kWarn, "wal") << "no state snapshot from sibling of '" << ref.name
+                               << "' within resolve timeout; serving from local log";
+    }
+  }
+  durable::DurableObj& placed = durable_[dur.object_id] = std::move(dur);
+  for (ByteBuffer& payload : stashed) apply_xfer_append(placed, std::move(payload));
+}
+
+void Poa::handle_state_xfer(transport::RsrMessage&& msg) {
+  CdrReader r(msg.payload.view(), msg.little_endian);
+  const Octet sub = r.read_octet();
+  if (sub == wal::kXferRequest) {
+    const ULongLong target = r.read_ulonglong();
+    const auto reply_to = transport::EndpointAddr::unmarshal(r);
+    auto it = durable_.find(target);
+    const PoaShared::ObjEntry* entry = shared_->find(target);
+    if (it == durable_.end() || entry == nullptr) {
+      PARDIS_LOG(kWarn, "wal") << "state request for unknown durable object " << target;
+      return;
+    }
+    durable::DurableObj& dur = it->second;
+    ServantBase* servant =
+        entry->servants[entry->spmd ? static_cast<std::size_t>(rank_) : 0];
+    ByteBuffer state;
+    CdrWriter sw(state);
+    servant->_snapshot_state(sw);
+    // Tail: the mutation records backing the replay window, oldest
+    // first, so the joiner can answer retries without re-executing.
+    std::map<wal::Lsn, ByteBuffer> tail;
+    for (const auto& [key, lsn] : dur.committed)
+      if (auto rec = dur.log->read(lsn)) tail.emplace(lsn, std::move(rec->payload));
+    std::vector<ByteBuffer> tail_v;
+    tail_v.reserve(tail.size());
+    for (auto& [lsn, payload] : tail) tail_v.push_back(std::move(payload));
+    try {
+      orb_->transport().rsr(reply_to, transport::kHandlerStateXfer,
+                            durable::make_xfer_snapshot(state, dur.binding_next, tail_v),
+                            host_model_);
+      if (obs::enabled()) {
+        static obs::Counter& sent = obs::metrics().counter("wal.xfer_snapshots");
+        sent.add(1);
+      }
+    } catch (const SystemException& e) {
+      PARDIS_LOG(kWarn, "wal") << "state snapshot undeliverable: " << e.what();
+    }
+  } else if (sub == wal::kXferAppend) {
+    const ULongLong target = r.read_ulonglong();
+    const ULong len = r.read_ulong();
+    ByteBuffer payload = ByteBuffer::from(r.read_bytes(len));
+    auto it = durable_.find(target);
+    if (it == durable_.end()) {
+      PARDIS_LOG(kWarn, "wal") << "append for unknown durable object " << target
+                               << ", dropped";
+      return;
+    }
+    apply_xfer_append(it->second, std::move(payload));
+  } else {
+    PARDIS_LOG(kWarn, "wal") << "unexpected state-transfer sub-op "
+                             << static_cast<int>(sub) << ", dropped";
+  }
+}
+
+void Poa::apply_xfer_append(durable::DurableObj& dur, ByteBuffer payload) {
+  durable::MutationRecord m = durable::decode_mutation(payload.view());
+  const Key key{m.header.binding_id, m.header.seq_no};
+  if (dur.committed.count(key) != 0) return;  // duplicate forward
+  const wal::Lsn lsn = dur.log->append(wal::kRecordMutation, payload.clone());
+  dur.log->commit(lsn);
+  dur.committed[key] = lsn;
+  ULong& bn = dur.binding_next[key.first];
+  const bool execute = key.second >= bn;
+  if (key.second + 1 > bn) bn = key.second + 1;
+  // Raise our dispatch horizon too: a fresh dispatch of this sequence
+  // number here would double-execute what the primary already ran.
+  ULong& next = next_seq_[key.first];
+  if (key.second + 1 > next) next = key.second + 1;
+  std::vector<ServerInvocation::BuiltReply> replies = std::move(m.replies);
+  const PoaShared::ObjEntry* entry = shared_->find(dur.object_id);
+  if (execute && entry != nullptr)
+    replay_mutation(entry->ref,
+                    *entry->servants[entry->spmd ? static_cast<std::size_t>(rank_) : 0],
+                    entry->spmd, std::move(m));
+  // A retry of the same key may already be assembling here (the client
+  // failed over before this append landed): answer it from the
+  // recorded frames and free the seat — it sits below the horizon now
+  // and would otherwise never dispatch.
+  auto as = assembling_.find(key);
+  if (as != assembling_.end()) {
+    for (const auto& [crank, body] : as->second.bodies)
+      for (ServerInvocation::BuiltReply& rep : replies) {
+        if (rep.client_rank != crank) continue;
+        try {
+          orb_->transport().rsr(body.reply_to, transport::kHandlerOrbReply,
+                                rep.frame.clone(), host_model_);
+        } catch (const SystemException& e) {
+          PARDIS_LOG(kWarn, "wal") << "logged reply undeliverable: " << e.what();
+        }
+      }
+    assembling_.erase(as);
+    depth_mirror_.store(assembling_.size(), std::memory_order_relaxed);
+  }
+  durable::prune(dur);
+  if (obs::enabled()) {
+    static obs::Counter& applied = obs::metrics().counter("wal.appends_applied");
+    applied.add(1);
+  }
+}
+
+bool Poa::answer_retry_from_log(const RequestHeader& header, const Key& key) {
+  auto dit = durable_.find(header.object_id.value);
+  if (dit == durable_.end()) return false;
+  durable::DurableObj& dur = dit->second;
+  auto cit = dur.committed.find(key);
+  if (cit == dur.committed.end()) return false;
+  std::optional<wal::Record> rec = dur.log->read(cit->second);
+  if (!rec) {
+    PARDIS_LOG(kWarn, "wal") << "committed record at LSN " << cit->second
+                             << " unreadable; letting the retry re-assemble";
+    return false;
+  }
+  durable::MutationRecord m = durable::decode_mutation(rec->payload.view());
+  if (obs::enabled()) {
+    static obs::Counter& answered = obs::metrics().counter("wal.retry_answered");
+    answered.add(1);
+  }
+  // Frames suppressed at the original dispatch (non-zero server rank,
+  // no distributed out arguments) stay suppressed: the record simply
+  // holds none for this client rank, and we still swallow the retry.
+  for (ServerInvocation::BuiltReply& rep : m.replies) {
+    if (rep.client_rank != header.client_rank) continue;
+    try {
+      orb_->transport().rsr(header.reply_to, transport::kHandlerOrbReply,
+                            std::move(rep.frame), host_model_);
+    } catch (const SystemException& e) {
+      PARDIS_LOG(kWarn, "poa") << "logged reply undeliverable: " << e.what();
+    }
+  }
+  return true;
+}
+
+void Poa::commit_durable(durable::DurableObj& dur, const Key& key,
+                         const RequestHeader& header, ServerInvocation& inv) {
+  const double start_us = obs::enabled() ? obs::wall_now_us() : 0.0;
+  std::vector<ServerInvocation::BuiltReply> built = inv.build_replies();
+  ByteBuffer payload = durable::encode_mutation(header, inv.bodies(), built);
+  const wal::Lsn lsn = dur.log->append(wal::kRecordMutation, payload.clone());
+  dur.log->commit(lsn);  // group-commit fsync barrier
+  dur.committed[key] = lsn;
+  ULong& bn = dur.binding_next[key.first];
+  if (key.second + 1 > bn) bn = key.second + 1;
+  durable::prune(dur);
+  // Forward before replying: once the client sees the ack, the
+  // mutation must exist beyond this process (a sibling's log), or a
+  // crash here would lose an acknowledged write on failover.
+  forward_append(dur, payload);
+  if (obs::enabled()) {
+    static obs::Counter& commits = obs::metrics().counter("wal.commits");
+    static obs::Histogram& us = obs::metrics().histogram("wal.commit_us");
+    commits.add(1);
+    us.record(obs::wall_now_us() - start_us);
+  }
+  inv.send_built(std::move(built));
+}
+
+void Poa::forward_append(durable::DurableObj& dur, const ByteBuffer& payload) {
+  std::optional<ReplicaGroup> group;
+  try {
+    group = orb_->registry().lookup_group(dur.name, "");
+  } catch (const SystemException&) {
+    return;  // registry unreachable: siblings resync on their next join
+  }
+  if (!group) return;
+  const std::size_t ep_index = dur.spmd ? static_cast<std::size_t>(rank_) : 0;
+  const int width = dur.spmd ? size_ : 1;
+  for (const ObjectRef& m : group->members) {
+    if (m.object_id.value == dur.object_id) continue;
+    if (m.server_size() != width || ep_index >= m.thread_eps.size()) continue;
+    try {
+      orb_->transport().rsr(m.thread_eps[ep_index], transport::kHandlerStateXfer,
+                            durable::make_xfer_append(m.object_id.value, payload.view()),
+                            host_model_);
+      if (obs::enabled()) {
+        static obs::Counter& forwarded = obs::metrics().counter("wal.appends_forwarded");
+        forwarded.add(1);
+      }
+    } catch (const SystemException& e) {
+      PARDIS_LOG(kWarn, "wal") << "append to sibling undeliverable: " << e.what();
+    }
+  }
+}
+
+void Poa::wait_for_durable_horizon(const Key& key) {
+  if (durable_.empty()) return;
+  auto it = assembling_.find(key);
+  if (it == assembling_.end()) return;
+  if (durable_.find(it->second.header.object_id.value) == durable_.end()) return;
+  const auto started = std::chrono::steady_clock::now();
+  while (expected_seq(next_seq_, key.first) < key.second) {
+    if (assembly_stall_.count() > 0 &&
+        std::chrono::steady_clock::now() - started >= assembly_stall_) {
+      throw CommFailure("POA rank " + std::to_string(rank_) +
+                        " waited " + std::to_string(assembly_stall_.count()) +
+                        " ms for the durable horizon of binding " +
+                        std::to_string(key.first) + " to reach seq " +
+                        std::to_string(key.second) + " (forwarded append lost?)");
+    }
+    auto res = endpoint_->wait_for(std::chrono::milliseconds(10));
+    if (res.closed())
+      throw CommFailure("POA endpoint closed while waiting for the durable horizon of " +
+                        std::to_string(key.first) + "#" + std::to_string(key.second));
     if (res.message) {
       ingest(std::move(*res.message));
       drain();
@@ -660,6 +1057,10 @@ int Poa::round(bool& deactivated) {
     auto ns = next_seq_.find(binding);
     if (!replay && ns != next_seq_.end() && seq < ns->second) continue;
     wait_until_assembled(key);
+    // Fresh dispatches to a durable object must not outrun the
+    // forwarded appends of earlier sequence numbers (rank-to-rank, so
+    // a sibling rank can lag behind the coordinator's horizon).
+    if (!replay) wait_for_durable_horizon(key);
     dispatch(key, (flags & kSchedExpired) != 0);
     ++dispatched;
   }

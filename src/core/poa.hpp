@@ -28,6 +28,7 @@
 #include <string>
 #include <vector>
 
+#include "core/durable.hpp"
 #include "core/orb.hpp"
 #include "core/servant.hpp"
 #include "rts/domain.hpp"
@@ -142,6 +143,41 @@ class Poa {
   void wait_until_assembled(const Key& key);
   int round(bool& deactivated);
 
+  // --- pardis_wal durability (all no-ops unless wal::enabled() and the
+  // servant opted in via _durable()) -------------------------------------
+
+  /// Opens (and recovers) this rank's log for a freshly activated
+  /// durable object, then pulls a state snapshot from a group sibling
+  /// if one is serving (register-then-pull join).
+  void setup_durable(const ObjectRef& ref, ServantBase& servant, bool spmd);
+  /// Replays one recovered/transferred mutation record through the
+  /// servant without sending any reply.
+  void replay_mutation(const ObjectRef& ref, ServantBase& servant, bool spmd,
+                       durable::MutationRecord&& m);
+  /// kHandlerStateXfer frames (join requests, snapshots outside a
+  /// join, post-commit appends from the sibling's matching rank).
+  void handle_state_xfer(transport::RsrMessage&& msg);
+  /// Applies one forwarded mutation record: re-log under our own LSN,
+  /// execute unless dedup-by-seq suppresses it, answer any assembling
+  /// retry of the same key from the recorded reply frames.
+  void apply_xfer_append(durable::DurableObj& dur, ByteBuffer payload);
+  /// True when the request is a retry of a mutation this replica has
+  /// durably committed: the recorded reply frames are re-sent and the
+  /// request must not assemble (the servant never runs twice).
+  bool answer_retry_from_log(const RequestHeader& header, const Key& key);
+  /// fsync-then-forward-then-reply commit of one durable dispatch.
+  void commit_durable(durable::DurableObj& dur, const Key& key,
+                      const RequestHeader& header, ServerInvocation& inv);
+  /// Streams a committed record to every group sibling's matching rank.
+  void forward_append(durable::DurableObj& dur, const ByteBuffer& payload);
+  /// Blocks a scheduled fresh durable dispatch until every earlier
+  /// sequence number of its binding has landed here (own dispatch,
+  /// forwarded append, or shed hole) — appends travel rank-to-rank
+  /// asynchronously, so a collective schedule can outrun them.
+  void wait_for_durable_horizon(const Key& key);
+  /// Writes (and commits) a state checkpoint to the object's own log.
+  void snapshot_durable(durable::DurableObj& dur, ServantBase& servant);
+
   Orb* orb_;
   rts::Communicator* comm_;
   int rank_;
@@ -152,6 +188,9 @@ class Poa {
 
   std::map<Key, Assembling> assembling_;
   std::map<ULongLong, ULong> next_seq_;  // per binding
+  /// pardis_wal: this rank's durable-object replicas, by object id.
+  /// Only this POA thread touches it (logs have their own locking).
+  std::map<ULongLong, durable::DurableObj> durable_;
   /// Sequence numbers shed by admission control, per binding: holes
   /// the in-order gate skips (consumed by expected_seq). Holes in a
   /// single-object binding are local to the owning rank; holes in an

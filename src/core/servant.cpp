@@ -32,8 +32,9 @@ rts::Communicator& ServerInvocation::comm() const {
   return *comm_;
 }
 
-void ServerInvocation::send_reply_to(std::size_t body_index, ReplyStatus status, ErrorCode code,
-                                     const std::string& message, ByteBuffer body) {
+ByteBuffer ServerInvocation::frame_reply(std::size_t body_index, ReplyStatus status,
+                                         ErrorCode code, const std::string& message,
+                                         ByteBuffer body) {
   ReplyHeader h;
   h.request_id = bodies_[body_index].request_id;
   h.server_rank = server_rank_;
@@ -46,6 +47,12 @@ void ServerInvocation::send_reply_to(std::size_t body_index, ReplyStatus status,
   CdrWriter w(frame);
   h.marshal(w);
   frame.append(body.view());
+  return frame;
+}
+
+void ServerInvocation::send_reply_to(std::size_t body_index, ReplyStatus status, ErrorCode code,
+                                     const std::string& message, ByteBuffer body) {
+  ByteBuffer frame = frame_reply(body_index, status, code, message, std::move(body));
   if (obs::enabled()) {
     static obs::Counter& replies = obs::metrics().counter("orb.replies_sent");
     static obs::Counter& bytes = obs::metrics().counter("orb.reply_bytes_sent");
@@ -55,19 +62,38 @@ void ServerInvocation::send_reply_to(std::size_t body_index, ReplyStatus status,
   send_(bodies_[body_index].reply_to, std::move(frame));
 }
 
-void ServerInvocation::send_replies() {
-  if (oneway()) return;
+std::vector<ServerInvocation::BuiltReply> ServerInvocation::build_replies() {
+  std::vector<BuiltReply> built;
+  if (oneway()) return built;
   // Without distributed out arguments only server rank 0 replies; the
   // client-side stub waits for exactly one reply in that case.
-  if (server_rank_ != 0 && !sent_dist_out_) return;
+  if (server_rank_ != 0 && !sent_dist_out_) return built;
+  built.reserve(bodies_.size());
+  for (std::size_t i = 0; i < bodies_.size(); ++i)
+    built.push_back(BuiltReply{bodies_[i].client_rank, bodies_[i].reply_to,
+                               frame_reply(i, ReplyStatus::kOk, ErrorCode::kUnknown, "",
+                                           std::move(reply_bodies_[i]))});
+  return built;
+}
+
+void ServerInvocation::send_built(std::vector<BuiltReply> replies) {
   // The reply span sits under the dispatch span (ambient here) so the
   // transport sends it triggers nest correctly in the trace.
   obs::SpanScope span;
   if (obs::enabled() && trace_.valid())
     span.open("reply:" + operation(), "server");
-  for (std::size_t i = 0; i < bodies_.size(); ++i)
-    send_reply_to(i, ReplyStatus::kOk, ErrorCode::kUnknown, "", std::move(reply_bodies_[i]));
+  for (auto& r : replies) {
+    if (obs::enabled()) {
+      static obs::Counter& replies_sent = obs::metrics().counter("orb.replies_sent");
+      static obs::Counter& bytes = obs::metrics().counter("orb.reply_bytes_sent");
+      replies_sent.add(1);
+      bytes.add(r.frame.size());
+    }
+    send_(r.to, std::move(r.frame));
+  }
 }
+
+void ServerInvocation::send_replies() { send_built(build_replies()); }
 
 void ServerInvocation::send_error(const SystemException& e) {
   if (oneway()) {

@@ -32,6 +32,24 @@ class ServantBase {
 
   /// Generated: unmarshal, call the user method, marshal the reply.
   virtual void _dispatch(ServerInvocation& inv) = 0;
+
+  // --- pardis_wal durability -------------------------------------------
+
+  /// Opt-in to WAL-backed durable state. A durable servant's committed
+  /// mutations survive crashes (replayed from the log) and replicate
+  /// to group siblings; it must also implement the state pair below.
+  /// Effective only when wal::enabled() — with PARDIS_WAL off a
+  /// durable servant behaves exactly like any other.
+  virtual bool _durable() const { return false; }
+
+  /// Serializes this rank's full servant state (snapshot records and
+  /// replica join transfers). Pair with _restore_state: restoring a
+  /// snapshot into a fresh servant must reproduce the snapshotted one.
+  virtual void _snapshot_state(CdrWriter& w) const { (void)w; }
+
+  /// Replaces this rank's state with a snapshot taken by
+  /// _snapshot_state (possibly on a sibling replica).
+  virtual void _restore_state(CdrReader& r) { (void)r; }
 };
 
 /// One assembled request on one server computing thread.
@@ -180,6 +198,24 @@ class ServerInvocation {
 
   // --- completion (called by the POA) ------------------------------------
 
+  /// One fully framed success reply, built but not yet sent. The POA's
+  /// durable commit path materializes these first, logs them inside
+  /// the mutation record (so a client retry can be answered with the
+  /// exact original frames), and only then lets them leave.
+  struct BuiltReply {
+    int client_rank = 0;
+    transport::EndpointAddr to;
+    ByteBuffer frame;
+  };
+
+  /// Frames the success replies without sending them, applying the
+  /// same suppression rules as send_replies (empty for oneway, and for
+  /// non-zero server ranks without distributed out arguments).
+  std::vector<BuiltReply> build_replies();
+
+  /// Sends frames produced by build_replies.
+  void send_built(std::vector<BuiltReply> replies);
+
   /// Sends the success replies built above. Replies from non-zero
   /// server ranks are suppressed when the operation has no distributed
   /// out arguments (mirrored by the client's expected-reply count).
@@ -188,7 +224,13 @@ class ServerInvocation {
   /// Reports a dispatch failure to every participating client thread.
   void send_error(const SystemException& e);
 
+  /// The assembled request bodies (durable commit path: logged inside
+  /// the mutation record).
+  const std::vector<Body>& bodies() const noexcept { return bodies_; }
+
  private:
+  ByteBuffer frame_reply(std::size_t body_index, ReplyStatus status, ErrorCode code,
+                         const std::string& message, ByteBuffer body);
   void send_reply_to(std::size_t body_index, ReplyStatus status, ErrorCode code,
                      const std::string& message, ByteBuffer body);
 

@@ -93,6 +93,11 @@ inline constexpr HandlerId kHandlerSessionAck = 6;
 /// digest + ShardMap frame fanned out by ns::AnnounceBus so clients
 /// discover repositories without PARDIS_REPO_ADDR.
 inline constexpr HandlerId kHandlerAnnounce = 7;
+/// pardis_wal durable-state transfer: snapshot pulls on replica join
+/// and post-commit append forwarding between siblings. Only ever sent
+/// between POAs of durable replica groups, so a WAL-disabled run emits
+/// no frame with this id.
+inline constexpr HandlerId kHandlerStateXfer = 8;
 
 // Handler ids are dense from 1 (dense + increasing == distinct); 0 is
 // never assigned — it is the RsrMessage default, and a frame that
@@ -104,6 +109,7 @@ static_assert(kHandlerPing == kHandlerRepo + 1);
 static_assert(kHandlerSessionData == kHandlerPing + 1);
 static_assert(kHandlerSessionAck == kHandlerSessionData + 1);
 static_assert(kHandlerAnnounce == kHandlerSessionAck + 1);
+static_assert(kHandlerStateXfer == kHandlerAnnounce + 1);
 
 }  // namespace pardis::transport
 
@@ -157,6 +163,15 @@ inline constexpr Octet kSchedReplay = 0x1;   ///< duplicate of a dispatched roun
 inline constexpr Octet kSchedExpired = 0x2;  ///< deadline expired in queue
 
 static_assert((kSchedReplay & kSchedExpired) == 0, "schedule flag bits overlap");
+
+/// Pseudo-operation name in ObjectRef::arg_specs marking a durable
+/// (WAL-backed) object. ObjectRef has no trailing-field extension
+/// point — a trailer would corrupt ReplicaGroup member-sequence
+/// parsing — so durability travels as an arg-spec entry with an empty
+/// spec list. The "__pardis." prefix keeps it outside the IDL
+/// identifier space; a WAL-off ref never contains it, keeping the
+/// marshaled bytes identical to the pre-WAL format.
+inline constexpr const char* kDurableMarkerOp = "__pardis.durable__";
 
 }  // namespace pardis::core
 
@@ -218,3 +233,31 @@ inline constexpr Octet kAnnounceVersion = 1;
 static_assert(kAnnounceMagic != 0, "announce magic must be distinguishable from zeroed bytes");
 
 }  // namespace pardis::ns
+
+// --- Write-ahead log constants ---------------------------------------------
+
+namespace pardis::wal {
+
+/// Leading magic of a WAL file ("PWAL"). A file that does not start
+/// with it is treated as foreign and recovery refuses to touch it.
+inline constexpr ULong kWalMagic = 0x5057414C;
+/// On-disk format version; bumped on any record layout change (a log
+/// under a different version is recovered as empty).
+inline constexpr Octet kWalVersion = 1;
+
+/// Record type octets (first payload byte after the CRC frame).
+inline constexpr Octet kRecordMutation = 1;  ///< one committed non-idempotent dispatch
+inline constexpr Octet kRecordSnapshot = 2;  ///< full servant state checkpoint
+
+/// kHandlerStateXfer sub-operations (leading octet of the frame).
+inline constexpr Octet kXferRequest = 1;   ///< joiner asks a sibling for a snapshot
+inline constexpr Octet kXferSnapshot = 2;  ///< snapshot + durable horizon reply
+inline constexpr Octet kXferAppend = 3;    ///< post-commit mutation forwarded to siblings
+
+static_assert(kWalMagic != 0, "wal magic must be distinguishable from zeroed bytes");
+static_assert(kRecordMutation != kRecordSnapshot, "wal record types overlap");
+static_assert(kXferRequest != kXferSnapshot && kXferSnapshot != kXferAppend &&
+                  kXferRequest != kXferAppend,
+              "state-xfer sub-ops overlap");
+
+}  // namespace pardis::wal

@@ -270,7 +270,11 @@ int with_retry(core::Binding& binding, const std::string& operation,
     if (verdict == Verdict::kRetry) {
       if (binding.pool_failover(code, diag, retry_after_ms)) {
         note_failover(operation, total, diag);
-        attempt = 0;
+        // pardis_wal exactly-once: a durable sibling must see the SAME
+        // request identity — it answers a committed mutation from its
+        // log and executes an uncommitted one exactly once. Only
+        // idempotent (non-durable) targets get a fresh identity.
+        if (!binding.exactly_once()) attempt = 0;
       } else {
         note_retry(binding, policy, operation, total, diag, retry_after_ms);
       }
@@ -295,7 +299,8 @@ int with_retry(core::Binding& binding, const std::string& operation,
     if (verdict == Verdict::kGiveUp) give_up(waited, operation, diag);
     if (binding.pool_failover(code, diag, retry_after_ms)) {
       note_failover(operation, total, diag);
-      attempt = 0;
+      // Exactly-once bindings keep the request identity (see above).
+      if (!binding.exactly_once()) attempt = 0;
     } else {
       note_retry(binding, policy, operation, total, diag, retry_after_ms);
     }

@@ -411,6 +411,52 @@ void Generator::emit_blocking_stub(const InterfaceDef& iface, const Operation& o
   const bool has_ret = !is_void(op.ret);
   const std::string ind = op.idempotent ? "      " : "    ";
 
+  auto emit_decoder = [&](const std::string& d_ind) {
+    out_ << d_ind << "_pending->set_decoder([&](pardis::core::ReplyDecoder& _d) {\n";
+    out_ << d_ind << "  (void)_d;\n";
+    if (has_ret)
+      out_ << d_ind << "  *_ret = _d.out_value<" << cpp_type(op.ret) << ">();\n";
+    for (const auto& p : op.params) {
+      if (p.dir == Param::Dir::kIn) continue;
+      if (p.type->is_dseq()) {
+        const DseqInfo d = dseq_info(p.type);
+        const std::string target =
+            (single_mapping || d.native) ? "_" + p.name + "_view" : p.name;
+        out_ << d_ind << "  _d.out_dseq(" << target << ");\n";
+      } else {
+        out_ << d_ind << "  " << p.name << " = _d.out_value<" << cpp_type(p.type)
+             << ">();\n";
+      }
+    }
+    out_ << d_ind << "});\n";
+  };
+
+  // Non-idempotent two-way operation: plain invoke/wait — except
+  // against an exactly-once (pardis_wal durable) binding, where
+  // retrying is safe by construction: the server commits each
+  // (binding, seq) once and answers re-sends from its log, so the
+  // stub may use the full ft retry/failover machinery.
+  if (!op.idempotent && !op.oneway) {
+    uses_ft_ = true;
+    if (has_ret) out_ << "    auto _ret = std::make_shared<" << cpp_type(op.ret) << ">();\n";
+    out_ << "    if (_binding()->exactly_once()) {\n"
+            "      pardis::ft::with_retry(*_binding(), \"" << op.name
+         << "\", pardis::ft::RetryPolicy::from_env(),\n"
+            "          [&](int _attempt) -> std::shared_ptr<pardis::core::PendingReply> {\n"
+            "        auto _pending = _req.invoke(_attempt);\n";
+    emit_decoder("        ");
+    out_ << "        return _pending;\n"
+            "      });\n"
+            "    } else {\n"
+            "      auto _pending = _req.invoke();\n";
+    emit_decoder("      ");
+    out_ << "      _pending->wait();\n"
+            "    }\n";
+    if (has_ret) out_ << "    return *_ret;\n";
+    out_ << "  }\n\n";
+    return;
+  }
+
   // `#pragma idempotent`: marshal once (frames append views, so the
   // request body survives re-sends), then let ft::with_retry drive
   // invoke/wait — re-sends keep the request identity and the SPMD
@@ -433,28 +479,8 @@ void Generator::emit_blocking_stub(const InterfaceDef& iface, const Operation& o
     return;
   }
 
-  if (has_ret && !op.idempotent)
-    out_ << "    auto _ret = std::make_shared<" << cpp_type(op.ret) << ">();\n";
-  out_ << ind << "_pending->set_decoder([&](pardis::core::ReplyDecoder& _d) {\n";
-  out_ << ind << "  (void)_d;\n";
-  if (has_ret)
-    out_ << ind << "  *_ret = _d.out_value<" << cpp_type(op.ret) << ">();\n";
-  for (const auto& p : op.params) {
-    if (p.dir == Param::Dir::kIn) continue;
-    if (p.type->is_dseq()) {
-      const DseqInfo d = dseq_info(p.type);
-      const std::string target =
-          (single_mapping || d.native) ? "_" + p.name + "_view" : p.name;
-      out_ << ind << "  _d.out_dseq(" << target << ");\n";
-    } else {
-      out_ << ind << "  " << p.name << " = _d.out_value<" << cpp_type(p.type) << ">();\n";
-    }
-  }
-  out_ << ind << "});\n";
-  if (op.idempotent)
-    out_ << "      return _pending;\n    });\n";
-  else
-    out_ << "    _pending->wait();\n";
+  emit_decoder(ind);
+  out_ << "      return _pending;\n    });\n";
   if (has_ret) out_ << "    return *_ret;\n";
   out_ << "  }\n\n";
 }

@@ -109,6 +109,10 @@ void GroupBinding::init(core::ReplicaGroup group, PoolConfig cfg, core::ObjectRe
   targets_[initial.primary_key()] = TargetSeq{initial_id, 0};
   binding_ =
       std::make_shared<core::Binding>(*ctx_, std::move(initial), collective_, initial_id);
+  // pardis_wal: a durable (WAL-backed) group gets exactly-once
+  // failover — one pinned sequencing stream whose identity survives
+  // retargeting — instead of the idempotent fresh-identity scheme.
+  if (binding_->ref().durable()) binding_->set_exactly_once(true);
   install_hooks();
 }
 
@@ -216,6 +220,15 @@ ULongLong GroupBinding::id_for(const core::ObjectRef& ref, ULongLong fresh) {
 }
 
 void GroupBinding::switch_to(const core::ObjectRef& ref, ULongLong id) {
+  if (binding_->exactly_once()) {
+    // pardis_wal exactly-once: the request identity IS the dedup key.
+    // The sibling continues the same (binding id, seq) stream — it
+    // answers a committed-and-forwarded mutation from its log and
+    // executes an uncommitted one in the same sequence slot, so no
+    // per-replica parked identities exist.
+    binding_->retarget(ref, binding_->id(), binding_->next_seq());
+    return;
+  }
   // Park the current target's sequencing identity; every replica keeps
   // its own dense (binding id, seq) stream so no server's in-order
   // dispatch gate is left waiting on a hole that went to a sibling.
@@ -228,6 +241,12 @@ void GroupBinding::switch_to(const core::ObjectRef& ref, ULongLong id) {
 
 void GroupBinding::select() {
   if (degraded_) return;
+  // Exactly-once (durable) bindings pin their target: the balancer
+  // re-picking per call would interleave one sequencing stream across
+  // replicas. Only a failover verdict moves the binding. Uniform
+  // across ranks (every member of a durable group carries the marker),
+  // so the coordinated broadcast below is safely skipped everywhere.
+  if (binding_->exactly_once()) return;
   if (!coordinated()) {
     core::ObjectRef next = balancer_->pick();
     if (next.primary_key() != binding_->ref().primary_key())

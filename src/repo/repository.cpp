@@ -229,6 +229,10 @@ ByteBuffer RemoteRegistry::call(RepoOp op, ByteBuffer body) {
   }
 }
 
+// Registration ships the full ObjectRef, arg_specs included — the
+// durable marker (core/durable) therefore crosses the repository wire
+// opaquely, with no repo-op or registry change, and non-durable refs
+// marshal to the exact pre-WAL bytes.
 void RemoteRegistry::register_object(const core::ObjectRef& ref) {
   ByteBuffer body;
   CdrWriter w(body);

@@ -90,6 +90,11 @@ void FaultPlan::kill_endpoint(ULongLong key) {
   killed_.insert(key);
 }
 
+void FaultPlan::restart_endpoint(ULongLong key) {
+  LockGuard lock(mutex_);
+  killed_.erase(key);
+}
+
 void FaultPlan::seed_schedule(const std::string& src, const std::string& dst,
                               std::uint64_t seed, double p, std::uint64_t horizon) {
   LockGuard lock(mutex_);

@@ -95,6 +95,12 @@ class FaultPlan {
   /// dead server rank looks to its peers.
   void kill_endpoint(ULongLong key);
 
+  /// Undoes kill_endpoint for one endpoint: the modeled process comes
+  /// back up at the same address with its durable state (WAL files on
+  /// disk) intact — the pardis_wal restart-recovery scenario. Other
+  /// kills and link faults stay in force.
+  void restart_endpoint(ULongLong key);
+
   /// Seeds a pseudo-random drop schedule: each of the first `horizon`
   /// messages on src→dst is dropped with probability `p` under a
   /// splitmix64 stream, so the same seed replays the same faults.

@@ -1,0 +1,147 @@
+// pardis_wal — per-object write-ahead log with group-commit fsync
+// batching.
+//
+// PARDIS's persistent-object story (paper §7) stops at the repository:
+// a binding survives the client, but a server crash takes the
+// servant's state with it. pardis_pool made failover transparent for
+// idempotent operations; this module supplies the missing half — a
+// durable record of every committed non-idempotent mutation, so a
+// restarted or sibling replica can reconstruct exactly the state the
+// dead primary had acknowledged.
+//
+// Design:
+//
+//   * One Log per durable object replica, one file on disk. Records
+//     are CRC32-framed ([len][crc][lsn][type][payload]) behind a
+//     magic+version file header; LSNs are assigned monotonically at
+//     append time and never reused.
+//   * append() only enqueues — the caller gets an LSN back and keeps
+//     running. A dedicated flusher thread drains the queue, writes all
+//     pending records with one write() and makes them durable with ONE
+//     fsync, so N concurrent commits pay one disk barrier, not N
+//     (group commit). commit(lsn) blocks until the durable watermark
+//     covers lsn. pardis-lint PT001 enforces the split: fsync is
+//     unreachable from append().
+//   * Recovery scans the file front to back, keeps every record whose
+//     CRC matches, and truncates the first torn or corrupt frame and
+//     everything after it (a torn tail is the expected shape of a
+//     crash mid-write; anything *behind* a valid tail was fsynced and
+//     cannot be torn). The dropped LSN is reported via obs
+//     (wal.torn_dropped / Log::first_dropped_lsn) so tests and
+//     operators can see exactly what a crash cost.
+//
+// The module depends only on common+obs; everything that understands
+// request headers or POA keys lives above it in core/durable.*.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/buffer.hpp"
+#include "common/mutex.hpp"
+#include "common/types.hpp"
+
+namespace pardis::wal {
+
+/// The master toggle: PARDIS_WAL=1/true/on/yes, overridable with
+/// set_enabled() (tests/benches). Off, no durable marker is marshaled,
+/// no log file is opened and no kHandlerStateXfer frame is sent — the
+/// wire and the filesystem are byte-identical to the pre-WAL build.
+bool enabled() noexcept;
+void set_enabled(bool on) noexcept;
+
+/// Directory for log files (PARDIS_WAL_DIR, default "pardis-wal"),
+/// overridable with set_dir(). Created on first Log construction.
+std::string dir();
+void set_dir(const std::string& d);
+
+/// Log sequence number. 0 is never assigned (== "nothing durable").
+using Lsn = ULongLong;
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected) over `bytes` — exposed so
+/// torn-write tests can forge/verify frames without a Log instance.
+ULong crc32(std::span<const Octet> bytes) noexcept;
+
+/// One recovered or read-back record.
+struct Record {
+  Lsn lsn = 0;
+  Octet type = 0;
+  ByteBuffer payload;
+};
+
+/// A single object replica's write-ahead log. Thread-safe: any number
+/// of threads may append/commit concurrently; read() is safe for
+/// records at or below the durable watermark.
+class Log {
+ public:
+  /// Opens (creating if absent) the log at `path` and runs recovery:
+  /// header validation, CRC scan, torn-tail truncation. The recovered
+  /// records are available via take_recovered() until taken.
+  explicit Log(std::string path);
+  ~Log();
+
+  Log(const Log&) = delete;
+  Log& operator=(const Log&) = delete;
+
+  /// Enqueues one record for the flusher and returns its LSN. Never
+  /// blocks on the disk (lint-enforced); durability is commit()'s job.
+  Lsn append(Octet type, ByteBuffer payload);
+
+  /// Blocks until every record with lsn' <= lsn is fsynced. Concurrent
+  /// commits batch into one fsync (group commit).
+  void commit(Lsn lsn);
+
+  /// Reads one durable record back from disk (pread; no seek shared
+  /// with the flusher). Empty when lsn is unknown or not yet durable.
+  std::optional<Record> read(Lsn lsn) const;
+
+  /// Highest LSN known durable.
+  Lsn durable_lsn() const noexcept { return durable_lsn_.load(std::memory_order_acquire); }
+  /// Highest LSN assigned (durable or still queued).
+  Lsn last_lsn() const noexcept { return next_lsn_.load(std::memory_order_acquire) - 1; }
+
+  /// Records that survived the recovery scan, in LSN order. The buffer
+  /// is moved out on first call (recovery state is transient).
+  std::vector<Record> take_recovered();
+
+  /// LSN of the first record dropped by torn-tail truncation (0 =
+  /// clean recovery). Also counted in the wal.torn_dropped metric.
+  Lsn first_dropped_lsn() const noexcept { return first_dropped_lsn_; }
+
+  const std::string& path() const noexcept { return path_; }
+
+ private:
+  void flusher_main();
+
+  struct Pending {
+    Lsn lsn;
+    Octet type;
+    ByteBuffer payload;
+  };
+
+  std::string path_;
+  int fd_ = -1;
+
+  std::atomic<Lsn> next_lsn_{1};
+  std::atomic<Lsn> durable_lsn_{0};
+  Lsn first_dropped_lsn_ = 0;
+
+  mutable Mutex mu_{"wal::Log"};
+  std::condition_variable_any cv_;         // flusher wake + committer wake
+  std::vector<Pending> pending_ PARDIS_GUARDED_BY(mu_);
+  std::unordered_map<Lsn, std::pair<std::uint64_t, ULong>> index_
+      PARDIS_GUARDED_BY(mu_);  // lsn -> (file offset, payload length)
+  std::uint64_t file_size_ PARDIS_GUARDED_BY(mu_) = 0;
+  std::vector<Record> recovered_ PARDIS_GUARDED_BY(mu_);
+  bool stop_ PARDIS_GUARDED_BY(mu_) = false;
+
+  std::thread flusher_;
+};
+
+}  // namespace pardis::wal

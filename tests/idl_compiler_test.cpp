@@ -183,19 +183,34 @@ TEST(IdlCodegen, IdempotentOpsWrapBlockingStubInRetry) {
   )");
   EXPECT_NE(code.find("pardis::ft::with_retry"), std::string::npos);
   EXPECT_NE(code.find("#include \"ft/ft.hpp\""), std::string::npos);
-  // Only the idempotent op retries: with_retry appears exactly once
-  // (no dsequence params, so no second single-client mapping).
+  // The idempotent op retries unconditionally; the non-idempotent op
+  // gets the exactly-once conditional path — two with_retry sites.
   std::size_t n = 0;
   for (std::size_t pos = code.find("with_retry("); pos != std::string::npos;
        pos = code.find("with_retry(", pos + 1))
     ++n;
-  EXPECT_EQ(n, 1u);
+  EXPECT_EQ(n, 2u);
 }
 
-TEST(IdlCodegen, NonIdempotentSpecsSkipFtInclude) {
+TEST(IdlCodegen, NonIdempotentOpsRetryOnlyBehindExactlyOnce) {
   const std::string code = gen(R"(
     interface svc { long get(in long k); };
   )");
+  // A non-idempotent op may only be retried against a durable binding,
+  // where the sibling deduplicates by request identity: the stub
+  // guards its with_retry on _binding()->exactly_once() and otherwise
+  // takes the classic single-invoke path.
+  EXPECT_NE(code.find("_binding()->exactly_once()"), std::string::npos);
+  EXPECT_NE(code.find("with_retry"), std::string::npos);
+  EXPECT_NE(code.find("ft/ft.hpp"), std::string::npos);
+}
+
+TEST(IdlCodegen, OnewayOnlyInterfacesSkipFtInclude) {
+  const std::string code = gen(R"(
+    interface svc { oneway void ping(in long k); };
+  )");
+  // Oneways have no reply to retry for; nothing in the interface
+  // touches the retry layer, so the include stays out.
   EXPECT_EQ(code.find("with_retry"), std::string::npos);
   EXPECT_EQ(code.find("ft/ft.hpp"), std::string::npos);
 }

@@ -1,0 +1,286 @@
+// pardis_wal recovery tests: torn-tail truncation (a crash mid-write
+// must cost exactly the un-fsynced tail, reported by LSN), bit-flip
+// corruption, sim-modeled endpoint restart (the process comes back at
+// the same address and delivery resumes on the original request
+// identity), and full restart recovery — a durable servant rebuilt
+// from its own log continues the prefix sum where the dead one
+// stopped.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/durable.hpp"
+#include "core/wire.hpp"
+#include "ft/ft.hpp"
+#include "pool/pool.hpp"
+#include "tests/support/calc_api.hpp"
+#include "wal/wal.hpp"
+
+namespace pardis::wal {
+namespace {
+
+using calc_api::POA_calc;
+
+struct WalGuard {
+  explicit WalGuard(const std::string& scratch)
+      : dir(std::filesystem::temp_directory_path() / scratch) {
+    std::filesystem::remove_all(dir);
+    set_dir(dir.string());
+    set_enabled(true);
+  }
+  ~WalGuard() {
+    set_enabled(false);
+    std::filesystem::remove_all(dir);
+  }
+  std::filesystem::path dir;
+};
+
+struct PoolEnabledGuard {
+  PoolEnabledGuard() { pool::set_enabled(true); }
+  ~PoolEnabledGuard() { pool::set_enabled(false); }
+};
+
+ByteBuffer bytes_of(const std::string& s) {
+  ByteBuffer b;
+  b.append_raw(s.data(), s.size());
+  return b;
+}
+
+std::string string_of(const ByteBuffer& b) {
+  return std::string(reinterpret_cast<const char*>(b.view().data()), b.size());
+}
+
+/// Writes `n` committed records "r1".."rn" and closes the log.
+void write_log(const std::string& path, int n) {
+  Log log(path);
+  for (int i = 1; i <= n; ++i)
+    log.commit(log.append(kRecordMutation, bytes_of("r" + std::to_string(i))));
+}
+
+// ---------------------------------------------------------------------------
+// Torn and corrupt tails.
+// ---------------------------------------------------------------------------
+
+TEST(WalRecoveryTest, TornTailKeepsCompleteRecordsAndReportsTheDrop) {
+  WalGuard wal("pardis-wal-torn");
+  const std::string path = (wal.dir / "t.wal").string();
+  write_log(path, 3);
+
+  // A crash mid-write leaves a partial final frame: chop 3 bytes off
+  // the end, cutting into record 3 (every frame is >= 17 bytes).
+  const auto full = std::filesystem::file_size(path);
+  std::filesystem::resize_file(path, full - 3);
+
+  Log reopened(path);
+  auto recovered = reopened.take_recovered();
+  ASSERT_EQ(recovered.size(), 2u);
+  EXPECT_EQ(string_of(recovered[0].payload), "r1");
+  EXPECT_EQ(string_of(recovered[1].payload), "r2");
+  EXPECT_EQ(reopened.first_dropped_lsn(), 3u);  // exactly what the crash cost
+  EXPECT_EQ(reopened.last_lsn(), 2u);
+
+  // The truncated log is fully writable again.
+  const Lsn fresh = reopened.append(kRecordMutation, bytes_of("after"));
+  reopened.commit(fresh);
+  auto rec = reopened.read(fresh);
+  ASSERT_TRUE(rec.has_value());
+  EXPECT_EQ(string_of(rec->payload), "after");
+}
+
+TEST(WalRecoveryTest, BitFlipInTheTailDropsTheCorruptRecord) {
+  WalGuard wal("pardis-wal-flip");
+  const std::string path = (wal.dir / "t.wal").string();
+  write_log(path, 3);
+
+  {
+    // Flip one bit of the final byte — inside record 3's payload, so
+    // its CRC no longer matches.
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekg(-1, std::ios::end);
+    char byte = 0;
+    f.get(byte);
+    f.seekp(-1, std::ios::end);
+    f.put(static_cast<char>(byte ^ 0x01));
+  }
+
+  Log reopened(path);
+  auto recovered = reopened.take_recovered();
+  ASSERT_EQ(recovered.size(), 2u);  // records behind the corruption survive
+  EXPECT_EQ(string_of(recovered[1].payload), "r2");
+  EXPECT_EQ(reopened.first_dropped_lsn(), 3u);
+}
+
+TEST(WalRecoveryTest, ForeignFileIsRefusedNotClobbered) {
+  WalGuard wal("pardis-wal-foreign");
+  const std::string path = (wal.dir / "t.wal").string();
+  std::filesystem::create_directories(wal.dir);
+  const std::string foreign = "this is not a PWAL file";
+  {
+    std::ofstream f(path, std::ios::binary);
+    f << foreign;
+  }
+  // A file without the PWAL magic is someone else's data: recovery
+  // refuses it outright instead of truncating it to an empty log.
+  EXPECT_THROW(Log log(path), SystemException);
+  std::ifstream f(path, std::ios::binary);
+  std::string after((std::istreambuf_iterator<char>(f)), std::istreambuf_iterator<char>());
+  EXPECT_EQ(after, foreign);  // untouched
+}
+
+// ---------------------------------------------------------------------------
+// Restart: same identity, durable state.
+// ---------------------------------------------------------------------------
+
+class DurableCounterServant : public POA_calc {
+ public:
+  bool _durable() const override { return true; }
+  void _snapshot_state(CdrWriter& w) const override { w.write_long(total_); }
+  void _restore_state(CdrReader& r) override { total_ = r.read_long(); }
+
+  double dot(const calc_api::vec&, const calc_api::vec&) override { return 0; }
+  void scale(double, const calc_api::vec&, calc_api::vec&) override {}
+  Long counter(Long d) override { return total_ += d; }
+  void note(const std::string&) override {}
+  void boom(const std::string&) override {}
+
+ private:
+  Long total_ = 0;
+};
+
+class DurableReplicaServer {
+ public:
+  DurableReplicaServer(core::Orb& orb, const std::string& name, const std::string& label,
+                       int width, const sim::HostModel* host = nullptr)
+      : domain_(label, width, host) {
+    std::promise<core::Poa*> pp;
+    auto pf = pp.get_future();
+    domain_.start([&orb, name, &pp](rts::DomainContext& sctx) {
+      core::Poa poa(orb, sctx);
+      DurableCounterServant servant;
+      poa.activate_spmd(servant, name, {}, /*replica=*/true);
+      if (sctx.rank == 0) pp.set_value(&poa);
+      poa.impl_is_ready();
+    });
+    poa_ = pf.get();
+  }
+
+  ~DurableReplicaServer() { stop(); }
+
+  void stop() {
+    if (poa_ == nullptr) return;
+    poa_->deactivate();
+    domain_.join();
+    poa_ = nullptr;
+  }
+
+ private:
+  rts::Domain domain_;
+  core::Poa* poa_ = nullptr;
+};
+
+Long retried_counter(const std::shared_ptr<pool::GroupBinding>& gb, Long value,
+                     const ft::RetryPolicy& policy) {
+  core::ClientRequest req(*gb->binding(), "counter", false, false);
+  req.in_value<Long>(value);
+  auto out = std::make_shared<Long>(-1);
+  ft::with_retry(*gb->binding(), "counter", policy, [&](int attempt) {
+    auto pending = req.invoke(attempt);
+    pending->set_decoder([out](core::ReplyDecoder& d) { *out = d.out_value<Long>(); });
+    return pending;
+  });
+  return *out;
+}
+
+pool::PoolConfig pool_cfg() {
+  pool::PoolConfig cfg;
+  cfg.policy = pool::Policy::kOverloadAware;
+  cfg.probation = std::chrono::milliseconds(25);
+  cfg.overload_quarantine = std::chrono::milliseconds(25);
+  return cfg;
+}
+
+// Satellite: sim::FaultPlan::restart_endpoint. The modeled process
+// dies and comes back at the same address with its WAL intact; the
+// in-flight retry keeps its original request identity across the
+// outage and lands exactly once when delivery resumes.
+TEST(WalRecoveryTest, RestartEndpointResumesDeliveryOnTheSameIdentity) {
+  WalGuard wal("pardis-wal-restart-ep");
+  PoolEnabledGuard pool_on;
+  sim::Testbed tb = sim::Testbed::paper_testbed();
+  transport::LocalTransport tp(&tb);
+  core::InProcessRegistry reg;
+  core::Orb orb(tp, reg);
+  DurableReplicaServer a(orb, "wal-rst", "wal-rst-r0", 1, tb.host(sim::Testbed::kHost2));
+
+  core::ClientCtx ctx(orb);
+  auto gb = pool::GroupBinding::bind(ctx, "wal-rst", "", calc_api::kCalcTypeId, pool_cfg());
+  ASSERT_TRUE(gb->binding()->exactly_once());
+
+  ft::RetryPolicy policy;
+  policy.max_attempts = 10;
+  policy.initial_backoff = std::chrono::milliseconds(10);
+
+  EXPECT_EQ(retried_counter(gb, 1, policy), 1);
+  EXPECT_EQ(retried_counter(gb, 2, policy), 3);
+
+  // Take the only replica down, bring it back while the client is
+  // still retrying. There is no sibling to fail over to, so the retry
+  // must ride out the outage on the SAME (binding, seq) identity.
+  std::vector<ULongLong> eps;
+  for (const auto& ep : gb->current().thread_eps) eps.push_back(ep.local_id);
+  for (ULongLong ep : eps) tb.faults().kill_endpoint(ep);
+  std::thread restarter([&tb, eps] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    for (ULongLong ep : eps) tb.faults().restart_endpoint(ep);
+  });
+  EXPECT_EQ(retried_counter(gb, 3, policy), 6);  // delivered exactly once
+  restarter.join();
+  EXPECT_EQ(retried_counter(gb, 4, policy), 10);
+}
+
+// The full crash/restart cycle: a durable servant's replacement opens
+// the same log file (same name, host, rank), replays the committed
+// mutations into fresh servant state, and the next mutation continues
+// the prefix sum where the dead process stopped.
+TEST(WalRecoveryTest, RestartRecoversCommittedStateFromTheLog) {
+  WalGuard wal("pardis-wal-restart-log");
+  PoolEnabledGuard pool_on;
+  sim::Testbed tb = sim::Testbed::paper_testbed();
+  transport::LocalTransport tp(&tb);
+  core::InProcessRegistry reg;
+  core::Orb orb(tp, reg);
+
+  const ft::RetryPolicy policy = ft::RetryPolicy::from_env();
+  Long expect = 0;
+  {
+    DurableReplicaServer first(orb, "wal-dur", "wal-dur-r0", 1,
+                               tb.host(sim::Testbed::kHost2));
+    core::ClientCtx ctx(orb);
+    auto gb =
+        pool::GroupBinding::bind(ctx, "wal-dur", "", calc_api::kCalcTypeId, pool_cfg());
+    for (int i = 1; i <= 4; ++i) {
+      expect += i;
+      ASSERT_EQ(retried_counter(gb, i, policy), expect);
+    }
+    // first's destructor models the crash: the process is gone, the
+    // log file is what's left.
+  }
+  ASSERT_FALSE(std::filesystem::is_empty(wal.dir));  // the mutations hit disk
+
+  DurableReplicaServer second(orb, "wal-dur", "wal-dur-r0b", 1,
+                              tb.host(sim::Testbed::kHost2));
+  core::ClientCtx ctx(orb);
+  auto gb =
+      pool::GroupBinding::bind(ctx, "wal-dur", "", calc_api::kCalcTypeId, pool_cfg());
+  expect += 5;
+  EXPECT_EQ(retried_counter(gb, 5, policy), expect);  // 15: recovery replayed 1..4
+}
+
+}  // namespace
+}  // namespace pardis::wal

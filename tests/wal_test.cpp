@@ -1,0 +1,413 @@
+// pardis_wal tests: the log itself (framing, group commit, reads by
+// LSN), the durable-object glue (replay-window pruning, golden bytes
+// with the WAL off), and exactly-once non-idempotent failover — a
+// replica killed mid-stream of prefix-sum mutations must lose and
+// duplicate nothing, single-client and SPMD-coordinated.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <atomic>
+#include <filesystem>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/durable.hpp"
+#include "core/wire.hpp"
+#include "ft/ft.hpp"
+#include "pool/pool.hpp"
+#include "tests/support/calc_api.hpp"
+#include "wal/wal.hpp"
+
+namespace pardis::wal {
+namespace {
+
+using calc_api::POA_calc;
+
+/// Turns the WAL on against a fresh scratch directory for one test and
+/// restores "off" (the suite default) on exit.
+struct WalGuard {
+  explicit WalGuard(const std::string& scratch)
+      : dir(std::filesystem::temp_directory_path() / scratch) {
+    std::filesystem::remove_all(dir);
+    set_dir(dir.string());
+    set_enabled(true);
+  }
+  ~WalGuard() {
+    set_enabled(false);
+    std::filesystem::remove_all(dir);
+  }
+  std::filesystem::path dir;
+};
+
+struct PoolEnabledGuard {
+  PoolEnabledGuard() { pool::set_enabled(true); }
+  ~PoolEnabledGuard() { pool::set_enabled(false); }
+};
+
+ByteBuffer bytes_of(const std::string& s) {
+  ByteBuffer b;
+  b.append_raw(s.data(), s.size());
+  return b;
+}
+
+std::string string_of(const ByteBuffer& b) {
+  return std::string(reinterpret_cast<const char*>(b.view().data()), b.size());
+}
+
+// ---------------------------------------------------------------------------
+// The log: framing, LSNs, group commit.
+// ---------------------------------------------------------------------------
+
+TEST(WalLogTest, AppendCommitReadRoundTrips) {
+  WalGuard wal("pardis-wal-roundtrip");
+  Log log((wal.dir / "t.wal").string());
+
+  const Lsn a = log.append(kRecordMutation, bytes_of("alpha"));
+  const Lsn b = log.append(kRecordMutation, bytes_of("beta"));
+  const Lsn c = log.append(kRecordSnapshot, bytes_of("gamma"));
+  EXPECT_EQ(a, 1u);
+  EXPECT_EQ(b, 2u);
+  EXPECT_EQ(c, 3u);
+
+  log.commit(c);  // commit of the highest LSN covers the batch
+  EXPECT_GE(log.durable_lsn(), c);
+
+  auto rec = log.read(b);
+  ASSERT_TRUE(rec.has_value());
+  EXPECT_EQ(rec->lsn, b);
+  EXPECT_EQ(rec->type, kRecordMutation);
+  EXPECT_EQ(string_of(rec->payload), "beta");
+  auto snap = log.read(c);
+  ASSERT_TRUE(snap.has_value());
+  EXPECT_EQ(snap->type, kRecordSnapshot);
+}
+
+TEST(WalLogTest, ReopenRecoversEveryCommittedRecord) {
+  WalGuard wal("pardis-wal-reopen");
+  const std::string path = (wal.dir / "t.wal").string();
+  {
+    Log log(path);
+    for (int i = 0; i < 5; ++i)
+      log.commit(log.append(kRecordMutation, bytes_of("r" + std::to_string(i))));
+  }
+  Log reopened(path);
+  auto recovered = reopened.take_recovered();
+  ASSERT_EQ(recovered.size(), 5u);
+  for (std::size_t i = 0; i < recovered.size(); ++i) {
+    EXPECT_EQ(recovered[i].lsn, i + 1);
+    EXPECT_EQ(string_of(recovered[i].payload), "r" + std::to_string(i));
+  }
+  EXPECT_EQ(reopened.first_dropped_lsn(), 0u);  // clean tail
+  // Fresh appends continue the LSN sequence past the recovered ones.
+  EXPECT_EQ(reopened.append(kRecordMutation, bytes_of("next")), 6u);
+}
+
+TEST(WalLogTest, ConcurrentCommittersShareFsyncBatches) {
+  WalGuard wal("pardis-wal-group");
+  Log log((wal.dir / "t.wal").string());
+
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 32;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&log, t] {
+      for (int i = 0; i < kPerThread; ++i)
+        log.commit(log.append(kRecordMutation,
+                              bytes_of(std::to_string(t) + ":" + std::to_string(i))));
+    });
+  for (auto& th : threads) th.join();
+
+  EXPECT_EQ(log.last_lsn(), static_cast<Lsn>(kThreads * kPerThread));
+  EXPECT_EQ(log.durable_lsn(), log.last_lsn());
+  // Every record is individually readable after the dust settles.
+  for (Lsn l = 1; l <= log.last_lsn(); ++l) EXPECT_TRUE(log.read(l).has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Durable glue: pruning, paths, golden bytes with the WAL off.
+// ---------------------------------------------------------------------------
+
+TEST(WalDurableTest, PruneDropsEntriesBehindTheReplayWindow) {
+  WalGuard wal("pardis-wal-prune");
+  core::durable::set_replay_window(4);
+  core::durable::DurableObj dur;
+  dur.log = std::make_unique<Log>((wal.dir / "t.wal").string());
+  const ULongLong binding = 7;
+  for (ULong seq = 0; seq < 10; ++seq)
+    dur.committed[{binding, seq}] = dur.log->append(kRecordMutation, bytes_of("x"));
+  dur.binding_next[binding] = 10;
+
+  const std::size_t pruned = core::durable::prune(dur);
+  EXPECT_EQ(pruned, 6u);  // seqs 0..5 are more than 4 behind horizon 10
+  EXPECT_EQ(dur.committed.size(), 4u);
+  EXPECT_EQ(dur.committed.begin()->first.second, 6u);
+  core::durable::set_replay_window(0);  // back to the environment default
+}
+
+TEST(WalDurableTest, WalPathSanitizesNameAndHost) {
+  WalGuard wal("pardis-wal-path");
+  const std::string p = core::durable::wal_path("a/b c", "Host*1", 2);
+  EXPECT_EQ(p, wal.dir.string() + "/a_b_c@Host_1.r2.wal");
+}
+
+TEST(WalDurableTest, DurableMarkerRoundTripsAndStaysOffTheWireWhenDisabled) {
+  core::ObjectRef ref;
+  ref.type_id = calc_api::kCalcTypeId;
+  ref.name = "g";
+  ref.object_id = ObjectId::next();
+  transport::EndpointAddr ep;
+  ep.kind = transport::AddrKind::kLocal;
+  ep.local_id = 99;
+  ref.thread_eps.push_back(ep);
+
+  ByteBuffer plain;
+  {
+    CdrWriter w(plain);
+    ref.marshal(w);
+  }
+  core::ObjectRef marked = ref;
+  marked.set_durable();
+  ByteBuffer with_marker;
+  {
+    CdrWriter w(with_marker);
+    marked.marshal(w);
+  }
+  EXPECT_FALSE(ref.durable());
+  EXPECT_TRUE(marked.durable());
+  // The marker travels inside arg_specs: an unmarked ref keeps the
+  // pre-WAL byte layout, and the marker survives a wire round trip.
+  EXPECT_NE(plain.size(), with_marker.size());
+  CdrReader marked_r(with_marker.view());
+  EXPECT_TRUE(core::ObjectRef::unmarshal(marked_r).durable());
+  CdrReader plain_r(plain.view());
+  EXPECT_FALSE(core::ObjectRef::unmarshal(plain_r).durable());
+}
+
+// ---------------------------------------------------------------------------
+// Exactly-once failover of non-idempotent mutations.
+// ---------------------------------------------------------------------------
+
+/// Accumulating counter: `counter(d)` is a non-idempotent mutation
+/// whose reply is the running prefix sum — a lost or duplicated
+/// mutation shifts every later reply, so exact replies prove
+/// exactly-once end to end.
+class DurableCounterServant : public POA_calc {
+ public:
+  bool _durable() const override { return true; }
+  void _snapshot_state(CdrWriter& w) const override { w.write_long(total_); }
+  void _restore_state(CdrReader& r) override { total_ = r.read_long(); }
+
+  double dot(const calc_api::vec&, const calc_api::vec&) override { return 0; }
+  void scale(double, const calc_api::vec&, calc_api::vec&) override {}
+  Long counter(Long d) override { return total_ += d; }
+  void note(const std::string&) override {}
+  void boom(const std::string&) override {}
+
+  Long total() const noexcept { return total_; }
+
+ private:
+  Long total_ = 0;
+};
+
+/// One durable replica: a width-thread server domain joining the
+/// replica group for `name`, one DurableCounterServant per rank.
+class DurableReplicaServer {
+ public:
+  DurableReplicaServer(core::Orb& orb, const std::string& name, const std::string& label,
+                       int width, const sim::HostModel* host = nullptr)
+      : domain_(label, width, host) {
+    std::promise<core::Poa*> pp;
+    auto pf = pp.get_future();
+    domain_.start([this, &orb, name, &pp](rts::DomainContext& sctx) {
+      core::Poa poa(orb, sctx);
+      DurableCounterServant servant;
+      poa.activate_spmd(servant, name, {}, /*replica=*/true);
+      if (sctx.rank == 0) pp.set_value(&poa);
+      poa.impl_is_ready();
+      totals_[static_cast<std::size_t>(sctx.rank)] = servant.total();
+    });
+    poa_ = pf.get();
+  }
+
+  ~DurableReplicaServer() { stop(); }
+
+  void stop() {
+    if (poa_ == nullptr) return;
+    poa_->deactivate();
+    domain_.join();
+    poa_ = nullptr;
+  }
+
+  /// Final per-rank servant total (valid after stop()).
+  Long total(int rank) const { return totals_[static_cast<std::size_t>(rank)]; }
+
+ private:
+  std::array<Long, 8> totals_{};
+  rts::Domain domain_;
+  core::Poa* poa_ = nullptr;
+};
+
+Long retried_counter(const std::shared_ptr<pool::GroupBinding>& gb, Long value,
+                     const ft::RetryPolicy& policy) {
+  core::ClientRequest req(*gb->binding(), "counter", false, false);
+  req.in_value<Long>(value);
+  auto out = std::make_shared<Long>(-1);
+  ft::with_retry(*gb->binding(), "counter", policy, [&](int attempt) {
+    auto pending = req.invoke(attempt);
+    pending->set_decoder([out](core::ReplyDecoder& d) { *out = d.out_value<Long>(); });
+    return pending;
+  });
+  return *out;
+}
+
+ft::RetryPolicy fast_policy() {
+  ft::RetryPolicy policy;
+  policy.max_attempts = 6;
+  policy.initial_backoff = std::chrono::milliseconds(1);
+  return policy;
+}
+
+pool::PoolConfig pool_cfg() {
+  pool::PoolConfig cfg;
+  cfg.policy = pool::Policy::kOverloadAware;
+  cfg.probation = std::chrono::milliseconds(25);
+  cfg.overload_quarantine = std::chrono::milliseconds(25);
+  return cfg;
+}
+
+TEST(WalFailoverTest, ExactlyOnceSingleClientAcrossKill) {
+  WalGuard wal("pardis-wal-ha1");
+  PoolEnabledGuard pool_on;
+  sim::Testbed tb = sim::Testbed::paper_testbed();
+  transport::LocalTransport tp(&tb);
+  core::InProcessRegistry reg;
+  core::Orb orb(tp, reg);
+  DurableReplicaServer a(orb, "wal-ha", "wal-ha-r0", 1, tb.host(sim::Testbed::kHost2));
+  DurableReplicaServer b(orb, "wal-ha", "wal-ha-r1", 1, tb.host(sim::Testbed::kSp2));
+
+  core::ClientCtx ctx(orb);
+  auto gb = pool::GroupBinding::bind(ctx, "wal-ha", "", calc_api::kCalcTypeId, pool_cfg());
+  ASSERT_EQ(gb->balancer().size(), 2u);
+  ASSERT_TRUE(gb->binding()->exactly_once());
+  const ft::RetryPolicy policy = fast_policy();
+
+  constexpr int kRequests = 8;
+  constexpr int kKillBefore = 5;
+  Long expect = 0;
+  for (int i = 1; i <= kRequests; ++i) {
+    if (i == kKillBefore)
+      for (const auto& ep : gb->current().thread_eps)
+        tb.faults().kill_endpoint(ep.local_id);
+    expect += i;
+    // Exact prefix sums: a lost mutation (acked on the dead primary
+    // only) or a duplicate (re-executed on the sibling after a
+    // committed-and-forwarded original) would shift this reply.
+    EXPECT_EQ(retried_counter(gb, i, policy), expect);
+  }
+  EXPECT_EQ(gb->failovers(), 1u);
+
+  a.stop();
+  b.stop();
+  // The surviving replica holds the full sum: every pre-kill mutation
+  // reached it through the append stream, every post-kill one directly.
+  EXPECT_TRUE(a.total(0) == expect || b.total(0) == expect);
+}
+
+TEST(WalFailoverTest, ExactlyOnceSpmdAcrossKill) {
+  WalGuard wal("pardis-wal-ha2");
+  PoolEnabledGuard pool_on;
+  sim::Testbed tb = sim::Testbed::paper_testbed();
+  transport::LocalTransport tp(&tb);
+  core::InProcessRegistry reg;
+  core::Orb orb(tp, reg);
+
+  constexpr int kP = 2;          // client threads
+  constexpr int kQ = 2;          // server threads per replica
+  constexpr int kRequests = 6;   // collective mutations
+  constexpr int kKillAfter = 3;  // kill the pinned replica before this one
+
+  DurableReplicaServer a(orb, "wal-spmd", "wal-spmd-r0", kQ,
+                         tb.host(sim::Testbed::kHost2));
+  DurableReplicaServer b(orb, "wal-spmd", "wal-spmd-r1", kQ,
+                         tb.host(sim::Testbed::kSp2));
+
+  std::array<std::string, kP> final_target;
+  std::atomic<int> killed_replica{-1};  // 0 = a, 1 = b
+
+  rts::Domain client("wal-spmd-client", kP, tb.host(sim::Testbed::kHost1));
+  client.run([&](rts::DomainContext& dctx) {
+    core::ClientCtx ctx(orb, dctx);
+    auto gb = pool::GroupBinding::spmd_bind(ctx, "wal-spmd", "", calc_api::kCalcTypeId,
+                                            pool_cfg());
+    ASSERT_FALSE(gb->degraded());
+    ASSERT_TRUE(gb->binding()->exactly_once());
+    const ft::RetryPolicy policy = fast_policy();
+
+    Long expect = 0;
+    for (int i = 1; i <= kRequests; ++i) {
+      if (i - 1 == kKillAfter) {
+        rts::barrier(dctx.comm);
+        if (dctx.rank == 0) {
+          killed_replica.store(gb->current().host == sim::Testbed::kHost2 ? 0 : 1);
+          for (const auto& ep : gb->current().thread_eps)
+            tb.faults().kill_endpoint(ep.local_id);
+        }
+        rts::barrier(dctx.comm);
+      }
+      expect += i;
+      EXPECT_EQ(retried_counter(gb, i, policy), expect);  // exact prefix sums
+    }
+    final_target[static_cast<std::size_t>(dctx.rank)] = gb->current().primary_key();
+  });
+
+  EXPECT_EQ(final_target[0], final_target[1]);  // ranks agree on the target
+
+  a.stop();
+  b.stop();
+  // Every rank of the surviving replica applied every mutation exactly
+  // once — the pre-kill ones arrived as rank-to-rank appends.
+  Long expect = 0;
+  for (int i = 1; i <= kRequests; ++i) expect += i;
+  const DurableReplicaServer& alive = killed_replica.load() == 0 ? b : a;
+  for (int q = 0; q < kQ; ++q) EXPECT_EQ(alive.total(q), expect);
+}
+
+TEST(WalFailoverTest, WalOffKeepsWireAndDiskUntouched) {
+  // No WalGuard: the WAL stays off (the suite default). A durable
+  // servant then behaves exactly like any other — no marker on the
+  // wire, no directory on disk.
+  const std::filesystem::path probe =
+      std::filesystem::temp_directory_path() / "pardis-wal-off-probe";
+  std::filesystem::remove_all(probe);
+  set_dir(probe.string());
+
+  transport::LocalTransport tp;
+  core::InProcessRegistry reg;
+  core::Orb orb(tp, reg);
+  DurableReplicaServer a(orb, "wal-off", "wal-off-r0", 1);
+
+  core::ClientCtx ctx(orb);
+  auto binding = core::bind(ctx, "wal-off", "", calc_api::kCalcTypeId);
+  EXPECT_FALSE(binding->ref().durable());
+  EXPECT_TRUE(binding->ref().arg_specs.empty());
+  EXPECT_FALSE(binding->exactly_once());
+
+  core::ClientRequest req(*binding, "counter", false, false);
+  req.in_value<Long>(5);
+  Long out = -1;
+  auto pending = req.invoke();
+  pending->set_decoder([&](core::ReplyDecoder& d) { out = d.out_value<Long>(); });
+  pending->wait();
+  EXPECT_EQ(out, 5);
+
+  a.stop();
+  EXPECT_EQ(a.total(0), 5);
+  EXPECT_FALSE(std::filesystem::exists(probe));  // nothing ever touched disk
+}
+
+}  // namespace
+}  // namespace pardis::wal

@@ -337,6 +337,8 @@ const BlockingPattern kBlockingPatterns[] = {
     {std::regex(R"(::\s*accept\s*\()"), "blocking accept"},
     {std::regex(R"(::\s*connect\s*\()"), "blocking connect"},
     {std::regex(R"(::\s*poll\s*\()"), "blocking ::poll"},
+    {std::regex(R"(::\s*fsync\s*\()"), "blocking fsync"},
+    {std::regex(R"(::\s*fdatasync\s*\()"), "blocking fdatasync"},
 };
 
 /// The functions that run on message-delivery / progress-engine paths.
@@ -347,6 +349,8 @@ const char* const kEntryPoints[] = {
     "SessionTransport::on_session_data",  // delivery filter (producer thread)
     "SessionTransport::on_session_ack",   // delivery filter (producer thread)
     "CommSender::run",                 // comm-thread dispatch loop
+    "Log::append",                     // WAL enqueue on the dispatch path
+                                       // (fsyncs belong to the flusher alone)
 };
 
 bool qual_matches_entry(const std::string& qual) {
