@@ -610,6 +610,7 @@ void Poa::setup_durable(const ObjectRef& ref, ServantBase& servant, bool spmd) {
   }
   const std::size_t ep_index = spmd ? static_cast<std::size_t>(rank_) : 0;
   std::vector<ByteBuffer> stashed;  // appends committed mid-pull, record payloads
+  std::vector<transport::RsrMessage> deferred;  // ordinary traffic arriving mid-pull
   bool pulled = false;
   if (sibling != nullptr && ep_index < sibling->thread_eps.size()) {
     try {
@@ -623,7 +624,12 @@ void Poa::setup_durable(const ObjectRef& ref, ServantBase& servant, bool spmd) {
         if (res.closed()) break;
         if (!res.message) continue;
         if (res.message->handler != transport::kHandlerStateXfer) {
-          ingest(std::move(*res.message));
+          // Not ingested yet: the object is already registered, so a
+          // request dispatched now would take the non-durable branch
+          // (durable_ lacks this object) and be acked without ever
+          // being logged or forwarded. Held until durable_ is
+          // populated below, then ingested in arrival order.
+          deferred.push_back(std::move(*res.message));
           continue;
         }
         CdrReader r(res.message->payload.view(), res.message->little_endian);
@@ -678,6 +684,7 @@ void Poa::setup_durable(const ObjectRef& ref, ServantBase& servant, bool spmd) {
   }
   durable::DurableObj& placed = durable_[dur.object_id] = std::move(dur);
   for (ByteBuffer& payload : stashed) apply_xfer_append(placed, std::move(payload));
+  for (transport::RsrMessage& m : deferred) ingest(std::move(m));
 }
 
 void Poa::handle_state_xfer(transport::RsrMessage&& msg) {

@@ -242,7 +242,8 @@ namespace pardis::wal {
 /// with it is treated as foreign and recovery refuses to touch it.
 inline constexpr ULong kWalMagic = 0x5057414C;
 /// On-disk format version; bumped on any record layout change (a log
-/// under a different version is recovered as empty).
+/// under a different version is recovered as empty, truncated, and
+/// restamped with the current version).
 inline constexpr Octet kWalVersion = 1;
 
 /// Record type octets (first payload byte after the CRC frame).

@@ -135,9 +135,21 @@ Log::Log(std::string path) : path_(std::move(path)) {
     if (!header_ok || magic != kWalMagic)
       throw SystemException(ErrorCode::kInternal, "wal: " + path_ + " is not a PARDIS log");
     if (version != kWalVersion) {
-      // Unknown format: recover as empty rather than misparse.
+      // Unknown format: recover as empty rather than misparse. The old
+      // body is dropped and the header restamped NOW — leaving the old
+      // version byte in place would make every future restart recover
+      // empty again, silently losing all records appended since.
       PARDIS_LOG(kWarn, "wal") << path_ << ": version " << int(version)
                                << " != " << int(kWalVersion) << ", recovering empty";
+      ByteBuffer hdr;
+      const ULong cur_magic = kWalMagic;
+      const Octet cur_version = kWalVersion;
+      hdr.append_raw(&cur_magic, sizeof(cur_magic));
+      hdr.append_raw(&cur_version, sizeof(cur_version));
+      if (::ftruncate(fd_, static_cast<off_t>(kFileHeaderSize)) != 0 ||
+          ::pwrite(fd_, hdr.data(), hdr.size(), 0) != static_cast<ssize_t>(hdr.size()) ||
+          ::fsync(fd_) != 0)
+        throw SystemException(ErrorCode::kInternal, "wal: cannot restamp " + path_);
       size = kFileHeaderSize;
     }
 
@@ -210,9 +222,15 @@ Log::~Log() {
 }
 
 Lsn Log::append(Octet type, ByteBuffer payload) {
-  const Lsn lsn = next_lsn_.fetch_add(1, std::memory_order_acq_rel);
+  Lsn lsn = 0;
   {
+    // The LSN is assigned in the same critical section as the pending_
+    // push, so the queue is always in LSN order and every flusher batch
+    // is a contiguous prefix. Assigning it outside mu_ would let a
+    // preempted lower-LSN appender miss a batch whose max covers it:
+    // durable_lsn_ would then ack a record that is not on disk.
     LockGuard lock(mu_);
+    lsn = next_lsn_.fetch_add(1, std::memory_order_acq_rel);
     pending_.push_back(Pending{lsn, type, std::move(payload)});
   }
   cv_.notify_all();
@@ -226,7 +244,16 @@ Lsn Log::append(Octet type, ByteBuffer payload) {
 void Log::commit(Lsn lsn) {
   if (durable_lsn_.load(std::memory_order_acquire) >= lsn) return;
   UniqueLock lock(mu_);
-  while (durable_lsn_.load(std::memory_order_acquire) < lsn && !stop_) cv_.wait(lock);
+  while (durable_lsn_.load(std::memory_order_acquire) < lsn) {
+    // stop_ alone is not a reason to give up: the flusher drains every
+    // pending record before exiting, so keep waiting while it runs.
+    // Returning normally here would ack a record that was never fsynced.
+    if (flusher_exited_)
+      throw SystemException(ErrorCode::kInternal,
+                            "wal: " + path_ + " stopped before LSN " +
+                                std::to_string(lsn) + " became durable");
+    cv_.wait(lock);
+  }
 }
 
 std::optional<Record> Log::read(Lsn lsn) const {
@@ -263,7 +290,11 @@ void Log::flusher_main() {
   UniqueLock lock(mu_);
   while (true) {
     while (pending_.empty() && !stop_) cv_.wait(lock);
-    if (pending_.empty() && stop_) return;
+    if (pending_.empty() && stop_) {
+      flusher_exited_ = true;  // commit() waiters past durable_lsn_ must throw
+      cv_.notify_all();
+      return;
+    }
 
     // Take the whole batch: every record appended while the previous
     // fsync was in flight rides this one (group commit).

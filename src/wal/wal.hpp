@@ -94,7 +94,9 @@ class Log {
   Lsn append(Octet type, ByteBuffer payload);
 
   /// Blocks until every record with lsn' <= lsn is fsynced. Concurrent
-  /// commits batch into one fsync (group commit).
+  /// commits batch into one fsync (group commit). Throws if the log is
+  /// stopped before lsn becomes durable — a committer racing the
+  /// destructor must never be told an un-fsynced record is durable.
   void commit(Lsn lsn);
 
   /// Reads one durable record back from disk (pread; no seek shared
@@ -140,6 +142,7 @@ class Log {
   std::uint64_t file_size_ PARDIS_GUARDED_BY(mu_) = 0;
   std::vector<Record> recovered_ PARDIS_GUARDED_BY(mu_);
   bool stop_ PARDIS_GUARDED_BY(mu_) = false;
+  bool flusher_exited_ PARDIS_GUARDED_BY(mu_) = false;
 
   std::thread flusher_;
 };

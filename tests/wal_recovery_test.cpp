@@ -133,6 +133,34 @@ TEST(WalRecoveryTest, ForeignFileIsRefusedNotClobbered) {
   EXPECT_EQ(after, foreign);  // untouched
 }
 
+TEST(WalRecoveryTest, VersionMismatchRestampsTheHeaderSoNewRecordsSurvive) {
+  WalGuard wal("pardis-wal-version");
+  const std::string path = (wal.dir / "t.wal").string();
+  write_log(path, 2);
+
+  {
+    // Forge a future-format log: bump the version byte behind the magic.
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(sizeof(ULong), std::ios::beg);
+    f.put(static_cast<char>(kWalVersion + 1));
+  }
+
+  {
+    // Unknown version: recovers empty, and must restamp the header so
+    // the file is a current-version log again.
+    Log reopened(path);
+    EXPECT_TRUE(reopened.take_recovered().empty());
+    reopened.commit(reopened.append(kRecordMutation, bytes_of("fresh")));
+  }
+
+  // Without the restamp this reopen would see the old version byte
+  // again and silently drop "fresh" — forever, on every restart.
+  Log again(path);
+  auto recovered = again.take_recovered();
+  ASSERT_EQ(recovered.size(), 1u);
+  EXPECT_EQ(string_of(recovered[0].payload), "fresh");
+}
+
 // ---------------------------------------------------------------------------
 // Restart: same identity, durable state.
 // ---------------------------------------------------------------------------

@@ -115,9 +115,15 @@ TEST(WalLogTest, ConcurrentCommittersShareFsyncBatches) {
   threads.reserve(kThreads);
   for (int t = 0; t < kThreads; ++t)
     threads.emplace_back([&log, t] {
-      for (int i = 0; i < kPerThread; ++i)
-        log.commit(log.append(kRecordMutation,
-                              bytes_of(std::to_string(t) + ":" + std::to_string(i))));
+      for (int i = 0; i < kPerThread; ++i) {
+        const Lsn l = log.append(kRecordMutation,
+                                 bytes_of(std::to_string(t) + ":" + std::to_string(i)));
+        log.commit(l);
+        // commit's return is the durability ack: the record must be on
+        // disk NOW, not riding a later batch while durable_lsn_ already
+        // covers it (the lost-ack interleave of out-of-order appends).
+        EXPECT_TRUE(log.read(l).has_value());
+      }
     });
   for (auto& th : threads) th.join();
 
