@@ -1,0 +1,136 @@
+// Standalone driver for the fuzz harnesses when the toolchain has no
+// libFuzzer (gcc builds). Two jobs:
+//
+//   1. Replay: every file (or every file inside a directory) passed on
+//      the command line is fed to LLVMFuzzerTestOneInput once — the
+//      committed seed corpus becomes a deterministic regression test.
+//   2. Mutate: with --seconds=N, a seeded splitmix64 mutation loop
+//      keeps flipping/truncating/extending/splicing corpus entries for
+//      N wall-clock seconds. Deterministic per (--seed, corpus), so a
+//      CI failure reproduces locally.
+//
+// Under clang the same harness sources link against -fsanitize=fuzzer
+// instead (PARDIS_HAVE_LIBFUZZER), and this file is not compiled.
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size);
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ull;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+std::vector<std::uint8_t> read_file(const std::filesystem::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  return std::vector<std::uint8_t>(std::istreambuf_iterator<char>(in),
+                                   std::istreambuf_iterator<char>());
+}
+
+/// One random structural mutation. The menu mirrors what libFuzzer's
+/// default mutator reaches most often against length-prefixed formats.
+void mutate(std::vector<std::uint8_t>& buf, std::uint64_t& rng) {
+  if (buf.empty()) {
+    buf.push_back(static_cast<std::uint8_t>(splitmix64(rng)));
+    return;
+  }
+  switch (splitmix64(rng) % 6) {
+    case 0: {  // flip one bit
+      const std::uint64_t bit = splitmix64(rng) % (buf.size() * 8);
+      buf[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+      break;
+    }
+    case 1:  // overwrite one byte
+      buf[splitmix64(rng) % buf.size()] = static_cast<std::uint8_t>(splitmix64(rng));
+      break;
+    case 2: {  // overwrite 4 aligned bytes with an interesting length
+      static const std::uint32_t kMagic[] = {0,          1,          0x7FFFFFFFu,
+                                             0x80000000u, 0xFFFFFFFFu, 0x10000u};
+      const std::uint32_t v = kMagic[splitmix64(rng) % (sizeof(kMagic) / sizeof(kMagic[0]))];
+      const std::size_t at = (buf.size() > 4) ? (splitmix64(rng) % (buf.size() - 3)) : 0;
+      if (at + 4 <= buf.size()) std::memcpy(buf.data() + at, &v, 4);
+      break;
+    }
+    case 3:  // truncate
+      buf.resize(splitmix64(rng) % buf.size());
+      break;
+    case 4: {  // insert a random byte
+      const std::size_t at = splitmix64(rng) % (buf.size() + 1);
+      buf.insert(buf.begin() + static_cast<std::ptrdiff_t>(at),
+                 static_cast<std::uint8_t>(splitmix64(rng)));
+      break;
+    }
+    default: {  // duplicate a chunk onto the end (grows nesting/counts)
+      const std::size_t n = 1 + splitmix64(rng) % buf.size();
+      const std::size_t at = splitmix64(rng) % (buf.size() - n + 1);
+      buf.insert(buf.end(), buf.begin() + static_cast<std::ptrdiff_t>(at),
+                 buf.begin() + static_cast<std::ptrdiff_t>(at + n));
+      break;
+    }
+  }
+  if (buf.size() > (1u << 16)) buf.resize(1u << 16);  // keep iterations fast
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::filesystem::path> inputs;
+  long seconds = 0;
+  std::uint64_t seed = 0x9D15D5EB85C0Fu;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--seconds=", 0) == 0) {
+      seconds = std::strtol(arg.c_str() + 10, nullptr, 10);
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      seed = std::strtoull(arg.c_str() + 7, nullptr, 10);
+    } else if (std::filesystem::is_directory(arg)) {
+      for (const auto& e : std::filesystem::directory_iterator(arg))
+        if (e.is_regular_file()) inputs.push_back(e.path());
+    } else {
+      inputs.push_back(arg);
+    }
+  }
+  std::sort(inputs.begin(), inputs.end());  // directory order is not stable
+
+  std::vector<std::vector<std::uint8_t>> corpus;
+  for (const auto& p : inputs) {
+    corpus.push_back(read_file(p));
+    const auto& buf = corpus.back();
+    LLVMFuzzerTestOneInput(buf.data(), buf.size());
+  }
+  std::fprintf(stderr, "replayed %zu corpus entries\n", corpus.size());
+
+  if (seconds > 0) {
+    if (corpus.empty()) corpus.push_back({});
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(seconds);
+    std::uint64_t iterations = 0;
+    while (std::chrono::steady_clock::now() < deadline) {
+      // Time is only sampled per outer round; the inner loop keeps the
+      // clock out of the hot path.
+      for (int i = 0; i < 512; ++i) {
+        std::vector<std::uint8_t> buf = corpus[splitmix64(seed) % corpus.size()];
+        const std::uint64_t n_mut = 1 + splitmix64(seed) % 4;
+        for (std::uint64_t m = 0; m < n_mut; ++m) mutate(buf, seed);
+        LLVMFuzzerTestOneInput(buf.data(), buf.size());
+        ++iterations;
+      }
+    }
+    std::fprintf(stderr, "mutated %llu inputs in %ld s\n",
+                 static_cast<unsigned long long>(iterations), seconds);
+  }
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Fuzz harness: the hardened CdrReader against arbitrary bytes.
+//
+// Contract under test: whatever the input, every decode either
+// succeeds or throws a pardis::SystemException (in practice a located
+// DecodeError). Crashing, over-allocating from a hostile length
+// prefix, or reading out of bounds is a finding — ASan/UBSan (and the
+// container-size sanity trap below) turn those into failures.
+//
+// Input layout: [mode][endian] payload...
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/cdr.hpp"
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+using namespace pardis;
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+  if (size < 2) return 0;
+  const std::uint8_t mode = data[0] % 6;
+  const bool little = (data[1] & 1) != 0;
+  const std::span<const Octet> body(reinterpret_cast<const Octet*>(data + 2), size - 2);
+  CdrReader r(body, little);
+  try {
+    switch (mode) {
+      case 0: {
+        const std::string s = r.read_string();
+        if (s.size() > body.size()) __builtin_trap();  // length prefix escaped its bound
+        break;
+      }
+      case 1: {
+        const std::vector<ULong> v = r.read_prim_seq<ULong>();
+        if (v.size() * sizeof(ULong) > body.size()) __builtin_trap();
+        break;
+      }
+      case 2: {
+        std::vector<std::string> v;
+        CdrTraits<std::vector<std::string>>::unmarshal(r, v);
+        if (v.size() > body.size()) __builtin_trap();
+        break;
+      }
+      case 3: {
+        // Nested sequences: the decode-depth budget is the defense
+        // against a recursion bomb a few dozen bytes long.
+        std::vector<std::vector<std::vector<ULong>>> v;
+        CdrTraits<std::vector<std::vector<std::vector<ULong>>>>::unmarshal(r, v);
+        break;
+      }
+      case 4: {
+        // Primitive soup: alignment skips + every fixed-width read.
+        (void)r.read_octet();
+        (void)r.read_short();
+        (void)r.read_ulong();
+        (void)r.read_double();
+        (void)r.read_ulonglong();
+        (void)r.read_string();
+        break;
+      }
+      default: {
+        const ULong n = r.read_ulong();
+        (void)r.read_bytes(n);
+        r.trim(1);
+        (void)r.rest();
+        break;
+      }
+    }
+  } catch (const SystemException&) {
+    // Rejecting hostile input is the contract.
+  }
+  return 0;
+}

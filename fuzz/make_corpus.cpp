@@ -1,0 +1,186 @@
+// Seed-corpus generator for the fuzz harnesses. Emits structurally
+// valid inputs built with the *real* marshal code, so every seed walks
+// the full decode path before the mutator starts bending it — the
+// cheapest way to reach deep states without coverage feedback.
+//
+// Usage: make_corpus <corpus-root>
+// Writes <root>/fuzz_cdr/*, <root>/fuzz_piop_headers/*,
+// <root>/fuzz_wal_record/*. Deterministic: re-running produces
+// identical bytes (seeds are committed, so diffs must be meaningful).
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/buffer.hpp"
+#include "common/cdr.hpp"
+#include "common/crc.hpp"
+#include "core/protocol.hpp"
+#include "core/wire.hpp"
+#include "transport/wire_guard.hpp"
+
+using namespace pardis;
+
+namespace {
+
+void emit(const std::filesystem::path& dir, const std::string& name,
+          std::uint8_t mode, std::uint8_t knobs, const ByteBuffer& payload) {
+  std::filesystem::create_directories(dir);
+  std::ofstream out(dir / name, std::ios::binary);
+  out.put(static_cast<char>(mode));
+  out.put(static_cast<char>(knobs));
+  out.write(reinterpret_cast<const char*>(payload.data()),
+            static_cast<std::streamsize>(payload.size()));
+}
+
+void emit_raw(const std::filesystem::path& dir, const std::string& name,
+              const ByteBuffer& payload) {
+  std::filesystem::create_directories(dir);
+  std::ofstream out(dir / name, std::ios::binary);
+  out.write(reinterpret_cast<const char*>(payload.data()),
+            static_cast<std::streamsize>(payload.size()));
+}
+
+ByteBuffer wal_frame(ULongLong lsn, Octet type, std::span<const Octet> payload) {
+  // [len][crc][lsn][type][payload], crc over [lsn][type][payload] —
+  // must match wal.cpp's frame layout byte for byte.
+  ULong state = crc32_begin();
+  state = crc32_update(state, {reinterpret_cast<const Octet*>(&lsn), sizeof(lsn)});
+  state = crc32_update(state, {&type, sizeof(type)});
+  state = crc32_update(state, payload);
+  const ULong crc = crc32_final(state);
+  const ULong len = static_cast<ULong>(payload.size());
+  ByteBuffer frame;
+  frame.append_raw(&len, sizeof(len));
+  frame.append_raw(&crc, sizeof(crc));
+  frame.append_raw(&lsn, sizeof(lsn));
+  frame.append_raw(&type, sizeof(type));
+  frame.append(payload);
+  return frame;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: make_corpus <corpus-root>\n");
+    return 2;
+  }
+  const std::filesystem::path root = argv[1];
+
+  // --- fuzz_cdr: [mode][endian] + one valid encoding per mode -------------
+  {
+    const auto dir = root / "fuzz_cdr";
+    emit(dir, "string", 0, 1, cdr_encode(std::string("hello, wire")));
+    emit(dir, "prim_seq", 1, 1,
+         cdr_encode(std::vector<ULong>{1, 2, 3, 0xDEADBEEFu, 0xFFFFFFFFu}));
+    emit(dir, "string_seq", 2, 1,
+         cdr_encode(std::vector<std::string>{"a", "bb", "ccc"}));
+    emit(dir, "nested_seq", 3, 1,
+         cdr_encode(std::vector<std::vector<std::vector<ULong>>>{
+             {{1, 2}, {3}}, {{4, 5, 6}}}));
+    {
+      ByteBuffer buf;
+      CdrWriter w(buf);
+      w.write_octet(7);
+      w.write_short(-42);
+      w.write_ulong(123456789u);
+      w.write_double(3.14159);
+      w.write_ulonglong(0x0123456789ABCDEFull);
+      w.write_string("soup");
+      emit(dir, "prim_soup", 4, 1, buf);
+    }
+    {
+      ByteBuffer buf;
+      CdrWriter w(buf);
+      w.write_ulong(8);
+      for (int i = 0; i < 12; ++i) w.write_octet(static_cast<Octet>(i));
+      emit(dir, "bytes_trim", 5, 1, buf);
+    }
+  }
+
+  // --- fuzz_piop_headers: [mode][strict|endian<<1] + header bytes ----------
+  {
+    const auto dir = root / "fuzz_piop_headers";
+    {
+      core::RequestHeader h;
+      h.request_id = RequestId{42};
+      h.binding_id = 7;
+      h.seq_no = 3;
+      h.object_id = ObjectId{99};
+      h.operation = "compute";
+      h.client_rank = 1;
+      h.client_size = 4;
+      h.deadline_ms = 250;
+      ByteBuffer buf;
+      CdrWriter w(buf);
+      h.marshal(w);
+      emit(dir, "request_plain", 0, 3, buf);
+
+      h.crc = true;
+      ByteBuffer sealed;
+      CdrWriter ws(sealed);
+      h.marshal(ws);
+      wire::append_crc(sealed);
+      emit(dir, "request_crc", 0, 3, sealed);
+    }
+    {
+      core::ReplyHeader h;
+      h.request_id = RequestId{42};
+      h.server_rank = 2;
+      h.server_size = 4;
+      h.status = core::ReplyStatus::kSystemException;
+      h.error_code = ErrorCode::kTimeout;
+      h.error_message = "deadline expired";
+      ByteBuffer buf;
+      CdrWriter w(buf);
+      h.marshal(w);
+      emit(dir, "reply_error", 1, 3, buf);
+
+      core::ReplyHeader ok;
+      ok.request_id = RequestId{43};
+      ok.crc = true;
+      ByteBuffer sealed;
+      CdrWriter ws(sealed);
+      ok.marshal(ws);
+      wire::append_crc(sealed);
+      emit(dir, "reply_crc", 1, 3, sealed);
+    }
+    {
+      wire::Hello hello;
+      hello.features = transport::kFeatureFrameCrc;
+      ByteBuffer buf;
+      CdrWriter w(buf);
+      hello.marshal(w);
+      emit(dir, "hello", 2, 3, buf);
+    }
+  }
+
+  // --- fuzz_wal_record: raw log bodies ------------------------------------
+  {
+    const auto dir = root / "fuzz_wal_record";
+    const Octet p1[] = {1, 2, 3, 4, 5};
+    const Octet p2[] = {0xFF, 0x00, 0xAB};
+    ByteBuffer two;
+    two.append(wal_frame(1, 1, p1).view());
+    two.append(wal_frame(2, 2, p2).view());
+    emit_raw(dir, "two_records", two);
+
+    ByteBuffer torn = two.clone();
+    ByteBuffer half = wal_frame(3, 1, p1);
+    torn.append(half.view().first(half.size() / 2));
+    emit_raw(dir, "torn_tail", torn);
+
+    ByteBuffer corrupt = two.clone();
+    corrupt.mutable_view()[10] ^= 0x40;  // break record 1's frame
+    emit_raw(dir, "corrupt_first", corrupt);
+
+    ByteBuffer empty_payload = wal_frame(9, 3, {});
+    emit_raw(dir, "empty_payload", empty_payload);
+  }
+
+  std::fprintf(stderr, "corpus written under %s\n", root.string().c_str());
+  return 0;
+}

@@ -96,7 +96,19 @@ class CdrWriter {
   std::size_t base_;
 };
 
+/// Ceiling on nested-sequence decode depth. Each level of a hostile
+/// frame costs a recursion frame and a container allocation, so the
+/// budget is enforced before either — 32 levels is far beyond any IDL
+/// type the generator emits.
+inline constexpr int kMaxDecodeDepth = 32;
+
 /// Deserializes primitives from a byte span with CDR alignment rules.
+///
+/// Hardened against hostile producers: every length prefix is
+/// validated against remaining() *before* any allocation, nested
+/// sequences burn a bounded decode-depth budget, and failures throw a
+/// located DecodeError naming the offset — never crash, over-allocate,
+/// or silently misread.
 class CdrReader {
  public:
   /// `producer_little_endian` is the byte-order flag carried by the
@@ -109,13 +121,52 @@ class CdrReader {
   std::size_t remaining() const noexcept { return data_.size() - pos_; }
   bool swapping() const noexcept { return swap_; }
 
+  /// The full span the reader was constructed over (minus any trim),
+  /// independent of the read position. Frame-integrity checks hash it.
+  std::span<const Octet> raw() const noexcept { return data_; }
+
+  /// The unread tail: everything from the read position to the
+  /// (possibly trimmed) end. Body extraction uses this instead of
+  /// re-slicing the original buffer so a verified-and-trimmed CRC
+  /// trailer never leaks into the body bytes.
+  std::span<const Octet> rest() const noexcept { return data_.subspan(pos_); }
+
+  /// Removes `n` bytes from the logical end of the stream (they become
+  /// unreadable and vanish from remaining()/rest()). Used to strip a
+  /// verified frame trailer.
+  void trim(std::size_t n) {
+    if (n > remaining()) throw DecodeError("trim past end of data", pos_, "CDR");
+    data_ = data_.first(data_.size() - n);
+  }
+
+  /// Charges one level of nested-sequence decode depth; leave_nested
+  /// refunds it. Guard object: CdrReader::NestedScope.
+  void enter_nested() {
+    if (++depth_ > kMaxDecodeDepth)
+      throw DecodeError("nested sequence deeper than " + std::to_string(kMaxDecodeDepth),
+                        pos_, "CDR sequence");
+  }
+  void leave_nested() noexcept { --depth_; }
+
+  /// RAII guard for one nesting level of sequence decoding.
+  class NestedScope {
+   public:
+    explicit NestedScope(CdrReader& r) : r_(&r) { r.enter_nested(); }
+    ~NestedScope() { r_->leave_nested(); }
+    NestedScope(const NestedScope&) = delete;
+    NestedScope& operator=(const NestedScope&) = delete;
+
+   private:
+    CdrReader* r_;
+  };
+
   void align(std::size_t boundary) {
     const std::size_t pad = (boundary - pos_ % boundary) % boundary;
     skip(pad);
   }
 
   void skip(std::size_t n) {
-    if (pos_ + n > data_.size()) throw MarshalError("CDR underrun (skip)");
+    if (pos_ + n > data_.size()) throw DecodeError("underrun (skip)", pos_, "CDR");
     pos_ += n;
   }
 
@@ -123,7 +174,7 @@ class CdrReader {
     requires(std::is_arithmetic_v<T>)
   T read() {
     align(sizeof(T));
-    if (pos_ + sizeof(T) > data_.size()) throw MarshalError("CDR underrun (read)");
+    if (pos_ + sizeof(T) > data_.size()) throw DecodeError("underrun (read)", pos_, "CDR");
     T value;
     std::memcpy(&value, data_.data() + pos_, sizeof(T));
     pos_ += sizeof(T);
@@ -146,16 +197,22 @@ class CdrReader {
 
   std::string read_string() {
     const ULong len = read_ulong();
-    if (len == 0) throw MarshalError("CDR string with zero encoded length");
-    if (pos_ + len > data_.size()) throw MarshalError("CDR underrun (string)");
+    if (len == 0) throw DecodeError("string with zero encoded length", pos_, "CDR string");
+    // Bounds-check the attacker-controlled length BEFORE constructing
+    // the string: a 4-byte frame claiming 4 GB must throw here, not OOM.
+    if (len > remaining())
+      throw DecodeError("claimed length " + std::to_string(len) + " exceeds " +
+                            std::to_string(remaining()) + " remaining bytes",
+                        pos_, "CDR string");
     std::string s(reinterpret_cast<const char*>(data_.data() + pos_), len - 1);
-    if (data_[pos_ + len - 1] != 0) throw MarshalError("CDR string missing NUL");
+    if (data_[pos_ + len - 1] != 0)
+      throw DecodeError("missing NUL terminator", pos_ + len - 1, "CDR string");
     pos_ += len;
     return s;
   }
 
   std::span<const Octet> read_bytes(std::size_t n) {
-    if (pos_ + n > data_.size()) throw MarshalError("CDR underrun (bytes)");
+    if (n > remaining()) throw DecodeError("underrun (bytes)", pos_, "CDR");
     auto out = data_.subspan(pos_, n);
     pos_ += n;
     return out;
@@ -166,8 +223,12 @@ class CdrReader {
   std::vector<T> read_prim_seq() {
     const ULong count = read_ulong();
     align(alignof(T));
-    if (pos_ + std::size_t{count} * sizeof(T) > data_.size())
-      throw MarshalError("CDR underrun (prim seq)");
+    // Validate before the vector allocation below — the count is wire
+    // data and must not size an allocation until proven in-bounds.
+    if (std::size_t{count} * sizeof(T) > remaining())
+      throw DecodeError("claimed count " + std::to_string(count) + " exceeds " +
+                            std::to_string(remaining()) + " remaining bytes",
+                        pos_, "CDR prim seq");
     std::vector<T> out(count);
     // count == 0 must skip the memcpy: both .data() pointers may be
     // null then, and memcpy's arguments are declared nonnull.
@@ -186,10 +247,13 @@ class CdrReader {
     requires(std::is_arithmetic_v<T>)
   void read_prim_seq_into(std::span<T> out) {
     const ULong count = read_ulong();
-    if (count != out.size()) throw MarshalError("CDR prim seq size mismatch");
+    if (count != out.size())
+      throw DecodeError("prim seq size mismatch (wire " + std::to_string(count) +
+                            ", expected " + std::to_string(out.size()) + ")",
+                        pos_, "CDR prim seq");
     align(alignof(T));
-    if (pos_ + std::size_t{count} * sizeof(T) > data_.size())
-      throw MarshalError("CDR underrun (prim seq into)");
+    if (std::size_t{count} * sizeof(T) > remaining())
+      throw DecodeError("underrun (prim seq into)", pos_, "CDR prim seq");
     if (count != 0) std::memcpy(out.data(), data_.data() + pos_, count * sizeof(T));
     pos_ += count * sizeof(T);
     if constexpr (sizeof(T) > 1) {
@@ -202,6 +266,7 @@ class CdrReader {
   std::span<const Octet> data_;
   std::size_t pos_ = 0;
   bool swap_;
+  int depth_ = 0;
 };
 
 // ---------------------------------------------------------------------------
@@ -242,6 +307,14 @@ struct CdrTraits<std::vector<T>> {
       v = r.read_prim_seq<T>();
     } else {
       const ULong n = r.read_ulong();
+      // Every element consumes at least one wire byte, so a count
+      // above remaining() is provably hostile — reject before the
+      // reserve() sizes an allocation from it.
+      if (n > r.remaining())
+        throw DecodeError("claimed count " + std::to_string(n) + " exceeds " +
+                              std::to_string(r.remaining()) + " remaining bytes",
+                          r.offset(), "CDR sequence");
+      CdrReader::NestedScope depth(r);
       v.clear();
       v.reserve(n);
       for (ULong i = 0; i < n; ++i) {

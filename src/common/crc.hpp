@@ -1,0 +1,41 @@
+// CRC-32 (IEEE 802.3 polynomial, bit-reflected) — the one checksum
+// implementation shared by every PARDIS subsystem that frames bytes:
+// the write-ahead log's record frames (pardis_wal) and the optional
+// PIOP frame trailer (wire hardening, kFlagCrc / kReplyFlagCrc).
+//
+// Computed bitwise on purpose: the inputs are small frames and one-shot
+// recovery scans, so a lookup table buys nothing worth 1 KiB of static
+// data. The chainable begin/update/final form exists so a caller can
+// checksum a frame assembled from several spans (the WAL frames its
+// header and payload separately) without concatenating them first.
+#pragma once
+
+#include <span>
+
+#include "common/types.hpp"
+
+namespace pardis {
+
+/// Raw chaining state for an in-progress CRC-32.
+inline ULong crc32_begin() noexcept { return 0xFFFFFFFFu; }
+
+/// Folds `bytes` into the chaining state.
+inline ULong crc32_update(ULong state, std::span<const Octet> bytes) noexcept {
+  for (const Octet b : bytes) {
+    state ^= b;
+    for (int i = 0; i < 8; ++i)
+      state = (state >> 1) ^ (0xEDB88320u & (~(state & 1u) + 1u));
+  }
+  return state;
+}
+
+/// Finalizes the chaining state into the CRC value.
+inline ULong crc32_final(ULong state) noexcept { return ~state; }
+
+/// One-shot CRC-32 of `bytes` (check value: crc32("123456789") ==
+/// 0xCBF43926).
+inline ULong crc32(std::span<const Octet> bytes) noexcept {
+  return crc32_final(crc32_update(crc32_begin(), bytes));
+}
+
+}  // namespace pardis

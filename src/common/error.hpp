@@ -6,6 +6,7 @@
 // `SystemException` at metaapplication boundaries.
 #pragma once
 
+#include <cstddef>
 #include <stdexcept>
 #include <string>
 
@@ -60,6 +61,30 @@ PARDIS_DEFINE_EXCEPTION(BadTag, kBadTag);
 PARDIS_DEFINE_EXCEPTION(InternalError, kInternal);
 
 #undef PARDIS_DEFINE_EXCEPTION
+
+/// A *located* demarshalling failure: what was being decoded and at
+/// which byte offset of the frame it went wrong. Subclasses
+/// MarshalError so every existing catch site treats it as the marshal
+/// failure it is; the extra location makes a hostile or corrupt frame
+/// diagnosable instead of a bare "underrun". Thrown by the hardened
+/// CdrReader paths and by strict header validation (wire hardening).
+class DecodeError : public MarshalError {
+ public:
+  DecodeError(const std::string& what_arg, std::size_t offset, const std::string& context)
+      : MarshalError(context + ": " + what_arg + " (at byte " + std::to_string(offset) +
+                     ")"),
+        offset_(offset),
+        context_(context) {}
+
+  /// Byte offset into the decoded frame where the failure was detected.
+  std::size_t offset() const noexcept { return offset_; }
+  /// What was being decoded ("RequestHeader", "CDR string", ...).
+  const std::string& context() const noexcept { return context_; }
+
+ private:
+  std::size_t offset_;
+  std::string context_;
+};
 
 /// Raised when an overloaded server sheds a request (pardis_flow
 /// admission control), or when the client-side in-flight window is

@@ -7,6 +7,7 @@
 #include "obs/metrics.hpp"
 #include "obs/obs.hpp"
 #include "rts/collectives.hpp"
+#include "transport/wire_guard.hpp"
 
 namespace pardis::core {
 
@@ -181,7 +182,16 @@ void ClientCtx::route(transport::RsrMessage&& msg) {
     bytes.add(msg.payload.size());
   }
   CdrReader r(msg.payload.view(), msg.little_endian);
-  ReplyHeader header = ReplyHeader::unmarshal(r);
+  ReplyHeader header;
+  try {
+    header = ReplyHeader::unmarshal(r);
+  } catch (const MarshalError& e) {
+    // A malformed reply resolves nothing: the pending request times out
+    // and retries, and the sending peer is charged a bad frame.
+    PARDIS_LOG(kWarn, "client") << "dropped malformed reply: " << e.what();
+    wire::guard().note_bad_frame(msg.src_peer, e.what());
+    return;
+  }
   auto it = pending_.find(header.request_id.value);
   if (it == pending_.end()) return;  // late reply for a resolved-by-error request
   auto pending = it->second.lock();
@@ -189,7 +199,9 @@ void ClientCtx::route(transport::RsrMessage&& msg) {
     pending_.erase(it);
     return;
   }
-  ByteBuffer body = ByteBuffer::from(msg.payload.view().subspan(r.offset()));
+  // rest() respects the trimmed CRC trailer; re-slicing msg.payload
+  // would leak the 4 trailer bytes into the reply body.
+  ByteBuffer body = ByteBuffer::from(r.rest());
   pending->deliver(header, msg.little_endian, std::move(body));
   if (pending->complete()) pending_.erase(header.request_id.value);
 }
@@ -351,6 +363,7 @@ std::shared_ptr<PendingReply> ClientRequest::invoke(int attempt) {
   h.trace = span.context();
   h.deadline_ms = static_cast<ULong>(binding_->deadline().count());
   h.attempt = static_cast<ULong>(attempt - 1);
+  h.crc = wire::frame_crc();
 
   std::uint64_t bytes_out = 0;
   try {
@@ -359,6 +372,7 @@ std::shared_ptr<PendingReply> ClientRequest::invoke(int attempt) {
       CdrWriter w(frame);
       h.marshal(w);
       frame.append(bodies_[static_cast<std::size_t>(q)].view());
+      if (h.crc) wire::append_crc(frame);
       bytes_out += frame.size();
       ctx.send_rsr(ref.thread_eps[static_cast<std::size_t>(q)],
                    transport::kHandlerOrbRequest, std::move(frame));

@@ -9,6 +9,7 @@
 #include "obs/metrics.hpp"
 #include "obs/obs.hpp"
 #include "rts/collectives.hpp"
+#include "transport/wire_guard.hpp"
 
 namespace pardis::core {
 
@@ -193,7 +194,13 @@ void Poa::drain() {
 void Poa::ingest(transport::RsrMessage&& msg) {
   if (msg.handler == transport::kHandlerPing) return;  // liveness probe, no payload
   if (msg.handler == transport::kHandlerStateXfer) {
-    handle_state_xfer(std::move(msg));
+    const std::string src_peer = msg.src_peer;
+    try {
+      handle_state_xfer(std::move(msg));
+    } catch (const MarshalError& e) {
+      PARDIS_LOG(kWarn, "wal") << "dropped malformed state-transfer frame: " << e.what();
+      wire::guard().note_bad_frame(src_peer, e.what());
+    }
     return;
   }
   if (msg.handler != transport::kHandlerOrbRequest) {
@@ -207,7 +214,17 @@ void Poa::ingest(transport::RsrMessage&& msg) {
     bytes.add(msg.payload.size());
   }
   CdrReader r(msg.payload.view(), msg.little_endian);
-  RequestHeader header = RequestHeader::unmarshal(r);
+  RequestHeader header;
+  try {
+    header = RequestHeader::unmarshal(r);
+  } catch (const MarshalError& e) {
+    // A malformed request is unanswerable (its reply_to cannot be
+    // trusted): drop it and charge the sending peer. The client's
+    // deadline + retry recovers delivery.
+    PARDIS_LOG(kWarn, "poa") << "dropped malformed request: " << e.what();
+    wire::guard().note_bad_frame(msg.src_peer, e.what());
+    return;
+  }
 
   const PoaShared::ObjEntry* entry = shared_->find(header.object_id.value);
   if (entry == nullptr) {
@@ -219,9 +236,11 @@ void Poa::ingest(transport::RsrMessage&& msg) {
       eh.status = ReplyStatus::kSystemException;
       eh.error_code = ErrorCode::kObjectNotExist;
       eh.error_message = "no object " + header.object_id.to_string() + " at this server";
+      eh.crc = wire::frame_crc();
       ByteBuffer frame;
       CdrWriter w(frame);
       eh.marshal(w);
+      if (eh.crc) wire::append_crc(frame);
       orb_->transport().rsr(header.reply_to, transport::kHandlerOrbReply, std::move(frame),
                             host_model_);
     }
@@ -231,7 +250,9 @@ void Poa::ingest(transport::RsrMessage&& msg) {
   ServerInvocation::Body body;
   body.client_rank = header.client_rank;
   body.little = msg.little_endian;
-  body.bytes = ByteBuffer::from(msg.payload.view().subspan(r.offset()));
+  // rest() respects the CRC trailer trimmed during unmarshal;
+  // re-slicing msg.payload would leak the trailer into the body.
+  body.bytes = ByteBuffer::from(r.rest());
   body.reply_to = header.reply_to;
   body.request_id = header.request_id;
 
@@ -270,6 +291,13 @@ void Poa::ingest(transport::RsrMessage&& msg) {
   Assembling& a = assembling_[key];
   if (a.bodies.empty()) {
     a.header = header;
+    a.first_arrival = std::chrono::steady_clock::now();
+  } else if (header.retry()) {
+    // A retry re-fill of a torn assembly (a frame of the original
+    // matrix was lost or rejected as corrupt) restarts the queue
+    // deadline budget: the client granted a fresh budget with the
+    // retry, and judging it by the stale first arrival would expire
+    // every re-send of a matrix that sat out one client deadline.
     a.first_arrival = std::chrono::steady_clock::now();
   }
   // emplace: one body per client rank, so a duplicated frame or a
@@ -331,9 +359,11 @@ bool Poa::shed_if_overloaded(const RequestHeader& header) {
     eh.error_message = "server overloaded: '" + header.operation + "' shed at " +
                        std::to_string(assembling_.size()) + " queued requests";
     eh.retry_after_ms = overload_retry_after_ms_;
+    eh.crc = wire::frame_crc();
     ByteBuffer frame;
     CdrWriter w(frame);
     eh.marshal(w);
+    if (eh.crc) wire::append_crc(frame);
     try {
       orb_->transport().rsr(header.reply_to, transport::kHandlerOrbReply,
                             std::move(frame), host_model_);

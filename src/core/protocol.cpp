@@ -1,5 +1,7 @@
 #include "core/protocol.hpp"
 
+#include "transport/wire_guard.hpp"
+
 namespace pardis::core {
 
 void RequestHeader::marshal(CdrWriter& w) const {
@@ -8,10 +10,12 @@ void RequestHeader::marshal(CdrWriter& w) const {
   w.write_ulong(seq_no);
   w.write_ulonglong(object_id.value);
   w.write_string(operation);
-  Octet f = static_cast<Octet>(flags & ~(kFlagTraced | kFlagDeadline | kFlagRetry));
+  Octet f =
+      static_cast<Octet>(flags & ~(kFlagTraced | kFlagDeadline | kFlagRetry | kFlagCrc));
   if (trace.valid()) f = static_cast<Octet>(f | kFlagTraced);
   if (deadline_ms != 0) f = static_cast<Octet>(f | kFlagDeadline);
   if (attempt != 0) f = static_cast<Octet>(f | kFlagRetry);
+  if (crc) f = static_cast<Octet>(f | kFlagCrc);
   w.write_octet(f);
   w.write_long(client_rank);
   w.write_long(client_size);
@@ -32,8 +36,23 @@ RequestHeader RequestHeader::unmarshal(CdrReader& r) {
   h.object_id.value = r.read_ulonglong();
   h.operation = r.read_string();
   h.flags = r.read_octet();
+  // The CRC trailer covers the whole frame (header + body), so it is
+  // verified as soon as the flag is seen — before any further field is
+  // trusted — and trimmed so body extraction never sees it. h.crc
+  // stays false: a re-marshal of this header is unsealed.
+  if ((h.flags & kFlagCrc) != 0) {
+    wire::verify_crc(r, "RequestHeader");
+    h.flags = static_cast<Octet>(h.flags & ~kFlagCrc);
+  }
+  if (wire::strict() && (h.flags & ~kKnownRequestFlags) != 0)
+    throw DecodeError("unknown flag bits " + std::to_string(h.flags & ~kKnownRequestFlags),
+                      r.offset(), "RequestHeader");
   h.client_rank = r.read_long();
   h.client_size = r.read_long();
+  if (h.client_size < 1 || h.client_size > kMaxSpmdWidth)
+    throw DecodeError("client_size " + std::to_string(h.client_size) + " outside [1, " +
+                          std::to_string(kMaxSpmdWidth) + "]",
+                      r.offset(), "RequestHeader");
   h.reply_to = transport::EndpointAddr::unmarshal(r);
   if ((h.flags & kFlagTraced) != 0) {
     h.trace.trace_id = r.read_ulonglong();
@@ -47,9 +66,13 @@ RequestHeader RequestHeader::unmarshal(CdrReader& r) {
   if ((h.flags & kFlagRetry) != 0) {
     h.attempt = r.read_ulong();
     h.flags = static_cast<Octet>(h.flags & ~kFlagRetry);
+    if (h.attempt == 0)
+      throw DecodeError("kFlagRetry set with attempt 0", r.offset(), "RequestHeader");
   }
   if (h.client_rank < 0 || h.client_rank >= h.client_size)
-    throw MarshalError("RequestHeader: client rank out of range");
+    throw DecodeError("client rank " + std::to_string(h.client_rank) +
+                          " outside matrix of " + std::to_string(h.client_size),
+                      r.offset(), "RequestHeader");
   return h;
 }
 
@@ -59,7 +82,8 @@ void ReplyHeader::marshal(CdrWriter& w) const {
   w.write_long(server_size);
   w.write_octet(static_cast<Octet>(static_cast<Octet>(status) |
                                    (trace.valid() ? kReplyFlagTraced : 0) |
-                                   (retry_after_ms != 0 ? kReplyFlagRetryAfter : 0)));
+                                   (retry_after_ms != 0 ? kReplyFlagRetryAfter : 0) |
+                                   (crc ? kReplyFlagCrc : 0)));
   if (status != ReplyStatus::kOk) {
     w.write_octet(static_cast<Octet>(error_code));
     w.write_string(error_message);
@@ -76,16 +100,32 @@ ReplyHeader ReplyHeader::unmarshal(CdrReader& r) {
   h.request_id.value = r.read_ulonglong();
   h.server_rank = r.read_long();
   h.server_size = r.read_long();
+  if (h.server_size < 1 || h.server_size > kMaxSpmdWidth)
+    throw DecodeError("server_size " + std::to_string(h.server_size) + " outside [1, " +
+                          std::to_string(kMaxSpmdWidth) + "]",
+                      r.offset(), "ReplyHeader");
+  if (h.server_rank < 0 || h.server_rank >= h.server_size)
+    throw DecodeError("server rank " + std::to_string(h.server_rank) +
+                          " outside matrix of " + std::to_string(h.server_size),
+                      r.offset(), "ReplyHeader");
   const Octet raw_status = r.read_octet();
+  if ((raw_status & kReplyFlagCrc) != 0) wire::verify_crc(r, "ReplyHeader");
   const bool traced = (raw_status & kReplyFlagTraced) != 0;
   const bool retry_after = (raw_status & kReplyFlagRetryAfter) != 0;
-  const Octet status =
-      static_cast<Octet>(raw_status & ~(kReplyFlagTraced | kReplyFlagRetryAfter));
+  const Octet status = static_cast<Octet>(raw_status & ~kKnownReplyFlags);
   if (status > static_cast<Octet>(ReplyStatus::kSystemException))
-    throw MarshalError("ReplyHeader: bad status octet");
+    throw DecodeError("bad status octet " + std::to_string(raw_status), r.offset(),
+                      "ReplyHeader");
   h.status = static_cast<ReplyStatus>(status);
+  if (wire::strict() && retry_after && h.status == ReplyStatus::kOk)
+    throw DecodeError("retry-after hint on a kOk reply (impossible combination)",
+                      r.offset(), "ReplyHeader");
   if (h.status != ReplyStatus::kOk) {
-    h.error_code = static_cast<ErrorCode>(r.read_octet());
+    const Octet ec = r.read_octet();
+    if (ec > static_cast<Octet>(ErrorCode::kOverload))
+      throw DecodeError("unknown error code octet " + std::to_string(ec), r.offset(),
+                        "ReplyHeader");
+    h.error_code = static_cast<ErrorCode>(ec);
     h.error_message = r.read_string();
   }
   if (traced) {

@@ -45,6 +45,12 @@ struct RequestHeader {
   /// nonzero (kFlagRetry); tells the POA to accept duplicate bodies
   /// and to replay an already-dispatched sequence number.
   ULong attempt = 0;
+  /// Frame-integrity intent: when true, marshal() sets kFlagCrc and
+  /// the sender appends a wire::append_crc trailer after the body.
+  /// unmarshal() verifies + strips the trailer and leaves this false,
+  /// so a re-marshal of a received header (WAL durable records)
+  /// produces unsealed bytes rather than a flag with no trailer.
+  bool crc = false;
 
   bool oneway() const noexcept { return (flags & kFlagOneway) != 0; }
   bool collective() const noexcept { return (flags & kFlagCollective) != 0; }
@@ -68,6 +74,9 @@ struct ReplyHeader {
   /// re-sending, in milliseconds. Marshaled only when nonzero
   /// (kReplyFlagRetryAfter); honored by ft::with_retry.
   ULong retry_after_ms = 0;
+  /// Frame-integrity intent (kReplyFlagCrc); same contract as
+  /// RequestHeader::crc.
+  bool crc = false;
 
   void marshal(CdrWriter& w) const;
   static ReplyHeader unmarshal(CdrReader& r);

@@ -3,6 +3,7 @@
 #include "common/log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/obs.hpp"
+#include "transport/wire_guard.hpp"
 
 namespace pardis::core {
 
@@ -43,10 +44,12 @@ ByteBuffer ServerInvocation::frame_reply(std::size_t body_index, ReplyStatus sta
   h.error_code = code;
   h.error_message = message;
   h.trace = trace_;
+  h.crc = wire::frame_crc();
   ByteBuffer frame;
   CdrWriter w(frame);
   h.marshal(w);
   frame.append(body.view());
+  if (h.crc) wire::append_crc(frame);
   return frame;
 }
 

@@ -98,6 +98,13 @@ inline constexpr HandlerId kHandlerAnnounce = 7;
 /// between POAs of durable replica groups, so a WAL-disabled run emits
 /// no frame with this id.
 inline constexpr HandlerId kHandlerStateXfer = 8;
+/// Wire-hardening hello: a one-way announcement (magic, protocol
+/// version, feature bits) sent once per fresh inter-process connection
+/// when PARDIS_WIRE_HELLO is on. A receiver that sees a mismatched
+/// magic or version closes the connection — the clean reject for a
+/// peer speaking a different protocol. Hello-off runs emit no frame
+/// with this id, keeping the wire byte-identical to before.
+inline constexpr HandlerId kHandlerHello = 9;
 
 // Handler ids are dense from 1 (dense + increasing == distinct); 0 is
 // never assigned — it is the RsrMessage default, and a frame that
@@ -110,6 +117,22 @@ static_assert(kHandlerSessionData == kHandlerPing + 1);
 static_assert(kHandlerSessionAck == kHandlerSessionData + 1);
 static_assert(kHandlerAnnounce == kHandlerSessionAck + 1);
 static_assert(kHandlerStateXfer == kHandlerAnnounce + 1);
+static_assert(kHandlerHello == kHandlerStateXfer + 1);
+
+// --- Wire-hardening hello frame constants ----------------------------------
+
+/// Leading magic of a kHandlerHello frame ("PHLO").
+inline constexpr ULong kHelloMagic = 0x50484C4F;
+/// PIOP protocol version announced in the hello; bumped on any
+/// incompatible wire change. Peers under a different version are
+/// disconnected (the clean reject).
+inline constexpr Octet kWireVersion = 1;
+/// Hello feature bits: capabilities the sender may exercise. Unknown
+/// bits are tolerated (a newer peer may offer more), the documented
+/// forward-compat path.
+inline constexpr ULong kFeatureFrameCrc = 0x1;  ///< sender can emit CRC-trailed frames
+
+static_assert(kHelloMagic != 0, "hello magic must be distinguishable from zeroed bytes");
 
 }  // namespace pardis::transport
 
@@ -123,12 +146,23 @@ inline constexpr Octet kFlagCollective = 0x2;  ///< SPMD collective invocation
 inline constexpr Octet kFlagTraced = 0x4;      ///< trace context appended
 inline constexpr Octet kFlagDeadline = 0x8;    ///< deadline budget appended
 inline constexpr Octet kFlagRetry = 0x10;      ///< re-send of an earlier attempt
+/// CRC32 frame trailer appended (wire hardening, PARDIS_FRAME_CRC).
+/// The trailer covers every frame byte before it; a CRC-off frame
+/// carries neither the bit nor the trailer and stays byte-identical to
+/// the pre-hardening wire format.
+inline constexpr Octet kFlagCrc = 0x20;
 
 // Flag bits must be bitwise disjoint: OR == sum exactly when no two
 // constants share a bit.
-static_assert((kFlagOneway | kFlagCollective | kFlagTraced | kFlagDeadline | kFlagRetry) ==
-                  kFlagOneway + kFlagCollective + kFlagTraced + kFlagDeadline + kFlagRetry,
+static_assert((kFlagOneway | kFlagCollective | kFlagTraced | kFlagDeadline | kFlagRetry |
+               kFlagCrc) == kFlagOneway + kFlagCollective + kFlagTraced + kFlagDeadline +
+                                kFlagRetry + kFlagCrc,
               "request flag bits overlap");
+
+/// Mask of every assigned request flag bit; strict demarshalling
+/// rejects a header carrying any bit outside it.
+inline constexpr Octet kKnownRequestFlags =
+    kFlagOneway | kFlagCollective | kFlagTraced | kFlagDeadline | kFlagRetry | kFlagCrc;
 
 enum class ReplyStatus : Octet {
   kOk = 0,
@@ -144,17 +178,36 @@ inline constexpr Octet kReplyFlagTraced = 0x80;
 /// exist only when admission control is enabled, so a flow-disabled
 /// reply stays byte-identical to the pre-flow wire format.
 inline constexpr Octet kReplyFlagRetryAfter = 0x40;
+/// CRC32 frame trailer appended to the reply (wire hardening,
+/// PARDIS_FRAME_CRC). Same contract as kFlagCrc on requests: the
+/// trailer covers every preceding frame byte, and a CRC-off reply is
+/// byte-identical to the pre-hardening format.
+inline constexpr Octet kReplyFlagCrc = 0x20;
 
 // The reply flag bits share one octet with the ReplyStatus value, so
 // they must be disjoint from each other AND leave every status value
 // untouched.
-static_assert((kReplyFlagTraced & kReplyFlagRetryAfter) == 0, "reply flag bits overlap");
+static_assert((kReplyFlagTraced & kReplyFlagRetryAfter) == 0 &&
+                  (kReplyFlagTraced & kReplyFlagCrc) == 0 &&
+                  (kReplyFlagRetryAfter & kReplyFlagCrc) == 0,
+              "reply flag bits overlap");
 static_assert((static_cast<Octet>(ReplyStatus::kOk) &
-               (kReplyFlagTraced | kReplyFlagRetryAfter)) == 0,
+               (kReplyFlagTraced | kReplyFlagRetryAfter | kReplyFlagCrc)) == 0,
               "ReplyStatus::kOk collides with a reply flag bit");
 static_assert((static_cast<Octet>(ReplyStatus::kSystemException) &
-               (kReplyFlagTraced | kReplyFlagRetryAfter)) == 0,
+               (kReplyFlagTraced | kReplyFlagRetryAfter | kReplyFlagCrc)) == 0,
               "ReplyStatus::kSystemException collides with a reply flag bit");
+
+/// Mask of every assigned reply flag bit (the rest of the status octet
+/// is the ReplyStatus value); strict demarshalling rejects a status
+/// octet whose flag region carries any other bit.
+inline constexpr Octet kKnownReplyFlags = kReplyFlagTraced | kReplyFlagRetryAfter | kReplyFlagCrc;
+
+/// Decode-time sanity bound on SPMD matrix dimensions (client_size,
+/// server_size). Not a wire byte: a header claiming a wider matrix
+/// than any deployable machine is hostile, and rejecting it before any
+/// per-rank allocation is the point.
+inline constexpr Long kMaxSpmdWidth = 1 << 20;
 
 /// Per-entry POA schedule flags (internal to the kTagPoaRound channel:
 /// rank 0 broadcasts the collective dispatch schedule with one flags

@@ -8,6 +8,7 @@
 #include "ft/ft.hpp"
 #include "obs/metrics.hpp"
 #include "obs/obs.hpp"
+#include "transport/wire_guard.hpp"
 
 namespace pardis::flow {
 
@@ -245,6 +246,7 @@ bool SessionTransport::on_session_data(transport::RsrMessage& msg,
     body_offset = r.offset();
   } catch (const MarshalError& e) {
     PARDIS_LOG(kWarn, "flow") << "bad session envelope dropped: " << e.what();
+    wire::guard().note_bad_frame(msg.src_peer, e.what());
     return true;
   }
 
@@ -303,6 +305,7 @@ bool SessionTransport::on_session_ack(transport::RsrMessage& msg) {
     ack_val = r.read_ulonglong();
   } catch (const MarshalError& e) {
     PARDIS_LOG(kWarn, "flow") << "bad session ack dropped: " << e.what();
+    wire::guard().note_bad_frame(msg.src_peer, e.what());
     return true;
   }
   std::shared_ptr<OutSession> s;

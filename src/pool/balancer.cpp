@@ -185,6 +185,13 @@ void Balancer::report_endpoint(const transport::EndpointAddr& ep, bool resumed) 
   }
 }
 
+void Balancer::report_host_abuse(const std::string& host) {
+  if (host.empty()) return;
+  LockGuard lock(mutex_);
+  for (auto& m : members_)
+    if (m.ref.host == host) hard_failure_locked(m);
+}
+
 void Balancer::quarantine_locked(Member& m, std::chrono::milliseconds span) {
   m.quarantined_until = std::chrono::steady_clock::now() + span;
   m.probing = false;

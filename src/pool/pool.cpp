@@ -9,6 +9,7 @@
 #include "obs/metrics.hpp"
 #include "obs/obs.hpp"
 #include "rts/collectives.hpp"
+#include "transport/wire_guard.hpp"
 
 namespace pardis::pool {
 
@@ -138,6 +139,15 @@ void GroupBinding::install_hooks() {
         if (auto balancer = weak.lock())
           balancer->report_endpoint(peer, /*resumed=*/false);
       });
+
+  // Wire-hardening verdicts: a peer quarantined for sending garbage
+  // (wire::PeerGuard keys the local transport by modeled host name)
+  // hard-fails every member on that host, so selection routes around a
+  // corrupting replica exactly like a crashing one.
+  wire::guard().add_listener([weak = std::weak_ptr<Balancer>(balancer_)](
+                                 const std::string& peer) {
+    if (auto balancer = weak.lock()) balancer->report_host_abuse(peer);
+  });
 }
 
 std::shared_ptr<GroupBinding> GroupBinding::bind(core::ClientCtx& ctx,

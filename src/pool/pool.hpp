@@ -130,6 +130,11 @@ class Balancer {
   /// a hard failure; true (a session that healed) is a mild penalty —
   /// the link flapped but the replica answered.
   void report_endpoint(const transport::EndpointAddr& ep, bool resumed);
+  /// Wire-hardening verdict: `host` was quarantined for sending
+  /// malformed frames (wire::PeerGuard). Every member living on that
+  /// modeled host takes a hard failure — a corrupting peer is as
+  /// untrustworthy as a crashing one.
+  void report_host_abuse(const std::string& host);
 
   /// Replaces the membership with a fresh registry view, keeping the
   /// health state of surviving members (matched by primary_key).

@@ -1,5 +1,7 @@
 #include "sim/fault_plan.hpp"
 
+#include <algorithm>
+
 namespace pardis::sim {
 
 namespace {
@@ -44,6 +46,26 @@ void FaultPlan::delay_message(const std::string& src, const std::string& dst,
   link_locked(src, dst).delays[index] = seconds;
 }
 
+void FaultPlan::corrupt_message(const std::string& src, const std::string& dst,
+                                std::uint64_t index, std::uint64_t seed,
+                                CorruptMode mode) {
+  LockGuard lock(mutex_);
+  link_locked(src, dst).corrupts[index] = {mode, seed};
+}
+
+void FaultPlan::corrupt_link(const std::string& a, const std::string& b,
+                             std::uint64_t seed, CorruptMode mode) {
+  LockGuard lock(mutex_);
+  for (const auto& key : {std::pair{a, b}, std::pair{b, a}}) {
+    LinkSchedule& link = link_locked(key.first, key.second);
+    link.corrupt_all = true;
+    link.corrupt_all_mode = mode;
+    // Directions get distinct streams so request and reply corruption
+    // do not mirror each other.
+    link.corrupt_state = seed + (key.first < key.second ? 0 : 1);
+  }
+}
+
 void FaultPlan::sever_link(const std::string& a, const std::string& b) {
   LockGuard lock(mutex_);
   link_locked(a, b).severed = true;
@@ -57,6 +79,7 @@ void FaultPlan::heal_locked(const std::string& a, const std::string& b) {
     it->second.severed = false;
     it->second.heal_at_index = UINT64_MAX;
     it->second.heal_time_set = false;
+    it->second.corrupt_all = false;
   }
 }
 
@@ -146,7 +169,47 @@ FaultPlan::Decision FaultPlan::on_message(const std::string& src, const std::str
   d.duplicate = link.duplicates.count(index) != 0;
   auto delay = link.delays.find(index);
   if (delay != link.delays.end()) d.extra_delay_s = delay->second;
+  if (link.corrupt_all) {
+    d.corrupt = true;
+    d.corrupt_mode = link.corrupt_all_mode;
+    d.corrupt_rand = splitmix64(link.corrupt_state);
+  } else if (auto corrupt = link.corrupts.find(index); corrupt != link.corrupts.end()) {
+    d.corrupt = true;
+    d.corrupt_mode = corrupt->second.first;
+    // Copy the stored seed: a retry replaying this index must see the
+    // identical corruption, not advance a stream.
+    std::uint64_t state = corrupt->second.second;
+    d.corrupt_rand = splitmix64(state);
+  }
   return d;
+}
+
+void corrupt_payload(ByteBuffer& payload, CorruptMode mode, std::uint64_t rand) noexcept {
+  const std::size_t size = payload.size();
+  if (size == 0) return;
+  switch (mode) {
+    case CorruptMode::kBitFlip: {
+      const std::uint64_t bit = rand % (size * 8);
+      payload.mutable_view()[bit / 8] ^= static_cast<Octet>(1u << (bit % 8));
+      break;
+    }
+    case CorruptMode::kTruncate: {
+      // Always strictly shorter (keep in [0, size-1]).
+      const std::size_t keep = static_cast<std::size_t>(rand % size);
+      payload = ByteBuffer::from(payload.view().first(keep));
+      break;
+    }
+    case CorruptMode::kGarbage: {
+      std::uint64_t state = rand;
+      const std::size_t n =
+          1 + static_cast<std::size_t>(splitmix64(state) % std::min<std::size_t>(32, size));
+      const std::size_t start = static_cast<std::size_t>(splitmix64(state) % (size - n + 1));
+      auto bytes = payload.mutable_view();
+      for (std::size_t i = 0; i < n; ++i)
+        bytes[start + i] = static_cast<Octet>(splitmix64(state) & 0xFF);
+      break;
+    }
+  }
 }
 
 }  // namespace pardis::sim

@@ -21,10 +21,19 @@
 #include <string>
 #include <utility>
 
+#include "common/buffer.hpp"
 #include "common/mutex.hpp"
 #include "common/types.hpp"
 
 namespace pardis::sim {
+
+/// How a corrupt-link fault mangles a payload (wire hardening: the
+/// corruption shapes a real network produces).
+enum class CorruptMode : Octet {
+  kBitFlip = 0,   ///< flip one pseudo-randomly chosen bit
+  kTruncate = 1,  ///< cut the payload short at a pseudo-random length
+  kGarbage = 2,   ///< overwrite a pseudo-random run with noise bytes
+};
 
 class FaultPlan {
  public:
@@ -35,9 +44,15 @@ class FaultPlan {
     bool fail_transient = false;  ///< sender observes TransientError
     bool sever = false;           ///< sender observes CommFailure
     double extra_delay_s = 0.0;   ///< additional modeled link delay
+    bool corrupt = false;         ///< mangle the payload before delivery
+    CorruptMode corrupt_mode = CorruptMode::kBitFlip;
+    /// Pseudo-random draw (splitmix64) fixing exactly which bit/length/
+    /// run this corruption hits, so the same seed replays bit-identically.
+    std::uint64_t corrupt_rand = 0;
 
     bool faulty() const noexcept {
-      return drop || duplicate || fail_transient || sever || extra_delay_s != 0.0;
+      return drop || duplicate || fail_transient || sever || extra_delay_s != 0.0 ||
+             corrupt;
     }
   };
 
@@ -68,6 +83,20 @@ class FaultPlan {
   /// Adds `seconds` of modeled delay to message #`index` on src→dst.
   void delay_message(const std::string& src, const std::string& dst, std::uint64_t index,
                      double seconds);
+
+  /// Corrupts message #`index` on src→dst: the payload is mangled per
+  /// `mode` under a splitmix64 draw from `seed`, so the same seed hits
+  /// the same bit/length/run every run.
+  void corrupt_message(const std::string& src, const std::string& dst,
+                       std::uint64_t index, std::uint64_t seed,
+                       CorruptMode mode = CorruptMode::kBitFlip);
+
+  /// Corrupts EVERY message on the link between two hosts (both
+  /// directions, from now on) until heal_link/clear. Each message gets
+  /// a fresh draw from the seeded stream — a persistently noisy link
+  /// rather than a single flipped bit.
+  void corrupt_link(const std::string& a, const std::string& b, std::uint64_t seed,
+                    CorruptMode mode = CorruptMode::kBitFlip);
 
   /// Severs the link between two hosts (both directions, from now on):
   /// every send fails with CommFailure.
@@ -123,6 +152,12 @@ class FaultPlan {
     std::set<std::uint64_t> fails;
     std::set<std::uint64_t> duplicates;
     std::map<std::uint64_t, double> delays;
+    /// index → (mode, seed) for single-message corruption.
+    std::map<std::uint64_t, std::pair<CorruptMode, std::uint64_t>> corrupts;
+    /// Whole-link corruption (corrupt_link) until healed.
+    bool corrupt_all = false;
+    CorruptMode corrupt_all_mode = CorruptMode::kBitFlip;
+    std::uint64_t corrupt_state = 0;  ///< seeded stream for corrupt_all draws
     bool severed = false;
     /// Sever lifts when next_index reaches this (UINT64_MAX = never).
     std::uint64_t heal_at_index = UINT64_MAX;
@@ -141,5 +176,10 @@ class FaultPlan {
   std::map<std::pair<std::string, std::string>, LinkSchedule> links_ PARDIS_GUARDED_BY(mutex_);
   std::set<ULongLong> killed_ PARDIS_GUARDED_BY(mutex_);
 };
+
+/// Applies a Decision's corruption to `payload` in place (called by
+/// both transports after the drop/duplicate verdict, before delivery).
+/// Deterministic in (mode, rand); an empty payload is left untouched.
+void corrupt_payload(ByteBuffer& payload, CorruptMode mode, std::uint64_t rand) noexcept;
 
 }  // namespace pardis::sim

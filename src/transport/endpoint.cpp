@@ -8,6 +8,7 @@
 #include "obs/metrics.hpp"
 #include "obs/obs.hpp"
 #include "sim/clock.hpp"
+#include "transport/wire_guard.hpp"
 
 namespace pardis::transport {
 
@@ -44,7 +45,8 @@ EndpointAddr EndpointAddr::unmarshal(CdrReader& r) {
   EndpointAddr a;
   const Octet kind = r.read_octet();
   if (kind > static_cast<Octet>(AddrKind::kTcp))
-    throw MarshalError("EndpointAddr: bad kind octet");
+    throw DecodeError("bad kind octet " + std::to_string(kind), r.offset(),
+                      "EndpointAddr");
   a.kind = static_cast<AddrKind>(kind);
   a.host_model = r.read_string();
   a.local_id = r.read_ulonglong();
@@ -148,6 +150,16 @@ void Endpoint::drop_at_capacity_locked(const RsrMessage& msg, bool session_frame
 }
 
 void Endpoint::enqueue(RsrMessage msg) {
+  // Quarantined peers are silenced at the queue mouth — the local
+  // transport's analog of the TCP reader closing the connection. The
+  // guard's fast path is one relaxed load while nothing is quarantined.
+  if (!msg.src_peer.empty() && wire::guard().quarantined(msg.src_peer)) {
+    if (obs::enabled()) {
+      static obs::Counter& drops = obs::metrics().counter("wire.quarantine_dropped");
+      drops.add(1);
+    }
+    return;
+  }
   // A session data frame must settle its queue seat BEFORE the demux
   // filter runs: the filter acks the frame, which advances the
   // sender's horizon and prunes it from the retransmission buffer —

@@ -50,6 +50,11 @@ struct RsrMessage {
   double sim_time = 0.0;           ///< sender clock + modeled link delay
   bool little_endian = kNativeLittleEndian;  ///< producer byte order
   ByteBuffer payload;
+  /// Transport-level identity of the sender (modeled host name for the
+  /// local transport, "ip:port" for TCP; empty when unknown). NOT a
+  /// wire field: stamped by the receiving transport so decode failures
+  /// can be charged to the peer that sent them (wire::PeerGuard).
+  std::string src_peer;
 };
 
 /// Outcome of a bounded-time drain: a message, a timeout, or the

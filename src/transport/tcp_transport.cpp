@@ -15,12 +15,25 @@
 #include "obs/metrics.hpp"
 #include "obs/obs.hpp"
 #include "sim/clock.hpp"
+#include "transport/wire_guard.hpp"
 
 namespace pardis::transport {
 
 namespace {
 
 constexpr std::size_t kHeaderSize = 32;
+
+/// "ip:port" identity of the connected peer — the PeerGuard key for
+/// frames arriving on this socket. Empty when the socket is already
+/// dead.
+std::string peer_key(int fd) {
+  sockaddr_in addr{};
+  socklen_t len = sizeof(addr);
+  if (::getpeername(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) return {};
+  char buf[INET_ADDRSTRLEN] = {};
+  if (::inet_ntop(AF_INET, &addr.sin_addr, buf, sizeof(buf)) == nullptr) return {};
+  return std::string(buf) + ":" + std::to_string(ntohs(addr.sin_port));
+}
 
 /// Reads exactly `n` bytes; false on orderly close or error. A signal
 /// landing mid-frame (EINTR) is not a peer failure: retry, as the
@@ -163,6 +176,7 @@ void TcpTransport::accept_loop() {
 }
 
 void TcpTransport::reader_loop(int fd) {
+  const std::string peer = peer_key(fd);
   for (;;) {
     Octet header[kHeaderSize];
     if (!read_full(fd, header, kHeaderSize)) return;
@@ -174,10 +188,45 @@ void TcpTransport::reader_loop(int fd) {
     const ULong handler = r.read_ulong();
     const Double time = r.read_double();
 
+    // A length beyond the frame bound means stream desync or a hostile
+    // peer; buffering the claimed bytes would be the OOM the bound
+    // exists to prevent. The stream is unrecoverable — disconnect.
+    if (payload_len > wire::max_frame_bytes()) {
+      wire::guard().note_bad_frame(
+          peer, "framed payload of " + std::to_string(payload_len) + " bytes exceeds " +
+                    std::to_string(wire::max_frame_bytes()));
+      return;
+    }
+    // A handler id outside the registry is equally desynced-or-hostile:
+    // the payload length cannot be trusted to resynchronize on.
+    if (handler == 0 || handler > kHandlerHello) {
+      wire::guard().note_bad_frame(peer,
+                                   "unknown handler id " + std::to_string(handler));
+      return;
+    }
+
     ByteBuffer payload;
     if (payload_len > 0) {
       payload.grow(payload_len);
       if (!read_full(fd, payload.data(), payload_len)) return;
+    }
+
+    // Quarantined peers get the TCP-level disconnect: stop reading the
+    // socket entirely (the sender sees a reset on its next write).
+    if (wire::guard().quarantined(peer)) return;
+
+    if (handler == kHandlerHello) {
+      // One-way version announcement; a peer we cannot interoperate
+      // with is disconnected, which is the documented clean reject.
+      try {
+        CdrReader hr(payload.view(), little);
+        wire::Hello::unmarshal(hr).validate();
+      } catch (const MarshalError& e) {
+        wire::guard().note_bad_frame(peer, e.what());
+        PARDIS_LOG(kWarn, "tcp") << "rejecting peer " << peer << ": " << e.what();
+        return;
+      }
+      continue;
     }
 
     std::shared_ptr<Endpoint> ep;
@@ -201,6 +250,7 @@ void TcpTransport::reader_loop(int fd) {
     msg.sim_time = time;
     msg.little_endian = little;
     msg.payload = std::move(payload);
+    msg.src_peer = peer;
     ep->enqueue(std::move(msg));
   }
 }
@@ -245,6 +295,28 @@ std::shared_ptr<TcpTransport::Connection> TcpTransport::connect_to(const std::st
   }
   const int one = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  if (wire::hello_enabled()) {
+    // Announce (magic, version, features) as the first frame on every
+    // fresh connection; the receiver disconnects on a mismatch. dst_ep
+    // 0 marks a transport-level control frame — no endpoint routing.
+    ByteBuffer hello_payload;
+    CdrWriter hw(hello_payload);
+    wire::local_hello().marshal(hw);
+    ByteBuffer frame;
+    frame.reserve(kHeaderSize + hello_payload.size());
+    CdrWriter w(frame);
+    w.write_octet(kNativeLittleEndian ? 1 : 0);
+    w.write_ulong(static_cast<ULong>(hello_payload.size()));
+    w.write_ulonglong(0);
+    w.write_ulong(kHandlerHello);
+    w.write_double(sim::timestamp_now());
+    require(frame.size() == kHeaderSize, "tcp hello frame header size drifted");
+    frame.append(hello_payload.view());
+    if (!write_full(fd, frame.data(), frame.size())) {
+      ::close(fd);
+      throw CommFailure("TcpTransport: hello to " + key + " failed");
+    }
+  }
   auto conn = std::make_shared<Connection>();
   conn->fd = fd;
   LockGuard lock(mutex_);
@@ -280,6 +352,11 @@ void TcpTransport::rsr(const EndpointAddr& dst, HandlerId handler, ByteBuffer pa
   // LocalTransport::rsr for the rationale).
   sim::charge_seconds(delay);
   if (fault.drop) return;  // the sender was still charged for the send
+  // Corrupt before framing so the transport header's payload_len
+  // matches what actually follows — corruption mangles the payload
+  // bytes, never the framing (a real NIC checksums its own framing).
+  if (fault.corrupt)
+    sim::corrupt_payload(payload, fault.corrupt_mode, fault.corrupt_rand);
 
   ByteBuffer frame;
   frame.reserve(kHeaderSize + payload.size());

@@ -70,13 +70,21 @@ void LocalTransport::rsr(const EndpointAddr& dst, HandlerId handler, ByteBuffer 
   sim::charge_seconds(delay);
   msg.sim_time = sim::timestamp_now();
   if (fault.drop) return;  // the sender was still charged for the send
+  // Corruption happens "on the wire": after the sender was charged,
+  // before the receiver sees the bytes. A duplicate of a corrupted
+  // message carries the same corruption (one mangled wire transfer,
+  // delivered twice).
+  if (fault.corrupt)
+    sim::corrupt_payload(payload, fault.corrupt_mode, fault.corrupt_rand);
   msg.payload = std::move(payload);
+  msg.src_peer = src_host_model;
   if (fault.duplicate) {
     RsrMessage copy;
     copy.handler = msg.handler;
     copy.little_endian = msg.little_endian;
     copy.sim_time = msg.sim_time;
     copy.payload = msg.payload.clone();
+    copy.src_peer = msg.src_peer;
     ep->enqueue(std::move(copy));
   }
   ep->enqueue(std::move(msg));

@@ -1,0 +1,220 @@
+#include "transport/wire_guard.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "common/crc.hpp"
+#include "common/error.hpp"
+#include "common/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
+
+namespace pardis::wire {
+
+namespace {
+
+bool env_flag(const char* name, bool fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  const std::string s(v);
+  return s == "1" || s == "true" || s == "on" || s == "yes";
+}
+
+long env_long(const char* name, long fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  return std::strtol(v, nullptr, 10);
+}
+
+// Each knob: -1 = defer to the environment, 0/1 (or the value) = test
+// override. The env read is cached in a static local on first use.
+std::atomic<int> g_frame_crc{-1};
+std::atomic<int> g_strict{-1};
+std::atomic<int> g_hello{-1};
+std::atomic<int> g_bad_frame_limit{-1};
+
+}  // namespace
+
+bool frame_crc() noexcept {
+  const int o = g_frame_crc.load(std::memory_order_relaxed);
+  if (o >= 0) return o > 0;
+  static const bool env = env_flag("PARDIS_FRAME_CRC", false);
+  return env;
+}
+
+void set_frame_crc(int v) noexcept { g_frame_crc.store(v, std::memory_order_relaxed); }
+
+bool strict() noexcept {
+  const int o = g_strict.load(std::memory_order_relaxed);
+  if (o >= 0) return o > 0;
+  static const bool env = env_flag("PARDIS_WIRE_STRICT", true);
+  return env;
+}
+
+void set_strict(int v) noexcept { g_strict.store(v, std::memory_order_relaxed); }
+
+bool hello_enabled() noexcept {
+  const int o = g_hello.load(std::memory_order_relaxed);
+  if (o >= 0) return o > 0;
+  static const bool env = env_flag("PARDIS_WIRE_HELLO", false);
+  return env;
+}
+
+void set_hello(int v) noexcept { g_hello.store(v, std::memory_order_relaxed); }
+
+unsigned bad_frame_limit() noexcept {
+  const int o = g_bad_frame_limit.load(std::memory_order_relaxed);
+  if (o >= 0) return static_cast<unsigned>(o);
+  static const unsigned env = [] {
+    const long n = env_long("PARDIS_BAD_FRAME_LIMIT", 8);
+    return n >= 0 ? static_cast<unsigned>(n) : 8u;
+  }();
+  return env;
+}
+
+void set_bad_frame_limit(int v) noexcept {
+  g_bad_frame_limit.store(v, std::memory_order_relaxed);
+}
+
+std::size_t max_frame_bytes() noexcept {
+  static const std::size_t env = [] {
+    const long n = env_long("PARDIS_MAX_FRAME_BYTES", 64L * 1024 * 1024);
+    return n > 0 ? static_cast<std::size_t>(n) : std::size_t{64} * 1024 * 1024;
+  }();
+  return env;
+}
+
+// --- CRC trailer ------------------------------------------------------------
+
+inline constexpr std::size_t kCrcTrailerBytes = 4;
+
+void append_crc(ByteBuffer& frame) {
+  const ULong crc = crc32(frame.view());
+  Octet trailer[kCrcTrailerBytes] = {
+      static_cast<Octet>(crc & 0xFF),
+      static_cast<Octet>((crc >> 8) & 0xFF),
+      static_cast<Octet>((crc >> 16) & 0xFF),
+      static_cast<Octet>((crc >> 24) & 0xFF),
+  };
+  frame.append(std::span<const Octet>(trailer, kCrcTrailerBytes));
+}
+
+void verify_crc(CdrReader& r, const char* what) {
+  const auto frame = r.raw();
+  const std::string context = std::string(what) + " CRC";
+  if (frame.size() < kCrcTrailerBytes)
+    throw DecodeError("frame too short for CRC trailer", frame.size(), context);
+  const auto body = frame.first(frame.size() - kCrcTrailerBytes);
+  const auto tail = frame.last(kCrcTrailerBytes);
+  const ULong stored = static_cast<ULong>(tail[0]) | (static_cast<ULong>(tail[1]) << 8) |
+                       (static_cast<ULong>(tail[2]) << 16) |
+                       (static_cast<ULong>(tail[3]) << 24);
+  const ULong computed = crc32(body);
+  if (stored != computed) {
+    if (obs::enabled()) {
+      static obs::Counter& c = obs::metrics().counter("wire.crc_failures");
+      c.add(1);
+    }
+    throw DecodeError("checksum mismatch (frame corrupt)", body.size(), context);
+  }
+  r.trim(kCrcTrailerBytes);
+}
+
+// --- Hello ------------------------------------------------------------------
+
+void Hello::marshal(CdrWriter& w) const {
+  w.write_ulong(magic);
+  w.write_octet(version);
+  w.write_ulong(features);
+}
+
+Hello Hello::unmarshal(CdrReader& r) {
+  Hello h;
+  h.magic = r.read_ulong();
+  h.version = r.read_octet();
+  h.features = r.read_ulong();
+  return h;
+}
+
+void Hello::validate() const {
+  if (magic != transport::kHelloMagic)
+    throw DecodeError("bad hello magic", 0, "Hello");
+  if (version != transport::kWireVersion)
+    throw DecodeError("protocol version " + std::to_string(version) +
+                          " incompatible with " + std::to_string(transport::kWireVersion),
+                      4, "Hello");
+}
+
+Hello local_hello() noexcept {
+  Hello h;
+  if (frame_crc()) h.features |= transport::kFeatureFrameCrc;
+  return h;
+}
+
+// --- Peer quarantine --------------------------------------------------------
+
+bool PeerGuard::note_bad_frame(const std::string& peer, const std::string& why) {
+  if (obs::enabled()) {
+    static obs::Counter& c = obs::metrics().counter("wire.bad_frames");
+    c.add(1);
+  }
+  const unsigned limit = bad_frame_limit();
+  bool newly_quarantined = false;
+  unsigned count = 0;
+  std::vector<QuarantineListener> to_fire;
+  {
+    LockGuard lock(mutex_);
+    count = peer.empty() ? 0 : ++bad_[peer];
+    if (limit != 0 && !peer.empty() && count >= limit &&
+        quarantined_.insert(peer).second) {
+      newly_quarantined = true;
+      quarantined_count_.store(quarantined_.size(), std::memory_order_relaxed);
+      to_fire = listeners_;  // fire outside the lock (lock-order hygiene)
+    }
+  }
+  PARDIS_LOG(kWarn, "wire") << "bad frame from peer '" << peer << "' (" << count
+                            << "): " << why;
+  if (newly_quarantined) {
+    if (obs::enabled()) {
+      static obs::Counter& c = obs::metrics().counter("wire.quarantined_peers");
+      c.add(1);
+    }
+    PARDIS_LOG(kWarn, "wire") << "peer '" << peer << "' quarantined after " << count
+                              << " bad frames";
+    for (const auto& listener : to_fire) listener(peer);
+  }
+  return newly_quarantined;
+}
+
+bool PeerGuard::quarantined(const std::string& peer) const {
+  if (quarantined_count_.load(std::memory_order_relaxed) == 0) return false;
+  if (peer.empty()) return false;
+  LockGuard lock(mutex_);
+  return quarantined_.count(peer) != 0;
+}
+
+void PeerGuard::add_listener(QuarantineListener listener) {
+  LockGuard lock(mutex_);
+  listeners_.push_back(std::move(listener));
+}
+
+unsigned PeerGuard::bad_frames(const std::string& peer) const {
+  LockGuard lock(mutex_);
+  const auto it = bad_.find(peer);
+  return it == bad_.end() ? 0 : it->second;
+}
+
+void PeerGuard::reset() {
+  LockGuard lock(mutex_);
+  bad_.clear();
+  quarantined_.clear();
+  listeners_.clear();
+  quarantined_count_.store(0, std::memory_order_relaxed);
+}
+
+PeerGuard& guard() noexcept {
+  static PeerGuard g;
+  return g;
+}
+
+}  // namespace pardis::wire

@@ -1,0 +1,158 @@
+// Wire hardening: frame integrity, strict-decode policy, version
+// negotiation, and peer quarantine.
+//
+// Threat model: once frames cross process boundaries (ROADMAP item 5),
+// every received byte may come from a crashed, truncated,
+// version-mismatched, or hostile sender. The decode path must therefore
+// (a) prove frame integrity before interpreting bytes (optional CRC32
+// trailer behind kFlagCrc / kReplyFlagCrc), (b) reject malformed
+// headers with a located DecodeError instead of crashing or
+// over-allocating (strict demarshalling), and (c) stop listening to a
+// peer that keeps sending garbage (PeerGuard quarantine, fed into
+// pool::Balancer health).
+//
+// Everything here is knob-gated so the default wire format stays
+// byte-identical to the pre-hardening protocol:
+//   PARDIS_FRAME_CRC=1       append + require CRC32 trailers (default off)
+//   PARDIS_WIRE_STRICT=0     tolerate unknown flag bits (default strict)
+//   PARDIS_WIRE_HELLO=1      announce version on new TCP connections
+//   PARDIS_BAD_FRAME_LIMIT=N quarantine a peer after N bad frames
+//                            (default 8; 0 disables quarantine)
+//   PARDIS_MAX_FRAME_BYTES=N reject framed payloads larger than N
+//                            (default 64 MiB)
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/buffer.hpp"
+#include "common/cdr.hpp"
+#include "common/mutex.hpp"
+#include "core/wire.hpp"
+
+namespace pardis::wire {
+
+// --- Knobs (env default, settable override for tests) ----------------------
+
+/// CRC32 frame trailers on PIOP requests/replies (PARDIS_FRAME_CRC).
+bool frame_crc() noexcept;
+/// Override: 1 = on, 0 = off, -1 = back to the environment value.
+void set_frame_crc(int v) noexcept;
+
+/// Strict demarshalling: reject unknown flag bits and impossible field
+/// combinations (PARDIS_WIRE_STRICT, default ON; 0 restores the legacy
+/// tolerate-and-ignore behavior for mixed-version fleets).
+bool strict() noexcept;
+void set_strict(int v) noexcept;
+
+/// Version-announce hello on fresh TCP connections (PARDIS_WIRE_HELLO).
+bool hello_enabled() noexcept;
+void set_hello(int v) noexcept;
+
+/// Bad frames from one peer before it is quarantined
+/// (PARDIS_BAD_FRAME_LIMIT, default 8; 0 = never quarantine).
+unsigned bad_frame_limit() noexcept;
+void set_bad_frame_limit(int v) noexcept;
+
+/// Largest framed payload a transport will accept
+/// (PARDIS_MAX_FRAME_BYTES, default 64 MiB). A TCP length prefix above
+/// this means stream desync or hostility — the connection is dropped
+/// rather than the claimed bytes buffered.
+std::size_t max_frame_bytes() noexcept;
+
+// --- CRC trailer ------------------------------------------------------------
+
+/// Appends the 4-byte CRC32 trailer (little-endian, unaligned — raw
+/// bytes, not a CDR ulong, so the trailer length is position-
+/// independent) covering every byte currently in `frame`.
+void append_crc(ByteBuffer& frame);
+
+/// Verifies that the last 4 bytes of the reader's stream are the CRC32
+/// of everything before them, then trims them so body extraction never
+/// sees the trailer. Counts `wire.crc_failures` and throws DecodeError
+/// on mismatch or a frame too short to carry a trailer. `what` names
+/// the frame kind in the diagnostic ("RequestHeader", ...).
+void verify_crc(CdrReader& r, const char* what);
+
+// --- Hello (version negotiation) --------------------------------------------
+
+/// Payload of a kHandlerHello frame: a one-way capability announcement
+/// sent once per fresh inter-process connection. There is no reply —
+/// a receiver that cannot interoperate simply closes the connection,
+/// which is the documented reject for a protocol-mismatched peer.
+struct Hello {
+  ULong magic = transport::kHelloMagic;
+  Octet version = transport::kWireVersion;
+  ULong features = 0;  ///< transport::kFeature* bits
+
+  void marshal(CdrWriter& w) const;
+  static Hello unmarshal(CdrReader& r);
+
+  /// Throws DecodeError on a foreign magic or an incompatible
+  /// version. Unknown feature bits are tolerated (a newer peer may
+  /// offer more) — the forward-compat path.
+  void validate() const;
+};
+
+/// The hello this process announces (features reflect current knobs).
+Hello local_hello() noexcept;
+
+// --- Peer quarantine --------------------------------------------------------
+
+/// Notified with the peer key when a peer crosses the bad-frame limit.
+/// Fired outside the guard lock; pool::Balancer subscribes to hard-fail
+/// members on the quarantined host.
+using QuarantineListener = std::function<void(const std::string& peer)>;
+
+/// Per-peer malformed-frame accounting and quarantine verdicts.
+///
+/// Peers are keyed by transport-level identity: the modeled host name
+/// for the in-process transport, "ip:port" for TCP. Decode sites call
+/// note_bad_frame() when a frame from that peer fails validation
+/// (malformed header, CRC mismatch, bogus handler id); once a peer
+/// crosses bad_frame_limit() it is quarantined — Endpoint::enqueue
+/// drops its frames, the TCP reader closes its connection, and
+/// listeners (pool::Balancer) mark its members failed.
+///
+/// Counters: `wire.bad_frames` (every note), `wire.quarantined_peers`
+/// (each peer once), `wire.quarantine_dropped` (frames dropped at the
+/// queue because the sender is quarantined).
+class PeerGuard {
+ public:
+  /// Records one bad frame from `peer`; returns true when this call
+  /// crossed the limit and quarantined the peer. `why` is logged.
+  /// Listeners fire after the guard lock is released.
+  bool note_bad_frame(const std::string& peer, const std::string& why);
+
+  /// True when `peer` is quarantined. Empty keys (no peer identity,
+  /// e.g. loopback frames) are never quarantined. Lock-free fast path
+  /// while nothing is quarantined — the steady state.
+  bool quarantined(const std::string& peer) const;
+
+  void add_listener(QuarantineListener listener);
+
+  /// Bad-frame count currently charged to `peer`.
+  unsigned bad_frames(const std::string& peer) const;
+
+  /// Drops all accounting, quarantines and listeners (tests only:
+  /// peer keys like host names are shared across test cases and the
+  /// guard is process-wide).
+  void reset();
+
+ private:
+  mutable Mutex mutex_{"wire.guard"};
+  std::map<std::string, unsigned> bad_ PARDIS_GUARDED_BY(mutex_);
+  std::set<std::string> quarantined_ PARDIS_GUARDED_BY(mutex_);
+  std::vector<QuarantineListener> listeners_ PARDIS_GUARDED_BY(mutex_);
+  std::atomic<std::size_t> quarantined_count_{0};
+};
+
+/// The process-wide guard (transports and decode sites share verdicts).
+PeerGuard& guard() noexcept;
+
+}  // namespace pardis::wire

@@ -57,15 +57,13 @@ constexpr std::uint64_t kRecordHeaderSize =
     sizeof(ULong) + sizeof(ULong) + sizeof(ULongLong) + sizeof(Octet);
 
 ULong frame_crc(Lsn lsn, Octet type, std::span<const Octet> payload) {
-  ByteBuffer head;
-  head.append_raw(&lsn, sizeof(lsn));
-  head.append_raw(&type, sizeof(type));
-  ULong crc = ~crc32(head.view());  // chainable: continue over payload
-  for (const Octet b : payload) {
-    crc ^= b;
-    for (int i = 0; i < 8; ++i) crc = (crc >> 1) ^ (0xEDB88320u & (~(crc & 1u) + 1u));
-  }
-  return ~crc;
+  // One chained CRC over [lsn][type][payload] without concatenating —
+  // byte-identical to checksumming the assembled frame head + payload.
+  ULong state = crc32_begin();
+  state = crc32_update(state, {reinterpret_cast<const Octet*>(&lsn), sizeof(lsn)});
+  state = crc32_update(state, {&type, sizeof(type)});
+  state = crc32_update(state, payload);
+  return crc32_final(state);
 }
 
 }  // namespace
@@ -89,16 +87,42 @@ void set_dir(const std::string& d) {
   dir_storage() = d;
 }
 
-ULong crc32(std::span<const Octet> bytes) noexcept {
-  // IEEE 802.3 polynomial, bit-reflected, computed bitwise — the log
-  // frames are small and recovery is a one-shot scan, so a lookup
-  // table buys nothing worth the 1 KiB of static data.
-  ULong crc = 0xFFFFFFFFu;
-  for (const Octet b : bytes) {
-    crc ^= b;
-    for (int i = 0; i < 8; ++i) crc = (crc >> 1) ^ (0xEDB88320u & (~(crc & 1u) + 1u));
+ScanResult scan_records(std::span<const Octet> body) {
+  ScanResult out;
+  std::uint64_t off = 0;
+  Lsn max_lsn = 0;
+  while (off + kRecordHeaderSize <= body.size()) {
+    ULong len = 0, crc = 0;
+    Lsn lsn = 0;
+    Octet type = 0;
+    std::memcpy(&len, body.data() + off, sizeof(len));
+    std::memcpy(&crc, body.data() + off + sizeof(len), sizeof(crc));
+    std::memcpy(&lsn, body.data() + off + sizeof(len) + sizeof(crc), sizeof(lsn));
+    std::memcpy(&type, body.data() + off + sizeof(len) + sizeof(crc) + sizeof(lsn),
+                sizeof(type));
+    if (off + kRecordHeaderSize + len > body.size()) break;  // torn tail
+    const auto payload = body.subspan(off + kRecordHeaderSize, len);
+    if (frame_crc(lsn, type, payload) != crc) {
+      // Corrupt frame: everything behind it was fsynced before this
+      // record was written, so the valid prefix is the durable state.
+      if (out.first_dropped_lsn == 0) out.first_dropped_lsn = lsn;
+      ++out.dropped;
+      break;
+    }
+    Record rec;
+    rec.lsn = lsn;
+    rec.type = type;
+    rec.payload = ByteBuffer::from(payload);
+    out.records.push_back(std::move(rec));
+    if (lsn > max_lsn) max_lsn = lsn;
+    off += kRecordHeaderSize + len;
   }
-  return ~crc;
+  out.valid_bytes = off;
+  if (off < body.size()) {
+    if (out.first_dropped_lsn == 0) out.first_dropped_lsn = max_lsn + 1;
+    if (out.dropped == 0) out.dropped = 1;
+  }
+  return out;
 }
 
 Log::Log(std::string path) : path_(std::move(path)) {
@@ -153,44 +177,34 @@ Log::Log(std::string path) : path_(std::move(path)) {
       size = kFileHeaderSize;
     }
 
+    // Pull the whole body into memory and hand it to the pure scanner
+    // (shared with the fuzz harness). A short read recovers what it
+    // could — the scanner treats the missing tail as torn.
+    ByteBuffer body;
+    const std::uint64_t body_len = size - kFileHeaderSize;
+    std::uint64_t body_got = 0;
+    if (body_len > 0) {
+      const ssize_t got =
+          ::pread(fd_, body.grow(body_len), body_len, static_cast<off_t>(kFileHeaderSize));
+      body_got = got > 0 ? static_cast<std::uint64_t>(got) : 0;
+    }
+    ScanResult scan = scan_records(body.view().first(body_got));
+    first_dropped_lsn_ = scan.first_dropped_lsn;
+
     std::uint64_t off = kFileHeaderSize;
     Lsn max_lsn = 0;
-    std::uint64_t dropped = 0;
-    while (off + kRecordHeaderSize <= size) {
-      Octet rh[kRecordHeaderSize];
-      if (::pread(fd_, rh, sizeof(rh), static_cast<off_t>(off)) !=
-          static_cast<ssize_t>(sizeof(rh)))
-        break;
-      ULong len = 0, crc = 0;
-      Lsn lsn = 0;
-      Octet type = 0;
-      std::memcpy(&len, rh, sizeof(len));
-      std::memcpy(&crc, rh + sizeof(len), sizeof(crc));
-      std::memcpy(&lsn, rh + sizeof(len) + sizeof(crc), sizeof(lsn));
-      std::memcpy(&type, rh + sizeof(len) + sizeof(crc) + sizeof(lsn), sizeof(type));
-      if (off + kRecordHeaderSize + len > size) break;  // torn tail
-      ByteBuffer payload;
-      if (len > 0 && ::pread(fd_, payload.grow(len), len,
-                             static_cast<off_t>(off + kRecordHeaderSize)) !=
-                         static_cast<ssize_t>(len))
-        break;
-      if (frame_crc(lsn, type, payload.view()) != crc) {
-        // Corrupt frame: everything behind it was fsynced before this
-        // record was written, so the valid prefix is the durable state.
-        if (first_dropped_lsn_ == 0) first_dropped_lsn_ = lsn;
-        ++dropped;
-        break;
-      }
-      index_[lsn] = {off, len};
-      recovered_.push_back(Record{lsn, type, std::move(payload)});
-      if (lsn > max_lsn) max_lsn = lsn;
+    for (Record& rec : scan.records) {
+      const ULong len = static_cast<ULong>(rec.payload.size());
+      index_[rec.lsn] = {off, len};
+      if (rec.lsn > max_lsn) max_lsn = rec.lsn;
       off += kRecordHeaderSize + len;
+      recovered_.push_back(std::move(rec));
     }
     if (off < size) {
       // Incomplete/corrupt tail: truncate so future appends start on a
-      // clean frame boundary.
+      // clean frame boundary. (A short body read can reach here with a
+      // clean scan — the unread tail is still dropped.)
       if (first_dropped_lsn_ == 0) first_dropped_lsn_ = max_lsn + 1;
-      if (dropped == 0) dropped = 1;
       if (::ftruncate(fd_, static_cast<off_t>(off)) != 0)
         throw SystemException(ErrorCode::kInternal, "wal: cannot truncate " + path_);
       PARDIS_LOG(kWarn, "wal") << path_ << ": dropped torn tail at offset " << off
@@ -204,7 +218,7 @@ Log::Log(std::string path) : path_(std::move(path)) {
       static obs::Counter& recovered = obs::metrics().counter("wal.recovered");
       static obs::Counter& torn = obs::metrics().counter("wal.torn_dropped");
       recovered.add(recovered_.size());
-      if (dropped > 0) torn.add(dropped);
+      if (scan.dropped > 0) torn.add(scan.dropped);
     }
   }
 

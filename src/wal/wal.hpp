@@ -44,6 +44,7 @@
 #include <vector>
 
 #include "common/buffer.hpp"
+#include "common/crc.hpp"
 #include "common/mutex.hpp"
 #include "common/types.hpp"
 
@@ -66,7 +67,9 @@ using Lsn = ULongLong;
 
 /// CRC-32 (IEEE 802.3 polynomial, reflected) over `bytes` — exposed so
 /// torn-write tests can forge/verify frames without a Log instance.
-ULong crc32(std::span<const Octet> bytes) noexcept;
+/// Now a thin alias over the shared pardis::crc32 (common/crc.hpp);
+/// kept so existing callers and golden frame CRCs are unchanged.
+inline ULong crc32(std::span<const Octet> bytes) noexcept { return pardis::crc32(bytes); }
 
 /// One recovered or read-back record.
 struct Record {
@@ -74,6 +77,27 @@ struct Record {
   Octet type = 0;
   ByteBuffer payload;
 };
+
+/// Result of a pure recovery scan over a log file body (everything
+/// after the 5-byte magic+version header). Factored out of the Log
+/// constructor so the fuzz harness can exercise the exact recovery
+/// parser against arbitrary bytes without touching the filesystem.
+struct ScanResult {
+  /// Records whose CRC matched, in file order (== LSN-assignment order).
+  std::vector<Record> records;
+  /// Bytes of valid frames from the front of `body` — the offset (minus
+  /// the file header) a recovering Log truncates to.
+  std::uint64_t valid_bytes = 0;
+  /// LSN of the first dropped record (0 = clean scan to the end).
+  Lsn first_dropped_lsn = 0;
+  /// Count of dropped frames (torn tail counts as 1).
+  std::uint64_t dropped = 0;
+};
+
+/// Scans `body` front to back, keeping every CRC-valid frame and
+/// stopping at the first torn or corrupt one — the same semantics the
+/// Log constructor applies to a reopened file.
+ScanResult scan_records(std::span<const Octet> body);
 
 /// A single object replica's write-ahead log. Thread-safe: any number
 /// of threads may append/commit concurrently; read() is safe for

@@ -1,0 +1,1100 @@
+// Wire-hardening tests: the shared CRC32, PIOP frame trailers, strict
+// demarshalling, hello version negotiation, peer quarantine, the
+// corrupt-link fault injector, and end-to-end exactly-once delivery
+// over deliberately corrupted links (single, SPMD, session, TCP).
+//
+// Golden-bytes cases prove the knob-off wire format is byte-identical
+// to the pre-hardening protocol — the same discipline every prior
+// trailing-field extension (trace, deadline, retry) was held to.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <functional>
+#include <future>
+#include <memory>
+#include <thread>
+#include <string>
+#include <vector>
+
+#include "common/crc.hpp"
+#include "flow/session_transport.hpp"
+#include "ft/ft.hpp"
+#include "pool/pool.hpp"
+#include "tests/support/calc_api.hpp"
+#include "transport/wire_guard.hpp"
+#include "wal/wal.hpp"
+
+namespace pardis::core {
+namespace {
+
+using calc_api::POA_calc;
+using calc_api::vec;
+using namespace std::chrono_literals;
+
+/// Spins (bounded) until `pred` holds; false = timed out.
+template <typename Pred>
+bool spin_until(Pred pred) {
+  const auto deadline = std::chrono::steady_clock::now() + 10s;
+  while (!pred()) {
+    if (std::chrono::steady_clock::now() >= deadline) return false;
+    std::this_thread::yield();
+  }
+  return true;
+}
+
+/// Restores every wire knob and the process-wide PeerGuard on scope
+/// exit — the guard's peer keys (modeled host names) are shared across
+/// test cases, so leaked state would poison later tests.
+struct WireKnobGuard {
+  WireKnobGuard() { wire::guard().reset(); }
+  ~WireKnobGuard() {
+    wire::set_frame_crc(-1);
+    wire::set_strict(-1);
+    wire::set_hello(-1);
+    wire::set_bad_frame_limit(-1);
+    wire::guard().reset();
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Shared CRC32 (common/crc.hpp) and the WAL's use of it.
+// ---------------------------------------------------------------------------
+
+TEST(WireCrc, SharedCrc32MatchesCheckValue) {
+  // The IEEE 802.3 check value: CRC32("123456789") == 0xCBF43926.
+  const Octet digits[] = {'1', '2', '3', '4', '5', '6', '7', '8', '9'};
+  EXPECT_EQ(pardis::crc32(digits), 0xCBF43926u);
+  // The WAL's crc32 is the same function (hoisted, not forked).
+  EXPECT_EQ(wal::crc32(digits), 0xCBF43926u);
+  // Chained == one-shot over the concatenation.
+  ULong state = crc32_begin();
+  state = crc32_update(state, std::span<const Octet>(digits, 4));
+  state = crc32_update(state, std::span<const Octet>(digits + 4, 5));
+  EXPECT_EQ(crc32_final(state), 0xCBF43926u);
+}
+
+TEST(WireCrc, AppendVerifyRoundTripTrimsTrailer) {
+  ByteBuffer frame;
+  CdrWriter w(frame);
+  w.write_ulong(0xA1B2C3D4u);
+  w.write_string("payload");
+  const std::size_t body_size = frame.size();
+  wire::append_crc(frame);
+  ASSERT_EQ(frame.size(), body_size + 4);
+
+  CdrReader r(frame.view());
+  wire::verify_crc(r, "test");
+  // The trailer is gone from the logical stream.
+  EXPECT_EQ(r.remaining(), body_size);
+  EXPECT_EQ(r.read_ulong(), 0xA1B2C3D4u);
+  EXPECT_EQ(r.read_string(), "payload");
+  EXPECT_EQ(r.rest().size(), 0u);
+}
+
+TEST(WireCrc, FlippedByteFailsVerification) {
+  ByteBuffer frame;
+  CdrWriter w(frame);
+  w.write_ulong(42);
+  wire::append_crc(frame);
+
+  for (const std::size_t at : {std::size_t{0}, frame.size() - 5, frame.size() - 1}) {
+    ByteBuffer bad = frame.clone();
+    bad.mutable_view()[at] ^= 0x10;
+    CdrReader r(bad.view());
+    EXPECT_THROW(wire::verify_crc(r, "test"), DecodeError) << "byte " << at;
+  }
+  // Too short to even carry a trailer.
+  const Octet tiny[] = {1, 2, 3};
+  CdrReader r(std::span<const Octet>(tiny, 3));
+  EXPECT_THROW(wire::verify_crc(r, "test"), DecodeError);
+}
+
+// ---------------------------------------------------------------------------
+// WAL golden frames: the hoisted CRC produces the exact bytes the old
+// in-module implementation did, so logs written before the refactor
+// still recover.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+ByteBuffer wal_test_frame(ULongLong lsn, Octet type, std::span<const Octet> payload,
+                          ULong crc) {
+  const ULong len = static_cast<ULong>(payload.size());
+  ByteBuffer frame;
+  frame.append_raw(&len, sizeof(len));
+  frame.append_raw(&crc, sizeof(crc));
+  frame.append_raw(&lsn, sizeof(lsn));
+  frame.append_raw(&type, sizeof(type));
+  frame.append(payload);
+  return frame;
+}
+
+}  // namespace
+
+TEST(WalGolden, FrameCrcConstantsUnchanged) {
+  // Golden values computed independently (zlib.crc32 over
+  // [lsn 8B LE][type 1B][payload]); a drift here means logs written by
+  // earlier builds would be dropped as corrupt on recovery.
+  const Octet p1[] = {1, 2, 3, 4, 5};
+  ByteBuffer body;
+  body.append(wal_test_frame(1, 1, p1, 0x06C125FDu).view());
+  body.append(wal_test_frame(9, 3, {}, 0xD3A3F34Fu).view());
+
+  const wal::ScanResult res = wal::scan_records(body.view());
+  EXPECT_EQ(res.dropped, 0u);
+  EXPECT_EQ(res.first_dropped_lsn, 0u);
+  EXPECT_EQ(res.valid_bytes, body.size());
+  ASSERT_EQ(res.records.size(), 2u);
+  EXPECT_EQ(res.records[0].lsn, 1u);
+  EXPECT_EQ(res.records[0].type, 1);
+  EXPECT_EQ(res.records[0].payload.size(), 5u);
+  EXPECT_EQ(res.records[1].lsn, 9u);
+  EXPECT_EQ(res.records[1].payload.size(), 0u);
+}
+
+TEST(WalGolden, ScanStopsAtCorruptAndTornFrames) {
+  const Octet p1[] = {1, 2, 3, 4, 5};
+  ByteBuffer good = wal_test_frame(1, 1, p1, 0x06C125FDu);
+
+  // A bit flipped in the payload: the frame (and everything after it)
+  // is dropped, and the valid prefix is exactly the records before it.
+  ByteBuffer body = good.clone();
+  ByteBuffer corrupt = wal_test_frame(2, 1, p1, 0x06C125FDu);  // CRC of lsn 1, not 2
+  body.append(corrupt.view());
+  wal::ScanResult res = wal::scan_records(body.view());
+  ASSERT_EQ(res.records.size(), 1u);
+  EXPECT_EQ(res.valid_bytes, good.size());
+  EXPECT_EQ(res.dropped, 1u);
+  EXPECT_EQ(res.first_dropped_lsn, 2u);
+
+  // A torn tail (truncated mid-frame) reports max_lsn + 1.
+  ByteBuffer torn = good.clone();
+  torn.append(good.view().first(good.size() / 2));
+  res = wal::scan_records(torn.view());
+  ASSERT_EQ(res.records.size(), 1u);
+  EXPECT_EQ(res.dropped, 1u);
+  EXPECT_EQ(res.first_dropped_lsn, 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Golden bytes: with the CRC knob off (the default) the marshaled
+// headers are byte-identical to the pre-hardening wire format.
+// ---------------------------------------------------------------------------
+
+TEST(WireGolden, RequestHeaderBytesUnchangedWithCrcOff) {
+  WireKnobGuard knobs;
+  wire::set_frame_crc(0);
+  wire::set_hello(0);
+
+  RequestHeader h;
+  h.request_id.value = 7;
+  h.binding_id = 3;
+  h.seq_no = 2;
+  h.object_id.value = 9;
+  h.operation = "solve";
+  h.flags = kFlagCollective;
+  h.client_rank = 1;
+  h.client_size = 2;
+  h.reply_to.kind = transport::AddrKind::kLocal;
+  h.reply_to.host_model = "HOST1";
+  h.reply_to.local_id = 4;
+  h.crc = wire::frame_crc();  // what every send site does: knob off -> false
+
+  ByteBuffer now;
+  CdrWriter w(now);
+  h.marshal(w);
+
+  // The pre-hardening wire format, written field by field by hand.
+  ByteBuffer old;
+  CdrWriter ow(old);
+  ow.write_ulonglong(7);  // request_id
+  ow.write_ulonglong(3);  // binding_id
+  ow.write_ulong(2);      // seq_no
+  ow.write_ulonglong(9);  // object_id
+  ow.write_string("solve");
+  ow.write_octet(kFlagCollective);
+  ow.write_long(1);  // client_rank
+  ow.write_long(2);  // client_size
+  h.reply_to.marshal(ow);
+
+  EXPECT_EQ(now, old);
+}
+
+TEST(WireGolden, ReplyHeaderBytesUnchangedWithCrcOff) {
+  WireKnobGuard knobs;
+  wire::set_frame_crc(0);
+
+  ReplyHeader ok;
+  ok.request_id.value = 11;
+  ok.server_rank = 1;
+  ok.server_size = 2;
+  ok.crc = wire::frame_crc();
+  ByteBuffer now;
+  CdrWriter w(now);
+  ok.marshal(w);
+
+  ByteBuffer old;
+  CdrWriter ow(old);
+  ow.write_ulonglong(11);
+  ow.write_long(1);
+  ow.write_long(2);
+  ow.write_octet(0);  // ReplyStatus::kOk, no flags
+  EXPECT_EQ(now, old);
+
+  ReplyHeader err;
+  err.request_id.value = 12;
+  err.status = ReplyStatus::kSystemException;
+  err.error_code = ErrorCode::kTimeout;
+  err.error_message = "late";
+  ByteBuffer enow;
+  CdrWriter ew(enow);
+  err.marshal(ew);
+
+  ByteBuffer eold;
+  CdrWriter eow(eold);
+  eow.write_ulonglong(12);
+  eow.write_long(0);
+  eow.write_long(1);
+  eow.write_octet(1);  // kSystemException
+  eow.write_octet(static_cast<Octet>(ErrorCode::kTimeout));
+  eow.write_string("late");
+  EXPECT_EQ(enow, eold);
+}
+
+// ---------------------------------------------------------------------------
+// CRC-sealed headers: round trip, trailer stripping, corruption.
+// ---------------------------------------------------------------------------
+
+TEST(WireCrcHeader, SealedRequestRoundTripsAndBodyExcludesTrailer) {
+  RequestHeader h;
+  h.request_id.value = 21;
+  h.operation = "compute";
+  h.crc = true;
+
+  ByteBuffer frame;
+  CdrWriter w(frame);
+  h.marshal(w);
+  const Octet body[] = {9, 8, 7, 6, 5};
+  frame.append(std::span<const Octet>(body, sizeof(body)));
+  wire::append_crc(frame);
+
+  CdrReader r(frame.view());
+  const RequestHeader back = RequestHeader::unmarshal(r);
+  EXPECT_EQ(back.request_id.value, 21u);
+  EXPECT_EQ(back.operation, "compute");
+  // The flag and trailer are consumed: a re-marshal is unsealed, and
+  // the extracted body is exactly the original bytes.
+  EXPECT_FALSE(back.crc);
+  EXPECT_EQ(back.flags & kFlagCrc, 0);
+  const auto rest = r.rest();
+  ASSERT_EQ(rest.size(), sizeof(body));
+  EXPECT_TRUE(std::equal(rest.begin(), rest.end(), body));
+}
+
+TEST(WireCrcHeader, SealedRequestCorruptionDetected) {
+  RequestHeader h;
+  h.request_id.value = 22;
+  h.operation = "compute";
+  h.crc = true;
+  ByteBuffer frame;
+  CdrWriter w(frame);
+  h.marshal(w);
+  const Octet body[] = {1, 2, 3};
+  frame.append(std::span<const Octet>(body, sizeof(body)));
+  wire::append_crc(frame);
+
+  // A flip in the header, in the body, or in the trailer itself: all
+  // must surface as a located DecodeError, never a misparse.
+  for (const std::size_t at :
+       {std::size_t{2}, frame.size() - 6, frame.size() - 1}) {
+    ByteBuffer bad = frame.clone();
+    bad.mutable_view()[at] ^= 0x04;
+    CdrReader r(bad.view());
+    EXPECT_THROW(RequestHeader::unmarshal(r), MarshalError) << "byte " << at;
+  }
+}
+
+TEST(WireCrcHeader, SealedReplyRoundTrips) {
+  ReplyHeader h;
+  h.request_id.value = 23;
+  h.status = ReplyStatus::kSystemException;
+  h.error_code = ErrorCode::kOverload;
+  h.error_message = "busy";
+  h.retry_after_ms = 30;
+  h.crc = true;
+  ByteBuffer frame;
+  CdrWriter w(frame);
+  h.marshal(w);
+  wire::append_crc(frame);
+
+  CdrReader r(frame.view());
+  const ReplyHeader back = ReplyHeader::unmarshal(r);
+  EXPECT_EQ(back.status, ReplyStatus::kSystemException);
+  EXPECT_EQ(back.error_code, ErrorCode::kOverload);
+  EXPECT_EQ(back.retry_after_ms, 30u);
+  EXPECT_FALSE(back.crc);
+  EXPECT_EQ(r.rest().size(), 0u);
+
+  ByteBuffer bad = frame.clone();
+  bad.mutable_view()[5] ^= 0x80;
+  CdrReader rb(bad.view());
+  EXPECT_THROW(ReplyHeader::unmarshal(rb), MarshalError);
+}
+
+// ---------------------------------------------------------------------------
+// Strict demarshalling: unknown flag bits and impossible field
+// combinations are rejected with located errors.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Hand-writes a request header with an arbitrary raw flag octet and
+/// matrix coordinates — the knob strict decoding must judge. `extra`
+/// appends trailing fields through the SAME writer (CDR alignment is
+/// relative to the writer's base, so a second writer would misalign).
+ByteBuffer raw_request(Octet flags, Long rank, Long size,
+                       const std::function<void(CdrWriter&)>& extra = nullptr) {
+  ByteBuffer buf;
+  CdrWriter w(buf);
+  w.write_ulonglong(7);
+  w.write_ulonglong(3);
+  w.write_ulong(2);
+  w.write_ulonglong(9);
+  w.write_string("solve");
+  w.write_octet(flags);
+  w.write_long(rank);
+  w.write_long(size);
+  transport::EndpointAddr ep;
+  ep.kind = transport::AddrKind::kLocal;
+  ep.host_model = "H";
+  ep.local_id = 4;
+  ep.marshal(w);
+  if (extra) extra(w);
+  return buf;
+}
+
+}  // namespace
+
+TEST(WireStrict, UnknownRequestFlagBitRejectedStrictToleratedOtherwise) {
+  WireKnobGuard knobs;
+  const ByteBuffer buf = raw_request(0x40, 0, 1);
+
+  wire::set_strict(1);
+  {
+    CdrReader r(buf.view());
+    EXPECT_THROW(RequestHeader::unmarshal(r), DecodeError);
+  }
+  // The legacy tolerate-and-ignore behavior stays available for
+  // mixed-version fleets.
+  wire::set_strict(0);
+  {
+    CdrReader r(buf.view());
+    const RequestHeader h = RequestHeader::unmarshal(r);
+    EXPECT_EQ(h.flags & 0x40, 0x40);
+  }
+}
+
+TEST(WireStrict, ImpossibleMatrixCoordinatesAlwaysRejected) {
+  WireKnobGuard knobs;
+  wire::set_strict(0);  // these are hostile even under the tolerant knob
+  {
+    CdrReader r_zero(raw_request(0, 0, 0).view());
+    EXPECT_THROW(RequestHeader::unmarshal(r_zero), DecodeError);
+  }
+  {
+    CdrReader r_wide(raw_request(0, 0, kMaxSpmdWidth + 1).view());
+    EXPECT_THROW(RequestHeader::unmarshal(r_wide), DecodeError);
+  }
+  {
+    CdrReader r_rank(raw_request(0, 5, 2).view());
+    EXPECT_THROW(RequestHeader::unmarshal(r_rank), DecodeError);
+  }
+}
+
+TEST(WireStrict, RetryFlagWithZeroAttemptRejected) {
+  const ByteBuffer buf = raw_request(
+      kFlagRetry, 0, 1,
+      [](CdrWriter& w) { w.write_ulong(0); });  // attempt 0 contradicts kFlagRetry
+  CdrReader r(buf.view());
+  EXPECT_THROW(RequestHeader::unmarshal(r), DecodeError);
+}
+
+namespace {
+
+ByteBuffer raw_reply_prefix(Long rank, Long size, Octet status_octet,
+                            const std::function<void(CdrWriter&)>& extra = nullptr) {
+  ByteBuffer buf;
+  CdrWriter w(buf);
+  w.write_ulonglong(7);
+  w.write_long(rank);
+  w.write_long(size);
+  w.write_octet(status_octet);
+  if (extra) extra(w);
+  return buf;
+}
+
+}  // namespace
+
+TEST(WireStrict, BadReplyStatusAndErrorCodeRejected) {
+  {
+    // Status value 3 is outside the enum even after masking flag bits.
+    CdrReader r(raw_reply_prefix(0, 1, 0x03).view());
+    EXPECT_THROW(ReplyHeader::unmarshal(r), DecodeError);
+  }
+  {
+    const ByteBuffer buf =
+        raw_reply_prefix(0, 1, 0x01,  // kSystemException
+                         [](CdrWriter& w) {
+                           w.write_octet(200);  // no such ErrorCode
+                           w.write_string("boom");
+                         });
+    CdrReader r(buf.view());
+    EXPECT_THROW(ReplyHeader::unmarshal(r), DecodeError);
+  }
+  {
+    CdrReader r(raw_reply_prefix(3, 2, 0x00).view());  // rank outside matrix
+    EXPECT_THROW(ReplyHeader::unmarshal(r), DecodeError);
+  }
+}
+
+TEST(WireStrict, RetryAfterOnOkReplyRejectedStrictOnly) {
+  WireKnobGuard knobs;
+  const ByteBuffer buf =
+      raw_reply_prefix(0, 1, kReplyFlagRetryAfter,  // hint on kOk
+                       [](CdrWriter& w) { w.write_ulong(5); });
+
+  wire::set_strict(1);
+  {
+    CdrReader r(buf.view());
+    EXPECT_THROW(ReplyHeader::unmarshal(r), DecodeError);
+  }
+  wire::set_strict(0);
+  {
+    CdrReader r(buf.view());
+    const ReplyHeader h = ReplyHeader::unmarshal(r);
+    EXPECT_EQ(h.retry_after_ms, 5u);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// CdrReader hardening: hostile length prefixes and recursion bombs.
+// ---------------------------------------------------------------------------
+
+TEST(CdrHardening, HugeClaimedStringRejectedBeforeAllocation) {
+  ByteBuffer buf;
+  CdrWriter w(buf);
+  w.write_ulong(0xFFFFFFF0u);  // claims ~4 GB in an 8-byte frame
+  CdrReader r(buf.view());
+  EXPECT_THROW(r.read_string(), DecodeError);
+}
+
+TEST(CdrHardening, HugeClaimedSequenceCountsRejectedBeforeAllocation) {
+  {
+    ByteBuffer buf;
+    CdrWriter w(buf);
+    w.write_ulong(0x40000000u);
+    CdrReader r(buf.view());
+    EXPECT_THROW(r.read_prim_seq<ULong>(), DecodeError);
+  }
+  {
+    // Element sequences: the count bound is remaining() — every element
+    // costs at least one wire byte, so a bigger claim is provably hostile.
+    ByteBuffer buf;
+    CdrWriter w(buf);
+    w.write_ulong(0x7FFFFFFFu);
+    CdrReader r(buf.view());
+    std::vector<std::string> v;
+    EXPECT_THROW(CdrTraits<std::vector<std::string>>::unmarshal(r, v), DecodeError);
+  }
+}
+
+TEST(CdrHardening, NestedDecodeDepthBudgetEnforced) {
+  const Octet none[1] = {0};
+  CdrReader r(std::span<const Octet>(none, 0));
+  for (int i = 0; i < kMaxDecodeDepth; ++i) r.enter_nested();
+  EXPECT_THROW(r.enter_nested(), DecodeError);
+}
+
+TEST(CdrHardening, TrimShrinksLogicalStream) {
+  ByteBuffer buf;
+  CdrWriter w(buf);
+  w.write_ulong(1);
+  w.write_ulong(2);
+  CdrReader r(buf.view());
+  r.trim(4);
+  EXPECT_EQ(r.read_ulong(), 1u);
+  EXPECT_EQ(r.remaining(), 0u);
+  EXPECT_THROW(r.read_ulong(), DecodeError);
+  EXPECT_THROW(r.trim(1), DecodeError);
+}
+
+// ---------------------------------------------------------------------------
+// Hello: version negotiation payload.
+// ---------------------------------------------------------------------------
+
+TEST(WireHello, RoundTripValidatesAndToleratesUnknownFeatures) {
+  WireKnobGuard knobs;
+  wire::Hello h;
+  h.features = transport::kFeatureFrameCrc | 0xFF00u;  // future bits
+  ByteBuffer buf;
+  CdrWriter w(buf);
+  h.marshal(w);
+
+  CdrReader r(buf.view());
+  const wire::Hello back = wire::Hello::unmarshal(r);
+  EXPECT_NO_THROW(back.validate());  // unknown feature bits tolerated
+  EXPECT_EQ(back.magic, transport::kHelloMagic);
+  EXPECT_EQ(back.features, h.features);
+}
+
+TEST(WireHello, ForeignMagicAndVersionRejected) {
+  wire::Hello bad_magic;
+  bad_magic.magic = 0x47494F50;  // "GIOP" — a different protocol
+  EXPECT_THROW(bad_magic.validate(), DecodeError);
+
+  wire::Hello bad_version;
+  bad_version.version = transport::kWireVersion + 1;
+  EXPECT_THROW(bad_version.validate(), DecodeError);
+}
+
+TEST(WireHello, LocalHelloAnnouncesCrcCapability) {
+  WireKnobGuard knobs;
+  wire::set_frame_crc(1);
+  EXPECT_EQ(wire::local_hello().features & transport::kFeatureFrameCrc,
+            transport::kFeatureFrameCrc);
+  wire::set_frame_crc(0);
+  EXPECT_EQ(wire::local_hello().features & transport::kFeatureFrameCrc, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// PeerGuard: bad-frame accounting and quarantine verdicts.
+// ---------------------------------------------------------------------------
+
+TEST(PeerGuardTest, QuarantinesAtLimitAndFiresListenerOnce) {
+  WireKnobGuard knobs;
+  wire::set_bad_frame_limit(3);
+  wire::PeerGuard g;
+  std::vector<std::string> fired;
+  g.add_listener([&](const std::string& peer) { fired.push_back(peer); });
+
+  EXPECT_FALSE(g.note_bad_frame("HOSTX", "garbage"));
+  EXPECT_FALSE(g.note_bad_frame("HOSTX", "garbage"));
+  EXPECT_FALSE(g.quarantined("HOSTX"));
+  EXPECT_TRUE(g.note_bad_frame("HOSTX", "garbage"));  // crossed the limit
+  EXPECT_TRUE(g.quarantined("HOSTX"));
+  EXPECT_FALSE(g.note_bad_frame("HOSTX", "garbage"));  // already quarantined
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0], "HOSTX");
+  EXPECT_EQ(g.bad_frames("HOSTX"), 4u);
+  EXPECT_FALSE(g.quarantined("HOSTY"));
+
+  g.reset();
+  EXPECT_FALSE(g.quarantined("HOSTX"));
+  EXPECT_EQ(g.bad_frames("HOSTX"), 0u);
+}
+
+TEST(PeerGuardTest, EmptyPeerAndZeroLimitNeverQuarantine) {
+  WireKnobGuard knobs;
+  wire::PeerGuard g;
+
+  wire::set_bad_frame_limit(1);
+  // Frames with no peer identity (loopback) are never quarantined.
+  for (int i = 0; i < 5; ++i) EXPECT_FALSE(g.note_bad_frame("", "garbage"));
+  EXPECT_FALSE(g.quarantined(""));
+
+  // Limit 0 disables quarantine entirely.
+  wire::set_bad_frame_limit(0);
+  for (int i = 0; i < 5; ++i) EXPECT_FALSE(g.note_bad_frame("HOSTZ", "garbage"));
+  EXPECT_FALSE(g.quarantined("HOSTZ"));
+}
+
+TEST(PeerGuardTest, BalancerHardFailsAbusedHost) {
+  // The pool side of the quarantine verdict: every member on the
+  // quarantined host takes a hard failure.
+  ReplicaGroup group;
+  group.name = "g";
+  group.epoch = 1;
+  for (int i = 0; i < 2; ++i) {
+    ObjectRef ref;
+    ref.type_id = "IDL:calc:1.0";
+    ref.name = "g";
+    ref.host = i == 0 ? "HOSTA" : "HOSTB";
+    ref.object_id = ObjectId{static_cast<std::uint64_t>(i + 1)};
+    transport::EndpointAddr ep;
+    ep.kind = transport::AddrKind::kLocal;
+    ep.host_model = ref.host;
+    ep.local_id = static_cast<ULongLong>(i + 1);
+    ref.thread_eps.push_back(ep);
+    group.members.push_back(ref);
+  }
+  pool::Balancer balancer(group, pool::PoolConfig{});
+
+  balancer.report_host_abuse("HOSTA");
+  const auto stats = balancer.snapshot();
+  ASSERT_EQ(stats.size(), 2u);
+  for (const auto& s : stats) {
+    if (s.host == "HOSTA") {
+      EXPECT_TRUE(s.quarantined);
+      EXPECT_LT(s.health, 1.0);
+    } else {
+      EXPECT_FALSE(s.quarantined);
+      EXPECT_DOUBLE_EQ(s.health, 1.0);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Corruption fault injection: deterministic payload mangling.
+// ---------------------------------------------------------------------------
+
+TEST(FaultCorrupt, PayloadMutationsAreDeterministicPerMode) {
+  const Octet raw[] = {10, 20, 30, 40, 50, 60, 70, 80};
+  auto fresh = [&] { return ByteBuffer::from(std::span<const Octet>(raw, sizeof(raw))); };
+
+  // Bit flip: exactly one bit differs, same bit for the same draw.
+  ByteBuffer a = fresh(), b = fresh();
+  sim::corrupt_payload(a, sim::CorruptMode::kBitFlip, 12345);
+  sim::corrupt_payload(b, sim::CorruptMode::kBitFlip, 12345);
+  EXPECT_EQ(a, b);
+  int bit_diffs = 0;
+  for (std::size_t i = 0; i < sizeof(raw); ++i)
+    bit_diffs += __builtin_popcount(static_cast<unsigned>(a.view()[i] ^ raw[i]));
+  EXPECT_EQ(bit_diffs, 1);
+
+  // Truncate: strictly shorter, a prefix of the original.
+  ByteBuffer t = fresh();
+  sim::corrupt_payload(t, sim::CorruptMode::kTruncate, 999);
+  ASSERT_LT(t.size(), sizeof(raw));
+  EXPECT_TRUE(std::equal(t.view().begin(), t.view().end(), raw));
+
+  // Garbage: same length, at least one byte rewritten... or rewritten
+  // to the same value — assert only length and determinism.
+  ByteBuffer g1 = fresh(), g2 = fresh();
+  sim::corrupt_payload(g1, sim::CorruptMode::kGarbage, 777);
+  sim::corrupt_payload(g2, sim::CorruptMode::kGarbage, 777);
+  EXPECT_EQ(g1.size(), sizeof(raw));
+  EXPECT_EQ(g1, g2);
+
+  // Empty payloads are left untouched.
+  ByteBuffer empty;
+  sim::corrupt_payload(empty, sim::CorruptMode::kBitFlip, 1);
+  EXPECT_EQ(empty.size(), 0u);
+}
+
+TEST(FaultCorrupt, CorruptMessageFiresAtExactIndexDeterministically) {
+  auto run = [] {
+    sim::FaultPlan plan;
+    plan.corrupt_message("A", "B", 1, 42, sim::CorruptMode::kBitFlip);
+    std::vector<std::uint64_t> draws;
+    for (int i = 0; i < 3; ++i) {
+      const auto d = plan.on_message("A", "B", 0);
+      draws.push_back(d.corrupt ? d.corrupt_rand : 0);
+    }
+    return draws;
+  };
+  const auto a = run(), b = run();
+  EXPECT_EQ(a, b);  // the stored seed replays bit-identically
+  EXPECT_EQ(a[0], 0u);
+  EXPECT_NE(a[1], 0u);  // index 1 corrupts
+  EXPECT_EQ(a[2], 0u);
+}
+
+TEST(FaultCorrupt, CorruptLinkCoversBothDirectionsUntilHealed) {
+  sim::FaultPlan plan;
+  plan.corrupt_link("A", "B", 7, sim::CorruptMode::kGarbage);
+  EXPECT_TRUE(plan.active());
+
+  const auto ab1 = plan.on_message("A", "B", 0);
+  const auto ab2 = plan.on_message("A", "B", 0);
+  const auto ba = plan.on_message("B", "A", 0);
+  EXPECT_TRUE(ab1.corrupt && ab2.corrupt && ba.corrupt);
+  EXPECT_EQ(ab1.corrupt_mode, sim::CorruptMode::kGarbage);
+  // Each message draws fresh noise; the two directions run distinct
+  // streams (so matched request/reply frames are not mangled alike).
+  EXPECT_NE(ab1.corrupt_rand, ab2.corrupt_rand);
+  EXPECT_NE(ab1.corrupt_rand, ba.corrupt_rand);
+  EXPECT_FALSE(plan.on_message("A", "C", 0).corrupt);
+
+  plan.heal_link("A", "B");
+  EXPECT_FALSE(plan.on_message("A", "B", 0).corrupt);
+  EXPECT_FALSE(plan.on_message("B", "A", 0).corrupt);
+}
+
+// ---------------------------------------------------------------------------
+// End to end: corrupted links with CRC on — every operation delivered
+// exactly once (zero lost, zero duplicated dispatches).
+// ---------------------------------------------------------------------------
+
+class CountingServant : public POA_calc {
+ public:
+  explicit CountingServant(std::atomic<int>& calls) : calls_(&calls) {}
+  double dot(const vec&, const vec&) override { return 0; }
+  void scale(double, const vec&, vec&) override {}
+  Long counter(Long d) override {
+    ++*calls_;
+    return d;
+  }
+  void note(const std::string&) override {}
+  void boom(const std::string&) override {}
+
+ private:
+  std::atomic<int>* calls_;
+};
+
+namespace {
+
+/// One retried invocation of counter(5) through `binding` with a
+/// deadline (a corrupted frame is dropped silently, so only the
+/// deadline surfaces it). Returns the attempt count.
+int retried_counter(Binding& binding, std::chrono::milliseconds deadline,
+                    const std::function<void(int)>& on_attempt = nullptr) {
+  binding.set_deadline(deadline);
+  ClientRequest req(binding, "counter", false, false);
+  req.in_value<Long>(5);
+  auto out = std::make_shared<Long>(0);
+  ft::RetryPolicy policy;
+  policy.max_attempts = 4;
+  policy.initial_backoff = std::chrono::milliseconds(1);
+  const int attempts = ft::with_retry(binding, "counter", policy, [&](int attempt) {
+    if (on_attempt) on_attempt(attempt);
+    auto pending = req.invoke(attempt);
+    pending->set_decoder([out](ReplyDecoder& d) { *out = d.out_value<Long>(); });
+    return pending;
+  });
+  EXPECT_EQ(*out, 5);
+  return attempts;
+}
+
+}  // namespace
+
+class WireEndToEnd : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    wire::guard().reset();
+    wire::set_frame_crc(1);  // the whole point: corruption must be *detected*
+  }
+  void TearDown() override {
+    wire::set_frame_crc(-1);
+    wire::set_strict(-1);
+    wire::set_hello(-1);
+    wire::set_bad_frame_limit(-1);
+    wire::guard().reset();
+  }
+
+  sim::Testbed tb = sim::Testbed::paper_testbed();
+};
+
+TEST_F(WireEndToEnd, CorruptedRequestRedeliveredExactlyOnce) {
+  transport::LocalTransport tp(&tb);
+  InProcessRegistry reg;
+  Orb orb(tp, reg);
+
+  std::atomic<int> exec{0};
+  rts::Domain server("wire-server", 1, tb.host(sim::Testbed::kHost2));
+  std::promise<Poa*> pp;
+  auto pf = pp.get_future();
+  server.start([&](rts::DomainContext& sctx) {
+    Poa poa(orb, sctx);
+    CountingServant servant(exec);
+    poa.activate_spmd(servant, "wire-calc");
+    pp.set_value(&poa);
+    poa.impl_is_ready();
+  });
+  Poa* poa = pf.get();
+
+  ClientCtx ctx(orb);
+  auto binding = bind(ctx, "wire-calc", "", calc_api::kCalcTypeId);
+  // The very first request frame client→server is bit-flipped in
+  // flight. CRC verification rejects it at the POA; the deadline
+  // surfaces the loss and the retry delivers it.
+  tb.faults().corrupt_message("", sim::Testbed::kHost2, 0, /*seed=*/31337);
+  const int attempts = retried_counter(*binding, 150ms);
+  EXPECT_EQ(attempts, 2);
+
+  poa->deactivate();
+  server.join();
+  EXPECT_EQ(exec.load(), 1);  // zero lost, zero duplicated
+  EXPECT_GE(wire::guard().bad_frames(""), 0u);  // empty peer: counted as 0
+}
+
+/// A durable accumulating counter: `counter(d)` is a non-idempotent
+/// mutation; with the WAL on, a retry of a committed mutation is
+/// answered from the log instead of re-running the servant.
+class DurableCountingServant : public CountingServant {
+ public:
+  using CountingServant::CountingServant;
+  bool _durable() const override { return true; }
+  void _snapshot_state(CdrWriter& w) const override { w.write_long(total_); }
+  void _restore_state(CdrReader& r) override { total_ = r.read_long(); }
+  Long counter(Long d) override {
+    CountingServant::counter(d);
+    return total_ += d;
+  }
+
+ private:
+  Long total_ = 0;
+};
+
+TEST_F(WireEndToEnd, CorruptedReplyAnsweredFromLogWithoutReExecution) {
+  // WAL on: the mutation commits durably before its reply goes out, so
+  // the retry after the corrupted reply is answered from the log.
+  const std::filesystem::path scratch =
+      std::filesystem::temp_directory_path() / "pardis-wire-reply-wal";
+  std::filesystem::remove_all(scratch);
+  wal::set_dir(scratch.string());
+  wal::set_enabled(true);
+
+  {
+    transport::LocalTransport tp(&tb);
+    InProcessRegistry reg;
+    Orb orb(tp, reg);
+
+    std::atomic<int> exec{0};
+    rts::Domain server("wire-reply-server", 1, tb.host(sim::Testbed::kHost2));
+    std::promise<Poa*> pp;
+    auto pf = pp.get_future();
+    server.start([&](rts::DomainContext& sctx) {
+      Poa poa(orb, sctx);
+      DurableCountingServant servant(exec);
+      poa.activate_spmd(servant, "wire-reply-calc");
+      pp.set_value(&poa);
+      poa.impl_is_ready();
+    });
+    Poa* poa = pf.get();
+
+    ClientCtx ctx(orb);
+    auto binding = bind(ctx, "wire-reply-calc", "", calc_api::kCalcTypeId);
+    // This time the *reply* is mangled. The client rejects it on CRC,
+    // the retry re-sends the request with the retry flag, and the POA
+    // answers it from the committed log record — the servant must not
+    // run the mutation a second time (the reply is a prefix sum, so a
+    // re-execution would also return 10, not 5).
+    tb.faults().corrupt_message(sim::Testbed::kHost2, "", 0, /*seed=*/911);
+    const int attempts = retried_counter(*binding, 150ms);
+    EXPECT_EQ(attempts, 2);
+
+    poa->deactivate();
+    server.join();
+    EXPECT_EQ(exec.load(), 1);  // answered from the log, never re-executed
+  }
+
+  wal::set_enabled(false);
+  std::filesystem::remove_all(scratch);
+}
+
+TEST_F(WireEndToEnd, SpmdCorruptionRedeliveredExactlyOncePerRank) {
+  transport::LocalTransport tp(&tb);
+  InProcessRegistry reg;
+  Orb orb(tp, reg);
+
+  constexpr int kP = 2;
+  constexpr int kQ = 2;
+  std::array<std::atomic<int>, kQ> exec_counts{};
+
+  rts::Domain server("wire-spmd-server", kQ, tb.host(sim::Testbed::kHost2));
+  std::promise<Poa*> pp;
+  auto pf = pp.get_future();
+  server.start([&](rts::DomainContext& sctx) {
+    Poa poa(orb, sctx);
+    CountingServant servant(exec_counts[static_cast<std::size_t>(sctx.rank)]);
+    poa.activate_spmd(servant, "wire-spmd-calc");
+    if (sctx.rank == 0) pp.set_value(&poa);
+    poa.impl_is_ready();
+  });
+  Poa* poa = pf.get();
+
+  rts::Domain client("wire-spmd-client", kP, tb.host(sim::Testbed::kHost1));
+  client.run([&](rts::DomainContext& dctx) {
+    ClientCtx ctx(orb, dctx);
+    auto binding = spmd_bind(ctx, "wire-spmd-calc", "", calc_api::kCalcTypeId);
+    binding->set_deadline(150ms);
+    // One frame of the first P×Q request matrix is corrupted: the POA
+    // drops it, the matrix never completes, every rank's deadline
+    // fires, and the coordinated retry re-sends the whole matrix.
+    if (dctx.rank == 0)
+      tb.faults().corrupt_message(sim::Testbed::kHost1, sim::Testbed::kHost2, 0,
+                                  /*seed=*/4242);
+    rts::barrier(dctx.comm);
+
+    ClientRequest req(*binding, "counter", false, false);
+    req.in_value<Long>(5);
+    auto out = std::make_shared<Long>(0);
+    ft::RetryPolicy policy;
+    policy.max_attempts = 4;
+    policy.initial_backoff = std::chrono::milliseconds(1);
+    const int attempts = ft::with_retry(*binding, "counter", policy, [&](int attempt) {
+      auto pending = req.invoke(attempt);
+      pending->set_decoder([out](ReplyDecoder& d) { *out = d.out_value<Long>(); });
+      return pending;
+    });
+    EXPECT_EQ(attempts, 2);
+    EXPECT_EQ(*out, 5);
+  });
+
+  poa->deactivate();
+  server.join();
+
+  // The retry completed the matrix via body dedup: each server rank
+  // dispatched exactly once — zero lost, zero duplicated.
+  for (int q = 0; q < kQ; ++q)
+    EXPECT_EQ(exec_counts[static_cast<std::size_t>(q)].load(), 1);
+  // The corrupting "host" was noted by the guard but stayed below the
+  // default quarantine limit.
+  EXPECT_GE(wire::guard().bad_frames(sim::Testbed::kHost1), 1u);
+  EXPECT_FALSE(wire::guard().quarantined(sim::Testbed::kHost1));
+}
+
+TEST_F(WireEndToEnd, SessionTransportCorruptLinkHealsToExactlyOnce) {
+  transport::LocalTransport inner(&tb);
+  flow::SessionTransport::Options opts;
+  opts.enabled = true;
+  opts.max_reconnects = 100;
+  opts.backoff_ms = 1;
+  flow::SessionTransport st(inner, opts);
+  InProcessRegistry reg;
+  Orb orb(st, reg);
+
+  std::atomic<int> exec{0};
+  rts::Domain server("wire-session-server", 1, tb.host(sim::Testbed::kHost2));
+  std::promise<Poa*> pp;
+  auto pf = pp.get_future();
+  server.start([&](rts::DomainContext& sctx) {
+    Poa poa(orb, sctx);
+    CountingServant servant(exec);
+    poa.activate_spmd(servant, "wire-session-calc");
+    pp.set_value(&poa);
+    poa.impl_is_ready();
+  });
+  Poa* poa = pf.get();
+
+  ClientCtx ctx(orb);
+  auto binding = bind(ctx, "wire-session-calc", "", calc_api::kCalcTypeId);
+  // A persistently noisy link: every frame (session envelopes included)
+  // is bit-flipped until the link heals. The first attempt cannot get
+  // through; the retry callback heals the link before attempt 2, which
+  // must deliver the op exactly once — the session layer's sequence
+  // numbers discard any half-delivered leftovers.
+  tb.faults().corrupt_link("", sim::Testbed::kHost2, /*seed=*/5150);
+  const int attempts = retried_counter(*binding, 150ms, [&](int attempt) {
+    if (attempt == 2) tb.faults().heal_link("", sim::Testbed::kHost2);
+  });
+  EXPECT_EQ(attempts, 2);
+
+  poa->deactivate();
+  server.join();
+  EXPECT_EQ(exec.load(), 1);
+}
+
+TEST_F(WireEndToEnd, TcpCorruptionWithHelloRedeliveredExactlyOnce) {
+  wire::set_hello(1);  // fresh TCP connections announce the version
+
+  transport::TcpTransport server_tp(0, &tb);
+  transport::TcpTransport client_tp(0, &tb);
+  InProcessRegistry reg;
+  Orb server_orb(server_tp, reg);
+  Orb client_orb(client_tp, reg);
+
+  std::atomic<int> exec{0};
+  rts::Domain server("wire-tcp-server", 1, tb.host(sim::Testbed::kHost2));
+  std::promise<Poa*> pp;
+  auto pf = pp.get_future();
+  server.start([&](rts::DomainContext& sctx) {
+    Poa poa(server_orb, sctx);
+    CountingServant servant(exec);
+    poa.activate_spmd(servant, "wire-tcp-calc");
+    pp.set_value(&poa);
+    poa.impl_is_ready();
+  });
+  Poa* poa = pf.get();
+
+  {
+    ClientCtx ctx(client_orb);
+    auto binding = bind(ctx, "wire-tcp-calc", "", calc_api::kCalcTypeId);
+    // The first request payload over the socket is corrupted (the
+    // transport mangles the payload before framing, as a noisy NIC
+    // would). The hello exchanged at connect time is untouched — the
+    // fault plan's message index 0 is the first *payload* after it.
+    tb.faults().corrupt_message("", sim::Testbed::kHost2, 0, /*seed=*/8080);
+    const int attempts = retried_counter(*binding, 500ms);
+    EXPECT_EQ(attempts, 2);
+  }
+
+  poa->deactivate();
+  server.join();
+  EXPECT_EQ(exec.load(), 1);
+}
+
+TEST_F(WireEndToEnd, RepeatOffenderQuarantinedAndDropped) {
+  wire::set_bad_frame_limit(1);  // one strike
+
+  transport::LocalTransport tp(&tb);
+  InProcessRegistry reg;
+  Orb orb(tp, reg);
+
+  std::atomic<int> exec{0};
+  rts::Domain server("wire-quarantine-server", 1, tb.host(sim::Testbed::kHost2));
+  std::promise<Poa*> pp;
+  auto pf = pp.get_future();
+  server.start([&](rts::DomainContext& sctx) {
+    Poa poa(orb, sctx);
+    CountingServant servant(exec);
+    poa.activate_spmd(servant, "wire-quarantine-calc");
+    pp.set_value(&poa);
+    poa.impl_is_ready();
+  });
+  Poa* poa = pf.get();
+
+  rts::Domain client("wire-quarantine-client", 1, tb.host(sim::Testbed::kHost1));
+  client.run([&](rts::DomainContext& dctx) {
+    ClientCtx ctx(orb, dctx);
+    auto binding = spmd_bind(ctx, "wire-quarantine-calc", "", calc_api::kCalcTypeId);
+    binding->set_deadline(100ms);
+    // The first corrupt frame quarantines HOST1 (limit 1); every later
+    // frame from it is dropped at the server's queue, so all retries
+    // expire too and the invocation fails with the deadline verdict.
+    tb.faults().corrupt_message(sim::Testbed::kHost1, sim::Testbed::kHost2, 0,
+                                /*seed=*/13);
+
+    ClientRequest req(*binding, "counter", false, false);
+    req.in_value<Long>(5);
+    ft::RetryPolicy policy;
+    policy.max_attempts = 2;
+    policy.initial_backoff = std::chrono::milliseconds(1);
+    EXPECT_THROW(ft::with_retry(*binding, "counter", policy,
+                                [&](int attempt) {
+                                  auto pending = req.invoke(attempt);
+                                  pending->set_decoder([](ReplyDecoder&) {});
+                                  return pending;
+                                }),
+                 TimeoutError);
+  });
+
+  EXPECT_TRUE(wire::guard().quarantined(sim::Testbed::kHost1));
+  EXPECT_EQ(exec.load(), 0);  // nothing from the quarantined peer dispatched
+
+  // Lift the quarantine: the host is trusted again and traffic flows.
+  wire::guard().reset();
+  rts::Domain client2("wire-quarantine-client2", 1, tb.host(sim::Testbed::kHost1));
+  client2.run([&](rts::DomainContext& dctx) {
+    ClientCtx ctx(orb, dctx);
+    auto binding = spmd_bind(ctx, "wire-quarantine-calc", "", calc_api::kCalcTypeId);
+    ClientRequest req(*binding, "counter", false, false);
+    req.in_value<Long>(5);
+    auto pending = req.invoke(1);
+    Long out = 0;
+    pending->set_decoder([&out](ReplyDecoder& d) { out = d.out_value<Long>(); });
+    pending->wait();
+    EXPECT_EQ(out, 5);
+  });
+
+  poa->deactivate();
+  server.join();
+  EXPECT_EQ(exec.load(), 1);
+}
+
+}  // namespace
+}  // namespace pardis::core
