@@ -10,6 +10,7 @@
 // Plus non-blocking issue latency (time until the stub returns) and a
 // payload-size sweep on the local path.
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
@@ -19,6 +20,7 @@
 #include <memory>
 #include <numeric>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench/bench_json.hpp"
@@ -27,6 +29,7 @@
 #include "obs/metrics.hpp"
 #include "obs/obs.hpp"
 #include "pool/pool.hpp"
+#include "reactor/reactor.hpp"
 #include "sim/testbed.hpp"
 #include "tests/support/calc_api.hpp"
 
@@ -128,22 +131,209 @@ double percentile(std::vector<double> samples, double p) {
   return samples[idx];
 }
 
-/// --saturate: floods a watermarked POA with a non-blocking burst and
-/// reports the shed rate plus completion-latency percentiles — the
-/// pardis_flow overload-protection profile.
+/// Axes for --saturate: which wire engine carries the burst, and
+/// whether the reactor's small-frame coalescing is on.
+struct SaturateAxes {
+  std::string transport = "local";  // local | tcp | reactor
+  bool pack = true;
+};
+
+SaturateAxes parse_saturate_axes(int argc, char** argv) {
+  SaturateAxes axes;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--transport") == 0) axes.transport = argv[i + 1];
+    if (std::strcmp(argv[i], "--pack") == 0)
+      axes.pack = std::strcmp(argv[i + 1], "off") != 0;
+  }
+  return axes;
+}
+
+/// The two ends of the benchmark wire for one axis setting. `local`
+/// shares a single in-process transport; `tcp`/`reactor` stand up two
+/// real engines talking over localhost sockets.
+struct SaturateWire {
+  std::unique_ptr<transport::LocalTransport> local;
+  std::unique_ptr<transport::Transport> server_tp, client_tp;
+  transport::Transport* server = nullptr;
+  transport::Transport* client = nullptr;
+};
+
+SaturateWire make_saturate_wire(const SaturateAxes& axes) {
+  SaturateWire w;
+  if (axes.transport == "local") {
+    w.local = std::make_unique<transport::LocalTransport>();
+    w.server = w.client = w.local.get();
+    return w;
+  }
+  reactor::set_enabled(axes.transport == "reactor" ? 1 : 0);
+  reactor::set_pack(axes.pack ? 1 : 0);
+  w.server_tp = reactor::make_tcp_transport(0, nullptr, 1024);
+  w.client_tp = reactor::make_tcp_transport(0, nullptr, 1024);
+  w.server = w.server_tp.get();
+  w.client = w.client_tp.get();
+  return w;
+}
+
+/// --saturate: two phases over the chosen wire engine.
+///
+/// Phase 1 (throughput): a fast servant and an unthrottled POA take a
+/// deep pipeline of small non-blocking invocations; reports sustained
+/// invocations/s plus completion p50/p99. This is the number the
+/// reactor's packed frames exist to move.
+///
+/// Phase 2 (shed): floods a watermarked POA with a non-blocking burst
+/// and reports the shed rate plus completion-latency percentiles — the
+/// pardis_flow overload-protection profile, re-measured per engine.
 int run_saturate(int argc, char** argv) {
+  const SaturateAxes axes = parse_saturate_axes(argc, argv);
   bench::JsonReport report(argc, argv, "ubench_invoke_saturate");
   constexpr std::size_t kBurst = 512;
   constexpr std::size_t kHigh = 32, kLow = 8;
 
+  SaturateWire wire = make_saturate_wire(axes);
+  core::InProcessRegistry reg;
+  std::printf("# Engine: %s%s\n", axes.transport.c_str(),
+              axes.transport == "reactor" ? (axes.pack ? " (pack on)" : " (pack off)")
+                                          : "");
+
+  // --- Phase 0: raw one-way RSR throughput, many peers --------------------
+  // PARDIS invocations are one-way remote service requests (paper §6),
+  // and the reactor's reason to exist is many peers: the classic
+  // engine pays one reader thread, one syscall, and one condvar wakeup
+  // per peer per message, while the reactor multiplexes every socket
+  // onto a few epoll loops and packs small frames. This phase floods
+  // one server from kPeers independent client transports (connection
+  // per peer) and reports the aggregate delivered message rate.
+  {
+    constexpr std::size_t kPeers = 256;
+    constexpr std::size_t kPerPeer = 512;
+    constexpr std::size_t kMsgs = kPeers * kPerPeer;
+    constexpr std::size_t kPayload = 64;  // a small marshalled request
+    auto ep = wire.server->create_endpoint("");
+    const transport::EndpointAddr dst = ep->addr();
+
+    std::vector<std::unique_ptr<transport::Transport>> peers;
+    std::vector<transport::Transport*> peer_tp(kPeers, wire.client);
+    if (axes.transport != "local") {
+      // One event loop per peer transport: the peers model remote
+      // clients, and only the server side's multiplexing is under test.
+      reactor::set_loop_count(1);
+      for (std::size_t p = 0; p < kPeers; ++p) {
+        peers.push_back(reactor::make_tcp_transport(0, nullptr, 1024));
+        peer_tp[p] = peers.back().get();
+      }
+      reactor::set_loop_count(-1);
+    }
+
+    std::atomic<std::size_t> received{0};
+    std::thread consumer([&] {
+      std::size_t n = 0;
+      while (n < kMsgs) {
+        auto res = ep->wait_for(std::chrono::seconds(30));
+        if (res.status != transport::WaitStatus::kMessage) break;
+        ++n;
+        while (n < kMsgs && ep->poll().has_value()) ++n;
+      }
+      received.store(n);
+    });
+
+    // Counters stay on through the flood (both engines carry the same
+    // overhead) so the pack amortization — frames per wire message —
+    // comes out alongside the rate.
+    obs::set_enabled(true);
+    obs::Counter& packs = obs::metrics().counter("transport.reactor.packs_sent");
+    obs::Counter& packed = obs::metrics().counter("transport.reactor.packed_frames_sent");
+    const std::uint64_t packs0 = packs.value(), packed0 = packed.value();
+
+    const auto t0 = std::chrono::steady_clock::now();
+    std::vector<std::thread> senders;
+    senders.reserve(kPeers);
+    for (std::size_t p = 0; p < kPeers; ++p)
+      senders.emplace_back([&, p] {
+        for (std::size_t i = 0; i < kPerPeer; ++i) {
+          ByteBuffer payload;
+          payload.grow(kPayload);
+          peer_tp[p]->rsr(dst, transport::kHandlerOrbRequest, std::move(payload),
+                          "");
+        }
+      });
+    for (auto& t : senders) t.join();
+    consumer.join();
+    const double secs =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+    obs::set_enabled(false);
+    const double per_s = static_cast<double>(received.load()) / secs;
+    const std::uint64_t d_packs = packs.value() - packs0;
+    const std::uint64_t d_packed = packed.value() - packed0;
+    const double frames_per_pack =
+        d_packs == 0 ? 0.0 : static_cast<double>(d_packed) / static_cast<double>(d_packs);
+    std::printf("rsr: %zu one-way %zu-byte messages from %zu peers -> "
+                "%.0f msgs/s",
+                received.load(), kPayload, kPeers, per_s);
+    if (d_packs != 0)
+      std::printf("  (%.1f frames per wire message)", frames_per_pack);
+    std::printf("\n");
+    report.add("rsr_oneway", {{"messages", static_cast<double>(received.load())},
+                              {"peers", static_cast<double>(kPeers)},
+                              {"payload_bytes", static_cast<double>(kPayload)},
+                              {"msgs_per_s", per_s},
+                              {"frames_per_wire_message", frames_per_pack},
+                              {"pack", axes.pack ? 1.0 : 0.0},
+                              {"reactor", axes.transport == "reactor" ? 1.0 : 0.0}});
+  }
+
+  // --- Phase 1: sustained small-invocation throughput --------------------
+  {
+    constexpr std::size_t kTotal = 8192, kWindow = 256;
+    core::Orb server_orb(*wire.server, reg);
+    core::Orb client_orb(*wire.client, reg);
+    Server server(server_orb);
+    core::ClientCtx ctx(client_orb);
+    auto proxy = calc::_bind(ctx, "bench-calc");
+    for (int i = 0; i < 64; ++i) (void)proxy->counter(i);  // warm the wire
+
+    std::vector<core::Future<Long>> win(kWindow);
+    std::vector<std::chrono::steady_clock::time_point> issued(kWindow);
+    std::vector<double> lat_us;
+    lat_us.reserve(kTotal);
+    const auto t0 = std::chrono::steady_clock::now();
+    for (std::size_t base = 0; base < kTotal; base += kWindow) {
+      for (std::size_t j = 0; j < kWindow; ++j) {
+        issued[j] = std::chrono::steady_clock::now();
+        proxy->counter_nb(static_cast<Long>(base + j), win[j]);
+      }
+      for (std::size_t j = 0; j < kWindow; ++j) {
+        (void)win[j].get();
+        lat_us.push_back(std::chrono::duration<double, std::micro>(
+                             std::chrono::steady_clock::now() - issued[j])
+                             .count());
+      }
+    }
+    const double secs =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+    const double per_s = static_cast<double>(kTotal) / secs;
+    const double p50 = percentile(lat_us, 0.50);
+    const double p99 = percentile(lat_us, 0.99);
+    std::printf("throughput: %zu invocations, window %zu -> %.0f inv/s  "
+                "p50 %.1f us  p99 %.1f us\n",
+                kTotal, kWindow, per_s, p50, p99);
+    report.add("throughput", {{"requests", static_cast<double>(kTotal)},
+                              {"window", static_cast<double>(kWindow)},
+                              {"invocations_per_s", per_s},
+                              {"p50_us", p50},
+                              {"p99_us", p99},
+                              {"pack", axes.pack ? 1.0 : 0.0},
+                              {"reactor", axes.transport == "reactor" ? 1.0 : 0.0}});
+  }
+
+  // --- Phase 2: watermark shedding under overload -------------------------
   core::OrbConfig cfg;
   cfg.poa_high_watermark = kHigh;
   cfg.poa_low_watermark = kLow;
   cfg.overload_retry_after = std::chrono::milliseconds(2);
 
-  transport::LocalTransport tp;
-  core::InProcessRegistry reg;
-  core::Orb orb(tp, reg, cfg);
+  core::Orb orb(*wire.server, reg, cfg);
+  core::Orb client_orb(*wire.client, reg);
 
   rts::Domain domain("saturate-server", 1);
   std::promise<core::Poa*> pp;
@@ -165,7 +355,7 @@ int run_saturate(int argc, char** argv) {
               "watermarks %zu/%zu, 30us servant\n",
               kBurst, kHigh, kLow);
   {
-    core::ClientCtx ctx(orb);
+    core::ClientCtx ctx(client_orb);
     auto proxy = calc::_bind(ctx, "saturate-calc");
 
     std::vector<core::Future<Long>> futures(kBurst);
@@ -173,6 +363,7 @@ int run_saturate(int argc, char** argv) {
     std::vector<double> latency_us(kBurst, 0.0);
     std::vector<char> done(kBurst, 0);
 
+    const auto burst_t0 = std::chrono::steady_clock::now();
     for (std::size_t i = 0; i < kBurst; ++i) {
       issued[i] = std::chrono::steady_clock::now();
       proxy->counter_nb(static_cast<Long>(i), futures[i]);
@@ -203,13 +394,18 @@ int run_saturate(int argc, char** argv) {
       }
     }
     obs::set_enabled(false);
+    const double burst_secs = std::chrono::duration<double>(
+                                  std::chrono::steady_clock::now() - burst_t0)
+                                  .count();
 
     const double shed_rate = static_cast<double>(shed) / kBurst;
     const double p50 = percentile(ok_latency, 0.50);
     const double p99 = percentile(ok_latency, 0.99);
     std::printf("requests %zu  completed %zu  shed %zu (%.1f%%)\n", kBurst,
                 completed, shed, 100.0 * shed_rate);
-    std::printf("completed latency p50 %.1f us  p99 %.1f us\n", p50, p99);
+    std::printf("completed latency p50 %.1f us  p99 %.1f us  "
+                "burst drained at %.0f inv/s\n",
+                p50, p99, static_cast<double>(kBurst) / burst_secs);
     std::printf("server-side sheds (flow.poa_shed): %llu\n",
                 static_cast<unsigned long long>(shed_counter.value() - shed0));
     report.add("saturate", {{"requests", static_cast<double>(kBurst)},
@@ -218,6 +414,10 @@ int run_saturate(int argc, char** argv) {
                             {"shed_rate", shed_rate},
                             {"p50_us", p50},
                             {"p99_us", p99},
+                            {"invocations_per_s",
+                             static_cast<double>(kBurst) / burst_secs},
+                            {"pack", axes.pack ? 1.0 : 0.0},
+                            {"reactor", axes.transport == "reactor" ? 1.0 : 0.0},
                             {"high_watermark", static_cast<double>(kHigh)},
                             {"low_watermark", static_cast<double>(kLow)}});
   }

@@ -105,6 +105,18 @@ inline constexpr HandlerId kHandlerStateXfer = 8;
 /// peer speaking a different protocol. Hello-off runs emit no frame
 /// with this id, keeping the wire byte-identical to before.
 inline constexpr HandlerId kHandlerHello = 9;
+/// pardis_reactor packed wire message: the payload is a run of
+/// submessages, each `[u64 dst ep][u32 handler][u32 len][f64 timestamp]`
+/// (little-endian subheader of kPackSubheaderSize bytes) followed by
+/// `len` payload bytes. Only emitted when PARDIS_REACTOR_PACK is on;
+/// pack-off senders never produce the id and their wire stays
+/// byte-identical to the classic framing. dst_ep of the outer frame is
+/// 0 (transport-level, fan-out happens per submessage). A pre-reactor
+/// receiver rejects the unknown id, the documented forward-compat path.
+inline constexpr HandlerId kHandlerPack = 10;
+
+/// Bytes of one packed-submessage header inside a kHandlerPack frame.
+inline constexpr std::size_t kPackSubheaderSize = 24;
 
 // Handler ids are dense from 1 (dense + increasing == distinct); 0 is
 // never assigned — it is the RsrMessage default, and a frame that
@@ -118,6 +130,7 @@ static_assert(kHandlerSessionAck == kHandlerSessionData + 1);
 static_assert(kHandlerAnnounce == kHandlerSessionAck + 1);
 static_assert(kHandlerStateXfer == kHandlerAnnounce + 1);
 static_assert(kHandlerHello == kHandlerStateXfer + 1);
+static_assert(kHandlerPack == kHandlerHello + 1);
 
 // --- Wire-hardening hello frame constants ----------------------------------
 
@@ -131,7 +144,12 @@ inline constexpr Octet kWireVersion = 1;
 /// bits are tolerated (a newer peer may offer more), the documented
 /// forward-compat path.
 inline constexpr ULong kFeatureFrameCrc = 0x1;  ///< sender can emit CRC-trailed frames
+/// Sender may emit kHandlerPack coalesced wire messages
+/// (PARDIS_REACTOR_PACK). Informational: the hello is one-way, so the
+/// bit announces capability rather than negotiating it.
+inline constexpr ULong kFeaturePack = 0x2;
 
+static_assert((kFeatureFrameCrc & kFeaturePack) == 0, "hello feature bits overlap");
 static_assert(kHelloMagic != 0, "hello magic must be distinguishable from zeroed bytes");
 
 }  // namespace pardis::transport

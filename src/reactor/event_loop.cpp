@@ -1,0 +1,408 @@
+#include "reactor/event_loop.hpp"
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/cdr.hpp"
+#include "common/error.hpp"
+#include "common/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
+#include "reactor/reactor.hpp"
+#include "reactor/reactor_transport.hpp"
+#include "transport/wire_guard.hpp"
+
+namespace pardis::reactor {
+
+namespace {
+
+constexpr std::size_t kHeaderSize = 32;    // same bytes as TcpTransport
+constexpr std::size_t kReadChunk = 64 * 1024;
+constexpr int kMaxEvents = 64;
+
+// Packed subheaders are always little-endian regardless of the outer
+// frame's byte-order octet (which still governs the inner payloads).
+ULongLong rd_le64(const Octet* p) {
+  ULongLong v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+ULong rd_le32(const Octet* p) {
+  return static_cast<ULong>(p[0]) | (static_cast<ULong>(p[1]) << 8) |
+         (static_cast<ULong>(p[2]) << 16) | (static_cast<ULong>(p[3]) << 24);
+}
+
+double rd_lef64(const Octet* p) {
+  const ULongLong bits = rd_le64(p);
+  double d;
+  static_assert(sizeof(d) == sizeof(bits));
+  std::memcpy(&d, &bits, sizeof(d));
+  return d;
+}
+
+}  // namespace
+
+Conn::Conn(int fd_in, std::string peer_in, std::string dial_key_in)
+    : fd(fd_in), peer(std::move(peer_in)), dial_key(std::move(dial_key_in)) {}
+
+Conn::~Conn() {
+  if (fd >= 0) ::close(fd);
+}
+
+EventLoop::EventLoop(ReactorTransport& owner, int index) : owner_(owner), index_(index) {
+  epfd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epfd_ < 0) throw CommFailure("reactor: epoll_create1 failed");
+  wakefd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (wakefd_ < 0) {
+    ::close(epfd_);
+    epfd_ = -1;
+    throw CommFailure("reactor: eventfd failed");
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = wakefd_;
+  ::epoll_ctl(epfd_, EPOLL_CTL_ADD, wakefd_, &ev);
+}
+
+EventLoop::~EventLoop() {
+  request_stop();
+  join();
+  drop_all_conns();
+  if (epfd_ >= 0) ::close(epfd_);
+  if (wakefd_ >= 0) ::close(wakefd_);
+}
+
+void EventLoop::start() {
+  thread_ = std::thread([this] { run(); });
+}
+
+void EventLoop::request_stop() {
+  stopping_.store(true, std::memory_order_release);
+  wake();
+}
+
+void EventLoop::join() {
+  if (thread_.joinable()) thread_.join();
+}
+
+void EventLoop::wake() {
+  if (wakefd_ < 0) return;
+  const std::uint64_t one = 1;
+  [[maybe_unused]] const ssize_t r = ::write(wakefd_, &one, sizeof(one));
+}
+
+void EventLoop::watch_listener(int listen_fd) {
+  listen_fd_ = listen_fd;
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = listen_fd;
+  ::epoll_ctl(epfd_, EPOLL_CTL_ADD, listen_fd, &ev);
+}
+
+void EventLoop::adopt_conn(const std::shared_ptr<Conn>& conn) {
+  {
+    LockGuard lock(mutex_);
+    conns_[conn->fd] = conn;
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = conn->fd;
+  ::epoll_ctl(epfd_, EPOLL_CTL_ADD, conn->fd, &ev);
+}
+
+void EventLoop::update_interest(Conn& conn, bool want_write) {
+  epoll_event ev{};
+  ev.events = EPOLLIN | (want_write ? EPOLLOUT : 0u);
+  ev.data.fd = conn.fd;
+  ::epoll_ctl(epfd_, EPOLL_CTL_MOD, conn.fd, &ev);
+}
+
+void EventLoop::drop_all_conns() {
+  std::map<int, std::shared_ptr<Conn>> doomed;
+  {
+    LockGuard lock(mutex_);
+    doomed.swap(conns_);
+  }
+  for (auto& [fd, conn] : doomed) {
+    conn->dead.store(true, std::memory_order_release);
+    if (epfd_ >= 0) ::epoll_ctl(epfd_, EPOLL_CTL_DEL, fd, nullptr);
+    ::shutdown(fd, SHUT_RDWR);
+  }
+}
+
+void EventLoop::run() {
+  epoll_event events[kMaxEvents];
+  while (!stopping_.load(std::memory_order_acquire)) {
+    const int timeout_ms = flush_timeout_ms();
+    const int n = ::epoll_wait(epfd_, events, kMaxEvents, timeout_ms);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      PARDIS_LOG(kWarn, "reactor") << "loop " << index_
+                                   << " epoll_wait failed: " << std::strerror(errno);
+      return;
+    }
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[i].data.fd;
+      if (fd == wakefd_) {
+        drain_wakeups();
+        continue;
+      }
+      if (fd == listen_fd_) {
+        accept_ready();
+        continue;
+      }
+      std::shared_ptr<Conn> conn;
+      {
+        LockGuard lock(mutex_);
+        auto it = conns_.find(fd);
+        if (it != conns_.end()) conn = it->second;
+      }
+      if (conn) conn_event(conn, events[i].events);
+    }
+    flush_due_packs();
+  }
+}
+
+void EventLoop::drain_wakeups() {
+  std::uint64_t count = 0;
+  while (::read(wakefd_, &count, sizeof(count)) > 0) {
+  }
+}
+
+void EventLoop::accept_ready() {
+  for (;;) {
+    const int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      if (stopping_.load(std::memory_order_acquire)) return;
+      // Transient exhaustion (EMFILE & friends) or a hard error: either
+      // way return to epoll_wait — level-triggered readiness retries
+      // the accept without spinning.
+      if (obs::enabled()) {
+        static obs::Counter& retries = obs::metrics().counter("transport.reactor.accept_retries");
+        retries.add(1);
+      }
+      PARDIS_LOG(kWarn, "reactor") << "accept failed: " << std::strerror(errno);
+      return;
+    }
+    owner_.adopt_accepted(fd);
+  }
+}
+
+void EventLoop::conn_event(const std::shared_ptr<Conn>& conn, std::uint32_t events) {
+  if ((events & (EPOLLERR | EPOLLHUP)) != 0) {
+    kill_conn(conn);
+    return;
+  }
+  if ((events & EPOLLOUT) != 0 && !write_ready(*conn)) {
+    kill_conn(conn);
+    return;
+  }
+  if ((events & EPOLLIN) != 0 && !read_ready(*conn)) kill_conn(conn);
+}
+
+bool EventLoop::read_ready(Conn& conn) {
+  for (;;) {
+    const std::size_t old = conn.rdbuf.size();
+    conn.rdbuf.resize(old + kReadChunk);
+    const ssize_t n = ::read(conn.fd, conn.rdbuf.data() + old, kReadChunk);
+    if (n < 0) {
+      conn.rdbuf.resize(old);
+      if (errno == EINTR) continue;
+      return errno == EAGAIN || errno == EWOULDBLOCK;
+    }
+    if (n == 0) {
+      conn.rdbuf.resize(old);
+      return false;  // orderly close
+    }
+    conn.rdbuf.resize(old + static_cast<std::size_t>(n));
+    if (!parse_rdbuf(conn)) return false;
+    // A short read usually means the socket is drained; if more bytes
+    // raced in, level-triggered epoll re-reports readiness.
+    if (static_cast<std::size_t>(n) < kReadChunk) return true;
+  }
+}
+
+bool EventLoop::parse_rdbuf(Conn& conn) {
+  auto& buf = conn.rdbuf;
+  while (buf.size() - conn.rdoff >= kHeaderSize) {
+    const Octet* h = buf.data() + conn.rdoff;
+    const bool little = h[0] != 0;
+    CdrReader r(std::span<const Octet>(h, kHeaderSize), little);
+    r.read_octet();  // byte-order flag
+    const ULong payload_len = r.read_ulong();
+    const ULongLong dst_ep = r.read_ulonglong();
+    const ULong handler = r.read_ulong();
+    const Double time = r.read_double();
+
+    // Same desync-or-hostile policy as TcpTransport::reader_loop: a
+    // length beyond the frame bound or an unregistered handler id means
+    // the stream cannot be resynchronized — disconnect.
+    if (payload_len > wire::max_frame_bytes()) {
+      wire::guard().note_bad_frame(
+          conn.peer, "framed payload of " + std::to_string(payload_len) + " bytes exceeds " +
+                         std::to_string(wire::max_frame_bytes()));
+      return false;
+    }
+    if (handler == 0 || handler > transport::kHandlerPack) {
+      wire::guard().note_bad_frame(conn.peer,
+                                   "unknown handler id " + std::to_string(handler));
+      return false;
+    }
+    if (buf.size() - conn.rdoff < kHeaderSize + payload_len) break;  // partial frame
+
+    const std::span<const Octet> payload(buf.data() + conn.rdoff + kHeaderSize, payload_len);
+    conn.rdoff += kHeaderSize + payload_len;
+
+    // Quarantined peers get the TCP-level disconnect, as in the
+    // blocking transport.
+    if (wire::guard().quarantined(conn.peer)) return false;
+
+    if (handler == transport::kHandlerHello) {
+      try {
+        CdrReader hr(payload, little);
+        wire::Hello::unmarshal(hr).validate();
+      } catch (const MarshalError& e) {
+        wire::guard().note_bad_frame(conn.peer, e.what());
+        PARDIS_LOG(kWarn, "reactor") << "rejecting peer " << conn.peer << ": " << e.what();
+        return false;
+      }
+      continue;
+    }
+    if (handler == transport::kHandlerPack) {
+      if (!parse_packed(conn, little, payload)) return false;
+      continue;
+    }
+    owner_.deliver_frame(conn, dst_ep, handler, time, little, payload);
+  }
+
+  // Compact: drop consumed bytes once they dominate the buffer, so a
+  // long-lived connection does not accrete every frame it ever read.
+  if (conn.rdoff == buf.size()) {
+    buf.clear();
+    conn.rdoff = 0;
+  } else if (conn.rdoff >= kReadChunk) {
+    buf.erase(buf.begin(), buf.begin() + static_cast<std::ptrdiff_t>(conn.rdoff));
+    conn.rdoff = 0;
+  }
+  return true;
+}
+
+bool EventLoop::parse_packed(Conn& conn, bool little, std::span<const Octet> payload) {
+  using transport::kPackSubheaderSize;
+  if (obs::enabled()) {
+    static obs::Counter& packs = obs::metrics().counter("transport.reactor.packs_received");
+    packs.add(1);
+  }
+  std::size_t off = 0;
+  while (off < payload.size()) {
+    if (payload.size() - off < kPackSubheaderSize) {
+      wire::guard().note_bad_frame(conn.peer, "truncated packed subheader");
+      return false;
+    }
+    const Octet* p = payload.data() + off;
+    const ULongLong dst_ep = rd_le64(p);
+    const ULong handler = rd_le32(p + 8);
+    const ULong len = rd_le32(p + 12);
+    const double time = rd_lef64(p + 16);
+    // No nested packs, and control frames (hello) never ride inside
+    // one: inner handlers must be ordinary registry entries.
+    if (handler == 0 || handler >= transport::kHandlerHello) {
+      wire::guard().note_bad_frame(conn.peer,
+                                   "unknown packed handler id " + std::to_string(handler));
+      return false;
+    }
+    if (len > payload.size() - off - kPackSubheaderSize) {
+      wire::guard().note_bad_frame(conn.peer, "packed submessage length overruns the frame");
+      return false;
+    }
+    owner_.deliver_frame(conn, dst_ep, handler, time, little,
+                         payload.subspan(off + kPackSubheaderSize, len));
+    off += kPackSubheaderSize + len;
+  }
+  return true;
+}
+
+bool EventLoop::write_ready(Conn& conn) {
+  LockGuard lock(conn.mutex);
+  while (!conn.outq.empty()) {
+    Segment& seg = conn.outq.front();
+    const ssize_t n =
+        ::send(conn.fd, seg.bytes.data() + seg.off, seg.bytes.size() - seg.off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return errno == EAGAIN || errno == EWOULDBLOCK;  // still armed for EPOLLOUT
+    }
+    seg.off += static_cast<std::size_t>(n);
+    if (seg.off == seg.bytes.size()) conn.outq.pop_front();
+  }
+  if (conn.want_write) {
+    conn.want_write = false;
+    update_interest(conn, false);
+  }
+  return true;
+}
+
+void EventLoop::kill_conn(const std::shared_ptr<Conn>& conn) {
+  conn->dead.store(true, std::memory_order_release);
+  {
+    LockGuard lock(mutex_);
+    conns_.erase(conn->fd);
+  }
+  ::epoll_ctl(epfd_, EPOLL_CTL_DEL, conn->fd, nullptr);
+  owner_.evict_conn(conn);
+}
+
+int EventLoop::flush_timeout_ms() {
+  std::vector<std::shared_ptr<Conn>> snapshot;
+  {
+    LockGuard lock(mutex_);
+    snapshot.reserve(conns_.size());
+    for (auto& [fd, conn] : conns_) snapshot.push_back(conn);
+  }
+  auto earliest = std::chrono::steady_clock::time_point::max();
+  for (auto& conn : snapshot) {
+    LockGuard lock(conn->mutex);
+    if (conn->flush_armed && conn->flush_deadline < earliest) earliest = conn->flush_deadline;
+  }
+  if (earliest == std::chrono::steady_clock::time_point::max()) return -1;
+  const auto now = std::chrono::steady_clock::now();
+  if (earliest <= now) return 0;
+  // Round UP so the loop never spins sub-millisecond waiting for a
+  // deadline epoll_wait cannot express; flushing a hair late only
+  // lengthens one window.
+  const auto us = std::chrono::duration_cast<std::chrono::microseconds>(earliest - now);
+  const auto ms = (us.count() + 999) / 1000;
+  return static_cast<int>(ms > 1000 ? 1000 : ms);
+}
+
+void EventLoop::flush_due_packs() {
+  std::vector<std::shared_ptr<Conn>> snapshot;
+  {
+    LockGuard lock(mutex_);
+    snapshot.reserve(conns_.size());
+    for (auto& [fd, conn] : conns_) snapshot.push_back(conn);
+  }
+  const auto now = std::chrono::steady_clock::now();
+  for (auto& conn : snapshot) {
+    bool failed = false;
+    {
+      LockGuard lock(conn->mutex);
+      if (!conn->flush_armed || conn->flush_deadline > now) continue;
+      // The window expired with little coalesced: the sender is not
+      // bursting, so shrink toward immediate flushing.
+      if (conn->pack.size() <= 1) conn->window_us /= 2;
+      if (!owner_.flush_pack_loop(*conn)) failed = true;
+    }
+    if (failed) kill_conn(conn);
+  }
+}
+
+}  // namespace pardis::reactor

@@ -1,0 +1,175 @@
+// reactor::EventLoop — one epoll multiplexer thread.
+//
+// A ReactorTransport owns N loops (PARDIS_REACTOR_LOOPS, default
+// min(4, cores)); every socket — accepted or dialed — is sharded onto
+// one loop by peer hash and stays there for life. Each loop blocks in
+// epoll_wait on its sockets plus an eventfd wakeup, so the whole
+// receive side of a process costs N threads instead of
+// thread-per-connection, and the timeout doubles as the timer for the
+// adaptive pack-flush windows of the connections it owns.
+//
+// Discipline: the loop thread must never block anywhere else —
+// delivery lands in lock-free endpoint mailboxes, writes are
+// nonblocking with EPOLLOUT spill, and pardis-lint PT001 walks the
+// call graph from EventLoop::run to keep it that way.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/buffer.hpp"
+#include "common/mutex.hpp"
+#include "common/types.hpp"
+#include "core/wire.hpp"
+
+namespace pardis::transport {
+class Endpoint;
+}
+
+namespace pardis::reactor {
+
+class EventLoop;
+class ReactorTransport;
+
+/// A fully framed run of wire bytes (or the unsent tail of one) queued
+/// behind a kernel send buffer that filled mid-write.
+struct Segment {
+  ByteBuffer bytes;
+  std::size_t off = 0;
+};
+
+/// One small frame waiting in a connection's coalescing buffer: the
+/// 24-byte packed subheader is prebuilt, the payload rides unchanged.
+struct PendingFrame {
+  std::array<Octet, transport::kPackSubheaderSize> subheader;
+  ByteBuffer payload;
+};
+
+/// One multiplexed TCP connection. Accepted and dialed sockets share
+/// the struct; the fd is nonblocking either way. The last shared_ptr
+/// holder closes the fd (eviction paths call ::shutdown only, so a
+/// racing sender can never aim bytes at a recycled descriptor number).
+struct Conn {
+  Conn(int fd_in, std::string peer_in, std::string dial_key_in);
+  ~Conn();
+
+  Conn(const Conn&) = delete;
+  Conn& operator=(const Conn&) = delete;
+
+  const int fd;
+  /// "ip:port" of the remote — the wire::PeerGuard quarantine key.
+  const std::string peer;
+  /// "host:port" cache key when this process dialed the connection;
+  /// empty for accepted sockets.
+  const std::string dial_key;
+  /// Set once the connection is known broken; senders evict and redial.
+  std::atomic<bool> dead{false};
+  /// The event loop this connection is sharded onto (set at adoption,
+  /// before the conn is shared; never reassigned).
+  EventLoop* loop = nullptr;
+
+  /// Guards the write-side state below AND the write stream itself:
+  /// whole wire messages are emitted under it, so concurrent senders
+  /// never interleave bytes on the socket.
+  mutable Mutex mutex{"reactor.conn"};
+  /// Coalescing buffer: small frames awaiting one packed wire message.
+  std::vector<PendingFrame> pack PARDIS_GUARDED_BY(mutex);
+  /// Bytes `pack` will occupy on the wire (subheaders + payloads).
+  std::size_t pack_bytes PARDIS_GUARDED_BY(mutex) = 0;
+  /// Coalescing flush window state machine (see DESIGN.md): IDLE
+  /// (not armed) -> ARMED (deadline set, loop timer pending) -> FLUSH.
+  bool flush_armed PARDIS_GUARDED_BY(mutex) = false;
+  std::chrono::steady_clock::time_point flush_deadline PARDIS_GUARDED_BY(mutex){};
+  /// Current adaptive window in µs: doubled (up to the knob ceiling)
+  /// when sends arrive back-to-back, halved when an expiry flush finds
+  /// nothing coalesced; 0 = flush inline in the sender.
+  unsigned window_us PARDIS_GUARDED_BY(mutex) = 0;
+  std::chrono::steady_clock::time_point last_send PARDIS_GUARDED_BY(mutex){};
+  /// Wire bytes spilled by a nonblocking loop write; drained on
+  /// EPOLLOUT strictly before anything newer.
+  std::deque<Segment> outq PARDIS_GUARDED_BY(mutex);
+  bool want_write PARDIS_GUARDED_BY(mutex) = false;
+
+  // Read-side reassembly buffer: touched only by the owning loop thread.
+  std::vector<Octet> rdbuf;
+  std::size_t rdoff = 0;  ///< parse cursor into rdbuf
+  // Read-side endpoint cache (loop thread only): a connection's frames
+  // overwhelmingly target one endpoint, so delivery skips the
+  // transport's endpoint-map mutex per frame. Weak so a closed
+  // endpoint is never kept alive; ids are never reused, so a hit can
+  // never alias a different endpoint.
+  ULongLong rd_last_dst = 0;
+  std::weak_ptr<transport::Endpoint> rd_last_ep;
+};
+
+class EventLoop {
+ public:
+  EventLoop(ReactorTransport& owner, int index);
+  ~EventLoop();
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// Starts the loop thread (after construction so `owner` is whole).
+  void start();
+  /// Asks the thread to exit and wakes it; join() completes shutdown.
+  void request_stop();
+  void join();
+  /// eventfd poke: re-evaluate timers / newly adopted fds (any thread).
+  void wake();
+
+  /// Registers `conn` with this loop's epoll. The caller must have set
+  /// conn->loop to this loop BEFORE sharing the conn (dial-cache
+  /// insertion), so no thread ever observes a null loop.
+  void adopt_conn(const std::shared_ptr<Conn>& conn);
+  /// Accept duty for the transport's listener (loop 0; call before
+  /// start()).
+  void watch_listener(int listen_fd);
+  /// Arms/disarms EPOLLOUT interest for `conn` (epoll_ctl is
+  /// thread-safe; callers hold conn.mutex for the want_write flag).
+  void update_interest(Conn& conn, bool want_write);
+  /// Severs and forgets every connection (transport shutdown, after
+  /// join()).
+  void drop_all_conns();
+
+ private:
+  /// Thread body. pardis-lint PT001 entry point: everything reachable
+  /// from here must stay nonblocking (epoll_wait carries the only
+  /// sleep).
+  void run();
+  void drain_wakeups();
+  void accept_ready();
+  void conn_event(const std::shared_ptr<Conn>& conn, std::uint32_t events);
+  /// Reads until EAGAIN, parsing complete frames; false = kill conn.
+  bool read_ready(Conn& conn);
+  bool parse_rdbuf(Conn& conn);
+  bool parse_packed(Conn& conn, bool little, std::span<const Octet> payload);
+  /// Drains spilled segments on EPOLLOUT; false = kill conn.
+  bool write_ready(Conn& conn);
+  /// Removes `conn` from this loop and severs the socket.
+  void kill_conn(const std::shared_ptr<Conn>& conn);
+  /// Millis until the earliest armed flush deadline (-1 = none).
+  int flush_timeout_ms();
+  void flush_due_packs();
+
+  ReactorTransport& owner_;
+  const int index_;
+  int epfd_ = -1;
+  int wakefd_ = -1;
+  int listen_fd_ = -1;
+  std::thread thread_;
+  std::atomic<bool> stopping_{false};
+  mutable Mutex mutex_{"reactor.loop"};
+  std::map<int, std::shared_ptr<Conn>> conns_ PARDIS_GUARDED_BY(mutex_);
+};
+
+}  // namespace pardis::reactor

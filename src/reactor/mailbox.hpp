@@ -1,0 +1,93 @@
+// Lock-free MPSC mailbox (Vyukov intrusive queue) — the reactor's
+// receive-side replacement for the Endpoint mutex+condvar deque.
+//
+// Why: an epoll event loop delivering into a mutex-guarded queue can
+// block behind the consumer (a POA loop holding the lock while it
+// drains), turning one slow servant into head-of-line blocking for
+// every connection sharded onto that loop. The Vyukov queue gives
+// producers a wait-free push (one atomic exchange + one store), so the
+// event loop never sleeps on a consumer lock — pardis-lint PT001
+// extends to `EventLoop::run` to keep it that way.
+//
+// Contract:
+//   * push() — any thread, lock-free, never fails.
+//   * try_pop() — SINGLE consumer only. May return nullptr while a
+//     producer is mid-push (between the exchange and the next-link
+//     store); callers that need "empty vs in-flight" pair it with an
+//     external size counter (Endpoint does).
+//   * Nodes are heap-allocated by the caller and freed by the caller
+//     after try_pop() returns them; the stub node is a member and is
+//     never returned.
+#pragma once
+
+#include <atomic>
+#include <utility>
+
+namespace pardis::reactor {
+
+template <typename T>
+class MpscQueue {
+ public:
+  struct Node {
+    explicit Node(T v) : value(std::move(v)) {}
+    Node() = default;
+    std::atomic<Node*> next{nullptr};
+    T value{};
+  };
+
+  MpscQueue() : head_(&stub_), tail_(&stub_) {}
+
+  MpscQueue(const MpscQueue&) = delete;
+  MpscQueue& operator=(const MpscQueue&) = delete;
+
+  ~MpscQueue() {
+    // Single-threaded at destruction: free anything never consumed.
+    while (Node* n = try_pop()) delete n;
+  }
+
+  /// Wait-free multi-producer push; takes ownership of `n`.
+  void push(Node* n) {
+    n->next.store(nullptr, std::memory_order_relaxed);
+    Node* prev = head_.exchange(n, std::memory_order_acq_rel);
+    // The queue is momentarily "broken" here: n is reachable as head
+    // but prev->next does not point at it yet. try_pop() detects the
+    // gap (tail == head but next == nullptr) and reports empty; the
+    // store below heals it.
+    prev->next.store(n, std::memory_order_release);
+  }
+
+  /// Single-consumer pop; nullptr when empty OR when the only pending
+  /// node is still being linked by its producer.
+  Node* try_pop() {
+    Node* tail = tail_;
+    Node* next = tail->next.load(std::memory_order_acquire);
+    if (tail == &stub_) {
+      if (next == nullptr) return nullptr;  // empty (or producer mid-push)
+      tail_ = next;
+      tail = next;
+      next = tail->next.load(std::memory_order_acquire);
+    }
+    if (next != nullptr) {
+      tail_ = next;
+      return tail;
+    }
+    // tail is the last linked node. If a producer has exchanged head_
+    // but not yet linked, head != tail and we must report empty rather
+    // than re-insert the stub into the middle of its pending chain.
+    if (tail != head_.load(std::memory_order_acquire)) return nullptr;
+    push(&stub_);
+    next = tail->next.load(std::memory_order_acquire);
+    if (next != nullptr) {
+      tail_ = next;
+      return tail;
+    }
+    return nullptr;
+  }
+
+ private:
+  std::atomic<Node*> head_;  // producers exchange here
+  Node* tail_;               // consumer-owned
+  Node stub_;
+};
+
+}  // namespace pardis::reactor

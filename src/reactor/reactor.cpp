@@ -1,0 +1,104 @@
+#include "reactor/reactor.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <thread>
+
+#include "reactor/reactor_transport.hpp"
+#include "transport/tcp_transport.hpp"
+
+namespace pardis::reactor {
+
+namespace {
+
+bool env_flag(const char* name, bool fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  const std::string s(v);
+  return s == "1" || s == "true" || s == "on" || s == "yes";
+}
+
+long env_long(const char* name, long fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  return std::strtol(v, nullptr, 10);
+}
+
+// Each knob: -1 = defer to the environment, >= 0 = test override. The
+// env read is cached in a static local on first use (wire_guard idiom).
+std::atomic<int> g_enabled{-1};
+std::atomic<int> g_loops{-1};
+std::atomic<int> g_pack{-1};
+std::atomic<int> g_flush_us{-1};
+std::atomic<long> g_pack_bytes{-1};
+
+}  // namespace
+
+bool enabled() noexcept {
+  const int o = g_enabled.load(std::memory_order_relaxed);
+  if (o >= 0) return o > 0;
+  static const bool env = env_flag("PARDIS_REACTOR", false);
+  return env;
+}
+
+void set_enabled(int v) noexcept { g_enabled.store(v, std::memory_order_relaxed); }
+
+int loop_count() noexcept {
+  const int o = g_loops.load(std::memory_order_relaxed);
+  if (o > 0) return o;
+  static const int env = [] {
+    const long n = env_long("PARDIS_REACTOR_LOOPS", 0);
+    if (n > 0) return static_cast<int>(n);
+    const unsigned hw = std::thread::hardware_concurrency();
+    const int cores = hw > 0 ? static_cast<int>(hw) : 1;
+    return cores < 4 ? cores : 4;
+  }();
+  return env;
+}
+
+void set_loop_count(int v) noexcept { g_loops.store(v, std::memory_order_relaxed); }
+
+bool pack_enabled() noexcept {
+  const int o = g_pack.load(std::memory_order_relaxed);
+  if (o >= 0) return o > 0;
+  static const bool env = env_flag("PARDIS_REACTOR_PACK", true);
+  return env;
+}
+
+void set_pack(int v) noexcept { g_pack.store(v, std::memory_order_relaxed); }
+
+unsigned flush_window_us() noexcept {
+  const int o = g_flush_us.load(std::memory_order_relaxed);
+  if (o >= 0) return static_cast<unsigned>(o);
+  static const unsigned env = [] {
+    const long n = env_long("PARDIS_REACTOR_FLUSH_US", 100);
+    return n >= 0 ? static_cast<unsigned>(n) : 100u;
+  }();
+  return env;
+}
+
+void set_flush_window_us(int v) noexcept { g_flush_us.store(v, std::memory_order_relaxed); }
+
+std::size_t pack_threshold_bytes() noexcept {
+  const long o = g_pack_bytes.load(std::memory_order_relaxed);
+  if (o > 0) return static_cast<std::size_t>(o);
+  static const std::size_t env = [] {
+    const long n = env_long("PARDIS_REACTOR_PACK_BYTES", 16 * 1024);
+    return n > 0 ? static_cast<std::size_t>(n) : std::size_t{16} * 1024;
+  }();
+  return env;
+}
+
+void set_pack_threshold_bytes(long v) noexcept {
+  g_pack_bytes.store(v, std::memory_order_relaxed);
+}
+
+std::unique_ptr<transport::Transport> make_tcp_transport(UShort port,
+                                                         const sim::Testbed* testbed,
+                                                         int listen_backlog) {
+  if (enabled())
+    return std::make_unique<ReactorTransport>(port, testbed, listen_backlog);
+  return std::make_unique<transport::TcpTransport>(port, testbed, listen_backlog);
+}
+
+}  // namespace pardis::reactor

@@ -1,0 +1,56 @@
+// pardis_reactor knobs + transport factory.
+//
+// The reactor is the throughput engine (ROADMAP item 3): a small set of
+// epoll event loops multiplexing every connection, DDSI-style packed
+// wire messages, gather writes, and lock-free endpoint mailboxes. All
+// of it is knob-gated; with PARDIS_REACTOR off (the default) nothing
+// here runs and the classic thread-per-connection TcpTransport carries
+// the wire byte-identically to before.
+//
+//   PARDIS_REACTOR=1           use ReactorTransport where the ORB would
+//                              dial TCP (default off)
+//   PARDIS_REACTOR_LOOPS=N     event loops (default min(4, cores))
+//   PARDIS_REACTOR_PACK=0      disable small-frame coalescing (default
+//                              on when the reactor is on; pack-off
+//                              wires are byte-identical to TcpTransport)
+//   PARDIS_REACTOR_FLUSH_US=N  max adaptive coalescing window, µs
+//                              (default 100)
+//   PARDIS_REACTOR_PACK_BYTES=N flush threshold / max packed payload
+//                              bytes (default 16384)
+#pragma once
+
+#include <cstddef>
+#include <memory>
+
+#include "transport/transport.hpp"
+
+namespace pardis::reactor {
+
+/// PARDIS_REACTOR: route TCP-addressed traffic through the reactor.
+bool enabled() noexcept;
+/// Override: 1 = on, 0 = off, -1 = back to the environment value.
+void set_enabled(int v) noexcept;
+
+/// PARDIS_REACTOR_LOOPS (default min(4, hardware threads), at least 1).
+int loop_count() noexcept;
+void set_loop_count(int v) noexcept;
+
+/// PARDIS_REACTOR_PACK: coalesce small frames into kHandlerPack wire
+/// messages (default on). Pack-off reactors emit the classic framing.
+bool pack_enabled() noexcept;
+void set_pack(int v) noexcept;
+
+/// PARDIS_REACTOR_FLUSH_US: ceiling of the adaptive coalescing window.
+unsigned flush_window_us() noexcept;
+void set_flush_window_us(int v) noexcept;
+
+/// PARDIS_REACTOR_PACK_BYTES: packed-payload flush threshold.
+std::size_t pack_threshold_bytes() noexcept;
+void set_pack_threshold_bytes(long v) noexcept;
+
+/// The TCP transport the ORB should stand up for `port`: a
+/// ReactorTransport when enabled(), the classic TcpTransport otherwise.
+std::unique_ptr<transport::Transport> make_tcp_transport(
+    UShort port = 0, const sim::Testbed* testbed = nullptr, int listen_backlog = 0);
+
+}  // namespace pardis::reactor

@@ -1,0 +1,622 @@
+#include "reactor/reactor_transport.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/uio.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+
+#include "common/cdr.hpp"
+#include "common/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
+#include "reactor/reactor.hpp"
+#include "sim/clock.hpp"
+#include "transport/wire_guard.hpp"
+
+namespace pardis::reactor {
+
+namespace {
+
+constexpr std::size_t kHeaderSize = 32;  // same bytes as TcpTransport
+
+std::string peer_key(int fd) {
+  sockaddr_in addr{};
+  socklen_t len = sizeof(addr);
+  if (::getpeername(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) return {};
+  char buf[INET_ADDRSTRLEN] = {};
+  if (::inet_ntop(AF_INET, &addr.sin_addr, buf, sizeof(buf)) == nullptr) return {};
+  return std::string(buf) + ":" + std::to_string(ntohs(addr.sin_port));
+}
+
+int env_int(const char* name, int fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  const int n = std::atoi(v);
+  return n > 0 ? n : fallback;
+}
+
+int default_listen_backlog() {
+  static const int v = env_int("PARDIS_LISTEN_BACKLOG", 64);
+  return v;
+}
+
+/// Blocking whole-buffer write for the pre-nonblocking hello send.
+bool write_full(int fd, const Octet* data, std::size_t n) {
+  std::size_t sent = 0;
+  while (sent < n) {
+    const ssize_t r = ::send(fd, data + sent, n - sent, MSG_NOSIGNAL);
+    if (r < 0 && errno == EINTR) continue;
+    if (r <= 0) return false;
+    sent += static_cast<std::size_t>(r);
+  }
+  return true;
+}
+
+// Packed subheaders are always little-endian (see event_loop.cpp).
+void wr_le64(Octet* p, ULongLong v) {
+  for (int i = 0; i < 8; ++i) p[i] = static_cast<Octet>((v >> (8 * i)) & 0xff);
+}
+
+void wr_le32(Octet* p, ULong v) {
+  for (int i = 0; i < 4; ++i) p[i] = static_cast<Octet>((v >> (8 * i)) & 0xff);
+}
+
+void wr_lef64(Octet* p, double d) {
+  ULongLong bits = 0;
+  static_assert(sizeof(d) == sizeof(bits));
+  std::memcpy(&bits, &d, sizeof(bits));
+  wr_le64(p, bits);
+}
+
+/// One gather syscall per iteration until the iov list is fully sent or
+/// the kernel buffer fills. Advances `idx` (and partially consumed iov
+/// entries) through the list. Returns 1 = done, 0 = EAGAIN, -1 = error.
+int send_some(int fd, std::vector<iovec>& iov, std::size_t& idx) {
+  while (idx < iov.size()) {
+    msghdr mh{};
+    mh.msg_iov = iov.data() + idx;
+    mh.msg_iovlen = std::min<std::size_t>(iov.size() - idx, 64);
+    const ssize_t n = ::sendmsg(fd, &mh, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return 0;
+      return -1;
+    }
+    std::size_t left = static_cast<std::size_t>(n);
+    while (left > 0 && idx < iov.size()) {
+      if (left >= iov[idx].iov_len) {
+        left -= iov[idx].iov_len;
+        ++idx;
+      } else {
+        iov[idx].iov_base = static_cast<char*>(iov[idx].iov_base) + left;
+        iov[idx].iov_len -= left;
+        left = 0;
+      }
+    }
+  }
+  return 1;
+}
+
+/// Sender-thread variant: rides out a full kernel buffer the way a
+/// blocking ::send would. False = connection error.
+bool send_all_blocking(int fd, std::vector<iovec>& iov) {
+  std::size_t idx = 0;
+  for (;;) {
+    const int r = send_some(fd, iov, idx);
+    if (r == 1) return true;
+    if (r < 0) return false;
+    pollfd pfd{fd, POLLOUT, 0};
+    // Kernel send buffer full: rsr() keeps blocking-send semantics, so
+    // park the *sender* here — never the loop, whose flush variant
+    // spills to the EPOLLOUT queue instead of ever reaching this.
+    // pardis-lint: allow(blocking) sender-thread write backpressure
+    if (::poll(&pfd, 1, -1) < 0 && errno != EINTR) return false;
+  }
+}
+
+/// Copies the unsent tail of an iov list into `seg` (loop-thread spill).
+void append_iov_tail(Segment& seg, const std::vector<iovec>& iov, std::size_t idx) {
+  for (std::size_t i = idx; i < iov.size(); ++i)
+    seg.bytes.append_raw(iov[i].iov_base, iov[i].iov_len);
+}
+
+}  // namespace
+
+ReactorTransport::ReactorTransport(UShort port, const sim::Testbed* testbed, int listen_backlog)
+    : testbed_(testbed) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) throw CommFailure("ReactorTransport: socket() failed");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(listen_fd_);
+    throw CommFailure("ReactorTransport: bind(127.0.0.1:" + std::to_string(port) +
+                      ") failed: " + std::strerror(errno));
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+  if (listen_backlog <= 0) listen_backlog = default_listen_backlog();
+  if (::listen(listen_fd_, listen_backlog) != 0) {
+    ::close(listen_fd_);
+    throw CommFailure("ReactorTransport: listen() failed");
+  }
+
+  const int n = loop_count();
+  loops_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) loops_.push_back(std::make_unique<EventLoop>(*this, i));
+  loops_[0]->watch_listener(listen_fd_);
+  for (auto& loop : loops_) loop->start();
+}
+
+ReactorTransport::~ReactorTransport() { shutdown(); }
+
+void ReactorTransport::shutdown() {
+  bool expected = false;
+  if (!stopping_.compare_exchange_strong(expected, true)) return;
+  // Final best-effort drain: frames rsr() already accepted into
+  // coalescing buffers ride out before the loops stop (in-flight
+  // batches either hit the wire or their futures fail through the
+  // severed sockets below — never silently park).
+  std::vector<std::shared_ptr<Conn>> dialed;
+  {
+    LockGuard lock(mutex_);
+    dialed.reserve(conns_.size());
+    for (auto& [key, conn] : conns_) dialed.push_back(conn);
+  }
+  for (auto& conn : dialed) {
+    LockGuard lock(conn->mutex);
+    if (!conn->dead.load(std::memory_order_acquire)) flush_pack_sender(*conn);
+  }
+  for (auto& loop : loops_) loop->request_stop();
+  for (auto& loop : loops_) loop->join();
+  for (auto& loop : loops_) loop->drop_all_conns();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  LockGuard lock(mutex_);
+  // shutdown() fails any sender still writing; ~Conn closes each fd
+  // once the last holder lets go (same fd-recycling discipline as
+  // TcpTransport::drop_connection).
+  for (auto& [key, conn] : conns_) {
+    conn->dead.store(true, std::memory_order_release);
+    ::shutdown(conn->fd, SHUT_RDWR);
+  }
+  conns_.clear();
+}
+
+std::shared_ptr<transport::Endpoint> ReactorTransport::create_endpoint(
+    const std::string& host_model) {
+  LockGuard lock(mutex_);
+  transport::EndpointAddr addr;
+  addr.kind = transport::AddrKind::kTcp;
+  addr.host_model = host_model;
+  addr.tcp_host = "127.0.0.1";
+  addr.tcp_port = port_;
+  addr.tcp_ep = next_ep_++;
+  auto ep = std::make_shared<transport::Endpoint>(addr);
+  ep->use_mailbox();  // loops must never block on a consumer lock
+  endpoints_[addr.tcp_ep] = ep;
+  return ep;
+}
+
+void ReactorTransport::adopt_accepted(int fd) {
+  if (stopping_.load(std::memory_order_acquire)) {
+    ::close(fd);
+    return;
+  }
+  if (transport::tcp_nodelay()) {
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  }
+  auto conn = std::make_shared<Conn>(fd, peer_key(fd), std::string{});
+  EventLoop& loop =
+      *loops_[std::hash<std::string>{}(conn->peer) % loops_.size()];
+  conn->loop = &loop;
+  loop.adopt_conn(conn);
+}
+
+void ReactorTransport::deliver_frame(Conn& conn, ULongLong dst_ep,
+                                     transport::HandlerId handler, double sim_time,
+                                     bool little, std::span<const Octet> payload) {
+  std::shared_ptr<transport::Endpoint> ep;
+  if (conn.rd_last_dst == dst_ep) ep = conn.rd_last_ep.lock();
+  if (!ep) {
+    {
+      LockGuard lock(mutex_);
+      auto it = endpoints_.find(dst_ep);
+      if (it != endpoints_.end()) ep = it->second.lock();
+    }
+    if (!ep) {
+      PARDIS_LOG(kWarn, "reactor") << "RSR for unknown endpoint " << dst_ep << ", dropped";
+      return;  // one-way semantics: drop
+    }
+    conn.rd_last_dst = dst_ep;
+    conn.rd_last_ep = ep;
+  }
+  if (obs::enabled()) {
+    static obs::Counter& received = obs::metrics().counter("transport.reactor.rsr_received");
+    static obs::Counter& bytes = obs::metrics().counter("transport.reactor.bytes_received");
+    received.add(1);
+    bytes.add(payload.size());
+  }
+  transport::RsrMessage msg;
+  msg.handler = handler;
+  msg.sim_time = sim_time;
+  msg.little_endian = little;
+  msg.payload = ByteBuffer::from(payload);
+  msg.src_peer = conn.peer;
+  ep->enqueue(std::move(msg));
+}
+
+std::shared_ptr<Conn> ReactorTransport::connect_to(const std::string& host, UShort port) {
+  // Fast path: the previous dial from this thread. Senders almost
+  // always stream to one destination, so this skips the key build,
+  // transport mutex, and map probe per message. Weak so a cached entry
+  // never pins a Conn (and its fd) past eviction or shutdown; a dead
+  // or dropped conn simply misses and takes the slow path below.
+  thread_local const ReactorTransport* cached_tp = nullptr;
+  thread_local UShort cached_port = 0;
+  thread_local std::string cached_host;
+  thread_local std::weak_ptr<Conn> cached_conn;
+  if (cached_tp == this && cached_port == port && cached_host == host) {
+    std::shared_ptr<Conn> conn = cached_conn.lock();
+    if (conn && !conn->dead.load(std::memory_order_acquire)) return conn;
+  }
+  std::shared_ptr<Conn> conn = dial(host, port);
+  cached_tp = this;
+  cached_port = port;
+  cached_host = host;
+  cached_conn = conn;
+  return conn;
+}
+
+std::shared_ptr<Conn> ReactorTransport::dial(const std::string& host, UShort port) {
+  const std::string key = host + ":" + std::to_string(port);
+  {
+    LockGuard lock(mutex_);
+    auto it = conns_.find(key);
+    if (it != conns_.end()) {
+      if (!it->second->dead.load(std::memory_order_acquire)) return it->second;
+      conns_.erase(it);  // dead socket: fall through and redial
+    }
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) throw CommFailure("ReactorTransport: socket() failed");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    throw BadParam("ReactorTransport: bad address " + host);
+  }
+  // pardis-lint: allow(blocking) first dial of a peer: the kernel
+  // handshake blocks once per connection, after which the cached Conn
+  // is reused; loopback/testbed dials complete immediately.
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    throw CommFailure("ReactorTransport: connect to " + key +
+                      " failed: " + std::strerror(errno));
+  }
+  if (transport::tcp_nodelay()) {
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  }
+  if (wire::hello_enabled()) {
+    // Same announce as TcpTransport, sent while the fd is still
+    // blocking, plus the pack capability bit when this sender may
+    // emit kHandlerPack frames (informational: hello is one-way, so
+    // packing stays a sender-side knob, not a negotiation).
+    wire::Hello hello = wire::local_hello();
+    if (pack_enabled()) hello.features |= transport::kFeaturePack;
+    ByteBuffer hello_payload;
+    CdrWriter hw(hello_payload);
+    hello.marshal(hw);
+    ByteBuffer frame;
+    frame.reserve(kHeaderSize + hello_payload.size());
+    CdrWriter w(frame);
+    w.write_octet(kNativeLittleEndian ? 1 : 0);
+    w.write_ulong(static_cast<ULong>(hello_payload.size()));
+    w.write_ulonglong(0);
+    w.write_ulong(transport::kHandlerHello);
+    w.write_double(sim::timestamp_now());
+    require(frame.size() == kHeaderSize, "reactor hello frame header size drifted");
+    frame.append(hello_payload.view());
+    if (!write_full(fd, frame.data(), frame.size())) {
+      ::close(fd);
+      throw CommFailure("ReactorTransport: hello to " + key + " failed");
+    }
+  }
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) != 0) {
+    ::close(fd);
+    throw CommFailure("ReactorTransport: O_NONBLOCK on " + key + " failed");
+  }
+
+  auto conn = std::make_shared<Conn>(fd, peer_key(fd), key);
+  EventLoop& loop = *loops_[std::hash<std::string>{}(key) % loops_.size()];
+  conn->loop = &loop;  // before sharing: senders read it unsynchronized
+  {
+    LockGuard lock(mutex_);
+    if (stopping_.load(std::memory_order_acquire))
+      throw CommFailure("ReactorTransport: shutting down");  // ~Conn closes fd
+    auto [it, inserted] = conns_.try_emplace(key, conn);
+    if (!inserted) return it->second;  // lost a benign race; ~Conn closes our fd
+  }
+  loop.adopt_conn(conn);
+  return conn;
+}
+
+void ReactorTransport::evict_conn(const std::shared_ptr<Conn>& conn) {
+  conn->dead.store(true, std::memory_order_release);
+  if (!conn->dial_key.empty()) {
+    LockGuard lock(mutex_);
+    auto it = conns_.find(conn->dial_key);
+    if (it != conns_.end() && it->second == conn) conns_.erase(it);
+  }
+  if (obs::enabled()) {
+    static obs::Counter& evicted = obs::metrics().counter("transport.reactor.conn_evicted");
+    evicted.add(1);
+  }
+  // Shutdown only, never close: racing senders fail their writes and
+  // the fd number stays reserved until ~Conn (see TcpTransport).
+  ::shutdown(conn->fd, SHUT_RDWR);
+}
+
+void ReactorTransport::rsr(const transport::EndpointAddr& dst, transport::HandlerId handler,
+                           ByteBuffer payload, const std::string& src_host_model) {
+  if (dst.kind != transport::AddrKind::kTcp)
+    throw BadParam("ReactorTransport: destination is not tcp");
+  if (stopping_.load(std::memory_order_acquire))
+    throw CommFailure("ReactorTransport: shutting down");
+  obs::SpanScope span;
+  if (obs::enabled()) {
+    if (obs::current_context().valid()) span.open("rsr:reactor", "transport");
+    static obs::Counter& sent = obs::metrics().counter("transport.reactor.rsr_sent");
+    static obs::Counter& bytes = obs::metrics().counter("transport.reactor.bytes_sent");
+    sent.add(1);
+    bytes.add(kHeaderSize + payload.size());
+  }
+  sim::FaultPlan::Decision fault;
+  if (testbed_ != nullptr && testbed_->faults().active()) {
+    fault = testbed_->faults().on_message(src_host_model, dst.host_model, dst.tcp_ep);
+    transport::apply_fault(fault, dst);  // throws on sever / transient failure
+  }
+  double delay = fault.extra_delay_s;
+  if (testbed_ != nullptr && !src_host_model.empty() && !dst.host_model.empty())
+    delay += testbed_->link(src_host_model, dst.host_model).delay(payload.size());
+  sim::charge_seconds(delay);
+  if (fault.drop) return;  // the sender was still charged for the send
+  if (fault.corrupt)
+    sim::corrupt_payload(payload, fault.corrupt_mode, fault.corrupt_rand);
+
+  auto conn = connect_to(dst.tcp_host, dst.tcp_port);
+  // Coalesce only frames that leave room for siblings in one packed
+  // message below the flush threshold; larger ones go out classically.
+  const bool packable =
+      pack_enabled() && transport::kPackSubheaderSize + payload.size() +
+                                kHeaderSize <
+                            pack_threshold_bytes();
+  const int copies = fault.duplicate ? 2 : 1;
+  for (int i = 0; i < copies; ++i) {
+    ByteBuffer body = (i + 1 < copies) ? payload.clone() : std::move(payload);
+    if (packable) {
+      append_pack(conn, dst.tcp_ep, handler, std::move(body));
+    } else {
+      send_frame_now(conn, dst.tcp_ep, handler, body);
+    }
+  }
+}
+
+void ReactorTransport::append_pack(const std::shared_ptr<Conn>& conn, ULongLong dst_ep,
+                                   transport::HandlerId handler, ByteBuffer payload) {
+  const auto now = std::chrono::steady_clock::now();
+  bool arm = false;
+  bool failed = false;
+  {
+    LockGuard lock(conn->mutex);
+    // Adaptive window (DDSI-flavored): sends arriving back-to-back
+    // (within the knob ceiling of the previous one) double the window
+    // up to PARDIS_REACTOR_FLUSH_US; expiry flushes that caught
+    // nothing halve it (event_loop.cpp). Window 0 = flush inline, so
+    // an isolated request never waits on a timer.
+    const unsigned ceiling = flush_window_us();
+    if (ceiling > 0 && conn->last_send.time_since_epoch().count() != 0 &&
+        now - conn->last_send <= std::chrono::microseconds(ceiling)) {
+      conn->window_us =
+          conn->window_us == 0 ? ceiling / 8 + 1 : std::min(ceiling, conn->window_us * 2);
+    }
+    conn->last_send = now;
+
+    PendingFrame frame;
+    wr_le64(frame.subheader.data(), dst_ep);
+    wr_le32(frame.subheader.data() + 8, handler);
+    wr_le32(frame.subheader.data() + 12, static_cast<ULong>(payload.size()));
+    wr_lef64(frame.subheader.data() + 16, sim::timestamp_now());
+    frame.payload = std::move(payload);
+    conn->pack_bytes += transport::kPackSubheaderSize + frame.payload.size();
+    conn->pack.push_back(std::move(frame));
+
+    if (conn->pack_bytes >= pack_threshold_bytes() || conn->window_us == 0) {
+      if (!flush_pack_sender(*conn)) failed = true;
+    } else if (!conn->flush_armed) {
+      conn->flush_armed = true;
+      conn->flush_deadline = now + std::chrono::microseconds(conn->window_us);
+      arm = true;
+    }
+  }
+  if (failed) {
+    evict_conn(conn);
+    throw CommFailure("ReactorTransport: send to " + conn->dial_key + " failed");
+  }
+  if (arm) conn->loop->wake();  // loop recomputes its flush timeout
+}
+
+void ReactorTransport::send_frame_now(const std::shared_ptr<Conn>& conn, ULongLong dst_ep,
+                                      transport::HandlerId handler, const ByteBuffer& payload) {
+  ByteBuffer frame;
+  frame.reserve(kHeaderSize + payload.size());
+  CdrWriter w(frame);
+  w.write_octet(kNativeLittleEndian ? 1 : 0);
+  w.write_ulong(static_cast<ULong>(payload.size()));
+  w.write_ulonglong(dst_ep);
+  w.write_ulong(handler);
+  w.write_double(sim::timestamp_now());
+  require(frame.size() == kHeaderSize, "reactor frame header size drifted");
+  frame.append(payload.view());
+
+  bool failed = false;
+  {
+    LockGuard lock(conn->mutex);
+    // Pack-before-frame order: anything already coalescing precedes
+    // this frame on the wire.
+    if (!flush_pack_sender(*conn)) {
+      failed = true;
+    } else if (!conn->outq.empty()) {
+      // Bytes are parked behind EPOLLOUT; queue behind them to keep
+      // stream order (the loop drains FIFO).
+      Segment seg;
+      seg.bytes = std::move(frame);
+      conn->outq.push_back(std::move(seg));
+    } else {
+      std::vector<iovec> iov{{frame.data(), frame.size()}};
+      if (!send_all_blocking(conn->fd, iov)) {
+        conn->dead.store(true, std::memory_order_release);
+        failed = true;
+      }
+    }
+  }
+  if (failed) {
+    evict_conn(conn);
+    throw CommFailure("ReactorTransport: send to " + conn->dial_key + " failed");
+  }
+}
+
+/// Builds the gather list for one packed wire message. `header` must
+/// outlive the returned iov.
+static void build_pack_iov(Conn& conn, ByteBuffer& header, std::vector<iovec>& iov)
+    PARDIS_REQUIRES(conn.mutex) {
+  CdrWriter w(header);
+  w.write_octet(kNativeLittleEndian ? 1 : 0);
+  w.write_ulong(static_cast<ULong>(conn.pack_bytes));
+  w.write_ulonglong(0);  // transport-level: no endpoint routing
+  w.write_ulong(transport::kHandlerPack);
+  w.write_double(sim::timestamp_now());
+  require(header.size() == kHeaderSize, "reactor pack header size drifted");
+  iov.reserve(1 + 2 * conn.pack.size());
+  iov.push_back({header.data(), header.size()});
+  for (auto& frame : conn.pack) {
+    iov.push_back({frame.subheader.data(), frame.subheader.size()});
+    if (!frame.payload.empty())
+      iov.push_back({frame.payload.data(), frame.payload.size()});
+  }
+}
+
+namespace {
+
+void count_pack_flush(std::size_t frames, std::size_t wire_bytes) {
+  if (!obs::enabled()) return;
+  static obs::Counter& packs = obs::metrics().counter("transport.reactor.packs_sent");
+  static obs::Counter& packed = obs::metrics().counter("transport.reactor.packed_frames_sent");
+  static obs::Counter& bytes = obs::metrics().counter("transport.reactor.pack_bytes_sent");
+  packs.add(1);
+  packed.add(frames);
+  bytes.add(wire_bytes);
+}
+
+}  // namespace
+
+bool ReactorTransport::flush_pack_sender(Conn& conn) {
+  if (conn.pack.empty()) {
+    conn.flush_armed = false;
+    return true;
+  }
+  ByteBuffer header;
+  std::vector<iovec> iov;
+  build_pack_iov(conn, header, iov);
+  count_pack_flush(conn.pack.size(), kHeaderSize + conn.pack_bytes);
+  bool ok;
+  if (!conn.outq.empty()) {
+    // Spilled bytes are already parked ahead of us; keep strict order
+    // by queueing this message behind them instead of writing now.
+    Segment seg;
+    append_iov_tail(seg, iov, 0);
+    conn.outq.push_back(std::move(seg));
+    ok = true;
+  } else {
+    ok = send_all_blocking(conn.fd, iov);
+  }
+  conn.pack.clear();
+  conn.pack_bytes = 0;
+  conn.flush_armed = false;
+  if (!ok) conn.dead.store(true, std::memory_order_release);
+  return ok;
+}
+
+bool ReactorTransport::flush_pack_loop(Conn& conn) {
+  if (conn.pack.empty()) {
+    conn.flush_armed = false;
+    return true;
+  }
+  ByteBuffer header;
+  std::vector<iovec> iov;
+  build_pack_iov(conn, header, iov);
+  count_pack_flush(conn.pack.size(), kHeaderSize + conn.pack_bytes);
+  bool ok = true;
+  if (!conn.outq.empty()) {
+    Segment seg;
+    append_iov_tail(seg, iov, 0);
+    conn.outq.push_back(std::move(seg));
+  } else {
+    std::size_t idx = 0;
+    const int r = send_some(conn.fd, iov, idx);
+    if (r < 0) {
+      conn.dead.store(true, std::memory_order_release);
+      ok = false;
+    } else if (r == 0) {
+      // Kernel buffer full: spill the unsent tail and arm EPOLLOUT —
+      // the loop thread never blocks on a socket write.
+      Segment seg;
+      append_iov_tail(seg, iov, idx);
+      conn.outq.push_back(std::move(seg));
+      if (!conn.want_write) {
+        conn.want_write = true;
+        conn.loop->update_interest(conn, true);
+      }
+    }
+  }
+  conn.pack.clear();
+  conn.pack_bytes = 0;
+  conn.flush_armed = false;
+  return ok;
+}
+
+std::size_t ReactorTransport::pending_pack_frames(const transport::EndpointAddr& dst) const {
+  const std::string key = dst.tcp_host + ":" + std::to_string(dst.tcp_port);
+  std::shared_ptr<Conn> conn;
+  {
+    LockGuard lock(mutex_);
+    auto it = conns_.find(key);
+    if (it == conns_.end()) return 0;
+    conn = it->second;
+  }
+  LockGuard lock(conn->mutex);
+  return conn->pack.size();
+}
+
+}  // namespace pardis::reactor

@@ -1,0 +1,109 @@
+// reactor::ReactorTransport — the multiplexed TCP transport engine.
+//
+// Implements the exact Transport interface TcpTransport does, over the
+// same wire format and the same EndpointAddr (kTcp) address family, so
+// everything stacked on a Transport — flow sessions, wire-guard
+// quarantine, CRC trailers, the hello handshake, fault plans —
+// composes unchanged. What changes is the machinery:
+//
+//   * receive: N reactor::EventLoops multiplex every socket (epoll)
+//     instead of one blocking reader thread per accepted connection;
+//   * endpoints run lock-free MPSC mailboxes (Endpoint::use_mailbox),
+//     so delivery from a loop never blocks on a consumer lock;
+//   * send: small frames coalesce per connection into one kHandlerPack
+//     wire message (PARDIS_REACTOR_PACK), flushed when a size
+//     threshold fills or an adaptive window expires, and written with
+//     one gather syscall (sendmsg of header + queued payloads);
+//   * with packing off, rsr() emits frames byte-identical to
+//     TcpTransport — golden-bytes tests pin it.
+#pragma once
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/mutex.hpp"
+#include "reactor/event_loop.hpp"
+#include "transport/transport.hpp"
+
+namespace pardis::reactor {
+
+class ReactorTransport final : public transport::Transport {
+ public:
+  /// Binds 127.0.0.1:`port` (0 = ephemeral) nonblocking and starts the
+  /// event loops. `testbed` (optional, unowned) supplies link costs
+  /// and fault plans; `listen_backlog` 0 = PARDIS_LISTEN_BACKLOG.
+  explicit ReactorTransport(UShort port = 0, const sim::Testbed* testbed = nullptr,
+                            int listen_backlog = 0);
+  ~ReactorTransport() override;
+
+  ReactorTransport(const ReactorTransport&) = delete;
+  ReactorTransport& operator=(const ReactorTransport&) = delete;
+
+  UShort port() const noexcept { return port_; }
+
+  std::shared_ptr<transport::Endpoint> create_endpoint(const std::string& host_model) override;
+  void rsr(const transport::EndpointAddr& dst, transport::HandlerId handler,
+           ByteBuffer payload, const std::string& src_host_model) override;
+
+  /// Flushes pending packs best-effort, stops and joins every event
+  /// loop, and severs all connections. Idempotent; the destructor
+  /// calls it. Pending futures upstream fail through the normal
+  /// machinery: any later rsr() throws CommFailure.
+  void shutdown();
+
+  /// Test introspection: frames currently coalescing toward `dst`'s
+  /// host:port (0 when no cached connection).
+  std::size_t pending_pack_frames(const transport::EndpointAddr& dst) const;
+
+ private:
+  friend class EventLoop;
+
+  /// Resolves the connection for host:port via a per-thread fast path
+  /// (senders stream to one destination), falling back to dial().
+  std::shared_ptr<Conn> connect_to(const std::string& host, UShort port);
+  /// Dial-cache probe + actual connect/hello for a cache miss.
+  std::shared_ptr<Conn> dial(const std::string& host, UShort port);
+  /// Shards an accepted socket onto a loop (called by loop 0).
+  void adopt_accepted(int fd);
+  /// Routes one received frame to its endpoint mailbox (loop thread;
+  /// `conn` carries the read-side endpoint cache).
+  void deliver_frame(Conn& conn, ULongLong dst_ep, transport::HandlerId handler,
+                     double sim_time, bool little, std::span<const Octet> payload);
+  /// Drops a broken connection from the dial cache and severs it.
+  void evict_conn(const std::shared_ptr<Conn>& conn);
+
+  /// Appends one small frame to `conn`'s coalescing buffer, flushing
+  /// inline at the size threshold (or window 0) and arming the loop
+  /// timer otherwise.
+  void append_pack(const std::shared_ptr<Conn>& conn, ULongLong dst_ep,
+                   transport::HandlerId handler, ByteBuffer payload);
+  /// Classic single-frame send (pack off / oversized frames); flushes
+  /// any coalescing frames first so per-connection order holds.
+  void send_frame_now(const std::shared_ptr<Conn>& conn, ULongLong dst_ep,
+                      transport::HandlerId handler, const ByteBuffer& payload);
+  /// Sender-thread pack flush: gather-writes the packed message,
+  /// riding out full kernel buffers with ::poll backpressure. False =
+  /// the connection failed (marked dead; caller evicts and throws).
+  bool flush_pack_sender(Conn& conn) PARDIS_REQUIRES(conn.mutex);
+  /// Loop-thread pack flush: strictly nonblocking; a short write
+  /// spills the remainder to conn.outq and arms EPOLLOUT. False = the
+  /// connection failed (marked dead; caller kills it).
+  bool flush_pack_loop(Conn& conn) PARDIS_REQUIRES(conn.mutex);
+
+  const sim::Testbed* testbed_;
+  int listen_fd_ = -1;
+  UShort port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::vector<std::unique_ptr<EventLoop>> loops_;
+
+  mutable Mutex mutex_{"reactor.transport"};
+  ULongLong next_ep_ PARDIS_GUARDED_BY(mutex_) = 1;
+  std::map<ULongLong, std::weak_ptr<transport::Endpoint>> endpoints_
+      PARDIS_GUARDED_BY(mutex_);
+  std::map<std::string, std::shared_ptr<Conn>> conns_ PARDIS_GUARDED_BY(mutex_);  // dialed
+};
+
+}  // namespace pardis::reactor

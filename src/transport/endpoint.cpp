@@ -57,7 +57,10 @@ EndpointAddr EndpointAddr::unmarshal(CdrReader& r) {
 }
 
 void Endpoint::note_depth_locked() {
-  if (capacity_ == 0 || queue_.size() < capacity_) {
+  const std::size_t cap = capacity_.load(std::memory_order_relaxed);
+  const std::size_t depth =
+      mailbox_ ? mbox_size_.load(std::memory_order_relaxed) : queue_.size();
+  if (cap == 0 || depth < cap) {
     at_cap_streak_ = 0;
     return;
   }
@@ -65,7 +68,7 @@ void Endpoint::note_depth_locked() {
     at_cap_streak_ = 0;
     check::violation("transport.endpoint",
                      "receive queue pinned at capacity " +
-                         std::to_string(capacity_) + " for " +
+                         std::to_string(cap) + " for " +
                          std::to_string(kQueuePinnedRounds) +
                          " consecutive drains at " + addr_.to_string() +
                          " (consumer cannot keep up; raise "
@@ -74,6 +77,7 @@ void Endpoint::note_depth_locked() {
 }
 
 std::optional<RsrMessage> Endpoint::poll() {
+  if (mailbox_) return poll_mailbox();
   UniqueLock lock(mutex_);
   note_depth_locked();
   if (queue_.empty()) return std::nullopt;
@@ -85,8 +89,9 @@ std::optional<RsrMessage> Endpoint::poll() {
 }
 
 RsrMessage Endpoint::wait() {
+  if (mailbox_) return wait_mailbox();
   UniqueLock lock(mutex_);
-  while (queue_.empty() && !closed_) cv_.wait(lock);
+  while (queue_.empty() && !closed_.load(std::memory_order_relaxed)) cv_.wait(lock);
   if (queue_.empty()) throw CommFailure("endpoint closed while waiting: " + addr_.to_string());
   note_depth_locked();
   RsrMessage msg = std::move(queue_.front());
@@ -96,12 +101,18 @@ RsrMessage Endpoint::wait() {
   return msg;
 }
 
+// The deadline is computed ONCE and every re-wait after a spurious
+// wakeup targets the same absolute time point — re-arming the full
+// relative timeout per wakeup would let a notify storm extend the wait
+// indefinitely (the busy-rewait bug; pinned by
+// TransportTest.WaitForDeadlineSurvivesSpuriousWakeups).
 WaitResult Endpoint::wait_for(std::chrono::milliseconds timeout) {
+  if (mailbox_) return wait_for_mailbox(timeout);
   const auto deadline = std::chrono::steady_clock::now() + timeout;
   UniqueLock lock(mutex_);
-  while (queue_.empty() && !closed_) {
+  while (queue_.empty() && !closed_.load(std::memory_order_relaxed)) {
     if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
-      if (!queue_.empty() || closed_) break;
+      if (!queue_.empty() || closed_.load(std::memory_order_relaxed)) break;
       return {WaitStatus::kTimeout, std::nullopt};
     }
   }
@@ -115,12 +126,13 @@ WaitResult Endpoint::wait_for(std::chrono::milliseconds timeout) {
 }
 
 std::size_t Endpoint::pending() const {
+  if (mailbox_) return mbox_size_.load(std::memory_order_acquire);
   LockGuard lock(mutex_);
   return queue_.size();
 }
 
-void Endpoint::drop_at_capacity_locked(const RsrMessage& msg, bool session_frame) {
-  ++dropped_;
+void Endpoint::drop_at_capacity(const RsrMessage& msg, bool session_frame) {
+  dropped_.fetch_add(1, std::memory_order_relaxed);
   if (obs::enabled()) {
     static obs::Counter& drops = obs::metrics().counter("transport.queue_dropped");
     drops.add(1);
@@ -130,11 +142,10 @@ void Endpoint::drop_at_capacity_locked(const RsrMessage& msg, bool session_frame
       session_drops.add(1);
     }
   }
-  if (!drop_warned_) {
-    drop_warned_ = true;
+  if (!drop_warned_.exchange(true, std::memory_order_relaxed)) {
     PARDIS_LOG(kWarn, "transport")
         << "endpoint " << addr_.to_string() << " receive queue full (cap "
-        << capacity_ << "); dropping "
+        << capacity_.load(std::memory_order_relaxed) << "); dropping "
         << (session_frame ? "session frame before its ack (the sender keeps it "
                             "buffered for replay; PARDIS_ENDPOINT_QUEUE_CAP vs "
                             "PARDIS_SESSION_WINDOW)"
@@ -145,21 +156,26 @@ void Endpoint::drop_at_capacity_locked(const RsrMessage& msg, bool session_frame
     PARDIS_LOG(kDebug, "transport")
         << "endpoint " << addr_.to_string() << " dropped "
         << (session_frame ? "session frame (unacked)" : "rsr") << " handler "
-        << msg.handler << " (queue at cap " << capacity_ << ")";
+        << msg.handler << " (queue at cap "
+        << capacity_.load(std::memory_order_relaxed) << ")";
   }
 }
 
-void Endpoint::enqueue(RsrMessage msg) {
+bool Endpoint::quarantine_drop(const RsrMessage& msg) {
   // Quarantined peers are silenced at the queue mouth — the local
   // transport's analog of the TCP reader closing the connection. The
   // guard's fast path is one relaxed load while nothing is quarantined.
-  if (!msg.src_peer.empty() && wire::guard().quarantined(msg.src_peer)) {
-    if (obs::enabled()) {
-      static obs::Counter& drops = obs::metrics().counter("wire.quarantine_dropped");
-      drops.add(1);
-    }
-    return;
+  if (msg.src_peer.empty() || !wire::guard().quarantined(msg.src_peer)) return false;
+  if (obs::enabled()) {
+    static obs::Counter& drops = obs::metrics().counter("wire.quarantine_dropped");
+    drops.add(1);
   }
+  return true;
+}
+
+void Endpoint::enqueue(RsrMessage msg) {
+  if (mailbox_) return enqueue_mailbox(std::move(msg));
+  if (quarantine_drop(msg)) return;
   // A session data frame must settle its queue seat BEFORE the demux
   // filter runs: the filter acks the frame, which advances the
   // sender's horizon and prunes it from the retransmission buffer —
@@ -170,10 +186,12 @@ void Endpoint::enqueue(RsrMessage msg) {
   bool reserved = false;
   if (msg.handler == kHandlerSessionData) {
     LockGuard lock(mutex_);
-    if (closed_) return;  // dropped unacked: the sender keeps the frame
-    if (capacity_ != 0) {
-      if (queue_.size() + reserved_ >= capacity_) {
-        drop_at_capacity_locked(msg, /*session_frame=*/true);
+    if (closed_.load(std::memory_order_relaxed))
+      return;  // dropped unacked: the sender keeps the frame
+    const std::size_t cap = capacity_.load(std::memory_order_relaxed);
+    if (cap != 0) {
+      if (queue_.size() + reserved_ >= cap) {
+        drop_at_capacity(msg, /*session_frame=*/true);
         return;
       }
       ++reserved_;
@@ -197,11 +215,13 @@ void Endpoint::enqueue(RsrMessage msg) {
   {
     LockGuard lock(mutex_);
     if (reserved) --reserved_;
-    if (closed_) return;  // dropped, like a one-way send to a dead peer
+    if (closed_.load(std::memory_order_relaxed))
+      return;  // dropped, like a one-way send to a dead peer
     // A reservation guarantees the seat (every producer counts
     // reserved_ in its capacity check above).
-    if (!reserved && capacity_ != 0 && queue_.size() + reserved_ >= capacity_) {
-      drop_at_capacity_locked(msg, /*session_frame=*/false);
+    const std::size_t cap = capacity_.load(std::memory_order_relaxed);
+    if (!reserved && cap != 0 && queue_.size() + reserved_ >= cap) {
+      drop_at_capacity(msg, /*session_frame=*/false);
       return;
     }
     queue_.push_back(std::move(msg));
@@ -209,20 +229,158 @@ void Endpoint::enqueue(RsrMessage msg) {
   cv_.notify_all();
 }
 
+// --- Mailbox (lock-free MPSC) delivery --------------------------------------
+//
+// Producer protocol (wait-free: no endpoint lock on the delivery path):
+//   1. reserve a seat: mbox_size_.fetch_add(1); at capacity, release
+//      and drop (so a session frame the queue cannot hold is never
+//      acked by the filter — the classic ack-before-drop contract);
+//   2. run the delivery filter (session demux); consumed → release;
+//   3. push the node, then seq_cst fence, then read sleeping_ — the
+//      Dekker pairing with the consumer guarantees that either this
+//      producer sees the sleeping flag (and notifies) or the consumer,
+//      which set the flag BEFORE its fence and final pop attempt, sees
+//      the pushed node. The notify edge briefly takes mutex_, but only
+//      while a consumer is parked (it holds mutex_ solely inside
+//      cv_.wait at that point), never on the hot path.
+void Endpoint::enqueue_mailbox(RsrMessage msg) {
+  if (quarantine_drop(msg)) return;
+  const std::size_t cap = capacity_.load(std::memory_order_relaxed);
+  const std::size_t prev = mbox_size_.fetch_add(1, std::memory_order_acq_rel);
+  if (cap != 0 && prev >= cap) {
+    mbox_size_.fetch_sub(1, std::memory_order_acq_rel);
+    drop_at_capacity(msg, msg.handler == kHandlerSessionData);
+    return;
+  }
+  if (closed_.load(std::memory_order_acquire)) {
+    mbox_size_.fetch_sub(1, std::memory_order_acq_rel);
+    return;  // dropped, like a one-way send to a dead peer
+  }
+  {
+    DeliveryFilter filter;
+    {
+      LockGuard lock(filter_mutex_);
+      filter = filter_;
+    }
+    if (filter && filter(msg)) {  // consumed by the session layer
+      mbox_size_.fetch_sub(1, std::memory_order_acq_rel);
+      return;
+    }
+  }
+  mbox_.push(new MailNode(std::move(msg)));
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  if (sleeping_.load(std::memory_order_relaxed)) {
+    { LockGuard lock(mutex_); }  // order the notify after the consumer parks
+    cv_.notify_all();
+  }
+}
+
+Endpoint::MailNode* Endpoint::pop_ready_locked() {
+  // try_pop() can transiently miss: a producer between its seat
+  // reservation and the push leaves size_ > 0 with nothing linked yet.
+  // A short spin rides out that instruction-scale window; if the seat
+  // belongs to a producer stalled in the delivery filter we give up
+  // and report empty (callers re-poll or park; the producer's post-
+  // push sleeping_ check guarantees the wakeup).
+  for (int spin = 0; spin < 64; ++spin) {
+    if (MailNode* n = mbox_.try_pop()) return n;
+    if (mbox_size_.load(std::memory_order_acquire) == 0) return nullptr;
+  }
+  return nullptr;
+}
+
+std::optional<RsrMessage> Endpoint::take_mailbox_locked() {
+  note_depth_locked();
+  MailNode* n = pop_ready_locked();
+  if (n == nullptr) return std::nullopt;
+  RsrMessage msg = std::move(n->value);
+  delete n;
+  mbox_size_.fetch_sub(1, std::memory_order_acq_rel);
+  return msg;
+}
+
+std::optional<RsrMessage> Endpoint::poll_mailbox() {
+  UniqueLock lock(mutex_);
+  auto msg = take_mailbox_locked();
+  lock.unlock();
+  if (msg) sim::merge_time(msg->sim_time);
+  return msg;
+}
+
+RsrMessage Endpoint::wait_mailbox() {
+  UniqueLock lock(mutex_);
+  for (;;) {
+    if (auto msg = take_mailbox_locked()) {
+      lock.unlock();
+      sim::merge_time(msg->sim_time);
+      return std::move(*msg);
+    }
+    if (closed_.load(std::memory_order_acquire))
+      throw CommFailure("endpoint closed while waiting: " + addr_.to_string());
+    sleeping_.store(true, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    // Final pop attempt after raising the flag (see enqueue_mailbox).
+    if (auto msg = take_mailbox_locked()) {
+      sleeping_.store(false, std::memory_order_relaxed);
+      lock.unlock();
+      sim::merge_time(msg->sim_time);
+      return std::move(*msg);
+    }
+    if (!closed_.load(std::memory_order_acquire)) cv_.wait(lock);
+    sleeping_.store(false, std::memory_order_relaxed);
+  }
+}
+
+// Deadline-once, exactly like the classic wait_for: spurious wakeups
+// re-target the same absolute deadline.
+WaitResult Endpoint::wait_for_mailbox(std::chrono::milliseconds timeout) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  UniqueLock lock(mutex_);
+  for (;;) {
+    if (auto msg = take_mailbox_locked()) {
+      lock.unlock();
+      sim::merge_time(msg->sim_time);
+      return {WaitStatus::kMessage, std::move(*msg)};
+    }
+    if (closed_.load(std::memory_order_acquire)) return {WaitStatus::kClosed, std::nullopt};
+    sleeping_.store(true, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    if (auto msg = take_mailbox_locked()) {
+      sleeping_.store(false, std::memory_order_relaxed);
+      lock.unlock();
+      sim::merge_time(msg->sim_time);
+      return {WaitStatus::kMessage, std::move(*msg)};
+    }
+    if (closed_.load(std::memory_order_acquire)) {
+      sleeping_.store(false, std::memory_order_relaxed);
+      return {WaitStatus::kClosed, std::nullopt};
+    }
+    const auto st = cv_.wait_until(lock, deadline);
+    sleeping_.store(false, std::memory_order_relaxed);
+    if (st == std::cv_status::timeout) {
+      if (auto msg = take_mailbox_locked()) {
+        lock.unlock();
+        sim::merge_time(msg->sim_time);
+        return {WaitStatus::kMessage, std::move(*msg)};
+      }
+      if (closed_.load(std::memory_order_acquire)) return {WaitStatus::kClosed, std::nullopt};
+      return {WaitStatus::kTimeout, std::nullopt};
+    }
+  }
+}
+
 void Endpoint::set_capacity(std::size_t cap) {
   LockGuard lock(mutex_);
-  capacity_ = cap;
+  capacity_.store(cap, std::memory_order_relaxed);
   at_cap_streak_ = 0;
 }
 
 std::size_t Endpoint::capacity() const {
-  LockGuard lock(mutex_);
-  return capacity_;
+  return capacity_.load(std::memory_order_relaxed);
 }
 
 std::uint64_t Endpoint::dropped() const {
-  LockGuard lock(mutex_);
-  return dropped_;
+  return dropped_.load(std::memory_order_relaxed);
 }
 
 void Endpoint::set_delivery_filter(DeliveryFilter filter) {
@@ -233,14 +391,13 @@ void Endpoint::set_delivery_filter(DeliveryFilter filter) {
 void Endpoint::close() {
   {
     LockGuard lock(mutex_);
-    closed_ = true;
+    closed_.store(true, std::memory_order_release);
   }
   cv_.notify_all();
 }
 
 bool Endpoint::closed() const noexcept {
-  LockGuard lock(mutex_);
-  return closed_;
+  return closed_.load(std::memory_order_acquire);
 }
 
 }  // namespace pardis::transport

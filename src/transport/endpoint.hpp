@@ -8,6 +8,7 @@
 // own computing thread.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
@@ -21,6 +22,7 @@
 #include "common/error.hpp"
 #include "common/mutex.hpp"
 #include "core/wire.hpp"  // HandlerId + the kHandler* registry
+#include "reactor/mailbox.hpp"
 
 namespace pardis::transport {
 
@@ -135,6 +137,20 @@ class Endpoint {
   /// Installs (or clears, with nullptr) the delivery filter.
   void set_delivery_filter(DeliveryFilter filter);
 
+  /// Switches delivery to the lock-free MPSC mailbox (pardis_reactor):
+  /// enqueue() becomes wait-free — one atomic reservation, the filter,
+  /// one queue push — so an event loop delivering here never blocks on
+  /// a consumer holding the endpoint lock. Consumers (poll/wait) still
+  /// serialize on the endpoint mutex among themselves; producers never
+  /// touch it outside the sleeping-consumer wakeup edge. Must be
+  /// called before the endpoint is shared across threads (the creating
+  /// transport does it inside create_endpoint). One behavioral delta
+  /// vs the classic queue: capacity is reserved BEFORE the delivery
+  /// filter for every handler, so at capacity a session ack may be
+  /// dropped pre-filter (cumulative acks heal on the next frame).
+  void use_mailbox() noexcept { mailbox_ = true; }
+  bool mailbox() const noexcept { return mailbox_; }
+
   void close();
   bool closed() const noexcept;
 
@@ -143,24 +159,48 @@ class Endpoint {
   /// mutex_ held at every drain observation. May throw
   /// check::Violation (the unique_lock unwinds cleanly).
   void note_depth_locked() PARDIS_REQUIRES(mutex_);
-  /// Diagnostics for one at-capacity drop; call with mutex_ held.
-  void drop_at_capacity_locked(const RsrMessage& msg, bool session_frame)
-      PARDIS_REQUIRES(mutex_);
+  /// Diagnostics for one at-capacity drop (any thread; counters and
+  /// the warn latch are atomics).
+  void drop_at_capacity(const RsrMessage& msg, bool session_frame);
+  /// True when the sender is quarantined (frame dropped + counted).
+  static bool quarantine_drop(const RsrMessage& msg);
+
+  // --- mailbox mode ---
+  using MailNode = reactor::MpscQueue<RsrMessage>::Node;
+  void enqueue_mailbox(RsrMessage msg);
+  /// Pops the next visible node, riding out producers caught between
+  /// their seat reservation and the push (bounded spin). Consumer only.
+  MailNode* pop_ready_locked() PARDIS_REQUIRES(mutex_);
+  /// One delivery attempt: pop + size release + depth bookkeeping.
+  std::optional<RsrMessage> take_mailbox_locked() PARDIS_REQUIRES(mutex_);
+  std::optional<RsrMessage> poll_mailbox();
+  RsrMessage wait_mailbox();
+  WaitResult wait_for_mailbox(std::chrono::milliseconds timeout);
 
   EndpointAddr addr_;
   mutable Mutex mutex_{"transport.endpoint"};
   std::condition_variable_any cv_;
   std::deque<RsrMessage> queue_ PARDIS_GUARDED_BY(mutex_);
-  std::size_t capacity_ PARDIS_GUARDED_BY(mutex_) = 0;  ///< 0 = unbounded
+  std::atomic<std::size_t> capacity_{0};  ///< 0 = unbounded
   /// Seats promised to session frames currently passing through the
   /// delivery filter (capacity is checked before the filter acks).
   std::size_t reserved_ PARDIS_GUARDED_BY(mutex_) = 0;
-  std::uint64_t dropped_ PARDIS_GUARDED_BY(mutex_) = 0;
-  bool drop_warned_ PARDIS_GUARDED_BY(mutex_) = false;
+  std::atomic<std::uint64_t> dropped_{0};
+  std::atomic<bool> drop_warned_{false};
   int at_cap_streak_ PARDIS_GUARDED_BY(mutex_) = 0;
   DeliveryFilter filter_ PARDIS_GUARDED_BY(filter_mutex_);
   mutable Mutex filter_mutex_{"transport.endpoint_filter"};
-  bool closed_ PARDIS_GUARDED_BY(mutex_) = false;
+  std::atomic<bool> closed_{false};
+
+  bool mailbox_ = false;  ///< set once, before the endpoint is shared
+  reactor::MpscQueue<RsrMessage> mbox_;
+  /// Seats taken: reserved by producers before the filter/push,
+  /// released by the consumer after a pop (or by the producer when the
+  /// filter consumes the message / the endpoint closed under it).
+  std::atomic<std::size_t> mbox_size_{0};
+  /// Consumer-is-about-to-sleep flag; producers check it after their
+  /// push (seq_cst fences on both sides) and take the wakeup edge.
+  std::atomic<bool> sleeping_{false};
 };
 
 }  // namespace pardis::transport

@@ -163,8 +163,10 @@ void TcpTransport::accept_loop() {
       PARDIS_LOG(kWarn, "tcp") << "accept failed: " << std::strerror(errno);
       return;
     }
-    const int one = 1;
-    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    if (tcp_nodelay()) {
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    }
     LockGuard lock(mutex_);
     if (stopping_.load()) {
       ::close(fd);
@@ -293,8 +295,10 @@ std::shared_ptr<TcpTransport::Connection> TcpTransport::connect_to(const std::st
     throw CommFailure("TcpTransport: connect to " + key +
                       " failed: " + std::strerror(errno));
   }
-  const int one = 1;
-  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  if (tcp_nodelay()) {
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  }
   if (wire::hello_enabled()) {
     // Announce (magic, version, features) as the first frame on every
     // fresh connection; the receiver disconnects on a mismatch. dst_ep

@@ -1,11 +1,36 @@
 #include "transport/transport.hpp"
 
+#include <atomic>
+#include <cstdlib>
+#include <string>
+
 #include "common/log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/obs.hpp"
 #include "sim/clock.hpp"
 
 namespace pardis::transport {
+
+namespace {
+
+// -1 = defer to the environment (cached on first read), else override.
+std::atomic<int> g_tcp_nodelay{-1};
+
+}  // namespace
+
+bool tcp_nodelay() noexcept {
+  const int o = g_tcp_nodelay.load(std::memory_order_relaxed);
+  if (o >= 0) return o > 0;
+  static const bool env = [] {
+    const char* v = std::getenv("PARDIS_TCP_NODELAY");
+    if (v == nullptr || *v == '\0') return true;  // default on
+    const std::string s(v);
+    return !(s == "0" || s == "false" || s == "off" || s == "no");
+  }();
+  return env;
+}
+
+void set_tcp_nodelay(int v) noexcept { g_tcp_nodelay.store(v, std::memory_order_relaxed); }
 
 std::shared_ptr<Endpoint> LocalTransport::create_endpoint(const std::string& host_model) {
   LockGuard lock(mutex_);

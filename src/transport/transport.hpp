@@ -28,6 +28,14 @@ class Transport {
                    const std::string& src_host_model) = 0;
 };
 
+/// TCP_NODELAY for every accepted and dialed socket, shared by
+/// TcpTransport and reactor::ReactorTransport (PARDIS_TCP_NODELAY,
+/// default on — Nagle would serialize small one-way RSRs behind ack
+/// round-trips). set_tcp_nodelay: 1 = on, 0 = off, -1 = back to the
+/// environment value (tests).
+bool tcp_nodelay() noexcept;
+void set_tcp_nodelay(int v) noexcept;
+
 /// Applies a fault-plan decision at the sender: bumps the obs counter
 /// and throws CommFailure (sever / killed endpoint) or TransientError
 /// (scheduled transient failure). Drop / duplicate / delay decisions

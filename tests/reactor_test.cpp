@@ -1,0 +1,745 @@
+// pardis_reactor: epoll event-loop transport, packed-frame batching,
+// and lock-free POA mailboxes.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <filesystem>
+#include <functional>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
+#include "reactor/mailbox.hpp"
+#include "reactor/reactor.hpp"
+#include "reactor/reactor_transport.hpp"
+#include "sim/testbed.hpp"
+#include "tests/support/calc_api.hpp"
+#include "transport/tcp_transport.hpp"
+#include "transport/wire_guard.hpp"
+
+namespace pardis {
+namespace {
+
+using namespace std::chrono_literals;
+using core::ClientCtx;
+using core::InProcessRegistry;
+using core::Orb;
+using core::Poa;
+using reactor::ReactorTransport;
+using transport::AddrKind;
+using transport::Endpoint;
+using transport::EndpointAddr;
+using transport::RsrMessage;
+
+constexpr std::size_t kHeaderSize = 32;
+
+ByteBuffer text_payload(const std::string& s) {
+  ByteBuffer b;
+  CdrWriter w(b);
+  w.write_string(s);
+  return b;
+}
+
+std::string text_of(const RsrMessage& m) {
+  CdrReader r(m.payload.view(), m.little_endian);
+  return r.read_string();
+}
+
+bool spin_until(const std::function<bool()>& pred,
+                std::chrono::milliseconds budget = 2000ms) {
+  const auto deadline = std::chrono::steady_clock::now() + budget;
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(1ms);
+  }
+  return pred();
+}
+
+/// Every reactor/wire knob this suite touches, restored per test: the
+/// knobs are process-wide and gtest runs cases in one process.
+class ReactorFixture : public ::testing::Test {
+ protected:
+  void SetUp() override { wire::guard().reset(); }
+  void TearDown() override {
+    reactor::set_enabled(-1);
+    reactor::set_loop_count(-1);
+    reactor::set_pack(-1);
+    reactor::set_flush_window_us(-1);
+    reactor::set_pack_threshold_bytes(-1);
+    wire::set_hello(-1);
+    wire::set_bad_frame_limit(-1);
+    wire::guard().reset();
+    transport::set_tcp_nodelay(-1);
+    obs::set_enabled(false);
+  }
+};
+
+// --- MPSC mailbox queue -----------------------------------------------------
+
+TEST(MpscQueue, SingleThreadFifo) {
+  reactor::MpscQueue<int> q;
+  EXPECT_EQ(q.try_pop(), nullptr);
+  for (int i = 0; i < 100; ++i) q.push(new reactor::MpscQueue<int>::Node(i));
+  for (int i = 0; i < 100; ++i) {
+    auto* n = q.try_pop();
+    ASSERT_NE(n, nullptr);
+    EXPECT_EQ(n->value, i);
+    delete n;
+  }
+  EXPECT_EQ(q.try_pop(), nullptr);
+}
+
+TEST(MpscQueue, ManyProducersDeliverEverythingExactlyOnce) {
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 5000;
+  reactor::MpscQueue<int> q;
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p)
+    producers.emplace_back([&q, p] {
+      for (int i = 0; i < kPerProducer; ++i)
+        q.push(new reactor::MpscQueue<int>::Node(p * kPerProducer + i));
+    });
+  std::vector<int> seen_count(kProducers * kPerProducer, 0);
+  int drained = 0;
+  std::vector<int> last_from(kProducers, -1);
+  while (drained < kProducers * kPerProducer) {
+    auto* n = q.try_pop();
+    if (n == nullptr) continue;  // empty or producer mid-push
+    ++seen_count[static_cast<std::size_t>(n->value)];
+    // Per-producer FIFO: values from one producer arrive in push order.
+    const int p = n->value / kPerProducer;
+    EXPECT_LT(last_from[static_cast<std::size_t>(p)], n->value);
+    last_from[static_cast<std::size_t>(p)] = n->value;
+    delete n;
+    ++drained;
+  }
+  for (auto& t : producers) t.join();
+  for (int c : seen_count) EXPECT_EQ(c, 1);
+  EXPECT_EQ(q.try_pop(), nullptr);
+}
+
+// --- Endpoint mailbox mode --------------------------------------------------
+
+EndpointAddr mailbox_addr() {
+  EndpointAddr addr;
+  addr.kind = AddrKind::kTcp;
+  return addr;
+}
+
+TEST(MailboxEndpoint, FifoPollAndPending) {
+  Endpoint ep(mailbox_addr());
+  ep.use_mailbox();
+  EXPECT_TRUE(ep.mailbox());
+  EXPECT_FALSE(ep.poll().has_value());
+  for (int i = 0; i < 20; ++i) {
+    RsrMessage m;
+    m.handler = 1;
+    m.payload = text_payload(std::to_string(i));
+    ep.enqueue(std::move(m));
+  }
+  EXPECT_EQ(ep.pending(), 20u);
+  for (int i = 0; i < 20; ++i) {
+    auto m = ep.poll();
+    ASSERT_TRUE(m.has_value());
+    EXPECT_EQ(text_of(*m), std::to_string(i));
+  }
+  EXPECT_FALSE(ep.poll().has_value());
+}
+
+TEST(MailboxEndpoint, CapacityBoundDropsAndCounts) {
+  Endpoint ep(mailbox_addr());
+  ep.use_mailbox();
+  ep.set_capacity(3);
+  for (int i = 0; i < 10; ++i) {
+    RsrMessage m;
+    m.handler = 1;
+    m.payload = text_payload("x");
+    ep.enqueue(std::move(m));
+  }
+  EXPECT_EQ(ep.pending(), 3u);
+  EXPECT_EQ(ep.dropped(), 7u);
+  // Draining frees seats for new deliveries.
+  EXPECT_TRUE(ep.poll().has_value());
+  RsrMessage m;
+  m.handler = 1;
+  m.payload = text_payload("y");
+  ep.enqueue(std::move(m));
+  EXPECT_EQ(ep.pending(), 3u);
+}
+
+TEST(MailboxEndpoint, DeliveryFilterConsumesBeforeTheQueue) {
+  Endpoint ep(mailbox_addr());
+  ep.use_mailbox();
+  std::atomic<int> filtered{0};
+  ep.set_delivery_filter([&](RsrMessage& m) {
+    if (m.handler == 7) {
+      filtered.fetch_add(1);
+      return true;  // consumed
+    }
+    return false;
+  });
+  for (int i = 0; i < 6; ++i) {
+    RsrMessage m;
+    m.handler = (i % 2 == 0) ? 7 : 1;
+    ep.enqueue(std::move(m));
+  }
+  EXPECT_EQ(filtered.load(), 3);
+  EXPECT_EQ(ep.pending(), 3u);
+}
+
+TEST(MailboxEndpoint, WaitForDistinguishesCloseFromTimeout) {
+  Endpoint ep(mailbox_addr());
+  ep.use_mailbox();
+  auto res = ep.wait_for(10ms);
+  EXPECT_TRUE(res.timed_out());
+  std::thread closer([&] {
+    std::this_thread::sleep_for(20ms);
+    ep.close();
+  });
+  res = ep.wait_for(5s);
+  EXPECT_TRUE(res.closed());
+  closer.join();
+}
+
+TEST(MailboxEndpoint, CrossThreadWakeupsNeverLoseMessages) {
+  // Stresses the sleeping-consumer edge: the consumer parks between
+  // most deliveries, so every producer push races the sleep protocol.
+  Endpoint ep(mailbox_addr());
+  ep.use_mailbox();
+  constexpr int kMessages = 2000;
+  std::thread producer([&] {
+    for (int i = 0; i < kMessages; ++i) {
+      RsrMessage m;
+      m.handler = 1;
+      m.payload = text_payload(std::to_string(i));
+      ep.enqueue(std::move(m));
+      if (i % 64 == 0) std::this_thread::sleep_for(1ms);
+    }
+  });
+  for (int i = 0; i < kMessages; ++i) {
+    auto res = ep.wait_for(5s);
+    ASSERT_EQ(res.status, transport::WaitStatus::kMessage) << "at message " << i;
+    EXPECT_EQ(text_of(*res.message), std::to_string(i));
+  }
+  producer.join();
+}
+
+TEST(MailboxEndpoint, WaitForDeadlineSurvivesSpuriousWakeups) {
+  // Mailbox twin of TransportTest.WaitForDeadlineSurvivesSpuriousWakeups:
+  // two waiters share one endpoint; a single message wakes both
+  // (notify_all), and the loser must still time out against its
+  // ORIGINAL deadline instead of restarting the full wait.
+  Endpoint ep(mailbox_addr());
+  ep.use_mailbox();
+  const auto t0 = std::chrono::steady_clock::now();
+  auto waiter = [&] { return ep.wait_for(250ms); };
+  auto f1 = std::async(std::launch::async, waiter);
+  auto f2 = std::async(std::launch::async, waiter);
+  std::this_thread::sleep_for(120ms);
+  RsrMessage m;
+  m.handler = 1;
+  ep.enqueue(std::move(m));
+  const auto r1 = f1.get();
+  const auto r2 = f2.get();
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  EXPECT_EQ((r1.status == transport::WaitStatus::kMessage) +
+                (r2.status == transport::WaitStatus::kMessage),
+            1);
+  EXPECT_EQ((r1.timed_out()) + (r2.timed_out()), 1);
+  // A deadline-restart bug would hold the losing waiter until
+  // ~120ms + 250ms; the once-computed deadline releases it at 250ms.
+  EXPECT_LT(elapsed, 360ms);
+}
+
+// --- Raw-socket helpers for wire-format tests -------------------------------
+
+/// Minimal blocking listener for capturing exactly what a transport
+/// puts on the wire.
+class RawListener {
+ public:
+  RawListener() {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = 0;
+    EXPECT_EQ(::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+    socklen_t len = sizeof(addr);
+    ::getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+    port_ = ntohs(addr.sin_port);
+    EXPECT_EQ(::listen(fd_, 8), 0);
+  }
+  ~RawListener() {
+    if (conn_ >= 0) ::close(conn_);
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  UShort port() const { return port_; }
+
+  EndpointAddr addr(ULongLong ep) const {
+    EndpointAddr a;
+    a.kind = AddrKind::kTcp;
+    a.tcp_host = "127.0.0.1";
+    a.tcp_port = port_;
+    a.tcp_ep = ep;
+    return a;
+  }
+
+  /// Accepts the first connection (once) and reads exactly `n` bytes.
+  std::vector<Octet> read_bytes(std::size_t n) {
+    if (conn_ < 0) {
+      pollfd pfd{fd_, POLLIN, 0};
+      EXPECT_GT(::poll(&pfd, 1, 5000), 0) << "no connection arrived";
+      conn_ = ::accept(fd_, nullptr, nullptr);
+      EXPECT_GE(conn_, 0);
+    }
+    std::vector<Octet> out(n);
+    std::size_t got = 0;
+    while (got < n) {
+      pollfd pfd{conn_, POLLIN, 0};
+      if (::poll(&pfd, 1, 5000) <= 0) break;
+      const ssize_t r = ::recv(conn_, out.data() + got, n - got, 0);
+      if (r <= 0) break;
+      got += static_cast<std::size_t>(r);
+    }
+    out.resize(got);
+    return out;
+  }
+
+ private:
+  int fd_ = -1;
+  int conn_ = -1;
+  UShort port_ = 0;
+};
+
+// --- Wire parity ------------------------------------------------------------
+
+TEST_F(ReactorFixture, FactorySelectsEngineByKnob) {
+  reactor::set_enabled(0);
+  auto classic = reactor::make_tcp_transport(0);
+  EXPECT_NE(dynamic_cast<transport::TcpTransport*>(classic.get()), nullptr);
+  reactor::set_enabled(1);
+  auto engine = reactor::make_tcp_transport(0);
+  EXPECT_NE(dynamic_cast<ReactorTransport*>(engine.get()), nullptr);
+}
+
+TEST_F(ReactorFixture, GoldenBytesIdenticalToTcpTransportWithPackOff) {
+  // The acceptance gate for "wire unchanged": with packing off (and
+  // the shared hello knob off so the first frame is the RSR itself),
+  // the reactor's byte stream for a message sequence must be
+  // IDENTICAL to TcpTransport's — same headers, same timestamps
+  // (virtual clock unbound reads 0), same framing.
+  wire::set_hello(0);
+  reactor::set_pack(0);
+
+  const std::vector<std::string> script = {"alpha", "", "a much longer payload string ...",
+                                           "omega"};
+  std::size_t wire_len = 0;
+  for (const auto& s : script) wire_len += kHeaderSize + text_payload(s).size();
+
+  std::vector<Octet> tcp_bytes;
+  {
+    RawListener sink;
+    transport::TcpTransport sender(0);
+    for (std::size_t i = 0; i < script.size(); ++i)
+      sender.rsr(sink.addr(40 + i), 3, text_payload(script[i]), "");
+    tcp_bytes = sink.read_bytes(wire_len);
+  }
+  std::vector<Octet> reactor_bytes;
+  {
+    RawListener sink;
+    ReactorTransport sender(0);
+    for (std::size_t i = 0; i < script.size(); ++i)
+      sender.rsr(sink.addr(40 + i), 3, text_payload(script[i]), "");
+    reactor_bytes = sink.read_bytes(wire_len);
+  }
+  ASSERT_EQ(tcp_bytes.size(), wire_len);
+  EXPECT_EQ(reactor_bytes, tcp_bytes);
+}
+
+TEST_F(ReactorFixture, PinnedPackedFrameFormat) {
+  // Pins the PACK wire layout so it can never drift silently: outer
+  // 32-byte header addressed to endpoint 0 with kHandlerPack, payload
+  // a run of 24-byte always-little-endian subheaders
+  // [u64 dst][u32 handler][u32 len][f64 ts] + payload bytes.
+  wire::set_hello(0);
+  reactor::set_pack(1);
+
+  RawListener sink;
+  ReactorTransport sender(0);
+  const ByteBuffer payload = text_payload("pinned");
+  // First send on an idle connection: window 0 flushes inline as a
+  // single-frame PACK.
+  sender.rsr(sink.addr(0x1122334455667788ull), 4, payload.clone(), "");
+
+  ByteBuffer expected;
+  CdrWriter w(expected);
+  w.write_octet(kNativeLittleEndian ? 1 : 0);
+  w.write_ulong(static_cast<ULong>(transport::kPackSubheaderSize + payload.size()));
+  w.write_ulonglong(0);
+  w.write_ulong(transport::kHandlerPack);
+  w.write_double(0.0);
+  Octet sub[transport::kPackSubheaderSize] = {};
+  const ULongLong dst = 0x1122334455667788ull;
+  for (int i = 0; i < 8; ++i) sub[i] = static_cast<Octet>((dst >> (8 * i)) & 0xff);
+  sub[8] = 4;                                            // handler, LE u32
+  sub[12] = static_cast<Octet>(payload.size() & 0xff);   // len, LE u32
+  // bytes 16..23: f64 timestamp 0.0 == all zero
+  expected.append_raw(sub, sizeof(sub));
+  expected.append(payload.view());
+
+  const auto got = sink.read_bytes(expected.size());
+  ASSERT_EQ(got.size(), expected.size());
+  EXPECT_EQ(0, std::memcmp(got.data(), expected.data(), got.size()));
+}
+
+// --- Round trips ------------------------------------------------------------
+
+TEST_F(ReactorFixture, ManyMessagesKeepOrderWithPackingOn) {
+  reactor::set_pack(1);
+  ReactorTransport server(0);
+  ReactorTransport client(0);
+  auto ep = server.create_endpoint("");
+  constexpr int kCount = 500;
+  for (int i = 0; i < kCount; ++i)
+    client.rsr(ep->addr(), 2, text_payload(std::to_string(i)), "");
+  for (int i = 0; i < kCount; ++i) {
+    auto res = ep->wait_for(5s);
+    ASSERT_EQ(res.status, transport::WaitStatus::kMessage) << "at " << i;
+    EXPECT_EQ(text_of(*res.message), std::to_string(i));
+  }
+}
+
+TEST_F(ReactorFixture, LargePayloadBypassesPacking) {
+  reactor::set_pack(1);
+  ReactorTransport server(0);
+  ReactorTransport client(0);
+  auto ep = server.create_endpoint("");
+  ByteBuffer big;
+  CdrWriter w(big);
+  std::string s(1 << 20, 'q');
+  for (std::size_t i = 0; i < s.size(); ++i) s[i] = static_cast<char>('a' + (i % 17));
+  w.write_string(s);
+  client.rsr(ep->addr(), 2, std::move(big), "");
+  auto res = ep->wait_for(10s);
+  ASSERT_EQ(res.status, transport::WaitStatus::kMessage);
+  EXPECT_EQ(text_of(*res.message), s);
+}
+
+TEST_F(ReactorFixture, InteropWithClassicTcpTransportBothWays) {
+  // PACK is sender-side only, so a reactor talking to a classic
+  // listener must disable packing; classic->reactor needs nothing.
+  ReactorTransport reactor_side(0);
+  transport::TcpTransport classic_side(0);
+  auto reactor_ep = reactor_side.create_endpoint("");
+  auto classic_ep = classic_side.create_endpoint("");
+
+  classic_side.rsr(reactor_ep->addr(), 2, text_payload("old->new"), "");
+  auto res = reactor_ep->wait_for(5s);
+  ASSERT_EQ(res.status, transport::WaitStatus::kMessage);
+  EXPECT_EQ(text_of(*res.message), "old->new");
+
+  reactor::set_pack(0);
+  reactor_side.rsr(classic_ep->addr(), 2, text_payload("new->old"), "");
+  res = classic_ep->wait_for(5s);
+  ASSERT_EQ(res.status, transport::WaitStatus::kMessage);
+  EXPECT_EQ(text_of(*res.message), "new->old");
+}
+
+TEST_F(ReactorFixture, AdaptiveWindowCoalescesBurstsIntoFewerWireMessages) {
+  reactor::set_pack(1);
+  reactor::set_flush_window_us(2000);
+  obs::set_enabled(true);
+  obs::Counter& packs = obs::metrics().counter("transport.reactor.packs_sent");
+  obs::Counter& frames = obs::metrics().counter("transport.reactor.packed_frames_sent");
+  const auto packs0 = packs.value();
+  const auto frames0 = frames.value();
+
+  ReactorTransport server(0);
+  ReactorTransport client(0);
+  auto ep = server.create_endpoint("");
+  constexpr int kBurst = 300;
+  for (int i = 0; i < kBurst; ++i)
+    client.rsr(ep->addr(), 2, text_payload(std::to_string(i)), "");
+  for (int i = 0; i < kBurst; ++i)
+    ASSERT_EQ(ep->wait_for(5s).status, transport::WaitStatus::kMessage);
+
+  EXPECT_EQ(frames.value() - frames0, static_cast<std::uint64_t>(kBurst));
+  // Back-to-back sends must widen the window and coalesce: strictly
+  // fewer wire messages than frames (the exact ratio is adaptive).
+  EXPECT_LT(packs.value() - packs0, static_cast<std::uint64_t>(kBurst));
+}
+
+// --- Hardening composition --------------------------------------------------
+
+TEST_F(ReactorFixture, MalformedHandlerCountsBadFrameAndDisconnects) {
+  wire::set_hello(0);
+  ReactorTransport server(0);
+  auto ep = server.create_endpoint("");
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(server.port());
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+
+  ByteBuffer bogus;
+  CdrWriter w(bogus);
+  w.write_octet(kNativeLittleEndian ? 1 : 0);
+  w.write_ulong(0);
+  w.write_ulonglong(ep->addr().tcp_ep);
+  w.write_ulong(99);  // not in the handler registry
+  w.write_double(0.0);
+  ASSERT_EQ(::send(fd, bogus.data(), bogus.size(), MSG_NOSIGNAL),
+            static_cast<ssize_t>(bogus.size()));
+  // The reactor must disconnect: the peer observes EOF/reset.
+  pollfd pfd{fd, POLLIN, 0};
+  ASSERT_GT(::poll(&pfd, 1, 5000), 0);
+  char buf[8];
+  EXPECT_LE(::recv(fd, buf, sizeof(buf), 0), 0);
+  ::close(fd);
+  EXPECT_FALSE(ep->poll().has_value());
+}
+
+TEST_F(ReactorFixture, ForeignHelloMagicRejectsTheConnection) {
+  wire::set_hello(1);
+  ReactorTransport server(0);
+  auto ep = server.create_endpoint("");
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(server.port());
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+
+  wire::Hello foreign;
+  foreign.magic = 0xDEADBEEF;
+  ByteBuffer hello_payload;
+  CdrWriter hw(hello_payload);
+  foreign.marshal(hw);
+  ByteBuffer frame;
+  CdrWriter w(frame);
+  w.write_octet(kNativeLittleEndian ? 1 : 0);
+  w.write_ulong(static_cast<ULong>(hello_payload.size()));
+  w.write_ulonglong(0);
+  w.write_ulong(transport::kHandlerHello);
+  w.write_double(0.0);
+  frame.append(hello_payload.view());
+  ASSERT_EQ(::send(fd, frame.data(), frame.size(), MSG_NOSIGNAL),
+            static_cast<ssize_t>(frame.size()));
+  // The guard keys the offender by its remote address as the server
+  // saw it — i.e. this socket's *local* ephemeral ip:port.
+  sockaddr_in self{};
+  socklen_t self_len = sizeof(self);
+  ASSERT_EQ(::getsockname(fd, reinterpret_cast<sockaddr*>(&self), &self_len), 0);
+  const std::string offender =
+      "127.0.0.1:" + std::to_string(ntohs(self.sin_port));
+  pollfd pfd{fd, POLLIN, 0};
+  ASSERT_GT(::poll(&pfd, 1, 5000), 0);
+  char buf[8];
+  EXPECT_LE(::recv(fd, buf, sizeof(buf), 0), 0);  // disconnected
+  ::close(fd);
+  EXPECT_GT(wire::guard().bad_frames(offender), 0u);
+}
+
+// --- Shutdown ordering ------------------------------------------------------
+
+std::size_t open_fd_count() {
+  std::size_t n = 0;
+  for ([[maybe_unused]] const auto& e :
+       std::filesystem::directory_iterator("/proc/self/fd"))
+    ++n;
+  return n;
+}
+
+TEST_F(ReactorFixture, ShutdownDrainsArmedPackBuffers) {
+  // Frames accepted into a coalescing buffer whose window has not yet
+  // expired must still reach the peer when the transport shuts down.
+  reactor::set_pack(1);
+  reactor::set_flush_window_us(500000);  // 0.5 s: expiry will not beat us
+  ReactorTransport server(0);
+  auto ep = server.create_endpoint("");
+  constexpr int kCount = 32;
+  {
+    ReactorTransport client(0);
+    for (int i = 0; i < kCount; ++i)
+      client.rsr(ep->addr(), 2, text_payload(std::to_string(i)), "");
+    client.shutdown();  // must flush the armed tail, not strand it
+  }
+  for (int i = 0; i < kCount; ++i) {
+    auto res = ep->wait_for(5s);
+    ASSERT_EQ(res.status, transport::WaitStatus::kMessage) << "lost message " << i;
+    EXPECT_EQ(text_of(*res.message), std::to_string(i));
+  }
+}
+
+TEST_F(ReactorFixture, ShutdownIsIdempotentAndFailsLaterSends) {
+  ReactorTransport server(0);
+  ReactorTransport client(0);
+  auto ep = server.create_endpoint("");
+  client.rsr(ep->addr(), 2, text_payload("pre"), "");
+  EXPECT_EQ(ep->wait_for(5s).status, transport::WaitStatus::kMessage);
+  client.shutdown();
+  client.shutdown();
+  EXPECT_THROW(client.rsr(ep->addr(), 2, text_payload("post"), ""), CommFailure);
+}
+
+TEST_F(ReactorFixture, LifecycleLeaksNoFileDescriptors) {
+  // Warm up lazily created fds (epoll instances, /proc handles, ...).
+  {
+    ReactorTransport a(0);
+    ReactorTransport b(0);
+    auto ep = a.create_endpoint("");
+    b.rsr(ep->addr(), 2, text_payload("warmup"), "");
+    ep->wait_for(5s);
+  }
+  const std::size_t before = open_fd_count();
+  {
+    ReactorTransport server(0);
+    ReactorTransport client(0);
+    auto ep = server.create_endpoint("");
+    for (int i = 0; i < 10; ++i)
+      client.rsr(ep->addr(), 2, text_payload(std::to_string(i)), "");
+    for (int i = 0; i < 10; ++i) ep->wait_for(5s);
+  }
+  EXPECT_EQ(open_fd_count(), before);
+}
+
+TEST_F(ReactorFixture, KillEndpointMidBatchFailsFastAndKeepsEarlierFrames) {
+  reactor::set_pack(1);
+  reactor::set_flush_window_us(500000);
+  sim::Testbed tb = sim::Testbed::paper_testbed();
+  ReactorTransport server(0, &tb);
+  ReactorTransport client(0, &tb);
+  auto ep = server.create_endpoint(sim::Testbed::kHost2);
+  constexpr int kBefore = 8;
+  for (int i = 0; i < kBefore; ++i)
+    client.rsr(ep->addr(), 2, text_payload(std::to_string(i)), "");
+  // The modeled process dies mid-batch: later sends fail fast at the
+  // fault plan, already-accepted frames still drain at shutdown.
+  tb.faults().kill_endpoint(ep->addr().tcp_ep);
+  EXPECT_THROW(client.rsr(ep->addr(), 2, text_payload("dead"), ""), CommFailure);
+  client.shutdown();
+  for (int i = 0; i < kBefore; ++i) {
+    auto res = ep->wait_for(5s);
+    ASSERT_EQ(res.status, transport::WaitStatus::kMessage) << "lost pre-fault message " << i;
+    EXPECT_EQ(text_of(*res.message), std::to_string(i));
+  }
+}
+
+// --- The ORB over the reactor -----------------------------------------------
+
+TEST_F(ReactorFixture, SpmdInvocationOverTheReactor) {
+  reactor::set_pack(1);
+  InProcessRegistry registry;
+  ReactorTransport server_tp(0);
+  ReactorTransport client_tp(0);
+  Orb server_orb(server_tp, registry);
+  Orb client_orb(client_tp, registry);
+
+  std::atomic<Long> counter{0};
+  struct CounterServant : calc_api::POA_calc {
+    std::atomic<Long>& c;
+    explicit CounterServant(std::atomic<Long>& c_in) : c(c_in) {}
+    double dot(const calc_api::vec&, const calc_api::vec&) override { return 0; }
+    void scale(double, const calc_api::vec&, calc_api::vec&) override {}
+    Long counter(Long delta) override { return c.fetch_add(delta) + delta; }
+    void note(const std::string&) override {}
+    void boom(const std::string& msg) override { throw BadParam(msg); }
+  };
+
+  rts::Domain server("reactor-server", 1);
+  std::promise<Poa*> pp;
+  auto pf = pp.get_future();
+  CounterServant servant(counter);
+  server.start([&](rts::DomainContext& sctx) {
+    Poa poa(server_orb, sctx);
+    poa.activate_spmd(servant, "reactor-calc");
+    pp.set_value(&poa);
+    poa.impl_is_ready();
+  });
+  Poa* poa = pf.get();
+
+  {
+    ClientCtx ctx(client_orb);
+    auto proxy = calc_api::calc::_bind(ctx, "reactor-calc", "");
+    for (int i = 1; i <= 25; ++i) EXPECT_EQ(proxy->counter(1), i);
+    EXPECT_THROW(proxy->boom("kaboom"), BadParam);
+  }
+  poa->deactivate();
+  server.join();
+  EXPECT_EQ(counter.load(), 25);
+}
+
+TEST_F(ReactorFixture, DestroyingTheEngineFailsPendingFuturesInsteadOfHanging) {
+  reactor::set_pack(1);
+  InProcessRegistry registry;
+  auto server_tp = std::make_unique<ReactorTransport>(0);
+  ReactorTransport client_tp(0);
+  auto server_orb = std::make_unique<Orb>(*server_tp, registry);
+  Orb client_orb(client_tp, registry);
+
+  std::atomic<bool> entered{false};
+  std::atomic<bool> release{false};
+  struct ParkServant : calc_api::POA_calc {
+    std::atomic<bool>& entered;
+    std::atomic<bool>& release;
+    ParkServant(std::atomic<bool>& e, std::atomic<bool>& r) : entered(e), release(r) {}
+    double dot(const calc_api::vec&, const calc_api::vec&) override { return 0; }
+    void scale(double, const calc_api::vec&, calc_api::vec&) override {}
+    Long counter(Long delta) override {
+      entered.store(true);
+      while (!release.load()) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      return delta;
+    }
+    void note(const std::string&) override {}
+    void boom(const std::string&) override {}
+  };
+
+  rts::Domain server("reactor-park-server", 1);
+  std::promise<Poa*> pp;
+  auto pf = pp.get_future();
+  ParkServant servant(entered, release);
+  server.start([&](rts::DomainContext& sctx) {
+    Poa poa(*server_orb, sctx);
+    poa.activate_spmd(servant, "reactor-park");
+    pp.set_value(&poa);
+    poa.impl_is_ready();
+  });
+  Poa* poa = pf.get();
+
+  core::Future<Long> f;
+  {
+    ClientCtx ctx(client_orb);
+    auto proxy = calc_api::calc::_bind(ctx, "reactor-park", "");
+    proxy->_binding()->set_deadline(2000ms);
+    proxy->counter_nb(5, f);
+    ASSERT_TRUE(spin_until([&] { return entered.load(); }));
+    // The server engine dies with the request parked in the servant:
+    // its loops stop and every socket is severed, so the reply can
+    // never arrive. The pending future must FAIL (deadline/comm
+    // verdict), not hang.
+    server_tp->shutdown();
+    release.store(true);
+    EXPECT_THROW(f.get(), SystemException);
+  }
+  poa->deactivate();
+  server.join();
+  server_orb.reset();
+  server_tp.reset();
+}
+
+}  // namespace
+}  // namespace pardis

@@ -2,6 +2,8 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <future>
 #include <thread>
 #include <vector>
 
@@ -95,6 +97,31 @@ TEST(LocalTransportTest, WaitForReportsCloseDistinctFromTimeout) {
   EXPECT_EQ(res.status, WaitStatus::kClosed);
   EXPECT_FALSE(res.message.has_value());
   closer.join();
+}
+
+TEST(TransportTest, WaitForDeadlineSurvivesSpuriousWakeups) {
+  // Two waiters share the classic mutex+condvar endpoint queue; one
+  // message wakes both (notify_all). The loser's re-wait must run
+  // against the deadline computed ONCE at entry — a rewait that
+  // recomputes "now + timeout" on every wakeup would stretch the
+  // losing waiter to ~120ms + 250ms instead of releasing it at 250ms.
+  using namespace std::chrono_literals;
+  LocalTransport t;
+  auto ep = t.create_endpoint("");
+  const auto t0 = std::chrono::steady_clock::now();
+  auto waiter = [&] { return ep->wait_for(250ms); };
+  auto f1 = std::async(std::launch::async, waiter);
+  auto f2 = std::async(std::launch::async, waiter);
+  std::this_thread::sleep_for(120ms);
+  t.rsr(ep->addr(), kHandlerOrbRequest, text_payload("wake"), "");
+  const auto r1 = f1.get();
+  const auto r2 = f2.get();
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  EXPECT_EQ((r1.status == WaitStatus::kMessage) +
+                (r2.status == WaitStatus::kMessage),
+            1);
+  EXPECT_EQ(r1.timed_out() + r2.timed_out(), 1);
+  EXPECT_LT(elapsed, 360ms);
 }
 
 TEST(LocalTransportTest, CloseWakesWaiters) {

@@ -351,6 +351,8 @@ const char* const kEntryPoints[] = {
     "CommSender::run",                 // comm-thread dispatch loop
     "Log::append",                     // WAL enqueue on the dispatch path
                                        // (fsyncs belong to the flusher alone)
+    "EventLoop::run",                  // reactor loop: epoll_wait is the
+                                       // only sleep it may ever take
 };
 
 bool qual_matches_entry(const std::string& qual) {
