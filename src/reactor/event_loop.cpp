@@ -5,7 +5,9 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <cstdlib>
 #include <cstring>
 
 #include "common/cdr.hpp"
@@ -15,6 +17,7 @@
 #include "obs/obs.hpp"
 #include "reactor/reactor.hpp"
 #include "reactor/reactor_transport.hpp"
+#include "transport/pack.hpp"
 #include "transport/wire_guard.hpp"
 
 namespace pardis::reactor {
@@ -25,25 +28,16 @@ constexpr std::size_t kHeaderSize = 32;    // same bytes as TcpTransport
 constexpr std::size_t kReadChunk = 64 * 1024;
 constexpr int kMaxEvents = 64;
 
-// Packed subheaders are always little-endian regardless of the outer
-// frame's byte-order octet (which still governs the inner payloads).
-ULongLong rd_le64(const Octet* p) {
-  ULongLong v = 0;
-  for (int i = 7; i >= 0; --i) v = (v << 8) | p[i];
+/// Listener re-arm delay after accept failure (fd exhaustion &
+/// friends); shares the knob with TcpTransport's accept loop.
+int accept_backoff_ms() {
+  static const int v = [] {
+    const char* s = std::getenv("PARDIS_ACCEPT_BACKOFF_MS");
+    if (s == nullptr || *s == '\0') return 10;
+    const int n = std::atoi(s);
+    return n > 0 ? n : 10;
+  }();
   return v;
-}
-
-ULong rd_le32(const Octet* p) {
-  return static_cast<ULong>(p[0]) | (static_cast<ULong>(p[1]) << 8) |
-         (static_cast<ULong>(p[2]) << 16) | (static_cast<ULong>(p[3]) << 24);
-}
-
-double rd_lef64(const Octet* p) {
-  const ULongLong bits = rd_le64(p);
-  double d;
-  static_assert(sizeof(d) == sizeof(bits));
-  std::memcpy(&d, &bits, sizeof(d));
-  return d;
 }
 
 }  // namespace
@@ -133,13 +127,15 @@ void EventLoop::drop_all_conns() {
     conn->dead.store(true, std::memory_order_release);
     if (epfd_ >= 0) ::epoll_ctl(epfd_, EPOLL_CTL_DEL, fd, nullptr);
     ::shutdown(fd, SHUT_RDWR);
+    conn->drained.notify_all();  // senders parked on backpressure bail out
   }
 }
 
 void EventLoop::run() {
   epoll_event events[kMaxEvents];
   while (!stopping_.load(std::memory_order_acquire)) {
-    const int timeout_ms = flush_timeout_ms();
+    maybe_resume_listener();
+    const int timeout_ms = wait_timeout_ms();
     const int n = ::epoll_wait(epfd_, events, kMaxEvents, timeout_ms);
     if (n < 0) {
       if (errno == EINTR) continue;
@@ -181,19 +177,43 @@ void EventLoop::accept_ready() {
     if (fd < 0) {
       if (errno == EINTR) continue;
       if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      if (errno == ECONNABORTED) continue;  // peer gone mid-handshake; next
       if (stopping_.load(std::memory_order_acquire)) return;
-      // Transient exhaustion (EMFILE & friends) or a hard error: either
-      // way return to epoll_wait — level-triggered readiness retries
-      // the accept without spinning.
+      // Transient exhaustion (EMFILE & friends) or a hard error.
+      // Returning to epoll_wait with the connection still pending
+      // would make level-triggered epoll report the listener ready
+      // immediately, spinning the loop at 100% CPU until fds free —
+      // so drop the listener from the epoll set and re-arm it after a
+      // backoff instead.
       if (obs::enabled()) {
         static obs::Counter& retries = obs::metrics().counter("transport.reactor.accept_retries");
         retries.add(1);
       }
-      PARDIS_LOG(kWarn, "reactor") << "accept failed: " << std::strerror(errno);
+      PARDIS_LOG(kWarn, "reactor") << "accept failed: " << std::strerror(errno)
+                                   << "; pausing listener for " << accept_backoff_ms()
+                                   << "ms";
+      pause_listener();
       return;
     }
     owner_.adopt_accepted(fd);
   }
+}
+
+void EventLoop::pause_listener() {
+  if (listener_paused_ || listen_fd_ < 0) return;
+  ::epoll_ctl(epfd_, EPOLL_CTL_DEL, listen_fd_, nullptr);
+  listener_paused_ = true;
+  listener_resume_ =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(accept_backoff_ms());
+}
+
+void EventLoop::maybe_resume_listener() {
+  if (!listener_paused_ || std::chrono::steady_clock::now() < listener_resume_) return;
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = listen_fd_;
+  ::epoll_ctl(epfd_, EPOLL_CTL_ADD, listen_fd_, &ev);
+  listener_paused_ = false;
 }
 
 void EventLoop::conn_event(const std::shared_ptr<Conn>& conn, std::uint32_t events) {
@@ -296,58 +316,49 @@ bool EventLoop::parse_rdbuf(Conn& conn) {
 }
 
 bool EventLoop::parse_packed(Conn& conn, bool little, std::span<const Octet> payload) {
-  using transport::kPackSubheaderSize;
   if (obs::enabled()) {
     static obs::Counter& packs = obs::metrics().counter("transport.reactor.packs_received");
     packs.add(1);
   }
-  std::size_t off = 0;
-  while (off < payload.size()) {
-    if (payload.size() - off < kPackSubheaderSize) {
-      wire::guard().note_bad_frame(conn.peer, "truncated packed subheader");
-      return false;
-    }
-    const Octet* p = payload.data() + off;
-    const ULongLong dst_ep = rd_le64(p);
-    const ULong handler = rd_le32(p + 8);
-    const ULong len = rd_le32(p + 12);
-    const double time = rd_lef64(p + 16);
-    // No nested packs, and control frames (hello) never ride inside
-    // one: inner handlers must be ordinary registry entries.
-    if (handler == 0 || handler >= transport::kHandlerHello) {
-      wire::guard().note_bad_frame(conn.peer,
-                                   "unknown packed handler id " + std::to_string(handler));
-      return false;
-    }
-    if (len > payload.size() - off - kPackSubheaderSize) {
-      wire::guard().note_bad_frame(conn.peer, "packed submessage length overruns the frame");
-      return false;
-    }
-    owner_.deliver_frame(conn, dst_ep, handler, time, little,
-                         payload.subspan(off + kPackSubheaderSize, len));
-    off += kPackSubheaderSize + len;
+  const std::string err =
+      transport::walk_packed(payload, [&](const transport::PackedSubframe& sf) {
+        owner_.deliver_frame(conn, sf.dst_ep, sf.handler, sf.sim_time, little, sf.payload);
+      });
+  if (!err.empty()) {
+    wire::guard().note_bad_frame(conn.peer, err);
+    return false;
   }
   return true;
 }
 
 bool EventLoop::write_ready(Conn& conn) {
-  LockGuard lock(conn.mutex);
-  while (!conn.outq.empty()) {
-    Segment& seg = conn.outq.front();
-    const ssize_t n =
-        ::send(conn.fd, seg.bytes.data() + seg.off, seg.bytes.size() - seg.off, MSG_NOSIGNAL);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return errno == EAGAIN || errno == EWOULDBLOCK;  // still armed for EPOLLOUT
+  bool progressed = false;
+  bool ok = true;
+  {
+    LockGuard lock(conn.mutex);
+    while (!conn.outq.empty()) {
+      Segment& seg = conn.outq.front();
+      const ssize_t n = ::send(conn.fd, seg.bytes.data() + seg.off,
+                               seg.bytes.size() - seg.off, MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        ok = errno == EAGAIN || errno == EWOULDBLOCK;  // else: kill conn
+        break;                                         // still armed for EPOLLOUT
+      }
+      seg.off += static_cast<std::size_t>(n);
+      conn.outq_bytes -= static_cast<std::size_t>(n);
+      progressed = true;
+      if (seg.off == seg.bytes.size()) conn.outq.pop_front();
     }
-    seg.off += static_cast<std::size_t>(n);
-    if (seg.off == seg.bytes.size()) conn.outq.pop_front();
+    if (ok && conn.outq.empty() && conn.want_write) {
+      conn.want_write = false;
+      update_interest(conn, false);
+    }
   }
-  if (conn.want_write) {
-    conn.want_write = false;
-    update_interest(conn, false);
-  }
-  return true;
+  // Wake senders parked on backpressure (wait_for_drain); notify
+  // outside the lock so they can reacquire it immediately.
+  if (progressed) conn.drained.notify_all();
+  return ok;
 }
 
 void EventLoop::kill_conn(const std::shared_ptr<Conn>& conn) {
@@ -383,6 +394,23 @@ int EventLoop::flush_timeout_ms() {
   return static_cast<int>(ms > 1000 ? 1000 : ms);
 }
 
+int EventLoop::wait_timeout_ms() {
+  int timeout = flush_timeout_ms();
+  if (listener_paused_) {
+    const auto now = std::chrono::steady_clock::now();
+    int resume_ms = 0;
+    if (listener_resume_ > now) {
+      const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                          listener_resume_ - now)
+                          .count() +
+                      1;
+      resume_ms = static_cast<int>(ms > 1000 ? 1000 : ms);
+    }
+    timeout = timeout < 0 ? resume_ms : std::min(timeout, resume_ms);
+  }
+  return timeout;
+}
+
 void EventLoop::flush_due_packs() {
   std::vector<std::shared_ptr<Conn>> snapshot;
   {
@@ -399,7 +427,7 @@ void EventLoop::flush_due_packs() {
       // The window expired with little coalesced: the sender is not
       // bursting, so shrink toward immediate flushing.
       if (conn->pack.size() <= 1) conn->window_us /= 2;
-      if (!owner_.flush_pack_loop(*conn)) failed = true;
+      if (!owner_.flush_pack(*conn)) failed = true;
     }
     if (failed) kill_conn(conn);
   }

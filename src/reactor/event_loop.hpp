@@ -17,6 +17,7 @@
 #include <array>
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <map>
@@ -94,10 +95,20 @@ struct Conn {
   /// nothing coalesced; 0 = flush inline in the sender.
   unsigned window_us PARDIS_GUARDED_BY(mutex) = 0;
   std::chrono::steady_clock::time_point last_send PARDIS_GUARDED_BY(mutex){};
-  /// Wire bytes spilled by a nonblocking loop write; drained on
-  /// EPOLLOUT strictly before anything newer.
+  /// Wire bytes spilled by a nonblocking write; drained on EPOLLOUT
+  /// strictly before anything newer. EVERY writer spills — sender
+  /// threads included — so no thread ever blocks on the socket while
+  /// holding `mutex` (the loop takes it each iteration; a sender
+  /// parked inside it would wedge every connection on the loop).
   std::deque<Segment> outq PARDIS_GUARDED_BY(mutex);
+  /// Unsent bytes currently parked in `outq`; past the spill limit,
+  /// senders wait on `drained` for blocking-send backpressure.
+  std::size_t outq_bytes PARDIS_GUARDED_BY(mutex) = 0;
   bool want_write PARDIS_GUARDED_BY(mutex) = false;
+  /// Signaled when the loop drains `outq` bytes or the connection
+  /// dies; only sender threads ever wait on it (bounded re-checks, so
+  /// a missed wakeup costs milliseconds, never a hang).
+  std::condition_variable_any drained;
 
   // Read-side reassembly buffer: touched only by the owning loop thread.
   std::vector<Octet> rdbuf;
@@ -148,6 +159,16 @@ class EventLoop {
   void run();
   void drain_wakeups();
   void accept_ready();
+  /// Unregisters the listener from epoll after an accept failure (fd
+  /// exhaustion & friends): with level-triggered epoll the unaccepted
+  /// pending connection would otherwise make every epoll_wait return
+  /// immediately and spin the loop at 100% CPU until fds free.
+  void pause_listener();
+  /// Re-registers the listener once the backoff deadline passes.
+  void maybe_resume_listener();
+  /// epoll_wait timeout: min of the earliest pack-flush deadline and
+  /// the listener-resume deadline (-1 = neither armed).
+  int wait_timeout_ms();
   void conn_event(const std::shared_ptr<Conn>& conn, std::uint32_t events);
   /// Reads until EAGAIN, parsing complete frames; false = kill conn.
   bool read_ready(Conn& conn);
@@ -166,6 +187,9 @@ class EventLoop {
   int epfd_ = -1;
   int wakefd_ = -1;
   int listen_fd_ = -1;
+  // Accept-backoff state; loop thread only (accept_ready / run).
+  bool listener_paused_ = false;
+  std::chrono::steady_clock::time_point listener_resume_{};
   std::thread thread_;
   std::atomic<bool> stopping_{false};
   mutable Mutex mutex_{"reactor.loop"};

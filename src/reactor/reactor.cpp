@@ -6,6 +6,7 @@
 
 #include "reactor/reactor_transport.hpp"
 #include "transport/tcp_transport.hpp"
+#include "transport/wire_guard.hpp"
 
 namespace pardis::reactor {
 
@@ -31,6 +32,17 @@ std::atomic<int> g_loops{-1};
 std::atomic<int> g_pack{-1};
 std::atomic<int> g_flush_us{-1};
 std::atomic<long> g_pack_bytes{-1};
+std::atomic<long> g_spill_bytes{-1};
+
+/// Packed payloads can approach twice the flush threshold (the flush
+/// fires after the append that crossed it, and any single packable
+/// frame is itself below the threshold), so the threshold must stay
+/// within half the receiver's frame bound or every oversized packed
+/// message would be rejected by parse_rdbuf and kill the connection.
+std::size_t clamp_pack_threshold(std::size_t v) {
+  const std::size_t cap = wire::max_frame_bytes() / 2;
+  return v > cap ? cap : v;
+}
 
 }  // namespace
 
@@ -81,16 +93,30 @@ void set_flush_window_us(int v) noexcept { g_flush_us.store(v, std::memory_order
 
 std::size_t pack_threshold_bytes() noexcept {
   const long o = g_pack_bytes.load(std::memory_order_relaxed);
-  if (o > 0) return static_cast<std::size_t>(o);
+  if (o > 0) return clamp_pack_threshold(static_cast<std::size_t>(o));
   static const std::size_t env = [] {
     const long n = env_long("PARDIS_REACTOR_PACK_BYTES", 16 * 1024);
     return n > 0 ? static_cast<std::size_t>(n) : std::size_t{16} * 1024;
   }();
-  return env;
+  return clamp_pack_threshold(env);
 }
 
 void set_pack_threshold_bytes(long v) noexcept {
   g_pack_bytes.store(v, std::memory_order_relaxed);
+}
+
+std::size_t spill_limit_bytes() noexcept {
+  const long o = g_spill_bytes.load(std::memory_order_relaxed);
+  if (o > 0) return static_cast<std::size_t>(o);
+  static const std::size_t env = [] {
+    const long n = env_long("PARDIS_REACTOR_SPILL_BYTES", 4 * 1024 * 1024);
+    return n > 0 ? static_cast<std::size_t>(n) : std::size_t{4} * 1024 * 1024;
+  }();
+  return env;
+}
+
+void set_spill_limit_bytes(long v) noexcept {
+  g_spill_bytes.store(v, std::memory_order_relaxed);
 }
 
 std::unique_ptr<transport::Transport> make_tcp_transport(UShort port,

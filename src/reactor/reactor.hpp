@@ -16,7 +16,13 @@
 //   PARDIS_REACTOR_FLUSH_US=N  max adaptive coalescing window, µs
 //                              (default 100)
 //   PARDIS_REACTOR_PACK_BYTES=N flush threshold / max packed payload
-//                              bytes (default 16384)
+//                              bytes (default 16384; clamped to half
+//                              PARDIS_MAX_FRAME_BYTES so a packed
+//                              message can never trip the receiver's
+//                              oversize bound)
+//   PARDIS_REACTOR_SPILL_BYTES=N bytes parked behind EPOLLOUT before a
+//                              sender blocks for backpressure
+//                              (default 4 MiB)
 #pragma once
 
 #include <cstddef>
@@ -44,9 +50,19 @@ void set_pack(int v) noexcept;
 unsigned flush_window_us() noexcept;
 void set_flush_window_us(int v) noexcept;
 
-/// PARDIS_REACTOR_PACK_BYTES: packed-payload flush threshold.
+/// PARDIS_REACTOR_PACK_BYTES: packed-payload flush threshold. Clamped
+/// to wire::max_frame_bytes()/2 — the flush fires after an append and
+/// every packable frame is itself below the threshold, so a packed
+/// payload can approach twice the threshold; the clamp guarantees it
+/// stays within the receiver's frame bound.
 std::size_t pack_threshold_bytes() noexcept;
 void set_pack_threshold_bytes(long v) noexcept;
+
+/// PARDIS_REACTOR_SPILL_BYTES: unsent bytes parked behind EPOLLOUT on
+/// one connection before rsr() blocks the sender (blocking-send
+/// backpressure; the event loops themselves never block).
+std::size_t spill_limit_bytes() noexcept;
+void set_spill_limit_bytes(long v) noexcept;
 
 /// The TCP transport the ORB should stand up for `port`: a
 /// ReactorTransport when enabled(), the classic TcpTransport otherwise.

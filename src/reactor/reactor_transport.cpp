@@ -4,7 +4,6 @@
 #include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
-#include <poll.h>
 #include <sys/socket.h>
 #include <sys/uio.h>
 #include <unistd.h>
@@ -106,24 +105,7 @@ int send_some(int fd, std::vector<iovec>& iov, std::size_t& idx) {
   return 1;
 }
 
-/// Sender-thread variant: rides out a full kernel buffer the way a
-/// blocking ::send would. False = connection error.
-bool send_all_blocking(int fd, std::vector<iovec>& iov) {
-  std::size_t idx = 0;
-  for (;;) {
-    const int r = send_some(fd, iov, idx);
-    if (r == 1) return true;
-    if (r < 0) return false;
-    pollfd pfd{fd, POLLOUT, 0};
-    // Kernel send buffer full: rsr() keeps blocking-send semantics, so
-    // park the *sender* here — never the loop, whose flush variant
-    // spills to the EPOLLOUT queue instead of ever reaching this.
-    // pardis-lint: allow(blocking) sender-thread write backpressure
-    if (::poll(&pfd, 1, -1) < 0 && errno != EINTR) return false;
-  }
-}
-
-/// Copies the unsent tail of an iov list into `seg` (loop-thread spill).
+/// Copies the unsent tail of an iov list into `seg` (EPOLLOUT spill).
 void append_iov_tail(Segment& seg, const std::vector<iovec>& iov, std::size_t idx) {
   for (std::size_t i = idx; i < iov.size(); ++i)
     seg.bytes.append_raw(iov[i].iov_base, iov[i].iov_len);
@@ -171,7 +153,10 @@ void ReactorTransport::shutdown() {
   // Final best-effort drain: frames rsr() already accepted into
   // coalescing buffers ride out before the loops stop (in-flight
   // batches either hit the wire or their futures fail through the
-  // severed sockets below — never silently park).
+  // severed sockets below — never silently park). flush_pack is
+  // nonblocking, so a backpressured peer whose kernel buffer never
+  // drains cannot hang shutdown: its bytes spill to outq and are
+  // abandoned when the socket is severed below.
   std::vector<std::shared_ptr<Conn>> dialed;
   {
     LockGuard lock(mutex_);
@@ -180,7 +165,7 @@ void ReactorTransport::shutdown() {
   }
   for (auto& conn : dialed) {
     LockGuard lock(conn->mutex);
-    if (!conn->dead.load(std::memory_order_acquire)) flush_pack_sender(*conn);
+    if (!conn->dead.load(std::memory_order_acquire)) flush_pack(*conn);
   }
   for (auto& loop : loops_) loop->request_stop();
   for (auto& loop : loops_) loop->join();
@@ -196,6 +181,7 @@ void ReactorTransport::shutdown() {
   for (auto& [key, conn] : conns_) {
     conn->dead.store(true, std::memory_order_release);
     ::shutdown(conn->fd, SHUT_RDWR);
+    conn->drained.notify_all();  // senders parked on backpressure bail out
   }
   conns_.clear();
 }
@@ -376,6 +362,13 @@ void ReactorTransport::evict_conn(const std::shared_ptr<Conn>& conn) {
   // Shutdown only, never close: racing senders fail their writes and
   // the fd number stays reserved until ~Conn (see TcpTransport).
   ::shutdown(conn->fd, SHUT_RDWR);
+  // Taking the mutex before notifying closes the window where a
+  // backpressured sender has checked dead but not yet parked; the
+  // bounded waits in wait_for_drain make a miss cheap regardless.
+  {
+    LockGuard lock(conn->mutex);
+  }
+  conn->drained.notify_all();
 }
 
 void ReactorTransport::rsr(const transport::EndpointAddr& dst, transport::HandlerId handler,
@@ -428,6 +421,7 @@ void ReactorTransport::append_pack(const std::shared_ptr<Conn>& conn, ULongLong 
   const auto now = std::chrono::steady_clock::now();
   bool arm = false;
   bool failed = false;
+  bool parked = false;
   {
     LockGuard lock(conn->mutex);
     // Adaptive window (DDSI-flavored): sends arriving back-to-back
@@ -453,7 +447,11 @@ void ReactorTransport::append_pack(const std::shared_ptr<Conn>& conn, ULongLong 
     conn->pack.push_back(std::move(frame));
 
     if (conn->pack_bytes >= pack_threshold_bytes() || conn->window_us == 0) {
-      if (!flush_pack_sender(*conn)) failed = true;
+      if (!flush_pack(*conn)) {
+        failed = true;
+      } else {
+        parked = conn->outq_bytes > spill_limit_bytes();
+      }
     } else if (!conn->flush_armed) {
       conn->flush_armed = true;
       conn->flush_deadline = now + std::chrono::microseconds(conn->window_us);
@@ -465,6 +463,7 @@ void ReactorTransport::append_pack(const std::shared_ptr<Conn>& conn, ULongLong 
     throw CommFailure("ReactorTransport: send to " + conn->dial_key + " failed");
   }
   if (arm) conn->loop->wake();  // loop recomputes its flush timeout
+  if (parked) wait_for_drain(conn);
 }
 
 void ReactorTransport::send_frame_now(const std::shared_ptr<Conn>& conn, ULongLong dst_ep,
@@ -481,23 +480,19 @@ void ReactorTransport::send_frame_now(const std::shared_ptr<Conn>& conn, ULongLo
   frame.append(payload.view());
 
   bool failed = false;
+  bool parked = false;
   {
     LockGuard lock(conn->mutex);
     // Pack-before-frame order: anything already coalescing precedes
     // this frame on the wire.
-    if (!flush_pack_sender(*conn)) {
+    if (!flush_pack(*conn)) {
       failed = true;
-    } else if (!conn->outq.empty()) {
-      // Bytes are parked behind EPOLLOUT; queue behind them to keep
-      // stream order (the loop drains FIFO).
-      Segment seg;
-      seg.bytes = std::move(frame);
-      conn->outq.push_back(std::move(seg));
     } else {
       std::vector<iovec> iov{{frame.data(), frame.size()}};
-      if (!send_all_blocking(conn->fd, iov)) {
-        conn->dead.store(true, std::memory_order_release);
+      if (!write_or_spill(*conn, iov)) {
         failed = true;
+      } else {
+        parked = conn->outq_bytes > spill_limit_bytes();
       }
     }
   }
@@ -505,6 +500,7 @@ void ReactorTransport::send_frame_now(const std::shared_ptr<Conn>& conn, ULongLo
     evict_conn(conn);
     throw CommFailure("ReactorTransport: send to " + conn->dial_key + " failed");
   }
+  if (parked) wait_for_drain(conn);
 }
 
 /// Builds the gather list for one packed wire message. `header` must
@@ -541,69 +537,69 @@ void count_pack_flush(std::size_t frames, std::size_t wire_bytes) {
 
 }  // namespace
 
-bool ReactorTransport::flush_pack_sender(Conn& conn) {
-  if (conn.pack.empty()) {
-    conn.flush_armed = false;
-    return true;
-  }
-  ByteBuffer header;
-  std::vector<iovec> iov;
-  build_pack_iov(conn, header, iov);
-  count_pack_flush(conn.pack.size(), kHeaderSize + conn.pack_bytes);
-  bool ok;
-  if (!conn.outq.empty()) {
-    // Spilled bytes are already parked ahead of us; keep strict order
-    // by queueing this message behind them instead of writing now.
-    Segment seg;
-    append_iov_tail(seg, iov, 0);
-    conn.outq.push_back(std::move(seg));
-    ok = true;
-  } else {
-    ok = send_all_blocking(conn.fd, iov);
-  }
-  conn.pack.clear();
-  conn.pack_bytes = 0;
-  conn.flush_armed = false;
-  if (!ok) conn.dead.store(true, std::memory_order_release);
-  return ok;
-}
-
-bool ReactorTransport::flush_pack_loop(Conn& conn) {
-  if (conn.pack.empty()) {
-    conn.flush_armed = false;
-    return true;
-  }
-  ByteBuffer header;
-  std::vector<iovec> iov;
-  build_pack_iov(conn, header, iov);
-  count_pack_flush(conn.pack.size(), kHeaderSize + conn.pack_bytes);
-  bool ok = true;
-  if (!conn.outq.empty()) {
-    Segment seg;
-    append_iov_tail(seg, iov, 0);
-    conn.outq.push_back(std::move(seg));
-  } else {
-    std::size_t idx = 0;
+bool ReactorTransport::write_or_spill(Conn& conn, std::vector<iovec>& iov) {
+  std::size_t idx = 0;
+  if (conn.outq.empty()) {
     const int r = send_some(conn.fd, iov, idx);
     if (r < 0) {
       conn.dead.store(true, std::memory_order_release);
-      ok = false;
-    } else if (r == 0) {
-      // Kernel buffer full: spill the unsent tail and arm EPOLLOUT —
-      // the loop thread never blocks on a socket write.
-      Segment seg;
-      append_iov_tail(seg, iov, idx);
-      conn.outq.push_back(std::move(seg));
-      if (!conn.want_write) {
-        conn.want_write = true;
-        conn.loop->update_interest(conn, true);
-      }
+      return false;
     }
+    if (r == 1) return true;
   }
+  // Kernel buffer full — or spilled bytes are already parked ahead of
+  // us, and stream order says we queue behind them. Either way the
+  // unsent tail lands in outq and EPOLLOUT drains it FIFO; no thread
+  // ever blocks on the socket while holding conn.mutex.
+  Segment seg;
+  append_iov_tail(seg, iov, idx);
+  conn.outq_bytes += seg.bytes.size();
+  conn.outq.push_back(std::move(seg));
+  if (!conn.want_write) {
+    conn.want_write = true;
+    conn.loop->update_interest(conn, true);
+  }
+  return true;
+}
+
+bool ReactorTransport::flush_pack(Conn& conn) {
+  if (conn.pack.empty()) {
+    conn.flush_armed = false;
+    return true;
+  }
+  ByteBuffer header;
+  std::vector<iovec> iov;
+  build_pack_iov(conn, header, iov);
+  count_pack_flush(conn.pack.size(), kHeaderSize + conn.pack_bytes);
+  const bool ok = write_or_spill(conn, iov);
   conn.pack.clear();
   conn.pack_bytes = 0;
   conn.flush_armed = false;
   return ok;
+}
+
+void ReactorTransport::wait_for_drain(const std::shared_ptr<Conn>& conn) {
+  // Blocking-send backpressure without the deadlock: the sender parks
+  // HERE, where the condvar wait releases conn->mutex, so the loop
+  // stays free to take it, drain outq on EPOLLOUT, and notify. Two
+  // mutually backpressured processes therefore keep reading each
+  // other and both kernel buffers eventually drain. Bounded waits
+  // re-check liveness so shutdown or a dead peer breaks the park.
+  const std::size_t limit = spill_limit_bytes();
+  UniqueLock lock(conn->mutex);
+  while (conn->outq_bytes > limit) {
+    if (conn->dead.load(std::memory_order_acquire) ||
+        stopping_.load(std::memory_order_acquire)) {
+      lock.unlock();
+      evict_conn(conn);
+      throw CommFailure("ReactorTransport: send to " + conn->dial_key +
+                        " failed under backpressure");
+    }
+    // pardis-lint: allow(blocking) sender-thread write backpressure:
+    // bounded, re-checks liveness, and the condvar wait releases
+    // conn->mutex so no loop thread can be held up by this park.
+    conn->drained.wait_for(lock, std::chrono::milliseconds(50));
+  }
 }
 
 std::size_t ReactorTransport::pending_pack_frames(const transport::EndpointAddr& dst) const {

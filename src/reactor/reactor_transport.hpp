@@ -18,6 +18,8 @@
 //     TcpTransport — golden-bytes tests pin it.
 #pragma once
 
+#include <sys/uio.h>
+
 #include <atomic>
 #include <map>
 #include <memory>
@@ -84,14 +86,22 @@ class ReactorTransport final : public transport::Transport {
   /// any coalescing frames first so per-connection order holds.
   void send_frame_now(const std::shared_ptr<Conn>& conn, ULongLong dst_ep,
                       transport::HandlerId handler, const ByteBuffer& payload);
-  /// Sender-thread pack flush: gather-writes the packed message,
-  /// riding out full kernel buffers with ::poll backpressure. False =
-  /// the connection failed (marked dead; caller evicts and throws).
-  bool flush_pack_sender(Conn& conn) PARDIS_REQUIRES(conn.mutex);
-  /// Loop-thread pack flush: strictly nonblocking; a short write
-  /// spills the remainder to conn.outq and arms EPOLLOUT. False = the
-  /// connection failed (marked dead; caller kills it).
-  bool flush_pack_loop(Conn& conn) PARDIS_REQUIRES(conn.mutex);
+  /// Writes one whole wire message without ever blocking: bytes the
+  /// kernel refuses (or that must queue behind earlier spilled bytes,
+  /// to keep stream order) land in conn.outq and EPOLLOUT is armed.
+  /// Shared by sender threads and loop threads — a sender parked on
+  /// the socket while holding conn.mutex would wedge the loop, which
+  /// takes that mutex every iteration. False = the connection failed
+  /// (marked dead; caller evicts/kills it).
+  bool write_or_spill(Conn& conn, std::vector<iovec>& iov) PARDIS_REQUIRES(conn.mutex);
+  /// Gather-writes (or spills) the coalescing buffer as one packed
+  /// wire message. Strictly nonblocking; False as write_or_spill.
+  bool flush_pack(Conn& conn) PARDIS_REQUIRES(conn.mutex);
+  /// Sender-side backpressure: blocks the *sender* (never a loop, and
+  /// never while holding conn->mutex) until the loop drains conn->outq
+  /// below the spill limit. Evicts and throws CommFailure when the
+  /// connection dies or the transport stops while parked.
+  void wait_for_drain(const std::shared_ptr<Conn>& conn);
 
   const sim::Testbed* testbed_;
   int listen_fd_ = -1;

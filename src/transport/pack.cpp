@@ -1,0 +1,56 @@
+#include "transport/pack.hpp"
+
+#include <cstring>
+
+namespace pardis::transport {
+
+namespace {
+
+// Packed subheaders are always little-endian regardless of the outer
+// frame's byte-order octet (which still governs the inner payloads).
+ULongLong rd_le64(const Octet* p) {
+  ULongLong v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+ULong rd_le32(const Octet* p) {
+  return static_cast<ULong>(p[0]) | (static_cast<ULong>(p[1]) << 8) |
+         (static_cast<ULong>(p[2]) << 16) | (static_cast<ULong>(p[3]) << 24);
+}
+
+double rd_lef64(const Octet* p) {
+  const ULongLong bits = rd_le64(p);
+  double d;
+  static_assert(sizeof(d) == sizeof(bits));
+  std::memcpy(&d, &bits, sizeof(d));
+  return d;
+}
+
+}  // namespace
+
+std::string walk_packed(std::span<const Octet> payload,
+                        const std::function<void(const PackedSubframe&)>& fn) {
+  std::size_t off = 0;
+  while (off < payload.size()) {
+    if (payload.size() - off < kPackSubheaderSize) return "truncated packed subheader";
+    const Octet* p = payload.data() + off;
+    PackedSubframe sf;
+    sf.dst_ep = rd_le64(p);
+    sf.handler = rd_le32(p + 8);
+    const ULong len = rd_le32(p + 12);
+    sf.sim_time = rd_lef64(p + 16);
+    // No nested packs, and control frames (hello) never ride inside
+    // one: inner handlers must be ordinary registry entries.
+    if (sf.handler == 0 || sf.handler >= kHandlerHello)
+      return "unknown packed handler id " + std::to_string(sf.handler);
+    if (len > payload.size() - off - kPackSubheaderSize)
+      return "packed submessage length overruns the frame";
+    sf.payload = payload.subspan(off + kPackSubheaderSize, len);
+    fn(sf);
+    off += kPackSubheaderSize + len;
+  }
+  return {};
+}
+
+}  // namespace pardis::transport

@@ -1,0 +1,44 @@
+// kHandlerPack payload walking — shared by every receiver that can
+// see a packed wire message: the reactor event loops and the classic
+// TcpTransport reader. The hello is one-way, so a packing sender can
+// never learn whether its peer runs the reactor; mixed-knob
+// deployments therefore require every receiver to demultiplex packs,
+// and this header is the single definition of how.
+//
+// Layout (pinned by the reactor golden-bytes tests): the outer frame
+// is a normal 32-byte transport header addressed to endpoint 0 with
+// kHandlerPack; its payload is a run of submessages, each a 24-byte
+// ALWAYS-little-endian subheader [u64 dst ep][u32 handler][u32 len]
+// [f64 timestamp] followed by `len` payload bytes (whose byte order
+// is the OUTER frame's byte-order octet).
+#pragma once
+
+#include <functional>
+#include <span>
+#include <string>
+
+#include "common/types.hpp"
+#include "core/wire.hpp"
+
+namespace pardis::transport {
+
+/// One submessage of a kHandlerPack frame. `payload` aliases the
+/// outer frame's buffer — valid only inside the walk callback.
+struct PackedSubframe {
+  ULongLong dst_ep = 0;
+  HandlerId handler = 0;
+  double sim_time = 0.0;
+  std::span<const Octet> payload;
+};
+
+/// Walks the submessages of a kHandlerPack payload, invoking `fn` for
+/// each. Returns an empty string on success, else a diagnostic for
+/// the wire guard (truncated subheader, inner control/unknown handler
+/// id, or a length overrunning the frame) — the stream is desynced-
+/// or-hostile and the caller must disconnect. Submessages before the
+/// malformed one have already been delivered, matching the classic
+/// frame-at-a-time policy.
+std::string walk_packed(std::span<const Octet> payload,
+                        const std::function<void(const PackedSubframe&)>& fn);
+
+}  // namespace pardis::transport

@@ -15,6 +15,7 @@
 #include "obs/metrics.hpp"
 #include "obs/obs.hpp"
 #include "sim/clock.hpp"
+#include "transport/pack.hpp"
 #include "transport/wire_guard.hpp"
 
 namespace pardis::transport {
@@ -201,7 +202,7 @@ void TcpTransport::reader_loop(int fd) {
     }
     // A handler id outside the registry is equally desynced-or-hostile:
     // the payload length cannot be trusted to resynchronize on.
-    if (handler == 0 || handler > kHandlerHello) {
+    if (handler == 0 || handler > kHandlerPack) {
       wire::guard().note_bad_frame(peer,
                                    "unknown handler id " + std::to_string(handler));
       return;
@@ -231,29 +232,56 @@ void TcpTransport::reader_loop(int fd) {
       continue;
     }
 
-    std::shared_ptr<Endpoint> ep;
-    {
-      LockGuard lock(mutex_);
-      auto it = endpoints_.find(dst_ep);
-      if (it != endpoints_.end()) ep = it->second.lock();
+    // Routes one (possibly packed-submessage) RSR to its endpoint —
+    // shared between the classic frame path and the kHandlerPack
+    // demultiplexer below.
+    auto deliver = [&](ULongLong ep_id, HandlerId h, double sim_time, ByteBuffer body) {
+      std::shared_ptr<Endpoint> ep;
+      {
+        LockGuard lock(mutex_);
+        auto it = endpoints_.find(ep_id);
+        if (it != endpoints_.end()) ep = it->second.lock();
+      }
+      if (!ep) {
+        PARDIS_LOG(kWarn, "tcp") << "RSR for unknown endpoint " << ep_id << ", dropped";
+        return;  // one-way semantics: drop
+      }
+      if (obs::enabled()) {
+        static obs::Counter& received = obs::metrics().counter("transport.tcp.rsr_received");
+        static obs::Counter& bytes = obs::metrics().counter("transport.tcp.bytes_received");
+        received.add(1);
+        bytes.add(kHeaderSize + body.size());
+      }
+      RsrMessage msg;
+      msg.handler = h;
+      msg.sim_time = sim_time;
+      msg.little_endian = little;
+      msg.payload = std::move(body);
+      msg.src_peer = peer;
+      ep->enqueue(std::move(msg));
+    };
+
+    if (handler == kHandlerPack) {
+      // A reactor peer with PARDIS_REACTOR_PACK on coalesced several
+      // small frames into this one wire message; fan them out so a
+      // pack-off process still interoperates (packing is sender-side
+      // only — the one-way hello cannot negotiate it away).
+      if (obs::enabled()) {
+        static obs::Counter& packs = obs::metrics().counter("transport.tcp.packs_received");
+        packs.add(1);
+      }
+      const std::string err =
+          walk_packed(payload.view(), [&](const PackedSubframe& sf) {
+            deliver(sf.dst_ep, sf.handler, sf.sim_time, ByteBuffer::from(sf.payload));
+          });
+      if (!err.empty()) {
+        wire::guard().note_bad_frame(peer, err);
+        return;
+      }
+      continue;
     }
-    if (!ep) {
-      PARDIS_LOG(kWarn, "tcp") << "RSR for unknown endpoint " << dst_ep << ", dropped";
-      continue;  // one-way semantics: drop
-    }
-    if (obs::enabled()) {
-      static obs::Counter& received = obs::metrics().counter("transport.tcp.rsr_received");
-      static obs::Counter& bytes = obs::metrics().counter("transport.tcp.bytes_received");
-      received.add(1);
-      bytes.add(kHeaderSize + payload_len);
-    }
-    RsrMessage msg;
-    msg.handler = handler;
-    msg.sim_time = time;
-    msg.little_endian = little;
-    msg.payload = std::move(payload);
-    msg.src_peer = peer;
-    ep->enqueue(std::move(msg));
+
+    deliver(dst_ep, handler, time, std::move(payload));
   }
 }
 

@@ -76,6 +76,7 @@ class ReactorFixture : public ::testing::Test {
     reactor::set_pack(-1);
     reactor::set_flush_window_us(-1);
     reactor::set_pack_threshold_bytes(-1);
+    reactor::set_spill_limit_bytes(-1);
     wire::set_hello(-1);
     wire::set_bad_frame_limit(-1);
     wire::guard().reset();
@@ -437,8 +438,10 @@ TEST_F(ReactorFixture, LargePayloadBypassesPacking) {
 }
 
 TEST_F(ReactorFixture, InteropWithClassicTcpTransportBothWays) {
-  // PACK is sender-side only, so a reactor talking to a classic
-  // listener must disable packing; classic->reactor needs nothing.
+  // Pack-off parity in both directions (the pack-on direction is
+  // covered by PackedFramesReachClassicTcpReceiver: a classic reader
+  // demultiplexes kHandlerPack, since the one-way hello gives a
+  // packing sender no way to learn which engine its peer runs).
   ReactorTransport reactor_side(0);
   transport::TcpTransport classic_side(0);
   auto reactor_ep = reactor_side.create_endpoint("");
@@ -454,6 +457,39 @@ TEST_F(ReactorFixture, InteropWithClassicTcpTransportBothWays) {
   res = classic_ep->wait_for(5s);
   ASSERT_EQ(res.status, transport::WaitStatus::kMessage);
   EXPECT_EQ(text_of(*res.message), "new->old");
+}
+
+TEST_F(ReactorFixture, PackedFramesReachClassicTcpReceiver) {
+  // Mixed-knob deployments: a packing reactor sender talking to a
+  // classic thread-per-connection receiver. The hello handshake is
+  // one-way (the acceptor never announces itself), so the sender
+  // cannot know which engine its peer runs — interop works because
+  // the classic reader demultiplexes kHandlerPack itself.
+  reactor::set_pack(1);
+  reactor::set_flush_window_us(2000);
+  ReactorTransport reactor_side(0);
+  transport::TcpTransport classic_side(0);
+  auto ep = classic_side.create_endpoint("");
+  constexpr int kCount = 200;
+  for (int i = 0; i < kCount; ++i)
+    reactor_side.rsr(ep->addr(), 2, text_payload(std::to_string(i)), "");
+  for (int i = 0; i < kCount; ++i) {
+    auto res = ep->wait_for(5s);
+    ASSERT_EQ(res.status, transport::WaitStatus::kMessage) << "at " << i;
+    EXPECT_EQ(text_of(*res.message), std::to_string(i));
+  }
+}
+
+TEST_F(ReactorFixture, PackThresholdClampsToHalfTheFrameBound) {
+  // A packed payload can approach twice the flush threshold (the
+  // flush fires after the append that crossed it), so an oversized
+  // PARDIS_REACTOR_PACK_BYTES must clamp to half the receiver's frame
+  // bound instead of producing messages the peer would reject.
+  reactor::set_pack_threshold_bytes(
+      static_cast<long>(wire::max_frame_bytes() * 4));
+  EXPECT_EQ(reactor::pack_threshold_bytes(), wire::max_frame_bytes() / 2);
+  reactor::set_pack_threshold_bytes(4096);
+  EXPECT_EQ(reactor::pack_threshold_bytes(), 4096u);
 }
 
 TEST_F(ReactorFixture, AdaptiveWindowCoalescesBurstsIntoFewerWireMessages) {
@@ -594,6 +630,100 @@ TEST_F(ReactorFixture, ShutdownIsIdempotentAndFailsLaterSends) {
   client.shutdown();
   client.shutdown();
   EXPECT_THROW(client.rsr(ep->addr(), 2, text_payload("post"), ""), CommFailure);
+}
+
+ByteBuffer blob_payload(std::size_t n) {
+  ByteBuffer b;
+  CdrWriter w(b);
+  w.write_string(std::string(n, 'b'));
+  return b;
+}
+
+TEST_F(ReactorFixture, BackpressuredPeerNeverWedgesTheEventLoop) {
+  // A peer that stops reading (the black-hole RawListener never calls
+  // recv) must only park the thread sending to it. Everything here
+  // shares one event loop: the unsent tail spills to the connection's
+  // queue behind EPOLLOUT and the sender parks in a condvar that
+  // releases conn->mutex, so the loop keeps serving its other
+  // connections and shutdown() releases the parked sender instead of
+  // hanging the destructor.
+  wire::set_hello(0);
+  reactor::set_pack(0);
+  reactor::set_loop_count(1);
+  reactor::set_spill_limit_bytes(64 * 1024);
+
+  ReactorTransport client(0);
+  ReactorTransport peer(0);
+  auto client_ep = client.create_endpoint("");
+  RawListener blackhole;  // connection sits in the accept queue; nothing reads
+
+  std::atomic<int> sent{0};
+  std::atomic<bool> parked_send_failed{false};
+  std::thread sender([&] {
+    const ByteBuffer blob = blob_payload(256 * 1024);
+    try {
+      for (int i = 0; i < 512; ++i) {  // ~128 MiB: cannot fit in any buffer
+        client.rsr(blackhole.addr(7), 2, blob.clone(), "");
+        sent.fetch_add(1, std::memory_order_relaxed);
+      }
+    } catch (const CommFailure&) {
+      parked_send_failed.store(true, std::memory_order_relaxed);
+    }
+  });
+
+  // Parked once progress stalls: the kernel buffers and the spill
+  // budget are full and nothing on the far side will ever drain them.
+  int last = -1;
+  const auto deadline = std::chrono::steady_clock::now() + 20s;
+  while (std::chrono::steady_clock::now() < deadline) {
+    const int now = sent.load(std::memory_order_relaxed);
+    if (now > 0 && now == last) break;
+    last = now;
+    std::this_thread::sleep_for(200ms);
+  }
+  ASSERT_GT(sent.load(std::memory_order_relaxed), 0);
+  ASSERT_LT(sent.load(std::memory_order_relaxed), 512) << "black hole drained?";
+
+  // The loop serving the black-hole connection also serves the
+  // connection accepted from `peer`; it must still read and deliver.
+  peer.rsr(client_ep->addr(), 2, text_payload("alive"), "");
+  auto res = client_ep->wait_for(5s);
+  ASSERT_EQ(res.status, transport::WaitStatus::kMessage)
+      << "event loop wedged behind a backpressured sender";
+  EXPECT_EQ(text_of(*res.message), "alive");
+
+  // Shutdown must fail the parked send promptly, not drain forever.
+  const auto t0 = std::chrono::steady_clock::now();
+  client.shutdown();
+  sender.join();
+  EXPECT_LT(std::chrono::steady_clock::now() - t0, 5s);
+  EXPECT_TRUE(parked_send_failed.load(std::memory_order_relaxed));
+}
+
+TEST_F(ReactorFixture, ParkedSenderResumesWhenThePeerDrains) {
+  // Backpressure is a pause, not a failure: once the slow peer reads,
+  // the spilled tail drains over EPOLLOUT and the parked sender
+  // finishes the batch with every byte intact and in order.
+  wire::set_hello(0);
+  reactor::set_pack(0);
+  reactor::set_spill_limit_bytes(64 * 1024);
+
+  RawListener sink;
+  ReactorTransport client(0);
+  const ByteBuffer blob = blob_payload(64 * 1024);
+  constexpr int kFrames = 192;  // ~12 MiB through a 64 KiB spill budget
+  const std::size_t wire_len = kFrames * (kHeaderSize + blob.size());
+  std::atomic<int> sent{0};
+  std::thread sender([&] {
+    for (int i = 0; i < kFrames; ++i) {
+      client.rsr(sink.addr(9), 2, blob.clone(), "");
+      sent.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  const auto bytes = sink.read_bytes(wire_len);  // drains while the sender parks
+  sender.join();
+  EXPECT_EQ(sent.load(std::memory_order_relaxed), kFrames);
+  EXPECT_EQ(bytes.size(), wire_len);
 }
 
 TEST_F(ReactorFixture, LifecycleLeaksNoFileDescriptors) {
